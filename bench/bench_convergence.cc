@@ -1,0 +1,98 @@
+// EXP-4 — Convergence of the iterative bargaining (paper §3.2/§3.7).
+//
+// Series: best-plan cost after each QT iteration, on a federation where
+// first-round overlap is unavoidable: every node hosts a staggered
+// 3-partition window of a 4-way partitioned table, so any pair of sellers
+// that jointly covers the table overlaps. Iteration 1 must buy a full
+// window plus a clipped copy of another (paying redundant transfer); the
+// §3.7 analyser then asks for exactly the missing slice, whose cheap
+// second-round offer replaces the clipped purchase. Expected shape:
+// monotone non-increasing cost settling within a few iterations.
+#include "bench/bench_util.h"
+
+#include "sql/parser.h"
+
+using namespace qtrade;
+using namespace qtrade::bench;
+
+namespace {
+
+/// One table, `kParts` range partitions, each node hosting a staggered
+/// window of 3 partitions; per-partition stats are synthetic.
+std::unique_ptr<Federation> BuildStaggered(int num_nodes, int64_t rows) {
+  constexpr int kParts = 4;
+  auto schema = std::make_shared<FederationSchema>();
+  std::vector<sql::ExprPtr> preds;
+  int64_t step = rows / kParts;
+  for (int p = 0; p < kParts; ++p) {
+    std::string text;
+    if (p == 0) {
+      text = "pk < " + std::to_string(step);
+    } else if (p == kParts - 1) {
+      text = "pk >= " + std::to_string(p * step);
+    } else {
+      text = "pk >= " + std::to_string(p * step) + " AND pk < " +
+             std::to_string((p + 1) * step);
+    }
+    preds.push_back(sql::ParseExpression(text).value());
+  }
+  (void)schema->AddTable({"items",
+                          {{"pk", TypeKind::kInt64},
+                           {"val", TypeKind::kInt64},
+                           {"grp", TypeKind::kString}}},
+                         preds);
+  auto fed = std::make_unique<Federation>(schema);
+  for (int n = 0; n < num_nodes; ++n) {
+    std::string name = GeneratedFederation::NodeName(n);
+    fed->AddNode(name);
+    for (int w = 0; w < 3; ++w) {
+      int p = (n + w) % kParts;
+      TableStats stats;
+      stats.row_count = step;
+      stats.avg_row_bytes = 40;
+      ColumnStats pk;
+      pk.ndv = step;
+      pk.min = Value::Int64(p * step);
+      pk.max = Value::Int64((p + 1) * step - 1);
+      stats.columns["pk"] = pk;
+      ColumnStats val;
+      val.ndv = 1000;
+      val.min = Value::Int64(0);
+      val.max = Value::Int64(999);
+      stats.columns["val"] = val;
+      (void)fed->RegisterPartitionStats(name,
+                                        "items#" + std::to_string(p),
+                                        stats);
+    }
+  }
+  return fed;
+}
+
+}  // namespace
+
+int main() {
+  Banner("EXP-4", "best-plan cost per trading iteration");
+
+  for (int64_t rows : {200000, 800000, 3200000}) {
+    auto fed = BuildStaggered(/*num_nodes=*/6, rows);
+    QtOptions options;
+    options.max_iterations = 5;
+    QtRun run = RunQt(fed.get(), GeneratedFederation::NodeName(0),
+                      "SELECT pk, val FROM items WHERE val < 800", options);
+    if (!run.ok) {
+      std::printf("rows %8lld: no plan\n", static_cast<long long>(rows));
+      continue;
+    }
+    std::printf("rows %8lld: ", static_cast<long long>(rows));
+    double first = run.result.cost_per_iteration.front();
+    for (size_t i = 0; i < run.result.cost_per_iteration.size(); ++i) {
+      std::printf("it%zu=%.1f  ", i + 1, run.result.cost_per_iteration[i]);
+    }
+    std::printf("(improvement %.1f%%)\n",
+                100.0 * (first - run.cost) / std::max(first, 1e-9));
+  }
+  std::printf("\nShape check: cost is non-increasing across iterations; the "
+              "second iteration's disjoint\nslice offers replace redundant "
+              "clipped purchases from the first.\n");
+  return 0;
+}

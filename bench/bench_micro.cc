@@ -1,0 +1,128 @@
+// EXP-12 — Component microbenchmarks (google-benchmark).
+//
+// Hot-path costs of the machinery every negotiation round exercises:
+// SQL parse+bind (RFBs travel as text), the §3.4 seller rewrite, offer
+// generation (modified DP), and the §3.6 buyer coverage DP.
+#include <benchmark/benchmark.h>
+
+#include "opt/offer_generator.h"
+#include "opt/plan_assembler.h"
+#include "sql/analyzer.h"
+#include "sql/parser.h"
+#include "rewrite/partition_rewriter.h"
+#include "rewrite/predicate.h"
+#include "workload/workload.h"
+
+namespace qtrade {
+namespace {
+
+/// Shared fixture: a mid-size planning-only federation.
+struct World {
+  GeneratedFederation generated;
+  std::string sql;
+  sql::BoundQuery query;
+
+  World() {
+    WorkloadParams params;
+    params.num_nodes = 12;
+    params.num_tables = 5;
+    params.partitions_per_table = 3;
+    params.replication = 2;
+    params.with_data = false;
+    params.rows_per_table = 900;
+    generated = std::move(BuildFederation(params)).value();
+    sql = ChainQuerySql(0, 3, true, true);
+    query = sql::AnalyzeSql(sql, generated.federation->schema()).value();
+  }
+
+  static World& Get() {
+    static World* world = new World();
+    return *world;
+  }
+};
+
+void BM_ParseQuery(benchmark::State& state) {
+  World& world = World::Get();
+  for (auto _ : state) {
+    auto parsed = sql::ParseQuery(world.sql);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_ParseQuery);
+
+void BM_AnalyzeQuery(benchmark::State& state) {
+  World& world = World::Get();
+  for (auto _ : state) {
+    auto bound = sql::AnalyzeSql(world.sql, world.generated.federation->schema());
+    benchmark::DoNotOptimize(bound);
+  }
+}
+BENCHMARK(BM_AnalyzeQuery);
+
+void BM_SellerRewrite(benchmark::State& state) {
+  World& world = World::Get();
+  NodeCatalog* catalog =
+      world.generated.federation->node(world.generated.node_names[0])
+          ->catalog.get();
+  for (auto _ : state) {
+    auto rewrite = RewriteForLocalPartitions(world.query, *catalog);
+    benchmark::DoNotOptimize(rewrite);
+  }
+}
+BENCHMARK(BM_SellerRewrite);
+
+void BM_OfferGeneration(benchmark::State& state) {
+  World& world = World::Get();
+  Federation* fed = world.generated.federation.get();
+  NodeCatalog* catalog =
+      fed->node(world.generated.node_names[0])->catalog.get();
+  for (auto _ : state) {
+    OfferGenerator generator(catalog, &fed->factory());
+    auto offers = generator.Generate(world.query, "rfb");
+    benchmark::DoNotOptimize(offers);
+  }
+}
+BENCHMARK(BM_OfferGeneration);
+
+void BM_CoverageAssembly(benchmark::State& state) {
+  World& world = World::Get();
+  Federation* fed = world.generated.federation.get();
+  // One offer pool, reused across iterations.
+  static std::vector<Offer>* pool = [&] {
+    auto* offers = new std::vector<Offer>();
+    for (const auto& name : world.generated.node_names) {
+      OfferGenerator generator(fed->node(name)->catalog.get(),
+                               &fed->factory());
+      auto generated = generator.Generate(world.query, "rfb");
+      if (generated.ok()) {
+        for (auto& g : *generated) offers->push_back(std::move(g.offer));
+      }
+    }
+    return offers;
+  }();
+  for (auto _ : state) {
+    PlanAssembler assembler(&world.query, &fed->schema(), &fed->factory());
+    auto candidates = assembler.Assemble(*pool);
+    benchmark::DoNotOptimize(candidates);
+  }
+}
+BENCHMARK(BM_CoverageAssembly);
+
+void BM_PredicateImplication(benchmark::State& state) {
+  auto premises = std::vector<sql::ExprPtr>{
+      sql::ParseExpression("a.x >= 10").value(),
+      sql::ParseExpression("a.x < 20").value(),
+      sql::ParseExpression("a.y IN ('u', 'v')").value()};
+  auto conclusion = sql::ParseExpression("a.x > 5 AND a.y IN ('u','v','w')")
+                        .value();
+  for (auto _ : state) {
+    bool implied = ProvablyImplies(premises, conclusion);
+    benchmark::DoNotOptimize(implied);
+  }
+}
+BENCHMARK(BM_PredicateImplication);
+
+}  // namespace
+}  // namespace qtrade
+
+BENCHMARK_MAIN();

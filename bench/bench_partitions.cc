@@ -1,0 +1,48 @@
+// EXP-5 — Effect of partitioning degree.
+//
+// Series: plan cost, offers and assembly effort as partitions per
+// relation grow. Expected shape: more partitions mean more, smaller
+// offers and more coverage bookkeeping (the §3.6 rewriting search the
+// paper calls potentially exponential) while plan cost stays roughly
+// flat — the data volume does not change, only its fragmentation.
+#include "bench/bench_util.h"
+
+using namespace qtrade;
+using namespace qtrade::bench;
+
+int main() {
+  Banner("EXP-5", "plan quality and effort vs partitions per relation");
+  std::printf("%11s %10s %8s %8s %10s %10s\n", "partitions", "QT(ms)",
+              "offers", "msgs", "opt(ms)", "GDP(ms)");
+
+  for (int partitions : {1, 2, 3, 4, 6, 8}) {
+    WorkloadParams params;
+    params.num_nodes = 16;
+    params.num_tables = 4;
+    params.partitions_per_table = partitions;
+    params.replication = 2;
+    params.with_data = false;
+    params.stats_row_scale = 400;
+    params.rows_per_table = 1200;
+    params.seed = 5 + partitions;
+    auto built = BuildFederation(params);
+    if (!built.ok()) continue;
+    Federation* fed = built->federation.get();
+    const std::string sql = ChainQuerySql(0, 2, false, true);
+
+    QtRun qt = RunQt(fed, built->node_names[0], sql);
+    GlobalRun dp = RunGlobal(fed, built->node_names[0], sql);
+    if (!qt.ok || !dp.ok) {
+      std::printf("%11d  (no plan)\n", partitions);
+      continue;
+    }
+    std::printf("%11d %10.1f %8lld %8lld %10.1f %10.1f\n", partitions,
+                qt.cost,
+                static_cast<long long>(qt.metrics.offers_received),
+                static_cast<long long>(qt.metrics.messages), qt.wall_ms,
+                dp.true_cost);
+  }
+  std::printf("\nShape check: offers/effort grow with fragmentation; plan "
+              "cost stays in the same regime.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// EXP-6 — Effect of replication degree (seller competition).
+//
+// Series: QT plan cost and traffic as replicas per partition grow.
+// Expected shape: more replicas mean more alternative sellers per
+// fragment, so the buyer finds better-colocated offers — cost improves
+// (or holds) while offer traffic grows.
+#include "bench/bench_util.h"
+
+using namespace qtrade;
+using namespace qtrade::bench;
+
+int main() {
+  Banner("EXP-6", "plan quality vs replication degree");
+  std::printf("%9s %10s %8s %8s %10s\n", "replicas", "QT(ms)", "offers",
+              "msgs", "GDP(ms)");
+
+  for (int replication : {1, 2, 3, 4, 5}) {
+    WorkloadParams params;
+    params.num_nodes = 20;
+    params.num_tables = 4;
+    params.partitions_per_table = 3;
+    params.replication = replication;
+    params.with_data = false;
+    params.stats_row_scale = 400;
+    params.rows_per_table = 1200;
+    params.seed = 100;  // same placement RNG start per sweep point
+    auto built = BuildFederation(params);
+    if (!built.ok()) continue;
+    Federation* fed = built->federation.get();
+    const std::string sql = ChainQuerySql(0, 2, false, true);
+    QtRun qt = RunQt(fed, built->node_names[0], sql);
+    GlobalRun dp = RunGlobal(fed, built->node_names[0], sql);
+    if (!qt.ok || !dp.ok) {
+      std::printf("%9d  (no plan)\n", replication);
+      continue;
+    }
+    std::printf("%9d %10.1f %8lld %8lld %10.1f\n", replication, qt.cost,
+                static_cast<long long>(qt.metrics.offers_received),
+                static_cast<long long>(qt.metrics.messages), dp.true_cost);
+  }
+  std::printf("\nShape check: offer traffic grows with replication; plan "
+              "cost improves or holds as seller choice widens.\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Shared helpers for the experiment binaries: every bench prints the
+// table/series its DESIGN.md experiment id calls for.
+#ifndef QTRADE_BENCH_BENCH_UTIL_H_
+#define QTRADE_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baseline/global_optimizer.h"
+#include "core/qt_optimizer.h"
+#include "workload/workload.h"
+
+namespace qtrade::bench {
+
+inline double WallMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// One QT optimization run with timing.
+struct QtRun {
+  bool ok = false;
+  double cost = 0;
+  double wall_ms = 0;
+  TradeMetrics metrics;
+  QtResult result;
+};
+
+inline QtRun RunQt(Federation* federation, const std::string& buyer,
+                   const std::string& sql, const QtOptions& options = {}) {
+  QtRun run;
+  QueryTradingOptimizer qt(federation, buyer, options);
+  auto start = std::chrono::steady_clock::now();
+  auto result = qt.Optimize(sql);
+  run.wall_ms = WallMs(start);
+  if (result.ok() && result->ok()) {
+    run.ok = true;
+    run.cost = result->cost;
+    run.metrics = result->metrics;
+    run.result = std::move(*result);
+  }
+  return run;
+}
+
+/// One baseline run with timing.
+struct GlobalRun {
+  bool ok = false;
+  double est_cost = 0;
+  double true_cost = 0;
+  double wall_ms = 0;
+  int subplans = 0;
+};
+
+inline GlobalRun RunGlobal(Federation* federation, const std::string& buyer,
+                           const std::string& sql,
+                           const GlobalOptimizerOptions& options = {}) {
+  GlobalRun run;
+  GlobalOptimizer opt(federation, buyer, options);
+  auto start = std::chrono::steady_clock::now();
+  auto result = opt.Optimize(sql);
+  run.wall_ms = WallMs(start);
+  if (result.ok()) {
+    run.ok = true;
+    run.est_cost = result->est_cost;
+    run.true_cost = result->true_cost;
+    run.subplans = result->subplans_enumerated;
+  }
+  return run;
+}
+
+/// Rebuilds a generated federation with a caller-chosen seller strategy
+/// per node (BuildFederation always uses TruthfulStrategy). Mirrors the
+/// placement and statistics; with-data federations also copy rows.
+inline std::unique_ptr<Federation> WithStrategies(
+    const GeneratedFederation& source,
+    const std::function<std::unique_ptr<SellerStrategy>(int)>& make) {
+  Federation& src = *source.federation;
+  auto out = std::make_unique<Federation>(src.schema_ptr());
+  for (size_t i = 0; i < source.node_names.size(); ++i) {
+    out->AddNode(source.node_names[i], make(static_cast<int>(i)));
+  }
+  for (const auto& table : src.schema().TableNames()) {
+    for (const auto& part :
+         src.schema().FindPartitioning(table)->partitions) {
+      for (const auto& host : src.global_catalog()->ReplicaNodes(part.id)) {
+        const RowSet* rows = src.node(host)->store->Partition(part.id);
+        if (rows != nullptr) {
+          (void)out->LoadPartition(host, part.id, rows->rows);
+        } else {
+          (void)out->RegisterPartitionStats(
+              host, part.id, *src.global_catalog()->PartitionStats(part.id));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+/// Banner naming the experiment the output reproduces.
+inline void Banner(const char* exp_id, const char* description) {
+  std::printf("==============================================================="
+              "=========\n");
+  std::printf("%s  %s\n", exp_id, description);
+  std::printf("(reconstructed experiment; see DESIGN.md fidelity note)\n");
+  std::printf("==============================================================="
+              "=========\n");
+}
+
+}  // namespace qtrade::bench
+
+#endif  // QTRADE_BENCH_BENCH_UTIL_H_

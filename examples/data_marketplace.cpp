@@ -1,0 +1,104 @@
+// A competitive data marketplace: the same data products (replicated
+// partitions) are sold by rival nodes that quote cost * (1 + margin) and
+// adapt their margins to wins and losses. The example runs a stream of
+// queries under the three negotiation protocols and reports what the
+// buyer pays versus the honest (social) cost of the winning answers.
+//
+// Build & run:  ./build/examples/data_marketplace
+#include <cstdio>
+#include <iostream>
+
+#include "core/qt_optimizer.h"
+#include "workload/workload.h"
+
+using namespace qtrade;
+
+namespace {
+
+/// Builds the marketplace directly with competitive sellers.
+std::unique_ptr<Federation> BuildCompetitiveMarket(uint64_t seed) {
+  WorkloadParams params;
+  params.num_nodes = 6;
+  params.num_tables = 4;
+  params.partitions_per_table = 2;
+  // Full replication: every node sells the identical data products, so
+  // auctions have true head-to-head competition per commodity.
+  params.replication = 6;
+  params.rows_per_table = 400;
+  params.seed = seed;
+
+  // Generate placement/data via the workload builder, then mirror it into
+  // a federation whose nodes use AdaptiveMarkupStrategy.
+  auto built = BuildFederation(params);
+  if (!built.ok()) return nullptr;
+  Federation& source = *built->federation;
+
+  auto market = std::make_unique<Federation>(source.schema_ptr());
+  for (const auto& name : built->node_names) {
+    market->AddNode(name,
+                    std::make_unique<AdaptiveMarkupStrategy>(
+                        /*initial_margin=*/0.35, /*step=*/0.05));
+  }
+  for (const auto& table : source.schema().TableNames()) {
+    for (const auto& part :
+         source.schema().FindPartitioning(table)->partitions) {
+      for (const auto& host :
+           source.global_catalog()->ReplicaNodes(part.id)) {
+        const RowSet* rows = source.node(host)->store->Partition(part.id);
+        std::vector<Row> copy = rows->rows;
+        (void)market->LoadPartition(host, part.id, std::move(copy));
+      }
+    }
+  }
+  return market;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("%-12s %10s %12s %12s %8s\n", "protocol", "queries",
+              "paid(ms)", "honest(ms)", "margin");
+  for (NegotiationProtocol protocol :
+       {NegotiationProtocol::kBidding, NegotiationProtocol::kAuction,
+        NegotiationProtocol::kBargaining}) {
+    auto market = BuildCompetitiveMarket(7);
+    if (!market) {
+      std::cerr << "failed to build marketplace\n";
+      return 1;
+    }
+    QtOptions options;
+    options.protocol = protocol;
+    options.max_auction_rounds = 4;
+    options.max_bargain_rounds = 4;
+    QueryTradingOptimizer qt(market.get(), GeneratedFederation::NodeName(0),
+                             options);
+
+    double paid = 0, honest = 0;
+    int answered = 0;
+    const int kQueries = 12;
+    for (int q = 0; q < kQueries; ++q) {
+      std::string sql = ChainQuerySql(q % 3, 1 + q % 2, q % 2 == 0,
+                                      q % 3 == 0);
+      auto result = qt.Optimize(sql);
+      if (!result.ok() || !result->ok()) continue;
+      ++answered;
+      paid += TotalRemoteCost(result->plan);
+      // Honest cost: what the winning sellers privately estimated.
+      for (const auto& offer : result->winning_offers) {
+        auto true_cost = market->node(offer.seller)
+                             ->seller->TrueCost(offer.offer_id);
+        if (true_cost.ok()) {
+          honest += *true_cost;
+        }
+      }
+    }
+    double margin = honest > 0 ? (paid - honest) / honest * 100.0 : 0.0;
+    std::printf("%-12s %10d %12.1f %12.1f %7.1f%%\n",
+                NegotiationProtocolName(protocol), answered, paid, honest,
+                margin);
+  }
+  std::cout << "\nCompetition (auction/bargaining rounds) squeezes seller "
+               "margins toward honest costs;\nsealed-bid bidding lets "
+               "markup stand.\n";
+  return 0;
+}

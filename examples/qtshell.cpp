@@ -1,0 +1,102 @@
+// qtshell — interactive query-market shell over the telecom federation.
+//
+// Type SELECT statements; each is optimized by query trading from the
+// Athens node, the purchased plan is shown, executed, and cross-checked
+// against centralized evaluation. Meta commands:
+//   \offers    toggle printing the winning offers
+//   \plan      toggle printing the execution plan
+//   \quit      exit
+//
+// Build & run:  ./build/examples/qtshell
+//               echo "SELECT COUNT(*) AS n FROM customer" | ./build/examples/qtshell
+#include <iostream>
+#include <string>
+
+#include "core/qt_optimizer.h"
+#include "workload/telecom.h"
+
+using namespace qtrade;
+
+int main() {
+  TelecomParams params;
+  params.num_offices = 4;
+  params.customers_per_office = 120;
+  params.lines_per_customer = 3;
+  params.with_view = true;
+  auto world = BuildTelecomWorld(params);
+  if (!world.ok()) {
+    std::cerr << "failed to build federation: "
+              << world.status().ToString() << "\n";
+    return 1;
+  }
+  Federation* fed = world->federation.get();
+  fed->EnableSubcontracting();
+  QueryTradingOptimizer qt(fed, world->node_names[0]);
+
+  std::cout << "QueryTrader shell — telecom federation with "
+            << world->node_names.size()
+            << " offices; buyer = " << world->node_names[0] << "\n"
+            << "tables: customer(custid, custname, office) partitioned by "
+               "office;\n        invoiceline(invid, linenum, custid, charge)\n"
+            << "try:    " << TelecomWorld::RevenueReportSql() << "\n\n";
+
+  bool show_offers = true;
+  bool show_plan = true;
+  std::string line;
+  while (true) {
+    std::cout << "qt> " << std::flush;
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+    if (line == "\\quit" || line == "\\q") break;
+    if (line == "\\offers") {
+      show_offers = !show_offers;
+      std::cout << "offers " << (show_offers ? "on" : "off") << "\n";
+      continue;
+    }
+    if (line == "\\plan") {
+      show_plan = !show_plan;
+      std::cout << "plan " << (show_plan ? "on" : "off") << "\n";
+      continue;
+    }
+
+    auto result = qt.Optimize(line);
+    if (!result.ok()) {
+      std::cout << "error: " << result.status().ToString() << "\n";
+      continue;
+    }
+    if (!result->ok()) {
+      std::cout << "no combination of offers covers this query\n";
+      continue;
+    }
+    if (show_offers) {
+      std::cout << "bought " << result->winning_offers.size()
+                << " answer(s):\n";
+      for (const auto& offer : result->winning_offers) {
+        std::cout << "  " << offer.seller << " ["
+                  << OfferKindName(offer.kind) << ", "
+                  << offer.props.total_time_ms << " ms]  "
+                  << sql::ToSql(offer.query) << "\n";
+      }
+    }
+    if (show_plan) std::cout << Explain(result->plan);
+    std::cout << "negotiation: " << result->iterations << " iteration(s), "
+              << result->metrics.messages << " messages, est. cost "
+              << result->cost << " ms\n";
+
+    auto rows = qt.Execute(*result);
+    if (!rows.ok()) {
+      std::cout << "execution failed: " << rows.status().ToString() << "\n";
+      continue;
+    }
+    std::cout << FormatRowSet(*rows, 12);
+    auto reference = fed->ExecuteCentralized(line);
+    if (reference.ok()) {
+      std::cout << (reference->rows.size() == rows->rows.size()
+                        ? "[cross-check: row count matches centralized]"
+                        : "[cross-check: MISMATCH vs centralized!]")
+                << "\n";
+    }
+  }
+  std::cout << "\nbye\n";
+  return 0;
+}

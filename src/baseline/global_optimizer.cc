@@ -1,0 +1,486 @@
+#include "baseline/global_optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "rewrite/predicate.h"
+#include "stats/selectivity.h"
+
+namespace qtrade {
+
+namespace {
+
+using sql::BoundQuery;
+using sql::ExprPtr;
+
+/// Deterministic multiplicative error in [1/(1+eps), 1+eps] derived from
+/// the key, so the same statistic is consistently wrong across the run —
+/// the way a stale catalog is wrong.
+double ErrorFactor(const std::string& key, double eps, uint64_t seed) {
+  if (eps <= 0) return 1.0;
+  uint64_t h = seed ^ std::hash<std::string>()(key);
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  double u = static_cast<double>(h % 2000001) / 1000000.0 - 1.0;  // [-1, 1]
+  return std::exp(u * std::log1p(eps));
+}
+
+TableStats PerturbStats(const TableStats& stats, const std::string& key,
+                        double eps, uint64_t seed) {
+  if (eps <= 0) return stats;
+  TableStats out = stats;
+  double row_factor = ErrorFactor(key + "#rows", eps, seed);
+  out.row_count = std::max<int64_t>(
+      1, static_cast<int64_t>(std::llround(stats.row_count * row_factor)));
+  for (auto& [name, col] : out.columns) {
+    double ndv_factor = ErrorFactor(key + "#" + name, eps, seed);
+    col.ndv = std::max<int64_t>(
+        1, static_cast<int64_t>(std::llround(col.ndv * ndv_factor)));
+    for (auto& [value, count] : col.mcv) {
+      count = std::max<int64_t>(
+          1, static_cast<int64_t>(std::llround(count * row_factor)));
+    }
+  }
+  return out;
+}
+
+struct AliasInfo {
+  std::string alias;
+  std::string table;
+  std::vector<const PartitionDef*> feasible;  // partitions that can hold rows
+  /// Per feasible partition: the chosen host per candidate site (itself
+  /// when hosted there, else the first replica).
+  std::vector<std::vector<std::string>> hosts;  // [site][partition]
+  std::vector<std::string> sites;               // candidate sites
+  // Filtered (post-local-predicate) alias statistics.
+  TableStats est_stats;
+  TableStats true_stats;
+  double est_rows = 0;
+  double true_rows = 0;
+  double row_bytes = 64;       // full tuple width (scanning)
+  double ship_bytes = 32;      // width of the columns actually needed
+  // Per-site materialization costs of the full filtered extent.
+  std::vector<double> est_cost;   // [site]
+  std::vector<double> true_cost;  // [site]
+};
+
+}  // namespace
+
+struct GlobalOptimizer::Entry {
+  uint32_t mask = 0;
+  int site = -1;  // index into the global site list
+  double est_cost = 0;
+  double true_cost = 0;
+  double est_rows = 0;
+  double true_rows = 0;
+  double ship_bytes = 32;  // width of one shipped tuple of this subset
+  PlanPtr plan;
+};
+
+GlobalOptimizer::GlobalOptimizer(Federation* federation,
+                                 std::string coordinator,
+                                 GlobalOptimizerOptions options)
+    : federation_(federation),
+      coordinator_(std::move(coordinator)),
+      options_(options) {}
+
+Result<GlobalPlanResult> GlobalOptimizer::Optimize(const std::string& sql) {
+  const FederationSchema& schema = federation_->schema();
+  const GlobalCatalog& global = *federation_->global_catalog();
+  const PlanFactory& factory = federation_->factory();
+  const CostModel& cost = factory.cost_model();
+
+  QTRADE_ASSIGN_OR_RETURN(BoundQuery query, sql::AnalyzeSql(sql, schema));
+  const size_t n = query.tables.size();
+  if (n == 0 || n > 16) {
+    return Status::InvalidArgument("unsupported query arity");
+  }
+
+  // ---- Global site list: nodes hosting any relevant partition, plus the
+  // coordinator.
+  std::vector<std::string> sites;
+  std::map<std::string, int> site_index;
+  auto intern_site = [&](const std::string& name) {
+    auto it = site_index.find(name);
+    if (it != site_index.end()) return it->second;
+    site_index[name] = static_cast<int>(sites.size());
+    sites.push_back(name);
+    return static_cast<int>(sites.size()) - 1;
+  };
+  intern_site(coordinator_);
+
+  // ---- Per-alias info.
+  std::vector<AliasInfo> aliases(n);
+  for (size_t i = 0; i < n; ++i) {
+    AliasInfo& info = aliases[i];
+    info.alias = query.tables[i].alias;
+    info.table = query.tables[i].table;
+    const TablePartitioning* partitioning =
+        schema.FindPartitioning(info.table);
+    std::vector<ExprPtr> local = query.LocalPredicates(info.alias);
+
+    std::map<std::string, int> host_score;  // candidate sites for this alias
+    for (const auto& part : partitioning->partitions) {
+      bool infeasible = false;
+      if (part.predicate != nullptr) {
+        std::vector<ExprPtr> together = local;
+        together.push_back(part.PredicateFor(info.alias));
+        infeasible = ProvablyUnsatisfiable(together);
+      }
+      if (infeasible) continue;
+      std::vector<std::string> replicas = global.ReplicaNodes(part.id);
+      if (replicas.empty()) {
+        return Status::NoPlanFound("partition " + part.id +
+                                   " is hosted nowhere");
+      }
+      info.feasible.push_back(&part);
+      for (const auto& node : replicas) host_score[node]++;
+    }
+    if (info.feasible.empty()) {
+      // Query predicates exclude every partition: empty extent is fine;
+      // keep one pseudo-partitionless alias with zero rows at the
+      // coordinator.
+    }
+    // Candidate sites: hosts by coverage, capped; coordinator always in.
+    std::vector<std::pair<int, std::string>> ranked;
+    for (const auto& [node, score] : host_score) {
+      ranked.emplace_back(-score, node);
+    }
+    std::sort(ranked.begin(), ranked.end());
+    for (const auto& [neg, node] : ranked) {
+      if (static_cast<int>(info.sites.size()) >=
+          options_.max_sites_per_alias) {
+        break;
+      }
+      info.sites.push_back(node);
+      intern_site(node);
+    }
+    if (std::find(info.sites.begin(), info.sites.end(), coordinator_) ==
+        info.sites.end()) {
+      info.sites.push_back(coordinator_);
+    }
+
+    // Statistics (true and perturbed) of the filtered extent, plus
+    // per-site materialization costs.
+    TableStats est_acc, true_acc;
+    bool have = false;
+    for (const PartitionDef* part : info.feasible) {
+      const TableStats* truth = global.PartitionStats(part->id);
+      if (truth == nullptr) continue;
+      TableStats est = PerturbStats(*truth, part->id, options_.stats_error,
+                                    options_.seed);
+      est_acc = have ? TableStats::MergeDisjoint(est_acc, est) : est;
+      true_acc = have ? TableStats::MergeDisjoint(true_acc, *truth) : *truth;
+      have = true;
+    }
+    double est_sel = EstimateConjunctSelectivity(local, est_acc);
+    double true_sel = EstimateConjunctSelectivity(local, true_acc);
+    info.est_stats = est_acc.Scaled(est_sel);
+    info.true_stats = true_acc.Scaled(true_sel);
+    info.est_rows = est_acc.row_count * est_sel;
+    info.true_rows = true_acc.row_count * true_sel;
+    const TableDef* def = schema.FindTable(info.table);
+    info.row_bytes = EstimateRowBytes(QualifiedSchema(*def, info.alias));
+    {
+      // A real distributed optimizer projects before shipping: the wire
+      // width is the width of the columns this query needs from the
+      // alias (outputs, grouping/ordering inputs, join columns).
+      std::set<std::string> needed;
+      auto collect = [&](const ExprPtr& expr) {
+        sql::ForEachColumnRef(expr, [&](const sql::Expr& ref) {
+          if (ref.qualifier == info.alias) needed.insert(ref.column);
+        });
+      };
+      for (const auto& out : query.outputs) collect(out.expr);
+      for (const auto& g : query.group_by) {
+        if (g.alias == info.alias) needed.insert(g.column);
+      }
+      collect(query.having);
+      for (const auto& o : query.order_by) collect(o.expr);
+      for (const auto& conj : query.conjuncts) {
+        if (conj.kind != sql::ConjunctKind::kLocal) collect(conj.expr);
+      }
+      TupleSchema shipped;
+      for (const auto& col : def->columns) {
+        if (needed.count(col.name) > 0) {
+          shipped.AddColumn({info.alias, col.name, col.type});
+        }
+      }
+      info.ship_bytes = EstimateRowBytes(shipped);
+    }
+
+    info.est_cost.assign(info.sites.size(), 0);
+    info.true_cost.assign(info.sites.size(), 0);
+    info.hosts.assign(info.sites.size(), {});
+    for (size_t s = 0; s < info.sites.size(); ++s) {
+      const std::string& site = info.sites[s];
+      for (const PartitionDef* part : info.feasible) {
+        const TableStats* truth = global.PartitionStats(part->id);
+        if (truth == nullptr) continue;
+        TableStats est = PerturbStats(*truth, part->id,
+                                      options_.stats_error, options_.seed);
+        std::vector<std::string> replicas = global.ReplicaNodes(part->id);
+        std::string host = site;
+        if (std::find(replicas.begin(), replicas.end(), site) ==
+            replicas.end()) {
+          host = replicas.front();
+        }
+        info.hosts[s].push_back(host);
+        double est_part_sel = EstimateConjunctSelectivity(local, est);
+        double true_part_sel = EstimateConjunctSelectivity(local, *truth);
+        info.est_cost[s] += cost.ScanCost(est.row_count, info.row_bytes,
+                                          static_cast<int>(local.size()));
+        info.true_cost[s] += cost.ScanCost(truth->row_count, info.row_bytes,
+                                           static_cast<int>(local.size()));
+        if (host != site) {
+          info.est_cost[s] += cost.TransferCost(
+              est.row_count * est_part_sel, info.ship_bytes);
+          info.true_cost[s] += cost.TransferCost(
+              truth->row_count * true_part_sel, info.ship_bytes);
+        }
+      }
+    }
+  }
+
+  // ---- Site-aware DP, indexed by mask; per mask keep the best entry per
+  // site, capped to the cheapest kMaxSitesPerMask sites.
+  constexpr size_t kMaxSitesPerMask = 8;
+  GlobalPlanResult result;
+  std::map<uint32_t, std::map<int, Entry>> by_mask;
+  auto consider = [&](Entry entry) {
+    std::map<int, Entry>& sites_of = by_mask[entry.mask];
+    auto it = sites_of.find(entry.site);
+    if (it == sites_of.end() || entry.est_cost < it->second.est_cost) {
+      sites_of[entry.site] = std::move(entry);
+      ++result.subplans_enumerated;
+      if (sites_of.size() > kMaxSitesPerMask) {
+        // Drop the most expensive site.
+        auto worst = sites_of.begin();
+        for (auto sit = sites_of.begin(); sit != sites_of.end(); ++sit) {
+          if (sit->second.est_cost > worst->second.est_cost) worst = sit;
+        }
+        sites_of.erase(worst);
+      }
+    }
+  };
+
+  for (size_t i = 0; i < n; ++i) {
+    const AliasInfo& info = aliases[i];
+    const TableDef* def = schema.FindTable(info.table);
+    for (size_t s = 0; s < info.sites.size(); ++s) {
+      Entry entry;
+      entry.mask = 1u << i;
+      entry.site = site_index.at(info.sites[s]);
+      entry.est_cost = info.est_cost[s];
+      entry.true_cost = info.true_cost[s];
+      entry.est_rows = info.est_rows;
+      entry.true_rows = info.true_rows;
+      entry.ship_bytes = info.ship_bytes;
+      std::vector<std::string> partition_ids;
+      for (const PartitionDef* part : info.feasible) {
+        partition_ids.push_back(part->id);
+      }
+      entry.plan = factory.Scan(
+          info.table, info.alias, QualifiedSchema(*def, info.alias),
+          partition_ids, sql::AndAll(query.LocalPredicates(info.alias)),
+          info.est_rows, info.est_rows, info.row_bytes);
+      consider(std::move(entry));
+    }
+  }
+
+  // Join predicates connecting two masks (within mask union).
+  auto connecting = [&](uint32_t a, uint32_t b) {
+    std::vector<const sql::Conjunct*> out;
+    for (const auto& conj : query.conjuncts) {
+      if (conj.kind == sql::ConjunctKind::kLocal) continue;
+      uint32_t mask = 0;
+      for (const auto& alias : conj.aliases) {
+        for (size_t i = 0; i < n; ++i) {
+          if (aliases[i].alias == alias) mask |= 1u << i;
+        }
+      }
+      if ((mask & a) != 0 && (mask & b) != 0 && (mask & ~(a | b)) == 0) {
+        out.push_back(&conj);
+      }
+    }
+    return out;
+  };
+  auto alias_stats = [&](const sql::BoundColumn& col, bool truth)
+      -> const ColumnStats* {
+    for (size_t i = 0; i < n; ++i) {
+      if (aliases[i].alias == col.alias) {
+        const TableStats& stats =
+            truth ? aliases[i].true_stats : aliases[i].est_stats;
+        return stats.FindColumn(col.column);
+      }
+    }
+    return nullptr;
+  };
+
+  const uint32_t full = (1u << n) - 1;
+  for (size_t size = 2; size <= n; ++size) {
+    for (uint32_t mask = 1; mask <= full; ++mask) {
+      if (static_cast<size_t>(__builtin_popcount(mask)) != size) continue;
+      for (uint32_t sub = (mask - 1) & mask; sub > 0;
+           sub = (sub - 1) & mask) {
+        uint32_t rest = mask ^ sub;
+        if (sub > rest) continue;
+        auto left_it = by_mask.find(sub);
+        auto right_it = by_mask.find(rest);
+        if (left_it == by_mask.end() || right_it == by_mask.end()) continue;
+        auto preds = connecting(sub, rest);
+        for (const auto& [site_l, left] : left_it->second) {
+          for (const auto& [site_r, right] : right_it->second) {
+            // Selectivities.
+            double est_sel = 1, true_sel = 1;
+            std::vector<std::pair<sql::BoundColumn, sql::BoundColumn>> keys;
+            std::vector<ExprPtr> residual;
+            for (const sql::Conjunct* conj : preds) {
+              if (conj->kind == sql::ConjunctKind::kEquiJoin) {
+                est_sel *= EstimateEquiJoinSelectivity(
+                    alias_stats(conj->left, false),
+                    alias_stats(conj->right, false));
+                true_sel *= EstimateEquiJoinSelectivity(
+                    alias_stats(conj->left, true),
+                    alias_stats(conj->right, true));
+                keys.emplace_back(conj->left, conj->right);
+              } else {
+                est_sel *= SelectivityDefaults::kOther;
+                true_sel *= SelectivityDefaults::kOther;
+                residual.push_back(conj->expr);
+              }
+            }
+            double est_rows = left.est_rows * right.est_rows * est_sel;
+            double true_rows = left.true_rows * right.true_rows * true_sel;
+            for (int site : {left.site, right.site}) {
+              Entry entry;
+              entry.mask = mask;
+              entry.site = site;
+              entry.est_rows = est_rows;
+              entry.true_rows = true_rows;
+              entry.ship_bytes = left.ship_bytes + right.ship_bytes;
+              double est_ship = 0, true_ship = 0;
+              if (left.site != site) {
+                est_ship +=
+                    cost.TransferCost(left.est_rows, left.ship_bytes);
+                true_ship +=
+                    cost.TransferCost(left.true_rows, left.ship_bytes);
+              }
+              if (right.site != site) {
+                est_ship +=
+                    cost.TransferCost(right.est_rows, right.ship_bytes);
+                true_ship +=
+                    cost.TransferCost(right.true_rows, right.ship_bytes);
+              }
+              double est_join, true_join;
+              if (!keys.empty()) {
+                est_join = cost.HashJoinCost(
+                    std::min(left.est_rows, right.est_rows),
+                    std::max(left.est_rows, right.est_rows), est_rows);
+                true_join = cost.HashJoinCost(
+                    std::min(left.true_rows, right.true_rows),
+                    std::max(left.true_rows, right.true_rows), true_rows);
+              } else {
+                est_join = cost.NlJoinCost(left.est_rows, right.est_rows);
+                true_join = cost.NlJoinCost(left.true_rows, right.true_rows);
+              }
+              entry.est_cost =
+                  left.est_cost + right.est_cost + est_ship + est_join;
+              entry.true_cost =
+                  left.true_cost + right.true_cost + true_ship + true_join;
+              PlanPtr l = left.plan, r = right.plan;
+              auto oriented = keys;
+              if (l->rows < r->rows) {
+                std::swap(l, r);
+                for (auto& [a, b] : oriented) std::swap(a, b);
+              }
+              entry.plan =
+                  keys.empty()
+                      ? factory.NlJoin(left.plan, right.plan,
+                                       sql::AndAll(residual), est_rows)
+                      : factory.HashJoin(l, r, oriented,
+                                         sql::AndAll(residual), est_rows);
+              consider(std::move(entry));
+            }
+          }
+        }
+      }
+    }
+    // IDP-M(k,m): after level k, keep the m best masks of that size.
+    if (options_.idp.enabled() &&
+        size == static_cast<size_t>(options_.idp.k) && size < n) {
+      std::vector<std::pair<double, uint32_t>> ranked;
+      for (const auto& [mask, sites_of] : by_mask) {
+        if (static_cast<size_t>(__builtin_popcount(mask)) !=
+            static_cast<size_t>(options_.idp.k)) {
+          continue;
+        }
+        double best_cost = std::numeric_limits<double>::infinity();
+        for (const auto& [site, entry] : sites_of) {
+          best_cost = std::min(best_cost, entry.est_cost);
+        }
+        ranked.emplace_back(best_cost, mask);
+      }
+      if (static_cast<int>(ranked.size()) > options_.idp.m) {
+        std::sort(ranked.begin(), ranked.end());
+        for (size_t i = options_.idp.m; i < ranked.size(); ++i) {
+          by_mask.erase(ranked[i].second);
+        }
+      }
+    }
+  }
+
+  // ---- Finalize at the coordinator.
+  const Entry* best = nullptr;
+  double best_total = 0, best_true_total = 0;
+  int coord = site_index.at(coordinator_);
+  auto full_it = by_mask.find(full);
+  if (full_it == by_mask.end()) {
+    return Status::NoPlanFound("global DP produced no full plan");
+  }
+  for (const auto& [site, entry] : full_it->second) {
+    double est_total = entry.est_cost;
+    double true_total = entry.true_cost;
+    if (entry.site != coord) {
+      est_total += cost.TransferCost(entry.est_rows, entry.ship_bytes);
+      true_total += cost.TransferCost(entry.true_rows, entry.ship_bytes);
+    }
+    if (query.has_aggregates || !query.group_by.empty()) {
+      double est_groups =
+          query.group_by.empty() ? 1 : std::max(1.0, entry.est_rows * 0.1);
+      double true_groups =
+          query.group_by.empty() ? 1 : std::max(1.0, entry.true_rows * 0.1);
+      est_total += cost.AggregateCost(entry.est_rows, est_groups);
+      true_total += cost.AggregateCost(entry.true_rows, true_groups);
+    }
+    if (best == nullptr || est_total < best_total) {
+      best = &entry;
+      best_total = est_total;
+      best_true_total = true_total;
+    }
+  }
+  if (best == nullptr) {
+    return Status::NoPlanFound("global DP produced no full plan");
+  }
+  result.est_cost = best_total;
+  result.true_cost = best_true_total;
+  result.est_rows = best->est_rows;
+  // Final compensation on the tree (for explain purposes).
+  PlanPtr plan = best->plan;
+  if (query.has_aggregates || !query.group_by.empty()) {
+    plan = factory.Aggregate(plan, query.outputs, query.group_by,
+                             query.having,
+                             query.group_by.empty()
+                                 ? 1.0
+                                 : std::max(1.0, best->est_rows * 0.1));
+  } else {
+    plan = factory.Project(plan, query.outputs);
+  }
+  if (!query.order_by.empty()) plan = factory.Sort(plan, query.order_by);
+  result.plan = plan;
+  return result;
+}
+
+}  // namespace qtrade

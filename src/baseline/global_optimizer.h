@@ -1,0 +1,65 @@
+// Traditional distributed query optimization baselines: a System-R*-style
+// site-aware dynamic-programming optimizer that reads the omniscient
+// GlobalCatalog (complete knowledge of placement and statistics — the
+// very thing autonomy denies), and its IDP-M(k,m) variant [2].
+//
+// To model the autonomy penalty the paper motivates (remote statistics at
+// a traditional coordinator are stale/inaccurate), the optimizer can
+// perturb every statistic by a multiplicative error drawn from
+// [1/(1+eps), 1+eps]: decisions are made with perturbed numbers while the
+// *true* cost of the chosen plan is tracked in parallel and reported.
+// QT needs no such knob: sellers price offers with their own accurate
+// local statistics by construction.
+#ifndef QTRADE_BASELINE_GLOBAL_OPTIMIZER_H_
+#define QTRADE_BASELINE_GLOBAL_OPTIMIZER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/federation.h"
+#include "opt/local_optimizer.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace qtrade {
+
+struct GlobalOptimizerOptions {
+  /// IDP-M(k,m) pruning; {0,0} = exact DP.
+  IdpParams idp;
+  /// Statistics error epsilon; 0 = perfect knowledge.
+  double stats_error = 0;
+  uint64_t seed = 7;
+  /// Candidate execution sites considered per alias (the nodes hosting
+  /// the most of its partitions); bounds the (subset x site) state space.
+  int max_sites_per_alias = 4;
+};
+
+struct GlobalPlanResult {
+  PlanPtr plan;          // annotated tree (costs = estimated)
+  double est_cost = 0;   // cost under the (possibly perturbed) statistics
+  double true_cost = 0;  // same plan re-costed with accurate statistics
+  double est_rows = 0;
+  int subplans_enumerated = 0;
+};
+
+class GlobalOptimizer {
+ public:
+  GlobalOptimizer(Federation* federation, std::string coordinator,
+                  GlobalOptimizerOptions options = {});
+
+  /// Optimizes a SELECT query with full global knowledge.
+  Result<GlobalPlanResult> Optimize(const std::string& sql);
+
+ private:
+  struct Entry;  // (subset, site) DP state
+
+  Federation* federation_;
+  std::string coordinator_;
+  GlobalOptimizerOptions options_;
+};
+
+}  // namespace qtrade
+
+#endif  // QTRADE_BASELINE_GLOBAL_OPTIMIZER_H_

@@ -1,0 +1,174 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace qtrade {
+
+sql::ExprPtr QualifyForAlias(const sql::ExprPtr& expr,
+                             const std::string& alias) {
+  if (!expr) return nullptr;
+  return sql::RewriteColumnRefs(expr, [&](const sql::Expr& ref) {
+    if (ref.qualifier == alias) return sql::ExprPtr(nullptr);
+    return sql::Col(alias, ref.column);
+  });
+}
+
+sql::ExprPtr PartitionDef::PredicateFor(const std::string& alias) const {
+  return QualifyForAlias(predicate, alias);
+}
+
+Status FederationSchema::AddTable(
+    TableDef schema, std::vector<sql::ExprPtr> partition_predicates) {
+  std::string name = ToLower(schema.name);
+  schema.name = name;
+  for (auto& col : schema.columns) col.name = ToLower(col.name);
+  if (tables_.count(name) > 0) {
+    return Status::InvalidArgument("table already registered: " + name);
+  }
+  TablePartitioning entry;
+  entry.schema = std::move(schema);
+  if (partition_predicates.empty()) {
+    partition_predicates.push_back(nullptr);  // single whole-table partition
+  }
+  for (size_t i = 0; i < partition_predicates.size(); ++i) {
+    PartitionDef part;
+    part.table = name;
+    part.index = static_cast<int>(i);
+    part.id = name + "#" + std::to_string(i);
+    part.predicate = partition_predicates[i];
+    entry.partitions.push_back(std::move(part));
+  }
+  tables_.emplace(name, std::move(entry));
+  return Status::OK();
+}
+
+const TableDef* FederationSchema::FindTable(const std::string& name) const {
+  auto it = tables_.find(ToLower(name));
+  return it == tables_.end() ? nullptr : &it->second.schema;
+}
+
+const TablePartitioning* FederationSchema::FindPartitioning(
+    const std::string& name) const {
+  auto it = tables_.find(ToLower(name));
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+const PartitionDef* FederationSchema::FindPartition(
+    const std::string& partition_id) const {
+  size_t hash_pos = partition_id.rfind('#');
+  if (hash_pos == std::string::npos) return nullptr;
+  const TablePartitioning* table =
+      FindPartitioning(partition_id.substr(0, hash_pos));
+  if (table == nullptr) return nullptr;
+  for (const auto& part : table->partitions) {
+    if (part.id == partition_id) return &part;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> FederationSchema::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, entry] : tables_) out.push_back(name);
+  return out;
+}
+
+NodeCatalog::NodeCatalog(std::string node_name,
+                         std::shared_ptr<const FederationSchema> federation)
+    : node_name_(std::move(node_name)), federation_(std::move(federation)) {}
+
+const TableDef* NodeCatalog::FindTable(const std::string& name) const {
+  return federation_->FindTable(name);
+}
+
+Status NodeCatalog::HostPartition(const std::string& partition_id,
+                                  TableStats stats) {
+  if (federation_->FindPartition(partition_id) == nullptr) {
+    return Status::NotFound("unknown partition: " + partition_id);
+  }
+  hosted_[partition_id] = std::move(stats);
+  return Status::OK();
+}
+
+bool NodeCatalog::HostsPartition(const std::string& partition_id) const {
+  return hosted_.count(partition_id) > 0;
+}
+
+std::vector<const PartitionDef*> NodeCatalog::LocalPartitions(
+    const std::string& table) const {
+  std::vector<const PartitionDef*> out;
+  const TablePartitioning* entry = federation_->FindPartitioning(table);
+  if (entry == nullptr) return out;
+  for (const auto& part : entry->partitions) {
+    if (HostsPartition(part.id)) out.push_back(&part);
+  }
+  return out;
+}
+
+bool NodeCatalog::HostsAnyOf(const std::string& table) const {
+  return !LocalPartitions(table).empty();
+}
+
+const TableStats* NodeCatalog::PartitionStats(
+    const std::string& partition_id) const {
+  auto it = hosted_.find(partition_id);
+  return it == hosted_.end() ? nullptr : &it->second;
+}
+
+std::optional<TableStats> NodeCatalog::LocalTableStats(
+    const std::string& table) const {
+  std::optional<TableStats> acc;
+  for (const PartitionDef* part : LocalPartitions(table)) {
+    const TableStats* stats = PartitionStats(part->id);
+    if (stats == nullptr) continue;
+    acc = acc.has_value() ? TableStats::MergeDisjoint(*acc, *stats) : *stats;
+  }
+  return acc;
+}
+
+void NodeCatalog::AddView(MaterializedViewDef view) {
+  views_.push_back(std::move(view));
+}
+
+Status GlobalCatalog::RecordReplica(const std::string& partition_id,
+                                    const std::string& node_name,
+                                    TableStats stats) {
+  if (federation_->FindPartition(partition_id) == nullptr) {
+    return Status::NotFound("unknown partition: " + partition_id);
+  }
+  auto& nodes = replicas_[partition_id];
+  if (std::find(nodes.begin(), nodes.end(), node_name) == nodes.end()) {
+    nodes.push_back(node_name);
+  }
+  stats_[partition_id] = std::move(stats);
+  return Status::OK();
+}
+
+std::vector<std::string> GlobalCatalog::ReplicaNodes(
+    const std::string& partition_id) const {
+  auto it = replicas_.find(partition_id);
+  return it == replicas_.end() ? std::vector<std::string>() : it->second;
+}
+
+const TableStats* GlobalCatalog::PartitionStats(
+    const std::string& partition_id) const {
+  auto it = stats_.find(partition_id);
+  return it == stats_.end() ? nullptr : &it->second;
+}
+
+std::optional<TableStats> GlobalCatalog::WholeTableStats(
+    const std::string& table) const {
+  const TablePartitioning* entry = federation_->FindPartitioning(table);
+  if (entry == nullptr) return std::nullopt;
+  std::optional<TableStats> acc;
+  for (const auto& part : entry->partitions) {
+    const TableStats* stats = PartitionStats(part.id);
+    if (stats == nullptr) continue;
+    acc = acc.has_value() ? TableStats::MergeDisjoint(*acc, *stats) : *stats;
+  }
+  return acc;
+}
+
+}  // namespace qtrade

@@ -1,0 +1,163 @@
+// Catalogs for the federation.
+//
+// Knowledge model (matches the paper's autonomy assumptions):
+//  * The *schema* of the federation — table definitions plus the horizontal
+//    partitioning scheme (partition ids and their defining predicates) — is
+//    public, shared by all nodes (FederationSchema). This is what lets a
+//    buyer check that a set of offers covers a relation completely.
+//  * *Placement* (which node hosts which partition replica), *statistics*
+//    and *materialized views* are private to each node (NodeCatalog).
+//    Other nodes learn about them only through trading offers.
+//  * GlobalCatalog aggregates everything with perfect accuracy; only the
+//    traditional-optimizer baselines and the workload generator may touch
+//    it. The QT machinery never does.
+#ifndef QTRADE_CATALOG_CATALOG_H_
+#define QTRADE_CATALOG_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sql/analyzer.h"
+#include "sql/ast.h"
+#include "stats/column_stats.h"
+#include "types/schema.h"
+#include "util/status.h"
+
+namespace qtrade {
+
+/// One horizontal partition of a base table, defined by a predicate over
+/// the table's own columns (column refs unqualified), e.g.
+/// `office = 'Myconos'` for the paper's customer table. A table with a
+/// single partition whose predicate is null is unpartitioned.
+struct PartitionDef {
+  std::string id;     // "<table>#<index>", unique across the federation
+  std::string table;  // base table name (lower case)
+  int index = 0;      // position in the table's partition list
+  sql::ExprPtr predicate;  // null = whole table
+
+  /// The predicate with column refs qualified by `alias` (null stays null).
+  sql::ExprPtr PredicateFor(const std::string& alias) const;
+};
+
+/// A base table plus its partitioning scheme. Partitions are disjoint and
+/// together cover the table (the generator guarantees this; property tests
+/// check it).
+struct TablePartitioning {
+  TableDef schema;
+  std::vector<PartitionDef> partitions;
+};
+
+/// Rewrites the column refs of a partition predicate (or any expression
+/// over a single table) to use `alias` as qualifier.
+sql::ExprPtr QualifyForAlias(const sql::ExprPtr& expr,
+                             const std::string& alias);
+
+/// Public, federation-wide schema knowledge.
+class FederationSchema : public SchemaProvider {
+ public:
+  /// Registers a table. `partition_predicates` are over the table's own
+  /// columns; pass an empty vector for an unpartitioned table.
+  Status AddTable(TableDef schema,
+                  std::vector<sql::ExprPtr> partition_predicates = {});
+
+  const TableDef* FindTable(const std::string& name) const override;
+  const TablePartitioning* FindPartitioning(const std::string& name) const;
+  const PartitionDef* FindPartition(const std::string& partition_id) const;
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::map<std::string, TablePartitioning> tables_;  // by lower-case name
+};
+
+/// A materialized view kept privately by a node (paper §3.5). The
+/// definition is a SPJ(+GROUP BY) query over base tables.
+struct MaterializedViewDef {
+  std::string name;
+  sql::BoundQuery definition;
+  TableStats stats;  // statistics of the materialized extent
+  /// Which partitions of each referenced table the materialization covers;
+  /// empty set for a table means "all partitions".
+  std::map<std::string, std::set<std::string>> coverage;
+};
+
+/// Private catalog of one federation node: which partition replicas it
+/// hosts (with accurate statistics) and its materialized views.
+class NodeCatalog : public SchemaProvider {
+ public:
+  NodeCatalog(std::string node_name,
+              std::shared_ptr<const FederationSchema> federation);
+
+  const std::string& node_name() const { return node_name_; }
+  const FederationSchema& federation() const { return *federation_; }
+
+  // SchemaProvider: exposes the public federation schema.
+  const TableDef* FindTable(const std::string& name) const override;
+
+  /// Declares that this node hosts a replica of `partition_id` with the
+  /// given (locally accurate) statistics.
+  Status HostPartition(const std::string& partition_id, TableStats stats);
+
+  bool HostsPartition(const std::string& partition_id) const;
+
+  /// Local partitions of `table`, in partition-index order.
+  std::vector<const PartitionDef*> LocalPartitions(
+      const std::string& table) const;
+
+  /// True if the node hosts at least one partition of `table`.
+  bool HostsAnyOf(const std::string& table) const;
+
+  /// Accurate stats of a hosted partition; nullptr if not hosted.
+  const TableStats* PartitionStats(const std::string& partition_id) const;
+
+  /// Combined stats of all local partitions of `table` (disjoint union);
+  /// nullopt when none are hosted.
+  std::optional<TableStats> LocalTableStats(const std::string& table) const;
+
+  void AddView(MaterializedViewDef view);
+  const std::vector<MaterializedViewDef>& views() const { return views_; }
+
+ private:
+  std::string node_name_;
+  std::shared_ptr<const FederationSchema> federation_;
+  std::map<std::string, TableStats> hosted_;  // partition id -> stats
+  std::vector<MaterializedViewDef> views_;
+};
+
+/// Omniscient catalog for baselines and the workload generator: true
+/// placement and true statistics of every partition.
+class GlobalCatalog {
+ public:
+  explicit GlobalCatalog(std::shared_ptr<const FederationSchema> federation)
+      : federation_(std::move(federation)) {}
+
+  const FederationSchema& federation() const { return *federation_; }
+  std::shared_ptr<const FederationSchema> federation_ptr() const {
+    return federation_;
+  }
+
+  Status RecordReplica(const std::string& partition_id,
+                       const std::string& node_name, TableStats stats);
+
+  /// Nodes hosting `partition_id` (possibly empty).
+  std::vector<std::string> ReplicaNodes(const std::string& partition_id) const;
+
+  /// True stats for `partition_id`; nullptr when unknown.
+  const TableStats* PartitionStats(const std::string& partition_id) const;
+
+  /// True stats for a whole table (disjoint union over partitions).
+  std::optional<TableStats> WholeTableStats(const std::string& table) const;
+
+ private:
+  std::shared_ptr<const FederationSchema> federation_;
+  std::map<std::string, std::vector<std::string>> replicas_;
+  std::map<std::string, TableStats> stats_;
+};
+
+}  // namespace qtrade
+
+#endif  // QTRADE_CATALOG_CATALOG_H_

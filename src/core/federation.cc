@@ -1,0 +1,207 @@
+#include "core/federation.h"
+
+#include "exec/expr_eval.h"
+
+namespace qtrade {
+
+Federation::Federation(std::shared_ptr<const FederationSchema> schema,
+                       const CostParams& cost_params,
+                       const NetworkParams& net_params)
+    : schema_(std::move(schema)),
+      cost_model_(cost_params),
+      factory_(&cost_model_),
+      network_(net_params),
+      global_(schema_) {}
+
+FederationNode* Federation::AddNode(
+    const std::string& name, std::unique_ptr<SellerStrategy> strategy,
+    const OfferGeneratorOptions& generator_options) {
+  FederationNode node;
+  node.catalog = std::make_unique<NodeCatalog>(name, schema_);
+  node.store = std::make_unique<TableStore>();
+  if (!strategy) strategy = std::make_unique<TruthfulStrategy>();
+  node.seller = std::make_unique<SellerEngine>(
+      node.catalog.get(), node.store.get(), &factory_, std::move(strategy),
+      generator_options);
+  auto [it, inserted] = nodes_.emplace(name, std::move(node));
+  return inserted ? &it->second : nullptr;
+}
+
+FederationNode* Federation::node(const std::string& name) {
+  auto it = nodes_.find(name);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+const FederationNode* Federation::node(const std::string& name) const {
+  auto it = nodes_.find(name);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Federation::NodeNames() const {
+  std::vector<std::string> names;
+  names.reserve(nodes_.size());
+  for (const auto& [name, node] : nodes_) names.push_back(name);
+  return names;
+}
+
+std::vector<SellerEngine*> Federation::Sellers() {
+  std::vector<SellerEngine*> sellers;
+  sellers.reserve(nodes_.size());
+  for (auto& [name, node] : nodes_) sellers.push_back(node.seller.get());
+  return sellers;
+}
+
+Status Federation::LoadPartition(const std::string& node_name,
+                                 const std::string& partition_id,
+                                 std::vector<Row> rows, bool validate) {
+  FederationNode* target = node(node_name);
+  if (target == nullptr) {
+    return Status::NotFound("unknown node: " + node_name);
+  }
+  const PartitionDef* part = schema_->FindPartition(partition_id);
+  if (part == nullptr) {
+    return Status::NotFound("unknown partition: " + partition_id);
+  }
+  const TableDef* table = schema_->FindTable(part->table);
+  if (target->store->HasPartition(partition_id)) {
+    // Replicas are loaded whole; incremental loading would leave the
+    // registered statistics describing only part of the fragment.
+    return Status::InvalidArgument("node " + node_name +
+                                   " already hosts " + partition_id);
+  }
+  // Validate every row BEFORE touching node state, so a failed load is
+  // atomic: no partition, no catalog entry, no statistics.
+  RowSet extent;
+  for (const auto& col : table->columns) {
+    extent.schema.AddColumn({"", col.name, col.type});
+  }
+  for (auto& row : rows) {
+    if (row.size() != table->columns.size()) {
+      return Status::InvalidArgument("row arity mismatch for " +
+                                     partition_id);
+    }
+    if (validate && part->predicate != nullptr) {
+      QTRADE_ASSIGN_OR_RETURN(
+          bool inside, EvalPredicate(part->predicate, extent.schema, row));
+      if (!inside) {
+        return Status::InvalidArgument(
+            "row violates partition predicate of " + partition_id);
+      }
+    }
+    extent.rows.push_back(std::move(row));
+  }
+  QTRADE_RETURN_IF_ERROR(
+      target->store->CreatePartition(partition_id, *table));
+  for (const auto& row : extent.rows) {
+    QTRADE_RETURN_IF_ERROR(target->store->Insert(partition_id, row));
+  }
+  TableStats stats = ComputeStats(extent);
+  QTRADE_RETURN_IF_ERROR(
+      target->catalog->HostPartition(partition_id, stats));
+  return global_.RecordReplica(partition_id, node_name, std::move(stats));
+}
+
+void Federation::EnableSubcontracting() {
+  std::vector<SellerEngine*> all = Sellers();
+  for (auto& [name, node] : nodes_) {
+    node.seller->EnableSubcontracting(all, &network_);
+  }
+}
+
+Status Federation::RegisterPartitionStats(const std::string& node_name,
+                                          const std::string& partition_id,
+                                          TableStats stats) {
+  FederationNode* target = node(node_name);
+  if (target == nullptr) {
+    return Status::NotFound("unknown node: " + node_name);
+  }
+  QTRADE_RETURN_IF_ERROR(
+      target->catalog->HostPartition(partition_id, stats));
+  return global_.RecordReplica(partition_id, node_name, std::move(stats));
+}
+
+TableResolver Federation::CentralizedResolver() {
+  return [this](const sql::TableRef& tref) -> Result<RowSet> {
+    const TablePartitioning* partitioning =
+        schema_->FindPartitioning(tref.table);
+    if (partitioning == nullptr) {
+      return Status::NotFound("unknown table: " + tref.table);
+    }
+    const TableDef* table = schema_->FindTable(tref.table);
+    RowSet out;
+    for (const auto& col : table->columns) {
+      out.schema.AddColumn({tref.alias, col.name, col.type});
+    }
+    for (const auto& part : partitioning->partitions) {
+      std::vector<std::string> hosts = global_.ReplicaNodes(part.id);
+      if (hosts.empty()) continue;  // partition has no data anywhere
+      const FederationNode* host = node(hosts.front());
+      const RowSet* rows = host->store->Partition(part.id);
+      if (rows == nullptr) {
+        return Status::Internal("replica missing on " + hosts.front());
+      }
+      out.rows.insert(out.rows.end(), rows->rows.begin(), rows->rows.end());
+    }
+    return out;
+  };
+}
+
+Status Federation::CreateView(const std::string& node_name,
+                              const std::string& view_name,
+                              const std::string& definition_sql) {
+  FederationNode* target = node(node_name);
+  if (target == nullptr) {
+    return Status::NotFound("unknown node: " + node_name);
+  }
+  QTRADE_ASSIGN_OR_RETURN(sql::BoundQuery definition,
+                          sql::AnalyzeSql(definition_sql, *schema_));
+  QTRADE_ASSIGN_OR_RETURN(RowSet extent,
+                          ExecuteBoundQuery(definition,
+                                            CentralizedResolver()));
+  // Stats over the extent with bare column names.
+  RowSet bare;
+  for (const auto& col : extent.schema.columns()) {
+    bare.schema.AddColumn({"", col.name, col.type});
+  }
+  bare.rows = extent.rows;
+  MaterializedViewDef view;
+  view.name = view_name;
+  view.definition = std::move(definition);
+  view.stats = ComputeStats(bare);
+  target->catalog->AddView(std::move(view));
+  target->store->StoreView(view_name, std::move(bare));
+  return Status::OK();
+}
+
+Result<RowSet> Federation::ExecuteCentralized(const std::string& sql) {
+  QTRADE_ASSIGN_OR_RETURN(sql::BoundQuery query,
+                          sql::AnalyzeSql(sql, *schema_));
+  return ExecuteBoundQuery(query, CentralizedResolver());
+}
+
+Result<RowSet> Federation::ExecuteDistributed(const std::string& buyer_node,
+                                              const PlanPtr& plan) {
+  FederationNode* buyer = node(buyer_node);
+  if (buyer == nullptr) {
+    return Status::NotFound("unknown node: " + buyer_node);
+  }
+  ExecutionContext ctx;
+  ctx.store = buyer->store.get();
+  ctx.remote_resolver = [&](const PlanNode& remote) -> Result<RowSet> {
+    FederationNode* seller_node = node(remote.remote_node);
+    if (seller_node == nullptr) {
+      return Status::NotFound("seller node vanished: " + remote.remote_node);
+    }
+    QTRADE_ASSIGN_OR_RETURN(RowSet rows,
+                            seller_node->seller->ExecuteOffer(
+                                remote.offer_id));
+    int64_t payload = static_cast<int64_t>(
+        rows.rows.size() * std::max(16.0, remote.row_bytes));
+    double t = network_.Send(remote.remote_node, buyer_node, payload, "data");
+    network_.AdvanceClock(t);
+    return rows;
+  };
+  return ExecutePlan(plan, ctx);
+}
+
+}  // namespace qtrade

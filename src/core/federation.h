@@ -1,0 +1,109 @@
+// A simulated federation of autonomous DBMS nodes: the substrate every
+// experiment and example runs on. Owns the shared public schema, the
+// network, the cost model, and one {catalog, storage, seller engine}
+// triple per node. Also keeps the omniscient GlobalCatalog that only the
+// traditional-optimizer baselines are allowed to read.
+#ifndef QTRADE_CORE_FEDERATION_H_
+#define QTRADE_CORE_FEDERATION_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "exec/executor.h"
+#include "exec/storage.h"
+#include "net/network.h"
+#include "plan/plan_factory.h"
+#include "trading/seller_engine.h"
+#include "util/status.h"
+
+namespace qtrade {
+
+/// One member node (owned by the Federation).
+struct FederationNode {
+  std::unique_ptr<NodeCatalog> catalog;
+  std::unique_ptr<TableStore> store;
+  std::unique_ptr<SellerEngine> seller;
+};
+
+class Federation {
+ public:
+  Federation(std::shared_ptr<const FederationSchema> schema,
+             const CostParams& cost_params = {},
+             const NetworkParams& net_params = {});
+
+  /// Adds a node. `strategy` defaults to TruthfulStrategy (cooperative).
+  FederationNode* AddNode(const std::string& name,
+                          std::unique_ptr<SellerStrategy> strategy = nullptr,
+                          const OfferGeneratorOptions& generator_options = {});
+
+  FederationNode* node(const std::string& name);
+  const FederationNode* node(const std::string& name) const;
+  std::vector<std::string> NodeNames() const;
+  std::vector<SellerEngine*> Sellers();
+
+  const FederationSchema& schema() const { return *schema_; }
+  std::shared_ptr<const FederationSchema> schema_ptr() const {
+    return schema_;
+  }
+  GlobalCatalog* global_catalog() { return &global_; }
+  const GlobalCatalog& global_catalog() const { return global_; }
+  SimNetwork* network() { return &network_; }
+  const CostModel& cost_model() const { return cost_model_; }
+  const PlanFactory& factory() const { return factory_; }
+
+  /// Loads a partition replica onto a node: stores the rows, derives
+  /// accurate statistics, and registers the replica in the node catalog
+  /// and the global catalog. With `validate`, every row is checked
+  /// against the partition's defining predicate.
+  Status LoadPartition(const std::string& node_name,
+                       const std::string& partition_id,
+                       std::vector<Row> rows, bool validate = true);
+
+  /// Enables §3.5 subcontracting on every node: each seller may buy
+  /// missing fragments from its peers (one level deep) and resell
+  /// combined offers.
+  void EnableSubcontracting();
+
+  /// Registers a planning-only partition replica: catalog entries and
+  /// statistics without row storage. Used by large-scale experiments that
+  /// optimize but never execute (statistics can then describe arbitrarily
+  /// big tables).
+  Status RegisterPartitionStats(const std::string& node_name,
+                                const std::string& partition_id,
+                                TableStats stats);
+
+  /// Creates a materialized view on `node_name` from its SQL definition:
+  /// evaluates the definition over the federation's (centralized) data,
+  /// stores the extent, and registers the view in the node's catalog.
+  Status CreateView(const std::string& node_name, const std::string& view_name,
+                    const std::string& definition_sql);
+
+  /// Ground truth: evaluates `sql` against one replica of every
+  /// partition, ignoring placement. Property tests compare distributed
+  /// answers to this.
+  Result<RowSet> ExecuteCentralized(const std::string& sql);
+
+  /// Executes a (buyer) plan: kRemote leaves are dispatched to the owning
+  /// seller engines; delivered rows are charged to the network as data
+  /// transfers.
+  Result<RowSet> ExecuteDistributed(const std::string& buyer_node,
+                                    const PlanPtr& plan);
+
+ private:
+  /// A TableResolver reading one replica of every partition.
+  TableResolver CentralizedResolver();
+
+  std::shared_ptr<const FederationSchema> schema_;
+  CostModel cost_model_;
+  PlanFactory factory_;
+  SimNetwork network_;
+  GlobalCatalog global_;
+  std::map<std::string, FederationNode> nodes_;
+};
+
+}  // namespace qtrade
+
+#endif  // QTRADE_CORE_FEDERATION_H_

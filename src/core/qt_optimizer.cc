@@ -1,0 +1,37 @@
+#include "core/qt_optimizer.h"
+
+namespace qtrade {
+
+QueryTradingOptimizer::QueryTradingOptimizer(Federation* federation,
+                                             std::string buyer_node,
+                                             QtOptions options)
+    : federation_(federation),
+      buyer_node_(std::move(buyer_node)),
+      options_(options) {
+  FederationNode* buyer = federation_->node(buyer_node_);
+  engine_ = std::make_unique<BuyerEngine>(
+      buyer != nullptr ? buyer->catalog.get() : nullptr,
+      &federation_->factory(), federation_->network(),
+      federation_->Sellers(), options_);
+}
+
+Result<QtResult> QueryTradingOptimizer::Optimize(const std::string& sql) {
+  if (federation_->node(buyer_node_) == nullptr) {
+    return Status::NotFound("buyer node not in federation: " + buyer_node_);
+  }
+  return engine_->Optimize(sql);
+}
+
+Result<RowSet> QueryTradingOptimizer::Execute(const QtResult& result) {
+  if (!result.ok()) {
+    return Status::NoPlanFound("optimization produced no plan");
+  }
+  return federation_->ExecuteDistributed(buyer_node_, result.plan);
+}
+
+Result<RowSet> QueryTradingOptimizer::Run(const std::string& sql) {
+  QTRADE_ASSIGN_OR_RETURN(QtResult result, Optimize(sql));
+  return Execute(result);
+}
+
+}  // namespace qtrade

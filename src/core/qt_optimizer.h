@@ -1,0 +1,53 @@
+// Public facade of the library: run Query-Trading optimization from one
+// federation node and execute the resulting distributed plan.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   Federation fed(schema);
+//   ... fed.AddNode / fed.LoadPartition ...
+//   QueryTradingOptimizer qt(&fed, "athens");
+//   auto result = qt.Optimize("SELECT SUM(charge) FROM ...");
+//   auto rows = qt.Execute(*result);
+#ifndef QTRADE_CORE_QT_OPTIMIZER_H_
+#define QTRADE_CORE_QT_OPTIMIZER_H_
+
+#include <memory>
+#include <string>
+
+#include "core/federation.h"
+#include "trading/buyer_engine.h"
+
+namespace qtrade {
+
+class QueryTradingOptimizer {
+ public:
+  /// `buyer_node` must already exist in the federation. By default every
+  /// federation node (including the buyer itself) is a potential seller.
+  QueryTradingOptimizer(Federation* federation, std::string buyer_node,
+                        QtOptions options = {});
+
+  /// Runs the QT algorithm (paper Fig. 2). The returned result's ok()
+  /// is false when no combination of offers could answer the query.
+  Result<QtResult> Optimize(const std::string& sql);
+
+  /// Ships the winning plan: sellers execute their sold answers, the
+  /// buyer combines them. Answer rows, with network traffic accounted.
+  Result<RowSet> Execute(const QtResult& result);
+
+  /// Optimize + Execute in one call.
+  Result<RowSet> Run(const std::string& sql);
+
+  Federation* federation() { return federation_; }
+  const std::string& buyer_node() const { return buyer_node_; }
+  const QtOptions& options() const { return options_; }
+
+ private:
+  Federation* federation_;
+  std::string buyer_node_;
+  QtOptions options_;
+  std::unique_ptr<BuyerEngine> engine_;
+};
+
+}  // namespace qtrade
+
+#endif  // QTRADE_CORE_QT_OPTIMIZER_H_

@@ -1,0 +1,638 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "exec/expr_eval.h"
+
+namespace qtrade {
+
+namespace {
+
+using sql::AggFunc;
+using sql::BoundOutput;
+using sql::Expr;
+using sql::ExprKind;
+using sql::ExprPtr;
+
+// ---- Row ordering helpers ---------------------------------------------
+
+struct RowLess {
+  bool operator()(const Row& a, const Row& b) const {
+    for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+      int cmp = a[i].Compare(b[i]);
+      if (cmp != 0) return cmp < 0;
+    }
+    return a.size() < b.size();
+  }
+};
+
+// ---- Aggregation machinery ---------------------------------------------
+
+/// Accumulator for one aggregate function instance.
+struct AggState {
+  AggFunc func = AggFunc::kCount;
+  bool distinct = false;
+  bool count_star = false;
+  int64_t count = 0;
+  double sum = 0;
+  bool sum_is_int = true;
+  int64_t sum_int = 0;
+  Value min, max;
+  std::set<Value> seen;  // for DISTINCT
+
+  void Add(const Value& v) {
+    if (!count_star && v.is_null()) return;  // SQL: aggregates skip NULLs
+    if (distinct) {
+      if (!seen.insert(v).second) return;
+    }
+    ++count;
+    if (!count_star && v.is_numeric()) {
+      sum += v.AsDouble();
+      if (v.is_int64()) {
+        sum_int += v.int64();
+      } else {
+        sum_is_int = false;
+      }
+    }
+    if (min.is_null() || v.Compare(min) < 0) min = v;
+    if (max.is_null() || v.Compare(max) > 0) max = v;
+  }
+
+  Value Finish() const {
+    switch (func) {
+      case AggFunc::kCount:
+        return Value::Int64(count);
+      case AggFunc::kSum:
+        if (count == 0) return Value::Null();
+        return sum_is_int ? Value::Int64(sum_int) : Value::Double(sum);
+      case AggFunc::kAvg:
+        if (count == 0) return Value::Null();
+        return Value::Double(sum / count);
+      case AggFunc::kMin:
+        return min;
+      case AggFunc::kMax:
+        return max;
+    }
+    return Value::Null();
+  }
+};
+
+/// The distinct aggregate sub-expressions of a set of expressions, keyed
+/// by their SQL rendering (structural identity).
+void CollectAggregates(const ExprPtr& expr,
+                       std::map<std::string, ExprPtr>* out) {
+  if (!expr) return;
+  if (expr->kind == ExprKind::kAggregate) {
+    out->emplace(sql::ToSql(expr), expr);
+    return;  // no nested aggregates
+  }
+  CollectAggregates(expr->left, out);
+  CollectAggregates(expr->right, out);
+}
+
+/// Evaluates an expression in which aggregate nodes are replaced by the
+/// finished values in `agg_values`; other refs resolve against
+/// (`schema`, `row`) — a representative row of the group.
+Result<Value> EvalWithAggregates(
+    const ExprPtr& expr, const std::map<std::string, Value>& agg_values,
+    const TupleSchema& schema, const Row& row) {
+  if (!expr) return Status::Internal("null expression");
+  if (expr->kind == ExprKind::kAggregate) {
+    auto it = agg_values.find(sql::ToSql(expr));
+    if (it == agg_values.end()) {
+      return Status::Internal("aggregate not computed: " + sql::ToSql(expr));
+    }
+    return it->second;
+  }
+  if (expr->kind == ExprKind::kColumnRef || expr->kind == ExprKind::kLiteral ||
+      expr->kind == ExprKind::kInList) {
+    return EvalExpr(expr, schema, row);
+  }
+  // Binary / unary: recurse so nested aggregates are substituted.
+  if (expr->kind == ExprKind::kBinary) {
+    QTRADE_ASSIGN_OR_RETURN(
+        Value l, EvalWithAggregates(expr->left, agg_values, schema, row));
+    QTRADE_ASSIGN_OR_RETURN(
+        Value r, EvalWithAggregates(expr->right, agg_values, schema, row));
+    // Reuse EvalExpr by building a tiny literal expression tree.
+    return EvalExpr(sql::Binary(expr->bop, sql::Lit(l), sql::Lit(r)), schema,
+                    row);
+  }
+  if (expr->kind == ExprKind::kUnary) {
+    QTRADE_ASSIGN_OR_RETURN(
+        Value v, EvalWithAggregates(expr->left, agg_values, schema, row));
+    if (expr->uop == sql::UnaryOp::kNot) {
+      return Value::Bool(!(v.is_bool() && v.boolean()));
+    }
+    if (v.is_null()) return Value::Null();
+    if (v.is_int64()) return Value::Int64(-v.int64());
+    if (v.is_double()) return Value::Double(-v.dbl());
+    return Status::InvalidArgument("cannot negate value");
+  }
+  return Status::Internal("unexpected expression in aggregate context");
+}
+
+/// Grouped aggregation shared by the plan executor and the interpreter.
+Result<RowSet> Aggregate(const RowSet& input,
+                         const std::vector<BoundOutput>& outputs,
+                         const std::vector<sql::BoundColumn>& group_by,
+                         const ExprPtr& having) {
+  // Aggregates needed by outputs and HAVING.
+  std::map<std::string, ExprPtr> agg_exprs;
+  for (const auto& out : outputs) CollectAggregates(out.expr, &agg_exprs);
+  CollectAggregates(having, &agg_exprs);
+
+  // Group key expressions.
+  std::vector<size_t> key_columns;
+  for (const auto& g : group_by) {
+    QTRADE_ASSIGN_OR_RETURN(size_t idx,
+                            input.schema.FindColumn(g.alias, g.column));
+    key_columns.push_back(idx);
+  }
+
+  struct Group {
+    Row representative;
+    std::map<std::string, AggState> states;
+  };
+  std::map<Row, Group, RowLess> groups;
+
+  for (const auto& row : input.rows) {
+    Row key;
+    key.reserve(key_columns.size());
+    for (size_t idx : key_columns) key.push_back(row[idx]);
+    auto [it, inserted] = groups.try_emplace(std::move(key));
+    Group& group = it->second;
+    if (inserted) {
+      group.representative = row;
+      for (const auto& [text, agg] : agg_exprs) {
+        AggState state;
+        state.func = agg->agg;
+        state.distinct = agg->distinct;
+        state.count_star = (agg->left == nullptr);
+        group.states.emplace(text, std::move(state));
+      }
+    }
+    for (const auto& [text, agg] : agg_exprs) {
+      Value v = Value::Int64(1);  // COUNT(*) counts rows
+      if (agg->left != nullptr) {
+        QTRADE_ASSIGN_OR_RETURN(v, EvalExpr(agg->left, input.schema, row));
+      }
+      group.states[text].Add(v);
+    }
+  }
+
+  // Scalar aggregation over an empty input still yields one group.
+  if (groups.empty() && group_by.empty()) {
+    Group group;
+    group.representative.assign(input.schema.size(), Value::Null());
+    for (const auto& [text, agg] : agg_exprs) {
+      AggState state;
+      state.func = agg->agg;
+      state.distinct = agg->distinct;
+      state.count_star = (agg->left == nullptr);
+      group.states.emplace(text, std::move(state));
+    }
+    groups.emplace(Row{}, std::move(group));
+  }
+
+  RowSet out;
+  for (const auto& o : outputs) {
+    TupleColumn col;
+    col.name = o.name;
+    col.type = o.type;
+    if (o.expr->kind == ExprKind::kColumnRef) {
+      col.qualifier = o.expr->qualifier;
+    }
+    out.schema.AddColumn(col);
+  }
+  for (const auto& [key, group] : groups) {
+    std::map<std::string, Value> agg_values;
+    for (const auto& [text, state] : group.states) {
+      agg_values.emplace(text, state.Finish());
+    }
+    if (having) {
+      QTRADE_ASSIGN_OR_RETURN(
+          Value keep, EvalWithAggregates(having, agg_values, input.schema,
+                                         group.representative));
+      if (!(keep.is_bool() && keep.boolean())) continue;
+    }
+    Row row;
+    row.reserve(outputs.size());
+    for (const auto& o : outputs) {
+      QTRADE_ASSIGN_OR_RETURN(
+          Value v, EvalWithAggregates(o.expr, agg_values, input.schema,
+                                      group.representative));
+      row.push_back(std::move(v));
+    }
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+Result<RowSet> Project(const RowSet& input,
+                       const std::vector<BoundOutput>& outputs) {
+  RowSet out;
+  for (const auto& o : outputs) {
+    TupleColumn col;
+    col.name = o.name;
+    col.type = o.type;
+    if (o.expr->kind == ExprKind::kColumnRef) {
+      col.qualifier = o.expr->qualifier;
+    }
+    out.schema.AddColumn(col);
+  }
+  for (const auto& row : input.rows) {
+    Row projected;
+    projected.reserve(outputs.size());
+    for (const auto& o : outputs) {
+      QTRADE_ASSIGN_OR_RETURN(Value v, EvalExpr(o.expr, input.schema, row));
+      projected.push_back(std::move(v));
+    }
+    out.rows.push_back(std::move(projected));
+  }
+  return out;
+}
+
+RowSet Dedup(const RowSet& input) {
+  RowSet out;
+  out.schema = input.schema;
+  std::set<Row, RowLess> seen;
+  for (const auto& row : input.rows) {
+    if (seen.insert(row).second) out.rows.push_back(row);
+  }
+  return out;
+}
+
+Result<RowSet> HashJoin(
+    const RowSet& left, const RowSet& right,
+    const std::vector<std::pair<sql::BoundColumn, sql::BoundColumn>>& keys,
+    const ExprPtr& residual) {
+  std::vector<size_t> left_keys, right_keys;
+  for (const auto& [l, r] : keys) {
+    // Key sides may arrive in either orientation.
+    auto li = left.schema.FindColumn(l.alias, l.column);
+    auto ri = right.schema.FindColumn(r.alias, r.column);
+    if (li.ok() && ri.ok()) {
+      left_keys.push_back(*li);
+      right_keys.push_back(*ri);
+      continue;
+    }
+    auto li2 = left.schema.FindColumn(r.alias, r.column);
+    auto ri2 = right.schema.FindColumn(l.alias, l.column);
+    if (li2.ok() && ri2.ok()) {
+      left_keys.push_back(*li2);
+      right_keys.push_back(*ri2);
+      continue;
+    }
+    return Status::Internal("join key unresolvable: " + l.FullName() + "=" +
+                            r.FullName());
+  }
+
+  RowSet out;
+  out.schema = TupleSchema::Concat(left.schema, right.schema);
+
+  std::map<Row, std::vector<const Row*>, RowLess> table;
+  for (const auto& row : right.rows) {
+    Row key;
+    for (size_t idx : right_keys) key.push_back(row[idx]);
+    bool has_null = std::any_of(key.begin(), key.end(),
+                                [](const Value& v) { return v.is_null(); });
+    if (has_null) continue;  // NULL never joins
+    table[std::move(key)].push_back(&row);
+  }
+  for (const auto& lrow : left.rows) {
+    Row key;
+    for (size_t idx : left_keys) key.push_back(lrow[idx]);
+    bool has_null = std::any_of(key.begin(), key.end(),
+                                [](const Value& v) { return v.is_null(); });
+    if (has_null) continue;
+    auto it = table.find(key);
+    if (it == table.end()) continue;
+    for (const Row* rrow : it->second) {
+      Row joined = lrow;
+      joined.insert(joined.end(), rrow->begin(), rrow->end());
+      if (residual) {
+        QTRADE_ASSIGN_OR_RETURN(bool keep,
+                                EvalPredicate(residual, out.schema, joined));
+        if (!keep) continue;
+      }
+      out.rows.push_back(std::move(joined));
+    }
+  }
+  return out;
+}
+
+Result<RowSet> NlJoin(const RowSet& left, const RowSet& right,
+                      const ExprPtr& predicate) {
+  RowSet out;
+  out.schema = TupleSchema::Concat(left.schema, right.schema);
+  for (const auto& lrow : left.rows) {
+    for (const auto& rrow : right.rows) {
+      Row joined = lrow;
+      joined.insert(joined.end(), rrow.begin(), rrow.end());
+      if (predicate) {
+        QTRADE_ASSIGN_OR_RETURN(bool keep,
+                                EvalPredicate(predicate, out.schema, joined));
+        if (!keep) continue;
+      }
+      out.rows.push_back(std::move(joined));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Status SortRows(RowSet* rows, const std::vector<sql::OrderItem>& keys,
+                const std::vector<sql::BoundOutput>* outputs) {
+  // Precompute per-key column index when the key maps to a column
+  // (directly or via a producing output expression).
+  struct KeyPlan {
+    int column = -1;  // index into the row when >= 0
+    ExprPtr expr;     // otherwise evaluate
+    bool ascending = true;
+  };
+  std::vector<KeyPlan> plans;
+  for (const auto& key : keys) {
+    KeyPlan plan;
+    plan.ascending = key.ascending;
+    plan.expr = key.expr;
+    if (outputs != nullptr) {
+      for (size_t i = 0; i < outputs->size(); ++i) {
+        if (sql::ExprEquals((*outputs)[i].expr, key.expr)) {
+          plan.column = static_cast<int>(i);
+          break;
+        }
+      }
+    }
+    if (plan.column < 0 && key.expr->kind == ExprKind::kColumnRef) {
+      auto idx = rows->schema.FindColumn(key.expr->qualifier,
+                                         key.expr->column);
+      if (idx.ok()) plan.column = static_cast<int>(*idx);
+    }
+    if (plan.column < 0 && outputs == nullptr) {
+      // Last resort: expression evaluated per row below.
+    }
+    plans.push_back(std::move(plan));
+  }
+
+  // Precompute evaluated keys for expression sorts.
+  std::vector<std::vector<Value>> computed(rows->rows.size());
+  for (size_t k = 0; k < plans.size(); ++k) {
+    if (plans[k].column >= 0) continue;
+    for (size_t r = 0; r < rows->rows.size(); ++r) {
+      auto v = EvalExpr(plans[k].expr, rows->schema, rows->rows[r]);
+      if (!v.ok()) return v.status();
+      if (computed[r].size() < plans.size()) computed[r].resize(plans.size());
+      computed[r][k] = std::move(v).value();
+    }
+  }
+  std::vector<size_t> order(rows->rows.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    for (size_t k = 0; k < plans.size(); ++k) {
+      const Value& va = plans[k].column >= 0
+                            ? rows->rows[a][plans[k].column]
+                            : computed[a][k];
+      const Value& vb = plans[k].column >= 0
+                            ? rows->rows[b][plans[k].column]
+                            : computed[b][k];
+      int cmp = va.Compare(vb);
+      if (cmp != 0) return plans[k].ascending ? cmp < 0 : cmp > 0;
+    }
+    return false;
+  });
+  std::vector<Row> sorted;
+  sorted.reserve(rows->rows.size());
+  for (size_t i : order) sorted.push_back(std::move(rows->rows[i]));
+  rows->rows = std::move(sorted);
+  return Status::OK();
+}
+
+Result<RowSet> ExecutePlan(const PlanPtr& plan, const ExecutionContext& ctx) {
+  if (!plan) return Status::InvalidArgument("null plan");
+  const PlanNode& node = *plan;
+  switch (node.kind) {
+    case PlanKind::kScan: {
+      if (ctx.store == nullptr) {
+        return Status::InvalidArgument("scan without local storage");
+      }
+      QTRADE_ASSIGN_OR_RETURN(
+          RowSet rows,
+          ctx.store->ScanPartitions(node.partition_ids, node.alias));
+      if (!node.filter) return rows;
+      RowSet out;
+      out.schema = rows.schema;
+      for (auto& row : rows.rows) {
+        QTRADE_ASSIGN_OR_RETURN(bool keep,
+                                EvalPredicate(node.filter, rows.schema, row));
+        if (keep) out.rows.push_back(std::move(row));
+      }
+      return out;
+    }
+    case PlanKind::kFilter: {
+      QTRADE_ASSIGN_OR_RETURN(RowSet input,
+                              ExecutePlan(node.children[0], ctx));
+      RowSet out;
+      out.schema = input.schema;
+      for (auto& row : input.rows) {
+        QTRADE_ASSIGN_OR_RETURN(
+            bool keep, EvalPredicate(node.filter, input.schema, row));
+        if (keep) out.rows.push_back(std::move(row));
+      }
+      return out;
+    }
+    case PlanKind::kProject: {
+      QTRADE_ASSIGN_OR_RETURN(RowSet input,
+                              ExecutePlan(node.children[0], ctx));
+      return Project(input, node.outputs);
+    }
+    case PlanKind::kHashJoin: {
+      QTRADE_ASSIGN_OR_RETURN(RowSet left, ExecutePlan(node.children[0], ctx));
+      QTRADE_ASSIGN_OR_RETURN(RowSet right,
+                              ExecutePlan(node.children[1], ctx));
+      return HashJoin(left, right, node.join_keys, node.filter);
+    }
+    case PlanKind::kNlJoin: {
+      QTRADE_ASSIGN_OR_RETURN(RowSet left, ExecutePlan(node.children[0], ctx));
+      QTRADE_ASSIGN_OR_RETURN(RowSet right,
+                              ExecutePlan(node.children[1], ctx));
+      return NlJoin(left, right, node.filter);
+    }
+    case PlanKind::kHashAggregate: {
+      QTRADE_ASSIGN_OR_RETURN(RowSet input,
+                              ExecutePlan(node.children[0], ctx));
+      return Aggregate(input, node.outputs, node.group_by, node.having);
+    }
+    case PlanKind::kSort: {
+      QTRADE_ASSIGN_OR_RETURN(RowSet input,
+                              ExecutePlan(node.children[0], ctx));
+      const std::vector<BoundOutput>* outputs = nullptr;
+      if (!node.children[0]->outputs.empty()) {
+        outputs = &node.children[0]->outputs;
+      }
+      QTRADE_RETURN_IF_ERROR(SortRows(&input, node.sort_keys, outputs));
+      return input;
+    }
+    case PlanKind::kUnionAll: {
+      RowSet out;
+      bool first = true;
+      for (const auto& child : node.children) {
+        QTRADE_ASSIGN_OR_RETURN(RowSet rows, ExecutePlan(child, ctx));
+        if (first) {
+          out.schema = rows.schema;
+          first = false;
+        } else if (rows.schema.size() != out.schema.size()) {
+          return Status::Internal("union branch arity mismatch");
+        }
+        out.rows.insert(out.rows.end(),
+                        std::make_move_iterator(rows.rows.begin()),
+                        std::make_move_iterator(rows.rows.end()));
+      }
+      return out;
+    }
+    case PlanKind::kDedup: {
+      QTRADE_ASSIGN_OR_RETURN(RowSet input,
+                              ExecutePlan(node.children[0], ctx));
+      return Dedup(input);
+    }
+    case PlanKind::kLimit: {
+      QTRADE_ASSIGN_OR_RETURN(RowSet input,
+                              ExecutePlan(node.children[0], ctx));
+      if (static_cast<int64_t>(input.rows.size()) > node.limit) {
+        input.rows.resize(node.limit);
+      }
+      return input;
+    }
+    case PlanKind::kRemote: {
+      if (!ctx.remote_resolver) {
+        return Status::InvalidArgument("no remote resolver configured");
+      }
+      return ctx.remote_resolver(node);
+    }
+  }
+  return Status::Internal("unknown plan kind");
+}
+
+Result<RowSet> ExecuteBoundQuery(const sql::BoundQuery& query,
+                                 const TableResolver& resolver) {
+  // Load and locally filter each extent.
+  std::vector<RowSet> extents;
+  for (const auto& tref : query.tables) {
+    QTRADE_ASSIGN_OR_RETURN(RowSet rows, resolver(tref));
+    std::vector<sql::ExprPtr> local = query.LocalPredicates(tref.alias);
+    if (!local.empty()) {
+      sql::ExprPtr pred = sql::AndAll(local);
+      RowSet filtered;
+      filtered.schema = rows.schema;
+      for (auto& row : rows.rows) {
+        QTRADE_ASSIGN_OR_RETURN(bool keep,
+                                EvalPredicate(pred, rows.schema, row));
+        if (keep) filtered.rows.push_back(std::move(row));
+      }
+      rows = std::move(filtered);
+    }
+    extents.push_back(std::move(rows));
+  }
+
+  // Fold joins left-to-right, preferring hash joins on applicable
+  // equi-join conjuncts.
+  RowSet current = std::move(extents[0]);
+  std::set<std::string> joined_aliases = {query.tables[0].alias};
+  for (size_t i = 1; i < extents.size(); ++i) {
+    const std::string& alias = query.tables[i].alias;
+    std::vector<std::pair<sql::BoundColumn, sql::BoundColumn>> keys;
+    for (const auto* conj : query.JoinPredicates()) {
+      bool left_in = joined_aliases.count(conj->left.alias) > 0;
+      bool right_in = joined_aliases.count(conj->right.alias) > 0;
+      if (left_in && conj->right.alias == alias) {
+        keys.emplace_back(conj->left, conj->right);
+      } else if (right_in && conj->left.alias == alias) {
+        keys.emplace_back(conj->right, conj->left);
+      }
+    }
+    if (!keys.empty()) {
+      QTRADE_ASSIGN_OR_RETURN(current,
+                              HashJoin(current, extents[i], keys, nullptr));
+    } else {
+      QTRADE_ASSIGN_OR_RETURN(current, NlJoin(current, extents[i], nullptr));
+    }
+    joined_aliases.insert(alias);
+  }
+
+  // Apply every conjunct once more (idempotent; catches kOtherJoin and
+  // residual predicates the join pass did not evaluate).
+  {
+    std::vector<sql::ExprPtr> all;
+    for (const auto& conj : query.conjuncts) all.push_back(conj.expr);
+    sql::ExprPtr pred = sql::AndAll(all);
+    if (pred) {
+      RowSet filtered;
+      filtered.schema = current.schema;
+      for (auto& row : current.rows) {
+        QTRADE_ASSIGN_OR_RETURN(bool keep,
+                                EvalPredicate(pred, current.schema, row));
+        if (keep) filtered.rows.push_back(std::move(row));
+      }
+      current = std::move(filtered);
+    }
+  }
+
+  RowSet result;
+  if (query.has_aggregates || !query.group_by.empty()) {
+    QTRADE_ASSIGN_OR_RETURN(result, Aggregate(current, query.outputs,
+                                              query.group_by, query.having));
+  } else {
+    QTRADE_ASSIGN_OR_RETURN(result, Project(current, query.outputs));
+    if (query.distinct) result = Dedup(result);
+  }
+  if (!query.order_by.empty()) {
+    QTRADE_RETURN_IF_ERROR(
+        SortRows(&result, query.order_by, &query.outputs));
+  }
+  if (query.limit.has_value() &&
+      static_cast<int64_t>(result.rows.size()) > *query.limit) {
+    result.rows.resize(*query.limit);
+  }
+  return result;
+}
+
+std::string FormatRowSet(const RowSet& rows, size_t max_rows) {
+  std::ostringstream out;
+  std::vector<size_t> widths;
+  for (const auto& col : rows.schema.columns()) {
+    widths.push_back(col.name.size());
+  }
+  size_t shown = std::min(rows.rows.size(), max_rows);
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t c = 0; c < rows.schema.size(); ++c) {
+      widths[c] = std::max(widths[c], rows.rows[r][c].ToString().size());
+    }
+  }
+  for (size_t c = 0; c < rows.schema.size(); ++c) {
+    out << (c ? " | " : "") << rows.schema.column(c).name
+        << std::string(widths[c] - rows.schema.column(c).name.size(), ' ');
+  }
+  out << "\n";
+  for (size_t c = 0; c < rows.schema.size(); ++c) {
+    out << (c ? "-+-" : "") << std::string(widths[c], '-');
+  }
+  out << "\n";
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t c = 0; c < rows.schema.size(); ++c) {
+      std::string text = rows.rows[r][c].ToString();
+      out << (c ? " | " : "") << text
+          << std::string(widths[c] - text.size(), ' ');
+    }
+    out << "\n";
+  }
+  if (rows.rows.size() > shown) {
+    out << "... (" << rows.rows.size() << " rows total)\n";
+  }
+  return out.str();
+}
+
+}  // namespace qtrade

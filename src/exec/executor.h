@@ -1,0 +1,50 @@
+// Execution of physical plans and of bound queries (reference
+// interpreter). Both paths share the same expression/aggregation
+// machinery, so optimizer plans can be validated against the
+// direct interpretation of the query.
+#ifndef QTRADE_EXEC_EXECUTOR_H_
+#define QTRADE_EXEC_EXECUTOR_H_
+
+#include <functional>
+
+#include "exec/storage.h"
+#include "plan/plan.h"
+#include "sql/analyzer.h"
+#include "util/status.h"
+
+namespace qtrade {
+
+/// Supplies rows for plan leaves.
+struct ExecutionContext {
+  /// Local storage for kScan leaves (may be null when the plan has none).
+  const TableStore* store = nullptr;
+  /// Called for kRemote leaves: must deliver the purchased query-answer.
+  std::function<Result<RowSet>(const PlanNode&)> remote_resolver;
+};
+
+/// Runs a physical plan to completion.
+Result<RowSet> ExecutePlan(const PlanPtr& plan, const ExecutionContext& ctx);
+
+/// Supplies the extent of one FROM entry (qualified by its alias). Used by
+/// the reference interpreter; implementations back this with partitions,
+/// view extents, or synthetic data.
+using TableResolver =
+    std::function<Result<RowSet>(const sql::TableRef& table)>;
+
+/// Reference semantics: evaluates the query by joining extents in FROM
+/// order, applying all conjuncts, then aggregation / DISTINCT / HAVING /
+/// ORDER BY / LIMIT. Slow but straightforwardly correct; the property
+/// tests compare optimizer plans against this.
+Result<RowSet> ExecuteBoundQuery(const sql::BoundQuery& query,
+                                 const TableResolver& resolver);
+
+/// Sorts `rows` in place by `keys` (used by both execution paths).
+Status SortRows(RowSet* rows, const std::vector<sql::OrderItem>& keys,
+                const std::vector<sql::BoundOutput>* outputs);
+
+/// Renders a row set as an aligned text table (examples/debugging).
+std::string FormatRowSet(const RowSet& rows, size_t max_rows = 20);
+
+}  // namespace qtrade
+
+#endif  // QTRADE_EXEC_EXECUTOR_H_

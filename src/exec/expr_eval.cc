@@ -1,0 +1,142 @@
+#include "exec/expr_eval.h"
+
+#include <cmath>
+
+namespace qtrade {
+
+namespace {
+
+using sql::BinaryOp;
+using sql::Expr;
+using sql::ExprKind;
+
+Result<Value> Arithmetic(BinaryOp op, const Value& l, const Value& r) {
+  if (l.is_null() || r.is_null()) return Value::Null();
+  if (!l.is_numeric() || !r.is_numeric()) {
+    return Status::InvalidArgument("arithmetic on non-numeric values");
+  }
+  if (op == BinaryOp::kDiv) {
+    double denominator = r.AsDouble();
+    if (denominator == 0) return Value::Null();  // SQL-ish: avoid fault
+    return Value::Double(l.AsDouble() / denominator);
+  }
+  if (l.is_int64() && r.is_int64()) {
+    int64_t a = l.int64(), b = r.int64();
+    switch (op) {
+      case BinaryOp::kAdd: return Value::Int64(a + b);
+      case BinaryOp::kSub: return Value::Int64(a - b);
+      case BinaryOp::kMul: return Value::Int64(a * b);
+      default: break;
+    }
+  }
+  double a = l.AsDouble(), b = r.AsDouble();
+  switch (op) {
+    case BinaryOp::kAdd: return Value::Double(a + b);
+    case BinaryOp::kSub: return Value::Double(a - b);
+    case BinaryOp::kMul: return Value::Double(a * b);
+    default:
+      return Status::Internal("unexpected arithmetic operator");
+  }
+}
+
+Value Comparison(BinaryOp op, const Value& l, const Value& r) {
+  // IS NULL is parsed as `x = NULL` (and IS NOT NULL as NOT(x = NULL)),
+  // so equality treats two NULLs as equal; every other comparison with a
+  // NULL operand is unknown, i.e. false.
+  if (r.is_null() || l.is_null()) {
+    if (op == BinaryOp::kEq) {
+      return Value::Bool(l.is_null() && r.is_null());
+    }
+    return Value::Bool(false);
+  }
+  int cmp = l.Compare(r);
+  switch (op) {
+    case BinaryOp::kEq: return Value::Bool(cmp == 0);
+    case BinaryOp::kNe: return Value::Bool(cmp != 0);
+    case BinaryOp::kLt: return Value::Bool(cmp < 0);
+    case BinaryOp::kLe: return Value::Bool(cmp <= 0);
+    case BinaryOp::kGt: return Value::Bool(cmp > 0);
+    case BinaryOp::kGe: return Value::Bool(cmp >= 0);
+    default: return Value::Bool(false);
+  }
+}
+
+bool Truthy(const Value& v) { return v.is_bool() && v.boolean(); }
+
+}  // namespace
+
+Result<Value> EvalExpr(const sql::ExprPtr& expr, const TupleSchema& schema,
+                       const Row& row) {
+  if (!expr) return Status::Internal("null expression");
+  const Expr& e = *expr;
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return e.literal;
+    case ExprKind::kColumnRef: {
+      QTRADE_ASSIGN_OR_RETURN(size_t idx,
+                              schema.FindColumn(e.qualifier, e.column));
+      return row[idx];
+    }
+    case ExprKind::kBinary: {
+      if (e.bop == BinaryOp::kAnd) {
+        QTRADE_ASSIGN_OR_RETURN(Value l, EvalExpr(e.left, schema, row));
+        if (!Truthy(l)) return Value::Bool(false);
+        QTRADE_ASSIGN_OR_RETURN(Value r, EvalExpr(e.right, schema, row));
+        return Value::Bool(Truthy(r));
+      }
+      if (e.bop == BinaryOp::kOr) {
+        QTRADE_ASSIGN_OR_RETURN(Value l, EvalExpr(e.left, schema, row));
+        if (Truthy(l)) return Value::Bool(true);
+        QTRADE_ASSIGN_OR_RETURN(Value r, EvalExpr(e.right, schema, row));
+        return Value::Bool(Truthy(r));
+      }
+      QTRADE_ASSIGN_OR_RETURN(Value l, EvalExpr(e.left, schema, row));
+      QTRADE_ASSIGN_OR_RETURN(Value r, EvalExpr(e.right, schema, row));
+      if (sql::IsComparison(e.bop)) return Comparison(e.bop, l, r);
+      return Arithmetic(e.bop, l, r);
+    }
+    case ExprKind::kUnary: {
+      QTRADE_ASSIGN_OR_RETURN(Value v, EvalExpr(e.left, schema, row));
+      if (e.uop == sql::UnaryOp::kNot) {
+        if (v.is_null()) return Value::Bool(false);
+        return Value::Bool(!Truthy(v));
+      }
+      if (v.is_null()) return Value::Null();
+      if (v.is_int64()) return Value::Int64(-v.int64());
+      if (v.is_double()) return Value::Double(-v.dbl());
+      return Status::InvalidArgument("cannot negate non-numeric value");
+    }
+    case ExprKind::kInList: {
+      QTRADE_ASSIGN_OR_RETURN(Value v, EvalExpr(e.left, schema, row));
+      if (v.is_null()) return Value::Bool(false);
+      bool found = false;
+      for (const auto& candidate : e.in_values) {
+        if (!candidate.is_null() && v.Compare(candidate) == 0) {
+          found = true;
+          break;
+        }
+      }
+      return Value::Bool(e.negated ? !found : found);
+    }
+    case ExprKind::kAggregate:
+      return Status::InvalidArgument(
+          "aggregate in scalar context: " + sql::ToSql(e));
+    case ExprKind::kStar:
+      return Status::InvalidArgument("* in scalar context");
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+Result<bool> EvalPredicate(const sql::ExprPtr& expr,
+                           const TupleSchema& schema, const Row& row) {
+  if (!expr) return true;
+  QTRADE_ASSIGN_OR_RETURN(Value v, EvalExpr(expr, schema, row));
+  if (v.is_null()) return false;
+  if (!v.is_bool()) {
+    return Status::InvalidArgument("predicate did not yield boolean: " +
+                                   sql::ToSql(expr));
+  }
+  return v.boolean();
+}
+
+}  // namespace qtrade

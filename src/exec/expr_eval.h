@@ -1,0 +1,24 @@
+// Row-at-a-time expression evaluation. Comparison semantics: comparisons
+// involving NULL evaluate to false (the parser models IS NULL as equality
+// with a literal NULL, which is special-cased to a null test); arithmetic
+// with NULL yields NULL; AND/OR use two-valued logic over those results.
+#ifndef QTRADE_EXEC_EXPR_EVAL_H_
+#define QTRADE_EXEC_EXPR_EVAL_H_
+
+#include "sql/ast.h"
+#include "types/row.h"
+#include "util/status.h"
+
+namespace qtrade {
+
+/// Evaluates a scalar (non-aggregate) expression against one row.
+Result<Value> EvalExpr(const sql::ExprPtr& expr, const TupleSchema& schema,
+                       const Row& row);
+
+/// Evaluates a predicate; NULL results count as false.
+Result<bool> EvalPredicate(const sql::ExprPtr& expr,
+                           const TupleSchema& schema, const Row& row);
+
+}  // namespace qtrade
+
+#endif  // QTRADE_EXEC_EXPR_EVAL_H_

@@ -1,0 +1,135 @@
+#include "exec/storage.h"
+
+#include <algorithm>
+#include <map>
+
+namespace qtrade {
+
+TableStats ComputeStats(const RowSet& rows, int histogram_buckets,
+                        size_t mcv_limit) {
+  TableStats stats;
+  stats.row_count = static_cast<int64_t>(rows.rows.size());
+  double bytes = 0;
+  for (size_t col = 0; col < rows.schema.size(); ++col) {
+    const TupleColumn& column = rows.schema.column(col);
+    ColumnStats cs;
+    std::map<Value, int64_t> counts;
+    std::vector<double> numeric_values;
+    for (const auto& row : rows.rows) {
+      const Value& v = row[col];
+      if (v.is_null()) continue;
+      counts[v]++;
+      if (v.is_numeric()) numeric_values.push_back(v.AsDouble());
+    }
+    cs.ndv = static_cast<int64_t>(counts.size());
+    if (!counts.empty()) {
+      cs.min = counts.begin()->first;
+      cs.max = counts.rbegin()->first;
+    }
+    if (!numeric_values.empty() && histogram_buckets > 0) {
+      auto hist =
+          EquiWidthHistogram::FromValues(numeric_values, histogram_buckets);
+      if (hist.ok()) cs.histogram = std::move(hist).value();
+    }
+    // Track MCVs only when they can be exhaustive (categorical columns);
+    // a truncated MCV list would bias equality estimates.
+    if (!counts.empty() && counts.size() <= mcv_limit) {
+      for (const auto& [value, count] : counts) {
+        cs.mcv.emplace_back(value, count);
+      }
+    }
+    switch (column.type) {
+      case TypeKind::kInt64:
+      case TypeKind::kDouble:
+        bytes += 8;
+        break;
+      case TypeKind::kBool:
+        bytes += 1;
+        break;
+      case TypeKind::kString:
+        bytes += 24;
+        break;
+    }
+    stats.columns.emplace(column.name, std::move(cs));
+  }
+  stats.avg_row_bytes = bytes + 8;
+  return stats;
+}
+
+Status TableStore::CreatePartition(const std::string& partition_id,
+                                   const TableDef& table) {
+  if (partitions_.count(partition_id) > 0) {
+    return Status::InvalidArgument("partition already exists: " +
+                                   partition_id);
+  }
+  RowSet rows;
+  for (const auto& col : table.columns) {
+    rows.schema.AddColumn({"", col.name, col.type});
+  }
+  partitions_.emplace(partition_id, std::move(rows));
+  return Status::OK();
+}
+
+Status TableStore::Insert(const std::string& partition_id, Row row) {
+  auto it = partitions_.find(partition_id);
+  if (it == partitions_.end()) {
+    return Status::NotFound("no such partition: " + partition_id);
+  }
+  if (row.size() != it->second.schema.size()) {
+    return Status::InvalidArgument("row arity mismatch for " + partition_id);
+  }
+  it->second.rows.push_back(std::move(row));
+  return Status::OK();
+}
+
+bool TableStore::HasPartition(const std::string& partition_id) const {
+  return partitions_.count(partition_id) > 0;
+}
+
+const RowSet* TableStore::Partition(const std::string& partition_id) const {
+  auto it = partitions_.find(partition_id);
+  return it == partitions_.end() ? nullptr : &it->second;
+}
+
+Result<RowSet> TableStore::ScanPartitions(
+    const std::vector<std::string>& partition_ids,
+    const std::string& alias) const {
+  RowSet out;
+  bool first = true;
+  for (const auto& pid : partition_ids) {
+    const RowSet* part = Partition(pid);
+    if (part == nullptr) {
+      return Status::NotFound("partition not hosted: " + pid);
+    }
+    if (first) {
+      for (const auto& col : part->schema.columns()) {
+        out.schema.AddColumn({alias, col.name, col.type});
+      }
+      first = false;
+    }
+    out.rows.insert(out.rows.end(), part->rows.begin(), part->rows.end());
+  }
+  if (first) {
+    return Status::InvalidArgument("no partitions to scan");
+  }
+  return out;
+}
+
+void TableStore::StoreView(const std::string& name, RowSet rows) {
+  views_[name] = std::move(rows);
+}
+
+const RowSet* TableStore::View(const std::string& name) const {
+  auto it = views_.find(name);
+  return it == views_.end() ? nullptr : &it->second;
+}
+
+int64_t TableStore::TotalRows() const {
+  int64_t total = 0;
+  for (const auto& [id, rows] : partitions_) {
+    total += static_cast<int64_t>(rows.rows.size());
+  }
+  return total;
+}
+
+}  // namespace qtrade

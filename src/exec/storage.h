@@ -1,0 +1,54 @@
+// In-memory row storage of one node: hosted partition replicas and
+// materialized view extents. Also derives accurate fragment statistics
+// from the stored data — the paper's premise that sellers price offers
+// with precise local knowledge.
+#ifndef QTRADE_EXEC_STORAGE_H_
+#define QTRADE_EXEC_STORAGE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "types/row.h"
+#include "types/schema.h"
+#include "stats/column_stats.h"
+#include "util/status.h"
+
+namespace qtrade {
+
+/// Computes TableStats (row count, per-column min/max/ndv, numeric
+/// histograms, MCVs for low-cardinality columns) from actual rows. The
+/// row set's schema must use bare column names (base-table layout).
+TableStats ComputeStats(const RowSet& rows, int histogram_buckets = 16,
+                        size_t mcv_limit = 16);
+
+class TableStore {
+ public:
+  /// Registers an (empty) partition replica with the base table layout.
+  Status CreatePartition(const std::string& partition_id,
+                         const TableDef& table);
+
+  Status Insert(const std::string& partition_id, Row row);
+
+  bool HasPartition(const std::string& partition_id) const;
+  const RowSet* Partition(const std::string& partition_id) const;
+
+  /// Concatenates the given partitions, with columns qualified by `alias`.
+  Result<RowSet> ScanPartitions(const std::vector<std::string>& partition_ids,
+                                const std::string& alias) const;
+
+  /// Materialized view extents (schema uses the view's output names).
+  void StoreView(const std::string& name, RowSet rows);
+  const RowSet* View(const std::string& name) const;
+
+  /// Total rows across hosted partitions (for reporting).
+  int64_t TotalRows() const;
+
+ private:
+  std::map<std::string, RowSet> partitions_;
+  std::map<std::string, RowSet> views_;
+};
+
+}  // namespace qtrade
+
+#endif  // QTRADE_EXEC_STORAGE_H_

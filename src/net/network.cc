@@ -1,0 +1,47 @@
+#include "net/network.h"
+
+#include <sstream>
+
+namespace qtrade {
+
+double SimNetwork::Send(const std::string& from, const std::string& to,
+                        int64_t payload_bytes, const std::string& kind) {
+  (void)from;
+  (void)to;
+  int64_t wire_bytes =
+      payload_bytes + static_cast<int64_t>(params_.msg_overhead_bytes);
+  total_.Add(wire_bytes);
+  by_kind_[kind].Add(wire_bytes);
+  return DeliveryTimeMs(payload_bytes);
+}
+
+double SimNetwork::DeliveryTimeMs(int64_t payload_bytes) const {
+  double wire_bytes = payload_bytes + params_.msg_overhead_bytes;
+  return params_.latency_ms + wire_bytes / params_.bytes_per_ms;
+}
+
+void SimNetwork::AdvanceClock(double ms) {
+  if (ms > 0) now_ms_ += ms;
+}
+
+void SimNetwork::ResetStats() {
+  total_ = MessageStats{};
+  by_kind_.clear();
+  now_ms_ = 0;
+}
+
+std::string SimNetwork::StatsToString() const {
+  std::ostringstream out;
+  out << "net: " << total_.messages << " msgs, " << total_.bytes
+      << " bytes, clock=" << now_ms_ << "ms (";
+  bool first = true;
+  for (const auto& [kind, stats] : by_kind_) {
+    if (!first) out << ", ";
+    out << kind << "=" << stats.messages;
+    first = false;
+  }
+  out << ")";
+  return out.str();
+}
+
+}  // namespace qtrade

@@ -1,0 +1,71 @@
+// Simulated wide-area network: message/byte accounting and a virtual
+// clock. The trading negotiation runs in rounds (broadcast RFB, parallel
+// replies), so elapsed simulated time per round is latency plus the
+// slowest transfer, while message and byte counters accumulate per
+// message — both are metrics of the paper's evaluation.
+#ifndef QTRADE_NET_NETWORK_H_
+#define QTRADE_NET_NETWORK_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qtrade {
+
+struct NetworkParams {
+  double latency_ms = 40.0;       // one-way, per message
+  double bytes_per_ms = 8000.0;   // ~8 MB/s WAN
+  double msg_overhead_bytes = 256.0;
+};
+
+struct MessageStats {
+  int64_t messages = 0;
+  int64_t bytes = 0;
+
+  void Add(int64_t message_bytes) {
+    ++messages;
+    bytes += message_bytes;
+  }
+};
+
+class SimNetwork {
+ public:
+  SimNetwork() = default;
+  explicit SimNetwork(const NetworkParams& params) : params_(params) {}
+
+  const NetworkParams& params() const { return params_; }
+
+  /// Records one message of `payload_bytes` from `from` to `to` under a
+  /// statistics bucket `kind` ("rfb", "offer", "award", "data", ...).
+  /// Returns the message's one-way delivery time in ms.
+  double Send(const std::string& from, const std::string& to,
+              int64_t payload_bytes, const std::string& kind);
+
+  /// One-way delivery time for a payload (no accounting).
+  double DeliveryTimeMs(int64_t payload_bytes) const;
+
+  /// Advances the virtual clock (e.g. by the duration of a parallel
+  /// negotiation round: callers compute the round's critical path).
+  void AdvanceClock(double ms);
+  double now_ms() const { return now_ms_; }
+
+  const MessageStats& total() const { return total_; }
+  const std::map<std::string, MessageStats>& by_kind() const {
+    return by_kind_;
+  }
+
+  void ResetStats();
+
+  std::string StatsToString() const;
+
+ private:
+  NetworkParams params_;
+  double now_ms_ = 0;
+  MessageStats total_;
+  std::map<std::string, MessageStats> by_kind_;
+};
+
+}  // namespace qtrade
+
+#endif  // QTRADE_NET_NETWORK_H_

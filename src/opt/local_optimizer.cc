@@ -1,0 +1,269 @@
+#include "opt/local_optimizer.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "stats/selectivity.h"
+
+namespace qtrade {
+
+TupleSchema QualifiedSchema(const TableDef& table, const std::string& alias) {
+  TupleSchema schema;
+  for (const auto& col : table.columns) {
+    schema.AddColumn({alias, col.name, col.type});
+  }
+  return schema;
+}
+
+LocalOptimizer::LocalOptimizer(const sql::BoundQuery* query,
+                               std::vector<AliasInput> inputs,
+                               const PlanFactory* factory, IdpParams idp)
+    : query_(query), inputs_(std::move(inputs)), factory_(factory), idp_(idp) {
+  for (size_t i = 0; i < inputs_.size(); ++i) {
+    alias_index_[inputs_[i].alias] = static_cast<int>(i);
+  }
+}
+
+std::optional<int> LocalOptimizer::AliasIndex(const std::string& alias) const {
+  auto it = alias_index_.find(alias);
+  if (it == alias_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+SubPlan LocalOptimizer::MakeLeaf(int i) const {
+  const AliasInput& input = inputs_[i];
+  std::vector<sql::ExprPtr> preds = query_->LocalPredicates(input.alias);
+  if (input.extra_filter) preds.push_back(input.extra_filter);
+  double selectivity = EstimateConjunctSelectivity(preds, input.stats);
+  double out_rows = std::max(0.0, input.stats.row_count * selectivity);
+  double row_bytes = EstimateRowBytes(input.schema);
+
+  SubPlan sub;
+  sub.mask = 1u << i;
+  sub.rows = out_rows;
+  sub.plan = factory_->Scan(input.table, input.alias, input.schema,
+                            input.partitions, sql::AndAll(preds),
+                            static_cast<double>(input.stats.row_count),
+                            out_rows, row_bytes);
+  return sub;
+}
+
+std::vector<const sql::Conjunct*> LocalOptimizer::ConnectingPredicates(
+    uint32_t a, uint32_t b) const {
+  std::vector<const sql::Conjunct*> out;
+  for (const auto& conj : query_->conjuncts) {
+    if (conj.kind == sql::ConjunctKind::kLocal) continue;
+    uint32_t mask = 0;
+    bool known = true;
+    for (const auto& alias : conj.aliases) {
+      auto idx = AliasIndex(alias);
+      if (!idx.has_value()) {
+        known = false;
+        break;
+      }
+      mask |= 1u << *idx;
+    }
+    if (!known) continue;  // touches aliases outside this enumeration
+    if ((mask & a) != 0 && (mask & b) != 0 && (mask & ~(a | b)) == 0) {
+      out.push_back(&conj);
+    }
+  }
+  return out;
+}
+
+std::optional<SubPlan> LocalOptimizer::Join(const SubPlan& left,
+                                            const SubPlan& right,
+                                            bool require_connected) const {
+  assert((left.mask & right.mask) == 0);
+  std::vector<const sql::Conjunct*> connecting =
+      ConnectingPredicates(left.mask, right.mask);
+  if (connecting.empty() && require_connected) return std::nullopt;
+
+  // Cardinality: independence across predicates, System-R style.
+  double rows = left.rows * right.rows;
+  std::vector<std::pair<sql::BoundColumn, sql::BoundColumn>> keys;
+  std::vector<sql::ExprPtr> residual;
+  for (const sql::Conjunct* conj : connecting) {
+    if (conj->kind == sql::ConjunctKind::kEquiJoin) {
+      const ColumnStats* ls = nullptr;
+      const ColumnStats* rs = nullptr;
+      if (auto idx = AliasIndex(conj->left.alias)) {
+        ls = FilteredStats(*idx).FindColumn(conj->left.column);
+      }
+      if (auto idx = AliasIndex(conj->right.alias)) {
+        rs = FilteredStats(*idx).FindColumn(conj->right.column);
+      }
+      rows *= EstimateEquiJoinSelectivity(ls, rs);
+      // Orient the key pair as (left-side-in-left-subplan, right...).
+      sql::BoundColumn l = conj->left, r = conj->right;
+      auto li = AliasIndex(l.alias);
+      if (li.has_value() && ((left.mask >> *li) & 1u) == 0) std::swap(l, r);
+      keys.emplace_back(l, r);
+    } else {
+      rows *= SelectivityDefaults::kOther;
+      residual.push_back(conj->expr);
+    }
+  }
+  rows = std::max(rows, 0.0);
+
+  SubPlan out;
+  out.mask = left.mask | right.mask;
+  out.rows = rows;
+  if (!keys.empty()) {
+    // Build side = smaller input; the factory builds on the right child.
+    PlanPtr l = left.plan, r = right.plan;
+    std::vector<std::pair<sql::BoundColumn, sql::BoundColumn>> oriented = keys;
+    if (l->rows < r->rows) {
+      std::swap(l, r);
+      for (auto& [a, b] : oriented) std::swap(a, b);
+    }
+    out.plan = factory_->HashJoin(l, r, std::move(oriented),
+                                  sql::AndAll(residual), rows);
+  } else {
+    // Cartesian or non-equi join.
+    out.plan =
+        factory_->NlJoin(left.plan, right.plan, sql::AndAll(residual), rows);
+  }
+  return out;
+}
+
+Status LocalOptimizer::Run() {
+  if (ran_) return Status::OK();
+  ran_ = true;
+  if (inputs_.empty()) {
+    return Status::InvalidArgument("no inputs to enumerate");
+  }
+  if (inputs_.size() > 20) {
+    return Status::InvalidArgument("too many relations for DP enumeration");
+  }
+
+  // Per-alias filtered statistics.
+  filtered_stats_.resize(inputs_.size());
+  filtered_rows_.resize(inputs_.size());
+  for (size_t i = 0; i < inputs_.size(); ++i) {
+    std::vector<sql::ExprPtr> preds =
+        query_->LocalPredicates(inputs_[i].alias);
+    if (inputs_[i].extra_filter) preds.push_back(inputs_[i].extra_filter);
+    double sel = EstimateConjunctSelectivity(preds, inputs_[i].stats);
+    filtered_stats_[i] = inputs_[i].stats.Scaled(sel);
+    filtered_rows_[i] = filtered_stats_[i].row_count;
+  }
+
+  const int n = static_cast<int>(inputs_.size());
+  const uint32_t full = (n == 32) ? ~0u : ((1u << n) - 1);
+
+  for (int i = 0; i < n; ++i) {
+    SubPlan leaf = MakeLeaf(i);
+    subplans_[leaf.mask] = std::move(leaf);
+  }
+
+  auto consider = [&](SubPlan candidate) {
+    auto it = subplans_.find(candidate.mask);
+    if (it == subplans_.end() ||
+        candidate.plan->cost < it->second.plan->cost) {
+      subplans_[candidate.mask] = std::move(candidate);
+    }
+  };
+
+  for (int size = 2; size <= n; ++size) {
+    // Enumerate subsets of this popcount.
+    for (uint32_t s = 1; s <= full; ++s) {
+      if (__builtin_popcount(s) != size) continue;
+      bool found_connected = false;
+      for (int pass = 0; pass < 2 && !found_connected; ++pass) {
+        bool require_connected = (pass == 0);
+        for (uint32_t sub = (s - 1) & s; sub > 0; sub = (sub - 1) & s) {
+          uint32_t rest = s ^ sub;
+          if (sub > rest) continue;  // each split once
+          auto left = subplans_.find(sub);
+          auto right = subplans_.find(rest);
+          if (left == subplans_.end() || right == subplans_.end()) continue;
+          auto joined =
+              Join(left->second, right->second, require_connected);
+          if (joined.has_value()) {
+            found_connected = true;
+            consider(std::move(*joined));
+          }
+        }
+        // Only fall back to cartesian when no connected split produced a
+        // plan for this subset.
+        if (pass == 0 && subplans_.count(s) > 0) found_connected = true;
+      }
+    }
+    // IDP-M(k, m): after finishing level k, keep only the best m subplans
+    // of exactly k relations (singletons always survive).
+    if (idp_.enabled() && size == idp_.k && size < n) {
+      std::vector<std::pair<double, uint32_t>> level;
+      for (const auto& [mask, sub] : subplans_) {
+        if (__builtin_popcount(mask) == idp_.k) {
+          level.emplace_back(sub.plan->cost, mask);
+        }
+      }
+      if (static_cast<int>(level.size()) > idp_.m) {
+        std::sort(level.begin(), level.end());
+        for (size_t i = idp_.m; i < level.size(); ++i) {
+          subplans_.erase(level[i].second);
+        }
+      }
+    }
+  }
+
+  // IDP pruning can make the full mask unreachable through DP splits;
+  // complete greedily from the surviving blocks.
+  if (subplans_.count(full) == 0) {
+    // Greedily merge the cheapest joinable pair starting from singletons
+    // (IDP's standard completion step).
+    std::vector<SubPlan> blocks;
+    for (int i = 0; i < n; ++i) blocks.push_back(subplans_[1u << i]);
+    while (blocks.size() > 1) {
+      double best_cost = 0;
+      int bi = -1, bj = -1;
+      std::optional<SubPlan> best;
+      for (size_t i = 0; i < blocks.size(); ++i) {
+        for (size_t j = i + 1; j < blocks.size(); ++j) {
+          for (bool require : {true, false}) {
+            auto joined = Join(blocks[i], blocks[j], require);
+            if (joined.has_value()) {
+              if (!best.has_value() || joined->plan->cost < best_cost) {
+                best_cost = joined->plan->cost;
+                best = joined;
+                bi = static_cast<int>(i);
+                bj = static_cast<int>(j);
+              }
+              break;
+            }
+          }
+        }
+      }
+      if (!best.has_value()) break;
+      blocks.erase(blocks.begin() + bj);
+      blocks.erase(blocks.begin() + bi);
+      blocks.push_back(std::move(*best));
+      consider(blocks.back());
+    }
+  }
+
+  return Status::OK();
+}
+
+Result<PlanPtr> LocalOptimizer::BestFullPlan() const {
+  const int n = static_cast<int>(inputs_.size());
+  const uint32_t full = (n == 32) ? ~0u : ((1u << n) - 1);
+  auto it = subplans_.find(full);
+  if (it == subplans_.end()) {
+    return Status::NoPlanFound("enumeration produced no full plan");
+  }
+  return it->second.plan;
+}
+
+Result<double> LocalOptimizer::FullRows() const {
+  const int n = static_cast<int>(inputs_.size());
+  const uint32_t full = (n == 32) ? ~0u : ((1u << n) - 1);
+  auto it = subplans_.find(full);
+  if (it == subplans_.end()) {
+    return Status::NoPlanFound("enumeration produced no full plan");
+  }
+  return it->second.rows;
+}
+
+}  // namespace qtrade

@@ -1,0 +1,116 @@
+// Seller-side System-R style dynamic-programming optimizer over local
+// fragments, plus the paper's §3.4 "modified DP" that retains the optimal
+// partial result for every join subset (those partials become offers), and
+// the IDP-M(k,m) variant of [Kossmann & Stocker] referenced in §3.6.
+#ifndef QTRADE_OPT_LOCAL_OPTIMIZER_H_
+#define QTRADE_OPT_LOCAL_OPTIMIZER_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "plan/plan_factory.h"
+#include "sql/analyzer.h"
+#include "stats/column_stats.h"
+#include "util/status.h"
+
+namespace qtrade {
+
+/// One base-relation input to join enumeration: the fragment a node (or a
+/// baseline's chosen site) would scan for one query alias.
+struct AliasInput {
+  std::string alias;
+  std::string table;
+  TupleSchema schema;                   // columns qualified by `alias`
+  TableStats stats;                     // fragment statistics (pre-filter)
+  std::vector<std::string> partitions;  // fragments scanned
+  /// Extra predicate restricting this alias beyond the query's own local
+  /// predicates (e.g. the partition restriction); may be null.
+  sql::ExprPtr extra_filter;
+};
+
+/// Builds the qualified scan schema for a table alias.
+TupleSchema QualifiedSchema(const TableDef& table, const std::string& alias);
+
+/// Best plan found for one subset of aliases.
+struct SubPlan {
+  uint32_t mask = 0;   // bit i = i-th alias of the enumeration order
+  PlanPtr plan;
+  double rows = 0;
+  /// Post-filter statistics per alias index, used for join selectivity at
+  /// higher levels (shared across subsets; see LocalOptimizer).
+};
+
+/// Tuning for iterative dynamic programming. k = level at which pruning
+/// kicks in, m = number of k-way subplans retained. {0, 0} = plain DP.
+struct IdpParams {
+  int k = 0;
+  int m = 0;
+  bool enabled() const { return k > 1 && m > 0; }
+};
+
+/// Join enumeration over a fixed set of alias inputs. Produces the best
+/// plan per alias subset (the modified DP of §3.4) or just the best full
+/// plan. Cartesian products are admitted only when the join graph leaves
+/// no connected alternative.
+class LocalOptimizer {
+ public:
+  /// `query` supplies predicates/join graph; `inputs` must contain one
+  /// entry per query alias that should be enumerated (callers may pass a
+  /// subset of the query's aliases, e.g. the seller's kept tables).
+  LocalOptimizer(const sql::BoundQuery* query, std::vector<AliasInput> inputs,
+                 const PlanFactory* factory, IdpParams idp = {});
+
+  /// Runs enumeration. Must be called before the accessors.
+  Status Run();
+
+  /// Best plan per subset mask (the §3.4 partial results). With IDP,
+  /// pruned subsets are absent.
+  const std::map<uint32_t, SubPlan>& subplans() const { return subplans_; }
+
+  /// Best plan joining all inputs; NoPlanFound if Run() was unable to
+  /// connect them (never happens: cartesian fallback).
+  Result<PlanPtr> BestFullPlan() const;
+
+  /// Estimated output rows for the full join.
+  Result<double> FullRows() const;
+
+  size_t num_inputs() const { return inputs_.size(); }
+  const AliasInput& input(size_t i) const { return inputs_[i]; }
+
+  /// Index of `alias` in enumeration order; nullopt when absent.
+  std::optional<int> AliasIndex(const std::string& alias) const;
+
+ private:
+  /// Builds the leaf (scan) subplan for input `i`.
+  SubPlan MakeLeaf(int i) const;
+
+  /// Joins two disjoint subplans; returns nullopt when no join predicate
+  /// connects them and `require_connected` is true.
+  std::optional<SubPlan> Join(const SubPlan& left, const SubPlan& right,
+                              bool require_connected) const;
+
+  /// Join predicates with one side in `a` and the other in `b`.
+  std::vector<const sql::Conjunct*> ConnectingPredicates(uint32_t a,
+                                                         uint32_t b) const;
+
+  /// Post-local-filter stats of alias i (computed once in Run()).
+  const TableStats& FilteredStats(int i) const { return filtered_stats_[i]; }
+
+  const sql::BoundQuery* query_;
+  std::vector<AliasInput> inputs_;
+  const PlanFactory* factory_;
+  IdpParams idp_;
+
+  std::map<std::string, int> alias_index_;
+  std::vector<TableStats> filtered_stats_;
+  std::vector<double> filtered_rows_;
+  std::map<uint32_t, SubPlan> subplans_;
+  bool ran_ = false;
+};
+
+}  // namespace qtrade
+
+#endif  // QTRADE_OPT_LOCAL_OPTIMIZER_H_

@@ -1,0 +1,63 @@
+#include "opt/offer.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace qtrade {
+
+const char* OfferKindName(OfferKind kind) {
+  switch (kind) {
+    case OfferKind::kCoreRows:
+      return "CoreRows";
+    case OfferKind::kPartialAggregate:
+      return "PartialAggregate";
+    case OfferKind::kFinalAnswer:
+      return "FinalAnswer";
+  }
+  return "?";
+}
+
+std::vector<std::string> Offer::AliasSet() const {
+  std::vector<std::string> out;
+  out.reserve(coverage.size());
+  for (const auto& c : coverage) out.push_back(c.alias);
+  return out;
+}
+
+std::string Offer::CoverageSignature() const {
+  // Two offers are the same commodity only when they promise the same
+  // fragment coverage of the same alias set; only those are
+  // price-comparable in auctions and bargaining.
+  std::vector<std::string> parts;
+  for (const auto& cov : coverage) {
+    std::vector<std::string> pids = cov.partitions;
+    std::sort(pids.begin(), pids.end());
+    parts.push_back(cov.alias + ":" + Join(pids, "|"));
+  }
+  std::sort(parts.begin(), parts.end());
+  return Join(parts, ";");
+}
+
+const OfferCoverage* Offer::FindCoverage(const std::string& alias) const {
+  for (const auto& c : coverage) {
+    if (c.alias == alias) return &c;
+  }
+  return nullptr;
+}
+
+std::string Offer::ToString() const {
+  std::ostringstream out;
+  out << "Offer[" << offer_id << " by " << seller << ", "
+      << OfferKindName(kind) << ", cost=" << props.total_time_ms
+      << "ms, rows=" << props.rows << ", cover={";
+  for (size_t i = 0; i < coverage.size(); ++i) {
+    if (i > 0) out << "; ";
+    out << coverage[i].alias << ":" << Join(coverage[i].partitions, ",");
+  }
+  out << "}] " << sql::ToSql(query);
+  return out.str();
+}
+
+}  // namespace qtrade

@@ -1,0 +1,96 @@
+// The query-answer commodity (paper §3.1): what sellers put on the table.
+// An offer promises delivery of the answer to a (rewritten, possibly
+// partial) query, described by the multi-dimensional property vector the
+// paper lists — total time, first-row time, rows, rate, freshness,
+// completeness — plus an optional monetary price used by competitive
+// strategies.
+#ifndef QTRADE_OPT_OFFER_H_
+#define QTRADE_OPT_OFFER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+#include "types/row.h"
+
+namespace qtrade {
+
+/// What the delivered rows mean relative to the traded query.
+enum class OfferKind {
+  kCoreRows,          // SPJ rows of a (sub-)join, no aggregation applied
+  kPartialAggregate,  // aggregated rows over a partial extent; buyer must
+                      // re-aggregate across offers (SUM of SUMs, ...)
+  kFinalAnswer,       // the query's exact answer over the offered coverage
+};
+
+const char* OfferKindName(OfferKind kind);
+
+/// Which partitions of one traded-query alias the offer accounts for.
+struct OfferCoverage {
+  std::string alias;
+  std::string table;
+  std::vector<std::string> partitions;  // covered (incl. provably empty)
+};
+
+/// The paper's §3.1 property vector for a query-answer.
+struct QueryProperties {
+  double total_time_ms = 0;   // execute + transfer to buyer
+  double first_row_ms = 0;    // time to first row
+  double rows = 0;            // estimated result rows
+  double rows_per_sec = 0;    // delivery rate
+  double freshness = 1.0;     // [0,1]; 1 = live data
+  double completeness = 1.0;  // covered fraction of the asked extent
+  double price = 0;           // monetary value (competitive markets)
+};
+
+/// A seller's offer for (part of) a traded query.
+struct Offer {
+  std::string offer_id;   // unique, assigned by the seller
+  std::string seller;     // node name
+  std::string rfb_id;     // the request-for-bids this answers
+  sql::SelectStmt query;  // what will be delivered (parsable SQL)
+  TupleSchema schema;     // output schema of `query`
+  OfferKind kind = OfferKind::kCoreRows;
+  /// Which aliases of the traded query this offer spans, with their
+  /// partition coverage. Joint coverage is the cross product (rectangle).
+  std::vector<OfferCoverage> coverage;
+  QueryProperties props;
+  double row_bytes = 64;
+
+  /// Aliases spanned, in coverage order.
+  std::vector<std::string> AliasSet() const;
+
+  /// Canonical signature of the promised coverage (alias set plus the
+  /// partitions per alias); offers are the same commodity — and hence
+  /// price-comparable in auctions/bargaining — only within one
+  /// (rfb, signature) group.
+  std::string CoverageSignature() const;
+  const OfferCoverage* FindCoverage(const std::string& alias) const;
+
+  std::string ToString() const;
+};
+
+/// Buyer-side ranking of offers (paper §3.1: "administrator-defined
+/// weighting aggregation function"). The default weights only total time,
+/// i.e. the paper's running cost definition.
+struct OfferValuation {
+  double weight_total_time = 1.0;
+  double weight_first_row = 0.0;
+  double weight_staleness = 0.0;     // penalty * (1 - freshness)
+  double weight_incompleteness = 0.0;  // penalty * (1 - completeness)
+  double weight_price = 0.0;
+
+  /// Smaller is better.
+  double Score(const QueryProperties& props) const {
+    return weight_total_time * props.total_time_ms +
+           weight_first_row * props.first_row_ms +
+           weight_staleness * (1.0 - props.freshness) +
+           weight_incompleteness * (1.0 - props.completeness) +
+           weight_price * props.price;
+  }
+};
+
+}  // namespace qtrade
+
+#endif  // QTRADE_OPT_OFFER_H_

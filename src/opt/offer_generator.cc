@@ -1,0 +1,435 @@
+#include "opt/offer_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "rewrite/view_matcher.h"
+#include "stats/selectivity.h"
+
+namespace qtrade {
+
+namespace {
+
+using sql::BoundOutput;
+using sql::BoundQuery;
+using sql::ExprPtr;
+
+/// Offer completeness = fraction of the asked extent covered, estimated as
+/// the product over aliases of covered-partition fractions.
+double CoverageCompleteness(const std::vector<OfferCoverage>& coverage,
+                            const FederationSchema& federation) {
+  double fraction = 1.0;
+  for (const auto& cov : coverage) {
+    const TablePartitioning* parts = federation.FindPartitioning(cov.table);
+    if (parts == nullptr || parts->partitions.empty()) continue;
+    fraction *= static_cast<double>(cov.partitions.size()) /
+                static_cast<double>(parts->partitions.size());
+  }
+  return std::min(1.0, fraction);
+}
+
+}  // namespace
+
+std::string PartialAggName(size_t index) {
+  return "agg" + std::to_string(index);
+}
+std::string PartialAggSumName(size_t index) {
+  return PartialAggName(index) + "_sum";
+}
+std::string PartialAggCntName(size_t index) {
+  return PartialAggName(index) + "_cnt";
+}
+
+bool AggregatesDecomposable(const sql::BoundQuery& query) {
+  if (!query.has_aggregates && query.group_by.empty()) return false;
+  for (const auto& out : query.outputs) {
+    if (!out.is_aggregate) continue;  // group key
+    const sql::Expr& e = *out.expr;
+    // Only plain `FUNC(arg)` (or the bare group column) shapes decompose.
+    if (e.kind != sql::ExprKind::kAggregate) return false;
+    if (e.distinct) return false;
+    if (e.left != nullptr && e.left->kind != sql::ExprKind::kColumnRef) {
+      return false;
+    }
+  }
+  return true;
+}
+
+OfferGenerator::OfferGenerator(const NodeCatalog* catalog,
+                               const PlanFactory* factory,
+                               OfferGeneratorOptions options)
+    : catalog_(catalog), factory_(factory), options_(options) {}
+
+std::string OfferGenerator::NextOfferId() {
+  return catalog_->node_name() + ":" + std::to_string(next_offer_id_++);
+}
+
+QueryProperties OfferGenerator::MakeProps(double exec_cost_ms, double rows,
+                                          double row_bytes,
+                                          double completeness) const {
+  const CostModel& cost = factory_->cost_model();
+  QueryProperties props;
+  props.total_time_ms = exec_cost_ms + cost.TransferCost(rows, row_bytes);
+  props.first_row_ms =
+      cost.params().net_latency_ms + 0.05 * exec_cost_ms;
+  props.rows = rows;
+  props.rows_per_sec =
+      props.total_time_ms > 0 ? rows / (props.total_time_ms / 1000.0) : 0;
+  props.freshness = 1.0;  // live data; view offers override
+  props.completeness = completeness;
+  return props;
+}
+
+Result<std::vector<GeneratedOffer>> OfferGenerator::Generate(
+    const sql::BoundQuery& query, const std::string& rfb_id) {
+  std::vector<GeneratedOffer> offers;
+
+  QTRADE_ASSIGN_OR_RETURN(std::optional<LocalRewrite> rewrite,
+                          RewriteForLocalPartitions(query, *catalog_));
+  if (rewrite.has_value()) {
+    const LocalRewrite& lr = *rewrite;
+    const BoundQuery& core = lr.core;
+
+    // Enumeration inputs: one per kept alias.
+    std::vector<AliasInput> inputs;
+    for (const auto& table_ref : core.tables) {
+      const AliasCoverage* cov = lr.FindCoverage(table_ref.alias);
+      AliasInput input;
+      input.alias = table_ref.alias;
+      input.table = table_ref.table;
+      const TableDef* def = catalog_->FindTable(table_ref.table);
+      input.schema = QualifiedSchema(*def, table_ref.alias);
+      input.partitions = cov->scanned_partitions;
+      std::optional<TableStats> stats;
+      for (const auto& pid : cov->scanned_partitions) {
+        const TableStats* part = catalog_->PartitionStats(pid);
+        if (part == nullptr) continue;
+        stats = stats.has_value() ? TableStats::MergeDisjoint(*stats, *part)
+                                  : *part;
+      }
+      input.stats = stats.value_or(TableStats{});
+      inputs.push_back(std::move(input));
+    }
+
+    LocalOptimizer optimizer(&core, std::move(inputs), factory_,
+                             options_.idp);
+    QTRADE_RETURN_IF_ERROR(optimizer.Run());
+
+    // --- §3.4: one offer per optimal partial result.
+    for (const auto& [mask, sub] : optimizer.subplans()) {
+      int size = __builtin_popcount(mask);
+      if (!options_.offer_partial_results &&
+          size != static_cast<int>(optimizer.num_inputs())) {
+        continue;
+      }
+      // Aliases of this subset.
+      std::set<std::string> subset_aliases;
+      for (size_t i = 0; i < optimizer.num_inputs(); ++i) {
+        if ((mask >> i) & 1u) subset_aliases.insert(optimizer.input(i).alias);
+      }
+
+      // Offered statement: needed outputs restricted to the subset, plus
+      // the subset-side columns of predicates crossing the subset border.
+      std::set<std::pair<std::string, std::string>> needed;
+      for (const auto& out : core.outputs) {
+        if (subset_aliases.count(out.expr->qualifier) > 0) {
+          needed.insert({out.expr->qualifier, out.expr->column});
+        }
+      }
+      // When an alias's coverage is partial, ship its partitioning
+      // columns too: the buyer can then clip overlapping offers with a
+      // partition-restriction filter instead of discarding them.
+      for (const auto& cov : lr.coverage) {
+        if (subset_aliases.count(cov.alias) == 0 || cov.complete) continue;
+        const TablePartitioning* partitioning =
+            catalog_->federation().FindPartitioning(cov.table);
+        if (partitioning == nullptr) continue;
+        for (const auto& part : partitioning->partitions) {
+          sql::ForEachColumnRef(
+              part.predicate, [&](const sql::Expr& ref) {
+                needed.insert({cov.alias, ref.column});
+              });
+        }
+      }
+      std::vector<ExprPtr> where;
+      for (const auto& conj : core.conjuncts) {
+        bool all_in = true, any_in = false;
+        for (const auto& a : conj.aliases) {
+          if (subset_aliases.count(a) > 0) {
+            any_in = true;
+          } else {
+            all_in = false;
+          }
+        }
+        if (all_in) {
+          where.push_back(conj.expr);
+        } else if (any_in) {
+          sql::ForEachColumnRef(conj.expr, [&](const sql::Expr& ref) {
+            if (subset_aliases.count(ref.qualifier) > 0) {
+              needed.insert({ref.qualifier, ref.column});
+            }
+          });
+        }
+      }
+
+      Offer offer;
+      offer.offer_id = NextOfferId();
+      offer.seller = catalog_->node_name();
+      offer.rfb_id = rfb_id;
+      offer.kind = OfferKind::kCoreRows;
+      sql::SelectStmt stmt;
+      for (const auto& [alias, column] : needed) {
+        sql::SelectItem item;
+        item.expr = sql::Col(alias, column);
+        stmt.items.push_back(std::move(item));
+        const sql::TableRef* tref = core.FindTable(alias);
+        const TableDef* def = catalog_->FindTable(tref->table);
+        auto idx = def->FindColumn(column);
+        offer.schema.AddColumn(
+            {alias, column, def->columns[idx.value()].type});
+      }
+      if (stmt.items.empty()) {
+        // Pure existence subset (e.g. COUNT(*) core): ship first column.
+        const std::string& alias = *subset_aliases.begin();
+        const sql::TableRef* tref = core.FindTable(alias);
+        const TableDef* def = catalog_->FindTable(tref->table);
+        sql::SelectItem item;
+        item.expr = sql::Col(alias, def->columns.front().name);
+        stmt.items.push_back(std::move(item));
+        offer.schema.AddColumn(
+            {alias, def->columns.front().name, def->columns.front().type});
+      }
+      for (const auto& tref : core.tables) {
+        if (subset_aliases.count(tref.alias) > 0) stmt.from.push_back(tref);
+      }
+      stmt.where = sql::AndAll(where);
+      offer.query = std::move(stmt);
+      for (const auto& cov : lr.coverage) {
+        if (subset_aliases.count(cov.alias) > 0) {
+          offer.coverage.push_back(
+              {cov.alias, cov.table, cov.covered_partitions});
+        }
+      }
+      offer.row_bytes = EstimateRowBytes(offer.schema);
+      offer.props = MakeProps(
+          sub.plan->cost, sub.rows, offer.row_bytes,
+          CoverageCompleteness(offer.coverage, catalog_->federation()));
+      GeneratedOffer generated;
+      generated.true_cost = offer.props.total_time_ms;
+      for (const auto& cov : lr.coverage) {
+        if (subset_aliases.count(cov.alias) > 0) {
+          generated.scan_partitions[cov.alias] = cov.scanned_partitions;
+        }
+      }
+      generated.offer = std::move(offer);
+      offers.push_back(std::move(generated));
+    }
+
+    // --- Pushed (partial) aggregates over the full kept set.
+    const bool query_aggregated =
+        query.has_aggregates || !query.group_by.empty();
+    if (options_.push_aggregates && query_aggregated &&
+        lr.all_tables_kept && AggregatesDecomposable(query)) {
+      auto full_plan = optimizer.BestFullPlan();
+      auto full_rows = optimizer.FullRows();
+      if (full_plan.ok() && full_rows.ok()) {
+        bool coverage_complete = std::all_of(
+            lr.coverage.begin(), lr.coverage.end(),
+            [](const AliasCoverage& c) { return c.complete; });
+
+        Offer offer;
+        offer.offer_id = NextOfferId();
+        offer.seller = catalog_->node_name();
+        offer.rfb_id = rfb_id;
+        for (const auto& cov : lr.coverage) {
+          offer.coverage.push_back(
+              {cov.alias, cov.table, cov.covered_partitions});
+        }
+
+        sql::SelectStmt stmt;
+        for (const auto& tref : core.tables) stmt.from.push_back(tref);
+        std::vector<ExprPtr> where;
+        for (const auto& conj : core.conjuncts) where.push_back(conj.expr);
+        stmt.where = sql::AndAll(where);
+        for (const auto& g : query.group_by) {
+          stmt.group_by.push_back(sql::Col(g.alias, g.column));
+        }
+
+        double group_rows = 1;
+        if (!query.group_by.empty()) {
+          // Groups bounded by join output and by group-key NDV product.
+          double ndv_product = 1;
+          for (const auto& g : query.group_by) {
+            auto idx = optimizer.AliasIndex(g.alias);
+            const ColumnStats* col =
+                idx.has_value()
+                    ? optimizer.input(*idx).stats.FindColumn(g.column)
+                    : nullptr;
+            ndv_product *= col != nullptr && col->ndv > 0 ? col->ndv : 10;
+          }
+          group_rows = std::min(*full_rows, ndv_product);
+          group_rows = std::max(1.0, group_rows);
+        }
+
+        if (coverage_complete) {
+          // Exact final answer: deliver the query as asked.
+          offer.kind = OfferKind::kFinalAnswer;
+          sql::SelectStmt final_stmt = query.ToStmt();
+          // Restrict FROM/WHERE to the core's (identical) table set but
+          // keep the original outputs/having/order.
+          offer.query = std::move(final_stmt);
+          offer.schema = query.OutputSchema();
+          double exec = (*full_plan)->cost +
+                        factory_->cost_model().AggregateCost(*full_rows,
+                                                             group_rows);
+          if (!query.order_by.empty()) {
+            exec += factory_->cost_model().SortCost(group_rows);
+          }
+          offer.row_bytes = EstimateRowBytes(offer.schema);
+          offer.props =
+              MakeProps(exec, group_rows, offer.row_bytes, 1.0);
+        } else {
+          // Partial aggregate: group keys + decomposed aggregates.
+          offer.kind = OfferKind::kPartialAggregate;
+          size_t agg_index = 0;
+          for (const auto& out : query.outputs) {
+            if (!out.is_aggregate) {
+              sql::SelectItem item;
+              item.expr = out.expr;
+              item.alias = out.name;
+              stmt.items.push_back(std::move(item));
+              offer.schema.AddColumn({"", out.name, out.type});
+              continue;
+            }
+            const sql::Expr& agg = *out.expr;
+            if (agg.agg == sql::AggFunc::kAvg) {
+              sql::SelectItem sum_item;
+              sum_item.expr = sql::Agg(sql::AggFunc::kSum, agg.left);
+              sum_item.alias = PartialAggSumName(agg_index);
+              stmt.items.push_back(std::move(sum_item));
+              offer.schema.AddColumn(
+                  {"", PartialAggSumName(agg_index), TypeKind::kDouble});
+              sql::SelectItem cnt_item;
+              cnt_item.expr = sql::CountStar();
+              cnt_item.alias = PartialAggCntName(agg_index);
+              stmt.items.push_back(std::move(cnt_item));
+              offer.schema.AddColumn(
+                  {"", PartialAggCntName(agg_index), TypeKind::kInt64});
+            } else {
+              sql::SelectItem item;
+              item.expr = out.expr;
+              item.alias = PartialAggName(agg_index);
+              stmt.items.push_back(std::move(item));
+              offer.schema.AddColumn(
+                  {"", PartialAggName(agg_index), out.type});
+            }
+            ++agg_index;
+          }
+          offer.query = std::move(stmt);
+          double exec = (*full_plan)->cost +
+                        factory_->cost_model().AggregateCost(*full_rows,
+                                                             group_rows);
+          offer.row_bytes = EstimateRowBytes(offer.schema);
+          offer.props = MakeProps(
+              exec, group_rows, offer.row_bytes,
+              CoverageCompleteness(offer.coverage, catalog_->federation()));
+        }
+        GeneratedOffer generated;
+        generated.true_cost = offer.props.total_time_ms;
+        for (const auto& cov : lr.coverage) {
+          generated.scan_partitions[cov.alias] = cov.scanned_partitions;
+        }
+        generated.offer = std::move(offer);
+        offers.push_back(std::move(generated));
+      }
+    }
+  }
+
+  // --- §3.5: materialized-view offers.
+  if (options_.use_views) {
+    for (const ViewMatch& match : MatchViews(query, *catalog_)) {
+      const MaterializedViewDef& view = *match.view;
+      // Only complete-coverage views yield final answers here.
+      bool complete = true;
+      std::vector<OfferCoverage> coverage;
+      for (const auto& tref : query.tables) {
+        OfferCoverage cov;
+        cov.alias = tref.alias;
+        cov.table = tref.table;
+        const TablePartitioning* parts =
+            catalog_->federation().FindPartitioning(tref.table);
+        auto it = view.coverage.find(tref.table);
+        if (it == view.coverage.end() || it->second.empty()) {
+          for (const auto& p : parts->partitions) {
+            cov.partitions.push_back(p.id);
+          }
+        } else {
+          cov.partitions.assign(it->second.begin(), it->second.end());
+          if (cov.partitions.size() < parts->partitions.size()) {
+            complete = false;
+          }
+        }
+        coverage.push_back(std::move(cov));
+      }
+      if (!complete) continue;
+
+      Offer offer;
+      offer.offer_id = NextOfferId();
+      offer.seller = catalog_->node_name();
+      offer.rfb_id = rfb_id;
+      offer.kind = OfferKind::kFinalAnswer;
+      offer.query = query.ToStmt();  // delivered answer == asked query
+      offer.schema = query.OutputSchema();
+      offer.coverage = std::move(coverage);
+      offer.row_bytes = EstimateRowBytes(offer.schema);
+
+      // Price from view statistics: scan extent + residual + optional
+      // re-aggregation, then transfer.
+      const CostModel& cost = factory_->cost_model();
+      double view_rows = std::max<int64_t>(1, view.stats.row_count);
+      double sel = 1.0;
+      if (match.compensation.where) {
+        sel = EstimateSelectivity(match.compensation.where, view.stats);
+      }
+      double scanned = view_rows;
+      double result_rows = std::max(1.0, view_rows * sel);
+      double exec =
+          cost.ScanCost(scanned, std::max(16.0, view.stats.avg_row_bytes),
+                        match.compensation.where ? 1 : 0);
+      if (match.reaggregates) {
+        double groups = std::max(1.0, result_rows / 2);
+        exec += cost.AggregateCost(result_rows, groups);
+        result_rows = groups;
+      }
+      if (!match.compensation.order_by.empty()) {
+        exec += cost.SortCost(result_rows);
+      }
+      offer.props = MakeProps(exec, result_rows, offer.row_bytes, 1.0);
+      offer.props.freshness = options_.view_freshness;
+      GeneratedOffer generated;
+      generated.true_cost = offer.props.total_time_ms;
+      generated.view_name = view.name;
+      generated.view_compensation = match.compensation;
+      generated.offer = std::move(offer);
+      offers.push_back(std::move(generated));
+    }
+  }
+
+  // Cap: prefer larger subsets first (they subsume smaller ones), then
+  // cheaper offers.
+  if (offers.size() > options_.max_offers) {
+    std::stable_sort(
+        offers.begin(), offers.end(),
+        [](const GeneratedOffer& a, const GeneratedOffer& b) {
+          if (a.offer.coverage.size() != b.offer.coverage.size()) {
+            return a.offer.coverage.size() > b.offer.coverage.size();
+          }
+          return a.offer.props.total_time_ms < b.offer.props.total_time_ms;
+        });
+    offers.resize(options_.max_offers);
+  }
+  return offers;
+}
+
+}  // namespace qtrade

@@ -1,0 +1,100 @@
+// Seller-side offer generation: the paper's "partial query constructor and
+// cost estimator" (§3.4) plus the "seller predicates analyser" (§3.5).
+//
+// Pipeline per request-for-bids:
+//   1. Rewrite the asked query to the node's local partitions (§3.4).
+//   2. Run the modified DP: the optimal 2-way, 3-way, ... partial results
+//      are each turned into an offer, priced by the local optimizer with
+//      accurate local statistics.
+//   3. When the query aggregates and every aggregate is decomposable, add
+//      a pushed-(partial-)aggregate offer; with complete local coverage
+//      this is a final-answer offer.
+//   4. Match local materialized views and offer cheap view-based answers.
+#ifndef QTRADE_OPT_OFFER_GENERATOR_H_
+#define QTRADE_OPT_OFFER_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "opt/local_optimizer.h"
+#include "opt/offer.h"
+#include "plan/plan_factory.h"
+#include "rewrite/partition_rewriter.h"
+#include "util/status.h"
+
+namespace qtrade {
+
+struct OfferGeneratorOptions {
+  /// Emit the §3.4 partial results (k-way sub-joins) as separate offers.
+  bool offer_partial_results = true;
+  /// Emit §3.5 materialized-view offers.
+  bool use_views = true;
+  /// Emit pushed-aggregate offers for decomposable aggregates.
+  bool push_aggregates = true;
+  /// Seller-side enumeration tuning ({0,0} = exact DP).
+  IdpParams idp;
+  /// Upper bound on offers returned per request.
+  size_t max_offers = 48;
+  /// Freshness attached to materialized-view offers (base-table answers
+  /// are 1.0); buyers weighting staleness (§3.1) can then avoid views.
+  double view_freshness = 0.9;
+};
+
+/// Naming convention for partial-aggregate offer outputs: group keys keep
+/// their column names; the i-th aggregate output becomes "agg<i>", except
+/// AVG which splits into "agg<i>_sum" and "agg<i>_cnt". The buyer relies
+/// on this to build its re-aggregation compensation.
+std::string PartialAggName(size_t index);
+std::string PartialAggSumName(size_t index);
+std::string PartialAggCntName(size_t index);
+
+/// True when every aggregate output of `query` can be recomputed from
+/// per-fragment partial aggregates (SUM/COUNT/MIN/MAX/AVG, non-DISTINCT).
+bool AggregatesDecomposable(const sql::BoundQuery& query);
+
+/// One generated offer plus the seller-private execution recipe (never
+/// sent over the wire): how to actually produce the promised rows later.
+struct GeneratedOffer {
+  Offer offer;
+  /// Honest cost estimate (== offer.props.total_time_ms at generation;
+  /// strategies may mark the wire copy up afterwards).
+  double true_cost = 0;
+  /// Hosted partitions each alias of `offer.query` scans.
+  std::map<std::string, std::vector<std::string>> scan_partitions;
+  /// For §3.5 view-based offers: run `view_compensation` over the
+  /// materialized extent `view_name` instead of base tables.
+  std::string view_name;
+  sql::SelectStmt view_compensation;
+};
+
+class OfferGenerator {
+ public:
+  OfferGenerator(const NodeCatalog* catalog, const PlanFactory* factory,
+                 OfferGeneratorOptions options = {});
+
+  /// Produces this node's offers for the traded query. An empty vector
+  /// means the node declines (no usable local data).
+  Result<std::vector<GeneratedOffer>> Generate(const sql::BoundQuery& query,
+                                               const std::string& rfb_id);
+
+  /// Total offers generated so far (for experiment accounting).
+  int64_t offers_generated() const { return next_offer_id_; }
+
+ private:
+  std::string NextOfferId();
+
+  /// Prices shipping `rows` rows of `row_bytes` over the network and
+  /// fills the full §3.1 property vector.
+  QueryProperties MakeProps(double exec_cost_ms, double rows,
+                            double row_bytes, double completeness) const;
+
+  const NodeCatalog* catalog_;
+  const PlanFactory* factory_;
+  OfferGeneratorOptions options_;
+  int64_t next_offer_id_ = 0;
+};
+
+}  // namespace qtrade
+
+#endif  // QTRADE_OPT_OFFER_GENERATOR_H_

@@ -1,0 +1,710 @@
+#include "opt/plan_assembler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rewrite/partition_rewriter.h"
+#include "rewrite/predicate.h"
+#include "stats/selectivity.h"
+
+namespace qtrade {
+
+namespace {
+
+using sql::BoundOutput;
+using sql::ExprPtr;
+
+/// Join-row heuristic without statistics (the buyer is autonomous and has
+/// none): equi joins behave like key/foreign-key joins.
+double JoinRowEstimate(double left_rows, double right_rows, int equi_preds,
+                       int other_preds) {
+  double rows;
+  if (equi_preds > 0) {
+    rows = std::max(left_rows, right_rows);
+    for (int i = 1; i < equi_preds; ++i) rows *= SelectivityDefaults::kEquality;
+  } else {
+    rows = left_rows * right_rows;
+  }
+  for (int i = 0; i < other_preds; ++i) rows *= SelectivityDefaults::kOther;
+  return std::max(1.0, rows);
+}
+
+}  // namespace
+
+double PlanAssembler::Rect::Cells(const std::vector<int>& alias_order) const {
+  double cells = 1;
+  for (int i : alias_order) {
+    cells *= __builtin_popcount(masks[i]);
+  }
+  return cells;
+}
+
+PlanAssembler::PlanAssembler(const sql::BoundQuery* query,
+                             const FederationSchema* federation,
+                             const PlanFactory* factory,
+                             AssemblerOptions options)
+    : query_(query),
+      federation_(federation),
+      factory_(factory),
+      options_(options) {
+  for (const auto& tref : query_->tables) {
+    alias_index_[tref.alias] = static_cast<int>(alias_order_.size());
+    alias_order_.push_back(tref.alias);
+  }
+  partition_bit_.resize(alias_order_.size());
+  feasible_counts_.resize(alias_order_.size(), 0);
+  // Feasible box: partitions contradicting the query's own local
+  // predicates carry no rows and are excluded from coverage accounting.
+  for (size_t i = 0; i < alias_order_.size(); ++i) {
+    const std::string& alias = alias_order_[i];
+    const sql::TableRef* tref = query_->FindTable(alias);
+    const TablePartitioning* parts =
+        federation_->FindPartitioning(tref->table);
+    if (parts == nullptr) continue;
+    std::vector<ExprPtr> local = query_->LocalPredicates(alias);
+    int bit = 0;
+    for (const auto& part : parts->partitions) {
+      bool infeasible = false;
+      if (part.predicate != nullptr) {
+        std::vector<ExprPtr> together = local;
+        together.push_back(part.PredicateFor(alias));
+        infeasible = ProvablyUnsatisfiable(together);
+      }
+      if (infeasible) continue;
+      partition_bit_[i][part.id] = bit++;
+    }
+    feasible_counts_[i] = bit;
+  }
+}
+
+int PlanAssembler::AliasIndex(const std::string& alias) const {
+  auto it = alias_index_.find(alias);
+  return it == alias_index_.end() ? -1 : it->second;
+}
+
+int PlanAssembler::FeasiblePartitionCount(int alias_index) const {
+  return feasible_counts_[alias_index];
+}
+
+double PlanAssembler::BoxCells(uint32_t alias_mask) const {
+  double cells = 1;
+  for (size_t i = 0; i < alias_order_.size(); ++i) {
+    if ((alias_mask >> i) & 1u) {
+      cells *= std::max(1, feasible_counts_[i]);
+    }
+  }
+  return cells;
+}
+
+bool PlanAssembler::RectsDisjoint(const Rect& a, const Rect& b,
+                                  uint32_t alias_mask) const {
+  // Rectangles intersect iff the masks intersect on every alias.
+  for (size_t i = 0; i < alias_order_.size(); ++i) {
+    if (((alias_mask >> i) & 1u) == 0) continue;
+    if ((a.masks[i] & b.masks[i]) == 0) return true;
+  }
+  return false;
+}
+
+bool PlanAssembler::BlocksDisjoint(const Block& a, const Block& b) const {
+  for (const auto& ra : a.rects) {
+    for (const auto& rb : b.rects) {
+      if (!RectsDisjoint(ra, rb, a.alias_mask)) return false;
+    }
+  }
+  return true;
+}
+
+std::optional<PlanAssembler::Block> PlanAssembler::SeedBlock(
+    const Offer& offer) const {
+  Block block;
+  Rect rect;
+  rect.masks.assign(alias_order_.size(), 0);
+  for (const auto& cov : offer.coverage) {
+    int idx = AliasIndex(cov.alias);
+    if (idx < 0) return std::nullopt;  // offer for aliases we don't know
+    block.alias_mask |= 1u << idx;
+    uint32_t mask = 0;
+    for (const auto& pid : cov.partitions) {
+      auto it = partition_bit_[idx].find(pid);
+      if (it != partition_bit_[idx].end()) mask |= 1u << it->second;
+    }
+    if (feasible_counts_[idx] > 0 && mask == 0) {
+      return std::nullopt;  // covers only infeasible fragments
+    }
+    if (feasible_counts_[idx] == 0) mask = 0;  // degenerate: empty box
+    rect.masks[idx] = mask;
+  }
+  if (block.alias_mask == 0) return std::nullopt;
+  block.rects.push_back(std::move(rect));
+  std::vector<int> indices;
+  for (size_t i = 0; i < alias_order_.size(); ++i) {
+    if ((block.alias_mask >> i) & 1u) indices.push_back(static_cast<int>(i));
+  }
+  block.covered_cells = block.rects[0].Cells(indices);
+  block.total_cells = BoxCells(block.alias_mask);
+  block.rows = offer.props.rows;
+  block.offer_ids.insert(offer.offer_id);
+  // Price the purchased answer by the buyer's valuation, not raw time:
+  // staleness/incompleteness/price weights shift which offers win.
+  block.plan = factory_->Remote(offer.seller, sql::ToSql(offer.query),
+                                offer.schema, offer.props.rows,
+                                offer.row_bytes,
+                                options_.valuation.Score(offer.props),
+                                offer.offer_id);
+  return block;
+}
+
+std::optional<PlanAssembler::Block> PlanAssembler::JoinBlocks(
+    const Block& a, const Block& b, bool require_connected) const {
+  // Connecting predicates: fully inside a|b, straddling the border.
+  std::vector<std::pair<sql::BoundColumn, sql::BoundColumn>> keys;
+  std::vector<ExprPtr> residual;
+  uint32_t ab = a.alias_mask | b.alias_mask;
+  for (const auto& conj : query_->conjuncts) {
+    if (conj.kind == sql::ConjunctKind::kLocal) continue;
+    uint32_t mask = 0;
+    bool known = true;
+    for (const auto& alias : conj.aliases) {
+      int idx = AliasIndex(alias);
+      if (idx < 0) {
+        known = false;
+        break;
+      }
+      mask |= 1u << idx;
+    }
+    if (!known) continue;
+    if ((mask & a.alias_mask) == 0 || (mask & b.alias_mask) == 0 ||
+        (mask & ~ab) != 0) {
+      continue;
+    }
+    if (conj.kind == sql::ConjunctKind::kEquiJoin) {
+      sql::BoundColumn l = conj.left, r = conj.right;
+      int li = AliasIndex(l.alias);
+      if (((a.alias_mask >> li) & 1u) == 0) std::swap(l, r);
+      keys.emplace_back(l, r);
+    } else {
+      residual.push_back(conj.expr);
+    }
+  }
+  if (keys.empty() && residual.empty() && require_connected) {
+    return std::nullopt;
+  }
+
+  Block out;
+  out.alias_mask = ab;
+  for (const auto& ra : a.rects) {
+    for (const auto& rb : b.rects) {
+      Rect r;
+      r.masks.assign(alias_order_.size(), 0);
+      for (size_t i = 0; i < alias_order_.size(); ++i) {
+        r.masks[i] = ra.masks[i] | rb.masks[i];
+      }
+      out.rects.push_back(std::move(r));
+    }
+  }
+  std::vector<int> indices;
+  for (size_t i = 0; i < alias_order_.size(); ++i) {
+    if ((ab >> i) & 1u) indices.push_back(static_cast<int>(i));
+  }
+  out.covered_cells = 0;
+  for (const auto& r : out.rects) out.covered_cells += r.Cells(indices);
+  out.total_cells = BoxCells(ab);
+  out.rows = JoinRowEstimate(a.rows, b.rows,
+                             static_cast<int>(keys.size()),
+                             static_cast<int>(residual.size()));
+  out.offer_ids = a.offer_ids;
+  out.offer_ids.insert(b.offer_ids.begin(), b.offer_ids.end());
+  if (!keys.empty()) {
+    PlanPtr l = a.plan, r = b.plan;
+    auto oriented = keys;
+    if (l->rows < r->rows) {
+      std::swap(l, r);
+      for (auto& [x, y] : oriented) std::swap(x, y);
+    }
+    out.plan = factory_->HashJoin(l, r, std::move(oriented),
+                                  sql::AndAll(residual), out.rows);
+  } else {
+    out.plan = factory_->NlJoin(a.plan, b.plan, sql::AndAll(residual),
+                                out.rows);
+  }
+  return out;
+}
+
+namespace {
+
+bool SameSchema(const TupleSchema& a, const TupleSchema& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a.column(i).qualifier != b.column(i).qualifier ||
+        a.column(i).name != b.column(i).name) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+PlanAssembler::Block PlanAssembler::UnionBlocks(const Block& a,
+                                                const Block& b) const {
+  Block out;
+  out.alias_mask = a.alias_mask;
+  out.rects = a.rects;
+  out.rects.insert(out.rects.end(), b.rects.begin(), b.rects.end());
+  out.covered_cells = a.covered_cells + b.covered_cells;
+  out.total_cells = a.total_cells;
+  out.rows = a.rows + b.rows;
+  out.offer_ids = a.offer_ids;
+  out.offer_ids.insert(b.offer_ids.begin(), b.offer_ids.end());
+  PlanPtr left = a.plan, right = b.plan;
+  if (!SameSchema(left->schema, right->schema)) {
+    // Offers for the same fragment set may ship extra columns (e.g. the
+    // partitioning columns of partial-coverage offers): align branches
+    // on their common columns before the bag union.
+    std::vector<BoundOutput> common;
+    for (const auto& col : left->schema.columns()) {
+      if (right->schema.FindColumn(col.qualifier, col.name).ok()) {
+        BoundOutput out_col;
+        out_col.expr = sql::Col(col.qualifier, col.name);
+        out_col.name = col.name;
+        out_col.type = col.type;
+        common.push_back(std::move(out_col));
+      }
+    }
+    left = factory_->Project(left, common);
+    right = factory_->Project(right, common);
+  }
+  out.plan = factory_->UnionAll({left, right});
+  return out;
+}
+
+std::optional<PlanAssembler::Block> PlanAssembler::ClipAgainst(
+    const Block& acc, const Block& b) const {
+  if (acc.alias_mask != b.alias_mask) return std::nullopt;
+  // Union of acc's coverage per dimension.
+  std::vector<uint32_t> acc_union(alias_order_.size(), 0);
+  for (const auto& rect : acc.rects) {
+    for (size_t i = 0; i < alias_order_.size(); ++i) {
+      acc_union[i] |= rect.masks[i];
+    }
+  }
+  std::vector<int> indices;
+  for (size_t i = 0; i < alias_order_.size(); ++i) {
+    if ((b.alias_mask >> i) & 1u) indices.push_back(static_cast<int>(i));
+  }
+  // Pick the dimension whose clip yields the most new cells.
+  int best_dim = -1;
+  double best_cells = 0;
+  std::vector<Rect> best_rects;
+  for (int dim : indices) {
+    uint32_t keep = ~acc_union[dim];
+    std::vector<Rect> clipped;
+    double cells = 0;
+    for (const auto& rect : b.rects) {
+      Rect r = rect;
+      r.masks[dim] &= keep;
+      if (r.masks[dim] == 0) continue;
+      cells += r.Cells(indices);
+      clipped.push_back(std::move(r));
+    }
+    if (cells > best_cells) {
+      best_cells = cells;
+      best_dim = dim;
+      best_rects = std::move(clipped);
+    }
+  }
+  if (best_dim < 0) return std::nullopt;
+
+  // Build the restriction predicate over the kept partitions of best_dim;
+  // its columns must be present in the offered schema.
+  const std::string& alias = alias_order_[best_dim];
+  const sql::TableRef* tref = query_->FindTable(alias);
+  const TablePartitioning* partitioning =
+      federation_->FindPartitioning(tref->table);
+  uint32_t kept_mask = 0;
+  for (const auto& rect : best_rects) kept_mask |= rect.masks[best_dim];
+  std::vector<const PartitionDef*> kept;
+  for (const auto& part : partitioning->partitions) {
+    auto bit = partition_bit_[best_dim].find(part.id);
+    if (bit != partition_bit_[best_dim].end() &&
+        ((kept_mask >> bit->second) & 1u)) {
+      kept.push_back(&part);
+    }
+  }
+  sql::ExprPtr restriction = PartitionRestriction(kept, alias);
+  if (restriction == nullptr) return std::nullopt;  // whole-table partition
+  bool columns_available = true;
+  sql::ForEachColumnRef(restriction, [&](const sql::Expr& ref) {
+    if (!b.plan->schema.FindColumn(ref.qualifier, ref.column).ok()) {
+      columns_available = false;
+    }
+  });
+  if (!columns_available) return std::nullopt;
+
+  Block out;
+  out.alias_mask = b.alias_mask;
+  out.rects = std::move(best_rects);
+  out.covered_cells = best_cells;
+  out.total_cells = b.total_cells;
+  double fraction =
+      b.covered_cells > 0 ? best_cells / b.covered_cells : 0;
+  out.rows = std::max(1.0, b.rows * fraction);
+  out.offer_ids = b.offer_ids;
+  out.plan = factory_->Filter(b.plan, restriction, out.rows);
+  return out;
+}
+
+PlanPtr PlanAssembler::Compensate(PlanPtr input) const {
+  const sql::BoundQuery& q = *query_;
+  PlanPtr plan = std::move(input);
+  bool aggregated = q.has_aggregates || !q.group_by.empty();
+  if (aggregated) {
+    double groups = q.group_by.empty()
+                        ? 1.0
+                        : std::max(1.0, plan->rows * 0.1);
+    plan = factory_->Aggregate(plan, q.outputs, q.group_by, q.having,
+                               groups);
+  } else {
+    plan = factory_->Project(plan, q.outputs);
+    if (q.distinct) {
+      plan = factory_->Dedup(plan, std::max(1.0, plan->rows * 0.5));
+    }
+  }
+  if (!q.order_by.empty()) plan = factory_->Sort(plan, q.order_by);
+  if (q.limit.has_value()) plan = factory_->Limit(plan, *q.limit);
+  return plan;
+}
+
+std::optional<CandidatePlan> PlanAssembler::AssemblePartialAggregates(
+    const std::vector<const Offer*>& partials) const {
+  if (partials.empty()) return std::nullopt;
+  const uint32_t full_mask =
+      alias_order_.size() == 32 ? ~0u
+                                : ((1u << alias_order_.size()) - 1);
+  // Greedy disjoint cover over the box, cheapest per covered cell first.
+  std::vector<Block> seeds;
+  for (const Offer* offer : partials) {
+    auto block = SeedBlock(*offer);
+    if (block.has_value() && block->alias_mask == full_mask) {
+      seeds.push_back(std::move(*block));
+    }
+  }
+  if (seeds.empty()) return std::nullopt;
+  std::sort(seeds.begin(), seeds.end(), [](const Block& a, const Block& b) {
+    double ca = a.plan->cost / std::max(1.0, a.covered_cells);
+    double cb = b.plan->cost / std::max(1.0, b.covered_cells);
+    return ca < cb;
+  });
+  Block acc = seeds[0];
+  for (size_t i = 1; i < seeds.size() && !acc.full(); ++i) {
+    if (BlocksDisjoint(acc, seeds[i])) {
+      acc = UnionBlocks(acc, seeds[i]);
+    } else if (auto clipped = ClipAgainst(acc, seeds[i])) {
+      // Partial aggregates can be clipped only when their group keys
+      // include the partitioning column; ClipAgainst checks the schema.
+      acc = UnionBlocks(acc, *clipped);
+    }
+  }
+  if (!acc.full()) return std::nullopt;
+
+  // Re-aggregation compensation over the partial-aggregate schema
+  // (naming convention from the offer generator).
+  PlanPtr plan = acc.plan;
+  if (acc.offer_ids.size() == 1 && seeds[0].full()) {
+    // A single complete partial-aggregate is already the exact grouping;
+    // still re-aggregate when HAVING exists to apply it locally.
+  }
+  std::vector<BoundOutput> outputs;
+  std::vector<sql::BoundColumn> group_by;
+  size_t agg_index = 0;
+  for (const auto& out : query_->outputs) {
+    BoundOutput comp;
+    comp.name = out.name;
+    comp.type = out.type;
+    if (!out.is_aggregate) {
+      comp.expr = sql::Col("", out.name);
+      outputs.push_back(std::move(comp));
+      continue;
+    }
+    comp.is_aggregate = true;
+    const sql::Expr& agg = *out.expr;
+    std::string base = "agg" + std::to_string(agg_index);
+    switch (agg.agg) {
+      case sql::AggFunc::kSum:
+      case sql::AggFunc::kCount:
+        comp.expr = sql::Agg(sql::AggFunc::kSum, sql::Col("", base));
+        break;
+      case sql::AggFunc::kMin:
+        comp.expr = sql::Agg(sql::AggFunc::kMin, sql::Col("", base));
+        break;
+      case sql::AggFunc::kMax:
+        comp.expr = sql::Agg(sql::AggFunc::kMax, sql::Col("", base));
+        break;
+      case sql::AggFunc::kAvg:
+        comp.expr = sql::Binary(
+            sql::BinaryOp::kDiv,
+            sql::Agg(sql::AggFunc::kSum, sql::Col("", base + "_sum")),
+            sql::Agg(sql::AggFunc::kSum, sql::Col("", base + "_cnt")));
+        break;
+    }
+    ++agg_index;
+    outputs.push_back(std::move(comp));
+  }
+  for (const auto& g : query_->group_by) {
+    // Group keys were shipped under their output names.
+    for (const auto& out : query_->outputs) {
+      if (!out.is_aggregate && out.expr->kind == sql::ExprKind::kColumnRef &&
+          out.expr->qualifier == g.alias && out.expr->column == g.column) {
+        group_by.push_back({"", out.name, out.type});
+        break;
+      }
+    }
+  }
+  // HAVING over re-aggregated values: rewrite base aggregates like the
+  // outputs. Conservative: only support HAVING-free queries or HAVING
+  // whose aggregates also appear in the select list — otherwise skip the
+  // partial-aggregate strategy.
+  sql::ExprPtr having;
+  if (query_->having != nullptr) return std::nullopt;
+  double groups = group_by.empty() ? 1.0 : std::max(1.0, plan->rows * 0.5);
+  plan = factory_->Aggregate(plan, outputs, group_by, having, groups);
+  if (!query_->order_by.empty()) {
+    // Order over output columns by name.
+    std::vector<sql::OrderItem> keys;
+    for (const auto& o : query_->order_by) {
+      // Map: if the order expr matches an output expr, order by its name.
+      bool mapped = false;
+      for (const auto& out : query_->outputs) {
+        if (sql::ExprEquals(out.expr, o.expr)) {
+          keys.push_back({sql::Col("", out.name), o.ascending});
+          mapped = true;
+          break;
+        }
+      }
+      if (!mapped) return std::nullopt;
+    }
+    plan = factory_->Sort(plan, keys);
+  }
+  if (query_->limit.has_value()) plan = factory_->Limit(plan, *query_->limit);
+
+  CandidatePlan candidate;
+  candidate.plan = plan;
+  candidate.cost = plan->cost;
+  candidate.offer_ids.assign(acc.offer_ids.begin(), acc.offer_ids.end());
+  return candidate;
+}
+
+Result<std::vector<CandidatePlan>> PlanAssembler::Assemble(
+    const std::vector<Offer>& offers) {
+  stats_ = AssemblerStats{};
+  const size_t n = alias_order_.size();
+  if (n == 0 || n > 20) {
+    return Status::InvalidArgument("unsupported query arity");
+  }
+  const uint32_t full = (n == 32) ? ~0u : ((1u << n) - 1);
+  const bool aggregated =
+      query_->has_aggregates || !query_->group_by.empty();
+
+  std::vector<CandidatePlan> candidates;
+
+  // Direct final-answer offers (aggregate pushdown with complete local
+  // coverage, and view-based answers).
+  std::vector<const Offer*> partial_aggs;
+  std::map<uint32_t, std::vector<Block>> blocks;
+  for (const auto& offer : offers) {
+    switch (offer.kind) {
+      case OfferKind::kFinalAnswer: {
+        auto block = SeedBlock(offer);
+        if (block.has_value() && block->alias_mask == full &&
+            block->full()) {
+          CandidatePlan candidate;
+          candidate.plan = block->plan;
+          candidate.cost = block->plan->cost;
+          candidate.offer_ids = {offer.offer_id};
+          candidates.push_back(std::move(candidate));
+        } else if (block.has_value() && block->alias_mask == full &&
+                   aggregated && options_.allow_partial_aggregates) {
+          // A final answer over partial coverage behaves like a partial
+          // aggregate only when the aggregates decompose; the offer
+          // generator emits kPartialAggregate in that case, so skip here.
+        }
+        break;
+      }
+      case OfferKind::kPartialAggregate:
+        partial_aggs.push_back(&offer);
+        break;
+      case OfferKind::kCoreRows: {
+        auto block = SeedBlock(offer);
+        if (block.has_value()) {
+          blocks[block->alias_mask].push_back(std::move(*block));
+          ++stats_.blocks_created;
+        }
+        break;
+      }
+    }
+  }
+
+  if (options_.allow_partial_aggregates && aggregated) {
+    auto partial_plan = AssemblePartialAggregates(partial_aggs);
+    if (partial_plan.has_value()) {
+      candidates.push_back(std::move(*partial_plan));
+    }
+  }
+
+  // --- Coverage DP over core blocks.
+  auto prune_subset = [&](std::vector<Block>* list) {
+    if (list->size() <= options_.max_blocks_per_subset) return;
+    std::sort(list->begin(), list->end(), [](const Block& a, const Block& b) {
+      if (a.full() != b.full()) return a.full();
+      double ca = a.plan->cost / std::max(1.0, a.covered_cells);
+      double cb = b.plan->cost / std::max(1.0, b.covered_cells);
+      return ca < cb;
+    });
+    list->resize(options_.max_blocks_per_subset);
+  };
+
+  // Union closure within each subset: greedily grow full blocks from
+  // partials. Each step buys the block with the lowest *marginal* cost
+  // per newly covered cell — a small disjoint slice offer beats buying
+  // and clipping a big overlapping offer.
+  auto grow_cover = [&](const std::vector<Block>& list, size_t start) {
+    Block acc = list[start];
+    std::vector<bool> used(list.size(), false);
+    used[start] = true;
+    while (!acc.full()) {
+      int best = -1;
+      bool best_clip = false;
+      Block best_clipped;
+      double best_marginal = 0;
+      for (size_t i = 0; i < list.size(); ++i) {
+        if (used[i]) continue;
+        ++stats_.unions_considered;
+        if (BlocksDisjoint(acc, list[i])) {
+          double marginal =
+              list[i].plan->cost / std::max(1.0, list[i].covered_cells);
+          if (best < 0 || marginal < best_marginal) {
+            best = static_cast<int>(i);
+            best_clip = false;
+            best_marginal = marginal;
+          }
+        } else if (auto clipped = ClipAgainst(acc, list[i])) {
+          // Buying the whole overlapping offer but keeping only the
+          // clipped slice: the full quote buys few new cells.
+          double marginal = clipped->plan->cost /
+                            std::max(1.0, clipped->covered_cells);
+          if (best < 0 || marginal < best_marginal) {
+            best = static_cast<int>(i);
+            best_clip = true;
+            best_clipped = std::move(*clipped);
+            best_marginal = marginal;
+          }
+        }
+      }
+      if (best < 0) break;
+      used[best] = true;
+      acc = UnionBlocks(acc, best_clip ? best_clipped : list[best]);
+    }
+    return acc;
+  };
+  auto close_under_union = [&](std::vector<Block>* list) {
+    if (list->empty()) return;
+    std::sort(list->begin(), list->end(), [](const Block& a, const Block& b) {
+      double ca = a.plan->cost / std::max(1.0, a.covered_cells);
+      double cb = b.plan->cost / std::max(1.0, b.covered_cells);
+      return ca < cb;
+    });
+    size_t original = list->size();
+    for (size_t start = 0; start < original && start < 4; ++start) {
+      Block acc = grow_cover(*list, start);
+      if (acc.covered_cells > (*list)[start].covered_cells) {
+        list->push_back(std::move(acc));
+      }
+    }
+    prune_subset(list);
+  };
+
+  for (auto& [mask, list] : blocks) close_under_union(&list);
+
+  for (int size = 2; size <= static_cast<int>(n); ++size) {
+    for (uint32_t s = 1; s <= full; ++s) {
+      if (__builtin_popcount(s) != size) continue;
+      std::vector<Block>& out_list = blocks[s];
+      for (int pass = 0; pass < 2; ++pass) {
+        bool require_connected = (pass == 0);
+        bool produced = false;
+        for (uint32_t sub = (s - 1) & s; sub > 0; sub = (sub - 1) & s) {
+          uint32_t rest = s ^ sub;
+          if (sub > rest) continue;
+          auto left_it = blocks.find(sub);
+          auto right_it = blocks.find(rest);
+          if (left_it == blocks.end() || right_it == blocks.end()) continue;
+          for (const Block& a : left_it->second) {
+            for (const Block& b : right_it->second) {
+              ++stats_.joins_considered;
+              auto joined = JoinBlocks(a, b, require_connected);
+              if (joined.has_value()) {
+                produced = true;
+                out_list.push_back(std::move(*joined));
+              }
+            }
+          }
+        }
+        if (produced || !out_list.empty()) break;
+      }
+      close_under_union(&out_list);
+      prune_subset(&out_list);
+    }
+    // IDP-M(k,m) on the buyer side: prune subset lists at level k.
+    if (options_.idp.enabled() && size == options_.idp.k &&
+        size < static_cast<int>(n)) {
+      std::vector<std::pair<double, uint32_t>> level;
+      for (const auto& [mask, list] : blocks) {
+        if (__builtin_popcount(mask) != options_.idp.k || list.empty()) {
+          continue;
+        }
+        double best = list.front().plan->cost;
+        for (const auto& blk : list) best = std::min(best, blk.plan->cost);
+        level.emplace_back(best, mask);
+      }
+      if (static_cast<int>(level.size()) > options_.idp.m) {
+        std::sort(level.begin(), level.end());
+        for (size_t i = options_.idp.m; i < level.size(); ++i) {
+          blocks.erase(level[i].second);
+        }
+      }
+    }
+  }
+
+  // Full-coverage core blocks -> compensated candidates.
+  auto full_it = blocks.find(full);
+  if (full_it != blocks.end()) {
+    std::vector<Block*> fulls;
+    for (auto& blk : full_it->second) {
+      if (blk.full()) fulls.push_back(&blk);
+    }
+    std::sort(fulls.begin(), fulls.end(), [](const Block* a, const Block* b) {
+      return a->plan->cost < b->plan->cost;
+    });
+    size_t take = std::min<size_t>(fulls.size(), 2);
+    for (size_t i = 0; i < take; ++i) {
+      CandidatePlan candidate;
+      candidate.plan = Compensate(fulls[i]->plan);
+      candidate.cost = candidate.plan->cost;
+      candidate.offer_ids.assign(fulls[i]->offer_ids.begin(),
+                                 fulls[i]->offer_ids.end());
+      candidates.push_back(std::move(candidate));
+    }
+  }
+
+  std::sort(candidates.begin(), candidates.end(),
+            [](const CandidatePlan& a, const CandidatePlan& b) {
+              return a.cost < b.cost;
+            });
+  if (candidates.size() > options_.max_candidates) {
+    candidates.resize(options_.max_candidates);
+  }
+  return candidates;
+}
+
+}  // namespace qtrade

@@ -1,0 +1,144 @@
+// Buyer-side plan generation (paper §3.6): combine purchased query-answers
+// (offers) into executable plans for the original query — an instance of
+// answering queries using views.
+//
+// Coverage accounting: each offer covers a *rectangle* of fragment
+// combinations (per-alias partition sets; joint coverage is their cross
+// product). Blocks built by the assembler carry a pairwise-disjoint list
+// of rectangles, so "complete" is exactly "sum of rectangle cell counts ==
+// cells of the feasible box". UNION ALL is only applied to disjoint
+// blocks, which keeps bag semantics correct under replication; overlap
+// resolution is the job of the §3.7 buyer predicates analyser, which asks
+// for disjoint sub-queries in the next trading iteration.
+//
+// Both the exact DP and the IDP-M(k,m) variant referenced by the paper
+// are provided.
+#ifndef QTRADE_OPT_PLAN_ASSEMBLER_H_
+#define QTRADE_OPT_PLAN_ASSEMBLER_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "opt/local_optimizer.h"
+#include "opt/offer.h"
+#include "plan/plan_factory.h"
+#include "util/status.h"
+
+namespace qtrade {
+
+struct AssemblerOptions {
+  /// §3.1 "administrator-defined weighting aggregation function": the
+  /// buyer-side value of an offer. Remote leaves are priced by this
+  /// score, so non-time dimensions (staleness, incompleteness, money)
+  /// steer plan choice. Default weights = total time only.
+  OfferValuation valuation;
+  /// IDP-M(k,m) pruning of the coverage DP ({0,0} = exact).
+  IdpParams idp;
+  /// Blocks retained per alias subset (cheapest full + best partials).
+  size_t max_blocks_per_subset = 12;
+  /// Candidate plans returned, best first.
+  size_t max_candidates = 4;
+  /// Consider assembling from partial-aggregate offers.
+  bool allow_partial_aggregates = true;
+};
+
+/// A candidate execution plan plus provenance for the §3.7 analyser.
+struct CandidatePlan {
+  PlanPtr plan;
+  double cost = 0;
+  std::vector<std::string> offer_ids;  // remotes purchased by this plan
+};
+
+/// Statistics of one Assemble() call (reported by the experiments).
+struct AssemblerStats {
+  int blocks_created = 0;
+  int joins_considered = 0;
+  int unions_considered = 0;
+};
+
+class PlanAssembler {
+ public:
+  PlanAssembler(const sql::BoundQuery* query,
+                const FederationSchema* federation,
+                const PlanFactory* factory, AssemblerOptions options = {});
+
+  /// Builds candidate plans from `offers`. Offers with unknown aliases or
+  /// empty effective coverage are ignored. Returns an empty vector when
+  /// no combination covers the query (the paper's abort condition for the
+  /// first iteration).
+  Result<std::vector<CandidatePlan>> Assemble(
+      const std::vector<Offer>& offers);
+
+  const AssemblerStats& stats() const { return stats_; }
+
+  /// Number of feasible partitions of alias `i` (after pruning partitions
+  /// contradicting the query's own predicates).
+  int FeasiblePartitionCount(int alias_index) const;
+
+ private:
+  struct Rect {
+    std::vector<uint32_t> masks;  // one per alias index, in query order
+    double Cells(const std::vector<int>& alias_order) const;
+  };
+
+  struct Block {
+    uint32_t alias_mask = 0;
+    std::vector<Rect> rects;  // pairwise disjoint
+    double covered_cells = 0;
+    double total_cells = 0;   // cells of the feasible sub-box for alias_mask
+    PlanPtr plan;
+    double rows = 0;
+    std::set<std::string> offer_ids;
+
+    bool full() const { return covered_cells >= total_cells - 0.5; }
+  };
+
+  int AliasIndex(const std::string& alias) const;
+  double BoxCells(uint32_t alias_mask) const;
+  bool RectsDisjoint(const Rect& a, const Rect& b, uint32_t alias_mask) const;
+  bool BlocksDisjoint(const Block& a, const Block& b) const;
+
+  /// Offer -> seed block (clipped to the feasible box); nullopt when the
+  /// offer covers nothing useful.
+  std::optional<Block> SeedBlock(const Offer& offer) const;
+
+  std::optional<Block> JoinBlocks(const Block& a, const Block& b,
+                                  bool require_connected) const;
+  Block UnionBlocks(const Block& a, const Block& b) const;
+
+  /// When `b` overlaps `acc`, derives a disjoint under-approximation by
+  /// restricting one alias dimension of `b` to the partitions `acc` does
+  /// not touch, realized as a partition-restriction Filter on top of
+  /// `b`'s plan. Requires the partitioning column in `b`'s schema (the
+  /// offer generator ships it for partial-coverage offers); returns
+  /// nullopt when no dimension yields new cells or the column is absent.
+  std::optional<Block> ClipAgainst(const Block& acc, const Block& b) const;
+
+  /// Applies projection/aggregation/distinct/order/limit compensation on
+  /// a full core block.
+  PlanPtr Compensate(PlanPtr input) const;
+
+  /// Builds the re-aggregation plan over disjoint partial-aggregate
+  /// offers; nullopt when they cannot cover the box.
+  std::optional<CandidatePlan> AssemblePartialAggregates(
+      const std::vector<const Offer*>& partials) const;
+
+  const sql::BoundQuery* query_;
+  const FederationSchema* federation_;
+  const PlanFactory* factory_;
+  AssemblerOptions options_;
+
+  std::vector<std::string> alias_order_;           // query alias per index
+  std::map<std::string, int> alias_index_;
+  std::vector<std::map<std::string, int>> partition_bit_;  // per alias
+  std::vector<int> feasible_counts_;               // per alias
+  AssemblerStats stats_;
+};
+
+}  // namespace qtrade
+
+#endif  // QTRADE_OPT_PLAN_ASSEMBLER_H_

@@ -1,0 +1,68 @@
+#include "plan/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qtrade {
+
+namespace {
+double Log2Ceil(double n) { return n <= 2 ? 1.0 : std::log2(n); }
+}  // namespace
+
+double CostModel::ScanCost(double rows, double row_bytes,
+                           int num_predicates) const {
+  rows = std::max(0.0, rows);
+  double pages = std::ceil(rows * row_bytes / p_.page_bytes);
+  return pages * p_.io_page_ms + rows * p_.cpu_tuple_ms +
+         rows * num_predicates * p_.cpu_predicate_ms;
+}
+
+double CostModel::FilterCost(double rows, int num_predicates) const {
+  return std::max(0.0, rows) * num_predicates * p_.cpu_predicate_ms;
+}
+
+double CostModel::ProjectCost(double rows) const {
+  return std::max(0.0, rows) * p_.cpu_tuple_ms;
+}
+
+double CostModel::HashJoinCost(double build_rows, double probe_rows,
+                               double output_rows) const {
+  return std::max(0.0, build_rows) * p_.hash_build_ms +
+         std::max(0.0, probe_rows) * p_.hash_probe_ms +
+         std::max(0.0, output_rows) * p_.cpu_tuple_ms;
+}
+
+double CostModel::NlJoinCost(double outer_rows, double inner_rows) const {
+  return std::max(0.0, outer_rows) * std::max(1.0, inner_rows) *
+         p_.cpu_predicate_ms;
+}
+
+double CostModel::SortCost(double rows) const {
+  rows = std::max(0.0, rows);
+  return rows * Log2Ceil(rows) * p_.sort_tuple_ms;
+}
+
+double CostModel::AggregateCost(double rows, double groups) const {
+  return std::max(0.0, rows) * p_.agg_tuple_ms +
+         std::max(0.0, groups) * p_.cpu_tuple_ms;
+}
+
+double CostModel::UnionCost(double total_rows) const {
+  return std::max(0.0, total_rows) * p_.cpu_tuple_ms;
+}
+
+double CostModel::DedupCost(double rows) const {
+  return std::max(0.0, rows) * p_.hash_build_ms;
+}
+
+double CostModel::TransferCost(double rows, double row_bytes) const {
+  double bytes = std::max(0.0, rows) * row_bytes + p_.msg_overhead_bytes;
+  return 2 * p_.net_latency_ms + bytes * p_.net_byte_ms;
+}
+
+double CostModel::MessageCost(double payload_bytes) const {
+  return p_.net_latency_ms +
+         (payload_bytes + p_.msg_overhead_bytes) * p_.net_byte_ms;
+}
+
+}  // namespace qtrade

@@ -1,0 +1,82 @@
+// Cost model shared by every optimizer in the repository (seller local DP,
+// buyer plan assembler, traditional-optimizer baselines), so that all plans
+// are priced in the same unit. The unit is estimated elapsed milliseconds,
+// matching the paper's choice of "cost = time to deliver the answer".
+#ifndef QTRADE_PLAN_COST_MODEL_H_
+#define QTRADE_PLAN_COST_MODEL_H_
+
+#include <cstdint>
+
+namespace qtrade {
+
+/// Calibration constants. Defaults model a commodity node on a WAN, chosen
+/// so that network transfer dominates I/O which dominates CPU — the regime
+/// the paper's federation lives in.
+struct CostParams {
+  // CPU.
+  double cpu_tuple_ms = 0.0002;       // touching one tuple
+  double cpu_predicate_ms = 0.0001;   // evaluating one predicate on a tuple
+  double hash_build_ms = 0.0006;      // inserting a tuple into a hash table
+  double hash_probe_ms = 0.0003;      // probing a hash table
+  double sort_tuple_ms = 0.0004;      // per tuple per log2(n) comparison level
+  double agg_tuple_ms = 0.0005;       // per input tuple of an aggregation
+  // I/O.
+  double io_page_ms = 0.08;           // sequential page read
+  double page_bytes = 8192.0;
+  // Network (WAN defaults).
+  double net_latency_ms = 40.0;       // per message one-way
+  double net_byte_ms = 0.00012;       // per payload byte (~8 MB/s)
+  double msg_overhead_bytes = 256.0;  // envelope per message
+};
+
+/// Prices individual physical operators. Stateless aside from parameters.
+class CostModel {
+ public:
+  CostModel() = default;
+  explicit CostModel(const CostParams& params) : p_(params) {}
+
+  const CostParams& params() const { return p_; }
+
+  /// Sequential scan of a fragment of `rows` rows with `row_bytes` each,
+  /// evaluating `num_predicates` on every row.
+  double ScanCost(double rows, double row_bytes, int num_predicates) const;
+
+  /// Filtering `rows` input rows with `num_predicates` conjuncts.
+  double FilterCost(double rows, int num_predicates) const;
+
+  /// Per-row projection / expression evaluation.
+  double ProjectCost(double rows) const;
+
+  /// Hash join: build on the smaller side, probe with the larger.
+  double HashJoinCost(double build_rows, double probe_rows,
+                      double output_rows) const;
+
+  /// Nested-loop join (used for non-equi join predicates).
+  double NlJoinCost(double outer_rows, double inner_rows) const;
+
+  /// In-memory sort.
+  double SortCost(double rows) const;
+
+  /// Hash aggregation of `rows` inputs into `groups` groups.
+  double AggregateCost(double rows, double groups) const;
+
+  /// Concatenation of union branches.
+  double UnionCost(double total_rows) const;
+
+  /// Duplicate elimination via hashing.
+  double DedupCost(double rows) const;
+
+  /// Shipping `rows` rows of `row_bytes` each over the network as one
+  /// logical transfer (one request + streamed response).
+  double TransferCost(double rows, double row_bytes) const;
+
+  /// Cost of one control message carrying `payload_bytes`.
+  double MessageCost(double payload_bytes) const;
+
+ private:
+  CostParams p_;
+};
+
+}  // namespace qtrade
+
+#endif  // QTRADE_PLAN_COST_MODEL_H_

@@ -1,0 +1,119 @@
+#include "plan/plan.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace qtrade {
+
+const char* PlanKindName(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kScan: return "Scan";
+    case PlanKind::kFilter: return "Filter";
+    case PlanKind::kProject: return "Project";
+    case PlanKind::kHashJoin: return "HashJoin";
+    case PlanKind::kNlJoin: return "NLJoin";
+    case PlanKind::kHashAggregate: return "HashAggregate";
+    case PlanKind::kSort: return "Sort";
+    case PlanKind::kUnionAll: return "UnionAll";
+    case PlanKind::kDedup: return "Dedup";
+    case PlanKind::kLimit: return "Limit";
+    case PlanKind::kRemote: return "Remote";
+  }
+  return "?";
+}
+
+namespace {
+
+void ExplainRec(const PlanNode& node, int depth, std::ostringstream& out) {
+  for (int i = 0; i < depth; ++i) out << "  ";
+  out << PlanKindName(node.kind);
+  switch (node.kind) {
+    case PlanKind::kScan:
+      out << " " << node.table;
+      if (!node.alias.empty() && node.alias != node.table) {
+        out << " AS " << node.alias;
+      }
+      out << " [" << Join(node.partition_ids, ",") << "]";
+      if (node.filter) out << " filter=(" << sql::ToSql(node.filter) << ")";
+      break;
+    case PlanKind::kFilter:
+      out << " (" << sql::ToSql(node.filter) << ")";
+      break;
+    case PlanKind::kHashJoin:
+    case PlanKind::kNlJoin: {
+      std::vector<std::string> keys;
+      for (const auto& [l, r] : node.join_keys) {
+        keys.push_back(l.FullName() + "=" + r.FullName());
+      }
+      if (!keys.empty()) out << " on " << Join(keys, " AND ");
+      if (node.filter) out << " residual=(" << sql::ToSql(node.filter) << ")";
+      break;
+    }
+    case PlanKind::kHashAggregate: {
+      std::vector<std::string> groups;
+      for (const auto& g : node.group_by) groups.push_back(g.FullName());
+      if (!groups.empty()) out << " by " << Join(groups, ", ");
+      break;
+    }
+    case PlanKind::kSort: {
+      std::vector<std::string> keys;
+      for (const auto& k : node.sort_keys) {
+        keys.push_back(sql::ToSql(k.expr) + (k.ascending ? "" : " DESC"));
+      }
+      out << " by " << Join(keys, ", ");
+      break;
+    }
+    case PlanKind::kLimit:
+      out << " " << node.limit;
+      break;
+    case PlanKind::kRemote:
+      out << " @" << node.remote_node << " (" << node.remote_sql << ")";
+      break;
+    default:
+      break;
+  }
+  out << "  [rows=" << std::fixed << std::setprecision(0) << node.rows
+      << " cost=" << std::setprecision(2) << node.cost << "ms]";
+  out << "\n";
+  for (const auto& child : node.children) {
+    ExplainRec(*child, depth + 1, out);
+  }
+}
+
+void CollectRemotesRec(const PlanNode& node,
+                       std::vector<const PlanNode*>* out) {
+  if (node.kind == PlanKind::kRemote) out->push_back(&node);
+  for (const auto& child : node.children) CollectRemotesRec(*child, out);
+}
+
+}  // namespace
+
+std::string Explain(const PlanPtr& plan) {
+  if (!plan) return "(no plan)\n";
+  std::ostringstream out;
+  ExplainRec(*plan, 0, out);
+  return out.str();
+}
+
+double TotalRemoteCost(const PlanPtr& plan) {
+  double acc = 0;
+  for (const PlanNode* remote : CollectRemotes(plan)) acc += remote->cost;
+  return acc;
+}
+
+std::vector<const PlanNode*> CollectRemotes(const PlanPtr& plan) {
+  std::vector<const PlanNode*> out;
+  if (plan) CollectRemotesRec(*plan, &out);
+  return out;
+}
+
+int PlanSize(const PlanPtr& plan) {
+  if (!plan) return 0;
+  int n = 1;
+  for (const auto& child : plan->children) n += PlanSize(child);
+  return n;
+}
+
+}  // namespace qtrade

@@ -1,0 +1,94 @@
+// Physical execution plans. A plan is an immutable tree of PlanNodes; each
+// node carries its output schema, estimated output rows and cumulative
+// estimated cost (in the CostModel's millisecond unit).
+//
+// The distributed flavour of the paper shows up in the kRemote node: a leaf
+// that stands for "the answer of this SQL query, purchased from that node
+// at the quoted cost" — exactly the query-answer commodity of §3.1.
+#ifndef QTRADE_PLAN_PLAN_H_
+#define QTRADE_PLAN_PLAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sql/analyzer.h"
+#include "sql/ast.h"
+#include "types/row.h"
+
+namespace qtrade {
+
+enum class PlanKind {
+  kScan,       // local fragment scan (union of hosted partitions) + filter
+  kFilter,     // residual predicate
+  kProject,    // expression projection (no aggregates)
+  kHashJoin,   // equi-join
+  kNlJoin,     // join with arbitrary predicate
+  kHashAggregate,  // grouped or scalar aggregation
+  kSort,       // order by
+  kUnionAll,   // bag concatenation
+  kDedup,      // duplicate elimination over all columns
+  kLimit,      // first-n
+  kRemote,     // purchased query-answer delivered by a remote node
+};
+
+const char* PlanKindName(PlanKind kind);
+
+struct PlanNode;
+using PlanPtr = std::shared_ptr<const PlanNode>;
+
+/// One node of a physical plan. Field groups are meaningful per kind; use
+/// PlanFactory to construct nodes with consistent estimates.
+struct PlanNode {
+  PlanKind kind = PlanKind::kScan;
+  std::vector<PlanPtr> children;
+
+  TupleSchema schema;      // output schema
+  double rows = 0;         // estimated output rows
+  double row_bytes = 64;   // estimated bytes per output row
+  double cost = 0;         // cumulative estimated cost (ms)
+
+  // kScan.
+  std::string table;
+  std::string alias;
+  std::vector<std::string> partition_ids;  // hosted fragments to union
+  sql::ExprPtr filter;                     // also used by kFilter
+
+  // kProject / kHashAggregate.
+  std::vector<sql::BoundOutput> outputs;
+  std::vector<sql::BoundColumn> group_by;  // empty = scalar aggregation
+  sql::ExprPtr having;
+
+  // kHashJoin / kNlJoin. Keys pair (left, right) columns; `filter` holds
+  // any residual predicate evaluated on joined rows.
+  std::vector<std::pair<sql::BoundColumn, sql::BoundColumn>> join_keys;
+
+  // kSort.
+  std::vector<sql::OrderItem> sort_keys;
+
+  // kLimit.
+  int64_t limit = 0;
+
+  // kRemote.
+  std::string remote_node;  // seller delivering the answer
+  std::string remote_sql;   // the purchased query, as shipped
+  std::string offer_id;     // provenance: which trading offer this buys
+};
+
+/// Pretty-printed operator tree with row/cost annotations.
+std::string Explain(const PlanPtr& plan);
+
+/// Sum of quoted costs of all kRemote leaves (what the buyer "pays").
+double TotalRemoteCost(const PlanPtr& plan);
+
+/// All kRemote nodes in the tree, in preorder.
+std::vector<const PlanNode*> CollectRemotes(const PlanPtr& plan);
+
+/// Number of nodes in the tree.
+int PlanSize(const PlanPtr& plan);
+
+}  // namespace qtrade
+
+#endif  // QTRADE_PLAN_PLAN_H_

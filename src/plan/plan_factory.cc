@@ -1,0 +1,211 @@
+#include "plan/plan_factory.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace qtrade {
+
+double EstimateRowBytes(const TupleSchema& schema) {
+  double bytes = 8;  // per-tuple overhead
+  for (const auto& col : schema.columns()) {
+    switch (col.type) {
+      case TypeKind::kInt64:
+      case TypeKind::kDouble:
+        bytes += 8;
+        break;
+      case TypeKind::kBool:
+        bytes += 1;
+        break;
+      case TypeKind::kString:
+        bytes += 24;
+        break;
+    }
+  }
+  return bytes;
+}
+
+namespace {
+
+std::shared_ptr<PlanNode> Make(PlanKind kind, std::vector<PlanPtr> children) {
+  auto node = std::make_shared<PlanNode>();
+  node->kind = kind;
+  node->children = std::move(children);
+  return node;
+}
+
+double ChildrenCost(const std::vector<PlanPtr>& children) {
+  double acc = 0;
+  for (const auto& c : children) acc += c->cost;
+  return acc;
+}
+
+int CountConjuncts(const sql::ExprPtr& pred) {
+  return pred ? static_cast<int>(sql::SplitConjuncts(pred).size()) : 0;
+}
+
+TupleSchema SchemaFromOutputs(const std::vector<sql::BoundOutput>& outputs) {
+  TupleSchema schema;
+  for (const auto& out : outputs) {
+    TupleColumn col;
+    col.name = out.name;
+    col.type = out.type;
+    if (out.expr && out.expr->kind == sql::ExprKind::kColumnRef) {
+      col.qualifier = out.expr->qualifier;
+    }
+    schema.AddColumn(std::move(col));
+  }
+  return schema;
+}
+
+}  // namespace
+
+PlanPtr PlanFactory::Scan(const std::string& table, const std::string& alias,
+                          TupleSchema schema,
+                          std::vector<std::string> partition_ids,
+                          sql::ExprPtr filter, double fragment_rows,
+                          double out_rows, double row_bytes) const {
+  auto node = Make(PlanKind::kScan, {});
+  node->table = table;
+  node->alias = alias;
+  node->schema = std::move(schema);
+  node->partition_ids = std::move(partition_ids);
+  node->filter = std::move(filter);
+  node->rows = out_rows;
+  node->row_bytes = row_bytes;
+  node->cost =
+      cost_->ScanCost(fragment_rows, row_bytes, CountConjuncts(node->filter));
+  return node;
+}
+
+PlanPtr PlanFactory::Filter(PlanPtr child, sql::ExprPtr predicate,
+                            double out_rows) const {
+  assert(child);
+  auto node = Make(PlanKind::kFilter, {child});
+  node->schema = child->schema;
+  node->filter = std::move(predicate);
+  node->rows = out_rows;
+  node->row_bytes = child->row_bytes;
+  node->cost = child->cost +
+               cost_->FilterCost(child->rows, CountConjuncts(node->filter));
+  return node;
+}
+
+PlanPtr PlanFactory::Project(PlanPtr child,
+                             std::vector<sql::BoundOutput> outputs) const {
+  assert(child);
+  auto node = Make(PlanKind::kProject, {child});
+  node->schema = SchemaFromOutputs(outputs);
+  node->outputs = std::move(outputs);
+  node->rows = child->rows;
+  node->row_bytes = EstimateRowBytes(node->schema);
+  node->cost = child->cost + cost_->ProjectCost(child->rows);
+  return node;
+}
+
+PlanPtr PlanFactory::HashJoin(
+    PlanPtr left, PlanPtr right,
+    std::vector<std::pair<sql::BoundColumn, sql::BoundColumn>> keys,
+    sql::ExprPtr residual, double out_rows) const {
+  assert(left && right);
+  auto node = Make(PlanKind::kHashJoin, {left, right});
+  node->schema = TupleSchema::Concat(left->schema, right->schema);
+  node->join_keys = std::move(keys);
+  node->filter = std::move(residual);
+  node->rows = out_rows;
+  node->row_bytes = left->row_bytes + right->row_bytes;
+  // Build on the right child (optimizers put the smaller input right).
+  node->cost = left->cost + right->cost +
+               cost_->HashJoinCost(right->rows, left->rows, out_rows);
+  return node;
+}
+
+PlanPtr PlanFactory::NlJoin(PlanPtr left, PlanPtr right, sql::ExprPtr predicate,
+                            double out_rows) const {
+  assert(left && right);
+  auto node = Make(PlanKind::kNlJoin, {left, right});
+  node->schema = TupleSchema::Concat(left->schema, right->schema);
+  node->filter = std::move(predicate);
+  node->rows = out_rows;
+  node->row_bytes = left->row_bytes + right->row_bytes;
+  node->cost =
+      left->cost + right->cost + cost_->NlJoinCost(left->rows, right->rows);
+  return node;
+}
+
+PlanPtr PlanFactory::Aggregate(PlanPtr child,
+                               std::vector<sql::BoundOutput> outputs,
+                               std::vector<sql::BoundColumn> group_by,
+                               sql::ExprPtr having, double out_groups) const {
+  assert(child);
+  auto node = Make(PlanKind::kHashAggregate, {child});
+  node->schema = SchemaFromOutputs(outputs);
+  node->outputs = std::move(outputs);
+  node->group_by = std::move(group_by);
+  node->having = std::move(having);
+  node->rows = std::max(node->group_by.empty() ? 1.0 : 0.0, out_groups);
+  node->row_bytes = EstimateRowBytes(node->schema);
+  node->cost = child->cost + cost_->AggregateCost(child->rows, node->rows);
+  return node;
+}
+
+PlanPtr PlanFactory::Sort(PlanPtr child,
+                          std::vector<sql::OrderItem> keys) const {
+  assert(child);
+  auto node = Make(PlanKind::kSort, {child});
+  node->schema = child->schema;
+  node->sort_keys = std::move(keys);
+  node->rows = child->rows;
+  node->row_bytes = child->row_bytes;
+  node->cost = child->cost + cost_->SortCost(child->rows);
+  return node;
+}
+
+PlanPtr PlanFactory::UnionAll(std::vector<PlanPtr> children) const {
+  assert(!children.empty());
+  auto node = Make(PlanKind::kUnionAll, std::move(children));
+  node->schema = node->children.front()->schema;
+  double rows = 0;
+  for (const auto& c : node->children) rows += c->rows;
+  node->rows = rows;
+  node->row_bytes = node->children.front()->row_bytes;
+  node->cost = ChildrenCost(node->children) + cost_->UnionCost(rows);
+  return node;
+}
+
+PlanPtr PlanFactory::Dedup(PlanPtr child, double out_rows) const {
+  assert(child);
+  auto node = Make(PlanKind::kDedup, {child});
+  node->schema = child->schema;
+  node->rows = out_rows;
+  node->row_bytes = child->row_bytes;
+  node->cost = child->cost + cost_->DedupCost(child->rows);
+  return node;
+}
+
+PlanPtr PlanFactory::Limit(PlanPtr child, int64_t n) const {
+  assert(child);
+  auto node = Make(PlanKind::kLimit, {child});
+  node->schema = child->schema;
+  node->limit = n;
+  node->rows = std::min<double>(child->rows, static_cast<double>(n));
+  node->row_bytes = child->row_bytes;
+  node->cost = child->cost;  // pass-through; upstream stops early
+  return node;
+}
+
+PlanPtr PlanFactory::Remote(const std::string& node_name,
+                            const std::string& sql_text, TupleSchema schema,
+                            double rows, double row_bytes, double quoted_cost,
+                            const std::string& offer_id) const {
+  auto node = Make(PlanKind::kRemote, {});
+  node->remote_node = node_name;
+  node->remote_sql = sql_text;
+  node->schema = std::move(schema);
+  node->rows = rows;
+  node->row_bytes = row_bytes;
+  node->cost = quoted_cost;
+  node->offer_id = offer_id;
+  return node;
+}
+
+}  // namespace qtrade

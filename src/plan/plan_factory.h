@@ -1,0 +1,80 @@
+// Builders that construct PlanNodes with schema, row and cost estimates
+// filled in consistently. All optimizers (seller DP, buyer assembler,
+// baselines) go through this factory so their plans are comparable.
+//
+// Cost is cumulative work: sum of children costs plus this operator's own
+// cost. This models the paper's single valuation number per plan; the
+// trading layer may additionally rank offers by other properties.
+#ifndef QTRADE_PLAN_PLAN_FACTORY_H_
+#define QTRADE_PLAN_PLAN_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "plan/cost_model.h"
+#include "plan/plan.h"
+
+namespace qtrade {
+
+/// Estimated average width in bytes of one tuple of `schema`.
+double EstimateRowBytes(const TupleSchema& schema);
+
+class PlanFactory {
+ public:
+  explicit PlanFactory(const CostModel* cost) : cost_(cost) {}
+
+  /// Leaf scan over the union of `partition_ids` (all hosted locally),
+  /// applying `filter`. `fragment_rows` is the size of the scanned
+  /// fragments; `out_rows` the estimate after the filter.
+  PlanPtr Scan(const std::string& table, const std::string& alias,
+               TupleSchema schema, std::vector<std::string> partition_ids,
+               sql::ExprPtr filter, double fragment_rows, double out_rows,
+               double row_bytes) const;
+
+  PlanPtr Filter(PlanPtr child, sql::ExprPtr predicate,
+                 double out_rows) const;
+
+  /// Pure projection (no aggregates in `outputs`).
+  PlanPtr Project(PlanPtr child, std::vector<sql::BoundOutput> outputs) const;
+
+  /// Equi-join; `residual` (may be null) is evaluated on joined rows.
+  PlanPtr HashJoin(
+      PlanPtr left, PlanPtr right,
+      std::vector<std::pair<sql::BoundColumn, sql::BoundColumn>> keys,
+      sql::ExprPtr residual, double out_rows) const;
+
+  /// Fallback join for non-equi predicates.
+  PlanPtr NlJoin(PlanPtr left, PlanPtr right, sql::ExprPtr predicate,
+                 double out_rows) const;
+
+  /// Grouped (or scalar, when `group_by` empty) hash aggregation.
+  PlanPtr Aggregate(PlanPtr child, std::vector<sql::BoundOutput> outputs,
+                    std::vector<sql::BoundColumn> group_by, sql::ExprPtr having,
+                    double out_groups) const;
+
+  PlanPtr Sort(PlanPtr child, std::vector<sql::OrderItem> keys) const;
+
+  /// Bag union; all children must share arity (types checked upstream).
+  PlanPtr UnionAll(std::vector<PlanPtr> children) const;
+
+  /// Duplicate elimination over all columns.
+  PlanPtr Dedup(PlanPtr child, double out_rows) const;
+
+  PlanPtr Limit(PlanPtr child, int64_t n) const;
+
+  /// Purchased query-answer: `quoted_cost` is the seller's offered total
+  /// time (execution + transfer), taken at face value by the buyer.
+  PlanPtr Remote(const std::string& node, const std::string& sql_text,
+                 TupleSchema schema, double rows, double row_bytes,
+                 double quoted_cost, const std::string& offer_id) const;
+
+  const CostModel& cost_model() const { return *cost_; }
+
+ private:
+  const CostModel* cost_;
+};
+
+}  // namespace qtrade
+
+#endif  // QTRADE_PLAN_PLAN_FACTORY_H_

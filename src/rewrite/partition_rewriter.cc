@@ -1,0 +1,255 @@
+#include "rewrite/partition_rewriter.h"
+
+#include <algorithm>
+#include <set>
+
+#include "rewrite/predicate.h"
+
+namespace qtrade {
+
+namespace {
+
+using sql::BoundColumn;
+using sql::BoundOutput;
+using sql::BoundQuery;
+using sql::ExprPtr;
+
+/// Collects every (alias, column) referenced in `expr` whose alias is in
+/// `kept`, into `needed` (as "alias\0column" keys for set semantics).
+void CollectNeeded(const ExprPtr& expr, const std::set<std::string>& kept,
+                   std::set<std::pair<std::string, std::string>>* needed) {
+  sql::ForEachColumnRef(expr, [&](const sql::Expr& ref) {
+    if (kept.count(ref.qualifier) > 0) {
+      needed->insert({ref.qualifier, ref.column});
+    }
+  });
+}
+
+}  // namespace
+
+const AliasCoverage* LocalRewrite::FindCoverage(
+    const std::string& alias) const {
+  for (const auto& c : coverage) {
+    if (c.alias == alias) return &c;
+  }
+  return nullptr;
+}
+
+sql::ExprPtr PartitionRestriction(
+    const std::vector<const PartitionDef*>& partitions,
+    const std::string& alias) {
+  // A whole-table partition means no restriction.
+  for (const PartitionDef* p : partitions) {
+    if (p->predicate == nullptr) return nullptr;
+  }
+  if (partitions.empty()) return nullptr;
+  // Collapse `col = v1 OR col = v2 ...` into `col IN (v1, v2, ...)`.
+  std::string common_column;
+  std::vector<Value> values;
+  bool in_form = true;
+  for (const PartitionDef* p : partitions) {
+    const sql::Expr& e = *p->predicate;
+    if (e.kind == sql::ExprKind::kBinary && e.bop == sql::BinaryOp::kEq &&
+        e.left->kind == sql::ExprKind::kColumnRef &&
+        e.right->kind == sql::ExprKind::kLiteral) {
+      if (common_column.empty()) common_column = e.left->column;
+      if (e.left->column != common_column) {
+        in_form = false;
+        break;
+      }
+      values.push_back(e.right->literal);
+    } else {
+      in_form = false;
+      break;
+    }
+  }
+  if (in_form) {
+    if (values.size() == 1) {
+      return sql::Eq(sql::Col(alias, common_column),
+                     sql::Lit(std::move(values[0])));
+    }
+    return sql::InList(sql::Col(alias, common_column), std::move(values));
+  }
+  // General case: OR of qualified partition predicates.
+  ExprPtr acc;
+  for (const PartitionDef* p : partitions) {
+    ExprPtr qualified = p->PredicateFor(alias);
+    acc = acc ? sql::Or(acc, qualified) : qualified;
+  }
+  return acc;
+}
+
+Result<std::optional<LocalRewrite>> RewriteForLocalPartitions(
+    const sql::BoundQuery& query, const NodeCatalog& catalog) {
+  const FederationSchema& federation = catalog.federation();
+
+  LocalRewrite rewrite;
+  std::set<std::string> kept_aliases;
+
+  // Step 1 (paper): for each referenced relation, find the locally hosted
+  // partitions whose predicate is consistent with the query's own local
+  // predicates on that relation; drop relations with no feasible fragment.
+  for (const auto& table_ref : query.tables) {
+    const TablePartitioning* partitioning =
+        federation.FindPartitioning(table_ref.table);
+    if (partitioning == nullptr) {
+      return Status::BindError("query references unknown table: " +
+                               table_ref.table);
+    }
+    std::vector<ExprPtr> local_preds = query.LocalPredicates(table_ref.alias);
+
+    AliasCoverage coverage;
+    coverage.alias = table_ref.alias;
+    coverage.table = table_ref.table;
+    std::vector<const PartitionDef*> feasible_local;
+    bool all_accounted = true;
+    for (const auto& part : partitioning->partitions) {
+      // Is this partition provably empty under the query's predicates?
+      bool infeasible = false;
+      if (part.predicate != nullptr) {
+        std::vector<ExprPtr> together = local_preds;
+        together.push_back(part.PredicateFor(table_ref.alias));
+        infeasible = ProvablyUnsatisfiable(together);
+      }
+      if (infeasible) {
+        // Contributes no rows to this query: covered for free.
+        coverage.covered_partitions.push_back(part.id);
+        continue;
+      }
+      if (catalog.HostsPartition(part.id)) {
+        coverage.covered_partitions.push_back(part.id);
+        coverage.scanned_partitions.push_back(part.id);
+        feasible_local.push_back(&part);
+      } else {
+        all_accounted = false;
+      }
+    }
+    coverage.complete = all_accounted;
+    if (feasible_local.empty()) {
+      // Node has no usable fragment of this relation: relation is dropped
+      // (non-local, per the paper's algorithm).
+      continue;
+    }
+    kept_aliases.insert(table_ref.alias);
+    rewrite.core.tables.push_back(table_ref);
+    rewrite.coverage.push_back(std::move(coverage));
+
+    // Partition restriction for this alias, skipping it when the local
+    // feasible partitions already account for every feasible partition.
+    // (Restriction only matters when foreign feasible partitions exist.)
+    const AliasCoverage& cov = rewrite.coverage.back();
+    bool needs_restriction = !cov.complete;
+    if (needs_restriction) {
+      ExprPtr restriction =
+          PartitionRestriction(feasible_local, table_ref.alias);
+      if (restriction != nullptr) {
+        // Keep only if not already implied by the query's own predicates.
+        if (!ProvablyImplies(local_preds, restriction)) {
+          sql::Conjunct conj;
+          conj.expr = restriction;
+          conj.aliases = {table_ref.alias};
+          conj.kind = sql::ConjunctKind::kLocal;
+          rewrite.core.conjuncts.push_back(std::move(conj));
+        }
+      }
+    }
+  }
+
+  if (rewrite.core.tables.empty()) return std::optional<LocalRewrite>();
+  rewrite.all_tables_kept =
+      rewrite.core.tables.size() == query.tables.size();
+
+  // Step 2: keep the conjuncts whose aliases all survived; simplify each
+  // alias's local predicate set.
+  for (const auto& conj : query.conjuncts) {
+    bool all_kept = std::all_of(
+        conj.aliases.begin(), conj.aliases.end(),
+        [&](const std::string& a) { return kept_aliases.count(a) > 0; });
+    if (all_kept) rewrite.core.conjuncts.push_back(conj);
+  }
+  {
+    // Simplification pass over the whole conjunct set (duplicates and
+    // implied restrictions vanish; contradiction means empty result —
+    // treated as "cannot contribute").
+    std::vector<ExprPtr> exprs;
+    for (const auto& c : rewrite.core.conjuncts) exprs.push_back(c.expr);
+    auto simplified = SimplifyConjuncts(std::move(exprs));
+    if (!simplified.has_value()) return std::optional<LocalRewrite>();
+    std::vector<sql::Conjunct> new_conjuncts;
+    for (const auto& e : *simplified) {
+      // Re-classify (cheap) to keep Conjunct metadata accurate.
+      sql::Conjunct conj;
+      conj.expr = e;
+      conj.aliases = sql::ReferencedQualifiers(e);
+      if (conj.aliases.size() <= 1) {
+        conj.kind = sql::ConjunctKind::kLocal;
+      } else {
+        const sql::Expr& expr = *e;
+        if (expr.kind == sql::ExprKind::kBinary &&
+            expr.bop == sql::BinaryOp::kEq &&
+            expr.left->kind == sql::ExprKind::kColumnRef &&
+            expr.right->kind == sql::ExprKind::kColumnRef) {
+          conj.kind = sql::ConjunctKind::kEquiJoin;
+          conj.left.alias = expr.left->qualifier;
+          conj.left.column = expr.left->column;
+          conj.right.alias = expr.right->qualifier;
+          conj.right.column = expr.right->column;
+        } else {
+          conj.kind = sql::ConjunctKind::kOtherJoin;
+        }
+      }
+      new_conjuncts.push_back(std::move(conj));
+    }
+    rewrite.core.conjuncts = std::move(new_conjuncts);
+  }
+
+  // Step 3: compute the columns the buyer needs from this node.
+  std::set<std::pair<std::string, std::string>> needed;
+  for (const auto& out : query.outputs) {
+    CollectNeeded(out.expr, kept_aliases, &needed);
+  }
+  for (const auto& g : query.group_by) {
+    if (kept_aliases.count(g.alias) > 0) needed.insert({g.alias, g.column});
+  }
+  CollectNeeded(query.having, kept_aliases, &needed);
+  for (const auto& o : query.order_by) {
+    CollectNeeded(o.expr, kept_aliases, &needed);
+  }
+  // Join/cross conjuncts to dropped relations stay at the buyer; their
+  // kept-side columns must be shipped.
+  for (const auto& conj : query.conjuncts) {
+    bool touches_dropped = std::any_of(
+        conj.aliases.begin(), conj.aliases.end(),
+        [&](const std::string& a) { return kept_aliases.count(a) == 0; });
+    if (touches_dropped) CollectNeeded(conj.expr, kept_aliases, &needed);
+  }
+
+  for (const auto& [alias, column] : needed) {
+    const sql::TableRef* table_ref = rewrite.core.FindTable(alias);
+    if (table_ref == nullptr) continue;
+    const TableDef* def = federation.FindTable(table_ref->table);
+    auto idx = def->FindColumn(column);
+    if (!idx.ok()) return idx.status();
+    BoundOutput out;
+    out.expr = sql::Col(alias, column);
+    out.name = column;
+    out.type = def->columns[idx.value()].type;
+    rewrite.core.outputs.push_back(std::move(out));
+  }
+  // A query like SELECT COUNT(*) over fully-local data may need no
+  // specific column; ship the first column of the first kept table so the
+  // core stays a valid query.
+  if (rewrite.core.outputs.empty()) {
+    const sql::TableRef& first = rewrite.core.tables.front();
+    const TableDef* def = federation.FindTable(first.table);
+    BoundOutput out;
+    out.expr = sql::Col(first.alias, def->columns.front().name);
+    out.name = def->columns.front().name;
+    out.type = def->columns.front().type;
+    rewrite.core.outputs.push_back(std::move(out));
+  }
+
+  return std::optional<LocalRewrite>(std::move(rewrite));
+}
+
+}  // namespace qtrade

@@ -1,0 +1,67 @@
+// Seller-side query rewriting (paper §3.4): given a query asked by a
+// buyer, remove the relations this node holds no data for and restrict
+// the remaining base-relation extents to the partitions available
+// locally, simplifying the WHERE clause in the process.
+//
+// The output is the node's *SPJ core* contribution: tables it can serve,
+// conjuncts it can apply (including the added partition restrictions),
+// and the columns it must ship so the buyer can finish the query
+// (projection outputs, grouping/aggregate inputs, and join columns to the
+// dropped relations). Aggregation/ordering are intentionally left to the
+// offer generator, which decides per-offer whether they can be pushed.
+#ifndef QTRADE_REWRITE_PARTITION_REWRITER_H_
+#define QTRADE_REWRITE_PARTITION_REWRITER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "sql/analyzer.h"
+#include "util/status.h"
+
+namespace qtrade {
+
+/// Which part of one base relation a rewrite covers.
+struct AliasCoverage {
+  std::string alias;
+  std::string table;
+  /// Partitions whose rows the rewrite accounts for: hosted-and-feasible
+  /// partitions plus partitions that are provably empty under the query's
+  /// own predicates. This is what the buyer may mark as covered.
+  std::vector<std::string> covered_partitions;
+  /// Hosted partitions the seller would actually scan.
+  std::vector<std::string> scanned_partitions;
+  /// True when covered_partitions spans every partition of the table.
+  bool complete = false;
+};
+
+/// Result of rewriting a query against one node's local data.
+struct LocalRewrite {
+  /// SPJ core over the kept tables: outputs are plain columns (the ones
+  /// the buyer needs), conjuncts include the partition restrictions.
+  sql::BoundQuery core;
+  std::vector<AliasCoverage> coverage;  // one entry per kept alias
+  /// True when every table of the original query was kept.
+  bool all_tables_kept = false;
+
+  const AliasCoverage* FindCoverage(const std::string& alias) const;
+};
+
+/// Applies the §3.4 algorithm. Returns nullopt when this node cannot
+/// contribute anything (hosts no feasible fragment of any referenced
+/// table). Errors indicate malformed input, not inability to contribute.
+Result<std::optional<LocalRewrite>> RewriteForLocalPartitions(
+    const sql::BoundQuery& query, const NodeCatalog& catalog);
+
+/// Builds the restriction predicate for `alias` selecting exactly
+/// `partitions` (OR of their predicates, collapsed to IN-list form when
+/// they are equalities on one column). Returns nullptr when `partitions`
+/// includes a whole-table partition.
+sql::ExprPtr PartitionRestriction(
+    const std::vector<const PartitionDef*>& partitions,
+    const std::string& alias);
+
+}  // namespace qtrade
+
+#endif  // QTRADE_REWRITE_PARTITION_REWRITER_H_

@@ -1,0 +1,405 @@
+#include "rewrite/predicate.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace qtrade {
+
+namespace {
+
+using sql::BinaryOp;
+using sql::Expr;
+using sql::ExprKind;
+using sql::ExprPtr;
+
+bool ValueIn(const Value& v, const std::vector<Value>& values) {
+  for (const auto& x : values) {
+    if (x.Compare(v) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void ColumnRestriction::IntersectEq(const Value& v) {
+  IntersectIn(std::vector<Value>{v});
+}
+
+void ColumnRestriction::IntersectIn(const std::vector<Value>& values) {
+  if (!values_.has_value()) {
+    values_ = values;
+    return;
+  }
+  std::vector<Value> kept;
+  for (const auto& v : *values_) {
+    if (ValueIn(v, values)) kept.push_back(v);
+  }
+  values_ = std::move(kept);
+}
+
+void ColumnRestriction::IntersectComparison(sql::BinaryOp op, const Value& v) {
+  switch (op) {
+    case BinaryOp::kLt:
+    case BinaryOp::kLe: {
+      bool inclusive = (op == BinaryOp::kLe);
+      if (upper_.is_null() || v.Compare(upper_) < 0 ||
+          (v.Compare(upper_) == 0 && !inclusive && upper_inclusive_)) {
+        upper_ = v;
+        upper_inclusive_ = inclusive;
+      }
+      break;
+    }
+    case BinaryOp::kGt:
+    case BinaryOp::kGe: {
+      bool inclusive = (op == BinaryOp::kGe);
+      if (lower_.is_null() || v.Compare(lower_) > 0 ||
+          (v.Compare(lower_) == 0 && !inclusive && lower_inclusive_)) {
+        lower_ = v;
+        lower_inclusive_ = inclusive;
+      }
+      break;
+    }
+    case BinaryOp::kEq:
+      IntersectEq(v);
+      break;
+    case BinaryOp::kNe:
+      ExcludeValue(v);
+      break;
+    default:
+      break;
+  }
+}
+
+void ColumnRestriction::ExcludeValue(const Value& v) {
+  if (!ValueIn(v, excluded_)) excluded_.push_back(v);
+}
+
+void ColumnRestriction::ExcludeValues(const std::vector<Value>& values) {
+  for (const auto& v : values) ExcludeValue(v);
+}
+
+bool ColumnRestriction::ValueAllowed(const Value& v) const {
+  if (ValueIn(v, excluded_)) return false;
+  if (!lower_.is_null()) {
+    int cmp = v.Compare(lower_);
+    if (cmp < 0 || (cmp == 0 && !lower_inclusive_)) return false;
+  }
+  if (!upper_.is_null()) {
+    int cmp = v.Compare(upper_);
+    if (cmp > 0 || (cmp == 0 && !upper_inclusive_)) return false;
+  }
+  return true;
+}
+
+bool ColumnRestriction::IsEmpty() const {
+  if (values_.has_value()) {
+    for (const auto& v : *values_) {
+      if (ValueAllowed(v)) return false;
+    }
+    return true;
+  }
+  if (!lower_.is_null() && !upper_.is_null()) {
+    int cmp = lower_.Compare(upper_);
+    if (cmp > 0) return true;
+    if (cmp == 0) {
+      if (!(lower_inclusive_ && upper_inclusive_)) return true;
+      // Single point; excluded?
+      return ValueIn(lower_, excluded_);
+    }
+  }
+  return false;
+}
+
+bool ColumnRestriction::IsUnconstrained() const {
+  return !values_.has_value() && lower_.is_null() && upper_.is_null() &&
+         excluded_.empty();
+}
+
+bool ColumnRestriction::Implies(const ColumnRestriction& conclusion) const {
+  // Every value allowed by *this must be allowed by `conclusion`.
+  if (conclusion.IsUnconstrained()) return true;
+  if (IsEmpty()) return true;  // vacuous
+  if (values_.has_value()) {
+    // Finite candidate set: check exhaustively.
+    for (const auto& v : *values_) {
+      if (!ValueAllowed(v)) continue;
+      if (conclusion.values_.has_value() &&
+          !ValueIn(v, *conclusion.values_)) {
+        return false;
+      }
+      if (!conclusion.ValueAllowed(v)) return false;
+    }
+    return true;
+  }
+  // Infinite (interval) premise: conclusion must not have a finite set.
+  if (conclusion.values_.has_value()) return false;
+  // Conclusion exclusions must be outside our interval.
+  for (const auto& v : conclusion.excluded_) {
+    if (ValueAllowed(v)) return false;
+  }
+  // Interval containment: [lower_, upper_] within conclusion bounds.
+  if (!conclusion.lower_.is_null()) {
+    if (lower_.is_null()) return false;
+    int cmp = lower_.Compare(conclusion.lower_);
+    if (cmp < 0) return false;
+    if (cmp == 0 && lower_inclusive_ && !conclusion.lower_inclusive_) {
+      return false;
+    }
+  }
+  if (!conclusion.upper_.is_null()) {
+    if (upper_.is_null()) return false;
+    int cmp = upper_.Compare(conclusion.upper_);
+    if (cmp > 0) return false;
+    if (cmp == 0 && upper_inclusive_ && !conclusion.upper_inclusive_) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string ColumnRestriction::ToString() const {
+  std::ostringstream out;
+  if (values_.has_value()) {
+    out << "in{";
+    for (size_t i = 0; i < values_->size(); ++i) {
+      if (i > 0) out << ",";
+      out << (*values_)[i].ToString();
+    }
+    out << "}";
+  }
+  if (!lower_.is_null()) {
+    out << (lower_inclusive_ ? " >=" : " >") << lower_.ToString();
+  }
+  if (!upper_.is_null()) {
+    out << (upper_inclusive_ ? " <=" : " <") << upper_.ToString();
+  }
+  if (!excluded_.empty()) {
+    out << " not{";
+    for (size_t i = 0; i < excluded_.size(); ++i) {
+      if (i > 0) out << ",";
+      out << excluded_[i].ToString();
+    }
+    out << "}";
+  }
+  if (IsUnconstrained()) out << "any";
+  return out.str();
+}
+
+bool RestrictionSet::Unsatisfiable() const {
+  for (const auto& [col, restriction] : columns) {
+    if (restriction.IsEmpty()) return true;
+  }
+  return false;
+}
+
+namespace {
+
+std::string ColumnKey(const Expr& ref) {
+  return ref.qualifier + "." + ref.column;
+}
+
+/// If `e` is a disjunction of positive equality/IN constraints on a single
+/// column, returns that column's key and collects the allowed values.
+bool MatchSameColumnDisjunction(const ExprPtr& e, std::string* key,
+                                std::vector<Value>* values) {
+  const Expr& expr = *e;
+  if (expr.kind == ExprKind::kBinary && expr.bop == BinaryOp::kOr) {
+    return MatchSameColumnDisjunction(expr.left, key, values) &&
+           MatchSameColumnDisjunction(expr.right, key, values);
+  }
+  if (expr.kind == ExprKind::kInList && !expr.negated &&
+      expr.left->kind == ExprKind::kColumnRef) {
+    std::string this_key = ColumnKey(*expr.left);
+    if (!key->empty() && *key != this_key) return false;
+    *key = this_key;
+    values->insert(values->end(), expr.in_values.begin(),
+                   expr.in_values.end());
+    return true;
+  }
+  if (expr.kind == ExprKind::kBinary && expr.bop == BinaryOp::kEq) {
+    const Expr* col = nullptr;
+    const Expr* lit = nullptr;
+    if (expr.left->kind == ExprKind::kColumnRef &&
+        expr.right->kind == ExprKind::kLiteral) {
+      col = expr.left.get();
+      lit = expr.right.get();
+    } else if (expr.right->kind == ExprKind::kColumnRef &&
+               expr.left->kind == ExprKind::kLiteral) {
+      col = expr.right.get();
+      lit = expr.left.get();
+    } else {
+      return false;
+    }
+    if (lit->literal.is_null()) return false;
+    std::string this_key = ColumnKey(*col);
+    if (!key->empty() && *key != this_key) return false;
+    *key = this_key;
+    values->push_back(lit->literal);
+    return true;
+  }
+  return false;
+}
+
+/// Tries to fold `e` into `set` as an atomic single-column constraint.
+/// `negate` handles NOT(...) contexts for the shapes we understand.
+/// Returns true when absorbed.
+bool AbsorbAtom(const ExprPtr& e, bool negate, RestrictionSet* set) {
+  if (!e) return true;
+  const Expr& expr = *e;
+  if (expr.kind == ExprKind::kLiteral && expr.literal.is_bool()) {
+    bool truth = expr.literal.boolean() != negate;
+    if (!truth) {
+      // Literal FALSE: poison a reserved pseudo-column.
+      ColumnRestriction& r = set->columns["..false"];
+      r.IntersectEq(Value::Int64(0));
+      r.ExcludeValue(Value::Int64(0));
+    }
+    return true;
+  }
+  if (expr.kind == ExprKind::kUnary && expr.uop == sql::UnaryOp::kNot) {
+    return AbsorbAtom(expr.left, !negate, set);
+  }
+  if (!negate && expr.kind == ExprKind::kBinary &&
+      expr.bop == BinaryOp::kOr) {
+    // `col = a OR col = b OR col IN (...)` behaves like an IN-list.
+    std::string key;
+    std::vector<Value> values;
+    if (MatchSameColumnDisjunction(e, &key, &values)) {
+      set->columns[key].IntersectIn(values);
+      return true;
+    }
+    return false;
+  }
+  if (expr.kind == ExprKind::kInList &&
+      expr.left->kind == ExprKind::kColumnRef) {
+    bool exclude = expr.negated != negate;
+    ColumnRestriction& r = set->columns[ColumnKey(*expr.left)];
+    if (exclude) {
+      r.ExcludeValues(expr.in_values);
+    } else {
+      r.IntersectIn(expr.in_values);
+    }
+    return true;
+  }
+  if (expr.kind == ExprKind::kBinary && sql::IsComparison(expr.bop)) {
+    const Expr* col = nullptr;
+    const Expr* lit = nullptr;
+    BinaryOp op = expr.bop;
+    if (expr.left->kind == ExprKind::kColumnRef &&
+        expr.right->kind == ExprKind::kLiteral) {
+      col = expr.left.get();
+      lit = expr.right.get();
+    } else if (expr.right->kind == ExprKind::kColumnRef &&
+               expr.left->kind == ExprKind::kLiteral) {
+      col = expr.right.get();
+      lit = expr.left.get();
+      op = sql::FlipComparison(op);
+    } else {
+      return false;
+    }
+    if (lit->literal.is_null()) return false;  // NULL semantics: stay opaque
+    if (negate) {
+      switch (op) {
+        case BinaryOp::kEq: op = BinaryOp::kNe; break;
+        case BinaryOp::kNe: op = BinaryOp::kEq; break;
+        case BinaryOp::kLt: op = BinaryOp::kGe; break;
+        case BinaryOp::kLe: op = BinaryOp::kGt; break;
+        case BinaryOp::kGt: op = BinaryOp::kLe; break;
+        case BinaryOp::kGe: op = BinaryOp::kLt; break;
+        default: return false;
+      }
+    }
+    set->columns[ColumnKey(*col)].IntersectComparison(op, lit->literal);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+RestrictionSet BuildRestrictions(const std::vector<sql::ExprPtr>& conjuncts) {
+  RestrictionSet set;
+  for (const auto& c : conjuncts) {
+    // Nested ANDs may appear; flatten defensively.
+    for (const auto& atom : sql::SplitConjuncts(c)) {
+      if (!AbsorbAtom(atom, /*negate=*/false, &set)) {
+        set.opaque.push_back(atom);
+      }
+    }
+  }
+  return set;
+}
+
+bool ProvablyUnsatisfiable(const std::vector<sql::ExprPtr>& conjuncts) {
+  return BuildRestrictions(conjuncts).Unsatisfiable();
+}
+
+bool ProvablyImplies(const std::vector<sql::ExprPtr>& premises,
+                     const sql::ExprPtr& conclusion) {
+  if (!conclusion) return true;
+  // Structural match against any premise conjunct.
+  for (const auto& p : premises) {
+    if (sql::ExprEquals(p, conclusion)) return true;
+  }
+  RestrictionSet premise_set = BuildRestrictions(premises);
+  if (premise_set.Unsatisfiable()) return true;  // vacuous
+  // The conclusion may itself be a conjunction; all parts must be implied.
+  for (const auto& part : sql::SplitConjuncts(conclusion)) {
+    bool matched = false;
+    for (const auto& p : premises) {
+      if (sql::ExprEquals(p, part)) {
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    RestrictionSet conclusion_set = BuildRestrictions({part});
+    if (!conclusion_set.opaque.empty()) return false;
+    for (const auto& [col, conclusion_restriction] : conclusion_set.columns) {
+      auto it = premise_set.columns.find(col);
+      if (it == premise_set.columns.end()) return false;
+      if (!it->second.Implies(conclusion_restriction)) return false;
+    }
+  }
+  return true;
+}
+
+std::optional<std::vector<sql::ExprPtr>> SimplifyConjuncts(
+    std::vector<sql::ExprPtr> conjuncts) {
+  // Flatten and drop literal TRUE.
+  std::vector<sql::ExprPtr> flat;
+  for (const auto& c : conjuncts) {
+    for (const auto& atom : sql::SplitConjuncts(c)) {
+      if (atom->kind == ExprKind::kLiteral && atom->literal.is_bool() &&
+          atom->literal.boolean()) {
+        continue;
+      }
+      flat.push_back(atom);
+    }
+  }
+  if (ProvablyUnsatisfiable(flat)) return std::nullopt;
+  // Drop exact duplicates.
+  std::vector<sql::ExprPtr> unique;
+  for (const auto& c : flat) {
+    bool dup = false;
+    for (const auto& u : unique) {
+      if (sql::ExprEquals(u, c)) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) unique.push_back(c);
+  }
+  // Drop conjuncts implied by the rest. "The rest" is the survivors so far
+  // plus the not-yet-examined tail, so a mutually-implying pair loses only
+  // one member.
+  std::vector<sql::ExprPtr> kept;
+  for (size_t i = 0; i < unique.size(); ++i) {
+    std::vector<sql::ExprPtr> others = kept;
+    others.insert(others.end(), unique.begin() + i + 1, unique.end());
+    if (!ProvablyImplies(others, unique[i])) kept.push_back(unique[i]);
+  }
+  return kept;
+}
+
+}  // namespace qtrade

@@ -1,0 +1,98 @@
+// Predicate reasoning toolkit: per-column feasible-set restrictions,
+// conservative implication and unsatisfiability tests, and conjunct
+// simplification. This is the machinery behind the paper's §3.4 seller
+// rewriting ("restrict base-relation extents to local partitions and
+// simplify the WHERE part") and the §3.5/§3.6 view-matching tests.
+//
+// All tests are conservative: "false" answers mean "could not prove",
+// never "proved false" — callers only act on "true".
+#ifndef QTRADE_REWRITE_PREDICATE_H_
+#define QTRADE_REWRITE_PREDICATE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+#include "types/value.h"
+#include "util/status.h"
+
+namespace qtrade {
+
+/// The feasible set of one column under a conjunction of atomic
+/// predicates: an optional explicit value set (from = / IN), an interval
+/// (over Value's total order, so strings work too), and excluded points
+/// (from <> / NOT IN).
+class ColumnRestriction {
+ public:
+  ColumnRestriction() = default;
+
+  void IntersectEq(const Value& v);
+  void IntersectIn(const std::vector<Value>& values);
+  void IntersectComparison(sql::BinaryOp op, const Value& v);  // <,<=,>,>=
+  void ExcludeValue(const Value& v);  // <> v / NOT IN
+  void ExcludeValues(const std::vector<Value>& values);
+
+  /// True when the feasible set is provably empty.
+  bool IsEmpty() const;
+
+  /// True when every value satisfying *this also satisfies `other`
+  /// (conservative: may return false when unsure).
+  bool ImpliedBy(const ColumnRestriction& premise) const {
+    return premise.Implies(*this);
+  }
+  bool Implies(const ColumnRestriction& conclusion) const;
+
+  /// True when no constraints have been added.
+  bool IsUnconstrained() const;
+
+  std::string ToString() const;
+
+ private:
+  bool ValueAllowed(const Value& v) const;
+
+  // Explicit candidate set (nullopt = all values).
+  std::optional<std::vector<Value>> values_;
+  // Interval bounds (null Value = unbounded on that side).
+  Value lower_;
+  bool lower_inclusive_ = true;
+  Value upper_;
+  bool upper_inclusive_ = true;
+  // Excluded points.
+  std::vector<Value> excluded_;
+};
+
+/// Per-column restrictions extracted from a conjunction. Columns are keyed
+/// by "qualifier.column". Conjuncts that are not atomic single-column
+/// constraints are collected in `opaque` and ignored by the reasoning.
+struct RestrictionSet {
+  std::map<std::string, ColumnRestriction> columns;
+  std::vector<sql::ExprPtr> opaque;
+
+  /// True when some column's feasible set is provably empty.
+  bool Unsatisfiable() const;
+};
+
+/// Builds restrictions from a list of conjuncts. Recognized atoms:
+/// col op literal (either side), col [NOT] IN (...), NOT(atom),
+/// and literal TRUE/FALSE.
+RestrictionSet BuildRestrictions(const std::vector<sql::ExprPtr>& conjuncts);
+
+/// True when `conjuncts` are provably unsatisfiable together.
+bool ProvablyUnsatisfiable(const std::vector<sql::ExprPtr>& conjuncts);
+
+/// True when the conjunction of `premises` provably implies `conclusion`.
+/// Handles atomic single-column conclusions plus exact structural matches.
+bool ProvablyImplies(const std::vector<sql::ExprPtr>& premises,
+                     const sql::ExprPtr& conclusion);
+
+/// Simplifies a conjunct list: drops duplicates and conjuncts implied by
+/// the rest, folds literal TRUE, and returns nullopt when the conjunction
+/// is provably unsatisfiable (i.e., FALSE).
+std::optional<std::vector<sql::ExprPtr>> SimplifyConjuncts(
+    std::vector<sql::ExprPtr> conjuncts);
+
+}  // namespace qtrade
+
+#endif  // QTRADE_REWRITE_PREDICATE_H_

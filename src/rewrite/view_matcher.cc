@@ -1,0 +1,385 @@
+#include "rewrite/view_matcher.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "rewrite/predicate.h"
+#include "util/strings.h"
+
+namespace qtrade {
+
+namespace {
+
+using sql::AggFunc;
+using sql::BoundColumn;
+using sql::BoundOutput;
+using sql::BoundQuery;
+using sql::Expr;
+using sql::ExprKind;
+using sql::ExprPtr;
+
+/// Maps view aliases to query aliases (same base table required).
+using AliasMap = std::map<std::string, std::string>;
+
+/// Enumerates bijections view-alias -> query-alias preserving table names.
+/// Returns all candidate mappings (small: queries rarely repeat tables).
+std::vector<AliasMap> EnumerateAliasMaps(const BoundQuery& view,
+                                         const BoundQuery& query) {
+  std::vector<AliasMap> results;
+  if (view.tables.size() != query.tables.size()) return results;
+  AliasMap current;
+  std::set<size_t> used;
+  std::function<void(size_t)> recurse = [&](size_t vi) {
+    if (vi == view.tables.size()) {
+      results.push_back(current);
+      return;
+    }
+    for (size_t qi = 0; qi < query.tables.size(); ++qi) {
+      if (used.count(qi) > 0) continue;
+      if (view.tables[vi].table != query.tables[qi].table) continue;
+      used.insert(qi);
+      current[view.tables[vi].alias] = query.tables[qi].alias;
+      recurse(vi + 1);
+      current.erase(view.tables[vi].alias);
+      used.erase(qi);
+    }
+  };
+  recurse(0);
+  return results;
+}
+
+/// Rewrites every column ref qualifier through `map` (refs must be in the
+/// view's alias space).
+ExprPtr MapAliases(const ExprPtr& expr, const AliasMap& map) {
+  return sql::RewriteColumnRefs(expr, [&](const Expr& ref) -> ExprPtr {
+    auto it = map.find(ref.qualifier);
+    if (it == map.end() || it->second == ref.qualifier) return nullptr;
+    return sql::Col(it->second, ref.column);
+  });
+}
+
+/// Key for "the view exposes base column alias.column as output <name>".
+struct ColumnAvailability {
+  // (query-space alias.column) -> view output column name
+  std::map<std::string, std::string> plain;
+  // aggregate signature -> view output column name; signature is
+  // "FUNC(alias.column)" or "COUNT(*)" in query space, DISTINCT aggs
+  // excluded (not decomposable).
+  std::map<std::string, std::string> aggregates;
+
+  const std::string* FindPlain(const std::string& alias,
+                               const std::string& column) const {
+    auto it = plain.find(alias + "." + column);
+    return it == plain.end() ? nullptr : &it->second;
+  }
+};
+
+std::string AggSignature(const Expr& agg, const AliasMap* map) {
+  std::string arg = "*";
+  if (agg.left != nullptr && agg.left->kind == ExprKind::kColumnRef) {
+    std::string alias = agg.left->qualifier;
+    if (map != nullptr) {
+      auto it = map->find(alias);
+      if (it != map->end()) alias = it->second;
+    }
+    arg = alias + "." + agg.left->column;
+  } else if (agg.left != nullptr) {
+    return "";  // complex aggregate arguments are not matched
+  }
+  return std::string(sql::AggFuncName(agg.agg)) + "(" + arg + ")";
+}
+
+ColumnAvailability BuildAvailability(const BoundQuery& view,
+                                     const AliasMap& map) {
+  ColumnAvailability avail;
+  for (const auto& out : view.outputs) {
+    const Expr& e = *out.expr;
+    if (e.kind == ExprKind::kColumnRef) {
+      auto it = map.find(e.qualifier);
+      std::string alias = it == map.end() ? e.qualifier : it->second;
+      avail.plain.emplace(alias + "." + e.column, out.name);
+    } else if (e.kind == ExprKind::kAggregate && !e.distinct) {
+      std::string sig = AggSignature(e, &map);
+      if (!sig.empty()) avail.aggregates.emplace(sig, out.name);
+    }
+  }
+  return avail;
+}
+
+/// Rewrites a query-space expression into view-extent space: every column
+/// ref alias.column becomes <view>.<output-name>. Fails (returns nullptr)
+/// when some referenced column is not exposed by the view.
+ExprPtr ToViewSpace(const ExprPtr& expr, const ColumnAvailability& avail,
+                    const std::string& view_name, bool* ok) {
+  return sql::RewriteColumnRefs(expr, [&](const Expr& ref) -> ExprPtr {
+    const std::string* name = avail.FindPlain(ref.qualifier, ref.column);
+    if (name == nullptr) {
+      *ok = false;
+      return nullptr;
+    }
+    return sql::Col(view_name, *name);
+  });
+}
+
+/// Canonical text of an equi-join conjunct, order-insensitive.
+std::string JoinKey(const BoundColumn& a, const BoundColumn& b) {
+  std::string l = a.FullName(), r = b.FullName();
+  if (r < l) std::swap(l, r);
+  return l + "=" + r;
+}
+
+struct MatchAttempt {
+  ViewMatch match;
+  bool ok = false;
+};
+
+MatchAttempt TryMatch(const MaterializedViewDef& view_def,
+                      const BoundQuery& query, const AliasMap& map) {
+  MatchAttempt attempt;
+  const BoundQuery& view = view_def.definition;
+  const std::string& view_name = view_def.name;
+
+  // --- Join predicates: require set equality of equi-joins; any other
+  // multi-table conjunct in the view must appear structurally in the query.
+  std::set<std::string> view_joins, query_joins;
+  for (const auto* j : view.JoinPredicates()) {
+    BoundColumn l = j->left, r = j->right;
+    auto it_l = map.find(l.alias);
+    auto it_r = map.find(r.alias);
+    if (it_l == map.end() || it_r == map.end()) return attempt;
+    l.alias = it_l->second;
+    r.alias = it_r->second;
+    view_joins.insert(JoinKey(l, r));
+  }
+  for (const auto* j : query.JoinPredicates()) {
+    query_joins.insert(JoinKey(j->left, j->right));
+  }
+  if (view_joins != query_joins) return attempt;
+
+  // --- Predicate containment: every view conjunct (local or otherwise,
+  // excluding the equi-joins handled above) must be implied by the query's
+  // conjuncts, so that the view's region contains the query's.
+  std::vector<ExprPtr> query_conjuncts;
+  for (const auto& c : query.conjuncts) query_conjuncts.push_back(c.expr);
+  std::vector<ExprPtr> view_conjuncts_mapped;
+  for (const auto& c : view.conjuncts) {
+    if (c.kind == sql::ConjunctKind::kEquiJoin) continue;
+    view_conjuncts_mapped.push_back(MapAliases(c.expr, map));
+  }
+  for (const auto& vc : view_conjuncts_mapped) {
+    if (!ProvablyImplies(query_conjuncts, vc)) return attempt;
+  }
+
+  // --- Residual: query conjuncts not implied by the view's conjuncts.
+  std::vector<ExprPtr> residual;
+  for (const auto& c : query.conjuncts) {
+    if (c.kind == sql::ConjunctKind::kEquiJoin) continue;  // computed by view
+    if (ProvablyImplies(view_conjuncts_mapped, c.expr)) continue;
+    residual.push_back(c.expr);
+  }
+
+  ColumnAvailability avail = BuildAvailability(view, map);
+
+  // Residual predicates must be evaluable over the view's outputs.
+  sql::SelectStmt comp;
+  comp.from.push_back({view_name, view_name});
+  {
+    std::vector<ExprPtr> residual_in_view;
+    for (const auto& r : residual) {
+      bool ok = true;
+      ExprPtr mapped = ToViewSpace(r, avail, view_name, &ok);
+      if (!ok) return attempt;
+      residual_in_view.push_back(mapped);
+    }
+    comp.where = sql::AndAll(residual_in_view);
+  }
+
+  const bool view_aggregated =
+      view.has_aggregates || !view.group_by.empty();
+  const bool query_aggregated =
+      query.has_aggregates || !query.group_by.empty();
+
+  if (view_aggregated && !query_aggregated) return attempt;  // lost detail
+
+  if (view_aggregated) {
+    // Aggregate-over-aggregate: query grouping must be coarser or equal.
+    // Every query group-by column must be a view group-by column exposed
+    // as an output; residuals may only touch group-by columns (already
+    // enforced by availability since aggregates are exposed under
+    // synthesized names distinct from base columns).
+    std::set<std::string> view_groups;  // in query space
+    for (const auto& g : view.group_by) {
+      auto it = map.find(g.alias);
+      if (it == map.end()) return attempt;
+      view_groups.insert(it->second + "." + g.column);
+    }
+    for (const auto& g : query.group_by) {
+      if (view_groups.count(g.alias + "." + g.column) == 0) return attempt;
+      if (avail.FindPlain(g.alias, g.column) == nullptr) return attempt;
+    }
+    bool same_grouping = view_groups.size() == query.group_by.size();
+
+    // Build compensation outputs.
+    bool needs_reagg = !same_grouping || comp.where != nullptr;
+    for (const auto& out : query.outputs) {
+      const Expr& e = *out.expr;
+      sql::SelectItem item;
+      item.alias = out.name;
+      if (e.kind == ExprKind::kColumnRef) {
+        const std::string* name = avail.FindPlain(e.qualifier, e.column);
+        if (name == nullptr) return attempt;
+        item.expr = sql::Col(view_name, *name);
+      } else if (e.kind == ExprKind::kAggregate && !e.distinct) {
+        std::string sig = AggSignature(e, nullptr);
+        if (sig.empty()) return attempt;
+        auto found = avail.aggregates.find(sig);
+        if (found != avail.aggregates.end()) {
+          // Same aggregate present in the view.
+          ExprPtr col = sql::Col(view_name, found->second);
+          switch (e.agg) {
+            case AggFunc::kSum:
+              item.expr = needs_reagg ? sql::Agg(AggFunc::kSum, col) : col;
+              break;
+            case AggFunc::kCount:
+              // Counts add up across merged groups.
+              item.expr = needs_reagg ? sql::Agg(AggFunc::kSum, col) : col;
+              break;
+            case AggFunc::kMin:
+              item.expr = needs_reagg ? sql::Agg(AggFunc::kMin, col) : col;
+              break;
+            case AggFunc::kMax:
+              item.expr = needs_reagg ? sql::Agg(AggFunc::kMax, col) : col;
+              break;
+            case AggFunc::kAvg:
+              // AVG of AVGs is wrong; only exact grouping can reuse it.
+              if (needs_reagg) return attempt;
+              item.expr = col;
+              break;
+          }
+        } else if (e.agg == AggFunc::kAvg) {
+          // AVG(x) = SUM(sum_x) / SUM(count).
+          std::string sum_sig = AggSignature(
+              *sql::Agg(AggFunc::kSum, e.left), nullptr);
+          auto sum_it = avail.aggregates.find(sum_sig);
+          auto cnt_it = avail.aggregates.find("COUNT(*)");
+          if (cnt_it == avail.aggregates.end()) {
+            cnt_it = avail.aggregates.find(AggSignature(
+                *sql::Agg(AggFunc::kCount, e.left), nullptr));
+          }
+          if (sum_it == avail.aggregates.end() ||
+              cnt_it == avail.aggregates.end()) {
+            return attempt;
+          }
+          ExprPtr sum_col = sql::Col(view_name, sum_it->second);
+          ExprPtr cnt_col = sql::Col(view_name, cnt_it->second);
+          if (needs_reagg) {
+            sum_col = sql::Agg(AggFunc::kSum, sum_col);
+            cnt_col = sql::Agg(AggFunc::kSum, cnt_col);
+          }
+          item.expr = sql::Binary(sql::BinaryOp::kDiv, sum_col, cnt_col);
+        } else {
+          return attempt;
+        }
+      } else {
+        return attempt;  // complex expressions over aggregates: skip
+      }
+      comp.items.push_back(std::move(item));
+    }
+    if (needs_reagg) {
+      for (const auto& g : query.group_by) {
+        const std::string* name = avail.FindPlain(g.alias, g.column);
+        comp.group_by.push_back(sql::Col(view_name, *name));
+      }
+    }
+    attempt.match.reaggregates = needs_reagg;
+    attempt.match.exact = !needs_reagg && comp.where == nullptr;
+  } else {
+    // Plain view. Query outputs (incl. aggregates over base columns) must
+    // be computable from exposed columns.
+    bool ok = true;
+    for (const auto& out : query.outputs) {
+      sql::SelectItem item;
+      item.alias = out.name;
+      item.expr = ToViewSpace(out.expr, avail, view_name, &ok);
+      if (!ok) return attempt;
+      comp.items.push_back(std::move(item));
+    }
+    if (query_aggregated) {
+      for (const auto& g : query.group_by) {
+        const std::string* name = avail.FindPlain(g.alias, g.column);
+        if (name == nullptr) return attempt;
+        comp.group_by.push_back(sql::Col(view_name, *name));
+      }
+      if (query.having) {
+        ExprPtr having = ToViewSpace(query.having, avail, view_name, &ok);
+        if (!ok) return attempt;
+        comp.having = having;
+      }
+      attempt.match.reaggregates = true;
+    }
+    attempt.match.exact =
+        !query_aggregated && comp.where == nullptr && residual.empty();
+  }
+
+  comp.distinct = query.distinct;
+  comp.limit = query.limit;
+  for (const auto& o : query.order_by) {
+    // Order keys that equal a SELECT-list expression (typical for
+    // ORDER BY <aggregate alias>) map to the already-compensated item.
+    ExprPtr mapped;
+    for (size_t i = 0; i < query.outputs.size(); ++i) {
+      if (sql::ExprEquals(query.outputs[i].expr, o.expr) &&
+          i < comp.items.size()) {
+        mapped = comp.items[i].expr;
+        break;
+      }
+    }
+    if (mapped == nullptr) {
+      bool ok = true;
+      mapped = ToViewSpace(o.expr, avail, view_name, &ok);
+      if (!ok) return attempt;  // unmappable ordering: conservative reject
+    }
+    comp.order_by.push_back({mapped, o.ascending});
+  }
+
+  attempt.match.view = &view_def;
+  attempt.match.compensation = std::move(comp);
+  attempt.ok = true;
+  return attempt;
+}
+
+}  // namespace
+
+TableDef ViewExtentSchema(const MaterializedViewDef& view) {
+  TableDef def;
+  def.name = view.name;
+  for (const auto& out : view.definition.outputs) {
+    def.columns.push_back({out.name, out.type});
+  }
+  return def;
+}
+
+std::optional<ViewMatch> MatchViewToQuery(const MaterializedViewDef& view,
+                                          const sql::BoundQuery& query) {
+  for (const AliasMap& map :
+       EnumerateAliasMaps(view.definition, query)) {
+    MatchAttempt attempt = TryMatch(view, query, map);
+    if (attempt.ok) return attempt.match;
+  }
+  return std::nullopt;
+}
+
+std::vector<ViewMatch> MatchViews(const sql::BoundQuery& query,
+                                  const NodeCatalog& catalog) {
+  std::vector<ViewMatch> matches;
+  for (const auto& view : catalog.views()) {
+    if (auto m = MatchViewToQuery(view, query)) {
+      matches.push_back(std::move(*m));
+    }
+  }
+  return matches;
+}
+
+}  // namespace qtrade

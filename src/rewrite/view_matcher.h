@@ -1,0 +1,52 @@
+// Materialized-view matching (paper §3.5): decides whether a query can be
+// answered from a node's materialized view and, if so, produces the
+// compensation query to run over the view extent. Supports the paper's
+// flagship case — an aggregation query whose grouping is coarser than the
+// view's — plus plain SPJ containment with residual predicates.
+//
+// The compensation is returned as a SelectStmt over a synthetic one-table
+// schema: table name = view name, columns = the view's output columns.
+// Sellers cost it against the view's statistics and (in the execution
+// engine) run it against the materialized extent.
+#ifndef QTRADE_REWRITE_VIEW_MATCHER_H_
+#define QTRADE_REWRITE_VIEW_MATCHER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "sql/analyzer.h"
+#include "util/status.h"
+
+namespace qtrade {
+
+/// A successful match of a query against one materialized view.
+struct ViewMatch {
+  const MaterializedViewDef* view = nullptr;
+  /// Query to evaluate over the view extent (FROM <view-name>).
+  sql::SelectStmt compensation;
+  /// True when the compensation is a bare projection (no residual filter,
+  /// no re-aggregation): the view answers the query as-is.
+  bool exact = false;
+  /// True when the compensation re-aggregates coarser groups.
+  bool reaggregates = false;
+};
+
+/// Schema of the view extent as a single synthetic table (name = view
+/// name, columns = view output columns). What compensation queries bind
+/// against.
+TableDef ViewExtentSchema(const MaterializedViewDef& view);
+
+/// Tries to answer `query` from `view`. Returns nullopt when the view
+/// provably cannot be used (conservative; false negatives allowed).
+std::optional<ViewMatch> MatchViewToQuery(const MaterializedViewDef& view,
+                                          const sql::BoundQuery& query);
+
+/// All usable views of `catalog` for `query`.
+std::vector<ViewMatch> MatchViews(const sql::BoundQuery& query,
+                                  const NodeCatalog& catalog);
+
+}  // namespace qtrade
+
+#endif  // QTRADE_REWRITE_VIEW_MATCHER_H_

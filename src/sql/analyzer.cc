@@ -1,0 +1,420 @@
+#include "sql/analyzer.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "sql/parser.h"
+#include "util/strings.h"
+
+namespace qtrade::sql {
+
+namespace {
+
+/// Binding context: alias -> table definition.
+class Scope {
+ public:
+  Scope(const std::vector<TableRef>& tables, const SchemaProvider& schemas)
+      : schemas_(schemas) {
+    for (const auto& ref : tables) {
+      aliases_.emplace_back(ToLower(ref.alias.empty() ? ref.table : ref.alias),
+                            ref.table);
+    }
+  }
+
+  Status Validate() const {
+    std::set<std::string> seen;
+    for (const auto& [alias, table] : aliases_) {
+      if (!seen.insert(alias).second) {
+        return Status::BindError("duplicate table alias: " + alias);
+      }
+      if (schemas_.FindTable(table) == nullptr) {
+        return Status::BindError("unknown table: " + table);
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Resolves (qualifier, column) to a BoundColumn.
+  Result<BoundColumn> Resolve(const std::string& qualifier,
+                              const std::string& column) const {
+    BoundColumn out;
+    int matches = 0;
+    for (const auto& [alias, table] : aliases_) {
+      if (!qualifier.empty() && alias != qualifier) continue;
+      const TableDef* def = schemas_.FindTable(table);
+      if (def == nullptr) continue;
+      auto idx = def->FindColumn(column);
+      if (!idx.ok()) continue;
+      ++matches;
+      out.alias = alias;
+      out.column = ToLower(column);
+      out.type = def->columns[idx.value()].type;
+    }
+    if (matches == 0) {
+      std::string full = qualifier.empty() ? column : qualifier + "." + column;
+      return Status::BindError("unknown column: " + full);
+    }
+    if (matches > 1) {
+      return Status::BindError("ambiguous column: " + column);
+    }
+    return out;
+  }
+
+  const std::vector<std::pair<std::string, std::string>>& aliases() const {
+    return aliases_;
+  }
+
+  const SchemaProvider& schemas() const { return schemas_; }
+
+ private:
+  const SchemaProvider& schemas_;
+  // (alias, table) in FROM order.
+  std::vector<std::pair<std::string, std::string>> aliases_;
+};
+
+/// Rewrites all column refs in `expr` to fully-qualified form.
+Result<ExprPtr> QualifyRefs(const ExprPtr& expr, const Scope& scope) {
+  Status error = Status::OK();
+  ExprPtr out = RewriteColumnRefs(expr, [&](const Expr& ref) -> ExprPtr {
+    auto bound = scope.Resolve(ref.qualifier, ref.column);
+    if (!bound.ok()) {
+      if (error.ok()) error = bound.status();
+      return nullptr;
+    }
+    if (ref.qualifier == bound->alias) return nullptr;  // already qualified
+    return Col(bound->alias, bound->column);
+  });
+  if (!error.ok()) return error;
+  return out;
+}
+
+Result<TypeKind> InferTypeImpl(const ExprPtr& expr, const Scope& scope) {
+  if (!expr) return Status::Internal("null expression in type inference");
+  switch (expr->kind) {
+    case ExprKind::kColumnRef: {
+      QTRADE_ASSIGN_OR_RETURN(BoundColumn col,
+                              scope.Resolve(expr->qualifier, expr->column));
+      return col.type;
+    }
+    case ExprKind::kLiteral: {
+      if (expr->literal.is_null()) return TypeKind::kString;  // untyped NULL
+      return expr->literal.Kind();
+    }
+    case ExprKind::kBinary: {
+      if (expr->bop == BinaryOp::kAnd || expr->bop == BinaryOp::kOr ||
+          IsComparison(expr->bop)) {
+        return TypeKind::kBool;
+      }
+      QTRADE_ASSIGN_OR_RETURN(TypeKind lt, InferTypeImpl(expr->left, scope));
+      QTRADE_ASSIGN_OR_RETURN(TypeKind rt, InferTypeImpl(expr->right, scope));
+      if (expr->bop == BinaryOp::kDiv) return TypeKind::kDouble;
+      if (lt == TypeKind::kDouble || rt == TypeKind::kDouble) {
+        return TypeKind::kDouble;
+      }
+      if (lt == TypeKind::kInt64 && rt == TypeKind::kInt64) {
+        return TypeKind::kInt64;
+      }
+      return Status::BindError("arithmetic on non-numeric operands: " +
+                               ToSql(expr));
+    }
+    case ExprKind::kUnary:
+      if (expr->uop == UnaryOp::kNot) return TypeKind::kBool;
+      return InferTypeImpl(expr->left, scope);
+    case ExprKind::kAggregate:
+      switch (expr->agg) {
+        case AggFunc::kCount:
+          return TypeKind::kInt64;
+        case AggFunc::kAvg:
+          return TypeKind::kDouble;
+        case AggFunc::kSum: {
+          QTRADE_ASSIGN_OR_RETURN(TypeKind t,
+                                  InferTypeImpl(expr->left, scope));
+          if (t != TypeKind::kInt64 && t != TypeKind::kDouble) {
+            return Status::BindError("SUM over non-numeric argument");
+          }
+          return t;
+        }
+        case AggFunc::kMin:
+        case AggFunc::kMax:
+          return InferTypeImpl(expr->left, scope);
+      }
+      return Status::Internal("unknown aggregate");
+    case ExprKind::kStar:
+      return Status::BindError("* not allowed in this context");
+    case ExprKind::kInList:
+      return TypeKind::kBool;
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+/// Collects distinct referenced aliases (refs are qualified by now).
+std::vector<std::string> AliasesOf(const ExprPtr& expr) {
+  return ReferencedQualifiers(expr);
+}
+
+/// Classifies one WHERE conjunct.
+Conjunct ClassifyConjunct(ExprPtr expr, const Scope& scope) {
+  Conjunct c;
+  c.expr = std::move(expr);
+  c.aliases = AliasesOf(c.expr);
+  if (c.aliases.size() <= 1) {
+    c.kind = ConjunctKind::kLocal;
+    return c;
+  }
+  // alias1.col = alias2.col with different aliases?
+  const Expr& e = *c.expr;
+  if (e.kind == ExprKind::kBinary && e.bop == BinaryOp::kEq &&
+      e.left->kind == ExprKind::kColumnRef &&
+      e.right->kind == ExprKind::kColumnRef &&
+      e.left->qualifier != e.right->qualifier) {
+    c.kind = ConjunctKind::kEquiJoin;
+    auto l = scope.Resolve(e.left->qualifier, e.left->column);
+    auto r = scope.Resolve(e.right->qualifier, e.right->column);
+    if (l.ok() && r.ok()) {
+      c.left = *l;
+      c.right = *r;
+      return c;
+    }
+  }
+  c.kind = ConjunctKind::kOtherJoin;
+  return c;
+}
+
+/// Derives an output column name for an expression without an alias.
+std::string DeriveName(const ExprPtr& expr, size_t index) {
+  if (expr->kind == ExprKind::kColumnRef) return expr->column;
+  if (expr->kind == ExprKind::kAggregate) {
+    std::string base = ToLower(AggFuncName(expr->agg));
+    if (expr->left && expr->left->kind == ExprKind::kColumnRef) {
+      return base + "_" + expr->left->column;
+    }
+    return base;
+  }
+  return "expr_" + std::to_string(index);
+}
+
+/// True when `expr`, outside of aggregate functions, references only
+/// columns present in `group_by`.
+bool OnlyGroupedRefs(const ExprPtr& expr,
+                     const std::vector<BoundColumn>& group_by) {
+  if (!expr) return true;
+  if (expr->kind == ExprKind::kAggregate) return true;  // inside agg is fine
+  if (expr->kind == ExprKind::kColumnRef) {
+    for (const auto& g : group_by) {
+      if (g.alias == expr->qualifier && g.column == expr->column) return true;
+    }
+    return false;
+  }
+  return OnlyGroupedRefs(expr->left, group_by) &&
+         OnlyGroupedRefs(expr->right, group_by);
+}
+
+}  // namespace
+
+TupleSchema BoundQuery::OutputSchema() const {
+  TupleSchema schema;
+  for (const auto& out : outputs) {
+    TupleColumn col;
+    col.name = out.name;
+    col.type = out.type;
+    // Single-column passthrough keeps its qualifier so joins above can
+    // still address it.
+    if (out.expr->kind == ExprKind::kColumnRef) {
+      col.qualifier = out.expr->qualifier;
+    }
+    schema.AddColumn(std::move(col));
+  }
+  return schema;
+}
+
+const TableRef* BoundQuery::FindTable(const std::string& alias) const {
+  for (const auto& t : tables) {
+    if (EqualsIgnoreCase(t.alias, alias)) return &t;
+  }
+  return nullptr;
+}
+
+SelectStmt BoundQuery::ToStmt() const {
+  SelectStmt stmt;
+  stmt.distinct = distinct;
+  stmt.limit = limit;
+  for (const auto& out : outputs) {
+    SelectItem item;
+    item.expr = out.expr;
+    // Keep explicit alias only when it differs from the bare rendering.
+    if (!(out.expr->kind == ExprKind::kColumnRef &&
+          out.expr->column == out.name)) {
+      item.alias = out.name;
+    }
+    stmt.items.push_back(std::move(item));
+  }
+  stmt.from = tables;
+  std::vector<ExprPtr> exprs;
+  exprs.reserve(conjuncts.size());
+  for (const auto& c : conjuncts) exprs.push_back(c.expr);
+  stmt.where = AndAll(exprs);
+  for (const auto& g : group_by) {
+    stmt.group_by.push_back(Col(g.alias, g.column));
+  }
+  stmt.having = having;
+  stmt.order_by = order_by;
+  return stmt;
+}
+
+std::vector<ExprPtr> BoundQuery::LocalPredicates(
+    const std::string& alias) const {
+  std::vector<ExprPtr> out;
+  for (const auto& c : conjuncts) {
+    if (c.kind != ConjunctKind::kLocal) continue;
+    if (c.aliases.empty() ||
+        (c.aliases.size() == 1 && c.aliases[0] == alias)) {
+      out.push_back(c.expr);
+    }
+  }
+  return out;
+}
+
+std::vector<const Conjunct*> BoundQuery::JoinPredicates() const {
+  std::vector<const Conjunct*> out;
+  for (const auto& c : conjuncts) {
+    if (c.kind == ConjunctKind::kEquiJoin) out.push_back(&c);
+  }
+  return out;
+}
+
+Result<BoundQuery> Analyze(const SelectStmt& stmt,
+                           const SchemaProvider& schemas) {
+  if (stmt.from.empty()) {
+    return Status::BindError("query has no FROM clause");
+  }
+  Scope scope(stmt.from, schemas);
+  QTRADE_RETURN_IF_ERROR(scope.Validate());
+
+  BoundQuery bound;
+  bound.distinct = stmt.distinct;
+  bound.limit = stmt.limit;
+  for (const auto& ref : stmt.from) {
+    TableRef norm;
+    norm.table = ToLower(ref.table);
+    norm.alias = ToLower(ref.alias.empty() ? ref.table : ref.alias);
+    bound.tables.push_back(std::move(norm));
+  }
+
+  // WHERE conjuncts.
+  if (stmt.where) {
+    if (ContainsAggregate(stmt.where)) {
+      return Status::BindError("aggregates are not allowed in WHERE");
+    }
+    QTRADE_ASSIGN_OR_RETURN(ExprPtr where, QualifyRefs(stmt.where, scope));
+    for (auto& conj : SplitConjuncts(where)) {
+      bound.conjuncts.push_back(ClassifyConjunct(std::move(conj), scope));
+    }
+  }
+
+  // GROUP BY columns must be plain column refs.
+  for (const auto& g : stmt.group_by) {
+    QTRADE_ASSIGN_OR_RETURN(ExprPtr q, QualifyRefs(g, scope));
+    if (q->kind != ExprKind::kColumnRef) {
+      return Status::Unsupported("GROUP BY supports plain columns only: " +
+                                 ToSql(q));
+    }
+    QTRADE_ASSIGN_OR_RETURN(BoundColumn col,
+                            scope.Resolve(q->qualifier, q->column));
+    bound.group_by.push_back(std::move(col));
+  }
+
+  // SELECT list with star expansion.
+  size_t index = 0;
+  for (const auto& item : stmt.items) {
+    if (item.is_star) {
+      for (const auto& [alias, table] : scope.aliases()) {
+        const TableDef* def = schemas.FindTable(table);
+        for (const auto& col : def->columns) {
+          BoundOutput out;
+          out.expr = Col(alias, col.name);
+          out.name = ToLower(col.name);
+          out.type = col.type;
+          bound.outputs.push_back(std::move(out));
+        }
+      }
+      continue;
+    }
+    BoundOutput out;
+    QTRADE_ASSIGN_OR_RETURN(out.expr, QualifyRefs(item.expr, scope));
+    out.is_aggregate = ContainsAggregate(out.expr);
+    out.name = item.alias.empty() ? DeriveName(out.expr, index)
+                                  : ToLower(item.alias);
+    QTRADE_ASSIGN_OR_RETURN(out.type, InferTypeImpl(out.expr, scope));
+    bound.outputs.push_back(std::move(out));
+    ++index;
+  }
+
+  bound.has_aggregates =
+      std::any_of(bound.outputs.begin(), bound.outputs.end(),
+                  [](const BoundOutput& o) { return o.is_aggregate; });
+
+  // HAVING.
+  if (stmt.having) {
+    QTRADE_ASSIGN_OR_RETURN(bound.having, QualifyRefs(stmt.having, scope));
+    if (!bound.has_aggregates && bound.group_by.empty()) {
+      return Status::BindError("HAVING requires aggregation");
+    }
+  }
+
+  // Aggregate/GROUP BY consistency.
+  if (bound.has_aggregates || !bound.group_by.empty()) {
+    for (const auto& out : bound.outputs) {
+      if (!OnlyGroupedRefs(out.expr, bound.group_by)) {
+        return Status::BindError(
+            "non-aggregated output must appear in GROUP BY: " + out.name);
+      }
+    }
+    if (bound.having && !OnlyGroupedRefs(bound.having, bound.group_by)) {
+      return Status::BindError(
+          "HAVING references a column outside GROUP BY");
+    }
+  }
+
+  // ORDER BY. A bare identifier first resolves against SELECT-list aliases
+  // (standard SQL), then against table columns.
+  for (const auto& item : stmt.order_by) {
+    OrderItem bound_item;
+    bound_item.ascending = item.ascending;
+    const BoundOutput* matched = nullptr;
+    if (item.expr->kind == ExprKind::kColumnRef &&
+        item.expr->qualifier.empty()) {
+      for (const auto& out : bound.outputs) {
+        if (EqualsIgnoreCase(out.name, item.expr->column)) {
+          matched = &out;
+          break;
+        }
+      }
+    }
+    if (matched != nullptr) {
+      bound_item.expr = matched->expr;
+    } else {
+      QTRADE_ASSIGN_OR_RETURN(bound_item.expr, QualifyRefs(item.expr, scope));
+    }
+    bound.order_by.push_back(std::move(bound_item));
+  }
+
+  return bound;
+}
+
+Result<BoundQuery> AnalyzeSql(const std::string& text,
+                              const SchemaProvider& schemas) {
+  QTRADE_ASSIGN_OR_RETURN(Query query, ParseQuery(text));
+  if (!query.IsSimpleSelect()) {
+    return Status::Unsupported("expected a single SELECT block");
+  }
+  return Analyze(query.select(), schemas);
+}
+
+Result<TypeKind> InferType(const ExprPtr& expr, const BoundQuery& query,
+                           const SchemaProvider& schemas) {
+  Scope scope(query.tables, schemas);
+  return InferTypeImpl(expr, scope);
+}
+
+}  // namespace qtrade::sql

@@ -1,0 +1,98 @@
+// Semantic analysis: binds a parsed SELECT block against a schema provider
+// and normalizes it into the conjunctive select-project-join form all of the
+// optimizer machinery works on (tables, classified conjuncts, projections,
+// aggregates, grouping, ordering).
+#ifndef QTRADE_SQL_ANALYZER_H_
+#define QTRADE_SQL_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+#include "types/row.h"
+#include "types/schema.h"
+#include "util/status.h"
+
+namespace qtrade::sql {
+
+/// Fully-resolved column reference.
+struct BoundColumn {
+  std::string alias;   // table alias (always set after binding)
+  std::string column;  // column name
+  TypeKind type = TypeKind::kInt64;
+
+  std::string FullName() const { return alias + "." + column; }
+  bool operator==(const BoundColumn& o) const {
+    return alias == o.alias && column == o.column;
+  }
+};
+
+enum class ConjunctKind {
+  kLocal,     // references at most one table alias
+  kEquiJoin,  // alias1.col = alias2.col
+  kOtherJoin, // references >= 2 aliases, not a simple equi-join
+};
+
+/// One top-level AND conjunct of the WHERE clause, classified for the
+/// optimizer. `expr` has all column refs qualified.
+struct Conjunct {
+  ExprPtr expr;
+  std::vector<std::string> aliases;  // referenced aliases, sorted, distinct
+  ConjunctKind kind = ConjunctKind::kLocal;
+  // Populated when kind == kEquiJoin.
+  BoundColumn left;
+  BoundColumn right;
+};
+
+/// One output of the SELECT list after star expansion and alias resolution.
+struct BoundOutput {
+  ExprPtr expr;            // qualified; may contain aggregates
+  std::string name;        // output column name (alias or derived)
+  TypeKind type = TypeKind::kInt64;
+  bool is_aggregate = false;  // contains at least one aggregate function
+};
+
+/// The normalized query. All expressions have qualified column refs.
+struct BoundQuery {
+  std::vector<TableRef> tables;        // FROM entries; aliases are distinct
+  std::vector<Conjunct> conjuncts;     // WHERE split into conjuncts
+  std::vector<BoundOutput> outputs;    // select list, stars expanded
+  std::vector<BoundColumn> group_by;   // GROUP BY columns
+  ExprPtr having;                      // qualified; null when absent
+  std::vector<OrderItem> order_by;     // qualified exprs
+  bool distinct = false;
+  std::optional<int64_t> limit;
+  bool has_aggregates = false;
+
+  /// Output tuple schema (names/types of `outputs`).
+  TupleSchema OutputSchema() const;
+
+  /// Find the declared table for `alias`; nullptr if unknown.
+  const TableRef* FindTable(const std::string& alias) const;
+
+  /// Rebuilds a printable/parsable SelectStmt equivalent to this query.
+  SelectStmt ToStmt() const;
+
+  /// All local conjuncts that reference exactly `alias` (or no alias at all).
+  std::vector<ExprPtr> LocalPredicates(const std::string& alias) const;
+
+  /// All equi-join conjuncts.
+  std::vector<const Conjunct*> JoinPredicates() const;
+};
+
+/// Binds `stmt` against `schemas`. Enforces: known tables, unambiguous
+/// columns, aggregate/GROUP BY consistency, typed comparisons.
+Result<BoundQuery> Analyze(const SelectStmt& stmt,
+                           const SchemaProvider& schemas);
+
+/// Convenience: parse + analyze a single-SELECT query string.
+Result<BoundQuery> AnalyzeSql(const std::string& text,
+                              const SchemaProvider& schemas);
+
+/// Infers the result type of a bound scalar expression.
+Result<TypeKind> InferType(const ExprPtr& expr, const BoundQuery& query,
+                           const SchemaProvider& schemas);
+
+}  // namespace qtrade::sql
+
+#endif  // QTRADE_SQL_ANALYZER_H_

@@ -1,0 +1,462 @@
+#include "sql/ast.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace qtrade::sql {
+
+const char* BinaryOpSymbol(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "<>";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+  }
+  return "?";
+}
+
+const char* AggFuncName(AggFunc func) {
+  switch (func) {
+    case AggFunc::kSum: return "SUM";
+    case AggFunc::kCount: return "COUNT";
+    case AggFunc::kAvg: return "AVG";
+    case AggFunc::kMin: return "MIN";
+    case AggFunc::kMax: return "MAX";
+  }
+  return "?";
+}
+
+bool IsComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+BinaryOp FlipComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt: return BinaryOp::kGt;
+    case BinaryOp::kLe: return BinaryOp::kGe;
+    case BinaryOp::kGt: return BinaryOp::kLt;
+    case BinaryOp::kGe: return BinaryOp::kLe;
+    default: return op;  // =, <> are symmetric
+  }
+}
+
+// ---- Factories ------------------------------------------------------------
+
+namespace {
+std::shared_ptr<Expr> Make(ExprKind kind) {
+  auto e = std::make_shared<Expr>();
+  e->kind = kind;
+  return e;
+}
+}  // namespace
+
+ExprPtr Col(std::string qualifier, std::string column) {
+  auto e = Make(ExprKind::kColumnRef);
+  e->qualifier = ToLower(qualifier);
+  e->column = ToLower(column);
+  return e;
+}
+
+ExprPtr Col(std::string column) { return Col("", std::move(column)); }
+
+ExprPtr Lit(Value v) {
+  auto e = Make(ExprKind::kLiteral);
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr LitInt(int64_t v) { return Lit(Value::Int64(v)); }
+ExprPtr LitDouble(double v) { return Lit(Value::Double(v)); }
+ExprPtr LitString(std::string v) { return Lit(Value::String(std::move(v))); }
+
+ExprPtr Binary(BinaryOp op, ExprPtr l, ExprPtr r) {
+  assert(l && r);
+  auto e = Make(ExprKind::kBinary);
+  e->bop = op;
+  e->left = std::move(l);
+  e->right = std::move(r);
+  return e;
+}
+
+ExprPtr Eq(ExprPtr l, ExprPtr r) {
+  return Binary(BinaryOp::kEq, std::move(l), std::move(r));
+}
+ExprPtr And(ExprPtr l, ExprPtr r) {
+  return Binary(BinaryOp::kAnd, std::move(l), std::move(r));
+}
+ExprPtr Or(ExprPtr l, ExprPtr r) {
+  return Binary(BinaryOp::kOr, std::move(l), std::move(r));
+}
+
+ExprPtr Not(ExprPtr operand) {
+  auto e = Make(ExprKind::kUnary);
+  e->uop = UnaryOp::kNot;
+  e->left = std::move(operand);
+  return e;
+}
+
+ExprPtr Neg(ExprPtr operand) {
+  auto e = Make(ExprKind::kUnary);
+  e->uop = UnaryOp::kNeg;
+  e->left = std::move(operand);
+  return e;
+}
+
+ExprPtr Agg(AggFunc func, ExprPtr arg, bool distinct) {
+  auto e = Make(ExprKind::kAggregate);
+  e->agg = func;
+  e->left = std::move(arg);
+  e->distinct = distinct;
+  return e;
+}
+
+ExprPtr CountStar() { return Agg(AggFunc::kCount, nullptr); }
+
+ExprPtr Star() { return Make(ExprKind::kStar); }
+
+ExprPtr InList(ExprPtr operand, std::vector<Value> values, bool negated) {
+  auto e = Make(ExprKind::kInList);
+  e->left = std::move(operand);
+  e->in_values = std::move(values);
+  e->negated = negated;
+  return e;
+}
+
+ExprPtr AndAll(const std::vector<ExprPtr>& conjuncts) {
+  ExprPtr acc;
+  for (const auto& c : conjuncts) {
+    if (!c) continue;
+    acc = acc ? And(acc, c) : c;
+  }
+  return acc;
+}
+
+// ---- Printing -------------------------------------------------------------
+
+namespace {
+
+// Higher binds tighter.
+int Precedence(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kBinary:
+      switch (e.bop) {
+        case BinaryOp::kOr: return 1;
+        case BinaryOp::kAnd: return 2;
+        case BinaryOp::kEq:
+        case BinaryOp::kNe:
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe:
+          return 4;
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+          return 5;
+        case BinaryOp::kMul:
+        case BinaryOp::kDiv:
+          return 6;
+      }
+      return 0;
+    case ExprKind::kUnary:
+      return e.uop == UnaryOp::kNot ? 3 : 7;
+    case ExprKind::kInList:
+      return 4;
+    default:
+      return 8;  // atoms
+  }
+}
+
+void Print(const Expr& e, int parent_prec, std::ostream& out) {
+  int prec = Precedence(e);
+  bool parens = prec < parent_prec;
+  if (parens) out << "(";
+  switch (e.kind) {
+    case ExprKind::kColumnRef:
+      if (!e.qualifier.empty()) out << e.qualifier << ".";
+      out << e.column;
+      break;
+    case ExprKind::kLiteral:
+      out << e.literal.ToSqlLiteral();
+      break;
+    case ExprKind::kBinary:
+      Print(*e.left, prec, out);
+      out << " " << BinaryOpSymbol(e.bop) << " ";
+      // +1 on the right side keeps left-associative rendering unambiguous
+      // for non-commutative operators.
+      Print(*e.right, prec + 1, out);
+      break;
+    case ExprKind::kUnary:
+      if (e.uop == UnaryOp::kNot) {
+        out << "NOT ";
+        Print(*e.left, prec, out);
+      } else {
+        out << "-";
+        // Parenthesize when the operand would itself start with '-':
+        // "--x" is a line comment to the lexer.
+        bool starts_with_minus =
+            (e.left->kind == ExprKind::kUnary &&
+             e.left->uop == UnaryOp::kNeg) ||
+            (e.left->kind == ExprKind::kLiteral &&
+             e.left->literal.is_numeric() &&
+             e.left->literal.AsDouble() < 0);
+        if (starts_with_minus) {
+          out << "(";
+          Print(*e.left, 0, out);
+          out << ")";
+        } else {
+          Print(*e.left, prec, out);
+        }
+      }
+      break;
+    case ExprKind::kAggregate:
+      out << AggFuncName(e.agg) << "(";
+      if (e.distinct) out << "DISTINCT ";
+      if (e.left) {
+        Print(*e.left, 0, out);
+      } else {
+        out << "*";
+      }
+      out << ")";
+      break;
+    case ExprKind::kStar:
+      out << "*";
+      break;
+    case ExprKind::kInList: {
+      Print(*e.left, prec + 1, out);
+      out << (e.negated ? " NOT IN (" : " IN (");
+      for (size_t i = 0; i < e.in_values.size(); ++i) {
+        if (i > 0) out << ", ";
+        out << e.in_values[i].ToSqlLiteral();
+      }
+      out << ")";
+      break;
+    }
+  }
+  if (parens) out << ")";
+}
+
+}  // namespace
+
+std::string ToSql(const Expr& expr) {
+  std::ostringstream out;
+  Print(expr, 0, out);
+  return out.str();
+}
+
+std::string ToSql(const ExprPtr& expr) {
+  return expr ? ToSql(*expr) : std::string();
+}
+
+std::string ToSql(const SelectStmt& stmt) {
+  std::ostringstream out;
+  out << "SELECT ";
+  if (stmt.distinct) out << "DISTINCT ";
+  for (size_t i = 0; i < stmt.items.size(); ++i) {
+    if (i > 0) out << ", ";
+    const SelectItem& item = stmt.items[i];
+    if (item.is_star) {
+      out << "*";
+    } else {
+      out << ToSql(item.expr);
+      if (!item.alias.empty()) out << " AS " << item.alias;
+    }
+  }
+  out << " FROM ";
+  for (size_t i = 0; i < stmt.from.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << stmt.from[i].table;
+    if (!stmt.from[i].alias.empty() &&
+        !EqualsIgnoreCase(stmt.from[i].alias, stmt.from[i].table)) {
+      out << " " << stmt.from[i].alias;
+    }
+  }
+  if (stmt.where) out << " WHERE " << ToSql(stmt.where);
+  if (!stmt.group_by.empty()) {
+    out << " GROUP BY ";
+    for (size_t i = 0; i < stmt.group_by.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << ToSql(stmt.group_by[i]);
+    }
+  }
+  if (stmt.having) out << " HAVING " << ToSql(stmt.having);
+  if (!stmt.order_by.empty()) {
+    out << " ORDER BY ";
+    for (size_t i = 0; i < stmt.order_by.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << ToSql(stmt.order_by[i].expr)
+          << (stmt.order_by[i].ascending ? "" : " DESC");
+    }
+  }
+  if (stmt.limit.has_value()) out << " LIMIT " << *stmt.limit;
+  return out.str();
+}
+
+std::string ToSql(const Query& query) {
+  std::ostringstream out;
+  for (size_t i = 0; i < query.branches.size(); ++i) {
+    if (i > 0) out << (query.union_all ? " UNION ALL " : " UNION ");
+    if (query.branches.size() > 1) out << "(";
+    out << ToSql(query.branches[i]);
+    if (query.branches.size() > 1) out << ")";
+  }
+  return out.str();
+}
+
+// ---- Equality -------------------------------------------------------------
+
+bool ExprEquals(const ExprPtr& a, const ExprPtr& b) {
+  if (a == b) return true;
+  if (!a || !b) return false;
+  if (a->kind != b->kind) return false;
+  switch (a->kind) {
+    case ExprKind::kColumnRef:
+      return a->qualifier == b->qualifier && a->column == b->column;
+    case ExprKind::kLiteral:
+      return a->literal.Compare(b->literal) == 0 &&
+             a->literal.is_null() == b->literal.is_null();
+    case ExprKind::kBinary:
+      return a->bop == b->bop && ExprEquals(a->left, b->left) &&
+             ExprEquals(a->right, b->right);
+    case ExprKind::kUnary:
+      return a->uop == b->uop && ExprEquals(a->left, b->left);
+    case ExprKind::kAggregate:
+      return a->agg == b->agg && a->distinct == b->distinct &&
+             ExprEquals(a->left, b->left);
+    case ExprKind::kStar:
+      return true;
+    case ExprKind::kInList: {
+      if (a->negated != b->negated) return false;
+      if (!ExprEquals(a->left, b->left)) return false;
+      if (a->in_values.size() != b->in_values.size()) return false;
+      for (size_t i = 0; i < a->in_values.size(); ++i) {
+        if (a->in_values[i].Compare(b->in_values[i]) != 0) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool StmtEquals(const SelectStmt& a, const SelectStmt& b) {
+  if (a.distinct != b.distinct) return false;
+  if (a.items.size() != b.items.size() || a.from.size() != b.from.size() ||
+      a.group_by.size() != b.group_by.size() ||
+      a.order_by.size() != b.order_by.size() || a.limit != b.limit) {
+    return false;
+  }
+  for (size_t i = 0; i < a.items.size(); ++i) {
+    if (a.items[i].is_star != b.items[i].is_star) return false;
+    if (a.items[i].alias != b.items[i].alias) return false;
+    if (!a.items[i].is_star && !ExprEquals(a.items[i].expr, b.items[i].expr)) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < a.from.size(); ++i) {
+    if (!EqualsIgnoreCase(a.from[i].table, b.from[i].table) ||
+        !EqualsIgnoreCase(a.from[i].alias, b.from[i].alias)) {
+      return false;
+    }
+  }
+  if (!ExprEquals(a.where, b.where)) return false;
+  for (size_t i = 0; i < a.group_by.size(); ++i) {
+    if (!ExprEquals(a.group_by[i], b.group_by[i])) return false;
+  }
+  if (!ExprEquals(a.having, b.having)) return false;
+  for (size_t i = 0; i < a.order_by.size(); ++i) {
+    if (a.order_by[i].ascending != b.order_by[i].ascending ||
+        !ExprEquals(a.order_by[i].expr, b.order_by[i].expr)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool QueryEquals(const Query& a, const Query& b) {
+  if (a.branches.size() != b.branches.size()) return false;
+  if (a.branches.size() > 1 && a.union_all != b.union_all) return false;
+  for (size_t i = 0; i < a.branches.size(); ++i) {
+    if (!StmtEquals(a.branches[i], b.branches[i])) return false;
+  }
+  return true;
+}
+
+// ---- Traversal ------------------------------------------------------------
+
+void ForEachColumnRef(const ExprPtr& expr,
+                      const std::function<void(const Expr&)>& fn) {
+  if (!expr) return;
+  if (expr->kind == ExprKind::kColumnRef) {
+    fn(*expr);
+    return;
+  }
+  ForEachColumnRef(expr->left, fn);
+  ForEachColumnRef(expr->right, fn);
+}
+
+ExprPtr RewriteColumnRefs(const ExprPtr& expr,
+                          const std::function<ExprPtr(const Expr&)>& fn) {
+  if (!expr) return nullptr;
+  if (expr->kind == ExprKind::kColumnRef) {
+    ExprPtr replacement = fn(*expr);
+    return replacement ? replacement : expr;
+  }
+  ExprPtr new_left = RewriteColumnRefs(expr->left, fn);
+  ExprPtr new_right = RewriteColumnRefs(expr->right, fn);
+  if (new_left == expr->left && new_right == expr->right) return expr;
+  auto copy = std::make_shared<Expr>(*expr);
+  copy->left = new_left;
+  copy->right = new_right;
+  return copy;
+}
+
+bool ContainsAggregate(const ExprPtr& expr) {
+  if (!expr) return false;
+  if (expr->kind == ExprKind::kAggregate) return true;
+  return ContainsAggregate(expr->left) || ContainsAggregate(expr->right);
+}
+
+std::vector<ExprPtr> SplitConjuncts(const ExprPtr& expr) {
+  std::vector<ExprPtr> out;
+  if (!expr) return out;
+  if (expr->kind == ExprKind::kBinary && expr->bop == BinaryOp::kAnd) {
+    auto l = SplitConjuncts(expr->left);
+    auto r = SplitConjuncts(expr->right);
+    out.insert(out.end(), l.begin(), l.end());
+    out.insert(out.end(), r.begin(), r.end());
+    return out;
+  }
+  out.push_back(expr);
+  return out;
+}
+
+std::vector<std::string> ReferencedQualifiers(const ExprPtr& expr) {
+  std::set<std::string> seen;
+  ForEachColumnRef(expr, [&](const Expr& ref) {
+    if (!ref.qualifier.empty()) seen.insert(ref.qualifier);
+  });
+  return {seen.begin(), seen.end()};
+}
+
+}  // namespace qtrade::sql

@@ -1,0 +1,179 @@
+// Abstract syntax tree for the supported SQL dialect: select-project-join
+// queries with conjunctive predicates, aggregation/GROUP BY, ORDER BY and
+// UNION [ALL] — exactly the query class the paper trades between nodes.
+//
+// Expressions are immutable and shared (ExprPtr = shared_ptr<const Expr>),
+// so rewrites (seller partition restriction, buyer predicate analysis)
+// structurally share unchanged subtrees.
+#ifndef QTRADE_SQL_AST_H_
+#define QTRADE_SQL_AST_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+
+namespace qtrade::sql {
+
+enum class ExprKind {
+  kColumnRef,
+  kLiteral,
+  kBinary,
+  kUnary,
+  kAggregate,
+  kStar,    // SELECT * / COUNT(*) argument
+  kInList,  // <expr> [NOT] IN (v1, v2, ...)
+};
+
+enum class BinaryOp {
+  kEq, kNe, kLt, kLe, kGt, kGe,  // comparisons
+  kAnd, kOr,                     // boolean connectives
+  kAdd, kSub, kMul, kDiv,        // arithmetic
+};
+
+enum class UnaryOp { kNot, kNeg };
+
+enum class AggFunc { kSum, kCount, kAvg, kMin, kMax };
+
+const char* BinaryOpSymbol(BinaryOp op);
+const char* AggFuncName(AggFunc func);
+/// True for =, <>, <, <=, >, >=.
+bool IsComparison(BinaryOp op);
+/// The comparison with operands swapped (a < b  <=>  b > a).
+BinaryOp FlipComparison(BinaryOp op);
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// A node of the expression tree. Which fields are meaningful depends on
+/// `kind`; use the factory functions below rather than filling it by hand.
+struct Expr {
+  ExprKind kind = ExprKind::kLiteral;
+
+  // kColumnRef: qualifier (table alias; may be empty before binding) + column.
+  std::string qualifier;
+  std::string column;
+
+  // kLiteral.
+  Value literal;
+
+  // kBinary (left, right) / kUnary (left only).
+  BinaryOp bop = BinaryOp::kEq;
+  UnaryOp uop = UnaryOp::kNot;
+  ExprPtr left;
+  ExprPtr right;
+
+  // kAggregate: func/distinct; argument in `left` (null for COUNT(*)).
+  AggFunc agg = AggFunc::kCount;
+  bool distinct = false;
+
+  // kInList: operand in `left`, constants in `in_values`.
+  std::vector<Value> in_values;
+  bool negated = false;
+};
+
+// ---- Factories ------------------------------------------------------------
+
+ExprPtr Col(std::string qualifier, std::string column);
+ExprPtr Col(std::string column);
+ExprPtr Lit(Value v);
+ExprPtr LitInt(int64_t v);
+ExprPtr LitDouble(double v);
+ExprPtr LitString(std::string v);
+ExprPtr Binary(BinaryOp op, ExprPtr l, ExprPtr r);
+ExprPtr Eq(ExprPtr l, ExprPtr r);
+ExprPtr And(ExprPtr l, ExprPtr r);
+ExprPtr Or(ExprPtr l, ExprPtr r);
+ExprPtr Not(ExprPtr operand);
+ExprPtr Neg(ExprPtr operand);
+ExprPtr Agg(AggFunc func, ExprPtr arg, bool distinct = false);
+ExprPtr CountStar();
+ExprPtr Star();
+ExprPtr InList(ExprPtr operand, std::vector<Value> values,
+               bool negated = false);
+
+/// Conjunction of `conjuncts`; nullptr when empty, the sole element when 1.
+ExprPtr AndAll(const std::vector<ExprPtr>& conjuncts);
+
+// ---- Statements -----------------------------------------------------------
+
+/// Item of the SELECT list. `is_star` means bare `*`.
+struct SelectItem {
+  ExprPtr expr;       // null when is_star
+  std::string alias;  // optional AS alias
+  bool is_star = false;
+};
+
+/// FROM-list entry. `alias` defaults to the table name.
+struct TableRef {
+  std::string table;
+  std::string alias;
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+/// One SELECT block.
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  ExprPtr where;  // null when absent
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;  // null when absent
+  std::vector<OrderItem> order_by;
+  std::optional<int64_t> limit;
+};
+
+/// A full query: one SELECT block, or several combined by UNION [ALL].
+struct Query {
+  std::vector<SelectStmt> branches;
+  bool union_all = true;  // relevant when branches.size() > 1
+
+  bool IsSimpleSelect() const { return branches.size() == 1; }
+  const SelectStmt& select() const { return branches.front(); }
+  SelectStmt& select() { return branches.front(); }
+};
+
+// ---- Utilities ------------------------------------------------------------
+
+/// Renders an expression as SQL with minimal parentheses.
+std::string ToSql(const Expr& expr);
+std::string ToSql(const ExprPtr& expr);
+std::string ToSql(const SelectStmt& stmt);
+std::string ToSql(const Query& query);
+
+/// Deep structural equality (literals compared by Value::Compare).
+bool ExprEquals(const ExprPtr& a, const ExprPtr& b);
+bool StmtEquals(const SelectStmt& a, const SelectStmt& b);
+bool QueryEquals(const Query& a, const Query& b);
+
+/// Calls `fn` for every kColumnRef node in the tree.
+void ForEachColumnRef(const ExprPtr& expr,
+                      const std::function<void(const Expr&)>& fn);
+
+/// Returns a copy of `expr` where each column ref is replaced by
+/// `fn(ref)` (return nullptr to keep the original node). Shares unchanged
+/// subtrees with the input.
+ExprPtr RewriteColumnRefs(const ExprPtr& expr,
+                          const std::function<ExprPtr(const Expr&)>& fn);
+
+/// True if the tree contains any aggregate function node.
+bool ContainsAggregate(const ExprPtr& expr);
+
+/// Splits a boolean expression into its top-level AND conjuncts.
+std::vector<ExprPtr> SplitConjuncts(const ExprPtr& expr);
+
+/// Collects the set of distinct table qualifiers referenced by the tree
+/// (empty-qualifier refs are ignored; callers bind first).
+std::vector<std::string> ReferencedQualifiers(const ExprPtr& expr);
+
+}  // namespace qtrade::sql
+
+#endif  // QTRADE_SQL_AST_H_

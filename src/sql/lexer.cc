@@ -1,0 +1,196 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "util/strings.h"
+
+namespace qtrade::sql {
+
+namespace {
+
+const std::unordered_set<std::string>& ReservedWords() {
+  static const std::unordered_set<std::string>* kWords =
+      new std::unordered_set<std::string>({
+          "SELECT", "FROM",  "WHERE",  "GROUP",  "BY",     "HAVING",
+          "ORDER",  "ASC",   "DESC",   "AND",    "OR",     "NOT",
+          "IN",     "BETWEEN", "AS",   "DISTINCT", "ALL",  "UNION",
+          "SUM",    "COUNT", "AVG",    "MIN",    "MAX",    "NULL",
+          "JOIN",   "INNER", "ON",
+          "TRUE",   "FALSE", "IS",     "LIMIT",
+      });
+  return *kWords;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+bool IsReservedWord(const std::string& upper) {
+  return ReservedWords().count(upper) > 0;
+}
+
+bool Token::IsKeyword(const char* kw) const {
+  return kind == TokenKind::kKeyword && text == kw;
+}
+
+bool Token::IsSymbol(const char* sym) const {
+  return kind == TokenKind::kSymbol && text == sym;
+}
+
+Result<std::vector<Token>> Lex(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    // Comments: -- to end of line.
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(input[i])) ++i;
+      std::string word = input.substr(start, i - start);
+      std::string upper = ToUpper(word);
+      if (IsReservedWord(upper)) {
+        if (upper == "TRUE" || upper == "FALSE") {
+          tok.kind = TokenKind::kKeyword;
+          tok.text = upper;
+          tok.literal = Value::Bool(upper == "TRUE");
+        } else {
+          tok.kind = TokenKind::kKeyword;
+          tok.text = upper;
+        }
+      } else {
+        tok.kind = TokenKind::kIdentifier;
+        tok.text = ToLower(word);  // identifiers are case-insensitive
+      }
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t start = i;
+      bool is_double = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      if (i < n && input[i] == '.' && i + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(input[i + 1]))) {
+        is_double = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+          ++i;
+        }
+      }
+      if (i < n && (input[i] == 'e' || input[i] == 'E')) {
+        size_t j = i + 1;
+        if (j < n && (input[j] == '+' || input[j] == '-')) ++j;
+        if (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) {
+          is_double = true;
+          i = j;
+          while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+            ++i;
+          }
+        }
+      }
+      std::string num = input.substr(start, i - start);
+      tok.text = num;
+      if (is_double) {
+        tok.kind = TokenKind::kDoubleLiteral;
+        tok.literal = Value::Double(std::stod(num));
+      } else {
+        tok.kind = TokenKind::kIntLiteral;
+        tok.literal = Value::Int64(std::stoll(num));
+      }
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\'') {
+          if (i + 1 < n && input[i + 1] == '\'') {  // escaped quote
+            text.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        text.push_back(input[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(tok.offset));
+      }
+      tok.kind = TokenKind::kStringLiteral;
+      tok.text = text;
+      tok.literal = Value::String(text);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Multi-char operators first.
+    auto push_symbol = [&](const std::string& sym) {
+      tok.kind = TokenKind::kSymbol;
+      tok.text = sym;
+      tokens.push_back(tok);
+      i += sym.size();
+    };
+    if (c == '<') {
+      if (i + 1 < n && input[i + 1] == '=') {
+        push_symbol("<=");
+      } else if (i + 1 < n && input[i + 1] == '>') {
+        push_symbol("<>");
+      } else {
+        push_symbol("<");
+      }
+      continue;
+    }
+    if (c == '>') {
+      if (i + 1 < n && input[i + 1] == '=') {
+        push_symbol(">=");
+      } else {
+        push_symbol(">");
+      }
+      continue;
+    }
+    if (c == '!' && i + 1 < n && input[i + 1] == '=') {
+      tok.kind = TokenKind::kSymbol;
+      tok.text = "<>";
+      tokens.push_back(tok);
+      i += 2;
+      continue;
+    }
+    static const std::string kSingles = "(),.*+-/;=";
+    if (kSingles.find(c) != std::string::npos) {
+      push_symbol(std::string(1, c));
+      continue;
+    }
+    return Status::ParseError(std::string("unexpected character '") + c +
+                              "' at offset " + std::to_string(i));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace qtrade::sql

@@ -1,0 +1,19 @@
+// Hand-written SQL lexer. Queries, RFBs and offers travel between nodes as
+// SQL text, so lexing/parsing is on the optimization hot path.
+#ifndef QTRADE_SQL_LEXER_H_
+#define QTRADE_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "sql/token.h"
+#include "util/status.h"
+
+namespace qtrade::sql {
+
+/// Tokenizes `input`; the resulting vector always ends with a kEnd token.
+Result<std::vector<Token>> Lex(const std::string& input);
+
+}  // namespace qtrade::sql
+
+#endif  // QTRADE_SQL_LEXER_H_

@@ -1,0 +1,468 @@
+#include "sql/parser.h"
+
+#include <cassert>
+
+#include "sql/lexer.h"
+#include "util/strings.h"
+
+namespace qtrade::sql {
+
+namespace {
+
+/// Token-stream cursor with the usual peek/advance/expect helpers.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Query> ParseQueryTop();
+  Result<ExprPtr> ParseExprTop();
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    if (i >= tokens_.size()) i = tokens_.size() - 1;  // kEnd
+    return tokens_[i];
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+
+  bool MatchKeyword(const char* kw) {
+    if (Peek().IsKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool MatchSymbol(const char* sym) {
+    if (Peek().IsSymbol(sym)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (MatchKeyword(kw)) return Status::OK();
+    return Error(std::string("expected keyword ") + kw);
+  }
+  Status ExpectSymbol(const char* sym) {
+    if (MatchSymbol(sym)) return Status::OK();
+    return Error(std::string("expected '") + sym + "'");
+  }
+  Status Error(const std::string& what) const {
+    const Token& t = Peek();
+    std::string got = t.kind == TokenKind::kEnd ? "end of input"
+                                                : "'" + t.text + "'";
+    return Status::ParseError(what + ", got " + got + " at offset " +
+                              std::to_string(t.offset));
+  }
+
+  Result<SelectStmt> ParseSelect();
+  Result<std::vector<SelectItem>> ParseSelectList();
+  Result<std::vector<TableRef>> ParseFromList();
+  Result<ExprPtr> ParseOr();
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParseComparison();
+  Result<ExprPtr> ParseAdditive();
+  Result<ExprPtr> ParseMultiplicative();
+  Result<ExprPtr> ParseUnary();
+  Result<ExprPtr> ParsePrimary();
+  Result<Value> ParseLiteralValue();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  // ON conditions of JOIN clauses in the current SELECT, merged into WHERE.
+  std::vector<ExprPtr> join_conditions_;
+};
+
+Result<Query> Parser::ParseQueryTop() {
+  Query query;
+  while (true) {
+    bool parenthesized = MatchSymbol("(");
+    QTRADE_ASSIGN_OR_RETURN(SelectStmt stmt, ParseSelect());
+    if (parenthesized) QTRADE_RETURN_IF_ERROR(ExpectSymbol(")"));
+    query.branches.push_back(std::move(stmt));
+    if (MatchKeyword("UNION")) {
+      bool all = MatchKeyword("ALL");
+      if (query.branches.size() == 1) {
+        query.union_all = all;
+      } else if (query.union_all != all) {
+        return Status::Unsupported(
+            "mixing UNION and UNION ALL in one chain is not supported");
+      }
+      continue;
+    }
+    break;
+  }
+  MatchSymbol(";");
+  if (!AtEnd()) return Error("unexpected trailing input");
+  return query;
+}
+
+Result<ExprPtr> Parser::ParseExprTop() {
+  QTRADE_ASSIGN_OR_RETURN(ExprPtr e, ParseOr());
+  if (!AtEnd()) return Error("unexpected trailing input");
+  return e;
+}
+
+Result<SelectStmt> Parser::ParseSelect() {
+  SelectStmt stmt;
+  QTRADE_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+  if (MatchKeyword("DISTINCT")) stmt.distinct = true;
+  else MatchKeyword("ALL");
+  QTRADE_ASSIGN_OR_RETURN(stmt.items, ParseSelectList());
+  QTRADE_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+  join_conditions_.clear();
+  QTRADE_ASSIGN_OR_RETURN(stmt.from, ParseFromList());
+  std::vector<ExprPtr> conjuncts = std::move(join_conditions_);
+  join_conditions_.clear();
+  if (MatchKeyword("WHERE")) {
+    QTRADE_ASSIGN_OR_RETURN(ExprPtr where, ParseOr());
+    conjuncts.push_back(std::move(where));
+  }
+  stmt.where = AndAll(conjuncts);
+  if (MatchKeyword("GROUP")) {
+    QTRADE_RETURN_IF_ERROR(ExpectKeyword("BY"));
+    do {
+      QTRADE_ASSIGN_OR_RETURN(ExprPtr e, ParseAdditive());
+      stmt.group_by.push_back(std::move(e));
+    } while (MatchSymbol(","));
+  }
+  if (MatchKeyword("HAVING")) {
+    QTRADE_ASSIGN_OR_RETURN(stmt.having, ParseOr());
+  }
+  if (MatchKeyword("ORDER")) {
+    QTRADE_RETURN_IF_ERROR(ExpectKeyword("BY"));
+    do {
+      OrderItem item;
+      QTRADE_ASSIGN_OR_RETURN(item.expr, ParseAdditive());
+      if (MatchKeyword("DESC")) item.ascending = false;
+      else MatchKeyword("ASC");
+      stmt.order_by.push_back(std::move(item));
+    } while (MatchSymbol(","));
+  }
+  if (MatchKeyword("LIMIT")) {
+    if (Peek().kind != TokenKind::kIntLiteral) {
+      return Error("expected integer after LIMIT");
+    }
+    stmt.limit = Advance().literal.int64();
+  }
+  return stmt;
+}
+
+Result<std::vector<SelectItem>> Parser::ParseSelectList() {
+  std::vector<SelectItem> items;
+  do {
+    SelectItem item;
+    if (Peek().IsSymbol("*")) {
+      Advance();
+      item.is_star = true;
+    } else {
+      QTRADE_ASSIGN_OR_RETURN(item.expr, ParseAdditive());
+      if (MatchKeyword("AS")) {
+        if (Peek().kind != TokenKind::kIdentifier) {
+          return Error("expected alias after AS");
+        }
+        item.alias = Advance().text;
+      } else if (Peek().kind == TokenKind::kIdentifier) {
+        item.alias = Advance().text;
+      }
+    }
+    items.push_back(std::move(item));
+  } while (MatchSymbol(","));
+  if (items.empty()) return Error("empty select list");
+  return items;
+}
+
+Result<std::vector<TableRef>> Parser::ParseFromList() {
+  std::vector<TableRef> tables;
+  auto parse_table = [&]() -> Status {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Error("expected table name");
+    }
+    TableRef ref;
+    ref.table = Advance().text;
+    if (MatchKeyword("AS")) {
+      if (Peek().kind != TokenKind::kIdentifier) {
+        return Error("expected alias after AS");
+      }
+      ref.alias = Advance().text;
+    } else if (Peek().kind == TokenKind::kIdentifier) {
+      ref.alias = Advance().text;
+    } else {
+      ref.alias = ref.table;
+    }
+    tables.push_back(std::move(ref));
+    return Status::OK();
+  };
+  QTRADE_RETURN_IF_ERROR(parse_table());
+  while (true) {
+    if (MatchSymbol(",")) {
+      QTRADE_RETURN_IF_ERROR(parse_table());
+      continue;
+    }
+    // [INNER] JOIN <table> ON <pred>: desugared into the FROM list plus a
+    // WHERE conjunct (collected in join_conditions_).
+    bool inner = Peek().IsKeyword("INNER");
+    if (inner || Peek().IsKeyword("JOIN")) {
+      if (inner) {
+        Advance();
+        if (!Peek().IsKeyword("JOIN")) return Error("expected JOIN");
+      }
+      Advance();  // JOIN
+      QTRADE_RETURN_IF_ERROR(parse_table());
+      QTRADE_RETURN_IF_ERROR(ExpectKeyword("ON"));
+      QTRADE_ASSIGN_OR_RETURN(ExprPtr condition, ParseOr());
+      join_conditions_.push_back(std::move(condition));
+      continue;
+    }
+    break;
+  }
+  return tables;
+}
+
+Result<ExprPtr> Parser::ParseOr() {
+  QTRADE_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+  while (MatchKeyword("OR")) {
+    QTRADE_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+    left = Or(std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseAnd() {
+  QTRADE_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+  while (MatchKeyword("AND")) {
+    QTRADE_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+    left = And(std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseNot() {
+  if (MatchKeyword("NOT")) {
+    QTRADE_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+    return Not(std::move(operand));
+  }
+  return ParseComparison();
+}
+
+Result<ExprPtr> Parser::ParseComparison() {
+  QTRADE_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+  // <expr> [NOT] IN (v, ...)
+  bool negated = false;
+  size_t saved = pos_;
+  if (MatchKeyword("NOT")) {
+    if (Peek().IsKeyword("IN") || Peek().IsKeyword("BETWEEN")) {
+      negated = true;
+    } else {
+      pos_ = saved;  // NOT belongs to an enclosing context
+      return left;
+    }
+  }
+  if (MatchKeyword("IN")) {
+    QTRADE_RETURN_IF_ERROR(ExpectSymbol("("));
+    std::vector<Value> values;
+    do {
+      QTRADE_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+      values.push_back(std::move(v));
+    } while (MatchSymbol(","));
+    QTRADE_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return InList(std::move(left), std::move(values), negated);
+  }
+  if (MatchKeyword("BETWEEN")) {
+    // Desugar: x BETWEEN a AND b  ->  x >= a AND x <= b.
+    QTRADE_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+    QTRADE_RETURN_IF_ERROR(ExpectKeyword("AND"));
+    QTRADE_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+    ExprPtr range = And(Binary(BinaryOp::kGe, left, std::move(lo)),
+                        Binary(BinaryOp::kLe, left, std::move(hi)));
+    return negated ? Not(std::move(range)) : range;
+  }
+  if (MatchKeyword("IS")) {
+    bool is_not = MatchKeyword("NOT");
+    QTRADE_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+    // Model IS [NOT] NULL as (NOT) x = NULL; the evaluator special-cases
+    // literal-NULL equality as a null test.
+    ExprPtr test = Eq(left, Lit(Value::Null()));
+    return is_not ? Not(std::move(test)) : test;
+  }
+  static const struct {
+    const char* sym;
+    BinaryOp op;
+  } kOps[] = {{"=", BinaryOp::kEq},  {"<>", BinaryOp::kNe},
+              {"<=", BinaryOp::kLe}, {">=", BinaryOp::kGe},
+              {"<", BinaryOp::kLt},  {">", BinaryOp::kGt}};
+  for (const auto& entry : kOps) {
+    if (MatchSymbol(entry.sym)) {
+      QTRADE_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+      return Binary(entry.op, std::move(left), std::move(right));
+    }
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseAdditive() {
+  QTRADE_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+  while (true) {
+    if (MatchSymbol("+")) {
+      QTRADE_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+      left = Binary(BinaryOp::kAdd, std::move(left), std::move(right));
+    } else if (MatchSymbol("-")) {
+      QTRADE_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+      left = Binary(BinaryOp::kSub, std::move(left), std::move(right));
+    } else {
+      return left;
+    }
+  }
+}
+
+Result<ExprPtr> Parser::ParseMultiplicative() {
+  QTRADE_ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+  while (true) {
+    if (MatchSymbol("*")) {
+      QTRADE_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+      left = Binary(BinaryOp::kMul, std::move(left), std::move(right));
+    } else if (MatchSymbol("/")) {
+      QTRADE_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+      left = Binary(BinaryOp::kDiv, std::move(left), std::move(right));
+    } else {
+      return left;
+    }
+  }
+}
+
+Result<ExprPtr> Parser::ParseUnary() {
+  if (MatchSymbol("-")) {
+    QTRADE_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+    if (operand->kind == ExprKind::kLiteral && operand->literal.is_int64()) {
+      return LitInt(-operand->literal.int64());
+    }
+    if (operand->kind == ExprKind::kLiteral && operand->literal.is_double()) {
+      return LitDouble(-operand->literal.dbl());
+    }
+    return Neg(std::move(operand));
+  }
+  MatchSymbol("+");
+  return ParsePrimary();
+}
+
+Result<ExprPtr> Parser::ParsePrimary() {
+  const Token& tok = Peek();
+  switch (tok.kind) {
+    case TokenKind::kIntLiteral:
+    case TokenKind::kDoubleLiteral:
+    case TokenKind::kStringLiteral:
+      Advance();
+      return Lit(tok.literal);
+    case TokenKind::kKeyword: {
+      if (tok.text == "NULL") {
+        Advance();
+        return Lit(Value::Null());
+      }
+      if (tok.text == "TRUE" || tok.text == "FALSE") {
+        Advance();
+        return Lit(tok.literal);
+      }
+      static const struct {
+        const char* name;
+        AggFunc func;
+      } kAggs[] = {{"SUM", AggFunc::kSum},
+                   {"COUNT", AggFunc::kCount},
+                   {"AVG", AggFunc::kAvg},
+                   {"MIN", AggFunc::kMin},
+                   {"MAX", AggFunc::kMax}};
+      for (const auto& entry : kAggs) {
+        if (tok.text == entry.name) {
+          Advance();
+          QTRADE_RETURN_IF_ERROR(ExpectSymbol("("));
+          bool distinct = MatchKeyword("DISTINCT");
+          ExprPtr arg;
+          if (MatchSymbol("*")) {
+            if (entry.func != AggFunc::kCount) {
+              return Error("only COUNT accepts *");
+            }
+          } else {
+            QTRADE_ASSIGN_OR_RETURN(arg, ParseAdditive());
+          }
+          QTRADE_RETURN_IF_ERROR(ExpectSymbol(")"));
+          return Agg(entry.func, std::move(arg), distinct);
+        }
+      }
+      return Error("unexpected keyword in expression");
+    }
+    case TokenKind::kIdentifier: {
+      Advance();
+      std::string first = tok.text;
+      if (MatchSymbol(".")) {
+        if (Peek().IsSymbol("*")) {
+          // t.* is not supported; callers use bare *.
+          return Error("qualified * is not supported");
+        }
+        if (Peek().kind != TokenKind::kIdentifier) {
+          return Error("expected column name after '.'");
+        }
+        std::string column = Advance().text;
+        return Col(first, column);
+      }
+      return Col(first);
+    }
+    case TokenKind::kSymbol:
+      if (tok.IsSymbol("(")) {
+        Advance();
+        QTRADE_ASSIGN_OR_RETURN(ExprPtr inner, ParseOr());
+        QTRADE_RETURN_IF_ERROR(ExpectSymbol(")"));
+        return inner;
+      }
+      return Error("unexpected symbol in expression");
+    case TokenKind::kEnd:
+      return Error("unexpected end of expression");
+  }
+  return Error("unexpected token");
+}
+
+Result<Value> Parser::ParseLiteralValue() {
+  bool negative = MatchSymbol("-");
+  const Token& tok = Peek();
+  switch (tok.kind) {
+    case TokenKind::kIntLiteral:
+      Advance();
+      return Value::Int64(negative ? -tok.literal.int64()
+                                   : tok.literal.int64());
+    case TokenKind::kDoubleLiteral:
+      Advance();
+      return Value::Double(negative ? -tok.literal.dbl() : tok.literal.dbl());
+    case TokenKind::kStringLiteral:
+      if (negative) return Error("cannot negate a string literal");
+      Advance();
+      return tok.literal;
+    case TokenKind::kKeyword:
+      if (!negative && tok.text == "NULL") {
+        Advance();
+        return Value::Null();
+      }
+      if (!negative && (tok.text == "TRUE" || tok.text == "FALSE")) {
+        Advance();
+        return tok.literal;
+      }
+      return Error("expected literal value");
+    default:
+      return Error("expected literal value");
+  }
+}
+
+}  // namespace
+
+Result<Query> ParseQuery(const std::string& text) {
+  QTRADE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseQueryTop();
+}
+
+Result<ExprPtr> ParseExpression(const std::string& text) {
+  QTRADE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseExprTop();
+}
+
+}  // namespace qtrade::sql

@@ -1,0 +1,22 @@
+// Recursive-descent parser for the supported SQL dialect.
+#ifndef QTRADE_SQL_PARSER_H_
+#define QTRADE_SQL_PARSER_H_
+
+#include <string>
+
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace qtrade::sql {
+
+/// Parses a full query (SELECT block, or UNION [ALL] chain of blocks,
+/// each optionally parenthesized). Trailing ';' is allowed.
+Result<Query> ParseQuery(const std::string& text);
+
+/// Parses a single scalar/boolean expression (used by tests and by the
+/// catalog to declare partition predicates).
+Result<ExprPtr> ParseExpression(const std::string& text);
+
+}  // namespace qtrade::sql
+
+#endif  // QTRADE_SQL_PARSER_H_

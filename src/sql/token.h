@@ -1,0 +1,38 @@
+// Token stream produced by the SQL lexer.
+#ifndef QTRADE_SQL_TOKEN_H_
+#define QTRADE_SQL_TOKEN_H_
+
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+
+namespace qtrade::sql {
+
+enum class TokenKind {
+  kIdentifier,   // customer, invoiceline, c1
+  kKeyword,      // SELECT, FROM, ... (text upper-cased)
+  kIntLiteral,   // 42
+  kDoubleLiteral,// 3.14
+  kStringLiteral,// 'Myconos'
+  kSymbol,       // ( ) , . * + - / ; = <> < <= > >=
+  kEnd,
+};
+
+/// One lexical token with its source offset (for error messages).
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;  // keyword/symbol text (normalized), identifier as written
+  Value literal;     // for literal kinds
+  size_t offset = 0;
+
+  bool IsKeyword(const char* kw) const;
+  bool IsSymbol(const char* sym) const;
+};
+
+/// True for words the lexer classifies as keywords (SELECT, WHERE, SUM, ...).
+bool IsReservedWord(const std::string& upper);
+
+}  // namespace qtrade::sql
+
+#endif  // QTRADE_SQL_TOKEN_H_

@@ -1,0 +1,77 @@
+#include "stats/column_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qtrade {
+
+std::optional<int64_t> ColumnStats::McvCount(const Value& v) const {
+  for (const auto& [value, count] : mcv) {
+    if (value.Compare(v) == 0) return count;
+  }
+  return std::nullopt;
+}
+
+const ColumnStats* TableStats::FindColumn(const std::string& name) const {
+  auto it = columns.find(name);
+  return it == columns.end() ? nullptr : &it->second;
+}
+
+TableStats TableStats::MergeDisjoint(const TableStats& a,
+                                     const TableStats& b) {
+  TableStats out;
+  out.row_count = a.row_count + b.row_count;
+  int64_t total = std::max<int64_t>(1, out.row_count);
+  out.avg_row_bytes = (a.avg_row_bytes * a.row_count +
+                       b.avg_row_bytes * b.row_count) /
+                      total;
+  if (out.row_count == 0) out.avg_row_bytes = a.avg_row_bytes;
+  for (const auto& [name, stats] : a.columns) {
+    const ColumnStats* other = b.FindColumn(name);
+    ColumnStats merged = stats;
+    if (other != nullptr) {
+      merged.ndv = std::max(stats.ndv, other->ndv);
+      if (merged.min.is_null() || (!other->min.is_null() &&
+                                   other->min.Compare(merged.min) < 0)) {
+        merged.min = other->min;
+      }
+      if (merged.max.is_null() || (!other->max.is_null() &&
+                                   other->max.Compare(merged.max) > 0)) {
+        merged.max = other->max;
+      }
+      // Histograms/MCVs of fragments are not merged; estimation falls back
+      // to ndv/min/max on merged stats.
+      merged.histogram.reset();
+      // Merge MCV counts for values tracked on both sides.
+      for (auto& [value, count] : merged.mcv) {
+        if (auto c = other->McvCount(value)) count += *c;
+      }
+      for (const auto& [value, count] : other->mcv) {
+        if (!stats.McvCount(value).has_value()) {
+          merged.mcv.emplace_back(value, count);
+        }
+      }
+    }
+    out.columns.emplace(name, std::move(merged));
+  }
+  for (const auto& [name, stats] : b.columns) {
+    if (a.FindColumn(name) == nullptr) out.columns.emplace(name, stats);
+  }
+  return out;
+}
+
+TableStats TableStats::Scaled(double factor) const {
+  TableStats out = *this;
+  factor = std::clamp(factor, 0.0, 1.0);
+  out.row_count = static_cast<int64_t>(std::llround(row_count * factor));
+  for (auto& [name, stats] : out.columns) {
+    stats.ndv = std::max<int64_t>(
+        1, static_cast<int64_t>(std::llround(stats.ndv * factor)));
+    for (auto& [value, count] : stats.mcv) {
+      count = static_cast<int64_t>(std::llround(count * factor));
+    }
+  }
+  return out;
+}
+
+}  // namespace qtrade

@@ -1,0 +1,53 @@
+// Per-column and per-fragment statistics carried by catalogs. Sellers keep
+// accurate statistics for their own fragments (the paper's premise is that
+// only the owning node can price its data precisely); baselines copy these
+// into a global catalog, optionally perturbed to model staleness.
+#ifndef QTRADE_STATS_COLUMN_STATS_H_
+#define QTRADE_STATS_COLUMN_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stats/histogram.h"
+#include "types/value.h"
+
+namespace qtrade {
+
+/// Statistics for one column of one table fragment.
+struct ColumnStats {
+  int64_t ndv = 0;  // number of distinct values
+  Value min;        // NULL when unknown
+  Value max;
+  /// For numeric columns.
+  std::optional<EquiWidthHistogram> histogram;
+  /// Most-common values with exact counts; used for categorical columns
+  /// such as the paper's `customer.office`.
+  std::vector<std::pair<Value, int64_t>> mcv;
+
+  /// Count in `mcv` for `v`, if tracked.
+  std::optional<int64_t> McvCount(const Value& v) const;
+};
+
+/// Statistics for one table fragment (a partition replica or whole table).
+struct TableStats {
+  int64_t row_count = 0;
+  double avg_row_bytes = 64.0;
+  std::map<std::string, ColumnStats> columns;  // by lower-case column name
+
+  const ColumnStats* FindColumn(const std::string& name) const;
+
+  /// Merges fragment statistics (union of disjoint fragments): row counts
+  /// add, min/max widen, ndv takes the max (a lower bound on the union).
+  static TableStats MergeDisjoint(const TableStats& a, const TableStats& b);
+
+  /// Returns a copy with row_count and histogram/mcv counts scaled by
+  /// `factor` (used when restricting to a fraction of a fragment).
+  TableStats Scaled(double factor) const;
+};
+
+}  // namespace qtrade
+
+#endif  // QTRADE_STATS_COLUMN_STATS_H_

@@ -1,0 +1,96 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace qtrade {
+
+Result<EquiWidthHistogram> EquiWidthHistogram::Make(double lo, double hi,
+                                                    int buckets) {
+  if (buckets <= 0) {
+    return Status::InvalidArgument("histogram needs at least one bucket");
+  }
+  if (!(lo <= hi)) {
+    return Status::InvalidArgument("histogram range is inverted");
+  }
+  EquiWidthHistogram h;
+  h.lo_ = lo;
+  h.hi_ = hi;
+  // Degenerate single-point domains get one bucket of zero width.
+  h.width_ = (hi > lo) ? (hi - lo) / buckets : 1.0;
+  h.counts_.assign(static_cast<size_t>(buckets), 0);
+  return h;
+}
+
+Result<EquiWidthHistogram> EquiWidthHistogram::FromValues(
+    const std::vector<double>& values, int buckets) {
+  if (values.empty()) {
+    return Status::InvalidArgument("cannot build histogram from no values");
+  }
+  auto [mn, mx] = std::minmax_element(values.begin(), values.end());
+  QTRADE_ASSIGN_OR_RETURN(EquiWidthHistogram h, Make(*mn, *mx, buckets));
+  for (double v : values) h.Add(v);
+  return h;
+}
+
+void EquiWidthHistogram::Add(double v) {
+  if (counts_.empty()) return;
+  int idx = static_cast<int>((v - lo_) / width_);
+  idx = std::clamp(idx, 0, num_buckets() - 1);
+  ++counts_[idx];
+  ++total_;
+}
+
+double EquiWidthHistogram::FractionBelow(double v) const {
+  if (total_ == 0) return 0.0;
+  if (v <= lo_) return 0.0;
+  if (v > hi_) return 1.0;
+  double acc = 0;
+  for (int i = 0; i < num_buckets(); ++i) {
+    double b_lo = lo_ + i * width_;
+    double b_hi = b_lo + width_;
+    if (v >= b_hi) {
+      acc += counts_[i];
+    } else {
+      double frac = (v - b_lo) / width_;
+      acc += counts_[i] * std::clamp(frac, 0.0, 1.0);
+      break;
+    }
+  }
+  return acc / total_;
+}
+
+double EquiWidthHistogram::FractionBetween(double lo, double hi) const {
+  if (total_ == 0 || hi < lo) return 0.0;
+  // Inclusive upper bound: nudge past hi by one representable step of the
+  // bucket width so point queries on bucket edges are not lost.
+  double below_hi = FractionBelow(std::nextafter(hi + width_ * 1e-9, hi + 1));
+  double below_lo = FractionBelow(lo);
+  return std::max(0.0, below_hi - below_lo);
+}
+
+double EquiWidthHistogram::FractionEqual(double v, int64_t ndv) const {
+  if (total_ == 0) return 0.0;
+  if (v < lo_ || v > hi_) return 0.0;
+  int idx = static_cast<int>((v - lo_) / width_);
+  idx = std::clamp(idx, 0, num_buckets() - 1);
+  double bucket_frac = static_cast<double>(counts_[idx]) / total_;
+  // Distinct values spread across buckets; assume uniformity within bucket.
+  double per_bucket_ndv =
+      std::max(1.0, static_cast<double>(ndv) / num_buckets());
+  return bucket_frac / per_bucket_ndv;
+}
+
+std::string EquiWidthHistogram::ToString() const {
+  std::ostringstream out;
+  out << "hist[" << lo_ << ", " << hi_ << "] n=" << total_ << " {";
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << counts_[i];
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace qtrade

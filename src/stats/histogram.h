@@ -1,0 +1,60 @@
+// Equi-width histograms over numeric columns, used for selectivity
+// estimation by the sellers' local optimizers (the paper's §3.4 cost
+// estimator) and by the global baselines.
+#ifndef QTRADE_STATS_HISTOGRAM_H_
+#define QTRADE_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+#include "util/status.h"
+
+namespace qtrade {
+
+/// Equi-width histogram over a numeric domain [lo, hi].
+class EquiWidthHistogram {
+ public:
+  EquiWidthHistogram() = default;
+
+  /// Builds a histogram with `buckets` equal-width buckets spanning
+  /// [lo, hi]. Counts start at zero; call Add() per value.
+  static Result<EquiWidthHistogram> Make(double lo, double hi, int buckets);
+
+  /// Builds directly from a sample of values.
+  static Result<EquiWidthHistogram> FromValues(
+      const std::vector<double>& values, int buckets);
+
+  void Add(double v);
+
+  bool empty() const { return total_ == 0; }
+  int64_t total() const { return total_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  int num_buckets() const { return static_cast<int>(counts_.size()); }
+  int64_t bucket_count(int i) const { return counts_[i]; }
+
+  /// Estimated fraction of values strictly below `v` (linear interpolation
+  /// within the containing bucket).
+  double FractionBelow(double v) const;
+
+  /// Estimated fraction of values in [lo, hi] (inclusive bounds).
+  double FractionBetween(double lo, double hi) const;
+
+  /// Estimated fraction equal to `v` assuming `ndv` distinct values overall.
+  double FractionEqual(double v, int64_t ndv) const;
+
+  std::string ToString() const;
+
+ private:
+  double lo_ = 0;
+  double hi_ = 0;
+  double width_ = 0;
+  int64_t total_ = 0;
+  std::vector<int64_t> counts_;
+};
+
+}  // namespace qtrade
+
+#endif  // QTRADE_STATS_HISTOGRAM_H_

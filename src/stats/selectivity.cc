@@ -1,0 +1,201 @@
+#include "stats/selectivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qtrade {
+
+namespace {
+
+using sql::BinaryOp;
+using sql::Expr;
+using sql::ExprKind;
+using sql::ExprPtr;
+
+double Clamp01(double x) { return std::clamp(x, 0.0, 1.0); }
+
+/// If `e` is `col <op> literal` or `literal <op> col`, returns the column
+/// stats, the comparison with the column on the left, and the literal.
+struct ColumnComparison {
+  const ColumnStats* stats = nullptr;  // may be nullptr (column unknown)
+  BinaryOp op = BinaryOp::kEq;
+  Value literal;
+  bool matched = false;
+};
+
+ColumnComparison MatchColumnComparison(const Expr& e,
+                                       const TableStats& table) {
+  ColumnComparison out;
+  if (e.kind != ExprKind::kBinary || !sql::IsComparison(e.bop)) return out;
+  const Expr& l = *e.left;
+  const Expr& r = *e.right;
+  if (l.kind == ExprKind::kColumnRef && r.kind == ExprKind::kLiteral) {
+    out.stats = table.FindColumn(l.column);
+    out.op = e.bop;
+    out.literal = r.literal;
+    out.matched = true;
+  } else if (r.kind == ExprKind::kColumnRef && l.kind == ExprKind::kLiteral) {
+    out.stats = table.FindColumn(r.column);
+    out.op = sql::FlipComparison(e.bop);
+    out.literal = l.literal;
+    out.matched = true;
+  }
+  return out;
+}
+
+double EqualitySelectivity(const ColumnStats* stats, const Value& v,
+                           const TableStats& table) {
+  if (stats == nullptr) return SelectivityDefaults::kEquality;
+  if (auto mcv = stats->McvCount(v)) {
+    if (table.row_count <= 0) return SelectivityDefaults::kEquality;
+    return Clamp01(static_cast<double>(*mcv) / table.row_count);
+  }
+  // Out of [min, max] range -> no rows.
+  if (!stats->min.is_null() && !v.is_null() &&
+      v.is_numeric() == stats->min.is_numeric()) {
+    if (v.Compare(stats->min) < 0 || v.Compare(stats->max) > 0) return 0.0;
+  }
+  if (stats->histogram.has_value() && v.is_numeric()) {
+    return Clamp01(stats->histogram->FractionEqual(
+        v.AsDouble(), std::max<int64_t>(1, stats->ndv)));
+  }
+  if (stats->ndv > 0) return Clamp01(1.0 / stats->ndv);
+  return SelectivityDefaults::kEquality;
+}
+
+double RangeSelectivity(const ColumnStats* stats, BinaryOp op,
+                        const Value& v) {
+  if (stats == nullptr || v.is_null()) return SelectivityDefaults::kRange;
+  if (stats->histogram.has_value() && v.is_numeric()) {
+    const EquiWidthHistogram& h = *stats->histogram;
+    double x = v.AsDouble();
+    switch (op) {
+      case BinaryOp::kLt:
+        return Clamp01(h.FractionBelow(x));
+      case BinaryOp::kLe:
+        return Clamp01(h.FractionBetween(h.lo(), x));
+      case BinaryOp::kGt:
+        return Clamp01(1.0 - h.FractionBetween(h.lo(), x));
+      case BinaryOp::kGe:
+        return Clamp01(1.0 - h.FractionBelow(x));
+      default:
+        break;
+    }
+  }
+  // Linear interpolation over [min, max] when both are numeric.
+  if (!stats->min.is_null() && !stats->max.is_null() &&
+      stats->min.is_numeric() && v.is_numeric()) {
+    double lo = stats->min.AsDouble(), hi = stats->max.AsDouble();
+    if (hi > lo) {
+      double frac = Clamp01((v.AsDouble() - lo) / (hi - lo));
+      switch (op) {
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+          return frac;
+        case BinaryOp::kGt:
+        case BinaryOp::kGe:
+          return 1.0 - frac;
+        default:
+          break;
+      }
+    } else {
+      // Single-point domain.
+      int cmp = v.Compare(stats->min);
+      switch (op) {
+        case BinaryOp::kLt: return cmp > 0 ? 1.0 : 0.0;
+        case BinaryOp::kLe: return cmp >= 0 ? 1.0 : 0.0;
+        case BinaryOp::kGt: return cmp < 0 ? 1.0 : 0.0;
+        case BinaryOp::kGe: return cmp <= 0 ? 1.0 : 0.0;
+        default: break;
+      }
+    }
+  }
+  return SelectivityDefaults::kRange;
+}
+
+}  // namespace
+
+double EstimateSelectivity(const sql::ExprPtr& pred, const TableStats& stats) {
+  if (!pred) return 1.0;
+  const Expr& e = *pred;
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      if (e.literal.is_bool()) return e.literal.boolean() ? 1.0 : 0.0;
+      return 1.0;
+    case ExprKind::kBinary: {
+      if (e.bop == BinaryOp::kAnd) {
+        return Clamp01(EstimateSelectivity(e.left, stats) *
+                       EstimateSelectivity(e.right, stats));
+      }
+      if (e.bop == BinaryOp::kOr) {
+        double a = EstimateSelectivity(e.left, stats);
+        double b = EstimateSelectivity(e.right, stats);
+        return Clamp01(a + b - a * b);
+      }
+      ColumnComparison cmp = MatchColumnComparison(e, stats);
+      if (cmp.matched) {
+        switch (cmp.op) {
+          case BinaryOp::kEq:
+            return EqualitySelectivity(cmp.stats, cmp.literal, stats);
+          case BinaryOp::kNe:
+            return Clamp01(
+                1.0 - EqualitySelectivity(cmp.stats, cmp.literal, stats));
+          case BinaryOp::kLt:
+          case BinaryOp::kLe:
+          case BinaryOp::kGt:
+          case BinaryOp::kGe:
+            return RangeSelectivity(cmp.stats, cmp.op, cmp.literal);
+          default:
+            break;
+        }
+      }
+      if (sql::IsComparison(e.bop)) {
+        // Column-to-column or expression comparison within one table.
+        return e.bop == BinaryOp::kEq ? SelectivityDefaults::kEquality
+                                      : SelectivityDefaults::kRange;
+      }
+      return SelectivityDefaults::kOther;
+    }
+    case ExprKind::kUnary:
+      if (e.uop == sql::UnaryOp::kNot) {
+        return Clamp01(1.0 - EstimateSelectivity(e.left, stats));
+      }
+      return SelectivityDefaults::kOther;
+    case ExprKind::kInList: {
+      const ColumnStats* col = nullptr;
+      if (e.left->kind == ExprKind::kColumnRef) {
+        col = stats.FindColumn(e.left->column);
+      }
+      double acc = 0;
+      for (const auto& v : e.in_values) {
+        acc += EqualitySelectivity(col, v, stats);
+      }
+      acc = Clamp01(acc);
+      return e.negated ? Clamp01(1.0 - acc) : acc;
+    }
+    case ExprKind::kColumnRef: {
+      // A bare boolean column; assume half.
+      return 0.5;
+    }
+    default:
+      return SelectivityDefaults::kOther;
+  }
+}
+
+double EstimateConjunctSelectivity(const std::vector<sql::ExprPtr>& preds,
+                                   const TableStats& stats) {
+  double acc = 1.0;
+  for (const auto& p : preds) acc *= EstimateSelectivity(p, stats);
+  return Clamp01(acc);
+}
+
+double EstimateEquiJoinSelectivity(const ColumnStats* left,
+                                   const ColumnStats* right) {
+  int64_t ndv_l = left != nullptr ? left->ndv : 0;
+  int64_t ndv_r = right != nullptr ? right->ndv : 0;
+  int64_t ndv = std::max(ndv_l, ndv_r);
+  if (ndv <= 0) return SelectivityDefaults::kEquality;
+  return 1.0 / static_cast<double>(ndv);
+}
+
+}  // namespace qtrade

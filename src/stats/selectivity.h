@@ -1,0 +1,38 @@
+// Selectivity and join-cardinality estimation over table-fragment
+// statistics. Used by every optimizer in the repo (seller local DP, buyer
+// plan assembler, global baselines), so all plans are priced by one model.
+#ifndef QTRADE_STATS_SELECTIVITY_H_
+#define QTRADE_STATS_SELECTIVITY_H_
+
+#include <vector>
+
+#include "sql/ast.h"
+#include "stats/column_stats.h"
+
+namespace qtrade {
+
+/// System-R style fallbacks when statistics are missing.
+struct SelectivityDefaults {
+  static constexpr double kEquality = 0.1;
+  static constexpr double kRange = 1.0 / 3.0;
+  static constexpr double kOther = 0.25;
+};
+
+/// Estimated fraction of a fragment's rows satisfying `pred`. All column
+/// refs in `pred` are assumed to target the fragment described by `stats`
+/// (qualifiers are ignored). Unknown shapes fall back to defaults; the
+/// result is always in [0, 1].
+double EstimateSelectivity(const sql::ExprPtr& pred, const TableStats& stats);
+
+/// Product over conjuncts (attribute-independence assumption).
+double EstimateConjunctSelectivity(const std::vector<sql::ExprPtr>& preds,
+                                   const TableStats& stats);
+
+/// Equi-join selectivity 1/max(ndv_left, ndv_right); either side may be
+/// nullptr (unknown), in which case the known side or a default is used.
+double EstimateEquiJoinSelectivity(const ColumnStats* left,
+                                   const ColumnStats* right);
+
+}  // namespace qtrade
+
+#endif  // QTRADE_STATS_SELECTIVITY_H_

@@ -1,0 +1,187 @@
+#include "trading/buyer_analyser.h"
+
+#include <algorithm>
+
+#include "rewrite/partition_rewriter.h"
+#include "util/strings.h"
+
+namespace qtrade {
+
+namespace {
+
+using sql::BoundQuery;
+using sql::ExprPtr;
+
+/// Alias-set-only signature: overlap analysis groups offers spanning the
+/// same relations regardless of which fragments they cover.
+std::string AliasOnlySignature(const Offer& offer) {
+  std::vector<std::string> aliases = offer.AliasSet();
+  std::sort(aliases.begin(), aliases.end());
+  return Join(aliases, ",");
+}
+
+std::set<std::string> CoverageSet(const OfferCoverage& cov) {
+  return {cov.partitions.begin(), cov.partitions.end()};
+}
+
+bool Overlaps(const Offer& a, const Offer& b) {
+  // Rectangles overlap iff every alias's partition sets intersect.
+  for (const auto& cov_a : a.coverage) {
+    const OfferCoverage* cov_b = b.FindCoverage(cov_a.alias);
+    if (cov_b == nullptr) return false;
+    bool common = false;
+    for (const auto& pid : cov_a.partitions) {
+      if (std::find(cov_b->partitions.begin(), cov_b->partitions.end(),
+                    pid) != cov_b->partitions.end()) {
+        common = true;
+        break;
+      }
+    }
+    if (!common) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+sql::SelectStmt BuildRestrictedSubsetQuery(
+    const sql::BoundQuery& original, const std::set<std::string>& aliases,
+    const std::map<std::string, std::set<std::string>>& box,
+    const FederationSchema& federation) {
+  sql::SelectStmt stmt;
+
+  // Needed columns: outputs / grouping / ordering inputs on these aliases
+  // plus border columns of predicates leaving the subset.
+  std::set<std::pair<std::string, std::string>> needed;
+  auto collect = [&](const ExprPtr& expr) {
+    sql::ForEachColumnRef(expr, [&](const sql::Expr& ref) {
+      if (aliases.count(ref.qualifier) > 0) {
+        needed.insert({ref.qualifier, ref.column});
+      }
+    });
+  };
+  for (const auto& out : original.outputs) collect(out.expr);
+  for (const auto& g : original.group_by) {
+    if (aliases.count(g.alias) > 0) needed.insert({g.alias, g.column});
+  }
+  collect(original.having);
+  for (const auto& o : original.order_by) collect(o.expr);
+
+  std::vector<ExprPtr> where;
+  for (const auto& conj : original.conjuncts) {
+    bool all_in = true, any_in = false;
+    for (const auto& a : conj.aliases) {
+      if (aliases.count(a) > 0) {
+        any_in = true;
+      } else {
+        all_in = false;
+      }
+    }
+    if (all_in) {
+      where.push_back(conj.expr);
+    } else if (any_in) {
+      collect(conj.expr);
+    }
+  }
+
+  // Partition restrictions per alias from the ask box.
+  for (const auto& [alias, partitions] : box) {
+    if (aliases.count(alias) == 0) continue;
+    const sql::TableRef* tref = original.FindTable(alias);
+    if (tref == nullptr) continue;
+    const TablePartitioning* partitioning =
+        federation.FindPartitioning(tref->table);
+    if (partitioning == nullptr) continue;
+    if (partitions.size() >= partitioning->partitions.size()) continue;
+    std::vector<const PartitionDef*> defs;
+    for (const auto& part : partitioning->partitions) {
+      if (partitions.count(part.id) > 0) defs.push_back(&part);
+    }
+    ExprPtr restriction = PartitionRestriction(defs, alias);
+    if (restriction != nullptr) where.push_back(restriction);
+  }
+
+  for (const auto& [alias, column] : needed) {
+    sql::SelectItem item;
+    item.expr = sql::Col(alias, column);
+    stmt.items.push_back(std::move(item));
+  }
+  for (const auto& tref : original.tables) {
+    if (aliases.count(tref.alias) > 0) stmt.from.push_back(tref);
+  }
+  if (stmt.items.empty() && !stmt.from.empty()) {
+    const sql::TableRef& first = stmt.from.front();
+    const TableDef* def = federation.FindTable(first.table);
+    sql::SelectItem item;
+    item.expr = sql::Col(first.alias, def->columns.front().name);
+    stmt.items.push_back(std::move(item));
+  }
+  stmt.where = sql::AndAll(where);
+  return stmt;
+}
+
+std::vector<TradedQuery> BuyerAnalyser::Analyse(
+    const std::vector<Offer>& offers,
+    const std::vector<CandidatePlan>& candidates,
+    const std::set<std::string>& already_asked, int iteration) {
+  (void)candidates;
+  std::vector<TradedQuery> out;
+  std::set<std::string> emitted = already_asked;
+
+  // Group core offers by alias set.
+  std::map<std::string, std::vector<const Offer*>> by_signature;
+  for (const auto& offer : offers) {
+    if (offer.kind != OfferKind::kCoreRows) continue;
+    by_signature[AliasOnlySignature(offer)].push_back(&offer);
+  }
+
+  int counter = 0;
+  for (auto& [signature, group] : by_signature) {
+    if (group.size() < 2) continue;
+    // Anchor = cheapest offer of the group.
+    std::sort(group.begin(), group.end(), [](const Offer* a, const Offer* b) {
+      return a->props.total_time_ms < b->props.total_time_ms;
+    });
+    const Offer* anchor = group.front();
+    for (size_t i = 1; i < group.size(); ++i) {
+      const Offer* other = group[i];
+      if (!Overlaps(*anchor, *other)) continue;
+      // Ask for the slice of `other` not provided by `anchor`: restrict
+      // one alias to the set difference, keep the others at `other`'s
+      // coverage. Emit one derived query per alias with a non-empty,
+      // strictly smaller difference.
+      for (const auto& cov : other->coverage) {
+        const OfferCoverage* anchor_cov = anchor->FindCoverage(cov.alias);
+        if (anchor_cov == nullptr) continue;
+        std::set<std::string> anchor_set = CoverageSet(*anchor_cov);
+        std::set<std::string> diff;
+        for (const auto& pid : cov.partitions) {
+          if (anchor_set.count(pid) == 0) diff.insert(pid);
+        }
+        if (diff.empty() || diff.size() == cov.partitions.size()) continue;
+
+        TradedQuery traded;
+        traded.rfb_id = "q" + std::to_string(iteration) + "-" +
+                        std::to_string(counter++);
+        std::set<std::string> aliases;
+        for (const auto& c : other->coverage) {
+          aliases.insert(c.alias);
+          traded.ask_box[c.alias] = CoverageSet(c);
+        }
+        traded.ask_box[cov.alias] = diff;
+        traded.stmt = BuildRestrictedSubsetQuery(*original_, aliases,
+                                                 traded.ask_box,
+                                                 *federation_);
+        // Worth at most what the redundant offer quoted.
+        traded.estimated_value = other->props.total_time_ms;
+        std::string text = sql::ToSql(traded.stmt);
+        if (emitted.insert(text).second) {
+          out.push_back(std::move(traded));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace qtrade

@@ -1,0 +1,56 @@
+// Buyer predicates analyser (paper §3.7): mines the current iteration's
+// offers and candidate plans for *new* queries worth trading next round.
+//
+// The concrete mechanism (partition-aligned instance of the paper's
+// union-redundancy example): when two offers for the same relation subset
+// overlap — typical under replication — they cannot be UNIONed soundly,
+// so the analyser emits the original query restricted to the part of the
+// second offer's coverage that the first does not provide. In the next
+// iteration sellers bid on exactly the missing slice, which is cheaper to
+// produce and ship, and the plan generator can now combine both sellers.
+#ifndef QTRADE_TRADING_BUYER_ANALYSER_H_
+#define QTRADE_TRADING_BUYER_ANALYSER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "opt/offer.h"
+#include "opt/plan_assembler.h"
+#include "trading/messages.h"
+
+namespace qtrade {
+
+/// Builds the SQL for the `original` query restricted to `aliases` and to
+/// the given partitions per alias (the §3.7 derived queries). Outputs are
+/// the columns the buyer needs from that fragment (projection, grouping,
+/// aggregation inputs and border join columns).
+sql::SelectStmt BuildRestrictedSubsetQuery(
+    const sql::BoundQuery& original, const std::set<std::string>& aliases,
+    const std::map<std::string, std::set<std::string>>& box,
+    const FederationSchema& federation);
+
+class BuyerAnalyser {
+ public:
+  BuyerAnalyser(const sql::BoundQuery* original,
+                const FederationSchema* federation)
+      : original_(original), federation_(federation) {}
+
+  /// Derives new traded queries from this iteration's offers. Queries
+  /// whose SQL is in `already_asked` are suppressed; each returned query
+  /// carries its ask-box for later offer clipping.
+  std::vector<TradedQuery> Analyse(
+      const std::vector<Offer>& offers,
+      const std::vector<CandidatePlan>& candidates,
+      const std::set<std::string>& already_asked, int iteration);
+
+ private:
+  const sql::BoundQuery* original_;
+  const FederationSchema* federation_;
+};
+
+}  // namespace qtrade
+
+#endif  // QTRADE_TRADING_BUYER_ANALYSER_H_

@@ -1,0 +1,402 @@
+#include "trading/buyer_engine.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/logging.h"
+
+namespace qtrade {
+
+namespace {
+
+double WallMs(std::chrono::steady_clock::time_point start) {
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+}  // namespace
+
+const char* NegotiationProtocolName(NegotiationProtocol protocol) {
+  switch (protocol) {
+    case NegotiationProtocol::kBidding: return "bidding";
+    case NegotiationProtocol::kAuction: return "auction";
+    case NegotiationProtocol::kBargaining: return "bargaining";
+  }
+  return "?";
+}
+
+int64_t OfferWireBytes(const Offer& offer) {
+  int64_t bytes = 128;  // envelope + property vector
+  bytes += static_cast<int64_t>(sql::ToSql(offer.query).size());
+  for (const auto& cov : offer.coverage) {
+    bytes += 16 + 24 * static_cast<int64_t>(cov.partitions.size());
+  }
+  return bytes;
+}
+
+BuyerEngine::BuyerEngine(NodeCatalog* catalog, const PlanFactory* factory,
+                         SimNetwork* network,
+                         std::vector<SellerEngine*> sellers,
+                         QtOptions options,
+                         std::unique_ptr<BuyerStrategy> strategy)
+    : catalog_(catalog),
+      factory_(factory),
+      network_(network),
+      sellers_(std::move(sellers)),
+      options_(options),
+      strategy_(std::move(strategy)) {
+  if (!strategy_) strategy_ = std::make_unique<DefaultBuyerStrategy>();
+}
+
+std::vector<SellerEngine*> BuyerEngine::PickSellers(Rng* rng) const {
+  if (options_.rfb_fanout == 0 || options_.rfb_fanout >= sellers_.size()) {
+    return sellers_;
+  }
+  std::vector<SellerEngine*> picked;
+  for (size_t idx : rng->Sample(sellers_.size(), options_.rfb_fanout)) {
+    picked.push_back(sellers_[idx]);
+  }
+  return picked;
+}
+
+void BuyerEngine::ClipOffer(
+    Offer* offer,
+    const std::map<std::string, std::set<std::string>>& box) const {
+  if (box.empty()) return;
+  for (auto& cov : offer->coverage) {
+    auto it = box.find(cov.alias);
+    if (it == box.end()) continue;
+    std::vector<std::string> kept;
+    for (const auto& pid : cov.partitions) {
+      if (it->second.count(pid) > 0) kept.push_back(pid);
+    }
+    cov.partitions = std::move(kept);
+  }
+}
+
+Status BuyerEngine::TradeQuery(const TradedQuery& traded, Rng* rng,
+                               std::vector<Offer>* pool,
+                               TradeMetrics* metrics) {
+  Rfb rfb;
+  rfb.rfb_id = traded.rfb_id;
+  rfb.buyer = catalog_->node_name();
+  rfb.sql = sql::ToSql(traded.stmt);
+  rfb.reserve_value =
+      strategy_->Reserve(traded.rfb_id, traded.estimated_value);
+  ask_box_by_rfb_[traded.rfb_id] = traded.ask_box;
+
+  std::vector<SellerEngine*> contacted = PickSellers(rng);
+  double round_time = 0;
+  for (SellerEngine* seller : contacted) {
+    double out_time = network_->Send(rfb.buyer, seller->name(),
+                                     rfb.WireBytes(), "rfb");
+    ++metrics->rfbs_sent;
+    auto start = std::chrono::steady_clock::now();
+    auto offers = seller->OnRfb(rfb);
+    double compute = WallMs(start);
+    metrics->wall_opt_ms += compute;
+    if (!offers.ok()) {
+      QTRADE_LOG(kWarning) << "seller " << seller->name()
+                           << " failed on RFB: "
+                           << offers.status().ToString();
+      continue;
+    }
+    int64_t reply_bytes = 32;  // decline / envelope
+    for (auto& offer : *offers) {
+      reply_bytes += OfferWireBytes(offer);
+      ClipOffer(&offer, traded.ask_box);
+      pool->push_back(std::move(offer));
+      ++metrics->offers_received;
+    }
+    double back_time =
+        network_->Send(seller->name(), rfb.buyer, reply_bytes, "offer");
+    // Sellers work in parallel: the round lasts as long as the slowest.
+    round_time = std::max(round_time, out_time + compute + back_time);
+  }
+  network_->AdvanceClock(round_time);
+  return Status::OK();
+}
+
+void BuyerEngine::RunNestedNegotiation(std::vector<Offer>* pool,
+                                       TradeMetrics* metrics) {
+  if (options_.protocol == NegotiationProtocol::kBidding) return;
+  if (pool->empty()) return;
+
+  // Offers are price-comparable within one (rfb, alias-set signature)
+  // group: a one-table answer and a full-join answer for the same RFB are
+  // different commodities.
+  using GroupKey = std::pair<std::string, std::string>;
+  auto best_quote_for = [&](const GroupKey& group) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& offer : *pool) {
+      if (offer.rfb_id == group.first &&
+          offer.CoverageSignature() == group.second) {
+        best = std::min(best, options_.valuation.Score(offer.props));
+      }
+    }
+    return best;
+  };
+  std::set<GroupKey> groups;
+  for (const auto& offer : *pool) {
+    groups.insert({offer.rfb_id, offer.CoverageSignature()});
+  }
+
+  auto seller_by_name = [&](const std::string& name) -> SellerEngine* {
+    for (SellerEngine* s : sellers_) {
+      if (s->name() == name) return s;
+    }
+    return nullptr;
+  };
+
+  auto apply_update = [&](const Offer& updated) {
+    for (auto& offer : *pool) {
+      if (offer.offer_id == updated.offer_id) {
+        offer.props = updated.props;
+        return;
+      }
+    }
+  };
+
+  if (options_.protocol == NegotiationProtocol::kAuction) {
+    for (int round = 0; round < options_.max_auction_rounds; ++round) {
+      bool improved = false;
+      double round_time = 0;
+      for (const auto& group : groups) {
+        AuctionTick tick{group.first, group.second, best_quote_for(group)};
+        // Announce to every seller that bid in this group.
+        std::set<std::string> bidders;
+        for (const auto& offer : *pool) {
+          if (offer.rfb_id == group.first &&
+              offer.CoverageSignature() == group.second) {
+            bidders.insert(offer.seller);
+          }
+        }
+        for (const auto& name : bidders) {
+          SellerEngine* seller = seller_by_name(name);
+          if (seller == nullptr) continue;
+          double out_time =
+              network_->Send(catalog_->node_name(), name, 64, "auction");
+          auto start = std::chrono::steady_clock::now();
+          auto updated = seller->OnAuctionTick(tick);
+          double compute = WallMs(start);
+          metrics->wall_opt_ms += compute;
+          double back_time = 0;
+          if (updated.has_value()) {
+            back_time = network_->Send(name, catalog_->node_name(),
+                                       OfferWireBytes(*updated), "offer");
+            apply_update(*updated);
+            improved = true;
+          }
+          round_time =
+              std::max(round_time, out_time + compute + back_time);
+        }
+      }
+      network_->AdvanceClock(round_time);
+      ++metrics->auction_rounds;
+      if (!improved) break;
+    }
+    return;
+  }
+
+  // Bargaining: per traded query, push the best bidder down with
+  // counter-offers.
+  for (int round = 0; round < options_.max_bargain_rounds; ++round) {
+    bool movement = false;
+    double round_time = 0;
+    for (const auto& group : groups) {
+      // Find current best offer of this comparable group.
+      const Offer* best = nullptr;
+      for (const auto& offer : *pool) {
+        if (offer.rfb_id != group.first ||
+            offer.CoverageSignature() != group.second) {
+          continue;
+        }
+        if (best == nullptr || options_.valuation.Score(offer.props) <
+                                   options_.valuation.Score(best->props)) {
+          best = &offer;
+        }
+      }
+      if (best == nullptr) continue;
+      double quote = best->props.total_time_ms;
+      double counter = strategy_->CounterOffer(quote, round);
+      if (counter >= quote) continue;  // buyer accepts as-is
+      SellerEngine* seller = seller_by_name(best->seller);
+      if (seller == nullptr) continue;
+      double out_time = network_->Send(catalog_->node_name(), best->seller,
+                                       96, "bargain");
+      auto start = std::chrono::steady_clock::now();
+      auto updated =
+          seller->OnCounterOffer(group.first, group.second, counter);
+      double compute = WallMs(start);
+      metrics->wall_opt_ms += compute;
+      double back_time = network_->Send(best->seller, catalog_->node_name(),
+                                        64, "bargain");
+      if (updated.has_value()) {
+        apply_update(*updated);
+        movement = true;
+      }
+      if (getenv("QT_DEBUG_POOL")) {
+        fprintf(stderr, "BARGAIN rfb=%s sig=%.40s quote=%.2f counter=%.2f -> %s\n",
+                group.first.c_str(), group.second.c_str(), quote, counter,
+                updated.has_value() ? "accepted" : "held");
+      }
+      round_time = std::max(round_time, out_time + compute + back_time);
+    }
+    network_->AdvanceClock(round_time);
+    ++metrics->bargain_rounds;
+    if (!movement) break;
+  }
+}
+
+Result<QtResult> BuyerEngine::Optimize(const std::string& sql) {
+  auto wall_start = std::chrono::steady_clock::now();
+  // The network is shared across optimizations; report deltas.
+  const int64_t start_messages = network_->total().messages;
+  const int64_t start_bytes = network_->total().bytes;
+  const double start_clock = network_->now_ms();
+  QTRADE_ASSIGN_OR_RETURN(sql::BoundQuery original,
+                          sql::AnalyzeSql(sql, *catalog_));
+
+  Rng rng(options_.seed + optimize_count_);
+  const std::string run_tag =
+      catalog_->node_name() + "/" + std::to_string(optimize_count_++);
+  QtResult result;
+  BuyerAnalyser analyser(&original, &catalog_->federation());
+  // The buyer's §3.1 weighting function prices purchased answers inside
+  // the plan generator too.
+  options_.assembler.valuation = options_.valuation;
+  PlanAssembler assembler(&original, &catalog_->federation(), factory_,
+                          options_.assembler);
+
+  std::vector<Offer> pool;
+  std::set<std::string> asked_sql;
+  std::vector<TradedQuery> to_trade;
+  {
+    TradedQuery root;
+    root.rfb_id = run_tag + ":q0";
+    root.stmt = original.ToStmt();
+    root.estimated_value = options_.initial_value;
+    to_trade.push_back(std::move(root));
+    asked_sql.insert(sql::ToSql(to_trade.front().stmt));
+  }
+
+  std::vector<CandidatePlan> best_candidates;
+  for (int iteration = 0; iteration < options_.max_iterations; ++iteration) {
+    if (to_trade.empty()) break;
+    // B1/B2/S1/S2: request bids for the working set Q.
+    for (const auto& traded : to_trade) {
+      QTRADE_RETURN_IF_ERROR(
+          TradeQuery(traded, &rng, &pool, &result.metrics));
+    }
+    // B3/S3: nested negotiation.
+    RunNestedNegotiation(&pool, &result.metrics);
+    if (getenv("QT_DEBUG_POOL")) {
+      for (const auto& o : pool)
+        fprintf(stderr, "POOL %s sig=%s quote=%.2f\n", o.offer_id.c_str(),
+                o.CoverageSignature().c_str(), o.props.total_time_ms);
+    }
+
+    // B4: candidate plans from all offers gathered so far.
+    auto opt_start = std::chrono::steady_clock::now();
+    QTRADE_ASSIGN_OR_RETURN(std::vector<CandidatePlan> candidates,
+                            assembler.Assemble(pool));
+    result.metrics.wall_opt_ms += WallMs(opt_start);
+    ++result.metrics.iterations;
+    result.iterations = result.metrics.iterations;
+
+    bool improved = false;
+    if (!candidates.empty() && candidates.front().cost < result.cost) {
+      result.cost = candidates.front().cost;
+      result.plan = candidates.front().plan;
+      best_candidates = candidates;
+      improved = true;
+    }
+    result.cost_per_iteration.push_back(result.cost);
+
+    if (candidates.empty() && result.plan == nullptr) {
+      // Fig. 2 aborts when the first iteration yields no candidate plan —
+      // but when trader selection (bounded fan-out) limited who we asked,
+      // widen the net and retry before giving up.
+      if (options_.rfb_fanout > 0 &&
+          options_.rfb_fanout < sellers_.size()) {
+        options_.rfb_fanout =
+            std::min(options_.rfb_fanout * 4, sellers_.size());
+        TradedQuery retry;
+        retry.rfb_id = run_tag + ":q0r" + std::to_string(iteration);
+        retry.stmt = original.ToStmt();
+        retry.estimated_value = options_.initial_value;
+        to_trade.clear();
+        to_trade.push_back(std::move(retry));
+        continue;
+      }
+      break;
+    }
+
+    // B5/B6: predicates analyser proposes the next working set.
+    to_trade = analyser.Analyse(pool, candidates, asked_sql, iteration + 1);
+    for (auto& traded : to_trade) {
+      traded.rfb_id = run_tag + ":" + traded.rfb_id;
+      asked_sql.insert(sql::ToSql(traded.stmt));
+    }
+    // B7: stop on no improvement (after the first round) or no new work.
+    if (!improved && iteration > 0) break;
+  }
+
+  if (result.plan == nullptr) {
+    result.metrics.messages = network_->total().messages - start_messages;
+    result.metrics.bytes = network_->total().bytes - start_bytes;
+    result.metrics.sim_elapsed_ms = network_->now_ms() - start_clock;
+    result.metrics.wall_opt_ms = WallMs(wall_start);
+    return result;  // failed optimization: caller checks ok()
+  }
+
+  // B8 + awards: notify winners (and losers, for strategy learning).
+  std::set<std::string> winning_ids(
+      // offer ids actually purchased by the final plan
+      [&] {
+        std::set<std::string> ids;
+        for (const PlanNode* remote : CollectRemotes(result.plan)) {
+          ids.insert(remote->offer_id);
+        }
+        return ids;
+      }());
+  std::map<std::string, std::vector<Award>> awards_by_seller;
+  std::map<std::string, std::vector<std::string>> lost_by_seller;
+  for (const auto& offer : pool) {
+    if (winning_ids.count(offer.offer_id) > 0) {
+      awards_by_seller[offer.seller].push_back(
+          {offer.rfb_id, offer.offer_id});
+      result.winning_offers.push_back(offer);
+    } else {
+      lost_by_seller[offer.seller].push_back(offer.offer_id);
+    }
+  }
+  double award_time = 0;
+  for (SellerEngine* seller : sellers_) {
+    auto awards = awards_by_seller.find(seller->name());
+    auto lost = lost_by_seller.find(seller->name());
+    if (awards == awards_by_seller.end() && lost == lost_by_seller.end()) {
+      continue;
+    }
+    static const std::vector<Award> kNoAwards;
+    static const std::vector<std::string> kNoLost;
+    const auto& a =
+        awards != awards_by_seller.end() ? awards->second : kNoAwards;
+    const auto& l = lost != lost_by_seller.end() ? lost->second : kNoLost;
+    double t = network_->Send(catalog_->node_name(), seller->name(),
+                              64 + 48 * static_cast<int64_t>(a.size()),
+                              "award");
+    seller->OnAwards(a, l);
+    if (!a.empty()) result.metrics.awards_sent += a.size();
+    award_time = std::max(award_time, t);
+  }
+  network_->AdvanceClock(award_time);
+
+  result.metrics.messages = network_->total().messages - start_messages;
+  result.metrics.bytes = network_->total().bytes - start_bytes;
+  result.metrics.sim_elapsed_ms = network_->now_ms() - start_clock;
+  result.metrics.wall_opt_ms = WallMs(wall_start);
+  return result;
+}
+
+}  // namespace qtrade

@@ -1,0 +1,105 @@
+// The buyer side of the Query-Trading algorithm (paper Fig. 2, steps
+// B1–B8), generic over the negotiation protocol (§2): sealed-bid bidding,
+// iterated reverse auction, or bargaining with counter-offers.
+//
+// One Optimize() call runs the full iterative loop: estimate values (B1),
+// request bids (B2), run the nested negotiation (B3/S3), assemble
+// candidate plans from the winning offers (B4), mine the candidates and
+// offers for new queries (B5–B6, the predicates analyser), and repeat
+// until no better plan or no new queries appear (B7), returning the best
+// execution plan and its cost (B8). No data moves during optimization.
+#ifndef QTRADE_TRADING_BUYER_ENGINE_H_
+#define QTRADE_TRADING_BUYER_ENGINE_H_
+
+#include <limits>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "net/network.h"
+#include "opt/plan_assembler.h"
+#include "trading/buyer_analyser.h"
+#include "trading/messages.h"
+#include "trading/seller_engine.h"
+#include "trading/strategy.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace qtrade {
+
+enum class NegotiationProtocol { kBidding, kAuction, kBargaining };
+
+const char* NegotiationProtocolName(NegotiationProtocol protocol);
+
+struct QtOptions {
+  NegotiationProtocol protocol = NegotiationProtocol::kBidding;
+  /// Fig. 2 outer-loop bound (safety net; the paper's loop stops on
+  /// no-improvement / no-new-queries anyway).
+  int max_iterations = 4;
+  int max_auction_rounds = 3;
+  int max_bargain_rounds = 3;
+  /// Sellers contacted per RFB; 0 = broadcast to every known seller.
+  size_t rfb_fanout = 0;
+  /// Buyer-side ranking of offers (§3.1 weighting function).
+  OfferValuation valuation;
+  AssemblerOptions assembler;
+  /// v0: externally estimated value of the original query (<0 unknown).
+  double initial_value = -1;
+  uint64_t seed = 42;
+};
+
+struct QtResult {
+  PlanPtr plan;  // null when optimization failed
+  double cost = std::numeric_limits<double>::infinity();
+  int iterations = 0;
+  std::vector<Offer> winning_offers;
+  std::vector<double> cost_per_iteration;  // best-so-far after each round
+  TradeMetrics metrics;
+
+  bool ok() const { return plan != nullptr; }
+};
+
+class BuyerEngine {
+ public:
+  /// `sellers` is the buyer's peer directory; the buyer's own node may be
+  /// in it (self-supply is legitimate and models local execution).
+  BuyerEngine(NodeCatalog* catalog, const PlanFactory* factory,
+              SimNetwork* network, std::vector<SellerEngine*> sellers,
+              QtOptions options = {},
+              std::unique_ptr<BuyerStrategy> strategy = nullptr);
+
+  /// Runs the QT algorithm for a SELECT query.
+  Result<QtResult> Optimize(const std::string& sql);
+
+ private:
+  /// Sends one RFB to the selected sellers, collects (clipped) offers.
+  Status TradeQuery(const TradedQuery& traded, Rng* rng,
+                    std::vector<Offer>* pool, TradeMetrics* metrics);
+
+  /// Runs the nested negotiation over the pool for this iteration.
+  void RunNestedNegotiation(std::vector<Offer>* pool, TradeMetrics* metrics);
+
+  /// Clips an offer's coverage to the ask box of the RFB it answers.
+  void ClipOffer(Offer* offer,
+                 const std::map<std::string, std::set<std::string>>& box)
+      const;
+
+  std::vector<SellerEngine*> PickSellers(Rng* rng) const;
+
+  NodeCatalog* catalog_;
+  const PlanFactory* factory_;
+  SimNetwork* network_;
+  std::vector<SellerEngine*> sellers_;
+  QtOptions options_;
+  std::unique_ptr<BuyerStrategy> strategy_;
+  std::map<std::string, std::map<std::string, std::set<std::string>>>
+      ask_box_by_rfb_;
+  int64_t optimize_count_ = 0;  // makes RFB ids unique across runs
+};
+
+}  // namespace qtrade
+
+#endif  // QTRADE_TRADING_BUYER_ENGINE_H_

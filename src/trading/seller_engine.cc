@@ -1,0 +1,411 @@
+#include "trading/seller_engine.h"
+
+#include <algorithm>
+#include <set>
+
+#include "rewrite/partition_rewriter.h"
+#include "rewrite/view_matcher.h"
+#include "stats/selectivity.h"
+#include "trading/buyer_analyser.h"
+
+namespace qtrade {
+
+SellerEngine::SellerEngine(NodeCatalog* catalog, TableStore* store,
+                           const PlanFactory* factory,
+                           std::unique_ptr<SellerStrategy> strategy,
+                           OfferGeneratorOptions generator_options)
+    : catalog_(catalog),
+      store_(store),
+      factory_(factory),
+      strategy_(std::move(strategy)),
+      generator_(catalog, factory, generator_options) {
+  if (!strategy_) strategy_ = std::make_unique<TruthfulStrategy>();
+}
+
+namespace {
+// Aligns `rows` to `schema` column order by (qualifier, name); drops
+// extra columns the subcontractor shipped (e.g. its clip columns).
+Result<RowSet> ProjectTo(const TupleSchema& schema, const RowSet& rows) {
+  std::vector<size_t> indices;
+  for (const auto& col : schema.columns()) {
+    QTRADE_ASSIGN_OR_RETURN(size_t idx,
+                            rows.schema.FindColumn(col.qualifier, col.name));
+    indices.push_back(idx);
+  }
+  RowSet out;
+  out.schema = schema;
+  for (const auto& row : rows.rows) {
+    Row projected;
+    projected.reserve(indices.size());
+    for (size_t idx : indices) projected.push_back(row[idx]);
+    out.rows.push_back(std::move(projected));
+  }
+  return out;
+}
+}  // namespace
+
+void SellerEngine::EnableSubcontracting(std::vector<SellerEngine*> peers,
+                                        SimNetwork* network) {
+  peers_.clear();
+  for (SellerEngine* peer : peers) {
+    if (peer != nullptr && peer != this) peers_.push_back(peer);
+  }
+  peer_network_ = network;
+}
+
+Result<std::vector<Offer>> SellerEngine::OnRfb(const Rfb& rfb) {
+  ++rfbs_seen_;
+  QTRADE_ASSIGN_OR_RETURN(sql::BoundQuery asked,
+                          sql::AnalyzeSql(rfb.sql, *catalog_));
+  QTRADE_ASSIGN_OR_RETURN(std::vector<GeneratedOffer> generated,
+                          generator_.Generate(asked, rfb.rfb_id));
+  std::vector<Offer> out;
+  for (auto& g : generated) {
+    double quote = strategy_->Quote(g.true_cost);
+    // The buyer never pays below the honest reserve when a reserve value
+    // was announced and undercuts it: sellers simply keep their quote.
+    g.offer.props.total_time_ms = quote;
+    g.offer.props.price = quote - g.true_cost;  // seller surplus if won
+
+    OfferRecord record;
+    record.offer = g.offer;
+    record.true_cost = g.true_cost;
+    record.scan_partitions = std::move(g.scan_partitions);
+    record.view_name = std::move(g.view_name);
+    record.view_compensation = std::move(g.view_compensation);
+    if (record.view_name.empty()) {
+      // Bind the offered statement now so execution later is cheap and
+      // failures surface at offer time.
+      QTRADE_ASSIGN_OR_RETURN(record.exec_query,
+                              sql::AnalyzeSql(sql::ToSql(g.offer.query),
+                                              *catalog_));
+    }
+    offers_by_rfb_[rfb.rfb_id].push_back(g.offer.offer_id);
+    records_.emplace(g.offer.offer_id, std::move(record));
+    out.push_back(std::move(g.offer));
+  }
+  if (rfb.allow_subcontract && !peers_.empty()) {
+    TrySubcontract(rfb, asked, &out);
+  }
+  return out;
+}
+
+void SellerEngine::TrySubcontract(const Rfb& rfb,
+                                  const sql::BoundQuery& asked,
+                                  std::vector<Offer>* out) {
+  // Find relations whose local fragment is incomplete for this query.
+  auto rewrite = RewriteForLocalPartitions(asked, *catalog_);
+  if (!rewrite.ok() || !rewrite->has_value()) return;
+  const LocalRewrite& lr = **rewrite;
+  const FederationSchema& federation = catalog_->federation();
+  const CostModel& cost = factory_->cost_model();
+
+  int attempts = 0;
+  for (const AliasCoverage& cov : lr.coverage) {
+    if (cov.complete || attempts >= 2) continue;
+    ++attempts;
+    // The missing slice of this relation.
+    const TablePartitioning* partitioning =
+        federation.FindPartitioning(cov.table);
+    std::set<std::string> covered(cov.covered_partitions.begin(),
+                                  cov.covered_partitions.end());
+    std::map<std::string, std::set<std::string>> missing_box;
+    for (const auto& part : partitioning->partitions) {
+      if (covered.count(part.id) == 0) {
+        missing_box[cov.alias].insert(part.id);
+      }
+    }
+    if (missing_box.empty() || missing_box[cov.alias].size() > 4) continue;
+
+    // Greedy multi-peer cover: each round asks peers for the fragments
+    // still missing; because every sub-RFB is restricted to the current
+    // missing set, delivered rows across rounds are disjoint.
+    std::set<std::string> missing = missing_box[cov.alias];
+    std::vector<std::pair<SellerEngine*, const Offer*>> bought;
+    std::vector<std::vector<Offer>> keepalive;  // owns chosen offers
+    double bought_cost = 0;
+    double bought_rows = 0;
+    for (int round = 0; round < 4 && !missing.empty(); ++round) {
+      std::map<std::string, std::set<std::string>> ask;
+      ask[cov.alias] = missing;
+      Rfb sub;
+      sub.rfb_id =
+          rfb.rfb_id + "/sub" + std::to_string(subcontract_counter_++);
+      sub.buyer = name();
+      sub.allow_subcontract = false;  // depth 1
+      sub.sql = sql::ToSql(
+          BuildRestrictedSubsetQuery(asked, {cov.alias}, ask, federation));
+
+      std::vector<std::pair<SellerEngine*, std::vector<Offer>>> replies;
+      for (SellerEngine* peer : peers_) {
+        if (peer_network_ != nullptr) {
+          peer_network_->Send(name(), peer->name(), 64 + sub.sql.size(),
+                              "subrfb");
+        }
+        auto offers = peer->OnRfb(sub);
+        if (peer_network_ != nullptr) {
+          peer_network_->Send(peer->name(), name(), 64, "suboffer");
+        }
+        if (!offers.ok()) continue;
+        replies.emplace_back(peer, std::move(*offers));
+      }
+      // Cheapest offer per newly covered missing partition wins the round.
+      SellerEngine* round_peer = nullptr;
+      size_t round_index = 0, round_reply = 0;
+      double round_marginal = 0;
+      int round_new = 0;
+      for (size_t ri = 0; ri < replies.size(); ++ri) {
+        const auto& offers = replies[ri].second;
+        for (size_t oi = 0; oi < offers.size(); ++oi) {
+          const Offer& offer = offers[oi];
+          if (offer.kind != OfferKind::kCoreRows) continue;
+          const OfferCoverage* offered = offer.FindCoverage(cov.alias);
+          if (offered == nullptr) continue;
+          int covers_new = 0;
+          for (const auto& pid : offered->partitions) {
+            if (missing.count(pid) > 0) ++covers_new;
+          }
+          if (covers_new == 0) continue;
+          double marginal = offer.props.total_time_ms / covers_new;
+          if (round_peer == nullptr || marginal < round_marginal) {
+            round_peer = replies[ri].first;
+            round_reply = ri;
+            round_index = oi;
+            round_marginal = marginal;
+            round_new = covers_new;
+          }
+        }
+      }
+      if (round_peer == nullptr) break;  // nobody can extend the cover
+      keepalive.push_back(std::move(replies[round_reply].second));
+      const Offer* chosen = &keepalive.back()[round_index];
+      bought.emplace_back(round_peer, chosen);
+      bought_cost += chosen->props.total_time_ms;
+      bought_rows += chosen->props.rows;
+      for (const auto& pid :
+           chosen->FindCoverage(cov.alias)->partitions) {
+        missing.erase(pid);
+      }
+      (void)round_new;
+    }
+    if (!missing.empty() || bought.empty()) continue;
+
+    // Our own part of the relation, as a single-alias slice.
+    std::map<std::string, std::set<std::string>> own_box;
+    own_box[cov.alias] = {cov.scanned_partitions.begin(),
+                          cov.scanned_partitions.end()};
+    sql::SelectStmt own_stmt = BuildRestrictedSubsetQuery(
+        asked, {cov.alias}, own_box, federation);
+    auto own_bound = sql::AnalyzeSql(sql::ToSql(own_stmt), *catalog_);
+    if (!own_bound.ok()) continue;
+
+    // Price: our scan + transfer of our rows, plus the purchased slices'
+    // quotes, plus re-shipping the purchased rows to the final buyer.
+    std::optional<TableStats> own_stats;
+    for (const auto& pid : cov.scanned_partitions) {
+      const TableStats* part = catalog_->PartitionStats(pid);
+      if (part == nullptr) continue;
+      own_stats = own_stats.has_value()
+                      ? TableStats::MergeDisjoint(*own_stats, *part)
+                      : *part;
+    }
+    if (!own_stats.has_value()) continue;
+    std::vector<sql::ExprPtr> local = asked.LocalPredicates(cov.alias);
+    double sel = EstimateConjunctSelectivity(local, *own_stats);
+    double own_rows = own_stats->row_count * sel;
+    TupleSchema schema = own_bound->OutputSchema();
+    double row_bytes = EstimateRowBytes(schema);
+    double own_exec = cost.ScanCost(own_stats->row_count, row_bytes,
+                                    static_cast<int>(local.size()));
+    double resell = cost.TransferCost(bought_rows, row_bytes);
+    double true_cost = own_exec +
+                       cost.TransferCost(own_rows, row_bytes) +
+                       bought_cost + resell;
+
+    Offer combined;
+    combined.offer_id =
+        name() + ":sub" + std::to_string(subcontract_counter_++);
+    combined.seller = name();
+    combined.rfb_id = rfb.rfb_id;
+    combined.kind = OfferKind::kCoreRows;
+    // The combined offer promises the union of both slices.
+    std::map<std::string, std::set<std::string>> full_box = own_box;
+    for (const auto& pid : missing_box[cov.alias]) {
+      full_box[cov.alias].insert(pid);
+    }
+    // Provably-empty partitions stay covered for free.
+    std::set<std::string> combined_cov = full_box[cov.alias];
+    for (const auto& pid : cov.covered_partitions) {
+      combined_cov.insert(pid);
+    }
+    combined.query = BuildRestrictedSubsetQuery(asked, {cov.alias},
+                                                full_box, federation);
+    combined.schema = schema;
+    combined.coverage.push_back(
+        {cov.alias, cov.table,
+         std::vector<std::string>(combined_cov.begin(),
+                                  combined_cov.end())});
+    combined.row_bytes = row_bytes;
+    combined.props.total_time_ms = strategy_->Quote(true_cost);
+    combined.props.rows = own_rows + bought_rows;
+    combined.props.first_row_ms = cost.params().net_latency_ms * 2;
+    combined.props.completeness =
+        static_cast<double>(combined_cov.size()) /
+        partitioning->partitions.size();
+    combined.props.price = combined.props.total_time_ms - true_cost;
+
+    OfferRecord record;
+    record.offer = combined;
+    record.true_cost = true_cost;
+    record.exec_query = std::move(*own_bound);
+    record.scan_partitions[cov.alias] = cov.scanned_partitions;
+    for (const auto& [peer, chosen] : bought) {
+      record.subcontracts.emplace_back(peer, chosen->offer_id);
+    }
+    offers_by_rfb_[rfb.rfb_id].push_back(combined.offer_id);
+    records_.emplace(combined.offer_id, std::move(record));
+    ++subcontracted_offers_;
+    out->push_back(std::move(combined));
+  }
+}
+
+std::optional<Offer> SellerEngine::OnAuctionTick(const AuctionTick& tick) {
+  auto it = offers_by_rfb_.find(tick.rfb_id);
+  if (it == offers_by_rfb_.end()) return std::nullopt;
+  // Improve our cheapest comparable offer (same alias-set signature) if
+  // it is currently losing and there is margin left to give.
+  OfferRecord* best = nullptr;
+  for (const auto& offer_id : it->second) {
+    auto rit = records_.find(offer_id);
+    if (rit == records_.end()) continue;
+    if (rit->second.offer.CoverageSignature() != tick.signature) continue;
+    if (best == nullptr ||
+        rit->second.offer.props.total_time_ms <
+            best->offer.props.total_time_ms) {
+      best = &rit->second;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  double current = best->offer.props.total_time_ms;
+  if (current <= tick.best_score + 1e-9) return std::nullopt;  // winning
+  double reservation = strategy_->ReservationValue(best->true_cost);
+  if (reservation >= tick.best_score) return std::nullopt;  // cannot beat
+  double new_quote = std::max(reservation, tick.best_score * 0.98);
+  if (new_quote >= current - 1e-9) return std::nullopt;
+  best->offer.props.total_time_ms = new_quote;
+  best->offer.props.price = new_quote - best->true_cost;
+  return best->offer;
+}
+
+std::optional<Offer> SellerEngine::OnCounterOffer(const std::string& rfb_id,
+                                                  const std::string& signature,
+                                                  double target_value) {
+  auto it = offers_by_rfb_.find(rfb_id);
+  if (it == offers_by_rfb_.end()) return std::nullopt;
+  OfferRecord* best = nullptr;
+  for (const auto& offer_id : it->second) {
+    auto rit = records_.find(offer_id);
+    if (rit == records_.end()) continue;
+    if (rit->second.offer.CoverageSignature() != signature) continue;
+    if (best == nullptr ||
+        rit->second.offer.props.total_time_ms <
+            best->offer.props.total_time_ms) {
+      best = &rit->second;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  double current = best->offer.props.total_time_ms;
+  if (current <= target_value) return std::nullopt;  // already acceptable
+  double reservation = strategy_->ReservationValue(best->true_cost);
+  if (target_value < reservation) return std::nullopt;  // hold firm
+  best->offer.props.total_time_ms = target_value;
+  best->offer.props.price = target_value - best->true_cost;
+  return best->offer;
+}
+
+void SellerEngine::OnAwards(const std::vector<Award>& awards,
+                            const std::vector<std::string>& lost_offer_ids) {
+  bool won_any = false;
+  for (const auto& award : awards) {
+    if (records_.count(award.offer_id) > 0) won_any = true;
+  }
+  if (won_any) {
+    strategy_->OnOutcome(true);
+  } else if (!lost_offer_ids.empty()) {
+    for (const auto& id : lost_offer_ids) {
+      if (records_.count(id) > 0) {
+        strategy_->OnOutcome(false);
+        break;
+      }
+    }
+  }
+}
+
+Result<RowSet> SellerEngine::ExecuteOffer(const std::string& offer_id) {
+  auto it = records_.find(offer_id);
+  if (it == records_.end()) {
+    return Status::NotFound("unknown offer: " + offer_id);
+  }
+  if (store_ == nullptr) {
+    return Status::InvalidArgument("node has no storage attached");
+  }
+  const OfferRecord& record = it->second;
+  if (!record.view_name.empty()) {
+    const RowSet* extent = store_->View(record.view_name);
+    if (extent == nullptr) {
+      return Status::NotFound("view extent missing: " + record.view_name);
+    }
+    // Bind the compensation against the view-extent schema.
+    const MaterializedViewDef* view = nullptr;
+    for (const auto& v : catalog_->views()) {
+      if (v.name == record.view_name) view = &v;
+    }
+    if (view == nullptr) {
+      return Status::NotFound("view definition missing: " +
+                              record.view_name);
+    }
+    SimpleSchemaProvider schemas;
+    schemas.AddTable(ViewExtentSchema(*view));
+    QTRADE_ASSIGN_OR_RETURN(
+        sql::BoundQuery comp,
+        sql::Analyze(record.view_compensation, schemas));
+    TableResolver resolver = [&](const sql::TableRef& tref)
+        -> Result<RowSet> {
+      RowSet rows;
+      for (const auto& col : extent->schema.columns()) {
+        rows.schema.AddColumn({tref.alias, col.name, col.type});
+      }
+      rows.rows = extent->rows;
+      return rows;
+    };
+    return ExecuteBoundQuery(comp, resolver);
+  }
+  TableResolver resolver = [&](const sql::TableRef& tref) -> Result<RowSet> {
+    auto pit = record.scan_partitions.find(tref.alias);
+    if (pit == record.scan_partitions.end() || pit->second.empty()) {
+      return Status::Internal("no scan recipe for alias " + tref.alias);
+    }
+    return store_->ScanPartitions(pit->second, tref.alias);
+  };
+  QTRADE_ASSIGN_OR_RETURN(RowSet own,
+                          ExecuteBoundQuery(record.exec_query, resolver));
+  // §3.5 subcontracting: append the purchased sub-answers.
+  for (const auto& [peer, sub_offer_id] : record.subcontracts) {
+    QTRADE_ASSIGN_OR_RETURN(RowSet bought, peer->ExecuteOffer(sub_offer_id));
+    QTRADE_ASSIGN_OR_RETURN(RowSet aligned, ProjectTo(own.schema, bought));
+    own.rows.insert(own.rows.end(),
+                    std::make_move_iterator(aligned.rows.begin()),
+                    std::make_move_iterator(aligned.rows.end()));
+  }
+  return own;
+}
+
+Result<double> SellerEngine::TrueCost(const std::string& offer_id) const {
+  auto it = records_.find(offer_id);
+  if (it == records_.end()) {
+    return Status::NotFound("unknown offer: " + offer_id);
+  }
+  return it->second.true_cost;
+}
+
+}  // namespace qtrade

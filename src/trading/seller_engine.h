@@ -1,0 +1,115 @@
+// A federation node in its seller role: answers RFBs with priced offers
+// (via the §3.4/§3.5 offer generator), participates in auction and
+// bargaining rounds through its strategy module, and — once awarded —
+// actually executes sold answers against its local storage.
+#ifndef QTRADE_TRADING_SELLER_ENGINE_H_
+#define QTRADE_TRADING_SELLER_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "exec/executor.h"
+#include "exec/storage.h"
+#include "net/network.h"
+#include "opt/offer_generator.h"
+#include "plan/plan_factory.h"
+#include "trading/messages.h"
+#include "trading/strategy.h"
+#include "util/status.h"
+
+namespace qtrade {
+
+class SellerEngine {
+ public:
+  /// `store` may be null for planning-only federations (no execution).
+  SellerEngine(NodeCatalog* catalog, TableStore* store,
+               const PlanFactory* factory,
+               std::unique_ptr<SellerStrategy> strategy,
+               OfferGeneratorOptions generator_options = {});
+
+  const std::string& name() const { return catalog_->node_name(); }
+
+  /// Enables §3.5 subcontracting: when this node's fragment of a relation
+  /// is incomplete, it may buy the missing slice from `peers` (one level
+  /// deep) and resell a combined, fuller offer. `network` accounts the
+  /// subcontract negotiation messages.
+  void EnableSubcontracting(std::vector<SellerEngine*> peers,
+                            SimNetwork* network);
+
+  /// Combined offers sold so far that embed purchased sub-answers.
+  int64_t subcontracted_offers() const { return subcontracted_offers_; }
+
+  NodeCatalog* catalog() { return catalog_; }
+  TableStore* store() { return store_; }
+  SellerStrategy* strategy() { return strategy_.get(); }
+
+  /// Fig. 2 steps S1–S2: rewrite, enumerate, analyse views, price.
+  /// Quotes are strategy-adjusted; the honest estimate is kept privately.
+  Result<std::vector<Offer>> OnRfb(const Rfb& rfb);
+
+  /// Auction round (nested negotiation, step S3): if our offer for this
+  /// RFB lost against `best_score`, optionally undercut by shaving the
+  /// margin. Returns the improved offer, if any.
+  std::optional<Offer> OnAuctionTick(const AuctionTick& tick);
+
+  /// Bargaining: buyer counter-offers `target_value` for this RFB's
+  /// offers spanning `signature`; the seller accepts (re-quoting down to
+  /// its reservation value) or holds its current quote.
+  std::optional<Offer> OnCounterOffer(const std::string& rfb_id,
+                                      const std::string& signature,
+                                      double target_value);
+
+  /// Award/decline feedback (strategy learning).
+  void OnAwards(const std::vector<Award>& awards,
+                const std::vector<std::string>& lost_offer_ids);
+
+  /// Executes a previously offered answer against local data.
+  Result<RowSet> ExecuteOffer(const std::string& offer_id);
+
+  /// Honest cost of an offer (testing/experiments: social cost).
+  Result<double> TrueCost(const std::string& offer_id) const;
+
+  int64_t rfbs_seen() const { return rfbs_seen_; }
+
+ private:
+  struct OfferRecord {
+    Offer offer;            // as quoted
+    double true_cost = 0;   // pre-markup estimate
+    /// Execution recipe: offered statement analyzed against the catalog,
+    /// plus which hosted partitions each alias scans. When `view_name`
+    /// is set the query runs over that materialized extent instead.
+    sql::BoundQuery exec_query;
+    std::map<std::string, std::vector<std::string>> scan_partitions;
+    std::string view_name;
+    sql::SelectStmt view_compensation;
+    /// §3.5 subcontracting: purchased sub-answers to union with the local
+    /// part at delivery time.
+    std::vector<std::pair<SellerEngine*, std::string>> subcontracts;
+  };
+
+  /// Builds combined offers for `asked` by buying missing fragments from
+  /// peers (one level deep). Appends to `out`.
+  void TrySubcontract(const Rfb& rfb, const sql::BoundQuery& asked,
+                      std::vector<Offer>* out);
+
+  NodeCatalog* catalog_;
+  TableStore* store_;
+  const PlanFactory* factory_;
+  std::unique_ptr<SellerStrategy> strategy_;
+  OfferGenerator generator_;
+  std::map<std::string, OfferRecord> records_;       // by offer id
+  std::map<std::string, std::vector<std::string>> offers_by_rfb_;
+  int64_t rfbs_seen_ = 0;
+  std::vector<SellerEngine*> peers_;
+  SimNetwork* peer_network_ = nullptr;
+  int64_t subcontracted_offers_ = 0;
+  int64_t subcontract_counter_ = 0;
+};
+
+}  // namespace qtrade
+
+#endif  // QTRADE_TRADING_SELLER_ENGINE_H_

@@ -1,0 +1,122 @@
+// Strategy modules (paper §2, Figure 1): how sellers price their offers
+// and how buyers estimate the value of the queries they request.
+//
+// Cooperative sellers quote their true estimated cost (joint-surplus
+// maximisation, the intra-enterprise case). Competitive sellers quote
+// cost * (1 + margin) and adapt the margin from win/loss feedback — a
+// simple reinforcement pricing rule from the e-commerce literature.
+#ifndef QTRADE_TRADING_STRATEGY_H_
+#define QTRADE_TRADING_STRATEGY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+namespace qtrade {
+
+/// Seller-side pricing policy.
+class SellerStrategy {
+ public:
+  virtual ~SellerStrategy() = default;
+
+  /// Value quoted to the buyer for an answer whose honest local estimate
+  /// is `true_cost_ms`. Must be >= true cost for rational sellers.
+  virtual double Quote(double true_cost_ms) = 0;
+
+  /// Feedback after a negotiation: did our offer win?
+  virtual void OnOutcome(bool /*won*/) {}
+
+  /// Lowest quote the seller would still accept for this answer (used by
+  /// auction/bargaining rounds to decide whether to undercut).
+  virtual double ReservationValue(double true_cost_ms) {
+    return true_cost_ms;
+  }
+
+  virtual std::string name() const = 0;
+};
+
+/// Cooperative: quote == true cost.
+class TruthfulStrategy : public SellerStrategy {
+ public:
+  double Quote(double true_cost_ms) override { return true_cost_ms; }
+  std::string name() const override { return "truthful"; }
+};
+
+/// Competitive: quote = true * (1 + margin); margin creeps up after wins
+/// and shrinks after losses, within [0, max_margin].
+class AdaptiveMarkupStrategy : public SellerStrategy {
+ public:
+  explicit AdaptiveMarkupStrategy(double initial_margin = 0.3,
+                                  double step = 0.05,
+                                  double max_margin = 1.0)
+      : margin_(initial_margin), step_(step), max_margin_(max_margin) {}
+
+  double Quote(double true_cost_ms) override {
+    return true_cost_ms * (1.0 + margin_);
+  }
+
+  void OnOutcome(bool won) override {
+    margin_ += won ? step_ : -2 * step_;
+    if (margin_ < 0) margin_ = 0;
+    if (margin_ > max_margin_) margin_ = max_margin_;
+  }
+
+  double margin() const { return margin_; }
+  std::string name() const override { return "adaptive-markup"; }
+
+ private:
+  double margin_;
+  double step_;
+  double max_margin_;
+};
+
+/// Buyer-side value estimation (paper Fig. 2, step B1): what is a query
+/// worth to us? Used as a reserve value in auctions/bargaining. The
+/// estimate starts from the externally supplied v0 and is refreshed from
+/// the best plan of the previous iteration.
+class BuyerStrategy {
+ public:
+  virtual ~BuyerStrategy() = default;
+
+  /// Reserve value for a traded query. `previous_estimate` is the value
+  /// carried on the Q-set entry (v0 for the original query, the current
+  /// plan's matching remote cost for derived queries); <= 0 means
+  /// unknown.
+  virtual double Reserve(const std::string& rfb_id,
+                         double previous_estimate) = 0;
+
+  /// Counter-offer value for a bargaining round, given the best quote so
+  /// far. Returning >= best_quote means "accept".
+  virtual double CounterOffer(double best_quote, int round) = 0;
+};
+
+/// Default buyer: accepts anything when no estimate exists; in
+/// bargaining, pushes quotes down by a shrinking discount per round.
+class DefaultBuyerStrategy : public BuyerStrategy {
+ public:
+  explicit DefaultBuyerStrategy(double slack = 1.25,
+                                double bargain_discount = 0.85)
+      : slack_(slack), discount_(bargain_discount) {}
+
+  double Reserve(const std::string& rfb_id,
+                 double previous_estimate) override {
+    (void)rfb_id;
+    if (previous_estimate <= 0) return -1;  // unknown: no reserve
+    return previous_estimate * slack_;
+  }
+
+  double CounterOffer(double best_quote, int round) override {
+    // Rounds 0,1,2... demand 15%, 10%, 5% discounts, then accept.
+    double factor = discount_ + 0.05 * round;
+    if (factor >= 1.0) return best_quote;
+    return best_quote * factor;
+  }
+
+ private:
+  double slack_;
+  double discount_;
+};
+
+}  // namespace qtrade
+
+#endif  // QTRADE_TRADING_STRATEGY_H_

@@ -1,0 +1,52 @@
+#include "types/row.h"
+
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace qtrade {
+
+std::string TupleColumn::FullName() const {
+  if (qualifier.empty()) return name;
+  return qualifier + "." + name;
+}
+
+Result<size_t> TupleSchema::FindColumn(const std::string& qualifier,
+                                       const std::string& name) const {
+  size_t found = columns_.size();
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const TupleColumn& col = columns_[i];
+    if (!EqualsIgnoreCase(col.name, name)) continue;
+    if (!qualifier.empty() && !EqualsIgnoreCase(col.qualifier, qualifier)) {
+      continue;
+    }
+    if (found != columns_.size()) {
+      return Status::BindError("ambiguous column reference: " + name);
+    }
+    found = i;
+  }
+  if (found == columns_.size()) {
+    std::string full = qualifier.empty() ? name : qualifier + "." + name;
+    return Status::NotFound("column not found: " + full);
+  }
+  return found;
+}
+
+TupleSchema TupleSchema::Concat(const TupleSchema& a, const TupleSchema& b) {
+  std::vector<TupleColumn> cols = a.columns();
+  cols.insert(cols.end(), b.columns().begin(), b.columns().end());
+  return TupleSchema(std::move(cols));
+}
+
+std::string TupleSchema::ToString() const {
+  std::ostringstream out;
+  out << "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << columns_[i].FullName() << " " << TypeKindName(columns_[i].type);
+  }
+  out << ")";
+  return out.str();
+}
+
+}  // namespace qtrade

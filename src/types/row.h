@@ -1,0 +1,65 @@
+// Rows and tuple schemas used by the execution engine.
+#ifndef QTRADE_TYPES_ROW_H_
+#define QTRADE_TYPES_ROW_H_
+
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+#include "util/status.h"
+
+namespace qtrade {
+
+/// One column of a tuple schema. `name` is the bare column name; `qualifier`
+/// is the table alias the column came from ("" when anonymous, e.g. computed
+/// aggregate outputs).
+struct TupleColumn {
+  std::string qualifier;
+  std::string name;
+  TypeKind type = TypeKind::kInt64;
+
+  /// "qualifier.name" or just "name" when unqualified.
+  std::string FullName() const;
+};
+
+/// Ordered set of output columns of an operator or a table fragment.
+class TupleSchema {
+ public:
+  TupleSchema() = default;
+  explicit TupleSchema(std::vector<TupleColumn> columns)
+      : columns_(std::move(columns)) {}
+
+  const std::vector<TupleColumn>& columns() const { return columns_; }
+  size_t size() const { return columns_.size(); }
+  const TupleColumn& column(size_t i) const { return columns_[i]; }
+
+  void AddColumn(TupleColumn col) { columns_.push_back(std::move(col)); }
+
+  /// Index of the column matching `qualifier`/`name`. An empty `qualifier`
+  /// matches any qualifier (and errors if ambiguous across qualifiers).
+  Result<size_t> FindColumn(const std::string& qualifier,
+                            const std::string& name) const;
+
+  /// Schema concatenation (join output).
+  static TupleSchema Concat(const TupleSchema& a, const TupleSchema& b);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<TupleColumn> columns_;
+};
+
+/// A materialized tuple; values are positional against some TupleSchema.
+using Row = std::vector<Value>;
+
+/// A batch of rows sharing one schema.
+struct RowSet {
+  TupleSchema schema;
+  std::vector<Row> rows;
+
+  size_t size() const { return rows.size(); }
+};
+
+}  // namespace qtrade
+
+#endif  // QTRADE_TYPES_ROW_H_

@@ -1,0 +1,25 @@
+#include "types/schema.h"
+
+#include "util/strings.h"
+
+namespace qtrade {
+
+Result<size_t> TableDef::FindColumn(const std::string& column_name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (EqualsIgnoreCase(columns[i].name, column_name)) return i;
+  }
+  return Status::NotFound("column " + column_name + " not in table " + name);
+}
+
+void SimpleSchemaProvider::AddTable(TableDef table) {
+  tables_.push_back(std::move(table));
+}
+
+const TableDef* SimpleSchemaProvider::FindTable(const std::string& name) const {
+  for (const auto& t : tables_) {
+    if (EqualsIgnoreCase(t.name, name)) return &t;
+  }
+  return nullptr;
+}
+
+}  // namespace qtrade

@@ -1,0 +1,50 @@
+// Logical table schemas (column names and types). Shared by the SQL
+// analyzer, the catalog and the storage layer.
+#ifndef QTRADE_TYPES_SCHEMA_H_
+#define QTRADE_TYPES_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+#include "util/status.h"
+
+namespace qtrade {
+
+/// Declared column of a base table.
+struct ColumnDef {
+  std::string name;
+  TypeKind type = TypeKind::kInt64;
+};
+
+/// Declared base table: name plus ordered columns.
+struct TableDef {
+  std::string name;
+  std::vector<ColumnDef> columns;
+
+  /// Index of `column_name` (case-insensitive), or NotFound.
+  Result<size_t> FindColumn(const std::string& column_name) const;
+};
+
+/// Read-only source of table definitions; implemented by node catalogs.
+class SchemaProvider {
+ public:
+  virtual ~SchemaProvider() = default;
+
+  /// Returns the table definition or nullptr when unknown.
+  virtual const TableDef* FindTable(const std::string& name) const = 0;
+};
+
+/// Trivial in-memory SchemaProvider for tests and standalone tools.
+class SimpleSchemaProvider : public SchemaProvider {
+ public:
+  void AddTable(TableDef table);
+  const TableDef* FindTable(const std::string& name) const override;
+
+ private:
+  std::vector<TableDef> tables_;
+};
+
+}  // namespace qtrade
+
+#endif  // QTRADE_TYPES_SCHEMA_H_

@@ -1,0 +1,111 @@
+#include "types/value.h"
+
+#include <cmath>
+#include <functional>
+#include <sstream>
+
+namespace qtrade {
+
+const char* TypeKindName(TypeKind kind) {
+  switch (kind) {
+    case TypeKind::kInt64:
+      return "INT64";
+    case TypeKind::kDouble:
+      return "DOUBLE";
+    case TypeKind::kString:
+      return "STRING";
+    case TypeKind::kBool:
+      return "BOOL";
+  }
+  return "?";
+}
+
+double Value::AsDouble() const {
+  if (is_int64()) return static_cast<double>(int64());
+  return dbl();
+}
+
+Result<TypeKind> Value::Kind() const {
+  if (is_int64()) return TypeKind::kInt64;
+  if (is_double()) return TypeKind::kDouble;
+  if (is_string()) return TypeKind::kString;
+  if (is_bool()) return TypeKind::kBool;
+  return Status::InvalidArgument("NULL value has no type");
+}
+
+namespace {
+// Rank used to order values of different type families.
+int FamilyRank(const Value& v) {
+  if (v.is_null()) return 0;
+  if (v.is_bool()) return 1;
+  if (v.is_numeric()) return 2;
+  return 3;  // string
+}
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  int ra = FamilyRank(*this), rb = FamilyRank(other);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (ra) {
+    case 0:  // both NULL
+      return 0;
+    case 1: {
+      bool a = boolean(), b = other.boolean();
+      return a == b ? 0 : (a < b ? -1 : 1);
+    }
+    case 2: {
+      if (is_int64() && other.is_int64()) {
+        int64_t a = int64(), b = other.int64();
+        return a == b ? 0 : (a < b ? -1 : 1);
+      }
+      double a = AsDouble(), b = other.AsDouble();
+      return a == b ? 0 : (a < b ? -1 : 1);
+    }
+    default: {
+      int c = str().compare(other.str());
+      return c == 0 ? 0 : (c < 0 ? -1 : 1);
+    }
+  }
+}
+
+std::string Value::ToSqlLiteral() const {
+  if (is_null()) return "NULL";
+  if (is_bool()) return boolean() ? "TRUE" : "FALSE";
+  if (is_string()) {
+    std::string out = "'";
+    for (char c : str()) {
+      if (c == '\'') out += "''";
+      else out.push_back(c);
+    }
+    out += "'";
+    return out;
+  }
+  return ToString();
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_bool()) return boolean() ? "TRUE" : "FALSE";
+  if (is_int64()) return std::to_string(int64());
+  if (is_string()) return str();
+  std::ostringstream out;
+  out << dbl();
+  return out.str();
+}
+
+size_t Value::Hash() const {
+  if (is_null()) return 0x9e3779b97f4a7c15ull;
+  if (is_bool()) return boolean() ? 0x1234567 : 0x89abcdef;
+  if (is_numeric()) {
+    // Hash integral doubles as their integer value so 5 and 5.0 collide.
+    double d = AsDouble();
+    int64_t as_int = static_cast<int64_t>(d);
+    if (static_cast<double>(as_int) == d) {
+      return std::hash<int64_t>()(as_int);
+    }
+    return std::hash<double>()(d);
+  }
+  return std::hash<std::string>()(str());
+}
+
+}  // namespace qtrade

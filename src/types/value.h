@@ -1,0 +1,81 @@
+// Runtime value system: the dynamically-typed cell values flowing through
+// the execution engine and appearing as literals in SQL predicates.
+#ifndef QTRADE_TYPES_VALUE_H_
+#define QTRADE_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "util/status.h"
+
+namespace qtrade {
+
+/// Static column types supported by the library.
+enum class TypeKind { kInt64, kDouble, kString, kBool };
+
+/// "INT64", "DOUBLE", "STRING", "BOOL".
+const char* TypeKindName(TypeKind kind);
+
+/// A single SQL value: one of the supported types or NULL.
+/// Comparison follows SQL semantics only where the caller enforces it;
+/// Value itself provides total ordering with NULL sorting first and
+/// numeric types comparing by value across INT64/DOUBLE.
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}  // NULL
+  static Value Null() { return Value(); }
+  static Value Int64(int64_t v) { return Value(Payload(v)); }
+  static Value Double(double v) { return Value(Payload(v)); }
+  static Value String(std::string v) { return Value(Payload(std::move(v))); }
+  static Value Bool(bool v) { return Value(Payload(v)); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+  bool is_int64() const { return std::holds_alternative<int64_t>(data_); }
+  bool is_double() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_bool() const { return std::holds_alternative<bool>(data_); }
+  bool is_numeric() const { return is_int64() || is_double(); }
+
+  int64_t int64() const { return std::get<int64_t>(data_); }
+  double dbl() const { return std::get<double>(data_); }
+  const std::string& str() const { return std::get<std::string>(data_); }
+  bool boolean() const { return std::get<bool>(data_); }
+
+  /// Numeric value widened to double; requires is_numeric().
+  double AsDouble() const;
+
+  /// Type of a non-null value; calling on NULL is an error.
+  Result<TypeKind> Kind() const;
+
+  /// Total order used by sort/aggregation: NULL < BOOL < numbers < strings;
+  /// INT64 and DOUBLE compare numerically against each other.
+  /// Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// SQL-literal rendering: strings quoted with '' (quotes doubled),
+  /// NULL -> "NULL", booleans -> TRUE/FALSE.
+  std::string ToSqlLiteral() const;
+
+  /// Debug rendering without quoting.
+  std::string ToString() const;
+
+  /// Stable hash for hash joins / aggregation (numeric 5 and 5.0 collide,
+  /// matching Compare()).
+  size_t Hash() const;
+
+ private:
+  using Payload =
+      std::variant<std::monostate, int64_t, double, std::string, bool>;
+  explicit Value(Payload data) : data_(std::move(data)) {}
+
+  Payload data_;
+};
+
+}  // namespace qtrade
+
+#endif  // QTRADE_TYPES_VALUE_H_

@@ -1,0 +1,45 @@
+// Minimal leveled logging. Defaults to warnings-and-above so tests and
+// benches stay quiet; the examples turn on info logging to narrate the
+// trading rounds.
+#ifndef QTRADE_UTIL_LOGGING_H_
+#define QTRADE_UTIL_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace qtrade {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level that actually gets emitted.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+// Streaming form: QTRADE_LOG(kInfo) << "x=" << x;
+// The message is formatted eagerly but only emitted when the level is
+// enabled (checked in the LogMessage destructor).
+#define QTRADE_LOG(level)                                             \
+  ::qtrade::internal::LogMessage(::qtrade::LogLevel::level, __FILE__, \
+                                 __LINE__)                            \
+      .stream()
+
+}  // namespace qtrade
+
+#endif  // QTRADE_UTIL_LOGGING_H_

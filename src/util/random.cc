@@ -1,0 +1,73 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace qtrade {
+
+int64_t Rng::Uniform(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::UniformReal(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Rng::Chance(double p) {
+  if (p <= 0) return false;
+  if (p >= 1) return true;
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+int64_t Rng::Zipf(int64_t n, double theta) {
+  assert(n >= 1);
+  if (theta <= 0) return Uniform(1, n);
+  // Inverse-CDF sampling over the (truncated) Zipf mass function. n is small
+  // in our workloads (partitions, nodes), so the linear scan is fine.
+  double norm = 0;
+  for (int64_t i = 1; i <= n; ++i) norm += 1.0 / std::pow(i, theta);
+  double u = UniformReal(0, norm);
+  double acc = 0;
+  for (int64_t i = 1; i <= n; ++i) {
+    acc += 1.0 / std::pow(i, theta);
+    if (u <= acc) return i;
+  }
+  return n;
+}
+
+std::string Rng::Identifier(int len) {
+  static const char kAlpha[] = "abcdefghijklmnopqrstuvwxyz";
+  static const char kAlnum[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+  std::string out;
+  out.reserve(len);
+  for (int i = 0; i < len; ++i) {
+    if (i == 0) {
+      out.push_back(kAlpha[Uniform(0, 25)]);
+    } else {
+      out.push_back(kAlnum[Uniform(0, 35)]);
+    }
+  }
+  return out;
+}
+
+size_t Rng::Index(size_t n) {
+  assert(n > 0);
+  return static_cast<size_t>(Uniform(0, static_cast<int64_t>(n) - 1));
+}
+
+std::vector<size_t> Rng::Sample(size_t n, size_t k) {
+  assert(k <= n);
+  std::vector<size_t> all(n);
+  for (size_t i = 0; i < n; ++i) all[i] = i;
+  Shuffle(&all);
+  all.resize(k);
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+}  // namespace qtrade

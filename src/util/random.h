@@ -1,0 +1,56 @@
+// Deterministic PRNG used by the workload generator, the simulator and the
+// property-based tests. A thin wrapper over std::mt19937_64 so every
+// experiment is reproducible from its seed.
+#ifndef QTRADE_UTIL_RANDOM_H_
+#define QTRADE_UTIL_RANDOM_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace qtrade {
+
+/// Seeded random source. Not thread-safe; use one per thread.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double UniformReal(double lo, double hi);
+
+  /// Bernoulli trial with success probability p.
+  bool Chance(double p);
+
+  /// Zipf-distributed rank in [1, n] with skew parameter `theta` >= 0
+  /// (theta == 0 is uniform). Used for skewed placement/popularity.
+  int64_t Zipf(int64_t n, double theta);
+
+  /// Random lower-case identifier of `len` characters, first char alphabetic.
+  std::string Identifier(int len);
+
+  /// Picks a uniformly random element index for a container of size n (>0).
+  size_t Index(size_t n);
+
+  /// Shuffles `v` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    std::shuffle(v->begin(), v->end(), engine_);
+  }
+
+  /// Chooses k distinct indices out of [0, n). Requires k <= n.
+  std::vector<size_t> Sample(size_t n, size_t k);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace qtrade
+
+#endif  // QTRADE_UTIL_RANDOM_H_

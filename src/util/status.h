@@ -1,0 +1,143 @@
+// Status and Result<T>: exception-free error propagation, in the style of
+// arrow::Status / rocksdb::Status.
+#ifndef QTRADE_UTIL_STATUS_H_
+#define QTRADE_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace qtrade {
+
+/// Machine-readable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kParseError,
+  kBindError,
+  kUnsupported,
+  kInternal,
+  kTimeout,
+  kNoPlanFound,
+};
+
+/// Returns a short human-readable name for a StatusCode ("ParseError", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Success-or-error value returned by fallible functions. Cheap to copy on
+/// the OK path (no allocation); error path carries a message.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status NoPlanFound(std::string msg) {
+    return Status(StatusCode::kNoPlanFound, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Holds either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status)                          // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+// Propagate a non-OK Status from an expression.
+#define QTRADE_RETURN_IF_ERROR(expr)                \
+  do {                                              \
+    ::qtrade::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+// Evaluate a Result-returning expression; on error return its Status,
+// otherwise bind the value to `lhs`.
+#define QTRADE_ASSIGN_OR_RETURN_IMPL(var, lhs, rexpr) \
+  auto var = (rexpr);                                 \
+  if (!var.ok()) return var.status();                 \
+  lhs = std::move(var).value();
+
+#define QTRADE_CONCAT_INNER(a, b) a##b
+#define QTRADE_CONCAT(a, b) QTRADE_CONCAT_INNER(a, b)
+
+#define QTRADE_ASSIGN_OR_RETURN(lhs, rexpr) \
+  QTRADE_ASSIGN_OR_RETURN_IMPL(             \
+      QTRADE_CONCAT(_result_, __LINE__), lhs, rexpr)
+
+}  // namespace qtrade
+
+#endif  // QTRADE_UTIL_STATUS_H_

@@ -1,0 +1,45 @@
+// Small string helpers shared across the library.
+#ifndef QTRADE_UTIL_STRINGS_H_
+#define QTRADE_UTIL_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qtrade {
+
+/// Lower-cases ASCII characters; non-ASCII bytes pass through unchanged.
+std::string ToLower(std::string_view s);
+
+/// Upper-cases ASCII characters; non-ASCII bytes pass through unchanged.
+std::string ToUpper(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Joins the stringified elements of `parts` with `sep` between them.
+template <typename Container>
+std::string Join(const Container& parts, std::string_view sep) {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& p : parts) {
+    if (!first) out << sep;
+    out << p;
+    first = false;
+  }
+  return out.str();
+}
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace qtrade
+
+#endif  // QTRADE_UTIL_STRINGS_H_

@@ -1,0 +1,49 @@
+// The paper's §1 telecom customer-care micro-world as a ready-made
+// federation: customer(custid, custname, office) partitioned by office,
+// invoiceline(invid, linenum, custid, charge), one node per regional
+// office. Used by examples, tests and EXP-10.
+#ifndef QTRADE_WORKLOAD_TELECOM_H_
+#define QTRADE_WORKLOAD_TELECOM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/federation.h"
+#include "util/status.h"
+
+namespace qtrade {
+
+struct TelecomParams {
+  /// Regional offices (= customer partitions = nodes). 2..8.
+  int num_offices = 3;
+  int customers_per_office = 100;
+  int lines_per_customer = 3;
+  /// Where invoice lines live: "central" stores the whole table on the
+  /// last office's node; "replicated" gives every node a full copy.
+  bool replicate_invoicelines = false;
+  /// Materialize the paper's finer-grained view
+  /// (office, custid) -> SUM(charge), COUNT(*) on the last office.
+  bool with_view = false;
+  uint64_t seed = 4242;
+};
+
+struct TelecomWorld {
+  std::unique_ptr<Federation> federation;
+  std::vector<std::string> node_names;  // "office_<Name>"
+  std::vector<std::string> office_names;
+
+  /// The manager's per-office revenue report (paper §3.5 scenario).
+  static std::string RevenueReportSql();
+  /// The §1 motivating query (total island charges).
+  std::string MotivatingQuerySql() const;
+};
+
+/// Office name for index i ("Athens", "Corfu", "Myconos", ...).
+std::string TelecomOfficeName(int i);
+
+Result<TelecomWorld> BuildTelecomWorld(const TelecomParams& params = {});
+
+}  // namespace qtrade
+
+#endif  // QTRADE_WORKLOAD_TELECOM_H_

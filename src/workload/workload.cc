@@ -1,0 +1,217 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "sql/parser.h"
+
+namespace qtrade {
+
+namespace {
+
+int64_t TableRows(const WorkloadParams& params, int table_index) {
+  // In planning-only mode the scale inflates the whole key domain, so
+  // keys stay unique and partition predicates remain consistent with the
+  // statistics.
+  int64_t scale = params.with_data ? 1 : std::max<int64_t>(1, params.stats_row_scale);
+  return params.rows_per_table * (1 + table_index % 3) * scale;
+}
+
+std::string TableName(int i) { return "t" + std::to_string(i); }
+
+/// Range partition predicates over pk; first/last are open-ended so the
+/// partitioning is complete over the whole integer domain.
+std::vector<sql::ExprPtr> PartitionPredicates(int64_t rows, int partitions) {
+  std::vector<sql::ExprPtr> preds;
+  if (partitions <= 1) return preds;  // single whole-table partition
+  int64_t step = std::max<int64_t>(1, rows / partitions);
+  for (int p = 0; p < partitions; ++p) {
+    int64_t lo = p * step;
+    int64_t hi = (p + 1) * step;
+    std::ostringstream text;
+    if (p == 0) {
+      text << "pk < " << hi;
+    } else if (p == partitions - 1) {
+      text << "pk >= " << lo;
+    } else {
+      text << "pk >= " << lo << " AND pk < " << hi;
+    }
+    auto parsed = sql::ParseExpression(text.str());
+    preds.push_back(parsed.ok() ? *parsed : nullptr);
+  }
+  return preds;
+}
+
+/// Synthetic statistics for a partition in planning-only mode.
+TableStats SyntheticStats(const WorkloadParams& params, int table_index,
+                          int64_t lo, int64_t hi, int64_t next_rows) {
+  TableStats stats;
+  // TableRows() already folded stats_row_scale into the key domain, so
+  // [lo, hi) is the scaled range; keys are unique within it.
+  int64_t rows = std::max<int64_t>(1, hi - lo);
+  stats.row_count = rows;
+  (void)params;
+  stats.avg_row_bytes = 48;
+  ColumnStats pk;
+  pk.ndv = std::max<int64_t>(1, hi - lo);
+  pk.min = Value::Int64(lo);
+  pk.max = Value::Int64(hi - 1);
+  stats.columns["pk"] = pk;
+  ColumnStats fk;
+  fk.ndv = std::min<int64_t>(rows, next_rows);
+  fk.min = Value::Int64(0);
+  fk.max = Value::Int64(next_rows - 1);
+  stats.columns["fk"] = fk;
+  ColumnStats val;
+  val.ndv = std::min<int64_t>(rows, 1000);
+  val.min = Value::Int64(0);
+  val.max = Value::Int64(999);
+  stats.columns["val"] = val;
+  ColumnStats cat;
+  cat.ndv = 8;
+  cat.min = Value::String("c0");
+  cat.max = Value::String("c7");
+  for (int c = 0; c < 8; ++c) {
+    cat.mcv.emplace_back(Value::String("c" + std::to_string(c)), rows / 8);
+  }
+  stats.columns["cat"] = cat;
+  (void)table_index;
+  return stats;
+}
+
+}  // namespace
+
+std::string GeneratedFederation::NodeName(int i) {
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "node%02d", i);
+  return buffer;
+}
+
+Result<GeneratedFederation> BuildFederation(const WorkloadParams& params) {
+  if (params.num_nodes < 1 || params.num_tables < 1 ||
+      params.partitions_per_table < 1 || params.replication < 1) {
+    return Status::InvalidArgument("degenerate workload parameters");
+  }
+  Rng rng(params.seed);
+
+  auto schema = std::make_shared<FederationSchema>();
+  for (int i = 0; i < params.num_tables; ++i) {
+    TableDef table;
+    table.name = TableName(i);
+    table.columns = {{"pk", TypeKind::kInt64},
+                     {"fk", TypeKind::kInt64},
+                     {"val", TypeKind::kInt64},
+                     {"cat", TypeKind::kString}};
+    QTRADE_RETURN_IF_ERROR(schema->AddTable(
+        table,
+        PartitionPredicates(TableRows(params, i),
+                            params.partitions_per_table)));
+  }
+
+  GeneratedFederation out;
+  out.params = params;
+  out.federation = std::make_unique<Federation>(schema);
+  for (int i = 0; i < params.num_nodes; ++i) {
+    out.node_names.push_back(GeneratedFederation::NodeName(i));
+    out.federation->AddNode(out.node_names.back());
+  }
+
+  int replication = std::min(params.replication, params.num_nodes);
+  for (int t = 0; t < params.num_tables; ++t) {
+    int64_t rows = TableRows(params, t);
+    int64_t next_rows =
+        TableRows(params, (t + 1) % params.num_tables);
+    const TablePartitioning* partitioning =
+        schema->FindPartitioning(TableName(t));
+    int64_t step =
+        std::max<int64_t>(1, rows / params.partitions_per_table);
+    for (size_t p = 0; p < partitioning->partitions.size(); ++p) {
+      const PartitionDef& part = partitioning->partitions[p];
+      int64_t lo = static_cast<int64_t>(p) * step;
+      int64_t hi = (p + 1 == partitioning->partitions.size())
+                       ? rows
+                       : static_cast<int64_t>(p + 1) * step;
+
+      // Pick hosting nodes: a zipf-ranked primary plus random others.
+      std::set<size_t> hosts;
+      hosts.insert(static_cast<size_t>(
+          rng.Zipf(params.num_nodes, params.placement_skew) - 1));
+      while (static_cast<int>(hosts.size()) < replication) {
+        hosts.insert(rng.Index(out.node_names.size()));
+      }
+
+      if (params.with_data) {
+        std::vector<Row> rows_data;
+        for (int64_t pk = lo; pk < hi; ++pk) {
+          rows_data.push_back(
+              {Value::Int64(pk), Value::Int64(rng.Uniform(0, next_rows - 1)),
+               Value::Int64(rng.Uniform(0, 999)),
+               Value::String("c" + std::to_string(pk % 8))});
+        }
+        for (size_t host : hosts) {
+          QTRADE_RETURN_IF_ERROR(out.federation->LoadPartition(
+              out.node_names[host], part.id, rows_data));
+        }
+      } else {
+        TableStats stats = SyntheticStats(params, t, lo, hi, next_rows);
+        for (size_t host : hosts) {
+          QTRADE_RETURN_IF_ERROR(out.federation->RegisterPartitionStats(
+              out.node_names[host], part.id, stats));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string ChainQuerySql(int start, int num_joins, bool aggregate,
+                          bool selection) {
+  std::ostringstream sql;
+  if (aggregate) {
+    sql << "SELECT a0.cat, SUM(a0.val) AS total, COUNT(*) AS n ";
+  } else {
+    sql << "SELECT a0.pk, a" << num_joins << ".val ";
+  }
+  sql << "FROM ";
+  for (int j = 0; j <= num_joins; ++j) {
+    if (j > 0) sql << ", ";
+    sql << TableName(start + j) << " a" << j;
+  }
+  bool first = true;
+  for (int j = 0; j < num_joins; ++j) {
+    sql << (first ? " WHERE " : " AND ");
+    first = false;
+    sql << "a" << j << ".fk = a" << (j + 1) << ".pk";
+  }
+  if (selection) {
+    sql << (first ? " WHERE " : " AND ");
+    first = false;
+    sql << "a0.val < 500";
+  }
+  if (aggregate) sql << " GROUP BY a0.cat";
+  return sql.str();
+}
+
+std::string StarQuerySql(int center, int num_joins, bool aggregate) {
+  std::ostringstream sql;
+  if (aggregate) {
+    sql << "SELECT a0.cat, COUNT(*) AS n ";
+  } else {
+    sql << "SELECT a0.pk ";
+  }
+  sql << "FROM " << TableName(center) << " a0";
+  for (int j = 1; j <= num_joins; ++j) {
+    sql << ", " << TableName(center + j) << " a" << j;
+  }
+  bool first = true;
+  for (int j = 1; j <= num_joins; ++j) {
+    sql << (first ? " WHERE " : " AND ");
+    first = false;
+    sql << "a0.fk = a" << j << ".pk";
+  }
+  if (aggregate) sql << " GROUP BY a0.cat";
+  return sql.str();
+}
+
+}  // namespace qtrade

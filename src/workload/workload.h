@@ -1,0 +1,67 @@
+// Synthetic-federation and query generators driving the experiments.
+//
+// Schema shape: a chain of tables t0..t{k-1}; each has an integer primary
+// key `pk` (range-partitioned), a foreign key `fk` into the next table's
+// pk domain, a numeric attribute `val` in [0, 1000) and a categorical
+// attribute `cat` with 8 values. This produces the classic chain/star
+// join workloads of the distributed-optimization literature while keeping
+// every partition predicate machine-checkable.
+#ifndef QTRADE_WORKLOAD_WORKLOAD_H_
+#define QTRADE_WORKLOAD_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/federation.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace qtrade {
+
+struct WorkloadParams {
+  int num_nodes = 16;
+  int num_tables = 6;
+  int partitions_per_table = 3;
+  /// Replicas per partition (capped at num_nodes).
+  int replication = 2;
+  /// Rows of table i = rows_per_table * (1 + i % 3).
+  int64_t rows_per_table = 1200;
+  /// Zipf skew of placement: >0 concentrates partitions on few nodes.
+  double placement_skew = 0.0;
+  /// When false, only statistics are registered (planning-scale runs);
+  /// row counts are additionally multiplied by stats_row_scale.
+  bool with_data = true;
+  int64_t stats_row_scale = 1;
+  uint64_t seed = 42;
+};
+
+/// A generated federation plus bookkeeping the experiments report.
+struct GeneratedFederation {
+  std::unique_ptr<Federation> federation;
+  WorkloadParams params;
+  std::vector<std::string> node_names;
+
+  /// Name of the i-th node ("node00", ...).
+  static std::string NodeName(int i);
+};
+
+/// Builds the federation (schema, nodes, placement, data or statistics).
+/// All nodes use TruthfulStrategy; callers may rebuild with custom
+/// strategies via params + MakeStrategy-style helpers in the benches.
+Result<GeneratedFederation> BuildFederation(const WorkloadParams& params);
+
+/// Chain query over tables [start, start+num_joins]:
+///   SELECT <outputs> FROM t<start> a0, ... WHERE a0.fk = a1.pk AND ...
+/// With `aggregate`, outputs become SUM(a0.val) grouped by a0.cat;
+/// `selection` adds `a0.val < 500`.
+std::string ChainQuerySql(int start, int num_joins, bool aggregate,
+                          bool selection);
+
+/// Star query: t<center> joined to `num_joins` following tables, each on
+/// the center's fk (a synthetic star; useful for wide fan-outs).
+std::string StarQuerySql(int center, int num_joins, bool aggregate);
+
+}  // namespace qtrade
+
+#endif  // QTRADE_WORKLOAD_WORKLOAD_H_

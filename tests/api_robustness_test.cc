@@ -1,0 +1,103 @@
+// Error-path coverage of the public API surface: every misuse fails with
+// a Status, never a crash, and never corrupts the federation.
+#include <gtest/gtest.h>
+
+#include "core/qt_optimizer.h"
+#include "opt/offer.h"
+#include "tests/test_fixtures.h"
+
+namespace qtrade {
+namespace {
+
+using testing::PaperData;
+using testing::PaperFederation;
+
+TEST(ApiRobustnessTest, FederationRejectsUnknownTargets) {
+  Federation fed(PaperFederation());
+  fed.AddNode("n");
+  PaperData data(3);
+  EXPECT_FALSE(
+      fed.LoadPartition("ghost", "customer#0", data.customer_parts[0]).ok());
+  EXPECT_FALSE(
+      fed.LoadPartition("n", "customer#9", data.customer_parts[0]).ok());
+  EXPECT_FALSE(fed.RegisterPartitionStats("ghost", "customer#0", {}).ok());
+  EXPECT_FALSE(fed.RegisterPartitionStats("n", "nope#0", {}).ok());
+  EXPECT_FALSE(fed.CreateView("ghost", "v", "SELECT custid FROM customer")
+                   .ok());
+  EXPECT_FALSE(
+      fed.CreateView("n", "v", "SELECT bogus FROM customer").ok());
+  EXPECT_EQ(fed.node("ghost"), nullptr);
+}
+
+TEST(ApiRobustnessTest, RowArityAndPredicateValidation) {
+  Federation fed(PaperFederation());
+  fed.AddNode("n");
+  // Wrong arity.
+  EXPECT_FALSE(
+      fed.LoadPartition("n", "customer#0", {{Value::Int64(1)}}).ok());
+  // Wrong partition content, but validation disabled: accepted.
+  std::vector<Row> misplaced = {{Value::Int64(1), Value::String("x"),
+                                 Value::String("Corfu")}};
+  EXPECT_TRUE(fed.LoadPartition("n", "customer#0", misplaced,
+                                /*validate=*/false)
+                  .ok());
+}
+
+TEST(ApiRobustnessTest, OptimizerRejectsBadInput) {
+  Federation fed(PaperFederation());
+  fed.AddNode("n");
+  QueryTradingOptimizer qt(&fed, "n");
+  EXPECT_FALSE(qt.Optimize("this is not sql").ok());
+  EXPECT_FALSE(qt.Optimize("SELECT x FROM missing_table").ok());
+  EXPECT_FALSE(
+      qt.Optimize("(SELECT custid FROM customer) UNION ALL "
+                  "(SELECT custid FROM customer)")
+          .ok());  // trading takes a single SELECT
+  QueryTradingOptimizer ghost(&fed, "ghost");
+  EXPECT_FALSE(ghost.Optimize("SELECT custid FROM customer").ok());
+}
+
+TEST(ApiRobustnessTest, ExecuteFailedResultFailsCleanly) {
+  Federation fed(PaperFederation());
+  fed.AddNode("n");
+  QueryTradingOptimizer qt(&fed, "n");
+  auto result = qt.Optimize("SELECT custid FROM customer");
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->ok());  // no data anywhere
+  auto rows = qt.Execute(*result);
+  EXPECT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kNoPlanFound);
+}
+
+TEST(OfferValuationTest, ScoreWeighsEachDimension) {
+  QueryProperties props;
+  props.total_time_ms = 100;
+  props.first_row_ms = 10;
+  props.freshness = 0.8;
+  props.completeness = 0.5;
+  props.price = 7;
+
+  OfferValuation time_only;
+  EXPECT_DOUBLE_EQ(time_only.Score(props), 100);
+
+  OfferValuation mixed;
+  mixed.weight_total_time = 1;
+  mixed.weight_first_row = 2;
+  mixed.weight_staleness = 50;
+  mixed.weight_incompleteness = 40;
+  mixed.weight_price = 3;
+  // 100 + 2*10 + 50*0.2 + 40*0.5 + 3*7 = 100+20+10+20+21.
+  EXPECT_DOUBLE_EQ(mixed.Score(props), 171);
+}
+
+TEST(OfferValuationTest, FreshAndCompleteOffersCarryNoPenalty) {
+  QueryProperties props;
+  props.total_time_ms = 42;
+  OfferValuation heavy;
+  heavy.weight_staleness = 1e9;
+  heavy.weight_incompleteness = 1e9;
+  EXPECT_DOUBLE_EQ(heavy.Score(props), 42);
+}
+
+}  // namespace
+}  // namespace qtrade

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "baseline/global_optimizer.h"
+#include "core/qt_optimizer.h"
+#include "workload/workload.h"
+
+namespace qtrade {
+namespace {
+
+GeneratedFederation SmallWorld(int nodes = 6, int tables = 4,
+                               uint64_t seed = 42) {
+  WorkloadParams params;
+  params.num_nodes = nodes;
+  params.num_tables = tables;
+  params.partitions_per_table = 2;
+  params.replication = 2;
+  params.rows_per_table = 300;
+  params.seed = seed;
+  auto built = BuildFederation(params);
+  EXPECT_TRUE(built.ok()) << built.status().ToString();
+  return std::move(built).value();
+}
+
+TEST(GlobalOptimizerTest, ProducesPlanForChainQuery) {
+  auto world = SmallWorld();
+  GlobalOptimizer opt(world.federation.get(), world.node_names[0]);
+  auto result = opt.Optimize(ChainQuerySql(0, 2, false, true));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NE(result->plan, nullptr);
+  EXPECT_GT(result->est_cost, 0);
+  EXPECT_GT(result->subplans_enumerated, 3);
+  // With eps = 0, estimated and true costs coincide.
+  EXPECT_NEAR(result->est_cost, result->true_cost,
+              1e-6 * result->est_cost + 1e-6);
+}
+
+TEST(GlobalOptimizerTest, PerturbationSplitsEstFromTrue) {
+  auto world = SmallWorld();
+  GlobalOptimizerOptions options;
+  options.stats_error = 1.0;
+  GlobalOptimizer opt(world.federation.get(), world.node_names[0], options);
+  auto result = opt.Optimize(ChainQuerySql(0, 3, false, true));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(std::abs(result->est_cost - result->true_cost),
+            1e-6 * result->true_cost);
+}
+
+TEST(GlobalOptimizerTest, StaleStatsNeverBeatAccurateOnes) {
+  auto world = SmallWorld();
+  const std::string sql = ChainQuerySql(0, 3, false, true);
+  GlobalOptimizer exact(world.federation.get(), world.node_names[0]);
+  auto exact_result = exact.Optimize(sql);
+  ASSERT_TRUE(exact_result.ok());
+  for (double eps : {0.5, 1.0, 2.0}) {
+    GlobalOptimizerOptions options;
+    options.stats_error = eps;
+    GlobalOptimizer stale(world.federation.get(), world.node_names[0],
+                          options);
+    auto stale_result = stale.Optimize(sql);
+    ASSERT_TRUE(stale_result.ok());
+    // The plan chosen under wrong statistics cannot have a better *true*
+    // cost than the plan chosen under accurate ones.
+    EXPECT_GE(stale_result->true_cost, exact_result->true_cost - 1e-6)
+        << "eps=" << eps;
+  }
+}
+
+TEST(GlobalOptimizerTest, IdpNeverBeatsExactDp) {
+  auto world = SmallWorld(8, 6);
+  const std::string sql = ChainQuerySql(0, 5, false, false);
+  GlobalOptimizer exact(world.federation.get(), world.node_names[0]);
+  GlobalOptimizerOptions idp_options;
+  idp_options.idp = IdpParams{2, 5};
+  GlobalOptimizer idp(world.federation.get(), world.node_names[0],
+                      idp_options);
+  auto exact_result = exact.Optimize(sql);
+  auto idp_result = idp.Optimize(sql);
+  ASSERT_TRUE(exact_result.ok()) << exact_result.status().ToString();
+  ASSERT_TRUE(idp_result.ok()) << idp_result.status().ToString();
+  EXPECT_GE(idp_result->est_cost, exact_result->est_cost - 1e-6);
+  EXPECT_LE(idp_result->subplans_enumerated,
+            exact_result->subplans_enumerated);
+}
+
+TEST(GlobalOptimizerTest, MissingPartitionMeansNoPlan) {
+  WorkloadParams params;
+  params.num_nodes = 2;
+  params.num_tables = 2;
+  params.partitions_per_table = 2;
+  params.replication = 1;
+  params.rows_per_table = 50;
+  auto built = BuildFederation(params);
+  ASSERT_TRUE(built.ok());
+  // Drop one node's catalog? Simplest: a fresh federation with a table
+  // that has no replicas at all.
+  auto schema = std::make_shared<FederationSchema>();
+  ASSERT_TRUE(schema->AddTable({"lonely", {{"pk", TypeKind::kInt64}}}).ok());
+  Federation empty(schema);
+  empty.AddNode("n");
+  GlobalOptimizer opt(&empty, "n");
+  auto result = opt.Optimize("SELECT pk FROM lonely");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNoPlanFound);
+}
+
+TEST(GlobalOptimizerTest, AggregateQuerySupported) {
+  auto world = SmallWorld();
+  GlobalOptimizer opt(world.federation.get(), world.node_names[0]);
+  auto result = opt.Optimize(ChainQuerySql(0, 2, true, false));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  std::string text = Explain(result->plan);
+  EXPECT_NE(text.find("HashAggregate"), std::string::npos) << text;
+}
+
+// QT with truthful sellers should land in the same cost regime as the
+// omniscient DP — within a modest factor, not orders of magnitude.
+TEST(BaselineVsQtTest, QtTracksGlobalDpWithinFactor) {
+  auto world = SmallWorld(6, 4, 17);
+  const std::string sql = ChainQuerySql(0, 2, false, true);
+  GlobalOptimizer global(world.federation.get(), world.node_names[0]);
+  auto global_result = global.Optimize(sql);
+  ASSERT_TRUE(global_result.ok()) << global_result.status().ToString();
+
+  QueryTradingOptimizer qt(world.federation.get(), world.node_names[0]);
+  auto qt_result = qt.Optimize(sql);
+  ASSERT_TRUE(qt_result.ok()) << qt_result.status().ToString();
+  ASSERT_TRUE(qt_result->ok());
+
+  EXPECT_LT(qt_result->cost, global_result->true_cost * 5)
+      << "QT plan should be in the same cost regime";
+  EXPECT_GT(qt_result->cost, global_result->true_cost * 0.2);
+}
+
+TEST(WorkloadTest, BuildsExecutableFederation) {
+  auto world = SmallWorld(4, 3);
+  // Every partition hosted `replication` times.
+  const FederationSchema& schema = world.federation->schema();
+  for (const auto& table : schema.TableNames()) {
+    for (const auto& part : schema.FindPartitioning(table)->partitions) {
+      EXPECT_EQ(world.federation->global_catalog()->ReplicaNodes(part.id)
+                    .size(),
+                2u)
+          << part.id;
+    }
+  }
+  // Chain query runs end to end and matches centralized execution.
+  const std::string sql = ChainQuerySql(0, 1, true, false);
+  QueryTradingOptimizer qt(world.federation.get(), world.node_names[1]);
+  auto rows = qt.Run(sql);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  auto reference = world.federation->ExecuteCentralized(sql);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_EQ(rows->rows.size(), reference->rows.size());
+}
+
+TEST(WorkloadTest, StatsOnlyModeRegistersWithoutData) {
+  WorkloadParams params;
+  params.num_nodes = 8;
+  params.num_tables = 3;
+  params.with_data = false;
+  params.stats_row_scale = 1000;  // emulate million-row tables
+  params.rows_per_table = 1000;
+  auto built = BuildFederation(params);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  // Stats are huge, storage is empty.
+  auto stats = built->federation->global_catalog()->WholeTableStats("t0");
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_GE(stats->row_count, 1000 * 1000);
+  EXPECT_EQ(built->federation->node(built->node_names[0])->store->TotalRows(),
+            0);
+  // Optimization still works (no execution).
+  QueryTradingOptimizer qt(built->federation.get(), built->node_names[0]);
+  auto result = qt.Optimize(ChainQuerySql(0, 2, false, false));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->ok());
+}
+
+TEST(WorkloadTest, QuerySqlShapes) {
+  std::string chain = ChainQuerySql(1, 3, true, true);
+  EXPECT_NE(chain.find("FROM t1 a0, t2 a1, t3 a2, t4 a3"),
+            std::string::npos)
+      << chain;
+  EXPECT_NE(chain.find("a0.fk = a1.pk"), std::string::npos);
+  EXPECT_NE(chain.find("GROUP BY a0.cat"), std::string::npos);
+  EXPECT_NE(chain.find("a0.val < 500"), std::string::npos);
+  std::string star = StarQuerySql(0, 2, false);
+  EXPECT_NE(star.find("a0.fk = a1.pk"), std::string::npos) << star;
+  EXPECT_NE(star.find("a0.fk = a2.pk"), std::string::npos) << star;
+}
+
+TEST(WorkloadTest, DegenerateParamsRejected) {
+  WorkloadParams params;
+  params.num_nodes = 0;
+  EXPECT_FALSE(BuildFederation(params).ok());
+}
+
+}  // namespace
+}  // namespace qtrade

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "sql/parser.h"
+
+namespace qtrade {
+namespace {
+
+sql::ExprPtr Pred(const std::string& text) {
+  auto e = sql::ParseExpression(text);
+  EXPECT_TRUE(e.ok()) << e.status().ToString();
+  return *e;
+}
+
+std::shared_ptr<FederationSchema> PaperFederation() {
+  auto fed = std::make_shared<FederationSchema>();
+  TableDef customer{"customer",
+                    {{"custid", TypeKind::kInt64},
+                     {"custname", TypeKind::kString},
+                     {"office", TypeKind::kString}}};
+  TableDef invoiceline{"invoiceline",
+                       {{"invid", TypeKind::kInt64},
+                        {"linenum", TypeKind::kInt64},
+                        {"custid", TypeKind::kInt64},
+                        {"charge", TypeKind::kDouble}}};
+  EXPECT_TRUE(fed->AddTable(customer, {Pred("office = 'Athens'"),
+                                       Pred("office = 'Corfu'"),
+                                       Pred("office = 'Myconos'")})
+                  .ok());
+  EXPECT_TRUE(fed->AddTable(invoiceline).ok());
+  return fed;
+}
+
+TEST(FederationSchemaTest, TablesAndPartitions) {
+  auto fed = PaperFederation();
+  EXPECT_NE(fed->FindTable("CUSTOMER"), nullptr);
+  EXPECT_EQ(fed->FindTable("nope"), nullptr);
+  const TablePartitioning* parts = fed->FindPartitioning("customer");
+  ASSERT_NE(parts, nullptr);
+  EXPECT_EQ(parts->partitions.size(), 3u);
+  EXPECT_EQ(parts->partitions[1].id, "customer#1");
+  // Unpartitioned table gets a single whole-table partition.
+  EXPECT_EQ(fed->FindPartitioning("invoiceline")->partitions.size(), 1u);
+  EXPECT_EQ(fed->FindPartitioning("invoiceline")->partitions[0].predicate,
+            nullptr);
+}
+
+TEST(FederationSchemaTest, FindPartitionById) {
+  auto fed = PaperFederation();
+  const PartitionDef* p = fed->FindPartition("customer#2");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->table, "customer");
+  EXPECT_EQ(p->index, 2);
+  EXPECT_EQ(fed->FindPartition("customer#9"), nullptr);
+  EXPECT_EQ(fed->FindPartition("garbage"), nullptr);
+}
+
+TEST(FederationSchemaTest, DuplicateTableRejected) {
+  auto fed = PaperFederation();
+  EXPECT_FALSE(fed->AddTable({"customer", {}}).ok());
+}
+
+TEST(PartitionDefTest, PredicateQualification) {
+  auto fed = PaperFederation();
+  const PartitionDef* p = fed->FindPartition("customer#2");
+  sql::ExprPtr qualified = p->PredicateFor("c");
+  EXPECT_EQ(sql::ToSql(qualified), "c.office = 'Myconos'");
+  // Whole-table partition has no predicate.
+  EXPECT_EQ(fed->FindPartition("invoiceline#0")->PredicateFor("i"), nullptr);
+}
+
+TEST(QualifyForAliasTest, RewritesOnlyUnqualifiedOrForeign) {
+  sql::ExprPtr e = Pred("office = 'X' AND c.custid > 5");
+  sql::ExprPtr q = QualifyForAlias(e, "c");
+  EXPECT_EQ(sql::ToSql(q), "c.office = 'X' AND c.custid > 5");
+}
+
+TEST(NodeCatalogTest, HostingAndLocalStats) {
+  auto fed = PaperFederation();
+  NodeCatalog node("myconos", fed);
+  EXPECT_EQ(node.node_name(), "myconos");
+
+  TableStats stats;
+  stats.row_count = 1000;
+  ASSERT_TRUE(node.HostPartition("customer#2", stats).ok());
+  TableStats inv;
+  inv.row_count = 50000;
+  ASSERT_TRUE(node.HostPartition("invoiceline#0", inv).ok());
+
+  EXPECT_TRUE(node.HostsPartition("customer#2"));
+  EXPECT_FALSE(node.HostsPartition("customer#0"));
+  EXPECT_TRUE(node.HostsAnyOf("customer"));
+  EXPECT_TRUE(node.HostsAnyOf("invoiceline"));
+
+  auto local = node.LocalPartitions("customer");
+  ASSERT_EQ(local.size(), 1u);
+  EXPECT_EQ(local[0]->id, "customer#2");
+
+  ASSERT_NE(node.PartitionStats("customer#2"), nullptr);
+  EXPECT_EQ(node.PartitionStats("customer#2")->row_count, 1000);
+  EXPECT_EQ(node.PartitionStats("customer#0"), nullptr);
+
+  auto table_stats = node.LocalTableStats("customer");
+  ASSERT_TRUE(table_stats.has_value());
+  EXPECT_EQ(table_stats->row_count, 1000);
+  EXPECT_FALSE(node.LocalTableStats("unknown").has_value());
+}
+
+TEST(NodeCatalogTest, HostUnknownPartitionRejected) {
+  auto fed = PaperFederation();
+  NodeCatalog node("n", fed);
+  EXPECT_FALSE(node.HostPartition("customer#7", {}).ok());
+}
+
+TEST(NodeCatalogTest, LocalStatsMergeAcrossPartitions) {
+  auto fed = PaperFederation();
+  NodeCatalog node("n", fed);
+  TableStats a, b;
+  a.row_count = 100;
+  b.row_count = 200;
+  ASSERT_TRUE(node.HostPartition("customer#0", a).ok());
+  ASSERT_TRUE(node.HostPartition("customer#1", b).ok());
+  EXPECT_EQ(node.LocalTableStats("customer")->row_count, 300);
+}
+
+TEST(NodeCatalogTest, ExposesFederationSchema) {
+  auto fed = PaperFederation();
+  NodeCatalog node("n", fed);
+  EXPECT_NE(node.FindTable("customer"), nullptr);
+  EXPECT_EQ(node.FindTable("missing"), nullptr);
+}
+
+TEST(GlobalCatalogTest, ReplicaTracking) {
+  auto fed = PaperFederation();
+  GlobalCatalog global(fed);
+  TableStats stats;
+  stats.row_count = 42;
+  ASSERT_TRUE(global.RecordReplica("customer#1", "corfu", stats).ok());
+  ASSERT_TRUE(global.RecordReplica("customer#1", "athens", stats).ok());
+  // Re-recording the same node is idempotent.
+  ASSERT_TRUE(global.RecordReplica("customer#1", "corfu", stats).ok());
+  auto nodes = global.ReplicaNodes("customer#1");
+  ASSERT_EQ(nodes.size(), 2u);
+  EXPECT_FALSE(global.RecordReplica("customer#5", "x", stats).ok());
+  EXPECT_TRUE(global.ReplicaNodes("customer#0").empty());
+  EXPECT_EQ(global.PartitionStats("customer#1")->row_count, 42);
+}
+
+TEST(GlobalCatalogTest, WholeTableStats) {
+  auto fed = PaperFederation();
+  GlobalCatalog global(fed);
+  TableStats a, b;
+  a.row_count = 10;
+  b.row_count = 20;
+  ASSERT_TRUE(global.RecordReplica("customer#0", "n0", a).ok());
+  ASSERT_TRUE(global.RecordReplica("customer#1", "n1", b).ok());
+  EXPECT_EQ(global.WholeTableStats("customer")->row_count, 30);
+  EXPECT_FALSE(global.WholeTableStats("zzz").has_value());
+}
+
+}  // namespace
+}  // namespace qtrade

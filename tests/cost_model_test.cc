@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "plan/cost_model.h"
+#include "plan/plan_factory.h"
+
+namespace qtrade {
+namespace {
+
+TEST(CostModelTest, ScanGrowsWithRowsAndWidth) {
+  CostModel m;
+  EXPECT_LT(m.ScanCost(1000, 64, 1), m.ScanCost(10000, 64, 1));
+  EXPECT_LT(m.ScanCost(1000, 64, 1), m.ScanCost(1000, 640, 1));
+  EXPECT_LT(m.ScanCost(1000, 64, 1), m.ScanCost(1000, 64, 5));
+  EXPECT_GE(m.ScanCost(0, 64, 0), 0.0);
+}
+
+TEST(CostModelTest, TransferDominatedByLatencyForSmallPayloads) {
+  CostModel m;
+  double tiny = m.TransferCost(1, 16);
+  EXPECT_GE(tiny, 2 * m.params().net_latency_ms);
+  // Large payloads dominated by bandwidth.
+  double big = m.TransferCost(1000000, 64);
+  EXPECT_GT(big, 1000000 * 64 * m.params().net_byte_ms * 0.9);
+}
+
+TEST(CostModelTest, HashJoinCheaperThanNlJoinAtScale) {
+  CostModel m;
+  EXPECT_LT(m.HashJoinCost(10000, 10000, 10000), m.NlJoinCost(10000, 10000));
+}
+
+TEST(CostModelTest, MonotoneInInputs) {
+  CostModel m;
+  EXPECT_LE(m.SortCost(100), m.SortCost(1000));
+  EXPECT_LE(m.AggregateCost(100, 10), m.AggregateCost(1000, 10));
+  EXPECT_LE(m.DedupCost(100), m.DedupCost(200));
+  EXPECT_LE(m.UnionCost(100), m.UnionCost(200));
+}
+
+TEST(CostModelTest, CustomParamsRespected) {
+  CostParams params;
+  params.net_latency_ms = 0;
+  params.net_byte_ms = 0;
+  CostModel m(params);
+  EXPECT_NEAR(m.TransferCost(100, 64), 0.0, 1e-12);
+}
+
+TEST(PlanFactoryTest, RowBytesEstimate) {
+  TupleSchema schema({{"t", "a", TypeKind::kInt64},
+                      {"t", "b", TypeKind::kString},
+                      {"t", "c", TypeKind::kBool}});
+  double bytes = EstimateRowBytes(schema);
+  EXPECT_DOUBLE_EQ(bytes, 8 + 8 + 24 + 1);
+}
+
+TEST(PlanFactoryTest, CostsAccumulateThroughTree) {
+  CostModel model;
+  PlanFactory f(&model);
+  TupleSchema schema({{"t", "a", TypeKind::kInt64}});
+  PlanPtr scan = f.Scan("t", "t", schema, {"t#0"}, nullptr, 10000, 10000, 16);
+  EXPECT_GT(scan->cost, 0);
+  PlanPtr filter =
+      f.Filter(scan, sql::Eq(sql::Col("t", "a"), sql::LitInt(3)), 100);
+  EXPECT_GT(filter->cost, scan->cost);
+  EXPECT_EQ(filter->rows, 100);
+  PlanPtr sort = f.Sort(filter, {{sql::Col("t", "a"), true}});
+  EXPECT_GT(sort->cost, filter->cost);
+  EXPECT_EQ(PlanSize(sort), 3);
+}
+
+TEST(PlanFactoryTest, JoinSchemaConcatAndExplain) {
+  CostModel model;
+  PlanFactory f(&model);
+  TupleSchema left({{"c", "custid", TypeKind::kInt64}});
+  TupleSchema right({{"i", "custid", TypeKind::kInt64},
+                     {"i", "charge", TypeKind::kDouble}});
+  PlanPtr l = f.Scan("customer", "c", left, {"customer#0"}, nullptr, 100, 100,
+                     16);
+  PlanPtr r = f.Scan("invoiceline", "i", right, {"invoiceline#0"}, nullptr,
+                     1000, 1000, 24);
+  PlanPtr join = f.HashJoin(
+      l, r, {{{"c", "custid", TypeKind::kInt64},
+              {"i", "custid", TypeKind::kInt64}}},
+      nullptr, 500);
+  EXPECT_EQ(join->schema.size(), 3u);
+  std::string explain = Explain(join);
+  EXPECT_NE(explain.find("HashJoin"), std::string::npos);
+  EXPECT_NE(explain.find("c.custid=i.custid"), std::string::npos);
+  EXPECT_NE(explain.find("Scan customer"), std::string::npos);
+}
+
+TEST(PlanFactoryTest, RemoteLeafCarriesQuotedCost) {
+  CostModel model;
+  PlanFactory f(&model);
+  TupleSchema schema({{"", "sum_charge", TypeKind::kDouble}});
+  PlanPtr remote = f.Remote("myconos", "SELECT SUM(charge) FROM ...", schema,
+                            1, 16, 30000.0, "offer-7");
+  EXPECT_EQ(remote->cost, 30000.0);
+  EXPECT_EQ(remote->offer_id, "offer-7");
+  PlanPtr remote2 = f.Remote("corfu", "SELECT ...", schema, 1, 16, 40000.0,
+                             "offer-8");
+  PlanPtr u = f.UnionAll({remote, remote2});
+  EXPECT_NEAR(TotalRemoteCost(u), 70000.0, 1e-9);
+  EXPECT_EQ(CollectRemotes(u).size(), 2u);
+}
+
+TEST(PlanFactoryTest, UnionAggregatesChildren) {
+  CostModel model;
+  PlanFactory f(&model);
+  TupleSchema schema({{"t", "a", TypeKind::kInt64}});
+  PlanPtr s1 = f.Scan("t", "t", schema, {"t#0"}, nullptr, 10, 10, 16);
+  PlanPtr s2 = f.Scan("t", "t", schema, {"t#1"}, nullptr, 20, 20, 16);
+  PlanPtr u = f.UnionAll({s1, s2});
+  EXPECT_EQ(u->rows, 30);
+  EXPECT_GE(u->cost, s1->cost + s2->cost);
+}
+
+TEST(PlanFactoryTest, LimitCapsRows) {
+  CostModel model;
+  PlanFactory f(&model);
+  TupleSchema schema({{"t", "a", TypeKind::kInt64}});
+  PlanPtr scan = f.Scan("t", "t", schema, {"t#0"}, nullptr, 1000, 1000, 16);
+  PlanPtr limit = f.Limit(scan, 5);
+  EXPECT_EQ(limit->rows, 5);
+}
+
+TEST(PlanFactoryTest, AggregateScalarProducesOneRow) {
+  CostModel model;
+  PlanFactory f(&model);
+  TupleSchema schema({{"i", "charge", TypeKind::kDouble}});
+  PlanPtr scan = f.Scan("invoiceline", "i", schema, {"invoiceline#0"},
+                        nullptr, 1000, 1000, 16);
+  sql::BoundOutput out;
+  out.expr = sql::Agg(sql::AggFunc::kSum, sql::Col("i", "charge"));
+  out.name = "total";
+  out.type = TypeKind::kDouble;
+  out.is_aggregate = true;
+  PlanPtr agg = f.Aggregate(scan, {out}, {}, nullptr, 1);
+  EXPECT_EQ(agg->rows, 1);
+  EXPECT_EQ(agg->schema.column(0).name, "total");
+}
+
+}  // namespace
+}  // namespace qtrade

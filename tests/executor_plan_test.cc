@@ -1,0 +1,185 @@
+// Plan-operator edge cases executed through ExecutePlan (complementing
+// the reference-interpreter tests in executor_test.cc).
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "opt/local_optimizer.h"
+#include "plan/plan_factory.h"
+#include "tests/test_fixtures.h"
+
+namespace qtrade {
+namespace {
+
+using testing::PaperFederation;
+
+struct Fixture {
+  std::shared_ptr<FederationSchema> fed = PaperFederation();
+  CostModel cost;
+  PlanFactory factory{&cost};
+  TableStore store;
+
+  Fixture() {
+    const TableDef* customer = fed->FindTable("customer");
+    for (int i = 0; i < 3; ++i) {
+      (void)store.CreatePartition("customer#" + std::to_string(i),
+                                  *customer);
+    }
+    const char* offices[] = {"Athens", "Corfu", "Myconos"};
+    for (int64_t id = 0; id < 12; ++id) {
+      int p = static_cast<int>(id % 3);
+      (void)store.Insert(
+          "customer#" + std::to_string(p),
+          {Value::Int64(id), Value::String("c" + std::to_string(id)),
+           Value::String(offices[p])});
+    }
+  }
+
+  PlanPtr ScanCustomers(sql::ExprPtr filter = nullptr) {
+    TupleSchema schema =
+        QualifiedSchema(*fed->FindTable("customer"), "c");
+    return factory.Scan("customer", "c", schema,
+                        {"customer#0", "customer#1", "customer#2"},
+                        std::move(filter), 12, 12, 40);
+  }
+
+  Result<RowSet> Run(const PlanPtr& plan) {
+    ExecutionContext ctx;
+    ctx.store = &store;
+    return ExecutePlan(plan, ctx);
+  }
+};
+
+TEST(ExecutorPlanTest, FilterNodeAfterScan) {
+  Fixture f;
+  PlanPtr plan = f.factory.Filter(
+      f.ScanCustomers(), testing::P("c.office = 'Corfu'"), 4);
+  auto rows = f.Run(plan);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->rows.size(), 4u);
+}
+
+TEST(ExecutorPlanTest, DedupRemovesDuplicates) {
+  Fixture f;
+  sql::BoundOutput office;
+  office.expr = sql::Col("c", "office");
+  office.name = "office";
+  office.type = TypeKind::kString;
+  PlanPtr plan = f.factory.Dedup(
+      f.factory.Project(f.ScanCustomers(), {office}), 3);
+  auto rows = f.Run(plan);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->rows.size(), 3u);
+}
+
+TEST(ExecutorPlanTest, SortThenLimitTopN) {
+  Fixture f;
+  PlanPtr sorted = f.factory.Sort(
+      f.ScanCustomers(), {{sql::Col("c", "custid"), /*ascending=*/false}});
+  PlanPtr limited = f.factory.Limit(sorted, 3);
+  auto rows = f.Run(limited);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->rows.size(), 3u);
+  EXPECT_EQ(rows->rows[0][0].int64(), 11);
+  EXPECT_EQ(rows->rows[2][0].int64(), 9);
+}
+
+TEST(ExecutorPlanTest, SortByExpressionWithoutColumn) {
+  Fixture f;
+  // ORDER BY custid * -1: an expression over the child schema.
+  PlanPtr plan = f.factory.Sort(
+      f.ScanCustomers(),
+      {{sql::Binary(sql::BinaryOp::kMul, sql::Col("c", "custid"),
+                    sql::LitInt(-1)),
+        true}});
+  auto rows = f.Run(plan);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->rows.front()[0].int64(), 11);  // -11 sorts first
+}
+
+TEST(ExecutorPlanTest, UnionArityMismatchIsError) {
+  Fixture f;
+  sql::BoundOutput one;
+  one.expr = sql::Col("c", "custid");
+  one.name = "custid";
+  one.type = TypeKind::kInt64;
+  sql::BoundOutput two = one;
+  two.name = "again";
+  PlanPtr narrow = f.factory.Project(f.ScanCustomers(), {one});
+  PlanPtr wide = f.factory.Project(f.ScanCustomers(), {one, two});
+  PlanPtr bad = f.factory.UnionAll({narrow, wide});
+  auto rows = f.Run(bad);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kInternal);
+}
+
+TEST(ExecutorPlanTest, ScalarAggregateWithHaving) {
+  Fixture f;
+  sql::BoundOutput count;
+  count.expr = sql::CountStar();
+  count.name = "n";
+  count.type = TypeKind::kInt64;
+  count.is_aggregate = true;
+  // HAVING COUNT(*) > 100 filters the single group away.
+  PlanPtr plan = f.factory.Aggregate(
+      f.ScanCustomers(), {count}, {},
+      sql::Binary(sql::BinaryOp::kGt, sql::CountStar(), sql::LitInt(100)),
+      1);
+  auto rows = f.Run(plan);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->rows.empty());
+}
+
+TEST(ExecutorPlanTest, GroupedAggregateMinMaxOverStrings) {
+  Fixture f;
+  sql::BoundOutput office;
+  office.expr = sql::Col("c", "office");
+  office.name = "office";
+  office.type = TypeKind::kString;
+  sql::BoundOutput lo;
+  lo.expr = sql::Agg(sql::AggFunc::kMin, sql::Col("c", "custname"));
+  lo.name = "lo";
+  lo.type = TypeKind::kString;
+  lo.is_aggregate = true;
+  PlanPtr plan = f.factory.Aggregate(
+      f.ScanCustomers(), {office, lo},
+      {{"c", "office", TypeKind::kString}}, nullptr, 3);
+  auto rows = f.Run(plan);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->rows.size(), 3u);
+  for (const auto& row : rows->rows) {
+    EXPECT_TRUE(row[1].is_string());
+  }
+}
+
+TEST(ExecutorPlanTest, NlJoinWithoutPredicateIsCrossProduct) {
+  Fixture f;
+  PlanPtr small = f.factory.Limit(
+      f.factory.Sort(f.ScanCustomers(), {{sql::Col("c", "custid"), true}}),
+      2);
+  TupleSchema schema2 = QualifiedSchema(*f.fed->FindTable("customer"), "d");
+  PlanPtr other = f.factory.Scan("customer", "d", schema2, {"customer#0"},
+                                 nullptr, 4, 4, 40);
+  PlanPtr cross = f.factory.NlJoin(small, other, nullptr, 8);
+  auto rows = f.Run(cross);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->rows.size(), 8u);  // 2 x 4
+  EXPECT_EQ(rows->schema.size(), 6u);
+}
+
+TEST(ExecutorPlanTest, ScanUnknownPartitionFails) {
+  Fixture f;
+  TupleSchema schema = QualifiedSchema(*f.fed->FindTable("customer"), "c");
+  PlanPtr plan = f.factory.Scan("customer", "c", schema, {"customer#9"},
+                                nullptr, 1, 1, 40);
+  EXPECT_FALSE(f.Run(plan).ok());
+}
+
+TEST(ExecutorPlanTest, ScanWithoutStoreFails) {
+  Fixture f;
+  ExecutionContext bare;
+  auto rows = ExecutePlan(f.ScanCustomers(), bare);
+  EXPECT_FALSE(rows.ok());
+}
+
+}  // namespace
+}  // namespace qtrade

@@ -1,0 +1,306 @@
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "exec/expr_eval.h"
+#include "opt/local_optimizer.h"
+#include "plan/plan_factory.h"
+#include "tests/test_fixtures.h"
+
+namespace qtrade {
+namespace {
+
+using testing::PaperFederation;
+
+/// Small deterministic data set over the paper schema.
+struct DataFixture {
+  std::shared_ptr<FederationSchema> fed = PaperFederation();
+  TableStore store;
+
+  DataFixture() {
+    const TableDef* customer = fed->FindTable("customer");
+    const TableDef* invoiceline = fed->FindTable("invoiceline");
+    for (int i = 0; i < 3; ++i) {
+      (void)store.CreatePartition("customer#" + std::to_string(i), *customer);
+      (void)store.CreatePartition("invoiceline#" + std::to_string(i),
+                                  *invoiceline);
+    }
+    const char* offices[] = {"Athens", "Corfu", "Myconos"};
+    // customers: ids 0..8, office by id % 3 stored in matching partition.
+    for (int64_t id = 0; id < 9; ++id) {
+      int p = static_cast<int>(id % 3);
+      Row row = {Value::Int64(id), Value::String("cust" + std::to_string(id)),
+                 Value::String(offices[p])};
+      (void)store.Insert("customer#" + std::to_string(p), std::move(row));
+    }
+    // invoice lines: two per customer, charge = 10*id and 10*id+5.
+    // custid < 1000 -> all in invoiceline#0.
+    for (int64_t id = 0; id < 9; ++id) {
+      for (int k = 0; k < 2; ++k) {
+        Row row = {Value::Int64(100 + id * 2 + k), Value::Int64(k),
+                   Value::Int64(id), Value::Double(10.0 * id + 5.0 * k)};
+        (void)store.Insert("invoiceline#0", std::move(row));
+      }
+    }
+  }
+
+  TableResolver Resolver() {
+    return [this](const sql::TableRef& tref) -> Result<RowSet> {
+      std::vector<std::string> parts;
+      const TablePartitioning* partitioning =
+          fed->FindPartitioning(tref.table);
+      for (const auto& p : partitioning->partitions) parts.push_back(p.id);
+      return store.ScanPartitions(parts, tref.alias);
+    };
+  }
+
+  sql::BoundQuery Analyze(const std::string& sql) {
+    auto q = sql::AnalyzeSql(sql, *fed);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return *q;
+  }
+};
+
+TEST(ExprEvalTest, ArithmeticAndComparison) {
+  TupleSchema schema({{"t", "a", TypeKind::kInt64},
+                      {"t", "b", TypeKind::kDouble}});
+  Row row = {Value::Int64(6), Value::Double(1.5)};
+  auto eval = [&](const std::string& text) {
+    auto e = sql::ParseExpression(text);
+    EXPECT_TRUE(e.ok());
+    auto v = EvalExpr(*e, schema, row);
+    EXPECT_TRUE(v.ok()) << v.status().ToString();
+    return *v;
+  };
+  EXPECT_EQ(eval("t.a + 2").int64(), 8);
+  EXPECT_DOUBLE_EQ(eval("t.a * t.b").dbl(), 9.0);
+  EXPECT_DOUBLE_EQ(eval("t.a / 4").dbl(), 1.5);
+  EXPECT_TRUE(eval("t.a > 5").boolean());
+  EXPECT_FALSE(eval("t.a <> 6").boolean());
+  EXPECT_TRUE(eval("t.a IN (1, 6)").boolean());
+  EXPECT_TRUE(eval("NOT t.a IN (1, 2)").boolean());
+  EXPECT_TRUE(eval("t.a > 5 AND t.b < 2").boolean());
+}
+
+TEST(ExprEvalTest, NullSemantics) {
+  TupleSchema schema({{"t", "a", TypeKind::kInt64}});
+  Row row = {Value::Null()};
+  auto eval = [&](const std::string& text) {
+    auto e = sql::ParseExpression(text);
+    auto v = EvalExpr(*e, schema, row);
+    EXPECT_TRUE(v.ok()) << v.status().ToString();
+    return *v;
+  };
+  EXPECT_FALSE(eval("t.a = 3").boolean());
+  EXPECT_FALSE(eval("t.a <> 3").boolean());
+  EXPECT_TRUE(eval("t.a + 1").is_null());
+  EXPECT_TRUE(eval("t.a IS NULL").boolean());
+  EXPECT_FALSE(eval("t.a IS NOT NULL").boolean());
+  // Division by zero yields NULL, not a crash.
+  EXPECT_TRUE(eval("1 / 0").is_null());
+}
+
+TEST(ExecutorTest, ReferenceInterpreterSimpleFilter) {
+  DataFixture f;
+  auto result = ExecuteBoundQuery(
+      f.Analyze("SELECT custname FROM customer WHERE office = 'Corfu'"),
+      f.Resolver());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows.size(), 3u);  // ids 1, 4, 7
+}
+
+TEST(ExecutorTest, ReferenceInterpreterJoinAggregate) {
+  DataFixture f;
+  auto result = ExecuteBoundQuery(
+      f.Analyze("SELECT SUM(charge) FROM customer c, invoiceline i "
+                "WHERE c.custid = i.custid AND c.office = 'Myconos'"),
+      f.Resolver());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 1u);
+  // Myconos customers: ids 2, 5, 8. Sum = (20+25)+(50+55)+(80+85) = 315.
+  EXPECT_DOUBLE_EQ(result->rows[0][0].dbl(), 315.0);
+}
+
+TEST(ExecutorTest, ReferenceInterpreterGroupByHavingOrder) {
+  DataFixture f;
+  auto result = ExecuteBoundQuery(
+      f.Analyze("SELECT c.office, SUM(i.charge) AS total "
+                "FROM customer c, invoiceline i WHERE c.custid = i.custid "
+                "GROUP BY c.office HAVING SUM(i.charge) > 200 "
+                "ORDER BY total DESC"),
+      f.Resolver());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Totals: Athens ids {0,3,6}: 5+30+35+60+65 = 0+5+30+35+60+65=195;
+  // Corfu ids {1,4,7}: 10+15+40+45+70+75=255; Myconos: 315.
+  ASSERT_EQ(result->rows.size(), 2u);
+  EXPECT_EQ(result->rows[0][0].str(), "Myconos");
+  EXPECT_DOUBLE_EQ(result->rows[0][1].dbl(), 315.0);
+  EXPECT_EQ(result->rows[1][0].str(), "Corfu");
+}
+
+TEST(ExecutorTest, CountStarAvgMinMax) {
+  DataFixture f;
+  auto result = ExecuteBoundQuery(
+      f.Analyze("SELECT COUNT(*) AS n, AVG(charge) AS a, MIN(charge) AS lo, "
+                "MAX(charge) AS hi FROM invoiceline"),
+      f.Resolver());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0].int64(), 18);
+  EXPECT_DOUBLE_EQ(result->rows[0][2].dbl(), 0.0);
+  EXPECT_DOUBLE_EQ(result->rows[0][3].dbl(), 85.0);
+}
+
+TEST(ExecutorTest, ScalarAggregateOverEmptyInput) {
+  DataFixture f;
+  auto result = ExecuteBoundQuery(
+      f.Analyze("SELECT COUNT(*) AS n, SUM(charge) AS s FROM invoiceline "
+                "WHERE charge > 10000"),
+      f.Resolver());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0].int64(), 0);
+  EXPECT_TRUE(result->rows[0][1].is_null());
+}
+
+TEST(ExecutorTest, DistinctProjection) {
+  DataFixture f;
+  auto result = ExecuteBoundQuery(
+      f.Analyze("SELECT DISTINCT office FROM customer"), f.Resolver());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 3u);
+}
+
+TEST(ExecutorTest, CountDistinct) {
+  DataFixture f;
+  auto result = ExecuteBoundQuery(
+      f.Analyze("SELECT COUNT(DISTINCT office) AS n FROM customer"),
+      f.Resolver());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows[0][0].int64(), 3);
+}
+
+TEST(ExecutorTest, LimitApplied) {
+  DataFixture f;
+  auto result = ExecuteBoundQuery(
+      f.Analyze("SELECT custid FROM customer ORDER BY custid LIMIT 4"),
+      f.Resolver());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 4u);
+  EXPECT_EQ(result->rows[3][0].int64(), 3);
+}
+
+TEST(ExecutorTest, PlanExecutionMatchesInterpreter) {
+  DataFixture f;
+  // Build a plan by hand: scan + scan + hash join + aggregate.
+  CostModel cost;
+  PlanFactory factory(&cost);
+  TupleSchema cust_schema = QualifiedSchema(*f.fed->FindTable("customer"),
+                                            "c");
+  TupleSchema inv_schema = QualifiedSchema(*f.fed->FindTable("invoiceline"),
+                                           "i");
+  auto office_pred = sql::ParseExpression("c.office = 'Myconos'");
+  ASSERT_TRUE(office_pred.ok());
+  PlanPtr cust = factory.Scan(
+      "customer", "c", cust_schema,
+      {"customer#0", "customer#1", "customer#2"}, *office_pred, 9, 3, 40);
+  PlanPtr inv = factory.Scan("invoiceline", "i", inv_schema,
+                             {"invoiceline#0"}, nullptr, 18, 18, 32);
+  PlanPtr join = factory.HashJoin(
+      inv, cust,
+      {{{"i", "custid", TypeKind::kInt64}, {"c", "custid", TypeKind::kInt64}}},
+      nullptr, 6);
+  sql::BoundOutput out;
+  out.expr = sql::Agg(sql::AggFunc::kSum, sql::Col("i", "charge"));
+  out.name = "sum_charge";
+  out.type = TypeKind::kDouble;
+  out.is_aggregate = true;
+  PlanPtr agg = factory.Aggregate(join, {out}, {}, nullptr, 1);
+
+  ExecutionContext ctx;
+  ctx.store = &f.store;
+  auto result = ExecutePlan(agg, ctx);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(result->rows[0][0].dbl(), 315.0);
+}
+
+TEST(ExecutorTest, RemoteNodeUsesResolver) {
+  DataFixture f;
+  CostModel cost;
+  PlanFactory factory(&cost);
+  TupleSchema schema({{"", "x", TypeKind::kInt64}});
+  PlanPtr remote =
+      factory.Remote("seller", "SELECT x FROM t", schema, 2, 16, 100, "o1");
+  ExecutionContext ctx;
+  ctx.remote_resolver = [&](const PlanNode& node) -> Result<RowSet> {
+    EXPECT_EQ(node.remote_node, "seller");
+    RowSet rows;
+    rows.schema = node.schema;
+    rows.rows.push_back({Value::Int64(1)});
+    rows.rows.push_back({Value::Int64(2)});
+    return rows;
+  };
+  auto result = ExecutePlan(remote, ctx);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 2u);
+  // Without a resolver, remote execution fails cleanly.
+  ExecutionContext bare;
+  EXPECT_FALSE(ExecutePlan(remote, bare).ok());
+}
+
+TEST(StorageTest, ComputeStatsBasics) {
+  DataFixture f;
+  auto rows = f.store.ScanPartitions({"invoiceline#0"}, "i");
+  ASSERT_TRUE(rows.ok());
+  // ComputeStats expects bare names; rebuild with bare qualifiers.
+  RowSet bare;
+  for (const auto& col : rows->schema.columns()) {
+    bare.schema.AddColumn({"", col.name, col.type});
+  }
+  bare.rows = rows->rows;
+  TableStats stats = ComputeStats(bare);
+  EXPECT_EQ(stats.row_count, 18);
+  const ColumnStats* charge = stats.FindColumn("charge");
+  ASSERT_NE(charge, nullptr);
+  EXPECT_EQ(charge->min.AsDouble(), 0.0);
+  EXPECT_EQ(charge->max.AsDouble(), 85.0);
+  EXPECT_TRUE(charge->histogram.has_value());
+  const ColumnStats* custid = stats.FindColumn("custid");
+  EXPECT_EQ(custid->ndv, 9);
+  EXPECT_FALSE(custid->mcv.empty());  // 9 distinct <= mcv limit
+}
+
+TEST(StorageTest, InsertValidation) {
+  TableStore store;
+  TableDef t{"t", {{"a", TypeKind::kInt64}}};
+  ASSERT_TRUE(store.CreatePartition("t#0", t).ok());
+  EXPECT_FALSE(store.CreatePartition("t#0", t).ok());
+  EXPECT_TRUE(store.Insert("t#0", {Value::Int64(1)}).ok());
+  EXPECT_FALSE(store.Insert("t#0", {}).ok());           // arity
+  EXPECT_FALSE(store.Insert("nope#0", {Value::Int64(1)}).ok());
+  EXPECT_EQ(store.TotalRows(), 1);
+}
+
+TEST(StorageTest, ViewStorage) {
+  TableStore store;
+  RowSet rows;
+  rows.schema = TupleSchema({{"", "office", TypeKind::kString}});
+  rows.rows.push_back({Value::String("Corfu")});
+  store.StoreView("v", std::move(rows));
+  ASSERT_NE(store.View("v"), nullptr);
+  EXPECT_EQ(store.View("v")->rows.size(), 1u);
+  EXPECT_EQ(store.View("w"), nullptr);
+}
+
+TEST(ExecutorTest, FormatRowSetRendersTable) {
+  RowSet rows;
+  rows.schema = TupleSchema({{"", "name", TypeKind::kString},
+                             {"", "n", TypeKind::kInt64}});
+  rows.rows.push_back({Value::String("corfu"), Value::Int64(12)});
+  std::string text = FormatRowSet(rows);
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("corfu"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qtrade

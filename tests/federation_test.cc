@@ -1,0 +1,356 @@
+#include <gtest/gtest.h>
+
+#include "core/qt_optimizer.h"
+#include "tests/test_fixtures.h"
+
+namespace qtrade {
+namespace {
+
+using testing::PaperData;
+using testing::PaperFederation;
+
+/// Three regional nodes; each hosts its customer partition and its
+/// custid-range invoiceline partition. Athens additionally replicates
+/// every invoiceline partition (so at least one node can join locally).
+std::unique_ptr<Federation> BuildPaperWorld(int num_customers = 30) {
+  auto fed = std::make_unique<Federation>(PaperFederation());
+  PaperData data(num_customers);
+  const char* names[] = {"athens", "corfu", "myconos"};
+  for (int i = 0; i < 3; ++i) fed->AddNode(names[i]);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(fed->LoadPartition(names[i], "customer#" + std::to_string(i),
+                                   data.customer_parts[i])
+                    .ok());
+    EXPECT_TRUE(fed->LoadPartition(names[i],
+                                   "invoiceline#" + std::to_string(i),
+                                   data.invoiceline_parts[i])
+                    .ok());
+  }
+  for (int i = 1; i < 3; ++i) {  // athens already hosts invoiceline#0
+    EXPECT_TRUE(fed->LoadPartition("athens",
+                                   "invoiceline#" + std::to_string(i),
+                                   data.invoiceline_parts[i])
+                    .ok());
+  }
+  return fed;
+}
+
+/// Compares two row sets as multisets (order-insensitive).
+void ExpectSameRows(const RowSet& a, const RowSet& b) {
+  ASSERT_EQ(a.schema.size(), b.schema.size());
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  auto key = [](const Row& row) {
+    std::string out;
+    for (const auto& v : row) out += v.ToString() + "\x01";
+    return out;
+  };
+  std::multiset<std::string> ka, kb;
+  for (const auto& row : a.rows) ka.insert(key(row));
+  for (const auto& row : b.rows) kb.insert(key(row));
+  EXPECT_EQ(ka, kb);
+}
+
+TEST(FederationTest, LoadValidatesPartitionPredicate) {
+  auto fed = std::make_unique<Federation>(PaperFederation());
+  fed->AddNode("n");
+  // An Athens row loaded into the Corfu partition must be rejected.
+  std::vector<Row> bad = {{Value::Int64(1), Value::String("x"),
+                           Value::String("Athens")}};
+  EXPECT_FALSE(fed->LoadPartition("n", "customer#1", bad).ok());
+  EXPECT_TRUE(fed->LoadPartition("n", "customer#0", bad).ok());
+}
+
+TEST(FederationTest, CentralizedExecutionSeesAllReplicasOnce) {
+  auto fed = BuildPaperWorld(30);
+  auto result = fed->ExecuteCentralized("SELECT COUNT(*) AS n FROM customer");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows[0][0].int64(), 30);
+  // invoiceline is replicated on athens; counts must not double.
+  auto lines =
+      fed->ExecuteCentralized("SELECT COUNT(*) AS n FROM invoiceline");
+  ASSERT_TRUE(lines.ok());
+  EXPECT_EQ(lines->rows[0][0].int64(), 60);
+}
+
+TEST(QtOptimizerTest, PaperMotivatingQueryEndToEnd) {
+  auto fed = BuildPaperWorld(30);
+  const std::string sql =
+      "SELECT SUM(charge) FROM customer c, invoiceline i "
+      "WHERE c.custid = i.custid AND (c.office = 'Corfu' OR "
+      "c.office = 'Myconos')";
+  QueryTradingOptimizer qt(fed.get(), "athens");
+  auto result = qt.Optimize(sql);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result->ok());
+  EXPECT_GT(result->metrics.rfbs_sent, 0);
+  EXPECT_GT(result->metrics.offers_received, 0);
+  EXPECT_GT(result->metrics.messages, 0);
+  EXPECT_GT(result->metrics.sim_elapsed_ms, 0);
+
+  auto distributed = qt.Execute(*result);
+  ASSERT_TRUE(distributed.ok()) << distributed.status().ToString();
+  auto reference = fed->ExecuteCentralized(sql);
+  ASSERT_TRUE(reference.ok());
+  ExpectSameRows(*distributed, *reference);
+}
+
+TEST(QtOptimizerTest, GroupByQueryEndToEnd) {
+  auto fed = BuildPaperWorld(30);
+  const std::string sql =
+      "SELECT c.office, SUM(i.charge) AS total, COUNT(*) AS n "
+      "FROM customer c, invoiceline i WHERE c.custid = i.custid "
+      "GROUP BY c.office ORDER BY total DESC";
+  QueryTradingOptimizer qt(fed.get(), "corfu");
+  auto rows = qt.Run(sql);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  auto reference = fed->ExecuteCentralized(sql);
+  ASSERT_TRUE(reference.ok());
+  ExpectSameRows(*rows, *reference);
+}
+
+TEST(QtOptimizerTest, SingleTableQueryEndToEnd) {
+  auto fed = BuildPaperWorld(30);
+  const std::string sql =
+      "SELECT custname FROM customer WHERE office = 'Myconos'";
+  QueryTradingOptimizer qt(fed.get(), "athens");
+  auto rows = qt.Run(sql);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  auto reference = fed->ExecuteCentralized(sql);
+  ASSERT_TRUE(reference.ok());
+  ExpectSameRows(*rows, *reference);
+}
+
+TEST(QtOptimizerTest, AvgDecompositionEndToEnd) {
+  auto fed = BuildPaperWorld(30);
+  const std::string sql =
+      "SELECT c.office, AVG(i.charge) AS mean FROM customer c, "
+      "invoiceline i WHERE c.custid = i.custid GROUP BY c.office";
+  QueryTradingOptimizer qt(fed.get(), "myconos");
+  auto rows = qt.Run(sql);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  auto reference = fed->ExecuteCentralized(sql);
+  ASSERT_TRUE(reference.ok());
+  ExpectSameRows(*rows, *reference);
+}
+
+TEST(QtOptimizerTest, UncoverableQueryFailsCleanly) {
+  auto fed = std::make_unique<Federation>(PaperFederation());
+  fed->AddNode("lonely");
+  PaperData data(9);
+  ASSERT_TRUE(
+      fed->LoadPartition("lonely", "customer#0", data.customer_parts[0])
+          .ok());
+  // customer#1/#2 exist in the schema but hold data nowhere.
+  QueryTradingOptimizer qt(fed.get(), "lonely");
+  auto result = qt.Optimize("SELECT custname FROM customer");
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->ok());
+  EXPECT_FALSE(qt.Execute(*result).ok());
+}
+
+TEST(QtOptimizerTest, ViewBackedAnswerEndToEnd) {
+  auto fed = BuildPaperWorld(30);
+  ASSERT_TRUE(fed->CreateView(
+                     "corfu", "v_office_totals",
+                     "SELECT c.office AS office, SUM(i.charge) AS "
+                     "sum_charge, COUNT(*) AS cnt FROM customer c, "
+                     "invoiceline i WHERE c.custid = i.custid "
+                     "GROUP BY c.office")
+                  .ok());
+  const std::string sql =
+      "SELECT c.office, SUM(i.charge) AS total FROM customer c, "
+      "invoiceline i WHERE c.custid = i.custid GROUP BY c.office";
+  QueryTradingOptimizer qt(fed.get(), "athens");
+  auto result = qt.Optimize(sql);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result->ok());
+  // The view answer should win: one remote from corfu.
+  ASSERT_EQ(result->winning_offers.size(), 1u);
+  EXPECT_EQ(result->winning_offers[0].seller, "corfu");
+  auto rows = qt.Execute(*result);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  auto reference = fed->ExecuteCentralized(sql);
+  ASSERT_TRUE(reference.ok());
+  ExpectSameRows(*rows, *reference);
+}
+
+TEST(QtOptimizerTest, ProtocolsAllProduceCorrectAnswers) {
+  for (NegotiationProtocol protocol :
+       {NegotiationProtocol::kBidding, NegotiationProtocol::kAuction,
+        NegotiationProtocol::kBargaining}) {
+    auto fed = BuildPaperWorld(30);
+    QtOptions options;
+    options.protocol = protocol;
+    QueryTradingOptimizer qt(fed.get(), "athens", options);
+    const std::string sql =
+        "SELECT SUM(charge) FROM customer c, invoiceline i "
+        "WHERE c.custid = i.custid";
+    auto rows = qt.Run(sql);
+    ASSERT_TRUE(rows.ok()) << NegotiationProtocolName(protocol) << ": "
+                           << rows.status().ToString();
+    auto reference = fed->ExecuteCentralized(sql);
+    ExpectSameRows(*rows, *reference);
+  }
+}
+
+TEST(QtOptimizerTest, CompetitiveSellersStillCorrectButPricier) {
+  auto build = [](bool competitive) {
+    auto fed = std::make_unique<Federation>(PaperFederation());
+    PaperData data(30);
+    const char* names[] = {"athens", "corfu", "myconos"};
+    for (int i = 0; i < 3; ++i) {
+      std::unique_ptr<SellerStrategy> strategy;
+      if (competitive) {
+        strategy = std::make_unique<AdaptiveMarkupStrategy>(0.4);
+      }
+      fed->AddNode(names[i], std::move(strategy));
+    }
+    for (int i = 0; i < 3; ++i) {
+      (void)fed->LoadPartition(names[i], "customer#" + std::to_string(i),
+                               data.customer_parts[i]);
+      (void)fed->LoadPartition(names[i],
+                               "invoiceline#" + std::to_string(i),
+                               data.invoiceline_parts[i]);
+    }
+    return fed;
+  };
+  const std::string sql =
+      "SELECT COUNT(*) AS n FROM customer WHERE office <> 'Athens'";
+
+  auto coop = build(false);
+  auto comp = build(true);
+  QueryTradingOptimizer qt_coop(coop.get(), "athens");
+  QueryTradingOptimizer qt_comp(comp.get(), "athens");
+  auto r_coop = qt_coop.Optimize(sql);
+  auto r_comp = qt_comp.Optimize(sql);
+  ASSERT_TRUE(r_coop.ok() && r_coop->ok());
+  ASSERT_TRUE(r_comp.ok() && r_comp->ok());
+  // Markup makes the bought plan more expensive, but answers stay right.
+  EXPECT_GT(r_comp->cost, r_coop->cost);
+  auto rows = qt_comp.Execute(*r_comp);
+  ASSERT_TRUE(rows.ok());
+  auto reference = comp->ExecuteCentralized(sql);
+  ExpectSameRows(*rows, *reference);
+}
+
+TEST(QtOptimizerTest, AuctionReducesCompetitiveCost) {
+  auto build = [] {
+    auto fed = std::make_unique<Federation>(PaperFederation());
+    PaperData data(30);
+    const char* names[] = {"athens", "corfu", "myconos", "backup"};
+    for (const char* name : names) {
+      fed->AddNode(name, std::make_unique<AdaptiveMarkupStrategy>(0.5));
+    }
+    for (int i = 0; i < 3; ++i) {
+      (void)fed->LoadPartition(names[i], "customer#" + std::to_string(i),
+                               data.customer_parts[i]);
+      // Full replication on "backup" creates price competition.
+      (void)fed->LoadPartition("backup", "customer#" + std::to_string(i),
+                               data.customer_parts[i]);
+    }
+    return fed;
+  };
+  const std::string sql = "SELECT custname FROM customer";
+
+  QtOptions bidding;
+  bidding.protocol = NegotiationProtocol::kBidding;
+  QtOptions auction;
+  auction.protocol = NegotiationProtocol::kAuction;
+  auction.max_auction_rounds = 5;
+
+  auto fed1 = build();
+  auto fed2 = build();
+  QueryTradingOptimizer qt1(fed1.get(), "athens", bidding);
+  QueryTradingOptimizer qt2(fed2.get(), "athens", auction);
+  auto r1 = qt1.Optimize(sql);
+  auto r2 = qt2.Optimize(sql);
+  ASSERT_TRUE(r1.ok() && r1->ok());
+  ASSERT_TRUE(r2.ok() && r2->ok());
+  EXPECT_LE(r2->cost, r1->cost + 1e-9);
+  EXPECT_GT(r2->metrics.auction_rounds, 0);
+}
+
+TEST(QtOptimizerTest, FanoutLimitsContactedSellers) {
+  auto fed = BuildPaperWorld(30);
+  QtOptions options;
+  options.rfb_fanout = 1;
+  QueryTradingOptimizer qt(fed.get(), "athens", options);
+  auto result =
+      qt.Optimize("SELECT COUNT(*) AS n FROM invoiceline");
+  ASSERT_TRUE(result.ok());
+  // Exactly one seller contacted per traded query in iteration 1.
+  EXPECT_LE(result->metrics.rfbs_sent, 2);
+}
+
+TEST(QtOptimizerTest, StalenessWeightAvoidsViewOffers) {
+  // A stale materialized view wins on time; a buyer that weights
+  // freshness (paper §3.1 multi-dimensional valuation) rejects it.
+  auto build = [] {
+    auto fed = BuildPaperWorld(30);
+    (void)fed->CreateView(
+        "corfu", "v_totals",
+        "SELECT c.office AS office, SUM(i.charge) AS sum_charge "
+        "FROM customer c, invoiceline i WHERE c.custid = i.custid "
+        "GROUP BY c.office");
+    return fed;
+  };
+  const std::string sql =
+      "SELECT c.office, SUM(i.charge) AS total FROM customer c, "
+      "invoiceline i WHERE c.custid = i.custid GROUP BY c.office";
+
+  auto fed_fast = build();
+  QueryTradingOptimizer time_only(fed_fast.get(), "athens");
+  auto fast = time_only.Optimize(sql);
+  ASSERT_TRUE(fast.ok() && fast->ok());
+  ASSERT_EQ(fast->winning_offers.size(), 1u);
+  EXPECT_EQ(fast->winning_offers[0].kind, OfferKind::kFinalAnswer);
+  EXPECT_LT(fast->winning_offers[0].props.freshness, 1.0);
+
+  auto fed_fresh = build();
+  QtOptions options;
+  options.valuation.weight_staleness = 1e9;  // staleness is unacceptable
+  QueryTradingOptimizer fresh_only(fed_fresh.get(), "athens", options);
+  auto fresh = fresh_only.Optimize(sql);
+  ASSERT_TRUE(fresh.ok() && fresh->ok());
+  for (const auto& offer : fresh->winning_offers) {
+    EXPECT_DOUBLE_EQ(offer.props.freshness, 1.0) << offer.ToString();
+  }
+}
+
+TEST(QtOptimizerTest, SubcontractingEndToEndAnswersMatch) {
+  auto fed = std::make_unique<Federation>(PaperFederation());
+  PaperData data(30);
+  fed->AddNode("corfu");
+  fed->AddNode("megastore");
+  ASSERT_TRUE(
+      fed->LoadPartition("corfu", "customer#1", data.customer_parts[1])
+          .ok());
+  ASSERT_TRUE(fed->LoadPartition("megastore", "customer#0",
+                                 data.customer_parts[0]).ok());
+  ASSERT_TRUE(fed->LoadPartition("megastore", "customer#2",
+                                 data.customer_parts[2]).ok());
+  fed->EnableSubcontracting();
+  const std::string sql =
+      "SELECT office, COUNT(*) AS n FROM customer GROUP BY office";
+  QueryTradingOptimizer qt(fed.get(), "corfu");
+  auto rows = qt.Run(sql);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  auto reference = fed->ExecuteCentralized(sql);
+  ASSERT_TRUE(reference.ok());
+  ExpectSameRows(*rows, *reference);
+}
+
+TEST(QtOptimizerTest, MetricsAreDeltasAcrossRuns) {
+  auto fed = BuildPaperWorld(30);
+  QueryTradingOptimizer qt(fed.get(), "athens");
+  auto r1 = qt.Optimize("SELECT COUNT(*) AS n FROM customer");
+  auto r2 = qt.Optimize("SELECT COUNT(*) AS n FROM customer");
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  // Second run must not accumulate the first run's traffic.
+  EXPECT_NEAR(static_cast<double>(r1->metrics.messages),
+              static_cast<double>(r2->metrics.messages),
+              r1->metrics.messages * 0.5 + 4);
+}
+
+}  // namespace
+}  // namespace qtrade

@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+
+namespace qtrade {
+namespace {
+
+TEST(SimNetworkTest, AccountsMessagesAndBytes) {
+  SimNetwork net;
+  net.Send("a", "b", 1000, "rfb");
+  net.Send("b", "a", 500, "offer");
+  EXPECT_EQ(net.total().messages, 2);
+  EXPECT_GT(net.total().bytes, 1500);  // payload + envelopes
+  ASSERT_EQ(net.by_kind().count("rfb"), 1u);
+  EXPECT_EQ(net.by_kind().at("rfb").messages, 1);
+}
+
+TEST(SimNetworkTest, DeliveryTimeLatencyPlusBandwidth) {
+  NetworkParams params;
+  params.latency_ms = 10;
+  params.bytes_per_ms = 1000;
+  params.msg_overhead_bytes = 0;
+  SimNetwork net(params);
+  EXPECT_DOUBLE_EQ(net.DeliveryTimeMs(5000), 10 + 5);
+}
+
+TEST(SimNetworkTest, ClockAdvancesMonotonically) {
+  SimNetwork net;
+  EXPECT_DOUBLE_EQ(net.now_ms(), 0);
+  net.AdvanceClock(100);
+  net.AdvanceClock(-5);  // ignored
+  EXPECT_DOUBLE_EQ(net.now_ms(), 100);
+}
+
+TEST(SimNetworkTest, ResetClearsEverything) {
+  SimNetwork net;
+  net.Send("a", "b", 10, "x");
+  net.AdvanceClock(5);
+  net.ResetStats();
+  EXPECT_EQ(net.total().messages, 0);
+  EXPECT_DOUBLE_EQ(net.now_ms(), 0);
+  EXPECT_TRUE(net.by_kind().empty());
+}
+
+TEST(SimNetworkTest, StatsToStringMentionsKinds) {
+  SimNetwork net;
+  net.Send("a", "b", 10, "rfb");
+  std::string text = net.StatsToString();
+  EXPECT_NE(text.find("rfb=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qtrade

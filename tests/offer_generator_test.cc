@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include "opt/offer_generator.h"
+#include "tests/test_fixtures.h"
+
+namespace qtrade {
+namespace {
+
+using testing::CustomerPartStats;
+using testing::InvoicePartStats;
+using testing::PaperFederation;
+
+
+/// Unwraps wire offers from generated offers.
+std::vector<Offer> Wire(const std::vector<GeneratedOffer>& generated) {
+  std::vector<Offer> out;
+  for (const auto& g : generated) out.push_back(g.offer);
+  return out;
+}
+
+struct Fixture {
+  std::shared_ptr<FederationSchema> fed = PaperFederation();
+  CostModel cost;
+  PlanFactory factory{&cost};
+
+  sql::BoundQuery Analyze(const std::string& sql) {
+    auto q = sql::AnalyzeSql(sql, *fed);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return *q;
+  }
+};
+
+// §3.4's running example: the Myconos node offers the two restricted
+// single-relation scans plus the 2-way join (modified DP output).
+TEST(OfferGeneratorTest, PaperExampleOffersAllSubsets) {
+  Fixture f;
+  NodeCatalog node("myconos", f.fed);
+  ASSERT_TRUE(
+      node.HostPartition("customer#2", CustomerPartStats("Myconos", 1000))
+          .ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(node.HostPartition("invoiceline#" + std::to_string(i),
+                                   InvoicePartStats(40000, 0, 2999))
+                    .ok());
+  }
+  OfferGenerator gen(&node, &f.factory);
+  sql::BoundQuery q = f.Analyze(
+      "SELECT SUM(charge) FROM customer c, invoiceline i "
+      "WHERE c.custid = i.custid AND (c.office = 'Corfu' OR "
+      "c.office = 'Myconos')");
+  auto generated = gen.Generate(q, "rfb-1");
+  ASSERT_TRUE(generated.ok()) << generated.status().ToString();
+  std::vector<Offer> offer_list = Wire(*generated);
+  // 3 core offers ({c}, {i}, {c,i}) + 1 partial-aggregate offer.
+  ASSERT_EQ(offer_list.size(), 4u);
+
+  int core = 0, partial_agg = 0;
+  for (const auto& offer : offer_list) {
+    EXPECT_EQ(offer.seller, "myconos");
+    EXPECT_EQ(offer.rfb_id, "rfb-1");
+    EXPECT_GT(offer.props.total_time_ms, 0);
+    if (offer.kind == OfferKind::kCoreRows) ++core;
+    if (offer.kind == OfferKind::kPartialAggregate) ++partial_agg;
+  }
+  EXPECT_EQ(core, 3);
+  EXPECT_EQ(partial_agg, 1);
+
+  // The single-relation customer offer must carry the Myconos restriction.
+  bool found_restricted_customer = false;
+  for (const auto& offer : offer_list) {
+    if (offer.kind != OfferKind::kCoreRows) continue;
+    if (offer.coverage.size() == 1 && offer.coverage[0].alias == "c") {
+      std::string sql = sql::ToSql(offer.query);
+      EXPECT_NE(sql.find("c.office = 'Myconos'"), std::string::npos) << sql;
+      found_restricted_customer = true;
+    }
+  }
+  EXPECT_TRUE(found_restricted_customer);
+}
+
+TEST(OfferGeneratorTest, DeclinesWithoutLocalData) {
+  Fixture f;
+  NodeCatalog node("stranger", f.fed);
+  OfferGenerator gen(&node, &f.factory);
+  sql::BoundQuery q = f.Analyze("SELECT custname FROM customer");
+  auto generated = gen.Generate(q, "rfb-1");
+  ASSERT_TRUE(generated.ok());
+  std::vector<Offer> offer_list = Wire(*generated);
+  EXPECT_TRUE(offer_list.empty());
+}
+
+TEST(OfferGeneratorTest, PartialAggregateUsesNamingConvention) {
+  Fixture f;
+  NodeCatalog node("myconos", f.fed);
+  ASSERT_TRUE(
+      node.HostPartition("customer#2", CustomerPartStats("Myconos", 1000))
+          .ok());
+  ASSERT_TRUE(node.HostPartition("invoiceline#2",
+                                 InvoicePartStats(40000, 2000, 2999))
+                  .ok());
+  OfferGenerator gen(&node, &f.factory);
+  sql::BoundQuery q = f.Analyze(
+      "SELECT c.office, SUM(i.charge) AS total, AVG(i.charge) AS mean "
+      "FROM customer c, invoiceline i WHERE c.custid = i.custid "
+      "GROUP BY c.office");
+  auto generated = gen.Generate(q, "rfb-2");
+  ASSERT_TRUE(generated.ok());
+  std::vector<Offer> offer_list = Wire(*generated);
+  const Offer* partial = nullptr;
+  for (const auto& offer : offer_list) {
+    if (offer.kind == OfferKind::kPartialAggregate) partial = &offer;
+  }
+  ASSERT_NE(partial, nullptr);
+  std::string sql = sql::ToSql(partial->query);
+  EXPECT_NE(sql.find("AS agg0"), std::string::npos) << sql;        // SUM
+  EXPECT_NE(sql.find("AS agg1_sum"), std::string::npos) << sql;    // AVG sum
+  EXPECT_NE(sql.find("AS agg1_cnt"), std::string::npos) << sql;    // AVG cnt
+  EXPECT_NE(sql.find("GROUP BY c.office"), std::string::npos) << sql;
+  EXPECT_LT(partial->props.completeness, 1.0);
+}
+
+TEST(OfferGeneratorTest, CompleteCoverageGivesFinalAnswer) {
+  Fixture f;
+  NodeCatalog node("hq", f.fed);
+  ASSERT_TRUE(
+      node.HostPartition("customer#0", CustomerPartStats("Athens", 5000))
+          .ok());
+  ASSERT_TRUE(
+      node.HostPartition("customer#1", CustomerPartStats("Corfu", 800)).ok());
+  ASSERT_TRUE(
+      node.HostPartition("customer#2", CustomerPartStats("Myconos", 1000))
+          .ok());
+  OfferGenerator gen(&node, &f.factory);
+  sql::BoundQuery q = f.Analyze(
+      "SELECT office, COUNT(*) AS n FROM customer GROUP BY office");
+  auto generated = gen.Generate(q, "rfb-3");
+  ASSERT_TRUE(generated.ok());
+  std::vector<Offer> offer_list = Wire(*generated);
+  const Offer* final_offer = nullptr;
+  for (const auto& offer : offer_list) {
+    if (offer.kind == OfferKind::kFinalAnswer) final_offer = &offer;
+  }
+  ASSERT_NE(final_offer, nullptr);
+  EXPECT_DOUBLE_EQ(final_offer->props.completeness, 1.0);
+  EXPECT_EQ(final_offer->schema.size(), 2u);
+}
+
+TEST(OfferGeneratorTest, DistinctAggregateNotDecomposed) {
+  Fixture f;
+  NodeCatalog node("n", f.fed);
+  ASSERT_TRUE(
+      node.HostPartition("customer#2", CustomerPartStats("Myconos", 1000))
+          .ok());
+  OfferGenerator gen(&node, &f.factory);
+  sql::BoundQuery q = f.Analyze(
+      "SELECT COUNT(DISTINCT office) AS n FROM customer");
+  auto generated = gen.Generate(q, "rfb-4");
+  ASSERT_TRUE(generated.ok());
+  std::vector<Offer> offer_list = Wire(*generated);
+  for (const auto& offer : offer_list) {
+    EXPECT_EQ(offer.kind, OfferKind::kCoreRows) << offer.ToString();
+  }
+}
+
+TEST(OfferGeneratorTest, ViewOfferPricedBelowBaseOffer) {
+  Fixture f;
+  NodeCatalog node("hq", f.fed);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(node.HostPartition("customer#" + std::to_string(i),
+                                   CustomerPartStats("X", 5000))
+                    .ok());
+    ASSERT_TRUE(node.HostPartition("invoiceline#" + std::to_string(i),
+                                   InvoicePartStats(300000, 0, 2999))
+                    .ok());
+  }
+  // Materialized per-office totals.
+  MaterializedViewDef view;
+  view.name = "v_office_totals";
+  auto def = sql::AnalyzeSql(
+      "SELECT c.office AS office, SUM(i.charge) AS sum_charge "
+      "FROM customer c, invoiceline i WHERE c.custid = i.custid "
+      "GROUP BY c.office",
+      *f.fed);
+  ASSERT_TRUE(def.ok());
+  view.definition = *def;
+  view.stats.row_count = 3;
+  node.AddView(view);
+
+  OfferGenerator gen(&node, &f.factory);
+  sql::BoundQuery q = f.Analyze(
+      "SELECT c.office, SUM(i.charge) AS total FROM customer c, "
+      "invoiceline i WHERE c.custid = i.custid GROUP BY c.office");
+  auto generated = gen.Generate(q, "rfb-5");
+  ASSERT_TRUE(generated.ok());
+  std::vector<Offer> offer_list = Wire(*generated);
+  // Expect at least one final answer from the view and one from base
+  // tables; the view one must be dramatically cheaper.
+  std::vector<double> final_costs;
+  for (const auto& offer : offer_list) {
+    if (offer.kind == OfferKind::kFinalAnswer) {
+      final_costs.push_back(offer.props.total_time_ms);
+    }
+  }
+  ASSERT_GE(final_costs.size(), 2u);
+  std::sort(final_costs.begin(), final_costs.end());
+  EXPECT_LT(final_costs.front() * 10, final_costs.back());
+}
+
+TEST(OfferGeneratorTest, MaxOffersCapRespected) {
+  Fixture f;
+  NodeCatalog node("hq", f.fed);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(node.HostPartition("customer#" + std::to_string(i),
+                                   CustomerPartStats("X", 100))
+                    .ok());
+    ASSERT_TRUE(node.HostPartition("invoiceline#" + std::to_string(i),
+                                   InvoicePartStats(1000, 0, 2999))
+                    .ok());
+  }
+  OfferGeneratorOptions options;
+  options.max_offers = 2;
+  OfferGenerator gen(&node, &f.factory, options);
+  sql::BoundQuery q = f.Analyze(
+      "SELECT c.custname FROM customer c, invoiceline i "
+      "WHERE c.custid = i.custid");
+  auto generated = gen.Generate(q, "rfb-6");
+  ASSERT_TRUE(generated.ok());
+  std::vector<Offer> offer_list = Wire(*generated);
+  EXPECT_LE(offer_list.size(), 2u);
+  // The largest subset (the full join) must survive the cap.
+  EXPECT_EQ(offer_list[0].coverage.size(), 2u);
+}
+
+TEST(OfferGeneratorTest, OfferQueriesReparseable) {
+  Fixture f;
+  NodeCatalog node("myconos", f.fed);
+  ASSERT_TRUE(
+      node.HostPartition("customer#2", CustomerPartStats("Myconos", 1000))
+          .ok());
+  ASSERT_TRUE(node.HostPartition("invoiceline#0",
+                                 InvoicePartStats(1000, 0, 999))
+                  .ok());
+  OfferGenerator gen(&node, &f.factory);
+  sql::BoundQuery q = f.Analyze(
+      "SELECT SUM(charge) FROM customer c, invoiceline i "
+      "WHERE c.custid = i.custid AND c.office = 'Myconos'");
+  auto generated = gen.Generate(q, "rfb-7");
+  ASSERT_TRUE(generated.ok());
+  std::vector<Offer> offer_list = Wire(*generated);
+  ASSERT_FALSE(offer_list.empty());
+  for (const auto& offer : offer_list) {
+    auto reparsed = sql::AnalyzeSql(sql::ToSql(offer.query), node);
+    EXPECT_TRUE(reparsed.ok())
+        << sql::ToSql(offer.query) << " -> " << reparsed.status().ToString();
+  }
+}
+
+}  // namespace
+}  // namespace qtrade

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "rewrite/partition_rewriter.h"
+#include "tests/test_fixtures.h"
+
+namespace qtrade {
+namespace {
+
+using testing::InvoicePartStats;
+using testing::CustomerPartStats;
+using testing::P;
+using testing::PaperFederation;
+
+sql::BoundQuery Analyze(const std::string& sql, const NodeCatalog& node) {
+  auto q = sql::AnalyzeSql(sql, node);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return *q;
+}
+
+// The paper's worked example in §3.4: Myconos holds the whole invoiceline
+// table but only the office='Myconos' partition of customer; rewriting the
+// manager's query adds the office='Myconos' restriction.
+TEST(PartitionRewriterTest, PaperSection34Example) {
+  auto fed = PaperFederation();
+  NodeCatalog node("myconos", fed);
+  ASSERT_TRUE(
+      node.HostPartition("customer#2", CustomerPartStats("Myconos", 1000))
+          .ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(node.HostPartition("invoiceline#" + std::to_string(i),
+                                   InvoicePartStats(40000, 0, 2999))
+                    .ok());
+  }
+
+  sql::BoundQuery query = Analyze(
+      "SELECT SUM(charge) FROM customer c, invoiceline i "
+      "WHERE c.custid = i.custid AND (c.office = 'Corfu' OR "
+      "c.office = 'Myconos')",
+      node);
+  auto rewrite = RewriteForLocalPartitions(query, node);
+  ASSERT_TRUE(rewrite.ok()) << rewrite.status().ToString();
+  ASSERT_TRUE(rewrite->has_value());
+  const LocalRewrite& lr = **rewrite;
+
+  EXPECT_TRUE(lr.all_tables_kept);
+  ASSERT_EQ(lr.core.tables.size(), 2u);
+
+  // The office='Myconos' restriction must have been added for alias c.
+  bool found_restriction = false;
+  for (const auto& conj : lr.core.conjuncts) {
+    if (sql::ToSql(conj.expr) == "c.office = 'Myconos'") {
+      found_restriction = true;
+    }
+  }
+  EXPECT_TRUE(found_restriction)
+      << "conjuncts: " << sql::ToSql(lr.core.ToStmt());
+
+  // Coverage: customer partial (only #2 scanned), invoiceline complete.
+  const AliasCoverage* c_cov = lr.FindCoverage("c");
+  ASSERT_NE(c_cov, nullptr);
+  EXPECT_FALSE(c_cov->complete);
+  ASSERT_EQ(c_cov->scanned_partitions.size(), 1u);
+  EXPECT_EQ(c_cov->scanned_partitions[0], "customer#2");
+  const AliasCoverage* i_cov = lr.FindCoverage("i");
+  ASSERT_NE(i_cov, nullptr);
+  EXPECT_TRUE(i_cov->complete);
+  EXPECT_EQ(i_cov->scanned_partitions.size(), 3u);
+
+  // The SUM aggregate stays with the buyer; the core ships charge and the
+  // join columns.
+  for (const auto& out : lr.core.outputs) {
+    EXPECT_EQ(out.expr->kind, sql::ExprKind::kColumnRef);
+  }
+}
+
+TEST(PartitionRewriterTest, DropsNonLocalRelation) {
+  auto fed = PaperFederation();
+  NodeCatalog node("athens", fed);
+  ASSERT_TRUE(
+      node.HostPartition("customer#0", CustomerPartStats("Athens", 5000))
+          .ok());
+  // No invoiceline partitions hosted.
+  sql::BoundQuery query = Analyze(
+      "SELECT custname FROM customer c, invoiceline i "
+      "WHERE c.custid = i.custid AND i.charge > 10",
+      node);
+  auto rewrite = RewriteForLocalPartitions(query, node);
+  ASSERT_TRUE(rewrite.ok());
+  ASSERT_TRUE(rewrite->has_value());
+  const LocalRewrite& lr = **rewrite;
+  EXPECT_FALSE(lr.all_tables_kept);
+  ASSERT_EQ(lr.core.tables.size(), 1u);
+  EXPECT_EQ(lr.core.tables[0].alias, "c");
+  // Join column c.custid must be shipped for the buyer to finish the join;
+  // the i.charge predicate must NOT survive (references dropped alias).
+  bool ships_custid = false;
+  for (const auto& out : lr.core.outputs) {
+    if (out.expr->qualifier == "c" && out.expr->column == "custid") {
+      ships_custid = true;
+    }
+  }
+  EXPECT_TRUE(ships_custid);
+  for (const auto& conj : lr.core.conjuncts) {
+    for (const auto& alias : conj.aliases) EXPECT_EQ(alias, "c");
+  }
+}
+
+TEST(PartitionRewriterTest, NoLocalDataMeansNoOffer) {
+  auto fed = PaperFederation();
+  NodeCatalog node("empty", fed);
+  sql::BoundQuery query = Analyze("SELECT custname FROM customer", node);
+  auto rewrite = RewriteForLocalPartitions(query, node);
+  ASSERT_TRUE(rewrite.ok());
+  EXPECT_FALSE(rewrite->has_value());
+}
+
+TEST(PartitionRewriterTest, QueryPredicatePrunesForeignPartitions) {
+  // Node hosts only the Myconos partition. The query itself restricts to
+  // office='Myconos', so the other partitions are provably empty and the
+  // node's coverage of customer is logically complete.
+  auto fed = PaperFederation();
+  NodeCatalog node("myconos", fed);
+  ASSERT_TRUE(
+      node.HostPartition("customer#2", CustomerPartStats("Myconos", 1000))
+          .ok());
+  sql::BoundQuery query = Analyze(
+      "SELECT custname FROM customer WHERE office = 'Myconos'", node);
+  auto rewrite = RewriteForLocalPartitions(query, node);
+  ASSERT_TRUE(rewrite.ok());
+  ASSERT_TRUE(rewrite->has_value());
+  const AliasCoverage* cov = (*rewrite)->FindCoverage("customer");
+  ASSERT_NE(cov, nullptr);
+  EXPECT_TRUE(cov->complete);
+  EXPECT_EQ(cov->covered_partitions.size(), 3u);  // 1 scanned + 2 empty
+  EXPECT_EQ(cov->scanned_partitions.size(), 1u);
+  // No redundant restriction should be added (office='Myconos' is already
+  // in the query); conjuncts should be exactly one.
+  EXPECT_EQ((*rewrite)->core.conjuncts.size(), 1u);
+}
+
+TEST(PartitionRewriterTest, ContradictoryQueryYieldsNoOffer) {
+  auto fed = PaperFederation();
+  NodeCatalog node("myconos", fed);
+  ASSERT_TRUE(
+      node.HostPartition("customer#2", CustomerPartStats("Myconos", 1000))
+          .ok());
+  // Query asks for Corfu customers; the node only has Myconos.
+  sql::BoundQuery query = Analyze(
+      "SELECT custname FROM customer WHERE office = 'Corfu'", node);
+  auto rewrite = RewriteForLocalPartitions(query, node);
+  ASSERT_TRUE(rewrite.ok());
+  EXPECT_FALSE(rewrite->has_value());
+}
+
+TEST(PartitionRewriterTest, RangePartitionRestriction) {
+  auto fed = PaperFederation();
+  NodeCatalog node("n", fed);
+  ASSERT_TRUE(
+      node.HostPartition("invoiceline#1", InvoicePartStats(40000, 1000, 1999))
+          .ok());
+  sql::BoundQuery query = Analyze(
+      "SELECT charge FROM invoiceline WHERE charge > 100", node);
+  auto rewrite = RewriteForLocalPartitions(query, node);
+  ASSERT_TRUE(rewrite.ok());
+  ASSERT_TRUE(rewrite->has_value());
+  const LocalRewrite& lr = **rewrite;
+  EXPECT_FALSE(lr.FindCoverage("invoiceline")->complete);
+  // The range predicate of partition #1 must appear among the conjuncts.
+  std::string all = sql::ToSql(lr.core.ToStmt());
+  EXPECT_NE(all.find("custid >= 1000"), std::string::npos) << all;
+  EXPECT_NE(all.find("custid < 2000"), std::string::npos) << all;
+}
+
+TEST(PartitionRewriterTest, MultiplePartitionsCollapseToInList) {
+  auto fed = PaperFederation();
+  NodeCatalog node("n", fed);
+  ASSERT_TRUE(
+      node.HostPartition("customer#1", CustomerPartStats("Corfu", 800)).ok());
+  ASSERT_TRUE(
+      node.HostPartition("customer#2", CustomerPartStats("Myconos", 1000))
+          .ok());
+  sql::BoundQuery query = Analyze("SELECT custname FROM customer", node);
+  auto rewrite = RewriteForLocalPartitions(query, node);
+  ASSERT_TRUE(rewrite.ok());
+  ASSERT_TRUE(rewrite->has_value());
+  std::string all = sql::ToSql((*rewrite)->core.ToStmt());
+  EXPECT_NE(all.find("office IN ('Corfu', 'Myconos')"), std::string::npos)
+      << all;
+}
+
+TEST(PartitionRewriterTest, CountStarQueryShipsPlaceholderColumn) {
+  auto fed = PaperFederation();
+  NodeCatalog node("n", fed);
+  ASSERT_TRUE(
+      node.HostPartition("customer#0", CustomerPartStats("Athens", 10)).ok());
+  sql::BoundQuery query = Analyze("SELECT COUNT(*) FROM customer", node);
+  auto rewrite = RewriteForLocalPartitions(query, node);
+  ASSERT_TRUE(rewrite.ok());
+  ASSERT_TRUE(rewrite->has_value());
+  EXPECT_FALSE((*rewrite)->core.outputs.empty());
+}
+
+}  // namespace
+}  // namespace qtrade

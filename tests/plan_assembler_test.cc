@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include "opt/offer_generator.h"
+#include "opt/plan_assembler.h"
+#include "tests/test_fixtures.h"
+#include "util/strings.h"
+
+namespace qtrade {
+namespace {
+
+using testing::CustomerPartStats;
+using testing::InvoicePartStats;
+using testing::PaperFederation;
+
+struct Fixture {
+  std::shared_ptr<FederationSchema> fed = PaperFederation();
+  CostModel cost;
+  PlanFactory factory{&cost};
+
+  sql::BoundQuery Analyze(const std::string& sql) {
+    auto q = sql::AnalyzeSql(sql, *fed);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return *q;
+  }
+
+  /// Three regional nodes, each hosting its own customer partition and —
+  /// as in the paper's §3.4 example — a replica of the whole invoiceline
+  /// table.
+  std::vector<NodeCatalog> RegionalNodes() {
+    std::vector<NodeCatalog> nodes;
+    const char* offices[] = {"Athens", "Corfu", "Myconos"};
+    for (int i = 0; i < 3; ++i) {
+      NodeCatalog node(qtrade::ToLower(offices[i]), fed);
+      (void)node.HostPartition("customer#" + std::to_string(i),
+                               CustomerPartStats(offices[i], 1000));
+      for (int j = 0; j < 3; ++j) {
+        (void)node.HostPartition("invoiceline#" + std::to_string(j),
+                                 InvoicePartStats(30000, j * 1000,
+                                                  j * 1000 + 999));
+      }
+      nodes.push_back(std::move(node));
+    }
+    return nodes;
+  }
+
+  std::vector<Offer> CollectOffers(const sql::BoundQuery& query,
+                                   std::vector<NodeCatalog>& nodes) {
+    std::vector<Offer> all;
+    for (auto& node : nodes) {
+      OfferGenerator gen(&node, &factory);
+      auto generated = gen.Generate(query, "rfb");
+      EXPECT_TRUE(generated.ok()) << generated.status().ToString();
+      for (const auto& g : *generated) all.push_back(g.offer);
+    }
+    return all;
+  }
+};
+
+TEST(PlanAssemblerTest, AssemblesFullCoverageFromThreeRegions) {
+  Fixture f;
+  auto nodes = f.RegionalNodes();
+  sql::BoundQuery q = f.Analyze("SELECT custname FROM customer");
+  auto offers = f.CollectOffers(q, nodes);
+  ASSERT_FALSE(offers.empty());
+  PlanAssembler assembler(&q, f.fed.get(), &f.factory);
+  auto candidates = assembler.Assemble(offers);
+  ASSERT_TRUE(candidates.ok()) << candidates.status().ToString();
+  ASSERT_FALSE(candidates->empty());
+  const CandidatePlan& best = candidates->front();
+  // Needs all three regions.
+  EXPECT_EQ(best.offer_ids.size(), 3u);
+  EXPECT_EQ(CollectRemotes(best.plan).size(), 3u);
+  std::string text = Explain(best.plan);
+  EXPECT_NE(text.find("UnionAll"), std::string::npos) << text;
+  EXPECT_NE(text.find("Project"), std::string::npos) << text;
+}
+
+TEST(PlanAssemblerTest, NoCoverageMeansNoCandidates) {
+  Fixture f;
+  auto nodes = f.RegionalNodes();
+  nodes.pop_back();  // lose Myconos: customer#2 uncovered
+  sql::BoundQuery q = f.Analyze("SELECT custname FROM customer");
+  auto offers = f.CollectOffers(q, nodes);
+  PlanAssembler assembler(&q, f.fed.get(), &f.factory);
+  auto candidates = assembler.Assemble(offers);
+  ASSERT_TRUE(candidates.ok());
+  EXPECT_TRUE(candidates->empty());
+}
+
+TEST(PlanAssemblerTest, QueryPredicateShrinksRequiredBox) {
+  Fixture f;
+  auto nodes = f.RegionalNodes();
+  nodes.erase(nodes.begin());  // no Athens node
+  // But the query only wants Corfu+Myconos customers, so coverage is
+  // complete without Athens. This mirrors the paper's motivating example.
+  sql::BoundQuery q = f.Analyze(
+      "SELECT custname FROM customer "
+      "WHERE office IN ('Corfu', 'Myconos')");
+  auto offers = f.CollectOffers(q, nodes);
+  PlanAssembler assembler(&q, f.fed.get(), &f.factory);
+  EXPECT_EQ(assembler.FeasiblePartitionCount(0), 2);
+  auto candidates = assembler.Assemble(offers);
+  ASSERT_TRUE(candidates.ok());
+  ASSERT_FALSE(candidates->empty());
+}
+
+TEST(PlanAssemblerTest, PaperMotivatingExampleBuysTwoPartialSums) {
+  Fixture f;
+  auto nodes = f.RegionalNodes();
+  sql::BoundQuery q = f.Analyze(
+      "SELECT SUM(charge) FROM customer c, invoiceline i "
+      "WHERE c.custid = i.custid AND (c.office = 'Corfu' OR "
+      "c.office = 'Myconos')");
+  auto offers = f.CollectOffers(q, nodes);
+  PlanAssembler assembler(&q, f.fed.get(), &f.factory);
+  auto candidates = assembler.Assemble(offers);
+  ASSERT_TRUE(candidates.ok());
+  ASSERT_FALSE(candidates->empty());
+  // Some candidate must be the partial-aggregate union (Athens paying
+  // Corfu and Myconos for their local SUMs and adding them up).
+  bool found_partial_union = false;
+  for (const auto& candidate : *candidates) {
+    std::string text = Explain(candidate.plan);
+    if (text.find("HashAggregate") != std::string::npos &&
+        text.find("UnionAll") != std::string::npos &&
+        CollectRemotes(candidate.plan).size() == 2) {
+      found_partial_union = true;
+    }
+  }
+  EXPECT_TRUE(found_partial_union);
+}
+
+TEST(PlanAssemblerTest, OverlappingOffersNotUnioned) {
+  Fixture f;
+  sql::BoundQuery q = f.Analyze("SELECT custname FROM customer");
+  // Two offers both covering partition #0 plus one covering the rest:
+  // the assembler must not union the two overlapping ones.
+  auto make_offer = [&](const std::string& id,
+                        std::vector<std::string> parts) {
+    Offer offer;
+    offer.offer_id = id;
+    offer.seller = "s-" + id;
+    offer.kind = OfferKind::kCoreRows;
+    auto stmt = sql::ParseQuery("SELECT custname FROM customer");
+    offer.query = stmt->select();
+    offer.schema = TupleSchema({{"customer", "custname", TypeKind::kString}});
+    offer.coverage.push_back({"customer", "customer", std::move(parts)});
+    offer.props.rows = 100;
+    offer.props.total_time_ms = 50;
+    return offer;
+  };
+  std::vector<Offer> offers = {
+      make_offer("a", {"customer#0", "customer#1"}),
+      make_offer("b", {"customer#1", "customer#2"}),
+  };
+  PlanAssembler assembler(&q, f.fed.get(), &f.factory);
+  auto candidates = assembler.Assemble(offers);
+  ASSERT_TRUE(candidates.ok());
+  // a ∪ b overlaps on #1 -> no full plan.
+  EXPECT_TRUE(candidates->empty());
+
+  offers.push_back(make_offer("c", {"customer#2"}));
+  auto candidates2 = assembler.Assemble(offers);
+  ASSERT_TRUE(candidates2.ok());
+  ASSERT_FALSE(candidates2->empty());
+  // The plan must use offers a and c (disjoint full cover).
+  std::vector<std::string> used = candidates2->front().offer_ids;
+  std::sort(used.begin(), used.end());
+  EXPECT_EQ(used, (std::vector<std::string>{"a", "c"}));
+}
+
+TEST(PlanAssemblerTest, JoinsAcrossSellers) {
+  Fixture f;
+  // customer only on node A; invoiceline only on node B: the buyer has to
+  // join the two purchased streams itself.
+  NodeCatalog node_a("a", f.fed);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(node_a.HostPartition("customer#" + std::to_string(i),
+                                     CustomerPartStats("X", 1000))
+                    .ok());
+  }
+  NodeCatalog node_b("b", f.fed);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(node_b.HostPartition("invoiceline#" + std::to_string(i),
+                                     InvoicePartStats(30000, 0, 2999))
+                    .ok());
+  }
+  std::vector<NodeCatalog> nodes;
+  nodes.push_back(std::move(node_a));
+  nodes.push_back(std::move(node_b));
+  sql::BoundQuery q = f.Analyze(
+      "SELECT c.custname FROM customer c, invoiceline i "
+      "WHERE c.custid = i.custid AND i.charge > 100");
+  auto offers = f.CollectOffers(q, nodes);
+  PlanAssembler assembler(&q, f.fed.get(), &f.factory);
+  auto candidates = assembler.Assemble(offers);
+  ASSERT_TRUE(candidates.ok());
+  ASSERT_FALSE(candidates->empty());
+  std::string text = Explain(candidates->front().plan);
+  EXPECT_NE(text.find("HashJoin"), std::string::npos) << text;
+  EXPECT_EQ(CollectRemotes(candidates->front().plan).size(), 2u);
+}
+
+TEST(PlanAssemblerTest, FinalAnswerOfferWinsWhenCheap) {
+  Fixture f;
+  auto nodes = f.RegionalNodes();
+  sql::BoundQuery q = f.Analyze(
+      "SELECT office, COUNT(*) AS n FROM customer GROUP BY office");
+  auto offers = f.CollectOffers(q, nodes);
+  // Inject an absurdly cheap final-answer offer (e.g. from a view).
+  Offer cheap;
+  cheap.offer_id = "cheap";
+  cheap.seller = "hq";
+  cheap.kind = OfferKind::kFinalAnswer;
+  cheap.query = q.ToStmt();
+  cheap.schema = q.OutputSchema();
+  for (int i = 0; i < 3; ++i) {
+    cheap.coverage.push_back(
+        {"customer", "customer",
+         {"customer#0", "customer#1", "customer#2"}});
+  }
+  cheap.coverage.resize(1);
+  cheap.props.rows = 3;
+  cheap.props.total_time_ms = 1.0;
+  offers.push_back(cheap);
+  PlanAssembler assembler(&q, f.fed.get(), &f.factory);
+  auto candidates = assembler.Assemble(offers);
+  ASSERT_TRUE(candidates.ok());
+  ASSERT_FALSE(candidates->empty());
+  EXPECT_EQ(candidates->front().offer_ids,
+            std::vector<std::string>{"cheap"});
+  EXPECT_NEAR(candidates->front().cost, 1.0, 1e-9);
+}
+
+TEST(PlanAssemblerTest, IdpVariantStillFindsPlans) {
+  Fixture f;
+  auto nodes = f.RegionalNodes();
+  sql::BoundQuery q = f.Analyze(
+      "SELECT c.custname FROM customer c, invoiceline i "
+      "WHERE c.custid = i.custid");
+  auto offers = f.CollectOffers(q, nodes);
+  AssemblerOptions options;
+  options.idp = IdpParams{2, 5};
+  PlanAssembler exact(&q, f.fed.get(), &f.factory);
+  PlanAssembler idp(&q, f.fed.get(), &f.factory, options);
+  auto exact_candidates = exact.Assemble(offers);
+  auto idp_candidates = idp.Assemble(offers);
+  ASSERT_TRUE(exact_candidates.ok());
+  ASSERT_TRUE(idp_candidates.ok());
+  ASSERT_FALSE(exact_candidates->empty());
+  ASSERT_FALSE(idp_candidates->empty());
+  EXPECT_GE(idp_candidates->front().cost,
+            exact_candidates->front().cost - 1e-9);
+}
+
+}  // namespace
+}  // namespace qtrade

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "rewrite/predicate.h"
+#include "sql/parser.h"
+
+namespace qtrade {
+namespace {
+
+sql::ExprPtr P(const std::string& text) {
+  auto e = sql::ParseExpression(text);
+  EXPECT_TRUE(e.ok()) << text << ": " << e.status().ToString();
+  return *e;
+}
+
+std::vector<sql::ExprPtr> Ps(std::initializer_list<const char*> texts) {
+  std::vector<sql::ExprPtr> out;
+  for (const char* t : texts) out.push_back(P(t));
+  return out;
+}
+
+TEST(ColumnRestrictionTest, EqThenRangeEmpty) {
+  ColumnRestriction r;
+  r.IntersectEq(Value::Int64(5));
+  EXPECT_FALSE(r.IsEmpty());
+  r.IntersectComparison(sql::BinaryOp::kGt, Value::Int64(10));
+  EXPECT_TRUE(r.IsEmpty());
+}
+
+TEST(ColumnRestrictionTest, InIntersection) {
+  ColumnRestriction r;
+  r.IntersectIn({Value::String("a"), Value::String("b"), Value::String("c")});
+  r.IntersectIn({Value::String("b"), Value::String("d")});
+  EXPECT_FALSE(r.IsEmpty());
+  r.ExcludeValue(Value::String("b"));
+  EXPECT_TRUE(r.IsEmpty());
+}
+
+TEST(ColumnRestrictionTest, RangeEmptyAndSinglePoint) {
+  ColumnRestriction r;
+  r.IntersectComparison(sql::BinaryOp::kGe, Value::Int64(5));
+  r.IntersectComparison(sql::BinaryOp::kLe, Value::Int64(5));
+  EXPECT_FALSE(r.IsEmpty());  // exactly {5}
+  ColumnRestriction r2;
+  r2.IntersectComparison(sql::BinaryOp::kGt, Value::Int64(5));
+  r2.IntersectComparison(sql::BinaryOp::kLe, Value::Int64(5));
+  EXPECT_TRUE(r2.IsEmpty());
+  ColumnRestriction r3;
+  r3.IntersectComparison(sql::BinaryOp::kGe, Value::Int64(5));
+  r3.IntersectComparison(sql::BinaryOp::kLe, Value::Int64(5));
+  r3.ExcludeValue(Value::Int64(5));
+  EXPECT_TRUE(r3.IsEmpty());
+}
+
+TEST(ColumnRestrictionTest, StringIntervalOrder) {
+  ColumnRestriction r;
+  r.IntersectComparison(sql::BinaryOp::kGe, Value::String("corfu"));
+  r.IntersectComparison(sql::BinaryOp::kLt, Value::String("corfu"));
+  EXPECT_TRUE(r.IsEmpty());
+}
+
+TEST(ColumnRestrictionTest, ImpliesFiniteSets) {
+  ColumnRestriction narrow, wide;
+  narrow.IntersectEq(Value::String("Myconos"));
+  wide.IntersectIn({Value::String("Corfu"), Value::String("Myconos")});
+  EXPECT_TRUE(narrow.Implies(wide));
+  EXPECT_FALSE(wide.Implies(narrow));
+}
+
+TEST(ColumnRestrictionTest, ImpliesIntervals) {
+  ColumnRestriction narrow, wide;
+  narrow.IntersectComparison(sql::BinaryOp::kGe, Value::Int64(10));
+  narrow.IntersectComparison(sql::BinaryOp::kLe, Value::Int64(20));
+  wide.IntersectComparison(sql::BinaryOp::kGe, Value::Int64(0));
+  EXPECT_TRUE(narrow.Implies(wide));
+  EXPECT_FALSE(wide.Implies(narrow));
+  // Boundary inclusivity: [10,20] does not imply (10,inf).
+  ColumnRestriction open_lo;
+  open_lo.IntersectComparison(sql::BinaryOp::kGt, Value::Int64(10));
+  EXPECT_FALSE(narrow.Implies(open_lo));
+}
+
+TEST(UnsatisfiableTest, ContradictoryEqualities) {
+  EXPECT_TRUE(ProvablyUnsatisfiable(
+      Ps({"c.office = 'Myconos'", "c.office = 'Corfu'"})));
+  EXPECT_FALSE(ProvablyUnsatisfiable(
+      Ps({"c.office = 'Myconos'", "i.office = 'Corfu'"})));  // diff aliases
+}
+
+TEST(UnsatisfiableTest, RangeContradiction) {
+  EXPECT_TRUE(ProvablyUnsatisfiable(Ps({"x > 10", "x < 5"})));
+  EXPECT_FALSE(ProvablyUnsatisfiable(Ps({"x > 10", "x < 50"})));
+  EXPECT_TRUE(ProvablyUnsatisfiable(Ps({"x >= 10", "x <= 10", "x <> 10"})));
+}
+
+TEST(UnsatisfiableTest, InListVsEq) {
+  EXPECT_TRUE(ProvablyUnsatisfiable(
+      Ps({"office IN ('Corfu', 'Rhodes')", "office = 'Myconos'"})));
+  EXPECT_FALSE(ProvablyUnsatisfiable(
+      Ps({"office IN ('Corfu', 'Myconos')", "office = 'Myconos'"})));
+}
+
+TEST(UnsatisfiableTest, NotInVsEq) {
+  EXPECT_TRUE(ProvablyUnsatisfiable(
+      Ps({"office NOT IN ('Myconos')", "office = 'Myconos'"})));
+}
+
+TEST(UnsatisfiableTest, NegatedComparison) {
+  EXPECT_TRUE(ProvablyUnsatisfiable(Ps({"NOT x > 5", "x = 10"})));
+  EXPECT_FALSE(ProvablyUnsatisfiable(Ps({"NOT x > 5", "x = 3"})));
+}
+
+TEST(UnsatisfiableTest, LiteralFalse) {
+  EXPECT_TRUE(ProvablyUnsatisfiable(Ps({"FALSE"})));
+  EXPECT_FALSE(ProvablyUnsatisfiable(Ps({"TRUE"})));
+}
+
+TEST(UnsatisfiableTest, OpaquePredicatesNotJudged) {
+  // Join predicates and arithmetic are opaque; no false positives.
+  EXPECT_FALSE(ProvablyUnsatisfiable(Ps({"a.x = b.y", "a.x + 1 > 3"})));
+}
+
+TEST(ImpliesTest, StructuralMatch) {
+  EXPECT_TRUE(ProvablyImplies(Ps({"c.custid = i.custid", "x > 3"}),
+                              P("c.custid = i.custid")));
+}
+
+TEST(ImpliesTest, EqImpliesIn) {
+  EXPECT_TRUE(ProvablyImplies(Ps({"office = 'Myconos'"}),
+                              P("office IN ('Corfu', 'Myconos')")));
+  EXPECT_FALSE(ProvablyImplies(Ps({"office IN ('Corfu', 'Myconos')"}),
+                               P("office = 'Myconos'")));
+}
+
+TEST(ImpliesTest, RangeImpliesWiderRange) {
+  EXPECT_TRUE(ProvablyImplies(Ps({"x >= 10", "x < 20"}), P("x > 5")));
+  EXPECT_FALSE(ProvablyImplies(Ps({"x > 5"}), P("x >= 10")));
+  EXPECT_TRUE(ProvablyImplies(Ps({"x = 7"}), P("x BETWEEN 1 AND 10")));
+}
+
+TEST(ImpliesTest, ConjunctionConclusion) {
+  EXPECT_TRUE(
+      ProvablyImplies(Ps({"x = 7", "y = 2"}), P("x > 0 AND y < 5")));
+  EXPECT_FALSE(
+      ProvablyImplies(Ps({"x = 7"}), P("x > 0 AND y < 5")));
+}
+
+TEST(ImpliesTest, VacuousFromContradiction) {
+  EXPECT_TRUE(ProvablyImplies(Ps({"x > 5", "x < 3"}), P("y = 9")));
+}
+
+TEST(ImpliesTest, UnknownColumnsNotImplied) {
+  EXPECT_FALSE(ProvablyImplies(Ps({"x = 1"}), P("z = 1")));
+}
+
+TEST(SimplifyTest, DropsDuplicatesAndImplied) {
+  auto result = SimplifyConjuncts(
+      Ps({"office = 'Myconos'", "office = 'Myconos'",
+          "office IN ('Corfu', 'Myconos')"}));
+  ASSERT_TRUE(result.has_value());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(sql::ToSql((*result)[0]), "office = 'Myconos'");
+}
+
+TEST(SimplifyTest, ContradictionYieldsNullopt) {
+  EXPECT_FALSE(
+      SimplifyConjuncts(Ps({"office = 'Corfu'", "office = 'Myconos'"}))
+          .has_value());
+}
+
+TEST(SimplifyTest, DropsLiteralTrueKeepsRest) {
+  auto result = SimplifyConjuncts(Ps({"TRUE", "x > 3"}));
+  ASSERT_TRUE(result.has_value());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(sql::ToSql((*result)[0]), "x > 3");
+}
+
+TEST(SimplifyTest, MutuallyImplyingPairKeepsOne) {
+  auto result = SimplifyConjuncts(Ps({"x >= 5", "5 <= x"}));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->size(), 1u);
+}
+
+TEST(SimplifyTest, FlattensNestedAnds) {
+  auto result = SimplifyConjuncts(Ps({"x > 1 AND y > 2"}));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->size(), 2u);
+}
+
+TEST(SimplifyTest, KeepsOpaquePredicates) {
+  auto result = SimplifyConjuncts(Ps({"a.x = b.y", "a.x = b.y", "c > 1"}));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->size(), 2u);
+}
+
+}  // namespace
+}  // namespace qtrade

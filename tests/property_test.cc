@@ -1,0 +1,307 @@
+// Randomized property tests over generated federations:
+//  * answer correctness: distributed QT answers == the centralized
+//    reference interpreter, across seeds, query shapes and protocols;
+//  * optimizer invariants: IDP never beats exact DP, plan cost is
+//    monotone in data size, message accounting balances.
+#include <gtest/gtest.h>
+
+#include "baseline/global_optimizer.h"
+#include "core/qt_optimizer.h"
+#include "workload/workload.h"
+
+namespace qtrade {
+namespace {
+
+std::string RowKey(const Row& row) {
+  std::string out;
+  for (const auto& v : row) {
+    if (v.is_double()) {
+      // Canonicalize doubles: re-aggregation may reassociate sums.
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "%.6g", v.dbl());
+      out += buffer;
+    } else {
+      out += v.ToString();
+    }
+    out += '\x01';
+  }
+  return out;
+}
+
+::testing::AssertionResult SameRows(const RowSet& a, const RowSet& b) {
+  if (a.rows.size() != b.rows.size()) {
+    return ::testing::AssertionFailure()
+           << "row counts differ: " << a.rows.size() << " vs "
+           << b.rows.size();
+  }
+  std::multiset<std::string> ka, kb;
+  for (const auto& row : a.rows) ka.insert(RowKey(row));
+  for (const auto& row : b.rows) kb.insert(RowKey(row));
+  if (ka != kb) {
+    return ::testing::AssertionFailure() << "row multisets differ";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+struct PropertyCase {
+  uint64_t seed;
+  int nodes;
+  int partitions;
+  int replication;
+};
+
+class AnswerCorrectnessTest
+    : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(AnswerCorrectnessTest, DistributedEqualsCentralized) {
+  const PropertyCase& param = GetParam();
+  WorkloadParams params;
+  params.num_nodes = param.nodes;
+  params.num_tables = 4;
+  params.partitions_per_table = param.partitions;
+  params.replication = param.replication;
+  params.rows_per_table = 120;
+  params.seed = param.seed;
+  auto built = BuildFederation(params);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  Federation* fed = built->federation.get();
+
+  Rng rng(param.seed * 31 + 7);
+  for (int q = 0; q < 6; ++q) {
+    int joins = static_cast<int>(rng.Uniform(0, 2));
+    int start = static_cast<int>(
+        rng.Uniform(0, params.num_tables - joins - 1));
+    bool aggregate = rng.Chance(0.5);
+    bool selection = rng.Chance(0.5);
+    std::string sql = ChainQuerySql(start, joins, aggregate, selection);
+    std::string buyer =
+        built->node_names[rng.Index(built->node_names.size())];
+
+    QueryTradingOptimizer qt(fed, buyer);
+    auto result = qt.Optimize(sql);
+    ASSERT_TRUE(result.ok()) << sql << ": " << result.status().ToString();
+    ASSERT_TRUE(result->ok()) << "no plan for: " << sql;
+    auto distributed = qt.Execute(*result);
+    ASSERT_TRUE(distributed.ok())
+        << sql << ": " << distributed.status().ToString() << "\n"
+        << Explain(result->plan);
+    auto reference = fed->ExecuteCentralized(sql);
+    ASSERT_TRUE(reference.ok());
+    EXPECT_TRUE(SameRows(*distributed, *reference))
+        << sql << "\n" << Explain(result->plan);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, AnswerCorrectnessTest,
+    ::testing::Values(PropertyCase{1, 4, 2, 1}, PropertyCase{2, 6, 3, 2},
+                      PropertyCase{3, 8, 2, 3}, PropertyCase{4, 5, 4, 2},
+                      PropertyCase{5, 3, 1, 1}, PropertyCase{6, 10, 3, 2},
+                      PropertyCase{7, 6, 2, 2}, PropertyCase{8, 4, 3, 4}));
+
+class ProtocolCorrectnessTest
+    : public ::testing::TestWithParam<NegotiationProtocol> {};
+
+TEST_P(ProtocolCorrectnessTest, CompetitiveMarketStaysCorrect) {
+  WorkloadParams params;
+  params.num_nodes = 5;
+  params.num_tables = 3;
+  params.partitions_per_table = 2;
+  params.replication = 3;
+  params.rows_per_table = 100;
+  params.seed = 99;
+  auto built = BuildFederation(params);
+  ASSERT_TRUE(built.ok());
+  // Rebuild with competitive sellers.
+  Federation& src = *built->federation;
+  Federation market(src.schema_ptr());
+  for (const auto& name : built->node_names) {
+    market.AddNode(name, std::make_unique<AdaptiveMarkupStrategy>(0.4));
+  }
+  for (const auto& table : src.schema().TableNames()) {
+    for (const auto& part :
+         src.schema().FindPartitioning(table)->partitions) {
+      for (const auto& host : src.global_catalog()->ReplicaNodes(part.id)) {
+        (void)market.LoadPartition(
+            host, part.id, src.node(host)->store->Partition(part.id)->rows);
+      }
+    }
+  }
+  QtOptions options;
+  options.protocol = GetParam();
+  QueryTradingOptimizer qt(&market, built->node_names[0], options);
+  for (int q = 0; q < 4; ++q) {
+    std::string sql = ChainQuerySql(q % 2, 1, q % 2 == 0, q % 3 == 0);
+    auto rows = qt.Run(sql);
+    ASSERT_TRUE(rows.ok()) << sql << ": " << rows.status().ToString();
+    auto reference = market.ExecuteCentralized(sql);
+    ASSERT_TRUE(reference.ok());
+    EXPECT_TRUE(SameRows(*rows, *reference)) << sql;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, ProtocolCorrectnessTest,
+                         ::testing::Values(NegotiationProtocol::kBidding,
+                                           NegotiationProtocol::kAuction,
+                                           NegotiationProtocol::kBargaining));
+
+TEST(AnswerCorrectnessSuite, StarQueriesDistributedEqualsCentralized) {
+  WorkloadParams params;
+  params.num_nodes = 6;
+  params.num_tables = 4;
+  params.partitions_per_table = 2;
+  params.replication = 2;
+  params.rows_per_table = 100;
+  params.seed = 12;
+  auto built = BuildFederation(params);
+  ASSERT_TRUE(built.ok());
+  Federation* fed = built->federation.get();
+  for (int joins = 1; joins <= 2; ++joins) {
+    for (bool aggregate : {false, true}) {
+      std::string sql = StarQuerySql(0, joins, aggregate);
+      QueryTradingOptimizer qt(fed, built->node_names[0]);
+      auto result = qt.Optimize(sql);
+      ASSERT_TRUE(result.ok()) << sql;
+      ASSERT_TRUE(result->ok()) << sql;
+      auto rows = qt.Execute(*result);
+      ASSERT_TRUE(rows.ok()) << sql << ": " << rows.status().ToString();
+      auto reference = fed->ExecuteCentralized(sql);
+      ASSERT_TRUE(reference.ok());
+      EXPECT_TRUE(SameRows(*rows, *reference)) << sql;
+    }
+  }
+}
+
+TEST(AnswerCorrectnessSuite, JoinOnSyntaxTradesIdentically) {
+  WorkloadParams params;
+  params.num_nodes = 4;
+  params.num_tables = 2;
+  params.partitions_per_table = 2;
+  params.replication = 2;
+  params.rows_per_table = 80;
+  auto built = BuildFederation(params);
+  ASSERT_TRUE(built.ok());
+  Federation* fed = built->federation.get();
+  const std::string comma =
+      "SELECT a0.pk, a1.val FROM t0 a0, t1 a1 WHERE a0.fk = a1.pk";
+  const std::string join_on =
+      "SELECT a0.pk, a1.val FROM t0 a0 JOIN t1 a1 ON a0.fk = a1.pk";
+  QueryTradingOptimizer qt(fed, built->node_names[0]);
+  auto r1 = qt.Optimize(comma);
+  auto r2 = qt.Optimize(join_on);
+  ASSERT_TRUE(r1.ok() && r1->ok());
+  ASSERT_TRUE(r2.ok() && r2->ok());
+  EXPECT_NEAR(r1->cost, r2->cost, 1e-9);
+  auto rows1 = qt.Run(comma);
+  auto rows2 = qt.Run(join_on);
+  ASSERT_TRUE(rows1.ok() && rows2.ok());
+  EXPECT_TRUE(SameRows(*rows1, *rows2));
+}
+
+TEST(OptimizerInvariantTest, IdpNeverBeatsExactAcrossSeeds) {
+  for (uint64_t seed : {11u, 22u, 33u, 44u}) {
+    WorkloadParams params;
+    params.num_nodes = 8;
+    params.num_tables = 6;
+    params.partitions_per_table = 2;
+    params.replication = 2;
+    params.with_data = false;
+    params.rows_per_table = 700;
+    params.seed = seed;
+    auto built = BuildFederation(params);
+    ASSERT_TRUE(built.ok());
+    const std::string sql = ChainQuerySql(0, 4, false, true);
+
+    GlobalOptimizer exact(built->federation.get(), built->node_names[0]);
+    GlobalOptimizerOptions idp_options;
+    idp_options.idp = IdpParams{2, 5};
+    GlobalOptimizer idp(built->federation.get(), built->node_names[0],
+                        idp_options);
+    auto exact_result = exact.Optimize(sql);
+    auto idp_result = idp.Optimize(sql);
+    ASSERT_TRUE(exact_result.ok());
+    ASSERT_TRUE(idp_result.ok());
+    EXPECT_GE(idp_result->est_cost, exact_result->est_cost - 1e-6)
+        << "seed " << seed;
+  }
+}
+
+TEST(OptimizerInvariantTest, QtCostMonotoneInDataScale) {
+  double previous = 0;
+  for (int64_t scale : {1, 10, 100}) {
+    WorkloadParams params;
+    params.num_nodes = 6;
+    params.num_tables = 3;
+    params.partitions_per_table = 2;
+    params.replication = 2;
+    params.with_data = false;
+    params.stats_row_scale = scale;
+    params.rows_per_table = 500;
+    params.seed = 5;
+    auto built = BuildFederation(params);
+    ASSERT_TRUE(built.ok());
+    QueryTradingOptimizer qt(built->federation.get(),
+                             built->node_names[0]);
+    auto result = qt.Optimize(ChainQuerySql(0, 2, false, false));
+    ASSERT_TRUE(result.ok());
+    ASSERT_TRUE(result->ok());
+    EXPECT_GT(result->cost, previous) << "scale " << scale;
+    previous = result->cost;
+  }
+}
+
+TEST(OptimizerInvariantTest, MessageAccountingBalances) {
+  WorkloadParams params;
+  params.num_nodes = 6;
+  params.num_tables = 3;
+  params.partitions_per_table = 2;
+  params.replication = 2;
+  params.with_data = false;
+  params.rows_per_table = 500;
+  auto built = BuildFederation(params);
+  ASSERT_TRUE(built.ok());
+  Federation* fed = built->federation.get();
+  int64_t before = fed->network()->total().messages;
+  QueryTradingOptimizer qt(fed, built->node_names[0]);
+  auto result = qt.Optimize(ChainQuerySql(0, 2, true, false));
+  ASSERT_TRUE(result.ok());
+  int64_t after = fed->network()->total().messages;
+  // The run's delta matches the reported metrics exactly.
+  EXPECT_EQ(after - before, result->metrics.messages);
+  // Every RFB got exactly one reply (offer bundle), plus award messages.
+  const auto& by_kind = fed->network()->by_kind();
+  ASSERT_EQ(by_kind.count("rfb"), 1u);
+  ASSERT_EQ(by_kind.count("offer"), 1u);
+  EXPECT_EQ(by_kind.at("rfb").messages, by_kind.at("offer").messages);
+  EXPECT_EQ(by_kind.at("rfb").messages, result->metrics.rfbs_sent);
+}
+
+TEST(OptimizerInvariantTest, CostPerIterationNonIncreasing) {
+  for (uint64_t seed : {1u, 9u, 27u}) {
+    WorkloadParams params;
+    params.num_nodes = 10;
+    params.num_tables = 4;
+    params.partitions_per_table = 3;
+    params.replication = 3;
+    params.with_data = false;
+    params.rows_per_table = 600;
+    params.seed = seed;
+    auto built = BuildFederation(params);
+    ASSERT_TRUE(built.ok());
+    QtOptions options;
+    options.max_iterations = 5;
+    QueryTradingOptimizer qt(built->federation.get(),
+                             built->node_names[0], options);
+    auto result = qt.Optimize(ChainQuerySql(0, 2, false, true));
+    ASSERT_TRUE(result.ok());
+    if (!result->ok()) continue;
+    for (size_t i = 1; i < result->cost_per_iteration.size(); ++i) {
+      EXPECT_LE(result->cost_per_iteration[i],
+                result->cost_per_iteration[i - 1] + 1e-9)
+          << "seed " << seed << " iteration " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qtrade

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+
+namespace qtrade::sql {
+namespace {
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  auto tokens = Lex("");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 1u);
+  EXPECT_EQ(tokens->back().kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, KeywordsUppercasedIdentifiersLowercased) {
+  auto tokens = Lex("SeLeCt CustName FROM Customer");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[0].IsKeyword("SELECT"));
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kIdentifier);
+  EXPECT_EQ((*tokens)[1].text, "custname");
+  EXPECT_TRUE((*tokens)[2].IsKeyword("FROM"));
+  EXPECT_EQ((*tokens)[3].text, "customer");
+}
+
+TEST(LexerTest, NumbersIntAndDouble) {
+  auto tokens = Lex("42 3.14 1e3 2.5e-2");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kIntLiteral);
+  EXPECT_EQ((*tokens)[0].literal.int64(), 42);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ((*tokens)[1].literal.dbl(), 3.14);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ((*tokens)[2].literal.dbl(), 1000.0);
+  EXPECT_DOUBLE_EQ((*tokens)[3].literal.dbl(), 0.025);
+}
+
+TEST(LexerTest, StringWithEscapedQuote) {
+  auto tokens = Lex("'O''Hara'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kStringLiteral);
+  EXPECT_EQ((*tokens)[0].literal.str(), "O'Hara");
+}
+
+TEST(LexerTest, UnterminatedStringIsError) {
+  auto tokens = Lex("'abc");
+  EXPECT_FALSE(tokens.ok());
+  EXPECT_EQ(tokens.status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, OperatorsIncludingTwoChar) {
+  auto tokens = Lex("<= >= <> != < > = ( ) , . * ;");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[0].IsSymbol("<="));
+  EXPECT_TRUE((*tokens)[1].IsSymbol(">="));
+  EXPECT_TRUE((*tokens)[2].IsSymbol("<>"));
+  EXPECT_TRUE((*tokens)[3].IsSymbol("<>"));  // != normalizes
+  EXPECT_TRUE((*tokens)[4].IsSymbol("<"));
+  EXPECT_TRUE((*tokens)[5].IsSymbol(">"));
+  EXPECT_TRUE((*tokens)[6].IsSymbol("="));
+}
+
+TEST(LexerTest, LineCommentSkipped) {
+  auto tokens = Lex("SELECT -- the select list\n *");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[0].IsKeyword("SELECT"));
+  EXPECT_TRUE((*tokens)[1].IsSymbol("*"));
+}
+
+TEST(LexerTest, MinusVersusComment) {
+  auto tokens = Lex("1-2");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 4u);  // 1, -, 2, end
+  EXPECT_TRUE((*tokens)[1].IsSymbol("-"));
+}
+
+TEST(LexerTest, BooleanLiterals) {
+  auto tokens = Lex("TRUE false");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[0].literal.boolean());
+  EXPECT_FALSE((*tokens)[1].literal.boolean());
+}
+
+TEST(LexerTest, RejectsUnknownCharacter) {
+  auto tokens = Lex("a @ b");
+  EXPECT_FALSE(tokens.ok());
+}
+
+TEST(LexerTest, OffsetsRecorded) {
+  auto tokens = Lex("ab cd");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].offset, 0u);
+  EXPECT_EQ((*tokens)[1].offset, 3u);
+}
+
+}  // namespace
+}  // namespace qtrade::sql

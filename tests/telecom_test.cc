@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "core/qt_optimizer.h"
+#include "workload/telecom.h"
+
+namespace qtrade {
+namespace {
+
+TEST(TelecomWorldTest, BuildsRequestedShape) {
+  TelecomParams params;
+  params.num_offices = 4;
+  params.customers_per_office = 20;
+  params.lines_per_customer = 2;
+  auto world = BuildTelecomWorld(params);
+  ASSERT_TRUE(world.ok()) << world.status().ToString();
+  EXPECT_EQ(world->node_names.size(), 4u);
+  auto count = world->federation->ExecuteCentralized(
+      "SELECT COUNT(*) AS n FROM customer");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->rows[0][0].int64(), 80);
+  auto lines = world->federation->ExecuteCentralized(
+      "SELECT COUNT(*) AS n FROM invoiceline");
+  ASSERT_TRUE(lines.ok());
+  EXPECT_EQ(lines->rows[0][0].int64(), 160);
+}
+
+TEST(TelecomWorldTest, RejectsDegenerateShape) {
+  TelecomParams params;
+  params.num_offices = 1;
+  EXPECT_FALSE(BuildTelecomWorld(params).ok());
+  params.num_offices = 9;
+  EXPECT_FALSE(BuildTelecomWorld(params).ok());
+}
+
+TEST(TelecomWorldTest, MotivatingQueryRunsEndToEnd) {
+  auto world = BuildTelecomWorld();
+  ASSERT_TRUE(world.ok());
+  const std::string sql = world->MotivatingQuerySql();
+  QueryTradingOptimizer qt(world->federation.get(), world->node_names[0]);
+  auto rows = qt.Run(sql);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  auto reference = world->federation->ExecuteCentralized(sql);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_EQ(rows->rows.size(), 1u);
+  EXPECT_NEAR(rows->rows[0][0].dbl(), reference->rows[0][0].dbl(),
+              1e-6 * std::abs(reference->rows[0][0].dbl()));
+}
+
+TEST(TelecomWorldTest, ViewWorldPrefersViewOffer) {
+  TelecomParams params;
+  params.with_view = true;
+  auto world = BuildTelecomWorld(params);
+  ASSERT_TRUE(world.ok());
+  QueryTradingOptimizer qt(world->federation.get(), world->node_names[0]);
+  auto result = qt.Optimize(TelecomWorld::RevenueReportSql());
+  ASSERT_TRUE(result.ok() && result->ok());
+  ASSERT_EQ(result->winning_offers.size(), 1u);
+  EXPECT_EQ(result->winning_offers[0].kind, OfferKind::kFinalAnswer);
+}
+
+TEST(TelecomWorldTest, ReplicatedInvoicelinesEnablePartialSums) {
+  TelecomParams params;
+  params.replicate_invoicelines = true;
+  auto world = BuildTelecomWorld(params);
+  ASSERT_TRUE(world.ok());
+  const std::string sql = world->MotivatingQuerySql();
+  QueryTradingOptimizer qt(world->federation.get(), world->node_names[0]);
+  auto result = qt.Optimize(sql);
+  ASSERT_TRUE(result.ok() && result->ok());
+  auto rows = qt.Execute(*result);
+  ASSERT_TRUE(rows.ok());
+  auto reference = world->federation->ExecuteCentralized(sql);
+  EXPECT_NEAR(rows->rows[0][0].dbl(), reference->rows[0][0].dbl(),
+              1e-6 * std::abs(reference->rows[0][0].dbl()));
+}
+
+}  // namespace
+}  // namespace qtrade

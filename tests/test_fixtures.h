@@ -1,0 +1,123 @@
+// Shared fixtures: the paper's telecom customer-care micro-world
+// (section 1 motivating example) used across rewrite/opt/trading tests.
+#ifndef QTRADE_TESTS_TEST_FIXTURES_H_
+#define QTRADE_TESTS_TEST_FIXTURES_H_
+
+#include <memory>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "sql/analyzer.h"
+#include "sql/parser.h"
+
+namespace qtrade::testing {
+
+inline sql::ExprPtr P(const std::string& text) {
+  auto e = sql::ParseExpression(text);
+  if (!e.ok()) return nullptr;
+  return *e;
+}
+
+/// customer(custid, custname, office) partitioned by office into
+/// Athens/Corfu/Myconos; invoiceline(invid, linenum, custid, charge)
+/// partitioned by custid ranges into 3 pieces.
+inline std::shared_ptr<FederationSchema> PaperFederation() {
+  auto fed = std::make_shared<FederationSchema>();
+  TableDef customer{"customer",
+                    {{"custid", TypeKind::kInt64},
+                     {"custname", TypeKind::kString},
+                     {"office", TypeKind::kString}}};
+  TableDef invoiceline{"invoiceline",
+                       {{"invid", TypeKind::kInt64},
+                        {"linenum", TypeKind::kInt64},
+                        {"custid", TypeKind::kInt64},
+                        {"charge", TypeKind::kDouble}}};
+  (void)fed->AddTable(customer, {P("office = 'Athens'"),
+                                 P("office = 'Corfu'"),
+                                 P("office = 'Myconos'")});
+  (void)fed->AddTable(invoiceline,
+                      {P("custid < 1000"),
+                       P("custid >= 1000 AND custid < 2000"),
+                       P("custid >= 2000")});
+  return fed;
+}
+
+/// Plausible fragment statistics for a customer partition.
+inline TableStats CustomerPartStats(const std::string& office, int64_t rows) {
+  TableStats stats;
+  stats.row_count = rows;
+  stats.avg_row_bytes = 40;
+  ColumnStats custid;
+  custid.ndv = rows;
+  custid.min = Value::Int64(0);
+  custid.max = Value::Int64(2999);
+  stats.columns["custid"] = custid;
+  ColumnStats off;
+  off.ndv = 1;
+  off.min = Value::String(office);
+  off.max = Value::String(office);
+  off.mcv = {{Value::String(office), rows}};
+  stats.columns["office"] = off;
+  return stats;
+}
+
+inline TableStats InvoicePartStats(int64_t rows, int64_t cust_lo,
+                                   int64_t cust_hi) {
+  TableStats stats;
+  stats.row_count = rows;
+  stats.avg_row_bytes = 32;
+  ColumnStats custid;
+  custid.ndv = std::max<int64_t>(1, cust_hi - cust_lo);
+  custid.min = Value::Int64(cust_lo);
+  custid.max = Value::Int64(cust_hi);
+  stats.columns["custid"] = custid;
+  ColumnStats charge;
+  charge.ndv = 1000;
+  charge.min = Value::Double(0.1);
+  charge.max = Value::Double(500.0);
+  stats.columns["charge"] = charge;
+  return stats;
+}
+
+/// The Myconos regional office: hosts its own customer partition and the
+/// whole invoiceline range #2 plus #0 (arbitrary but fixed).
+inline NodeCatalog MyconosNode(std::shared_ptr<FederationSchema> fed) {
+  NodeCatalog node("myconos", fed);
+  (void)node.HostPartition("customer#2", CustomerPartStats("Myconos", 1000));
+  (void)node.HostPartition("invoiceline#2", InvoicePartStats(40000, 2000, 2999));
+  return node;
+}
+
+/// Deterministic row data for the paper micro-world: `num_customers`
+/// customers spread round-robin over Athens/Corfu/Myconos, with
+/// `lines_per_customer` invoice lines each (charge = custid * 10 + line).
+struct PaperData {
+  std::vector<std::vector<Row>> customer_parts;     // [3]
+  std::vector<std::vector<Row>> invoiceline_parts;  // [3] by custid range
+
+  explicit PaperData(int num_customers = 30, int lines_per_customer = 2) {
+    customer_parts.resize(3);
+    invoiceline_parts.resize(3);
+    const char* offices[] = {"Athens", "Corfu", "Myconos"};
+    int64_t invid = 0;
+    for (int64_t id = 0; id < num_customers; ++id) {
+      int region = static_cast<int>(id % 3);
+      // Spread custids across the invoiceline ranges: region r gets ids
+      // r*1000 + k so partition-by-custid also has 3 non-empty parts.
+      int64_t custid = region * 1000 + id;
+      customer_parts[region].push_back(
+          {Value::Int64(custid),
+           Value::String("cust" + std::to_string(custid)),
+           Value::String(offices[region])});
+      for (int line = 0; line < lines_per_customer; ++line) {
+        invoiceline_parts[region].push_back(
+            {Value::Int64(invid++), Value::Int64(line), Value::Int64(custid),
+             Value::Double(static_cast<double>(custid % 100) * 10 + line)});
+      }
+    }
+  }
+};
+
+}  // namespace qtrade::testing
+
+#endif  // QTRADE_TESTS_TEST_FIXTURES_H_

@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include "core/federation.h"
+#include "trading/buyer_analyser.h"
+#include "trading/seller_engine.h"
+#include "trading/strategy.h"
+#include "tests/test_fixtures.h"
+
+namespace qtrade {
+namespace {
+
+using testing::CustomerPartStats;
+using testing::InvoicePartStats;
+using testing::PaperData;
+using testing::PaperFederation;
+
+TEST(StrategyTest, TruthfulQuotesAtCost) {
+  TruthfulStrategy strategy;
+  EXPECT_DOUBLE_EQ(strategy.Quote(100), 100);
+  EXPECT_DOUBLE_EQ(strategy.ReservationValue(100), 100);
+  EXPECT_EQ(strategy.name(), "truthful");
+}
+
+TEST(StrategyTest, MarkupAdaptsToOutcomes) {
+  AdaptiveMarkupStrategy strategy(0.3, 0.05, 1.0);
+  EXPECT_DOUBLE_EQ(strategy.Quote(100), 130);
+  strategy.OnOutcome(true);
+  EXPECT_DOUBLE_EQ(strategy.margin(), 0.35);
+  strategy.OnOutcome(false);
+  strategy.OnOutcome(false);
+  EXPECT_DOUBLE_EQ(strategy.margin(), 0.15);
+  for (int i = 0; i < 10; ++i) strategy.OnOutcome(false);
+  EXPECT_DOUBLE_EQ(strategy.margin(), 0.0);  // floored
+  for (int i = 0; i < 100; ++i) strategy.OnOutcome(true);
+  EXPECT_DOUBLE_EQ(strategy.margin(), 1.0);  // capped
+  // Reservation stays at honest cost regardless of margin.
+  EXPECT_DOUBLE_EQ(strategy.ReservationValue(100), 100);
+}
+
+TEST(StrategyTest, DefaultBuyerReserveAndCounter) {
+  DefaultBuyerStrategy strategy(1.25, 0.85);
+  EXPECT_LT(strategy.Reserve("q", -1), 0);           // unknown
+  EXPECT_DOUBLE_EQ(strategy.Reserve("q", 100), 125);  // slack
+  EXPECT_DOUBLE_EQ(strategy.CounterOffer(100, 0), 85);
+  EXPECT_DOUBLE_EQ(strategy.CounterOffer(100, 1), 90);
+  // Eventually the buyer accepts.
+  EXPECT_GE(strategy.CounterOffer(100, 3), 100);
+}
+
+struct SellerFixture {
+  std::shared_ptr<FederationSchema> fed = PaperFederation();
+  CostModel cost;
+  PlanFactory factory{&cost};
+  NodeCatalog catalog{"myconos", fed};
+  TableStore store;
+
+  SellerFixture() {
+    PaperData data(30);
+    const TableDef* customer = fed->FindTable("customer");
+    const TableDef* invoiceline = fed->FindTable("invoiceline");
+    (void)store.CreatePartition("customer#2", *customer);
+    for (const auto& row : data.customer_parts[2]) {
+      (void)store.Insert("customer#2", row);
+    }
+    (void)store.CreatePartition("invoiceline#2", *invoiceline);
+    for (const auto& row : data.invoiceline_parts[2]) {
+      (void)store.Insert("invoiceline#2", row);
+    }
+    (void)catalog.HostPartition("customer#2",
+                                CustomerPartStats("Myconos", 10));
+    (void)catalog.HostPartition("invoiceline#2",
+                                InvoicePartStats(20, 2000, 2999));
+  }
+};
+
+TEST(SellerEngineTest, OnRfbProducesExecutableOffers) {
+  SellerFixture f;
+  SellerEngine seller(&f.catalog, &f.store, &f.factory,
+                      std::make_unique<TruthfulStrategy>());
+  Rfb rfb{"r1", "buyer",
+          "SELECT custname FROM customer WHERE office = 'Myconos'", -1};
+  auto offers = seller.OnRfb(rfb);
+  ASSERT_TRUE(offers.ok()) << offers.status().ToString();
+  ASSERT_FALSE(offers->empty());
+  EXPECT_EQ(seller.rfbs_seen(), 1);
+  // Execute the first offer: all 10 Myconos customers.
+  auto rows = seller.ExecuteOffer((*offers)[0].offer_id);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->rows.size(), 10u);
+  // Unknown offers fail cleanly.
+  EXPECT_FALSE(seller.ExecuteOffer("bogus").ok());
+}
+
+TEST(SellerEngineTest, MarkupQuotesAboveTrueCost) {
+  SellerFixture f;
+  SellerEngine seller(&f.catalog, &f.store, &f.factory,
+                      std::make_unique<AdaptiveMarkupStrategy>(0.5));
+  Rfb rfb{"r1", "buyer", "SELECT custname FROM customer", -1};
+  auto offers = seller.OnRfb(rfb);
+  ASSERT_TRUE(offers.ok());
+  ASSERT_FALSE(offers->empty());
+  for (const auto& offer : *offers) {
+    auto true_cost = seller.TrueCost(offer.offer_id);
+    ASSERT_TRUE(true_cost.ok());
+    EXPECT_NEAR(offer.props.total_time_ms, *true_cost * 1.5, 1e-6);
+    EXPECT_NEAR(offer.props.price, *true_cost * 0.5, 1e-6);
+  }
+}
+
+TEST(SellerEngineTest, AuctionTickUndercutsWhenLosing) {
+  SellerFixture f;
+  SellerEngine seller(&f.catalog, &f.store, &f.factory,
+                      std::make_unique<AdaptiveMarkupStrategy>(0.5));
+  Rfb rfb{"r1", "buyer", "SELECT custname FROM customer", -1};
+  auto offers = seller.OnRfb(rfb);
+  ASSERT_TRUE(offers.ok());
+  const Offer& offer = (*offers)[0];
+  double quote = offer.props.total_time_ms;
+  double honest = *seller.TrueCost(offer.offer_id);
+
+  // Winning: no change.
+  AuctionTick winning{"r1", offer.CoverageSignature(), quote};
+  EXPECT_FALSE(seller.OnAuctionTick(winning).has_value());
+  // Losing with room: undercut toward the rival's price.
+  AuctionTick losing{"r1", offer.CoverageSignature(), quote * 0.9};
+  auto improved = seller.OnAuctionTick(losing);
+  ASSERT_TRUE(improved.has_value());
+  EXPECT_LT(improved->props.total_time_ms, quote * 0.9);
+  EXPECT_GE(improved->props.total_time_ms, honest);
+  // Rival below our reservation: hold.
+  AuctionTick hopeless{"r1", offer.CoverageSignature(), honest * 0.5};
+  EXPECT_FALSE(seller.OnAuctionTick(hopeless).has_value());
+  // Unknown rfb / signature: no reaction.
+  EXPECT_FALSE(
+      seller.OnAuctionTick({"zzz", offer.CoverageSignature(), 1})
+          .has_value());
+  EXPECT_FALSE(seller.OnAuctionTick({"r1", "bogus-signature", 1})
+                   .has_value());
+}
+
+TEST(SellerEngineTest, CounterOfferRespectsReservation) {
+  SellerFixture f;
+  SellerEngine seller(&f.catalog, &f.store, &f.factory,
+                      std::make_unique<AdaptiveMarkupStrategy>(0.4));
+  Rfb rfb{"r1", "buyer", "SELECT custname FROM customer", -1};
+  auto offers = seller.OnRfb(rfb);
+  ASSERT_TRUE(offers.ok());
+  const Offer& offer = (*offers)[0];
+  double honest = *seller.TrueCost(offer.offer_id);
+  double quote = offer.props.total_time_ms;
+
+  // Acceptable target: re-quotes exactly at the target.
+  auto updated = seller.OnCounterOffer("r1", offer.CoverageSignature(),
+                                       quote * 0.9);
+  ASSERT_TRUE(updated.has_value());
+  EXPECT_NEAR(updated->props.total_time_ms, quote * 0.9, 1e-9);
+  // Below reservation: hold firm.
+  EXPECT_FALSE(seller.OnCounterOffer("r1", offer.CoverageSignature(),
+                                     honest * 0.5)
+                   .has_value());
+}
+
+TEST(SellerEngineTest, AwardsFeedStrategy) {
+  SellerFixture f;
+  auto strategy_owner = std::make_unique<AdaptiveMarkupStrategy>(0.3);
+  AdaptiveMarkupStrategy* strategy = strategy_owner.get();
+  SellerEngine seller(&f.catalog, &f.store, &f.factory,
+                      std::move(strategy_owner));
+  Rfb rfb{"r1", "buyer", "SELECT custname FROM customer", -1};
+  auto offers = seller.OnRfb(rfb);
+  ASSERT_TRUE(offers.ok());
+  double margin = strategy->margin();
+  seller.OnAwards({{"r1", (*offers)[0].offer_id}}, {});
+  EXPECT_GT(strategy->margin(), margin);  // win: raise margin
+  margin = strategy->margin();
+  seller.OnAwards({}, {(*offers)[0].offer_id});
+  EXPECT_LT(strategy->margin(), margin);  // loss: cut margin
+}
+
+TEST(BuyerAnalyserTest, OverlapProducesDisjointSliceQuery) {
+  auto fed = PaperFederation();
+  auto query = sql::AnalyzeSql("SELECT custname FROM customer", *fed);
+  ASSERT_TRUE(query.ok());
+  BuyerAnalyser analyser(&*query, fed.get());
+
+  auto make_offer = [&](const std::string& id, double cost,
+                        std::vector<std::string> parts) {
+    Offer offer;
+    offer.offer_id = id;
+    offer.seller = "s-" + id;
+    offer.kind = OfferKind::kCoreRows;
+    offer.props.total_time_ms = cost;
+    offer.coverage.push_back({"customer", "customer", std::move(parts)});
+    return offer;
+  };
+  std::vector<Offer> offers = {
+      make_offer("cheap", 10, {"customer#0", "customer#1"}),
+      make_offer("dear", 30, {"customer#1", "customer#2"}),
+  };
+  auto derived = analyser.Analyse(offers, {}, {}, 1);
+  ASSERT_EQ(derived.size(), 1u);
+  // Asks for exactly the slice the anchor does not provide: customer#2.
+  ASSERT_EQ(derived[0].ask_box.at("customer").size(), 1u);
+  EXPECT_EQ(*derived[0].ask_box.at("customer").begin(), "customer#2");
+  std::string sql = sql::ToSql(derived[0].stmt);
+  EXPECT_NE(sql.find("office = 'Myconos'"), std::string::npos) << sql;
+  EXPECT_DOUBLE_EQ(derived[0].estimated_value, 30);
+
+  // Dedup: asking again with the same pool yields nothing new.
+  std::set<std::string> asked = {sql};
+  EXPECT_TRUE(analyser.Analyse(offers, {}, asked, 2).empty());
+}
+
+TEST(BuyerAnalyserTest, DisjointOffersProduceNothing) {
+  auto fed = PaperFederation();
+  auto query = sql::AnalyzeSql("SELECT custname FROM customer", *fed);
+  ASSERT_TRUE(query.ok());
+  BuyerAnalyser analyser(&*query, fed.get());
+  auto make_offer = [&](const std::string& id,
+                        std::vector<std::string> parts) {
+    Offer offer;
+    offer.offer_id = id;
+    offer.kind = OfferKind::kCoreRows;
+    offer.coverage.push_back({"customer", "customer", std::move(parts)});
+    return offer;
+  };
+  std::vector<Offer> offers = {
+      make_offer("a", {"customer#0"}),
+      make_offer("b", {"customer#1", "customer#2"}),
+  };
+  EXPECT_TRUE(analyser.Analyse(offers, {}, {}, 1).empty());
+}
+
+TEST(BuildRestrictedSubsetQueryTest, KeepsBorderJoinColumns) {
+  auto fed = PaperFederation();
+  auto query = sql::AnalyzeSql(
+      "SELECT SUM(i.charge) FROM customer c, invoiceline i "
+      "WHERE c.custid = i.custid AND c.office <> 'Athens'",
+      *fed);
+  ASSERT_TRUE(query.ok());
+  std::map<std::string, std::set<std::string>> box;
+  box["c"] = {"customer#1"};
+  sql::SelectStmt stmt =
+      BuildRestrictedSubsetQuery(*query, {"c"}, box, *fed);
+  std::string sql = sql::ToSql(stmt);
+  // Join column shipped, partition restriction applied, local predicate
+  // kept, the i-side predicate dropped.
+  EXPECT_NE(sql.find("c.custid"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("office = 'Corfu'"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("c.office <> 'Athens'"), std::string::npos) << sql;
+  EXPECT_EQ(sql.find("i.charge"), std::string::npos) << sql;
+}
+
+TEST(OfferWireBytesTest, GrowsWithContent) {
+  Offer small;
+  small.query = sql::ParseQuery("SELECT a FROM t")->select();
+  Offer large;
+  large.query = sql::ParseQuery(
+                    "SELECT a, b, c FROM t, u, v WHERE t.a = u.b AND "
+                    "u.c = v.d AND t.a IN (1,2,3,4,5,6,7,8,9)")
+                    ->select();
+  large.coverage.push_back({"t", "t", {"t#0", "t#1", "t#2"}});
+  EXPECT_LT(OfferWireBytes(small), OfferWireBytes(large));
+}
+
+}  // namespace
+}  // namespace qtrade

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/random.h"
+#include "util/status.h"
+#include "util/strings.h"
+
+namespace qtrade {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "bad token");
+  EXPECT_EQ(s.ToString(), "ParseError: bad token");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kParseError, StatusCode::kBindError,
+        StatusCode::kUnsupported, StatusCode::kInternal, StatusCode::kTimeout,
+        StatusCode::kNoPlanFound}) {
+    EXPECT_STRNE(StatusCodeName(code), "Unknown");
+  }
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x * 2;
+}
+
+Result<int> UsesAssignOrReturn(int x) {
+  QTRADE_ASSIGN_OR_RETURN(int doubled, ParsePositive(x));
+  return doubled + 1;
+}
+
+TEST(ResultTest, ValuePath) {
+  Result<int> r = ParsePositive(21);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultTest, ErrorPath) {
+  Result<int> r = ParsePositive(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_TRUE(UsesAssignOrReturn(5).ok());
+  EXPECT_EQ(UsesAssignOrReturn(5).value(), 11);
+  EXPECT_FALSE(UsesAssignOrReturn(0).ok());
+}
+
+TEST(StringsTest, CaseHelpers) {
+  EXPECT_EQ(ToLower("SeLeCt"), "select");
+  EXPECT_EQ(ToUpper("SeLeCt"), "SELECT");
+  EXPECT_TRUE(EqualsIgnoreCase("Customer", "CUSTOMER"));
+  EXPECT_FALSE(EqualsIgnoreCase("Customer", "Customers"));
+}
+
+TEST(StringsTest, SplitKeepsEmptyPieces) {
+  auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  x y \t\n"), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringsTest, Join) {
+  std::vector<std::string> v = {"a", "b", "c"};
+  EXPECT_EQ(Join(v, ", "), "a, b, c");
+  EXPECT_EQ(Join(std::vector<std::string>{}, ","), "");
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(0, 1000), b.Uniform(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, ZipfIsSkewed) {
+  Rng rng(3);
+  int first = 0, total = 20000;
+  for (int i = 0; i < total; ++i) {
+    if (rng.Zipf(10, 1.2) == 1) ++first;
+  }
+  // Rank 1 should dominate a uniform share of 10%.
+  EXPECT_GT(first, total / 5);
+}
+
+TEST(RngTest, ZipfThetaZeroIsUniformRange) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    int64_t v = rng.Zipf(4, 0.0);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 4);
+  }
+}
+
+TEST(RngTest, SampleDistinctSorted) {
+  Rng rng(11);
+  auto s = rng.Sample(20, 7);
+  ASSERT_EQ(s.size(), 7u);
+  std::set<size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 7u);
+  EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+  for (size_t v : s) EXPECT_LT(v, 20u);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(5);
+  EXPECT_FALSE(rng.Chance(0.0));
+  EXPECT_TRUE(rng.Chance(1.0));
+}
+
+}  // namespace
+}  // namespace qtrade

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "types/row.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace qtrade {
+namespace {
+
+TEST(ValueTest, NullByDefault) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_FALSE(v.Kind().ok());
+  EXPECT_EQ(v.ToString(), "NULL");
+  EXPECT_EQ(v.ToSqlLiteral(), "NULL");
+}
+
+TEST(ValueTest, TypedAccessors) {
+  EXPECT_EQ(Value::Int64(7).int64(), 7);
+  EXPECT_DOUBLE_EQ(Value::Double(1.5).dbl(), 1.5);
+  EXPECT_EQ(Value::String("abc").str(), "abc");
+  EXPECT_TRUE(Value::Bool(true).boolean());
+  EXPECT_EQ(Value::Int64(7).Kind().value(), TypeKind::kInt64);
+}
+
+TEST(ValueTest, NumericCrossTypeCompare) {
+  EXPECT_EQ(Value::Int64(5).Compare(Value::Double(5.0)), 0);
+  EXPECT_LT(Value::Int64(5).Compare(Value::Double(5.5)), 0);
+  EXPECT_GT(Value::Double(6.0).Compare(Value::Int64(5)), 0);
+}
+
+TEST(ValueTest, OrderingAcrossFamilies) {
+  // NULL < BOOL < numeric < string.
+  EXPECT_LT(Value::Null().Compare(Value::Bool(false)), 0);
+  EXPECT_LT(Value::Bool(true).Compare(Value::Int64(0)), 0);
+  EXPECT_LT(Value::Int64(999).Compare(Value::String("")), 0);
+}
+
+TEST(ValueTest, StringCompare) {
+  EXPECT_LT(Value::String("abc").Compare(Value::String("abd")), 0);
+  EXPECT_EQ(Value::String("x").Compare(Value::String("x")), 0);
+}
+
+TEST(ValueTest, SqlLiteralQuoting) {
+  EXPECT_EQ(Value::String("O'Hara").ToSqlLiteral(), "'O''Hara'");
+  EXPECT_EQ(Value::Int64(-3).ToSqlLiteral(), "-3");
+  EXPECT_EQ(Value::Bool(false).ToSqlLiteral(), "FALSE");
+}
+
+TEST(ValueTest, HashConsistentWithCompare) {
+  EXPECT_EQ(Value::Int64(5).Hash(), Value::Double(5.0).Hash());
+  EXPECT_EQ(Value::String("k").Hash(), Value::String("k").Hash());
+}
+
+TEST(TupleSchemaTest, FindColumnQualified) {
+  TupleSchema schema({{"c", "custid", TypeKind::kInt64},
+                      {"i", "custid", TypeKind::kInt64},
+                      {"i", "charge", TypeKind::kDouble}});
+  EXPECT_EQ(schema.FindColumn("i", "charge").value(), 2u);
+  EXPECT_EQ(schema.FindColumn("c", "custid").value(), 0u);
+  // Unqualified + ambiguous.
+  EXPECT_FALSE(schema.FindColumn("", "custid").ok());
+  // Unqualified + unique.
+  EXPECT_EQ(schema.FindColumn("", "charge").value(), 2u);
+  // Missing.
+  EXPECT_EQ(schema.FindColumn("", "nope").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(TupleSchemaTest, ConcatPreservesOrder) {
+  TupleSchema a({{"t", "x", TypeKind::kInt64}});
+  TupleSchema b({{"u", "y", TypeKind::kString}});
+  TupleSchema ab = TupleSchema::Concat(a, b);
+  ASSERT_EQ(ab.size(), 2u);
+  EXPECT_EQ(ab.column(0).FullName(), "t.x");
+  EXPECT_EQ(ab.column(1).FullName(), "u.y");
+}
+
+TEST(TableDefTest, FindColumnCaseInsensitive) {
+  TableDef t{"customer",
+             {{"custid", TypeKind::kInt64}, {"office", TypeKind::kString}}};
+  EXPECT_EQ(t.FindColumn("OFFICE").value(), 1u);
+  EXPECT_FALSE(t.FindColumn("missing").ok());
+}
+
+TEST(SimpleSchemaProviderTest, Lookup) {
+  SimpleSchemaProvider schemas;
+  schemas.AddTable({"t", {{"a", TypeKind::kInt64}}});
+  EXPECT_NE(schemas.FindTable("T"), nullptr);
+  EXPECT_EQ(schemas.FindTable("u"), nullptr);
+}
+
+}  // namespace
+}  // namespace qtrade

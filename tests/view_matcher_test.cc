@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include "rewrite/view_matcher.h"
+#include "tests/test_fixtures.h"
+
+namespace qtrade {
+namespace {
+
+using testing::PaperFederation;
+
+sql::BoundQuery Analyze(const std::string& sql, const SchemaProvider& s) {
+  auto q = sql::AnalyzeSql(sql, s);
+  EXPECT_TRUE(q.ok()) << sql << " -> " << q.status().ToString();
+  return *q;
+}
+
+MaterializedViewDef MakeView(const std::string& name, const std::string& sql,
+                             const SchemaProvider& schemas,
+                             int64_t rows = 1000) {
+  MaterializedViewDef view;
+  view.name = name;
+  view.definition = Analyze(sql, schemas);
+  view.stats.row_count = rows;
+  return view;
+}
+
+// The paper's §3.5 scenario: the view groups finer (per office *and*
+// custid); the manager's per-office total can be answered by re-grouping.
+TEST(ViewMatcherTest, GroupByCoarseningFromPaper) {
+  auto fed = PaperFederation();
+  MaterializedViewDef view = MakeView(
+      "v_office_cust",
+      "SELECT c.office AS office, i.custid AS custid, "
+      "SUM(i.charge) AS sum_charge, COUNT(*) AS cnt "
+      "FROM customer c, invoiceline i WHERE c.custid = i.custid "
+      "GROUP BY c.office, i.custid",
+      *fed);
+  sql::BoundQuery query = Analyze(
+      "SELECT c.office, SUM(i.charge) AS total FROM customer c, "
+      "invoiceline i WHERE c.custid = i.custid GROUP BY c.office",
+      *fed);
+
+  auto match = MatchViewToQuery(view, query);
+  ASSERT_TRUE(match.has_value());
+  EXPECT_TRUE(match->reaggregates);
+  EXPECT_FALSE(match->exact);
+  std::string comp = sql::ToSql(match->compensation);
+  EXPECT_NE(comp.find("SUM(v_office_cust.sum_charge)"), std::string::npos)
+      << comp;
+  EXPECT_NE(comp.find("GROUP BY v_office_cust.office"), std::string::npos)
+      << comp;
+}
+
+TEST(ViewMatcherTest, ExactAggregateMatch) {
+  auto fed = PaperFederation();
+  MaterializedViewDef view = MakeView(
+      "v_office",
+      "SELECT c.office AS office, SUM(i.charge) AS sum_charge "
+      "FROM customer c, invoiceline i WHERE c.custid = i.custid "
+      "GROUP BY c.office",
+      *fed);
+  sql::BoundQuery query = Analyze(
+      "SELECT c.office, SUM(i.charge) AS total FROM customer c, "
+      "invoiceline i WHERE c.custid = i.custid GROUP BY c.office",
+      *fed);
+  auto match = MatchViewToQuery(view, query);
+  ASSERT_TRUE(match.has_value());
+  EXPECT_TRUE(match->exact);
+  EXPECT_FALSE(match->reaggregates);
+}
+
+TEST(ViewMatcherTest, CountReaggregatesAsSum) {
+  auto fed = PaperFederation();
+  MaterializedViewDef view = MakeView(
+      "v", "SELECT office AS office, custid AS custid, COUNT(*) AS cnt "
+           "FROM customer GROUP BY office, custid",
+      *fed);
+  sql::BoundQuery query = Analyze(
+      "SELECT office, COUNT(*) AS n FROM customer GROUP BY office", *fed);
+  auto match = MatchViewToQuery(view, query);
+  ASSERT_TRUE(match.has_value());
+  std::string comp = sql::ToSql(match->compensation);
+  EXPECT_NE(comp.find("SUM(v.cnt)"), std::string::npos) << comp;
+}
+
+TEST(ViewMatcherTest, AvgFromSumAndCount) {
+  auto fed = PaperFederation();
+  MaterializedViewDef view = MakeView(
+      "v",
+      "SELECT custid AS custid, SUM(charge) AS s, COUNT(*) AS c "
+      "FROM invoiceline GROUP BY custid",
+      *fed);
+  sql::BoundQuery query = Analyze(
+      "SELECT AVG(charge) AS a FROM invoiceline", *fed);
+  auto match = MatchViewToQuery(view, query);
+  ASSERT_TRUE(match.has_value());
+  std::string comp = sql::ToSql(match->compensation);
+  EXPECT_NE(comp.find("SUM(v.s) / SUM(v.c)"), std::string::npos) << comp;
+}
+
+TEST(ViewMatcherTest, AvgOfAvgRejectedWhenRegrouping) {
+  auto fed = PaperFederation();
+  MaterializedViewDef view = MakeView(
+      "v",
+      "SELECT custid AS custid, AVG(charge) AS a "
+      "FROM invoiceline GROUP BY custid",
+      *fed);
+  sql::BoundQuery query = Analyze(
+      "SELECT AVG(charge) AS a FROM invoiceline", *fed);
+  EXPECT_FALSE(MatchViewToQuery(view, query).has_value());
+}
+
+TEST(ViewMatcherTest, ResidualPredicateApplied) {
+  auto fed = PaperFederation();
+  MaterializedViewDef view = MakeView(
+      "v_all", "SELECT custid AS custid, custname AS custname, "
+               "office AS office FROM customer",
+      *fed);
+  sql::BoundQuery query = Analyze(
+      "SELECT custname FROM customer WHERE office = 'Corfu'", *fed);
+  auto match = MatchViewToQuery(view, query);
+  ASSERT_TRUE(match.has_value());
+  EXPECT_FALSE(match->exact);
+  std::string comp = sql::ToSql(match->compensation);
+  EXPECT_NE(comp.find("WHERE v_all.office = 'Corfu'"), std::string::npos)
+      << comp;
+}
+
+TEST(ViewMatcherTest, ViewRegionMustContainQueryRegion) {
+  auto fed = PaperFederation();
+  MaterializedViewDef view = MakeView(
+      "v_corfu",
+      "SELECT custid AS custid, custname AS custname FROM customer "
+      "WHERE office = 'Corfu'",
+      *fed);
+  // Query over all offices cannot be answered from the Corfu-only view.
+  sql::BoundQuery query = Analyze("SELECT custname FROM customer", *fed);
+  EXPECT_FALSE(MatchViewToQuery(view, query).has_value());
+  // But a query for Corfu customers can.
+  sql::BoundQuery corfu = Analyze(
+      "SELECT custname FROM customer WHERE office = 'Corfu'", *fed);
+  auto match = MatchViewToQuery(view, corfu);
+  ASSERT_TRUE(match.has_value());
+  EXPECT_TRUE(match->exact);
+}
+
+TEST(ViewMatcherTest, NarrowerQueryPredicateBecomesResidual) {
+  auto fed = PaperFederation();
+  MaterializedViewDef view = MakeView(
+      "v_islands",
+      "SELECT custid AS custid, custname AS custname, office AS office "
+      "FROM customer WHERE office IN ('Corfu', 'Myconos')",
+      *fed);
+  sql::BoundQuery query = Analyze(
+      "SELECT custname FROM customer WHERE office = 'Myconos'", *fed);
+  auto match = MatchViewToQuery(view, query);
+  ASSERT_TRUE(match.has_value());
+  std::string comp = sql::ToSql(match->compensation);
+  EXPECT_NE(comp.find("office = 'Myconos'"), std::string::npos) << comp;
+}
+
+TEST(ViewMatcherTest, MissingColumnRejects) {
+  auto fed = PaperFederation();
+  MaterializedViewDef view = MakeView(
+      "v", "SELECT custid AS custid FROM customer", *fed);
+  sql::BoundQuery query = Analyze("SELECT custname FROM customer", *fed);
+  EXPECT_FALSE(MatchViewToQuery(view, query).has_value());
+}
+
+TEST(ViewMatcherTest, DifferentJoinGraphRejects) {
+  auto fed = PaperFederation();
+  // View joins on custid = invid (different join) — must not match.
+  MaterializedViewDef view = MakeView(
+      "v",
+      "SELECT c.custid AS custid FROM customer c, invoiceline i "
+      "WHERE c.custid = i.invid",
+      *fed);
+  sql::BoundQuery query = Analyze(
+      "SELECT c.custid FROM customer c, invoiceline i "
+      "WHERE c.custid = i.custid",
+      *fed);
+  EXPECT_FALSE(MatchViewToQuery(view, query).has_value());
+}
+
+TEST(ViewMatcherTest, TableSetMustAgree) {
+  auto fed = PaperFederation();
+  MaterializedViewDef view = MakeView(
+      "v", "SELECT custid AS custid FROM customer", *fed);
+  sql::BoundQuery query = Analyze(
+      "SELECT c.custid FROM customer c, invoiceline i "
+      "WHERE c.custid = i.custid",
+      *fed);
+  EXPECT_FALSE(MatchViewToQuery(view, query).has_value());
+}
+
+TEST(ViewMatcherTest, AggregateViewCannotAnswerDetailQuery) {
+  auto fed = PaperFederation();
+  MaterializedViewDef view = MakeView(
+      "v", "SELECT office AS office, COUNT(*) AS cnt FROM customer "
+           "GROUP BY office",
+      *fed);
+  sql::BoundQuery query = Analyze("SELECT office FROM customer", *fed);
+  EXPECT_FALSE(MatchViewToQuery(view, query).has_value());
+}
+
+TEST(ViewMatcherTest, PlainViewAnswersAggregateQuery) {
+  auto fed = PaperFederation();
+  MaterializedViewDef view = MakeView(
+      "v", "SELECT office AS office, charge AS charge "
+           "FROM customer c, invoiceline i WHERE c.custid = i.custid",
+      *fed);
+  sql::BoundQuery query = Analyze(
+      "SELECT office, SUM(charge) AS s FROM customer c, invoiceline i "
+      "WHERE c.custid = i.custid GROUP BY office",
+      *fed);
+  auto match = MatchViewToQuery(view, query);
+  ASSERT_TRUE(match.has_value());
+  EXPECT_TRUE(match->reaggregates);
+  std::string comp = sql::ToSql(match->compensation);
+  EXPECT_NE(comp.find("SUM(v.charge)"), std::string::npos) << comp;
+  EXPECT_NE(comp.find("GROUP BY v.office"), std::string::npos) << comp;
+}
+
+TEST(ViewMatcherTest, ViewExtentSchemaExposesOutputs) {
+  auto fed = PaperFederation();
+  MaterializedViewDef view = MakeView(
+      "v", "SELECT office AS office, COUNT(*) AS cnt FROM customer "
+           "GROUP BY office",
+      *fed);
+  TableDef def = ViewExtentSchema(view);
+  EXPECT_EQ(def.name, "v");
+  ASSERT_EQ(def.columns.size(), 2u);
+  EXPECT_EQ(def.columns[0].name, "office");
+  EXPECT_EQ(def.columns[1].name, "cnt");
+  EXPECT_EQ(def.columns[1].type, TypeKind::kInt64);
+}
+
+TEST(ViewMatcherTest, MatchViewsScansCatalog) {
+  auto fed = PaperFederation();
+  NodeCatalog node("n", fed);
+  node.AddView(MakeView(
+      "v1", "SELECT custid AS custid FROM customer", *fed));
+  node.AddView(MakeView(
+      "v2",
+      "SELECT custid AS custid, custname AS custname FROM customer", *fed));
+  sql::BoundQuery query = Analyze("SELECT custname FROM customer", *fed);
+  auto matches = MatchViews(query, node);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].view->name, "v2");
+}
+
+}  // namespace
+}  // namespace qtrade
