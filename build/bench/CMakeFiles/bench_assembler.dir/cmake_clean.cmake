@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_assembler.dir/bench_assembler.cc.o"
+  "CMakeFiles/bench_assembler.dir/bench_assembler.cc.o.d"
+  "bench_assembler"
+  "bench_assembler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_assembler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_messages_nodes.dir/bench_messages_nodes.cc.o"
+  "CMakeFiles/bench_messages_nodes.dir/bench_messages_nodes.cc.o.d"
+  "bench_messages_nodes"
+  "bench_messages_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_messages_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_opt_time_joins.dir/bench_opt_time_joins.cc.o"
+  "CMakeFiles/bench_opt_time_joins.dir/bench_opt_time_joins.cc.o.d"
+  "bench_opt_time_joins"
+  "bench_opt_time_joins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_opt_time_joins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_plan_quality_nodes.dir/bench_plan_quality_nodes.cc.o"
+  "CMakeFiles/bench_plan_quality_nodes.dir/bench_plan_quality_nodes.cc.o.d"
+  "bench_plan_quality_nodes"
+  "bench_plan_quality_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_plan_quality_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

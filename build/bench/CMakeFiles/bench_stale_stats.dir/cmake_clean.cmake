@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stale_stats.dir/bench_stale_stats.cc.o"
+  "CMakeFiles/bench_stale_stats.dir/bench_stale_stats.cc.o.d"
+  "bench_stale_stats"
+  "bench_stale_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stale_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_subcontract.cc" "bench/CMakeFiles/bench_subcontract.dir/bench_subcontract.cc.o" "gcc" "bench/CMakeFiles/bench_subcontract.dir/bench_subcontract.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/qtrade_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/qtrade_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/qtrade_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trading/CMakeFiles/qtrade_trading.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/qtrade_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/qtrade_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/qtrade_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewrite/CMakeFiles/qtrade_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/qtrade_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/qtrade_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/qtrade_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/qtrade_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/qtrade_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qtrade_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

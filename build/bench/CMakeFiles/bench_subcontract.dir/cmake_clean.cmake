@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_subcontract.dir/bench_subcontract.cc.o"
+  "CMakeFiles/bench_subcontract.dir/bench_subcontract.cc.o.d"
+  "bench_subcontract"
+  "bench_subcontract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_subcontract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olap_views.dir/olap_views.cpp.o"
+  "CMakeFiles/olap_views.dir/olap_views.cpp.o.d"
+  "olap_views"
+  "olap_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olap_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

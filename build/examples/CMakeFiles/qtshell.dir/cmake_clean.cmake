@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtshell.dir/qtshell.cpp.o"
+  "CMakeFiles/qtshell.dir/qtshell.cpp.o.d"
+  "qtshell"
+  "qtshell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtshell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for qtshell.
+# This may be replaced when dependencies are built.

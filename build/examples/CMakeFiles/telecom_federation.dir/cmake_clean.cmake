@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telecom_federation.dir/telecom_federation.cpp.o"
+  "CMakeFiles/telecom_federation.dir/telecom_federation.cpp.o.d"
+  "telecom_federation"
+  "telecom_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telecom_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("types")
+subdirs("sql")
+subdirs("catalog")
+subdirs("stats")
+subdirs("plan")
+subdirs("rewrite")
+subdirs("opt")
+subdirs("exec")
+subdirs("net")
+subdirs("trading")
+subdirs("core")
+subdirs("baseline")
+subdirs("workload")

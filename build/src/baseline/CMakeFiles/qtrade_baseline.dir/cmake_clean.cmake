@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtrade_baseline.dir/global_optimizer.cc.o"
+  "CMakeFiles/qtrade_baseline.dir/global_optimizer.cc.o.d"
+  "libqtrade_baseline.a"
+  "libqtrade_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtrade_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtrade_catalog.dir/catalog.cc.o"
+  "CMakeFiles/qtrade_catalog.dir/catalog.cc.o.d"
+  "libqtrade_catalog.a"
+  "libqtrade_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtrade_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

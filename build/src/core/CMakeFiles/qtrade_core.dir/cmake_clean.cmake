@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtrade_core.dir/federation.cc.o"
+  "CMakeFiles/qtrade_core.dir/federation.cc.o.d"
+  "CMakeFiles/qtrade_core.dir/qt_optimizer.cc.o"
+  "CMakeFiles/qtrade_core.dir/qt_optimizer.cc.o.d"
+  "libqtrade_core.a"
+  "libqtrade_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtrade_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/executor.cc" "src/exec/CMakeFiles/qtrade_exec.dir/executor.cc.o" "gcc" "src/exec/CMakeFiles/qtrade_exec.dir/executor.cc.o.d"
+  "/root/repo/src/exec/expr_eval.cc" "src/exec/CMakeFiles/qtrade_exec.dir/expr_eval.cc.o" "gcc" "src/exec/CMakeFiles/qtrade_exec.dir/expr_eval.cc.o.d"
+  "/root/repo/src/exec/storage.cc" "src/exec/CMakeFiles/qtrade_exec.dir/storage.cc.o" "gcc" "src/exec/CMakeFiles/qtrade_exec.dir/storage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/plan/CMakeFiles/qtrade_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/qtrade_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/qtrade_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/qtrade_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qtrade_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

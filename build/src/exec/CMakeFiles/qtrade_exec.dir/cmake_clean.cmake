@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtrade_exec.dir/executor.cc.o"
+  "CMakeFiles/qtrade_exec.dir/executor.cc.o.d"
+  "CMakeFiles/qtrade_exec.dir/expr_eval.cc.o"
+  "CMakeFiles/qtrade_exec.dir/expr_eval.cc.o.d"
+  "CMakeFiles/qtrade_exec.dir/storage.cc.o"
+  "CMakeFiles/qtrade_exec.dir/storage.cc.o.d"
+  "libqtrade_exec.a"
+  "libqtrade_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtrade_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtrade_net.dir/network.cc.o"
+  "CMakeFiles/qtrade_net.dir/network.cc.o.d"
+  "libqtrade_net.a"
+  "libqtrade_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtrade_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

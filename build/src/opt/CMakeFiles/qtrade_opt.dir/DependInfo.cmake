@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/local_optimizer.cc" "src/opt/CMakeFiles/qtrade_opt.dir/local_optimizer.cc.o" "gcc" "src/opt/CMakeFiles/qtrade_opt.dir/local_optimizer.cc.o.d"
+  "/root/repo/src/opt/offer.cc" "src/opt/CMakeFiles/qtrade_opt.dir/offer.cc.o" "gcc" "src/opt/CMakeFiles/qtrade_opt.dir/offer.cc.o.d"
+  "/root/repo/src/opt/offer_generator.cc" "src/opt/CMakeFiles/qtrade_opt.dir/offer_generator.cc.o" "gcc" "src/opt/CMakeFiles/qtrade_opt.dir/offer_generator.cc.o.d"
+  "/root/repo/src/opt/plan_assembler.cc" "src/opt/CMakeFiles/qtrade_opt.dir/plan_assembler.cc.o" "gcc" "src/opt/CMakeFiles/qtrade_opt.dir/plan_assembler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rewrite/CMakeFiles/qtrade_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/qtrade_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/qtrade_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/qtrade_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/qtrade_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/qtrade_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qtrade_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtrade_opt.dir/local_optimizer.cc.o"
+  "CMakeFiles/qtrade_opt.dir/local_optimizer.cc.o.d"
+  "CMakeFiles/qtrade_opt.dir/offer.cc.o"
+  "CMakeFiles/qtrade_opt.dir/offer.cc.o.d"
+  "CMakeFiles/qtrade_opt.dir/offer_generator.cc.o"
+  "CMakeFiles/qtrade_opt.dir/offer_generator.cc.o.d"
+  "CMakeFiles/qtrade_opt.dir/plan_assembler.cc.o"
+  "CMakeFiles/qtrade_opt.dir/plan_assembler.cc.o.d"
+  "libqtrade_opt.a"
+  "libqtrade_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtrade_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plan/cost_model.cc" "src/plan/CMakeFiles/qtrade_plan.dir/cost_model.cc.o" "gcc" "src/plan/CMakeFiles/qtrade_plan.dir/cost_model.cc.o.d"
+  "/root/repo/src/plan/plan.cc" "src/plan/CMakeFiles/qtrade_plan.dir/plan.cc.o" "gcc" "src/plan/CMakeFiles/qtrade_plan.dir/plan.cc.o.d"
+  "/root/repo/src/plan/plan_factory.cc" "src/plan/CMakeFiles/qtrade_plan.dir/plan_factory.cc.o" "gcc" "src/plan/CMakeFiles/qtrade_plan.dir/plan_factory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/qtrade_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/qtrade_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qtrade_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

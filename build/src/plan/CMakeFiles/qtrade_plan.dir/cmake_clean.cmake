@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtrade_plan.dir/cost_model.cc.o"
+  "CMakeFiles/qtrade_plan.dir/cost_model.cc.o.d"
+  "CMakeFiles/qtrade_plan.dir/plan.cc.o"
+  "CMakeFiles/qtrade_plan.dir/plan.cc.o.d"
+  "CMakeFiles/qtrade_plan.dir/plan_factory.cc.o"
+  "CMakeFiles/qtrade_plan.dir/plan_factory.cc.o.d"
+  "libqtrade_plan.a"
+  "libqtrade_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtrade_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

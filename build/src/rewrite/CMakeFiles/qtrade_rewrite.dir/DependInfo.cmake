@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rewrite/partition_rewriter.cc" "src/rewrite/CMakeFiles/qtrade_rewrite.dir/partition_rewriter.cc.o" "gcc" "src/rewrite/CMakeFiles/qtrade_rewrite.dir/partition_rewriter.cc.o.d"
+  "/root/repo/src/rewrite/predicate.cc" "src/rewrite/CMakeFiles/qtrade_rewrite.dir/predicate.cc.o" "gcc" "src/rewrite/CMakeFiles/qtrade_rewrite.dir/predicate.cc.o.d"
+  "/root/repo/src/rewrite/view_matcher.cc" "src/rewrite/CMakeFiles/qtrade_rewrite.dir/view_matcher.cc.o" "gcc" "src/rewrite/CMakeFiles/qtrade_rewrite.dir/view_matcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/catalog/CMakeFiles/qtrade_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/qtrade_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/qtrade_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qtrade_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/qtrade_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

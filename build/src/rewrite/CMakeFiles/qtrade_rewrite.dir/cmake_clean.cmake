@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtrade_rewrite.dir/partition_rewriter.cc.o"
+  "CMakeFiles/qtrade_rewrite.dir/partition_rewriter.cc.o.d"
+  "CMakeFiles/qtrade_rewrite.dir/predicate.cc.o"
+  "CMakeFiles/qtrade_rewrite.dir/predicate.cc.o.d"
+  "CMakeFiles/qtrade_rewrite.dir/view_matcher.cc.o"
+  "CMakeFiles/qtrade_rewrite.dir/view_matcher.cc.o.d"
+  "libqtrade_rewrite.a"
+  "libqtrade_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtrade_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

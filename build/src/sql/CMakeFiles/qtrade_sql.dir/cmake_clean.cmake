@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtrade_sql.dir/analyzer.cc.o"
+  "CMakeFiles/qtrade_sql.dir/analyzer.cc.o.d"
+  "CMakeFiles/qtrade_sql.dir/ast.cc.o"
+  "CMakeFiles/qtrade_sql.dir/ast.cc.o.d"
+  "CMakeFiles/qtrade_sql.dir/lexer.cc.o"
+  "CMakeFiles/qtrade_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/qtrade_sql.dir/parser.cc.o"
+  "CMakeFiles/qtrade_sql.dir/parser.cc.o.d"
+  "libqtrade_sql.a"
+  "libqtrade_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtrade_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/column_stats.cc" "src/stats/CMakeFiles/qtrade_stats.dir/column_stats.cc.o" "gcc" "src/stats/CMakeFiles/qtrade_stats.dir/column_stats.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/qtrade_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/qtrade_stats.dir/histogram.cc.o.d"
+  "/root/repo/src/stats/selectivity.cc" "src/stats/CMakeFiles/qtrade_stats.dir/selectivity.cc.o" "gcc" "src/stats/CMakeFiles/qtrade_stats.dir/selectivity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/qtrade_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/qtrade_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qtrade_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

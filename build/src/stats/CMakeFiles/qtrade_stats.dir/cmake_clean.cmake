@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtrade_stats.dir/column_stats.cc.o"
+  "CMakeFiles/qtrade_stats.dir/column_stats.cc.o.d"
+  "CMakeFiles/qtrade_stats.dir/histogram.cc.o"
+  "CMakeFiles/qtrade_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/qtrade_stats.dir/selectivity.cc.o"
+  "CMakeFiles/qtrade_stats.dir/selectivity.cc.o.d"
+  "libqtrade_stats.a"
+  "libqtrade_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtrade_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

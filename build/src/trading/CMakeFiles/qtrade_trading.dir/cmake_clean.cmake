@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtrade_trading.dir/buyer_analyser.cc.o"
+  "CMakeFiles/qtrade_trading.dir/buyer_analyser.cc.o.d"
+  "CMakeFiles/qtrade_trading.dir/buyer_engine.cc.o"
+  "CMakeFiles/qtrade_trading.dir/buyer_engine.cc.o.d"
+  "CMakeFiles/qtrade_trading.dir/seller_engine.cc.o"
+  "CMakeFiles/qtrade_trading.dir/seller_engine.cc.o.d"
+  "libqtrade_trading.a"
+  "libqtrade_trading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtrade_trading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

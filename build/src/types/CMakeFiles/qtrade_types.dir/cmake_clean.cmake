@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtrade_types.dir/row.cc.o"
+  "CMakeFiles/qtrade_types.dir/row.cc.o.d"
+  "CMakeFiles/qtrade_types.dir/schema.cc.o"
+  "CMakeFiles/qtrade_types.dir/schema.cc.o.d"
+  "CMakeFiles/qtrade_types.dir/value.cc.o"
+  "CMakeFiles/qtrade_types.dir/value.cc.o.d"
+  "libqtrade_types.a"
+  "libqtrade_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtrade_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtrade_util.dir/logging.cc.o"
+  "CMakeFiles/qtrade_util.dir/logging.cc.o.d"
+  "CMakeFiles/qtrade_util.dir/random.cc.o"
+  "CMakeFiles/qtrade_util.dir/random.cc.o.d"
+  "CMakeFiles/qtrade_util.dir/status.cc.o"
+  "CMakeFiles/qtrade_util.dir/status.cc.o.d"
+  "CMakeFiles/qtrade_util.dir/strings.cc.o"
+  "CMakeFiles/qtrade_util.dir/strings.cc.o.d"
+  "libqtrade_util.a"
+  "libqtrade_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtrade_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtrade_workload.dir/telecom.cc.o"
+  "CMakeFiles/qtrade_workload.dir/telecom.cc.o.d"
+  "CMakeFiles/qtrade_workload.dir/workload.cc.o"
+  "CMakeFiles/qtrade_workload.dir/workload.cc.o.d"
+  "libqtrade_workload.a"
+  "libqtrade_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtrade_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/executor_plan_test.dir/executor_plan_test.cc.o"
+  "CMakeFiles/executor_plan_test.dir/executor_plan_test.cc.o.d"
+  "executor_plan_test"
+  "executor_plan_test.pdb"
+  "executor_plan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/executor_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_optimizer_test.dir/local_optimizer_test.cc.o"
+  "CMakeFiles/local_optimizer_test.dir/local_optimizer_test.cc.o.d"
+  "local_optimizer_test"
+  "local_optimizer_test.pdb"
+  "local_optimizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offer_generator_test.dir/offer_generator_test.cc.o"
+  "CMakeFiles/offer_generator_test.dir/offer_generator_test.cc.o.d"
+  "offer_generator_test"
+  "offer_generator_test.pdb"
+  "offer_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offer_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subcontract_test.dir/subcontract_test.cc.o"
+  "CMakeFiles/subcontract_test.dir/subcontract_test.cc.o.d"
+  "subcontract_test"
+  "subcontract_test.pdb"
+  "subcontract_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subcontract_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

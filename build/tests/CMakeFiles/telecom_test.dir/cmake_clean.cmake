@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telecom_test.dir/telecom_test.cc.o"
+  "CMakeFiles/telecom_test.dir/telecom_test.cc.o.d"
+  "telecom_test"
+  "telecom_test.pdb"
+  "telecom_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telecom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

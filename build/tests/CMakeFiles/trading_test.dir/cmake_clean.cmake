@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trading_test.dir/trading_test.cc.o"
+  "CMakeFiles/trading_test.dir/trading_test.cc.o.d"
+  "trading_test"
+  "trading_test.pdb"
+  "trading_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trading_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_matcher_test.dir/view_matcher_test.cc.o"
+  "CMakeFiles/view_matcher_test.dir/view_matcher_test.cc.o.d"
+  "view_matcher_test"
+  "view_matcher_test.pdb"
+  "view_matcher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_matcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/value_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_lexer_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_analyzer_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/catalog_test[1]_include.cmake")
+include("/root/repo/build/tests/cost_model_test[1]_include.cmake")
+include("/root/repo/build/tests/predicate_test[1]_include.cmake")
+include("/root/repo/build/tests/partition_rewriter_test[1]_include.cmake")
+include("/root/repo/build/tests/view_matcher_test[1]_include.cmake")
+include("/root/repo/build/tests/local_optimizer_test[1]_include.cmake")
+include("/root/repo/build/tests/offer_generator_test[1]_include.cmake")
+include("/root/repo/build/tests/plan_assembler_test[1]_include.cmake")
+include("/root/repo/build/tests/executor_test[1]_include.cmake")
+include("/root/repo/build/tests/executor_plan_test[1]_include.cmake")
+include("/root/repo/build/tests/network_test[1]_include.cmake")
+include("/root/repo/build/tests/federation_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/trading_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/subcontract_test[1]_include.cmake")
+include("/root/repo/build/tests/telecom_test[1]_include.cmake")
+include("/root/repo/build/tests/api_robustness_test[1]_include.cmake")
