@@ -1,0 +1,80 @@
+// EXP-14 — Negotiating over an unreliable network.
+//
+// Table: plan-cost degradation and message savings as the transport
+// drops a growing fraction of offer replies, for a small and a mid-size
+// federation. The buyer's degradation policy (self-supply floor, partial
+// offer pools) keeps optimization alive; lost replies mean fewer offers
+// to choose from, so plans get worse as drop rates rise — the price of
+// the messages that never arrived.
+#include "bench/bench_util.h"
+
+#include "net/faulty_transport.h"
+#include "trading/buyer_engine.h"
+
+using namespace qtrade;
+using namespace qtrade::bench;
+
+int main() {
+  Banner("EXP-14", "fault injection: plan quality vs message loss");
+  std::printf("%7s %7s | %10s %12s %10s %9s %9s\n", "nodes", "drop",
+              "answered", "avg cost", "cost vs 0%", "dropped", "msgs");
+
+  for (int nodes : {8, 32}) {
+    double baseline_cost = 0;  // fault-free average for this size
+    for (double drop : {0.0, 0.1, 0.3}) {
+      WorkloadParams params;
+      params.num_nodes = nodes;
+      params.num_tables = 4;
+      params.partitions_per_table = 3;
+      params.replication = 2;
+      params.with_data = false;
+      params.stats_row_scale = 100;
+      params.rows_per_table = 900;
+      params.seed = 23 + nodes;
+      auto built = BuildFederation(params);
+      if (!built.ok()) continue;
+      Federation* fed = built->federation.get();
+
+      FaultOptions faults;
+      faults.drop_rate = drop;
+      faults.seed = 101;
+      FaultyTransport faulty(fed->transport(), faults);
+
+      int answered = 0;
+      double total_cost = 0;
+      int64_t total_msgs = 0;
+      int64_t dropped = 0;
+      const int kQueries = 6;
+      for (int q = 0; q < kQueries; ++q) {
+        QtOptions options;
+        // Stable label: the same queries draw the same fault decisions
+        // at every drop rate, so rows differ only in the rate itself.
+        options.run_label = "exp14-" + std::to_string(q);
+        BuyerEngine engine(fed->node(built->node_names[0])->catalog.get(),
+                           &fed->factory(), &faulty, built->node_names,
+                           options);
+        auto result =
+            engine.Optimize(ChainQuerySql(q % 3, 2, q % 2 == 0, false));
+        if (result.ok() && result->ok()) {
+          ++answered;
+          total_cost += result->cost;
+          total_msgs += result->metrics.messages;
+          dropped += result->metrics.offers_dropped;
+        }
+      }
+      double avg_cost = answered > 0 ? total_cost / answered : 0;
+      if (drop == 0.0) baseline_cost = avg_cost;
+      std::printf("%7d %6.0f%% | %8d/%d %12.1f %9.2fx %9lld %9lld\n",
+                  nodes, drop * 100, answered, kQueries, avg_cost,
+                  baseline_cost > 0 ? avg_cost / baseline_cost : 0.0,
+                  static_cast<long long>(dropped),
+                  static_cast<long long>(total_msgs));
+    }
+  }
+  std::printf(
+      "\nShape check: average plan cost degrades gracefully as replies "
+      "are lost; queries whose\nlast replica reply is dropped go "
+      "unanswered (the buyer here holds no replicas itself —\nsee "
+      "transport_fault_test for the self-supply floor).\n");
+  return 0;
+}

@@ -6,6 +6,12 @@
 // shape: broadcast messaging grows linearly in nodes, bounded fan-out
 // is capped per round, at the price of escalation retries when the
 // sampled sellers hold nothing relevant.
+//
+// Each configuration runs twice — with the transport dispatching seller
+// offer generation serially and on worker threads — to show that
+// parallel sellers cut real optimizer wall-clock while leaving plan
+// cost, message and byte counts untouched (accounting happens on the
+// dispatching thread either way).
 #include "bench/bench_util.h"
 
 using namespace qtrade;
@@ -13,8 +19,9 @@ using namespace qtrade::bench;
 
 int main() {
   Banner("EXP-3", "message traffic vs number of nodes");
-  std::printf("%7s %9s | %8s %8s %8s %10s %10s\n", "nodes", "fanout",
-              "rfbs", "offers", "msgs", "kbytes", "simtime");
+  std::printf("%7s %9s | %8s %8s %8s %10s %10s | %9s %9s %7s\n", "nodes",
+              "fanout", "rfbs", "offers", "msgs", "kbytes", "simtime",
+              "serial", "parallel", "speedup");
 
   for (int nodes : {4, 8, 16, 32, 64, 128, 256}) {
     WorkloadParams params;
@@ -35,22 +42,38 @@ int main() {
     for (size_t fanout : {size_t{0}, size_t{16}}) {
       QtOptions options;
       options.rfb_fanout = fanout;
-      QtRun run = RunQt(fed, buyer, sql, options);
-      if (!run.ok) {
+      fed->transport()->set_options({/*parallel=*/false, 0});
+      QtRun serial = RunQt(fed, buyer, sql, options);
+      fed->transport()->set_options({/*parallel=*/true, 0});
+      QtRun parallel = RunQt(fed, buyer, sql, options);
+      if (!serial.ok || !parallel.ok) {
         std::printf("%7d %9zu | (no plan)\n", nodes, fanout);
         continue;
       }
-      std::printf("%7d %9s | %8lld %8lld %8lld %10.1f %9.0fms\n", nodes,
-                  fanout == 0 ? "all" : "16",
-                  static_cast<long long>(run.metrics.rfbs_sent),
-                  static_cast<long long>(run.metrics.offers_received),
-                  static_cast<long long>(run.metrics.messages),
-                  run.metrics.bytes / 1024.0, run.metrics.sim_elapsed_ms);
+      const char* check =
+          (serial.cost == parallel.cost &&
+           serial.metrics.messages == parallel.metrics.messages &&
+           serial.metrics.bytes == parallel.metrics.bytes)
+              ? ""
+              : "  MISMATCH";
+      std::printf(
+          "%7d %9s | %8lld %8lld %8lld %10.1f %9.0fms | %7.1fms %7.1fms "
+          "%6.2fx%s\n",
+          nodes, fanout == 0 ? "all" : "16",
+          static_cast<long long>(serial.metrics.rfbs_sent),
+          static_cast<long long>(serial.metrics.offers_received),
+          static_cast<long long>(serial.metrics.messages),
+          serial.metrics.bytes / 1024.0, serial.metrics.sim_elapsed_ms,
+          serial.wall_ms, parallel.wall_ms,
+          parallel.wall_ms > 0 ? serial.wall_ms / parallel.wall_ms : 0.0,
+          check);
     }
   }
   std::printf(
       "\nShape check: broadcast RFB traffic grows with federation size; "
       "bounded fan-out caps per-round\ntraffic but pays escalation retries "
-      "when the sampled sellers hold no relevant data.\n");
+      "when the sampled sellers hold no relevant data.\nParallel seller "
+      "dispatch shrinks wall-clock as nodes grow while costs, messages and "
+      "bytes\nmatch the serial run exactly.\n");
   return 0;
 }

@@ -37,10 +37,10 @@ int main() {
       if (subcontract) fed->EnableSubcontracting();
 
       // Buyer directory = the first `directory` sellers only.
-      std::vector<SellerEngine*> known;
+      std::vector<std::string> known;
       for (size_t i = 0; i < directory && i < built->node_names.size();
            ++i) {
-        known.push_back(fed->node(built->node_names[i])->seller.get());
+        known.push_back(built->node_names[i]);
       }
 
       int answered = 0;
@@ -48,7 +48,7 @@ int main() {
       for (int q = 0; q < 6; ++q) {
         BuyerEngine engine(
             fed->node(built->node_names[0])->catalog.get(),
-            &fed->factory(), fed->network(), known);
+            &fed->factory(), fed->transport(), known);
         auto result =
             engine.Optimize(ChainQuerySql(q % 2, 1, false, q % 3 == 0));
         if (result.ok() && result->ok()) {

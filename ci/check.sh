@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Full local CI: configure, build, run the test suite. With TSAN=1, also
+# build the threaded transport paths under ThreadSanitizer and run the
+# concurrency-sensitive tests (trading, subcontract, transport faults).
+#
+# Usage:
+#   ci/check.sh            # build + ctest
+#   TSAN=1 ci/check.sh     # additionally run the tsan build + tests
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+cmake -B build -S .
+cmake --build build -j "${JOBS}"
+ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+if [[ "${TSAN:-0}" == "1" ]]; then
+  cmake -B build-tsan -S . -DQTRADE_TSAN=ON
+  cmake --build build-tsan -j "${JOBS}" --target \
+    trading_test subcontract_test transport_fault_test
+  for t in trading_test subcontract_test transport_fault_test; do
+    echo "== tsan: ${t}"
+    ./build-tsan/tests/"${t}"
+  done
+fi
+
+echo "ci/check.sh: all checks passed"

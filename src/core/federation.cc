@@ -6,11 +6,13 @@ namespace qtrade {
 
 Federation::Federation(std::shared_ptr<const FederationSchema> schema,
                        const CostParams& cost_params,
-                       const NetworkParams& net_params)
+                       const NetworkParams& net_params,
+                       const InProcessTransportOptions& transport_options)
     : schema_(std::move(schema)),
       cost_model_(cost_params),
       factory_(&cost_model_),
       network_(net_params),
+      transport_(&network_, transport_options),
       global_(schema_) {}
 
 FederationNode* Federation::AddNode(
@@ -24,7 +26,9 @@ FederationNode* Federation::AddNode(
       node.catalog.get(), node.store.get(), &factory_, std::move(strategy),
       generator_options);
   auto [it, inserted] = nodes_.emplace(name, std::move(node));
-  return inserted ? &it->second : nullptr;
+  if (!inserted) return nullptr;
+  transport_.Register(it->second.seller.get());
+  return &it->second;
 }
 
 FederationNode* Federation::node(const std::string& name) {
@@ -102,9 +106,9 @@ Status Federation::LoadPartition(const std::string& node_name,
 }
 
 void Federation::EnableSubcontracting() {
-  std::vector<SellerEngine*> all = Sellers();
+  std::vector<std::string> all = NodeNames();
   for (auto& [name, node] : nodes_) {
-    node.seller->EnableSubcontracting(all, &network_);
+    node.seller->EnableSubcontracting(all, &transport_);
   }
 }
 

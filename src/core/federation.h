@@ -15,6 +15,7 @@
 #include "exec/executor.h"
 #include "exec/storage.h"
 #include "net/network.h"
+#include "net/transport.h"
 #include "plan/plan_factory.h"
 #include "trading/seller_engine.h"
 #include "util/status.h"
@@ -32,7 +33,8 @@ class Federation {
  public:
   Federation(std::shared_ptr<const FederationSchema> schema,
              const CostParams& cost_params = {},
-             const NetworkParams& net_params = {});
+             const NetworkParams& net_params = {},
+             const InProcessTransportOptions& transport_options = {});
 
   /// Adds a node. `strategy` defaults to TruthfulStrategy (cooperative).
   FederationNode* AddNode(const std::string& name,
@@ -51,6 +53,10 @@ class Federation {
   GlobalCatalog* global_catalog() { return &global_; }
   const GlobalCatalog& global_catalog() const { return global_; }
   SimNetwork* network() { return &network_; }
+  /// The federation's default transport; every node's seller engine is
+  /// registered here at AddNode time. Buyers address sellers through it
+  /// by node name.
+  InProcessTransport* transport() { return &transport_; }
   const CostModel& cost_model() const { return cost_model_; }
   const PlanFactory& factory() const { return factory_; }
 
@@ -100,6 +106,7 @@ class Federation {
   CostModel cost_model_;
   PlanFactory factory_;
   SimNetwork network_;
+  InProcessTransport transport_;  // after network_: it wraps it
   GlobalCatalog global_;
   std::map<std::string, FederationNode> nodes_;
 };

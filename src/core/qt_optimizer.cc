@@ -11,8 +11,8 @@ QueryTradingOptimizer::QueryTradingOptimizer(Federation* federation,
   FederationNode* buyer = federation_->node(buyer_node_);
   engine_ = std::make_unique<BuyerEngine>(
       buyer != nullptr ? buyer->catalog.get() : nullptr,
-      &federation_->factory(), federation_->network(),
-      federation_->Sellers(), options_);
+      &federation_->factory(), federation_->transport(),
+      federation_->NodeNames(), options_);
 }
 
 Result<QtResult> QueryTradingOptimizer::Optimize(const std::string& sql) {

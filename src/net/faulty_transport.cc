@@ -1,0 +1,136 @@
+#include "net/faulty_transport.h"
+
+#include <functional>
+
+namespace qtrade {
+
+FaultyTransport::FaultyTransport(Transport* inner, FaultOptions options)
+    : inner_(inner), options_(options) {}
+
+void FaultyTransport::Register(NodeEndpoint* endpoint) {
+  inner_->Register(endpoint);
+}
+
+NodeEndpoint* FaultyTransport::endpoint(const std::string& name) const {
+  return inner_->endpoint(name);
+}
+
+std::vector<std::string> FaultyTransport::NodeNames() const {
+  return inner_->NodeNames();
+}
+
+void FaultyTransport::AdvanceRound(double ms) { inner_->AdvanceRound(ms); }
+
+SimNetwork* FaultyTransport::network() { return inner_->network(); }
+
+FaultStats FaultyTransport::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+Rng FaultyTransport::DecisionRng(const std::string& key) const {
+  uint64_t h = std::hash<std::string>{}(key);
+  return Rng(options_.seed * 0x9E3779B97F4A7C15ULL ^ h);
+}
+
+std::vector<OfferReply> FaultyTransport::BroadcastRfb(
+    const std::string& from, const Rfb& rfb,
+    const std::vector<std::string>& to, const char* rfb_kind,
+    const char* offer_kind) {
+  std::vector<OfferReply> inner_replies =
+      inner_->BroadcastRfb(from, rfb, to, rfb_kind, offer_kind);
+  std::vector<OfferReply> out;
+  out.reserve(inner_replies.size());
+  for (OfferReply& reply : inner_replies) {
+    if (!reply.ok || reply.seller == from) {  // loopback is never faulted
+      out.push_back(std::move(reply));
+      continue;
+    }
+    Rng rng = DecisionRng(rfb.rfb_id + "|" + reply.seller);
+    if (rng.Chance(options_.drop_rate)) {
+      reply.dropped = true;
+      reply.dropped_offers = static_cast<int64_t>(reply.offers.size());
+      reply.offers.clear();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.replies_dropped;
+        stats_.offers_dropped += reply.dropped_offers;
+      }
+      out.push_back(std::move(reply));
+      continue;
+    }
+    if (rng.Chance(options_.delay_rate)) {
+      reply.arrival_ms += options_.delay_ms;
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.replies_delayed;
+    }
+    bool duplicate = rng.Chance(options_.duplicate_rate);
+    out.push_back(std::move(reply));
+    if (duplicate) {
+      OfferReply dup = out.back();
+      dup.duplicated = true;
+      out.push_back(std::move(dup));
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.replies_duplicated;
+    }
+  }
+  return out;
+}
+
+TickReply FaultyTransport::SendAuctionTick(const std::string& from,
+                                           const std::string& to,
+                                           const AuctionTick& tick) {
+  TickReply reply = inner_->SendAuctionTick(from, to, tick);
+  if (!options_.fault_ticks || to == from || !reply.updated.has_value()) {
+    return reply;
+  }
+  Rng rng = DecisionRng("auction|" + tick.rfb_id + "|" + tick.signature +
+                        "|" + to + "|" + std::to_string(tick.best_score));
+  if (rng.Chance(options_.drop_rate)) {
+    reply.updated.reset();
+    reply.dropped = true;
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.ticks_dropped;
+  }
+  return reply;
+}
+
+TickReply FaultyTransport::SendCounterOffer(const std::string& from,
+                                            const std::string& to,
+                                            const CounterOffer& counter) {
+  TickReply reply = inner_->SendCounterOffer(from, to, counter);
+  if (!options_.fault_ticks || to == from || !reply.updated.has_value()) {
+    return reply;
+  }
+  Rng rng = DecisionRng("bargain|" + counter.rfb_id + "|" +
+                        counter.signature + "|" + to + "|" +
+                        std::to_string(counter.target_value));
+  if (rng.Chance(options_.drop_rate)) {
+    reply.updated.reset();
+    reply.dropped = true;
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.ticks_dropped;
+  }
+  return reply;
+}
+
+double FaultyTransport::SendAwards(const std::string& from,
+                                   const std::string& to,
+                                   const AwardBatch& batch) {
+  if (options_.fault_ticks && to != from) {
+    std::string key = "award|" + to;
+    for (const auto& award : batch.awards) key += "|" + award.offer_id;
+    Rng rng = DecisionRng(key);
+    if (rng.Chance(options_.drop_rate)) {
+      // The message is sent (and accounted) but never delivered.
+      double t = inner_->network()->Send(from, to, batch.WireBytes(),
+                                         "award");
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.awards_dropped;
+      return t;
+    }
+  }
+  return inner_->SendAwards(from, to, batch);
+}
+
+}  // namespace qtrade

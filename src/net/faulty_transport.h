@@ -1,0 +1,87 @@
+// Fault-injecting Transport decorator: wraps any inner transport and
+// loses, delays or duplicates negotiation messages with seeded,
+// deterministic decisions. Used to test and benchmark the buyer's
+// degradation policy (partial offer pools, per-round deadlines) without
+// touching the engines.
+//
+// Determinism: every per-reply decision is drawn from an Rng seeded by
+// hash(seed, rfb_id, seller), never from a shared sequential stream, so
+// outcomes are identical across runs regardless of how the inner
+// transport schedules its worker threads.
+//
+// Loopback traffic (from == to) is never faulted: a node's messages to
+// itself do not cross the network, so self-supplied offers survive even
+// a 100% drop rate — the degradation floor the tests pin down.
+#ifndef QTRADE_NET_FAULTY_TRANSPORT_H_
+#define QTRADE_NET_FAULTY_TRANSPORT_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/transport.h"
+#include "util/random.h"
+
+namespace qtrade {
+
+struct FaultOptions {
+  double drop_rate = 0;       // P(offer reply lost in transit)
+  double delay_rate = 0;      // P(offer reply delayed)
+  double delay_ms = 250;      // simulated extra latency when delayed
+  double duplicate_rate = 0;  // P(offer reply delivered twice)
+  /// Apply drop_rate to auction ticks, bargain counter-offers and award
+  /// messages too (modelled as reply loss: the seller still computes,
+  /// the buyer never hears back).
+  bool fault_ticks = true;
+  uint64_t seed = 1;
+};
+
+struct FaultStats {
+  int64_t replies_dropped = 0;
+  int64_t offers_dropped = 0;    // offers inside lost replies
+  int64_t replies_delayed = 0;
+  int64_t replies_duplicated = 0;
+  int64_t ticks_dropped = 0;     // auction/bargain replies lost
+  int64_t awards_dropped = 0;
+};
+
+class FaultyTransport : public Transport {
+ public:
+  FaultyTransport(Transport* inner, FaultOptions options);
+
+  void Register(NodeEndpoint* endpoint) override;
+  NodeEndpoint* endpoint(const std::string& name) const override;
+  std::vector<std::string> NodeNames() const override;
+
+  std::vector<OfferReply> BroadcastRfb(const std::string& from,
+                                       const Rfb& rfb,
+                                       const std::vector<std::string>& to,
+                                       const char* rfb_kind = "rfb",
+                                       const char* offer_kind =
+                                           "offer") override;
+  TickReply SendAuctionTick(const std::string& from, const std::string& to,
+                            const AuctionTick& tick) override;
+  TickReply SendCounterOffer(const std::string& from, const std::string& to,
+                             const CounterOffer& counter) override;
+  double SendAwards(const std::string& from, const std::string& to,
+                    const AwardBatch& batch) override;
+  void AdvanceRound(double ms) override;
+  SimNetwork* network() override;
+
+  FaultStats stats() const;
+  const FaultOptions& options() const { return options_; }
+
+ private:
+  /// Fresh decision stream for one message, derived from the fault seed
+  /// and the message identity (thread-safe, order-independent).
+  Rng DecisionRng(const std::string& key) const;
+
+  Transport* inner_;
+  FaultOptions options_;
+  mutable std::mutex mu_;  // guards stats_ (broadcasts may be nested)
+  FaultStats stats_;
+};
+
+}  // namespace qtrade
+
+#endif  // QTRADE_NET_FAULTY_TRANSPORT_H_

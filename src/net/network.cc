@@ -10,8 +10,11 @@ double SimNetwork::Send(const std::string& from, const std::string& to,
   (void)to;
   int64_t wire_bytes =
       payload_bytes + static_cast<int64_t>(params_.msg_overhead_bytes);
-  total_.Add(wire_bytes);
-  by_kind_[kind].Add(wire_bytes);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    total_.Add(wire_bytes);
+    by_kind_[kind].Add(wire_bytes);
+  }
   return DeliveryTimeMs(payload_bytes);
 }
 
@@ -21,10 +24,12 @@ double SimNetwork::DeliveryTimeMs(int64_t payload_bytes) const {
 }
 
 void SimNetwork::AdvanceClock(double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (ms > 0) now_ms_ += ms;
 }
 
 void SimNetwork::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
   total_ = MessageStats{};
   by_kind_.clear();
   now_ms_ = 0;

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,10 @@ struct MessageStats {
   }
 };
 
+/// Send/AdvanceClock/ResetStats are internally synchronized: transport
+/// worker threads (nested subcontract fan-outs) may account messages
+/// concurrently. The stats accessors return references and are meant for
+/// quiescent reads between negotiation rounds.
 class SimNetwork {
  public:
   SimNetwork() = default;
@@ -61,6 +66,7 @@ class SimNetwork {
 
  private:
   NetworkParams params_;
+  mutable std::mutex mu_;
   double now_ms_ = 0;
   MessageStats total_;
   std::map<std::string, MessageStats> by_kind_;

@@ -1,0 +1,176 @@
+#include "net/transport.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "util/logging.h"
+
+namespace qtrade {
+
+namespace {
+
+double WallMs(std::chrono::steady_clock::time_point start) {
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+}  // namespace
+
+InProcessTransport::InProcessTransport(SimNetwork* network,
+                                       InProcessTransportOptions options)
+    : network_(network), options_(options) {}
+
+void InProcessTransport::Register(NodeEndpoint* endpoint) {
+  if (endpoint == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  endpoints_[endpoint->name()] = endpoint;
+}
+
+NodeEndpoint* InProcessTransport::endpoint(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = endpoints_.find(name);
+  return it == endpoints_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> InProcessTransport::NodeNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(endpoints_.size());
+  for (const auto& [name, ep] : endpoints_) names.push_back(name);
+  return names;
+}
+
+std::vector<OfferReply> InProcessTransport::BroadcastRfb(
+    const std::string& from, const Rfb& rfb,
+    const std::vector<std::string>& to, const char* rfb_kind,
+    const char* offer_kind) {
+  struct Task {
+    NodeEndpoint* ep = nullptr;
+    double out_ms = 0;
+    double compute_ms = 0;
+    Status status = Status::OK();
+    std::vector<Offer> offers;
+  };
+  const size_t n = to.size();
+  std::vector<Task> tasks(n);
+
+  // RFB deliveries are accounted on the dispatching thread, so counters
+  // are identical whether the handlers below run serially or in parallel.
+  for (size_t i = 0; i < n; ++i) {
+    tasks[i].ep = endpoint(to[i]);
+    tasks[i].out_ms = network_->Send(from, to[i], rfb.WireBytes(), rfb_kind);
+    if (tasks[i].ep == nullptr) {
+      tasks[i].status = Status::NotFound("no endpoint registered: " + to[i]);
+    }
+  }
+
+  // Seller-side offer generation: the round's critical path is the
+  // slowest seller, not the sum, so fan the handlers out on threads.
+  auto run = [&](size_t i) {
+    Task& task = tasks[i];
+    if (task.ep == nullptr) return;
+    auto start = std::chrono::steady_clock::now();
+    auto offers = task.ep->HandleRfb(rfb);
+    task.compute_ms = WallMs(start);
+    if (offers.ok()) {
+      task.offers = std::move(*offers);
+    } else {
+      task.status = offers.status();
+    }
+  };
+  size_t workers =
+      options_.parallel
+          ? (options_.max_threads != 0 ? options_.max_threads
+                                       : std::thread::hardware_concurrency())
+          : 1;
+  workers = std::min(std::max<size_t>(workers, 1), n);
+  if (workers <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) run(i);
+  } else {
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+          run(i);
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+  }
+
+  // Reply accounting, again on the dispatching thread. A failed handler
+  // is a seller that never answered: no reply message.
+  std::vector<OfferReply> replies(n);
+  for (size_t i = 0; i < n; ++i) {
+    Task& task = tasks[i];
+    OfferReply& reply = replies[i];
+    reply.seller = to[i];
+    if (!task.status.ok()) {
+      QTRADE_LOG(kWarning) << "seller " << to[i]
+                           << " failed on RFB: " << task.status.ToString();
+      reply.ok = false;
+      reply.arrival_ms = task.out_ms + task.compute_ms;
+      continue;
+    }
+    double back_ms =
+        network_->Send(to[i], from, OfferBatchWireBytes(task.offers),
+                       offer_kind);
+    reply.offers = std::move(task.offers);
+    reply.arrival_ms = task.out_ms + task.compute_ms + back_ms;
+  }
+  return replies;
+}
+
+TickReply InProcessTransport::SendAuctionTick(const std::string& from,
+                                              const std::string& to,
+                                              const AuctionTick& tick) {
+  NodeEndpoint* ep = endpoint(to);
+  if (ep == nullptr) return {std::nullopt, 0, true};
+  TickReply reply;
+  double out_ms = network_->Send(from, to, tick.WireBytes(), "auction");
+  auto start = std::chrono::steady_clock::now();
+  reply.updated = ep->HandleAuctionTick(tick);
+  double compute_ms = WallMs(start);
+  double back_ms = 0;
+  if (reply.updated.has_value()) {
+    back_ms = network_->Send(to, from, OfferWireBytes(*reply.updated),
+                             "offer");
+  }
+  reply.elapsed_ms = out_ms + compute_ms + back_ms;
+  return reply;
+}
+
+TickReply InProcessTransport::SendCounterOffer(const std::string& from,
+                                               const std::string& to,
+                                               const CounterOffer& counter) {
+  NodeEndpoint* ep = endpoint(to);
+  if (ep == nullptr) return {std::nullopt, 0, true};
+  TickReply reply;
+  double out_ms = network_->Send(from, to, counter.WireBytes(), "bargain");
+  auto start = std::chrono::steady_clock::now();
+  reply.updated = ep->HandleCounterOffer(counter);
+  double compute_ms = WallMs(start);
+  // Accept or hold, the seller always answers a counter-offer.
+  double back_ms = network_->Send(to, from, 64, "bargain");
+  reply.elapsed_ms = out_ms + compute_ms + back_ms;
+  return reply;
+}
+
+double InProcessTransport::SendAwards(const std::string& from,
+                                      const std::string& to,
+                                      const AwardBatch& batch) {
+  NodeEndpoint* ep = endpoint(to);
+  if (ep == nullptr) return 0;
+  double out_ms = network_->Send(from, to, batch.WireBytes(), "award");
+  ep->HandleAwards(batch);
+  return out_ms;
+}
+
+void InProcessTransport::AdvanceRound(double ms) {
+  network_->AdvanceClock(ms);
+}
+
+}  // namespace qtrade

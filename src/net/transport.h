@@ -1,0 +1,182 @@
+// The negotiation transport: how buyer- and seller-side engines exchange
+// the typed envelopes of wire.h without ever holding pointers to each
+// other. A node registers a NodeEndpoint under its name; peers address it
+// by name only, so the same engine code runs over an in-process
+// federation today and a socket transport later.
+//
+// Layering (see DESIGN.md, "Federation architecture"):
+//
+//   BuyerEngine / SellerEngine          negotiation logic
+//           │  typed envelopes, node names
+//           ▼
+//   Transport (InProcessTransport, FaultyTransport, ...)
+//           │  per-message accounting, delivery times, faults
+//           ▼
+//   SimNetwork                          byte counters + virtual clock
+//
+// All message/byte accounting and the virtual-clock arithmetic live in
+// the transport; engines only see replies stamped with simulated arrival
+// times and close each negotiation round with AdvanceRound() once their
+// deadline policy has decided how long the round really lasted.
+#ifndef QTRADE_NET_TRANSPORT_H_
+#define QTRADE_NET_TRANSPORT_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+#include "net/wire.h"
+#include "types/row.h"
+#include "util/status.h"
+
+namespace qtrade {
+
+/// Handler interface a federation node registers with a Transport to
+/// receive negotiation traffic. Implementations (SellerEngine) must be
+/// safe to call from transport worker threads: one endpoint can be
+/// handling the buyer's RFB and a peer's subcontract RFB concurrently.
+class NodeEndpoint {
+ public:
+  virtual ~NodeEndpoint() = default;
+
+  virtual const std::string& name() const = 0;
+
+  /// Fig. 2 steps S1–S2: answer a request-for-bids with priced offers.
+  virtual Result<std::vector<Offer>> HandleRfb(const Rfb& rfb) = 0;
+
+  /// Auction round (step S3): optionally undercut the current best.
+  virtual std::optional<Offer> HandleAuctionTick(const AuctionTick& tick) = 0;
+
+  /// Bargaining: accept the buyer's counter-offer or hold.
+  virtual std::optional<Offer> HandleCounterOffer(
+      const CounterOffer& counter) = 0;
+
+  /// Award/decline feedback (strategy learning).
+  virtual void HandleAwards(const AwardBatch& batch) = 0;
+
+  /// Delivery of a previously sold answer (subcontract re-shipping).
+  virtual Result<RowSet> HandleExecuteOffer(const std::string& offer_id) = 0;
+};
+
+/// One seller's reply to an RFB fan-out.
+struct OfferReply {
+  std::string seller;
+  std::vector<Offer> offers;
+  /// False when the seller's handler failed (it declined with an error);
+  /// the RFB was still delivered and accounted.
+  bool ok = true;
+  /// True when fault injection lost the reply in transit: `offers` is
+  /// empty and `dropped_offers` counts what was lost.
+  bool dropped = false;
+  int64_t dropped_offers = 0;
+  /// True for an at-least-once duplicate delivery of an earlier reply.
+  bool duplicated = false;
+  /// Simulated time, relative to the round start, at which this reply
+  /// lands at the buyer: RFB delivery + seller compute + reply delivery.
+  double arrival_ms = 0;
+};
+
+/// Reply to a unicast negotiation message (auction tick, counter-offer).
+struct TickReply {
+  std::optional<Offer> updated;
+  double elapsed_ms = 0;  // round-trip including seller compute
+  bool dropped = false;   // lost by fault injection; `updated` is empty
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Registers (or replaces) the endpoint reachable under its name().
+  virtual void Register(NodeEndpoint* endpoint) = 0;
+  virtual NodeEndpoint* endpoint(const std::string& name) const = 0;
+  virtual std::vector<std::string> NodeNames() const = 0;
+
+  /// One RFB fan-out: delivers `rfb` to every named target, runs the
+  /// seller handlers (possibly in parallel), accounts all RFB and reply
+  /// messages under `rfb_kind`/`offer_kind`, and returns one reply per
+  /// target stamped with its simulated arrival time. Does NOT advance
+  /// the virtual clock: the caller applies its deadline policy to the
+  /// arrival times and closes the round with AdvanceRound().
+  virtual std::vector<OfferReply> BroadcastRfb(
+      const std::string& from, const Rfb& rfb,
+      const std::vector<std::string>& to, const char* rfb_kind = "rfb",
+      const char* offer_kind = "offer") = 0;
+
+  virtual TickReply SendAuctionTick(const std::string& from,
+                                    const std::string& to,
+                                    const AuctionTick& tick) = 0;
+
+  virtual TickReply SendCounterOffer(const std::string& from,
+                                     const std::string& to,
+                                     const CounterOffer& counter) = 0;
+
+  /// Sends award/decline feedback; returns the one-way delivery time
+  /// (0 when the message was lost).
+  virtual double SendAwards(const std::string& from, const std::string& to,
+                            const AwardBatch& batch) = 0;
+
+  /// Closes a negotiation round: advances the virtual clock by the
+  /// round's critical path as decided by the caller's deadline policy.
+  virtual void AdvanceRound(double ms) = 0;
+
+  /// The underlying accounting network (message/byte totals, clock).
+  virtual SimNetwork* network() = 0;
+};
+
+struct InProcessTransportOptions {
+  /// Dispatch the seller handlers of one RFB fan-out on worker threads,
+  /// so a round's wall-clock cost is the slowest seller, not the sum.
+  bool parallel = true;
+  /// Worker-thread cap per fan-out; 0 = std::thread::hardware_concurrency.
+  size_t max_threads = 0;
+};
+
+/// Transport over direct in-process handler calls: the federation's
+/// default. Offer generation for one RFB round runs on a per-round
+/// std::thread pool (unless `parallel` is off); all SimNetwork accounting
+/// happens on the dispatching thread, so message/byte totals are
+/// identical in serial and parallel mode.
+class InProcessTransport : public Transport {
+ public:
+  explicit InProcessTransport(SimNetwork* network,
+                              InProcessTransportOptions options = {});
+
+  void set_options(const InProcessTransportOptions& options) {
+    options_ = options;
+  }
+  const InProcessTransportOptions& options() const { return options_; }
+
+  void Register(NodeEndpoint* endpoint) override;
+  NodeEndpoint* endpoint(const std::string& name) const override;
+  std::vector<std::string> NodeNames() const override;
+
+  std::vector<OfferReply> BroadcastRfb(const std::string& from,
+                                       const Rfb& rfb,
+                                       const std::vector<std::string>& to,
+                                       const char* rfb_kind = "rfb",
+                                       const char* offer_kind =
+                                           "offer") override;
+  TickReply SendAuctionTick(const std::string& from, const std::string& to,
+                            const AuctionTick& tick) override;
+  TickReply SendCounterOffer(const std::string& from, const std::string& to,
+                             const CounterOffer& counter) override;
+  double SendAwards(const std::string& from, const std::string& to,
+                    const AwardBatch& batch) override;
+  void AdvanceRound(double ms) override;
+  SimNetwork* network() override { return network_; }
+
+ private:
+  SimNetwork* network_;
+  InProcessTransportOptions options_;
+  mutable std::mutex mu_;  // guards endpoints_ (registration vs lookup)
+  std::map<std::string, NodeEndpoint*> endpoints_;
+};
+
+}  // namespace qtrade
+
+#endif  // QTRADE_NET_TRANSPORT_H_

@@ -1,0 +1,27 @@
+#include "net/wire.h"
+
+#include "sql/ast.h"
+
+namespace qtrade {
+
+int64_t OfferWireBytes(const Offer& offer) {
+  // 128 covers the framing plus the fixed-width §3.1 property vector and
+  // row_bytes/kind fields; everything variable-length is added per field.
+  int64_t bytes = 128;
+  bytes += static_cast<int64_t>(offer.offer_id.size() +
+                                offer.seller.size() + offer.rfb_id.size());
+  bytes += static_cast<int64_t>(sql::ToSql(offer.query).size());
+  for (const auto& cov : offer.coverage) {
+    bytes += 16 + static_cast<int64_t>(cov.alias.size() + cov.table.size()) +
+             24 * static_cast<int64_t>(cov.partitions.size());
+  }
+  return bytes;
+}
+
+int64_t OfferBatchWireBytes(const std::vector<Offer>& offers) {
+  int64_t bytes = 32;  // decline / batch envelope
+  for (const auto& offer : offers) bytes += OfferWireBytes(offer);
+  return bytes;
+}
+
+}  // namespace qtrade

@@ -1,0 +1,111 @@
+// Typed wire envelopes of the trading negotiation, owned by the network
+// layer so any Transport implementation (in-process, faulty, sockets
+// later) can carry them. Queries travel as SQL text (the commodity
+// description); offers carry the §3.1 property vector.
+//
+// Every envelope has a WireBytes() estimate used by the simulated
+// network's byte accounting; the estimates track what a real
+// serialization of the struct would ship (all string fields plus a fixed
+// framing overhead), so message sizes respond to content.
+#ifndef QTRADE_NET_WIRE_H_
+#define QTRADE_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "opt/offer.h"
+
+namespace qtrade {
+
+/// Request for bids (paper Fig. 2, step B2).
+struct Rfb {
+  std::string rfb_id;
+  std::string buyer;
+  std::string sql;           // the traded query
+  double reserve_value = -1; // buyer's strategic value estimate; <0 unknown
+  /// May the receiving seller subcontract missing fragments from its own
+  /// peers (§3.5)? Subcontract RFBs clear this, bounding the depth at 1.
+  bool allow_subcontract = true;
+
+  /// Approximate wire size: all serialized fields (rfb_id, buyer node
+  /// name, SQL text, reserve value, subcontract flag) plus framing.
+  int64_t WireBytes() const {
+    return static_cast<int64_t>(rfb_id.size() + buyer.size() + sql.size()) +
+           8 /* reserve_value */ + 1 /* allow_subcontract */ +
+           64 /* framing */;
+  }
+};
+
+/// Approximate wire size of one offer inside an offer-batch reply:
+/// identity strings, the offered SQL, the coverage list and the fixed
+/// §3.1 property vector.
+int64_t OfferWireBytes(const Offer& offer);
+
+/// Wire size of a whole offer-batch reply (the decline envelope plus
+/// each offer); the symmetric counterpart of Rfb::WireBytes().
+int64_t OfferBatchWireBytes(const std::vector<Offer>& offers);
+
+/// Award notification (winning offers; Fig. 2 step B3/S3).
+struct Award {
+  std::string rfb_id;
+  std::string offer_id;
+};
+
+/// One award message: the buyer's winning-offer list for a seller plus
+/// the losing offer ids (strategy feedback).
+struct AwardBatch {
+  std::vector<Award> awards;
+  std::vector<std::string> lost_offer_ids;
+
+  int64_t WireBytes() const {
+    return 64 + 48 * static_cast<int64_t>(awards.size());
+  }
+};
+
+/// Auction-round announcement: current best score among the offers of
+/// one traded query that span the same alias set (only those are
+/// price-comparable).
+struct AuctionTick {
+  std::string rfb_id;
+  std::string signature;  // Offer::CoverageSignature() of the group
+  double best_score = 0;  // score of the currently winning offer
+
+  int64_t WireBytes() const { return 64; }
+};
+
+/// Bargaining counter-offer: the buyer pushes the best bidder of one
+/// (rfb, signature) group toward `target_value`.
+struct CounterOffer {
+  std::string rfb_id;
+  std::string signature;
+  double target_value = 0;
+
+  int64_t WireBytes() const { return 96; }
+};
+
+/// Accounting for one optimization run.
+struct TradeMetrics {
+  int iterations = 0;
+  int64_t rfbs_sent = 0;
+  int64_t offers_received = 0;
+  int64_t awards_sent = 0;
+  int64_t messages = 0;
+  int64_t bytes = 0;
+  double sim_elapsed_ms = 0;   // virtual negotiation time
+  double wall_opt_ms = 0;      // real optimizer CPU time
+  int auction_rounds = 0;
+  int bargain_rounds = 0;
+  /// Degradation accounting (FaultyTransport / offer_timeout_ms): offers
+  /// lost in transit, offers discarded because they arrived after the
+  /// buyer's per-round deadline, duplicate deliveries discarded, and the
+  /// number of RFB rounds the deadline actually cut short.
+  int64_t offers_dropped = 0;
+  int64_t offers_late = 0;
+  int64_t offers_duplicated = 0;
+  int rounds_timed_out = 0;
+};
+
+}  // namespace qtrade
+
+#endif  // QTRADE_NET_WIRE_H_

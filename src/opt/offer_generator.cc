@@ -61,8 +61,10 @@ OfferGenerator::OfferGenerator(const NodeCatalog* catalog,
                                OfferGeneratorOptions options)
     : catalog_(catalog), factory_(factory), options_(options) {}
 
-std::string OfferGenerator::NextOfferId() {
-  return catalog_->node_name() + ":" + std::to_string(next_offer_id_++);
+std::string OfferGenerator::OfferId(const std::string& rfb_id,
+                                    int64_t seq) {
+  total_generated_.fetch_add(1, std::memory_order_relaxed);
+  return catalog_->node_name() + ":" + rfb_id + "#" + std::to_string(seq);
 }
 
 QueryProperties OfferGenerator::MakeProps(double exec_cost_ms, double rows,
@@ -84,6 +86,10 @@ QueryProperties OfferGenerator::MakeProps(double exec_cost_ms, double rows,
 Result<std::vector<GeneratedOffer>> OfferGenerator::Generate(
     const sql::BoundQuery& query, const std::string& rfb_id) {
   std::vector<GeneratedOffer> offers;
+  // Offer ids embed the rfb id plus an enumeration index, so they are
+  // deterministic and unique even when one generator serves several RFBs
+  // concurrently (transport worker threads).
+  int64_t seq = 0;
 
   QTRADE_ASSIGN_OR_RETURN(std::optional<LocalRewrite> rewrite,
                           RewriteForLocalPartitions(query, *catalog_));
@@ -174,7 +180,7 @@ Result<std::vector<GeneratedOffer>> OfferGenerator::Generate(
       }
 
       Offer offer;
-      offer.offer_id = NextOfferId();
+      offer.offer_id = OfferId(rfb_id, seq++);
       offer.seller = catalog_->node_name();
       offer.rfb_id = rfb_id;
       offer.kind = OfferKind::kCoreRows;
@@ -239,7 +245,7 @@ Result<std::vector<GeneratedOffer>> OfferGenerator::Generate(
             [](const AliasCoverage& c) { return c.complete; });
 
         Offer offer;
-        offer.offer_id = NextOfferId();
+        offer.offer_id = OfferId(rfb_id, seq++);
         offer.seller = catalog_->node_name();
         offer.rfb_id = rfb_id;
         for (const auto& cov : lr.coverage) {
@@ -375,7 +381,7 @@ Result<std::vector<GeneratedOffer>> OfferGenerator::Generate(
       if (!complete) continue;
 
       Offer offer;
-      offer.offer_id = NextOfferId();
+      offer.offer_id = OfferId(rfb_id, seq++);
       offer.seller = catalog_->node_name();
       offer.rfb_id = rfb_id;
       offer.kind = OfferKind::kFinalAnswer;

@@ -13,6 +13,7 @@
 #ifndef QTRADE_OPT_OFFER_GENERATOR_H_
 #define QTRADE_OPT_OFFER_GENERATOR_H_
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -79,10 +80,15 @@ class OfferGenerator {
                                                const std::string& rfb_id);
 
   /// Total offers generated so far (for experiment accounting).
-  int64_t offers_generated() const { return next_offer_id_; }
+  int64_t offers_generated() const {
+    return total_generated_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::string NextOfferId();
+  /// Transport-safe offer id: "<node>:<rfb_id>#<seq>". Deterministic per
+  /// (node, rfb) regardless of how many RFBs the generator is answering
+  /// concurrently on transport worker threads.
+  std::string OfferId(const std::string& rfb_id, int64_t seq);
 
   /// Prices shipping `rows` rows of `row_bytes` over the network and
   /// fills the full §3.1 property vector.
@@ -92,7 +98,7 @@ class OfferGenerator {
   const NodeCatalog* catalog_;
   const PlanFactory* factory_;
   OfferGeneratorOptions options_;
-  int64_t next_offer_id_ = 0;
+  std::atomic<int64_t> total_generated_{0};
 };
 
 }  // namespace qtrade

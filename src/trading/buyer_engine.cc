@@ -1,6 +1,7 @@
 #include "trading/buyer_engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 
 #include "util/logging.h"
@@ -14,6 +15,9 @@ double WallMs(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(end - start).count();
 }
 
+/// One tag per BuyerEngine ever constructed in this process.
+std::atomic<int64_t> g_engine_counter{0};
+
 }  // namespace
 
 const char* NegotiationProtocolName(NegotiationProtocol protocol) {
@@ -25,34 +29,26 @@ const char* NegotiationProtocolName(NegotiationProtocol protocol) {
   return "?";
 }
 
-int64_t OfferWireBytes(const Offer& offer) {
-  int64_t bytes = 128;  // envelope + property vector
-  bytes += static_cast<int64_t>(sql::ToSql(offer.query).size());
-  for (const auto& cov : offer.coverage) {
-    bytes += 16 + 24 * static_cast<int64_t>(cov.partitions.size());
-  }
-  return bytes;
-}
-
 BuyerEngine::BuyerEngine(NodeCatalog* catalog, const PlanFactory* factory,
-                         SimNetwork* network,
-                         std::vector<SellerEngine*> sellers,
+                         Transport* transport,
+                         std::vector<std::string> sellers,
                          QtOptions options,
                          std::unique_ptr<BuyerStrategy> strategy)
     : catalog_(catalog),
       factory_(factory),
-      network_(network),
+      transport_(transport),
       sellers_(std::move(sellers)),
       options_(options),
-      strategy_(std::move(strategy)) {
+      strategy_(std::move(strategy)),
+      engine_tag_(g_engine_counter.fetch_add(1, std::memory_order_relaxed)) {
   if (!strategy_) strategy_ = std::make_unique<DefaultBuyerStrategy>();
 }
 
-std::vector<SellerEngine*> BuyerEngine::PickSellers(Rng* rng) const {
+std::vector<std::string> BuyerEngine::PickSellers(Rng* rng) const {
   if (options_.rfb_fanout == 0 || options_.rfb_fanout >= sellers_.size()) {
     return sellers_;
   }
-  std::vector<SellerEngine*> picked;
+  std::vector<std::string> picked;
   for (size_t idx : rng->Sample(sellers_.size(), options_.rfb_fanout)) {
     picked.push_back(sellers_[idx]);
   }
@@ -85,35 +81,46 @@ Status BuyerEngine::TradeQuery(const TradedQuery& traded, Rng* rng,
       strategy_->Reserve(traded.rfb_id, traded.estimated_value);
   ask_box_by_rfb_[traded.rfb_id] = traded.ask_box;
 
-  std::vector<SellerEngine*> contacted = PickSellers(rng);
+  std::vector<std::string> contacted = PickSellers(rng);
+  std::vector<OfferReply> replies =
+      transport_->BroadcastRfb(rfb.buyer, rfb, contacted);
+  metrics->rfbs_sent += static_cast<int64_t>(contacted.size());
+
+  // Deadline policy: the round lasts until the slowest accepted reply —
+  // or until the deadline, with later offers discarded as late.
+  const double deadline = options_.offer_timeout_ms;
   double round_time = 0;
-  for (SellerEngine* seller : contacted) {
-    double out_time = network_->Send(rfb.buyer, seller->name(),
-                                     rfb.WireBytes(), "rfb");
-    ++metrics->rfbs_sent;
-    auto start = std::chrono::steady_clock::now();
-    auto offers = seller->OnRfb(rfb);
-    double compute = WallMs(start);
-    metrics->wall_opt_ms += compute;
-    if (!offers.ok()) {
-      QTRADE_LOG(kWarning) << "seller " << seller->name()
-                           << " failed on RFB: "
-                           << offers.status().ToString();
+  bool timed_out = false;
+  for (auto& reply : replies) {
+    if (!reply.ok) continue;  // seller never answered (transport logged it)
+    if (reply.dropped) {
+      metrics->offers_dropped += reply.dropped_offers;
+      continue;  // lost in transit: contributes nothing to the round
+    }
+    if (reply.duplicated) {
+      // At-least-once redelivery of a reply we already consumed.
+      metrics->offers_duplicated +=
+          static_cast<int64_t>(reply.offers.size());
       continue;
     }
-    int64_t reply_bytes = 32;  // decline / envelope
-    for (auto& offer : *offers) {
-      reply_bytes += OfferWireBytes(offer);
+    if (deadline > 0 && reply.arrival_ms > deadline) {
+      metrics->offers_late += static_cast<int64_t>(reply.offers.size());
+      timed_out = true;
+      continue;
+    }
+    round_time = std::max(round_time, reply.arrival_ms);
+    for (auto& offer : reply.offers) {
       ClipOffer(&offer, traded.ask_box);
       pool->push_back(std::move(offer));
       ++metrics->offers_received;
     }
-    double back_time =
-        network_->Send(seller->name(), rfb.buyer, reply_bytes, "offer");
-    // Sellers work in parallel: the round lasts as long as the slowest.
-    round_time = std::max(round_time, out_time + compute + back_time);
   }
-  network_->AdvanceClock(round_time);
+  if (timed_out) {
+    // The buyer waited the full deadline before giving up on stragglers.
+    round_time = deadline;
+    ++metrics->rounds_timed_out;
+  }
+  transport_->AdvanceRound(round_time);
   return Status::OK();
 }
 
@@ -141,13 +148,6 @@ void BuyerEngine::RunNestedNegotiation(std::vector<Offer>* pool,
     groups.insert({offer.rfb_id, offer.CoverageSignature()});
   }
 
-  auto seller_by_name = [&](const std::string& name) -> SellerEngine* {
-    for (SellerEngine* s : sellers_) {
-      if (s->name() == name) return s;
-    }
-    return nullptr;
-  };
-
   auto apply_update = [&](const Offer& updated) {
     for (auto& offer : *pool) {
       if (offer.offer_id == updated.offer_id) {
@@ -156,6 +156,8 @@ void BuyerEngine::RunNestedNegotiation(std::vector<Offer>* pool,
       }
     }
   };
+
+  const std::string& buyer = catalog_->node_name();
 
   if (options_.protocol == NegotiationProtocol::kAuction) {
     for (int round = 0; round < options_.max_auction_rounds; ++round) {
@@ -172,26 +174,15 @@ void BuyerEngine::RunNestedNegotiation(std::vector<Offer>* pool,
           }
         }
         for (const auto& name : bidders) {
-          SellerEngine* seller = seller_by_name(name);
-          if (seller == nullptr) continue;
-          double out_time =
-              network_->Send(catalog_->node_name(), name, 64, "auction");
-          auto start = std::chrono::steady_clock::now();
-          auto updated = seller->OnAuctionTick(tick);
-          double compute = WallMs(start);
-          metrics->wall_opt_ms += compute;
-          double back_time = 0;
-          if (updated.has_value()) {
-            back_time = network_->Send(name, catalog_->node_name(),
-                                       OfferWireBytes(*updated), "offer");
-            apply_update(*updated);
+          TickReply reply = transport_->SendAuctionTick(buyer, name, tick);
+          if (reply.updated.has_value()) {
+            apply_update(*reply.updated);
             improved = true;
           }
-          round_time =
-              std::max(round_time, out_time + compute + back_time);
+          round_time = std::max(round_time, reply.elapsed_ms);
         }
       }
-      network_->AdvanceClock(round_time);
+      transport_->AdvanceRound(round_time);
       ++metrics->auction_rounds;
       if (!improved) break;
     }
@@ -220,29 +211,22 @@ void BuyerEngine::RunNestedNegotiation(std::vector<Offer>* pool,
       double quote = best->props.total_time_ms;
       double counter = strategy_->CounterOffer(quote, round);
       if (counter >= quote) continue;  // buyer accepts as-is
-      SellerEngine* seller = seller_by_name(best->seller);
-      if (seller == nullptr) continue;
-      double out_time = network_->Send(catalog_->node_name(), best->seller,
-                                       96, "bargain");
-      auto start = std::chrono::steady_clock::now();
-      auto updated =
-          seller->OnCounterOffer(group.first, group.second, counter);
-      double compute = WallMs(start);
-      metrics->wall_opt_ms += compute;
-      double back_time = network_->Send(best->seller, catalog_->node_name(),
-                                        64, "bargain");
-      if (updated.has_value()) {
-        apply_update(*updated);
+      CounterOffer msg{group.first, group.second, counter};
+      TickReply reply =
+          transport_->SendCounterOffer(buyer, best->seller, msg);
+      if (reply.updated.has_value()) {
+        apply_update(*reply.updated);
         movement = true;
       }
       if (getenv("QT_DEBUG_POOL")) {
-        fprintf(stderr, "BARGAIN rfb=%s sig=%.40s quote=%.2f counter=%.2f -> %s\n",
+        fprintf(stderr,
+                "BARGAIN rfb=%s sig=%.40s quote=%.2f counter=%.2f -> %s\n",
                 group.first.c_str(), group.second.c_str(), quote, counter,
-                updated.has_value() ? "accepted" : "held");
+                reply.updated.has_value() ? "accepted" : "held");
       }
-      round_time = std::max(round_time, out_time + compute + back_time);
+      round_time = std::max(round_time, reply.elapsed_ms);
     }
-    network_->AdvanceClock(round_time);
+    transport_->AdvanceRound(round_time);
     ++metrics->bargain_rounds;
     if (!movement) break;
   }
@@ -250,16 +234,20 @@ void BuyerEngine::RunNestedNegotiation(std::vector<Offer>* pool,
 
 Result<QtResult> BuyerEngine::Optimize(const std::string& sql) {
   auto wall_start = std::chrono::steady_clock::now();
+  SimNetwork* network = transport_->network();
   // The network is shared across optimizations; report deltas.
-  const int64_t start_messages = network_->total().messages;
-  const int64_t start_bytes = network_->total().bytes;
-  const double start_clock = network_->now_ms();
+  const int64_t start_messages = network->total().messages;
+  const int64_t start_bytes = network->total().bytes;
+  const double start_clock = network->now_ms();
   QTRADE_ASSIGN_OR_RETURN(sql::BoundQuery original,
                           sql::AnalyzeSql(sql, *catalog_));
 
   Rng rng(options_.seed + optimize_count_);
   const std::string run_tag =
-      catalog_->node_name() + "/" + std::to_string(optimize_count_++);
+      catalog_->node_name() + "#" +
+      (options_.run_label.empty() ? std::to_string(engine_tag_)
+                                  : options_.run_label) +
+      "/" + std::to_string(optimize_count_++);
   QtResult result;
   BuyerAnalyser analyser(&original, &catalog_->federation());
   // The buyer's §3.1 weighting function prices purchased answers inside
@@ -297,10 +285,8 @@ Result<QtResult> BuyerEngine::Optimize(const std::string& sql) {
     }
 
     // B4: candidate plans from all offers gathered so far.
-    auto opt_start = std::chrono::steady_clock::now();
     QTRADE_ASSIGN_OR_RETURN(std::vector<CandidatePlan> candidates,
                             assembler.Assemble(pool));
-    result.metrics.wall_opt_ms += WallMs(opt_start);
     ++result.metrics.iterations;
     result.iterations = result.metrics.iterations;
 
@@ -343,9 +329,9 @@ Result<QtResult> BuyerEngine::Optimize(const std::string& sql) {
   }
 
   if (result.plan == nullptr) {
-    result.metrics.messages = network_->total().messages - start_messages;
-    result.metrics.bytes = network_->total().bytes - start_bytes;
-    result.metrics.sim_elapsed_ms = network_->now_ms() - start_clock;
+    result.metrics.messages = network->total().messages - start_messages;
+    result.metrics.bytes = network->total().bytes - start_bytes;
+    result.metrics.sim_elapsed_ms = network->now_ms() - start_clock;
     result.metrics.wall_opt_ms = WallMs(wall_start);
     return result;  // failed optimization: caller checks ok()
   }
@@ -372,29 +358,27 @@ Result<QtResult> BuyerEngine::Optimize(const std::string& sql) {
     }
   }
   double award_time = 0;
-  for (SellerEngine* seller : sellers_) {
-    auto awards = awards_by_seller.find(seller->name());
-    auto lost = lost_by_seller.find(seller->name());
+  for (const std::string& seller : sellers_) {
+    auto awards = awards_by_seller.find(seller);
+    auto lost = lost_by_seller.find(seller);
     if (awards == awards_by_seller.end() && lost == lost_by_seller.end()) {
       continue;
     }
-    static const std::vector<Award> kNoAwards;
-    static const std::vector<std::string> kNoLost;
-    const auto& a =
-        awards != awards_by_seller.end() ? awards->second : kNoAwards;
-    const auto& l = lost != lost_by_seller.end() ? lost->second : kNoLost;
-    double t = network_->Send(catalog_->node_name(), seller->name(),
-                              64 + 48 * static_cast<int64_t>(a.size()),
-                              "award");
-    seller->OnAwards(a, l);
-    if (!a.empty()) result.metrics.awards_sent += a.size();
+    AwardBatch batch;
+    if (awards != awards_by_seller.end()) batch.awards = awards->second;
+    if (lost != lost_by_seller.end()) batch.lost_offer_ids = lost->second;
+    double t = transport_->SendAwards(catalog_->node_name(), seller, batch);
+    if (!batch.awards.empty()) {
+      result.metrics.awards_sent +=
+          static_cast<int64_t>(batch.awards.size());
+    }
     award_time = std::max(award_time, t);
   }
-  network_->AdvanceClock(award_time);
+  transport_->AdvanceRound(award_time);
 
-  result.metrics.messages = network_->total().messages - start_messages;
-  result.metrics.bytes = network_->total().bytes - start_bytes;
-  result.metrics.sim_elapsed_ms = network_->now_ms() - start_clock;
+  result.metrics.messages = network->total().messages - start_messages;
+  result.metrics.bytes = network->total().bytes - start_bytes;
+  result.metrics.sim_elapsed_ms = network->now_ms() - start_clock;
   result.metrics.wall_opt_ms = WallMs(wall_start);
   return result;
 }

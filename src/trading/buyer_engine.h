@@ -8,6 +8,11 @@
 // offers for new queries (B5–B6, the predicates analyser), and repeat
 // until no better plan or no new queries appear (B7), returning the best
 // execution plan and its cost (B8). No data moves during optimization.
+//
+// The buyer holds no seller pointers: it knows sellers by node name only
+// (its trader directory) and reaches them through a Transport, so the
+// same engine runs over the in-process federation, a fault-injecting
+// decorator, or a real socket transport.
 #ifndef QTRADE_TRADING_BUYER_ENGINE_H_
 #define QTRADE_TRADING_BUYER_ENGINE_H_
 
@@ -19,11 +24,10 @@
 #include <vector>
 
 #include "catalog/catalog.h"
-#include "net/network.h"
+#include "net/transport.h"
 #include "opt/plan_assembler.h"
 #include "trading/buyer_analyser.h"
 #include "trading/messages.h"
-#include "trading/seller_engine.h"
 #include "trading/strategy.h"
 #include "util/random.h"
 #include "util/status.h"
@@ -43,12 +47,24 @@ struct QtOptions {
   int max_bargain_rounds = 3;
   /// Sellers contacted per RFB; 0 = broadcast to every known seller.
   size_t rfb_fanout = 0;
+  /// Per-round offer deadline in simulated ms; 0 = wait for every reply.
+  /// Offers whose simulated arrival exceeds the deadline are discarded
+  /// (counted as offers_late) and the round closes at the deadline
+  /// instead of the slowest straggler — the paper's timeout degradation:
+  /// a worse plan sooner rather than a better plan late.
+  double offer_timeout_ms = 0;
   /// Buyer-side ranking of offers (§3.1 weighting function).
   OfferValuation valuation;
   AssemblerOptions assembler;
   /// v0: externally estimated value of the original query (<0 unknown).
   double initial_value = -1;
   uint64_t seed = 42;
+  /// Optional stable label baked into RFB ids instead of the
+  /// process-unique engine tag. Fault-injection experiments set it so two
+  /// identically configured runs issue byte-identical RFB ids and hence
+  /// draw identical per-message fault decisions. Leave empty unless you
+  /// guarantee no two live engines share (node, label).
+  std::string run_label;
 };
 
 struct QtResult {
@@ -64,10 +80,11 @@ struct QtResult {
 
 class BuyerEngine {
  public:
-  /// `sellers` is the buyer's peer directory; the buyer's own node may be
-  /// in it (self-supply is legitimate and models local execution).
+  /// `sellers` is the buyer's trader directory: the node names it may
+  /// contact through `transport`. The buyer's own node may be in it
+  /// (self-supply is legitimate and models local execution).
   BuyerEngine(NodeCatalog* catalog, const PlanFactory* factory,
-              SimNetwork* network, std::vector<SellerEngine*> sellers,
+              Transport* transport, std::vector<std::string> sellers,
               QtOptions options = {},
               std::unique_ptr<BuyerStrategy> strategy = nullptr);
 
@@ -75,7 +92,8 @@ class BuyerEngine {
   Result<QtResult> Optimize(const std::string& sql);
 
  private:
-  /// Sends one RFB to the selected sellers, collects (clipped) offers.
+  /// Sends one RFB to the selected sellers, collects (clipped) offers,
+  /// applies the offer deadline, and closes the round on the transport.
   Status TradeQuery(const TradedQuery& traded, Rng* rng,
                     std::vector<Offer>* pool, TradeMetrics* metrics);
 
@@ -87,17 +105,21 @@ class BuyerEngine {
                  const std::map<std::string, std::set<std::string>>& box)
       const;
 
-  std::vector<SellerEngine*> PickSellers(Rng* rng) const;
+  std::vector<std::string> PickSellers(Rng* rng) const;
 
   NodeCatalog* catalog_;
   const PlanFactory* factory_;
-  SimNetwork* network_;
-  std::vector<SellerEngine*> sellers_;
+  Transport* transport_;
+  std::vector<std::string> sellers_;  // trader directory (node names)
   QtOptions options_;
   std::unique_ptr<BuyerStrategy> strategy_;
   std::map<std::string, std::map<std::string, std::set<std::string>>>
       ask_box_by_rfb_;
-  int64_t optimize_count_ = 0;  // makes RFB ids unique across runs
+  /// Process-unique engine tag + per-engine counter make RFB ids (and the
+  /// offer ids sellers derive from them) unique even when several buyer
+  /// engines for the same node coexist or are recreated per query.
+  const int64_t engine_tag_;
+  int64_t optimize_count_ = 0;
 };
 
 }  // namespace qtrade

@@ -1,57 +1,23 @@
-// Wire-level message schemas of the trading negotiation, and the
-// per-optimization accounting the experiments report. Queries travel as
-// SQL text (the commodity description); offers carry the §3.1 property
-// vector.
+// Buyer-internal negotiation records. The wire-level message schemas
+// (Rfb, offer batches, AuctionTick, CounterOffer, AwardBatch) and the
+// TradeMetrics accounting struct moved to net/wire.h so they belong to
+// the Transport layer; this header re-exports them for convenience.
 #ifndef QTRADE_TRADING_MESSAGES_H_
 #define QTRADE_TRADING_MESSAGES_H_
 
-#include <cstdint>
 #include <map>
 #include <set>
 #include <string>
-#include <vector>
 
+#include "net/wire.h"
 #include "opt/offer.h"
 
 namespace qtrade {
 
-/// Request for bids (paper Fig. 2, step B2).
-struct Rfb {
-  std::string rfb_id;
-  std::string buyer;
-  std::string sql;           // the traded query
-  double reserve_value = -1; // buyer's strategic value estimate; <0 unknown
-  /// May the receiving seller subcontract missing fragments from its own
-  /// peers (§3.5)? Subcontract RFBs clear this, bounding the depth at 1.
-  bool allow_subcontract = true;
-
-  /// Approximate wire size (for message accounting).
-  int64_t WireBytes() const {
-    return static_cast<int64_t>(sql.size()) + 64;
-  }
-};
-
-/// Approximate wire size of an offer message.
-int64_t OfferWireBytes(const Offer& offer);
-
-/// Award notification (winning offers; Fig. 2 step B3/S3).
-struct Award {
-  std::string rfb_id;
-  std::string offer_id;
-};
-
-/// Auction-round announcement: current best score among the offers of
-/// one traded query that span the same alias set (only those are
-/// price-comparable).
-struct AuctionTick {
-  std::string rfb_id;
-  std::string signature;  // Offer::CoverageSignature() of the group
-  double best_score = 0;  // score of the currently winning offer
-};
-
 /// One entry of the buyer's working set Q (Fig. 2): a query to trade plus
 /// the buyer's current value estimate and the sub-box of the original
-/// query it is meant to cover (used to clip offer coverage).
+/// query it is meant to cover (used to clip offer coverage). Never sent
+/// over the wire — the RFB derived from it is.
 struct TradedQuery {
   std::string rfb_id;
   sql::SelectStmt stmt;
@@ -59,20 +25,6 @@ struct TradedQuery {
   /// Per alias: the partitions this query asks about. Empty map = the
   /// whole (feasible) box of the original query.
   std::map<std::string, std::set<std::string>> ask_box;
-};
-
-/// Accounting for one optimization run.
-struct TradeMetrics {
-  int iterations = 0;
-  int64_t rfbs_sent = 0;
-  int64_t offers_received = 0;
-  int64_t awards_sent = 0;
-  int64_t messages = 0;
-  int64_t bytes = 0;
-  double sim_elapsed_ms = 0;   // virtual negotiation time
-  double wall_opt_ms = 0;      // real optimizer CPU time
-  int auction_rounds = 0;
-  int bargain_rounds = 0;
 };
 
 }  // namespace qtrade

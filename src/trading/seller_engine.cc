@@ -44,31 +44,36 @@ Result<RowSet> ProjectTo(const TupleSchema& schema, const RowSet& rows) {
 }
 }  // namespace
 
-void SellerEngine::EnableSubcontracting(std::vector<SellerEngine*> peers,
-                                        SimNetwork* network) {
-  peers_.clear();
-  for (SellerEngine* peer : peers) {
-    if (peer != nullptr && peer != this) peers_.push_back(peer);
+void SellerEngine::EnableSubcontracting(std::vector<std::string> peers,
+                                        Transport* transport) {
+  peer_names_.clear();
+  for (auto& peer : peers) {
+    if (!peer.empty() && peer != name()) {
+      peer_names_.push_back(std::move(peer));
+    }
   }
-  peer_network_ = network;
+  transport_ = transport;
+}
+
+void SellerEngine::RecordOfferLocked(const std::string& rfb_id,
+                                     OfferRecord record) {
+  const std::string offer_id = record.offer.offer_id;
+  auto& index = offers_by_rfb_[rfb_id];
+  if (std::find(index.begin(), index.end(), offer_id) == index.end()) {
+    index.push_back(offer_id);
+  }
+  records_.insert_or_assign(offer_id, std::move(record));
 }
 
 Result<std::vector<Offer>> SellerEngine::OnRfb(const Rfb& rfb) {
-  ++rfbs_seen_;
+  rfbs_seen_.fetch_add(1, std::memory_order_relaxed);
   QTRADE_ASSIGN_OR_RETURN(sql::BoundQuery asked,
                           sql::AnalyzeSql(rfb.sql, *catalog_));
   QTRADE_ASSIGN_OR_RETURN(std::vector<GeneratedOffer> generated,
                           generator_.Generate(asked, rfb.rfb_id));
   std::vector<Offer> out;
   for (auto& g : generated) {
-    double quote = strategy_->Quote(g.true_cost);
-    // The buyer never pays below the honest reserve when a reserve value
-    // was announced and undercuts it: sellers simply keep their quote.
-    g.offer.props.total_time_ms = quote;
-    g.offer.props.price = quote - g.true_cost;  // seller surplus if won
-
     OfferRecord record;
-    record.offer = g.offer;
     record.true_cost = g.true_cost;
     record.scan_partitions = std::move(g.scan_partitions);
     record.view_name = std::move(g.view_name);
@@ -80,11 +85,20 @@ Result<std::vector<Offer>> SellerEngine::OnRfb(const Rfb& rfb) {
                               sql::AnalyzeSql(sql::ToSql(g.offer.query),
                                               *catalog_));
     }
-    offers_by_rfb_[rfb.rfb_id].push_back(g.offer.offer_id);
-    records_.emplace(g.offer.offer_id, std::move(record));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      double quote = strategy_->Quote(g.true_cost);
+      // The buyer never pays below the honest reserve when a reserve
+      // value was announced and undercuts it: sellers keep their quote.
+      g.offer.props.total_time_ms = quote;
+      g.offer.props.price = quote - g.true_cost;  // seller surplus if won
+      record.offer = g.offer;
+      RecordOfferLocked(rfb.rfb_id, std::move(record));
+    }
     out.push_back(std::move(g.offer));
   }
-  if (rfb.allow_subcontract && !peers_.empty()) {
+  if (rfb.allow_subcontract && transport_ != nullptr &&
+      !peer_names_.empty()) {
     TrySubcontract(rfb, asked, &out);
   }
   return out;
@@ -121,7 +135,7 @@ void SellerEngine::TrySubcontract(const Rfb& rfb,
     // still missing; because every sub-RFB is restricted to the current
     // missing set, delivered rows across rounds are disjoint.
     std::set<std::string> missing = missing_box[cov.alias];
-    std::vector<std::pair<SellerEngine*, const Offer*>> bought;
+    std::vector<std::pair<std::string, const Offer*>> bought;
     std::vector<std::vector<Offer>> keepalive;  // owns chosen offers
     double bought_cost = 0;
     double bought_rows = 0;
@@ -129,35 +143,26 @@ void SellerEngine::TrySubcontract(const Rfb& rfb,
       std::map<std::string, std::set<std::string>> ask;
       ask[cov.alias] = missing;
       Rfb sub;
+      // Deterministic id regardless of concurrent RFB handling: derived
+      // from the parent RFB, not from an engine-wide counter.
       sub.rfb_id =
-          rfb.rfb_id + "/sub" + std::to_string(subcontract_counter_++);
+          rfb.rfb_id + "/sub/" + cov.alias + "/" + std::to_string(round);
       sub.buyer = name();
       sub.allow_subcontract = false;  // depth 1
       sub.sql = sql::ToSql(
           BuildRestrictedSubsetQuery(asked, {cov.alias}, ask, federation));
 
-      std::vector<std::pair<SellerEngine*, std::vector<Offer>>> replies;
-      for (SellerEngine* peer : peers_) {
-        if (peer_network_ != nullptr) {
-          peer_network_->Send(name(), peer->name(), 64 + sub.sql.size(),
-                              "subrfb");
-        }
-        auto offers = peer->OnRfb(sub);
-        if (peer_network_ != nullptr) {
-          peer_network_->Send(peer->name(), name(), 64, "suboffer");
-        }
-        if (!offers.ok()) continue;
-        replies.emplace_back(peer, std::move(*offers));
-      }
+      std::vector<OfferReply> replies = transport_->BroadcastRfb(
+          name(), sub, peer_names_, "subrfb", "suboffer");
       // Cheapest offer per newly covered missing partition wins the round.
-      SellerEngine* round_peer = nullptr;
+      const std::string* round_peer = nullptr;
       size_t round_index = 0, round_reply = 0;
       double round_marginal = 0;
-      int round_new = 0;
       for (size_t ri = 0; ri < replies.size(); ++ri) {
-        const auto& offers = replies[ri].second;
-        for (size_t oi = 0; oi < offers.size(); ++oi) {
-          const Offer& offer = offers[oi];
+        const OfferReply& reply = replies[ri];
+        if (!reply.ok || reply.dropped || reply.duplicated) continue;
+        for (size_t oi = 0; oi < reply.offers.size(); ++oi) {
+          const Offer& offer = reply.offers[oi];
           if (offer.kind != OfferKind::kCoreRows) continue;
           const OfferCoverage* offered = offer.FindCoverage(cov.alias);
           if (offered == nullptr) continue;
@@ -168,25 +173,24 @@ void SellerEngine::TrySubcontract(const Rfb& rfb,
           if (covers_new == 0) continue;
           double marginal = offer.props.total_time_ms / covers_new;
           if (round_peer == nullptr || marginal < round_marginal) {
-            round_peer = replies[ri].first;
+            round_peer = &reply.seller;
             round_reply = ri;
             round_index = oi;
             round_marginal = marginal;
-            round_new = covers_new;
           }
         }
       }
       if (round_peer == nullptr) break;  // nobody can extend the cover
-      keepalive.push_back(std::move(replies[round_reply].second));
+      std::string peer_name = *round_peer;
+      keepalive.push_back(std::move(replies[round_reply].offers));
       const Offer* chosen = &keepalive.back()[round_index];
-      bought.emplace_back(round_peer, chosen);
+      bought.emplace_back(std::move(peer_name), chosen);
       bought_cost += chosen->props.total_time_ms;
       bought_rows += chosen->props.rows;
       for (const auto& pid :
            chosen->FindCoverage(cov.alias)->partitions) {
         missing.erase(pid);
       }
-      (void)round_new;
     }
     if (!missing.empty() || bought.empty()) continue;
 
@@ -223,8 +227,9 @@ void SellerEngine::TrySubcontract(const Rfb& rfb,
                        bought_cost + resell;
 
     Offer combined;
-    combined.offer_id =
-        name() + ":sub" + std::to_string(subcontract_counter_++);
+    // Deterministic, transport-safe id: one combined offer per
+    // (rfb, alias) at most.
+    combined.offer_id = name() + ":sub:" + rfb.rfb_id + "#" + cov.alias;
     combined.seller = name();
     combined.rfb_id = rfb.rfb_id;
     combined.kind = OfferKind::kCoreRows;
@@ -246,30 +251,33 @@ void SellerEngine::TrySubcontract(const Rfb& rfb,
          std::vector<std::string>(combined_cov.begin(),
                                   combined_cov.end())});
     combined.row_bytes = row_bytes;
-    combined.props.total_time_ms = strategy_->Quote(true_cost);
     combined.props.rows = own_rows + bought_rows;
     combined.props.first_row_ms = cost.params().net_latency_ms * 2;
     combined.props.completeness =
         static_cast<double>(combined_cov.size()) /
         partitioning->partitions.size();
-    combined.props.price = combined.props.total_time_ms - true_cost;
 
     OfferRecord record;
-    record.offer = combined;
     record.true_cost = true_cost;
     record.exec_query = std::move(*own_bound);
     record.scan_partitions[cov.alias] = cov.scanned_partitions;
     for (const auto& [peer, chosen] : bought) {
       record.subcontracts.emplace_back(peer, chosen->offer_id);
     }
-    offers_by_rfb_[rfb.rfb_id].push_back(combined.offer_id);
-    records_.emplace(combined.offer_id, std::move(record));
-    ++subcontracted_offers_;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      combined.props.total_time_ms = strategy_->Quote(true_cost);
+      combined.props.price = combined.props.total_time_ms - true_cost;
+      record.offer = combined;
+      RecordOfferLocked(rfb.rfb_id, std::move(record));
+    }
+    subcontracted_offers_.fetch_add(1, std::memory_order_relaxed);
     out->push_back(std::move(combined));
   }
 }
 
 std::optional<Offer> SellerEngine::OnAuctionTick(const AuctionTick& tick) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = offers_by_rfb_.find(tick.rfb_id);
   if (it == offers_by_rfb_.end()) return std::nullopt;
   // Improve our cheapest comparable offer (same alias-set signature) if
@@ -300,6 +308,7 @@ std::optional<Offer> SellerEngine::OnAuctionTick(const AuctionTick& tick) {
 std::optional<Offer> SellerEngine::OnCounterOffer(const std::string& rfb_id,
                                                   const std::string& signature,
                                                   double target_value) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = offers_by_rfb_.find(rfb_id);
   if (it == offers_by_rfb_.end()) return std::nullopt;
   OfferRecord* best = nullptr;
@@ -325,6 +334,7 @@ std::optional<Offer> SellerEngine::OnCounterOffer(const std::string& rfb_id,
 
 void SellerEngine::OnAwards(const std::vector<Award>& awards,
                             const std::vector<std::string>& lost_offer_ids) {
+  std::lock_guard<std::mutex> lock(mu_);
   bool won_any = false;
   for (const auto& award : awards) {
     if (records_.count(award.offer_id) > 0) won_any = true;
@@ -342,33 +352,39 @@ void SellerEngine::OnAwards(const std::vector<Award>& awards,
 }
 
 Result<RowSet> SellerEngine::ExecuteOffer(const std::string& offer_id) {
-  auto it = records_.find(offer_id);
-  if (it == records_.end()) {
+  const OfferRecord* record = nullptr;
+  {
+    // std::map nodes are stable and records are never erased, so the
+    // pointer stays valid after the lock is released.
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = records_.find(offer_id);
+    if (it != records_.end()) record = &it->second;
+  }
+  if (record == nullptr) {
     return Status::NotFound("unknown offer: " + offer_id);
   }
   if (store_ == nullptr) {
     return Status::InvalidArgument("node has no storage attached");
   }
-  const OfferRecord& record = it->second;
-  if (!record.view_name.empty()) {
-    const RowSet* extent = store_->View(record.view_name);
+  if (!record->view_name.empty()) {
+    const RowSet* extent = store_->View(record->view_name);
     if (extent == nullptr) {
-      return Status::NotFound("view extent missing: " + record.view_name);
+      return Status::NotFound("view extent missing: " + record->view_name);
     }
     // Bind the compensation against the view-extent schema.
     const MaterializedViewDef* view = nullptr;
     for (const auto& v : catalog_->views()) {
-      if (v.name == record.view_name) view = &v;
+      if (v.name == record->view_name) view = &v;
     }
     if (view == nullptr) {
       return Status::NotFound("view definition missing: " +
-                              record.view_name);
+                              record->view_name);
     }
     SimpleSchemaProvider schemas;
     schemas.AddTable(ViewExtentSchema(*view));
     QTRADE_ASSIGN_OR_RETURN(
         sql::BoundQuery comp,
-        sql::Analyze(record.view_compensation, schemas));
+        sql::Analyze(record->view_compensation, schemas));
     TableResolver resolver = [&](const sql::TableRef& tref)
         -> Result<RowSet> {
       RowSet rows;
@@ -381,17 +397,24 @@ Result<RowSet> SellerEngine::ExecuteOffer(const std::string& offer_id) {
     return ExecuteBoundQuery(comp, resolver);
   }
   TableResolver resolver = [&](const sql::TableRef& tref) -> Result<RowSet> {
-    auto pit = record.scan_partitions.find(tref.alias);
-    if (pit == record.scan_partitions.end() || pit->second.empty()) {
+    auto pit = record->scan_partitions.find(tref.alias);
+    if (pit == record->scan_partitions.end() || pit->second.empty()) {
       return Status::Internal("no scan recipe for alias " + tref.alias);
     }
     return store_->ScanPartitions(pit->second, tref.alias);
   };
   QTRADE_ASSIGN_OR_RETURN(RowSet own,
-                          ExecuteBoundQuery(record.exec_query, resolver));
-  // §3.5 subcontracting: append the purchased sub-answers.
-  for (const auto& [peer, sub_offer_id] : record.subcontracts) {
-    QTRADE_ASSIGN_OR_RETURN(RowSet bought, peer->ExecuteOffer(sub_offer_id));
+                          ExecuteBoundQuery(record->exec_query, resolver));
+  // §3.5 subcontracting: fetch the purchased sub-answers from their
+  // sellers through the transport and append them.
+  for (const auto& [peer_name, sub_offer_id] : record->subcontracts) {
+    NodeEndpoint* peer =
+        transport_ != nullptr ? transport_->endpoint(peer_name) : nullptr;
+    if (peer == nullptr) {
+      return Status::Internal("subcontract peer unreachable: " + peer_name);
+    }
+    QTRADE_ASSIGN_OR_RETURN(RowSet bought,
+                            peer->HandleExecuteOffer(sub_offer_id));
     QTRADE_ASSIGN_OR_RETURN(RowSet aligned, ProjectTo(own.schema, bought));
     own.rows.insert(own.rows.end(),
                     std::make_move_iterator(aligned.rows.begin()),
@@ -401,6 +424,7 @@ Result<RowSet> SellerEngine::ExecuteOffer(const std::string& offer_id) {
 }
 
 Result<double> SellerEngine::TrueCost(const std::string& offer_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = records_.find(offer_id);
   if (it == records_.end()) {
     return Status::NotFound("unknown offer: " + offer_id);

@@ -2,19 +2,28 @@
 // (via the §3.4/§3.5 offer generator), participates in auction and
 // bargaining rounds through its strategy module, and — once awarded —
 // actually executes sold answers against its local storage.
+//
+// The engine is a Transport NodeEndpoint: all negotiation traffic —
+// including the §3.5 subcontracting path, which addresses peers by node
+// name only — flows through the registered Transport, never through
+// direct engine pointers. Handlers are thread-safe: the transport may
+// deliver the buyer's RFB and a peer's subcontract RFB concurrently.
 #ifndef QTRADE_TRADING_SELLER_ENGINE_H_
 #define QTRADE_TRADING_SELLER_ENGINE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "catalog/catalog.h"
 #include "exec/executor.h"
 #include "exec/storage.h"
-#include "net/network.h"
+#include "net/transport.h"
 #include "opt/offer_generator.h"
 #include "plan/plan_factory.h"
 #include "trading/messages.h"
@@ -23,7 +32,7 @@
 
 namespace qtrade {
 
-class SellerEngine {
+class SellerEngine : public NodeEndpoint {
  public:
   /// `store` may be null for planning-only federations (no execution).
   SellerEngine(NodeCatalog* catalog, TableStore* store,
@@ -31,17 +40,19 @@ class SellerEngine {
                std::unique_ptr<SellerStrategy> strategy,
                OfferGeneratorOptions generator_options = {});
 
-  const std::string& name() const { return catalog_->node_name(); }
+  const std::string& name() const override { return catalog_->node_name(); }
 
   /// Enables §3.5 subcontracting: when this node's fragment of a relation
-  /// is incomplete, it may buy the missing slice from `peers` (one level
-  /// deep) and resell a combined, fuller offer. `network` accounts the
-  /// subcontract negotiation messages.
-  void EnableSubcontracting(std::vector<SellerEngine*> peers,
-                            SimNetwork* network);
+  /// is incomplete, it may buy the missing slice from the named `peers`
+  /// (one level deep) and resell a combined, fuller offer. All
+  /// subcontract traffic flows through `transport`.
+  void EnableSubcontracting(std::vector<std::string> peers,
+                            Transport* transport);
 
   /// Combined offers sold so far that embed purchased sub-answers.
-  int64_t subcontracted_offers() const { return subcontracted_offers_; }
+  int64_t subcontracted_offers() const {
+    return subcontracted_offers_.load(std::memory_order_relaxed);
+  }
 
   NodeCatalog* catalog() { return catalog_; }
   TableStore* store() { return store_; }
@@ -73,7 +84,28 @@ class SellerEngine {
   /// Honest cost of an offer (testing/experiments: social cost).
   Result<double> TrueCost(const std::string& offer_id) const;
 
-  int64_t rfbs_seen() const { return rfbs_seen_; }
+  int64_t rfbs_seen() const {
+    return rfbs_seen_.load(std::memory_order_relaxed);
+  }
+
+  // NodeEndpoint: the transport-facing spellings of the handlers above.
+  Result<std::vector<Offer>> HandleRfb(const Rfb& rfb) override {
+    return OnRfb(rfb);
+  }
+  std::optional<Offer> HandleAuctionTick(const AuctionTick& tick) override {
+    return OnAuctionTick(tick);
+  }
+  std::optional<Offer> HandleCounterOffer(
+      const CounterOffer& counter) override {
+    return OnCounterOffer(counter.rfb_id, counter.signature,
+                          counter.target_value);
+  }
+  void HandleAwards(const AwardBatch& batch) override {
+    OnAwards(batch.awards, batch.lost_offer_ids);
+  }
+  Result<RowSet> HandleExecuteOffer(const std::string& offer_id) override {
+    return ExecuteOffer(offer_id);
+  }
 
  private:
   struct OfferRecord {
@@ -86,28 +118,34 @@ class SellerEngine {
     std::map<std::string, std::vector<std::string>> scan_partitions;
     std::string view_name;
     sql::SelectStmt view_compensation;
-    /// §3.5 subcontracting: purchased sub-answers to union with the local
-    /// part at delivery time.
-    std::vector<std::pair<SellerEngine*, std::string>> subcontracts;
+    /// §3.5 subcontracting: purchased sub-answers (peer node name, offer
+    /// id there) to union with the local part at delivery time.
+    std::vector<std::pair<std::string, std::string>> subcontracts;
   };
 
   /// Builds combined offers for `asked` by buying missing fragments from
-  /// peers (one level deep). Appends to `out`.
+  /// peers (one level deep, via the transport). Appends to `out`.
   void TrySubcontract(const Rfb& rfb, const sql::BoundQuery& asked,
                       std::vector<Offer>* out);
+
+  /// Stores a record and indexes its offer under its rfb (mu_ held).
+  void RecordOfferLocked(const std::string& rfb_id, OfferRecord record);
 
   NodeCatalog* catalog_;
   TableStore* store_;
   const PlanFactory* factory_;
   std::unique_ptr<SellerStrategy> strategy_;
   OfferGenerator generator_;
+  /// Guards records_, offers_by_rfb_ and strategy_ against concurrent
+  /// transport deliveries. Never held across a Transport call (nested
+  /// subcontract fan-outs would deadlock otherwise).
+  mutable std::mutex mu_;
   std::map<std::string, OfferRecord> records_;       // by offer id
   std::map<std::string, std::vector<std::string>> offers_by_rfb_;
-  int64_t rfbs_seen_ = 0;
-  std::vector<SellerEngine*> peers_;
-  SimNetwork* peer_network_ = nullptr;
-  int64_t subcontracted_offers_ = 0;
-  int64_t subcontract_counter_ = 0;
+  std::atomic<int64_t> rfbs_seen_{0};
+  std::vector<std::string> peer_names_;
+  Transport* transport_ = nullptr;
+  std::atomic<int64_t> subcontracted_offers_{0};
 };
 
 }  // namespace qtrade

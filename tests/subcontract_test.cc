@@ -142,10 +142,8 @@ TEST(SubcontractTest, DepthIsBoundedAtOne) {
   // a only knows b; b only knows c. Completing customer needs #2 from c,
   // two hops away — depth-1 subcontracting must NOT reach it.
   SellerEngine* a = fed->node("a")->seller.get();
-  SellerEngine* b = fed->node("b")->seller.get();
-  SellerEngine* c = fed->node("c")->seller.get();
-  a->EnableSubcontracting({b}, fed->network());
-  b->EnableSubcontracting({c}, fed->network());
+  a->EnableSubcontracting({"b"}, fed->transport());
+  fed->node("b")->seller->EnableSubcontracting({"c"}, fed->transport());
 
   Rfb rfb{"r1", "buyer", "SELECT custname FROM customer", -1, true};
   auto offers = a->OnRfb(rfb);
@@ -182,8 +180,7 @@ TEST(SubcontractTest, BuyerWithNarrowDirectoryStillCovers) {
 
     // Hand-built buyer engine whose directory holds only corfu.
     BuyerEngine engine(fed->node("corfu")->catalog.get(), &fed->factory(),
-                       fed->network(),
-                       {fed->node("corfu")->seller.get()});
+                       fed->transport(), {"corfu"});
     auto result = engine.Optimize("SELECT custname FROM customer");
     ASSERT_TRUE(result.ok());
     EXPECT_EQ(result->ok(), subcontract)

@@ -1,0 +1,166 @@
+// FaultyTransport + the buyer's degradation policy: negotiation survives
+// lost, delayed and duplicated messages, decisions are seeded and
+// reproducible, and every discarded offer shows up in TradeMetrics.
+#include <gtest/gtest.h>
+
+#include "core/federation.h"
+#include "net/faulty_transport.h"
+#include "tests/test_fixtures.h"
+#include "trading/buyer_engine.h"
+
+namespace qtrade {
+namespace {
+
+using testing::PaperData;
+using testing::PaperFederation;
+
+/// athens (the buyer) replicates the whole customer table; corfu and
+/// myconos hold one partition each. Self-supply is always possible, so
+/// any fault rate still leaves a (worse) feasible plan.
+struct FaultWorld {
+  std::unique_ptr<Federation> fed;
+  PaperData data{30};
+
+  FaultWorld() {
+    fed = std::make_unique<Federation>(PaperFederation());
+    fed->AddNode("athens");
+    fed->AddNode("corfu");
+    fed->AddNode("myconos");
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_TRUE(fed->LoadPartition("athens",
+                                     "customer#" + std::to_string(i),
+                                     data.customer_parts[i])
+                      .ok());
+    }
+    EXPECT_TRUE(
+        fed->LoadPartition("corfu", "customer#1", data.customer_parts[1])
+            .ok());
+    EXPECT_TRUE(
+        fed->LoadPartition("myconos", "customer#2", data.customer_parts[2])
+            .ok());
+  }
+
+  QtResult Optimize(Transport* transport, const QtOptions& options) {
+    BuyerEngine engine(fed->node("athens")->catalog.get(), &fed->factory(),
+                       transport, fed->NodeNames(), options);
+    auto result = engine.Optimize("SELECT custname FROM customer");
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(*result);
+  }
+};
+
+TEST(TransportFaultTest, TotalDropStillSelfSupplies) {
+  FaultWorld world;
+  FaultOptions faults;
+  faults.drop_rate = 1.0;  // every non-loopback reply is lost
+  faults.seed = 3;
+  FaultyTransport faulty(world.fed->transport(), faults);
+
+  QtOptions options;
+  options.run_label = "total-drop";
+  QtResult result = world.Optimize(&faulty, options);
+
+  // The buyer never heard from corfu or myconos, yet its own node's
+  // loopback offers survive: a complete, self-supplied plan.
+  ASSERT_TRUE(result.ok());
+  for (const auto& offer : result.winning_offers) {
+    EXPECT_EQ(offer.seller, "athens") << offer.offer_id;
+  }
+  auto rows = world.fed->ExecuteDistributed("athens", result.plan);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->rows.size(), 30u);
+
+  // Every lost reply is visible in the metrics and the fault stats.
+  EXPECT_GT(result.metrics.offers_dropped, 0);
+  EXPECT_GT(faulty.stats().replies_dropped, 0);
+  EXPECT_EQ(faulty.stats().offers_dropped, result.metrics.offers_dropped);
+}
+
+TEST(TransportFaultTest, SeededDropsAreDeterministic) {
+  // Two independently built, identically seeded worlds make identical
+  // fault decisions and land on the identical plan and metrics.
+  QtResult results[2];
+  FaultStats stats[2];
+  for (int trial = 0; trial < 2; ++trial) {
+    FaultWorld world;
+    FaultOptions faults;
+    faults.drop_rate = 0.3;
+    faults.duplicate_rate = 0.2;
+    faults.seed = 7;
+    FaultyTransport faulty(world.fed->transport(), faults);
+    QtOptions options;
+    options.run_label = "det";  // identical RFB ids across trials
+    results[trial] = world.Optimize(&faulty, options);
+    stats[trial] = faulty.stats();
+  }
+  ASSERT_TRUE(results[0].ok());
+  ASSERT_TRUE(results[1].ok());
+  EXPECT_DOUBLE_EQ(results[0].cost, results[1].cost);
+  EXPECT_EQ(results[0].metrics.messages, results[1].metrics.messages);
+  EXPECT_EQ(results[0].metrics.bytes, results[1].metrics.bytes);
+  EXPECT_EQ(results[0].metrics.offers_dropped,
+            results[1].metrics.offers_dropped);
+  EXPECT_EQ(results[0].metrics.offers_duplicated,
+            results[1].metrics.offers_duplicated);
+  EXPECT_EQ(stats[0].replies_dropped, stats[1].replies_dropped);
+  EXPECT_EQ(stats[0].replies_duplicated, stats[1].replies_duplicated);
+  ASSERT_EQ(results[0].winning_offers.size(),
+            results[1].winning_offers.size());
+  for (size_t i = 0; i < results[0].winning_offers.size(); ++i) {
+    EXPECT_EQ(results[0].winning_offers[i].offer_id,
+              results[1].winning_offers[i].offer_id);
+  }
+}
+
+TEST(TransportFaultTest, LateOffersAreDroppedAndCounted) {
+  FaultWorld world;
+  FaultOptions faults;
+  faults.delay_rate = 1.0;    // every non-loopback reply is delayed...
+  faults.delay_ms = 10000;    // ...far past the buyer's deadline
+  faults.seed = 11;
+  FaultyTransport faulty(world.fed->transport(), faults);
+
+  QtOptions options;
+  options.run_label = "deadline";
+  options.offer_timeout_ms = 5000;
+  QtResult result = world.Optimize(&faulty, options);
+
+  // Peer offers arrived after the deadline: discarded but counted, and
+  // the self-supplied plan still answers the query.
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.metrics.offers_late, 0);
+  EXPECT_GT(result.metrics.rounds_timed_out, 0);
+  EXPECT_GT(faulty.stats().replies_delayed, 0);
+  for (const auto& offer : result.winning_offers) {
+    EXPECT_EQ(offer.seller, "athens") << offer.offer_id;
+  }
+}
+
+TEST(TransportFaultTest, DuplicatesAreDiscardedWithoutDoubleCounting) {
+  FaultWorld world;
+  FaultOptions faults;
+  faults.duplicate_rate = 1.0;  // every non-loopback reply arrives twice
+  faults.seed = 5;
+  FaultyTransport faulty(world.fed->transport(), faults);
+
+  QtOptions options;
+  options.run_label = "dup";
+  QtResult dup_result = world.Optimize(&faulty, options);
+  ASSERT_TRUE(dup_result.ok());
+  EXPECT_GT(dup_result.metrics.offers_duplicated, 0);
+
+  // A clean world with no faults lands on the same plan cost: the
+  // duplicates were discarded, not double-counted into the pool.
+  FaultWorld clean;
+  QtOptions clean_options;
+  clean_options.run_label = "dup";
+  QtResult clean_result = clean.Optimize(clean.fed->transport(),
+                                         clean_options);
+  ASSERT_TRUE(clean_result.ok());
+  EXPECT_DOUBLE_EQ(dup_result.cost, clean_result.cost);
+  EXPECT_EQ(dup_result.metrics.offers_received,
+            clean_result.metrics.offers_received);
+}
+
+}  // namespace
+}  // namespace qtrade
