@@ -1,8 +1,15 @@
 // Shared helpers for the experiment binaries: every bench prints the
 // table/series its DESIGN.md experiment id calls for.
+//
+// Timing discipline: RunQt/RunGlobal run one warm-up iteration (which
+// also supplies the reported result/metrics) followed by `reps` timed
+// iterations, and report the min and median wall time — never a single
+// cold measurement. Pass `--json` to a bench for one machine-readable
+// line per experiment row (see JsonRow).
 #ifndef QTRADE_BENCH_BENCH_UTIL_H_
 #define QTRADE_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -20,54 +27,105 @@ inline double WallMs(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-/// One QT optimization run with timing.
+/// Median of an unsorted sample (average of the middle two when even).
+inline double Median(std::vector<double> samples) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const size_t mid = samples.size() / 2;
+  if (samples.size() % 2 == 1) return samples[mid];
+  return (samples[mid - 1] + samples[mid]) / 2;
+}
+
+/// One QT optimization experiment point: the result of a cold warm-up
+/// run plus min/median wall time over the timed repetitions.
 struct QtRun {
   bool ok = false;
   double cost = 0;
+  /// Median timed-rep wall time (the headline number benches print).
   double wall_ms = 0;
+  double wall_ms_min = 0;
+  double wall_ms_median = 0;
+  int reps = 0;
+  /// Metrics and result come from the warm-up (cold) run, so message
+  /// and cache counters describe a fresh negotiation.
   TradeMetrics metrics;
   QtResult result;
 };
 
+/// Runs the warm-up plus `reps` timed repetitions on the same
+/// federation. Safe because experiment federations use stateless
+/// TruthfulStrategy sellers; benches exercising learning strategies
+/// (bench_strategies, bench_protocols) time their runs by hand.
 inline QtRun RunQt(Federation* federation, const std::string& buyer,
-                   const std::string& sql, const QtOptions& options = {}) {
+                   const std::string& sql, const QtOptions& options = {},
+                   int reps = 3) {
   QtRun run;
-  QueryTradingOptimizer qt(federation, buyer, options);
-  auto start = std::chrono::steady_clock::now();
-  auto result = qt.Optimize(sql);
-  run.wall_ms = WallMs(start);
-  if (result.ok() && result->ok()) {
-    run.ok = true;
-    run.cost = result->cost;
-    run.metrics = result->metrics;
-    run.result = std::move(*result);
+  run.reps = std::max(1, reps);
+  {
+    QueryTradingOptimizer qt(federation, buyer, options);
+    auto result = qt.Optimize(sql);
+    if (result.ok() && result->ok()) {
+      run.ok = true;
+      run.cost = result->cost;
+      run.metrics = result->metrics;
+      run.result = std::move(*result);
+    }
   }
+  std::vector<double> times;
+  times.reserve(run.reps);
+  for (int i = 0; i < run.reps; ++i) {
+    QueryTradingOptimizer qt(federation, buyer, options);
+    auto start = std::chrono::steady_clock::now();
+    auto result = qt.Optimize(sql);
+    times.push_back(WallMs(start));
+    (void)result;
+  }
+  run.wall_ms_min = *std::min_element(times.begin(), times.end());
+  run.wall_ms_median = Median(times);
+  run.wall_ms = run.wall_ms_median;
   return run;
 }
 
-/// One baseline run with timing.
+/// One baseline experiment point (same warm-up + reps discipline).
 struct GlobalRun {
   bool ok = false;
   double est_cost = 0;
   double true_cost = 0;
-  double wall_ms = 0;
+  double wall_ms = 0;  // median of the timed reps
+  double wall_ms_min = 0;
+  double wall_ms_median = 0;
+  int reps = 0;
   int subplans = 0;
 };
 
 inline GlobalRun RunGlobal(Federation* federation, const std::string& buyer,
                            const std::string& sql,
-                           const GlobalOptimizerOptions& options = {}) {
+                           const GlobalOptimizerOptions& options = {},
+                           int reps = 3) {
   GlobalRun run;
-  GlobalOptimizer opt(federation, buyer, options);
-  auto start = std::chrono::steady_clock::now();
-  auto result = opt.Optimize(sql);
-  run.wall_ms = WallMs(start);
-  if (result.ok()) {
-    run.ok = true;
-    run.est_cost = result->est_cost;
-    run.true_cost = result->true_cost;
-    run.subplans = result->subplans_enumerated;
+  run.reps = std::max(1, reps);
+  {
+    GlobalOptimizer opt(federation, buyer, options);
+    auto result = opt.Optimize(sql);
+    if (result.ok()) {
+      run.ok = true;
+      run.est_cost = result->est_cost;
+      run.true_cost = result->true_cost;
+      run.subplans = result->subplans_enumerated;
+    }
   }
+  std::vector<double> times;
+  times.reserve(run.reps);
+  for (int i = 0; i < run.reps; ++i) {
+    GlobalOptimizer opt(federation, buyer, options);
+    auto start = std::chrono::steady_clock::now();
+    auto result = opt.Optimize(sql);
+    times.push_back(WallMs(start));
+    (void)result;
+  }
+  run.wall_ms_min = *std::min_element(times.begin(), times.end());
+  run.wall_ms_median = Median(times);
+  run.wall_ms = run.wall_ms_median;
   return run;
 }
 
@@ -98,6 +156,59 @@ inline std::unique_ptr<Federation> WithStrategies(
   }
   return out;
 }
+
+/// True when the bench was invoked with --json: emit one JsonRow line
+/// per experiment row (machine-readable) alongside the human table.
+inline bool JsonMode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return true;
+  }
+  return false;
+}
+
+/// One machine-readable experiment row, printed as a single JSON object
+/// line: JsonRow("EXP-15").Str("mode","cached").Num("wall_ms",1.2).Emit()
+class JsonRow {
+ public:
+  explicit JsonRow(const std::string& exp) {
+    buf_ = "{\"exp\":\"" + Escaped(exp) + "\"";
+  }
+  JsonRow& Str(const std::string& key, const std::string& value) {
+    buf_ += ",\"" + Escaped(key) + "\":\"" + Escaped(value) + "\"";
+    return *this;
+  }
+  JsonRow& Num(const std::string& key, double value) {
+    char tmp[64];
+    std::snprintf(tmp, sizeof(tmp), "%.6g", value);
+    buf_ += ",\"" + Escaped(key) + "\":" + tmp;
+    return *this;
+  }
+  JsonRow& Int(const std::string& key, long long value) {
+    buf_ += ",\"" + Escaped(key) + "\":" + std::to_string(value);
+    return *this;
+  }
+  JsonRow& Bool(const std::string& key, bool value) {
+    buf_ += ",\"" + Escaped(key) + "\":" + (value ? "true" : "false");
+    return *this;
+  }
+  void Emit() const { std::printf("%s}\n", buf_.c_str()); }
+
+ private:
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out += c;
+    }
+    return out;
+  }
+  std::string buf_;
+};
 
 /// Banner naming the experiment the output reproduces.
 inline void Banner(const char* exp_id, const char* description) {

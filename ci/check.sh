@@ -15,11 +15,18 @@ cmake -B build -S .
 cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
+# Offer-cache equivalence smoke: negotiation outcomes must be identical
+# with seller memoization on and off (the bench exits non-zero on any
+# cost/message/award mismatch or a missing generation speedup).
+echo "== offer cache equivalence smoke"
+./build/bench/bench_offer_cache --smoke
+
 if [[ "${TSAN:-0}" == "1" ]]; then
   cmake -B build-tsan -S . -DQTRADE_TSAN=ON
   cmake --build build-tsan -j "${JOBS}" --target \
-    trading_test subcontract_test transport_fault_test
-  for t in trading_test subcontract_test transport_fault_test; do
+    trading_test subcontract_test transport_fault_test offer_cache_test
+  for t in trading_test subcontract_test transport_fault_test \
+           offer_cache_test; do
     echo "== tsan: ${t}"
     ./build-tsan/tests/"${t}"
   done

@@ -89,6 +89,7 @@ Status NodeCatalog::HostPartition(const std::string& partition_id,
     return Status::NotFound("unknown partition: " + partition_id);
   }
   hosted_[partition_id] = std::move(stats);
+  stats_epoch_.fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
 }
 
@@ -130,6 +131,7 @@ std::optional<TableStats> NodeCatalog::LocalTableStats(
 
 void NodeCatalog::AddView(MaterializedViewDef view) {
   views_.push_back(std::move(view));
+  stats_epoch_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 Status GlobalCatalog::RecordReplica(const std::string& partition_id,

@@ -14,6 +14,8 @@
 #ifndef QTRADE_CATALOG_CATALOG_H_
 #define QTRADE_CATALOG_CATALOG_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
@@ -92,6 +94,25 @@ class NodeCatalog : public SchemaProvider {
   NodeCatalog(std::string node_name,
               std::shared_ptr<const FederationSchema> federation);
 
+  // Movable despite the atomic epoch member (fixtures build catalogs by
+  // value). Moving is only safe before the catalog is shared with
+  // engines, which is how it is used.
+  NodeCatalog(NodeCatalog&& other) noexcept
+      : node_name_(std::move(other.node_name_)),
+        federation_(std::move(other.federation_)),
+        hosted_(std::move(other.hosted_)),
+        views_(std::move(other.views_)),
+        stats_epoch_(other.stats_epoch_.load(std::memory_order_acquire)) {}
+  NodeCatalog& operator=(NodeCatalog&& other) noexcept {
+    node_name_ = std::move(other.node_name_);
+    federation_ = std::move(other.federation_);
+    hosted_ = std::move(other.hosted_);
+    views_ = std::move(other.views_);
+    stats_epoch_.store(other.stats_epoch_.load(std::memory_order_acquire),
+                       std::memory_order_release);
+    return *this;
+  }
+
   const std::string& node_name() const { return node_name_; }
   const FederationSchema& federation() const { return *federation_; }
 
@@ -121,11 +142,21 @@ class NodeCatalog : public SchemaProvider {
   void AddView(MaterializedViewDef view);
   const std::vector<MaterializedViewDef>& views() const { return views_; }
 
+  /// Statistics epoch: bumped by every catalog mutation that can change
+  /// offer prices (HostPartition — including stats refreshes of an
+  /// already-hosted partition — and AddView). The seller offer cache
+  /// stamps entries with the epoch and discards stale ones on lookup, so
+  /// no cached price survives a statistics change.
+  uint64_t stats_epoch() const {
+    return stats_epoch_.load(std::memory_order_acquire);
+  }
+
  private:
   std::string node_name_;
   std::shared_ptr<const FederationSchema> federation_;
   std::map<std::string, TableStats> hosted_;  // partition id -> stats
   std::vector<MaterializedViewDef> views_;
+  std::atomic<uint64_t> stats_epoch_{0};
 };
 
 /// Omniscient catalog for baselines and the workload generator: true

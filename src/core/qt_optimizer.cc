@@ -2,6 +2,21 @@
 
 namespace qtrade {
 
+namespace {
+/// Summed offer-cache counters over every federation seller.
+OfferCacheStats SumCacheStats(const std::vector<SellerEngine*>& sellers) {
+  OfferCacheStats sum;
+  for (const SellerEngine* seller : sellers) {
+    const OfferCacheStats s = seller->offer_cache_stats();
+    sum.hits += s.hits;
+    sum.misses += s.misses;
+    sum.evictions += s.evictions;
+    sum.invalidations += s.invalidations;
+  }
+  return sum;
+}
+}  // namespace
+
 QueryTradingOptimizer::QueryTradingOptimizer(Federation* federation,
                                              std::string buyer_node,
                                              QtOptions options)
@@ -13,13 +28,29 @@ QueryTradingOptimizer::QueryTradingOptimizer(Federation* federation,
       buyer != nullptr ? buyer->catalog.get() : nullptr,
       &federation_->factory(), federation_->transport(),
       federation_->NodeNames(), options_);
+  // The cache knob is a federation-wide property of the run, so the
+  // facade pushes it to every seller; direct-constructed SellerEngines
+  // keep their OfferGeneratorOptions default (off).
+  for (SellerEngine* seller : federation_->Sellers()) {
+    seller->set_offer_cache_capacity(options_.offer_cache_capacity);
+  }
 }
 
 Result<QtResult> QueryTradingOptimizer::Optimize(const std::string& sql) {
   if (federation_->node(buyer_node_) == nullptr) {
     return Status::NotFound("buyer node not in federation: " + buyer_node_);
   }
-  return engine_->Optimize(sql);
+  // Seller caches persist across runs (that is the point); report this
+  // run's activity as a before/after delta.
+  const OfferCacheStats before = SumCacheStats(federation_->Sellers());
+  QTRADE_ASSIGN_OR_RETURN(QtResult result, engine_->Optimize(sql));
+  const OfferCacheStats after = SumCacheStats(federation_->Sellers());
+  result.metrics.cache_hits = after.hits - before.hits;
+  result.metrics.cache_misses = after.misses - before.misses;
+  result.metrics.cache_evictions = after.evictions - before.evictions;
+  result.metrics.cache_invalidations =
+      after.invalidations - before.invalidations;
+  return result;
 }
 
 Result<RowSet> QueryTradingOptimizer::Execute(const QtResult& result) {

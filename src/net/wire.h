@@ -104,6 +104,17 @@ struct TradeMetrics {
   int64_t offers_late = 0;
   int64_t offers_duplicated = 0;
   int rounds_timed_out = 0;
+  /// Seller-side offer memoization (opt/offer_cache.h), summed over all
+  /// federation sellers for this run: repeated (signature, coverage)
+  /// requests answered from cache, cold generations, LRU evictions, and
+  /// entries discarded because catalog stats changed underneath them.
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_evictions = 0;
+  int64_t cache_invalidations = 0;
+  /// RFB-identical subqueries the buyer collapsed into one broadcast per
+  /// round (always on; keeps message counts cache-independent).
+  int64_t rfbs_deduped = 0;
 };
 
 }  // namespace qtrade

@@ -1,0 +1,110 @@
+#include "opt/offer_cache.h"
+
+namespace qtrade {
+
+GeneratedOffer RenameGeneratedOffer(
+    const GeneratedOffer& offer,
+    const std::map<std::string, std::string>& renames) {
+  GeneratedOffer out = offer;
+  if (renames.empty()) return out;
+  out.offer.query = RenameAliases(offer.offer.query, renames);
+  TupleSchema schema;
+  for (const auto& col : offer.offer.schema.columns()) {
+    auto it = renames.find(col.qualifier);
+    schema.AddColumn({it != renames.end() ? it->second : col.qualifier,
+                      col.name, col.type});
+  }
+  out.offer.schema = std::move(schema);
+  for (auto& cov : out.offer.coverage) {
+    auto it = renames.find(cov.alias);
+    if (it != renames.end()) cov.alias = it->second;
+  }
+  std::map<std::string, std::vector<std::string>> scans;
+  for (const auto& [alias, partitions] : offer.scan_partitions) {
+    auto it = renames.find(alias);
+    scans[it != renames.end() ? it->second : alias] = partitions;
+  }
+  out.scan_partitions = std::move(scans);
+  out.view_compensation = RenameAliases(offer.view_compensation, renames);
+  return out;
+}
+
+void OfferCache::set_capacity(size_t capacity) {
+  capacity_.store(capacity, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  TrimLocked();
+}
+
+std::optional<std::vector<GeneratedOffer>> OfferCache::Lookup(
+    const std::string& key, const QuerySignature& sig, uint64_t epoch) {
+  if (capacity() == 0) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  if (it->second->epoch != epoch) {
+    // Statistics changed since this price was computed: stale, discard.
+    lru_.erase(it->second);
+    index_.erase(it);
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // touch
+  const Entry& entry = *it->second;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  std::map<std::string, std::string> renames =
+      AliasRenameMap(entry.sig, sig);
+  std::vector<GeneratedOffer> out;
+  out.reserve(entry.offers.size());
+  for (const auto& offer : entry.offers) {
+    out.push_back(RenameGeneratedOffer(offer, renames));
+  }
+  return out;
+}
+
+void OfferCache::Insert(const std::string& key, const QuerySignature& sig,
+                        uint64_t epoch,
+                        const std::vector<GeneratedOffer>& offers) {
+  if (capacity() == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Concurrent generators raced on the same miss: refresh in place.
+    it->second->epoch = epoch;
+    it->second->sig = sig;
+    it->second->offers = offers;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, sig, epoch, offers});
+  index_[key] = lru_.begin();
+  TrimLocked();
+}
+
+void OfferCache::TrimLocked() {
+  const size_t cap = capacity();
+  while (lru_.size() > cap) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+OfferCacheStats OfferCache::stats() const {
+  OfferCacheStats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  out.invalidations = invalidations_.load(std::memory_order_relaxed);
+  return out;
+}
+
+size_t OfferCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace qtrade

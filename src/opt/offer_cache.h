@@ -1,0 +1,111 @@
+// Seller-side offer/cost memoization across negotiation rounds and
+// repeated workload queries. A production federation serves highly
+// repetitive workloads, yet without a cache every RFB re-runs the full
+// rewrite -> partition-cover -> DP pipeline; this LRU keyed by
+// (canonical query signature, local coverage mask) returns previously
+// priced offer sets instead.
+//
+// Correctness contract:
+//  * Entries are stamped with the owning catalog's stats epoch at insert
+//    time; a lookup under a newer epoch discards the entry (counted as an
+//    invalidation), so a cached price never survives a statistics or
+//    view-set change.
+//  * The coverage-mask key component fingerprints which partitions the
+//    node hosts for the query's tables, guarding against placement
+//    changes independently of the epoch.
+//  * Cached offers are stored under the aliases of the first query that
+//    produced them; Lookup rewrites them to the requesting query's
+//    aliases (signatures being equal guarantees the positional rename is
+//    sound). Offer ids are NOT part of the cached payload — callers mint
+//    fresh ids per RFB so wire messages stay deterministic.
+//  * Byte-identity caveat: a text-identical repeat (the round-N and
+//    repeated-workload case) is answered byte-for-byte as fresh
+//    generation would. A merely signature-identical request (permuted
+//    aliases/conjuncts) gets the same commodity set at the same prices,
+//    but spelled in the stored entry's clause/enumeration order — so
+//    offer ids may pair with the set's members differently than fresh
+//    generation. Negotiation outcomes are unaffected (ids are opaque
+//    and per-RFB).
+//  * All operations are thread-safe: one seller's cache is hit
+//    concurrently by the buyer's RFB and peers' subcontract RFBs on
+//    transport worker threads.
+#ifndef QTRADE_OPT_OFFER_CACHE_H_
+#define QTRADE_OPT_OFFER_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "opt/offer_generator.h"
+#include "opt/signature.h"
+
+namespace qtrade {
+
+/// Hit/miss/evict/invalidate counters (monotonic totals).
+struct OfferCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+  int64_t invalidations = 0;
+};
+
+/// Rewrites one generated offer (offered statement, schema qualifiers,
+/// coverage aliases, scan recipe, view compensation) through `renames`.
+/// Identity when `renames` is empty.
+GeneratedOffer RenameGeneratedOffer(
+    const GeneratedOffer& offer,
+    const std::map<std::string, std::string>& renames);
+
+class OfferCache {
+ public:
+  /// `capacity` bounds the number of cached entries; 0 disables the
+  /// cache entirely (lookups miss silently, inserts are dropped).
+  explicit OfferCache(size_t capacity = 0) : capacity_(capacity) {}
+
+  size_t capacity() const { return capacity_.load(std::memory_order_relaxed); }
+  /// Shrinking below the current size evicts LRU entries immediately.
+  void set_capacity(size_t capacity);
+
+  /// Returns the cached offer set for `key` rewritten to `sig`'s
+  /// aliases, or nullopt on miss. An entry stamped with a different
+  /// epoch than `epoch` is discarded and counted as an invalidation.
+  std::optional<std::vector<GeneratedOffer>> Lookup(const std::string& key,
+                                                    const QuerySignature& sig,
+                                                    uint64_t epoch);
+
+  /// Stores `offers` (a copy) for `key` under `sig`'s aliases at `epoch`.
+  void Insert(const std::string& key, const QuerySignature& sig,
+              uint64_t epoch, const std::vector<GeneratedOffer>& offers);
+
+  OfferCacheStats stats() const;
+  size_t size() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    QuerySignature sig;
+    uint64_t epoch = 0;
+    std::vector<GeneratedOffer> offers;
+  };
+
+  /// Evicts LRU entries down to `capacity_` (mu_ held).
+  void TrimLocked();
+
+  std::atomic<size_t> capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> evictions_{0};
+  std::atomic<int64_t> invalidations_{0};
+};
+
+}  // namespace qtrade
+
+#endif  // QTRADE_OPT_OFFER_CACHE_H_

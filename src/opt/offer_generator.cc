@@ -1,9 +1,13 @@
 #include "opt/offer_generator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <set>
 
+#include "opt/offer_cache.h"
+#include "opt/signature.h"
 #include "rewrite/view_matcher.h"
 #include "stats/selectivity.h"
 
@@ -14,6 +18,57 @@ namespace {
 using sql::BoundOutput;
 using sql::BoundQuery;
 using sql::ExprPtr;
+
+/// Adds the scope's wall time to `sink` on exit (cache hits included).
+class NsAccumulator {
+ public:
+  explicit NsAccumulator(std::atomic<int64_t>* sink)
+      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
+  ~NsAccumulator() {
+    sink_->fetch_add(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now() - start_)
+                         .count(),
+                     std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t>* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Fingerprint of which partitions of the query's tables the node hosts:
+/// per table (sorted, distinct) a bitmask over partition indices, 64 per
+/// hex word. Keys the offer cache alongside the query signature so a
+/// placement change can never resurrect a stale entry.
+std::string CoverageMaskKey(const BoundQuery& query,
+                            const NodeCatalog& catalog) {
+  std::set<std::string> tables;
+  for (const auto& tref : query.tables) tables.insert(tref.table);
+  std::string out;
+  char buf[24];
+  for (const auto& table : tables) {
+    out += table;
+    out += ':';
+    const TablePartitioning* parts =
+        catalog.federation().FindPartitioning(table);
+    if (parts != nullptr) {
+      const size_t n = parts->partitions.size();
+      for (size_t base = 0; base < n; base += 64) {
+        uint64_t word = 0;
+        for (size_t i = base; i < n && i < base + 64; ++i) {
+          if (catalog.HostsPartition(parts->partitions[i].id)) {
+            word |= uint64_t{1} << (i - base);
+          }
+        }
+        std::snprintf(buf, sizeof(buf), "%llx.",
+                      static_cast<unsigned long long>(word));
+        out += buf;
+      }
+    }
+    out += ';';
+  }
+  return out;
+}
 
 /// Offer completeness = fraction of the asked extent covered, estimated as
 /// the product over aliases of covered-partition fractions.
@@ -59,7 +114,20 @@ bool AggregatesDecomposable(const sql::BoundQuery& query) {
 OfferGenerator::OfferGenerator(const NodeCatalog* catalog,
                                const PlanFactory* factory,
                                OfferGeneratorOptions options)
-    : catalog_(catalog), factory_(factory), options_(options) {}
+    : catalog_(catalog),
+      factory_(factory),
+      options_(options),
+      cache_(std::make_unique<OfferCache>(options.offer_cache_capacity)) {}
+
+OfferGenerator::~OfferGenerator() = default;
+
+void OfferGenerator::set_cache_capacity(size_t capacity) {
+  cache_->set_capacity(capacity);
+}
+
+size_t OfferGenerator::cache_capacity() const { return cache_->capacity(); }
+
+OfferCacheStats OfferGenerator::cache_stats() const { return cache_->stats(); }
 
 std::string OfferGenerator::OfferId(const std::string& rfb_id,
                                     int64_t seq) {
@@ -85,11 +153,40 @@ QueryProperties OfferGenerator::MakeProps(double exec_cost_ms, double rows,
 
 Result<std::vector<GeneratedOffer>> OfferGenerator::Generate(
     const sql::BoundQuery& query, const std::string& rfb_id) {
+  NsAccumulator timer(&generate_ns_);
+  if (cache_->capacity() == 0) {
+    int64_t seq = 0;
+    return GenerateUncached(query, rfb_id, &seq);
+  }
+  const QuerySignature sig = CanonicalSignature(query);
+  const std::string key = sig.text + "|" + CoverageMaskKey(query, *catalog_);
+  const uint64_t epoch = catalog_->stats_epoch();
+  if (std::optional<std::vector<GeneratedOffer>> cached =
+          cache_->Lookup(key, sig, epoch)) {
+    // Memoized pricing, fresh identity: ids are minted for THIS rfb with
+    // each offer's original enumeration index, so the reply is
+    // byte-identical to what regeneration would produce.
+    for (GeneratedOffer& g : *cached) {
+      g.offer.offer_id = OfferId(rfb_id, g.seq);
+      g.offer.seller = catalog_->node_name();
+      g.offer.rfb_id = rfb_id;
+    }
+    return std::move(*cached);
+  }
+  int64_t seq = 0;
+  QTRADE_ASSIGN_OR_RETURN(std::vector<GeneratedOffer> offers,
+                          GenerateUncached(query, rfb_id, &seq));
+  cache_->Insert(key, sig, epoch, offers);
+  return offers;
+}
+
+Result<std::vector<GeneratedOffer>> OfferGenerator::GenerateUncached(
+    const sql::BoundQuery& query, const std::string& rfb_id, int64_t* seq_io) {
   std::vector<GeneratedOffer> offers;
   // Offer ids embed the rfb id plus an enumeration index, so they are
   // deterministic and unique even when one generator serves several RFBs
   // concurrently (transport worker threads).
-  int64_t seq = 0;
+  int64_t& seq = *seq_io;
 
   QTRADE_ASSIGN_OR_RETURN(std::optional<LocalRewrite> rewrite,
                           RewriteForLocalPartitions(query, *catalog_));
@@ -180,7 +277,8 @@ Result<std::vector<GeneratedOffer>> OfferGenerator::Generate(
       }
 
       Offer offer;
-      offer.offer_id = OfferId(rfb_id, seq++);
+      const int64_t offer_seq = seq++;
+      offer.offer_id = OfferId(rfb_id, offer_seq);
       offer.seller = catalog_->node_name();
       offer.rfb_id = rfb_id;
       offer.kind = OfferKind::kCoreRows;
@@ -222,6 +320,7 @@ Result<std::vector<GeneratedOffer>> OfferGenerator::Generate(
           sub.plan->cost, sub.rows, offer.row_bytes,
           CoverageCompleteness(offer.coverage, catalog_->federation()));
       GeneratedOffer generated;
+      generated.seq = offer_seq;
       generated.true_cost = offer.props.total_time_ms;
       for (const auto& cov : lr.coverage) {
         if (subset_aliases.count(cov.alias) > 0) {
@@ -245,7 +344,8 @@ Result<std::vector<GeneratedOffer>> OfferGenerator::Generate(
             [](const AliasCoverage& c) { return c.complete; });
 
         Offer offer;
-        offer.offer_id = OfferId(rfb_id, seq++);
+        const int64_t offer_seq = seq++;
+        offer.offer_id = OfferId(rfb_id, offer_seq);
         offer.seller = catalog_->node_name();
         offer.rfb_id = rfb_id;
         for (const auto& cov : lr.coverage) {
@@ -342,6 +442,7 @@ Result<std::vector<GeneratedOffer>> OfferGenerator::Generate(
               CoverageCompleteness(offer.coverage, catalog_->federation()));
         }
         GeneratedOffer generated;
+        generated.seq = offer_seq;
         generated.true_cost = offer.props.total_time_ms;
         for (const auto& cov : lr.coverage) {
           generated.scan_partitions[cov.alias] = cov.scanned_partitions;
@@ -381,7 +482,8 @@ Result<std::vector<GeneratedOffer>> OfferGenerator::Generate(
       if (!complete) continue;
 
       Offer offer;
-      offer.offer_id = OfferId(rfb_id, seq++);
+      const int64_t offer_seq = seq++;
+      offer.offer_id = OfferId(rfb_id, offer_seq);
       offer.seller = catalog_->node_name();
       offer.rfb_id = rfb_id;
       offer.kind = OfferKind::kFinalAnswer;
@@ -414,6 +516,7 @@ Result<std::vector<GeneratedOffer>> OfferGenerator::Generate(
       offer.props = MakeProps(exec, result_rows, offer.row_bytes, 1.0);
       offer.props.freshness = options_.view_freshness;
       GeneratedOffer generated;
+      generated.seq = offer_seq;
       generated.true_cost = offer.props.total_time_ms;
       generated.view_name = view.name;
       generated.view_compensation = match.compensation;

@@ -14,6 +14,7 @@
 #define QTRADE_OPT_OFFER_GENERATOR_H_
 
 #include <atomic>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,9 @@
 #include "util/status.h"
 
 namespace qtrade {
+
+class OfferCache;
+struct OfferCacheStats;
 
 struct OfferGeneratorOptions {
   /// Emit the §3.4 partial results (k-way sub-joins) as separate offers.
@@ -40,6 +44,12 @@ struct OfferGeneratorOptions {
   /// Freshness attached to materialized-view offers (base-table answers
   /// are 1.0); buyers weighting staleness (§3.1) can then avoid views.
   double view_freshness = 0.9;
+  /// Offer/cost memoization across rounds and repeated queries: number
+  /// of (signature, coverage-mask) entries the seller keeps. 0 disables
+  /// the cache, preserving uncached behavior bit-for-bit. The cached
+  /// prices themselves are invariant either way — the cache only skips
+  /// recomputation (see opt/offer_cache.h).
+  size_t offer_cache_capacity = 0;
 };
 
 /// Naming convention for partial-aggregate offer outputs: group keys keep
@@ -58,6 +68,10 @@ bool AggregatesDecomposable(const sql::BoundQuery& query);
 /// sent over the wire): how to actually produce the promised rows later.
 struct GeneratedOffer {
   Offer offer;
+  /// Enumeration index this offer's id was minted with. Stable across
+  /// the max_offers cap (which reorders), so a cache hit re-mints ids
+  /// identical to what fresh generation would have assigned.
+  int64_t seq = 0;
   /// Honest cost estimate (== offer.props.total_time_ms at generation;
   /// strategies may mark the wire copy up afterwards).
   double true_cost = 0;
@@ -73,15 +87,31 @@ class OfferGenerator {
  public:
   OfferGenerator(const NodeCatalog* catalog, const PlanFactory* factory,
                  OfferGeneratorOptions options = {});
+  ~OfferGenerator();
 
   /// Produces this node's offers for the traded query. An empty vector
-  /// means the node declines (no usable local data).
+  /// means the node declines (no usable local data). With the offer
+  /// cache enabled, a repeated (signature, coverage) request is answered
+  /// from memoized pricing — offer ids are still minted fresh for this
+  /// `rfb_id`, so the reply is byte-identical to regeneration.
   Result<std::vector<GeneratedOffer>> Generate(const sql::BoundQuery& query,
                                                const std::string& rfb_id);
 
-  /// Total offers generated so far (for experiment accounting).
+  /// Total offers generated so far (for experiment accounting; cache
+  /// hits count too — they produce the same offers).
   int64_t offers_generated() const {
     return total_generated_.load(std::memory_order_relaxed);
+  }
+
+  /// Runtime resize of the memoization cache (0 = off).
+  void set_cache_capacity(size_t capacity);
+  size_t cache_capacity() const;
+  OfferCacheStats cache_stats() const;
+
+  /// Cumulative wall-clock spent inside Generate(), cache hits included
+  /// (the seller-side offer-generation cost experiments measure).
+  int64_t generate_ns() const {
+    return generate_ns_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -95,10 +125,16 @@ class OfferGenerator {
   QueryProperties MakeProps(double exec_cost_ms, double rows,
                             double row_bytes, double completeness) const;
 
+  /// The uncached §3.4/§3.5 pipeline (rewrite, DP, views, cap).
+  Result<std::vector<GeneratedOffer>> GenerateUncached(
+      const sql::BoundQuery& query, const std::string& rfb_id, int64_t* seq);
+
   const NodeCatalog* catalog_;
   const PlanFactory* factory_;
   OfferGeneratorOptions options_;
   std::atomic<int64_t> total_generated_{0};
+  std::atomic<int64_t> generate_ns_{0};
+  std::unique_ptr<OfferCache> cache_;
 };
 
 }  // namespace qtrade

@@ -1,0 +1,248 @@
+#include "opt/signature.h"
+
+#include <algorithm>
+
+namespace qtrade {
+
+namespace {
+
+using sql::BinaryOp;
+using sql::Expr;
+using sql::ExprKind;
+using sql::ExprPtr;
+
+/// Literal rendering with a type tag (so 5, 5.0 and '5' differ).
+std::string LiteralSig(const Value& v) {
+  if (v.is_null()) return "n:NULL";
+  if (v.is_int64()) return "i:" + v.ToSqlLiteral();
+  if (v.is_double()) return "d:" + v.ToSqlLiteral();
+  if (v.is_bool()) return "b:" + v.ToSqlLiteral();
+  return "s:" + v.ToSqlLiteral();
+}
+
+const char* BinarySigOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "<>";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+  }
+  return "?";
+}
+
+class Canonicalizer {
+ public:
+  explicit Canonicalizer(const std::map<std::string, std::string>* ids)
+      : ids_(ids) {}
+
+  std::string Sig(const ExprPtr& expr) const {
+    if (!expr) return "-";
+    const Expr& e = *expr;
+    switch (e.kind) {
+      case ExprKind::kColumnRef: {
+        auto it = ids_->find(e.qualifier);
+        const std::string& id =
+            it != ids_->end() ? it->second : e.qualifier;
+        return "c:" + id + "." + e.column;
+      }
+      case ExprKind::kLiteral:
+        return LiteralSig(e.literal);
+      case ExprKind::kStar:
+        return "*";
+      case ExprKind::kUnary:
+        return std::string("(") + (e.uop == sql::UnaryOp::kNot ? "NOT " : "-")
+               + Sig(e.left) + ")";
+      case ExprKind::kAggregate: {
+        std::string out = std::string("agg:") + sql::AggFuncName(e.agg);
+        if (e.distinct) out += ":D";
+        return out + "(" + (e.left ? Sig(e.left) : "*") + ")";
+      }
+      case ExprKind::kInList: {
+        std::vector<std::string> values;
+        values.reserve(e.in_values.size());
+        for (const auto& v : e.in_values) values.push_back(LiteralSig(v));
+        std::sort(values.begin(), values.end());
+        std::string out = "(" + Sig(e.left);
+        out += e.negated ? " NOT IN [" : " IN [";
+        for (size_t i = 0; i < values.size(); ++i) {
+          if (i > 0) out += ",";
+          out += values[i];
+        }
+        return out + "])";
+      }
+      case ExprKind::kBinary:
+        return BinarySig(e);
+    }
+    return "?";
+  }
+
+ private:
+  std::string BinarySig(const Expr& e) const {
+    // AND/OR chains: flatten and sort the operand signatures, so
+    // conjunct/disjunct order never matters.
+    if (e.bop == BinaryOp::kAnd || e.bop == BinaryOp::kOr) {
+      std::vector<std::string> parts;
+      Flatten(e, e.bop, &parts);
+      std::sort(parts.begin(), parts.end());
+      std::string out = "(";
+      for (size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0) out += std::string(" ") + BinarySigOp(e.bop) + " ";
+        out += parts[i];
+      }
+      return out + ")";
+    }
+    std::string l = Sig(e.left);
+    std::string r = Sig(e.right);
+    BinaryOp op = e.bop;
+    // Symmetric operators order their operands; asymmetric comparisons
+    // are flipped instead (a < b == b > a), so both spellings agree.
+    const bool symmetric = op == BinaryOp::kEq || op == BinaryOp::kNe ||
+                           op == BinaryOp::kAdd || op == BinaryOp::kMul;
+    if (symmetric && r < l) {
+      std::swap(l, r);
+    } else if (sql::IsComparison(op) && !symmetric && r < l) {
+      std::swap(l, r);
+      op = sql::FlipComparison(op);
+    }
+    return "(" + l + " " + BinarySigOp(op) + " " + r + ")";
+  }
+
+  void Flatten(const Expr& e, BinaryOp op,
+               std::vector<std::string>* parts) const {
+    for (const ExprPtr& side : {e.left, e.right}) {
+      if (side && side->kind == ExprKind::kBinary && side->bop == op) {
+        Flatten(*side, op, parts);
+      } else {
+        parts->push_back(Sig(side));
+      }
+    }
+  }
+
+  const std::map<std::string, std::string>* ids_;
+};
+
+}  // namespace
+
+QuerySignature CanonicalSignature(const sql::BoundQuery& query) {
+  QuerySignature sig;
+
+  // Canonical alias order: by (table, alias). Positional ids then make
+  // the serialization independent of the original alias spellings.
+  std::vector<const sql::TableRef*> tables;
+  tables.reserve(query.tables.size());
+  for (const auto& t : query.tables) tables.push_back(&t);
+  std::sort(tables.begin(), tables.end(),
+            [](const sql::TableRef* a, const sql::TableRef* b) {
+              if (a->table != b->table) return a->table < b->table;
+              return a->alias < b->alias;
+            });
+  std::map<std::string, std::string> ids;
+  std::string text = "T[";
+  for (size_t i = 0; i < tables.size(); ++i) {
+    ids[tables[i]->alias] = "t" + std::to_string(i);
+    sig.aliases.push_back(tables[i]->alias);
+    if (i > 0) text += ",";
+    text += tables[i]->table;
+  }
+  text += "]";
+
+  Canonicalizer canon(&ids);
+
+  std::vector<std::string> conjuncts;
+  conjuncts.reserve(query.conjuncts.size());
+  for (const auto& c : query.conjuncts) conjuncts.push_back(canon.Sig(c.expr));
+  std::sort(conjuncts.begin(), conjuncts.end());
+  text += "W[";
+  for (size_t i = 0; i < conjuncts.size(); ++i) {
+    if (i > 0) text += "&";
+    text += conjuncts[i];
+  }
+  text += "]";
+
+  // Output order is part of the delivered schema: keep it.
+  text += "S[";
+  for (size_t i = 0; i < query.outputs.size(); ++i) {
+    const auto& out = query.outputs[i];
+    if (i > 0) text += ",";
+    text += out.name + "=" + canon.Sig(out.expr);
+  }
+  text += "]";
+
+  std::vector<std::string> groups;
+  groups.reserve(query.group_by.size());
+  for (const auto& g : query.group_by) {
+    groups.push_back(canon.Sig(sql::Col(g.alias, g.column)));
+  }
+  std::sort(groups.begin(), groups.end());
+  text += "G[";
+  for (size_t i = 0; i < groups.size(); ++i) {
+    if (i > 0) text += ",";
+    text += groups[i];
+  }
+  text += "]";
+
+  text += "H[" + canon.Sig(query.having) + "]";
+
+  text += "O[";
+  for (size_t i = 0; i < query.order_by.size(); ++i) {
+    const auto& o = query.order_by[i];
+    if (i > 0) text += ",";
+    text += canon.Sig(o.expr) + (o.ascending ? ":a" : ":d");
+  }
+  text += "]";
+
+  if (query.distinct) text += "D";
+  if (query.limit.has_value()) text += "L" + std::to_string(*query.limit);
+
+  sig.text = std::move(text);
+  return sig;
+}
+
+std::map<std::string, std::string> AliasRenameMap(const QuerySignature& from,
+                                                  const QuerySignature& to) {
+  std::map<std::string, std::string> renames;
+  const size_t n = std::min(from.aliases.size(), to.aliases.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (from.aliases[i] != to.aliases[i]) {
+      renames[from.aliases[i]] = to.aliases[i];
+    }
+  }
+  return renames;
+}
+
+sql::ExprPtr RenameAliases(const sql::ExprPtr& expr,
+                           const std::map<std::string, std::string>& renames) {
+  if (!expr || renames.empty()) return expr;
+  return sql::RewriteColumnRefs(expr, [&](const sql::Expr& ref) {
+    auto it = renames.find(ref.qualifier);
+    if (it == renames.end()) return sql::ExprPtr(nullptr);
+    return sql::Col(it->second, ref.column);
+  });
+}
+
+sql::SelectStmt RenameAliases(
+    const sql::SelectStmt& stmt,
+    const std::map<std::string, std::string>& renames) {
+  if (renames.empty()) return stmt;
+  sql::SelectStmt out = stmt;
+  for (auto& tref : out.from) {
+    auto it = renames.find(tref.alias);
+    if (it != renames.end()) tref.alias = it->second;
+  }
+  for (auto& item : out.items) item.expr = RenameAliases(item.expr, renames);
+  out.where = RenameAliases(out.where, renames);
+  for (auto& g : out.group_by) g = RenameAliases(g, renames);
+  out.having = RenameAliases(out.having, renames);
+  for (auto& o : out.order_by) o.expr = RenameAliases(o.expr, renames);
+  return out;
+}
+
+}  // namespace qtrade

@@ -1,0 +1,68 @@
+// Canonical query signatures (offer memoization, cf. multi-query
+// optimization's shared common subexpressions): a normal form for
+// BoundQuery under which syntactically different but semantically
+// identical RFB subqueries — alias renamings, permuted WHERE conjuncts,
+// flipped comparisons, reordered IN-lists — serialize to the same string
+// and therefore hash equal as cache keys.
+//
+// Normalization scheme:
+//  * Table refs are sorted by (table, alias) and alias-renamed to
+//    positional ids t0, t1, ...; every expression is serialized with the
+//    positional ids substituted for the original aliases.
+//  * WHERE conjuncts are individually canonicalized (symmetric operators
+//    order their operands, comparisons are flipped so the lesser operand
+//    serialization comes first, AND/OR chains are flattened and sorted,
+//    IN-list values are sorted) and then sorted as strings.
+//  * The output list keeps its order (column order is part of the
+//    delivered schema) but is rendered canonically; GROUP BY is sorted,
+//    ORDER BY keeps order, DISTINCT/LIMIT are appended.
+//  * Literals carry a type tag so 5 and 5.0 and '5' stay distinct.
+//
+// Self-join caveat: two aliases over the same table sort by their
+// original alias names, so a pure alias swap of a self-join may produce
+// a different signature. That is a safe false negative (a cache miss),
+// never a false positive: equal signatures imply the queries are
+// identical up to alias naming.
+#ifndef QTRADE_OPT_SIGNATURE_H_
+#define QTRADE_OPT_SIGNATURE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sql/analyzer.h"
+#include "sql/ast.h"
+
+namespace qtrade {
+
+/// A query's canonical serialization plus the alias order behind the
+/// positional ids (aliases[i] is what "t<i>" stands for).
+struct QuerySignature {
+  std::string text;
+  std::vector<std::string> aliases;
+
+  bool operator==(const QuerySignature& o) const { return text == o.text; }
+};
+
+/// Computes the canonical signature of a bound query.
+QuerySignature CanonicalSignature(const sql::BoundQuery& query);
+
+/// Positional alias rename between two queries with equal signature
+/// text: from.aliases[i] -> to.aliases[i]. Identical entries are
+/// omitted, so an empty map means "no renaming needed".
+std::map<std::string, std::string> AliasRenameMap(const QuerySignature& from,
+                                                  const QuerySignature& to);
+
+/// Rewrites every column-ref qualifier of `expr` through `renames`
+/// (aliases absent from the map are kept). Shares unchanged subtrees.
+sql::ExprPtr RenameAliases(const sql::ExprPtr& expr,
+                           const std::map<std::string, std::string>& renames);
+
+/// Rewrites a whole SELECT statement (FROM aliases plus every embedded
+/// expression) through `renames`.
+sql::SelectStmt RenameAliases(const sql::SelectStmt& stmt,
+                              const std::map<std::string, std::string>& renames);
+
+}  // namespace qtrade
+
+#endif  // QTRADE_OPT_SIGNATURE_H_

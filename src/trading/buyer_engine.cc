@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 
+#include "opt/signature.h"
 #include "util/logging.h"
 
 namespace qtrade {
@@ -17,6 +18,39 @@ double WallMs(std::chrono::steady_clock::time_point start) {
 
 /// One tag per BuyerEngine ever constructed in this process.
 std::atomic<int64_t> g_engine_counter{0};
+
+/// Identity of a traded subquery for intra-round RFB dedup: canonical
+/// signature (normalizes predicate order and literal spelling) plus the
+/// concrete alias list and ask box. Equal keys mean the same commodity
+/// requested under the same alias naming, so one broadcast's offers
+/// serve both consumers.
+std::string TradedQueryKey(const TradedQuery& traded,
+                           const NodeCatalog& catalog) {
+  std::string key;
+  const std::string sql_text = sql::ToSql(traded.stmt);
+  auto bound = sql::AnalyzeSql(sql_text, catalog);
+  if (bound.ok()) {
+    const QuerySignature sig = CanonicalSignature(*bound);
+    key = sig.text;
+    for (const auto& alias : sig.aliases) {
+      key += "|";
+      key += alias;
+    }
+  } else {
+    key = sql_text;  // still collapses byte-identical duplicates
+  }
+  key += "#";
+  for (const auto& [alias, parts] : traded.ask_box) {
+    key += alias;
+    key += "=";
+    for (const auto& pid : parts) {
+      key += pid;
+      key += ",";
+    }
+    key += ";";
+  }
+  return key;
+}
 
 }  // namespace
 
@@ -271,6 +305,24 @@ Result<QtResult> BuyerEngine::Optimize(const std::string& sql) {
   std::vector<CandidatePlan> best_candidates;
   for (int iteration = 0; iteration < options_.max_iterations; ++iteration) {
     if (to_trade.empty()) break;
+    // Collapse duplicate subqueries within this round's working set: the
+    // analyser can propose the same commodity twice (predicate-order or
+    // literal-spelling variants of one query). One broadcast serves all
+    // of them. Unconditional — message counts stay identical whether or
+    // not sellers memoize offers.
+    if (to_trade.size() > 1) {
+      std::set<std::string> seen;
+      std::vector<TradedQuery> unique;
+      unique.reserve(to_trade.size());
+      for (auto& traded : to_trade) {
+        if (seen.insert(TradedQueryKey(traded, *catalog_)).second) {
+          unique.push_back(std::move(traded));
+        } else {
+          ++result.metrics.rfbs_deduped;
+        }
+      }
+      to_trade = std::move(unique);
+    }
     // B1/B2/S1/S2: request bids for the working set Q.
     for (const auto& traded : to_trade) {
       QTRADE_RETURN_IF_ERROR(

@@ -65,6 +65,12 @@ struct QtOptions {
   /// draw identical per-message fault decisions. Leave empty unless you
   /// guarantee no two live engines share (node, label).
   std::string run_label;
+  /// Seller-side offer memoization: entries each federation seller keeps
+  /// in its (signature, coverage-mask) offer cache; 0 = off. Applied by
+  /// the QueryTradingOptimizer facade to all sellers. Plan cost, awarded
+  /// offers and message counts are identical with the cache on or off —
+  /// it only skips recomputation (see opt/offer_cache.h).
+  size_t offer_cache_capacity = 256;
 };
 
 struct QtResult {

@@ -1,7 +1,9 @@
 #include "trading/seller_engine.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <set>
+#include <unordered_map>
 
 #include "rewrite/partition_rewriter.h"
 #include "rewrite/view_matcher.h"
@@ -39,6 +41,78 @@ Result<RowSet> ProjectTo(const TupleSchema& schema, const RowSet& rows) {
     projected.reserve(indices.size());
     for (size_t idx : indices) projected.push_back(row[idx]);
     out.rows.push_back(std::move(projected));
+  }
+  return out;
+}
+
+// Interned view of one table's partition list: partition ids resolve to
+// their index in the TablePartitioning once, so the subcontracting cover
+// loop can track coverage as a word-packed bitmask instead of
+// allocating std::set<std::string> boxes per round.
+class PartitionIndex {
+ public:
+  static constexpr size_t kNotFound = static_cast<size_t>(-1);
+
+  explicit PartitionIndex(const TablePartitioning& partitioning)
+      : partitioning_(&partitioning) {
+    index_.reserve(partitioning.partitions.size());
+    for (size_t i = 0; i < partitioning.partitions.size(); ++i) {
+      index_.emplace(partitioning.partitions[i].id, i);
+    }
+  }
+
+  size_t size() const { return partitioning_->partitions.size(); }
+  const std::string& id(size_t i) const {
+    return partitioning_->partitions[i].id;
+  }
+  /// kNotFound for ids of other tables (a malformed peer coverage entry
+  /// then simply never counts as covering anything, as before).
+  size_t Find(const std::string& partition_id) const {
+    auto it = index_.find(partition_id);
+    return it == index_.end() ? kNotFound : it->second;
+  }
+
+ private:
+  const TablePartitioning* partitioning_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+// Bitmask over interned partition indices; generic word count so tables
+// with more than 64 partitions stay correct.
+class PartitionMask {
+ public:
+  explicit PartitionMask(size_t bits) : words_((bits + 63) / 64, 0) {}
+
+  void Set(size_t i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
+  void Clear(size_t i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+  bool Test(size_t i) const {
+    return ((words_[i >> 6] >> (i & 63)) & uint64_t{1}) != 0;
+  }
+  bool Any() const {
+    for (uint64_t w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+  int Count() const {
+    int n = 0;
+    for (uint64_t w : words_) n += __builtin_popcountll(w);
+    return n;
+  }
+
+ private:
+  std::vector<uint64_t> words_;
+};
+
+// Materializes a mask back into partition ids (the set-valued shape
+// BuildRestrictedSubsetQuery and offer coverage expect). Ascending
+// index order; the std::set re-sorts lexicographically exactly as the
+// old box bookkeeping did.
+std::set<std::string> MaskToIds(const PartitionMask& mask,
+                                const PartitionIndex& index) {
+  std::set<std::string> out;
+  for (size_t i = 0; i < index.size(); ++i) {
+    if (mask.Test(i)) out.insert(index.id(i));
   }
   return out;
 }
@@ -118,30 +192,32 @@ void SellerEngine::TrySubcontract(const Rfb& rfb,
   for (const AliasCoverage& cov : lr.coverage) {
     if (cov.complete || attempts >= 2) continue;
     ++attempts;
-    // The missing slice of this relation.
+    // The missing slice of this relation, as an interned bitmask.
     const TablePartitioning* partitioning =
         federation.FindPartitioning(cov.table);
-    std::set<std::string> covered(cov.covered_partitions.begin(),
-                                  cov.covered_partitions.end());
-    std::map<std::string, std::set<std::string>> missing_box;
-    for (const auto& part : partitioning->partitions) {
-      if (covered.count(part.id) == 0) {
-        missing_box[cov.alias].insert(part.id);
-      }
+    const PartitionIndex part_index(*partitioning);
+    PartitionMask covered(part_index.size());
+    for (const auto& pid : cov.covered_partitions) {
+      const size_t i = part_index.Find(pid);
+      if (i != PartitionIndex::kNotFound) covered.Set(i);
     }
-    if (missing_box.empty() || missing_box[cov.alias].size() > 4) continue;
+    PartitionMask initial_missing(part_index.size());
+    for (size_t i = 0; i < part_index.size(); ++i) {
+      if (!covered.Test(i)) initial_missing.Set(i);
+    }
+    if (!initial_missing.Any() || initial_missing.Count() > 4) continue;
 
     // Greedy multi-peer cover: each round asks peers for the fragments
     // still missing; because every sub-RFB is restricted to the current
     // missing set, delivered rows across rounds are disjoint.
-    std::set<std::string> missing = missing_box[cov.alias];
+    PartitionMask missing = initial_missing;
     std::vector<std::pair<std::string, const Offer*>> bought;
     std::vector<std::vector<Offer>> keepalive;  // owns chosen offers
     double bought_cost = 0;
     double bought_rows = 0;
-    for (int round = 0; round < 4 && !missing.empty(); ++round) {
+    for (int round = 0; round < 4 && missing.Any(); ++round) {
       std::map<std::string, std::set<std::string>> ask;
-      ask[cov.alias] = missing;
+      ask[cov.alias] = MaskToIds(missing, part_index);
       Rfb sub;
       // Deterministic id regardless of concurrent RFB handling: derived
       // from the parent RFB, not from an engine-wide counter.
@@ -168,7 +244,10 @@ void SellerEngine::TrySubcontract(const Rfb& rfb,
           if (offered == nullptr) continue;
           int covers_new = 0;
           for (const auto& pid : offered->partitions) {
-            if (missing.count(pid) > 0) ++covers_new;
+            const size_t i = part_index.Find(pid);
+            if (i != PartitionIndex::kNotFound && missing.Test(i)) {
+              ++covers_new;
+            }
           }
           if (covers_new == 0) continue;
           double marginal = offer.props.total_time_ms / covers_new;
@@ -189,10 +268,11 @@ void SellerEngine::TrySubcontract(const Rfb& rfb,
       bought_rows += chosen->props.rows;
       for (const auto& pid :
            chosen->FindCoverage(cov.alias)->partitions) {
-        missing.erase(pid);
+        const size_t i = part_index.Find(pid);
+        if (i != PartitionIndex::kNotFound) missing.Clear(i);
       }
     }
-    if (!missing.empty() || bought.empty()) continue;
+    if (missing.Any() || bought.empty()) continue;
 
     // Our own part of the relation, as a single-alias slice.
     std::map<std::string, std::set<std::string>> own_box;
@@ -235,7 +315,7 @@ void SellerEngine::TrySubcontract(const Rfb& rfb,
     combined.kind = OfferKind::kCoreRows;
     // The combined offer promises the union of both slices.
     std::map<std::string, std::set<std::string>> full_box = own_box;
-    for (const auto& pid : missing_box[cov.alias]) {
+    for (const auto& pid : MaskToIds(initial_missing, part_index)) {
       full_box[cov.alias].insert(pid);
     }
     // Provably-empty partitions stay covered for free.

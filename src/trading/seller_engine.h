@@ -24,6 +24,7 @@
 #include "exec/executor.h"
 #include "exec/storage.h"
 #include "net/transport.h"
+#include "opt/offer_cache.h"
 #include "opt/offer_generator.h"
 #include "plan/plan_factory.h"
 #include "trading/messages.h"
@@ -57,6 +58,21 @@ class SellerEngine : public NodeEndpoint {
   NodeCatalog* catalog() { return catalog_; }
   TableStore* store() { return store_; }
   SellerStrategy* strategy() { return strategy_.get(); }
+
+  /// Offer memoization (opt/offer_cache.h): capacity 0 disables. Cached
+  /// prices are epoch-invalidated on catalog stats changes, and offer
+  /// ids are minted fresh per RFB either way, so negotiation outcomes
+  /// are identical with the cache on or off.
+  void set_offer_cache_capacity(size_t capacity) {
+    generator_.set_cache_capacity(capacity);
+  }
+  size_t offer_cache_capacity() const { return generator_.cache_capacity(); }
+  OfferCacheStats offer_cache_stats() const {
+    return generator_.cache_stats();
+  }
+  /// Cumulative wall-clock this node spent generating offers (the
+  /// seller-side cost the cache experiments measure).
+  int64_t offer_generate_ns() const { return generator_.generate_ns(); }
 
   /// Fig. 2 steps S1–S2: rewrite, enumerate, analyse views, price.
   /// Quotes are strategy-adjusted; the honest estimate is kept privately.

@@ -1,0 +1,378 @@
+// Offer memoization: canonical signatures, the seller-side LRU cache
+// with stats-epoch invalidation, and the end-to-end invariant that
+// negotiation outcomes are identical with the cache on or off.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "core/qt_optimizer.h"
+#include "opt/offer_cache.h"
+#include "opt/offer_generator.h"
+#include "opt/signature.h"
+#include "tests/test_fixtures.h"
+#include "workload/workload.h"
+
+namespace qtrade {
+namespace {
+
+using testing::CustomerPartStats;
+using testing::InvoicePartStats;
+using testing::PaperFederation;
+
+struct Fixture {
+  std::shared_ptr<FederationSchema> fed = PaperFederation();
+  CostModel cost;
+  PlanFactory factory{&cost};
+
+  sql::BoundQuery Analyze(const std::string& sql) {
+    auto q = sql::AnalyzeSql(sql, *fed);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return *q;
+  }
+};
+
+TEST(SignatureTest, InvariantUnderAliasAndPredicateOrder) {
+  Fixture f;
+  sql::BoundQuery a = f.Analyze(
+      "SELECT c.custname FROM customer c "
+      "WHERE c.office = 'Athens' AND c.custid < 100");
+  // Same query: renamed alias, swapped conjuncts, flipped comparison.
+  sql::BoundQuery b = f.Analyze(
+      "SELECT k.custname FROM customer k "
+      "WHERE 100 > k.custid AND k.office = 'Athens'");
+  EXPECT_EQ(CanonicalSignature(a).text, CanonicalSignature(b).text);
+
+  // Joins: symmetric equality operands may come in either order.
+  sql::BoundQuery j1 = f.Analyze(
+      "SELECT SUM(i.charge) FROM customer c, invoiceline i "
+      "WHERE c.custid = i.custid AND c.office = 'Myconos'");
+  sql::BoundQuery j2 = f.Analyze(
+      "SELECT SUM(l.charge) FROM invoiceline l, customer k "
+      "WHERE k.office = 'Myconos' AND l.custid = k.custid");
+  EXPECT_EQ(CanonicalSignature(j1).text, CanonicalSignature(j2).text);
+}
+
+TEST(SignatureTest, DiffersOnConstantsAndShape) {
+  Fixture f;
+  const QuerySignature base = CanonicalSignature(f.Analyze(
+      "SELECT c.custname FROM customer c WHERE c.custid < 100"));
+  EXPECT_NE(base.text,
+            CanonicalSignature(
+                f.Analyze("SELECT c.custname FROM customer c "
+                          "WHERE c.custid < 200"))
+                .text);
+  EXPECT_NE(base.text,
+            CanonicalSignature(
+                f.Analyze("SELECT c.custid FROM customer c "
+                          "WHERE c.custid < 100"))
+                .text);
+  // Output order is part of the delivered schema, so it must not be
+  // normalized away.
+  EXPECT_NE(
+      CanonicalSignature(
+          f.Analyze("SELECT c.custid, c.custname FROM customer c"))
+          .text,
+      CanonicalSignature(
+          f.Analyze("SELECT c.custname, c.custid FROM customer c"))
+          .text);
+}
+
+TEST(SignatureTest, RenameMapRewritesStatements) {
+  Fixture f;
+  sql::BoundQuery a = f.Analyze(
+      "SELECT c.custname FROM customer c WHERE c.custid < 100");
+  sql::BoundQuery b = f.Analyze(
+      "SELECT k.custname FROM customer k WHERE k.custid < 100");
+  const QuerySignature sig_a = CanonicalSignature(a);
+  const QuerySignature sig_b = CanonicalSignature(b);
+  ASSERT_EQ(sig_a.text, sig_b.text);
+  auto renames = AliasRenameMap(sig_a, sig_b);
+  ASSERT_EQ(renames.size(), 1u);
+  EXPECT_EQ(renames["c"], "k");
+  sql::SelectStmt renamed = RenameAliases(a.ToStmt(), renames);
+  EXPECT_EQ(sql::ToSql(renamed), sql::ToSql(b.ToStmt()));
+
+  // Identical aliases need no renaming at all.
+  EXPECT_TRUE(AliasRenameMap(sig_b, sig_b).empty());
+}
+
+GeneratedOffer TinyOffer(const std::string& id) {
+  GeneratedOffer g;
+  g.offer.offer_id = id;
+  g.true_cost = 1.0;
+  return g;
+}
+
+QuerySignature TinySig(const std::string& text) {
+  QuerySignature sig;
+  sig.text = text;
+  return sig;
+}
+
+TEST(OfferCacheTest, LruEvictionAtCapacity) {
+  OfferCache cache(2);
+  cache.Insert("k1", TinySig("s1"), 0, {TinyOffer("o1")});
+  cache.Insert("k2", TinySig("s2"), 0, {TinyOffer("o2")});
+  EXPECT_EQ(cache.size(), 2u);
+  // Touch k1 so k2 becomes least-recently-used.
+  EXPECT_TRUE(cache.Lookup("k1", TinySig("s1"), 0).has_value());
+  cache.Insert("k3", TinySig("s3"), 0, {TinyOffer("o3")});
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_TRUE(cache.Lookup("k1", TinySig("s1"), 0).has_value());
+  EXPECT_TRUE(cache.Lookup("k3", TinySig("s3"), 0).has_value());
+  EXPECT_FALSE(cache.Lookup("k2", TinySig("s2"), 0).has_value());
+}
+
+TEST(OfferCacheTest, EpochMismatchInvalidates) {
+  OfferCache cache(8);
+  cache.Insert("k", TinySig("s"), 3, {TinyOffer("o")});
+  ASSERT_TRUE(cache.Lookup("k", TinySig("s"), 3).has_value());
+  // The catalog moved on: the entry must not be served again.
+  EXPECT_FALSE(cache.Lookup("k", TinySig("s"), 4).has_value());
+  EXPECT_EQ(cache.stats().invalidations, 1);
+  EXPECT_EQ(cache.size(), 0u);
+  cache.Insert("k", TinySig("s"), 4, {TinyOffer("o")});
+  EXPECT_TRUE(cache.Lookup("k", TinySig("s"), 4).has_value());
+}
+
+TEST(OfferCacheTest, CapacityZeroDisables) {
+  OfferCache cache(0);
+  cache.Insert("k", TinySig("s"), 0, {TinyOffer("o")});
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup("k", TinySig("s"), 0).has_value());
+}
+
+NodeCatalog MakeMyconos(const std::shared_ptr<FederationSchema>& fed) {
+  NodeCatalog node("myconos", fed);
+  (void)node.HostPartition("customer#2", CustomerPartStats("Myconos", 1000));
+  for (int i = 0; i < 3; ++i) {
+    (void)node.HostPartition("invoiceline#" + std::to_string(i),
+                             InvoicePartStats(40000, 0, 2999));
+  }
+  return node;
+}
+
+void ExpectSameGeneratedOffers(const std::vector<GeneratedOffer>& a,
+                               const std::vector<GeneratedOffer>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].offer.offer_id, b[i].offer.offer_id);
+    EXPECT_EQ(a[i].offer.seller, b[i].offer.seller);
+    EXPECT_EQ(a[i].offer.rfb_id, b[i].offer.rfb_id);
+    EXPECT_EQ(sql::ToSql(a[i].offer.query), sql::ToSql(b[i].offer.query));
+    EXPECT_EQ(a[i].offer.CoverageSignature(), b[i].offer.CoverageSignature());
+    EXPECT_DOUBLE_EQ(a[i].offer.props.total_time_ms,
+                     b[i].offer.props.total_time_ms);
+    EXPECT_DOUBLE_EQ(a[i].true_cost, b[i].true_cost);
+    EXPECT_EQ(a[i].scan_partitions, b[i].scan_partitions);
+    EXPECT_EQ(a[i].view_name, b[i].view_name);
+  }
+}
+
+/// Set-level equivalence for merely signature-identical requests
+/// (permuted aliases/conjuncts): a cache hit replays the stored entry's
+/// enumeration order while fresh generation follows the requesting
+/// statement, so the id set and the commodity set match but their
+/// pairing may not. Semantics (coverage, canonical query, prices) must
+/// agree per commodity.
+void ExpectEquivalentOfferSets(const std::vector<GeneratedOffer>& a,
+                               const std::vector<GeneratedOffer>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  Fixture sig_fixture;
+  auto descriptor = [&](const GeneratedOffer& g) {
+    const QuerySignature sig =
+        CanonicalSignature(sig_fixture.Analyze(sql::ToSql(g.offer.query)));
+    char cost[64];
+    std::snprintf(cost, sizeof(cost), "%.9g|%.9g",
+                  g.offer.props.total_time_ms, g.true_cost);
+    return g.offer.CoverageSignature() + "\n" + sig.text + "\n" + cost +
+           "\n" + g.view_name;
+  };
+  std::vector<std::string> da, db, ids_a, ids_b;
+  for (const auto& g : a) {
+    da.push_back(descriptor(g));
+    ids_a.push_back(g.offer.offer_id);
+  }
+  for (const auto& g : b) {
+    db.push_back(descriptor(g));
+    ids_b.push_back(g.offer.offer_id);
+  }
+  std::sort(da.begin(), da.end());
+  std::sort(db.begin(), db.end());
+  std::sort(ids_a.begin(), ids_a.end());
+  std::sort(ids_b.begin(), ids_b.end());
+  EXPECT_EQ(da, db);
+  EXPECT_EQ(ids_a, ids_b);
+}
+
+TEST(GeneratorCacheTest, RepeatAndAliasPermutationHitIdentically) {
+  Fixture f;
+  NodeCatalog node = MakeMyconos(f.fed);
+  OfferGeneratorOptions cached_opts;
+  cached_opts.offer_cache_capacity = 16;
+  OfferGenerator cold(&node, &f.factory);       // cache off
+  OfferGenerator warm(&node, &f.factory, cached_opts);
+
+  const std::string q1 =
+      "SELECT SUM(i.charge) FROM customer c, invoiceline i "
+      "WHERE c.custid = i.custid AND c.office = 'Myconos'";
+  // Semantically q1 with renamed aliases and permuted predicates.
+  const std::string q2 =
+      "SELECT SUM(l.charge) FROM invoiceline l, customer k "
+      "WHERE k.office = 'Myconos' AND l.custid = k.custid";
+
+  auto cold1 = cold.Generate(f.Analyze(q1), "r1");
+  auto warm1 = warm.Generate(f.Analyze(q1), "r1");
+  ASSERT_TRUE(cold1.ok() && warm1.ok());
+  ASSERT_FALSE(cold1->empty());
+  ExpectSameGeneratedOffers(*cold1, *warm1);
+  EXPECT_EQ(warm.cache_stats().hits, 0);
+  EXPECT_EQ(warm.cache_stats().misses, 1);
+
+  // Round 2 of the same RFB text: byte-identical offers from the cache.
+  auto cold2 = cold.Generate(f.Analyze(q1), "r2");
+  auto warm2 = warm.Generate(f.Analyze(q1), "r2");
+  ASSERT_TRUE(cold2.ok() && warm2.ok());
+  ExpectSameGeneratedOffers(*cold2, *warm2);
+  EXPECT_EQ(warm.cache_stats().hits, 1);
+
+  // Alias-permuted variant: the hit is rewritten to the new aliases and
+  // still matches fresh generation exactly.
+  auto cold3 = cold.Generate(f.Analyze(q2), "r3");
+  auto warm3 = warm.Generate(f.Analyze(q2), "r3");
+  ASSERT_TRUE(cold3.ok() && warm3.ok());
+  ExpectEquivalentOfferSets(*cold3, *warm3);
+  EXPECT_EQ(warm.cache_stats().hits, 2);
+  EXPECT_EQ(warm.cache_stats().misses, 1);
+}
+
+TEST(GeneratorCacheTest, StatsRefreshInvalidatesCachedPrices) {
+  Fixture f;
+  NodeCatalog node = MakeMyconos(f.fed);
+  OfferGeneratorOptions opts;
+  opts.offer_cache_capacity = 16;
+  OfferGenerator gen(&node, &f.factory, opts);
+
+  const std::string q =
+      "SELECT c.custname FROM customer c WHERE c.office = 'Myconos'";
+  auto before = gen.Generate(f.Analyze(q), "r1");
+  ASSERT_TRUE(before.ok());
+  ASSERT_FALSE(before->empty());
+
+  // Mid-negotiation statistics refresh: the hosted partition grows 50x.
+  ASSERT_TRUE(node.HostPartition("customer#2",
+                                 CustomerPartStats("Myconos", 50000))
+                  .ok());
+
+  auto after = gen.Generate(f.Analyze(q), "r2");
+  ASSERT_TRUE(after.ok());
+  ASSERT_FALSE(after->empty());
+  EXPECT_EQ(gen.cache_stats().invalidations, 1);
+  EXPECT_EQ(gen.cache_stats().hits, 0);
+  // The stale price must not be served: fresh stats price differently.
+  EXPECT_GT(after->front().true_cost, before->front().true_cost);
+
+  // And the re-priced entry matches an uncached generator exactly.
+  OfferGenerator cold(&node, &f.factory);
+  auto fresh = cold.Generate(f.Analyze(q), "r2");
+  ASSERT_TRUE(fresh.ok());
+  ExpectSameGeneratedOffers(*fresh, *after);
+}
+
+TEST(GeneratorCacheTest, ConcurrentLookupsShareOneCache) {
+  Fixture f;
+  NodeCatalog node = MakeMyconos(f.fed);
+  SellerEngine seller(&node, /*store=*/nullptr, &f.factory,
+                      std::make_unique<TruthfulStrategy>());
+  seller.set_offer_cache_capacity(64);
+
+  const std::string sql =
+      "SELECT SUM(i.charge) FROM customer c, invoiceline i "
+      "WHERE c.custid = i.custid";
+  {
+    Rfb warmup;
+    warmup.rfb_id = "warm";
+    warmup.buyer = "buyer";
+    warmup.sql = sql;
+    ASSERT_TRUE(seller.OnRfb(warmup).ok());
+  }
+  // Transport worker threads deliver the buyer's RFB and several peers'
+  // subcontract RFBs concurrently; all of them hit the one cache.
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rfb rfb;
+      rfb.rfb_id = "t" + std::to_string(t);
+      rfb.buyer = "buyer";
+      rfb.sql = sql;
+      auto offers = seller.OnRfb(rfb);
+      if (!offers.ok() || offers->empty()) failures.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(seller.offer_cache_stats().hits, kThreads);
+  EXPECT_EQ(seller.offer_cache_stats().misses, 1);
+}
+
+TEST(EndToEndCacheTest, OptimizeOutcomesIdenticalCacheOnAndOff) {
+  WorkloadParams params;
+  params.num_nodes = 6;
+  params.num_tables = 4;
+  params.partitions_per_table = 3;
+  params.replication = 2;
+  params.with_data = false;
+  params.stats_row_scale = 10;
+  params.seed = 7;
+  auto fed_off = BuildFederation(params);
+  auto fed_on = BuildFederation(params);
+  ASSERT_TRUE(fed_off.ok() && fed_on.ok());
+
+  QtOptions off_opts;
+  off_opts.offer_cache_capacity = 0;
+  off_opts.run_label = "occ";
+  QtOptions on_opts = off_opts;
+  on_opts.offer_cache_capacity = 1024;
+
+  QueryTradingOptimizer qt_off(fed_off->federation.get(),
+                               fed_off->node_names[0], off_opts);
+  QueryTradingOptimizer qt_on(fed_on->federation.get(),
+                              fed_on->node_names[0], on_opts);
+
+  // Repeat the workload so the second pass hits the caches.
+  int64_t total_hits = 0;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int q = 0; q < 2; ++q) {
+      const std::string sql = ChainQuerySql(q, 2, q % 2 == 0, false);
+      auto off = qt_off.Optimize(sql);
+      auto on = qt_on.Optimize(sql);
+      ASSERT_TRUE(off.ok() && on.ok());
+      ASSERT_TRUE(off->ok());
+      ASSERT_TRUE(on->ok());
+      // The invariant: plan cost, awarded offers, message counts — all
+      // byte-identical whether or not sellers memoize.
+      EXPECT_DOUBLE_EQ(off->cost, on->cost);
+      EXPECT_EQ(off->metrics.messages, on->metrics.messages);
+      EXPECT_EQ(off->metrics.bytes, on->metrics.bytes);
+      EXPECT_EQ(off->metrics.rfbs_sent, on->metrics.rfbs_sent);
+      EXPECT_EQ(off->metrics.offers_received, on->metrics.offers_received);
+      ASSERT_EQ(off->winning_offers.size(), on->winning_offers.size());
+      for (size_t i = 0; i < off->winning_offers.size(); ++i) {
+        EXPECT_EQ(off->winning_offers[i].offer_id,
+                  on->winning_offers[i].offer_id);
+      }
+      EXPECT_EQ(off->metrics.cache_hits, 0);
+      total_hits += on->metrics.cache_hits;
+    }
+  }
+  EXPECT_GT(total_hits, 0);
+}
+
+}  // namespace
+}  // namespace qtrade
