@@ -1,0 +1,161 @@
+// EXP-16 — Observability overhead guardrail.
+//
+// The tracing contract (src/obs/trace.h) is that a detached or disabled
+// tracer costs nothing measurable on the negotiation hot path: every
+// instrumentation site is a null check plus one relaxed atomic load.
+// This bench pins that down by running the same negotiation workload in
+// three modes and comparing median wall time per pass:
+//
+//   off       no observability attached at all (the baseline)
+//   disabled  tracer + metrics attached, but the sampling period is set
+//             so high the tracer is disabled for every timed run — the
+//             steady state of a sampled production configuration
+//   traced    tracer enabled for every negotiation (informative only;
+//             tracing is allowed to cost something)
+//
+// Exit 1 when the disabled mode regresses the median beyond the
+// threshold. The threshold is deliberately generous (CI machines are
+// noisy); the real overhead is a few relaxed loads per site.
+//
+// Flags: --smoke (small sizes, used by ci/check.sh), --json.
+#include "bench/bench_util.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace qtrade;
+using namespace qtrade::bench;
+
+namespace {
+
+struct ModeResult {
+  double median_ms = 0;
+  double min_ms = 0;
+  int64_t spans = 0;
+};
+
+ModeResult RunMode(const WorkloadParams& params,
+                   const std::vector<std::string>& workload, int reps,
+                   int trace_sample_period) {
+  ModeResult out;
+  auto built = BuildFederation(params);
+  if (!built.ok()) {
+    std::fprintf(stderr, "federation build failed: %s\n",
+                 built.status().ToString().c_str());
+    std::exit(1);
+  }
+  Federation* fed = built->federation.get();
+  QtOptions options;
+  options.run_label = "exp16";
+  options.protocol = NegotiationProtocol::kAuction;
+  // Cache off: every Optimize pays full offer generation, so the timed
+  // path is the instrumented hot path, not memoized lookups.
+  options.offer_cache_capacity = 0;
+  options.obs.trace_sample_period = trace_sample_period;
+
+  QueryTradingOptimizer qt(fed, built->node_names[0], options);
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  if (trace_sample_period > 0) {
+    qt.AttachObservability(&tracer, &metrics);
+  }
+  // Warm-up pass: absorbs cold caches and (in disabled mode) the one
+  // sampled negotiation at optimize_count 0.
+  for (const std::string& sql : workload) (void)qt.Optimize(sql);
+
+  std::vector<double> times;
+  times.reserve(reps);
+  for (int rep = 0; rep < reps; ++rep) {
+    auto start = std::chrono::steady_clock::now();
+    for (const std::string& sql : workload) (void)qt.Optimize(sql);
+    times.push_back(WallMs(start));
+  }
+  out.median_ms = Median(times);
+  out.min_ms = *std::min_element(times.begin(), times.end());
+  out.spans = static_cast<int64_t>(tracer.span_count());
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const bool json = JsonMode(argc, argv);
+
+  Banner("EXP-16", "observability overhead: off vs disabled vs traced");
+
+  WorkloadParams params;
+  params.num_nodes = smoke ? 4 : 8;
+  params.num_tables = 4;
+  params.partitions_per_table = 3;
+  params.replication = 2;
+  params.with_data = false;
+  params.stats_row_scale = 50;
+  params.rows_per_table = 1200;
+  params.seed = 31;
+  const int kQueries = smoke ? 2 : 4;
+  const int kReps = smoke ? 7 : 11;
+  std::vector<std::string> workload;
+  for (int i = 0; i < kQueries; ++i) {
+    workload.push_back(ChainQuerySql(i % 3, 2 + i % 2, i % 2 == 0, false));
+  }
+
+  // period 0 = do not attach; huge period = attached but disabled for
+  // every timed negotiation; period 1 = trace everything.
+  const ModeResult off = RunMode(params, workload, kReps, 0);
+  const ModeResult disabled = RunMode(params, workload, kReps, 1 << 20);
+  const ModeResult traced = RunMode(params, workload, kReps, 1);
+
+  const double overhead_pct =
+      off.median_ms > 0
+          ? 100.0 * (disabled.median_ms - off.median_ms) / off.median_ms
+          : 0;
+  const double traced_pct =
+      off.median_ms > 0
+          ? 100.0 * (traced.median_ms - off.median_ms) / off.median_ms
+          : 0;
+
+  std::printf("%9s | %10s %10s %8s\n", "mode", "median_ms", "min_ms",
+              "spans");
+  std::printf("%9s | %10.3f %10.3f %8lld\n", "off", off.median_ms,
+              off.min_ms, static_cast<long long>(off.spans));
+  std::printf("%9s | %10.3f %10.3f %8lld\n", "disabled", disabled.median_ms,
+              disabled.min_ms, static_cast<long long>(disabled.spans));
+  std::printf("%9s | %10.3f %10.3f %8lld\n", "traced", traced.median_ms,
+              traced.min_ms, static_cast<long long>(traced.spans));
+  std::printf("\ndisabled-tracer overhead: %+.2f%% (traced: %+.2f%%)\n",
+              overhead_pct, traced_pct);
+  if (json) {
+    JsonRow("EXP-16")
+        .Num("off_ms", off.median_ms)
+        .Num("disabled_ms", disabled.median_ms)
+        .Num("traced_ms", traced.median_ms)
+        .Num("disabled_overhead_pct", overhead_pct)
+        .Num("traced_overhead_pct", traced_pct)
+        .Int("traced_spans", traced.spans)
+        .Emit();
+  }
+
+  // Sanity: tracing actually recorded spans, and the disabled run kept
+  // only the single sampled warm-up negotiation's worth.
+  if (traced.spans == 0) {
+    std::fprintf(stderr, "traced mode recorded no spans\n");
+    return 1;
+  }
+  // Generous ceiling — the claim is "no measurable overhead", but CI
+  // wall clocks are noisy; a real regression (formatting on the hot
+  // path, a lock per message) shows up far above this.
+  const double ceiling_pct = 15.0;
+  if (overhead_pct > ceiling_pct) {
+    std::fprintf(stderr,
+                 "disabled-tracer overhead %.2f%% above the %.0f%% "
+                 "ceiling\n",
+                 overhead_pct, ceiling_pct);
+    return 1;
+  }
+  return 0;
+}

@@ -50,6 +50,10 @@ struct QtRun {
   /// and cache counters describe a fresh negotiation.
   TradeMetrics metrics;
   QtResult result;
+  /// When options.obs requested tracing: spans recorded by the warm-up
+  /// run and the Chrome trace file it wrote (for --json rows).
+  int64_t trace_spans = 0;
+  std::string trace_path;
 };
 
 /// Runs the warm-up plus `reps` timed repetitions on the same
@@ -69,6 +73,10 @@ inline QtRun RunQt(Federation* federation, const std::string& buyer,
       run.cost = result->cost;
       run.metrics = result->metrics;
       run.result = std::move(*result);
+    }
+    if (qt.tracer() != nullptr) {
+      run.trace_spans = static_cast<int64_t>(qt.tracer()->span_count());
+      run.trace_path = options.obs.trace_path;
     }
   }
   std::vector<double> times;
@@ -189,6 +197,13 @@ class JsonRow {
   }
   JsonRow& Bool(const std::string& key, bool value) {
     buf_ += ",\"" + Escaped(key) + "\":" + (value ? "true" : "false");
+    return *this;
+  }
+  /// Attaches a run's trace output (span count + trace file) when the
+  /// run was traced; a no-op otherwise, so rows stay stable.
+  JsonRow& Obs(const QtRun& run) {
+    if (run.trace_spans > 0) Int("trace_spans", run.trace_spans);
+    if (!run.trace_path.empty()) Str("trace_path", run.trace_path);
     return *this;
   }
   void Emit() const { std::printf("%s}\n", buf_.c_str()); }

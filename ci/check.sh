@@ -21,12 +21,30 @@ ctest --test-dir build --output-on-failure -j "${JOBS}"
 echo "== offer cache equivalence smoke"
 ./build/bench/bench_offer_cache --smoke
 
+# Observability smoke: a traced negotiation must produce a loadable
+# Chrome trace + metrics JSON, and a detached/disabled tracer must stay
+# within the overhead ceiling (the bench exits non-zero otherwise).
+echo "== trace export smoke"
+TRACE_PREFIX="$(mktemp -d)/qt_smoke"
+./build/examples/trace_negotiation "${TRACE_PREFIX}"
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c "import json; json.load(open('${TRACE_PREFIX}.trace.json')); \
+json.load(open('${TRACE_PREFIX}.metrics.json'))"
+  python3 tools/trace_summary.py "${TRACE_PREFIX}.trace.json" >/dev/null
+  python3 tools/trace_summary.py "${TRACE_PREFIX}.trace.jsonl" >/dev/null
+fi
+rm -rf "$(dirname "${TRACE_PREFIX}")"
+
+echo "== observability overhead smoke"
+./build/bench/bench_obs_overhead --smoke
+
 if [[ "${TSAN:-0}" == "1" ]]; then
   cmake -B build-tsan -S . -DQTRADE_TSAN=ON
   cmake --build build-tsan -j "${JOBS}" --target \
-    trading_test subcontract_test transport_fault_test offer_cache_test
+    trading_test subcontract_test transport_fault_test offer_cache_test \
+    obs_test
   for t in trading_test subcontract_test transport_fault_test \
-           offer_cache_test; do
+           offer_cache_test obs_test; do
     echo "== tsan: ${t}"
     ./build-tsan/tests/"${t}"
   done

@@ -34,6 +34,50 @@ QueryTradingOptimizer::QueryTradingOptimizer(Federation* federation,
   for (SellerEngine* seller : federation_->Sellers()) {
     seller->set_offer_cache_capacity(options_.offer_cache_capacity);
   }
+  if (options_.obs.any()) {
+    owned_tracer_ = std::make_unique<obs::Tracer>();
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    tracer_ = owned_tracer_.get();
+    metrics_ = owned_metrics_.get();
+    WireObservability();
+  }
+}
+
+void QueryTradingOptimizer::AttachObservability(
+    obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
+  tracer_ = tracer;
+  metrics_ = metrics;
+  WireObservability();
+}
+
+void QueryTradingOptimizer::WireObservability() {
+  engine_->SetObservability(tracer_, metrics_);
+  for (SellerEngine* seller : federation_->Sellers()) {
+    seller->SetObservability(tracer_, metrics_);
+  }
+  federation_->transport()->SetObservability(tracer_, metrics_);
+}
+
+void QueryTradingOptimizer::FlushObservability() {
+  if (metrics_ != nullptr) {
+    // Derived gauges computed at dump time, not on the hot path.
+    for (SellerEngine* seller : federation_->Sellers()) {
+      const OfferCacheStats s = seller->offer_cache_stats();
+      const int64_t probes = s.hits + s.misses;
+      metrics_->gauge("seller." + seller->name() + ".cache_hit_ratio")
+          ->Set(probes > 0 ? static_cast<double>(s.hits) / probes : 0.0);
+    }
+  }
+  // Export failures (unwritable path) must not fail the optimization.
+  if (tracer_ != nullptr && !options_.obs.trace_path.empty()) {
+    (void)obs::WriteChromeTrace(*tracer_, options_.obs.trace_path);
+  }
+  if (tracer_ != nullptr && !options_.obs.trace_jsonl_path.empty()) {
+    (void)obs::WriteJsonl(*tracer_, options_.obs.trace_jsonl_path);
+  }
+  if (metrics_ != nullptr && !options_.obs.metrics_json_path.empty()) {
+    (void)metrics_->WriteJson(options_.obs.metrics_json_path);
+  }
 }
 
 Result<QtResult> QueryTradingOptimizer::Optimize(const std::string& sql) {
@@ -50,6 +94,7 @@ Result<QtResult> QueryTradingOptimizer::Optimize(const std::string& sql) {
   result.metrics.cache_evictions = after.evictions - before.evictions;
   result.metrics.cache_invalidations =
       after.invalidations - before.invalidations;
+  FlushObservability();
   return result;
 }
 

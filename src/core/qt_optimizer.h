@@ -15,6 +15,8 @@
 #include <string>
 
 #include "core/federation.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "trading/buyer_engine.h"
 
 namespace qtrade {
@@ -41,11 +43,35 @@ class QueryTradingOptimizer {
   const std::string& buyer_node() const { return buyer_node_; }
   const QtOptions& options() const { return options_; }
 
+  /// Injects an externally owned tracer/metrics registry (tests,
+  /// embedders that aggregate across optimizers). Overrides any
+  /// facade-owned instances from QtOptions::obs; nulls detach
+  /// everywhere. File outputs from QtOptions::obs still apply and read
+  /// from the injected instances.
+  void AttachObservability(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
+
+  /// The active tracer/registry (facade-owned or injected); null when
+  /// observability is off.
+  obs::Tracer* tracer() { return tracer_; }
+  obs::MetricsRegistry* metrics() { return metrics_; }
+
  private:
+  /// Pushes the active handles into the buyer engine, every federation
+  /// seller and the transport (mirrors the offer-cache knob fan-out).
+  void WireObservability();
+  /// Refreshes derived gauges (per-seller cache hit ratios) and writes
+  /// the configured trace/metrics files after an Optimize.
+  void FlushObservability();
+
   Federation* federation_;
   std::string buyer_node_;
   QtOptions options_;
   std::unique_ptr<BuyerEngine> engine_;
+  /// Facade-owned instances when QtOptions::obs asks for output files.
+  std::unique_ptr<obs::Tracer> owned_tracer_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace qtrade

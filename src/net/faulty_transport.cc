@@ -23,6 +23,32 @@ void FaultyTransport::AdvanceRound(double ms) { inner_->AdvanceRound(ms); }
 
 SimNetwork* FaultyTransport::network() { return inner_->network(); }
 
+void FaultyTransport::SetObservability(obs::Tracer* tracer,
+                                       obs::MetricsRegistry* metrics) {
+  tracer_.store(tracer, std::memory_order_relaxed);
+  metrics_.store(metrics, std::memory_order_relaxed);
+  inner_->SetObservability(tracer, metrics);
+}
+
+void FaultyTransport::ObserveFault(const char* kind, const std::string& node,
+                                   obs::SpanRef parent,
+                                   int64_t lost_offers) {
+  if (obs::MetricsRegistry* metrics =
+          metrics_.load(std::memory_order_relaxed)) {
+    metrics->counter("fault." + node + "." + kind)->Increment();
+    if (lost_offers > 0) {
+      metrics->counter("fault." + node + ".offers_lost")->Add(lost_offers);
+    }
+  }
+  obs::Tracer* tracer = tracer_.load(std::memory_order_relaxed);
+  if (obs::Tracer::Active(tracer)) {
+    obs::Span instant =
+        tracer->StartInstant(std::string("fault[") + kind + "]", parent);
+    instant.Node(node);
+    if (lost_offers > 0) instant.Attr("offers_lost", lost_offers);
+  }
+}
+
 FaultStats FaultyTransport::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
@@ -46,6 +72,7 @@ std::vector<OfferReply> FaultyTransport::BroadcastRfb(
       out.push_back(std::move(reply));
       continue;
     }
+    const obs::SpanRef rfb_span{rfb.trace_parent, rfb.trace_round};
     Rng rng = DecisionRng(rfb.rfb_id + "|" + reply.seller);
     if (rng.Chance(options_.drop_rate)) {
       reply.dropped = true;
@@ -56,13 +83,18 @@ std::vector<OfferReply> FaultyTransport::BroadcastRfb(
         ++stats_.replies_dropped;
         stats_.offers_dropped += reply.dropped_offers;
       }
+      ObserveFault("reply_dropped", reply.seller, rfb_span,
+                   reply.dropped_offers);
       out.push_back(std::move(reply));
       continue;
     }
     if (rng.Chance(options_.delay_rate)) {
       reply.arrival_ms += options_.delay_ms;
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.replies_delayed;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.replies_delayed;
+      }
+      ObserveFault("reply_delayed", reply.seller, rfb_span);
     }
     bool duplicate = rng.Chance(options_.duplicate_rate);
     out.push_back(std::move(reply));
@@ -70,8 +102,11 @@ std::vector<OfferReply> FaultyTransport::BroadcastRfb(
       OfferReply dup = out.back();
       dup.duplicated = true;
       out.push_back(std::move(dup));
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.replies_duplicated;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.replies_duplicated;
+      }
+      ObserveFault("reply_duplicated", out[out.size() - 1].seller, rfb_span);
     }
   }
   return out;
@@ -89,8 +124,11 @@ TickReply FaultyTransport::SendAuctionTick(const std::string& from,
   if (rng.Chance(options_.drop_rate)) {
     reply.updated.reset();
     reply.dropped = true;
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.ticks_dropped;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.ticks_dropped;
+    }
+    ObserveFault("tick_dropped", to, {});
   }
   return reply;
 }
@@ -108,8 +146,11 @@ TickReply FaultyTransport::SendCounterOffer(const std::string& from,
   if (rng.Chance(options_.drop_rate)) {
     reply.updated.reset();
     reply.dropped = true;
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.ticks_dropped;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.ticks_dropped;
+    }
+    ObserveFault("tick_dropped", to, {});
   }
   return reply;
 }
@@ -125,8 +166,11 @@ double FaultyTransport::SendAwards(const std::string& from,
       // The message is sent (and accounted) but never delivered.
       double t = inner_->network()->Send(from, to, batch.WireBytes(),
                                          "award");
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.awards_dropped;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.awards_dropped;
+      }
+      ObserveFault("award_dropped", to, {});
       return t;
     }
   }

@@ -15,6 +15,7 @@
 #ifndef QTRADE_NET_FAULTY_TRANSPORT_H_
 #define QTRADE_NET_FAULTY_TRANSPORT_H_
 
+#include <atomic>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -67,6 +68,12 @@ class FaultyTransport : public Transport {
                     const AwardBatch& batch) override;
   void AdvanceRound(double ms) override;
   SimNetwork* network() override;
+  /// Forwards to the inner transport (per-message accounting) and keeps
+  /// the handles locally to annotate fault decisions: every injected
+  /// drop/delay/duplicate emits a fault[kind] instant and bumps a
+  /// per-node fault.<node>.* counter.
+  void SetObservability(obs::Tracer* tracer,
+                        obs::MetricsRegistry* metrics) override;
 
   FaultStats stats() const;
   const FaultOptions& options() const { return options_; }
@@ -76,10 +83,16 @@ class FaultyTransport : public Transport {
   /// and the message identity (thread-safe, order-independent).
   Rng DecisionRng(const std::string& key) const;
 
+  /// Records one injected fault against `node` (see SetObservability).
+  void ObserveFault(const char* kind, const std::string& node,
+                    obs::SpanRef parent, int64_t lost_offers = 0);
+
   Transport* inner_;
   FaultOptions options_;
   mutable std::mutex mu_;  // guards stats_ (broadcasts may be nested)
   FaultStats stats_;
+  std::atomic<obs::Tracer*> tracer_{nullptr};
+  std::atomic<obs::MetricsRegistry*> metrics_{nullptr};
 };
 
 }  // namespace qtrade

@@ -21,6 +21,56 @@ InProcessTransport::InProcessTransport(SimNetwork* network,
                                        InProcessTransportOptions options)
     : network_(network), options_(options) {}
 
+void InProcessTransport::SetObservability(obs::Tracer* tracer,
+                                          obs::MetricsRegistry* metrics) {
+  std::lock_guard<std::mutex> lock(io_mu_);
+  tracer_.store(tracer, std::memory_order_relaxed);
+  metrics_.store(metrics, std::memory_order_relaxed);
+  io_.clear();  // handles belong to the previous registry
+}
+
+InProcessTransport::NodeIo* InProcessTransport::io(const std::string& node) {
+  std::lock_guard<std::mutex> lock(io_mu_);
+  obs::MetricsRegistry* metrics = metrics_.load(std::memory_order_relaxed);
+  if (metrics == nullptr) return nullptr;
+  auto it = io_.find(node);
+  if (it == io_.end()) {
+    NodeIo handles;
+    const std::string prefix = "transport." + node + ".";
+    handles.msgs_sent = metrics->counter(prefix + "msgs_sent");
+    handles.bytes_sent = metrics->counter(prefix + "bytes_sent");
+    handles.msgs_recv = metrics->counter(prefix + "msgs_recv");
+    handles.bytes_recv = metrics->counter(prefix + "bytes_recv");
+    it = io_.emplace(node, handles).first;
+  }
+  return &it->second;
+}
+
+void InProcessTransport::ObserveSend(const std::string& from,
+                                     const std::string& to, int64_t bytes,
+                                     const char* kind, obs::SpanRef parent) {
+  // Fast path when no observability is attached: two relaxed loads.
+  obs::Tracer* tracer = tracer_.load(std::memory_order_relaxed);
+  if (metrics_.load(std::memory_order_relaxed) == nullptr &&
+      tracer == nullptr) {
+    return;
+  }
+  if (NodeIo* out = io(from)) {
+    out->msgs_sent->Increment();
+    out->bytes_sent->Add(bytes);
+  }
+  if (NodeIo* in = io(to)) {
+    in->msgs_recv->Increment();
+    in->bytes_recv->Add(bytes);
+  }
+  if (obs::Tracer::Active(tracer)) {
+    tracer->StartInstant(std::string("send[") + kind + "]", parent)
+        .Node(from)
+        .Attr("to", to)
+        .Attr("bytes", bytes);
+  }
+}
+
 void InProcessTransport::Register(NodeEndpoint* endpoint) {
   if (endpoint == nullptr) return;
   std::lock_guard<std::mutex> lock(mu_);
@@ -57,9 +107,11 @@ std::vector<OfferReply> InProcessTransport::BroadcastRfb(
 
   // RFB deliveries are accounted on the dispatching thread, so counters
   // are identical whether the handlers below run serially or in parallel.
+  const obs::SpanRef rfb_span{rfb.trace_parent, rfb.trace_round};
   for (size_t i = 0; i < n; ++i) {
     tasks[i].ep = endpoint(to[i]);
     tasks[i].out_ms = network_->Send(from, to[i], rfb.WireBytes(), rfb_kind);
+    ObserveSend(from, to[i], rfb.WireBytes(), rfb_kind, rfb_span);
     if (tasks[i].ep == nullptr) {
       tasks[i].status = Status::NotFound("no endpoint registered: " + to[i]);
     }
@@ -115,9 +167,9 @@ std::vector<OfferReply> InProcessTransport::BroadcastRfb(
       reply.arrival_ms = task.out_ms + task.compute_ms;
       continue;
     }
-    double back_ms =
-        network_->Send(to[i], from, OfferBatchWireBytes(task.offers),
-                       offer_kind);
+    const int64_t batch_bytes = OfferBatchWireBytes(task.offers);
+    double back_ms = network_->Send(to[i], from, batch_bytes, offer_kind);
+    ObserveSend(to[i], from, batch_bytes, offer_kind, rfb_span);
     reply.offers = std::move(task.offers);
     reply.arrival_ms = task.out_ms + task.compute_ms + back_ms;
   }
@@ -131,13 +183,15 @@ TickReply InProcessTransport::SendAuctionTick(const std::string& from,
   if (ep == nullptr) return {std::nullopt, 0, true};
   TickReply reply;
   double out_ms = network_->Send(from, to, tick.WireBytes(), "auction");
+  ObserveSend(from, to, tick.WireBytes(), "auction", {});
   auto start = std::chrono::steady_clock::now();
   reply.updated = ep->HandleAuctionTick(tick);
   double compute_ms = WallMs(start);
   double back_ms = 0;
   if (reply.updated.has_value()) {
-    back_ms = network_->Send(to, from, OfferWireBytes(*reply.updated),
-                             "offer");
+    const int64_t offer_bytes = OfferWireBytes(*reply.updated);
+    back_ms = network_->Send(to, from, offer_bytes, "offer");
+    ObserveSend(to, from, offer_bytes, "offer", {});
   }
   reply.elapsed_ms = out_ms + compute_ms + back_ms;
   return reply;
@@ -150,11 +204,13 @@ TickReply InProcessTransport::SendCounterOffer(const std::string& from,
   if (ep == nullptr) return {std::nullopt, 0, true};
   TickReply reply;
   double out_ms = network_->Send(from, to, counter.WireBytes(), "bargain");
+  ObserveSend(from, to, counter.WireBytes(), "bargain", {});
   auto start = std::chrono::steady_clock::now();
   reply.updated = ep->HandleCounterOffer(counter);
   double compute_ms = WallMs(start);
   // Accept or hold, the seller always answers a counter-offer.
   double back_ms = network_->Send(to, from, 64, "bargain");
+  ObserveSend(to, from, 64, "bargain", {});
   reply.elapsed_ms = out_ms + compute_ms + back_ms;
   return reply;
 }
@@ -165,6 +221,7 @@ double InProcessTransport::SendAwards(const std::string& from,
   NodeEndpoint* ep = endpoint(to);
   if (ep == nullptr) return 0;
   double out_ms = network_->Send(from, to, batch.WireBytes(), "award");
+  ObserveSend(from, to, batch.WireBytes(), "award", {});
   ep->HandleAwards(batch);
   return out_ms;
 }

@@ -21,6 +21,7 @@
 #ifndef QTRADE_NET_TRANSPORT_H_
 #define QTRADE_NET_TRANSPORT_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -30,6 +31,8 @@
 
 #include "net/network.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "types/row.h"
 #include "util/status.h"
 
@@ -126,6 +129,16 @@ class Transport {
 
   /// The underlying accounting network (message/byte totals, clock).
   virtual SimNetwork* network() = 0;
+
+  /// Attaches (or detaches, with nulls) tracing and metrics. Transports
+  /// that implement it emit per-message instants and per-node
+  /// message/byte counters; the default is a no-op so minimal transports
+  /// stay trivial. Decorators forward to their inner transport.
+  virtual void SetObservability(obs::Tracer* tracer,
+                                obs::MetricsRegistry* metrics) {
+    (void)tracer;
+    (void)metrics;
+  }
 };
 
 struct InProcessTransportOptions {
@@ -169,12 +182,35 @@ class InProcessTransport : public Transport {
                     const AwardBatch& batch) override;
   void AdvanceRound(double ms) override;
   SimNetwork* network() override { return network_; }
+  void SetObservability(obs::Tracer* tracer,
+                        obs::MetricsRegistry* metrics) override;
 
  private:
+  /// Cached per-node instrument handles so per-message accounting is
+  /// four relaxed atomic adds, not four registry lookups.
+  struct NodeIo {
+    obs::Counter* msgs_sent = nullptr;
+    obs::Counter* bytes_sent = nullptr;
+    obs::Counter* msgs_recv = nullptr;
+    obs::Counter* bytes_recv = nullptr;
+  };
+  NodeIo* io(const std::string& node);
+
+  /// Counts one accounted message on both endpoints' counters and, when
+  /// tracing, emits a send[kind] instant carrying the message size.
+  void ObserveSend(const std::string& from, const std::string& to,
+                   int64_t bytes, const char* kind, obs::SpanRef parent);
+
   SimNetwork* network_;
   InProcessTransportOptions options_;
   mutable std::mutex mu_;  // guards endpoints_ (registration vs lookup)
   std::map<std::string, NodeEndpoint*> endpoints_;
+  /// Atomics so the per-message fast path (no observability attached)
+  /// is two relaxed loads — no lock, nothing formatted.
+  std::atomic<obs::Tracer*> tracer_{nullptr};
+  std::atomic<obs::MetricsRegistry*> metrics_{nullptr};
+  std::mutex io_mu_;  // guards io_ (worker threads resolve handles)
+  std::map<std::string, NodeIo> io_;
 };
 
 }  // namespace qtrade

@@ -18,6 +18,17 @@
 
 namespace qtrade {
 
+/// Fixed per-envelope framing overhead assumed by the WireBytes()
+/// estimates (message type tag, lengths, checksums).
+inline constexpr int64_t kWireFramingBytes = 64;
+
+/// Pre-observability behavior: the negotiation tick/award envelopes
+/// reported hard-coded sizes (AuctionTick 64, CounterOffer 96, AwardBatch
+/// 64 + 48/award) regardless of payload, so their byte metrics did not
+/// respond to content. Flip to true only to reproduce byte totals from
+/// benches recorded before the content-based estimates landed.
+inline constexpr bool kLegacyTickWireBytes = false;
+
 /// Request for bids (paper Fig. 2, step B2).
 struct Rfb {
   std::string rfb_id;
@@ -27,13 +38,20 @@ struct Rfb {
   /// May the receiving seller subcontract missing fragments from its own
   /// peers (§3.5)? Subcontract RFBs clear this, bounding the depth at 1.
   bool allow_subcontract = true;
+  /// Trace context (like a W3C traceparent header): the buyer's
+  /// rfb_broadcast span and negotiation round, so seller-side spans nest
+  /// under the broadcast that caused them. 0/-1 = untraced. Excluded
+  /// from WireBytes() so byte metrics are identical with tracing on or
+  /// off.
+  uint64_t trace_parent = 0;
+  int32_t trace_round = -1;
 
   /// Approximate wire size: all serialized fields (rfb_id, buyer node
   /// name, SQL text, reserve value, subcontract flag) plus framing.
   int64_t WireBytes() const {
     return static_cast<int64_t>(rfb_id.size() + buyer.size() + sql.size()) +
            8 /* reserve_value */ + 1 /* allow_subcontract */ +
-           64 /* framing */;
+           kWireFramingBytes;
   }
 };
 
@@ -58,8 +76,22 @@ struct AwardBatch {
   std::vector<Award> awards;
   std::vector<std::string> lost_offer_ids;
 
+  /// Envelope plus each award's id strings and each losing offer id
+  /// (previously a hard-coded 64 + 48/award that ignored id lengths and
+  /// the loser list entirely).
   int64_t WireBytes() const {
-    return 64 + 48 * static_cast<int64_t>(awards.size());
+    if (kLegacyTickWireBytes) {
+      return 64 + 48 * static_cast<int64_t>(awards.size());
+    }
+    int64_t bytes = kWireFramingBytes;
+    for (const auto& award : awards) {
+      bytes += 8 + static_cast<int64_t>(award.rfb_id.size() +
+                                        award.offer_id.size());
+    }
+    for (const auto& id : lost_offer_ids) {
+      bytes += 8 + static_cast<int64_t>(id.size());
+    }
+    return bytes;
   }
 };
 
@@ -71,7 +103,12 @@ struct AuctionTick {
   std::string signature;  // Offer::CoverageSignature() of the group
   double best_score = 0;  // score of the currently winning offer
 
-  int64_t WireBytes() const { return 64; }
+  /// Identity strings + score + framing (previously a hard-coded 64).
+  int64_t WireBytes() const {
+    if (kLegacyTickWireBytes) return 64;
+    return static_cast<int64_t>(rfb_id.size() + signature.size()) +
+           8 /* best_score */ + kWireFramingBytes;
+  }
 };
 
 /// Bargaining counter-offer: the buyer pushes the best bidder of one
@@ -81,7 +118,12 @@ struct CounterOffer {
   std::string signature;
   double target_value = 0;
 
-  int64_t WireBytes() const { return 96; }
+  /// Identity strings + target + framing (previously a hard-coded 96).
+  int64_t WireBytes() const {
+    if (kLegacyTickWireBytes) return 96;
+    return static_cast<int64_t>(rfb_id.size() + signature.size()) +
+           8 /* target_value */ + kWireFramingBytes;
+  }
 };
 
 /// Accounting for one optimization run.

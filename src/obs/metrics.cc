@@ -1,0 +1,98 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cstdio>
+
+namespace qtrade::obs {
+
+void Histogram::Observe(int64_t value) {
+  if (value < 0) value = 0;
+  // Value v lands in the first bucket whose bound 2^i satisfies v <= 2^i:
+  // i = bit_width(v - 1) for v >= 2, bucket 0 for v in {0, 1}.
+  int idx = 0;
+  if (value > 1) {
+    idx = std::bit_width(static_cast<uint64_t>(value - 1));
+    if (idx >= kBuckets) idx = kBuckets - 1;
+  }
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":" + std::to_string(c->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", g->value());
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":" + buf;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":{\"count\":" + std::to_string(h->count()) +
+           ",\"sum\":" + std::to_string(h->sum()) + ",\"buckets\":[";
+    bool first_bucket = true;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      const int64_t n = h->bucket(i);
+      if (n == 0) continue;  // sparse: empty buckets are implied
+      if (!first_bucket) out += ",";
+      first_bucket = false;
+      if (i < Histogram::kBuckets - 1) {
+        out += "{\"le\":" + std::to_string(Histogram::BucketBound(i)) +
+               ",\"count\":" + std::to_string(n) + "}";
+      } else {
+        out += "{\"le\":\"inf\",\"count\":" + std::to_string(n) + "}";
+      }
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+Status MetricsRegistry::WriteJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open metrics file: " + path);
+  }
+  std::fputs(ToJson().c_str(), f);
+  std::fputs("\n", f);
+  std::fclose(f);
+  return Status::OK();
+}
+
+}  // namespace qtrade::obs

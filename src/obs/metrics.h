@@ -1,0 +1,109 @@
+// Named counters, gauges and histograms for the trading pipeline: the
+// per-node, per-phase breakdown of what TradeMetrics only reports as
+// run-level sums (per-seller offer-generation latency, cache hit
+// ratios, per-node transport bytes/messages, dropped/late offers).
+//
+// Usage pattern: look an instrument up once (registry mutex, get-or-
+// create) and keep the pointer — instruments are never deallocated while
+// the registry lives, and all updates are relaxed atomics, so the hot
+// path never locks. The registry is snapshotable mid-run (ToJson reads
+// the atomics without stopping writers).
+#ifndef QTRADE_OBS_METRICS_H_
+#define QTRADE_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace qtrade::obs {
+
+class Counter {
+ public:
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(double value) {
+    bits_.store(Encode(value), std::memory_order_relaxed);
+  }
+  double value() const {
+    return Decode(bits_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  static uint64_t Encode(double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    return bits;
+  }
+  static double Decode(uint64_t bits) {
+    double v;
+    __builtin_memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::atomic<uint64_t> bits_{0};
+};
+
+/// Log-scaled latency histogram: bucket i counts observations with
+/// value <= 2^i (bucket 0 covers <= 1), the last bucket is +Inf. With
+/// 26 finite buckets the microsecond scale spans 1us .. ~67s.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 27;  // 26 finite + overflow
+
+  void Observe(int64_t value);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  int64_t bucket(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Upper bound of finite bucket i (2^i); the last bucket has no bound.
+  static int64_t BucketBound(int i) { return int64_t{1} << i; }
+
+ private:
+  std::atomic<int64_t> buckets_[kBuckets] = {};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+};
+
+class MetricsRegistry {
+ public:
+  /// Get-or-create by name; returned pointers stay valid for the
+  /// registry's lifetime. A name denotes one instrument kind only.
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  /// Mid-run-safe JSON snapshot:
+  ///   {"counters":{...},"gauges":{...},
+  ///    "histograms":{name:{"count":..,"sum":..,
+  ///                        "buckets":[{"le":2,"count":..},...]}}}
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path`.
+  Status WriteJson(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace qtrade::obs
+
+#endif  // QTRADE_OBS_METRICS_H_

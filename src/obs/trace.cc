@@ -1,0 +1,240 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <map>
+
+namespace qtrade::obs {
+
+namespace {
+
+/// JSON string escaping for span names, node names and attr values.
+std::string Escaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string AttrsJson(const SpanRecord& rec) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : rec.attrs) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + Escaped(key) + "\":\"" + Escaped(value) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+class FileCloser {
+ public:
+  explicit FileCloser(std::FILE* f) : f_(f) {}
+  ~FileCloser() {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+
+ private:
+  std::FILE* f_;
+};
+
+}  // namespace
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    End();
+    tracer_ = other.tracer_;
+    rec_ = std::move(other.rec_);
+    start_ = other.start_;
+    other.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+Span& Span::Node(const std::string& node) {
+  if (rec_) rec_->node = node;
+  return *this;
+}
+
+Span& Span::Round(int32_t round) {
+  if (rec_) rec_->round = round;
+  return *this;
+}
+
+Span& Span::Attr(const char* key, const std::string& value) {
+  if (rec_) rec_->attrs.emplace_back(key, value);
+  return *this;
+}
+
+Span& Span::Attr(const char* key, const char* value) {
+  if (rec_) rec_->attrs.emplace_back(key, value);
+  return *this;
+}
+
+Span& Span::Attr(const char* key, int64_t value) {
+  if (rec_) rec_->attrs.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+Span& Span::Attr(const char* key, double value) {
+  if (rec_) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    rec_->attrs.emplace_back(key, buf);
+  }
+  return *this;
+}
+
+void Span::End() {
+  if (rec_ == nullptr || tracer_ == nullptr) return;
+  rec_->dur_us =
+      rec_->instant
+          ? 0
+          : std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+  tracer_->Record(std::move(rec_));
+  tracer_ = nullptr;
+}
+
+Span Tracer::StartSpan(std::string name, SpanRef parent) {
+  Span span;
+  if (!enabled()) return span;
+  span.tracer_ = this;
+  span.start_ = std::chrono::steady_clock::now();
+  span.rec_ = std::make_unique<SpanRecord>();
+  span.rec_->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  span.rec_->parent = parent.id;
+  span.rec_->round = parent.round;
+  span.rec_->name = std::move(name);
+  span.rec_->start_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                            span.start_ - epoch_)
+                            .count();
+  return span;
+}
+
+Span Tracer::StartInstant(std::string name, SpanRef parent) {
+  Span span = StartSpan(std::move(name), parent);
+  if (span.rec_) span.rec_->instant = true;
+  return span;
+}
+
+int64_t Tracer::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void Tracer::Record(std::unique_ptr<SpanRecord> rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(std::move(*rec));
+}
+
+std::vector<SpanRecord> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+size_t Tracer::span_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+}
+
+Status WriteChromeTrace(const Tracer& tracer, const std::string& path) {
+  const std::vector<SpanRecord> spans = tracer.Snapshot();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open trace file: " + path);
+  }
+  FileCloser closer(f);
+
+  // Stable pid per node name; unattributed spans go to pid 0 ("buyer
+  // process" metadata still names it).
+  std::map<std::string, int> pids;
+  for (const auto& rec : spans) {
+    if (pids.count(rec.node) == 0) {
+      const int next = static_cast<int>(pids.size());
+      pids.emplace(rec.node, next);
+    }
+  }
+
+  std::fputs("{\"traceEvents\":[\n", f);
+  bool first = true;
+  for (const auto& [node, pid] : pids) {
+    std::fprintf(f,
+                 "%s{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+                 "\"tid\":0,\"args\":{\"name\":\"%s\"}}",
+                 first ? "" : ",\n", pid,
+                 Escaped(node.empty() ? "(unattributed)" : node).c_str());
+    first = false;
+  }
+  for (const auto& rec : spans) {
+    const int pid = pids[rec.node];
+    const int tid = rec.round >= 0 ? rec.round : 0;
+    std::string args = "{";
+    args += "\"id\":\"" + std::to_string(rec.id) + "\"";
+    args += ",\"parent\":\"" + std::to_string(rec.parent) + "\"";
+    for (const auto& [key, value] : rec.attrs) {
+      args += ",\"" + Escaped(key) + "\":\"" + Escaped(value) + "\"";
+    }
+    args += "}";
+    std::fprintf(
+        f,
+        "%s{\"name\":\"%s\",\"cat\":\"qtrade\",\"ph\":\"%s\",\"ts\":%lld,"
+        "%s\"pid\":%d,\"tid\":%d,\"args\":%s}",
+        first ? "" : ",\n", Escaped(rec.name).c_str(),
+        rec.instant ? "i" : "X", static_cast<long long>(rec.start_us),
+        rec.instant
+            ? "\"s\":\"t\","
+            : ("\"dur\":" + std::to_string(rec.dur_us) + ",").c_str(),
+        pid, tid, args.c_str());
+    first = false;
+  }
+  std::fputs("\n]}\n", f);
+  return Status::OK();
+}
+
+Status WriteJsonl(const Tracer& tracer, const std::string& path) {
+  const std::vector<SpanRecord> spans = tracer.Snapshot();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open trace file: " + path);
+  }
+  FileCloser closer(f);
+  for (const auto& rec : spans) {
+    std::fprintf(f,
+                 "{\"ts_us\":%lld,\"dur_us\":%lld,\"name\":\"%s\","
+                 "\"node\":\"%s\",\"round\":%d,\"id\":%llu,"
+                 "\"parent\":%llu,\"instant\":%s,\"attrs\":%s}\n",
+                 static_cast<long long>(rec.start_us),
+                 static_cast<long long>(rec.dur_us),
+                 Escaped(rec.name).c_str(), Escaped(rec.node).c_str(),
+                 rec.round, static_cast<unsigned long long>(rec.id),
+                 static_cast<unsigned long long>(rec.parent),
+                 rec.instant ? "true" : "false", AttrsJson(rec).c_str());
+  }
+  return Status::OK();
+}
+
+}  // namespace qtrade::obs

@@ -1,0 +1,176 @@
+// Negotiation tracing: nested spans over the trading pipeline (buyer
+// round loop, seller offer generation, transport sends), exportable as
+// Chrome `chrome://tracing` JSON or flat JSONL.
+//
+// Span taxonomy (see DESIGN.md "Observability"):
+//   negotiation                 one BuyerEngine::Optimize call (root)
+//     round[i]                  one Fig. 2 outer-loop iteration
+//       rfb_broadcast           one RFB fan-out + reply collection
+//         offer_gen             one seller answering (node = seller)
+//           cache_lookup        offer-cache probe (attr hit=0/1)
+//           rewrite             §3.4 partition rewrite
+//           dp_enumerate        seller-side DP/IDP enumeration
+//         partition_cover       §3.5 subcontract greedy cover
+//       rank_offers             nested negotiation (auction/bargain)
+//       plan_assemble           buyer-side coverage DP
+//     award                     winner/loser notification fan-out
+//   send[kind] / fault[kind]    transport instants (message size, faults)
+//
+// Concurrency: spans are started and annotated lock-free (each live span
+// owns its record on the heap; ids come from one atomic); only finishing
+// a span takes the tracer mutex for a single vector push. Seller spans
+// from parallel transport worker threads therefore never contend during
+// generation, which is the hot path.
+//
+// Overhead discipline: every instrumentation site guards on
+// Tracer::Active(tracer) — a null check plus one relaxed atomic load —
+// so a detached (null) or disabled tracer costs nothing measurable on
+// the negotiation hot path (bench_obs_overhead pins this down).
+#ifndef QTRADE_OBS_TRACE_H_
+#define QTRADE_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace qtrade::obs {
+
+/// One finished span (or instant event) as recorded by the tracer.
+struct SpanRecord {
+  uint64_t id = 0;
+  uint64_t parent = 0;  // 0 = root
+  std::string name;
+  std::string node;     // federation node (Chrome-trace pid dimension)
+  int32_t round = -1;   // negotiation round (Chrome-trace tid dimension)
+  bool instant = false; // point event (transport send, fault injection)
+  int64_t start_us = 0; // relative to the tracer's epoch
+  int64_t dur_us = 0;
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+/// Span identity passable across threads and engine boundaries (the Rfb
+/// envelope carries one so seller spans parent under the buyer's
+/// rfb_broadcast span).
+struct SpanRef {
+  uint64_t id = 0;
+  int32_t round = -1;
+};
+
+class Tracer;
+
+/// RAII handle for an in-flight span. Default-constructed (or started
+/// against a disabled tracer) it is inert: every method is a null check.
+/// Move-only; records into the tracer on End()/destruction.
+class Span {
+ public:
+  Span() = default;
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { End(); }
+
+  bool active() const { return rec_ != nullptr; }
+  uint64_t id() const { return rec_ ? rec_->id : 0; }
+  SpanRef ref() const { return rec_ ? SpanRef{rec_->id, rec_->round} : SpanRef{}; }
+
+  Span& Node(const std::string& node);
+  Span& Round(int32_t round);
+  Span& Attr(const char* key, const std::string& value);
+  Span& Attr(const char* key, const char* value);
+  Span& Attr(const char* key, int64_t value);
+  Span& Attr(const char* key, double value);
+
+  /// Finishes the span and hands its record to the tracer. Idempotent.
+  void End();
+
+ private:
+  friend class Tracer;
+  Tracer* tracer_ = nullptr;
+  std::unique_ptr<SpanRecord> rec_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+class Tracer {
+ public:
+  Tracer() = default;
+
+  /// Sampling switch: a disabled tracer hands out inert spans (used to
+  /// trace every Nth negotiation; see QtOptions trace_sample_period).
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// The one-line guard every instrumentation site uses; safe on null.
+  static bool Active(const Tracer* tracer) {
+    return tracer != nullptr && tracer->enabled();
+  }
+
+  /// Starts a nested span (`parent` 0 = root). The span inherits the
+  /// parent ref's round; override with Span::Round.
+  Span StartSpan(std::string name, SpanRef parent = {});
+
+  /// Starts a point event (zero duration); finish it like a span after
+  /// attaching attributes.
+  Span StartInstant(std::string name, SpanRef parent = {});
+
+  /// Microseconds since this tracer's epoch (the trace time base).
+  int64_t now_us() const;
+
+  /// Copy of everything recorded so far (mid-run snapshots are fine).
+  std::vector<SpanRecord> Snapshot() const;
+  size_t span_count() const;
+  void Clear();
+
+ private:
+  friend class Span;
+  void Record(std::unique_ptr<SpanRecord> rec);
+
+  std::atomic<bool> enabled_{true};
+  std::atomic<uint64_t> next_id_{1};
+  const std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;
+};
+
+/// Writes the trace in Chrome trace-event format ({"traceEvents":[...]}),
+/// loadable in chrome://tracing / Perfetto: complete ("X") events with
+/// pid = federation node, tid = negotiation round, args = span attrs,
+/// plus process_name metadata rows naming the nodes.
+Status WriteChromeTrace(const Tracer& tracer, const std::string& path);
+
+/// Writes one JSON object per line (ts_us, dur_us, name, node, round,
+/// id, parent, attrs) — grep/jq-friendly flat form of the same trace.
+Status WriteJsonl(const Tracer& tracer, const std::string& path);
+
+/// Observability knobs carried by QtOptions. All off by default: the
+/// facade only constructs a tracer/registry when a path is set (or one
+/// is attached programmatically), so the default negotiation path stays
+/// instrumentation-free.
+struct ObsOptions {
+  /// Chrome trace-event JSON output path ("" = off).
+  std::string trace_path;
+  /// Flat JSONL trace output path ("" = off).
+  std::string trace_jsonl_path;
+  /// MetricsRegistry JSON dump path ("" = off).
+  std::string metrics_json_path;
+  /// Trace every Nth Optimize() call (<=1 = every negotiation). Metrics
+  /// are never sampled — counters stay exact.
+  int trace_sample_period = 1;
+
+  bool any() const {
+    return !trace_path.empty() || !trace_jsonl_path.empty() ||
+           !metrics_json_path.empty();
+  }
+};
+
+}  // namespace qtrade::obs
+
+#endif  // QTRADE_OBS_TRACE_H_

@@ -151,18 +151,61 @@ QueryProperties OfferGenerator::MakeProps(double exec_cost_ms, double rows,
   return props;
 }
 
+void OfferGenerator::SetObservability(obs::Tracer* tracer,
+                                      obs::MetricsRegistry* metrics) {
+  tracer_.store(tracer, std::memory_order_relaxed);
+  const std::string& node = catalog_->node_name();
+  m_cache_hits_.store(
+      metrics ? metrics->counter("seller." + node + ".cache_hits") : nullptr,
+      std::memory_order_relaxed);
+  m_cache_misses_.store(
+      metrics ? metrics->counter("seller." + node + ".cache_misses")
+              : nullptr,
+      std::memory_order_relaxed);
+  m_gen_us_.store(
+      metrics ? metrics->histogram("seller." + node + ".offer_gen_us")
+              : nullptr,
+      std::memory_order_relaxed);
+}
+
 Result<std::vector<GeneratedOffer>> OfferGenerator::Generate(
-    const sql::BoundQuery& query, const std::string& rfb_id) {
+    const sql::BoundQuery& query, const std::string& rfb_id,
+    obs::SpanRef parent) {
   NsAccumulator timer(&generate_ns_);
+  const auto wall_start = std::chrono::steady_clock::now();
+  auto observe_gen_us = [&] {
+    if (obs::Histogram* h = m_gen_us_.load(std::memory_order_relaxed)) {
+      h->Observe(std::chrono::duration_cast<std::chrono::microseconds>(
+                     std::chrono::steady_clock::now() - wall_start)
+                     .count());
+    }
+  };
   if (cache_->capacity() == 0) {
+    if (obs::Counter* c = m_cache_misses_.load(std::memory_order_relaxed)) {
+      c->Increment();
+    }
     int64_t seq = 0;
-    return GenerateUncached(query, rfb_id, &seq);
+    auto result = GenerateUncached(query, rfb_id, &seq, parent);
+    observe_gen_us();
+    return result;
   }
   const QuerySignature sig = CanonicalSignature(query);
   const std::string key = sig.text + "|" + CoverageMaskKey(query, *catalog_);
   const uint64_t epoch = catalog_->stats_epoch();
-  if (std::optional<std::vector<GeneratedOffer>> cached =
-          cache_->Lookup(key, sig, epoch)) {
+  std::optional<std::vector<GeneratedOffer>> cached;
+  {
+    obs::Tracer* tracer = tracer_.load(std::memory_order_relaxed);
+    obs::Span lookup = obs::Tracer::Active(tracer)
+                           ? tracer->StartSpan("cache_lookup", parent)
+                           : obs::Span();
+    lookup.Node(catalog_->node_name());
+    cached = cache_->Lookup(key, sig, epoch);
+    lookup.Attr("hit", static_cast<int64_t>(cached.has_value() ? 1 : 0));
+  }
+  if (cached.has_value()) {
+    if (obs::Counter* c = m_cache_hits_.load(std::memory_order_relaxed)) {
+      c->Increment();
+    }
     // Memoized pricing, fresh identity: ids are minted for THIS rfb with
     // each offer's original enumeration index, so the reply is
     // byte-identical to what regeneration would produce.
@@ -171,25 +214,42 @@ Result<std::vector<GeneratedOffer>> OfferGenerator::Generate(
       g.offer.seller = catalog_->node_name();
       g.offer.rfb_id = rfb_id;
     }
+    observe_gen_us();
     return std::move(*cached);
+  }
+  if (obs::Counter* c = m_cache_misses_.load(std::memory_order_relaxed)) {
+    c->Increment();
   }
   int64_t seq = 0;
   QTRADE_ASSIGN_OR_RETURN(std::vector<GeneratedOffer> offers,
-                          GenerateUncached(query, rfb_id, &seq));
+                          GenerateUncached(query, rfb_id, &seq, parent));
   cache_->Insert(key, sig, epoch, offers);
+  observe_gen_us();
   return offers;
 }
 
 Result<std::vector<GeneratedOffer>> OfferGenerator::GenerateUncached(
-    const sql::BoundQuery& query, const std::string& rfb_id, int64_t* seq_io) {
+    const sql::BoundQuery& query, const std::string& rfb_id, int64_t* seq_io,
+    obs::SpanRef parent) {
   std::vector<GeneratedOffer> offers;
   // Offer ids embed the rfb id plus an enumeration index, so they are
   // deterministic and unique even when one generator serves several RFBs
   // concurrently (transport worker threads).
   int64_t& seq = *seq_io;
+  obs::Tracer* tracer = tracer_.load(std::memory_order_relaxed);
 
-  QTRADE_ASSIGN_OR_RETURN(std::optional<LocalRewrite> rewrite,
-                          RewriteForLocalPartitions(query, *catalog_));
+  std::optional<LocalRewrite> rewrite;
+  {
+    obs::Span span = obs::Tracer::Active(tracer)
+                         ? tracer->StartSpan("rewrite", parent)
+                         : obs::Span();
+    span.Node(catalog_->node_name());
+    QTRADE_ASSIGN_OR_RETURN(rewrite,
+                            RewriteForLocalPartitions(query, *catalog_));
+    span.Attr("kept_aliases",
+              static_cast<int64_t>(
+                  rewrite.has_value() ? rewrite->core.tables.size() : 0));
+  }
   if (rewrite.has_value()) {
     const LocalRewrite& lr = *rewrite;
     const BoundQuery& core = lr.core;
@@ -217,7 +277,15 @@ Result<std::vector<GeneratedOffer>> OfferGenerator::GenerateUncached(
 
     LocalOptimizer optimizer(&core, std::move(inputs), factory_,
                              options_.idp);
-    QTRADE_RETURN_IF_ERROR(optimizer.Run());
+    {
+      obs::Span span = obs::Tracer::Active(tracer)
+                           ? tracer->StartSpan("dp_enumerate", parent)
+                           : obs::Span();
+      span.Node(catalog_->node_name());
+      QTRADE_RETURN_IF_ERROR(optimizer.Run());
+      span.Attr("inputs", static_cast<int64_t>(optimizer.num_inputs()));
+      span.Attr("subplans", static_cast<int64_t>(optimizer.subplans().size()));
+    }
 
     // --- §3.4: one offer per optimal partial result.
     for (const auto& [mask, sub] : optimizer.subplans()) {

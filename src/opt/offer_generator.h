@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "opt/local_optimizer.h"
 #include "opt/offer.h"
 #include "plan/plan_factory.h"
@@ -93,9 +95,18 @@ class OfferGenerator {
   /// means the node declines (no usable local data). With the offer
   /// cache enabled, a repeated (signature, coverage) request is answered
   /// from memoized pricing — offer ids are still minted fresh for this
-  /// `rfb_id`, so the reply is byte-identical to regeneration.
+  /// `rfb_id`, so the reply is byte-identical to regeneration. `parent`
+  /// nests the generation spans (cache_lookup, rewrite, dp_enumerate)
+  /// under the caller's span when tracing is attached.
   Result<std::vector<GeneratedOffer>> Generate(const sql::BoundQuery& query,
-                                               const std::string& rfb_id);
+                                               const std::string& rfb_id,
+                                               obs::SpanRef parent = {});
+
+  /// Attaches tracing (generation-phase spans) and metrics (per-node
+  /// cache hit/miss counters, offer_gen latency histogram); nulls
+  /// detach. Instrument handles are resolved once here, never on the
+  /// generation path.
+  void SetObservability(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
 
   /// Total offers generated so far (for experiment accounting; cache
   /// hits count too — they produce the same offers).
@@ -127,7 +138,8 @@ class OfferGenerator {
 
   /// The uncached §3.4/§3.5 pipeline (rewrite, DP, views, cap).
   Result<std::vector<GeneratedOffer>> GenerateUncached(
-      const sql::BoundQuery& query, const std::string& rfb_id, int64_t* seq);
+      const sql::BoundQuery& query, const std::string& rfb_id, int64_t* seq,
+      obs::SpanRef parent);
 
   const NodeCatalog* catalog_;
   const PlanFactory* factory_;
@@ -135,6 +147,11 @@ class OfferGenerator {
   std::atomic<int64_t> total_generated_{0};
   std::atomic<int64_t> generate_ns_{0};
   std::unique_ptr<OfferCache> cache_;
+  std::atomic<obs::Tracer*> tracer_{nullptr};
+  /// Pre-resolved instruments (null when metrics are detached).
+  std::atomic<obs::Counter*> m_cache_hits_{nullptr};
+  std::atomic<obs::Counter*> m_cache_misses_{nullptr};
+  std::atomic<obs::Histogram*> m_gen_us_{nullptr};
 };
 
 }  // namespace qtrade

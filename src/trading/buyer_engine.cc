@@ -106,13 +106,23 @@ void BuyerEngine::ClipOffer(
 
 Status BuyerEngine::TradeQuery(const TradedQuery& traded, Rng* rng,
                                std::vector<Offer>* pool,
-                               TradeMetrics* metrics) {
+                               TradeMetrics* metrics, obs::SpanRef parent) {
+  obs::Span span = obs::Tracer::Active(tracer_)
+                       ? tracer_->StartSpan("rfb_broadcast", parent)
+                       : obs::Span();
+  span.Node(catalog_->node_name());
+  span.Attr("rfb_id", traded.rfb_id);
+
   Rfb rfb;
   rfb.rfb_id = traded.rfb_id;
   rfb.buyer = catalog_->node_name();
   rfb.sql = sql::ToSql(traded.stmt);
   rfb.reserve_value =
       strategy_->Reserve(traded.rfb_id, traded.estimated_value);
+  // Trace context: sellers parent their offer_gen spans here even when
+  // the transport runs them on worker threads. Excluded from WireBytes.
+  rfb.trace_parent = span.id();
+  rfb.trace_round = span.ref().round;
   ask_box_by_rfb_[traded.rfb_id] = traded.ask_box;
 
   std::vector<std::string> contacted = PickSellers(rng);
@@ -125,10 +135,15 @@ Status BuyerEngine::TradeQuery(const TradedQuery& traded, Rng* rng,
   const double deadline = options_.offer_timeout_ms;
   double round_time = 0;
   bool timed_out = false;
+  int64_t accepted = 0;
   for (auto& reply : replies) {
     if (!reply.ok) continue;  // seller never answered (transport logged it)
     if (reply.dropped) {
       metrics->offers_dropped += reply.dropped_offers;
+      if (metrics_ != nullptr) {
+        metrics_->counter("seller." + reply.seller + ".offers_dropped")
+            ->Add(reply.dropped_offers);
+      }
       continue;  // lost in transit: contributes nothing to the round
     }
     if (reply.duplicated) {
@@ -139,6 +154,10 @@ Status BuyerEngine::TradeQuery(const TradedQuery& traded, Rng* rng,
     }
     if (deadline > 0 && reply.arrival_ms > deadline) {
       metrics->offers_late += static_cast<int64_t>(reply.offers.size());
+      if (metrics_ != nullptr) {
+        metrics_->counter("seller." + reply.seller + ".offers_late")
+            ->Add(static_cast<int64_t>(reply.offers.size()));
+      }
       timed_out = true;
       continue;
     }
@@ -147,6 +166,7 @@ Status BuyerEngine::TradeQuery(const TradedQuery& traded, Rng* rng,
       ClipOffer(&offer, traded.ask_box);
       pool->push_back(std::move(offer));
       ++metrics->offers_received;
+      ++accepted;
     }
   }
   if (timed_out) {
@@ -155,13 +175,23 @@ Status BuyerEngine::TradeQuery(const TradedQuery& traded, Rng* rng,
     ++metrics->rounds_timed_out;
   }
   transport_->AdvanceRound(round_time);
+  span.Attr("sellers", static_cast<int64_t>(contacted.size()));
+  span.Attr("offers", accepted);
+  span.Attr("round_ms", round_time);
   return Status::OK();
 }
 
 void BuyerEngine::RunNestedNegotiation(std::vector<Offer>* pool,
-                                       TradeMetrics* metrics) {
+                                       TradeMetrics* metrics,
+                                       obs::SpanRef parent) {
   if (options_.protocol == NegotiationProtocol::kBidding) return;
   if (pool->empty()) return;
+  obs::Span span = obs::Tracer::Active(tracer_)
+                       ? tracer_->StartSpan("rank_offers", parent)
+                       : obs::Span();
+  span.Node(catalog_->node_name());
+  span.Attr("protocol", NegotiationProtocolName(options_.protocol));
+  span.Attr("pool", static_cast<int64_t>(pool->size()));
 
   // Offers are price-comparable within one (rfb, alias-set signature)
   // group: a one-table answer and a full-join answer for the same RFB are
@@ -276,12 +306,26 @@ Result<QtResult> BuyerEngine::Optimize(const std::string& sql) {
   QTRADE_ASSIGN_OR_RETURN(sql::BoundQuery original,
                           sql::AnalyzeSql(sql, *catalog_));
 
+  // Sampling: trace every Nth negotiation (metrics stay exact — only the
+  // tracer is toggled, counters are registry-owned and never sampled).
+  if (tracer_ != nullptr) {
+    const int period = std::max(1, options_.obs.trace_sample_period);
+    tracer_->set_enabled(optimize_count_ % period == 0);
+  }
   Rng rng(options_.seed + optimize_count_);
   const std::string run_tag =
       catalog_->node_name() + "#" +
       (options_.run_label.empty() ? std::to_string(engine_tag_)
                                   : options_.run_label) +
       "/" + std::to_string(optimize_count_++);
+  obs::Span neg_span = obs::Tracer::Active(tracer_)
+                           ? tracer_->StartSpan("negotiation")
+                           : obs::Span();
+  neg_span.Node(catalog_->node_name());
+  neg_span.Attr("buyer", catalog_->node_name());
+  neg_span.Attr("protocol", NegotiationProtocolName(options_.protocol));
+  neg_span.Attr("run_tag", run_tag);
+  neg_span.Attr("sql", sql);
   QtResult result;
   BuyerAnalyser analyser(&original, &catalog_->federation());
   // The buyer's §3.1 weighting function prices purchased answers inside
@@ -305,6 +349,15 @@ Result<QtResult> BuyerEngine::Optimize(const std::string& sql) {
   std::vector<CandidatePlan> best_candidates;
   for (int iteration = 0; iteration < options_.max_iterations; ++iteration) {
     if (to_trade.empty()) break;
+    // Formatted span names only materialize when a trace is being taken.
+    obs::Span round_span;
+    if (obs::Tracer::Active(tracer_)) {
+      round_span = tracer_->StartSpan(
+          "round[" + std::to_string(iteration) + "]", neg_span.ref());
+      round_span.Round(iteration);
+      round_span.Node(catalog_->node_name());
+      round_span.Attr("queries", static_cast<int64_t>(to_trade.size()));
+    }
     // Collapse duplicate subqueries within this round's working set: the
     // analyser can propose the same commodity twice (predicate-order or
     // literal-spelling variants of one query). One broadcast serves all
@@ -325,11 +378,11 @@ Result<QtResult> BuyerEngine::Optimize(const std::string& sql) {
     }
     // B1/B2/S1/S2: request bids for the working set Q.
     for (const auto& traded : to_trade) {
-      QTRADE_RETURN_IF_ERROR(
-          TradeQuery(traded, &rng, &pool, &result.metrics));
+      QTRADE_RETURN_IF_ERROR(TradeQuery(traded, &rng, &pool,
+                                        &result.metrics, round_span.ref()));
     }
     // B3/S3: nested negotiation.
-    RunNestedNegotiation(&pool, &result.metrics);
+    RunNestedNegotiation(&pool, &result.metrics, round_span.ref());
     if (getenv("QT_DEBUG_POOL")) {
       for (const auto& o : pool)
         fprintf(stderr, "POOL %s sig=%s quote=%.2f\n", o.offer_id.c_str(),
@@ -337,8 +390,22 @@ Result<QtResult> BuyerEngine::Optimize(const std::string& sql) {
     }
 
     // B4: candidate plans from all offers gathered so far.
-    QTRADE_ASSIGN_OR_RETURN(std::vector<CandidatePlan> candidates,
-                            assembler.Assemble(pool));
+    std::vector<CandidatePlan> candidates;
+    {
+      obs::Span span = obs::Tracer::Active(tracer_)
+                           ? tracer_->StartSpan("plan_assemble",
+                                                round_span.ref())
+                           : obs::Span();
+      span.Node(catalog_->node_name());
+      QTRADE_ASSIGN_OR_RETURN(candidates, assembler.Assemble(pool));
+      span.Attr("candidates", static_cast<int64_t>(candidates.size()));
+      span.Attr("blocks_created",
+                static_cast<int64_t>(assembler.stats().blocks_created));
+      span.Attr("joins_considered",
+                static_cast<int64_t>(assembler.stats().joins_considered));
+      span.Attr("unions_considered",
+                static_cast<int64_t>(assembler.stats().unions_considered));
+    }
     ++result.metrics.iterations;
     result.iterations = result.metrics.iterations;
 
@@ -409,29 +476,41 @@ Result<QtResult> BuyerEngine::Optimize(const std::string& sql) {
       lost_by_seller[offer.seller].push_back(offer.offer_id);
     }
   }
-  double award_time = 0;
-  for (const std::string& seller : sellers_) {
-    auto awards = awards_by_seller.find(seller);
-    auto lost = lost_by_seller.find(seller);
-    if (awards == awards_by_seller.end() && lost == lost_by_seller.end()) {
-      continue;
+  {
+    obs::Span award_span = obs::Tracer::Active(tracer_)
+                               ? tracer_->StartSpan("award", neg_span.ref())
+                               : obs::Span();
+    award_span.Node(catalog_->node_name());
+    double award_time = 0;
+    for (const std::string& seller : sellers_) {
+      auto awards = awards_by_seller.find(seller);
+      auto lost = lost_by_seller.find(seller);
+      if (awards == awards_by_seller.end() && lost == lost_by_seller.end()) {
+        continue;
+      }
+      AwardBatch batch;
+      if (awards != awards_by_seller.end()) batch.awards = awards->second;
+      if (lost != lost_by_seller.end()) batch.lost_offer_ids = lost->second;
+      double t = transport_->SendAwards(catalog_->node_name(), seller, batch);
+      if (!batch.awards.empty()) {
+        result.metrics.awards_sent +=
+            static_cast<int64_t>(batch.awards.size());
+      }
+      award_time = std::max(award_time, t);
     }
-    AwardBatch batch;
-    if (awards != awards_by_seller.end()) batch.awards = awards->second;
-    if (lost != lost_by_seller.end()) batch.lost_offer_ids = lost->second;
-    double t = transport_->SendAwards(catalog_->node_name(), seller, batch);
-    if (!batch.awards.empty()) {
-      result.metrics.awards_sent +=
-          static_cast<int64_t>(batch.awards.size());
-    }
-    award_time = std::max(award_time, t);
+    transport_->AdvanceRound(award_time);
+    award_span.Attr("winners",
+                    static_cast<int64_t>(result.winning_offers.size()));
   }
-  transport_->AdvanceRound(award_time);
 
   result.metrics.messages = network->total().messages - start_messages;
   result.metrics.bytes = network->total().bytes - start_bytes;
   result.metrics.sim_elapsed_ms = network->now_ms() - start_clock;
   result.metrics.wall_opt_ms = WallMs(wall_start);
+  neg_span.Attr("iterations", static_cast<int64_t>(result.iterations));
+  neg_span.Attr("cost", result.cost);
+  neg_span.Attr("messages", result.metrics.messages);
+  neg_span.Attr("bytes", result.metrics.bytes);
   return result;
 }
 

@@ -25,6 +25,8 @@
 
 #include "catalog/catalog.h"
 #include "net/transport.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "opt/plan_assembler.h"
 #include "trading/buyer_analyser.h"
 #include "trading/messages.h"
@@ -71,6 +73,13 @@ struct QtOptions {
   /// offers and message counts are identical with the cache on or off —
   /// it only skips recomputation (see opt/offer_cache.h).
   size_t offer_cache_capacity = 256;
+  /// Negotiation tracing / metrics outputs (src/obs/). All off by
+  /// default; when any path is set the QueryTradingOptimizer facade
+  /// constructs a Tracer/MetricsRegistry, wires them through the buyer,
+  /// every seller and the transport, and writes the files after each
+  /// Optimize. Tracing never changes negotiation outcomes: trace context
+  /// rides in Rfb fields excluded from WireBytes.
+  obs::ObsOptions obs;
 };
 
 struct QtResult {
@@ -97,14 +106,26 @@ class BuyerEngine {
   /// Runs the QT algorithm for a SELECT query.
   Result<QtResult> Optimize(const std::string& sql);
 
+  /// Attaches tracing/metrics (nulls detach). Optimize then wraps the
+  /// Fig. 2 loop in a `negotiation` span with nested round/rfb/rank/
+  /// assemble/award spans, honouring obs.trace_sample_period (every Nth
+  /// negotiation is traced; metrics are never sampled).
+  void SetObservability(obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
+    tracer_ = tracer;
+    metrics_ = metrics;
+  }
+
  private:
   /// Sends one RFB to the selected sellers, collects (clipped) offers,
   /// applies the offer deadline, and closes the round on the transport.
+  /// The rfb_broadcast span is parented under the round span `parent`.
   Status TradeQuery(const TradedQuery& traded, Rng* rng,
-                    std::vector<Offer>* pool, TradeMetrics* metrics);
+                    std::vector<Offer>* pool, TradeMetrics* metrics,
+                    obs::SpanRef parent);
 
   /// Runs the nested negotiation over the pool for this iteration.
-  void RunNestedNegotiation(std::vector<Offer>* pool, TradeMetrics* metrics);
+  void RunNestedNegotiation(std::vector<Offer>* pool, TradeMetrics* metrics,
+                            obs::SpanRef parent);
 
   /// Clips an offer's coverage to the ask box of the RFB it answers.
   void ClipOffer(Offer* offer,
@@ -126,6 +147,10 @@ class BuyerEngine {
   /// engines for the same node coexist or are recreated per query.
   const int64_t engine_tag_;
   int64_t optimize_count_ = 0;
+  /// Optimize runs on one thread; plain pointers suffice here (sellers
+  /// and transports, which run on worker threads, use atomics).
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace qtrade

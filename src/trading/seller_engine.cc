@@ -141,10 +141,22 @@ void SellerEngine::RecordOfferLocked(const std::string& rfb_id,
 
 Result<std::vector<Offer>> SellerEngine::OnRfb(const Rfb& rfb) {
   rfbs_seen_.fetch_add(1, std::memory_order_relaxed);
+  // The Rfb carries the buyer's rfb_broadcast span identity, so this
+  // seller's spans nest correctly even when the transport dispatches
+  // handlers on worker threads.
+  obs::Tracer* tracer = tracer_.load(std::memory_order_relaxed);
+  obs::Span gen_span =
+      obs::Tracer::Active(tracer)
+          ? tracer->StartSpan("offer_gen",
+                              obs::SpanRef{rfb.trace_parent, rfb.trace_round})
+          : obs::Span();
+  gen_span.Node(name());
+  gen_span.Attr("rfb_id", rfb.rfb_id);
   QTRADE_ASSIGN_OR_RETURN(sql::BoundQuery asked,
                           sql::AnalyzeSql(rfb.sql, *catalog_));
-  QTRADE_ASSIGN_OR_RETURN(std::vector<GeneratedOffer> generated,
-                          generator_.Generate(asked, rfb.rfb_id));
+  QTRADE_ASSIGN_OR_RETURN(
+      std::vector<GeneratedOffer> generated,
+      generator_.Generate(asked, rfb.rfb_id, gen_span.ref()));
   std::vector<Offer> out;
   for (auto& g : generated) {
     OfferRecord record;
@@ -173,14 +185,16 @@ Result<std::vector<Offer>> SellerEngine::OnRfb(const Rfb& rfb) {
   }
   if (rfb.allow_subcontract && transport_ != nullptr &&
       !peer_names_.empty()) {
-    TrySubcontract(rfb, asked, &out);
+    TrySubcontract(rfb, asked, &out, gen_span.ref());
   }
+  gen_span.Attr("offers", static_cast<int64_t>(out.size()));
   return out;
 }
 
 void SellerEngine::TrySubcontract(const Rfb& rfb,
                                   const sql::BoundQuery& asked,
-                                  std::vector<Offer>* out) {
+                                  std::vector<Offer>* out,
+                                  obs::SpanRef parent) {
   // Find relations whose local fragment is incomplete for this query.
   auto rewrite = RewriteForLocalPartitions(asked, *catalog_);
   if (!rewrite.ok() || !rewrite->has_value()) return;
@@ -188,10 +202,16 @@ void SellerEngine::TrySubcontract(const Rfb& rfb,
   const FederationSchema& federation = catalog_->federation();
   const CostModel& cost = factory_->cost_model();
 
+  obs::Tracer* tracer = tracer_.load(std::memory_order_relaxed);
   int attempts = 0;
   for (const AliasCoverage& cov : lr.coverage) {
     if (cov.complete || attempts >= 2) continue;
     ++attempts;
+    obs::Span cover_span = obs::Tracer::Active(tracer)
+                               ? tracer->StartSpan("partition_cover", parent)
+                               : obs::Span();
+    cover_span.Node(name());
+    cover_span.Attr("alias", cov.alias);
     // The missing slice of this relation, as an interned bitmask.
     const TablePartitioning* partitioning =
         federation.FindPartitioning(cov.table);
@@ -272,6 +292,8 @@ void SellerEngine::TrySubcontract(const Rfb& rfb,
         if (i != PartitionIndex::kNotFound) missing.Clear(i);
       }
     }
+    cover_span.Attr("bought", static_cast<int64_t>(bought.size()));
+    cover_span.Attr("covered", static_cast<int64_t>(missing.Any() ? 0 : 1));
     if (missing.Any() || bought.empty()) continue;
 
     // Our own part of the relation, as a single-alias slice.

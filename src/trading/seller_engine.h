@@ -74,6 +74,15 @@ class SellerEngine : public NodeEndpoint {
   /// seller-side cost the cache experiments measure).
   int64_t offer_generate_ns() const { return generator_.generate_ns(); }
 
+  /// Attaches tracing/metrics to this seller and its offer generator:
+  /// OnRfb wraps generation in an offer_gen span (parented under the
+  /// buyer's rfb_broadcast span via the Rfb trace context) and
+  /// subcontract covers in a partition_cover span. Nulls detach.
+  void SetObservability(obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
+    tracer_.store(tracer, std::memory_order_relaxed);
+    generator_.SetObservability(tracer, metrics);
+  }
+
   /// Fig. 2 steps S1–S2: rewrite, enumerate, analyse views, price.
   /// Quotes are strategy-adjusted; the honest estimate is kept privately.
   Result<std::vector<Offer>> OnRfb(const Rfb& rfb);
@@ -141,8 +150,9 @@ class SellerEngine : public NodeEndpoint {
 
   /// Builds combined offers for `asked` by buying missing fragments from
   /// peers (one level deep, via the transport). Appends to `out`.
+  /// `parent` nests the partition_cover span under this RFB's offer_gen.
   void TrySubcontract(const Rfb& rfb, const sql::BoundQuery& asked,
-                      std::vector<Offer>* out);
+                      std::vector<Offer>* out, obs::SpanRef parent);
 
   /// Stores a record and indexes its offer under its rfb (mu_ held).
   void RecordOfferLocked(const std::string& rfb_id, OfferRecord record);
@@ -162,6 +172,7 @@ class SellerEngine : public NodeEndpoint {
   std::vector<std::string> peer_names_;
   Transport* transport_ = nullptr;
   std::atomic<int64_t> subcontracted_offers_{0};
+  std::atomic<obs::Tracer*> tracer_{nullptr};
 };
 
 }  // namespace qtrade

@@ -30,15 +30,26 @@ class LogMessage {
   std::ostringstream stream_;
 };
 
+/// Swallows the stream expression in the disabled branch of QTRADE_LOG
+/// (operator& binds looser than << but tighter than ?:).
+struct LogVoidify {
+  void operator&(std::ostream&) {}
+};
+
 }  // namespace internal
 
 // Streaming form: QTRADE_LOG(kInfo) << "x=" << x;
-// The message is formatted eagerly but only emitted when the level is
-// enabled (checked in the LogMessage destructor).
-#define QTRADE_LOG(level)                                             \
-  ::qtrade::internal::LogMessage(::qtrade::LogLevel::level, __FILE__, \
-                                 __LINE__)                            \
-      .stream()
+// The level gate runs BEFORE any formatting: when the level is disabled
+// the whole right-hand side — LogMessage construction and every <<
+// operand — is skipped, so disabled logging is free on the negotiation
+// hot path. Expression form (no if/else) stays dangling-else safe.
+#define QTRADE_LOG(level)                                                 \
+  (::qtrade::LogLevel::level < ::qtrade::GetLogLevel())                   \
+      ? (void)0                                                           \
+      : ::qtrade::internal::LogVoidify() &                                \
+            ::qtrade::internal::LogMessage(::qtrade::LogLevel::level,     \
+                                           __FILE__, __LINE__)            \
+                .stream()
 
 }  // namespace qtrade
 

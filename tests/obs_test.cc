@@ -1,0 +1,315 @@
+// Observability layer: histogram bucket math, registry basics, span
+// nesting across a real three-node negotiation, trace sampling,
+// thread-safety of concurrent seller spans (run under TSAN by
+// ci/check.sh), and the no-behavior-change invariant — negotiation
+// outcomes are byte-identical with tracing on or off.
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/qt_optimizer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "tests/test_fixtures.h"
+
+namespace qtrade {
+namespace {
+
+using testing::PaperData;
+using testing::PaperFederation;
+
+std::unique_ptr<Federation> BuildPaperWorld() {
+  auto fed = std::make_unique<Federation>(PaperFederation());
+  PaperData data(30);
+  const char* names[] = {"athens", "corfu", "myconos"};
+  for (int i = 0; i < 3; ++i) fed->AddNode(names[i]);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(fed->LoadPartition(names[i], "customer#" + std::to_string(i),
+                                   data.customer_parts[i])
+                    .ok());
+    EXPECT_TRUE(fed->LoadPartition(names[i],
+                                   "invoiceline#" + std::to_string(i),
+                                   data.invoiceline_parts[i])
+                    .ok());
+  }
+  return fed;
+}
+
+const char kSql[] =
+    "SELECT SUM(charge) FROM customer c, invoiceline i "
+    "WHERE c.custid = i.custid AND "
+    "(c.office = 'Corfu' OR c.office = 'Myconos')";
+
+TEST(HistogramTest, BucketBoundaries) {
+  obs::Histogram h;
+  // Bucket 0 covers values <= 1; bucket i covers (2^(i-1), 2^i].
+  h.Observe(0);
+  h.Observe(1);
+  EXPECT_EQ(h.bucket(0), 2);
+  h.Observe(2);
+  EXPECT_EQ(h.bucket(1), 1);  // 2 <= 2^1
+  h.Observe(3);
+  h.Observe(4);
+  EXPECT_EQ(h.bucket(2), 2);  // 3, 4 <= 2^2
+  h.Observe(5);
+  EXPECT_EQ(h.bucket(3), 1);  // 5 <= 2^3
+  h.Observe(1023);
+  h.Observe(1024);
+  EXPECT_EQ(h.bucket(10), 2);  // both <= 2^10
+  h.Observe(1025);
+  EXPECT_EQ(h.bucket(11), 1);
+  // Negative observations clamp to 0; huge ones go to the +Inf bucket.
+  h.Observe(-7);
+  EXPECT_EQ(h.bucket(0), 3);
+  h.Observe(int64_t{1} << 40);
+  EXPECT_EQ(h.bucket(obs::Histogram::kBuckets - 1), 1);
+  EXPECT_EQ(h.count(), 11);
+  EXPECT_EQ(h.sum(), 0 + 1 + 2 + 3 + 4 + 5 + 1023 + 1024 + 1025 + 0 +
+                         (int64_t{1} << 40));
+  EXPECT_EQ(obs::Histogram::BucketBound(10), 1024);
+}
+
+TEST(MetricsRegistryTest, GetOrCreateAndSnapshot) {
+  obs::MetricsRegistry registry;
+  obs::Counter* c = registry.counter("x.count");
+  EXPECT_EQ(c, registry.counter("x.count"));  // stable pointer
+  c->Increment();
+  c->Add(4);
+  EXPECT_EQ(c->value(), 5);
+  registry.gauge("x.ratio")->Set(0.75);
+  EXPECT_DOUBLE_EQ(registry.gauge("x.ratio")->value(), 0.75);
+  registry.histogram("x.us")->Observe(3);
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"x.count\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"x.ratio\":0.75"), std::string::npos);
+  EXPECT_NE(json.find("\"le\":4,\"count\":1"), std::string::npos);
+}
+
+TEST(TracerTest, DisabledTracerRecordsNothing) {
+  obs::Tracer tracer;
+  tracer.set_enabled(false);
+  EXPECT_FALSE(obs::Tracer::Active(&tracer));
+  EXPECT_FALSE(obs::Tracer::Active(nullptr));
+  obs::Span span = tracer.StartSpan("negotiation");
+  EXPECT_FALSE(span.active());
+  EXPECT_EQ(span.id(), 0u);
+  span.Node("athens").Attr("k", "v");  // all no-ops
+  span.End();
+  EXPECT_EQ(tracer.span_count(), 0u);
+}
+
+TEST(TracerTest, SpanNestingAndMoveSemantics) {
+  obs::Tracer tracer;
+  obs::Span root = tracer.StartSpan("negotiation");
+  obs::Span child = tracer.StartSpan("round[0]", root.ref());
+  child.Round(0);
+  const uint64_t child_id = child.id();
+  obs::Span moved = std::move(child);
+  EXPECT_FALSE(child.active());
+  EXPECT_EQ(moved.id(), child_id);
+  moved.End();
+  root.End();
+  const std::vector<obs::SpanRecord> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "round[0]");
+  EXPECT_EQ(spans[0].parent, spans[1].id);
+  EXPECT_EQ(spans[0].round, 0);
+  EXPECT_EQ(spans[1].parent, 0u);
+}
+
+/// The buyer's round loop produces the documented span tree: one
+/// negotiation root, round[i] under it, rfb_broadcast under rounds,
+/// offer_gen (attributed to seller nodes, possibly on worker threads)
+/// under rfb_broadcast, generation phases under offer_gen.
+TEST(NegotiationTraceTest, SpanTreeMatchesTaxonomy) {
+  auto fed = BuildPaperWorld();
+  QtOptions options;
+  options.protocol = NegotiationProtocol::kAuction;
+  QueryTradingOptimizer qt(fed.get(), "athens", options);
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  qt.AttachObservability(&tracer, &metrics);
+
+  auto result = qt.Optimize(kSql);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->ok());
+
+  std::map<uint64_t, const obs::SpanRecord*> by_id;
+  const std::vector<obs::SpanRecord> spans = tracer.Snapshot();
+  for (const auto& rec : spans) by_id[rec.id] = &rec;
+  auto parent_name = [&](const obs::SpanRecord& rec) -> std::string {
+    auto it = by_id.find(rec.parent);
+    return it == by_id.end() ? "" : it->second->name;
+  };
+
+  int negotiations = 0, rounds = 0, broadcasts = 0, gens = 0, lookups = 0;
+  std::set<std::string> gen_nodes;
+  for (const auto& rec : spans) {
+    if (rec.name == "negotiation") {
+      ++negotiations;
+      EXPECT_EQ(rec.parent, 0u);
+      EXPECT_EQ(rec.node, "athens");
+    } else if (rec.name.rfind("round[", 0) == 0) {
+      ++rounds;
+      EXPECT_EQ(parent_name(rec), "negotiation");
+      EXPECT_GE(rec.round, 0);
+    } else if (rec.name == "rfb_broadcast") {
+      ++broadcasts;
+      EXPECT_EQ(parent_name(rec).rfind("round[", 0), 0u);
+    } else if (rec.name == "offer_gen") {
+      ++gens;
+      EXPECT_EQ(parent_name(rec), "rfb_broadcast");
+      gen_nodes.insert(rec.node);
+    } else if (rec.name == "cache_lookup" || rec.name == "rewrite" ||
+               rec.name == "dp_enumerate") {
+      if (rec.name == "cache_lookup") ++lookups;
+      EXPECT_EQ(parent_name(rec), "offer_gen");
+    } else if (rec.name == "rank_offers" || rec.name == "plan_assemble") {
+      EXPECT_EQ(parent_name(rec).rfind("round[", 0), 0u);
+    } else if (rec.name == "award") {
+      EXPECT_EQ(parent_name(rec), "negotiation");
+    }
+  }
+  EXPECT_EQ(negotiations, 1);
+  EXPECT_GE(rounds, 1);
+  EXPECT_GE(broadcasts, 1);
+  // Every federation node answered at least one RFB, each with a cache
+  // probe (the default facade cache capacity is on).
+  EXPECT_EQ(gen_nodes, (std::set<std::string>{"athens", "corfu",
+                                              "myconos"}));
+  EXPECT_GE(gens, 3);
+  EXPECT_EQ(lookups, gens);
+
+  // Per-seller metrics materialized for every node.
+  for (const char* node : {"athens", "corfu", "myconos"}) {
+    const std::string prefix = std::string("seller.") + node;
+    EXPECT_GT(metrics.counter(prefix + ".cache_misses")->value(), 0)
+        << prefix;
+    EXPECT_GT(metrics.histogram(prefix + ".offer_gen_us")->count(), 0)
+        << prefix;
+    EXPECT_GT(
+        metrics.counter("transport." + std::string(node) + ".msgs_recv")
+            ->value(),
+        0);
+  }
+}
+
+/// Tracing must be a pure observer: cost, message/byte totals and the
+/// awarded offers are identical with observability attached or not.
+TEST(NegotiationTraceTest, OutcomesIdenticalTracingOnOrOff) {
+  QtOptions options;
+  options.protocol = NegotiationProtocol::kAuction;
+  options.run_label = "obs-eq";  // byte-identical RFB ids across runs
+
+  auto plain_fed = BuildPaperWorld();
+  QueryTradingOptimizer plain(plain_fed.get(), "athens", options);
+  auto plain_result = plain.Optimize(kSql);
+  ASSERT_TRUE(plain_result.ok() && plain_result->ok());
+
+  auto traced_fed = BuildPaperWorld();
+  QueryTradingOptimizer traced(traced_fed.get(), "athens", options);
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  traced.AttachObservability(&tracer, &metrics);
+  auto traced_result = traced.Optimize(kSql);
+  ASSERT_TRUE(traced_result.ok() && traced_result->ok());
+  EXPECT_GT(tracer.span_count(), 0u);
+
+  EXPECT_DOUBLE_EQ(plain_result->cost, traced_result->cost);
+  EXPECT_EQ(plain_result->iterations, traced_result->iterations);
+  EXPECT_EQ(plain_result->metrics.messages, traced_result->metrics.messages);
+  EXPECT_EQ(plain_result->metrics.bytes, traced_result->metrics.bytes);
+  std::vector<std::string> plain_winners, traced_winners;
+  for (const auto& o : plain_result->winning_offers) {
+    plain_winners.push_back(o.offer_id);
+  }
+  for (const auto& o : traced_result->winning_offers) {
+    traced_winners.push_back(o.offer_id);
+  }
+  EXPECT_EQ(plain_winners, traced_winners);
+}
+
+/// trace_sample_period N traces negotiations 0, N, 2N, ... — counters
+/// stay exact for every run either way.
+TEST(NegotiationTraceTest, SamplingTracesEveryNth) {
+  auto fed = BuildPaperWorld();
+  QtOptions options;
+  options.obs.trace_sample_period = 2;
+  QueryTradingOptimizer qt(fed.get(), "athens", options);
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  qt.AttachObservability(&tracer, &metrics);
+
+  for (int i = 0; i < 4; ++i) {
+    auto result = qt.Optimize(kSql);
+    ASSERT_TRUE(result.ok() && result->ok());
+  }
+  int negotiations = 0;
+  for (const auto& rec : tracer.Snapshot()) {
+    if (rec.name == "negotiation") ++negotiations;
+  }
+  EXPECT_EQ(negotiations, 2);  // runs 0 and 2
+  // Metrics ignored the sampling: all four runs' cache probes counted.
+  int64_t probes = 0;
+  for (const char* node : {"athens", "corfu", "myconos"}) {
+    const std::string prefix = std::string("seller.") + node;
+    probes += metrics.counter(prefix + ".cache_hits")->value();
+    probes += metrics.counter(prefix + ".cache_misses")->value();
+  }
+  EXPECT_GT(probes, 3 * 3);  // more than one run's worth
+}
+
+/// Raw concurrency hammer: spans started, annotated and finished from
+/// many threads against one tracer/registry (the seller-on-worker-
+/// thread shape). TSAN-clean and nothing lost.
+TEST(ObsConcurrencyTest, ParallelSpansAndMetrics) {
+  obs::Tracer tracer;
+  obs::MetricsRegistry registry;
+  obs::Span root = tracer.StartSpan("negotiation");
+  const obs::SpanRef parent = root.ref();
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const std::string node = "node" + std::to_string(t);
+      obs::Counter* counter = registry.counter("seller." + node + ".ops");
+      obs::Histogram* hist = registry.histogram("seller." + node + ".us");
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        obs::Span span = tracer.StartSpan("offer_gen", parent);
+        span.Node(node);
+        span.Attr("i", static_cast<int64_t>(i));
+        counter->Increment();
+        hist->Observe(i);
+        span.End();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  root.End();
+  EXPECT_EQ(tracer.span_count(),
+            static_cast<size_t>(kThreads * kSpansPerThread) + 1);
+  for (int t = 0; t < kThreads; ++t) {
+    const std::string node = "node" + std::to_string(t);
+    EXPECT_EQ(registry.counter("seller." + node + ".ops")->value(),
+              kSpansPerThread);
+    EXPECT_EQ(registry.histogram("seller." + node + ".us")->count(),
+              kSpansPerThread);
+  }
+  // Every span has the shared parent and a unique id.
+  std::set<uint64_t> ids;
+  for (const auto& rec : tracer.Snapshot()) {
+    EXPECT_TRUE(ids.insert(rec.id).second);
+    if (rec.name == "offer_gen") {
+      EXPECT_EQ(rec.parent, parent.id);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qtrade

@@ -1,0 +1,437 @@
+// Golden test for the trace/metrics exporters: run a real three-node
+// negotiation through the facade with all three output paths set, then
+// parse the files back with a minimal JSON reader and validate the
+// Chrome trace-event contract (traceEvents array, "X" complete events
+// with numeric ts/dur, pid = node with process_name metadata, tid =
+// round, args carrying span ids as strings), the JSONL line schema and
+// the metrics JSON shape.
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/qt_optimizer.h"
+#include "tests/test_fixtures.h"
+
+namespace qtrade {
+namespace {
+
+using testing::PaperData;
+using testing::PaperFederation;
+
+// ---------------------------------------------------------------------
+// Minimal recursive-descent JSON reader — just enough to parse the
+// exporters' output back. Numbers are kept as doubles.
+// ---------------------------------------------------------------------
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      v = nullptr;
+
+  bool is_object() const { return std::holds_alternative<JsonObject>(v); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(v); }
+  bool is_string() const { return std::holds_alternative<std::string>(v); }
+  bool is_number() const { return std::holds_alternative<double>(v); }
+  const JsonObject& object() const { return std::get<JsonObject>(v); }
+  const JsonArray& array() const { return std::get<JsonArray>(v); }
+  const std::string& str() const { return std::get<std::string>(v); }
+  double number() const { return std::get<double>(v); }
+
+  const JsonValue* find(const std::string& key) const {
+    if (!is_object()) return nullptr;
+    auto it = object().find(key);
+    return it == object().end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    bool ok = ParseValue(out);
+    SkipSpace();
+    return ok && pos_ == text_.size();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"': {
+        std::string s;
+        if (!ParseString(&s)) return false;
+        out->v = std::move(s);
+        return true;
+      }
+      case 't':
+        if (text_.compare(pos_, 4, "true") != 0) return false;
+        pos_ += 4;
+        out->v = true;
+        return true;
+      case 'f':
+        if (text_.compare(pos_, 5, "false") != 0) return false;
+        pos_ += 5;
+        out->v = false;
+        return true;
+      case 'n':
+        if (text_.compare(pos_, 4, "null") != 0) return false;
+        pos_ += 4;
+        out->v = nullptr;
+        return true;
+      default:
+        return ParseNumber(out);
+    }
+  }
+  bool ParseObject(JsonValue* out) {
+    if (!Consume('{')) return false;
+    JsonObject obj;
+    SkipSpace();
+    if (Consume('}')) {
+      out->v = std::move(obj);
+      return true;
+    }
+    do {
+      SkipSpace();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      if (!Consume(':')) return false;
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      obj.emplace(std::move(key), std::move(value));
+    } while (Consume(','));
+    if (!Consume('}')) return false;
+    out->v = std::move(obj);
+    return true;
+  }
+  bool ParseArray(JsonValue* out) {
+    if (!Consume('[')) return false;
+    JsonArray arr;
+    SkipSpace();
+    if (Consume(']')) {
+      out->v = std::move(arr);
+      return true;
+    }
+    do {
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      arr.push_back(std::move(value));
+    } while (Consume(','));
+    if (!Consume(']')) return false;
+    out->v = std::move(arr);
+    return true;
+  }
+  bool ParseString(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'u':
+            // The exporters never emit \u escapes; accept + skip.
+            if (pos_ + 4 > text_.size()) return false;
+            pos_ += 4;
+            out->push_back('?');
+            break;
+          default: return false;
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out->v = std::stod(text_.substr(start, pos_ - start));
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// ---------------------------------------------------------------------
+// Fixture: one traced three-node negotiation shared by all tests.
+// ---------------------------------------------------------------------
+class TraceExportTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    prefix_ = new std::string(::testing::TempDir() + "qtrade_export_test");
+    fed_ = new Federation(PaperFederation());
+    PaperData data(30);
+    const char* names[] = {"athens", "corfu", "myconos"};
+    for (int i = 0; i < 3; ++i) fed_->AddNode(names[i]);
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(fed_->LoadPartition(names[i],
+                                      "customer#" + std::to_string(i),
+                                      data.customer_parts[i])
+                      .ok());
+      ASSERT_TRUE(fed_->LoadPartition(names[i],
+                                      "invoiceline#" + std::to_string(i),
+                                      data.invoiceline_parts[i])
+                      .ok());
+    }
+    QtOptions options;
+    options.protocol = NegotiationProtocol::kAuction;
+    options.obs.trace_path = *prefix_ + ".trace.json";
+    options.obs.trace_jsonl_path = *prefix_ + ".trace.jsonl";
+    options.obs.metrics_json_path = *prefix_ + ".metrics.json";
+    QueryTradingOptimizer qt(fed_, "athens", options);
+    auto result = qt.Optimize(
+        "SELECT SUM(charge) FROM customer c, invoiceline i "
+        "WHERE c.custid = i.custid AND "
+        "(c.office = 'Corfu' OR c.office = 'Myconos')");
+    ASSERT_TRUE(result.ok());
+    ASSERT_TRUE(result->ok());
+  }
+
+  static void TearDownTestSuite() {
+    for (const char* suffix :
+         {".trace.json", ".trace.jsonl", ".metrics.json"}) {
+      std::remove((*prefix_ + suffix).c_str());
+    }
+    delete fed_;
+    fed_ = nullptr;
+    delete prefix_;
+    prefix_ = nullptr;
+  }
+
+  static std::string* prefix_;
+  static Federation* fed_;
+};
+
+std::string* TraceExportTest::prefix_ = nullptr;
+Federation* TraceExportTest::fed_ = nullptr;
+
+TEST_F(TraceExportTest, ChromeTraceContract) {
+  const std::string text = ReadFile(*prefix_ + ".trace.json");
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(text).Parse(&doc)) << "invalid JSON";
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  // process_name metadata rows name every federation node's pid lane.
+  std::map<int, std::string> pid_names;
+  std::set<std::string> span_names;
+  int complete = 0, instants = 0;
+  std::set<std::string> seen_ids;
+  for (const JsonValue& ev : events->array()) {
+    ASSERT_TRUE(ev.is_object());
+    const JsonValue* ph = ev.find("ph");
+    ASSERT_NE(ph, nullptr);
+    const std::string kind = ph->str();
+    if (kind == "M") {
+      ASSERT_EQ(ev.find("name")->str(), "process_name");
+      pid_names[static_cast<int>(ev.find("pid")->number())] =
+          ev.find("args")->find("name")->str();
+      continue;
+    }
+    ASSERT_TRUE(kind == "X" || kind == "i") << kind;
+    // Every event row has numeric ts/pid/tid and a name.
+    ASSERT_TRUE(ev.find("ts") != nullptr && ev.find("ts")->is_number());
+    ASSERT_TRUE(ev.find("pid") != nullptr && ev.find("pid")->is_number());
+    ASSERT_TRUE(ev.find("tid") != nullptr && ev.find("tid")->is_number());
+    span_names.insert(ev.find("name")->str());
+    const JsonValue* args = ev.find("args");
+    ASSERT_NE(args, nullptr);
+    // Span ids ride in args as strings (Chrome mangles 64-bit numbers).
+    const JsonValue* id = args->find("id");
+    ASSERT_NE(id, nullptr);
+    ASSERT_TRUE(id->is_string());
+    EXPECT_TRUE(seen_ids.insert(id->str()).second) << "duplicate span id";
+    ASSERT_TRUE(args->find("parent")->is_string());
+    if (kind == "X") {
+      ++complete;
+      ASSERT_TRUE(ev.find("dur") != nullptr && ev.find("dur")->is_number());
+      EXPECT_GE(ev.find("dur")->number(), 0);
+    } else {
+      ++instants;
+      EXPECT_EQ(ev.find("s")->str(), "t");  // thread-scoped instant
+    }
+  }
+  EXPECT_GT(complete, 0);
+  EXPECT_GT(instants, 0);  // transport send[...] rows
+
+  std::set<std::string> node_names;
+  for (const auto& [pid, name] : pid_names) node_names.insert(name);
+  for (const char* node : {"athens", "corfu", "myconos"}) {
+    EXPECT_TRUE(node_names.count(node)) << node;
+  }
+  for (const char* name :
+       {"negotiation", "rfb_broadcast", "offer_gen", "plan_assemble",
+        "award", "send[rfb]"}) {
+    EXPECT_TRUE(span_names.count(name)) << name;
+  }
+
+  // Parent links resolve within the file and respect time containment.
+  std::map<std::string, const JsonValue*> by_id;
+  for (const JsonValue& ev : events->array()) {
+    if (ev.find("ph")->str() == "M") continue;
+    by_id[ev.find("args")->find("id")->str()] = &ev;
+  }
+  for (const auto& [id, ev] : by_id) {
+    const std::string parent = ev->find("args")->find("parent")->str();
+    if (parent == "0") continue;
+    auto it = by_id.find(parent);
+    ASSERT_NE(it, by_id.end()) << "dangling parent " << parent;
+    const JsonValue* pa = it->second;
+    EXPECT_GE(ev->find("ts")->number(), pa->find("ts")->number());
+    if (ev->find("ph")->str() == "X") {
+      EXPECT_LE(ev->find("ts")->number() + ev->find("dur")->number(),
+                pa->find("ts")->number() + pa->find("dur")->number() + 1);
+    }
+  }
+}
+
+TEST_F(TraceExportTest, JsonlLineSchema) {
+  std::ifstream in(*prefix_ + ".trace.jsonl");
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int lines = 0;
+  std::set<std::string> names;
+  std::set<double> ids;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    JsonValue rec;
+    ASSERT_TRUE(JsonParser(line).Parse(&rec)) << line;
+    for (const char* key : {"ts_us", "dur_us", "id", "parent", "round"}) {
+      ASSERT_NE(rec.find(key), nullptr) << key;
+      ASSERT_TRUE(rec.find(key)->is_number()) << key;
+    }
+    for (const char* key : {"name", "node"}) {
+      ASSERT_NE(rec.find(key), nullptr) << key;
+      ASSERT_TRUE(rec.find(key)->is_string()) << key;
+    }
+    ASSERT_NE(rec.find("attrs"), nullptr);
+    ASSERT_TRUE(rec.find("attrs")->is_object());
+    names.insert(rec.find("name")->str());
+    EXPECT_TRUE(ids.insert(rec.find("id")->number()).second);
+  }
+  EXPECT_GT(lines, 10);
+  for (const char* name : {"negotiation", "offer_gen", "cache_lookup"}) {
+    EXPECT_TRUE(names.count(name)) << name;
+  }
+}
+
+TEST_F(TraceExportTest, MetricsJsonShape) {
+  const std::string text = ReadFile(*prefix_ + ".metrics.json");
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(text).Parse(&doc)) << "invalid JSON";
+  const JsonValue* counters = doc.find("counters");
+  const JsonValue* gauges = doc.find("gauges");
+  const JsonValue* histograms = doc.find("histograms");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(gauges, nullptr);
+  ASSERT_NE(histograms, nullptr);
+
+  for (const char* node : {"athens", "corfu", "myconos"}) {
+    const std::string n(node);
+    // Seller-side cache accounting + transport accounting per node.
+    const JsonValue* misses = counters->find("seller." + n + ".cache_misses");
+    ASSERT_NE(misses, nullptr) << n;
+    EXPECT_GT(misses->number(), 0) << n;
+    for (const char* key : {".msgs_sent", ".bytes_sent", ".msgs_recv",
+                            ".bytes_recv"}) {
+      const JsonValue* c = counters->find("transport." + n + key);
+      ASSERT_NE(c, nullptr) << n << key;
+      EXPECT_GT(c->number(), 0) << n << key;
+    }
+    // Derived hit-ratio gauge is flushed by the facade, in [0, 1].
+    const JsonValue* ratio = gauges->find("seller." + n + ".cache_hit_ratio");
+    ASSERT_NE(ratio, nullptr) << n;
+    EXPECT_GE(ratio->number(), 0.0);
+    EXPECT_LE(ratio->number(), 1.0);
+    // Offer-generation latency histogram: count/sum and cumulative-style
+    // sparse buckets with increasing bounds.
+    const JsonValue* hist = histograms->find("seller." + n + ".offer_gen_us");
+    ASSERT_NE(hist, nullptr) << n;
+    EXPECT_GT(hist->find("count")->number(), 0);
+    EXPECT_GE(hist->find("sum")->number(), 0);
+    const JsonValue* buckets = hist->find("buckets");
+    ASSERT_NE(buckets, nullptr);
+    ASSERT_TRUE(buckets->is_array());
+    ASSERT_FALSE(buckets->array().empty());
+    double total = 0, last_bound = 0;
+    for (const JsonValue& b : buckets->array()) {
+      total += b.find("count")->number();
+      const JsonValue* le = b.find("le");
+      ASSERT_NE(le, nullptr);
+      if (le->is_number()) {
+        EXPECT_GT(le->number(), last_bound);
+        last_bound = le->number();
+      } else {
+        EXPECT_EQ(le->str(), "inf");  // overflow bucket only at the end
+      }
+    }
+    EXPECT_EQ(total, hist->find("count")->number());
+  }
+}
+
+}  // namespace
+}  // namespace qtrade

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Textual summary of a qtrade negotiation trace.
+
+Reads either export format produced by the observability layer
+(src/obs/trace.h):
+
+  *.trace.json    Chrome trace-event file ({"traceEvents": [...]})
+  *.trace.jsonl   one span object per line
+
+and prints (1) a per-span-name aggregate table and (2) an indented
+parent->child tree of the slowest negotiation — a textual flamegraph.
+
+Usage:
+  python3 tools/trace_summary.py qt_negotiation.trace.json
+  python3 tools/trace_summary.py --top 30 qt_negotiation.trace.jsonl
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def load_spans(path):
+    """Returns a list of dicts: id, parent, name, node, round, ts, dur,
+    instant. Accepts Chrome trace-event or JSONL input."""
+    with open(path, "r", encoding="utf-8") as f:
+        # Both formats start with "{": a Chrome trace is one document
+        # ({"traceEvents": [...]}), JSONL is one object per line.
+        head = f.readline()
+        f.seek(0)
+        if '"traceEvents"' in head:
+            doc = json.load(f)
+            events = doc.get("traceEvents", [])
+            # process_name metadata rows map pid -> federation node name.
+            pid_names = {
+                ev["pid"]: ev.get("args", {}).get("name", str(ev["pid"]))
+                for ev in events
+                if ev.get("ph") == "M" and ev.get("name") == "process_name"
+            }
+            spans = []
+            for ev in events:
+                if ev.get("ph") not in ("X", "i"):
+                    continue  # skip metadata rows
+                args = ev.get("args", {})
+                pid = ev.get("pid", "?")
+                spans.append({
+                    "id": int(args.get("id", 0)),
+                    "parent": int(args.get("parent", 0)),
+                    "name": ev.get("name", "?"),
+                    "node": pid_names.get(pid, pid),
+                    "round": ev.get("tid", -1),
+                    "ts": ev.get("ts", 0),
+                    "dur": ev.get("dur", 0),
+                    "instant": ev.get("ph") == "i",
+                })
+            return spans
+        spans = []
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            spans.append({
+                "id": rec.get("id", 0),
+                "parent": rec.get("parent", 0),
+                "name": rec.get("name", "?"),
+                "node": rec.get("node", "?"),
+                "round": rec.get("round", -1),
+                "ts": rec.get("ts_us", 0),
+                "dur": rec.get("dur_us", 0),
+                "instant": rec.get("instant", False),
+            })
+        return spans
+
+
+def fmt_us(us):
+    if us >= 1_000_000:
+        return f"{us / 1e6:.2f}s"
+    if us >= 1_000:
+        return f"{us / 1e3:.2f}ms"
+    return f"{us}us"
+
+
+def aggregate_table(spans, top):
+    agg = defaultdict(lambda: [0, 0, 0])  # name -> [count, total, max]
+    for s in spans:
+        row = agg[s["name"]]
+        row[0] += 1
+        row[1] += s["dur"]
+        row[2] = max(row[2], s["dur"])
+    rows = sorted(agg.items(), key=lambda kv: -kv[1][1])[:top]
+    width = max((len(name) for name, _ in rows), default=4)
+    print(f"{'span':<{width}}  {'count':>6}  {'total':>10}  "
+          f"{'avg':>10}  {'max':>10}")
+    for name, (count, total, mx) in rows:
+        print(f"{name:<{width}}  {count:>6}  {fmt_us(total):>10}  "
+              f"{fmt_us(total // count):>10}  {fmt_us(mx):>10}")
+
+
+def print_tree(spans, max_children):
+    children = defaultdict(list)
+    by_id = {}
+    for s in spans:
+        by_id[s["id"]] = s
+        children[s["parent"]].append(s)
+    for kids in children.values():
+        kids.sort(key=lambda s: s["ts"])
+
+    roots = [s for s in spans if s["parent"] not in by_id]
+    negotiations = [s for s in roots if s["name"] == "negotiation"]
+    if not negotiations:
+        negotiations = roots
+    if not negotiations:
+        return
+    slowest = max(negotiations, key=lambda s: s["dur"])
+
+    def walk(span, depth):
+        marker = "*" if span["instant"] else ""
+        dur = "" if span["instant"] else f"  {fmt_us(span['dur'])}"
+        print(f"{'  ' * depth}{span['name']}{marker} "
+              f"[{span['node']}]" + dur)
+        kids = children.get(span["id"], [])
+        shown = kids[:max_children]
+        for kid in shown:
+            walk(kid, depth + 1)
+        if len(kids) > len(shown):
+            print(f"{'  ' * (depth + 1)}... {len(kids) - len(shown)} more")
+
+    print(f"\nslowest negotiation ({fmt_us(slowest['dur'])}), "
+          f"* = instant event:")
+    walk(slowest, 0)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="*.trace.json or *.trace.jsonl file")
+    parser.add_argument("--top", type=int, default=20,
+                        help="rows in the aggregate table (default 20)")
+    parser.add_argument("--children", type=int, default=12,
+                        help="children shown per tree node (default 12)")
+    args = parser.parse_args()
+
+    spans = load_spans(args.trace)
+    if not spans:
+        print("no spans in trace", file=sys.stderr)
+        return 1
+    print(f"{len(spans)} spans from {args.trace}\n")
+    aggregate_table(spans, args.top)
+    print_tree(spans, args.children)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
