@@ -1,0 +1,273 @@
+// EXP-17 — Wire codec throughput and real-socket negotiation overhead.
+//
+// Part 1: encode/decode throughput for every negotiation envelope the
+// serde/ codec ships (representative payloads, many iterations) — the
+// per-message cost a qtrade_node daemon pays on top of the in-process
+// hand-off.
+//
+// Part 2: the telecom motivating query negotiated twice — once over the
+// in-process transport, once with the remote offices served by real
+// NodeServers behind a loopback TcpTransport (QtOptions::remote_peers,
+// the same switch examples/qtrade_node.cpp flips). The run is a
+// guardrail, not just a table: it exits 1 unless both modes land on the
+// identical cost and message/byte totals (the transport conformance
+// invariant), then reports the wall-time overhead of real sockets.
+//
+// Flags: --smoke (small sizes, used by ci/check.sh), --json.
+#include "bench/bench_util.h"
+
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serde/codec.h"
+#include "server/node_server.h"
+#include "sql/parser.h"
+#include "workload/telecom.h"
+
+using namespace qtrade;
+using namespace qtrade::bench;
+
+namespace {
+
+sql::SelectStmt ParseSelect(const std::string& text) {
+  auto query = sql::ParseQuery(text);
+  if (!query.ok() || !query->IsSimpleSelect()) {
+    std::fprintf(stderr, "bad bench query: %s\n", text.c_str());
+    std::exit(1);
+  }
+  return std::move(query->select());
+}
+
+/// A realistic mid-size offer: join query, two coverage entries, full
+/// §3.1 property vector.
+Offer MakeOffer(int i) {
+  Offer offer;
+  offer.offer_id = "exp17-offer-" + std::to_string(i);
+  offer.seller = "office_Myconos";
+  offer.rfb_id = "exp17-rfb/1";
+  offer.query = ParseSelect(
+      "SELECT c.custname, SUM(l.charge) FROM customer AS c, "
+      "invoiceline AS l WHERE c.custid = l.custid GROUP BY c.custname");
+  offer.schema.AddColumn({"c", "custname", TypeKind::kString});
+  offer.schema.AddColumn({"", "sum_charge", TypeKind::kDouble});
+  offer.kind = OfferKind::kPartialAggregate;
+  offer.coverage.push_back({"c", "customer", {"customer#2"}});
+  offer.coverage.push_back(
+      {"l", "invoiceline", {"invoiceline#0", "invoiceline#2"}});
+  offer.props = {123.5 + i, 4.25, 1000.0 + i, 8000, 0.5, 0.75, 12.0 + i};
+  offer.row_bytes = 48;
+  return offer;
+}
+
+struct CodecPoint {
+  const char* name;
+  std::function<std::string()> encode;
+  std::function<bool(std::string_view)> decode;
+};
+
+/// Times `iters` encode calls and `iters` decode calls of one envelope;
+/// prints the table row and the --json row.
+void MeasureCodec(const CodecPoint& point, int iters, bool json) {
+  const std::string frame = point.encode();
+
+  size_t sink = 0;
+  auto enc_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) sink += point.encode().size();
+  const double enc_ms = WallMs(enc_start);
+
+  int decoded_ok = 0;
+  auto dec_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) decoded_ok += point.decode(frame) ? 1 : 0;
+  const double dec_ms = WallMs(dec_start);
+
+  if (sink != frame.size() * static_cast<size_t>(iters) ||
+      decoded_ok != iters) {
+    std::fprintf(stderr, "%s: codec self-check failed\n", point.name);
+    std::exit(1);
+  }
+
+  const double enc_ns = enc_ms * 1e6 / iters;
+  const double dec_ns = dec_ms * 1e6 / iters;
+  // MB/s of sealed frame bytes through the codec (1e6 bytes per MB).
+  const double enc_mbps = frame.size() * iters / (enc_ms * 1e3);
+  const double dec_mbps = frame.size() * iters / (dec_ms * 1e3);
+  std::printf("%-14s %8zu %12.0f %9.1f %12.0f %9.1f\n", point.name,
+              frame.size(), enc_ns, enc_mbps, dec_ns, dec_mbps);
+  if (json) {
+    JsonRow("EXP-17")
+        .Str("section", "codec")
+        .Str("msg", point.name)
+        .Int("frame_bytes", static_cast<long long>(frame.size()))
+        .Int("iters", iters)
+        .Num("encode_ns", enc_ns)
+        .Num("decode_ns", dec_ns)
+        .Num("encode_mbps", enc_mbps)
+        .Num("decode_mbps", dec_mbps)
+        .Emit();
+  }
+}
+
+void RunCodecSection(int iters, bool json) {
+  std::printf("%-14s %8s %12s %9s %12s %9s\n", "message", "bytes",
+              "enc(ns/op)", "enc MB/s", "dec(ns/op)", "dec MB/s");
+
+  Rfb rfb;
+  rfb.rfb_id = "exp17-rfb/1";
+  rfb.buyer = "office_Athens";
+  rfb.sql =
+      "SELECT c.custname, SUM(l.charge) FROM customer AS c, "
+      "invoiceline AS l WHERE c.custid = l.custid GROUP BY c.custname";
+  rfb.reserve_value = 250.0;
+  rfb.trace_parent = 0x1234;
+  rfb.trace_round = 1;
+
+  serde::OfferBatch batch;
+  for (int i = 0; i < 4; ++i) batch.offers.push_back(MakeOffer(i));
+
+  AuctionTick tick;
+  tick.rfb_id = "exp17-rfb/1";
+  tick.signature = "c=customer#2|l=invoiceline#0+invoiceline#2";
+  tick.best_score = 99.5;
+
+  CounterOffer counter;
+  counter.rfb_id = "exp17-rfb/1";
+  counter.signature = tick.signature;
+  counter.target_value = 80.0;
+
+  AwardBatch awards;
+  for (int i = 0; i < 3; ++i) {
+    awards.awards.push_back({"exp17-rfb/1", "exp17-offer-" + std::to_string(i)});
+  }
+  awards.lost_offer_ids = {"exp17-offer-7", "exp17-offer-8"};
+
+  const std::optional<Offer> reply = MakeOffer(5);
+
+  RowSet rows;
+  rows.schema.AddColumn({"c", "custname", TypeKind::kString});
+  rows.schema.AddColumn({"", "sum_charge", TypeKind::kDouble});
+  for (int i = 0; i < 200; ++i) {
+    rows.rows.push_back(
+        {Value::String("customer-" + std::to_string(i)), Value::Double(i)});
+  }
+
+  const std::vector<CodecPoint> points = {
+      {"rfb", [&] { return serde::EncodeRfb(rfb); },
+       [](std::string_view f) { return serde::DecodeRfb(f).ok(); }},
+      {"offer_batch", [&] { return serde::EncodeOfferBatch(batch); },
+       [](std::string_view f) { return serde::DecodeOfferBatch(f).ok(); }},
+      {"auction_tick", [&] { return serde::EncodeAuctionTick(tick); },
+       [](std::string_view f) { return serde::DecodeAuctionTick(f).ok(); }},
+      {"counter_offer", [&] { return serde::EncodeCounterOffer(counter); },
+       [](std::string_view f) { return serde::DecodeCounterOffer(f).ok(); }},
+      {"award_batch", [&] { return serde::EncodeAwardBatch(awards); },
+       [](std::string_view f) { return serde::DecodeAwardBatch(f).ok(); }},
+      {"tick_reply", [&] { return serde::EncodeTickReply(reply); },
+       [](std::string_view f) { return serde::DecodeTickReply(f).ok(); }},
+      {"row_set_200", [&] { return serde::EncodeRowSet(rows); },
+       [](std::string_view f) { return serde::DecodeRowSet(f).ok(); }},
+  };
+  for (const CodecPoint& point : points) MeasureCodec(point, iters, json);
+}
+
+int RunNegotiationSection(const TelecomParams& params, int reps, bool json) {
+  QtOptions options;
+  options.run_label = "exp17";  // byte-identical RFB ids across modes
+
+  auto world_a = BuildTelecomWorld(params);
+  auto world_b = BuildTelecomWorld(params);
+  if (!world_a.ok() || !world_b.ok()) {
+    std::fprintf(stderr, "telecom world build failed\n");
+    return 1;
+  }
+  const std::string buyer = world_a->node_names[0];
+  const std::string sql = world_a->MotivatingQuerySql();
+
+  const QtRun inproc =
+      RunQt(world_a->federation.get(), buyer, sql, options, reps);
+
+  // Same world, but every non-buyer office served by a NodeServer on an
+  // ephemeral loopback port; the facade dials them as remote peers.
+  std::vector<std::unique_ptr<NodeServer>> servers;
+  QtOptions remote = options;
+  for (size_t i = 1; i < world_b->node_names.size(); ++i) {
+    const std::string& name = world_b->node_names[i];
+    auto server = std::make_unique<NodeServer>(
+        world_b->federation->node(name)->seller.get());
+    Status started = server->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "listen failed: %s\n", started.ToString().c_str());
+      return 1;
+    }
+    remote.remote_peers.push_back({name, "127.0.0.1", server->port()});
+    servers.push_back(std::move(server));
+  }
+  const QtRun tcp =
+      RunQt(world_b->federation.get(), buyer, sql, remote, reps);
+  for (auto& server : servers) server->Stop();
+
+  std::printf("\n%-8s %10s %10s %8s %10s %12s\n", "mode", "median", "min",
+              "msgs", "bytes", "cost");
+  for (const auto& [mode, run] :
+       {std::pair<const char*, const QtRun*>{"inproc", &inproc},
+        {"tcp", &tcp}}) {
+    std::printf("%-8s %8.2fms %8.2fms %8lld %10lld %12.4f\n", mode,
+                run->wall_ms_median, run->wall_ms_min,
+                static_cast<long long>(run->metrics.messages),
+                static_cast<long long>(run->metrics.bytes), run->cost);
+    if (json) {
+      JsonRow("EXP-17")
+          .Str("section", "negotiation")
+          .Str("mode", mode)
+          .Num("median_ms", run->wall_ms_median)
+          .Num("min_ms", run->wall_ms_min)
+          .Int("messages", run->metrics.messages)
+          .Int("bytes", run->metrics.bytes)
+          .Num("cost", run->cost)
+          .Emit();
+    }
+  }
+
+  // Guardrail: real sockets must change nothing but wall time.
+  if (!inproc.ok || !tcp.ok || inproc.cost != tcp.cost ||
+      inproc.metrics.messages != tcp.metrics.messages ||
+      inproc.metrics.bytes != tcp.metrics.bytes) {
+    std::fprintf(stderr,
+                 "FAIL: tcp negotiation diverged from in-process "
+                 "(cost %.6f vs %.6f, msgs %lld vs %lld, bytes %lld vs "
+                 "%lld)\n",
+                 inproc.cost, tcp.cost,
+                 static_cast<long long>(inproc.metrics.messages),
+                 static_cast<long long>(tcp.metrics.messages),
+                 static_cast<long long>(inproc.metrics.bytes),
+                 static_cast<long long>(tcp.metrics.bytes));
+    return 1;
+  }
+  const double ratio =
+      inproc.wall_ms_median > 0 ? tcp.wall_ms_median / inproc.wall_ms_median
+                                : 0;
+  std::printf("\nloopback TCP overhead: %.2fx in-process wall time "
+              "(identical cost and byte totals)\n", ratio);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const bool json = JsonMode(argc, argv);
+  Banner("EXP-17", "wire codec throughput + real-socket overhead");
+
+  const int iters = smoke ? 2000 : 20000;
+  RunCodecSection(iters, json);
+
+  TelecomParams params;
+  if (smoke) params.customers_per_office = 40;
+  return RunNegotiationSection(params, smoke ? 2 : 5, json);
+}

@@ -38,13 +38,52 @@ rm -rf "$(dirname "${TRACE_PREFIX}")"
 echo "== observability overhead smoke"
 ./build/bench/bench_obs_overhead --smoke
 
+# Wire smoke: codec throughput self-checks plus a loopback-TCP
+# negotiation that must match the in-process run bit for bit (the bench
+# exits non-zero on any divergence).
+echo "== wire codec + real-socket smoke"
+./build/bench/bench_wire --smoke
+
+# Multi-process federation smoke: two qtrade_node daemons on ephemeral
+# loopback ports plus a buyer process; the buyer's canonical RESULT
+# block (cost, winners, plan) must be byte-identical to a purely
+# in-process negotiation of the same world. --shutdown-peers makes the
+# daemons exit cleanly, which `wait` asserts.
+echo "== loopback TCP federation smoke"
+SMOKE_DIR="$(mktemp -d)"
+./build/examples/qtrade_node --node office_Corfu --listen 0 \
+  >"${SMOKE_DIR}/corfu.out" &
+CORFU_PID=$!
+./build/examples/qtrade_node --node office_Myconos --listen 0 \
+  >"${SMOKE_DIR}/myconos.out" &
+MYCONOS_PID=$!
+for daemon in corfu myconos; do
+  for _ in $(seq 1 100); do
+    grep -q LISTENING "${SMOKE_DIR}/${daemon}.out" 2>/dev/null && break
+    sleep 0.1
+  done
+  grep -q LISTENING "${SMOKE_DIR}/${daemon}.out"
+done
+CORFU_PORT="$(awk '/LISTENING/{print $2}' "${SMOKE_DIR}/corfu.out")"
+MYCONOS_PORT="$(awk '/LISTENING/{print $2}' "${SMOKE_DIR}/myconos.out")"
+./build/examples/qtrade_node --optimize motivating --shutdown-peers \
+  --peers "office_Corfu=127.0.0.1:${CORFU_PORT},office_Myconos=127.0.0.1:${MYCONOS_PORT}" \
+  >"${SMOKE_DIR}/peers.out"
+./build/examples/qtrade_node --optimize motivating --inproc \
+  >"${SMOKE_DIR}/inproc.out"
+wait "${CORFU_PID}" "${MYCONOS_PID}"
+diff "${SMOKE_DIR}/peers.out" "${SMOKE_DIR}/inproc.out"
+rm -rf "${SMOKE_DIR}"
+echo "loopback TCP smoke: RESULT blocks identical"
+
 if [[ "${TSAN:-0}" == "1" ]]; then
   cmake -B build-tsan -S . -DQTRADE_TSAN=ON
   cmake --build build-tsan -j "${JOBS}" --target \
     trading_test subcontract_test transport_fault_test offer_cache_test \
-    obs_test
+    obs_test codec_test codec_fuzz_test transport_conformance_test
   for t in trading_test subcontract_test transport_fault_test \
-           offer_cache_test obs_test; do
+           offer_cache_test obs_test codec_test codec_fuzz_test \
+           transport_conformance_test; do
     echo "== tsan: ${t}"
     ./build-tsan/tests/"${t}"
   done

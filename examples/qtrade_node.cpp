@@ -1,0 +1,221 @@
+// A federation node as a real process: serve one office's SellerEngine
+// over TCP (daemon mode) or run the buyer's negotiation against such
+// daemons (buyer mode). Every process builds the identical telecom
+// micro-world (same TelecomParams => same catalogs, statistics and data),
+// so a multi-process negotiation lands on the byte-identical winning
+// plan as the single-process run — which ci/check.sh asserts by diffing
+// the RESULT blocks below.
+//
+// Three-process quick start (see README):
+//
+//   ./build/examples/qtrade_node --node office_Corfu   --listen 7101 &
+//   ./build/examples/qtrade_node --node office_Myconos --listen 7102 &
+//   ./build/examples/qtrade_node --optimize motivating \
+//       --peers office_Corfu=127.0.0.1:7101,office_Myconos=127.0.0.1:7102
+//
+// The buyer prints a canonical RESULT block (cost, winners, plan); run
+// with --inproc instead of --peers to get the same block from a purely
+// in-process negotiation.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/qt_optimizer.h"
+#include "plan/plan.h"
+#include "server/node_server.h"
+#include "workload/telecom.h"
+
+using namespace qtrade;
+
+namespace {
+
+struct Args {
+  // Shared world shape: must agree across every process of a federation.
+  TelecomParams params;
+  // Daemon mode.
+  std::string node;
+  int listen_port = -1;
+  // Buyer mode.
+  std::string optimize;  // SQL, or the shortcuts "motivating"/"revenue"
+  std::string buyer = "office_Athens";
+  std::string peers;  // "name=host:port,name=host:port"
+  bool inproc = false;
+  std::string protocol = "bidding";
+  bool shutdown_peers = false;
+};
+
+void Usage() {
+  std::cout <<
+      "qtrade_node --node NAME --listen PORT [world flags]\n"
+      "qtrade_node --optimize SQL|motivating|revenue\n"
+      "            (--peers n=h:p,n=h:p | --inproc)\n"
+      "            [--buyer NAME] [--protocol bidding|auction|bargaining]\n"
+      "            [--shutdown-peers] [world flags]\n"
+      "world flags: --offices N --customers N --lines N\n";
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  auto need = [&](int i) { return i + 1 < argc; };
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--node" && need(i)) {
+      args->node = argv[++i];
+    } else if (flag == "--listen" && need(i)) {
+      args->listen_port = std::atoi(argv[++i]);
+    } else if (flag == "--optimize" && need(i)) {
+      args->optimize = argv[++i];
+    } else if (flag == "--buyer" && need(i)) {
+      args->buyer = argv[++i];
+    } else if (flag == "--peers" && need(i)) {
+      args->peers = argv[++i];
+    } else if (flag == "--inproc") {
+      args->inproc = true;
+    } else if (flag == "--protocol" && need(i)) {
+      args->protocol = argv[++i];
+    } else if (flag == "--shutdown-peers") {
+      args->shutdown_peers = true;
+    } else if (flag == "--offices" && need(i)) {
+      args->params.num_offices = std::atoi(argv[++i]);
+    } else if (flag == "--customers" && need(i)) {
+      args->params.customers_per_office = std::atoi(argv[++i]);
+    } else if (flag == "--lines" && need(i)) {
+      args->params.lines_per_customer = std::atoi(argv[++i]);
+    } else {
+      std::cerr << "unknown flag: " << flag << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+/// "name=host:port,..." -> RemotePeer list.
+bool ParsePeers(const std::string& spec, std::vector<RemotePeer>* peers) {
+  size_t start = 0;
+  while (start < spec.size()) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(start, comma - start);
+    const size_t eq = entry.find('=');
+    const size_t colon = entry.rfind(':');
+    if (eq == std::string::npos || colon == std::string::npos || colon < eq) {
+      std::cerr << "bad peer spec: " << entry << "\n";
+      return false;
+    }
+    RemotePeer peer;
+    peer.name = entry.substr(0, eq);
+    peer.host = entry.substr(eq + 1, colon - eq - 1);
+    peer.port = static_cast<uint16_t>(std::atoi(entry.c_str() + colon + 1));
+    peers->push_back(std::move(peer));
+    start = comma + 1;
+  }
+  return !peers->empty();
+}
+
+int RunDaemon(const Args& args) {
+  auto world = BuildTelecomWorld(args.params);
+  if (!world.ok()) {
+    std::cerr << "world build failed: " << world.status().ToString() << "\n";
+    return 1;
+  }
+  FederationNode* node = world->federation->node(args.node);
+  if (node == nullptr) {
+    std::cerr << "no such node: " << args.node << " (have:";
+    for (const auto& name : world->node_names) std::cerr << " " << name;
+    std::cerr << ")\n";
+    return 1;
+  }
+  NodeServerOptions options;
+  options.port = static_cast<uint16_t>(args.listen_port);
+  NodeServer server(node->seller.get(), options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::cerr << "listen failed: " << started.ToString() << "\n";
+    return 1;
+  }
+  // Parseable readiness line for scripts (ci/check.sh waits for it).
+  std::cout << "LISTENING " << server.port() << "\n" << std::flush;
+  server.Wait();  // until a peer sends kShutdown (or the process is killed)
+  server.Stop();
+  std::cout << "SERVED " << server.requests_served() << "\n";
+  return 0;
+}
+
+int RunBuyer(const Args& args) {
+  auto world = BuildTelecomWorld(args.params);
+  if (!world.ok()) {
+    std::cerr << "world build failed: " << world.status().ToString() << "\n";
+    return 1;
+  }
+  std::string sql = args.optimize;
+  if (sql == "motivating") sql = world->MotivatingQuerySql();
+  if (sql == "revenue") sql = TelecomWorld::RevenueReportSql();
+
+  QtOptions options;
+  // Stable RFB ids: every deployment of this world negotiates with
+  // byte-identical message ids, so plans are comparable across runs.
+  options.run_label = "qtrade-node";
+  if (args.protocol == "auction") {
+    options.protocol = NegotiationProtocol::kAuction;
+  } else if (args.protocol == "bargaining") {
+    options.protocol = NegotiationProtocol::kBargaining;
+  } else if (args.protocol != "bidding") {
+    std::cerr << "unknown protocol: " << args.protocol << "\n";
+    return 1;
+  }
+  if (!args.inproc && !ParsePeers(args.peers, &options.remote_peers)) {
+    Usage();
+    return 1;
+  }
+
+  QueryTradingOptimizer qt(world->federation.get(), args.buyer, options);
+  auto result = qt.Optimize(sql);
+  if (!result.ok()) {
+    std::cerr << "optimize failed: " << result.status().ToString() << "\n";
+    return 1;
+  }
+  if (!result->ok()) {
+    std::cout << "RESULT no-plan\n";
+    return 2;
+  }
+
+  // The canonical block ci/check.sh diffs between --peers and --inproc.
+  std::printf("RESULT cost=%.6f iterations=%d offers=%lld msgs=%lld "
+              "bytes=%lld\n",
+              result->cost, result->iterations,
+              static_cast<long long>(result->metrics.offers_received),
+              static_cast<long long>(result->metrics.messages),
+              static_cast<long long>(result->metrics.bytes));
+  for (const Offer& offer : result->winning_offers) {
+    std::cout << "WINNER seller=" << offer.seller
+              << " offer=" << offer.offer_id
+              << " signature=" << offer.CoverageSignature() << "\n";
+  }
+  std::cout << "PLAN\n" << Explain(result->plan);
+
+  if (args.shutdown_peers && qt.tcp_transport() != nullptr) {
+    for (const RemotePeer& peer : options.remote_peers) {
+      Status down = qt.tcp_transport()->ShutdownPeer(peer.name);
+      if (!down.ok()) {
+        std::cerr << "shutdown " << peer.name << ": " << down.ToString()
+                  << "\n";
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    Usage();
+    return 1;
+  }
+  if (!args.node.empty() && args.listen_port >= 0) return RunDaemon(args);
+  if (!args.optimize.empty()) return RunBuyer(args);
+  Usage();
+  return 1;
+}

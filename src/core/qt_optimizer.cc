@@ -1,5 +1,7 @@
 #include "core/qt_optimizer.h"
 
+#include <set>
+
 namespace qtrade {
 
 namespace {
@@ -24,10 +26,40 @@ QueryTradingOptimizer::QueryTradingOptimizer(Federation* federation,
       buyer_node_(std::move(buyer_node)),
       options_(options) {
   FederationNode* buyer = federation_->node(buyer_node_);
+  transport_ = federation_->transport();
+  std::vector<std::string> sellers = federation_->NodeNames();
+  if (!options_.remote_peers.empty()) {
+    // Multi-process federation: negotiate over sockets. Federation
+    // sellers stay local endpoints (loopback never crosses the network);
+    // each remote peer is a qtrade_node daemon dialed at host:port. The
+    // offer deadline doubles as the TCP read bound so a hung daemon
+    // degrades exactly like a too-slow simulated seller.
+    TcpTransportOptions tcp = options_.tcp;
+    if (options_.offer_timeout_ms > 0) {
+      tcp.read_timeout_ms = options_.offer_timeout_ms;
+    }
+    tcp_transport_ =
+        std::make_unique<TcpTransport>(federation_->network(), tcp);
+    // Declaring a node a remote peer takes precedence over any
+    // same-named local seller: a process that models the whole
+    // federation locally (for schema + statistics) but delegates some
+    // nodes to daemons must not shadow them with loopback endpoints.
+    std::set<std::string> remote_names;
+    for (const RemotePeer& peer : options_.remote_peers) {
+      remote_names.insert(peer.name);
+      tcp_transport_->AddPeer(peer);
+    }
+    for (SellerEngine* seller : federation_->Sellers()) {
+      if (remote_names.count(seller->name()) == 0) {
+        tcp_transport_->Register(seller);
+      }
+    }
+    transport_ = tcp_transport_.get();
+    sellers = tcp_transport_->NodeNames();  // fed nodes + peers, sorted
+  }
   engine_ = std::make_unique<BuyerEngine>(
       buyer != nullptr ? buyer->catalog.get() : nullptr,
-      &federation_->factory(), federation_->transport(),
-      federation_->NodeNames(), options_);
+      &federation_->factory(), transport_, sellers, options_);
   // The cache knob is a federation-wide property of the run, so the
   // facade pushes it to every seller; direct-constructed SellerEngines
   // keep their OfferGeneratorOptions default (off).
@@ -55,7 +87,12 @@ void QueryTradingOptimizer::WireObservability() {
   for (SellerEngine* seller : federation_->Sellers()) {
     seller->SetObservability(tracer_, metrics_);
   }
-  federation_->transport()->SetObservability(tracer_, metrics_);
+  // The negotiation transport plus the federation's own (sellers still
+  // subcontract through the latter when it is not the active one).
+  transport_->SetObservability(tracer_, metrics_);
+  if (transport_ != federation_->transport()) {
+    federation_->transport()->SetObservability(tracer_, metrics_);
+  }
 }
 
 void QueryTradingOptimizer::FlushObservability() {

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "core/federation.h"
+#include "net/tcp_transport.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "trading/buyer_engine.h"
@@ -55,6 +56,14 @@ class QueryTradingOptimizer {
   obs::Tracer* tracer() { return tracer_; }
   obs::MetricsRegistry* metrics() { return metrics_; }
 
+  /// The negotiation transport in use: the federation's in-process
+  /// transport, or the facade-owned TcpTransport when
+  /// QtOptions::remote_peers is non-empty.
+  Transport* transport() { return transport_; }
+  /// Non-null only when remote peers are configured (ping/shutdown of
+  /// the peer daemons; see examples/qtrade_node.cpp).
+  TcpTransport* tcp_transport() { return tcp_transport_.get(); }
+
  private:
   /// Pushes the active handles into the buyer engine, every federation
   /// seller and the transport (mirrors the offer-cache knob fan-out).
@@ -66,6 +75,10 @@ class QueryTradingOptimizer {
   Federation* federation_;
   std::string buyer_node_;
   QtOptions options_;
+  /// Owned socket transport when remote_peers is non-empty: federation
+  /// sellers registered as local endpoints, peers dialed over TCP.
+  std::unique_ptr<TcpTransport> tcp_transport_;
+  Transport* transport_ = nullptr;
   std::unique_ptr<BuyerEngine> engine_;
   /// Facade-owned instances when QtOptions::obs asks for output files.
   std::unique_ptr<obs::Tracer> owned_tracer_;

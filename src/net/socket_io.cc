@@ -1,0 +1,207 @@
+#include "net/socket_io.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+
+#include "serde/codec.h"
+
+namespace qtrade::net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::string(strerror(errno)));
+}
+
+/// Waits for `events` on fd. 0 = no deadline. Timeout -> kTimeout.
+Status PollFd(int fd, short events, double timeout_ms) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  pfd.revents = 0;
+  const int wait =
+      timeout_ms <= 0 ? -1 : static_cast<int>(timeout_ms < 1 ? 1 : timeout_ms);
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, wait);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return Errno("poll");
+  if (rc == 0) return Status::Timeout("socket wait timed out");
+  if ((pfd.revents & (POLLERR | POLLNVAL)) != 0) {
+    return Status::Internal("socket error while waiting");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<int> ConnectTcp(const std::string& host, uint16_t port,
+                       double connect_timeout_ms) {
+  struct addrinfo hints;
+  memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* res = nullptr;
+  const std::string service = std::to_string(port);
+  if (::getaddrinfo(host.c_str(), service.c_str(), &hints, &res) != 0 ||
+      res == nullptr) {
+    return Status::NotFound("cannot resolve " + host);
+  }
+  int fd = ::socket(res->ai_family, res->ai_socktype, res->ai_protocol);
+  if (fd < 0) {
+    ::freeaddrinfo(res);
+    return Errno("socket");
+  }
+  // Non-blocking connect so the timeout is ours, not the kernel's
+  // multi-minute default.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, res->ai_addr, res->ai_addrlen);
+  ::freeaddrinfo(res);
+  if (rc != 0 && errno != EINPROGRESS) {
+    CloseFd(fd);
+    return Errno("connect");
+  }
+  if (rc != 0) {
+    Status wait = PollFd(fd, POLLOUT, connect_timeout_ms);
+    if (!wait.ok()) {
+      CloseFd(fd);
+      return wait.code() == StatusCode::kTimeout
+                 ? Status::Timeout("connect to " + host + ":" + service +
+                                   " timed out")
+                 : wait;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      CloseFd(fd);
+      return Status::Internal("connect to " + host + ":" + service +
+                              " failed: " + strerror(err != 0 ? err : errno));
+    }
+  }
+  (void)::fcntl(fd, F_SETFL, flags);  // back to blocking; I/O uses poll
+  int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Result<int> ListenTcp(const std::string& bind_address, uint16_t port,
+                      uint16_t* bound_port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, bind_address.c_str(), &addr.sin_addr) != 1) {
+    CloseFd(fd);
+    return Status::InvalidArgument("bad bind address: " + bind_address);
+  }
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status st = Errno("bind " + bind_address + ":" + std::to_string(port));
+    CloseFd(fd);
+    return st;
+  }
+  if (::listen(fd, 64) != 0) {
+    Status st = Errno("listen");
+    CloseFd(fd);
+    return st;
+  }
+  if (bound_port != nullptr) {
+    struct sockaddr_in actual;
+    socklen_t len = sizeof(actual);
+    if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&actual),
+                      &len) == 0) {
+      *bound_port = ntohs(actual.sin_port);
+    }
+  }
+  return fd;
+}
+
+Status WaitReadable(int fd, double timeout_ms) {
+  return PollFd(fd, POLLIN, timeout_ms);
+}
+
+Status WriteAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+#ifdef MSG_NOSIGNAL
+                       MSG_NOSIGNAL
+#else
+                       0
+#endif
+    );
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Reads exactly `n` more bytes into `buf`, polling with the timeout
+/// before each recv. EOF mid-message is an error; EOF before the first
+/// byte of a frame is reported as NotFound so callers can treat an
+/// orderly peer close as end-of-stream.
+Status ReadExact(int fd, size_t n, double read_timeout_ms, std::string* buf,
+                 bool eof_ok_at_start) {
+  size_t got = 0;
+  const size_t base = buf->size();
+  buf->resize(base + n);
+  while (got < n) {
+    QTRADE_RETURN_IF_ERROR(PollFd(fd, POLLIN, read_timeout_ms));
+    ssize_t rc = ::recv(fd, buf->data() + base + got, n - got, 0);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (rc == 0) {
+      buf->resize(base + got);
+      if (got == 0 && eof_ok_at_start) {
+        return Status::NotFound("connection closed");
+      }
+      return Status::Internal("connection closed mid-frame");
+    }
+    got += static_cast<size_t>(rc);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::string> ReadFrame(int fd, double read_timeout_ms) {
+  std::string frame;
+  QTRADE_RETURN_IF_ERROR(ReadExact(fd, serde::kFrameHeaderBytes,
+                                   read_timeout_ms, &frame,
+                                   /*eof_ok_at_start=*/true));
+  // Header validation before trusting the length field: a garbage peer
+  // cannot make us allocate or wait for gigabytes.
+  QTRADE_ASSIGN_OR_RETURN(serde::FrameHeader header,
+                          serde::ParseFrameHeader(frame));
+  QTRADE_RETURN_IF_ERROR(ReadExact(fd, header.length, read_timeout_ms, &frame,
+                                   /*eof_ok_at_start=*/false));
+  return frame;
+}
+
+void CloseFd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace qtrade::net

@@ -1,0 +1,44 @@
+// Thin POSIX socket helpers shared by TcpTransport (client side) and
+// NodeServer (daemon side): timeout-bounded connect/read/write and
+// whole-frame I/O in the serde/ codec's framing. All functions return
+// Status instead of throwing; fds are plain ints owned by the caller.
+#ifndef QTRADE_NET_SOCKET_IO_H_
+#define QTRADE_NET_SOCKET_IO_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace qtrade::net {
+
+/// Connects to host:port with a bounded wait (0 = OS default). Returns
+/// a blocking fd on success.
+Result<int> ConnectTcp(const std::string& host, uint16_t port,
+                       double connect_timeout_ms);
+
+/// Binds + listens on `bind_address:port` (port 0 = ephemeral). Returns
+/// the listening fd; `*bound_port` receives the actual port.
+Result<int> ListenTcp(const std::string& bind_address, uint16_t port,
+                      uint16_t* bound_port);
+
+/// Writes the whole buffer; short writes are retried.
+Status WriteAll(int fd, const std::string& data);
+
+/// Waits until `fd` is readable (or has a pending error/hangup, which a
+/// subsequent read surfaces). Expiry comes back as StatusCode::kTimeout;
+/// servers poll in short slices so their stop flags stay responsive.
+Status WaitReadable(int fd, double timeout_ms);
+
+/// Reads one sealed codec frame (header + payload, header-validated but
+/// crc-unchecked: callers run serde::ParseFrame on the returned bytes).
+/// `read_timeout_ms` bounds the wait for *each* poll of the fd
+/// (0 = wait forever); expiry comes back as StatusCode::kTimeout.
+Result<std::string> ReadFrame(int fd, double read_timeout_ms);
+
+/// Closes an fd, ignoring errors (helper so call sites stay terse).
+void CloseFd(int fd);
+
+}  // namespace qtrade::net
+
+#endif  // QTRADE_NET_SOCKET_IO_H_

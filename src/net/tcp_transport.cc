@@ -1,0 +1,431 @@
+#include "net/tcp_transport.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <string_view>
+#include <thread>
+
+#include "net/socket_io.h"
+#include "serde/codec.h"
+#include "util/logging.h"
+
+namespace qtrade {
+
+namespace {
+
+double WallMs(std::chrono::steady_clock::time_point start) {
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(SimNetwork* network, TcpTransportOptions options)
+    : network_(network), options_(options) {}
+
+TcpTransport::~TcpTransport() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, peer] : peers_) {
+    std::lock_guard<std::mutex> peer_lock(peer->mu);
+    net::CloseFd(peer->fd);
+    peer->fd = -1;
+  }
+}
+
+void TcpTransport::AddPeer(const std::string& name, const std::string& host,
+                           uint16_t port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = peers_.find(name);
+  if (it != peers_.end()) {
+    std::lock_guard<std::mutex> peer_lock(it->second->mu);
+    net::CloseFd(it->second->fd);
+    it->second->fd = -1;
+    it->second->host = host;
+    it->second->port = port;
+    return;
+  }
+  auto peer = std::make_unique<PeerState>();
+  peer->host = host;
+  peer->port = port;
+  peers_.emplace(name, std::move(peer));
+}
+
+void TcpTransport::DisconnectPeer(const std::string& name) {
+  if (PeerState* p = peer(name)) {
+    std::lock_guard<std::mutex> peer_lock(p->mu);
+    net::CloseFd(p->fd);
+    p->fd = -1;
+  }
+}
+
+TcpTransport::PeerState* TcpTransport::peer(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = peers_.find(name);
+  // The map owns PeerState by unique_ptr precisely so the pointer stays
+  // valid after this lock drops (map growth never moves it).
+  return it == peers_.end() ? nullptr : it->second.get();
+}
+
+void TcpTransport::Register(NodeEndpoint* endpoint) {
+  if (endpoint == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  endpoints_[endpoint->name()] = endpoint;
+}
+
+NodeEndpoint* TcpTransport::endpoint(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = endpoints_.find(name);
+  return it == endpoints_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> TcpTransport::NodeNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::set<std::string> names;
+  for (const auto& [name, ep] : endpoints_) names.insert(name);
+  for (const auto& [name, peer] : peers_) names.insert(name);
+  return {names.begin(), names.end()};
+}
+
+void TcpTransport::SetObservability(obs::Tracer* tracer,
+                                    obs::MetricsRegistry* metrics) {
+  obs_.Set(tracer, metrics);
+}
+
+Result<std::string> TcpTransport::RoundTrip(PeerState* peer,
+                                            const std::string& frame) {
+  std::lock_guard<std::mutex> lock(peer->mu);
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const bool reused = peer->fd >= 0;
+    if (!reused) {
+      auto fd = net::ConnectTcp(peer->host, peer->port,
+                                options_.connect_timeout_ms);
+      if (!fd.ok()) return fd.status();
+      peer->fd = *fd;
+    }
+    Status sent = net::WriteAll(peer->fd, frame);
+    if (!sent.ok()) {
+      net::CloseFd(peer->fd);
+      peer->fd = -1;
+      // A pooled connection the peer already closed fails on write;
+      // retry once on a fresh connect before giving up.
+      if (reused && attempt == 0) continue;
+      return sent;
+    }
+    auto reply = net::ReadFrame(peer->fd, options_.read_timeout_ms);
+    if (!reply.ok()) {
+      net::CloseFd(peer->fd);
+      peer->fd = -1;
+      // A reused connection failing at read (orderly close -> NotFound,
+      // restarted peer -> ECONNRESET) is the stale-connection race: the
+      // request never reached a live server, so one retry on a fresh
+      // connect is safe. Timeouts are excluded — the server may be alive
+      // and slow, and re-sending would double-handle the request.
+      if (reused && attempt == 0 &&
+          reply.status().code() != StatusCode::kTimeout) {
+        continue;
+      }
+      return reply.status();
+    }
+    return reply;
+  }
+  return Status::Internal("tcp round-trip: unreachable");
+}
+
+std::vector<OfferReply> TcpTransport::BroadcastRfb(
+    const std::string& from, const Rfb& rfb,
+    const std::vector<std::string>& to, const char* rfb_kind,
+    const char* offer_kind) {
+  struct Task {
+    NodeEndpoint* ep = nullptr;    // local dispatch
+    PeerState* peer = nullptr;     // remote dispatch
+    double out_ms = 0;
+    double compute_ms = 0;
+    Status status = Status::OK();
+    std::vector<Offer> offers;
+    int64_t reply_bytes = 0;  // actual reply frame size (remote)
+    bool transport_lost = false;
+  };
+  const size_t n = to.size();
+  std::vector<Task> tasks(n);
+
+  // One encode for the whole fan-out; by the WireBytes delegation the
+  // frame size IS rfb.WireBytes(), so simulated accounting (done here,
+  // on the dispatching thread, identically to InProcessTransport) is
+  // fed by the real encoded byte count.
+  const std::string frame = serde::EncodeRfb(rfb);
+  const obs::SpanRef rfb_span{rfb.trace_parent, rfb.trace_round};
+  for (size_t i = 0; i < n; ++i) {
+    tasks[i].ep = endpoint(to[i]);
+    if (tasks[i].ep == nullptr) tasks[i].peer = peer(to[i]);
+    tasks[i].out_ms = network_->Send(from, to[i],
+                                     static_cast<int64_t>(frame.size()),
+                                     rfb_kind);
+    obs_.ObserveSend(from, to[i], static_cast<int64_t>(frame.size()),
+                     rfb_kind, rfb_span);
+    if (tasks[i].ep == nullptr && tasks[i].peer == nullptr) {
+      tasks[i].status =
+          Status::NotFound("no endpoint or peer registered: " + to[i]);
+    }
+  }
+
+  auto run = [&](size_t i) {
+    Task& task = tasks[i];
+    auto start = std::chrono::steady_clock::now();
+    if (task.ep != nullptr) {
+      // Loopback: a local endpoint's traffic never crosses the network.
+      auto offers = task.ep->HandleRfb(rfb);
+      task.compute_ms = WallMs(start);
+      if (offers.ok()) {
+        task.offers = std::move(*offers);
+      } else {
+        task.status = offers.status();
+      }
+      return;
+    }
+    if (task.peer == nullptr) return;
+    auto reply = RoundTrip(task.peer, frame);
+    task.compute_ms = WallMs(start);
+    if (!reply.ok()) {
+      task.status = reply.status();
+      task.transport_lost = true;  // degradation path, not an error
+      return;
+    }
+    task.reply_bytes = static_cast<int64_t>(reply->size());
+    auto batch = serde::DecodeOfferBatch(*reply);
+    if (!batch.ok()) {
+      // A kError frame is the daemon declining; anything else malformed
+      // counts as a lost reply.
+      Status declined;
+      if (serde::DecodeError(*reply, &declined).ok()) {
+        task.status = declined;
+      } else {
+        task.status = batch.status();
+        task.transport_lost = true;
+      }
+      return;
+    }
+    if (!batch->ok) {
+      task.status = Status::Internal(batch->error.empty()
+                                         ? "seller declined"
+                                         : batch->error);
+      return;
+    }
+    task.offers = std::move(batch->offers);
+  };
+
+  size_t workers =
+      options_.parallel
+          ? (options_.max_threads != 0 ? options_.max_threads
+                                       : std::thread::hardware_concurrency())
+          : 1;
+  workers = std::min(std::max<size_t>(workers, 1), n);
+  if (workers <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) run(i);
+  } else {
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+          run(i);
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+  }
+
+  // Reply accounting on the dispatching thread. Contract parity with
+  // InProcessTransport: a declined/failed seller accounts no reply
+  // message; a transport loss surfaces as a dropped reply feeding the
+  // buyer's degradation policy.
+  std::vector<OfferReply> replies(n);
+  for (size_t i = 0; i < n; ++i) {
+    Task& task = tasks[i];
+    OfferReply& reply = replies[i];
+    reply.seller = to[i];
+    if (!task.status.ok()) {
+      QTRADE_LOG(kWarning) << "seller " << to[i] << " failed on RFB: "
+                           << task.status.ToString();
+      reply.ok = false;
+      reply.dropped = task.transport_lost;
+      reply.arrival_ms = task.out_ms + task.compute_ms;
+      continue;
+    }
+    const int64_t batch_bytes = task.ep != nullptr
+                                    ? OfferBatchWireBytes(task.offers)
+                                    : task.reply_bytes;
+    double back_ms = network_->Send(to[i], from, batch_bytes, offer_kind);
+    obs_.ObserveSend(to[i], from, batch_bytes, offer_kind, rfb_span);
+    reply.offers = std::move(task.offers);
+    reply.arrival_ms = task.out_ms + task.compute_ms + back_ms;
+  }
+  return replies;
+}
+
+TickReply TcpTransport::TickRpc(const std::string& from,
+                                const std::string& to,
+                                const std::string& frame, int64_t wire_bytes,
+                                const char* kind) {
+  PeerState* p = peer(to);
+  if (p == nullptr) return {std::nullopt, 0, true};
+  TickReply reply;
+  double out_ms = network_->Send(from, to, wire_bytes, kind);
+  obs_.ObserveSend(from, to, wire_bytes, kind, {});
+  auto start = std::chrono::steady_clock::now();
+  auto raw = RoundTrip(p, frame);
+  double compute_ms = WallMs(start);
+  if (!raw.ok()) {
+    QTRADE_LOG(kWarning) << "tick rpc to " << to
+                         << " lost: " << raw.status().ToString();
+    return {std::nullopt, out_ms + compute_ms, true};
+  }
+  auto updated = serde::DecodeTickReply(*raw);
+  if (!updated.ok()) {
+    QTRADE_LOG(kWarning) << "tick reply from " << to << " malformed: "
+                         << updated.status().ToString();
+    return {std::nullopt, out_ms + compute_ms, true};
+  }
+  reply.updated = std::move(*updated);
+  double back_ms = 0;
+  const bool is_bargain = std::string_view(kind) == "bargain";
+  if (reply.updated.has_value() || is_bargain) {
+    // Auction holds are silent (no reply accounted, matching the
+    // in-process transport); bargaining always answers, and the reply
+    // frame is the hold ack or the re-quoted offer.
+    const char* back_kind = is_bargain ? "bargain" : "offer";
+    back_ms = network_->Send(to, from, static_cast<int64_t>(raw->size()),
+                             back_kind);
+    obs_.ObserveSend(to, from, static_cast<int64_t>(raw->size()), back_kind,
+                     {});
+  }
+  reply.elapsed_ms = out_ms + compute_ms + back_ms;
+  reply.dropped = false;
+  return reply;
+}
+
+TickReply TcpTransport::SendAuctionTick(const std::string& from,
+                                        const std::string& to,
+                                        const AuctionTick& tick) {
+  if (NodeEndpoint* ep = endpoint(to)) {
+    TickReply reply;
+    double out_ms = network_->Send(from, to, tick.WireBytes(), "auction");
+    obs_.ObserveSend(from, to, tick.WireBytes(), "auction", {});
+    auto start = std::chrono::steady_clock::now();
+    reply.updated = ep->HandleAuctionTick(tick);
+    double compute_ms = WallMs(start);
+    double back_ms = 0;
+    if (reply.updated.has_value()) {
+      const int64_t offer_bytes = OfferWireBytes(*reply.updated);
+      back_ms = network_->Send(to, from, offer_bytes, "offer");
+      obs_.ObserveSend(to, from, offer_bytes, "offer", {});
+    }
+    reply.elapsed_ms = out_ms + compute_ms + back_ms;
+    return reply;
+  }
+  return TickRpc(from, to, serde::EncodeAuctionTick(tick), tick.WireBytes(),
+                 "auction");
+}
+
+TickReply TcpTransport::SendCounterOffer(const std::string& from,
+                                         const std::string& to,
+                                         const CounterOffer& counter) {
+  if (NodeEndpoint* ep = endpoint(to)) {
+    TickReply reply;
+    double out_ms = network_->Send(from, to, counter.WireBytes(), "bargain");
+    obs_.ObserveSend(from, to, counter.WireBytes(), "bargain", {});
+    auto start = std::chrono::steady_clock::now();
+    reply.updated = ep->HandleCounterOffer(counter);
+    double compute_ms = WallMs(start);
+    const int64_t back_bytes = reply.updated.has_value()
+                                   ? OfferWireBytes(*reply.updated)
+                                   : TickHoldWireBytes();
+    double back_ms = network_->Send(to, from, back_bytes, "bargain");
+    obs_.ObserveSend(to, from, back_bytes, "bargain", {});
+    reply.elapsed_ms = out_ms + compute_ms + back_ms;
+    return reply;
+  }
+  return TickRpc(from, to, serde::EncodeCounterOffer(counter),
+                 counter.WireBytes(), "bargain");
+}
+
+double TcpTransport::SendAwards(const std::string& from, const std::string& to,
+                                const AwardBatch& batch) {
+  if (NodeEndpoint* ep = endpoint(to)) {
+    double out_ms = network_->Send(from, to, batch.WireBytes(), "award");
+    obs_.ObserveSend(from, to, batch.WireBytes(), "award", {});
+    ep->HandleAwards(batch);
+    return out_ms;
+  }
+  PeerState* p = peer(to);
+  if (p == nullptr) return 0;
+  double out_ms = network_->Send(from, to, batch.WireBytes(), "award");
+  obs_.ObserveSend(from, to, batch.WireBytes(), "award", {});
+  auto raw = RoundTrip(p, serde::EncodeAwardBatch(batch));
+  if (!raw.ok()) {
+    // Award feedback is best-effort (the seller just learns less);
+    // the kAck reply is protocol overhead, never accounted.
+    QTRADE_LOG(kWarning) << "award to " << to
+                         << " lost: " << raw.status().ToString();
+  }
+  return out_ms;
+}
+
+void TcpTransport::AdvanceRound(double ms) { network_->AdvanceClock(ms); }
+
+Status TcpTransport::PingPeer(const std::string& name) {
+  PeerState* p = peer(name);
+  if (p == nullptr) return Status::NotFound("no such peer: " + name);
+  QTRADE_ASSIGN_OR_RETURN(std::string raw,
+                          RoundTrip(p, serde::SealFrame(serde::MsgType::kPing,
+                                                        "")));
+  QTRADE_ASSIGN_OR_RETURN(serde::FrameView frame, serde::ParseFrame(raw));
+  if (frame.type != serde::MsgType::kAck) {
+    return Status::Internal("unexpected ping reply frame");
+  }
+  return Status::OK();
+}
+
+Status TcpTransport::ShutdownPeer(const std::string& name) {
+  PeerState* p = peer(name);
+  if (p == nullptr) return Status::NotFound("no such peer: " + name);
+  QTRADE_ASSIGN_OR_RETURN(
+      std::string raw,
+      RoundTrip(p, serde::SealFrame(serde::MsgType::kShutdown, "")));
+  QTRADE_ASSIGN_OR_RETURN(serde::FrameView frame, serde::ParseFrame(raw));
+  if (frame.type != serde::MsgType::kAck) {
+    return Status::Internal("unexpected shutdown reply frame");
+  }
+  DisconnectPeer(name);
+  return Status::OK();
+}
+
+Result<RowSet> TcpTransport::FetchOffer(const std::string& peer_name,
+                                        const std::string& offer_id) {
+  if (NodeEndpoint* ep = endpoint(peer_name)) {
+    return ep->HandleExecuteOffer(offer_id);
+  }
+  PeerState* p = peer(peer_name);
+  if (p == nullptr) return Status::NotFound("no such peer: " + peer_name);
+  serde::Encoder e;
+  e.PutString(offer_id);
+  const std::string frame = e.Seal(serde::MsgType::kExecuteOffer);
+  network_->Send("buyer", peer_name, static_cast<int64_t>(frame.size()),
+                 "data");
+  QTRADE_ASSIGN_OR_RETURN(std::string raw, RoundTrip(p, frame));
+  auto rows = serde::DecodeRowSet(raw);
+  if (!rows.ok()) {
+    Status declined;
+    if (serde::DecodeError(raw, &declined).ok() && !declined.ok()) {
+      return declined;
+    }
+    return rows.status();
+  }
+  network_->Send(peer_name, "buyer", static_cast<int64_t>(raw.size()),
+                 "data");
+  return rows;
+}
+
+}  // namespace qtrade

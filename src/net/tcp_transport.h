@@ -1,0 +1,143 @@
+// Transport over real POSIX sockets: the federation's wire for true
+// multi-process deployments. Local endpoints registered on this
+// transport are dispatched in-process exactly like InProcessTransport
+// (a node's loopback traffic never crosses the network); peers added
+// with AddPeer are reached over TCP speaking the serde/ codec frames
+// against a NodeServer (src/server/node_server.h) on the far side.
+//
+// Semantics match InProcessTransport contract-for-contract so the same
+// buyer/seller engines (and the FaultyTransport decorator and
+// observability hooks) run unchanged over either:
+//   - BroadcastRfb fans out in parallel and returns one OfferReply per
+//     target, in target order, stamped with simulated arrival times;
+//     all SimNetwork accounting happens on the dispatching thread.
+//   - A connect failure, read timeout or malformed reply marks the
+//     reply `dropped` — feeding the buyer's existing offer_timeout_ms
+//     degradation path — rather than erroring the negotiation.
+//   - Byte accounting is fed by the *actual* encoded frame sizes, which
+//     (by the WireBytes() delegation in net/wire.cc) equal the sizes the
+//     in-process transport charges, so byte totals agree across
+//     transports for identical negotiations.
+//
+// Connection model: one pooled connection per peer, created lazily and
+// reused across negotiation rounds; a stale pooled connection (peer
+// restarted) is retried once with a fresh connect. RPCs on one peer
+// serialize on its connection; fan-out to different peers is parallel.
+#ifndef QTRADE_NET_TCP_TRANSPORT_H_
+#define QTRADE_NET_TCP_TRANSPORT_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/transport.h"
+
+namespace qtrade {
+
+/// Address of a remote seller daemon (see examples/qtrade_node.cpp).
+struct RemotePeer {
+  std::string name;  // federation node name
+  std::string host;
+  uint16_t port = 0;
+};
+
+struct TcpTransportOptions {
+  /// Bounded connect wait per peer; expiry marks replies dropped.
+  double connect_timeout_ms = 5000;
+  /// Bounded wait for each reply frame; 0 = wait forever. The
+  /// QueryTradingOptimizer facade maps QtOptions::offer_timeout_ms here
+  /// when unset, so a slow daemon degrades the same way a slow simulated
+  /// seller does.
+  double read_timeout_ms = 30000;
+  /// Fan RFB handlers/RPCs out on worker threads (matching
+  /// InProcessTransportOptions::parallel).
+  bool parallel = true;
+  size_t max_threads = 0;  // 0 = hardware_concurrency
+};
+
+class TcpTransport : public Transport {
+ public:
+  explicit TcpTransport(SimNetwork* network, TcpTransportOptions options = {});
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  /// Makes `name` reachable at host:port. Replaces any previous address
+  /// (the old pooled connection is closed).
+  void AddPeer(const std::string& name, const std::string& host,
+               uint16_t port);
+  void AddPeer(const RemotePeer& peer) {
+    AddPeer(peer.name, peer.host, peer.port);
+  }
+
+  /// Drops the pooled connection to `name` (it re-opens on next use).
+  void DisconnectPeer(const std::string& name);
+
+  /// Liveness probe: ping/ack round-trip to a named peer.
+  Status PingPeer(const std::string& name);
+
+  /// Asks a peer daemon to stop serving (kShutdown frame). Best-effort.
+  Status ShutdownPeer(const std::string& name);
+
+  /// Ships a previously sold answer from a remote seller (the kRfb
+  /// negotiation's delivery leg); accounted as "data" traffic.
+  Result<RowSet> FetchOffer(const std::string& peer,
+                            const std::string& offer_id);
+
+  // Transport:
+  void Register(NodeEndpoint* endpoint) override;
+  NodeEndpoint* endpoint(const std::string& name) const override;
+  /// Local endpoints plus TCP peers, sorted (stable seller ordering).
+  std::vector<std::string> NodeNames() const override;
+  std::vector<OfferReply> BroadcastRfb(const std::string& from,
+                                       const Rfb& rfb,
+                                       const std::vector<std::string>& to,
+                                       const char* rfb_kind = "rfb",
+                                       const char* offer_kind =
+                                           "offer") override;
+  TickReply SendAuctionTick(const std::string& from, const std::string& to,
+                            const AuctionTick& tick) override;
+  TickReply SendCounterOffer(const std::string& from, const std::string& to,
+                             const CounterOffer& counter) override;
+  double SendAwards(const std::string& from, const std::string& to,
+                    const AwardBatch& batch) override;
+  void AdvanceRound(double ms) override;
+  SimNetwork* network() override { return network_; }
+  void SetObservability(obs::Tracer* tracer,
+                        obs::MetricsRegistry* metrics) override;
+
+ private:
+  struct PeerState {
+    std::string host;
+    uint16_t port = 0;
+    std::mutex mu;  // serializes RPCs on the pooled connection
+    int fd = -1;    // -1 = not connected
+  };
+
+  PeerState* peer(const std::string& name) const;
+
+  /// One framed request/reply exchange on the peer's pooled connection.
+  /// Reconnects once when a reused connection turns out stale. Returns
+  /// the raw reply frame (header-validated; callers decode).
+  Result<std::string> RoundTrip(PeerState* peer, const std::string& frame);
+
+  /// Encodes + round-trips a tick-style request and decodes the
+  /// TickReply, with accounting under `kind`.
+  TickReply TickRpc(const std::string& from, const std::string& to,
+                    const std::string& frame, int64_t wire_bytes,
+                    const char* kind);
+
+  SimNetwork* network_;
+  TcpTransportOptions options_;
+  mutable std::mutex mu_;  // guards endpoints_ and peers_ map shape
+  std::map<std::string, NodeEndpoint*> endpoints_;
+  std::map<std::string, std::unique_ptr<PeerState>> peers_;
+  TransportObservability obs_;
+};
+
+}  // namespace qtrade
+
+#endif  // QTRADE_NET_TCP_TRANSPORT_H_

@@ -17,19 +17,16 @@ double WallMs(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
-InProcessTransport::InProcessTransport(SimNetwork* network,
-                                       InProcessTransportOptions options)
-    : network_(network), options_(options) {}
-
-void InProcessTransport::SetObservability(obs::Tracer* tracer,
-                                          obs::MetricsRegistry* metrics) {
+void TransportObservability::Set(obs::Tracer* tracer,
+                                 obs::MetricsRegistry* metrics) {
   std::lock_guard<std::mutex> lock(io_mu_);
   tracer_.store(tracer, std::memory_order_relaxed);
   metrics_.store(metrics, std::memory_order_relaxed);
   io_.clear();  // handles belong to the previous registry
 }
 
-InProcessTransport::NodeIo* InProcessTransport::io(const std::string& node) {
+TransportObservability::NodeIo* TransportObservability::io(
+    const std::string& node) {
   std::lock_guard<std::mutex> lock(io_mu_);
   obs::MetricsRegistry* metrics = metrics_.load(std::memory_order_relaxed);
   if (metrics == nullptr) return nullptr;
@@ -46,9 +43,10 @@ InProcessTransport::NodeIo* InProcessTransport::io(const std::string& node) {
   return &it->second;
 }
 
-void InProcessTransport::ObserveSend(const std::string& from,
-                                     const std::string& to, int64_t bytes,
-                                     const char* kind, obs::SpanRef parent) {
+void TransportObservability::ObserveSend(const std::string& from,
+                                         const std::string& to, int64_t bytes,
+                                         const char* kind,
+                                         obs::SpanRef parent) {
   // Fast path when no observability is attached: two relaxed loads.
   obs::Tracer* tracer = tracer_.load(std::memory_order_relaxed);
   if (metrics_.load(std::memory_order_relaxed) == nullptr &&
@@ -69,6 +67,15 @@ void InProcessTransport::ObserveSend(const std::string& from,
         .Attr("to", to)
         .Attr("bytes", bytes);
   }
+}
+
+InProcessTransport::InProcessTransport(SimNetwork* network,
+                                       InProcessTransportOptions options)
+    : network_(network), options_(options) {}
+
+void InProcessTransport::SetObservability(obs::Tracer* tracer,
+                                          obs::MetricsRegistry* metrics) {
+  obs_.Set(tracer, metrics);
 }
 
 void InProcessTransport::Register(NodeEndpoint* endpoint) {
@@ -111,7 +118,7 @@ std::vector<OfferReply> InProcessTransport::BroadcastRfb(
   for (size_t i = 0; i < n; ++i) {
     tasks[i].ep = endpoint(to[i]);
     tasks[i].out_ms = network_->Send(from, to[i], rfb.WireBytes(), rfb_kind);
-    ObserveSend(from, to[i], rfb.WireBytes(), rfb_kind, rfb_span);
+    obs_.ObserveSend(from, to[i], rfb.WireBytes(), rfb_kind, rfb_span);
     if (tasks[i].ep == nullptr) {
       tasks[i].status = Status::NotFound("no endpoint registered: " + to[i]);
     }
@@ -169,7 +176,7 @@ std::vector<OfferReply> InProcessTransport::BroadcastRfb(
     }
     const int64_t batch_bytes = OfferBatchWireBytes(task.offers);
     double back_ms = network_->Send(to[i], from, batch_bytes, offer_kind);
-    ObserveSend(to[i], from, batch_bytes, offer_kind, rfb_span);
+    obs_.ObserveSend(to[i], from, batch_bytes, offer_kind, rfb_span);
     reply.offers = std::move(task.offers);
     reply.arrival_ms = task.out_ms + task.compute_ms + back_ms;
   }
@@ -183,7 +190,7 @@ TickReply InProcessTransport::SendAuctionTick(const std::string& from,
   if (ep == nullptr) return {std::nullopt, 0, true};
   TickReply reply;
   double out_ms = network_->Send(from, to, tick.WireBytes(), "auction");
-  ObserveSend(from, to, tick.WireBytes(), "auction", {});
+  obs_.ObserveSend(from, to, tick.WireBytes(), "auction", {});
   auto start = std::chrono::steady_clock::now();
   reply.updated = ep->HandleAuctionTick(tick);
   double compute_ms = WallMs(start);
@@ -191,7 +198,7 @@ TickReply InProcessTransport::SendAuctionTick(const std::string& from,
   if (reply.updated.has_value()) {
     const int64_t offer_bytes = OfferWireBytes(*reply.updated);
     back_ms = network_->Send(to, from, offer_bytes, "offer");
-    ObserveSend(to, from, offer_bytes, "offer", {});
+    obs_.ObserveSend(to, from, offer_bytes, "offer", {});
   }
   reply.elapsed_ms = out_ms + compute_ms + back_ms;
   return reply;
@@ -204,13 +211,17 @@ TickReply InProcessTransport::SendCounterOffer(const std::string& from,
   if (ep == nullptr) return {std::nullopt, 0, true};
   TickReply reply;
   double out_ms = network_->Send(from, to, counter.WireBytes(), "bargain");
-  ObserveSend(from, to, counter.WireBytes(), "bargain", {});
+  obs_.ObserveSend(from, to, counter.WireBytes(), "bargain", {});
   auto start = std::chrono::steady_clock::now();
   reply.updated = ep->HandleCounterOffer(counter);
   double compute_ms = WallMs(start);
-  // Accept or hold, the seller always answers a counter-offer.
-  double back_ms = network_->Send(to, from, 64, "bargain");
-  ObserveSend(to, from, 64, "bargain", {});
+  // Accept or hold, the seller always answers a counter-offer. A hold is
+  // an empty tick-reply frame; an acceptance ships the re-quoted offer.
+  const int64_t back_bytes = reply.updated.has_value()
+                                 ? OfferWireBytes(*reply.updated)
+                                 : TickHoldWireBytes();
+  double back_ms = network_->Send(to, from, back_bytes, "bargain");
+  obs_.ObserveSend(to, from, back_bytes, "bargain", {});
   reply.elapsed_ms = out_ms + compute_ms + back_ms;
   return reply;
 }
@@ -221,7 +232,7 @@ double InProcessTransport::SendAwards(const std::string& from,
   NodeEndpoint* ep = endpoint(to);
   if (ep == nullptr) return 0;
   double out_ms = network_->Send(from, to, batch.WireBytes(), "award");
-  ObserveSend(from, to, batch.WireBytes(), "award", {});
+  obs_.ObserveSend(from, to, batch.WireBytes(), "award", {});
   ep->HandleAwards(batch);
   return out_ms;
 }

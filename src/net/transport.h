@@ -141,6 +141,39 @@ class Transport {
   }
 };
 
+/// Shared observability plumbing for concrete transports: cached
+/// per-node instrument handles (so per-message accounting is four
+/// relaxed atomic adds, not four registry lookups) plus the send[kind]
+/// trace instant. Thread-safe; the no-observability fast path is two
+/// relaxed loads.
+class TransportObservability {
+ public:
+  /// Attaches (or detaches, with nulls) a tracer/metrics registry and
+  /// drops handles minted from any previous registry.
+  void Set(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
+
+  /// Counts one accounted message on both endpoints' counters and, when
+  /// tracing, emits a send[kind] instant carrying the message size.
+  void ObserveSend(const std::string& from, const std::string& to,
+                   int64_t bytes, const char* kind, obs::SpanRef parent);
+
+ private:
+  struct NodeIo {
+    obs::Counter* msgs_sent = nullptr;
+    obs::Counter* bytes_sent = nullptr;
+    obs::Counter* msgs_recv = nullptr;
+    obs::Counter* bytes_recv = nullptr;
+  };
+  NodeIo* io(const std::string& node);
+
+  /// Atomics so the per-message fast path (no observability attached)
+  /// is two relaxed loads — no lock, nothing formatted.
+  std::atomic<obs::Tracer*> tracer_{nullptr};
+  std::atomic<obs::MetricsRegistry*> metrics_{nullptr};
+  std::mutex io_mu_;  // guards io_ (worker threads resolve handles)
+  std::map<std::string, NodeIo> io_;
+};
+
 struct InProcessTransportOptions {
   /// Dispatch the seller handlers of one RFB fan-out on worker threads,
   /// so a round's wall-clock cost is the slowest seller, not the sum.
@@ -186,31 +219,11 @@ class InProcessTransport : public Transport {
                         obs::MetricsRegistry* metrics) override;
 
  private:
-  /// Cached per-node instrument handles so per-message accounting is
-  /// four relaxed atomic adds, not four registry lookups.
-  struct NodeIo {
-    obs::Counter* msgs_sent = nullptr;
-    obs::Counter* bytes_sent = nullptr;
-    obs::Counter* msgs_recv = nullptr;
-    obs::Counter* bytes_recv = nullptr;
-  };
-  NodeIo* io(const std::string& node);
-
-  /// Counts one accounted message on both endpoints' counters and, when
-  /// tracing, emits a send[kind] instant carrying the message size.
-  void ObserveSend(const std::string& from, const std::string& to,
-                   int64_t bytes, const char* kind, obs::SpanRef parent);
-
   SimNetwork* network_;
   InProcessTransportOptions options_;
   mutable std::mutex mu_;  // guards endpoints_ (registration vs lookup)
   std::map<std::string, NodeEndpoint*> endpoints_;
-  /// Atomics so the per-message fast path (no observability attached)
-  /// is two relaxed loads — no lock, nothing formatted.
-  std::atomic<obs::Tracer*> tracer_{nullptr};
-  std::atomic<obs::MetricsRegistry*> metrics_{nullptr};
-  std::mutex io_mu_;  // guards io_ (worker threads resolve handles)
-  std::map<std::string, NodeIo> io_;
+  TransportObservability obs_;
 };
 
 }  // namespace qtrade

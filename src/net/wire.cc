@@ -1,27 +1,49 @@
+// WireBytes() delegation: every envelope reports the exact size of its
+// sealed codec frame, so simulated byte accounting and the bytes
+// TcpTransport actually ships cannot drift apart (codec_test.cc pins
+// Encode(msg).size() == msg.WireBytes() per envelope).
 #include "net/wire.h"
 
-#include "sql/ast.h"
+#include "serde/codec.h"
 
 namespace qtrade {
 
+int64_t Rfb::WireBytes() const {
+  return serde::kFrameHeaderBytes + serde::RfbPayloadSize(*this);
+}
+
 int64_t OfferWireBytes(const Offer& offer) {
-  // 128 covers the framing plus the fixed-width §3.1 property vector and
-  // row_bytes/kind fields; everything variable-length is added per field.
-  int64_t bytes = 128;
-  bytes += static_cast<int64_t>(offer.offer_id.size() +
-                                offer.seller.size() + offer.rfb_id.size());
-  bytes += static_cast<int64_t>(sql::ToSql(offer.query).size());
-  for (const auto& cov : offer.coverage) {
-    bytes += 16 + static_cast<int64_t>(cov.alias.size() + cov.table.size()) +
-             24 * static_cast<int64_t>(cov.partitions.size());
-  }
-  return bytes;
+  // A lone offer travels as a kTickReply frame: presence byte + payload.
+  return serde::kFrameHeaderBytes + 1 + serde::OfferPayloadSize(offer);
 }
 
 int64_t OfferBatchWireBytes(const std::vector<Offer>& offers) {
-  int64_t bytes = 32;  // decline / batch envelope
-  for (const auto& offer : offers) bytes += OfferWireBytes(offer);
+  serde::OfferBatch batch;
+  int64_t bytes = serde::kFrameHeaderBytes +
+                  serde::OfferBatchPayloadSize(batch) /* empty envelope */;
+  for (const Offer& offer : offers) bytes += serde::OfferPayloadSize(offer);
   return bytes;
+}
+
+int64_t TickHoldWireBytes() {
+  return serde::kFrameHeaderBytes + 1 /* presence byte: no offer */;
+}
+
+int64_t AwardBatch::WireBytes() const {
+  if (kLegacyTickWireBytes) {
+    return 64 + 48 * static_cast<int64_t>(awards.size());
+  }
+  return serde::kFrameHeaderBytes + serde::AwardBatchPayloadSize(*this);
+}
+
+int64_t AuctionTick::WireBytes() const {
+  if (kLegacyTickWireBytes) return 64;
+  return serde::kFrameHeaderBytes + serde::AuctionTickPayloadSize(*this);
+}
+
+int64_t CounterOffer::WireBytes() const {
+  if (kLegacyTickWireBytes) return 96;
+  return serde::kFrameHeaderBytes + serde::CounterOfferPayloadSize(*this);
 }
 
 }  // namespace qtrade

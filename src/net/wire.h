@@ -1,12 +1,15 @@
 // Typed wire envelopes of the trading negotiation, owned by the network
-// layer so any Transport implementation (in-process, faulty, sockets
-// later) can carry them. Queries travel as SQL text (the commodity
-// description); offers carry the §3.1 property vector.
+// layer so any Transport implementation (in-process, faulty, TCP) can
+// carry them. Queries travel as SQL text (the commodity description);
+// offers carry the §3.1 property vector.
 //
-// Every envelope has a WireBytes() estimate used by the simulated
-// network's byte accounting; the estimates track what a real
-// serialization of the struct would ship (all string fields plus a fixed
-// framing overhead), so message sizes respond to content.
+// Every envelope has a WireBytes() used by the simulated network's byte
+// accounting. Since the serde/ codec landed these are no longer
+// estimates: each WireBytes() delegates to the codec's sealed-frame size
+// (serde::kFrameHeaderBytes of framing plus the exact encoded payload),
+// so `serde::Encode*(msg).size() == msg.WireBytes()` is a tested
+// invariant (codec_test.cc) and in-process byte totals match what
+// TcpTransport actually ships.
 #ifndef QTRADE_NET_WIRE_H_
 #define QTRADE_NET_WIRE_H_
 
@@ -18,15 +21,14 @@
 
 namespace qtrade {
 
-/// Fixed per-envelope framing overhead assumed by the WireBytes()
-/// estimates (message type tag, lengths, checksums).
-inline constexpr int64_t kWireFramingBytes = 64;
-
-/// Pre-observability behavior: the negotiation tick/award envelopes
-/// reported hard-coded sizes (AuctionTick 64, CounterOffer 96, AwardBatch
+/// Pre-codec behavior: the negotiation tick/award envelopes reported
+/// hard-coded sizes (AuctionTick 64, CounterOffer 96, AwardBatch
 /// 64 + 48/award) regardless of payload, so their byte metrics did not
-/// respond to content. Flip to true only to reproduce byte totals from
-/// benches recorded before the content-based estimates landed.
+/// respond to content. The codec made all sizes exact (real encoded
+/// frame bytes); flip to true only to reproduce byte totals from benches
+/// recorded before content-based sizes landed — the tick/award envelopes
+/// then report the legacy constants again while RFBs and offers keep
+/// their codec sizes.
 inline constexpr bool kLegacyTickWireBytes = false;
 
 /// Request for bids (paper Fig. 2, step B2).
@@ -40,29 +42,27 @@ struct Rfb {
   bool allow_subcontract = true;
   /// Trace context (like a W3C traceparent header): the buyer's
   /// rfb_broadcast span and negotiation round, so seller-side spans nest
-  /// under the broadcast that caused them. 0/-1 = untraced. Excluded
-  /// from WireBytes() so byte metrics are identical with tracing on or
-  /// off.
+  /// under the broadcast that caused them. 0/-1 = untraced. Encoded as
+  /// fixed-width codec fields, so byte metrics are identical with
+  /// tracing on or off.
   uint64_t trace_parent = 0;
   int32_t trace_round = -1;
 
-  /// Approximate wire size: all serialized fields (rfb_id, buyer node
-  /// name, SQL text, reserve value, subcontract flag) plus framing.
-  int64_t WireBytes() const {
-    return static_cast<int64_t>(rfb_id.size() + buyer.size() + sql.size()) +
-           8 /* reserve_value */ + 1 /* allow_subcontract */ +
-           kWireFramingBytes;
-  }
+  /// Exact sealed-frame size of this RFB under the serde/ codec.
+  int64_t WireBytes() const;
 };
 
-/// Approximate wire size of one offer inside an offer-batch reply:
-/// identity strings, the offered SQL, the coverage list and the fixed
-/// §3.1 property vector.
+/// Exact encoded size of one offer travelling alone (a kTickReply frame
+/// carrying it: auction undercuts and bargaining concessions).
 int64_t OfferWireBytes(const Offer& offer);
 
-/// Wire size of a whole offer-batch reply (the decline envelope plus
-/// each offer); the symmetric counterpart of Rfb::WireBytes().
+/// Exact encoded size of a whole offer-batch reply (the batch envelope
+/// plus each offer); the symmetric counterpart of Rfb::WireBytes().
 int64_t OfferBatchWireBytes(const std::vector<Offer>& offers);
+
+/// Exact encoded size of the seller's hold answer to a counter-offer
+/// (a kTickReply frame with no offer inside).
+int64_t TickHoldWireBytes();
 
 /// Award notification (winning offers; Fig. 2 step B3/S3).
 struct Award {
@@ -76,23 +76,9 @@ struct AwardBatch {
   std::vector<Award> awards;
   std::vector<std::string> lost_offer_ids;
 
-  /// Envelope plus each award's id strings and each losing offer id
-  /// (previously a hard-coded 64 + 48/award that ignored id lengths and
-  /// the loser list entirely).
-  int64_t WireBytes() const {
-    if (kLegacyTickWireBytes) {
-      return 64 + 48 * static_cast<int64_t>(awards.size());
-    }
-    int64_t bytes = kWireFramingBytes;
-    for (const auto& award : awards) {
-      bytes += 8 + static_cast<int64_t>(award.rfb_id.size() +
-                                        award.offer_id.size());
-    }
-    for (const auto& id : lost_offer_ids) {
-      bytes += 8 + static_cast<int64_t>(id.size());
-    }
-    return bytes;
-  }
+  /// Exact codec frame size (or the legacy 64 + 48/award constant that
+  /// ignored id lengths and the loser list, see kLegacyTickWireBytes).
+  int64_t WireBytes() const;
 };
 
 /// Auction-round announcement: current best score among the offers of
@@ -103,12 +89,8 @@ struct AuctionTick {
   std::string signature;  // Offer::CoverageSignature() of the group
   double best_score = 0;  // score of the currently winning offer
 
-  /// Identity strings + score + framing (previously a hard-coded 64).
-  int64_t WireBytes() const {
-    if (kLegacyTickWireBytes) return 64;
-    return static_cast<int64_t>(rfb_id.size() + signature.size()) +
-           8 /* best_score */ + kWireFramingBytes;
-  }
+  /// Exact codec frame size (legacy: hard-coded 64).
+  int64_t WireBytes() const;
 };
 
 /// Bargaining counter-offer: the buyer pushes the best bidder of one
@@ -118,12 +100,8 @@ struct CounterOffer {
   std::string signature;
   double target_value = 0;
 
-  /// Identity strings + target + framing (previously a hard-coded 96).
-  int64_t WireBytes() const {
-    if (kLegacyTickWireBytes) return 96;
-    return static_cast<int64_t>(rfb_id.size() + signature.size()) +
-           8 /* target_value */ + kWireFramingBytes;
-  }
+  /// Exact codec frame size (legacy: hard-coded 96).
+  int64_t WireBytes() const;
 };
 
 /// Accounting for one optimization run.

@@ -1,0 +1,797 @@
+#include "serde/codec.h"
+
+#include <cstring>
+
+#include "sql/ast.h"
+#include "sql/parser.h"
+
+namespace qtrade::serde {
+
+namespace {
+
+/// Bytes a u32-length-prefixed string occupies on the wire.
+int64_t StringSize(std::string_view s) {
+  return 4 + static_cast<int64_t>(s.size());
+}
+
+Status Truncated(const char* what) {
+  return Status::ParseError(std::string("codec: truncated payload reading ") +
+                            what);
+}
+
+}  // namespace
+
+const char* MsgTypeName(MsgType type) {
+  switch (type) {
+    case MsgType::kRfb: return "rfb";
+    case MsgType::kOfferBatch: return "offer_batch";
+    case MsgType::kAuctionTick: return "auction_tick";
+    case MsgType::kCounterOffer: return "counter_offer";
+    case MsgType::kAwardBatch: return "award_batch";
+    case MsgType::kTickReply: return "tick_reply";
+    case MsgType::kAck: return "ack";
+    case MsgType::kError: return "error";
+    case MsgType::kExecuteOffer: return "execute_offer";
+    case MsgType::kRowSet: return "row_set";
+    case MsgType::kPing: return "ping";
+    case MsgType::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+uint32_t Crc32(const void* data, size_t n) {
+  // IEEE reflected polynomial, nibble-at-a-time (16-entry table: small,
+  // cache-friendly, and fast enough for negotiation-sized frames).
+  static constexpr uint32_t kTable[16] = {
+      0x00000000, 0x1db71064, 0x3b6e20c8, 0x26d930ac,
+      0x76dc4190, 0x6b6b51f4, 0x4db26158, 0x5005713c,
+      0xedb88320, 0xf00f9344, 0xd6d6a3e8, 0xcb61b38c,
+      0x9b64c2b0, 0x86d3d2d4, 0xa00ae278, 0xbdbdf21c,
+  };
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = 0xffffffffu;
+  for (size_t i = 0; i < n; ++i) {
+    crc ^= p[i];
+    crc = (crc >> 4) ^ kTable[crc & 0x0f];
+    crc = (crc >> 4) ^ kTable[crc & 0x0f];
+  }
+  return crc ^ 0xffffffffu;
+}
+
+// ---- Encoder --------------------------------------------------------------
+
+void Encoder::PutU32(uint32_t v) {
+  char b[4] = {static_cast<char>(v), static_cast<char>(v >> 8),
+               static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+  buf_.append(b, 4);
+}
+
+void Encoder::PutU64(uint64_t v) {
+  PutU32(static_cast<uint32_t>(v));
+  PutU32(static_cast<uint32_t>(v >> 32));
+}
+
+void Encoder::PutDouble(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void Encoder::PutString(std::string_view s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  buf_.append(s.data(), s.size());
+}
+
+std::string Encoder::Seal(MsgType type) const { return SealFrame(type, buf_); }
+
+// ---- Decoder --------------------------------------------------------------
+
+Status Decoder::Take(size_t n, const char** out) {
+  if (failed_) return Status::ParseError("codec: decoder already failed");
+  if (n > data_.size() - pos_) {
+    failed_ = true;
+    return Truncated("field");
+  }
+  *out = data_.data() + pos_;
+  pos_ += n;
+  return Status::OK();
+}
+
+Status Decoder::ReadU8(uint8_t* v) {
+  const char* p = nullptr;
+  QTRADE_RETURN_IF_ERROR(Take(1, &p));
+  *v = static_cast<uint8_t>(*p);
+  return Status::OK();
+}
+
+Status Decoder::ReadBool(bool* v) {
+  uint8_t b = 0;
+  QTRADE_RETURN_IF_ERROR(ReadU8(&b));
+  if (b > 1) {
+    failed_ = true;
+    return Status::ParseError("codec: boolean byte out of range");
+  }
+  *v = (b == 1);
+  return Status::OK();
+}
+
+Status Decoder::ReadU32(uint32_t* v) {
+  const char* p = nullptr;
+  QTRADE_RETURN_IF_ERROR(Take(4, &p));
+  const uint8_t* u = reinterpret_cast<const uint8_t*>(p);
+  *v = static_cast<uint32_t>(u[0]) | static_cast<uint32_t>(u[1]) << 8 |
+       static_cast<uint32_t>(u[2]) << 16 | static_cast<uint32_t>(u[3]) << 24;
+  return Status::OK();
+}
+
+Status Decoder::ReadU64(uint64_t* v) {
+  uint32_t lo = 0, hi = 0;
+  QTRADE_RETURN_IF_ERROR(ReadU32(&lo));
+  QTRADE_RETURN_IF_ERROR(ReadU32(&hi));
+  *v = static_cast<uint64_t>(lo) | static_cast<uint64_t>(hi) << 32;
+  return Status::OK();
+}
+
+Status Decoder::ReadI32(int32_t* v) {
+  uint32_t u = 0;
+  QTRADE_RETURN_IF_ERROR(ReadU32(&u));
+  *v = static_cast<int32_t>(u);
+  return Status::OK();
+}
+
+Status Decoder::ReadI64(int64_t* v) {
+  uint64_t u = 0;
+  QTRADE_RETURN_IF_ERROR(ReadU64(&u));
+  *v = static_cast<int64_t>(u);
+  return Status::OK();
+}
+
+Status Decoder::ReadDouble(double* v) {
+  uint64_t bits = 0;
+  QTRADE_RETURN_IF_ERROR(ReadU64(&bits));
+  std::memcpy(v, &bits, sizeof(*v));
+  return Status::OK();
+}
+
+Status Decoder::ReadString(std::string* s) {
+  uint32_t len = 0;
+  QTRADE_RETURN_IF_ERROR(ReadU32(&len));
+  // Declared length bounded by what is actually present: a hostile
+  // 4-byte length can never force an allocation beyond the payload.
+  if (len > data_.size() - pos_) {
+    failed_ = true;
+    return Truncated("string");
+  }
+  const char* p = nullptr;
+  QTRADE_RETURN_IF_ERROR(Take(len, &p));
+  s->assign(p, len);
+  return Status::OK();
+}
+
+Status Decoder::ExpectEnd() const {
+  if (failed_) return Status::ParseError("codec: decoder already failed");
+  if (pos_ != data_.size()) {
+    return Status::ParseError("codec: " + std::to_string(data_.size() - pos_) +
+                              " trailing bytes after payload");
+  }
+  return Status::OK();
+}
+
+// ---- Frames ---------------------------------------------------------------
+
+std::string SealFrame(MsgType type, std::string_view payload) {
+  Encoder h;
+  h.PutU32(kFrameMagic);
+  h.PutU8(kCodecVersion);
+  h.PutU8(static_cast<uint8_t>(type));
+  h.PutU32(static_cast<uint32_t>(payload.size()));
+  h.PutU32(Crc32(payload.data(), payload.size()));
+  std::string frame = h.buffer();
+  frame.append(payload.data(), payload.size());
+  return frame;
+}
+
+Result<FrameHeader> ParseFrameHeader(std::string_view data) {
+  if (data.size() < static_cast<size_t>(kFrameHeaderBytes)) {
+    return Status::ParseError("codec: short frame header (" +
+                              std::to_string(data.size()) + " bytes)");
+  }
+  Decoder d(data.substr(0, kFrameHeaderBytes));
+  uint32_t magic = 0;
+  uint8_t version = 0, type = 0;
+  FrameHeader header;
+  QTRADE_RETURN_IF_ERROR(d.ReadU32(&magic));
+  QTRADE_RETURN_IF_ERROR(d.ReadU8(&version));
+  QTRADE_RETURN_IF_ERROR(d.ReadU8(&type));
+  QTRADE_RETURN_IF_ERROR(d.ReadU32(&header.length));
+  QTRADE_RETURN_IF_ERROR(d.ReadU32(&header.crc32));
+  if (magic != kFrameMagic) {
+    return Status::ParseError("codec: bad frame magic");
+  }
+  if (version != kCodecVersion) {
+    return Status::Unsupported("codec: unknown frame version " +
+                               std::to_string(version));
+  }
+  if (type < static_cast<uint8_t>(MsgType::kRfb) ||
+      type > static_cast<uint8_t>(MsgType::kShutdown)) {
+    return Status::ParseError("codec: unknown frame type " +
+                              std::to_string(type));
+  }
+  if (header.length > kMaxFramePayload) {
+    return Status::ParseError("codec: declared payload length " +
+                              std::to_string(header.length) +
+                              " exceeds the frame cap");
+  }
+  header.version = version;
+  header.type = static_cast<MsgType>(type);
+  return header;
+}
+
+Status VerifyFramePayload(const FrameHeader& header, std::string_view payload) {
+  if (payload.size() != header.length) {
+    return Status::ParseError("codec: payload size mismatch");
+  }
+  if (Crc32(payload.data(), payload.size()) != header.crc32) {
+    return Status::ParseError("codec: payload checksum mismatch");
+  }
+  return Status::OK();
+}
+
+Result<FrameView> ParseFrame(std::string_view data) {
+  QTRADE_ASSIGN_OR_RETURN(FrameHeader header, ParseFrameHeader(data));
+  std::string_view payload = data.substr(kFrameHeaderBytes);
+  if (payload.size() != header.length) {
+    return Status::ParseError("codec: frame length " +
+                              std::to_string(payload.size()) +
+                              " does not match declared " +
+                              std::to_string(header.length));
+  }
+  QTRADE_RETURN_IF_ERROR(VerifyFramePayload(header, payload));
+  return FrameView{header.type, payload};
+}
+
+namespace {
+
+/// Parses a frame and checks its tag; the envelope decoders share this.
+Result<FrameView> ExpectFrame(std::string_view data, MsgType want) {
+  QTRADE_ASSIGN_OR_RETURN(FrameView frame, ParseFrame(data));
+  if (frame.type != want) {
+    return Status::ParseError(std::string("codec: expected ") +
+                              MsgTypeName(want) + " frame, got " +
+                              MsgTypeName(frame.type));
+  }
+  return frame;
+}
+
+}  // namespace
+
+// ---- Rfb ------------------------------------------------------------------
+
+void AppendRfb(Encoder* e, const Rfb& rfb) {
+  e->PutString(rfb.rfb_id);
+  e->PutString(rfb.buyer);
+  e->PutString(rfb.sql);
+  e->PutDouble(rfb.reserve_value);
+  e->PutBool(rfb.allow_subcontract);
+  // Trace context ships as fixed-width fields, so byte totals stay
+  // identical with tracing on or off (0/-1 when untraced).
+  e->PutU64(rfb.trace_parent);
+  e->PutI32(rfb.trace_round);
+}
+
+Status ReadRfb(Decoder* d, Rfb* rfb) {
+  QTRADE_RETURN_IF_ERROR(d->ReadString(&rfb->rfb_id));
+  QTRADE_RETURN_IF_ERROR(d->ReadString(&rfb->buyer));
+  QTRADE_RETURN_IF_ERROR(d->ReadString(&rfb->sql));
+  QTRADE_RETURN_IF_ERROR(d->ReadDouble(&rfb->reserve_value));
+  QTRADE_RETURN_IF_ERROR(d->ReadBool(&rfb->allow_subcontract));
+  QTRADE_RETURN_IF_ERROR(d->ReadU64(&rfb->trace_parent));
+  QTRADE_RETURN_IF_ERROR(d->ReadI32(&rfb->trace_round));
+  return Status::OK();
+}
+
+int64_t RfbPayloadSize(const Rfb& rfb) {
+  return StringSize(rfb.rfb_id) + StringSize(rfb.buyer) +
+         StringSize(rfb.sql) + 8 /* reserve_value */ +
+         1 /* allow_subcontract */ + 8 /* trace_parent */ +
+         4 /* trace_round */;
+}
+
+std::string EncodeRfb(const Rfb& rfb) {
+  Encoder e;
+  AppendRfb(&e, rfb);
+  return e.Seal(MsgType::kRfb);
+}
+
+Result<Rfb> DecodeRfb(std::string_view data) {
+  QTRADE_ASSIGN_OR_RETURN(FrameView frame, ExpectFrame(data, MsgType::kRfb));
+  Decoder d(frame.payload);
+  Rfb rfb;
+  QTRADE_RETURN_IF_ERROR(ReadRfb(&d, &rfb));
+  QTRADE_RETURN_IF_ERROR(d.ExpectEnd());
+  return rfb;
+}
+
+// ---- AuctionTick / CounterOffer -------------------------------------------
+
+void AppendAuctionTick(Encoder* e, const AuctionTick& tick) {
+  e->PutString(tick.rfb_id);
+  e->PutString(tick.signature);
+  e->PutDouble(tick.best_score);
+}
+
+Status ReadAuctionTick(Decoder* d, AuctionTick* tick) {
+  QTRADE_RETURN_IF_ERROR(d->ReadString(&tick->rfb_id));
+  QTRADE_RETURN_IF_ERROR(d->ReadString(&tick->signature));
+  QTRADE_RETURN_IF_ERROR(d->ReadDouble(&tick->best_score));
+  return Status::OK();
+}
+
+int64_t AuctionTickPayloadSize(const AuctionTick& tick) {
+  return StringSize(tick.rfb_id) + StringSize(tick.signature) + 8;
+}
+
+std::string EncodeAuctionTick(const AuctionTick& tick) {
+  Encoder e;
+  AppendAuctionTick(&e, tick);
+  return e.Seal(MsgType::kAuctionTick);
+}
+
+Result<AuctionTick> DecodeAuctionTick(std::string_view data) {
+  QTRADE_ASSIGN_OR_RETURN(FrameView frame,
+                          ExpectFrame(data, MsgType::kAuctionTick));
+  Decoder d(frame.payload);
+  AuctionTick tick;
+  QTRADE_RETURN_IF_ERROR(ReadAuctionTick(&d, &tick));
+  QTRADE_RETURN_IF_ERROR(d.ExpectEnd());
+  return tick;
+}
+
+void AppendCounterOffer(Encoder* e, const CounterOffer& counter) {
+  e->PutString(counter.rfb_id);
+  e->PutString(counter.signature);
+  e->PutDouble(counter.target_value);
+}
+
+Status ReadCounterOffer(Decoder* d, CounterOffer* counter) {
+  QTRADE_RETURN_IF_ERROR(d->ReadString(&counter->rfb_id));
+  QTRADE_RETURN_IF_ERROR(d->ReadString(&counter->signature));
+  QTRADE_RETURN_IF_ERROR(d->ReadDouble(&counter->target_value));
+  return Status::OK();
+}
+
+int64_t CounterOfferPayloadSize(const CounterOffer& counter) {
+  return StringSize(counter.rfb_id) + StringSize(counter.signature) + 8;
+}
+
+std::string EncodeCounterOffer(const CounterOffer& counter) {
+  Encoder e;
+  AppendCounterOffer(&e, counter);
+  return e.Seal(MsgType::kCounterOffer);
+}
+
+Result<CounterOffer> DecodeCounterOffer(std::string_view data) {
+  QTRADE_ASSIGN_OR_RETURN(FrameView frame,
+                          ExpectFrame(data, MsgType::kCounterOffer));
+  Decoder d(frame.payload);
+  CounterOffer counter;
+  QTRADE_RETURN_IF_ERROR(ReadCounterOffer(&d, &counter));
+  QTRADE_RETURN_IF_ERROR(d.ExpectEnd());
+  return counter;
+}
+
+// ---- AwardBatch -----------------------------------------------------------
+
+void AppendAwardBatch(Encoder* e, const AwardBatch& batch) {
+  e->PutU32(static_cast<uint32_t>(batch.awards.size()));
+  for (const Award& award : batch.awards) {
+    e->PutString(award.rfb_id);
+    e->PutString(award.offer_id);
+  }
+  e->PutU32(static_cast<uint32_t>(batch.lost_offer_ids.size()));
+  for (const std::string& id : batch.lost_offer_ids) e->PutString(id);
+}
+
+Status ReadAwardBatch(Decoder* d, AwardBatch* batch) {
+  uint32_t n = 0;
+  QTRADE_RETURN_IF_ERROR(d->ReadU32(&n));
+  batch->awards.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    Award award;
+    QTRADE_RETURN_IF_ERROR(d->ReadString(&award.rfb_id));
+    QTRADE_RETURN_IF_ERROR(d->ReadString(&award.offer_id));
+    batch->awards.push_back(std::move(award));
+  }
+  uint32_t m = 0;
+  QTRADE_RETURN_IF_ERROR(d->ReadU32(&m));
+  batch->lost_offer_ids.clear();
+  for (uint32_t i = 0; i < m; ++i) {
+    std::string id;
+    QTRADE_RETURN_IF_ERROR(d->ReadString(&id));
+    batch->lost_offer_ids.push_back(std::move(id));
+  }
+  return Status::OK();
+}
+
+int64_t AwardBatchPayloadSize(const AwardBatch& batch) {
+  int64_t bytes = 4 + 4;
+  for (const Award& award : batch.awards) {
+    bytes += StringSize(award.rfb_id) + StringSize(award.offer_id);
+  }
+  for (const std::string& id : batch.lost_offer_ids) bytes += StringSize(id);
+  return bytes;
+}
+
+std::string EncodeAwardBatch(const AwardBatch& batch) {
+  Encoder e;
+  AppendAwardBatch(&e, batch);
+  return e.Seal(MsgType::kAwardBatch);
+}
+
+Result<AwardBatch> DecodeAwardBatch(std::string_view data) {
+  QTRADE_ASSIGN_OR_RETURN(FrameView frame,
+                          ExpectFrame(data, MsgType::kAwardBatch));
+  Decoder d(frame.payload);
+  AwardBatch batch;
+  QTRADE_RETURN_IF_ERROR(ReadAwardBatch(&d, &batch));
+  QTRADE_RETURN_IF_ERROR(d.ExpectEnd());
+  return batch;
+}
+
+// ---- Offer ----------------------------------------------------------------
+
+namespace {
+
+void AppendSchema(Encoder* e, const TupleSchema& schema) {
+  e->PutU32(static_cast<uint32_t>(schema.size()));
+  for (const TupleColumn& col : schema.columns()) {
+    e->PutString(col.qualifier);
+    e->PutString(col.name);
+    e->PutU8(static_cast<uint8_t>(col.type));
+  }
+}
+
+Status ReadSchema(Decoder* d, TupleSchema* schema) {
+  uint32_t n = 0;
+  QTRADE_RETURN_IF_ERROR(d->ReadU32(&n));
+  std::vector<TupleColumn> columns;
+  for (uint32_t i = 0; i < n; ++i) {
+    TupleColumn col;
+    QTRADE_RETURN_IF_ERROR(d->ReadString(&col.qualifier));
+    QTRADE_RETURN_IF_ERROR(d->ReadString(&col.name));
+    uint8_t type = 0;
+    QTRADE_RETURN_IF_ERROR(d->ReadU8(&type));
+    if (type > static_cast<uint8_t>(TypeKind::kBool)) {
+      return Status::ParseError("codec: unknown column type tag " +
+                                std::to_string(type));
+    }
+    col.type = static_cast<TypeKind>(type);
+    columns.push_back(std::move(col));
+  }
+  *schema = TupleSchema(std::move(columns));
+  return Status::OK();
+}
+
+int64_t SchemaPayloadSize(const TupleSchema& schema) {
+  int64_t bytes = 4;
+  for (const TupleColumn& col : schema.columns()) {
+    bytes += StringSize(col.qualifier) + StringSize(col.name) + 1;
+  }
+  return bytes;
+}
+
+}  // namespace
+
+void AppendOffer(Encoder* e, const Offer& offer) {
+  e->PutString(offer.offer_id);
+  e->PutString(offer.seller);
+  e->PutString(offer.rfb_id);
+  // The offered query travels as SQL text: the commodity description the
+  // paper trades, and already a print->parse fixpoint (sql_fuzz_test).
+  e->PutString(sql::ToSql(offer.query));
+  AppendSchema(e, offer.schema);
+  e->PutU8(static_cast<uint8_t>(offer.kind));
+  e->PutU32(static_cast<uint32_t>(offer.coverage.size()));
+  for (const OfferCoverage& cov : offer.coverage) {
+    e->PutString(cov.alias);
+    e->PutString(cov.table);
+    e->PutU32(static_cast<uint32_t>(cov.partitions.size()));
+    for (const std::string& part : cov.partitions) e->PutString(part);
+  }
+  e->PutDouble(offer.props.total_time_ms);
+  e->PutDouble(offer.props.first_row_ms);
+  e->PutDouble(offer.props.rows);
+  e->PutDouble(offer.props.rows_per_sec);
+  e->PutDouble(offer.props.freshness);
+  e->PutDouble(offer.props.completeness);
+  e->PutDouble(offer.props.price);
+  e->PutDouble(offer.row_bytes);
+}
+
+Status ReadOffer(Decoder* d, Offer* offer) {
+  QTRADE_RETURN_IF_ERROR(d->ReadString(&offer->offer_id));
+  QTRADE_RETURN_IF_ERROR(d->ReadString(&offer->seller));
+  QTRADE_RETURN_IF_ERROR(d->ReadString(&offer->rfb_id));
+  std::string sql_text;
+  QTRADE_RETURN_IF_ERROR(d->ReadString(&sql_text));
+  auto parsed = sql::ParseQuery(sql_text);
+  if (!parsed.ok()) {
+    return Status::ParseError("codec: offer query does not parse: " +
+                              parsed.status().message());
+  }
+  if (!parsed->IsSimpleSelect()) {
+    return Status::ParseError("codec: offer query is not a single SELECT");
+  }
+  offer->query = std::move(parsed->select());
+  QTRADE_RETURN_IF_ERROR(ReadSchema(d, &offer->schema));
+  uint8_t kind = 0;
+  QTRADE_RETURN_IF_ERROR(d->ReadU8(&kind));
+  if (kind > static_cast<uint8_t>(OfferKind::kFinalAnswer)) {
+    return Status::ParseError("codec: unknown offer kind tag " +
+                              std::to_string(kind));
+  }
+  offer->kind = static_cast<OfferKind>(kind);
+  uint32_t ncov = 0;
+  QTRADE_RETURN_IF_ERROR(d->ReadU32(&ncov));
+  offer->coverage.clear();
+  for (uint32_t i = 0; i < ncov; ++i) {
+    OfferCoverage cov;
+    QTRADE_RETURN_IF_ERROR(d->ReadString(&cov.alias));
+    QTRADE_RETURN_IF_ERROR(d->ReadString(&cov.table));
+    uint32_t nparts = 0;
+    QTRADE_RETURN_IF_ERROR(d->ReadU32(&nparts));
+    for (uint32_t j = 0; j < nparts; ++j) {
+      std::string part;
+      QTRADE_RETURN_IF_ERROR(d->ReadString(&part));
+      cov.partitions.push_back(std::move(part));
+    }
+    offer->coverage.push_back(std::move(cov));
+  }
+  QTRADE_RETURN_IF_ERROR(d->ReadDouble(&offer->props.total_time_ms));
+  QTRADE_RETURN_IF_ERROR(d->ReadDouble(&offer->props.first_row_ms));
+  QTRADE_RETURN_IF_ERROR(d->ReadDouble(&offer->props.rows));
+  QTRADE_RETURN_IF_ERROR(d->ReadDouble(&offer->props.rows_per_sec));
+  QTRADE_RETURN_IF_ERROR(d->ReadDouble(&offer->props.freshness));
+  QTRADE_RETURN_IF_ERROR(d->ReadDouble(&offer->props.completeness));
+  QTRADE_RETURN_IF_ERROR(d->ReadDouble(&offer->props.price));
+  QTRADE_RETURN_IF_ERROR(d->ReadDouble(&offer->row_bytes));
+  return Status::OK();
+}
+
+int64_t OfferPayloadSize(const Offer& offer) {
+  int64_t bytes = StringSize(offer.offer_id) + StringSize(offer.seller) +
+                  StringSize(offer.rfb_id) +
+                  StringSize(sql::ToSql(offer.query)) +
+                  SchemaPayloadSize(offer.schema) + 1 /* kind */ +
+                  4 /* coverage count */;
+  for (const OfferCoverage& cov : offer.coverage) {
+    bytes += StringSize(cov.alias) + StringSize(cov.table) + 4;
+    for (const std::string& part : cov.partitions) bytes += StringSize(part);
+  }
+  return bytes + 7 * 8 /* property vector */ + 8 /* row_bytes */;
+}
+
+// ---- OfferBatch -----------------------------------------------------------
+
+void AppendOfferBatch(Encoder* e, const OfferBatch& batch) {
+  e->PutBool(batch.ok);
+  e->PutString(batch.error);
+  e->PutU32(static_cast<uint32_t>(batch.offers.size()));
+  for (const Offer& offer : batch.offers) AppendOffer(e, offer);
+}
+
+Status ReadOfferBatch(Decoder* d, OfferBatch* batch) {
+  QTRADE_RETURN_IF_ERROR(d->ReadBool(&batch->ok));
+  QTRADE_RETURN_IF_ERROR(d->ReadString(&batch->error));
+  uint32_t n = 0;
+  QTRADE_RETURN_IF_ERROR(d->ReadU32(&n));
+  batch->offers.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    Offer offer;
+    QTRADE_RETURN_IF_ERROR(ReadOffer(d, &offer));
+    batch->offers.push_back(std::move(offer));
+  }
+  return Status::OK();
+}
+
+int64_t OfferBatchPayloadSize(const OfferBatch& batch) {
+  int64_t bytes = 1 + StringSize(batch.error) + 4;
+  for (const Offer& offer : batch.offers) bytes += OfferPayloadSize(offer);
+  return bytes;
+}
+
+std::string EncodeOfferBatch(const OfferBatch& batch) {
+  Encoder e;
+  AppendOfferBatch(&e, batch);
+  return e.Seal(MsgType::kOfferBatch);
+}
+
+Result<OfferBatch> DecodeOfferBatch(std::string_view data) {
+  QTRADE_ASSIGN_OR_RETURN(FrameView frame,
+                          ExpectFrame(data, MsgType::kOfferBatch));
+  Decoder d(frame.payload);
+  OfferBatch batch;
+  QTRADE_RETURN_IF_ERROR(ReadOfferBatch(&d, &batch));
+  QTRADE_RETURN_IF_ERROR(d.ExpectEnd());
+  return batch;
+}
+
+// ---- TickReply ------------------------------------------------------------
+
+void AppendTickReply(Encoder* e, const std::optional<Offer>& updated) {
+  e->PutBool(updated.has_value());
+  if (updated.has_value()) AppendOffer(e, *updated);
+}
+
+Status ReadTickReply(Decoder* d, std::optional<Offer>* updated) {
+  bool has = false;
+  QTRADE_RETURN_IF_ERROR(d->ReadBool(&has));
+  if (!has) {
+    updated->reset();
+    return Status::OK();
+  }
+  Offer offer;
+  QTRADE_RETURN_IF_ERROR(ReadOffer(d, &offer));
+  *updated = std::move(offer);
+  return Status::OK();
+}
+
+int64_t TickReplyPayloadSize(const std::optional<Offer>& updated) {
+  return 1 + (updated.has_value() ? OfferPayloadSize(*updated) : 0);
+}
+
+std::string EncodeTickReply(const std::optional<Offer>& updated) {
+  Encoder e;
+  AppendTickReply(&e, updated);
+  return e.Seal(MsgType::kTickReply);
+}
+
+Result<std::optional<Offer>> DecodeTickReply(std::string_view data) {
+  QTRADE_ASSIGN_OR_RETURN(FrameView frame,
+                          ExpectFrame(data, MsgType::kTickReply));
+  Decoder d(frame.payload);
+  std::optional<Offer> updated;
+  QTRADE_RETURN_IF_ERROR(ReadTickReply(&d, &updated));
+  QTRADE_RETURN_IF_ERROR(d.ExpectEnd());
+  return updated;
+}
+
+// ---- RowSet ---------------------------------------------------------------
+
+namespace {
+
+/// Value tags inside kRowSet payloads.
+enum class ValueTag : uint8_t {
+  kNull = 0,
+  kInt64 = 1,
+  kDouble = 2,
+  kString = 3,
+  kBool = 4,
+};
+
+void AppendValue(Encoder* e, const Value& v) {
+  if (v.is_null()) {
+    e->PutU8(static_cast<uint8_t>(ValueTag::kNull));
+  } else if (v.is_int64()) {
+    e->PutU8(static_cast<uint8_t>(ValueTag::kInt64));
+    e->PutI64(v.int64());
+  } else if (v.is_double()) {
+    e->PutU8(static_cast<uint8_t>(ValueTag::kDouble));
+    e->PutDouble(v.dbl());
+  } else if (v.is_string()) {
+    e->PutU8(static_cast<uint8_t>(ValueTag::kString));
+    e->PutString(v.str());
+  } else {
+    e->PutU8(static_cast<uint8_t>(ValueTag::kBool));
+    e->PutBool(v.boolean());
+  }
+}
+
+Status ReadValue(Decoder* d, Value* v) {
+  uint8_t tag = 0;
+  QTRADE_RETURN_IF_ERROR(d->ReadU8(&tag));
+  switch (static_cast<ValueTag>(tag)) {
+    case ValueTag::kNull:
+      *v = Value::Null();
+      return Status::OK();
+    case ValueTag::kInt64: {
+      int64_t i = 0;
+      QTRADE_RETURN_IF_ERROR(d->ReadI64(&i));
+      *v = Value::Int64(i);
+      return Status::OK();
+    }
+    case ValueTag::kDouble: {
+      double f = 0;
+      QTRADE_RETURN_IF_ERROR(d->ReadDouble(&f));
+      *v = Value::Double(f);
+      return Status::OK();
+    }
+    case ValueTag::kString: {
+      std::string s;
+      QTRADE_RETURN_IF_ERROR(d->ReadString(&s));
+      *v = Value::String(std::move(s));
+      return Status::OK();
+    }
+    case ValueTag::kBool: {
+      bool b = false;
+      QTRADE_RETURN_IF_ERROR(d->ReadBool(&b));
+      *v = Value::Bool(b);
+      return Status::OK();
+    }
+  }
+  return Status::ParseError("codec: unknown value tag " + std::to_string(tag));
+}
+
+}  // namespace
+
+void AppendRowSet(Encoder* e, const RowSet& rows) {
+  AppendSchema(e, rows.schema);
+  e->PutU32(static_cast<uint32_t>(rows.rows.size()));
+  for (const Row& row : rows.rows) {
+    e->PutU32(static_cast<uint32_t>(row.size()));
+    for (const Value& v : row) AppendValue(e, v);
+  }
+}
+
+Status ReadRowSet(Decoder* d, RowSet* rows) {
+  QTRADE_RETURN_IF_ERROR(ReadSchema(d, &rows->schema));
+  uint32_t n = 0;
+  QTRADE_RETURN_IF_ERROR(d->ReadU32(&n));
+  rows->rows.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t width = 0;
+    QTRADE_RETURN_IF_ERROR(d->ReadU32(&width));
+    Row row;
+    for (uint32_t j = 0; j < width; ++j) {
+      Value v;
+      QTRADE_RETURN_IF_ERROR(ReadValue(d, &v));
+      row.push_back(std::move(v));
+    }
+    rows->rows.push_back(std::move(row));
+  }
+  return Status::OK();
+}
+
+std::string EncodeRowSet(const RowSet& rows) {
+  Encoder e;
+  AppendRowSet(&e, rows);
+  return e.Seal(MsgType::kRowSet);
+}
+
+Result<RowSet> DecodeRowSet(std::string_view data) {
+  QTRADE_ASSIGN_OR_RETURN(FrameView frame,
+                          ExpectFrame(data, MsgType::kRowSet));
+  Decoder d(frame.payload);
+  RowSet rows;
+  QTRADE_RETURN_IF_ERROR(ReadRowSet(&d, &rows));
+  QTRADE_RETURN_IF_ERROR(d.ExpectEnd());
+  return rows;
+}
+
+// ---- Error ----------------------------------------------------------------
+
+std::string EncodeError(const Status& status) {
+  Encoder e;
+  e.PutU8(static_cast<uint8_t>(status.code()));
+  e.PutString(status.message());
+  return e.Seal(MsgType::kError);
+}
+
+Status DecodeError(std::string_view data, Status* carried) {
+  QTRADE_ASSIGN_OR_RETURN(FrameView frame, ExpectFrame(data, MsgType::kError));
+  Decoder d(frame.payload);
+  uint8_t code = 0;
+  std::string message;
+  QTRADE_RETURN_IF_ERROR(d.ReadU8(&code));
+  QTRADE_RETURN_IF_ERROR(d.ReadString(&message));
+  QTRADE_RETURN_IF_ERROR(d.ExpectEnd());
+  if (code == 0 || code > static_cast<uint8_t>(StatusCode::kNoPlanFound)) {
+    *carried = Status::Internal(message);
+  } else {
+    *carried = Status(static_cast<StatusCode>(code), std::move(message));
+  }
+  return Status::OK();
+}
+
+}  // namespace qtrade::serde

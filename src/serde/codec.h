@@ -1,0 +1,232 @@
+// The real wire: a versioned, length-prefixed, checksummed binary codec
+// for every negotiation envelope in net/wire.h plus the Offer commodity
+// with its §3.1 property vector and coverage list. This is what
+// TcpTransport and the qtrade_node daemon actually ship over sockets,
+// and — via the WireBytes() delegation in net/wire.cc — the single
+// source of truth for message-size accounting everywhere else.
+//
+// Frame layout (all integers little-endian):
+//
+//   offset  size  field
+//        0     4  magic   "QTRD" (0x44525451 LE)
+//        4     1  version (kCodecVersion)
+//        5     1  type    (MsgType tag)
+//        6     4  length  payload bytes that follow the header
+//       10     4  crc32   IEEE CRC-32 of the payload bytes
+//       14     -  payload
+//
+// Versioning rules: the header layout is frozen; bumping kCodecVersion
+// is reserved for payload-schema changes. A decoder rejects frames whose
+// version it does not speak (no silent best-effort parsing), so mixed
+// federations fail loudly at the first message, not subtly mid-plan.
+//
+// Robustness contract: Decode* never exhibits UB on malformed input —
+// truncated frames, corrupted checksums, wrong magic/version/type,
+// oversized declared lengths and random bytes all come back as a clean
+// Status error (see codec_fuzz_test.cc).
+#ifndef QTRADE_SERDE_CODEC_H_
+#define QTRADE_SERDE_CODEC_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/wire.h"
+#include "opt/offer.h"
+#include "types/row.h"
+#include "util/status.h"
+
+namespace qtrade::serde {
+
+inline constexpr uint32_t kFrameMagic = 0x44525451;  // "QTRD" on the wire
+inline constexpr uint8_t kCodecVersion = 1;
+/// magic(4) + version(1) + type(1) + length(4) + crc32(4).
+inline constexpr int64_t kFrameHeaderBytes = 14;
+/// Upper bound on a declared payload length; anything bigger is rejected
+/// before any allocation happens (a 4-byte length field could otherwise
+/// demand 4 GiB from 14 hostile bytes).
+inline constexpr uint32_t kMaxFramePayload = 64u << 20;  // 64 MiB
+
+/// Frame type tags. Values are wire protocol — append, never renumber.
+enum class MsgType : uint8_t {
+  kRfb = 1,           // buyer -> seller: request for bids
+  kOfferBatch = 2,    // seller -> buyer: priced offers (or a decline)
+  kAuctionTick = 3,   // buyer -> seller: auction-round announcement
+  kCounterOffer = 4,  // buyer -> seller: bargaining counter-offer
+  kAwardBatch = 5,    // buyer -> seller: award/decline feedback
+  kTickReply = 6,     // seller -> buyer: updated offer or hold
+  kAck = 7,           // empty acknowledgement (awards, shutdown, ping)
+  kError = 8,         // status code + message
+  kExecuteOffer = 9,  // buyer -> seller: ship a sold answer
+  kRowSet = 10,       // seller -> buyer: the delivered rows
+  kPing = 11,         // liveness probe (daemon readiness)
+  kShutdown = 12,     // orderly daemon stop
+};
+
+const char* MsgTypeName(MsgType type);
+
+/// IEEE CRC-32 (the zlib polynomial) of `n` bytes.
+uint32_t Crc32(const void* data, size_t n);
+
+// ---- Primitive encoding ---------------------------------------------------
+
+/// Appends primitives to a growing byte buffer. Strings are u32
+/// length-prefixed; doubles travel as their IEEE-754 bit pattern.
+class Encoder {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI32(int32_t v) { PutU32(static_cast<uint32_t>(v)); }
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutDouble(double v);
+  void PutString(std::string_view s);
+
+  const std::string& buffer() const { return buf_; }
+  size_t size() const { return buf_.size(); }
+
+  /// Wraps the accumulated payload in a sealed frame (header + crc).
+  std::string Seal(MsgType type) const;
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked cursor over a byte span. Every read returns a Status;
+/// after any failure the decoder stays failed (reads keep erroring), so
+/// call sites may chain reads and check once.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view data) : data_(data) {}
+
+  Status ReadU8(uint8_t* v);
+  Status ReadBool(bool* v);  // rejects values other than 0/1
+  Status ReadU32(uint32_t* v);
+  Status ReadU64(uint64_t* v);
+  Status ReadI32(int32_t* v);
+  Status ReadI64(int64_t* v);
+  Status ReadDouble(double* v);
+  Status ReadString(std::string* s);
+
+  size_t remaining() const { return data_.size() - pos_; }
+  /// Error unless the whole payload was consumed (trailing garbage is a
+  /// framing bug, not padding).
+  Status ExpectEnd() const;
+
+ private:
+  Status Take(size_t n, const char** out);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+// ---- Frames ---------------------------------------------------------------
+
+/// Parsed header of a frame (the first kFrameHeaderBytes bytes).
+struct FrameHeader {
+  uint8_t version = 0;
+  MsgType type = MsgType::kAck;
+  uint32_t length = 0;
+  uint32_t crc32 = 0;
+};
+
+/// Builds a sealed frame around `payload`.
+std::string SealFrame(MsgType type, std::string_view payload);
+
+/// Validates magic/version/length bounds of a header prefix. `data` must
+/// hold at least kFrameHeaderBytes bytes.
+Result<FrameHeader> ParseFrameHeader(std::string_view data);
+
+/// Checks a payload against its header's declared length and crc.
+Status VerifyFramePayload(const FrameHeader& header, std::string_view payload);
+
+/// A whole frame in one buffer: header checks + crc + exact length.
+struct FrameView {
+  MsgType type = MsgType::kAck;
+  std::string_view payload;
+};
+Result<FrameView> ParseFrame(std::string_view data);
+
+// ---- Envelope payloads ----------------------------------------------------
+//
+// Append*/Read* operate on the bare payload (composable: offers nest
+// inside batches and tick replies); *PayloadSize returns exactly the
+// bytes Append* would add, and Encode*/Decode* wrap one envelope in a
+// sealed frame. A frame carries no routing header: one NodeServer hosts
+// one endpoint, so addressing is the connection itself — and frame sizes
+// equal WireBytes() exactly, keeping byte accounting transport-agnostic.
+
+void AppendRfb(Encoder* e, const Rfb& rfb);
+Status ReadRfb(Decoder* d, Rfb* rfb);
+int64_t RfbPayloadSize(const Rfb& rfb);
+std::string EncodeRfb(const Rfb& rfb);
+Result<Rfb> DecodeRfb(std::string_view frame);
+
+void AppendAuctionTick(Encoder* e, const AuctionTick& tick);
+Status ReadAuctionTick(Decoder* d, AuctionTick* tick);
+int64_t AuctionTickPayloadSize(const AuctionTick& tick);
+std::string EncodeAuctionTick(const AuctionTick& tick);
+Result<AuctionTick> DecodeAuctionTick(std::string_view frame);
+
+void AppendCounterOffer(Encoder* e, const CounterOffer& counter);
+Status ReadCounterOffer(Decoder* d, CounterOffer* counter);
+int64_t CounterOfferPayloadSize(const CounterOffer& counter);
+std::string EncodeCounterOffer(const CounterOffer& counter);
+Result<CounterOffer> DecodeCounterOffer(std::string_view frame);
+
+void AppendAwardBatch(Encoder* e, const AwardBatch& batch);
+Status ReadAwardBatch(Decoder* d, AwardBatch* batch);
+int64_t AwardBatchPayloadSize(const AwardBatch& batch);
+std::string EncodeAwardBatch(const AwardBatch& batch);
+Result<AwardBatch> DecodeAwardBatch(std::string_view frame);
+
+/// The Offer commodity (nested inside offer batches and tick replies):
+/// identity strings, the offered SQL (printed and re-parsed — printer/
+/// parser agreement is already a tested invariant of the trading
+/// protocol), output schema, kind, coverage list, §3.1 property vector.
+void AppendOffer(Encoder* e, const Offer& offer);
+Status ReadOffer(Decoder* d, Offer* offer);
+int64_t OfferPayloadSize(const Offer& offer);
+
+/// A seller's reply to one RFB: priced offers, or a decline carrying the
+/// handler's error.
+struct OfferBatch {
+  bool ok = true;
+  std::string error;  // non-empty only when !ok
+  std::vector<Offer> offers;
+};
+void AppendOfferBatch(Encoder* e, const OfferBatch& batch);
+Status ReadOfferBatch(Decoder* d, OfferBatch* batch);
+int64_t OfferBatchPayloadSize(const OfferBatch& batch);
+std::string EncodeOfferBatch(const OfferBatch& batch);
+Result<OfferBatch> DecodeOfferBatch(std::string_view frame);
+
+/// Seller's answer to an auction tick / counter-offer: an improved offer
+/// or a hold (empty).
+void AppendTickReply(Encoder* e, const std::optional<Offer>& updated);
+Status ReadTickReply(Decoder* d, std::optional<Offer>* updated);
+int64_t TickReplyPayloadSize(const std::optional<Offer>& updated);
+std::string EncodeTickReply(const std::optional<Offer>& updated);
+Result<std::optional<Offer>> DecodeTickReply(std::string_view frame);
+
+/// Delivered rows of a sold answer (kRowSet).
+void AppendRowSet(Encoder* e, const RowSet& rows);
+Status ReadRowSet(Decoder* d, RowSet* rows);
+std::string EncodeRowSet(const RowSet& rows);
+Result<RowSet> DecodeRowSet(std::string_view frame);
+
+/// kError payload: the failing handler's StatusCode + message.
+std::string EncodeError(const Status& status);
+/// Reconstructs the Status carried by a kError frame into `*carried` (an
+/// invalid code byte decodes as kInternal rather than an error about the
+/// error). The return value reports whether `frame` was a well-formed
+/// kError frame at all.
+Status DecodeError(std::string_view frame, Status* carried);
+
+}  // namespace qtrade::serde
+
+#endif  // QTRADE_SERDE_CODEC_H_

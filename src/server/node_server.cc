@@ -1,0 +1,201 @@
+#include "server/node_server.h"
+
+#include <sys/socket.h>
+
+#include <utility>
+
+#include "net/socket_io.h"
+#include "serde/codec.h"
+#include "util/logging.h"
+
+namespace qtrade {
+
+namespace {
+
+/// Poll slice for idle waits: how fast stop flags are noticed.
+constexpr double kPollSliceMs = 100;
+
+}  // namespace
+
+NodeServer::NodeServer(NodeEndpoint* endpoint, NodeServerOptions options)
+    : endpoint_(endpoint), options_(std::move(options)) {}
+
+NodeServer::~NodeServer() { Stop(); }
+
+const std::string& NodeServer::node_name() const { return endpoint_->name(); }
+
+Status NodeServer::Start() {
+  if (started_.exchange(true)) {
+    return Status::Internal("node server already started");
+  }
+  QTRADE_ASSIGN_OR_RETURN(
+      listen_fd_, net::ListenTcp(options_.bind_address, options_.port, &port_));
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  QTRADE_LOG(kInfo) << "node " << node_name() << " listening on "
+                    << options_.bind_address << ":" << port_;
+  return Status::OK();
+}
+
+void NodeServer::RequestStop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stop_.store(true, std::memory_order_release);
+  }
+  stop_cv_.notify_all();
+}
+
+void NodeServer::Wait() {
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  stop_cv_.wait(lock,
+                [this] { return stop_.load(std::memory_order_acquire); });
+}
+
+void NodeServer::Stop() {
+  RequestStop();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conns.swap(conn_threads_);
+  }
+  for (auto& t : conns) {
+    if (t.joinable()) t.join();
+  }
+  net::CloseFd(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void NodeServer::AcceptLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    Status ready = net::WaitReadable(listen_fd_, kPollSliceMs);
+    if (!ready.ok()) {
+      if (ready.code() == StatusCode::kTimeout) continue;
+      QTRADE_LOG(kWarning) << "accept wait failed: " << ready.ToString();
+      break;
+    }
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;  // racing close or transient error; re-poll
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void NodeServer::ServeConnection(int fd) {
+  while (!stop_.load(std::memory_order_acquire)) {
+    Status ready = net::WaitReadable(fd, kPollSliceMs);
+    if (!ready.ok()) {
+      if (ready.code() == StatusCode::kTimeout) continue;  // idle; re-check
+      break;
+    }
+    auto frame = net::ReadFrame(fd, options_.read_timeout_ms);
+    if (!frame.ok()) {
+      // Orderly client close between frames is the normal end of a
+      // pooled connection; anything else is worth a log line.
+      if (frame.status().code() != StatusCode::kNotFound) {
+        QTRADE_LOG(kWarning) << "node " << node_name() << " dropping "
+                             << "connection: " << frame.status().ToString();
+      }
+      break;
+    }
+    if (!HandleFrame(fd, *frame)) break;
+  }
+  net::CloseFd(fd);
+}
+
+bool NodeServer::HandleFrame(int fd, const std::string& frame) {
+  auto parsed = serde::ParseFrame(frame);
+  if (!parsed.ok()) {
+    // Header passed ReadFrame but crc/length failed: answer with the
+    // decode error so the client can map it onto its degradation path,
+    // then drop the (possibly desynchronized) connection.
+    (void)net::WriteAll(fd, serde::EncodeError(parsed.status()));
+    return false;
+  }
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+
+  std::string reply;
+  switch (parsed->type) {
+    case serde::MsgType::kRfb: {
+      auto rfb = serde::DecodeRfb(frame);
+      if (!rfb.ok()) {
+        reply = serde::EncodeError(rfb.status());
+        break;
+      }
+      serde::OfferBatch batch;
+      auto offers = endpoint_->HandleRfb(*rfb);
+      if (offers.ok()) {
+        batch.offers = std::move(*offers);
+      } else {
+        batch.ok = false;
+        batch.error = offers.status().ToString();
+      }
+      reply = serde::EncodeOfferBatch(batch);
+      break;
+    }
+    case serde::MsgType::kAuctionTick: {
+      auto tick = serde::DecodeAuctionTick(frame);
+      if (!tick.ok()) {
+        reply = serde::EncodeError(tick.status());
+        break;
+      }
+      reply = serde::EncodeTickReply(endpoint_->HandleAuctionTick(*tick));
+      break;
+    }
+    case serde::MsgType::kCounterOffer: {
+      auto counter = serde::DecodeCounterOffer(frame);
+      if (!counter.ok()) {
+        reply = serde::EncodeError(counter.status());
+        break;
+      }
+      reply = serde::EncodeTickReply(endpoint_->HandleCounterOffer(*counter));
+      break;
+    }
+    case serde::MsgType::kAwardBatch: {
+      auto batch = serde::DecodeAwardBatch(frame);
+      if (!batch.ok()) {
+        reply = serde::EncodeError(batch.status());
+        break;
+      }
+      endpoint_->HandleAwards(*batch);
+      reply = serde::SealFrame(serde::MsgType::kAck, "");
+      break;
+    }
+    case serde::MsgType::kExecuteOffer: {
+      serde::Decoder d(parsed->payload);
+      std::string offer_id;
+      Status read = d.ReadString(&offer_id);
+      if (read.ok()) read = d.ExpectEnd();
+      if (!read.ok()) {
+        reply = serde::EncodeError(read);
+        break;
+      }
+      auto rows = endpoint_->HandleExecuteOffer(offer_id);
+      reply = rows.ok() ? serde::EncodeRowSet(*rows)
+                        : serde::EncodeError(rows.status());
+      break;
+    }
+    case serde::MsgType::kPing:
+      reply = serde::SealFrame(serde::MsgType::kAck, "");
+      break;
+    case serde::MsgType::kShutdown:
+      reply = serde::SealFrame(serde::MsgType::kAck, "");
+      (void)net::WriteAll(fd, reply);
+      QTRADE_LOG(kInfo) << "node " << node_name() << " shutting down";
+      RequestStop();
+      return false;
+    default:
+      reply = serde::EncodeError(Status::InvalidArgument(
+          std::string("unexpected request frame: ") +
+          serde::MsgTypeName(parsed->type)));
+      break;
+  }
+  Status sent = net::WriteAll(fd, reply);
+  if (!sent.ok()) {
+    QTRADE_LOG(kWarning) << "node " << node_name()
+                         << " reply write failed: " << sent.ToString();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace qtrade

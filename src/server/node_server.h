@@ -1,0 +1,101 @@
+// The seller daemon: hosts one NodeEndpoint (a SellerEngine) behind a
+// listening TCP socket, speaking the serde/ codec frames that
+// TcpTransport ships. One NodeServer serves exactly one endpoint — a
+// frame needs no routing header because the connection *is* the address
+// — which is what keeps TCP frame sizes equal to WireBytes() and byte
+// accounting identical across transports.
+//
+// Request/reply mapping (see DESIGN.md, "Real wire"):
+//
+//   kRfb          -> kOfferBatch   (ok=false batch when the handler declines)
+//   kAuctionTick  -> kTickReply
+//   kCounterOffer -> kTickReply
+//   kAwardBatch   -> kAck
+//   kExecuteOffer -> kRowSet | kError
+//   kPing         -> kAck
+//   kShutdown     -> kAck, then the server stops accepting
+//   anything else -> kError (the connection stays usable)
+//
+// Threading: one accept-loop thread plus one thread per live connection.
+// Connections poll in short slices so Stop() (or a kShutdown frame)
+// wins within ~a poll slice; handler calls run on connection threads,
+// which is exactly the concurrency contract NodeEndpoint already
+// promises for transport worker threads.
+#ifndef QTRADE_SERVER_NODE_SERVER_H_
+#define QTRADE_SERVER_NODE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/transport.h"
+#include "util/status.h"
+
+namespace qtrade {
+
+struct NodeServerOptions {
+  std::string bind_address = "127.0.0.1";
+  /// 0 = ephemeral; port() reports the bound port either way.
+  uint16_t port = 0;
+  /// Bounds the wait for the remainder of a frame once its first byte
+  /// arrived (0 = forever). Idle waits between frames are always short
+  /// poll slices, independent of this.
+  double read_timeout_ms = 30000;
+};
+
+class NodeServer {
+ public:
+  /// `endpoint` must outlive the server; the server never owns it.
+  explicit NodeServer(NodeEndpoint* endpoint, NodeServerOptions options = {});
+  ~NodeServer();
+
+  NodeServer(const NodeServer&) = delete;
+  NodeServer& operator=(const NodeServer&) = delete;
+
+  /// Binds, listens, and starts the accept loop. Fails (rather than
+  /// crashing later) when the address is unusable.
+  Status Start();
+
+  /// Signals the server to stop and joins every thread. Idempotent.
+  void Stop();
+
+  /// Blocks until the server is asked to stop (Stop() or a kShutdown
+  /// frame). Does not join threads; call Stop() after.
+  void Wait();
+
+  uint16_t port() const { return port_; }
+  const std::string& node_name() const;
+  /// Frames answered so far, across all connections.
+  int64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  /// Decodes one request frame and writes the reply; false = close the
+  /// connection (protocol breakdown, not a handler error).
+  bool HandleFrame(int fd, const std::string& frame);
+  void RequestStop();
+
+  NodeEndpoint* endpoint_;
+  NodeServerOptions options_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<int64_t> requests_served_{0};
+  std::thread accept_thread_;
+  std::mutex conn_mu_;  // guards conn_threads_
+  std::vector<std::thread> conn_threads_;
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+};
+
+}  // namespace qtrade
+
+#endif  // QTRADE_SERVER_NODE_SERVER_H_

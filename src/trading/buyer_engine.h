@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "net/tcp_transport.h"
 #include "net/transport.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -78,8 +79,23 @@ struct QtOptions {
   /// constructs a Tracer/MetricsRegistry, wires them through the buyer,
   /// every seller and the transport, and writes the files after each
   /// Optimize. Tracing never changes negotiation outcomes: trace context
-  /// rides in Rfb fields excluded from WireBytes.
+  /// rides in fixed-width Rfb fields, so byte totals are identical with
+  /// tracing on or off.
   obs::ObsOptions obs;
+  /// Remote seller daemons (examples/qtrade_node.cpp) to trade with in
+  /// addition to the federation's own nodes. Non-empty switches the
+  /// QueryTradingOptimizer facade onto an owned TcpTransport: federation
+  /// sellers stay local (loopback) endpoints, each peer is dialed at
+  /// host:port speaking the serde/ codec, and the buyer's trader
+  /// directory becomes federation nodes + peers. Only consulted by the
+  /// facade; a directly constructed BuyerEngine uses whatever Transport
+  /// it is given.
+  std::vector<RemotePeer> remote_peers;
+  /// Socket knobs for `remote_peers` (connect/read timeouts, fan-out
+  /// threading). When `offer_timeout_ms` is set it also caps each TCP
+  /// read wait, so a hung daemon degrades through the same dropped-reply
+  /// path as a too-slow simulated seller.
+  TcpTransportOptions tcp;
 };
 
 struct QtResult {

@@ -1,0 +1,337 @@
+// Round-trips for the serde/ binary codec, plus the size invariant that
+// makes SimNetwork byte accounting honest: for every envelope,
+// serde::Encode*(msg).size() == msg.WireBytes() exactly. If the codec
+// and net/wire.cc ever drift apart, these tests fail.
+#include <gtest/gtest.h>
+
+#include "net/wire.h"
+#include "serde/codec.h"
+#include "sql/parser.h"
+
+namespace qtrade {
+namespace {
+
+sql::SelectStmt ParseSelect(const std::string& text) {
+  auto query = sql::ParseQuery(text);
+  EXPECT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_TRUE(query->IsSimpleSelect());
+  return std::move(query->select());
+}
+
+Offer MakeOffer(const std::string& id) {
+  Offer offer;
+  offer.offer_id = id;
+  offer.seller = "office_Myconos";
+  offer.rfb_id = "rfb-7/3";
+  offer.query = ParseSelect(
+      "SELECT c.custname, SUM(l.charge) FROM customer AS c, "
+      "invoiceline AS l WHERE c.custid = l.custid GROUP BY c.custname");
+  offer.schema.AddColumn({"c", "custname", TypeKind::kString});
+  offer.schema.AddColumn({"", "sum_charge", TypeKind::kDouble});
+  offer.kind = OfferKind::kPartialAggregate;
+  offer.coverage.push_back({"c", "customer", {"customer#2"}});
+  offer.coverage.push_back({"l", "invoiceline", {"invoiceline#0",
+                                                "invoiceline#2"}});
+  offer.props = {123.5, 4.25, 1000, 8000, 0.5, 0.75, 12.0};
+  offer.row_bytes = 48;
+  return offer;
+}
+
+void ExpectOffersEqual(const Offer& a, const Offer& b) {
+  EXPECT_EQ(a.offer_id, b.offer_id);
+  EXPECT_EQ(a.seller, b.seller);
+  EXPECT_EQ(a.rfb_id, b.rfb_id);
+  EXPECT_EQ(sql::ToSql(a.query), sql::ToSql(b.query));
+  ASSERT_EQ(a.schema.size(), b.schema.size());
+  for (size_t i = 0; i < a.schema.size(); ++i) {
+    EXPECT_EQ(a.schema.column(i).qualifier, b.schema.column(i).qualifier);
+    EXPECT_EQ(a.schema.column(i).name, b.schema.column(i).name);
+    EXPECT_EQ(a.schema.column(i).type, b.schema.column(i).type);
+  }
+  EXPECT_EQ(a.kind, b.kind);
+  ASSERT_EQ(a.coverage.size(), b.coverage.size());
+  for (size_t i = 0; i < a.coverage.size(); ++i) {
+    EXPECT_EQ(a.coverage[i].alias, b.coverage[i].alias);
+    EXPECT_EQ(a.coverage[i].table, b.coverage[i].table);
+    EXPECT_EQ(a.coverage[i].partitions, b.coverage[i].partitions);
+  }
+  EXPECT_EQ(a.props.total_time_ms, b.props.total_time_ms);
+  EXPECT_EQ(a.props.first_row_ms, b.props.first_row_ms);
+  EXPECT_EQ(a.props.rows, b.props.rows);
+  EXPECT_EQ(a.props.rows_per_sec, b.props.rows_per_sec);
+  EXPECT_EQ(a.props.freshness, b.props.freshness);
+  EXPECT_EQ(a.props.completeness, b.props.completeness);
+  EXPECT_EQ(a.props.price, b.props.price);
+  EXPECT_EQ(a.row_bytes, b.row_bytes);
+  EXPECT_EQ(a.CoverageSignature(), b.CoverageSignature());
+}
+
+TEST(CodecTest, RfbRoundTripAndWireBytes) {
+  Rfb rfb;
+  rfb.rfb_id = "rfb-42/1";
+  rfb.buyer = "office_Athens";
+  rfb.sql = "SELECT custname FROM customer WHERE office = 'Corfu'";
+  rfb.reserve_value = 98.5;
+  rfb.allow_subcontract = false;
+  rfb.trace_parent = 0xdeadbeefcafe1234ull;
+  rfb.trace_round = 3;
+
+  const std::string frame = serde::EncodeRfb(rfb);
+  EXPECT_EQ(static_cast<int64_t>(frame.size()), rfb.WireBytes());
+
+  auto decoded = serde::DecodeRfb(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->rfb_id, rfb.rfb_id);
+  EXPECT_EQ(decoded->buyer, rfb.buyer);
+  EXPECT_EQ(decoded->sql, rfb.sql);
+  EXPECT_EQ(decoded->reserve_value, rfb.reserve_value);
+  EXPECT_EQ(decoded->allow_subcontract, rfb.allow_subcontract);
+  EXPECT_EQ(decoded->trace_parent, rfb.trace_parent);
+  EXPECT_EQ(decoded->trace_round, rfb.trace_round);
+}
+
+TEST(CodecTest, RfbWireBytesIdenticalTracedOrNot) {
+  // Trace context is fixed-width on purpose: byte metrics must not
+  // change when tracing is switched on (obs_test relies on this).
+  Rfb plain;
+  plain.rfb_id = "rfb-1/1";
+  plain.buyer = "b";
+  plain.sql = "SELECT custid FROM customer";
+  Rfb traced = plain;
+  traced.trace_parent = 77;
+  traced.trace_round = 12;
+  EXPECT_EQ(plain.WireBytes(), traced.WireBytes());
+  EXPECT_EQ(serde::EncodeRfb(plain).size(), serde::EncodeRfb(traced).size());
+}
+
+TEST(CodecTest, AuctionTickRoundTripAndWireBytes) {
+  AuctionTick tick;
+  tick.rfb_id = "rfb-9/2";
+  tick.signature = "c=customer#0,customer#1|l=invoiceline#2";
+  tick.best_score = 417.25;
+
+  const std::string frame = serde::EncodeAuctionTick(tick);
+  EXPECT_EQ(static_cast<int64_t>(frame.size()), tick.WireBytes());
+
+  auto decoded = serde::DecodeAuctionTick(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->rfb_id, tick.rfb_id);
+  EXPECT_EQ(decoded->signature, tick.signature);
+  EXPECT_EQ(decoded->best_score, tick.best_score);
+}
+
+TEST(CodecTest, CounterOfferRoundTripAndWireBytes) {
+  CounterOffer counter;
+  counter.rfb_id = "rfb-3/9";
+  counter.signature = "c=customer#1";
+  counter.target_value = 55.125;
+
+  const std::string frame = serde::EncodeCounterOffer(counter);
+  EXPECT_EQ(static_cast<int64_t>(frame.size()), counter.WireBytes());
+
+  auto decoded = serde::DecodeCounterOffer(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->rfb_id, counter.rfb_id);
+  EXPECT_EQ(decoded->signature, counter.signature);
+  EXPECT_EQ(decoded->target_value, counter.target_value);
+}
+
+TEST(CodecTest, AwardBatchRoundTripAndWireBytes) {
+  AwardBatch batch;
+  batch.awards.push_back({"rfb-5/1", "rfb-5/1:off-0"});
+  batch.awards.push_back({"rfb-5/2", "rfb-5/2:off-3"});
+  batch.lost_offer_ids = {"rfb-5/1:off-1", "rfb-5/2:off-0"};
+
+  const std::string frame = serde::EncodeAwardBatch(batch);
+  EXPECT_EQ(static_cast<int64_t>(frame.size()), batch.WireBytes());
+
+  auto decoded = serde::DecodeAwardBatch(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->awards.size(), 2u);
+  EXPECT_EQ(decoded->awards[0].rfb_id, "rfb-5/1");
+  EXPECT_EQ(decoded->awards[0].offer_id, "rfb-5/1:off-0");
+  EXPECT_EQ(decoded->awards[1].offer_id, "rfb-5/2:off-3");
+  EXPECT_EQ(decoded->lost_offer_ids, batch.lost_offer_ids);
+}
+
+TEST(CodecTest, EmptyAwardBatchRoundTrips) {
+  AwardBatch batch;
+  const std::string frame = serde::EncodeAwardBatch(batch);
+  EXPECT_EQ(static_cast<int64_t>(frame.size()), batch.WireBytes());
+  auto decoded = serde::DecodeAwardBatch(frame);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->awards.empty());
+  EXPECT_TRUE(decoded->lost_offer_ids.empty());
+}
+
+TEST(CodecTest, OfferBatchRoundTripAndWireBytes) {
+  serde::OfferBatch batch;
+  batch.offers.push_back(MakeOffer("rfb-7/3:off-0"));
+  batch.offers.push_back(MakeOffer("rfb-7/3:off-1"));
+  batch.offers[1].kind = OfferKind::kFinalAnswer;
+  batch.offers[1].coverage.resize(1);
+
+  const std::string frame = serde::EncodeOfferBatch(batch);
+  // The ok-batch frame size is exactly what the in-process transport
+  // charges for an offer reply.
+  EXPECT_EQ(static_cast<int64_t>(frame.size()),
+            OfferBatchWireBytes(batch.offers));
+
+  auto decoded = serde::DecodeOfferBatch(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded->ok);
+  EXPECT_TRUE(decoded->error.empty());
+  ASSERT_EQ(decoded->offers.size(), 2u);
+  ExpectOffersEqual(batch.offers[0], decoded->offers[0]);
+  ExpectOffersEqual(batch.offers[1], decoded->offers[1]);
+}
+
+TEST(CodecTest, DeclinedOfferBatchCarriesError) {
+  serde::OfferBatch batch;
+  batch.ok = false;
+  batch.error = "no partitions hosted here";
+  auto decoded = serde::DecodeOfferBatch(serde::EncodeOfferBatch(batch));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_FALSE(decoded->ok);
+  EXPECT_EQ(decoded->error, "no partitions hosted here");
+  EXPECT_TRUE(decoded->offers.empty());
+}
+
+TEST(CodecTest, EmptyOfferBatchWireBytesMatchesEnvelope) {
+  serde::OfferBatch batch;
+  const std::string frame = serde::EncodeOfferBatch(batch);
+  EXPECT_EQ(static_cast<int64_t>(frame.size()), OfferBatchWireBytes({}));
+}
+
+TEST(CodecTest, TickReplyRoundTripAndWireBytes) {
+  std::optional<Offer> updated = MakeOffer("rfb-7/3:off-9");
+  const std::string frame = serde::EncodeTickReply(updated);
+  // An undercut/concession travels as one offer in a tick-reply frame:
+  // the size the transports charge via OfferWireBytes.
+  EXPECT_EQ(static_cast<int64_t>(frame.size()), OfferWireBytes(*updated));
+
+  auto decoded = serde::DecodeTickReply(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_TRUE(decoded->has_value());
+  ExpectOffersEqual(*updated, **decoded);
+}
+
+TEST(CodecTest, TickHoldRoundTripAndWireBytes) {
+  const std::string frame = serde::EncodeTickReply(std::nullopt);
+  EXPECT_EQ(static_cast<int64_t>(frame.size()), TickHoldWireBytes());
+  auto decoded = serde::DecodeTickReply(frame);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded->has_value());
+}
+
+TEST(CodecTest, RowSetRoundTripsAllValueTypes) {
+  RowSet rows;
+  rows.schema.AddColumn({"c", "custid", TypeKind::kInt64});
+  rows.schema.AddColumn({"c", "custname", TypeKind::kString});
+  rows.schema.AddColumn({"", "charge", TypeKind::kDouble});
+  rows.schema.AddColumn({"", "active", TypeKind::kBool});
+  rows.rows.push_back({Value::Int64(42), Value::String("cust42"),
+                       Value::Double(13.75), Value::Bool(true)});
+  rows.rows.push_back({Value::Null(), Value::String(""),
+                       Value::Double(-0.5), Value::Bool(false)});
+
+  auto decoded = serde::DecodeRowSet(serde::EncodeRowSet(rows));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->rows.size(), 2u);
+  ASSERT_EQ(decoded->schema.size(), 4u);
+  EXPECT_EQ(decoded->schema.column(1).FullName(), "c.custname");
+  EXPECT_EQ(decoded->rows[0][0], Value::Int64(42));
+  EXPECT_EQ(decoded->rows[0][1], Value::String("cust42"));
+  EXPECT_EQ(decoded->rows[0][3], Value::Bool(true));
+  EXPECT_TRUE(decoded->rows[1][0].is_null());
+  EXPECT_EQ(decoded->rows[1][2], Value::Double(-0.5));
+}
+
+TEST(CodecTest, ErrorRoundTrip) {
+  Status status = Status::Timeout("seller too slow");
+  Status carried;
+  ASSERT_TRUE(
+      serde::DecodeError(serde::EncodeError(status), &carried).ok());
+  EXPECT_EQ(carried.code(), StatusCode::kTimeout);
+  EXPECT_EQ(carried.message(), "seller too slow");
+}
+
+TEST(CodecTest, SealedFrameHasDocumentedLayout) {
+  serde::Encoder e;
+  e.PutU32(7);
+  const std::string frame = e.Seal(serde::MsgType::kPing);
+  ASSERT_EQ(frame.size(), static_cast<size_t>(serde::kFrameHeaderBytes) + 4);
+  // magic "QTRD", little-endian.
+  EXPECT_EQ(frame[0], 'Q');
+  EXPECT_EQ(frame[1], 'T');
+  EXPECT_EQ(frame[2], 'R');
+  EXPECT_EQ(frame[3], 'D');
+  EXPECT_EQ(static_cast<uint8_t>(frame[4]), serde::kCodecVersion);
+  EXPECT_EQ(static_cast<uint8_t>(frame[5]),
+            static_cast<uint8_t>(serde::MsgType::kPing));
+
+  auto parsed = serde::ParseFrame(frame);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->type, serde::MsgType::kPing);
+  EXPECT_EQ(parsed->payload.size(), 4u);
+}
+
+TEST(CodecTest, WrongFrameTypeIsRejected) {
+  AuctionTick tick;
+  tick.rfb_id = "rfb-1/1";
+  tick.signature = "c=customer#0";
+  // An auction-tick frame is not an RFB.
+  auto decoded = serde::DecodeRfb(serde::EncodeAuctionTick(tick));
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(CodecTest, PrimitiveRoundTrip) {
+  serde::Encoder e;
+  e.PutU8(255);
+  e.PutBool(true);
+  e.PutU32(0xfeedface);
+  e.PutU64(0x0123456789abcdefull);
+  e.PutI32(-12345);
+  e.PutI64(-9876543210);
+  e.PutDouble(-2.5e300);
+  e.PutString("hello \0 world");  // embedded NUL truncated by literal; fine
+  e.PutString(std::string("bin\0ary", 7));
+
+  serde::Decoder d(e.buffer());
+  uint8_t u8 = 0;
+  bool b = false;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  int32_t i32 = 0;
+  int64_t i64 = 0;
+  double dv = 0;
+  std::string s1, s2;
+  ASSERT_TRUE(d.ReadU8(&u8).ok());
+  ASSERT_TRUE(d.ReadBool(&b).ok());
+  ASSERT_TRUE(d.ReadU32(&u32).ok());
+  ASSERT_TRUE(d.ReadU64(&u64).ok());
+  ASSERT_TRUE(d.ReadI32(&i32).ok());
+  ASSERT_TRUE(d.ReadI64(&i64).ok());
+  ASSERT_TRUE(d.ReadDouble(&dv).ok());
+  ASSERT_TRUE(d.ReadString(&s1).ok());
+  ASSERT_TRUE(d.ReadString(&s2).ok());
+  ASSERT_TRUE(d.ExpectEnd().ok());
+  EXPECT_EQ(u8, 255);
+  EXPECT_TRUE(b);
+  EXPECT_EQ(u32, 0xfeedface);
+  EXPECT_EQ(u64, 0x0123456789abcdefull);
+  EXPECT_EQ(i32, -12345);
+  EXPECT_EQ(i64, -9876543210);
+  EXPECT_EQ(dv, -2.5e300);
+  EXPECT_EQ(s1, "hello ");
+  EXPECT_EQ(s2, std::string("bin\0ary", 7));
+}
+
+TEST(CodecTest, Crc32KnownVector) {
+  // The classic zlib check value.
+  EXPECT_EQ(serde::Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(serde::Crc32("", 0), 0u);
+}
+
+}  // namespace
+}  // namespace qtrade

@@ -1,0 +1,349 @@
+// Transport conformance: InProcessTransport and a loopback TcpTransport
+// (real sockets against NodeServer daemons in this process) must be
+// observably interchangeable — same reply ordering, same winning plan,
+// same message/byte totals, same degradation accounting, and the
+// FaultyTransport decorator composes over either unchanged. This is the
+// invariant that lets every experiment above the transport run on the
+// simulated wire and on the real one without forking code paths.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/federation.h"
+#include "core/qt_optimizer.h"
+#include "net/faulty_transport.h"
+#include "net/tcp_transport.h"
+#include "plan/plan.h"
+#include "server/node_server.h"
+#include "tests/test_fixtures.h"
+#include "trading/buyer_engine.h"
+
+namespace qtrade {
+namespace {
+
+using testing::PaperData;
+using testing::PaperFederation;
+
+constexpr char kQuery[] = "SELECT custname FROM customer";
+
+/// Same world as transport_fault_test: athens (buyer) replicates the
+/// whole customer table; corfu and myconos hold one partition each.
+struct World {
+  std::unique_ptr<Federation> fed;
+  PaperData data{30};
+
+  World() {
+    fed = std::make_unique<Federation>(PaperFederation());
+    fed->AddNode("athens");
+    fed->AddNode("corfu");
+    fed->AddNode("myconos");
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_TRUE(fed->LoadPartition("athens",
+                                     "customer#" + std::to_string(i),
+                                     data.customer_parts[i])
+                      .ok());
+    }
+    EXPECT_TRUE(
+        fed->LoadPartition("corfu", "customer#1", data.customer_parts[1])
+            .ok());
+    EXPECT_TRUE(
+        fed->LoadPartition("myconos", "customer#2", data.customer_parts[2])
+            .ok());
+  }
+
+  QtResult Optimize(Transport* transport, const QtOptions& options,
+                    const std::string& sql = kQuery) {
+    BuyerEngine engine(fed->node("athens")->catalog.get(), &fed->factory(),
+                       transport, fed->NodeNames(), options);
+    auto result = engine.Optimize(sql);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(*result);
+  }
+};
+
+/// The TCP deployment of a World: athens stays a local endpoint on the
+/// TcpTransport (buyer-side loopback), corfu and myconos serve their
+/// (unchanged) SellerEngines behind NodeServers on ephemeral loopback
+/// ports.
+struct TcpWorld : World {
+  TcpTransport tcp;
+  std::vector<std::unique_ptr<NodeServer>> servers;
+
+  TcpWorld() : tcp(fed->network()) {
+    tcp.Register(fed->node("athens")->seller.get());
+    for (const std::string& name : {std::string("corfu"),
+                                    std::string("myconos")}) {
+      auto server =
+          std::make_unique<NodeServer>(fed->node(name)->seller.get());
+      EXPECT_TRUE(server->Start().ok());
+      tcp.AddPeer(name, "127.0.0.1", server->port());
+      servers.push_back(std::move(server));
+    }
+  }
+
+  ~TcpWorld() {
+    for (auto& server : servers) server->Stop();
+  }
+};
+
+QtOptions Labeled(const std::string& label) {
+  QtOptions options;
+  options.run_label = label;
+  return options;
+}
+
+TEST(TransportConformanceTest, NodeNamesMergeLocalAndRemote) {
+  TcpWorld world;
+  const std::vector<std::string> expected = {"athens", "corfu", "myconos"};
+  EXPECT_EQ(world.tcp.NodeNames(), expected);
+  EXPECT_EQ(world.fed->transport()->NodeNames(), expected);
+}
+
+TEST(TransportConformanceTest, PingAndShutdownRoundTrip) {
+  TcpWorld world;
+  EXPECT_TRUE(world.tcp.PingPeer("corfu").ok());
+  EXPECT_TRUE(world.tcp.PingPeer("myconos").ok());
+  EXPECT_FALSE(world.tcp.PingPeer("atlantis").ok());
+
+  EXPECT_TRUE(world.tcp.ShutdownPeer("corfu").ok());
+  world.servers[0]->Wait();  // returns because kShutdown stopped it
+  world.servers[0]->Stop();
+  EXPECT_GT(world.servers[0]->requests_served(), 0);
+}
+
+TEST(TransportConformanceTest, BroadcastRepliesArriveInTargetOrder) {
+  TcpWorld world;
+  Rfb rfb;
+  rfb.rfb_id = "conf-1/1";
+  rfb.buyer = "athens";
+  rfb.sql = kQuery;
+
+  // Mixed remote/local/remote order must be preserved in the replies.
+  const std::vector<std::string> targets = {"myconos", "athens", "corfu"};
+  auto replies = world.tcp.BroadcastRfb("athens", rfb, targets);
+  ASSERT_EQ(replies.size(), 3u);
+  for (size_t i = 0; i < replies.size(); ++i) {
+    EXPECT_EQ(replies[i].seller, targets[i]);
+    EXPECT_TRUE(replies[i].ok) << targets[i];
+    EXPECT_FALSE(replies[i].dropped);
+    EXPECT_FALSE(replies[i].offers.empty()) << targets[i];
+    EXPECT_GE(replies[i].arrival_ms, 0) << targets[i];
+    for (const Offer& offer : replies[i].offers) {
+      EXPECT_EQ(offer.seller, targets[i]);
+      EXPECT_EQ(offer.rfb_id, rfb.rfb_id);
+    }
+  }
+}
+
+TEST(TransportConformanceTest, UnknownTargetFailsWithoutDropAccounting) {
+  // An unaddressable seller is a directory error on both transports: the
+  // reply is not-ok but NOT dropped (nothing was lost in transit).
+  Rfb rfb;
+  rfb.rfb_id = "conf-2/1";
+  rfb.buyer = "athens";
+  rfb.sql = kQuery;
+
+  World inproc;
+  auto a = inproc.fed->transport()->BroadcastRfb("athens", rfb, {"atlantis"});
+  TcpWorld tcp;
+  auto b = tcp.tcp.BroadcastRfb("athens", rfb, {"atlantis"});
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  for (const auto& reply : {a[0], b[0]}) {
+    EXPECT_FALSE(reply.ok);
+    EXPECT_FALSE(reply.dropped);
+    EXPECT_TRUE(reply.offers.empty());
+  }
+}
+
+TEST(TransportConformanceTest, UnreachablePeerDegradesAsDropped) {
+  // A peer that is addressed but not answering (connection refused) is a
+  // transit loss: the reply comes back dropped, feeding the buyer's
+  // offer_timeout_ms degradation path, and the negotiation proceeds on
+  // the surviving sellers.
+  TcpWorld world;
+  TcpTransportOptions fast;
+  fast.connect_timeout_ms = 500;
+  TcpTransport tcp(world.fed->network(), fast);
+  tcp.Register(world.fed->node("athens")->seller.get());
+  tcp.AddPeer("corfu", "127.0.0.1", world.servers[0]->port());
+  ASSERT_TRUE(world.tcp.ShutdownPeer("myconos").ok());
+  world.servers[1]->Stop();
+  tcp.AddPeer("myconos", "127.0.0.1", world.servers[1]->port());
+
+  Rfb rfb;
+  rfb.rfb_id = "conf-3/1";
+  rfb.buyer = "athens";
+  rfb.sql = kQuery;
+  auto replies = tcp.BroadcastRfb("athens", rfb, {"corfu", "myconos"});
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_TRUE(replies[0].ok);
+  EXPECT_FALSE(replies[1].ok);
+  EXPECT_TRUE(replies[1].dropped);
+}
+
+/// The acceptance invariant: same world, same query, same options — the
+/// negotiation over real sockets lands on the byte-identical winning
+/// plan, the same awarded offers, and the same message/byte totals as
+/// the in-process run.
+void ExpectSameOutcome(NegotiationProtocol protocol, const char* label) {
+  QtOptions options = Labeled(label);
+  options.protocol = protocol;
+
+  World inproc;
+  QtResult a = inproc.Optimize(inproc.fed->transport(), options);
+  TcpWorld tcp;
+  QtResult b = tcp.Optimize(&tcp.tcp, options);
+
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a.cost, b.cost);
+  EXPECT_EQ(Explain(a.plan), Explain(b.plan));
+  ASSERT_EQ(a.winning_offers.size(), b.winning_offers.size());
+  for (size_t i = 0; i < a.winning_offers.size(); ++i) {
+    EXPECT_EQ(a.winning_offers[i].offer_id, b.winning_offers[i].offer_id);
+    EXPECT_EQ(a.winning_offers[i].seller, b.winning_offers[i].seller);
+    EXPECT_EQ(a.winning_offers[i].CoverageSignature(),
+              b.winning_offers[i].CoverageSignature());
+  }
+  // Byte accounting parity: the TCP run charges actual encoded frame
+  // sizes; the in-process run charges WireBytes(). The codec delegation
+  // makes those the same numbers.
+  EXPECT_EQ(a.metrics.messages, b.metrics.messages);
+  EXPECT_EQ(a.metrics.bytes, b.metrics.bytes);
+  EXPECT_EQ(a.metrics.rfbs_sent, b.metrics.rfbs_sent);
+  EXPECT_EQ(a.metrics.offers_received, b.metrics.offers_received);
+  EXPECT_EQ(a.metrics.awards_sent, b.metrics.awards_sent);
+  EXPECT_EQ(a.metrics.iterations, b.metrics.iterations);
+}
+
+TEST(TransportConformanceTest, BiddingMatchesInProcess) {
+  ExpectSameOutcome(NegotiationProtocol::kBidding, "conf-bid");
+}
+
+TEST(TransportConformanceTest, AuctionMatchesInProcess) {
+  ExpectSameOutcome(NegotiationProtocol::kAuction, "conf-auc");
+}
+
+TEST(TransportConformanceTest, BargainingMatchesInProcess) {
+  ExpectSameOutcome(NegotiationProtocol::kBargaining, "conf-bar");
+}
+
+TEST(TransportConformanceTest, FaultyTransportComposesOverTcp) {
+  // drop_rate=1.0 over the TCP transport: the remote sellers' replies
+  // are lost, athens self-supplies — the same floor the in-process
+  // fault test pins down, with the decorator unchanged.
+  TcpWorld world;
+  FaultOptions faults;
+  faults.drop_rate = 1.0;
+  faults.seed = 3;
+  FaultyTransport faulty(&world.tcp, faults);
+
+  QtResult result = world.Optimize(&faulty, Labeled("tcp-total-drop"));
+  ASSERT_TRUE(result.ok());
+  for (const auto& offer : result.winning_offers) {
+    EXPECT_EQ(offer.seller, "athens") << offer.offer_id;
+  }
+  EXPECT_GT(result.metrics.offers_dropped, 0);
+  EXPECT_EQ(faulty.stats().offers_dropped, result.metrics.offers_dropped);
+}
+
+TEST(TransportConformanceTest, DuplicatesOverTcpAreDiscarded) {
+  TcpWorld dup_world;
+  FaultOptions faults;
+  faults.duplicate_rate = 1.0;
+  faults.seed = 5;
+  FaultyTransport faulty(&dup_world.tcp, faults);
+  QtResult dup = dup_world.Optimize(&faulty, Labeled("tcp-dup"));
+  ASSERT_TRUE(dup.ok());
+  EXPECT_GT(dup.metrics.offers_duplicated, 0);
+
+  TcpWorld clean_world;
+  QtResult clean = clean_world.Optimize(&clean_world.tcp,
+                                        Labeled("tcp-dup"));
+  ASSERT_TRUE(clean.ok());
+  EXPECT_DOUBLE_EQ(dup.cost, clean.cost);
+  EXPECT_EQ(dup.metrics.offers_received, clean.metrics.offers_received);
+}
+
+TEST(TransportConformanceTest, FacadeRemotePeersMatchesDefaultFacade) {
+  // The one-line deployment switch: QtOptions::remote_peers moves the
+  // facade onto an owned TcpTransport (federation sellers local, peers
+  // dialed) and must change nothing observable about the negotiation.
+  const QtOptions options = Labeled("conf-facade");
+
+  World inproc;
+  QueryTradingOptimizer plain(inproc.fed.get(), "athens", options);
+  auto a = plain.Optimize(kQuery);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(a->ok());
+  EXPECT_EQ(plain.tcp_transport(), nullptr);
+  EXPECT_EQ(plain.transport(), inproc.fed->transport());
+
+  World world;
+  std::vector<std::unique_ptr<NodeServer>> servers;
+  QtOptions remote = options;
+  for (const std::string& name : {std::string("corfu"),
+                                  std::string("myconos")}) {
+    auto server =
+        std::make_unique<NodeServer>(world.fed->node(name)->seller.get());
+    ASSERT_TRUE(server->Start().ok());
+    remote.remote_peers.push_back({name, "127.0.0.1", server->port()});
+    servers.push_back(std::move(server));
+  }
+  QueryTradingOptimizer qt(world.fed.get(), "athens", remote);
+  ASSERT_NE(qt.tcp_transport(), nullptr);
+  EXPECT_EQ(qt.transport(), qt.tcp_transport());
+  auto b = qt.Optimize(kQuery);
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  ASSERT_TRUE(b->ok());
+
+  EXPECT_DOUBLE_EQ(a->cost, b->cost);
+  EXPECT_EQ(Explain(a->plan), Explain(b->plan));
+  ASSERT_EQ(a->winning_offers.size(), b->winning_offers.size());
+  for (size_t i = 0; i < a->winning_offers.size(); ++i) {
+    EXPECT_EQ(a->winning_offers[i].offer_id, b->winning_offers[i].offer_id);
+    EXPECT_EQ(a->winning_offers[i].seller, b->winning_offers[i].seller);
+  }
+  EXPECT_EQ(a->metrics.messages, b->metrics.messages);
+  EXPECT_EQ(a->metrics.bytes, b->metrics.bytes);
+
+  // The facade handle drives peer shutdown (the example's
+  // --shutdown-peers path).
+  for (const RemotePeer& peer : remote.remote_peers) {
+    EXPECT_TRUE(qt.tcp_transport()->ShutdownPeer(peer.name).ok());
+  }
+  for (auto& server : servers) {
+    server->Wait();
+    server->Stop();
+  }
+}
+
+TEST(TransportConformanceTest, PooledConnectionSurvivesServerRestart) {
+  // A stale pooled connection (server bounced between negotiations) is
+  // retried transparently on a fresh connect.
+  World world;
+  auto server =
+      std::make_unique<NodeServer>(world.fed->node("corfu")->seller.get());
+  ASSERT_TRUE(server->Start().ok());
+  const uint16_t port = server->port();
+
+  TcpTransport tcp(world.fed->network());
+  tcp.AddPeer("corfu", "127.0.0.1", port);
+  ASSERT_TRUE(tcp.PingPeer("corfu").ok());  // pools the connection
+
+  server->Stop();
+  NodeServerOptions same_port;
+  same_port.port = port;
+  server = std::make_unique<NodeServer>(
+      world.fed->node("corfu")->seller.get(), same_port);
+  ASSERT_TRUE(server->Start().ok());
+
+  EXPECT_TRUE(tcp.PingPeer("corfu").ok());  // stale fd, one retry, success
+  server->Stop();
+}
+
+}  // namespace
+}  // namespace qtrade
