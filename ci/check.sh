@@ -51,6 +51,17 @@ echo "== wire codec + real-socket smoke"
 # daemons exit cleanly, which `wait` asserts.
 echo "== loopback TCP federation smoke"
 SMOKE_DIR="$(mktemp -d)"
+CORFU_PID=""
+MYCONOS_PID=""
+# Any failure below must not orphan the daemons (they would otherwise
+# hold their ports and linger past the CI run).
+cleanup_smoke() {
+  for pid in ${CORFU_PID} ${MYCONOS_PID}; do
+    kill "${pid}" 2>/dev/null || true
+  done
+  rm -rf "${SMOKE_DIR}"
+}
+trap cleanup_smoke EXIT
 ./build/examples/qtrade_node --node office_Corfu --listen 0 \
   >"${SMOKE_DIR}/corfu.out" &
 CORFU_PID=$!
@@ -72,18 +83,28 @@ MYCONOS_PORT="$(awk '/LISTENING/{print $2}' "${SMOKE_DIR}/myconos.out")"
 ./build/examples/qtrade_node --optimize motivating --inproc \
   >"${SMOKE_DIR}/inproc.out"
 wait "${CORFU_PID}" "${MYCONOS_PID}"
+CORFU_PID=""
+MYCONOS_PID=""
 diff "${SMOKE_DIR}/peers.out" "${SMOKE_DIR}/inproc.out"
+trap - EXIT
 rm -rf "${SMOKE_DIR}"
 echo "loopback TCP smoke: RESULT blocks identical"
+
+# Fault-tolerance smoke: bounded prefix of the systematic fault-schedule
+# space, recovery on vs off (the bench exits non-zero unless recovery-on
+# completes every schedule and recovery-off fails somewhere).
+echo "== fault recovery smoke"
+./build/bench/bench_recovery --smoke --max-schedules=64
 
 if [[ "${TSAN:-0}" == "1" ]]; then
   cmake -B build-tsan -S . -DQTRADE_TSAN=ON
   cmake --build build-tsan -j "${JOBS}" --target \
     trading_test subcontract_test transport_fault_test offer_cache_test \
-    obs_test codec_test codec_fuzz_test transport_conformance_test
+    obs_test codec_test codec_fuzz_test transport_conformance_test \
+    fault_schedule_test
   for t in trading_test subcontract_test transport_fault_test \
            offer_cache_test obs_test codec_test codec_fuzz_test \
-           transport_conformance_test; do
+           transport_conformance_test fault_schedule_test; do
     echo "== tsan: ${t}"
     ./build-tsan/tests/"${t}"
   done

@@ -185,22 +185,43 @@ Result<RowSet> Federation::ExecuteCentralized(const std::string& sql) {
 
 Result<RowSet> Federation::ExecuteDistributed(const std::string& buyer_node,
                                               const PlanPtr& plan) {
+  return ExecuteDistributed(buyer_node, plan, nullptr);
+}
+
+Result<RowSet> Federation::ExecuteDistributed(const std::string& buyer_node,
+                                              const PlanPtr& plan,
+                                              DeliveryFailure* failure) {
   FederationNode* buyer = node(buyer_node);
   if (buyer == nullptr) {
     return Status::NotFound("unknown node: " + buyer_node);
   }
   ExecutionContext ctx;
   ctx.store = buyer->store.get();
+  // Records the first failed delivery for the caller's award recovery
+  // before propagating the error up through the executor.
+  auto fail = [&](const PlanNode& remote, Status status) -> Status {
+    if (failure != nullptr && !failure->failed()) {
+      failure->seller = remote.remote_node;
+      failure->offer_id = remote.offer_id;
+      failure->status = status;
+    }
+    return status;
+  };
   ctx.remote_resolver = [&](const PlanNode& remote) -> Result<RowSet> {
     FederationNode* seller_node = node(remote.remote_node);
     if (seller_node == nullptr) {
-      return Status::NotFound("seller node vanished: " + remote.remote_node);
+      return fail(remote, Status::NotFound("seller node vanished: " +
+                                           remote.remote_node));
     }
-    QTRADE_ASSIGN_OR_RETURN(RowSet rows,
-                            seller_node->seller->ExecuteOffer(
-                                remote.offer_id));
+    if (delivery_interceptor_) {
+      Status verdict =
+          delivery_interceptor_(remote.remote_node, remote.offer_id);
+      if (!verdict.ok()) return fail(remote, std::move(verdict));
+    }
+    auto rows = seller_node->seller->ExecuteOffer(remote.offer_id);
+    if (!rows.ok()) return fail(remote, rows.status());
     int64_t payload = static_cast<int64_t>(
-        rows.rows.size() * std::max(16.0, remote.row_bytes));
+        rows->rows.size() * std::max(16.0, remote.row_bytes));
     double t = network_.Send(remote.remote_node, buyer_node, payload, "data");
     network_.AdvanceClock(t);
     return rows;

@@ -6,6 +6,7 @@
 #ifndef QTRADE_CORE_FEDERATION_H_
 #define QTRADE_CORE_FEDERATION_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -28,6 +29,24 @@ struct FederationNode {
   std::unique_ptr<TableStore> store;
   std::unique_ptr<SellerEngine> seller;
 };
+
+/// First award delivery that failed during ExecuteDistributed: which
+/// seller could not ship which sold answer, and why. Fed into the
+/// facade's award recovery (re-award / scoped replan).
+struct DeliveryFailure {
+  std::string seller;
+  std::string offer_id;
+  Status status;
+
+  bool failed() const { return !status.ok(); }
+};
+
+/// Simulation hook consulted before every remote answer delivery: a
+/// non-OK status makes that delivery fail (the seller "died" between
+/// award and shipping). Never invoked for plans without remote leaves.
+using DeliveryInterceptor =
+    std::function<Status(const std::string& seller,
+                         const std::string& offer_id)>;
 
 class Federation {
  public:
@@ -98,6 +117,21 @@ class Federation {
   Result<RowSet> ExecuteDistributed(const std::string& buyer_node,
                                     const PlanPtr& plan);
 
+  /// Like above, but additionally reports the first failed award
+  /// delivery through `failure` (seller vanished, seller execution
+  /// error, or a delivery interceptor veto) so callers can recover
+  /// instead of just surfacing the error. `failure` may be null.
+  Result<RowSet> ExecuteDistributed(const std::string& buyer_node,
+                                    const PlanPtr& plan,
+                                    DeliveryFailure* failure);
+
+  /// Installs (or clears, with nullptr) the fault-injection hook for
+  /// remote answer deliveries. Used by sim/ to model sellers that die
+  /// between winning an award and shipping the answer.
+  void SetDeliveryInterceptor(DeliveryInterceptor interceptor) {
+    delivery_interceptor_ = std::move(interceptor);
+  }
+
  private:
   /// A TableResolver reading one replica of every partition.
   TableResolver CentralizedResolver();
@@ -109,6 +143,7 @@ class Federation {
   InProcessTransport transport_;  // after network_: it wraps it
   GlobalCatalog global_;
   std::map<std::string, FederationNode> nodes_;
+  DeliveryInterceptor delivery_interceptor_;
 };
 
 }  // namespace qtrade

@@ -1,6 +1,10 @@
 #include "core/qt_optimizer.h"
 
+#include <limits>
 #include <set>
+#include <utility>
+
+#include "sql/ast.h"
 
 namespace qtrade {
 
@@ -16,6 +20,38 @@ OfferCacheStats SumCacheStats(const std::vector<SellerEngine*>& sellers) {
     sum.invalidations += s.invalidations;
   }
   return sum;
+}
+
+/// Copy-on-path rebuild of the immutable plan tree: the one kRemote leaf
+/// buying `failed_offer_id` is replaced by a leaf buying `substitute`;
+/// untouched subtrees are shared with the original plan.
+PlanPtr PatchRemoteLeaf(const PlanPtr& node,
+                        const std::string& failed_offer_id,
+                        const Offer& substitute) {
+  if (node == nullptr) return node;
+  if (node->kind == PlanKind::kRemote &&
+      node->offer_id == failed_offer_id) {
+    auto patched = std::make_shared<PlanNode>(*node);
+    patched->remote_node = substitute.seller;
+    patched->offer_id = substitute.offer_id;
+    patched->remote_sql = sql::ToSql(substitute.query);
+    patched->rows = static_cast<double>(substitute.props.rows);
+    if (substitute.row_bytes > 0) patched->row_bytes = substitute.row_bytes;
+    patched->cost = substitute.props.total_time_ms;
+    return patched;
+  }
+  bool changed = false;
+  std::vector<PlanPtr> children;
+  children.reserve(node->children.size());
+  for (const PlanPtr& child : node->children) {
+    PlanPtr rebuilt = PatchRemoteLeaf(child, failed_offer_id, substitute);
+    changed = changed || rebuilt != child;
+    children.push_back(std::move(rebuilt));
+  }
+  if (!changed) return node;
+  auto copy = std::make_shared<PlanNode>(*node);
+  copy->children = std::move(children);
+  return copy;
 }
 }  // namespace
 
@@ -57,6 +93,22 @@ QueryTradingOptimizer::QueryTradingOptimizer(Federation* federation,
     transport_ = tcp_transport_.get();
     sellers = tcp_transport_->NodeNames();  // fed nodes + peers, sorted
   }
+  if (options_.transport_override != nullptr) {
+    // Simulation hook (fault-schedule explorer): the caller supplies a
+    // fully wired transport; the trader directory is whatever it can
+    // reach.
+    transport_ = options_.transport_override;
+    sellers = transport_->NodeNames();
+  }
+  if (options_.resilience.enabled) {
+    // The fault-tolerance decorator wraps WHATEVER transport is active —
+    // in-process, a faulty stack, the scripted sim transport, or TCP —
+    // one retry/breaker policy for all of them.
+    resilient_ = std::make_unique<ResilientTransport>(transport_,
+                                                      options_.resilience);
+    transport_ = resilient_.get();
+  }
+  sellers_ = sellers;
   engine_ = std::make_unique<BuyerEngine>(
       buyer != nullptr ? buyer->catalog.get() : nullptr,
       &federation_->factory(), transport_, sellers, options_);
@@ -122,8 +174,10 @@ Result<QtResult> QueryTradingOptimizer::Optimize(const std::string& sql) {
     return Status::NotFound("buyer node not in federation: " + buyer_node_);
   }
   // Seller caches persist across runs (that is the point); report this
-  // run's activity as a before/after delta.
+  // run's activity as a before/after delta. Resilience stats likewise.
   const OfferCacheStats before = SumCacheStats(federation_->Sellers());
+  const ResilienceStats res_before =
+      resilient_ != nullptr ? resilient_->stats() : ResilienceStats{};
   QTRADE_ASSIGN_OR_RETURN(QtResult result, engine_->Optimize(sql));
   const OfferCacheStats after = SumCacheStats(federation_->Sellers());
   result.metrics.cache_hits = after.hits - before.hits;
@@ -131,15 +185,175 @@ Result<QtResult> QueryTradingOptimizer::Optimize(const std::string& sql) {
   result.metrics.cache_evictions = after.evictions - before.evictions;
   result.metrics.cache_invalidations =
       after.invalidations - before.invalidations;
+  if (resilient_ != nullptr) {
+    const ResilienceStats res = resilient_->stats();
+    result.metrics.retries = (res.rfb_retries + res.tick_retries) -
+                             (res_before.rfb_retries +
+                              res_before.tick_retries);
+    result.metrics.retries_exhausted =
+        res.retries_exhausted - res_before.retries_exhausted;
+    result.metrics.breaker_trips =
+        res.breaker_trips - res_before.breaker_trips;
+    result.metrics.breaker_probes =
+        res.breaker_probes - res_before.breaker_probes;
+    result.metrics.breaker_short_circuits =
+        res.breaker_short_circuits - res_before.breaker_short_circuits;
+  }
   FlushObservability();
   return result;
 }
 
-Result<RowSet> QueryTradingOptimizer::Execute(const QtResult& result) {
+bool QueryTradingOptimizer::ReawardPlan(
+    QtResult& result, const DeliveryFailure& failed,
+    const std::set<std::string>& failed_offers,
+    const std::set<std::string>& failed_sellers) {
+  if (!options_.recovery.reaward) return false;
+  // Identify the lost commodity: the pool entry the failed leaf bought.
+  const Offer* lost = nullptr;
+  for (const Offer& offer : result.offer_pool) {
+    if (offer.offer_id == failed.offer_id) {
+      lost = &offer;
+      break;
+    }
+  }
+  if (lost == nullptr) return false;
+  // Next-ranked substitute: the same commodity — same traded query, same
+  // coverage signature, same offer kind (plug-compatible schema and
+  // post-processing) — from a seller that has not failed, best score
+  // first (§3.1 weighting, smaller is better).
+  const std::string signature = lost->CoverageSignature();
+  const Offer* substitute = nullptr;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (const Offer& offer : result.offer_pool) {
+    if (offer.rfb_id != lost->rfb_id || offer.kind != lost->kind) continue;
+    if (failed_offers.count(offer.offer_id) > 0 ||
+        failed_sellers.count(offer.seller) > 0) {
+      continue;
+    }
+    if (offer.CoverageSignature() != signature) continue;
+    const double score = options_.valuation.Score(offer.props);
+    if (substitute == nullptr || score < best_score) {
+      substitute = &offer;
+      best_score = score;
+    }
+  }
+  if (substitute == nullptr) return false;
+  result.plan = PatchRemoteLeaf(result.plan, failed.offer_id, *substitute);
+  for (Offer& offer : result.winning_offers) {
+    if (offer.offer_id == failed.offer_id) {
+      offer = *substitute;
+      break;
+    }
+  }
+  ++result.metrics.reawards;
+  if (metrics_ != nullptr) {
+    metrics_->counter("recovery." + buyer_node_ + ".reaward")->Increment();
+  }
+  if (obs::Tracer::Active(tracer_)) {
+    obs::Span instant = tracer_->StartInstant("reaward", {});
+    instant.Node(buyer_node_);
+    instant.Attr("failed_offer", failed.offer_id);
+    instant.Attr("substitute", substitute->offer_id);
+  }
+  return true;
+}
+
+Status QueryTradingOptimizer::Replan(
+    QtResult& result, const std::set<std::string>& failed_sellers,
+    int replan_ordinal) {
+  if (result.sql.empty()) {
+    return Status::InvalidArgument("result carries no SQL to replan");
+  }
+  std::vector<std::string> directory;
+  for (const std::string& name : sellers_) {
+    if (failed_sellers.count(name) == 0) directory.push_back(name);
+  }
+  if (directory.empty()) {
+    return Status::NoPlanFound("every seller failed; nothing to replan with");
+  }
+  FederationNode* buyer = federation_->node(buyer_node_);
+  QtOptions scoped = options_;
+  if (!scoped.run_label.empty()) {
+    // Distinct RFB ids from the original negotiation (idempotent ids are
+    // per run_label): sellers must mint fresh offer records.
+    scoped.run_label += "+reroute" + std::to_string(replan_ordinal);
+  }
+  BuyerEngine engine(buyer != nullptr ? buyer->catalog.get() : nullptr,
+                     &federation_->factory(), transport_, directory, scoped);
+  engine.SetObservability(tracer_, metrics_);
+  QTRADE_ASSIGN_OR_RETURN(QtResult replanned, engine.Optimize(result.sql));
+  if (!replanned.ok()) {
+    return Status::NoPlanFound(
+        "scoped replan without failed sellers found no plan");
+  }
+  // The recovery negotiation's traffic is part of this run's price.
+  result.plan = replanned.plan;
+  result.cost = replanned.cost;
+  result.winning_offers = std::move(replanned.winning_offers);
+  result.offer_pool = std::move(replanned.offer_pool);
+  result.metrics.messages += replanned.metrics.messages;
+  result.metrics.bytes += replanned.metrics.bytes;
+  result.metrics.rfbs_sent += replanned.metrics.rfbs_sent;
+  result.metrics.offers_received += replanned.metrics.offers_received;
+  result.metrics.awards_sent += replanned.metrics.awards_sent;
+  result.metrics.offers_dropped += replanned.metrics.offers_dropped;
+  result.metrics.offers_late += replanned.metrics.offers_late;
+  result.metrics.offers_duplicated += replanned.metrics.offers_duplicated;
+  ++result.metrics.reroutes;
+  if (metrics_ != nullptr) {
+    metrics_->counter("recovery." + buyer_node_ + ".reroute")->Increment();
+  }
+  if (obs::Tracer::Active(tracer_)) {
+    obs::Span instant = tracer_->StartInstant("reroute", {});
+    instant.Node(buyer_node_);
+    instant.Attr("excluded",
+                 static_cast<int64_t>(failed_sellers.size()));
+  }
+  return Status::OK();
+}
+
+Result<RowSet> QueryTradingOptimizer::Execute(QtResult& result) {
   if (!result.ok()) {
     return Status::NoPlanFound("optimization produced no plan");
   }
-  return federation_->ExecuteDistributed(buyer_node_, result.plan);
+  std::set<std::string> failed_offers;
+  std::set<std::string> failed_sellers;
+  int replans_used = 0;
+  while (true) {
+    DeliveryFailure failure;
+    auto rows =
+        federation_->ExecuteDistributed(buyer_node_, result.plan, &failure);
+    if (rows.ok()) return rows;
+    if (!failure.failed()) return rows;  // not a delivery fault: surface it
+    ++result.metrics.deliveries_failed;
+    if (metrics_ != nullptr) {
+      metrics_->counter("recovery." + buyer_node_ + ".delivery_failed")
+          ->Increment();
+    }
+    failed_offers.insert(failure.offer_id);
+    failed_sellers.insert(failure.seller);
+    // First choice: patch the plan onto the next-ranked equivalent offer
+    // (no renegotiation, no new messages).
+    if (ReawardPlan(result, failure, failed_offers, failed_sellers)) {
+      continue;
+    }
+    // No substitute commodity in the pool: renegotiate without the
+    // sellers that failed, within the replan budget.
+    if (replans_used < options_.recovery.max_replans) {
+      ++replans_used;
+      if (Replan(result, failed_sellers, replans_used).ok()) {
+        // Fresh pool, fresh offer ids; stale failure ids are meaningless.
+        failed_offers.clear();
+        continue;
+      }
+    }
+    return rows.status();  // recovery exhausted
+  }
+}
+
+Result<RowSet> QueryTradingOptimizer::Execute(const QtResult& result) {
+  QtResult scratch = result;
+  return Execute(scratch);
 }
 
 Result<RowSet> QueryTradingOptimizer::Run(const std::string& sql) {

@@ -12,9 +12,12 @@
 #define QTRADE_CORE_QT_OPTIMIZER_H_
 
 #include <memory>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "core/federation.h"
+#include "net/resilient.h"
 #include "net/tcp_transport.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -35,6 +38,16 @@ class QueryTradingOptimizer {
 
   /// Ships the winning plan: sellers execute their sold answers, the
   /// buyer combines them. Answer rows, with network traffic accounted.
+  ///
+  /// Award recovery (QtOptions::recovery): when an awarded seller fails
+  /// before delivering, the failed plan leaf is re-awarded to the
+  /// next-ranked offer of the same commodity from a healthy seller, or —
+  /// when no substitute exists — a scoped negotiation re-runs without
+  /// the failed sellers. `result` is updated in place (patched plan,
+  /// winning offers, reawards/reroutes/deliveries_failed metrics).
+  Result<RowSet> Execute(QtResult& result);
+  /// Const convenience overload: recovery still runs, but against a
+  /// private copy — the caller's result is left untouched.
   Result<RowSet> Execute(const QtResult& result);
 
   /// Optimize + Execute in one call.
@@ -63,11 +76,27 @@ class QueryTradingOptimizer {
   /// Non-null only when remote peers are configured (ping/shutdown of
   /// the peer daemons; see examples/qtrade_node.cpp).
   TcpTransport* tcp_transport() { return tcp_transport_.get(); }
+  /// The fault-tolerance decorator wrapping the active transport; null
+  /// when QtOptions::resilience.enabled is false.
+  ResilientTransport* resilient_transport() { return resilient_.get(); }
 
  private:
   /// Pushes the active handles into the buyer engine, every federation
   /// seller and the transport (mirrors the offer-cache knob fan-out).
   void WireObservability();
+  /// Patches the plan leaf bought from `failed.seller` onto the
+  /// next-ranked offer of the same (rfb, coverage signature, kind) whose
+  /// seller is not in `failed_sellers`. Returns false when no substitute
+  /// offer exists in the result's pool.
+  bool ReawardPlan(QtResult& result, const DeliveryFailure& failed,
+                   const std::set<std::string>& failed_offers,
+                   const std::set<std::string>& failed_sellers);
+  /// Scoped re-negotiation: re-runs Optimize over the same transport
+  /// with `failed_sellers` removed from the trader directory, swapping
+  /// the result's plan/pool on success.
+  Status Replan(QtResult& result,
+                const std::set<std::string>& failed_sellers,
+                int replan_ordinal);
   /// Refreshes derived gauges (per-seller cache hit ratios) and writes
   /// the configured trace/metrics files after an Optimize.
   void FlushObservability();
@@ -78,7 +107,13 @@ class QueryTradingOptimizer {
   /// Owned socket transport when remote_peers is non-empty: federation
   /// sellers registered as local endpoints, peers dialed over TCP.
   std::unique_ptr<TcpTransport> tcp_transport_;
+  /// Owned fault-tolerance decorator around the active transport
+  /// (QtOptions::resilience); transport_ points at it when enabled.
+  std::unique_ptr<ResilientTransport> resilient_;
   Transport* transport_ = nullptr;
+  /// The buyer's trader directory (recovery shrinks a copy of it when
+  /// sellers fail at delivery time).
+  std::vector<std::string> sellers_;
   std::unique_ptr<BuyerEngine> engine_;
   /// Facade-owned instances when QtOptions::obs asks for output files.
   std::unique_ptr<obs::Tracer> owned_tracer_;

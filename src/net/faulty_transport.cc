@@ -55,8 +55,20 @@ FaultStats FaultyTransport::stats() const {
 }
 
 Rng FaultyTransport::DecisionRng(const std::string& key) const {
+  uint64_t occurrence;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    occurrence = deliveries_[key]++;
+  }
   uint64_t h = std::hash<std::string>{}(key);
-  return Rng(options_.seed * 0x9E3779B97F4A7C15ULL ^ h);
+  uint64_t state = options_.seed * 0x9E3779B97F4A7C15ULL ^ h;
+  if (occurrence > 0) {
+    // A re-delivery of the same message (retry): perturb the seed so the
+    // retry draws an independent decision. occurrence 0 keeps the
+    // historical per-key stream bit for bit.
+    state = (state + occurrence) * 0x9E3779B97F4A7C15ULL;
+  }
+  return Rng(state);
 }
 
 std::vector<OfferReply> FaultyTransport::BroadcastRfb(

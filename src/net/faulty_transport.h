@@ -7,7 +7,13 @@
 // Determinism: every per-reply decision is drawn from an Rng seeded by
 // hash(seed, rfb_id, seller), never from a shared sequential stream, so
 // outcomes are identical across runs regardless of how the inner
-// transport schedules its worker threads.
+// transport schedules its worker threads. Re-deliveries of the SAME
+// message (a retry layer above, e.g. net/resilient.h, re-sending after
+// a drop) fold a per-key occurrence counter into the seed: the first
+// delivery reproduces the historical decision stream exactly, while
+// each retry faces an independent fresh decision — without this, a
+// deterministically dropped message would be dropped on every retry and
+// retries could never succeed.
 //
 // Loopback traffic (from == to) is never faulted: a node's messages to
 // itself do not cross the network, so self-supplied offers survive even
@@ -16,6 +22,8 @@
 #define QTRADE_NET_FAULTY_TRANSPORT_H_
 
 #include <atomic>
+#include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -79,8 +87,9 @@ class FaultyTransport : public Transport {
   const FaultOptions& options() const { return options_; }
 
  private:
-  /// Fresh decision stream for one message, derived from the fault seed
-  /// and the message identity (thread-safe, order-independent).
+  /// Fresh decision stream for one message, derived from the fault seed,
+  /// the message identity and how many times this identity has been
+  /// delivered before (thread-safe, order-independent across keys).
   Rng DecisionRng(const std::string& key) const;
 
   /// Records one injected fault against `node` (see SetObservability).
@@ -89,8 +98,10 @@ class FaultyTransport : public Transport {
 
   Transport* inner_;
   FaultOptions options_;
-  mutable std::mutex mu_;  // guards stats_ (broadcasts may be nested)
+  mutable std::mutex mu_;  // guards stats_ + deliveries_ (nested casts)
   FaultStats stats_;
+  /// Times each message identity has been delivered (retry detection).
+  mutable std::map<std::string, uint64_t> deliveries_;
   std::atomic<obs::Tracer*> tracer_{nullptr};
   std::atomic<obs::MetricsRegistry*> metrics_{nullptr};
 };

@@ -1,0 +1,367 @@
+#include "net/resilient.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+namespace qtrade {
+
+ResilientTransport::ResilientTransport(Transport* inner,
+                                       ResilienceOptions options)
+    : inner_(inner), options_(options) {}
+
+void ResilientTransport::Register(NodeEndpoint* endpoint) {
+  inner_->Register(endpoint);
+}
+
+NodeEndpoint* ResilientTransport::endpoint(const std::string& name) const {
+  return inner_->endpoint(name);
+}
+
+std::vector<std::string> ResilientTransport::NodeNames() const {
+  return inner_->NodeNames();
+}
+
+void ResilientTransport::AdvanceRound(double ms) {
+  inner_->AdvanceRound(ms);
+}
+
+SimNetwork* ResilientTransport::network() { return inner_->network(); }
+
+void ResilientTransport::SetObservability(obs::Tracer* tracer,
+                                          obs::MetricsRegistry* metrics) {
+  tracer_.store(tracer, std::memory_order_relaxed);
+  metrics_.store(metrics, std::memory_order_relaxed);
+  inner_->SetObservability(tracer, metrics);
+}
+
+ResilienceStats ResilientTransport::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::string ResilientTransport::BreakerState(const std::string& peer) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = health_.find(peer);
+  if (it == health_.end()) return "closed";
+  switch (it->second.state) {
+    case Circuit::kClosed:
+      return "closed";
+    case Circuit::kOpen:
+      return "open";
+    case Circuit::kHalfOpen:
+      return "half_open";
+  }
+  return "closed";
+}
+
+double ResilientTransport::VirtualNowMs() const {
+  SimNetwork* network = inner_->network();
+  return network != nullptr ? network->now_ms() : 0;
+}
+
+void ResilientTransport::ObserveRetry(const char* kind,
+                                      const std::string& node,
+                                      obs::SpanRef parent) {
+  if (obs::MetricsRegistry* metrics =
+          metrics_.load(std::memory_order_relaxed)) {
+    metrics->counter("retry." + node + "." + kind)->Increment();
+  }
+  obs::Tracer* tracer = tracer_.load(std::memory_order_relaxed);
+  if (obs::Tracer::Active(tracer)) {
+    obs::Span instant =
+        tracer->StartInstant(std::string("retry[") + kind + "]", parent);
+    instant.Node(node);
+  }
+}
+
+void ResilientTransport::ObserveBreaker(const char* event,
+                                        const std::string& node,
+                                        obs::SpanRef parent) {
+  if (obs::MetricsRegistry* metrics =
+          metrics_.load(std::memory_order_relaxed)) {
+    metrics->counter("breaker." + node + "." + event)->Increment();
+  }
+  obs::Tracer* tracer = tracer_.load(std::memory_order_relaxed);
+  if (obs::Tracer::Active(tracer)) {
+    obs::Span instant =
+        tracer->StartInstant(std::string("breaker[") + event + "]", parent);
+    instant.Node(node);
+  }
+}
+
+bool ResilientTransport::Admit(const std::string& from,
+                               const std::string& peer,
+                               obs::SpanRef parent) {
+  if (!options_.enabled || peer == from) return true;
+  const double now = VirtualNowMs();
+  const char* event = nullptr;
+  bool admitted = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PeerHealth& health = health_[peer];
+    switch (health.state) {
+      case Circuit::kClosed:
+        break;
+      case Circuit::kHalfOpen:
+        // A probe is already in flight (or its outcome has not been fed
+        // back yet); further traffic may ride along — it carries the
+        // same risk and the same information.
+        break;
+      case Circuit::kOpen:
+        if (now - health.opened_at_ms >= options_.breaker.open_ms) {
+          health.state = Circuit::kHalfOpen;
+          ++stats_.breaker_probes;
+          event = "probe";
+        } else {
+          ++stats_.breaker_short_circuits;
+          event = "short_circuit";
+          admitted = false;
+        }
+        break;
+    }
+  }
+  if (event != nullptr) ObserveBreaker(event, peer, parent);
+  return admitted;
+}
+
+bool ResilientTransport::WouldShortCircuit(const std::string& from,
+                                           const std::string& peer) const {
+  if (!options_.enabled || peer == from) return false;
+  const double now = VirtualNowMs();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = health_.find(peer);
+  if (it == health_.end() || it->second.state != Circuit::kOpen) {
+    return false;
+  }
+  return now - it->second.opened_at_ms < options_.breaker.open_ms;
+}
+
+void ResilientTransport::RecordOutcome(const std::string& from,
+                                       const std::string& peer,
+                                       bool success, obs::SpanRef parent) {
+  if (!options_.enabled || peer == from) return;
+  const double now = VirtualNowMs();
+  const char* event = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PeerHealth& health = health_[peer];
+    if (success) {
+      health.consecutive_failures = 0;
+      if (health.state != Circuit::kClosed) {
+        health.state = Circuit::kClosed;
+        ++stats_.breaker_closes;
+        event = "close";
+      }
+    } else {
+      ++health.consecutive_failures;
+      const bool probe_failed = health.state == Circuit::kHalfOpen;
+      if (probe_failed || (health.state == Circuit::kClosed &&
+                           health.consecutive_failures >=
+                               options_.breaker.trip_after)) {
+        health.state = Circuit::kOpen;
+        health.opened_at_ms = now;
+        ++stats_.breaker_trips;
+        event = "trip";
+      }
+    }
+  }
+  if (event != nullptr) ObserveBreaker(event, peer, parent);
+}
+
+double ResilientTransport::BackoffMs(const std::string& key,
+                                     int attempt) const {
+  const RetryPolicy& policy = options_.retry;
+  double backoff =
+      policy.base_backoff_ms * std::pow(2.0, std::max(0, attempt - 2));
+  backoff = std::min(backoff, policy.max_backoff_ms);
+  if (policy.jitter <= 0) return backoff;
+  // Keyed per (message, attempt): order-independent across peers and
+  // identical across runs and transports.
+  const uint64_t h =
+      std::hash<std::string>{}(key + "#" + std::to_string(attempt));
+  Rng rng(options_.seed * 0x9E3779B97F4A7C15ULL ^ h);
+  const double unit = rng.UniformReal(-1.0, 1.0);
+  return std::max(0.0, backoff * (1.0 + policy.jitter * unit));
+}
+
+std::vector<OfferReply> ResilientTransport::BroadcastRfb(
+    const std::string& from, const Rfb& rfb,
+    const std::vector<std::string>& to, const char* rfb_kind,
+    const char* offer_kind) {
+  if (!options_.enabled) {
+    return inner_->BroadcastRfb(from, rfb, to, rfb_kind, offer_kind);
+  }
+  const obs::SpanRef rfb_span{rfb.trace_parent, rfb.trace_round};
+
+  // Breaker gate: open-circuit peers are not contacted at all; the buyer
+  // sees a synthesized dropped reply and degrades exactly as if the
+  // message had been lost (no bytes charged — nothing was sent).
+  std::vector<std::string> admitted;
+  std::vector<OfferReply> suppressed;
+  admitted.reserve(to.size());
+  for (const std::string& name : to) {
+    if (!Admit(from, name, rfb_span)) {
+      OfferReply reply;
+      reply.seller = name;
+      reply.dropped = true;
+      suppressed.push_back(std::move(reply));
+      continue;
+    }
+    admitted.push_back(name);
+  }
+
+  std::vector<OfferReply> out;
+  if (!admitted.empty()) {
+    out = inner_->BroadcastRfb(from, rfb, admitted, rfb_kind, offer_kind);
+  }
+
+  // One primary (non-duplicate) reply per admitted target; duplicates
+  // only ever get appended, so positions stay stable.
+  std::map<std::string, size_t> primary;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (!out[i].duplicated) primary[out[i].seller] = i;
+  }
+  for (const auto& [seller, index] : primary) {
+    // A decline (ok=false) means the peer answered: breaker success.
+    RecordOutcome(from, seller, !out[index].dropped, rfb_span);
+  }
+
+  std::vector<std::string> exhausted;
+  for (int attempt = 2; attempt <= options_.retry.max_attempts; ++attempt) {
+    std::vector<std::string> retry_to;
+    for (const auto& [seller, index] : primary) {
+      if (seller == from || !out[index].dropped) continue;
+      if (!Admit(from, seller, rfb_span)) continue;  // tripped meanwhile
+      retry_to.push_back(seller);
+    }
+    if (retry_to.empty()) break;
+    for (const std::string& seller : retry_to) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.rfb_retries;
+      }
+      ObserveRetry(rfb_kind, seller, rfb_span);
+    }
+    // Re-broadcasting the same RFB is idempotent: sellers derive offer
+    // ids deterministically from (rfb_id, seq), so a retried reply
+    // carries the same commodity the lost one did.
+    std::vector<OfferReply> again =
+        inner_->BroadcastRfb(from, rfb, retry_to, rfb_kind, offer_kind);
+    std::vector<OfferReply> extra_duplicates;
+    for (OfferReply& reply : again) {
+      auto it = primary.find(reply.seller);
+      if (it == primary.end()) continue;
+      const double wait =
+          BackoffMs(rfb.rfb_id + "|" + reply.seller, attempt);
+      const double previous_arrival = out[it->second].arrival_ms;
+      if (reply.duplicated) {
+        reply.arrival_ms += previous_arrival + wait;
+        extra_duplicates.push_back(std::move(reply));
+        continue;
+      }
+      // The retried reply lands after the original attempt's (lost)
+      // round trip plus the backoff wait — all simulated time, feeding
+      // the buyer's deadline policy.
+      reply.arrival_ms += previous_arrival + wait;
+      RecordOutcome(from, reply.seller, !reply.dropped, rfb_span);
+      out[it->second] = std::move(reply);
+    }
+    for (OfferReply& duplicate : extra_duplicates) {
+      out.push_back(std::move(duplicate));
+    }
+  }
+  if (options_.retry.max_attempts > 1) {
+    int64_t still_dropped = 0;
+    for (const auto& [seller, index] : primary) {
+      if (seller != from && out[index].dropped) ++still_dropped;
+    }
+    if (still_dropped > 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.retries_exhausted += still_dropped;
+    }
+  }
+  for (OfferReply& reply : suppressed) {
+    out.push_back(std::move(reply));
+  }
+  return out;
+}
+
+template <typename SendFn>
+TickReply ResilientTransport::RetryTick(const char* kind,
+                                        const std::string& key,
+                                        const std::string& from,
+                                        const std::string& to,
+                                        int64_t* retry_counter,
+                                        const SendFn& send) {
+  if (!Admit(from, to, {})) {
+    TickReply reply;
+    reply.dropped = true;
+    return reply;
+  }
+  TickReply reply = send();
+  if (to == from) return reply;
+  RecordOutcome(from, to, !reply.dropped, {});
+  double elapsed = reply.elapsed_ms;
+  for (int attempt = 2;
+       reply.dropped && attempt <= options_.retry.max_attempts; ++attempt) {
+    if (!Admit(from, to, {})) break;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++*retry_counter;
+    }
+    ObserveRetry(kind, to, {});
+    const double wait = BackoffMs(key, attempt);
+    TickReply again = send();
+    RecordOutcome(from, to, !again.dropped, {});
+    elapsed += wait + again.elapsed_ms;
+    reply = std::move(again);
+    reply.elapsed_ms = elapsed;
+  }
+  if (reply.dropped && options_.retry.max_attempts > 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.retries_exhausted;
+  }
+  return reply;
+}
+
+TickReply ResilientTransport::SendAuctionTick(const std::string& from,
+                                              const std::string& to,
+                                              const AuctionTick& tick) {
+  if (!options_.enabled) return inner_->SendAuctionTick(from, to, tick);
+  const std::string key =
+      "auction|" + tick.rfb_id + "|" + tick.signature + "|" + to;
+  return RetryTick("auction_tick", key, from, to, &stats_.tick_retries,
+                   [&] { return inner_->SendAuctionTick(from, to, tick); });
+}
+
+TickReply ResilientTransport::SendCounterOffer(const std::string& from,
+                                               const std::string& to,
+                                               const CounterOffer& counter) {
+  if (!options_.enabled) return inner_->SendCounterOffer(from, to, counter);
+  const std::string key =
+      "bargain|" + counter.rfb_id + "|" + counter.signature + "|" + to;
+  return RetryTick("counter_offer", key, from, to, &stats_.tick_retries,
+                   [&] {
+                     return inner_->SendCounterOffer(from, to, counter);
+                   });
+}
+
+double ResilientTransport::SendAwards(const std::string& from,
+                                      const std::string& to,
+                                      const AwardBatch& batch) {
+  // No reply means no retry signal; but a peer behind an open circuit is
+  // presumed dead, so the (unobservable anyway) award is suppressed
+  // rather than charged to the network.
+  if (WouldShortCircuit(from, to)) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.breaker_short_circuits;
+    }
+    ObserveBreaker("short_circuit", to, {});
+    return 0;
+  }
+  return inner_->SendAwards(from, to, batch);
+}
+
+}  // namespace qtrade

@@ -1,0 +1,177 @@
+// Fault-tolerance Transport decorator: per-peer retry with exponential
+// backoff + seeded jitter, and a per-peer health tracker / circuit
+// breaker (consecutive-failure trip, half-open probe). Wraps ANY inner
+// transport uniformly — InProcessTransport, FaultyTransport stacks, or
+// TcpTransport — so the buyer engine gets one retry policy instead of
+// ad-hoc per-transport ones.
+//
+// What counts as a failure: a reply the inner transport marks `dropped`
+// (lost in transit, connection refused, read timeout). A not-ok reply is
+// a seller DECLINING — the peer is alive and answered, so it is a
+// breaker success and is never retried. Loopback (from == to) never
+// crosses the network and is never gated or retried.
+//
+// Time: all backoff waits are simulated milliseconds added to the
+// retried reply's arrival_ms/elapsed_ms — nothing ever sleeps. The
+// breaker's open-state cool-down runs on the inner network's virtual
+// clock, which only advances when the buyer closes rounds, so breaker
+// behavior is deterministic and transport-independent.
+//
+// Awards are fire-and-forget at the Transport interface (no reply), so
+// loss is unobservable here and they are not retried; buyer-side award
+// recovery (core/qt_optimizer.h Execute) handles sellers that fail
+// after winning.
+//
+// With zero faults the decorator is byte-identical to the inner
+// transport: it acts only on dropped replies, and admission checks do
+// not touch the network.
+#ifndef QTRADE_NET_RESILIENT_H_
+#define QTRADE_NET_RESILIENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/transport.h"
+#include "util/random.h"
+
+namespace qtrade {
+
+struct RetryPolicy {
+  /// Total delivery attempts per message per peer (1 = no retries).
+  int max_attempts = 3;
+  /// Simulated wait before attempt 2; doubles per further attempt.
+  double base_backoff_ms = 50;
+  double max_backoff_ms = 2000;
+  /// +/- fraction of the backoff drawn from the seeded jitter stream,
+  /// de-synchronizing retries of different peers. 0 = deterministic
+  /// exponential steps only.
+  double jitter = 0.25;
+};
+
+struct BreakerPolicy {
+  /// Consecutive failures (across messages) that trip a peer's circuit.
+  int trip_after = 3;
+  /// Simulated cool-down while open; after it elapses the next message
+  /// is let through as a half-open probe.
+  double open_ms = 5000;
+};
+
+struct ResilienceOptions {
+  /// Master switch: false makes the decorator a pure pass-through (the
+  /// facade then does not even install it). Off by default so the
+  /// zero-config facade negotiates exactly as it always has — fault
+  /// tolerance is an explicit opt-in.
+  bool enabled = false;
+  RetryPolicy retry;
+  BreakerPolicy breaker;
+  /// Seed of the backoff-jitter stream (keyed per message + attempt, so
+  /// decisions are order-independent and reproducible).
+  uint64_t seed = 17;
+};
+
+struct ResilienceStats {
+  int64_t rfb_retries = 0;       // re-broadcasts of a dropped RFB reply
+  int64_t tick_retries = 0;      // re-sends of a dropped tick/counter
+  int64_t retries_exhausted = 0; // still dropped after max_attempts
+  int64_t breaker_trips = 0;     // closed/half-open -> open transitions
+  int64_t breaker_probes = 0;    // open -> half-open probe admissions
+  int64_t breaker_short_circuits = 0;  // sends suppressed while open
+  int64_t breaker_closes = 0;    // half-open -> closed recoveries
+};
+
+class ResilientTransport : public Transport {
+ public:
+  explicit ResilientTransport(Transport* inner,
+                              ResilienceOptions options = {});
+
+  void Register(NodeEndpoint* endpoint) override;
+  NodeEndpoint* endpoint(const std::string& name) const override;
+  std::vector<std::string> NodeNames() const override;
+
+  std::vector<OfferReply> BroadcastRfb(const std::string& from,
+                                       const Rfb& rfb,
+                                       const std::vector<std::string>& to,
+                                       const char* rfb_kind = "rfb",
+                                       const char* offer_kind =
+                                           "offer") override;
+  TickReply SendAuctionTick(const std::string& from, const std::string& to,
+                            const AuctionTick& tick) override;
+  TickReply SendCounterOffer(const std::string& from, const std::string& to,
+                             const CounterOffer& counter) override;
+  double SendAwards(const std::string& from, const std::string& to,
+                    const AwardBatch& batch) override;
+  void AdvanceRound(double ms) override;
+  SimNetwork* network() override;
+  /// Forwards to the inner transport and keeps the handles locally:
+  /// every retry emits a retry[kind] instant + retry.<node>.<kind>
+  /// counter, every breaker transition a breaker[event] instant +
+  /// breaker.<node>.<event> counter (mirrors FaultyTransport's
+  /// fault[kind] scheme).
+  void SetObservability(obs::Tracer* tracer,
+                        obs::MetricsRegistry* metrics) override;
+
+  ResilienceStats stats() const;
+  const ResilienceOptions& options() const { return options_; }
+  /// Current breaker state of one peer, for tests: "closed", "open" or
+  /// "half_open". Unknown peers are closed.
+  std::string BreakerState(const std::string& peer) const;
+
+ private:
+  enum class Circuit { kClosed, kOpen, kHalfOpen };
+
+  struct PeerHealth {
+    Circuit state = Circuit::kClosed;
+    int consecutive_failures = 0;
+    double opened_at_ms = 0;  // virtual-clock time of the last trip
+  };
+
+  /// May a message to `peer` be sent right now? Transitions open ->
+  /// half-open once the cool-down has elapsed (counting the probe);
+  /// returns false (and counts a short-circuit) while the circuit is
+  /// open. Always true for loopback and when the breaker is disabled.
+  bool Admit(const std::string& from, const std::string& peer,
+             obs::SpanRef parent);
+  /// Like Admit but without state transitions or accounting: used for
+  /// fire-and-forget awards, which give no outcome feedback.
+  bool WouldShortCircuit(const std::string& from,
+                         const std::string& peer) const;
+  /// Feeds one delivery outcome into the peer's health: failures trip
+  /// the breaker after trip_after in a row (or instantly re-trip a
+  /// half-open probe); a success closes it.
+  void RecordOutcome(const std::string& from, const std::string& peer,
+                     bool success, obs::SpanRef parent);
+
+  /// Simulated wait before `attempt` (2-based): exponential in the
+  /// attempt, clamped at max_backoff_ms, with seeded jitter keyed by
+  /// (message key, attempt).
+  double BackoffMs(const std::string& key, int attempt) const;
+
+  double VirtualNowMs() const;
+
+  /// Shared retry driver for the two unicast tick kinds.
+  template <typename SendFn>
+  TickReply RetryTick(const char* kind, const std::string& key,
+                      const std::string& from, const std::string& to,
+                      int64_t* retry_counter, const SendFn& send);
+
+  void ObserveRetry(const char* kind, const std::string& node,
+                    obs::SpanRef parent);
+  void ObserveBreaker(const char* event, const std::string& node,
+                      obs::SpanRef parent);
+
+  Transport* inner_;
+  ResilienceOptions options_;
+  mutable std::mutex mu_;  // guards stats_ and health_
+  ResilienceStats stats_;
+  std::map<std::string, PeerHealth> health_;
+  std::atomic<obs::Tracer*> tracer_{nullptr};
+  std::atomic<obs::MetricsRegistry*> metrics_{nullptr};
+};
+
+}  // namespace qtrade
+
+#endif  // QTRADE_NET_RESILIENT_H_

@@ -135,6 +135,21 @@ struct TradeMetrics {
   /// RFB-identical subqueries the buyer collapsed into one broadcast per
   /// round (always on; keeps message counts cache-independent).
   int64_t rfbs_deduped = 0;
+  /// Fault tolerance (net/resilient.h + facade award recovery):
+  /// transport-level re-sends of dropped messages, re-sends that still
+  /// came back dropped after the attempt budget, circuit-breaker trips /
+  /// half-open probes / suppressed sends, award deliveries that failed
+  /// at execution time, plan leaves patched onto the next-ranked
+  /// equivalent offer (re-awards), and scoped re-negotiations run
+  /// without the failed sellers (reroutes).
+  int64_t retries = 0;
+  int64_t retries_exhausted = 0;
+  int64_t breaker_trips = 0;
+  int64_t breaker_probes = 0;
+  int64_t breaker_short_circuits = 0;
+  int64_t deliveries_failed = 0;
+  int64_t reawards = 0;
+  int64_t reroutes = 0;
 };
 
 }  // namespace qtrade

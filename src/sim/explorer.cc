@@ -1,0 +1,339 @@
+#include "sim/explorer.h"
+
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "core/federation.h"
+#include "core/qt_optimizer.h"
+#include "plan/plan.h"
+#include "sql/parser.h"
+
+namespace qtrade {
+namespace {
+
+sql::ExprPtr Pred(const std::string& text) {
+  auto e = sql::ParseExpression(text);
+  if (!e.ok()) return nullptr;
+  return *e;
+}
+
+/// The paper's telecom schema (same partitioning as the test fixtures):
+/// customer partitioned by office, invoiceline by custid range.
+std::shared_ptr<FederationSchema> WorldSchema() {
+  auto schema = std::make_shared<FederationSchema>();
+  TableDef customer{"customer",
+                    {{"custid", TypeKind::kInt64},
+                     {"custname", TypeKind::kString},
+                     {"office", TypeKind::kString}}};
+  TableDef invoiceline{"invoiceline",
+                       {{"invid", TypeKind::kInt64},
+                        {"linenum", TypeKind::kInt64},
+                        {"custid", TypeKind::kInt64},
+                        {"charge", TypeKind::kDouble}}};
+  (void)schema->AddTable(customer, {Pred("office = 'Athens'"),
+                                    Pred("office = 'Corfu'"),
+                                    Pred("office = 'Myconos'")});
+  (void)schema->AddTable(invoiceline,
+                         {Pred("custid < 1000"),
+                          Pred("custid >= 1000 AND custid < 2000"),
+                          Pred("custid >= 2000")});
+  return schema;
+}
+
+/// Deterministic micro-data, same generator as the test fixtures:
+/// customers round-robin over the three regions, custids spread so the
+/// invoiceline range partitions are all non-empty.
+struct WorldData {
+  std::vector<std::vector<Row>> customer_parts;     // [3]
+  std::vector<std::vector<Row>> invoiceline_parts;  // [3]
+
+  explicit WorldData(int num_customers = 12, int lines_per_customer = 2) {
+    customer_parts.resize(3);
+    invoiceline_parts.resize(3);
+    const char* offices[] = {"Athens", "Corfu", "Myconos"};
+    int64_t invid = 0;
+    for (int64_t id = 0; id < num_customers; ++id) {
+      int region = static_cast<int>(id % 3);
+      int64_t custid = region * 1000 + id;
+      customer_parts[region].push_back(
+          {Value::Int64(custid),
+           Value::String("cust" + std::to_string(custid)),
+           Value::String(offices[region])});
+      for (int line = 0; line < lines_per_customer; ++line) {
+        invoiceline_parts[region].push_back(
+            {Value::Int64(invid++), Value::Int64(line), Value::Int64(custid),
+             Value::Double(static_cast<double>(custid % 100) * 10 + line)});
+      }
+    }
+  }
+};
+
+/// The explorer world: buyer athens hosts NOTHING (every winning offer
+/// is a remote delivery, so delivery faults always bite), corfu holds
+/// every partition, and the three slice sellers form an overlapping
+/// ring — {0,1}, {1,2}, {2,0} — of both tables. Any two sellers can die
+/// and all six partitions stay reachable through the survivors.
+std::unique_ptr<Federation> BuildWorld() {
+  auto fed = std::make_unique<Federation>(WorldSchema());
+  fed->AddNode("athens");
+  fed->AddNode("corfu");
+  fed->AddNode("myconos");
+  fed->AddNode("naxos");
+  fed->AddNode("paros");
+  WorldData data;
+  struct Placement {
+    const char* node;
+    std::vector<int> parts;
+  };
+  const Placement placements[] = {
+      {"corfu", {0, 1, 2}},
+      {"myconos", {0, 1}},
+      {"naxos", {1, 2}},
+      {"paros", {2, 0}},
+  };
+  for (const Placement& p : placements) {
+    for (int part : p.parts) {
+      (void)fed->LoadPartition(p.node,
+                               "customer#" + std::to_string(part),
+                               data.customer_parts[part]);
+      (void)fed->LoadPartition(p.node,
+                               "invoiceline#" + std::to_string(part),
+                               data.invoiceline_parts[part]);
+    }
+  }
+  return fed;
+}
+
+std::string RowFingerprint(const Row& row) {
+  std::string out;
+  for (const auto& v : row) {
+    if (v.is_double()) {
+      // Re-aggregation (and rerouted plans) may reassociate sums.
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "%.6g", v.dbl());
+      out += buffer;
+    } else {
+      out += v.ToString();
+    }
+    out += '\x01';
+  }
+  return out;
+}
+
+bool SameRows(const RowSet& a, const RowSet& b) {
+  if (a.rows.size() != b.rows.size()) return false;
+  std::multiset<std::string> ka, kb;
+  for (const auto& row : a.rows) ka.insert(RowFingerprint(row));
+  for (const auto& row : b.rows) kb.insert(RowFingerprint(row));
+  return ka == kb;
+}
+
+/// Every single-event schedule of the sweep: each fault kind against
+/// each seller, with the timing-sensitive kinds at both of the first two
+/// target ordinals.
+std::vector<FaultEvent> SingleEvents() {
+  std::vector<FaultEvent> singles;
+  for (const std::string& node : FaultScheduleExplorer::SellerNodes()) {
+    for (int round : {0, 1}) {
+      singles.push_back({FaultKind::kDropReply, node, round});
+      singles.push_back({FaultKind::kDelayReply, node, round});
+      singles.push_back({FaultKind::kFailNode, node, round});
+    }
+    singles.push_back({FaultKind::kDropTick, node, 0});
+    singles.push_back({FaultKind::kDropAward, node, 0});
+    singles.push_back({FaultKind::kFailDelivery, node, 0});
+  }
+  return singles;
+}
+
+}  // namespace
+
+FaultScheduleExplorer::FaultScheduleExplorer(ExplorerOptions options)
+    : options_(options) {}
+
+std::vector<std::string> FaultScheduleExplorer::SellerNodes() {
+  return {"corfu", "myconos", "naxos", "paros"};
+}
+
+std::string FaultScheduleExplorer::ScanQuerySql() {
+  return "SELECT custname, office FROM customer";
+}
+
+std::string FaultScheduleExplorer::JoinQuerySql() {
+  return "SELECT c.custname, SUM(l.charge) FROM customer AS c, "
+         "invoiceline AS l WHERE c.custid = l.custid GROUP BY c.custname";
+}
+
+std::vector<FaultSchedule> FaultScheduleExplorer::SystematicSchedules() const {
+  std::vector<FaultSchedule> schedules;
+  schedules.push_back({});  // the zero-fault baseline, index 0
+  const std::vector<FaultEvent> singles = SingleEvents();
+  for (const FaultEvent& event : singles) {
+    schedules.push_back({{event}});
+  }
+  // Every unordered pair of single events. Two fail-type events can hit
+  // at most two sellers, and the ring keeps every partition reachable
+  // with any two sellers gone, so all pairs must be recoverable.
+  for (size_t i = 0; i < singles.size(); ++i) {
+    for (size_t j = i + 1; j < singles.size(); ++j) {
+      schedules.push_back({{singles[i], singles[j]}});
+    }
+  }
+  return schedules;
+}
+
+FaultSchedule FaultScheduleExplorer::RandomSchedule(Rng& rng) const {
+  const std::vector<std::string> nodes = SellerNodes();
+  FaultSchedule schedule;
+  const size_t count = 1 + rng.Index(3);
+  std::set<std::string> fail_nodes;
+  for (size_t i = 0; i < count; ++i) {
+    FaultEvent event;
+    const FaultKind kinds[] = {FaultKind::kDropReply, FaultKind::kDelayReply,
+                               FaultKind::kDropTick,  FaultKind::kDropAward,
+                               FaultKind::kFailNode,  FaultKind::kFailDelivery};
+    event.kind = kinds[rng.Index(6)];
+    event.node = nodes[rng.Index(nodes.size())];
+    event.round = static_cast<int>(rng.Index(2));
+    const bool fail_type = event.kind == FaultKind::kFailNode ||
+                           event.kind == FaultKind::kFailDelivery;
+    if (fail_type) {
+      // Keep the dead-seller set within what the ring can absorb.
+      if (fail_nodes.size() >= 2 && fail_nodes.count(event.node) == 0) {
+        event.kind = FaultKind::kDropReply;
+      } else {
+        fail_nodes.insert(event.node);
+      }
+    }
+    schedule.events.push_back(std::move(event));
+  }
+  return schedule;
+}
+
+ScheduleOutcome FaultScheduleExplorer::RunInternal(
+    const FaultSchedule& schedule, const std::string& sql, bool plain) const {
+  ScheduleOutcome out;
+  out.schedule = schedule;
+  out.sql = sql;
+  std::unique_ptr<Federation> fed = BuildWorld();
+  ScriptedFaultTransport scripted(fed->transport(), schedule);
+  QtOptions opt;
+  opt.protocol = options_.protocol;
+  opt.seed = 42;
+  // Stable RFB ids: two runs of the same schedule are byte-identical,
+  // and the zero-fault run matches the plain reference run.
+  opt.run_label = "explore";
+  opt.offer_timeout_ms = options_.offer_timeout_ms;
+  opt.resilience.enabled = false;
+  opt.recovery.reaward = false;
+  opt.recovery.max_replans = 0;
+  if (!plain) {
+    opt.transport_override = &scripted;
+    if (options_.recovery) {
+      opt.resilience.enabled = true;
+      opt.resilience.retry.base_backoff_ms = 25;
+      // Tight breaker so persistent node failures trip (and probe)
+      // within one negotiation's virtual-clock span.
+      opt.resilience.breaker.trip_after = 2;
+      opt.resilience.breaker.open_ms = 200;
+      opt.recovery.reaward = true;
+      opt.recovery.max_replans = 2;
+    }
+    ScriptedFaultTransport* faults = &scripted;
+    fed->SetDeliveryInterceptor(
+        [faults](const std::string& seller, const std::string&) -> Status {
+          if (faults->DeliveryFails(seller)) {
+            return Status::NotFound("seller died before delivery: " + seller);
+          }
+          return Status::OK();
+        });
+  }
+  QueryTradingOptimizer qt(fed.get(), "athens", opt);
+  auto result = qt.Optimize(sql);
+  if (!result.ok()) {
+    out.error = "optimize: " + result.status().ToString();
+    return out;
+  }
+  if (!result->ok()) {
+    out.metrics = result->metrics;
+    out.error = "optimize: no plan found";
+    return out;
+  }
+  out.optimized = true;
+  auto rows = qt.Execute(*result);
+  // Snapshot AFTER Execute: recovery metrics (deliveries_failed,
+  // reawards, reroutes, replan traffic) land in the result in place.
+  out.metrics = result->metrics;
+  out.cost = result->cost;
+  out.plan_explain = Explain(result->plan);
+  for (const Offer& offer : result->winning_offers) {
+    out.winning_offer_ids.push_back(offer.offer_id);
+  }
+  if (!rows.ok()) {
+    out.error = "execute: " + rows.status().ToString();
+    return out;
+  }
+  out.executed = true;
+  auto reference = fed->ExecuteCentralized(sql);
+  if (!reference.ok()) {
+    out.error = "centralized reference: " + reference.status().ToString();
+    return out;
+  }
+  out.answer_matches = SameRows(*rows, *reference);
+  if (!out.answer_matches) {
+    out.error = "answer mismatch vs centralized reference";
+  }
+  return out;
+}
+
+ScheduleOutcome FaultScheduleExplorer::Run(const FaultSchedule& schedule,
+                                           const std::string& sql) const {
+  return RunInternal(schedule, sql, /*plain=*/false);
+}
+
+ScheduleOutcome FaultScheduleExplorer::RunPlain(const std::string& sql) const {
+  return RunInternal(FaultSchedule{}, sql, /*plain=*/true);
+}
+
+ExplorerReport FaultScheduleExplorer::Explore() const {
+  std::vector<std::pair<FaultSchedule, std::string>> work;
+  const std::string scan = ScanQuerySql();
+  const std::string join = JoinQuerySql();
+  for (FaultSchedule& schedule : SystematicSchedules()) {
+    work.emplace_back(std::move(schedule), scan);
+  }
+  if (options_.include_join_query) {
+    for (const FaultEvent& event : SingleEvents()) {
+      work.emplace_back(FaultSchedule{{event}}, join);
+    }
+  }
+  Rng rng(options_.seed);
+  for (int i = 0; i < options_.random_schedules; ++i) {
+    work.emplace_back(RandomSchedule(rng), i % 2 == 0 ? scan : join);
+  }
+  if (options_.max_schedules > 0 &&
+      work.size() > static_cast<size_t>(options_.max_schedules)) {
+    work.resize(static_cast<size_t>(options_.max_schedules));
+  }
+  ExplorerReport report;
+  for (const auto& [schedule, sql] : work) {
+    ScheduleOutcome outcome = Run(schedule, sql);
+    ++report.schedules_run;
+    report.total_retries += outcome.metrics.retries;
+    report.total_breaker_trips += outcome.metrics.breaker_trips;
+    report.total_deliveries_failed += outcome.metrics.deliveries_failed;
+    report.total_reawards += outcome.metrics.reawards;
+    report.total_reroutes += outcome.metrics.reroutes;
+    if (!outcome.ok()) {
+      ++report.failures;
+      if (report.failed.size() < 8) {
+        report.failed.push_back(std::move(outcome));
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace qtrade

@@ -1,0 +1,129 @@
+// Deterministic fault-schedule explorer: enumerates (and samples) fault
+// schedules over a fixed replicated micro-federation, drives one full
+// negotiation + execution per schedule, and checks the recovery
+// invariants end to end:
+//
+//   - the run never crashes or hangs, whatever the schedule;
+//   - whenever a plan is produced it stays executable — award recovery
+//     (retry, re-award, scoped replan) reroutes around dead sellers —
+//     and its answer equals the centralized reference;
+//   - the empty schedule is byte-identical to a raw run without the
+//     fault layer or the resilience decorator (metrics, cost, plan).
+//
+// The world is a 4-seller ring over the paper's telecom schema: the
+// buyer (athens) hosts no data, one seller (corfu) holds every
+// partition, and three sellers hold overlapping 2-partition slices —
+// any two sellers can die and every partition is still reachable, so
+// systematic pair schedules are always recoverable while still forcing
+// re-awards and replans.
+#ifndef QTRADE_SIM_EXPLORER_H_
+#define QTRADE_SIM_EXPLORER_H_
+
+#include <string>
+#include <vector>
+
+#include "net/wire.h"
+#include "sim/fault_schedule.h"
+#include "trading/buyer_engine.h"
+#include "util/random.h"
+
+namespace qtrade {
+
+struct ExplorerOptions {
+  /// Fault tolerance on: resilience (retry + breaker) during negotiation
+  /// and award recovery (re-award + scoped replan) at execution. Off,
+  /// the explorer measures how often plain runs fail under the same
+  /// schedules (the recovery layer's control experiment).
+  bool recovery = true;
+  /// Cap on total schedules explored; 0 = everything (systematic sweep +
+  /// join singles + random tail). The systematic prefix is stable, so a
+  /// capped run is a prefix of the full one.
+  int max_schedules = 0;
+  /// Seeded random multi-event schedules appended after the sweep.
+  int random_schedules = 24;
+  uint64_t seed = 42;
+  /// Buyer's per-round offer deadline (simulated ms): delayed replies
+  /// land after it and are discarded as late.
+  double offer_timeout_ms = 5000;
+  /// Also run every single-event schedule against the aggregation join
+  /// query (the scan query gets the full systematic sweep).
+  bool include_join_query = true;
+  /// kAuction by default so tick-level faults have traffic to hit.
+  NegotiationProtocol protocol = NegotiationProtocol::kAuction;
+};
+
+/// The outcome of one schedule: what happened, and enough of the run's
+/// fingerprint (metrics, cost, plan, winners) to compare runs.
+struct ScheduleOutcome {
+  FaultSchedule schedule;
+  std::string sql;
+  bool optimized = false;       // Optimize produced a plan
+  bool executed = false;        // Execute returned rows
+  bool answer_matches = false;  // rows == centralized reference
+  std::string error;            // first failure, human-readable
+  TradeMetrics metrics;         // snapshot AFTER Execute (recovery incl.)
+  double cost = 0;
+  std::string plan_explain;
+  std::vector<std::string> winning_offer_ids;
+
+  bool ok() const { return optimized && executed && answer_matches; }
+};
+
+struct ExplorerReport {
+  int schedules_run = 0;
+  int failures = 0;
+  int64_t total_retries = 0;
+  int64_t total_breaker_trips = 0;
+  int64_t total_deliveries_failed = 0;
+  int64_t total_reawards = 0;
+  int64_t total_reroutes = 0;
+  /// Detail for the first few failing schedules (diagnostics).
+  std::vector<ScheduleOutcome> failed;
+};
+
+class FaultScheduleExplorer {
+ public:
+  explicit FaultScheduleExplorer(ExplorerOptions options = {});
+
+  const ExplorerOptions& options() const { return options_; }
+
+  /// The seller node names of the explorer world (schedule targets).
+  static std::vector<std::string> SellerNodes();
+  static std::string ScanQuerySql();
+  static std::string JoinQuerySql();
+
+  /// The systematic sweep for one query: the empty schedule, every
+  /// single-event schedule (each kind x seller x early round), and every
+  /// unordered pair of those singles.
+  std::vector<FaultSchedule> SystematicSchedules() const;
+
+  /// One seeded random schedule: 1-3 events, at most two distinct nodes
+  /// carrying fail-type events (so ring coverage survives).
+  FaultSchedule RandomSchedule(Rng& rng) const;
+
+  /// Builds a fresh world, wires the schedule in (scripted transport +
+  /// delivery interceptor), optimizes and executes `sql`, and compares
+  /// the answer to the centralized reference. Never throws; failures
+  /// come back in the outcome.
+  ScheduleOutcome Run(const FaultSchedule& schedule,
+                      const std::string& sql) const;
+
+  /// Reference run on a fresh world with NO fault layer and NO
+  /// resilience decorator: what the raw engine does. The empty schedule
+  /// must match this byte for byte (deterministic metrics, cost, plan).
+  ScheduleOutcome RunPlain(const std::string& sql) const;
+
+  /// The full exploration: systematic sweep on the scan query, single
+  /// events on the join query, then the seeded random tail.
+  ExplorerReport Explore() const;
+
+ private:
+  ScheduleOutcome RunInternal(const FaultSchedule& schedule,
+                              const std::string& sql, bool plain) const;
+
+  ExplorerOptions options_;
+};
+
+}  // namespace qtrade
+
+#endif  // QTRADE_SIM_EXPLORER_H_

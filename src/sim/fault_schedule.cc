@@ -1,0 +1,228 @@
+#include "sim/fault_schedule.h"
+
+#include <utility>
+
+namespace qtrade {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDropReply:
+      return "drop_reply";
+    case FaultKind::kDelayReply:
+      return "delay_reply";
+    case FaultKind::kDropTick:
+      return "drop_tick";
+    case FaultKind::kDropAward:
+      return "drop_award";
+    case FaultKind::kFailNode:
+      return "fail_node";
+    case FaultKind::kFailDelivery:
+      return "fail_delivery";
+  }
+  return "unknown";
+}
+
+std::string FaultEvent::Describe() const {
+  std::string out = FaultKindName(kind);
+  out += "(" + node;
+  if (kind != FaultKind::kFailDelivery) {
+    out += "@" + std::to_string(round);
+  }
+  out += ")";
+  return out;
+}
+
+std::string FaultSchedule::Describe() const {
+  if (events.empty()) return "(no faults)";
+  std::string out;
+  for (const auto& event : events) {
+    if (!out.empty()) out += " + ";
+    out += event.Describe();
+  }
+  return out;
+}
+
+ScriptedFaultTransport::ScriptedFaultTransport(Transport* inner,
+                                               FaultSchedule schedule)
+    : inner_(inner), schedule_(std::move(schedule)) {}
+
+void ScriptedFaultTransport::Register(NodeEndpoint* endpoint) {
+  inner_->Register(endpoint);
+}
+
+NodeEndpoint* ScriptedFaultTransport::endpoint(const std::string& name) const {
+  return inner_->endpoint(name);
+}
+
+std::vector<std::string> ScriptedFaultTransport::NodeNames() const {
+  return inner_->NodeNames();
+}
+
+bool ScriptedFaultTransport::FailActiveLocked(const std::string& node,
+                                              int ordinal) const {
+  for (const auto& event : schedule_.events) {
+    if (event.kind == FaultKind::kFailNode && event.node == node &&
+        event.round <= ordinal) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<OfferReply> ScriptedFaultTransport::BroadcastRfb(
+    const std::string& from, const Rfb& rfb,
+    const std::vector<std::string>& to, const char* rfb_kind,
+    const char* offer_kind) {
+  int ordinal;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ordinal = broadcast_ordinal_++;
+  }
+  // Dead nodes never see the RFB; the buyer observes a lost reply.
+  std::vector<std::string> alive;
+  std::vector<OfferReply> dead;
+  alive.reserve(to.size());
+  for (const auto& target : to) {
+    bool down;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      down = target != from && FailActiveLocked(target, ordinal);
+    }
+    if (down) {
+      OfferReply reply;
+      reply.seller = target;
+      reply.dropped = true;
+      dead.push_back(std::move(reply));
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.node_failures;
+    } else {
+      alive.push_back(target);
+    }
+  }
+  std::vector<OfferReply> out =
+      inner_->BroadcastRfb(from, rfb, alive, rfb_kind, offer_kind);
+  for (auto& reply : out) {
+    if (reply.seller == from || reply.dropped || reply.duplicated) continue;
+    for (const auto& event : schedule_.events) {
+      if (event.node != reply.seller || event.round != ordinal) continue;
+      if (event.kind == FaultKind::kDropReply) {
+        reply.dropped_offers = static_cast<int64_t>(reply.offers.size());
+        reply.offers.clear();
+        reply.dropped = true;
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.replies_dropped;
+      } else if (event.kind == FaultKind::kDelayReply) {
+        reply.arrival_ms += event.delay_ms;
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.replies_delayed;
+      }
+    }
+  }
+  out.insert(out.end(), std::make_move_iterator(dead.begin()),
+             std::make_move_iterator(dead.end()));
+  return out;
+}
+
+TickReply ScriptedFaultTransport::Unicast(
+    const std::string& from, const std::string& to,
+    const std::function<TickReply()>& send) {
+  if (to == from) return send();  // loopback never crosses the network
+  bool down;
+  bool drop;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // kFailNode is checked against the last started broadcast: the node
+    // went down during (or before) that fan-out.
+    down = FailActiveLocked(to, broadcast_ordinal_ - 1);
+    int ordinal = unicast_ordinal_[to]++;
+    drop = false;
+    for (const auto& event : schedule_.events) {
+      if (event.kind == FaultKind::kDropTick && event.node == to &&
+          event.round == ordinal) {
+        drop = true;
+      }
+    }
+    if (down) ++stats_.node_failures;
+  }
+  if (down) {
+    TickReply reply;
+    reply.dropped = true;
+    return reply;
+  }
+  TickReply reply = send();
+  if (drop) {
+    // The seller computed its answer; only the reply is lost.
+    reply.updated.reset();
+    reply.dropped = true;
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.ticks_dropped;
+  }
+  return reply;
+}
+
+TickReply ScriptedFaultTransport::SendAuctionTick(const std::string& from,
+                                                  const std::string& to,
+                                                  const AuctionTick& tick) {
+  return Unicast(from, to,
+                 [&] { return inner_->SendAuctionTick(from, to, tick); });
+}
+
+TickReply ScriptedFaultTransport::SendCounterOffer(
+    const std::string& from, const std::string& to,
+    const CounterOffer& counter) {
+  return Unicast(from, to,
+                 [&] { return inner_->SendCounterOffer(from, to, counter); });
+}
+
+double ScriptedFaultTransport::SendAwards(const std::string& from,
+                                          const std::string& to,
+                                          const AwardBatch& batch) {
+  if (to != from) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (FailActiveLocked(to, broadcast_ordinal_ - 1)) {
+      ++stats_.node_failures;
+      return 0;
+    }
+    int ordinal = award_ordinal_[to]++;
+    for (const auto& event : schedule_.events) {
+      if (event.kind == FaultKind::kDropAward && event.node == to &&
+          event.round == ordinal) {
+        ++stats_.awards_dropped;
+        return 0;
+      }
+    }
+  }
+  return inner_->SendAwards(from, to, batch);
+}
+
+void ScriptedFaultTransport::AdvanceRound(double ms) {
+  inner_->AdvanceRound(ms);
+}
+
+SimNetwork* ScriptedFaultTransport::network() { return inner_->network(); }
+
+void ScriptedFaultTransport::SetObservability(obs::Tracer* tracer,
+                                              obs::MetricsRegistry* metrics) {
+  inner_->SetObservability(tracer, metrics);
+}
+
+bool ScriptedFaultTransport::NodeDown(const std::string& node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FailActiveLocked(node, broadcast_ordinal_ - 1);
+}
+
+bool ScriptedFaultTransport::DeliveryFails(const std::string& node) const {
+  for (const auto& event : schedule_.events) {
+    if (event.kind == FaultKind::kFailDelivery && event.node == node) {
+      return true;
+    }
+  }
+  return NodeDown(node);
+}
+
+ScriptedFaultStats ScriptedFaultTransport::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace qtrade

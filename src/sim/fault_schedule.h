@@ -1,0 +1,143 @@
+// Deterministic fault schedules: a scripted alternative to the
+// probabilistic FaultyTransport. A FaultSchedule is an explicit list of
+// fault events — "drop corfu's reply to broadcast 1", "node myconos is
+// dead from broadcast 0 on" — and ScriptedFaultTransport is a Transport
+// decorator that replays exactly that list, nothing more. Because a
+// schedule is data, the FaultScheduleExplorer (sim/explorer.h) can
+// enumerate the schedule space systematically and assert recovery
+// invariants over every point, instead of sampling drop rates and hoping
+// the interesting interleavings come up.
+#ifndef QTRADE_SIM_FAULT_SCHEDULE_H_
+#define QTRADE_SIM_FAULT_SCHEDULE_H_
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/transport.h"
+
+namespace qtrade {
+
+enum class FaultKind {
+  /// Lose one seller's reply to one RFB broadcast (the seller computed;
+  /// the reply never lands). Retryable: a retry is a new broadcast
+  /// ordinal, so it succeeds unless the schedule targets that too.
+  kDropReply,
+  /// Deliver one seller's reply to one broadcast late by `delay_ms`
+  /// (past the buyer's offer deadline it counts as an offers_late
+  /// discard — degradation, not retry: the reply was not lost).
+  kDelayReply,
+  /// Lose one auction-tick / counter-offer reply from a seller (the
+  /// round-th unicast negotiation message sent to that node).
+  kDropTick,
+  /// Lose the round-th award batch sent to a seller (fire-and-forget:
+  /// only strategy feedback is affected, never the sold answers).
+  kDropAward,
+  /// The node dies: from broadcast ordinal `round` on, every message to
+  /// or from it is lost, and its award deliveries fail. Persistent —
+  /// retries keep failing and the circuit breaker trips.
+  kFailNode,
+  /// The node negotiates normally but dies between award and delivery:
+  /// ExecuteDistributed fails on it (via the federation's delivery
+  /// interceptor), exercising re-award / scoped replan.
+  kFailDelivery,
+};
+
+const char* FaultKindName(FaultKind kind);
+
+/// One scripted fault. `round` indexes the targeted message: the RFB
+/// broadcast ordinal for kDropReply/kDelayReply/kFailNode (every
+/// BroadcastRfb through the transport counts, including retries and
+/// replans), the per-node unicast ordinal for kDropTick, the per-node
+/// award-batch ordinal for kDropAward. Ignored by kFailDelivery.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kDropReply;
+  std::string node;
+  int round = 0;
+  double delay_ms = 10000;  // kDelayReply only
+
+  std::string Describe() const;
+};
+
+struct FaultSchedule {
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+  /// "drop_reply(corfu@0) + fail_node(naxos@1)"; "(no faults)" if empty.
+  std::string Describe() const;
+};
+
+struct ScriptedFaultStats {
+  int64_t replies_dropped = 0;   // kDropReply hits
+  int64_t replies_delayed = 0;   // kDelayReply hits
+  int64_t ticks_dropped = 0;     // kDropTick hits
+  int64_t awards_dropped = 0;    // kDropAward hits
+  int64_t node_failures = 0;     // messages swallowed by kFailNode
+};
+
+/// Transport decorator replaying one FaultSchedule. With an empty
+/// schedule it is a pure pass-through: no accounting, timing or ordering
+/// changes — the explorer's zero-fault byte-identity invariant depends
+/// on that. Thread-safe: ordinals and stats are taken under a mutex on
+/// the dispatching thread; the inner transport may still parallelize
+/// seller handlers underneath.
+class ScriptedFaultTransport : public Transport {
+ public:
+  ScriptedFaultTransport(Transport* inner, FaultSchedule schedule);
+
+  void Register(NodeEndpoint* endpoint) override;
+  NodeEndpoint* endpoint(const std::string& name) const override;
+  std::vector<std::string> NodeNames() const override;
+
+  std::vector<OfferReply> BroadcastRfb(const std::string& from,
+                                       const Rfb& rfb,
+                                       const std::vector<std::string>& to,
+                                       const char* rfb_kind = "rfb",
+                                       const char* offer_kind =
+                                           "offer") override;
+  TickReply SendAuctionTick(const std::string& from, const std::string& to,
+                            const AuctionTick& tick) override;
+  TickReply SendCounterOffer(const std::string& from, const std::string& to,
+                             const CounterOffer& counter) override;
+  double SendAwards(const std::string& from, const std::string& to,
+                    const AwardBatch& batch) override;
+  void AdvanceRound(double ms) override;
+  SimNetwork* network() override;
+  void SetObservability(obs::Tracer* tracer,
+                        obs::MetricsRegistry* metrics) override;
+
+  /// True once a kFailNode event for `node` has activated (its broadcast
+  /// ordinal has been reached).
+  bool NodeDown(const std::string& node) const;
+  /// True when award delivery from `node` must fail: any kFailDelivery
+  /// event for it, or the node is down. Wired into the federation's
+  /// delivery interceptor by the explorer.
+  bool DeliveryFails(const std::string& node) const;
+
+  ScriptedFaultStats stats() const;
+  const FaultSchedule& schedule() const { return schedule_; }
+
+ private:
+  /// Fault replies to unicast negotiation messages (ticks and
+  /// counter-offers share one per-node ordinal space).
+  TickReply Unicast(const std::string& from, const std::string& to,
+                    const std::function<TickReply()>& send);
+
+  /// kFailNode active for `node` at broadcast ordinal `ordinal`
+  /// (callers hold mu_).
+  bool FailActiveLocked(const std::string& node, int ordinal) const;
+
+  Transport* inner_;
+  const FaultSchedule schedule_;
+  mutable std::mutex mu_;  // guards ordinals + stats_
+  int broadcast_ordinal_ = 0;
+  std::map<std::string, int> unicast_ordinal_;  // per target node
+  std::map<std::string, int> award_ordinal_;    // per target node
+  ScriptedFaultStats stats_;
+};
+
+}  // namespace qtrade
+
+#endif  // QTRADE_SIM_FAULT_SCHEDULE_H_

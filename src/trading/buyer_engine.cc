@@ -327,6 +327,7 @@ Result<QtResult> BuyerEngine::Optimize(const std::string& sql) {
   neg_span.Attr("run_tag", run_tag);
   neg_span.Attr("sql", sql);
   QtResult result;
+  result.sql = sql;
   BuyerAnalyser analyser(&original, &catalog_->federation());
   // The buyer's §3.1 weighting function prices purchased answers inside
   // the plan generator too.
@@ -452,6 +453,7 @@ Result<QtResult> BuyerEngine::Optimize(const std::string& sql) {
     result.metrics.bytes = network->total().bytes - start_bytes;
     result.metrics.sim_elapsed_ms = network->now_ms() - start_clock;
     result.metrics.wall_opt_ms = WallMs(wall_start);
+    result.offer_pool = std::move(pool);
     return result;  // failed optimization: caller checks ok()
   }
 
@@ -507,6 +509,9 @@ Result<QtResult> BuyerEngine::Optimize(const std::string& sql) {
   result.metrics.bytes = network->total().bytes - start_bytes;
   result.metrics.sim_elapsed_ms = network->now_ms() - start_clock;
   result.metrics.wall_opt_ms = WallMs(wall_start);
+  // Winners AND losers: execution-time award recovery substitutes from
+  // the ranked losers when a winning seller fails to deliver.
+  result.offer_pool = std::move(pool);
   neg_span.Attr("iterations", static_cast<int64_t>(result.iterations));
   neg_span.Attr("cost", result.cost);
   neg_span.Attr("messages", result.metrics.messages);

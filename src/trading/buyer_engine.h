@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "net/resilient.h"
 #include "net/tcp_transport.h"
 #include "net/transport.h"
 #include "obs/metrics.h"
@@ -40,6 +41,19 @@ namespace qtrade {
 enum class NegotiationProtocol { kBidding, kAuction, kBargaining };
 
 const char* NegotiationProtocolName(NegotiationProtocol protocol);
+
+/// Buyer-side award recovery (QueryTradingOptimizer::Execute): what to do
+/// when an awarded seller fails or times out before delivering its sold
+/// answer.
+struct RecoveryOptions {
+  /// Patch the failed kRemote plan leaf onto the next-ranked offer of the
+  /// same (rfb, coverage signature, kind) from a still-healthy seller.
+  bool reaward = true;
+  /// When no substitute offer exists, re-run a scoped negotiation with
+  /// the failed sellers removed from the trader directory; at most this
+  /// many times per Execute. 0 disables replanning.
+  int max_replans = 2;
+};
 
 struct QtOptions {
   NegotiationProtocol protocol = NegotiationProtocol::kBidding;
@@ -96,6 +110,23 @@ struct QtOptions {
   /// read wait, so a hung daemon degrades through the same dropped-reply
   /// path as a too-slow simulated seller.
   TcpTransportOptions tcp;
+  /// Transport fault tolerance (net/resilient.h): per-peer retry with
+  /// exponential backoff + seeded jitter and a consecutive-failure
+  /// circuit breaker. When enabled, the QueryTradingOptimizer facade
+  /// wraps whatever transport is active (in-process, faulty stack, or
+  /// TCP) in a ResilientTransport; it acts only on dropped messages, so
+  /// zero-fault negotiations are byte-identical with it on or off. Only
+  /// consulted by the facade; a directly constructed BuyerEngine uses
+  /// the transport it is given unwrapped.
+  ResilienceOptions resilience;
+  /// Buyer-side award recovery at execution time (facade Execute).
+  RecoveryOptions recovery;
+  /// Simulation/testing hook, consulted only by the facade: negotiate
+  /// over this transport instead of the federation default (the fault
+  /// -schedule explorer injects its scripted transport here). The
+  /// override must already have the federation's sellers reachable;
+  /// resilience wrapping still applies on top.
+  Transport* transport_override = nullptr;
 };
 
 struct QtResult {
@@ -105,6 +136,13 @@ struct QtResult {
   std::vector<Offer> winning_offers;
   std::vector<double> cost_per_iteration;  // best-so-far after each round
   TradeMetrics metrics;
+  /// The full final-iteration offer pool (winners and losers): the
+  /// ranked substitutes award recovery re-awards from when a winning
+  /// seller fails to deliver.
+  std::vector<Offer> offer_pool;
+  /// The optimized SQL text, kept so recovery can re-run a scoped
+  /// negotiation without the failed sellers.
+  std::string sql;
 
   bool ok() const { return plan != nullptr; }
 };

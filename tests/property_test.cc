@@ -5,8 +5,13 @@
 //    monotone in data size, message accounting balances.
 #include <gtest/gtest.h>
 
+#include <optional>
+
 #include "baseline/global_optimizer.h"
 #include "core/qt_optimizer.h"
+#include "serde/codec.h"
+#include "sql/parser.h"
+#include "util/random.h"
 #include "workload/workload.h"
 
 namespace qtrade {
@@ -299,6 +304,223 @@ TEST(OptimizerInvariantTest, CostPerIterationNonIncreasing) {
       EXPECT_LE(result->cost_per_iteration[i],
                 result->cost_per_iteration[i - 1] + 1e-9)
           << "seed " << seed << " iteration " << i;
+    }
+  }
+}
+
+// ---- Codec roundtrip property --------------------------------------------
+// For every envelope kind in net/wire.h, randomized instances satisfy
+// Decode(Encode(m)) == m and Encode(m).size() == WireBytes(m). This is
+// the property-test generalization of the hand-picked codec_test cases:
+// arbitrary (including binary) ids, empty strings, extreme doubles.
+
+std::string RandomWireString(Rng& rng) {
+  const size_t len = rng.Index(25);  // 0..24, empty strings included
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    // Full byte range: strings are length-prefixed on the wire, so
+    // embedded NUL and high bytes must survive.
+    out.push_back(static_cast<char>(rng.Uniform(0, 255)));
+  }
+  return out;
+}
+
+double RandomWireDouble(Rng& rng) {
+  switch (rng.Index(5)) {
+    case 0:
+      return 0.0;
+    case 1:
+      return -rng.UniformReal(0, 1e12);
+    case 2:
+      return rng.UniformReal(0, 1e-9);
+    default:
+      return rng.UniformReal(0, 1e9);
+  }
+}
+
+Offer RandomOffer(Rng& rng) {
+  static const char* kQueries[] = {
+      "SELECT custname FROM customer",
+      "SELECT custid, office FROM customer WHERE custid < 1000",
+      "SELECT c.custname, SUM(l.charge) FROM customer AS c, invoiceline AS "
+      "l WHERE c.custid = l.custid GROUP BY c.custname",
+  };
+  auto query = sql::ParseQuery(kQueries[rng.Index(3)]);
+  EXPECT_TRUE(query.ok());
+  Offer offer;
+  offer.offer_id = RandomWireString(rng);
+  offer.seller = RandomWireString(rng);
+  offer.rfb_id = RandomWireString(rng);
+  offer.query = std::move(query->select());
+  offer.schema.AddColumn({"c", "custname", TypeKind::kString});
+  if (rng.Chance(0.5)) {
+    offer.schema.AddColumn({"", "sum_charge", TypeKind::kDouble});
+  }
+  offer.kind = rng.Chance(0.3) ? OfferKind::kPartialAggregate
+                               : OfferKind::kCoreRows;
+  const size_t tables = 1 + rng.Index(2);
+  for (size_t t = 0; t < tables; ++t) {
+    OfferCoverage cov;
+    cov.alias = t == 0 ? "c" : "l";
+    cov.table = t == 0 ? "customer" : "invoiceline";
+    const size_t parts = 1 + rng.Index(3);
+    for (size_t p = 0; p < parts; ++p) {
+      cov.partitions.push_back(cov.table + "#" + std::to_string(p));
+    }
+    offer.coverage.push_back(std::move(cov));
+  }
+  offer.props.total_time_ms = RandomWireDouble(rng);
+  offer.props.first_row_ms = RandomWireDouble(rng);
+  offer.props.rows = rng.Uniform(0, 1 << 20);
+  offer.props.rows_per_sec = RandomWireDouble(rng);
+  offer.props.freshness = rng.UniformReal(0, 1);
+  offer.props.completeness = rng.UniformReal(0, 1);
+  offer.props.price = RandomWireDouble(rng);
+  offer.row_bytes = static_cast<double>(rng.Uniform(0, 512));
+  return offer;
+}
+
+void ExpectOfferRoundTrips(const Offer& a, const Offer& b) {
+  EXPECT_EQ(a.offer_id, b.offer_id);
+  EXPECT_EQ(a.seller, b.seller);
+  EXPECT_EQ(a.rfb_id, b.rfb_id);
+  EXPECT_EQ(sql::ToSql(a.query), sql::ToSql(b.query));
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.CoverageSignature(), b.CoverageSignature());
+  EXPECT_EQ(a.props.total_time_ms, b.props.total_time_ms);
+  EXPECT_EQ(a.props.rows, b.props.rows);
+  EXPECT_EQ(a.props.price, b.props.price);
+  EXPECT_EQ(a.row_bytes, b.row_bytes);
+}
+
+TEST(CodecPropertyTest, EveryEnvelopeKindRoundTripsWithExactSizes) {
+  Rng rng(20260806);
+  for (int trial = 0; trial < 50; ++trial) {
+    // Rfb.
+    Rfb rfb;
+    rfb.rfb_id = RandomWireString(rng);
+    rfb.buyer = RandomWireString(rng);
+    rfb.sql = RandomWireString(rng);
+    rfb.reserve_value = RandomWireDouble(rng);
+    rfb.allow_subcontract = rng.Chance(0.5);
+    rfb.trace_parent = static_cast<uint64_t>(rng.Uniform(0, 1 << 30)) << 32;
+    rfb.trace_round = static_cast<int32_t>(rng.Uniform(-1, 100));
+    const std::string rfb_frame = serde::EncodeRfb(rfb);
+    ASSERT_EQ(static_cast<int64_t>(rfb_frame.size()), rfb.WireBytes());
+    auto rfb2 = serde::DecodeRfb(rfb_frame);
+    ASSERT_TRUE(rfb2.ok()) << rfb2.status().ToString();
+    EXPECT_EQ(rfb2->rfb_id, rfb.rfb_id);
+    EXPECT_EQ(rfb2->buyer, rfb.buyer);
+    EXPECT_EQ(rfb2->sql, rfb.sql);
+    EXPECT_EQ(rfb2->reserve_value, rfb.reserve_value);
+    EXPECT_EQ(rfb2->allow_subcontract, rfb.allow_subcontract);
+    EXPECT_EQ(rfb2->trace_parent, rfb.trace_parent);
+    EXPECT_EQ(rfb2->trace_round, rfb.trace_round);
+
+    // AuctionTick.
+    AuctionTick tick;
+    tick.rfb_id = RandomWireString(rng);
+    tick.signature = RandomWireString(rng);
+    tick.best_score = RandomWireDouble(rng);
+    const std::string tick_frame = serde::EncodeAuctionTick(tick);
+    ASSERT_EQ(static_cast<int64_t>(tick_frame.size()), tick.WireBytes());
+    auto tick2 = serde::DecodeAuctionTick(tick_frame);
+    ASSERT_TRUE(tick2.ok());
+    EXPECT_EQ(tick2->rfb_id, tick.rfb_id);
+    EXPECT_EQ(tick2->signature, tick.signature);
+    EXPECT_EQ(tick2->best_score, tick.best_score);
+
+    // CounterOffer.
+    CounterOffer counter;
+    counter.rfb_id = RandomWireString(rng);
+    counter.signature = RandomWireString(rng);
+    counter.target_value = RandomWireDouble(rng);
+    const std::string counter_frame = serde::EncodeCounterOffer(counter);
+    ASSERT_EQ(static_cast<int64_t>(counter_frame.size()),
+              counter.WireBytes());
+    auto counter2 = serde::DecodeCounterOffer(counter_frame);
+    ASSERT_TRUE(counter2.ok());
+    EXPECT_EQ(counter2->rfb_id, counter.rfb_id);
+    EXPECT_EQ(counter2->signature, counter.signature);
+    EXPECT_EQ(counter2->target_value, counter.target_value);
+
+    // AwardBatch.
+    AwardBatch batch;
+    const size_t awards = rng.Index(5);
+    for (size_t i = 0; i < awards; ++i) {
+      batch.awards.push_back({RandomWireString(rng), RandomWireString(rng)});
+    }
+    const size_t losers = rng.Index(5);
+    for (size_t i = 0; i < losers; ++i) {
+      batch.lost_offer_ids.push_back(RandomWireString(rng));
+    }
+    const std::string batch_frame = serde::EncodeAwardBatch(batch);
+    ASSERT_EQ(static_cast<int64_t>(batch_frame.size()), batch.WireBytes());
+    auto batch2 = serde::DecodeAwardBatch(batch_frame);
+    ASSERT_TRUE(batch2.ok());
+    ASSERT_EQ(batch2->awards.size(), batch.awards.size());
+    for (size_t i = 0; i < batch.awards.size(); ++i) {
+      EXPECT_EQ(batch2->awards[i].rfb_id, batch.awards[i].rfb_id);
+      EXPECT_EQ(batch2->awards[i].offer_id, batch.awards[i].offer_id);
+    }
+    EXPECT_EQ(batch2->lost_offer_ids, batch.lost_offer_ids);
+
+    // OfferBatch (the RFB reply).
+    serde::OfferBatch offers;
+    offers.ok = true;
+    const size_t count = rng.Index(4);
+    for (size_t i = 0; i < count; ++i) {
+      offers.offers.push_back(RandomOffer(rng));
+    }
+    const std::string offers_frame = serde::EncodeOfferBatch(offers);
+    ASSERT_EQ(static_cast<int64_t>(offers_frame.size()),
+              OfferBatchWireBytes(offers.offers));
+    auto offers2 = serde::DecodeOfferBatch(offers_frame);
+    ASSERT_TRUE(offers2.ok()) << offers2.status().ToString();
+    ASSERT_EQ(offers2->offers.size(), offers.offers.size());
+    for (size_t i = 0; i < offers.offers.size(); ++i) {
+      ExpectOfferRoundTrips(offers.offers[i], offers2->offers[i]);
+    }
+
+    // TickReply: an updated offer, or a hold.
+    if (rng.Chance(0.7)) {
+      Offer updated = RandomOffer(rng);
+      const std::string reply_frame = serde::EncodeTickReply(updated);
+      ASSERT_EQ(static_cast<int64_t>(reply_frame.size()),
+                OfferWireBytes(updated));
+      auto reply2 = serde::DecodeTickReply(reply_frame);
+      ASSERT_TRUE(reply2.ok());
+      ASSERT_TRUE(reply2->has_value());
+      ExpectOfferRoundTrips(updated, **reply2);
+    } else {
+      const std::string hold_frame = serde::EncodeTickReply(std::nullopt);
+      ASSERT_EQ(static_cast<int64_t>(hold_frame.size()), TickHoldWireBytes());
+      auto hold2 = serde::DecodeTickReply(hold_frame);
+      ASSERT_TRUE(hold2.ok());
+      EXPECT_FALSE(hold2->has_value());
+    }
+
+    // RowSet (the delivery leg).
+    RowSet rows;
+    rows.schema.AddColumn({"", "id", TypeKind::kInt64});
+    rows.schema.AddColumn({"", "name", TypeKind::kString});
+    rows.schema.AddColumn({"", "charge", TypeKind::kDouble});
+    const size_t nrows = rng.Index(6);
+    for (size_t i = 0; i < nrows; ++i) {
+      rows.rows.push_back({Value::Int64(rng.Uniform(-1000, 1000)),
+                           Value::String(RandomWireString(rng)),
+                           Value::Double(RandomWireDouble(rng))});
+    }
+    const std::string rows_frame = serde::EncodeRowSet(rows);
+    auto rows2 = serde::DecodeRowSet(rows_frame);
+    ASSERT_TRUE(rows2.ok()) << rows2.status().ToString();
+    ASSERT_EQ(rows2->rows.size(), rows.rows.size());
+    for (size_t i = 0; i < rows.rows.size(); ++i) {
+      ASSERT_EQ(rows2->rows[i].size(), rows.rows[i].size());
+      EXPECT_EQ(rows2->rows[i][0].int64(), rows.rows[i][0].int64());
+      EXPECT_EQ(rows2->rows[i][1].str(), rows.rows[i][1].str());
+      EXPECT_EQ(rows2->rows[i][2].dbl(), rows.rows[i][2].dbl());
     }
   }
 }

@@ -321,6 +321,86 @@ TEST(TransportConformanceTest, FacadeRemotePeersMatchesDefaultFacade) {
   }
 }
 
+/// Field-by-field TradeMetrics equality, excluding the two wall-clock
+/// tainted fields (sim_elapsed_ms, wall_opt_ms).
+::testing::AssertionResult SameDeterministicMetrics(const TradeMetrics& a,
+                                                    const TradeMetrics& b) {
+#define QT_SAME(field)                                                \
+  if (a.field != b.field) {                                           \
+    return ::testing::AssertionFailure()                              \
+           << #field << " differs: " << a.field << " vs " << b.field; \
+  }
+  QT_SAME(iterations);
+  QT_SAME(rfbs_sent);
+  QT_SAME(offers_received);
+  QT_SAME(awards_sent);
+  QT_SAME(messages);
+  QT_SAME(bytes);
+  QT_SAME(auction_rounds);
+  QT_SAME(bargain_rounds);
+  QT_SAME(offers_dropped);
+  QT_SAME(offers_late);
+  QT_SAME(offers_duplicated);
+  QT_SAME(rounds_timed_out);
+  QT_SAME(rfbs_deduped);
+  QT_SAME(retries);
+  QT_SAME(retries_exhausted);
+  QT_SAME(breaker_trips);
+  QT_SAME(breaker_probes);
+  QT_SAME(breaker_short_circuits);
+  QT_SAME(deliveries_failed);
+  QT_SAME(reawards);
+  QT_SAME(reroutes);
+#undef QT_SAME
+  return ::testing::AssertionSuccess();
+}
+
+TEST(TransportConformanceTest, FaultScheduleMetricsMatchAcrossTransports) {
+  // Same seed + same fault schedule (seeded drop/duplicate decorator,
+  // resilience layer armed) => identical TradeMetrics whether the wire
+  // underneath is in-process or real TCP sockets. This pins the fault
+  // machinery itself to the conformance invariant: fault injection,
+  // retries, and breaker decisions may not depend on which transport
+  // carries the frames.
+  FaultOptions faults;
+  faults.drop_rate = 0.3;
+  faults.duplicate_rate = 0.2;
+  faults.seed = 7;
+
+  auto run = [&](World& world, Transport* base) {
+    FaultyTransport faulty(base, faults);
+    QtOptions options = Labeled("conf-fault-det");
+    options.offer_timeout_ms = 5000;  // keep real socket latency on-time
+    options.transport_override = &faulty;
+    options.resilience.enabled = true;
+    options.resilience.retry.base_backoff_ms = 5;
+    options.resilience.breaker.trip_after = 2;
+    options.resilience.breaker.open_ms = 100;
+    QueryTradingOptimizer qt(world.fed.get(), "athens", options);
+    auto result = qt.Optimize(kQuery);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(result->ok());
+    return std::move(*result);
+  };
+
+  World inproc;
+  QtResult a = run(inproc, inproc.fed->transport());
+  TcpWorld tcp;
+  QtResult b = run(tcp, &tcp.tcp);
+
+  EXPECT_TRUE(SameDeterministicMetrics(a.metrics, b.metrics));
+  EXPECT_DOUBLE_EQ(a.cost, b.cost);
+  EXPECT_EQ(Explain(a.plan), Explain(b.plan));
+  ASSERT_EQ(a.winning_offers.size(), b.winning_offers.size());
+  for (size_t i = 0; i < a.winning_offers.size(); ++i) {
+    EXPECT_EQ(a.winning_offers[i].offer_id, b.winning_offers[i].offer_id);
+  }
+  // The schedule genuinely bit: faults were injected and retried.
+  EXPECT_GT(a.metrics.offers_dropped + a.metrics.retries +
+                a.metrics.offers_duplicated,
+            0);
+}
+
 TEST(TransportConformanceTest, PooledConnectionSurvivesServerRestart) {
   // A stale pooled connection (server bounced between negotiations) is
   // retried transparently on a fresh connect.

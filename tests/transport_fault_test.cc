@@ -1,10 +1,21 @@
 // FaultyTransport + the buyer's degradation policy: negotiation survives
 // lost, delayed and duplicated messages, decisions are seeded and
 // reproducible, and every discarded offer shows up in TradeMetrics.
+// Also: the ResilientTransport retry/breaker layer on top of the faulty
+// stack, and hostile TCP servers (silent, mid-frame reset, refused
+// connect) degrading through the same dropped-reply path.
 #include <gtest/gtest.h>
+#include <sys/socket.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
 
 #include "core/federation.h"
 #include "net/faulty_transport.h"
+#include "net/resilient.h"
+#include "net/socket_io.h"
+#include "net/tcp_transport.h"
 #include "tests/test_fixtures.h"
 #include "trading/buyer_engine.h"
 
@@ -160,6 +171,257 @@ TEST(TransportFaultTest, DuplicatesAreDiscardedWithoutDoubleCounting) {
   EXPECT_DOUBLE_EQ(dup_result.cost, clean_result.cost);
   EXPECT_EQ(dup_result.metrics.offers_received,
             clean_result.metrics.offers_received);
+}
+
+// ---- ResilientTransport over the faulty stack ----------------------------
+
+TEST(ResilientTransportTest, RetriesRecoverTransientDrops) {
+  // Same world, same seed, same run label: without the retry layer the
+  // dropped replies stay dropped; with it, re-sends recover them (the
+  // FaultyTransport occurrence counter gives each retry a fresh draw).
+  FaultWorld bare_world;
+  FaultOptions faults;
+  faults.drop_rate = 0.5;
+  faults.seed = 7;
+  FaultyTransport bare_faulty(bare_world.fed->transport(), faults);
+  QtOptions options;
+  options.run_label = "retry";
+  QtResult bare = bare_world.Optimize(&bare_faulty, options);
+  ASSERT_TRUE(bare.ok());
+  ASSERT_GT(bare.metrics.offers_dropped, 0);  // the faults really bite
+
+  FaultWorld world;
+  FaultyTransport faulty(world.fed->transport(), faults);
+  ResilienceOptions resilience;
+  resilience.enabled = true;
+  resilience.retry.base_backoff_ms = 10;
+  ResilientTransport resilient(&faulty, resilience);
+  QtResult recovered = world.Optimize(&resilient, options);
+  ASSERT_TRUE(recovered.ok());
+
+  EXPECT_GT(resilient.stats().rfb_retries, 0);
+  // Recovered replies are no longer dropped from the buyer's viewpoint.
+  EXPECT_LT(recovered.metrics.offers_dropped, bare.metrics.offers_dropped);
+}
+
+TEST(ResilientTransportTest, BreakerTripsAndShortCircuitsOnDeadPeer) {
+  FaultWorld world;
+  FaultOptions faults;
+  faults.drop_rate = 1.0;  // every non-loopback message is lost, forever
+  faults.seed = 3;
+  FaultyTransport faulty(world.fed->transport(), faults);
+  ResilienceOptions resilience;
+  resilience.enabled = true;
+  resilience.retry.max_attempts = 2;
+  resilience.retry.base_backoff_ms = 10;
+  resilience.breaker.trip_after = 2;
+  resilience.breaker.open_ms = 1e9;  // no half-open probe in this test
+  ResilientTransport resilient(&faulty, resilience);
+
+  QtOptions options;
+  options.run_label = "breaker";
+  QtResult first = world.Optimize(&resilient, options);
+  ASSERT_TRUE(first.ok());
+  EXPECT_GE(resilient.stats().breaker_trips, 1);
+  EXPECT_GT(resilient.stats().retries_exhausted, 0);
+  EXPECT_EQ(resilient.BreakerState("corfu"), "open");
+  EXPECT_EQ(resilient.BreakerState("myconos"), "open");
+
+  // A second negotiation against the same transport never bothers the
+  // dead peers: short-circuited sends, still a (self-supplied) plan.
+  const int64_t circuits_before = resilient.stats().breaker_short_circuits;
+  options.run_label = "breaker2";
+  QtResult second = world.Optimize(&resilient, options);
+  ASSERT_TRUE(second.ok());
+  EXPECT_GT(resilient.stats().breaker_short_circuits, circuits_before);
+  for (const auto& offer : second.winning_offers) {
+    EXPECT_EQ(offer.seller, "athens") << offer.offer_id;
+  }
+}
+
+TEST(ResilientTransportTest, ZeroFaultPassThroughIsByteIdentical) {
+  // With no faults underneath, the resilience layer must not change one
+  // byte of the negotiation (it only acts on dropped messages).
+  FaultWorld plain_world;
+  QtOptions options;
+  options.run_label = "passthrough";
+  QtResult plain = plain_world.Optimize(plain_world.fed->transport(),
+                                        options);
+
+  FaultWorld world;
+  ResilienceOptions armed;
+  armed.enabled = true;
+  ResilientTransport resilient(world.fed->transport(), armed);
+  QtResult wrapped = world.Optimize(&resilient, options);
+
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(wrapped.ok());
+  EXPECT_EQ(wrapped.metrics.messages, plain.metrics.messages);
+  EXPECT_EQ(wrapped.metrics.bytes, plain.metrics.bytes);
+  EXPECT_DOUBLE_EQ(wrapped.cost, plain.cost);
+  EXPECT_EQ(resilient.stats().rfb_retries, 0);
+  EXPECT_EQ(resilient.stats().breaker_trips, 0);
+}
+
+// ---- Hostile TCP servers -------------------------------------------------
+
+/// A TCP server that misbehaves on purpose: accepts and never replies,
+/// or writes a few garbage bytes mid-frame and slams the connection.
+class HostileServer {
+ public:
+  enum class Mode { kSilent, kMidFrameReset };
+
+  explicit HostileServer(Mode mode) : mode_(mode) {
+    auto listener = net::ListenTcp("127.0.0.1", 0, &port_);
+    EXPECT_TRUE(listener.ok()) << listener.status().ToString();
+    listen_fd_ = *listener;
+    thread_ = std::thread([this] { Serve(); });
+  }
+
+  ~HostileServer() {
+    stop_ = true;
+    thread_.join();
+    net::CloseFd(listen_fd_);
+    for (int fd : held_) net::CloseFd(fd);
+  }
+
+  uint16_t port() const { return port_; }
+
+ private:
+  void Serve() {
+    while (!stop_) {
+      if (!net::WaitReadable(listen_fd_, 50).ok()) continue;  // poll slice
+      int conn = ::accept(listen_fd_, nullptr, nullptr);
+      if (conn < 0) continue;
+      if (mode_ == Mode::kMidFrameReset) {
+        // Half a frame header (valid magic, then nothing), then gone.
+        (void)net::WriteAll(conn, std::string("QTRD\x01", 5));
+        net::CloseFd(conn);
+      } else {
+        held_.push_back(conn);  // accept, hold the socket, say nothing
+      }
+    }
+  }
+
+  Mode mode_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::vector<int> held_;
+  std::thread thread_;
+};
+
+/// Runs one buyer negotiation with athens as a local endpoint on `tcp`
+/// and "corfu" wired to a hostile address, with the resilience layer on
+/// top: its retry stats are the observable record of the TCP losses
+/// (a lost TCP reply carries no offer count, so offers_dropped cannot
+/// witness it the way the FaultyTransport tests do).
+QtResult OptimizeOverHostileTcp(FaultWorld& world, TcpTransport& tcp,
+                                ResilientTransport& resilient,
+                                const std::string& label) {
+  tcp.Register(world.fed->node("athens")->seller.get());
+  QtOptions options;
+  options.run_label = label;
+  BuyerEngine engine(world.fed->node("athens")->catalog.get(),
+                     &world.fed->factory(), &resilient,
+                     resilient.NodeNames(), options);
+  auto result = engine.Optimize("SELECT custname FROM customer");
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(*result);
+}
+
+ResilienceOptions FastRetry() {
+  ResilienceOptions resilience;
+  resilience.enabled = true;
+  resilience.retry.max_attempts = 2;
+  resilience.retry.base_backoff_ms = 10;
+  return resilience;
+}
+
+TEST(TcpFaultModeTest, AcceptsThenSilentServerDegradesWithoutHanging) {
+  const auto start = std::chrono::steady_clock::now();
+  HostileServer server(HostileServer::Mode::kSilent);
+  FaultWorld world;
+  TcpTransportOptions tcp_options;
+  tcp_options.connect_timeout_ms = 1000;
+  tcp_options.read_timeout_ms = 200;  // the hang bound under test
+  TcpTransport tcp(world.fed->network(), tcp_options);
+  tcp.AddPeer("corfu", "127.0.0.1", server.port());
+  ResilientTransport resilient(&tcp, FastRetry());
+
+  QtResult result =
+      OptimizeOverHostileTcp(world, tcp, resilient, "tcp-silent");
+  ASSERT_TRUE(result.ok());
+  // The silent peer's replies timed out into drops; retries timed out
+  // too, and the negotiation degraded onto the buyer's own offers
+  // instead of erroring out.
+  EXPECT_GT(resilient.stats().rfb_retries, 0);
+  EXPECT_GT(resilient.stats().retries_exhausted, 0);
+  for (const auto& offer : result.winning_offers) {
+    EXPECT_EQ(offer.seller, "athens") << offer.offer_id;
+  }
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_LT(elapsed_s, 30.0);  // read timeouts, not hangs
+}
+
+TEST(TcpFaultModeTest, MidFrameResetDegradesCleanly) {
+  HostileServer server(HostileServer::Mode::kMidFrameReset);
+  FaultWorld world;
+  TcpTransportOptions tcp_options;
+  tcp_options.connect_timeout_ms = 1000;
+  tcp_options.read_timeout_ms = 500;
+  TcpTransport tcp(world.fed->network(), tcp_options);
+  tcp.AddPeer("corfu", "127.0.0.1", server.port());
+  ResilientTransport resilient(&tcp, FastRetry());
+
+  QtResult result =
+      OptimizeOverHostileTcp(world, tcp, resilient, "tcp-reset");
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(resilient.stats().rfb_retries, 0);
+  EXPECT_GT(resilient.stats().retries_exhausted, 0);
+  for (const auto& offer : result.winning_offers) {
+    EXPECT_EQ(offer.seller, "athens") << offer.offer_id;
+  }
+}
+
+TEST(TcpFaultModeTest, RefusedConnectDegradesAndRetriesExhaust) {
+  // Grab an ephemeral port, then close the listener: connects to it are
+  // refused outright.
+  uint16_t dead_port = 0;
+  auto listener = net::ListenTcp("127.0.0.1", 0, &dead_port);
+  ASSERT_TRUE(listener.ok());
+  net::CloseFd(*listener);
+
+  FaultWorld world;
+  TcpTransportOptions tcp_options;
+  tcp_options.connect_timeout_ms = 500;
+  tcp_options.read_timeout_ms = 500;
+  TcpTransport tcp(world.fed->network(), tcp_options);
+  tcp.AddPeer("corfu", "127.0.0.1", dead_port);
+  tcp.Register(world.fed->node("athens")->seller.get());
+
+  // With the resilience layer on top: retries fire, stay exhausted
+  // (refused is refused), and the run still completes with a plan.
+  ResilienceOptions resilience;
+  resilience.enabled = true;
+  resilience.retry.max_attempts = 2;
+  resilience.retry.base_backoff_ms = 10;
+  ResilientTransport resilient(&tcp, resilience);
+  QtOptions options;
+  options.run_label = "tcp-refused";
+  BuyerEngine engine(world.fed->node("athens")->catalog.get(),
+                     &world.fed->factory(), &resilient, resilient.NodeNames(),
+                     options);
+  auto result = engine.Optimize("SELECT custname FROM customer");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result->ok());
+  EXPECT_GT(resilient.stats().rfb_retries, 0);
+  EXPECT_GT(resilient.stats().retries_exhausted, 0);
+  for (const auto& offer : result->winning_offers) {
+    EXPECT_EQ(offer.seller, "athens") << offer.offer_id;
+  }
 }
 
 }  // namespace
