@@ -1,0 +1,344 @@
+// Concurrent negotiation throughput: N client threads × M queries
+// against a 5-node telecom federation whose remote offices are served by
+// real NodeServers (reactor + worker pool) behind one shared
+// TcpTransport. Every negotiation rides its own frame-header channel, so
+// hundreds of in-flight negotiations interleave on the pooled
+// connections instead of queueing behind each other.
+//
+// The run is a guardrail as much as a benchmark:
+//   1. A serial reference pass first negotiates every (thread, query)
+//      work item one at a time, recording cost, winning offers and the
+//      explained plan under a fixed per-item run label.
+//   2. The concurrent pass re-runs the identical work items from N
+//      threads at once over the same transport and servers. Each result
+//      must be byte-identical to its serial reference (same cost, same
+//      winners, same plan) — concurrency may change wall time, never
+//      outcomes — and zero negotiations may fail.
+//
+// Reports p50/p90/p99 negotiation latency, negotiations/sec and
+// messages/sec, and writes the machine-readable trajectory file
+// BENCH_throughput.json (repo root when run from there, e.g. via
+// ci/check.sh). Exits 1 on any failure, parity mismatch, or — in the
+// full run — a peak concurrency below the in-flight floor of 64.
+//
+// Flags: --smoke (8 threads × 2 queries, used by ci/check.sh), --json,
+// --threads N, --queries M, --out PATH.
+#include "bench/bench_util.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "plan/plan.h"
+#include "server/node_server.h"
+#include "workload/telecom.h"
+
+using namespace qtrade;
+using namespace qtrade::bench;
+
+namespace {
+
+constexpr int kInflightFloor = 64;  // acceptance: sustained concurrency
+
+/// One negotiation to run: fixed label => byte-identical RFB/offer ids
+/// whether the item runs serially or interleaved with 63 others.
+struct WorkItem {
+  std::string label;
+  std::string sql;
+};
+
+/// What the serial pass pins down and the concurrent pass must match.
+struct Reference {
+  bool ok = false;
+  double cost = 0;
+  std::string plan;
+  std::vector<std::string> winners;  // "offer_id@seller" in award order
+  int64_t messages = 0;              // serial-pass message count
+};
+
+struct Outcome {
+  bool ok = false;
+  bool matches = false;
+  double wall_ms = 0;
+};
+
+Reference MakeReference(const QtResult& result) {
+  Reference ref;
+  ref.ok = result.ok();
+  if (!ref.ok) return ref;
+  ref.cost = result.cost;
+  ref.plan = Explain(result.plan);
+  for (const Offer& offer : result.winning_offers) {
+    ref.winners.push_back(offer.offer_id + "@" + offer.seller);
+  }
+  ref.messages = result.metrics.messages;
+  return ref;
+}
+
+bool Matches(const Reference& ref, const QtResult& result) {
+  if (!ref.ok || !result.ok()) return false;
+  if (ref.cost != result.cost) return false;
+  if (ref.plan != Explain(result.plan)) return false;
+  if (ref.winners.size() != result.winning_offers.size()) return false;
+  for (size_t i = 0; i < ref.winners.size(); ++i) {
+    if (ref.winners[i] != result.winning_offers[i].offer_id + "@" +
+                              result.winning_offers[i].seller) {
+      return false;
+    }
+  }
+  // Message/byte metrics are deltas of the shared SimNetwork counters —
+  // deterministic serially, interleaved under concurrency — so outcome
+  // parity is cost + winners + plan, never the metrics block.
+  return true;
+}
+
+/// Start-line barrier: no thread negotiates until every thread exists,
+/// so the in-flight count genuinely reaches the thread count.
+class StartLine {
+ public:
+  explicit StartLine(int expected) : expected_(expected) {}
+  void ArriveAndWait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (++arrived_ == expected_) {
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return arrived_ >= expected_; });
+    }
+  }
+
+ private:
+  const int expected_;
+  int arrived_ = 0;
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  int threads = kInflightFloor;
+  int queries = 2;
+  std::string out_path = "BENCH_throughput.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--queries") == 0 && i + 1 < argc) {
+      queries = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+  if (smoke) {
+    threads = 8;
+    queries = 2;
+  }
+  threads = std::max(1, threads);
+  queries = std::max(1, queries);
+  const bool json = JsonMode(argc, argv);
+  Banner("BENCH-throughput",
+         "concurrent negotiations over one TcpTransport vs 5-node "
+         "federation");
+
+  TelecomParams params;
+  params.num_offices = 5;
+  params.customers_per_office = smoke ? 20 : 40;
+  auto world = BuildTelecomWorld(params);
+  if (!world.ok()) {
+    std::fprintf(stderr, "telecom world build failed: %s\n",
+                 world.status().ToString().c_str());
+    return 1;
+  }
+  Federation* fed = world->federation.get();
+  const std::string buyer = world->node_names[0];
+
+  // Remote offices behind real NodeServers; the buyer's own seller stays
+  // a loopback endpoint on the one shared client transport. Every client
+  // thread injects this transport, so all negotiations multiplex over
+  // the same pooled connections (one per peer).
+  std::vector<std::unique_ptr<NodeServer>> servers;
+  TcpTransport tcp(fed->network());
+  tcp.Register(fed->node(buyer)->seller.get());
+  for (size_t i = 1; i < world->node_names.size(); ++i) {
+    const std::string& name = world->node_names[i];
+    NodeServerOptions server_options;
+    server_options.workers = 8;
+    auto server = std::make_unique<NodeServer>(fed->node(name)->seller.get(),
+                                               server_options);
+    Status started = server->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "listen failed: %s\n",
+                   started.ToString().c_str());
+      return 1;
+    }
+    tcp.AddPeer(name, "127.0.0.1", server->port());
+    servers.push_back(std::move(server));
+  }
+
+  auto options_for = [&](const WorkItem& item) {
+    QtOptions options;
+    options.run_label = item.label;
+    options.offer_timeout_ms = 60000;  // loaded machine != dead seller
+    options.transport_override = &tcp;
+    return options;
+  };
+
+  std::vector<std::vector<WorkItem>> work(threads);
+  for (int t = 0; t < threads; ++t) {
+    for (int q = 0; q < queries; ++q) {
+      WorkItem item;
+      item.label = "tp-t" + std::to_string(t) + "-q" + std::to_string(q);
+      item.sql = (q % 2 == 0) ? world->MotivatingQuerySql()
+                              : TelecomWorld::RevenueReportSql();
+      work[t].push_back(std::move(item));
+    }
+  }
+
+  // Serial reference pass: one negotiation at a time pins the expected
+  // outcome (and the deterministic message count) per work item.
+  std::vector<std::vector<Reference>> refs(threads);
+  int64_t total_messages = 0;
+  for (int t = 0; t < threads; ++t) {
+    for (const WorkItem& item : work[t]) {
+      QueryTradingOptimizer qt(fed, buyer, options_for(item));
+      auto result = qt.Optimize(item.sql);
+      Reference ref;
+      if (result.ok() && result->ok()) ref = MakeReference(*result);
+      if (!ref.ok) {
+        std::fprintf(stderr, "FAIL: serial reference %s failed: %s\n",
+                     item.label.c_str(),
+                     result.ok() ? "no plan" : result.status().ToString().c_str());
+        return 1;
+      }
+      total_messages += ref.messages;
+      refs[t].push_back(std::move(ref));
+    }
+  }
+
+  // Concurrent pass: same items, same labels, N threads at once.
+  std::vector<std::vector<Outcome>> outcomes(threads);
+  for (int t = 0; t < threads; ++t) outcomes[t].resize(work[t].size());
+  std::atomic<int> inflight{0};
+  std::atomic<int> peak_inflight{0};
+  StartLine start_line(threads);
+  auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      start_line.ArriveAndWait();
+      for (size_t q = 0; q < work[t].size(); ++q) {
+        const WorkItem& item = work[t][q];
+        const int now = inflight.fetch_add(1) + 1;
+        int seen = peak_inflight.load();
+        while (now > seen &&
+               !peak_inflight.compare_exchange_weak(seen, now)) {
+        }
+        auto start = std::chrono::steady_clock::now();
+        QueryTradingOptimizer qt(fed, buyer, options_for(item));
+        auto result = qt.Optimize(item.sql);
+        Outcome& out = outcomes[t][q];
+        out.wall_ms = WallMs(start);
+        inflight.fetch_sub(1);
+        out.ok = result.ok() && result->ok();
+        out.matches = out.ok && Matches(refs[t][q], *result);
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  const double elapsed_ms = WallMs(wall_start);
+  for (auto& server : servers) server->Stop();
+
+  std::vector<double> latencies;
+  int failed = 0;
+  int mismatched = 0;
+  for (int t = 0; t < threads; ++t) {
+    for (size_t q = 0; q < outcomes[t].size(); ++q) {
+      const Outcome& out = outcomes[t][q];
+      latencies.push_back(out.wall_ms);
+      if (!out.ok) {
+        ++failed;
+        std::fprintf(stderr, "FAIL: %s failed under concurrency\n",
+                     work[t][q].label.c_str());
+      } else if (!out.matches) {
+        ++mismatched;
+        std::fprintf(stderr, "FAIL: %s diverged from serial reference\n",
+                     work[t][q].label.c_str());
+      }
+    }
+  }
+  const LatencySummary lat = Summarize(latencies, elapsed_ms);
+  const double msgs_per_sec =
+      elapsed_ms > 0 ? static_cast<double>(total_messages) /
+                           (elapsed_ms / 1000.0)
+                     : 0;
+
+  std::printf("\n%d threads x %d queries, %d-node federation, peak "
+              "in-flight %d\n",
+              threads, queries, params.num_offices, peak_inflight.load());
+  std::printf("%-22s %10s\n", "metric", "value");
+  std::printf("%-22s %10lld\n", "negotiations",
+              static_cast<long long>(lat.count));
+  std::printf("%-22s %8.2fms\n", "p50 latency", lat.p50_ms);
+  std::printf("%-22s %8.2fms\n", "p90 latency", lat.p90_ms);
+  std::printf("%-22s %8.2fms\n", "p99 latency", lat.p99_ms);
+  std::printf("%-22s %10.1f\n", "negotiations/sec", lat.per_sec);
+  std::printf("%-22s %10.1f\n", "messages/sec", msgs_per_sec);
+  std::printf("%-22s %8.2fms\n", "elapsed", lat.elapsed_ms);
+  std::printf("%-22s %10d\n", "failed", failed);
+  std::printf("%-22s %10d\n", "parity mismatches", mismatched);
+  if (json) {
+    JsonRow("BENCH-throughput")
+        .Int("threads", threads)
+        .Int("queries_per_thread", queries)
+        .Int("negotiations", lat.count)
+        .Int("peak_inflight", peak_inflight.load())
+        .Num("p50_ms", lat.p50_ms)
+        .Num("p90_ms", lat.p90_ms)
+        .Num("p99_ms", lat.p99_ms)
+        .Num("negotiations_per_sec", lat.per_sec)
+        .Num("messages_per_sec", msgs_per_sec)
+        .Int("failed", failed)
+        .Int("parity_mismatches", mismatched)
+        .Emit();
+  }
+
+  // Trajectory file: one JSON object, stable keys, overwritten per run.
+  if (FILE* f = std::fopen(out_path.c_str(), "w")) {
+    std::fprintf(
+        f,
+        "{\"bench\":\"throughput\",\"nodes\":%d,\"threads\":%d,"
+        "\"queries_per_thread\":%d,\"negotiations\":%lld,"
+        "\"peak_inflight\":%d,\"p50_ms\":%.3f,\"p90_ms\":%.3f,"
+        "\"p99_ms\":%.3f,\"negotiations_per_sec\":%.2f,"
+        "\"messages_per_sec\":%.2f,\"elapsed_ms\":%.2f,\"failed\":%d,"
+        "\"parity_mismatches\":%d,\"smoke\":%s}\n",
+        params.num_offices, threads, queries,
+        static_cast<long long>(lat.count), peak_inflight.load(), lat.p50_ms,
+        lat.p90_ms, lat.p99_ms, lat.per_sec, msgs_per_sec, lat.elapsed_ms,
+        failed, mismatched, smoke ? "true" : "false");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "FAIL: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+
+  if (failed > 0 || mismatched > 0) return 1;
+  if (!smoke && peak_inflight.load() < std::min(threads, kInflightFloor)) {
+    std::fprintf(stderr, "FAIL: peak in-flight %d below floor %d\n",
+                 peak_inflight.load(), std::min(threads, kInflightFloor));
+    return 1;
+  }
+  std::printf("\nall %lld concurrent negotiations byte-identical to their "
+              "serial references\n",
+              static_cast<long long>(lat.count));
+  return 0;
+}

@@ -36,6 +36,56 @@ inline double Median(std::vector<double> samples) {
   return (samples[mid - 1] + samples[mid]) / 2;
 }
 
+/// Interpolated percentile of an unsorted sample, q in [0,1]
+/// (linear interpolation between closest ranks, the numpy default).
+/// Percentile(s, 0.5) agrees with Median(s).
+inline double Percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  q = std::min(std::max(q, 0.0), 1.0);
+  const double rank = q * static_cast<double>(samples.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] + (samples[hi] - samples[lo]) * frac;
+}
+
+/// Latency-distribution summary for throughput benches: p50/p90/p99
+/// over per-operation wall times plus operations/sec over the whole
+/// window (count / elapsed, not the inverse mean latency — the two
+/// differ once operations overlap).
+struct LatencySummary {
+  int64_t count = 0;
+  double p50_ms = 0;
+  double p90_ms = 0;
+  double p99_ms = 0;
+  double min_ms = 0;
+  double max_ms = 0;
+  double mean_ms = 0;
+  double per_sec = 0;  // throughput over elapsed_ms
+  double elapsed_ms = 0;
+};
+
+inline LatencySummary Summarize(const std::vector<double>& latencies_ms,
+                                double elapsed_ms) {
+  LatencySummary s;
+  s.count = static_cast<int64_t>(latencies_ms.size());
+  s.elapsed_ms = elapsed_ms;
+  if (latencies_ms.empty()) return s;
+  s.p50_ms = Percentile(latencies_ms, 0.50);
+  s.p90_ms = Percentile(latencies_ms, 0.90);
+  s.p99_ms = Percentile(latencies_ms, 0.99);
+  s.min_ms = *std::min_element(latencies_ms.begin(), latencies_ms.end());
+  s.max_ms = *std::max_element(latencies_ms.begin(), latencies_ms.end());
+  double sum = 0;
+  for (double v : latencies_ms) sum += v;
+  s.mean_ms = sum / static_cast<double>(s.count);
+  if (elapsed_ms > 0) {
+    s.per_sec = static_cast<double>(s.count) / (elapsed_ms / 1000.0);
+  }
+  return s;
+}
+
 /// One QT optimization experiment point: the result of a cold warm-up
 /// run plus min/median wall time over the timed repetitions.
 struct QtRun {

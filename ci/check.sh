@@ -96,15 +96,25 @@ echo "loopback TCP smoke: RESULT blocks identical"
 echo "== fault recovery smoke"
 ./build/bench/bench_recovery --smoke --max-schedules=64
 
+# Concurrent negotiation smoke: client threads multiplexed over one
+# TcpTransport against NodeServer reactors; every concurrent outcome
+# must be byte-identical to its serial reference (the bench exits
+# non-zero on any failure or divergence) and the BENCH_throughput.json
+# trajectory file must appear.
+echo "== concurrent negotiation throughput smoke"
+./build/bench/bench_throughput --smoke
+test -s BENCH_throughput.json
+
 if [[ "${TSAN:-0}" == "1" ]]; then
   cmake -B build-tsan -S . -DQTRADE_TSAN=ON
   cmake --build build-tsan -j "${JOBS}" --target \
     trading_test subcontract_test transport_fault_test offer_cache_test \
     obs_test codec_test codec_fuzz_test transport_conformance_test \
-    fault_schedule_test
+    fault_schedule_test node_server_test concurrent_state_test
   for t in trading_test subcontract_test transport_fault_test \
            offer_cache_test obs_test codec_test codec_fuzz_test \
-           transport_conformance_test fault_schedule_test; do
+           transport_conformance_test fault_schedule_test \
+           node_server_test concurrent_state_test; do
     echo "== tsan: ${t}"
     ./build-tsan/tests/"${t}"
   done

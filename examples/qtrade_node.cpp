@@ -44,11 +44,14 @@ struct Args {
   bool inproc = false;
   std::string protocol = "bidding";
   bool shutdown_peers = false;
+
+  // Daemon mode: engine worker threads behind the reactor.
+  int workers = 4;
 };
 
 void Usage() {
   std::cout <<
-      "qtrade_node --node NAME --listen PORT [world flags]\n"
+      "qtrade_node --node NAME --listen PORT [--workers N] [world flags]\n"
       "qtrade_node --optimize SQL|motivating|revenue\n"
       "            (--peers n=h:p,n=h:p | --inproc)\n"
       "            [--buyer NAME] [--protocol bidding|auction|bargaining]\n"
@@ -76,6 +79,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->protocol = argv[++i];
     } else if (flag == "--shutdown-peers") {
       args->shutdown_peers = true;
+    } else if (flag == "--workers" && need(i)) {
+      args->workers = std::atoi(argv[++i]);
     } else if (flag == "--offices" && need(i)) {
       args->params.num_offices = std::atoi(argv[++i]);
     } else if (flag == "--customers" && need(i)) {
@@ -128,6 +133,7 @@ int RunDaemon(const Args& args) {
   }
   NodeServerOptions options;
   options.port = static_cast<uint16_t>(args.listen_port);
+  options.workers = args.workers;
   NodeServer server(node->seller.get(), options);
   Status started = server.Start();
   if (!started.ok()) {

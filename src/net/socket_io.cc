@@ -188,9 +188,17 @@ Status ReadExact(int fd, size_t n, double read_timeout_ms, std::string* buf,
 
 Result<std::string> ReadFrame(int fd, double read_timeout_ms) {
   std::string frame;
-  QTRADE_RETURN_IF_ERROR(ReadExact(fd, serde::kFrameHeaderBytes,
+  // The v1-sized prefix is enough to learn the frame's version (offset
+  // 4) and thus how much header remains; v2 headers carry 4 more bytes
+  // of channel before the payload.
+  QTRADE_RETURN_IF_ERROR(ReadExact(fd, serde::kFrameHeaderBytesV1,
                                    read_timeout_ms, &frame,
                                    /*eof_ok_at_start=*/true));
+  if (static_cast<uint8_t>(frame[4]) >= 2) {
+    QTRADE_RETURN_IF_ERROR(
+        ReadExact(fd, serde::kFrameHeaderBytes - serde::kFrameHeaderBytesV1,
+                  read_timeout_ms, &frame, /*eof_ok_at_start=*/false));
+  }
   // Header validation before trusting the length field: a garbage peer
   // cannot make us allocate or wait for gigabytes.
   QTRADE_ASSIGN_OR_RETURN(serde::FrameHeader header,

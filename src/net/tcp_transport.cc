@@ -1,5 +1,7 @@
 #include "net/tcp_transport.h"
 
+#include <sys/socket.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -20,6 +22,11 @@ double WallMs(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(end - start).count();
 }
 
+// Leadership/wait slice: short enough that reply deadlines stay live and
+// reader leadership can rotate while the wire is idle, long enough that
+// an idle connection costs almost nothing.
+constexpr double kReaderSliceMs = 50;
+
 }  // namespace
 
 TcpTransport::TcpTransport(SimNetwork* network, TcpTransportOptions options)
@@ -29,8 +36,7 @@ TcpTransport::~TcpTransport() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, peer] : peers_) {
     std::lock_guard<std::mutex> peer_lock(peer->mu);
-    net::CloseFd(peer->fd);
-    peer->fd = -1;
+    TearDownLocked(peer.get(), Status::Internal("tcp: transport destroyed"));
   }
 }
 
@@ -40,8 +46,8 @@ void TcpTransport::AddPeer(const std::string& name, const std::string& host,
   auto it = peers_.find(name);
   if (it != peers_.end()) {
     std::lock_guard<std::mutex> peer_lock(it->second->mu);
-    net::CloseFd(it->second->fd);
-    it->second->fd = -1;
+    TearDownLocked(it->second.get(),
+                   Status::Internal("tcp: peer re-addressed"));
     it->second->host = host;
     it->second->port = port;
     return;
@@ -55,8 +61,7 @@ void TcpTransport::AddPeer(const std::string& name, const std::string& host,
 void TcpTransport::DisconnectPeer(const std::string& name) {
   if (PeerState* p = peer(name)) {
     std::lock_guard<std::mutex> peer_lock(p->mu);
-    net::CloseFd(p->fd);
-    p->fd = -1;
+    TearDownLocked(p, Status::Internal("tcp: peer disconnected"));
   }
 }
 
@@ -93,9 +98,117 @@ void TcpTransport::SetObservability(obs::Tracer* tracer,
   obs_.Set(tracer, metrics);
 }
 
+void TcpTransport::TearDownLocked(PeerState* peer, Status why) {
+  if (peer->fd >= 0) {
+    if (peer->reader_active) {
+      // The leader is mid-read on this fd with the mutex released;
+      // closing it here could race a concurrent open() reusing the
+      // descriptor. Shut the socket down to wake the reader — it sees
+      // the generation bump and does the close itself.
+      ::shutdown(peer->fd, SHUT_RDWR);
+    } else {
+      net::CloseFd(peer->fd);
+    }
+  }
+  peer->fd = -1;
+  peer->generation++;
+  peer->inbox.clear();
+  peer->fail_status = std::move(why);
+  peer->cv.notify_all();
+}
+
+Result<std::string> TcpTransport::AwaitReply(
+    PeerState* peer, std::unique_lock<std::mutex>& lock, uint32_t channel,
+    uint64_t gen) {
+  const bool bounded = options_.read_timeout_ms > 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(
+              bounded ? options_.read_timeout_ms : 0));
+  peer->waiting[channel]++;
+  auto done = [&](Result<std::string> r) {
+    auto it = peer->waiting.find(channel);
+    if (it != peer->waiting.end() && --it->second <= 0) {
+      peer->waiting.erase(it);
+    }
+    return r;
+  };
+  auto stranded = [&] {
+    return peer->fail_status.ok()
+               ? Status::Internal("tcp: connection closed under rpc")
+               : peer->fail_status;
+  };
+  while (true) {
+    if (peer->generation != gen) return done(stranded());
+    auto in = peer->inbox.find(channel);
+    if (in != peer->inbox.end()) {
+      std::string frame = std::move(in->second);
+      peer->inbox.erase(in);
+      return done(std::move(frame));
+    }
+    if (bounded && std::chrono::steady_clock::now() >= deadline) {
+      // The reply may still arrive later; were the connection kept, that
+      // orphan could be mistaken for the answer to this channel's *next*
+      // request. A timeout is indistinguishable from a dead peer anyway,
+      // so drop the connection — exactly what the serial transport did.
+      // Concurrent RPCs on it fail fast into their reconnect retry.
+      TearDownLocked(peer, Status::Timeout("tcp read: peer timed out"));
+      return done(Status::Timeout("tcp read: reply timed out"));
+    }
+    if (!peer->reader_active) {
+      // Leader: read the next frame off the wire for everyone.
+      peer->reader_active = true;
+      const int fd = peer->fd;
+      lock.unlock();
+      // Wait for the frame to *start* in short slices (deadlines above
+      // stay live on an idle wire); once bytes flow, read it to
+      // completion under the full read timeout.
+      Status readable = net::WaitReadable(fd, kReaderSliceMs);
+      Result<std::string> frame =
+          readable.ok() ? net::ReadFrame(fd, options_.read_timeout_ms)
+                        : Result<std::string>(readable);
+      lock.lock();
+      peer->reader_active = false;
+      peer->cv.notify_all();
+      if (peer->generation != gen) {
+        net::CloseFd(fd);  // teardown deferred the close to the reader
+        return done(stranded());
+      }
+      if (!frame.ok()) {
+        if (!readable.ok() &&
+            readable.code() == StatusCode::kTimeout) {
+          continue;  // idle slice, nothing consumed: rotate and re-check
+        }
+        // Read error or mid-frame timeout: the stream is broken for
+        // every channel on it.
+        TearDownLocked(peer, frame.status());
+        return done(frame.status());
+      }
+      auto header = serde::ParseFrameHeader(*frame);
+      if (!header.ok()) {
+        TearDownLocked(peer, header.status());
+        return done(header.status());
+      }
+      if (header->channel == channel) return done(std::move(*frame));
+      if (peer->waiting.count(header->channel) > 0) {
+        peer->inbox[header->channel] = std::move(*frame);
+        peer->cv.notify_all();
+      }
+      // else: orphaned reply (its waiter already gave up) — dropped.
+      continue;
+    }
+    // Follower: the leader stashes our reply or fails the connection;
+    // sliced waits keep the deadline check live regardless.
+    peer->cv.wait_for(
+        lock, std::chrono::milliseconds(static_cast<int>(kReaderSliceMs)));
+  }
+}
+
 Result<std::string> TcpTransport::RoundTrip(PeerState* peer,
-                                            const std::string& frame) {
-  std::lock_guard<std::mutex> lock(peer->mu);
+                                            const std::string& frame,
+                                            uint32_t channel) {
+  std::unique_lock<std::mutex> lock(peer->mu);
   for (int attempt = 0; attempt < 2; ++attempt) {
     const bool reused = peer->fd >= 0;
     if (!reused) {
@@ -104,19 +217,21 @@ Result<std::string> TcpTransport::RoundTrip(PeerState* peer,
       if (!fd.ok()) return fd.status();
       peer->fd = *fd;
     }
+    const uint64_t gen = peer->generation;
+    // The lock serializes writers, so interleaved requests never split
+    // each other's frames; it drops inside AwaitReply whenever this
+    // thread blocks, which is what lets other channels write and read
+    // concurrently on this same connection.
     Status sent = net::WriteAll(peer->fd, frame);
     if (!sent.ok()) {
-      net::CloseFd(peer->fd);
-      peer->fd = -1;
+      TearDownLocked(peer, sent);
       // A pooled connection the peer already closed fails on write;
       // retry once on a fresh connect before giving up.
       if (reused && attempt == 0) continue;
       return sent;
     }
-    auto reply = net::ReadFrame(peer->fd, options_.read_timeout_ms);
+    auto reply = AwaitReply(peer, lock, channel, gen);
     if (!reply.ok()) {
-      net::CloseFd(peer->fd);
-      peer->fd = -1;
       // A reused connection failing at read (orderly close -> NotFound,
       // restarted peer -> ECONNRESET) is the stale-connection race: the
       // request never reached a live server, so one retry on a fresh
@@ -155,7 +270,8 @@ std::vector<OfferReply> TcpTransport::BroadcastRfb(
   // on the dispatching thread, identically to InProcessTransport) is
   // fed by the real encoded byte count.
   const std::string frame = serde::EncodeRfb(rfb);
-  const obs::SpanRef rfb_span{rfb.trace_parent, rfb.trace_round};
+  const obs::SpanRef rfb_span{rfb.trace_parent, rfb.trace_round,
+                              rfb.negotiation_id};
   for (size_t i = 0; i < n; ++i) {
     tasks[i].ep = endpoint(to[i]);
     if (tasks[i].ep == nullptr) tasks[i].peer = peer(to[i]);
@@ -185,7 +301,7 @@ std::vector<OfferReply> TcpTransport::BroadcastRfb(
       return;
     }
     if (task.peer == nullptr) return;
-    auto reply = RoundTrip(task.peer, frame);
+    auto reply = RoundTrip(task.peer, frame, rfb.negotiation_id);
     task.compute_ms = WallMs(start);
     if (!reply.ok()) {
       task.status = reply.status();
@@ -268,14 +384,14 @@ std::vector<OfferReply> TcpTransport::BroadcastRfb(
 TickReply TcpTransport::TickRpc(const std::string& from,
                                 const std::string& to,
                                 const std::string& frame, int64_t wire_bytes,
-                                const char* kind) {
+                                uint32_t channel, const char* kind) {
   PeerState* p = peer(to);
   if (p == nullptr) return {std::nullopt, 0, true};
   TickReply reply;
   double out_ms = network_->Send(from, to, wire_bytes, kind);
   obs_.ObserveSend(from, to, wire_bytes, kind, {});
   auto start = std::chrono::steady_clock::now();
-  auto raw = RoundTrip(p, frame);
+  auto raw = RoundTrip(p, frame, channel);
   double compute_ms = WallMs(start);
   if (!raw.ok()) {
     QTRADE_LOG(kWarning) << "tick rpc to " << to
@@ -326,7 +442,7 @@ TickReply TcpTransport::SendAuctionTick(const std::string& from,
     return reply;
   }
   return TickRpc(from, to, serde::EncodeAuctionTick(tick), tick.WireBytes(),
-                 "auction");
+                 tick.negotiation_id, "auction");
 }
 
 TickReply TcpTransport::SendCounterOffer(const std::string& from,
@@ -348,7 +464,7 @@ TickReply TcpTransport::SendCounterOffer(const std::string& from,
     return reply;
   }
   return TickRpc(from, to, serde::EncodeCounterOffer(counter),
-                 counter.WireBytes(), "bargain");
+                 counter.WireBytes(), counter.negotiation_id, "bargain");
 }
 
 double TcpTransport::SendAwards(const std::string& from, const std::string& to,
@@ -363,7 +479,8 @@ double TcpTransport::SendAwards(const std::string& from, const std::string& to,
   if (p == nullptr) return 0;
   double out_ms = network_->Send(from, to, batch.WireBytes(), "award");
   obs_.ObserveSend(from, to, batch.WireBytes(), "award", {});
-  auto raw = RoundTrip(p, serde::EncodeAwardBatch(batch));
+  auto raw = RoundTrip(p, serde::EncodeAwardBatch(batch),
+                       batch.negotiation_id);
   if (!raw.ok()) {
     // Award feedback is best-effort (the seller just learns less);
     // the kAck reply is protocol overhead, never accounted.
@@ -378,9 +495,13 @@ void TcpTransport::AdvanceRound(double ms) { network_->AdvanceClock(ms); }
 Status TcpTransport::PingPeer(const std::string& name) {
   PeerState* p = peer(name);
   if (p == nullptr) return Status::NotFound("no such peer: " + name);
-  QTRADE_ASSIGN_OR_RETURN(std::string raw,
-                          RoundTrip(p, serde::SealFrame(serde::MsgType::kPing,
-                                                        "")));
+  // Control RPCs get their own channel so a ping interleaved with live
+  // negotiations can't collide with their replies.
+  const uint32_t channel = AllocateNegotiationId();
+  QTRADE_ASSIGN_OR_RETURN(
+      std::string raw,
+      RoundTrip(p, serde::SealFrame(serde::MsgType::kPing, "", channel),
+                channel));
   QTRADE_ASSIGN_OR_RETURN(serde::FrameView frame, serde::ParseFrame(raw));
   if (frame.type != serde::MsgType::kAck) {
     return Status::Internal("unexpected ping reply frame");
@@ -391,9 +512,11 @@ Status TcpTransport::PingPeer(const std::string& name) {
 Status TcpTransport::ShutdownPeer(const std::string& name) {
   PeerState* p = peer(name);
   if (p == nullptr) return Status::NotFound("no such peer: " + name);
+  const uint32_t channel = AllocateNegotiationId();
   QTRADE_ASSIGN_OR_RETURN(
       std::string raw,
-      RoundTrip(p, serde::SealFrame(serde::MsgType::kShutdown, "")));
+      RoundTrip(p, serde::SealFrame(serde::MsgType::kShutdown, "", channel),
+                channel));
   QTRADE_ASSIGN_OR_RETURN(serde::FrameView frame, serde::ParseFrame(raw));
   if (frame.type != serde::MsgType::kAck) {
     return Status::Internal("unexpected shutdown reply frame");
@@ -411,10 +534,11 @@ Result<RowSet> TcpTransport::FetchOffer(const std::string& peer_name,
   if (p == nullptr) return Status::NotFound("no such peer: " + peer_name);
   serde::Encoder e;
   e.PutString(offer_id);
-  const std::string frame = e.Seal(serde::MsgType::kExecuteOffer);
+  const uint32_t channel = AllocateNegotiationId();
+  const std::string frame = e.Seal(serde::MsgType::kExecuteOffer, channel);
   network_->Send("buyer", peer_name, static_cast<int64_t>(frame.size()),
                  "data");
-  QTRADE_ASSIGN_OR_RETURN(std::string raw, RoundTrip(p, frame));
+  QTRADE_ASSIGN_OR_RETURN(std::string raw, RoundTrip(p, frame, channel));
   auto rows = serde::DecodeRowSet(raw);
   if (!rows.ok()) {
     Status declined;

@@ -19,13 +19,23 @@
 //     in-process transport charges, so byte totals agree across
 //     transports for identical negotiations.
 //
-// Connection model: one pooled connection per peer, created lazily and
-// reused across negotiation rounds; a stale pooled connection (peer
-// restarted) is retried once with a fresh connect. RPCs on one peer
-// serialize on its connection; fan-out to different peers is parallel.
+// Connection model (see DESIGN.md, "Concurrent negotiation"): one
+// pooled connection per peer, created lazily and reused across
+// negotiation rounds. Frames for *different negotiations* interleave
+// freely on that one connection: each request carries its negotiation
+// id in the frame-header channel, the server echoes it on the reply,
+// and the client demultiplexes arriving replies by channel — one
+// caller at a time acts as the connection's reader (leader) and stashes
+// other channels' replies for their waiting threads (followers). A
+// stale pooled connection (peer restarted) is retried once with a
+// fresh connect; a reply timeout drops the connection, exactly like
+// the serial transport, because a late reply left in the stream could
+// be mistaken for the answer to the channel's next request.
 #ifndef QTRADE_NET_TCP_TRANSPORT_H_
 #define QTRADE_NET_TCP_TRANSPORT_H_
 
+#include <condition_variable>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -74,6 +84,7 @@ class TcpTransport : public Transport {
   }
 
   /// Drops the pooled connection to `name` (it re-opens on next use).
+  /// RPCs in flight on it fail over to their reconnect retry.
   void DisconnectPeer(const std::string& name);
 
   /// Liveness probe: ping/ack round-trip to a named peer.
@@ -113,22 +124,53 @@ class TcpTransport : public Transport {
   struct PeerState {
     std::string host;
     uint16_t port = 0;
-    std::mutex mu;  // serializes RPCs on the pooled connection
+    std::mutex mu;  // guards everything below; dropped while reading
+    std::condition_variable cv;
     int fd = -1;    // -1 = not connected
+    /// Bumped on every teardown; a waiter whose generation no longer
+    /// matches knows its connection died and reads `fail_status`.
+    uint64_t generation = 0;
+    /// True while some RPC thread (the leader) is blocked reading the
+    /// next frame off `fd` with `mu` released.
+    bool reader_active = false;
+    /// Channel -> count of RPCs awaiting that channel's reply. Replies
+    /// arriving for channels nobody waits on (a waiter timed out and
+    /// the connection survived a race) are dropped, not stashed.
+    std::map<uint32_t, int> waiting;
+    /// Replies the leader read that belong to other channels.
+    std::map<uint32_t, std::string> inbox;
+    /// Why the last teardown happened (surfaced to stranded waiters).
+    Status fail_status = Status::OK();
   };
 
   PeerState* peer(const std::string& name) const;
 
-  /// One framed request/reply exchange on the peer's pooled connection.
-  /// Reconnects once when a reused connection turns out stale. Returns
-  /// the raw reply frame (header-validated; callers decode).
-  Result<std::string> RoundTrip(PeerState* peer, const std::string& frame);
+  /// One framed request/reply exchange on the peer's pooled connection,
+  /// demultiplexed by `channel` (the frame's header channel — the
+  /// negotiation id). Concurrent calls for different channels interleave
+  /// on one connection. Reconnects once when a reused connection turns
+  /// out stale. Returns the raw reply frame (header-validated; callers
+  /// decode).
+  Result<std::string> RoundTrip(PeerState* peer, const std::string& frame,
+                                uint32_t channel);
+
+  /// Waits (mu held via `lock`) until the reply for `channel` arrives on
+  /// the connection of generation `gen`, reading frames off the socket
+  /// when no other thread is. Returns the reply frame, or the teardown/
+  /// timeout status.
+  Result<std::string> AwaitReply(PeerState* peer,
+                                 std::unique_lock<std::mutex>& lock,
+                                 uint32_t channel, uint64_t gen);
+
+  /// Kills the pooled connection (mu held): closes or shuts down the fd,
+  /// bumps the generation, clears stashed replies, wakes every waiter.
+  void TearDownLocked(PeerState* peer, Status why);
 
   /// Encodes + round-trips a tick-style request and decodes the
   /// TickReply, with accounting under `kind`.
   TickReply TickRpc(const std::string& from, const std::string& to,
                     const std::string& frame, int64_t wire_bytes,
-                    const char* kind);
+                    uint32_t channel, const char* kind);
 
   SimNetwork* network_;
   TcpTransportOptions options_;

@@ -4,9 +4,20 @@
 // Encode(msg).size() == msg.WireBytes() per envelope).
 #include "net/wire.h"
 
+#include <atomic>
+
 #include "serde/codec.h"
 
 namespace qtrade {
+
+uint32_t AllocateNegotiationId() {
+  static std::atomic<uint32_t> counter{0};
+  // Maps onto [1, kMaxNegotiationId]: never the "no negotiation" channel
+  // 0, never a value the codec's hostile-id guard would reject.
+  return counter.fetch_add(1, std::memory_order_relaxed) %
+             serde::kMaxNegotiationId +
+         1;
+}
 
 int64_t Rfb::WireBytes() const {
   return serde::kFrameHeaderBytes + serde::RfbPayloadSize(*this);

@@ -47,10 +47,23 @@ struct Rfb {
   /// tracing on or off.
   uint64_t trace_parent = 0;
   int32_t trace_round = -1;
+  /// The negotiation (channel) this RFB belongs to. Rides in the frame
+  /// header, not the payload: servers use it to multiplex hundreds of
+  /// concurrent negotiations per connection and clients to demultiplex
+  /// interleaved replies. 0 = outside any negotiation (v1 peers).
+  uint32_t negotiation_id = 0;
 
   /// Exact sealed-frame size of this RFB under the serde/ codec.
   int64_t WireBytes() const;
 };
+
+/// Hands out process-unique negotiation ids (frame-header channels).
+/// Every BuyerEngine::Optimize call takes one, as does each one-shot
+/// control RPC (ping/shutdown/fetch), so replies interleaved on a shared
+/// connection always demultiplex unambiguously. Never returns 0 (the
+/// "no negotiation" channel) and wraps within the codec's hostile-value
+/// bound.
+uint32_t AllocateNegotiationId();
 
 /// Exact encoded size of one offer travelling alone (a kTickReply frame
 /// carrying it: auction undercuts and bargaining concessions).
@@ -75,6 +88,8 @@ struct Award {
 struct AwardBatch {
   std::vector<Award> awards;
   std::vector<std::string> lost_offer_ids;
+  /// Frame-header channel (see Rfb::negotiation_id).
+  uint32_t negotiation_id = 0;
 
   /// Exact codec frame size (or the legacy 64 + 48/award constant that
   /// ignored id lengths and the loser list, see kLegacyTickWireBytes).
@@ -88,6 +103,8 @@ struct AuctionTick {
   std::string rfb_id;
   std::string signature;  // Offer::CoverageSignature() of the group
   double best_score = 0;  // score of the currently winning offer
+  /// Frame-header channel (see Rfb::negotiation_id).
+  uint32_t negotiation_id = 0;
 
   /// Exact codec frame size (legacy: hard-coded 64).
   int64_t WireBytes() const;
@@ -99,6 +116,8 @@ struct CounterOffer {
   std::string rfb_id;
   std::string signature;
   double target_value = 0;
+  /// Frame-header channel (see Rfb::negotiation_id).
+  uint32_t negotiation_id = 0;
 
   /// Exact codec frame size (legacy: hard-coded 96).
   int64_t WireBytes() const;

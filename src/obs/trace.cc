@@ -77,6 +77,11 @@ Span& Span::Round(int32_t round) {
   return *this;
 }
 
+Span& Span::Negotiation(uint32_t negotiation) {
+  if (rec_) rec_->negotiation = negotiation;
+  return *this;
+}
+
 Span& Span::Attr(const char* key, const std::string& value) {
   if (rec_) rec_->attrs.emplace_back(key, value);
   return *this;
@@ -122,6 +127,7 @@ Span Tracer::StartSpan(std::string name, SpanRef parent) {
   span.rec_->id = next_id_.fetch_add(1, std::memory_order_relaxed);
   span.rec_->parent = parent.id;
   span.rec_->round = parent.round;
+  span.rec_->negotiation = parent.negotiation;
   span.rec_->name = std::move(name);
   span.rec_->start_us = std::chrono::duration_cast<std::chrono::microseconds>(
                             span.start_ - epoch_)
@@ -191,7 +197,12 @@ Status WriteChromeTrace(const Tracer& tracer, const std::string& path) {
   }
   for (const auto& rec : spans) {
     const int pid = pids[rec.node];
-    const int tid = rec.round >= 0 ? rec.round : 0;
+    // Negotiation-tagged spans get one lane per negotiation (concurrent
+    // negotiations stay visually separable); untagged spans keep the
+    // historical one-lane-per-round layout.
+    const long long tid = rec.negotiation > 0
+                              ? static_cast<long long>(rec.negotiation)
+                              : (rec.round >= 0 ? rec.round : 0);
     std::string args = "{";
     args += "\"id\":\"" + std::to_string(rec.id) + "\"";
     args += ",\"parent\":\"" + std::to_string(rec.parent) + "\"";
@@ -202,7 +213,7 @@ Status WriteChromeTrace(const Tracer& tracer, const std::string& path) {
     std::fprintf(
         f,
         "%s{\"name\":\"%s\",\"cat\":\"qtrade\",\"ph\":\"%s\",\"ts\":%lld,"
-        "%s\"pid\":%d,\"tid\":%d,\"args\":%s}",
+        "%s\"pid\":%d,\"tid\":%lld,\"args\":%s}",
         first ? "" : ",\n", Escaped(rec.name).c_str(),
         rec.instant ? "i" : "X", static_cast<long long>(rec.start_us),
         rec.instant
@@ -225,12 +236,14 @@ Status WriteJsonl(const Tracer& tracer, const std::string& path) {
   for (const auto& rec : spans) {
     std::fprintf(f,
                  "{\"ts_us\":%lld,\"dur_us\":%lld,\"name\":\"%s\","
-                 "\"node\":\"%s\",\"round\":%d,\"id\":%llu,"
+                 "\"node\":\"%s\",\"round\":%d,\"negotiation\":%u,"
+                 "\"id\":%llu,"
                  "\"parent\":%llu,\"instant\":%s,\"attrs\":%s}\n",
                  static_cast<long long>(rec.start_us),
                  static_cast<long long>(rec.dur_us),
                  Escaped(rec.name).c_str(), Escaped(rec.node).c_str(),
-                 rec.round, static_cast<unsigned long long>(rec.id),
+                 rec.round, rec.negotiation,
+                 static_cast<unsigned long long>(rec.id),
                  static_cast<unsigned long long>(rec.parent),
                  rec.instant ? "true" : "false", AttrsJson(rec).c_str());
   }

@@ -48,7 +48,11 @@ struct SpanRecord {
   uint64_t parent = 0;  // 0 = root
   std::string name;
   std::string node;     // federation node (Chrome-trace pid dimension)
-  int32_t round = -1;   // negotiation round (Chrome-trace tid dimension)
+  int32_t round = -1;   // negotiation round
+  /// Negotiation id (frame-header channel) the span belongs to; 0 =
+  /// untagged. When set it becomes the Chrome-trace tid dimension, so
+  /// concurrent negotiations render as separate lanes per node.
+  uint32_t negotiation = 0;
   bool instant = false; // point event (transport send, fault injection)
   int64_t start_us = 0; // relative to the tracer's epoch
   int64_t dur_us = 0;
@@ -61,6 +65,7 @@ struct SpanRecord {
 struct SpanRef {
   uint64_t id = 0;
   int32_t round = -1;
+  uint32_t negotiation = 0;
 };
 
 class Tracer;
@@ -79,10 +84,14 @@ class Span {
 
   bool active() const { return rec_ != nullptr; }
   uint64_t id() const { return rec_ ? rec_->id : 0; }
-  SpanRef ref() const { return rec_ ? SpanRef{rec_->id, rec_->round} : SpanRef{}; }
+  SpanRef ref() const {
+    return rec_ ? SpanRef{rec_->id, rec_->round, rec_->negotiation}
+                : SpanRef{};
+  }
 
   Span& Node(const std::string& node);
   Span& Round(int32_t round);
+  Span& Negotiation(uint32_t negotiation);
   Span& Attr(const char* key, const std::string& value);
   Span& Attr(const char* key, const char* value);
   Span& Attr(const char* key, int64_t value);
@@ -113,7 +122,8 @@ class Tracer {
   }
 
   /// Starts a nested span (`parent` 0 = root). The span inherits the
-  /// parent ref's round; override with Span::Round.
+  /// parent ref's round and negotiation; override with Span::Round /
+  /// Span::Negotiation.
   Span StartSpan(std::string name, SpanRef parent = {});
 
   /// Starts a point event (zero duration); finish it like a span after
@@ -142,12 +152,15 @@ class Tracer {
 
 /// Writes the trace in Chrome trace-event format ({"traceEvents":[...]}),
 /// loadable in chrome://tracing / Perfetto: complete ("X") events with
-/// pid = federation node, tid = negotiation round, args = span attrs,
-/// plus process_name metadata rows naming the nodes.
+/// pid = federation node, tid = the span's negotiation id when tagged
+/// (concurrent negotiations render as separate lanes) falling back to
+/// the negotiation round, args = span attrs, plus process_name metadata
+/// rows naming the nodes.
 Status WriteChromeTrace(const Tracer& tracer, const std::string& path);
 
 /// Writes one JSON object per line (ts_us, dur_us, name, node, round,
-/// id, parent, attrs) — grep/jq-friendly flat form of the same trace.
+/// negotiation, id, parent, attrs) — grep/jq-friendly flat form of the
+/// same trace.
 Status WriteJsonl(const Tracer& tracer, const std::string& path);
 
 /// Observability knobs carried by QtOptions. All off by default: the

@@ -1,5 +1,7 @@
 #include "opt/offer_cache.h"
 
+#include <chrono>
+
 namespace qtrade {
 
 GeneratedOffer RenameGeneratedOffer(
@@ -35,10 +37,30 @@ void OfferCache::set_capacity(size_t capacity) {
   TrimLocked();
 }
 
+std::unique_lock<std::mutex> OfferCache::AcquireTimed(
+    int64_t* lock_wait_ns) const {
+  std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    // Contended: another negotiation holds the shared cache. Measure the
+    // wait so the tracer can render lock-contention spans per caller.
+    const auto t0 = std::chrono::steady_clock::now();
+    lock.lock();
+    const int64_t waited =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    lock_waits_.fetch_add(1, std::memory_order_relaxed);
+    lock_wait_ns_.fetch_add(waited, std::memory_order_relaxed);
+    if (lock_wait_ns != nullptr) *lock_wait_ns += waited;
+  }
+  return lock;
+}
+
 std::optional<std::vector<GeneratedOffer>> OfferCache::Lookup(
-    const std::string& key, const QuerySignature& sig, uint64_t epoch) {
+    const std::string& key, const QuerySignature& sig, uint64_t epoch,
+    int64_t* lock_wait_ns) {
   if (capacity() == 0) return std::nullopt;
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock = AcquireTimed(lock_wait_ns);
   auto it = index_.find(key);
   if (it == index_.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -67,9 +89,10 @@ std::optional<std::vector<GeneratedOffer>> OfferCache::Lookup(
 
 void OfferCache::Insert(const std::string& key, const QuerySignature& sig,
                         uint64_t epoch,
-                        const std::vector<GeneratedOffer>& offers) {
+                        const std::vector<GeneratedOffer>& offers,
+                        int64_t* lock_wait_ns) {
   if (capacity() == 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock = AcquireTimed(lock_wait_ns);
   auto it = index_.find(key);
   if (it != index_.end()) {
     // Concurrent generators raced on the same miss: refresh in place.
@@ -99,6 +122,8 @@ OfferCacheStats OfferCache::stats() const {
   out.misses = misses_.load(std::memory_order_relaxed);
   out.evictions = evictions_.load(std::memory_order_relaxed);
   out.invalidations = invalidations_.load(std::memory_order_relaxed);
+  out.lock_waits = lock_waits_.load(std::memory_order_relaxed);
+  out.lock_wait_ns = lock_wait_ns_.load(std::memory_order_relaxed);
   return out;
 }
 

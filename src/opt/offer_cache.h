@@ -46,12 +46,17 @@
 
 namespace qtrade {
 
-/// Hit/miss/evict/invalidate counters (monotonic totals).
+/// Hit/miss/evict/invalidate counters (monotonic totals), plus lock-
+/// contention accounting: how often a Lookup/Insert found the cache
+/// mutex already held (the shared-service hot spot under concurrent
+/// negotiations) and the total wall time spent waiting for it.
 struct OfferCacheStats {
   int64_t hits = 0;
   int64_t misses = 0;
   int64_t evictions = 0;
   int64_t invalidations = 0;
+  int64_t lock_waits = 0;
+  int64_t lock_wait_ns = 0;
 };
 
 /// Rewrites one generated offer (offered statement, schema qualifiers,
@@ -74,13 +79,17 @@ class OfferCache {
   /// Returns the cached offer set for `key` rewritten to `sig`'s
   /// aliases, or nullopt on miss. An entry stamped with a different
   /// epoch than `epoch` is discarded and counted as an invalidation.
-  std::optional<std::vector<GeneratedOffer>> Lookup(const std::string& key,
-                                                    const QuerySignature& sig,
-                                                    uint64_t epoch);
+  /// `lock_wait_ns` (optional) receives the nanoseconds THIS call spent
+  /// waiting for the cache mutex (0 when uncontended) — callers emit it
+  /// as a lock-contention trace event.
+  std::optional<std::vector<GeneratedOffer>> Lookup(
+      const std::string& key, const QuerySignature& sig, uint64_t epoch,
+      int64_t* lock_wait_ns = nullptr);
 
   /// Stores `offers` (a copy) for `key` under `sig`'s aliases at `epoch`.
   void Insert(const std::string& key, const QuerySignature& sig,
-              uint64_t epoch, const std::vector<GeneratedOffer>& offers);
+              uint64_t epoch, const std::vector<GeneratedOffer>& offers,
+              int64_t* lock_wait_ns = nullptr);
 
   OfferCacheStats stats() const;
   size_t size() const;
@@ -96,6 +105,10 @@ class OfferCache {
   /// Evicts LRU entries down to `capacity_` (mu_ held).
   void TrimLocked();
 
+  /// Acquires mu_, accounting time spent blocked behind another thread
+  /// into the contention counters (and `*lock_wait_ns` if non-null).
+  std::unique_lock<std::mutex> AcquireTimed(int64_t* lock_wait_ns) const;
+
   std::atomic<size_t> capacity_;
   mutable std::mutex mu_;
   std::list<Entry> lru_;  // front = most recently used
@@ -104,6 +117,8 @@ class OfferCache {
   std::atomic<int64_t> misses_{0};
   std::atomic<int64_t> evictions_{0};
   std::atomic<int64_t> invalidations_{0};
+  mutable std::atomic<int64_t> lock_waits_{0};
+  mutable std::atomic<int64_t> lock_wait_ns_{0};
 };
 
 }  // namespace qtrade

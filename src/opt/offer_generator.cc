@@ -166,6 +166,10 @@ void OfferGenerator::SetObservability(obs::Tracer* tracer,
       metrics ? metrics->histogram("seller." + node + ".offer_gen_us")
               : nullptr,
       std::memory_order_relaxed);
+  m_cache_lock_wait_us_.store(
+      metrics ? metrics->histogram("seller." + node + ".cache_lock_wait_us")
+              : nullptr,
+      std::memory_order_relaxed);
 }
 
 Result<std::vector<GeneratedOffer>> OfferGenerator::Generate(
@@ -193,15 +197,27 @@ Result<std::vector<GeneratedOffer>> OfferGenerator::Generate(
   const std::string key = sig.text + "|" + CoverageMaskKey(query, *catalog_);
   const uint64_t epoch = catalog_->stats_epoch();
   std::optional<std::vector<GeneratedOffer>> cached;
+  int64_t lock_wait_ns = 0;
   {
     obs::Tracer* tracer = tracer_.load(std::memory_order_relaxed);
     obs::Span lookup = obs::Tracer::Active(tracer)
                            ? tracer->StartSpan("cache_lookup", parent)
                            : obs::Span();
     lookup.Node(catalog_->node_name());
-    cached = cache_->Lookup(key, sig, epoch);
+    cached = cache_->Lookup(key, sig, epoch, &lock_wait_ns);
     lookup.Attr("hit", static_cast<int64_t>(cached.has_value() ? 1 : 0));
+    if (lock_wait_ns > 0) {
+      // Contended shared cache: another negotiation held the mutex.
+      lookup.Attr("lock_wait_us", lock_wait_ns / 1000);
+    }
   }
+  auto observe_lock_wait = [&] {
+    if (lock_wait_ns <= 0) return;
+    if (obs::Histogram* h =
+            m_cache_lock_wait_us_.load(std::memory_order_relaxed)) {
+      h->Observe(lock_wait_ns / 1000);
+    }
+  };
   if (cached.has_value()) {
     if (obs::Counter* c = m_cache_hits_.load(std::memory_order_relaxed)) {
       c->Increment();
@@ -214,6 +230,7 @@ Result<std::vector<GeneratedOffer>> OfferGenerator::Generate(
       g.offer.seller = catalog_->node_name();
       g.offer.rfb_id = rfb_id;
     }
+    observe_lock_wait();
     observe_gen_us();
     return std::move(*cached);
   }
@@ -223,7 +240,8 @@ Result<std::vector<GeneratedOffer>> OfferGenerator::Generate(
   int64_t seq = 0;
   QTRADE_ASSIGN_OR_RETURN(std::vector<GeneratedOffer> offers,
                           GenerateUncached(query, rfb_id, &seq, parent));
-  cache_->Insert(key, sig, epoch, offers);
+  cache_->Insert(key, sig, epoch, offers, &lock_wait_ns);
+  observe_lock_wait();
   observe_gen_us();
   return offers;
 }

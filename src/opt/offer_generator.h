@@ -152,6 +152,7 @@ class OfferGenerator {
   std::atomic<obs::Counter*> m_cache_hits_{nullptr};
   std::atomic<obs::Counter*> m_cache_misses_{nullptr};
   std::atomic<obs::Histogram*> m_gen_us_{nullptr};
+  std::atomic<obs::Histogram*> m_cache_lock_wait_us_{nullptr};
 };
 
 }  // namespace qtrade

@@ -39,7 +39,11 @@ const char* MsgTypeName(MsgType type) {
   return "unknown";
 }
 
-uint32_t Crc32(const void* data, size_t n) {
+namespace {
+
+/// One CRC-32 step over a byte range on raw (pre-init, un-finalized)
+/// state, so multiple ranges can chain into one checksum.
+uint32_t Crc32Raw(uint32_t crc, const void* data, size_t n) {
   // IEEE reflected polynomial, nibble-at-a-time (16-entry table: small,
   // cache-friendly, and fast enough for negotiation-sized frames).
   static constexpr uint32_t kTable[16] = {
@@ -49,13 +53,36 @@ uint32_t Crc32(const void* data, size_t n) {
       0x9b64c2b0, 0x86d3d2d4, 0xa00ae278, 0xbdbdf21c,
   };
   const uint8_t* p = static_cast<const uint8_t*>(data);
-  uint32_t crc = 0xffffffffu;
   for (size_t i = 0; i < n; ++i) {
     crc ^= p[i];
     crc = (crc >> 4) ^ kTable[crc & 0x0f];
     crc = (crc >> 4) ^ kTable[crc & 0x0f];
   }
+  return crc;
+}
+
+/// Frame checksum. v2 frames fold the channel field in ahead of the
+/// payload so a flipped header byte cannot silently retarget a
+/// negotiation; v1 frames predate the channel and checksum the payload
+/// alone.
+uint32_t FrameCrc(uint8_t version, uint32_t channel,
+                  std::string_view payload) {
+  uint32_t crc = 0xffffffffu;
+  if (version >= 2) {
+    const uint8_t ch[4] = {
+        static_cast<uint8_t>(channel), static_cast<uint8_t>(channel >> 8),
+        static_cast<uint8_t>(channel >> 16),
+        static_cast<uint8_t>(channel >> 24)};
+    crc = Crc32Raw(crc, ch, sizeof(ch));
+  }
+  crc = Crc32Raw(crc, payload.data(), payload.size());
   return crc ^ 0xffffffffu;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t n) {
+  return Crc32Raw(0xffffffffu, data, n) ^ 0xffffffffu;
 }
 
 // ---- Encoder --------------------------------------------------------------
@@ -83,7 +110,9 @@ void Encoder::PutString(std::string_view s) {
   buf_.append(s.data(), s.size());
 }
 
-std::string Encoder::Seal(MsgType type) const { return SealFrame(type, buf_); }
+std::string Encoder::Seal(MsgType type, uint32_t channel) const {
+  return SealFrame(type, buf_, channel);
+}
 
 // ---- Decoder --------------------------------------------------------------
 
@@ -180,24 +209,31 @@ Status Decoder::ExpectEnd() const {
 
 // ---- Frames ---------------------------------------------------------------
 
-std::string SealFrame(MsgType type, std::string_view payload) {
+std::string SealFrame(MsgType type, std::string_view payload,
+                      uint32_t channel) {
+  return SealFrameForVersion(kCodecVersion, type, payload, channel);
+}
+
+std::string SealFrameForVersion(uint8_t version, MsgType type,
+                                std::string_view payload, uint32_t channel) {
   Encoder h;
   h.PutU32(kFrameMagic);
-  h.PutU8(kCodecVersion);
+  h.PutU8(version);
   h.PutU8(static_cast<uint8_t>(type));
   h.PutU32(static_cast<uint32_t>(payload.size()));
-  h.PutU32(Crc32(payload.data(), payload.size()));
+  h.PutU32(FrameCrc(version, channel, payload));
+  if (version >= 2) h.PutU32(channel);
   std::string frame = h.buffer();
   frame.append(payload.data(), payload.size());
   return frame;
 }
 
 Result<FrameHeader> ParseFrameHeader(std::string_view data) {
-  if (data.size() < static_cast<size_t>(kFrameHeaderBytes)) {
+  if (data.size() < static_cast<size_t>(kFrameHeaderBytesV1)) {
     return Status::ParseError("codec: short frame header (" +
                               std::to_string(data.size()) + " bytes)");
   }
-  Decoder d(data.substr(0, kFrameHeaderBytes));
+  Decoder d(data);
   uint32_t magic = 0;
   uint8_t version = 0, type = 0;
   FrameHeader header;
@@ -209,9 +245,21 @@ Result<FrameHeader> ParseFrameHeader(std::string_view data) {
   if (magic != kFrameMagic) {
     return Status::ParseError("codec: bad frame magic");
   }
-  if (version != kCodecVersion) {
+  if (version != 1 && version != kCodecVersion) {
     return Status::Unsupported("codec: unknown frame version " +
                                std::to_string(version));
+  }
+  if (version >= 2) {
+    // The channel field (v1 peers never send one: implicitly 0).
+    if (data.size() < static_cast<size_t>(kFrameHeaderBytes)) {
+      return Status::ParseError("codec: short frame header (" +
+                                std::to_string(data.size()) + " bytes)");
+    }
+    QTRADE_RETURN_IF_ERROR(d.ReadU32(&header.channel));
+    if (header.channel > kMaxNegotiationId) {
+      return Status::ParseError("codec: hostile negotiation id " +
+                                std::to_string(header.channel));
+    }
   }
   if (type < static_cast<uint8_t>(MsgType::kRfb) ||
       type > static_cast<uint8_t>(MsgType::kShutdown)) {
@@ -225,6 +273,7 @@ Result<FrameHeader> ParseFrameHeader(std::string_view data) {
   }
   header.version = version;
   header.type = static_cast<MsgType>(type);
+  header.header_bytes = version >= 2 ? kFrameHeaderBytes : kFrameHeaderBytesV1;
   return header;
 }
 
@@ -232,7 +281,7 @@ Status VerifyFramePayload(const FrameHeader& header, std::string_view payload) {
   if (payload.size() != header.length) {
     return Status::ParseError("codec: payload size mismatch");
   }
-  if (Crc32(payload.data(), payload.size()) != header.crc32) {
+  if (FrameCrc(header.version, header.channel, payload) != header.crc32) {
     return Status::ParseError("codec: payload checksum mismatch");
   }
   return Status::OK();
@@ -240,7 +289,7 @@ Status VerifyFramePayload(const FrameHeader& header, std::string_view payload) {
 
 Result<FrameView> ParseFrame(std::string_view data) {
   QTRADE_ASSIGN_OR_RETURN(FrameHeader header, ParseFrameHeader(data));
-  std::string_view payload = data.substr(kFrameHeaderBytes);
+  std::string_view payload = data.substr(header.header_bytes);
   if (payload.size() != header.length) {
     return Status::ParseError("codec: frame length " +
                               std::to_string(payload.size()) +
@@ -248,7 +297,7 @@ Result<FrameView> ParseFrame(std::string_view data) {
                               std::to_string(header.length));
   }
   QTRADE_RETURN_IF_ERROR(VerifyFramePayload(header, payload));
-  return FrameView{header.type, payload};
+  return FrameView{header.type, header.channel, payload};
 }
 
 namespace {
@@ -301,7 +350,7 @@ int64_t RfbPayloadSize(const Rfb& rfb) {
 std::string EncodeRfb(const Rfb& rfb) {
   Encoder e;
   AppendRfb(&e, rfb);
-  return e.Seal(MsgType::kRfb);
+  return e.Seal(MsgType::kRfb, rfb.negotiation_id);
 }
 
 Result<Rfb> DecodeRfb(std::string_view data) {
@@ -310,6 +359,7 @@ Result<Rfb> DecodeRfb(std::string_view data) {
   Rfb rfb;
   QTRADE_RETURN_IF_ERROR(ReadRfb(&d, &rfb));
   QTRADE_RETURN_IF_ERROR(d.ExpectEnd());
+  rfb.negotiation_id = frame.channel;
   return rfb;
 }
 
@@ -335,7 +385,7 @@ int64_t AuctionTickPayloadSize(const AuctionTick& tick) {
 std::string EncodeAuctionTick(const AuctionTick& tick) {
   Encoder e;
   AppendAuctionTick(&e, tick);
-  return e.Seal(MsgType::kAuctionTick);
+  return e.Seal(MsgType::kAuctionTick, tick.negotiation_id);
 }
 
 Result<AuctionTick> DecodeAuctionTick(std::string_view data) {
@@ -345,6 +395,7 @@ Result<AuctionTick> DecodeAuctionTick(std::string_view data) {
   AuctionTick tick;
   QTRADE_RETURN_IF_ERROR(ReadAuctionTick(&d, &tick));
   QTRADE_RETURN_IF_ERROR(d.ExpectEnd());
+  tick.negotiation_id = frame.channel;
   return tick;
 }
 
@@ -368,7 +419,7 @@ int64_t CounterOfferPayloadSize(const CounterOffer& counter) {
 std::string EncodeCounterOffer(const CounterOffer& counter) {
   Encoder e;
   AppendCounterOffer(&e, counter);
-  return e.Seal(MsgType::kCounterOffer);
+  return e.Seal(MsgType::kCounterOffer, counter.negotiation_id);
 }
 
 Result<CounterOffer> DecodeCounterOffer(std::string_view data) {
@@ -378,6 +429,7 @@ Result<CounterOffer> DecodeCounterOffer(std::string_view data) {
   CounterOffer counter;
   QTRADE_RETURN_IF_ERROR(ReadCounterOffer(&d, &counter));
   QTRADE_RETURN_IF_ERROR(d.ExpectEnd());
+  counter.negotiation_id = frame.channel;
   return counter;
 }
 
@@ -426,7 +478,7 @@ int64_t AwardBatchPayloadSize(const AwardBatch& batch) {
 std::string EncodeAwardBatch(const AwardBatch& batch) {
   Encoder e;
   AppendAwardBatch(&e, batch);
-  return e.Seal(MsgType::kAwardBatch);
+  return e.Seal(MsgType::kAwardBatch, batch.negotiation_id);
 }
 
 Result<AwardBatch> DecodeAwardBatch(std::string_view data) {
@@ -436,6 +488,7 @@ Result<AwardBatch> DecodeAwardBatch(std::string_view data) {
   AwardBatch batch;
   QTRADE_RETURN_IF_ERROR(ReadAwardBatch(&d, &batch));
   QTRADE_RETURN_IF_ERROR(d.ExpectEnd());
+  batch.negotiation_id = frame.channel;
   return batch;
 }
 
@@ -601,10 +654,10 @@ int64_t OfferBatchPayloadSize(const OfferBatch& batch) {
   return bytes;
 }
 
-std::string EncodeOfferBatch(const OfferBatch& batch) {
+std::string EncodeOfferBatch(const OfferBatch& batch, uint32_t channel) {
   Encoder e;
   AppendOfferBatch(&e, batch);
-  return e.Seal(MsgType::kOfferBatch);
+  return e.Seal(MsgType::kOfferBatch, channel);
 }
 
 Result<OfferBatch> DecodeOfferBatch(std::string_view data) {
@@ -641,10 +694,11 @@ int64_t TickReplyPayloadSize(const std::optional<Offer>& updated) {
   return 1 + (updated.has_value() ? OfferPayloadSize(*updated) : 0);
 }
 
-std::string EncodeTickReply(const std::optional<Offer>& updated) {
+std::string EncodeTickReply(const std::optional<Offer>& updated,
+                            uint32_t channel) {
   Encoder e;
   AppendTickReply(&e, updated);
-  return e.Seal(MsgType::kTickReply);
+  return e.Seal(MsgType::kTickReply, channel);
 }
 
 Result<std::optional<Offer>> DecodeTickReply(std::string_view data) {
@@ -753,10 +807,10 @@ Status ReadRowSet(Decoder* d, RowSet* rows) {
   return Status::OK();
 }
 
-std::string EncodeRowSet(const RowSet& rows) {
+std::string EncodeRowSet(const RowSet& rows, uint32_t channel) {
   Encoder e;
   AppendRowSet(&e, rows);
-  return e.Seal(MsgType::kRowSet);
+  return e.Seal(MsgType::kRowSet, channel);
 }
 
 Result<RowSet> DecodeRowSet(std::string_view data) {
@@ -771,11 +825,11 @@ Result<RowSet> DecodeRowSet(std::string_view data) {
 
 // ---- Error ----------------------------------------------------------------
 
-std::string EncodeError(const Status& status) {
+std::string EncodeError(const Status& status, uint32_t channel) {
   Encoder e;
   e.PutU8(static_cast<uint8_t>(status.code()));
   e.PutString(status.message());
-  return e.Seal(MsgType::kError);
+  return e.Seal(MsgType::kError, channel);
 }
 
 Status DecodeError(std::string_view data, Status* carried) {

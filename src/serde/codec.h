@@ -12,13 +12,19 @@
 //        4     1  version (kCodecVersion)
 //        5     1  type    (MsgType tag)
 //        6     4  length  payload bytes that follow the header
-//       10     4  crc32   IEEE CRC-32 of the payload bytes
-//       14     -  payload
+//       10     4  crc32   IEEE CRC-32 of channel bytes + payload (v2);
+//                         of the payload alone in v1 frames
+//       14     4  channel negotiation id (version >= 2 only)
+//       18     -  payload
 //
-// Versioning rules: the header layout is frozen; bumping kCodecVersion
-// is reserved for payload-schema changes. A decoder rejects frames whose
-// version it does not speak (no silent best-effort parsing), so mixed
-// federations fail loudly at the first message, not subtly mid-plan.
+// Versioning rules: the 14-byte v1 prefix is frozen; version 2 appended
+// the `channel` field (the negotiation id a frame belongs to, so servers
+// can multiplex hundreds of concurrent negotiations per connection and
+// clients can demultiplex interleaved replies). A v1 frame still decodes
+// — its channel is implicitly 0 — and servers answer a v1 request with a
+// v1 reply, so pre-channel peers keep working. Any *other* version is
+// rejected (no silent best-effort parsing), so mixed federations fail
+// loudly at the first message, not subtly mid-plan.
 //
 // Robustness contract: Decode* never exhibits UB on malformed input —
 // truncated frames, corrupted checksums, wrong magic/version/type,
@@ -41,9 +47,18 @@
 namespace qtrade::serde {
 
 inline constexpr uint32_t kFrameMagic = 0x44525451;  // "QTRD" on the wire
-inline constexpr uint8_t kCodecVersion = 1;
-/// magic(4) + version(1) + type(1) + length(4) + crc32(4).
-inline constexpr int64_t kFrameHeaderBytes = 14;
+inline constexpr uint8_t kCodecVersion = 2;
+/// magic(4) + version(1) + type(1) + length(4) + crc32(4) + channel(4).
+inline constexpr int64_t kFrameHeaderBytes = 18;
+/// The frozen version-1 header: everything above minus the channel. The
+/// first kFrameHeaderBytesV1 bytes of a v2 frame are laid out exactly
+/// like a whole v1 header, so a reader can learn the version (offset 4)
+/// and the remaining header size from a 14-byte prefix of either.
+inline constexpr int64_t kFrameHeaderBytesV1 = 14;
+/// Upper bound on a frame's channel (negotiation id). Negotiation ids
+/// are allocated from a counter, so the top bits stay clear for the
+/// lifetime of any real deployment; a header claiming more is hostile.
+inline constexpr uint32_t kMaxNegotiationId = 0x3FFFFFFF;
 /// Upper bound on a declared payload length; anything bigger is rejected
 /// before any allocation happens (a 4-byte length field could otherwise
 /// demand 4 GiB from 14 hostile bytes).
@@ -89,7 +104,8 @@ class Encoder {
   size_t size() const { return buf_.size(); }
 
   /// Wraps the accumulated payload in a sealed frame (header + crc).
-  std::string Seal(MsgType type) const;
+  /// `channel` is the negotiation id the frame belongs to (0 = none).
+  std::string Seal(MsgType type, uint32_t channel = 0) const;
 
  private:
   std::string buf_;
@@ -126,19 +142,36 @@ class Decoder {
 
 // ---- Frames ---------------------------------------------------------------
 
-/// Parsed header of a frame (the first kFrameHeaderBytes bytes).
+/// Parsed header of a frame. `header_bytes` is the size of the header
+/// that was actually present (kFrameHeaderBytesV1 for v1 frames,
+/// kFrameHeaderBytes for v2), so readers know where the payload starts.
 struct FrameHeader {
   uint8_t version = 0;
   MsgType type = MsgType::kAck;
   uint32_t length = 0;
   uint32_t crc32 = 0;
+  /// Negotiation id the frame belongs to (0 for v1 frames and for
+  /// traffic outside any negotiation: pings, daemon shutdown).
+  uint32_t channel = 0;
+  int64_t header_bytes = kFrameHeaderBytes;
 };
 
-/// Builds a sealed frame around `payload`.
-std::string SealFrame(MsgType type, std::string_view payload);
+/// Builds a sealed current-version frame around `payload`.
+std::string SealFrame(MsgType type, std::string_view payload,
+                      uint32_t channel = 0);
+
+/// Builds a sealed frame speaking a specific header version — how a
+/// server answers a v1 request with a v1 reply. Only versions 1 and
+/// kCodecVersion are supported; v1 frames cannot carry a channel (it is
+/// ignored for them).
+std::string SealFrameForVersion(uint8_t version, MsgType type,
+                                std::string_view payload, uint32_t channel);
 
 /// Validates magic/version/length bounds of a header prefix. `data` must
-/// hold at least kFrameHeaderBytes bytes.
+/// hold at least the full header for its version: kFrameHeaderBytesV1
+/// bytes always suffice to learn the version (offset 4); v2 headers need
+/// kFrameHeaderBytes. A v2 header whose channel exceeds kMaxNegotiationId
+/// is rejected as hostile.
 Result<FrameHeader> ParseFrameHeader(std::string_view data);
 
 /// Checks a payload against its header's declared length and crc.
@@ -147,6 +180,8 @@ Status VerifyFramePayload(const FrameHeader& header, std::string_view payload);
 /// A whole frame in one buffer: header checks + crc + exact length.
 struct FrameView {
   MsgType type = MsgType::kAck;
+  /// Negotiation id from the header (0 for v1 frames).
+  uint32_t channel = 0;
   std::string_view payload;
 };
 Result<FrameView> ParseFrame(std::string_view data);
@@ -159,6 +194,11 @@ Result<FrameView> ParseFrame(std::string_view data);
 // sealed frame. A frame carries no routing header: one NodeServer hosts
 // one endpoint, so addressing is the connection itself — and frame sizes
 // equal WireBytes() exactly, keeping byte accounting transport-agnostic.
+//
+// Negotiation ids ride in the frame header, not the payload: Encode*
+// seals with the envelope's negotiation_id as the channel, and Decode*
+// fills negotiation_id back in from the header (0 for v1 frames), so
+// payload schemas are unchanged from v1.
 
 void AppendRfb(Encoder* e, const Rfb& rfb);
 Status ReadRfb(Decoder* d, Rfb* rfb);
@@ -202,7 +242,7 @@ struct OfferBatch {
 void AppendOfferBatch(Encoder* e, const OfferBatch& batch);
 Status ReadOfferBatch(Decoder* d, OfferBatch* batch);
 int64_t OfferBatchPayloadSize(const OfferBatch& batch);
-std::string EncodeOfferBatch(const OfferBatch& batch);
+std::string EncodeOfferBatch(const OfferBatch& batch, uint32_t channel = 0);
 Result<OfferBatch> DecodeOfferBatch(std::string_view frame);
 
 /// Seller's answer to an auction tick / counter-offer: an improved offer
@@ -210,17 +250,18 @@ Result<OfferBatch> DecodeOfferBatch(std::string_view frame);
 void AppendTickReply(Encoder* e, const std::optional<Offer>& updated);
 Status ReadTickReply(Decoder* d, std::optional<Offer>* updated);
 int64_t TickReplyPayloadSize(const std::optional<Offer>& updated);
-std::string EncodeTickReply(const std::optional<Offer>& updated);
+std::string EncodeTickReply(const std::optional<Offer>& updated,
+                            uint32_t channel = 0);
 Result<std::optional<Offer>> DecodeTickReply(std::string_view frame);
 
 /// Delivered rows of a sold answer (kRowSet).
 void AppendRowSet(Encoder* e, const RowSet& rows);
 Status ReadRowSet(Decoder* d, RowSet* rows);
-std::string EncodeRowSet(const RowSet& rows);
+std::string EncodeRowSet(const RowSet& rows, uint32_t channel = 0);
 Result<RowSet> DecodeRowSet(std::string_view frame);
 
 /// kError payload: the failing handler's StatusCode + message.
-std::string EncodeError(const Status& status);
+std::string EncodeError(const Status& status, uint32_t channel = 0);
 /// Reconstructs the Status carried by a kError frame into `*carried` (an
 /// invalid code byte decodes as kInternal rather than an error about the
 /// error). The return value reports whether `frame` was a well-formed

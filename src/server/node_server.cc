@@ -1,21 +1,40 @@
 #include "server/node_server.h"
 
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <unistd.h>
 
+#include <algorithm>
 #include <utility>
 
 #include "net/socket_io.h"
-#include "serde/codec.h"
 #include "util/logging.h"
 
 namespace qtrade {
 
 namespace {
 
-/// Poll slice for idle waits: how fast stop flags are noticed.
-constexpr double kPollSliceMs = 100;
+/// Reactor poll slice: bounds how late a partial-frame deadline check
+/// can run. Stop requests and new work never wait for it (wake pipe).
+constexpr int kPollSliceMs = 100;
+
+/// Per-recv read size. Level-triggered poll re-reports leftover bytes,
+/// so one bounded read per ready connection keeps the reactor fair.
+constexpr size_t kReadChunk = 64 * 1024;
+
+/// kError payload bytes (the frame wrapper is sealed per-request).
+std::string ErrorPayload(const Status& status) {
+  serde::Encoder e;
+  e.PutU8(static_cast<uint8_t>(status.code()));
+  e.PutString(status.message());
+  return e.buffer();
+}
 
 }  // namespace
+
+NodeServer::Conn::~Conn() { net::CloseFd(fd); }
 
 NodeServer::NodeServer(NodeEndpoint* endpoint, NodeServerOptions options)
     : endpoint_(endpoint), options_(std::move(options)) {}
@@ -30,9 +49,24 @@ Status NodeServer::Start() {
   }
   QTRADE_ASSIGN_OR_RETURN(
       listen_fd_, net::ListenTcp(options_.bind_address, options_.port, &port_));
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  if (::pipe(wake_fds_) != 0) {
+    net::CloseFd(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("node server wake pipe failed");
+  }
+  for (int fd : wake_fds_) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+  const int workers = std::max(1, options_.workers);
+  workers_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  reactor_thread_ = std::thread([this] { ReactorLoop(); });
   QTRADE_LOG(kInfo) << "node " << node_name() << " listening on "
-                    << options_.bind_address << ":" << port_;
+                    << options_.bind_address << ":" << port_ << " ("
+                    << workers << " workers)";
   return Status::OK();
 }
 
@@ -42,6 +76,14 @@ void NodeServer::RequestStop() {
     stop_.store(true, std::memory_order_release);
   }
   stop_cv_.notify_all();
+  WakeReactor();
+}
+
+void NodeServer::WakeReactor() {
+  if (wake_fds_[1] >= 0) {
+    const char byte = 1;
+    (void)!::write(wake_fds_[1], &byte, 1);  // full pipe already wakes
+  }
 }
 
 void NodeServer::Wait() {
@@ -52,64 +94,223 @@ void NodeServer::Wait() {
 
 void NodeServer::Stop() {
   RequestStop();
-  if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<std::thread> conns;
+  if (reactor_thread_.joinable()) reactor_thread_.join();
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    conns.swap(conn_threads_);
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    workers_stop_ = true;
+    queue_.clear();  // pending frames are dropped, like a closing daemon
   }
-  for (auto& t : conns) {
+  queue_cv_.notify_all();
+  for (auto& t : workers_) {
     if (t.joinable()) t.join();
   }
+  workers_.clear();
   net::CloseFd(listen_fd_);
   listen_fd_ = -1;
+  net::CloseFd(wake_fds_[0]);
+  net::CloseFd(wake_fds_[1]);
+  wake_fds_[0] = wake_fds_[1] = -1;
 }
 
-void NodeServer::AcceptLoop() {
+void NodeServer::ReactorLoop() {
+  std::vector<struct pollfd> pfds;
+  std::vector<int> ready;  // conn fds with POLLIN/POLLHUP/POLLERR set
   while (!stop_.load(std::memory_order_acquire)) {
-    Status ready = net::WaitReadable(listen_fd_, kPollSliceMs);
-    if (!ready.ok()) {
-      if (ready.code() == StatusCode::kTimeout) continue;
-      QTRADE_LOG(kWarning) << "accept wait failed: " << ready.ToString();
+    pfds.clear();
+    pfds.push_back({wake_fds_[0], POLLIN, 0});
+    pfds.push_back({listen_fd_, POLLIN, 0});
+    for (const auto& [fd, conn] : conns_) {
+      pfds.push_back({fd, POLLIN, 0});
+    }
+    int rc = ::poll(pfds.data(), pfds.size(), kPollSliceMs);
+    if (rc < 0 && errno != EINTR) {
+      QTRADE_LOG(kWarning) << "node " << node_name()
+                           << " reactor poll failed";
       break;
     }
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) continue;  // racing close or transient error; re-poll
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
-  }
-}
+    if (stop_.load(std::memory_order_acquire)) break;
 
-void NodeServer::ServeConnection(int fd) {
-  while (!stop_.load(std::memory_order_acquire)) {
-    Status ready = net::WaitReadable(fd, kPollSliceMs);
-    if (!ready.ok()) {
-      if (ready.code() == StatusCode::kTimeout) continue;  // idle; re-check
-      break;
-    }
-    auto frame = net::ReadFrame(fd, options_.read_timeout_ms);
-    if (!frame.ok()) {
-      // Orderly client close between frames is the normal end of a
-      // pooled connection; anything else is worth a log line.
-      if (frame.status().code() != StatusCode::kNotFound) {
-        QTRADE_LOG(kWarning) << "node " << node_name() << " dropping "
-                             << "connection: " << frame.status().ToString();
+    if ((pfds[0].revents & POLLIN) != 0) {
+      char drain[64];
+      while (::read(wake_fds_[0], drain, sizeof(drain)) > 0) {
       }
-      break;
     }
-    if (!HandleFrame(fd, *frame)) break;
+    if ((pfds[1].revents & POLLIN) != 0) {
+      // One accept per POLLIN report: the listen fd stays blocking, and
+      // level-triggered poll re-reports a non-empty backlog next pass,
+      // so a burst of connects drains without ever risking a blocking
+      // accept on a connection that vanished from the backlog.
+      int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd >= 0) {
+        conns_.emplace(fd, std::make_shared<Conn>(fd));
+        connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+        active_connections_.store(static_cast<int64_t>(conns_.size()),
+                                  std::memory_order_relaxed);
+      }
+    }
+
+    ready.clear();
+    for (size_t i = 2; i < pfds.size(); ++i) {
+      if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR | POLLNVAL)) != 0) {
+        ready.push_back(pfds[i].fd);
+      }
+    }
+    const auto now = std::chrono::steady_clock::now();
+    for (int fd : ready) {
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;
+      std::shared_ptr<Conn> conn = it->second;
+      bool close = conn->dead.load(std::memory_order_relaxed);
+      if (!close) {
+        char buf[kReadChunk];
+        ssize_t n = ::recv(fd, buf, sizeof(buf), MSG_DONTWAIT);
+        if (n > 0) {
+          conn->inbuf.append(buf, static_cast<size_t>(n));
+          close = !ExtractFrames(conn);
+          if (conn->inbuf.empty()) {
+            conn->partial = false;
+          } else if (!conn->partial) {
+            conn->partial = true;
+            conn->partial_since = now;
+          }
+        } else if (n == 0) {
+          close = true;  // orderly client close: normal end of a pool conn
+        } else if (errno != EAGAIN && errno != EWOULDBLOCK &&
+                   errno != EINTR) {
+          close = true;
+        }
+      }
+      if (close) {
+        conn->dead.store(true, std::memory_order_relaxed);
+        conns_.erase(fd);
+      }
+    }
+
+    // Slowloris guard: a connection sitting on an incomplete frame past
+    // the read timeout is dropped (idle-with-empty-buffer never is).
+    if (options_.read_timeout_ms > 0) {
+      for (auto it = conns_.begin(); it != conns_.end();) {
+        Conn& conn = *it->second;
+        const bool expired =
+            conn.partial &&
+            std::chrono::duration<double, std::milli>(now -
+                                                      conn.partial_since)
+                    .count() > options_.read_timeout_ms;
+        if (expired || conn.dead.load(std::memory_order_relaxed)) {
+          it->second->dead.store(true, std::memory_order_relaxed);
+          it = conns_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    active_connections_.store(static_cast<int64_t>(conns_.size()),
+                              std::memory_order_relaxed);
   }
-  net::CloseFd(fd);
+  // Unblock any worker mid-write and drop every connection. Queued or
+  // in-flight work still holds shared_ptrs; fds close at last release.
+  for (auto& [fd, conn] : conns_) {
+    conn->dead.store(true, std::memory_order_relaxed);
+    (void)::shutdown(fd, SHUT_RDWR);
+  }
+  conns_.clear();
+  active_connections_.store(0, std::memory_order_relaxed);
 }
 
-bool NodeServer::HandleFrame(int fd, const std::string& frame) {
+bool NodeServer::ExtractFrames(const std::shared_ptr<Conn>& conn) {
+  std::string& inbuf = conn->inbuf;
+  while (true) {
+    if (inbuf.size() < static_cast<size_t>(serde::kFrameHeaderBytesV1)) {
+      return true;  // wait for more bytes
+    }
+    const uint8_t version = static_cast<uint8_t>(inbuf[4]);
+    // Versions this codec speaks determine the header size; anything
+    // else falls through to ParseFrameHeader, which rejects it on the
+    // 14-byte prefix alone.
+    const size_t header_bytes =
+        version >= 2 ? static_cast<size_t>(serde::kFrameHeaderBytes)
+                     : static_cast<size_t>(serde::kFrameHeaderBytesV1);
+    if ((version == 1 || version == serde::kCodecVersion) &&
+        inbuf.size() < header_bytes) {
+      return true;
+    }
+    auto header = serde::ParseFrameHeader(inbuf);
+    if (!header.ok()) {
+      // Hostile or garbage header (bad magic, unknown version, hostile
+      // channel, oversized length): answer once, then drop the
+      // (desynchronized) connection.
+      WriteReply(conn, serde::EncodeError(header.status()));
+      return false;
+    }
+    const size_t total =
+        static_cast<size_t>(header->header_bytes) + header->length;
+    if (inbuf.size() < total) return true;  // wait for the payload
+    Work work;
+    work.conn = conn;
+    work.frame = inbuf.substr(0, total);
+    work.header = *header;
+    inbuf.erase(0, total);
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      queue_.push_back(std::move(work));
+    }
+    queue_cv_.notify_one();
+  }
+}
+
+void NodeServer::WorkerLoop() {
+  while (true) {
+    Work work;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock,
+                     [this] { return workers_stop_ || !queue_.empty(); });
+      if (workers_stop_ && queue_.empty()) return;
+      work = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    ProcessFrame(work);
+  }
+}
+
+void NodeServer::WriteReply(const std::shared_ptr<Conn>& conn,
+                            const std::string& reply) {
+  if (conn->dead.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  Status sent = net::WriteAll(conn->fd, reply);
+  if (!sent.ok()) {
+    QTRADE_LOG(kWarning) << "node " << node_name()
+                         << " reply write failed: " << sent.ToString();
+    conn->dead.store(true, std::memory_order_relaxed);
+    (void)::shutdown(conn->fd, SHUT_RDWR);
+    WakeReactor();  // reap it promptly
+  }
+}
+
+void NodeServer::ProcessFrame(const Work& work) {
+  const std::string& frame = work.frame;
+  // Replies speak the request's codec version on the request's channel:
+  // a v1 peer gets v1 frames back, and multiplexed clients can route the
+  // reply to the negotiation that asked.
+  const uint8_t version = work.header.version;
+  const uint32_t channel = work.header.channel;
+  auto seal = [&](serde::MsgType type, const std::string& payload) {
+    return serde::SealFrameForVersion(version, type, payload, channel);
+  };
+  auto seal_error = [&](const Status& status) {
+    return seal(serde::MsgType::kError, ErrorPayload(status));
+  };
+
   auto parsed = serde::ParseFrame(frame);
   if (!parsed.ok()) {
-    // Header passed ReadFrame but crc/length failed: answer with the
+    // Header passed the reactor but crc/length failed: answer with the
     // decode error so the client can map it onto its degradation path,
     // then drop the (possibly desynchronized) connection.
-    (void)net::WriteAll(fd, serde::EncodeError(parsed.status()));
-    return false;
+    WriteReply(work.conn, seal_error(parsed.status()));
+    work.conn->dead.store(true, std::memory_order_relaxed);
+    (void)::shutdown(work.conn->fd, SHUT_RDWR);
+    WakeReactor();
+    return;
   }
   requests_served_.fetch_add(1, std::memory_order_relaxed);
 
@@ -118,7 +319,7 @@ bool NodeServer::HandleFrame(int fd, const std::string& frame) {
     case serde::MsgType::kRfb: {
       auto rfb = serde::DecodeRfb(frame);
       if (!rfb.ok()) {
-        reply = serde::EncodeError(rfb.status());
+        reply = seal_error(rfb.status());
         break;
       }
       serde::OfferBatch batch;
@@ -129,35 +330,41 @@ bool NodeServer::HandleFrame(int fd, const std::string& frame) {
         batch.ok = false;
         batch.error = offers.status().ToString();
       }
-      reply = serde::EncodeOfferBatch(batch);
+      serde::Encoder e;
+      serde::AppendOfferBatch(&e, batch);
+      reply = seal(serde::MsgType::kOfferBatch, e.buffer());
       break;
     }
     case serde::MsgType::kAuctionTick: {
       auto tick = serde::DecodeAuctionTick(frame);
       if (!tick.ok()) {
-        reply = serde::EncodeError(tick.status());
+        reply = seal_error(tick.status());
         break;
       }
-      reply = serde::EncodeTickReply(endpoint_->HandleAuctionTick(*tick));
+      serde::Encoder e;
+      serde::AppendTickReply(&e, endpoint_->HandleAuctionTick(*tick));
+      reply = seal(serde::MsgType::kTickReply, e.buffer());
       break;
     }
     case serde::MsgType::kCounterOffer: {
       auto counter = serde::DecodeCounterOffer(frame);
       if (!counter.ok()) {
-        reply = serde::EncodeError(counter.status());
+        reply = seal_error(counter.status());
         break;
       }
-      reply = serde::EncodeTickReply(endpoint_->HandleCounterOffer(*counter));
+      serde::Encoder e;
+      serde::AppendTickReply(&e, endpoint_->HandleCounterOffer(*counter));
+      reply = seal(serde::MsgType::kTickReply, e.buffer());
       break;
     }
     case serde::MsgType::kAwardBatch: {
       auto batch = serde::DecodeAwardBatch(frame);
       if (!batch.ok()) {
-        reply = serde::EncodeError(batch.status());
+        reply = seal_error(batch.status());
         break;
       }
       endpoint_->HandleAwards(*batch);
-      reply = serde::SealFrame(serde::MsgType::kAck, "");
+      reply = seal(serde::MsgType::kAck, "");
       break;
     }
     case serde::MsgType::kExecuteOffer: {
@@ -166,36 +373,34 @@ bool NodeServer::HandleFrame(int fd, const std::string& frame) {
       Status read = d.ReadString(&offer_id);
       if (read.ok()) read = d.ExpectEnd();
       if (!read.ok()) {
-        reply = serde::EncodeError(read);
+        reply = seal_error(read);
         break;
       }
       auto rows = endpoint_->HandleExecuteOffer(offer_id);
-      reply = rows.ok() ? serde::EncodeRowSet(*rows)
-                        : serde::EncodeError(rows.status());
+      if (rows.ok()) {
+        serde::Encoder e;
+        serde::AppendRowSet(&e, *rows);
+        reply = seal(serde::MsgType::kRowSet, e.buffer());
+      } else {
+        reply = seal_error(rows.status());
+      }
       break;
     }
     case serde::MsgType::kPing:
-      reply = serde::SealFrame(serde::MsgType::kAck, "");
+      reply = seal(serde::MsgType::kAck, "");
       break;
     case serde::MsgType::kShutdown:
-      reply = serde::SealFrame(serde::MsgType::kAck, "");
-      (void)net::WriteAll(fd, reply);
+      WriteReply(work.conn, seal(serde::MsgType::kAck, ""));
       QTRADE_LOG(kInfo) << "node " << node_name() << " shutting down";
       RequestStop();
-      return false;
+      return;
     default:
-      reply = serde::EncodeError(Status::InvalidArgument(
+      reply = seal_error(Status::InvalidArgument(
           std::string("unexpected request frame: ") +
           serde::MsgTypeName(parsed->type)));
       break;
   }
-  Status sent = net::WriteAll(fd, reply);
-  if (!sent.ok()) {
-    QTRADE_LOG(kWarning) << "node " << node_name()
-                         << " reply write failed: " << sent.ToString();
-    return false;
-  }
-  return true;
+  WriteReply(work.conn, reply);
 }
 
 }  // namespace qtrade

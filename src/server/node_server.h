@@ -16,23 +16,36 @@
 //   kShutdown     -> kAck, then the server stops accepting
 //   anything else -> kError (the connection stays usable)
 //
-// Threading: one accept-loop thread plus one thread per live connection.
-// Connections poll in short slices so Stop() (or a kShutdown frame)
-// wins within ~a poll slice; handler calls run on connection threads,
-// which is exactly the concurrency contract NodeEndpoint already
-// promises for transport worker threads.
+// Threading (see DESIGN.md, "Concurrent negotiation"): one reactor
+// thread polls the listening socket and every live connection, peels
+// complete frames out of per-connection input buffers, and hands them to
+// a bounded worker pool that runs the endpoint handlers and writes the
+// replies. Frames from many negotiations interleave freely on one
+// connection — each frame's header channel (negotiation id) rides
+// through to its reply, so clients demultiplex unambiguously, and a slow
+// handler never blocks frames behind it. Thread and fd counts are fixed
+// (1 reactor + `workers` pool threads) no matter how many connections
+// come and go; replies are sealed with the *request's* codec version, so
+// v1 peers keep working. Handlers may run concurrently, which is exactly
+// the concurrency contract NodeEndpoint already promises for transport
+// worker threads.
 #ifndef QTRADE_SERVER_NODE_SERVER_H_
 #define QTRADE_SERVER_NODE_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "net/transport.h"
+#include "serde/codec.h"
 #include "util/status.h"
 
 namespace qtrade {
@@ -41,10 +54,13 @@ struct NodeServerOptions {
   std::string bind_address = "127.0.0.1";
   /// 0 = ephemeral; port() reports the bound port either way.
   uint16_t port = 0;
-  /// Bounds the wait for the remainder of a frame once its first byte
-  /// arrived (0 = forever). Idle waits between frames are always short
-  /// poll slices, independent of this.
+  /// Bounds how long a connection may sit on a started-but-incomplete
+  /// frame before the reactor drops it (0 = forever). Idle connections
+  /// with empty buffers are never timed out.
   double read_timeout_ms = 30000;
+  /// Worker pool size: the server's concurrency bound for endpoint
+  /// handlers. Clamped to >= 1.
+  int workers = 4;
 };
 
 class NodeServer {
@@ -56,8 +72,8 @@ class NodeServer {
   NodeServer(const NodeServer&) = delete;
   NodeServer& operator=(const NodeServer&) = delete;
 
-  /// Binds, listens, and starts the accept loop. Fails (rather than
-  /// crashing later) when the address is unusable.
+  /// Binds, listens, and starts the reactor + worker pool. Fails (rather
+  /// than crashing later) when the address is unusable.
   Status Start();
 
   /// Signals the server to stop and joins every thread. Idempotent.
@@ -73,25 +89,72 @@ class NodeServer {
   int64_t requests_served() const {
     return requests_served_.load(std::memory_order_relaxed);
   }
+  /// Connections accepted over the server's lifetime.
+  int64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+  /// Connections currently registered with the reactor (closed ones
+  /// leave immediately — nothing accumulates per past connection).
+  int64_t active_connections() const {
+    return active_connections_.load(std::memory_order_relaxed);
+  }
 
  private:
-  void AcceptLoop();
-  void ServeConnection(int fd);
-  /// Decodes one request frame and writes the reply; false = close the
-  /// connection (protocol breakdown, not a handler error).
-  bool HandleFrame(int fd, const std::string& frame);
+  /// One live connection. Reactor-owned for reads; shared with queued
+  /// work items so a reply can still be written (or skipped, once
+  /// `dead`) after the reactor dropped the connection. The fd closes
+  /// when the last reference goes.
+  struct Conn {
+    explicit Conn(int fd) : fd(fd) {}
+    ~Conn();
+    const int fd;
+    std::string inbuf;            // reactor thread only
+    bool partial = false;         // inbuf holds an incomplete frame
+    std::chrono::steady_clock::time_point partial_since{};
+    std::mutex write_mu;          // serializes interleaved replies
+    std::atomic<bool> dead{false};
+  };
+
+  /// One decoded-enough frame awaiting a worker: the raw bytes plus the
+  /// already-validated header (version + channel tag the reply).
+  struct Work {
+    std::shared_ptr<Conn> conn;
+    std::string frame;
+    serde::FrameHeader header;
+  };
+
+  void ReactorLoop();
+  void WorkerLoop();
+  /// Peels complete frames from conn->inbuf into the work queue.
+  /// false = protocol breakdown; the reactor drops the connection.
+  bool ExtractFrames(const std::shared_ptr<Conn>& conn);
+  /// Runs one frame through the endpoint and writes the reply (sealed
+  /// with the request's version + channel). Worker threads.
+  void ProcessFrame(const Work& work);
+  /// Writes `reply` to the connection; marks it dead on failure so the
+  /// reactor reaps it.
+  void WriteReply(const std::shared_ptr<Conn>& conn, const std::string& reply);
   void RequestStop();
+  /// Nudges the reactor out of poll() (stop requests, shutdown frames).
+  void WakeReactor();
 
   NodeEndpoint* endpoint_;
   NodeServerOptions options_;
   int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // pipe: [0] polled by reactor, [1] written
   uint16_t port_ = 0;
   std::atomic<bool> stop_{false};
   std::atomic<bool> started_{false};
   std::atomic<int64_t> requests_served_{0};
-  std::thread accept_thread_;
-  std::mutex conn_mu_;  // guards conn_threads_
-  std::vector<std::thread> conn_threads_;
+  std::atomic<int64_t> connections_accepted_{0};
+  std::atomic<int64_t> active_connections_{0};
+  std::thread reactor_thread_;
+  std::vector<std::thread> workers_;
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Work> queue_;
+  bool workers_stop_ = false;  // queue_mu_
+  std::map<int, std::shared_ptr<Conn>> conns_;  // reactor thread only
   std::mutex stop_mu_;
   std::condition_variable stop_cv_;
 };

@@ -123,6 +123,7 @@ Status BuyerEngine::TradeQuery(const TradedQuery& traded, Rng* rng,
   // the transport runs them on worker threads. Excluded from WireBytes.
   rfb.trace_parent = span.id();
   rfb.trace_round = span.ref().round;
+  rfb.negotiation_id = negotiation_id_;
   ask_box_by_rfb_[traded.rfb_id] = traded.ask_box;
 
   std::vector<std::string> contacted = PickSellers(rng);
@@ -228,7 +229,8 @@ void BuyerEngine::RunNestedNegotiation(std::vector<Offer>* pool,
       bool improved = false;
       double round_time = 0;
       for (const auto& group : groups) {
-        AuctionTick tick{group.first, group.second, best_quote_for(group)};
+        AuctionTick tick{group.first, group.second, best_quote_for(group),
+                         negotiation_id_};
         // Announce to every seller that bid in this group.
         std::set<std::string> bidders;
         for (const auto& offer : *pool) {
@@ -275,7 +277,7 @@ void BuyerEngine::RunNestedNegotiation(std::vector<Offer>* pool,
       double quote = best->props.total_time_ms;
       double counter = strategy_->CounterOffer(quote, round);
       if (counter >= quote) continue;  // buyer accepts as-is
-      CounterOffer msg{group.first, group.second, counter};
+      CounterOffer msg{group.first, group.second, counter, negotiation_id_};
       TickReply reply =
           transport_->SendCounterOffer(buyer, best->seller, msg);
       if (reply.updated.has_value()) {
@@ -318,9 +320,14 @@ Result<QtResult> BuyerEngine::Optimize(const std::string& sql) {
       (options_.run_label.empty() ? std::to_string(engine_tag_)
                                   : options_.run_label) +
       "/" + std::to_string(optimize_count_++);
+  // Channel for this run: every envelope we send below carries it in its
+  // frame header, so servers and pooled client connections can multiplex
+  // this negotiation among hundreds of concurrent ones.
+  negotiation_id_ = AllocateNegotiationId();
   obs::Span neg_span = obs::Tracer::Active(tracer_)
                            ? tracer_->StartSpan("negotiation")
                            : obs::Span();
+  neg_span.Negotiation(negotiation_id_);
   neg_span.Node(catalog_->node_name());
   neg_span.Attr("buyer", catalog_->node_name());
   neg_span.Attr("protocol", NegotiationProtocolName(options_.protocol));
@@ -328,6 +335,7 @@ Result<QtResult> BuyerEngine::Optimize(const std::string& sql) {
   neg_span.Attr("sql", sql);
   QtResult result;
   result.sql = sql;
+  result.negotiation_id = negotiation_id_;
   BuyerAnalyser analyser(&original, &catalog_->federation());
   // The buyer's §3.1 weighting function prices purchased answers inside
   // the plan generator too.
@@ -491,6 +499,7 @@ Result<QtResult> BuyerEngine::Optimize(const std::string& sql) {
         continue;
       }
       AwardBatch batch;
+      batch.negotiation_id = negotiation_id_;
       if (awards != awards_by_seller.end()) batch.awards = awards->second;
       if (lost != lost_by_seller.end()) batch.lost_offer_ids = lost->second;
       double t = transport_->SendAwards(catalog_->node_name(), seller, batch);

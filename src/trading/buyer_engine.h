@@ -133,6 +133,9 @@ struct QtResult {
   PlanPtr plan;  // null when optimization failed
   double cost = std::numeric_limits<double>::infinity();
   int iterations = 0;
+  /// The frame-header channel this negotiation ran on (every envelope of
+  /// the run carried it; concurrent runs never share one).
+  uint32_t negotiation_id = 0;
   std::vector<Offer> winning_offers;
   std::vector<double> cost_per_iteration;  // best-so-far after each round
   TradeMetrics metrics;
@@ -201,6 +204,9 @@ class BuyerEngine {
   /// engines for the same node coexist or are recreated per query.
   const int64_t engine_tag_;
   int64_t optimize_count_ = 0;
+  /// Channel of the Optimize call in flight: stamped into every envelope
+  /// it sends (AllocateNegotiationId per call).
+  uint32_t negotiation_id_ = 0;
   /// Optimize runs on one thread; plain pointers suffice here (sellers
   /// and transports, which run on worker threads, use atomics).
   obs::Tracer* tracer_ = nullptr;

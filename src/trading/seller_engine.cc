@@ -148,7 +148,8 @@ Result<std::vector<Offer>> SellerEngine::OnRfb(const Rfb& rfb) {
   obs::Span gen_span =
       obs::Tracer::Active(tracer)
           ? tracer->StartSpan("offer_gen",
-                              obs::SpanRef{rfb.trace_parent, rfb.trace_round})
+                              obs::SpanRef{rfb.trace_parent, rfb.trace_round,
+                                           rfb.negotiation_id})
           : obs::Span();
   gen_span.Node(name());
   gen_span.Attr("rfb_id", rfb.rfb_id);

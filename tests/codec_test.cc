@@ -333,5 +333,131 @@ TEST(CodecTest, Crc32KnownVector) {
   EXPECT_EQ(serde::Crc32("", 0), 0u);
 }
 
+// ---------------------------------------------------------------------
+// Negotiation channels (codec v2): every envelope rides its negotiation
+// id in the frame header, v1 frames keep decoding as channel 0, and
+// hostile channel values are rejected at the header.
+
+TEST(CodecTest, NegotiationIdRoundTripsPerEnvelope) {
+  Rfb rfb;
+  rfb.rfb_id = "rfb-42/1";
+  rfb.buyer = "office_Athens";
+  rfb.sql = "SELECT custname FROM customer";
+  rfb.negotiation_id = 42;
+  auto rfb2 = serde::DecodeRfb(serde::EncodeRfb(rfb));
+  ASSERT_TRUE(rfb2.ok());
+  EXPECT_EQ(rfb2->negotiation_id, 42u);
+
+  AuctionTick tick{"rfb-9/2", "c=customer#0", 417.25, 43};
+  auto tick2 = serde::DecodeAuctionTick(serde::EncodeAuctionTick(tick));
+  ASSERT_TRUE(tick2.ok());
+  EXPECT_EQ(tick2->negotiation_id, 43u);
+
+  CounterOffer counter{"rfb-3/9", "c=customer#1", 55.125, 44};
+  auto counter2 =
+      serde::DecodeCounterOffer(serde::EncodeCounterOffer(counter));
+  ASSERT_TRUE(counter2.ok());
+  EXPECT_EQ(counter2->negotiation_id, 44u);
+
+  AwardBatch batch;
+  batch.lost_offer_ids.push_back("rfb-8/1:corfu:0");
+  batch.negotiation_id = 45;
+  auto batch2 = serde::DecodeAwardBatch(serde::EncodeAwardBatch(batch));
+  ASSERT_TRUE(batch2.ok());
+  EXPECT_EQ(batch2->negotiation_id, 45u);
+
+  // Reply envelopes carry the channel too (servers echo the request's).
+  auto reply = serde::ParseFrame(serde::EncodeTickReply(std::nullopt, 46));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->channel, 46u);
+}
+
+TEST(CodecTest, ChannelDoesNotChangeWireBytes) {
+  // The header grew for everyone at once; a tagged and an untagged
+  // envelope must still agree with WireBytes() byte for byte.
+  Rfb plain;
+  plain.rfb_id = "rfb-1/1";
+  plain.buyer = "b";
+  plain.sql = "SELECT custid FROM customer";
+  Rfb tagged = plain;
+  tagged.negotiation_id = 77;
+  EXPECT_EQ(plain.WireBytes(), tagged.WireBytes());
+  EXPECT_EQ(serde::EncodeRfb(plain).size(),
+            serde::EncodeRfb(tagged).size());
+  EXPECT_EQ(static_cast<int64_t>(serde::EncodeRfb(tagged).size()),
+            tagged.WireBytes());
+}
+
+TEST(CodecTest, VersionOneFrameDecodesAsChannelZero) {
+  // A frame sealed the way the previous release framed it: 14-byte
+  // header, no channel field.
+  const std::string v1 =
+      serde::SealFrameForVersion(1, serde::MsgType::kPing, "payload", 0);
+  EXPECT_EQ(v1.size(),
+            static_cast<size_t>(serde::kFrameHeaderBytesV1) + 7);
+  auto header = serde::ParseFrameHeader(v1);
+  ASSERT_TRUE(header.ok()) << header.status().ToString();
+  EXPECT_EQ(header->version, 1);
+  EXPECT_EQ(header->channel, 0u);
+  EXPECT_EQ(header->header_bytes, serde::kFrameHeaderBytesV1);
+  auto frame = serde::ParseFrame(v1);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->type, serde::MsgType::kPing);
+  EXPECT_EQ(frame->channel, 0u);
+  EXPECT_EQ(frame->payload, "payload");
+}
+
+TEST(CodecTest, VersionOneEnvelopeDecodesAsNegotiationZero) {
+  // A whole v1 envelope (payload schema is unchanged across versions):
+  // decoding must succeed with the implicit channel 0.
+  AuctionTick tick{"rfb-9/2", "c=customer#0", 1.5, 99};
+  const std::string v2 = serde::EncodeAuctionTick(tick);
+  const std::string v1 = serde::SealFrameForVersion(
+      1, serde::MsgType::kAuctionTick,
+      std::string_view(v2).substr(serde::kFrameHeaderBytes), 0);
+  auto decoded = serde::DecodeAuctionTick(v1);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->rfb_id, tick.rfb_id);
+  EXPECT_EQ(decoded->negotiation_id, 0u);
+}
+
+TEST(CodecTest, HostileChannelIsRejected) {
+  std::string frame = serde::SealFrame(serde::MsgType::kPing, "", 1);
+  const uint32_t hostile = serde::kMaxNegotiationId + 1;
+  for (int i = 0; i < 4; ++i) {  // little-endian, like every wire integer
+    frame[serde::kFrameHeaderBytesV1 + i] =
+        static_cast<char>((hostile >> (8 * i)) & 0xFF);
+  }
+  auto header = serde::ParseFrameHeader(frame);
+  EXPECT_FALSE(header.ok());
+  EXPECT_FALSE(serde::ParseFrame(frame).ok());
+  // The ceiling itself is fine.
+  EXPECT_TRUE(serde::ParseFrameHeader(serde::SealFrame(
+                  serde::MsgType::kPing, "", serde::kMaxNegotiationId))
+                  .ok());
+}
+
+TEST(CodecTest, UnknownVersionRejectedOnShortPrefix) {
+  // A v3 frame must be rejected from the 14-byte prefix alone — a
+  // server must never stall waiting for an 18-byte header that a
+  // version it doesn't speak might not even have.
+  std::string frame = serde::SealFrame(serde::MsgType::kPing, "", 1);
+  frame[4] = 3;
+  EXPECT_FALSE(
+      serde::ParseFrameHeader(frame.substr(0, serde::kFrameHeaderBytesV1))
+          .ok());
+}
+
+TEST(CodecTest, AllocateNegotiationIdStaysInChannelRange) {
+  uint32_t last = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const uint32_t id = AllocateNegotiationId();
+    EXPECT_GE(id, 1u);
+    EXPECT_LE(id, serde::kMaxNegotiationId);
+    EXPECT_NE(id, last);  // process-global, never repeats back to back
+    last = id;
+  }
+}
+
 }  // namespace
 }  // namespace qtrade

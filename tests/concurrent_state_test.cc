@@ -1,0 +1,133 @@
+// Re-entrancy stress for the seller-side shared services: one
+// OfferCache and one MetricsRegistry hammered from 16 threads with
+// interleaved stats-epoch invalidations — the access pattern a
+// NodeServer worker pool produces when hundreds of negotiations hit one
+// SellerEngine at once. Built for the TSAN CI leg (any data race fails
+// the run there); the assertions here pin counter consistency: every
+// operation is accounted exactly once, whichever thread interleaving
+// the scheduler picks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "opt/offer_cache.h"
+
+namespace qtrade {
+namespace {
+
+GeneratedOffer TinyOffer(const std::string& id) {
+  GeneratedOffer g;
+  g.offer.offer_id = id;
+  g.true_cost = 1.0;
+  return g;
+}
+
+QuerySignature TinySig(const std::string& text) {
+  QuerySignature sig;
+  sig.text = text;
+  return sig;
+}
+
+constexpr int kThreads = 16;
+constexpr int kOpsPerThread = 400;
+
+TEST(ConcurrentStateTest, CacheAndRegistryCountersStayConsistent) {
+  OfferCache cache(64);
+  obs::MetricsRegistry metrics;
+
+  // The stats epoch sellers stamp lookups with; bumping it mid-run
+  // forces the invalidation path to interleave with hits and inserts.
+  std::atomic<uint64_t> epoch{1};
+  // Ground truth kept by the threads themselves, against atomics the
+  // cache/registry maintain internally.
+  std::atomic<int64_t> lookups{0};
+  std::atomic<int64_t> found{0};
+  std::atomic<int64_t> inserts{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      obs::Counter* ops = metrics.counter("stress.ops");
+      obs::Counter* hits = metrics.counter("stress.hits");
+      obs::Histogram* wait_us =
+          metrics.histogram("stress.lock_wait_us");
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        // 8 hot keys shared by all threads: plenty of lock contention
+        // and plenty of genuine hits between invalidations.
+        const std::string key = "k" + std::to_string(i % 8);
+        const uint64_t e = epoch.load(std::memory_order_relaxed);
+        int64_t wait_ns = 0;
+        auto cached = cache.Lookup(key, TinySig(key), e, &wait_ns);
+        lookups.fetch_add(1);
+        ops->Increment();
+        if (cached.has_value()) {
+          found.fetch_add(1);
+          hits->Increment();
+          ASSERT_EQ(cached->size(), 1u);
+          ASSERT_EQ((*cached)[0].offer.offer_id, key);
+        } else {
+          cache.Insert(key, TinySig(key), e, {TinyOffer(key)}, &wait_ns);
+          inserts.fetch_add(1);
+        }
+        wait_us->Observe(wait_ns / 1000);
+        // Every thread occasionally plays the stats refresher: epoch
+        // bumps race the lookups above exactly like catalog updates
+        // race in-flight RFBs on a live seller.
+        if (i % 97 == t) epoch.fetch_add(1, std::memory_order_relaxed);
+        // And occasionally the operator resizing the cache at runtime.
+        if (t == 0 && i % 211 == 0) cache.set_capacity(48 + i % 32);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const OfferCacheStats stats = cache.stats();
+  // Conservation: every Lookup was either a hit or a miss, and the
+  // registry's counters saw exactly the operations the threads issued.
+  EXPECT_EQ(lookups.load(), kThreads * kOpsPerThread);
+  EXPECT_EQ(stats.hits + stats.misses, lookups.load());
+  EXPECT_EQ(stats.hits, found.load());
+  EXPECT_EQ(metrics.counter("stress.ops")->value(), lookups.load());
+  EXPECT_EQ(metrics.counter("stress.hits")->value(), found.load());
+  EXPECT_EQ(metrics.histogram("stress.lock_wait_us")->count(),
+            lookups.load());
+  // Invalidations only come from epoch-mismatched entries, which is the
+  // only way a populated hot key can miss after the warm-up insert.
+  EXPECT_GT(stats.invalidations, 0);
+  EXPECT_LE(stats.invalidations, stats.misses);
+  // Contention accounting never goes backwards and pairs waits with
+  // recorded nanoseconds.
+  EXPECT_GE(stats.lock_waits, 0);
+  EXPECT_GE(stats.lock_wait_ns, 0);
+  if (stats.lock_waits == 0) EXPECT_EQ(stats.lock_wait_ns, 0);
+}
+
+TEST(ConcurrentStateTest, RegistryGetOrCreateRacesYieldOneInstrument) {
+  obs::MetricsRegistry metrics;
+  std::vector<obs::Counter*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // All threads race the first get-or-create of the same names;
+      // everyone must agree on the same instrument instances.
+      seen[t] = metrics.counter("race.counter");
+      metrics.histogram("race.histogram")->Observe(t);
+      metrics.gauge("race.gauge")->Set(static_cast<double>(t));
+      seen[t]->Increment();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);
+  EXPECT_EQ(metrics.counter("race.counter")->value(), kThreads);
+  EXPECT_EQ(metrics.histogram("race.histogram")->count(), kThreads);
+}
+
+}  // namespace
+}  // namespace qtrade

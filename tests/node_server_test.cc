@@ -1,0 +1,258 @@
+// NodeServer resource bounds and frame multiplexing: the reactor +
+// bounded-worker-pool server must (a) hold thread and fd counts flat no
+// matter how many connections come and go — the regression guard for
+// the old thread-per-connection model, which leaked one joined-never
+// thread handle per connection — and (b) demultiplex pipelined frames
+// for different negotiation channels on one connection, answering each
+// with the request's channel and codec version.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#if defined(__linux__)
+#include <dirent.h>
+#endif
+
+#include "core/federation.h"
+#include "net/socket_io.h"
+#include "net/tcp_transport.h"
+#include "serde/codec.h"
+#include "server/node_server.h"
+#include "tests/test_fixtures.h"
+
+namespace qtrade {
+namespace {
+
+using testing::PaperData;
+using testing::PaperFederation;
+
+/// One seller ("corfu") behind a NodeServer, same world as the
+/// transport conformance suite.
+struct ServerWorld {
+  std::unique_ptr<Federation> fed;
+  PaperData data{30};
+  std::unique_ptr<NodeServer> server;
+
+  explicit ServerWorld(NodeServerOptions options = {}) {
+    fed = std::make_unique<Federation>(PaperFederation());
+    fed->AddNode("corfu");
+    EXPECT_TRUE(
+        fed->LoadPartition("corfu", "customer#1", data.customer_parts[1])
+            .ok());
+    server = std::make_unique<NodeServer>(fed->node("corfu")->seller.get(),
+                                          options);
+    EXPECT_TRUE(server->Start().ok());
+  }
+
+  ~ServerWorld() { server->Stop(); }
+};
+
+/// Open fd count of this process (Linux); -1 where unsupported.
+int OpenFdCount() {
+#if defined(__linux__)
+  DIR* dir = opendir("/proc/self/fd");
+  if (dir == nullptr) return -1;
+  int count = 0;
+  while (readdir(dir) != nullptr) ++count;
+  closedir(dir);
+  return count;
+#else
+  return -1;
+#endif
+}
+
+/// Thread count of this process (Linux); -1 where unsupported.
+int ThreadCount() {
+#if defined(__linux__)
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("Threads:", 0) == 0) {
+      return std::atoi(line.c_str() + 8);
+    }
+  }
+#endif
+  return -1;
+}
+
+Result<std::string> PingOnce(uint16_t port, uint32_t channel) {
+  auto fd = net::ConnectTcp("127.0.0.1", port, 2000);
+  if (!fd.ok()) return fd.status();
+  Status sent = net::WriteAll(
+      *fd, serde::SealFrame(serde::MsgType::kPing, "", channel));
+  if (!sent.ok()) {
+    net::CloseFd(*fd);
+    return sent;
+  }
+  auto reply = net::ReadFrame(*fd, 5000);
+  net::CloseFd(*fd);
+  return reply;
+}
+
+TEST(NodeServerTest, ThousandSequentialConnectionsStayBounded) {
+  ServerWorld world;
+  // Warm up so lazily created resources (worker pool, gtest plumbing)
+  // don't count against the churn.
+  ASSERT_TRUE(PingOnce(world.server->port(), 1).ok());
+
+  const int fds_before = OpenFdCount();
+  const int threads_before = ThreadCount();
+  constexpr int kConnections = 1000;
+  for (int i = 0; i < kConnections; ++i) {
+    auto reply = PingOnce(world.server->port(),
+                          static_cast<uint32_t>(i % 100 + 1));
+    ASSERT_TRUE(reply.ok()) << "connection " << i << ": "
+                            << reply.status().ToString();
+  }
+  // Give the reactor a moment to reap the last orderly close.
+  for (int i = 0; i < 100 && world.server->active_connections() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  EXPECT_GE(world.server->connections_accepted(), kConnections);
+  EXPECT_EQ(world.server->active_connections(), 0);
+  EXPECT_GE(world.server->requests_served(), kConnections);
+  if (fds_before >= 0) {
+    // Closed connections must not accumulate fds: allow a little slack
+    // for unrelated runtime fds, nothing proportional to connections.
+    EXPECT_LE(OpenFdCount(), fds_before + 8);
+  }
+  if (threads_before >= 0) {
+    // Reactor + fixed worker pool existed before the churn; connection
+    // count must not mint threads (the old model made one each).
+    EXPECT_LE(ThreadCount(), threads_before + 1);
+  }
+}
+
+TEST(NodeServerTest, PipelinedChannelsAnswerEachRequest) {
+  ServerWorld world;
+  auto fd = net::ConnectTcp("127.0.0.1", world.server->port(), 2000);
+  ASSERT_TRUE(fd.ok());
+
+  // Three pings for three negotiations, written back to back before any
+  // reply is read: the reactor must peel all three from one buffer and
+  // tag each reply with its request's channel.
+  const std::vector<uint32_t> channels = {7, 9, 11};
+  std::string burst;
+  for (uint32_t channel : channels) {
+    burst += serde::SealFrame(serde::MsgType::kPing, "", channel);
+  }
+  ASSERT_TRUE(net::WriteAll(*fd, burst).ok());
+
+  std::vector<uint32_t> seen;
+  for (size_t i = 0; i < channels.size(); ++i) {
+    auto raw = net::ReadFrame(*fd, 5000);
+    ASSERT_TRUE(raw.ok()) << raw.status().ToString();
+    auto frame = serde::ParseFrame(*raw);
+    ASSERT_TRUE(frame.ok());
+    EXPECT_EQ(frame->type, serde::MsgType::kAck);
+    seen.push_back(frame->channel);
+  }
+  net::CloseFd(*fd);
+  // Workers may finish in any order; every channel must be answered
+  // exactly once.
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen, channels);
+}
+
+TEST(NodeServerTest, VersionOneClientGetsVersionOneReplies) {
+  ServerWorld world;
+  auto fd = net::ConnectTcp("127.0.0.1", world.server->port(), 2000);
+  ASSERT_TRUE(fd.ok());
+  // A previous-release client frames with the 14-byte v1 header and no
+  // channel field; the reply must come back v1 so the client's fixed
+  // header reads stay aligned.
+  ASSERT_TRUE(net::WriteAll(*fd, serde::SealFrameForVersion(
+                                     1, serde::MsgType::kPing, "", 0))
+                  .ok());
+  auto raw = net::ReadFrame(*fd, 5000);
+  net::CloseFd(*fd);
+  ASSERT_TRUE(raw.ok()) << raw.status().ToString();
+  EXPECT_EQ(static_cast<uint8_t>((*raw)[4]), 1);
+  EXPECT_EQ(raw->size(),
+            static_cast<size_t>(serde::kFrameHeaderBytesV1));
+  auto frame = serde::ParseFrame(*raw);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->type, serde::MsgType::kAck);
+  EXPECT_EQ(frame->channel, 0u);
+}
+
+TEST(NodeServerTest, HostileChannelGetsErrorAndClose) {
+  ServerWorld world;
+  auto fd = net::ConnectTcp("127.0.0.1", world.server->port(), 2000);
+  ASSERT_TRUE(fd.ok());
+  // Channel above kMaxNegotiationId: the header is rejected before any
+  // payload handling; the server answers kError and drops the link
+  // (framing state can't be trusted past a hostile header).
+  std::string frame = serde::SealFrame(serde::MsgType::kPing, "", 1);
+  const uint32_t hostile = serde::kMaxNegotiationId + 1;
+  for (int i = 0; i < 4; ++i) {  // little-endian, like every wire integer
+    frame[serde::kFrameHeaderBytesV1 + i] =
+        static_cast<char>((hostile >> (8 * i)) & 0xFF);
+  }
+  ASSERT_TRUE(net::WriteAll(*fd, frame).ok());
+  auto raw = net::ReadFrame(*fd, 5000);
+  ASSERT_TRUE(raw.ok()) << raw.status().ToString();
+  auto parsed = serde::ParseFrame(*raw);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->type, serde::MsgType::kError);
+  // The connection is gone: the next read sees EOF, not a hang.
+  auto after = net::ReadFrame(*fd, 5000);
+  EXPECT_FALSE(after.ok());
+  EXPECT_NE(after.status().code(), StatusCode::kTimeout);
+  net::CloseFd(*fd);
+}
+
+TEST(NodeServerTest, ConcurrentClientsMultiplexOnePooledConnection) {
+  ServerWorld world;
+  // Many threads ping through ONE TcpTransport: the client keeps a
+  // single pooled connection per peer and demultiplexes replies by
+  // channel, so the server should see exactly one connection.
+  TcpTransport tcp(world.fed->network());
+  tcp.AddPeer("corfu", "127.0.0.1", world.server->port());
+  ASSERT_TRUE(tcp.PingPeer("corfu").ok());  // pool the connection
+
+  constexpr int kThreads = 8;
+  constexpr int kPingsPerThread = 25;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPingsPerThread; ++i) {
+        if (!tcp.PingPeer("corfu").ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(world.server->connections_accepted(), 1);
+  EXPECT_GE(world.server->requests_served(),
+            kThreads * kPingsPerThread + 1);
+}
+
+TEST(NodeServerTest, StopWhileConnectionsOpenJoinsCleanly) {
+  auto world = std::make_unique<ServerWorld>();
+  // Open connections that never send a byte; Stop() must not hang on
+  // them (the reactor owns all fds and closes them on exit).
+  std::vector<int> fds;
+  for (int i = 0; i < 4; ++i) {
+    auto fd = net::ConnectTcp("127.0.0.1", world->server->port(), 2000);
+    ASSERT_TRUE(fd.ok());
+    fds.push_back(*fd);
+  }
+  world->server->Stop();
+  world.reset();
+  for (int fd : fds) net::CloseFd(fd);
+}
+
+}  // namespace
+}  // namespace qtrade

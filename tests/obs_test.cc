@@ -3,8 +3,11 @@
 // thread-safety of concurrent seller spans (run under TSAN by
 // ci/check.sh), and the no-behavior-change invariant — negotiation
 // outcomes are byte-identical with tracing on or off.
+#include <cstdio>
+#include <fstream>
 #include <map>
 #include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -119,6 +122,49 @@ TEST(TracerTest, SpanNestingAndMoveSemantics) {
   EXPECT_EQ(spans[0].parent, spans[1].id);
   EXPECT_EQ(spans[0].round, 0);
   EXPECT_EQ(spans[1].parent, 0u);
+}
+
+TEST(TracerTest, NegotiationTagInheritsAndDrivesExporterTid) {
+  obs::Tracer tracer;
+  {
+    obs::Span root = tracer.StartSpan("negotiation");
+    root.Negotiation(4242).Node("athens");
+    // Children inherit the negotiation through the parent ref, exactly
+    // like they inherit the round.
+    obs::Span child = tracer.StartSpan("rfb_broadcast", root.ref());
+    obs::Span untagged = tracer.StartSpan("other");
+    untagged.Round(3);
+  }
+  const std::vector<obs::SpanRecord> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  for (const obs::SpanRecord& rec : spans) {
+    if (rec.name == "other") {
+      EXPECT_EQ(rec.negotiation, 0u);
+    } else {
+      EXPECT_EQ(rec.negotiation, 4242u);
+    }
+  }
+
+  // Chrome export lanes concurrent negotiations by tid = negotiation id
+  // (falling back to round for untagged spans); JSONL carries the field
+  // explicitly.
+  const std::string prefix =
+      ::testing::TempDir() + "obs_negotiation_tid";
+  ASSERT_TRUE(obs::WriteChromeTrace(tracer, prefix + ".json").ok());
+  ASSERT_TRUE(obs::WriteJsonl(tracer, prefix + ".jsonl").ok());
+  std::ifstream chrome(prefix + ".json");
+  std::stringstream chrome_text;
+  chrome_text << chrome.rdbuf();
+  EXPECT_NE(chrome_text.str().find("\"tid\":4242"), std::string::npos);
+  std::ifstream jsonl(prefix + ".jsonl");
+  std::stringstream jsonl_text;
+  jsonl_text << jsonl.rdbuf();
+  EXPECT_NE(jsonl_text.str().find("\"negotiation\":4242"),
+            std::string::npos);
+  EXPECT_NE(jsonl_text.str().find("\"negotiation\":0"),
+            std::string::npos);  // the untagged span
+  std::remove((prefix + ".json").c_str());
+  std::remove((prefix + ".jsonl").c_str());
 }
 
 /// The buyer's round loop produces the documented span tree: one
