@@ -1,0 +1,359 @@
+// EXP-20: parallel plan-space search inside one negotiation (DESIGN.md
+// "Parallel plan search").
+//
+// Part 1 times the seller's DP kernel directly: one LocalOptimizer over
+// an n-alias chain query (full run: 12 aliases => 11 joins, 4095 lattice
+// masks) swept across dp_threads in {0, 1, 2, 4, 8}. Part 2 times the
+// same sweep end-to-end: a generated federation negotiating a 10-join
+// chain query with the offer cache disabled, so every bidding round
+// re-runs both DP lattices.
+//
+// The run is a guardrail first and a speedup measurement second:
+//   1. Every thread count must produce the byte-identical lattice
+//      fingerprint (each surviving mask with its cost, rows and full
+//      plan tree) and the byte-identical negotiation outcome (cost,
+//      winners, plan) as the serial dp_threads=0 reference. Any
+//      divergence exits 1, in --smoke and full runs alike.
+//   2. The full run additionally asserts the >=3x kernel speedup at 8
+//      threads — but only when the host actually has >=8 hardware
+//      threads; on smaller machines (and in --smoke) the speedup is
+//      reported, not enforced, since a 1-core container cannot go
+//      faster than serial no matter how correct the fan-out is.
+//
+// Writes the machine-readable trajectory file BENCH_parallel_dp.json
+// (repo root when run from there, e.g. via ci/check.sh).
+//
+// Flags: --smoke (small sizes, used by ci/check.sh), --json,
+// --aliases N, --reps N, --out PATH.
+#include "bench/bench_util.h"
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "opt/local_optimizer.h"
+#include "plan/plan.h"
+
+using namespace qtrade;
+using namespace qtrade::bench;
+
+namespace {
+
+const int kThreadSweep[] = {0, 1, 2, 4, 8};
+
+/// Self-contained n-alias chain world for the DP kernel: tables
+/// t0..t(n-1) where ti carries columns (ki, k(i+1)), joined on the
+/// shared column. Deterministic synthetic statistics, no federation.
+struct ChainWorld {
+  std::shared_ptr<FederationSchema> fed = std::make_shared<FederationSchema>();
+  CostModel cost;
+  PlanFactory factory{&cost};
+  std::optional<sql::BoundQuery> query;
+  std::vector<AliasInput> inputs;
+  bool ok = false;
+
+  explicit ChainWorld(int n) {
+    for (int i = 0; i < n; ++i) {
+      std::string name = "t" + std::to_string(i);
+      if (!fed->AddTable({name,
+                          {{"k" + std::to_string(i), TypeKind::kInt64},
+                           {"k" + std::to_string(i + 1), TypeKind::kInt64}}})
+               .ok()) {
+        return;
+      }
+    }
+    std::string sql = "SELECT t0.k0 FROM ";
+    for (int i = 0; i < n; ++i) {
+      if (i > 0) sql += ", ";
+      sql += "t" + std::to_string(i);
+    }
+    sql += " WHERE ";
+    for (int i = 0; i + 1 < n; ++i) {
+      if (i > 0) sql += " AND ";
+      sql += "t" + std::to_string(i) + ".k" + std::to_string(i + 1) + " = t" +
+             std::to_string(i + 1) + ".k" + std::to_string(i + 1);
+    }
+    auto bound = sql::AnalyzeSql(sql, *fed);
+    if (!bound.ok()) return;
+    query = *bound;
+    for (int i = 0; i < n; ++i) {
+      std::string name = "t" + std::to_string(i);
+      AliasInput input;
+      input.alias = name;
+      input.table = name;
+      input.schema = QualifiedSchema(*fed->FindTable(name), name);
+      input.stats.row_count = 997 * (1 + (i * 7) % 5);
+      ColumnStats s;
+      s.ndv = 100 + 37 * i;
+      for (const auto& col : fed->FindTable(name)->columns) {
+        input.stats.columns[col.name] = s;
+      }
+      input.partitions = {name + "#0"};
+      inputs.push_back(std::move(input));
+    }
+    ok = true;
+  }
+
+  /// Canonical bytes of one enumeration outcome: every surviving mask
+  /// with its cost, rows and full plan tree.
+  std::string Fingerprint(int dp_threads) {
+    LocalOptimizer dp(&*query, inputs, &factory, {});
+    DpSearchOptions search;
+    search.threads = dp_threads;
+    dp.set_search(search);
+    if (!dp.Run().ok()) return "";
+    std::string out;
+    char buf[64];
+    for (const auto& [mask, sub] : dp.subplans()) {
+      std::snprintf(buf, sizeof(buf), "%u:%.17g:%.17g\n", mask,
+                    sub.plan->cost, sub.rows);
+      out += buf;
+      out += Explain(sub.plan);
+    }
+    return out;
+  }
+
+  /// Min wall ms of `reps` kernel runs after one warm-up.
+  double TimeKernel(int dp_threads, int reps) {
+    (void)Fingerprint(dp_threads);  // warm-up (also grows the pool)
+    double best = 0;
+    for (int i = 0; i < reps; ++i) {
+      LocalOptimizer dp(&*query, inputs, &factory, {});
+      DpSearchOptions search;
+      search.threads = dp_threads;
+      dp.set_search(search);
+      auto start = std::chrono::steady_clock::now();
+      (void)dp.Run();
+      const double ms = WallMs(start);
+      if (i == 0 || ms < best) best = ms;
+    }
+    return best;
+  }
+};
+
+/// What the end-to-end sweep pins down per thread count.
+struct E2eOutcome {
+  bool ok = false;
+  double cost = 0;
+  std::string plan;
+  std::vector<std::string> winners;
+  double wall_ms = 0;  // min over the timed reps
+};
+
+E2eOutcome RunE2e(Federation* fed, const std::string& buyer,
+                  const std::string& sql, int dp_threads, int reps) {
+  QtOptions options;
+  options.run_label = "bench-parallel-dp";
+  options.offer_cache_capacity = 0;  // every round runs the full DP
+  options.dp_threads = dp_threads;
+  E2eOutcome out;
+  {
+    QueryTradingOptimizer qt(fed, buyer, options);
+    auto result = qt.Optimize(sql);
+    if (!result.ok() || !result->ok()) return out;
+    out.ok = true;
+    out.cost = result->cost;
+    out.plan = Explain(result->plan);
+    for (const Offer& offer : result->winning_offers) {
+      out.winners.push_back(offer.seller + "/" + offer.offer_id + "/" +
+                            offer.CoverageSignature());
+    }
+  }
+  for (int i = 0; i < reps; ++i) {
+    QueryTradingOptimizer qt(fed, buyer, options);
+    auto start = std::chrono::steady_clock::now();
+    auto result = qt.Optimize(sql);
+    const double ms = WallMs(start);
+    (void)result;
+    if (i == 0 || ms < out.wall_ms) out.wall_ms = ms;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  int aliases = 12;
+  int reps = 3;
+  std::string out_path = "BENCH_parallel_dp.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--aliases") == 0 && i + 1 < argc) {
+      aliases = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+  if (smoke) {
+    aliases = 8;
+    reps = 1;
+  }
+  aliases = std::min(std::max(aliases, 4), 18);
+  reps = std::max(1, reps);
+  const bool json = JsonMode(argc, argv);
+  const int hw_threads =
+      static_cast<int>(std::thread::hardware_concurrency());
+  Banner("EXP-20",
+         "parallel plan-space search: DP kernel + end-to-end negotiation "
+         "across dp_threads");
+  std::printf("hardware threads: %d%s\n", hw_threads,
+              hw_threads >= 8 ? "" : "  (speedup reported, not enforced)");
+
+  // --- Part 1: the seller's DP kernel over an n-alias chain.
+  ChainWorld world(aliases);
+  if (!world.ok) {
+    std::fprintf(stderr, "FAIL: chain world build failed\n");
+    return 1;
+  }
+  const std::string kernel_ref = world.Fingerprint(0);
+  if (kernel_ref.empty()) {
+    std::fprintf(stderr, "FAIL: serial kernel reference produced no plans\n");
+    return 1;
+  }
+
+  std::printf("\nDP kernel: %d aliases (%d joins), min of %d reps\n",
+              aliases, aliases - 1, reps);
+  std::printf("%-12s %12s %10s %10s\n", "dp_threads", "wall_ms", "speedup",
+              "identical");
+  int mismatched = 0;
+  double kernel_serial_ms = 0;
+  double kernel_t8_ms = 0;
+  std::vector<double> kernel_ms(std::size(kThreadSweep), 0);
+  for (size_t i = 0; i < std::size(kThreadSweep); ++i) {
+    const int t = kThreadSweep[i];
+    const bool identical = world.Fingerprint(t) == kernel_ref;
+    if (!identical) {
+      ++mismatched;
+      std::fprintf(stderr,
+                   "FAIL: kernel lattice diverged at dp_threads=%d\n", t);
+    }
+    kernel_ms[i] = world.TimeKernel(t, reps);
+    if (t == 0) kernel_serial_ms = kernel_ms[i];
+    if (t == 8) kernel_t8_ms = kernel_ms[i];
+    const double speedup =
+        kernel_ms[i] > 0 ? kernel_serial_ms / kernel_ms[i] : 0;
+    std::printf("%-12d %12.3f %9.2fx %10s\n", t, kernel_ms[i], speedup,
+                identical ? "yes" : "NO");
+    if (json) {
+      JsonRow("EXP-20")
+          .Str("part", "kernel")
+          .Int("aliases", aliases)
+          .Int("dp_threads", t)
+          .Num("wall_ms", kernel_ms[i])
+          .Num("speedup", speedup)
+          .Bool("identical", identical)
+          .Emit();
+    }
+  }
+  const double kernel_speedup =
+      kernel_t8_ms > 0 ? kernel_serial_ms / kernel_t8_ms : 0;
+
+  // --- Part 2: end-to-end negotiation, offer cache disabled.
+  const int num_tables = smoke ? 6 : 12;
+  const int joins = smoke ? 4 : 10;
+  WorkloadParams params;
+  params.num_nodes = 4;
+  params.num_tables = num_tables;
+  params.partitions_per_table = 2;
+  params.replication = 2;
+  params.with_data = false;
+  params.seed = 42;
+  auto generated = BuildFederation(params);
+  if (!generated.ok()) {
+    std::fprintf(stderr, "FAIL: federation build failed: %s\n",
+                 generated.status().ToString().c_str());
+    return 1;
+  }
+  Federation* fed = generated->federation.get();
+  const std::string buyer = generated->node_names[0];
+  const std::string sql = ChainQuerySql(0, joins, false, true);
+
+  const E2eOutcome e2e_ref = RunE2e(fed, buyer, sql, 0, reps);
+  if (!e2e_ref.ok) {
+    std::fprintf(stderr, "FAIL: serial end-to-end reference found no plan\n");
+    return 1;
+  }
+
+  std::printf("\nend-to-end: %d-join chain over %d nodes, offer cache off\n",
+              joins, params.num_nodes);
+  std::printf("%-12s %12s %10s %10s\n", "dp_threads", "wall_ms", "speedup",
+              "identical");
+  double e2e_serial_ms = 0;
+  double e2e_t8_ms = 0;
+  for (int t : kThreadSweep) {
+    const E2eOutcome run = (t == 0) ? e2e_ref : RunE2e(fed, buyer, sql, t, reps);
+    const bool identical = run.ok && run.cost == e2e_ref.cost &&
+                           run.plan == e2e_ref.plan &&
+                           run.winners == e2e_ref.winners;
+    if (!identical) {
+      ++mismatched;
+      std::fprintf(stderr,
+                   "FAIL: negotiation diverged at dp_threads=%d\n", t);
+    }
+    if (t == 0) e2e_serial_ms = run.wall_ms;
+    if (t == 8) e2e_t8_ms = run.wall_ms;
+    const double speedup = run.wall_ms > 0 ? e2e_serial_ms / run.wall_ms : 0;
+    std::printf("%-12d %12.3f %9.2fx %10s\n", t, run.wall_ms, speedup,
+                identical ? "yes" : "NO");
+    if (json) {
+      JsonRow("EXP-20")
+          .Str("part", "e2e")
+          .Int("joins", joins)
+          .Int("dp_threads", t)
+          .Num("wall_ms", run.wall_ms)
+          .Num("speedup", speedup)
+          .Bool("identical", identical)
+          .Emit();
+    }
+  }
+  const double e2e_speedup = e2e_t8_ms > 0 ? e2e_serial_ms / e2e_t8_ms : 0;
+
+  const PlanSearchPool::Stats pool = PlanSearchPool::Shared()->stats();
+  std::printf("\nshared pool: %d workers, %lld parallel runs, %lld helper "
+              "tasks, max queue depth %lld\n",
+              pool.workers, static_cast<long long>(pool.parallel_runs),
+              static_cast<long long>(pool.helper_tasks),
+              static_cast<long long>(pool.max_queue_depth));
+
+  // Trajectory file: one JSON object, stable keys, overwritten per run.
+  if (FILE* f = std::fopen(out_path.c_str(), "w")) {
+    std::fprintf(
+        f,
+        "{\"bench\":\"parallel_dp\",\"aliases\":%d,\"joins\":%d,"
+        "\"kernel_serial_ms\":%.3f,\"kernel_t8_ms\":%.3f,"
+        "\"kernel_speedup_t8\":%.2f,\"e2e_serial_ms\":%.3f,"
+        "\"e2e_t8_ms\":%.3f,\"e2e_speedup_t8\":%.2f,"
+        "\"pool_workers\":%d,\"pool_helper_tasks\":%lld,"
+        "\"hw_threads\":%d,\"identical\":%s,\"smoke\":%s}\n",
+        aliases, joins, kernel_serial_ms, kernel_t8_ms, kernel_speedup,
+        e2e_serial_ms, e2e_t8_ms, e2e_speedup, pool.workers,
+        static_cast<long long>(pool.helper_tasks), hw_threads,
+        mismatched == 0 ? "true" : "false", smoke ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "FAIL: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+
+  if (mismatched > 0) return 1;
+  // The >=3x acceptance gate needs 8 real cores; a smaller host can only
+  // verify correctness, never parallel wall-time wins.
+  if (!smoke && hw_threads >= 8 && kernel_speedup < 3.0) {
+    std::fprintf(stderr,
+                 "FAIL: kernel speedup %.2fx at 8 threads below 3x floor\n",
+                 kernel_speedup);
+    return 1;
+  }
+  std::printf("\nall thread counts byte-identical to the serial reference "
+              "(kernel %.2fx, end-to-end %.2fx at 8 threads)\n",
+              kernel_speedup, e2e_speedup);
+  return 0;
+}

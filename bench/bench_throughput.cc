@@ -22,7 +22,8 @@
 // full run — a peak concurrency below the in-flight floor of 64.
 //
 // Flags: --smoke (8 threads × 2 queries, used by ci/check.sh), --json,
-// --threads N, --queries M, --out PATH.
+// --threads N, --queries M, --dp-threads N (plan-search threads per
+// negotiation; all negotiations share one PlanSearchPool), --out PATH.
 #include "bench/bench_util.h"
 
 #include <atomic>
@@ -34,6 +35,7 @@
 #include <thread>
 #include <vector>
 
+#include "opt/parallel/search_pool.h"
 #include "plan/plan.h"
 #include "server/node_server.h"
 #include "workload/telecom.h"
@@ -124,6 +126,7 @@ int main(int argc, char** argv) {
   bool smoke = false;
   int threads = kInflightFloor;
   int queries = 2;
+  int dp_threads = 0;  // plan-search threads per negotiation (shared pool)
   std::string out_path = "BENCH_throughput.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
@@ -132,6 +135,8 @@ int main(int argc, char** argv) {
       threads = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--queries") == 0 && i + 1 < argc) {
       queries = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--dp-threads") == 0 && i + 1 < argc) {
+      dp_threads = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     }
@@ -170,6 +175,7 @@ int main(int argc, char** argv) {
     const std::string& name = world->node_names[i];
     NodeServerOptions server_options;
     server_options.workers = 8;
+    server_options.dp_threads = dp_threads;
     auto server = std::make_unique<NodeServer>(fed->node(name)->seller.get(),
                                                server_options);
     Status started = server->Start();
@@ -187,6 +193,7 @@ int main(int argc, char** argv) {
     options.run_label = item.label;
     options.offer_timeout_ms = 60000;  // loaded machine != dead seller
     options.transport_override = &tcp;
+    options.dp_threads = dp_threads;
     return options;
   };
 
@@ -298,6 +305,8 @@ int main(int argc, char** argv) {
     JsonRow("BENCH-throughput")
         .Int("threads", threads)
         .Int("queries_per_thread", queries)
+        .Int("dp_threads", dp_threads)
+        .Int("dp_pool_workers", PlanSearchPool::Shared()->stats().workers)
         .Int("negotiations", lat.count)
         .Int("peak_inflight", peak_inflight.load())
         .Num("p50_ms", lat.p50_ms)
@@ -315,12 +324,14 @@ int main(int argc, char** argv) {
     std::fprintf(
         f,
         "{\"bench\":\"throughput\",\"nodes\":%d,\"threads\":%d,"
-        "\"queries_per_thread\":%d,\"negotiations\":%lld,"
+        "\"queries_per_thread\":%d,\"dp_threads\":%d,"
+        "\"dp_pool_workers\":%d,\"negotiations\":%lld,"
         "\"peak_inflight\":%d,\"p50_ms\":%.3f,\"p90_ms\":%.3f,"
         "\"p99_ms\":%.3f,\"negotiations_per_sec\":%.2f,"
         "\"messages_per_sec\":%.2f,\"elapsed_ms\":%.2f,\"failed\":%d,"
         "\"parity_mismatches\":%d,\"smoke\":%s}\n",
-        params.num_offices, threads, queries,
+        params.num_offices, threads, queries, dp_threads,
+        PlanSearchPool::Shared()->stats().workers,
         static_cast<long long>(lat.count), peak_inflight.load(), lat.p50_ms,
         lat.p90_ms, lat.p99_ms, lat.per_sec, msgs_per_sec, lat.elapsed_ms,
         failed, mismatched, smoke ? "true" : "false");

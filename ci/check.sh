@@ -105,16 +105,33 @@ echo "== concurrent negotiation throughput smoke"
 ./build/bench/bench_throughput --smoke
 test -s BENCH_throughput.json
 
+# Parallel plan-search smoke: both DP lattices swept across dp_threads
+# must stay byte-identical to the serial reference (the bench exits
+# non-zero on any divergence) and the BENCH_parallel_dp.json trajectory
+# file must appear. Speedup is only enforced on >=8-core hosts.
+echo "== parallel plan search smoke"
+./build/bench/bench_parallel_dp --smoke
+test -s BENCH_parallel_dp.json
+
+# Acceptance gate: the transport-conformance and fault-schedule suites
+# must pass UNCHANGED with parallel plan search on. QTRADE_DP_THREADS
+# makes the facade default dp_threads=8 without touching the suites;
+# byte-identity means the override can only change wall time.
+echo "== conformance + fault schedules at dp_threads=8"
+QTRADE_DP_THREADS=8 ./build/tests/transport_conformance_test
+QTRADE_DP_THREADS=8 ./build/tests/fault_schedule_test
+
 if [[ "${TSAN:-0}" == "1" ]]; then
   cmake -B build-tsan -S . -DQTRADE_TSAN=ON
   cmake --build build-tsan -j "${JOBS}" --target \
     trading_test subcontract_test transport_fault_test offer_cache_test \
     obs_test codec_test codec_fuzz_test transport_conformance_test \
-    fault_schedule_test node_server_test concurrent_state_test
+    fault_schedule_test node_server_test concurrent_state_test \
+    parallel_dp_test
   for t in trading_test subcontract_test transport_fault_test \
            offer_cache_test obs_test codec_test codec_fuzz_test \
            transport_conformance_test fault_schedule_test \
-           node_server_test concurrent_state_test; do
+           node_server_test concurrent_state_test parallel_dp_test; do
     echo "== tsan: ${t}"
     ./build-tsan/tests/"${t}"
   done

@@ -47,15 +47,19 @@ struct Args {
 
   // Daemon mode: engine worker threads behind the reactor.
   int workers = 4;
+  // Both modes: plan-search threads per negotiation (QtOptions::
+  // dp_threads). 0 = serial; plans are byte-identical either way.
+  int dp_threads = 0;
 };
 
 void Usage() {
   std::cout <<
-      "qtrade_node --node NAME --listen PORT [--workers N] [world flags]\n"
+      "qtrade_node --node NAME --listen PORT [--workers N]\n"
+      "            [--dp-threads N] [world flags]\n"
       "qtrade_node --optimize SQL|motivating|revenue\n"
       "            (--peers n=h:p,n=h:p | --inproc)\n"
       "            [--buyer NAME] [--protocol bidding|auction|bargaining]\n"
-      "            [--shutdown-peers] [world flags]\n"
+      "            [--shutdown-peers] [--dp-threads N] [world flags]\n"
       "world flags: --offices N --customers N --lines N\n";
 }
 
@@ -81,6 +85,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->shutdown_peers = true;
     } else if (flag == "--workers" && need(i)) {
       args->workers = std::atoi(argv[++i]);
+    } else if (flag == "--dp-threads" && need(i)) {
+      args->dp_threads = std::atoi(argv[++i]);
     } else if (flag == "--offices" && need(i)) {
       args->params.num_offices = std::atoi(argv[++i]);
     } else if (flag == "--customers" && need(i)) {
@@ -134,6 +140,7 @@ int RunDaemon(const Args& args) {
   NodeServerOptions options;
   options.port = static_cast<uint16_t>(args.listen_port);
   options.workers = args.workers;
+  options.dp_threads = args.dp_threads;
   NodeServer server(node->seller.get(), options);
   Status started = server.Start();
   if (!started.ok()) {
@@ -162,6 +169,7 @@ int RunBuyer(const Args& args) {
   // Stable RFB ids: every deployment of this world negotiates with
   // byte-identical message ids, so plans are comparable across runs.
   options.run_label = "qtrade-node";
+  options.dp_threads = args.dp_threads;
   if (args.protocol == "auction") {
     options.protocol = NegotiationProtocol::kAuction;
   } else if (args.protocol == "bargaining") {

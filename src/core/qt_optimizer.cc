@@ -1,9 +1,11 @@
 #include "core/qt_optimizer.h"
 
+#include <cstdlib>
 #include <limits>
 #include <set>
 #include <utility>
 
+#include "opt/parallel/search_pool.h"
 #include "sql/ast.h"
 
 namespace qtrade {
@@ -61,6 +63,15 @@ QueryTradingOptimizer::QueryTradingOptimizer(Federation* federation,
     : federation_(federation),
       buyer_node_(std::move(buyer_node)),
       options_(options) {
+  if (options_.dp_threads == 0) {
+    // QTRADE_DP_THREADS lets CI run UNCHANGED suites (transport
+    // conformance, fault schedules) at any thread count: plan search is
+    // byte-identical across settings, so the override can never change
+    // an outcome, only wall time. An explicit QtOptions value wins.
+    if (const char* env = std::getenv("QTRADE_DP_THREADS")) {
+      options_.dp_threads = std::atoi(env);
+    }
+  }
   FederationNode* buyer = federation_->node(buyer_node_);
   transport_ = federation_->transport();
   std::vector<std::string> sellers = federation_->NodeNames();
@@ -112,11 +123,12 @@ QueryTradingOptimizer::QueryTradingOptimizer(Federation* federation,
   engine_ = std::make_unique<BuyerEngine>(
       buyer != nullptr ? buyer->catalog.get() : nullptr,
       &federation_->factory(), transport_, sellers, options_);
-  // The cache knob is a federation-wide property of the run, so the
-  // facade pushes it to every seller; direct-constructed SellerEngines
-  // keep their OfferGeneratorOptions default (off).
+  // Cache and plan-search knobs are federation-wide properties of the
+  // run, so the facade pushes them to every seller; direct-constructed
+  // SellerEngines keep their OfferGeneratorOptions defaults (off/serial).
   for (SellerEngine* seller : federation_->Sellers()) {
     seller->set_offer_cache_capacity(options_.offer_cache_capacity);
+    seller->set_dp_threads(options_.dp_threads);
   }
   if (options_.obs.any()) {
     owned_tracer_ = std::make_unique<obs::Tracer>();
@@ -156,6 +168,17 @@ void QueryTradingOptimizer::FlushObservability() {
       metrics_->gauge("seller." + seller->name() + ".cache_hit_ratio")
           ->Set(probes > 0 ? static_cast<double>(s.hits) / probes : 0.0);
     }
+    // Process-wide plan-search pool health: thread count plus queue
+    // pressure, so a slow negotiation's trace can tell "pool contended"
+    // from "the DP is just big".
+    const PlanSearchPool::Stats pool = PlanSearchPool::Shared()->stats();
+    metrics_->gauge("dp_pool.workers")->Set(pool.workers);
+    metrics_->gauge("dp_pool.parallel_runs")
+        ->Set(static_cast<double>(pool.parallel_runs));
+    metrics_->gauge("dp_pool.helper_tasks")
+        ->Set(static_cast<double>(pool.helper_tasks));
+    metrics_->gauge("dp_pool.max_queue_depth")
+        ->Set(static_cast<double>(pool.max_queue_depth));
   }
   // Export failures (unwritable path) must not fail the optimization.
   if (tracer_ != nullptr && !options_.obs.trace_path.empty()) {

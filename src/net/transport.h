@@ -63,6 +63,13 @@ class NodeEndpoint {
 
   /// Delivery of a previously sold answer (subcontract re-shipping).
   virtual Result<RowSet> HandleExecuteOffer(const std::string& offer_id) = 0;
+
+  /// Parallel plan-search width hint (QtOptions::dp_threads) applied by
+  /// whoever hosts this endpoint — the NodeServer daemon or the
+  /// QueryTradingOptimizer facade. Endpoints that run no DP ignore it;
+  /// the search itself draws threads from the process-shared
+  /// PlanSearchPool, never per-endpoint ones.
+  virtual void ConfigurePlanSearch(int dp_threads) { (void)dp_threads; }
 };
 
 /// One seller's reply to an RFB fan-out.

@@ -127,6 +127,28 @@ std::optional<SubPlan> LocalOptimizer::Join(const SubPlan& left,
   return out;
 }
 
+std::optional<SubPlan> LocalOptimizer::BestForSubset(uint32_t s) const {
+  std::optional<SubPlan> best;
+  // Pass 0 admits only connected splits; pass 1 (cartesian fallback) runs
+  // only when pass 0 produced nothing for this subset.
+  for (int pass = 0; pass < 2 && !best.has_value(); ++pass) {
+    const bool require_connected = (pass == 0);
+    for (uint32_t sub = (s - 1) & s; sub > 0; sub = (sub - 1) & s) {
+      const uint32_t rest = s ^ sub;
+      if (sub > rest) continue;  // each split once
+      auto left = subplans_.find(sub);
+      auto right = subplans_.find(rest);
+      if (left == subplans_.end() || right == subplans_.end()) continue;
+      auto joined = Join(left->second, right->second, require_connected);
+      if (!joined.has_value()) continue;
+      if (!best.has_value() || joined->plan->cost < best->plan->cost) {
+        best = std::move(*joined);
+      }
+    }
+  }
+  return best;
+}
+
 Status LocalOptimizer::Run() {
   if (ran_) return Status::OK();
   ran_ = true;
@@ -165,33 +187,60 @@ Status LocalOptimizer::Run() {
     }
   };
 
+  // Level-synchronous lattice search: every subset of popcount `size`
+  // depends only on strictly smaller subsets, so one level's masks are
+  // independent and fan out over the shared pool; the merge below is the
+  // barrier before the next level. Each mask is owned by exactly one
+  // task, so the merge has no cross-thread ties to break — within a mask,
+  // BestForSubset's fixed split order already picked the winner — and
+  // adopting winners in ascending-mask order makes the walk of subplans_
+  // identical to the serial enumeration, byte for byte.
+  PlanSearchPool* pool = nullptr;
+  const int threads = search_.threads;
+  if (threads > 1) {
+    pool = search_.pool != nullptr ? search_.pool : PlanSearchPool::Shared();
+    pool->EnsureWorkers(threads - 1);
+  }
+  obs::Tracer* tracer = search_.tracer;
+
+  std::vector<uint32_t> masks;
+  std::vector<std::optional<SubPlan>> results;
   for (int size = 2; size <= n; ++size) {
-    // Enumerate subsets of this popcount.
+    masks.clear();
     for (uint32_t s = 1; s <= full; ++s) {
-      if (__builtin_popcount(s) != size) continue;
-      bool found_connected = false;
-      for (int pass = 0; pass < 2 && !found_connected; ++pass) {
-        bool require_connected = (pass == 0);
-        for (uint32_t sub = (s - 1) & s; sub > 0; sub = (sub - 1) & s) {
-          uint32_t rest = s ^ sub;
-          if (sub > rest) continue;  // each split once
-          auto left = subplans_.find(sub);
-          auto right = subplans_.find(rest);
-          if (left == subplans_.end() || right == subplans_.end()) continue;
-          auto joined =
-              Join(left->second, right->second, require_connected);
-          if (joined.has_value()) {
-            found_connected = true;
-            consider(std::move(*joined));
-          }
-        }
-        // Only fall back to cartesian when no connected split produced a
-        // plan for this subset.
-        if (pass == 0 && subplans_.count(s) > 0) found_connected = true;
+      if (__builtin_popcount(s) == size) masks.push_back(s);
+    }
+    {
+      obs::Span level_span;
+      if (obs::Tracer::Active(tracer)) {
+        level_span = tracer->StartSpan(
+            "dp_level[" + std::to_string(size) + "]", search_.parent);
+        level_span.Attr("masks", static_cast<int64_t>(masks.size()));
+        level_span.Attr("threads",
+                        static_cast<int64_t>(std::max(1, threads)));
+      }
+      results.assign(masks.size(), std::nullopt);
+      auto compute = [&](int i) { results[i] = BestForSubset(masks[i]); };
+      if (pool != nullptr && masks.size() > 1) {
+        pool->ParallelFor(static_cast<int>(masks.size()), threads, compute);
+      } else {
+        for (int i = 0; i < static_cast<int>(masks.size()); ++i) compute(i);
+      }
+    }
+    obs::Span merge_span;
+    if (obs::Tracer::Active(tracer)) {
+      merge_span = tracer->StartSpan("dp_merge", search_.parent);
+      merge_span.Attr("level", static_cast<int64_t>(size));
+    }
+    for (size_t i = 0; i < masks.size(); ++i) {
+      if (results[i].has_value()) {
+        subplans_[masks[i]] = std::move(*results[i]);
       }
     }
     // IDP-M(k, m): after finishing level k, keep only the best m subplans
-    // of exactly k relations (singletons always survive).
+    // of exactly k relations (singletons always survive). The sort key is
+    // explicitly (cost, mask) so the pruned set can never depend on
+    // container iteration order.
     if (idp_.enabled() && size == idp_.k && size < n) {
       std::vector<std::pair<double, uint32_t>> level;
       for (const auto& [mask, sub] : subplans_) {
@@ -200,7 +249,12 @@ Status LocalOptimizer::Run() {
         }
       }
       if (static_cast<int>(level.size()) > idp_.m) {
-        std::sort(level.begin(), level.end());
+        std::sort(level.begin(), level.end(),
+                  [](const std::pair<double, uint32_t>& a,
+                     const std::pair<double, uint32_t>& b) {
+                    if (a.first != b.first) return a.first < b.first;
+                    return a.second < b.second;
+                  });
         for (size_t i = idp_.m; i < level.size(); ++i) {
           subplans_.erase(level[i].second);
         }

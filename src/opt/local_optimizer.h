@@ -11,12 +11,31 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
+#include "opt/parallel/search_pool.h"
 #include "plan/plan_factory.h"
 #include "sql/analyzer.h"
 #include "stats/column_stats.h"
 #include "util/status.h"
 
 namespace qtrade {
+
+/// How the DP lattices are searched (LocalOptimizer::Run and
+/// PlanAssembler::Assemble). Winning plans, costs and statistics are
+/// byte-identical at every thread count — parallelism only changes wall
+/// time (see DESIGN.md "Parallel plan search").
+struct DpSearchOptions {
+  /// Total threads searching one lattice level; the caller counts as
+  /// one, so <=1 keeps the enumeration entirely on the calling thread.
+  int threads = 0;
+  /// Pool supplying helper threads; nullptr = the process-wide
+  /// PlanSearchPool::Shared(). Tests inject private pools here.
+  PlanSearchPool* pool = nullptr;
+  /// When tracing, the search emits per-level dp_level[k] fan-out spans
+  /// and dp_merge barrier spans under `parent`.
+  obs::Tracer* tracer = nullptr;
+  obs::SpanRef parent;
+};
 
 /// One base-relation input to join enumeration: the fragment a node (or a
 /// baseline's chosen site) would scan for one query alias.
@@ -63,6 +82,10 @@ class LocalOptimizer {
   LocalOptimizer(const sql::BoundQuery* query, std::vector<AliasInput> inputs,
                  const PlanFactory* factory, IdpParams idp = {});
 
+  /// Configures parallel search + tracing for Run(). Call before Run();
+  /// the default ({}) is the serial enumeration.
+  void set_search(DpSearchOptions search) { search_ = std::move(search); }
+
   /// Runs enumeration. Must be called before the accessors.
   Status Run();
 
@@ -96,6 +119,15 @@ class LocalOptimizer {
   std::vector<const sql::Conjunct*> ConnectingPredicates(uint32_t a,
                                                          uint32_t b) const;
 
+  /// Best plan for subset `s` from the already-finished smaller levels of
+  /// `subplans_`: connected splits first, cartesian fallback only when no
+  /// connected split exists. Ties resolve to the first split in
+  /// enumeration order (strict `<` on cost), which is what makes the
+  /// result independent of which thread computes it. Reads `subplans_`
+  /// only for masks of popcount < popcount(s), so every subset of one
+  /// level can run concurrently.
+  std::optional<SubPlan> BestForSubset(uint32_t s) const;
+
   /// Post-local-filter stats of alias i (computed once in Run()).
   const TableStats& FilteredStats(int i) const { return filtered_stats_[i]; }
 
@@ -103,6 +135,7 @@ class LocalOptimizer {
   std::vector<AliasInput> inputs_;
   const PlanFactory* factory_;
   IdpParams idp_;
+  DpSearchOptions search_;
 
   std::map<std::string, int> alias_index_;
   std::vector<TableStats> filtered_stats_;

@@ -117,6 +117,7 @@ OfferGenerator::OfferGenerator(const NodeCatalog* catalog,
     : catalog_(catalog),
       factory_(factory),
       options_(options),
+      dp_threads_(options.dp_threads),
       cache_(std::make_unique<OfferCache>(options.offer_cache_capacity)) {}
 
 OfferGenerator::~OfferGenerator() = default;
@@ -300,9 +301,15 @@ Result<std::vector<GeneratedOffer>> OfferGenerator::GenerateUncached(
                            ? tracer->StartSpan("dp_enumerate", parent)
                            : obs::Span();
       span.Node(catalog_->node_name());
+      DpSearchOptions search;
+      search.threads = dp_threads_.load(std::memory_order_relaxed);
+      search.tracer = tracer;
+      search.parent = span.ref();
+      optimizer.set_search(search);
       QTRADE_RETURN_IF_ERROR(optimizer.Run());
       span.Attr("inputs", static_cast<int64_t>(optimizer.num_inputs()));
       span.Attr("subplans", static_cast<int64_t>(optimizer.subplans().size()));
+      span.Attr("dp_threads", static_cast<int64_t>(search.threads));
     }
 
     // --- §3.4: one offer per optimal partial result.

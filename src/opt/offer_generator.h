@@ -52,6 +52,11 @@ struct OfferGeneratorOptions {
   /// prices themselves are invariant either way — the cache only skips
   /// recomputation (see opt/offer_cache.h).
   size_t offer_cache_capacity = 0;
+  /// Threads searching one level of the §3.4 subset DP (see
+  /// QtOptions::dp_threads). <=1 = serial; higher fans levels out over
+  /// the process-wide PlanSearchPool. Offers are byte-identical at every
+  /// setting — parallelism only changes generation wall time.
+  int dp_threads = 0;
 };
 
 /// Naming convention for partial-aggregate offer outputs: group keys keep
@@ -119,6 +124,15 @@ class OfferGenerator {
   size_t cache_capacity() const;
   OfferCacheStats cache_stats() const;
 
+  /// Runtime change of the DP search width (atomic: transport worker
+  /// threads may be generating while a host re-configures).
+  void set_dp_threads(int threads) {
+    dp_threads_.store(threads, std::memory_order_relaxed);
+  }
+  int dp_threads() const {
+    return dp_threads_.load(std::memory_order_relaxed);
+  }
+
   /// Cumulative wall-clock spent inside Generate(), cache hits included
   /// (the seller-side offer-generation cost experiments measure).
   int64_t generate_ns() const {
@@ -144,6 +158,7 @@ class OfferGenerator {
   const NodeCatalog* catalog_;
   const PlanFactory* factory_;
   OfferGeneratorOptions options_;
+  std::atomic<int> dp_threads_{0};
   std::atomic<int64_t> total_generated_{0};
   std::atomic<int64_t> generate_ns_{0};
   std::unique_ptr<OfferCache> cache_;

@@ -1,0 +1,124 @@
+#include "opt/parallel/search_pool.h"
+
+#include <algorithm>
+
+namespace qtrade {
+
+PlanSearchPool* PlanSearchPool::Shared() {
+  // Intentionally leaked: joining helper threads during static teardown
+  // would deadlock against any late ParallelFor still draining.
+  static PlanSearchPool* pool = new PlanSearchPool();
+  return pool;
+}
+
+PlanSearchPool::~PlanSearchPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void PlanSearchPool::EnsureWorkers(int workers) {
+  workers = std::min(workers, kMaxWorkers);
+  std::lock_guard<std::mutex> lock(mu_);
+  while (static_cast<int>(workers_.size()) < workers && !shutdown_) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+int PlanSearchPool::workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(workers_.size());
+}
+
+PlanSearchPool::Stats PlanSearchPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.workers = static_cast<int>(workers_.size());
+  s.parallel_runs = parallel_runs_;
+  s.helper_tasks = helper_tasks_;
+  s.max_queue_depth = max_queue_depth_;
+  return s;
+}
+
+void PlanSearchPool::ParallelFor(int tasks, int max_threads,
+                                 const std::function<void(int)>& fn) {
+  if (tasks <= 0) return;
+  Job job;
+  job.fn = &fn;
+  job.tasks = tasks;
+  job.max_helpers =
+      std::max(0, std::min(max_threads - 1, tasks - 1));
+
+  bool queued = false;
+  if (job.max_helpers > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!workers_.empty()) {
+      queue_.push_back(&job);
+      ++parallel_runs_;
+      max_queue_depth_ =
+          std::max(max_queue_depth_, static_cast<int64_t>(queue_.size()));
+      queued = true;
+    }
+  }
+  if (queued) work_cv_.notify_all();
+
+  // The caller is always one of the run's threads: with no helpers
+  // available this loop IS the serial path, and with helpers it
+  // guarantees forward progress even when every pool thread is busy on
+  // other negotiations.
+  for (int i = job.next.fetch_add(1, std::memory_order_relaxed);
+       i < tasks; i = job.next.fetch_add(1, std::memory_order_relaxed)) {
+    (*job.fn)(i);
+    job.completed.fetch_add(1, std::memory_order_release);
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (queued) {
+    // Stop new helpers from adopting the job; ones already on it are
+    // drained by the wait below (they drop active_helpers under mu_
+    // after their last task, so their writes happen-before our return).
+    queue_.erase(std::remove(queue_.begin(), queue_.end(), &job),
+                 queue_.end());
+  }
+  done_cv_.wait(lock, [&] {
+    return job.active_helpers == 0 &&
+           job.completed.load(std::memory_order_acquire) >= tasks;
+  });
+}
+
+void PlanSearchPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+    if (shutdown_) return;
+    Job* job = queue_.front();
+    ++job->active_helpers;
+    if (job->active_helpers >= job->max_helpers) {
+      // Enough threads on this fan-out; leave the queue slot to others.
+      queue_.erase(std::remove(queue_.begin(), queue_.end(), job),
+                   queue_.end());
+    }
+    lock.unlock();
+
+    int executed = 0;
+    for (int i = job->next.fetch_add(1, std::memory_order_relaxed);
+         i < job->tasks;
+         i = job->next.fetch_add(1, std::memory_order_relaxed)) {
+      (*job->fn)(i);
+      job->completed.fetch_add(1, std::memory_order_release);
+      ++executed;
+    }
+
+    lock.lock();
+    helper_tasks_ += executed;
+    --job->active_helpers;
+    // `job` may be destroyed the moment the caller's wait predicate
+    // passes; no touching it after this notify.
+    done_cv_.notify_all();
+  }
+}
+
+}  // namespace qtrade

@@ -1,0 +1,110 @@
+// Shared, bounded worker pool for parallel plan-space search.
+//
+// Both DP lattices — the seller's §3.4 subset DP (LocalOptimizer) and the
+// buyer's §3.6 coverage DP (PlanAssembler) — are level-synchronous: every
+// subset of popcount k depends only on strictly smaller subsets, so one
+// level fans out across workers and merges at a barrier before the next
+// level starts (the shared-nothing parallelization of Trummer & Koch,
+// see PAPERS.md). This pool is the process-wide execution substrate for
+// those fan-outs:
+//
+//  - One pool per process (Shared()). NodeServer reactor workers that
+//    each run a negotiation's DP draw helpers from the same pool instead
+//    of spawning dp_threads of their own, so the total number of search
+//    threads stays bounded no matter how many negotiations are in
+//    flight.
+//  - The caller always participates. ParallelFor() executes tasks on the
+//    calling thread too, so a saturated (or empty) pool degrades to
+//    serial execution instead of deadlocking, and dp_threads=1 runs the
+//    sharded code path with zero helper threads.
+//  - Determinism is the caller's contract: tasks write into disjoint,
+//    index-addressed result slots and the caller merges them in index
+//    order after ParallelFor returns. Results therefore never depend on
+//    which thread executed which task (see DESIGN.md "Parallel plan
+//    search").
+#ifndef QTRADE_OPT_PARALLEL_SEARCH_POOL_H_
+#define QTRADE_OPT_PARALLEL_SEARCH_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qtrade {
+
+class PlanSearchPool {
+ public:
+  struct Stats {
+    /// Helper threads currently alive (grow-only; see EnsureWorkers).
+    int workers = 0;
+    /// ParallelFor calls that enqueued work for helpers.
+    int64_t parallel_runs = 0;
+    /// Tasks executed by helper threads (caller-executed tasks excluded).
+    int64_t helper_tasks = 0;
+    /// High-water mark of fan-outs queued simultaneously: >1 means
+    /// concurrent negotiations contended for the same helpers.
+    int64_t max_queue_depth = 0;
+  };
+
+  PlanSearchPool() = default;
+  ~PlanSearchPool();
+  PlanSearchPool(const PlanSearchPool&) = delete;
+  PlanSearchPool& operator=(const PlanSearchPool&) = delete;
+
+  /// The process-wide pool every negotiation shares. Never destroyed
+  /// (worker threads must not be joined during static teardown).
+  static PlanSearchPool* Shared();
+
+  /// Grows the pool to at least `workers` helper threads (capped at
+  /// kMaxWorkers). Never shrinks: the pool serves the largest width any
+  /// concurrent negotiation asked for.
+  void EnsureWorkers(int workers);
+
+  /// Executes fn(i) for every i in [0, tasks), distributing tasks over
+  /// the calling thread plus at most `max_threads - 1` pool helpers.
+  /// Returns when every task has finished. Tasks are claimed dynamically
+  /// (one atomic increment each), so uneven per-task work load-balances.
+  /// fn must be safe to invoke concurrently from distinct threads for
+  /// distinct i.
+  void ParallelFor(int tasks, int max_threads,
+                   const std::function<void(int)>& fn);
+
+  Stats stats() const;
+  int workers() const;
+
+ private:
+  /// Hard cap on helper threads, far above any sane dp_threads request;
+  /// a guard against misconfiguration, not a tuning knob.
+  static constexpr int kMaxWorkers = 64;
+
+  /// One in-flight ParallelFor. Stack-allocated by the caller; helpers
+  /// only ever reach it through queue_, and the caller does not return
+  /// until every helper that picked it up has dropped it again.
+  struct Job {
+    const std::function<void(int)>* fn = nullptr;
+    int tasks = 0;
+    int max_helpers = 0;
+    std::atomic<int> next{0};       // next unclaimed task index
+    std::atomic<int> completed{0};  // tasks finished (any thread)
+    int active_helpers = 0;         // guarded by mu_
+  };
+
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // helpers wait for queued jobs
+  std::condition_variable done_cv_;  // callers wait for helpers to drain
+  std::vector<std::thread> workers_;
+  std::vector<Job*> queue_;  // jobs that still accept helpers
+  bool shutdown_ = false;
+  int64_t parallel_runs_ = 0;
+  int64_t helper_tasks_ = 0;
+  int64_t max_queue_depth_ = 0;
+};
+
+}  // namespace qtrade
+
+#endif  // QTRADE_OPT_PARALLEL_SEARCH_POOL_H_

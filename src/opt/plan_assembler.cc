@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "rewrite/partition_rewriter.h"
 #include "rewrite/predicate.h"
@@ -495,8 +496,118 @@ std::optional<CandidatePlan> PlanAssembler::AssemblePartialAggregates(
   return candidate;
 }
 
+void PlanAssembler::PruneSubset(std::vector<Block>* list) const {
+  if (list->size() <= options_.max_blocks_per_subset) return;
+  std::sort(list->begin(), list->end(), [](const Block& a, const Block& b) {
+    if (a.full() != b.full()) return a.full();
+    double ca = a.plan->cost / std::max(1.0, a.covered_cells);
+    double cb = b.plan->cost / std::max(1.0, b.covered_cells);
+    return ca < cb;
+  });
+  list->resize(options_.max_blocks_per_subset);
+}
+
+// Union closure within each subset: greedily grow full blocks from
+// partials. Each step buys the block with the lowest *marginal* cost
+// per newly covered cell — a small disjoint slice offer beats buying
+// and clipping a big overlapping offer.
+PlanAssembler::Block PlanAssembler::GrowCover(const std::vector<Block>& list,
+                                              size_t start,
+                                              AssemblerStats* stats) const {
+  Block acc = list[start];
+  std::vector<bool> used(list.size(), false);
+  used[start] = true;
+  while (!acc.full()) {
+    int best = -1;
+    bool best_clip = false;
+    Block best_clipped;
+    double best_marginal = 0;
+    for (size_t i = 0; i < list.size(); ++i) {
+      if (used[i]) continue;
+      ++stats->unions_considered;
+      if (BlocksDisjoint(acc, list[i])) {
+        double marginal =
+            list[i].plan->cost / std::max(1.0, list[i].covered_cells);
+        if (best < 0 || marginal < best_marginal) {
+          best = static_cast<int>(i);
+          best_clip = false;
+          best_marginal = marginal;
+        }
+      } else if (auto clipped = ClipAgainst(acc, list[i])) {
+        // Buying the whole overlapping offer but keeping only the
+        // clipped slice: the full quote buys few new cells.
+        double marginal = clipped->plan->cost /
+                          std::max(1.0, clipped->covered_cells);
+        if (best < 0 || marginal < best_marginal) {
+          best = static_cast<int>(i);
+          best_clip = true;
+          best_clipped = std::move(*clipped);
+          best_marginal = marginal;
+        }
+      }
+    }
+    if (best < 0) break;
+    used[best] = true;
+    acc = UnionBlocks(acc, best_clip ? best_clipped : list[best]);
+  }
+  return acc;
+}
+
+void PlanAssembler::CloseUnderUnion(std::vector<Block>* list,
+                                    AssemblerStats* stats) const {
+  if (list->empty()) return;
+  std::sort(list->begin(), list->end(), [](const Block& a, const Block& b) {
+    double ca = a.plan->cost / std::max(1.0, a.covered_cells);
+    double cb = b.plan->cost / std::max(1.0, b.covered_cells);
+    return ca < cb;
+  });
+  size_t original = list->size();
+  for (size_t start = 0; start < original && start < 4; ++start) {
+    Block acc = GrowCover(*list, start, stats);
+    if (acc.covered_cells > (*list)[start].covered_cells) {
+      list->push_back(std::move(acc));
+    }
+  }
+  PruneSubset(list);
+}
+
+std::vector<PlanAssembler::Block> PlanAssembler::ComputeCoverageSubset(
+    uint32_t s, const std::map<uint32_t, std::vector<Block>>& blocks,
+    AssemblerStats* stats) const {
+  std::vector<Block> out_list;
+  if (auto seeded = blocks.find(s); seeded != blocks.end()) {
+    out_list = seeded->second;
+  }
+  for (int pass = 0; pass < 2; ++pass) {
+    bool require_connected = (pass == 0);
+    bool produced = false;
+    for (uint32_t sub = (s - 1) & s; sub > 0; sub = (sub - 1) & s) {
+      uint32_t rest = s ^ sub;
+      if (sub > rest) continue;
+      auto left_it = blocks.find(sub);
+      auto right_it = blocks.find(rest);
+      if (left_it == blocks.end() || right_it == blocks.end()) continue;
+      for (const Block& a : left_it->second) {
+        for (const Block& b : right_it->second) {
+          ++stats->joins_considered;
+          auto joined = JoinBlocks(a, b, require_connected);
+          if (joined.has_value()) {
+            produced = true;
+            out_list.push_back(std::move(*joined));
+          }
+        }
+      }
+    }
+    if (produced || !out_list.empty()) break;
+  }
+  CloseUnderUnion(&out_list, stats);
+  PruneSubset(&out_list);
+  return out_list;
+}
+
 Result<std::vector<CandidatePlan>> PlanAssembler::Assemble(
-    const std::vector<Offer>& offers) {
+    const std::vector<Offer>& offers, obs::Tracer* tracer,
+    obs::SpanRef parent) {
   stats_ = AssemblerStats{};
   const size_t n = alias_order_.size();
   if (n == 0 || n > 20) {
@@ -553,109 +664,65 @@ Result<std::vector<CandidatePlan>> PlanAssembler::Assemble(
   }
 
   // --- Coverage DP over core blocks.
-  auto prune_subset = [&](std::vector<Block>* list) {
-    if (list->size() <= options_.max_blocks_per_subset) return;
-    std::sort(list->begin(), list->end(), [](const Block& a, const Block& b) {
-      if (a.full() != b.full()) return a.full();
-      double ca = a.plan->cost / std::max(1.0, a.covered_cells);
-      double cb = b.plan->cost / std::max(1.0, b.covered_cells);
-      return ca < cb;
-    });
-    list->resize(options_.max_blocks_per_subset);
-  };
+  for (auto& [mask, list] : blocks) CloseUnderUnion(&list, &stats_);
 
-  // Union closure within each subset: greedily grow full blocks from
-  // partials. Each step buys the block with the lowest *marginal* cost
-  // per newly covered cell — a small disjoint slice offer beats buying
-  // and clipping a big overlapping offer.
-  auto grow_cover = [&](const std::vector<Block>& list, size_t start) {
-    Block acc = list[start];
-    std::vector<bool> used(list.size(), false);
-    used[start] = true;
-    while (!acc.full()) {
-      int best = -1;
-      bool best_clip = false;
-      Block best_clipped;
-      double best_marginal = 0;
-      for (size_t i = 0; i < list.size(); ++i) {
-        if (used[i]) continue;
-        ++stats_.unions_considered;
-        if (BlocksDisjoint(acc, list[i])) {
-          double marginal =
-              list[i].plan->cost / std::max(1.0, list[i].covered_cells);
-          if (best < 0 || marginal < best_marginal) {
-            best = static_cast<int>(i);
-            best_clip = false;
-            best_marginal = marginal;
-          }
-        } else if (auto clipped = ClipAgainst(acc, list[i])) {
-          // Buying the whole overlapping offer but keeping only the
-          // clipped slice: the full quote buys few new cells.
-          double marginal = clipped->plan->cost /
-                            std::max(1.0, clipped->covered_cells);
-          if (best < 0 || marginal < best_marginal) {
-            best = static_cast<int>(i);
-            best_clip = true;
-            best_clipped = std::move(*clipped);
-            best_marginal = marginal;
-          }
-        }
-      }
-      if (best < 0) break;
-      used[best] = true;
-      acc = UnionBlocks(acc, best_clip ? best_clipped : list[best]);
-    }
-    return acc;
-  };
-  auto close_under_union = [&](std::vector<Block>* list) {
-    if (list->empty()) return;
-    std::sort(list->begin(), list->end(), [](const Block& a, const Block& b) {
-      double ca = a.plan->cost / std::max(1.0, a.covered_cells);
-      double cb = b.plan->cost / std::max(1.0, b.covered_cells);
-      return ca < cb;
-    });
-    size_t original = list->size();
-    for (size_t start = 0; start < original && start < 4; ++start) {
-      Block acc = grow_cover(*list, start);
-      if (acc.covered_cells > (*list)[start].covered_cells) {
-        list->push_back(std::move(acc));
-      }
-    }
-    prune_subset(list);
-  };
+  // Level-synchronous coverage search (mirrors LocalOptimizer::Run):
+  // every alias subset of popcount `size` joins only strictly smaller
+  // subsets, so one level's cells are independent and fan out over the
+  // shared pool. Each cell is owned by exactly one task and the merge
+  // barrier adopts cell lists in ascending-mask order, so the block map
+  // evolves identically to the serial walk at every thread count.
+  PlanSearchPool* pool = nullptr;
+  const int threads = options_.dp_threads;
+  if (threads > 1) {
+    pool = PlanSearchPool::Shared();
+    pool->EnsureWorkers(threads - 1);
+  }
 
-  for (auto& [mask, list] : blocks) close_under_union(&list);
-
+  std::vector<uint32_t> level_masks;
   for (int size = 2; size <= static_cast<int>(n); ++size) {
+    level_masks.clear();
     for (uint32_t s = 1; s <= full; ++s) {
-      if (__builtin_popcount(s) != size) continue;
-      std::vector<Block>& out_list = blocks[s];
-      for (int pass = 0; pass < 2; ++pass) {
-        bool require_connected = (pass == 0);
-        bool produced = false;
-        for (uint32_t sub = (s - 1) & s; sub > 0; sub = (sub - 1) & s) {
-          uint32_t rest = s ^ sub;
-          if (sub > rest) continue;
-          auto left_it = blocks.find(sub);
-          auto right_it = blocks.find(rest);
-          if (left_it == blocks.end() || right_it == blocks.end()) continue;
-          for (const Block& a : left_it->second) {
-            for (const Block& b : right_it->second) {
-              ++stats_.joins_considered;
-              auto joined = JoinBlocks(a, b, require_connected);
-              if (joined.has_value()) {
-                produced = true;
-                out_list.push_back(std::move(*joined));
-              }
-            }
-          }
-        }
-        if (produced || !out_list.empty()) break;
-      }
-      close_under_union(&out_list);
-      prune_subset(&out_list);
+      if (__builtin_popcount(s) == size) level_masks.push_back(s);
     }
-    // IDP-M(k,m) on the buyer side: prune subset lists at level k.
+    std::vector<std::vector<Block>> level_results(level_masks.size());
+    std::vector<AssemblerStats> cell_stats(level_masks.size());
+    {
+      obs::Span level_span;
+      if (obs::Tracer::Active(tracer)) {
+        level_span = tracer->StartSpan(
+            "dp_level[" + std::to_string(size) + "]", parent);
+        level_span.Attr("masks", static_cast<int64_t>(level_masks.size()));
+        level_span.Attr("threads",
+                        static_cast<int64_t>(std::max(1, threads)));
+      }
+      auto compute = [&](int i) {
+        level_results[i] =
+            ComputeCoverageSubset(level_masks[i], blocks, &cell_stats[i]);
+      };
+      if (pool != nullptr && level_masks.size() > 1) {
+        pool->ParallelFor(static_cast<int>(level_masks.size()), threads,
+                          compute);
+      } else {
+        for (int i = 0; i < static_cast<int>(level_masks.size()); ++i) {
+          compute(i);
+        }
+      }
+    }
+    obs::Span merge_span;
+    if (obs::Tracer::Active(tracer)) {
+      merge_span = tracer->StartSpan("dp_merge", parent);
+      merge_span.Attr("level", static_cast<int64_t>(size));
+    }
+    for (size_t i = 0; i < level_masks.size(); ++i) {
+      blocks[level_masks[i]] = std::move(level_results[i]);
+      stats_.joins_considered += cell_stats[i].joins_considered;
+      stats_.unions_considered += cell_stats[i].unions_considered;
+      stats_.blocks_created += cell_stats[i].blocks_created;
+    }
+    // IDP-M(k,m) on the buyer side: prune subset lists at level k. The
+    // sort key is explicitly (best cost, mask) so the pruned set can
+    // never depend on container iteration order.
     if (options_.idp.enabled() && size == options_.idp.k &&
         size < static_cast<int>(n)) {
       std::vector<std::pair<double, uint32_t>> level;
@@ -668,7 +735,12 @@ Result<std::vector<CandidatePlan>> PlanAssembler::Assemble(
         level.emplace_back(best, mask);
       }
       if (static_cast<int>(level.size()) > options_.idp.m) {
-        std::sort(level.begin(), level.end());
+        std::sort(level.begin(), level.end(),
+                  [](const std::pair<double, uint32_t>& a,
+                     const std::pair<double, uint32_t>& b) {
+                    if (a.first != b.first) return a.first < b.first;
+                    return a.second < b.second;
+                  });
         for (size_t i = options_.idp.m; i < level.size(); ++i) {
           blocks.erase(level[i].second);
         }

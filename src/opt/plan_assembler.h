@@ -44,6 +44,11 @@ struct AssemblerOptions {
   size_t max_candidates = 4;
   /// Consider assembling from partial-aggregate offers.
   bool allow_partial_aggregates = true;
+  /// Threads searching one coverage-DP level (QtOptions::dp_threads).
+  /// <=1 = serial on the caller; higher fans each level out over the
+  /// process-wide PlanSearchPool. Candidates, costs and stats() are
+  /// byte-identical at every setting.
+  int dp_threads = 0;
 };
 
 /// A candidate execution plan plus provenance for the §3.7 analyser.
@@ -69,9 +74,11 @@ class PlanAssembler {
   /// Builds candidate plans from `offers`. Offers with unknown aliases or
   /// empty effective coverage are ignored. Returns an empty vector when
   /// no combination covers the query (the paper's abort condition for the
-  /// first iteration).
+  /// first iteration). With tracing attached, each coverage-DP level
+  /// emits dp_level[k]/dp_merge spans under `parent`.
   Result<std::vector<CandidatePlan>> Assemble(
-      const std::vector<Offer>& offers);
+      const std::vector<Offer>& offers, obs::Tracer* tracer = nullptr,
+      obs::SpanRef parent = {});
 
   const AssemblerStats& stats() const { return stats_; }
 
@@ -126,6 +133,27 @@ class PlanAssembler {
   /// offers; nullopt when they cannot cover the box.
   std::optional<CandidatePlan> AssemblePartialAggregates(
       const std::vector<const Offer*>& partials) const;
+
+  /// Cheapest-per-cell cap at options_.max_blocks_per_subset.
+  void PruneSubset(std::vector<Block>* list) const;
+
+  /// Greedily grows a full-coverage block from list[start], buying the
+  /// lowest marginal-cost-per-new-cell block (clipped when overlapping).
+  Block GrowCover(const std::vector<Block>& list, size_t start,
+                  AssemblerStats* stats) const;
+
+  /// Union closure within one subset list (grow full blocks from the 4
+  /// cheapest-per-cell partials), then PruneSubset.
+  void CloseUnderUnion(std::vector<Block>* list, AssemblerStats* stats) const;
+
+  /// One coverage-DP cell: the post-closure, post-prune block list for
+  /// alias subset `s`, joined from strictly smaller subsets of `blocks`.
+  /// Reads only levels below popcount(s), so every subset of one level
+  /// can run concurrently; `stats` accumulates this cell's counters
+  /// (summed at the merge barrier — integer sums are order-independent).
+  std::vector<Block> ComputeCoverageSubset(
+      uint32_t s, const std::map<uint32_t, std::vector<Block>>& blocks,
+      AssemblerStats* stats) const;
 
   const sql::BoundQuery* query_;
   const FederationSchema* federation_;

@@ -47,6 +47,11 @@ Status NodeServer::Start() {
   if (started_.exchange(true)) {
     return Status::Internal("node server already started");
   }
+  // The server owns the process's thread budget: reactor workers here,
+  // plan-search helpers on the shared pool the endpoint's DP draws from.
+  if (options_.dp_threads >= 0) {
+    endpoint_->ConfigurePlanSearch(options_.dp_threads);
+  }
   QTRADE_ASSIGN_OR_RETURN(
       listen_fd_, net::ListenTcp(options_.bind_address, options_.port, &port_));
   if (::pipe(wake_fds_) != 0) {

@@ -61,6 +61,12 @@ struct NodeServerOptions {
   /// Worker pool size: the server's concurrency bound for endpoint
   /// handlers. Clamped to >= 1.
   int workers = 4;
+  /// Plan-search threads per negotiation for the hosted endpoint
+  /// (QtOptions::dp_threads). The search draws helpers from the
+  /// process-shared PlanSearchPool, so `workers` concurrent handlers
+  /// never multiply into workers*dp_threads OS threads. -1 = leave the
+  /// endpoint's own configuration untouched.
+  int dp_threads = -1;
 };
 
 class NodeServer {

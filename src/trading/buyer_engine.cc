@@ -340,6 +340,7 @@ Result<QtResult> BuyerEngine::Optimize(const std::string& sql) {
   // The buyer's §3.1 weighting function prices purchased answers inside
   // the plan generator too.
   options_.assembler.valuation = options_.valuation;
+  options_.assembler.dp_threads = options_.dp_threads;
   PlanAssembler assembler(&original, &catalog_->federation(), factory_,
                           options_.assembler);
 
@@ -406,7 +407,8 @@ Result<QtResult> BuyerEngine::Optimize(const std::string& sql) {
                                                 round_span.ref())
                            : obs::Span();
       span.Node(catalog_->node_name());
-      QTRADE_ASSIGN_OR_RETURN(candidates, assembler.Assemble(pool));
+      QTRADE_ASSIGN_OR_RETURN(candidates,
+                              assembler.Assemble(pool, tracer_, span.ref()));
       span.Attr("candidates", static_cast<int64_t>(candidates.size()));
       span.Attr("blocks_created",
                 static_cast<int64_t>(assembler.stats().blocks_created));

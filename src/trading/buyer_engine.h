@@ -88,6 +88,17 @@ struct QtOptions {
   /// offers and message counts are identical with the cache on or off —
   /// it only skips recomputation (see opt/offer_cache.h).
   size_t offer_cache_capacity = 256;
+  /// Threads searching one DP lattice level inside a single negotiation:
+  /// the seller's §3.4 subset DP and the buyer's §3.6 coverage DP. 0/1 =
+  /// serial (today's behavior, byte for byte). Higher values fan each
+  /// level out over the process-wide PlanSearchPool — winning plans,
+  /// costs and TradeMetrics stay byte-identical at every setting,
+  /// parallelism only changes wall time (DESIGN.md "Parallel plan
+  /// search"). Applied by the QueryTradingOptimizer facade to the
+  /// buyer's assembler and every federation seller. When left 0, the
+  /// facade honors the QTRADE_DP_THREADS environment variable, so
+  /// unchanged suites can be re-run at any thread count.
+  int dp_threads = 0;
   /// Negotiation tracing / metrics outputs (src/obs/). All off by
   /// default; when any path is set the QueryTradingOptimizer facade
   /// constructs a Tracer/MetricsRegistry, wires them through the buyer,

@@ -70,6 +70,14 @@ class SellerEngine : public NodeEndpoint {
   OfferCacheStats offer_cache_stats() const {
     return generator_.cache_stats();
   }
+
+  /// Parallel plan-search width for this seller's §3.4 DP (see
+  /// QtOptions::dp_threads). Offers are byte-identical at every setting.
+  void set_dp_threads(int threads) { generator_.set_dp_threads(threads); }
+  int dp_threads() const { return generator_.dp_threads(); }
+  void ConfigurePlanSearch(int dp_threads) override {
+    set_dp_threads(dp_threads);
+  }
   /// Cumulative wall-clock this node spent generating offers (the
   /// seller-side cost the cache experiments measure).
   int64_t offer_generate_ns() const { return generator_.generate_ns(); }

@@ -1,0 +1,77 @@
+// bench/bench_util.h numeric helpers: the empty-sample guards (an empty
+// latency vector must summarize to zeros, never index out of range) and
+// the percentile interpolation the throughput benches report.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace qtrade::bench {
+namespace {
+
+TEST(BenchUtilTest, MedianGuardsEmptyAndHandlesParity) {
+  EXPECT_EQ(Median({}), 0);
+  EXPECT_EQ(Median({5.0}), 5.0);
+  EXPECT_EQ(Median({3.0, 1.0}), 2.0);
+  EXPECT_EQ(Median({9.0, 1.0, 5.0}), 5.0);
+}
+
+TEST(BenchUtilTest, PercentileGuardsEmptySample) {
+  EXPECT_EQ(Percentile({}, 0.5), 0);
+  EXPECT_EQ(Percentile({}, 0.99), 0);
+}
+
+TEST(BenchUtilTest, PercentileSingleSampleIsThatSample) {
+  for (double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(Percentile({7.5}, q), 7.5) << "q=" << q;
+  }
+}
+
+TEST(BenchUtilTest, PercentileInterpolatesAndClampsQ) {
+  const std::vector<double> s = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(Percentile(s, 0.0), 10);
+  EXPECT_DOUBLE_EQ(Percentile(s, 1.0), 40);
+  EXPECT_DOUBLE_EQ(Percentile(s, 0.5), 25);   // between ranks 1 and 2
+  EXPECT_DOUBLE_EQ(Percentile(s, -1.0), 10);  // q clamped into [0,1]
+  EXPECT_DOUBLE_EQ(Percentile(s, 2.0), 40);
+}
+
+TEST(BenchUtilTest, PercentileAgreesWithMedian) {
+  const std::vector<double> odd = {3, 1, 4, 1, 5};
+  const std::vector<double> even = {2, 7, 1, 8};
+  EXPECT_DOUBLE_EQ(Percentile(odd, 0.5), Median(odd));
+  EXPECT_DOUBLE_EQ(Percentile(even, 0.5), Median(even));
+}
+
+TEST(BenchUtilTest, SummarizeGuardsEmptySample) {
+  const LatencySummary s = Summarize({}, 123.0);
+  EXPECT_EQ(s.count, 0);
+  EXPECT_EQ(s.p50_ms, 0);
+  EXPECT_EQ(s.p90_ms, 0);
+  EXPECT_EQ(s.p99_ms, 0);
+  EXPECT_EQ(s.min_ms, 0);
+  EXPECT_EQ(s.max_ms, 0);
+  EXPECT_EQ(s.mean_ms, 0);
+  EXPECT_EQ(s.per_sec, 0);
+  EXPECT_EQ(s.elapsed_ms, 123.0);
+}
+
+TEST(BenchUtilTest, SummarizeGuardsZeroElapsed) {
+  const LatencySummary s = Summarize({1.0, 2.0}, 0.0);
+  EXPECT_EQ(s.count, 2);
+  EXPECT_EQ(s.per_sec, 0);  // no division by a zero-length window
+}
+
+TEST(BenchUtilTest, SummarizeComputesDistribution) {
+  const LatencySummary s = Summarize({4.0, 1.0, 3.0, 2.0}, 1000.0);
+  EXPECT_EQ(s.count, 4);
+  EXPECT_DOUBLE_EQ(s.min_ms, 1.0);
+  EXPECT_DOUBLE_EQ(s.max_ms, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean_ms, 2.5);
+  EXPECT_DOUBLE_EQ(s.p50_ms, 2.5);
+  EXPECT_DOUBLE_EQ(s.per_sec, 4.0);  // 4 ops in one second
+}
+
+}  // namespace
+}  // namespace qtrade::bench

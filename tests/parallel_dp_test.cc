@@ -1,0 +1,306 @@
+// Parallel plan-space search (DESIGN.md "Parallel plan search"): the
+// PlanSearchPool itself, byte-identity of both DP lattices across
+// dp_threads settings, and the shared-pool concurrency that the TSAN CI
+// leg hammers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/qt_optimizer.h"
+#include "opt/local_optimizer.h"
+#include "opt/parallel/search_pool.h"
+#include "plan/plan.h"
+#include "tests/test_fixtures.h"
+#include "workload/workload.h"
+
+namespace qtrade {
+namespace {
+
+// --- PlanSearchPool unit tests.
+
+TEST(PlanSearchPoolTest, RunsEveryTaskExactlyOnce) {
+  PlanSearchPool pool;
+  pool.EnsureWorkers(4);
+  EXPECT_EQ(pool.workers(), 4);
+  std::vector<std::atomic<int>> hits(257);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(257, 5, [&](int i) { hits[i].fetch_add(1); });
+  for (int i = 0; i < 257; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(PlanSearchPoolTest, WidthOneStaysOnTheCaller) {
+  PlanSearchPool pool;
+  pool.EnsureWorkers(2);
+  const auto before = pool.stats();
+  std::atomic<int> ran{0};
+  pool.ParallelFor(64, 1, [&](int) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 64);
+  // Width 1 = the caller alone: nothing was enqueued for helpers.
+  EXPECT_EQ(pool.stats().parallel_runs, before.parallel_runs);
+  EXPECT_EQ(pool.stats().helper_tasks, before.helper_tasks);
+}
+
+TEST(PlanSearchPoolTest, WorksWithoutAnyWorkers) {
+  PlanSearchPool pool;  // never EnsureWorkers'd
+  std::atomic<int> ran{0};
+  pool.ParallelFor(31, 8, [&](int) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 31);
+}
+
+TEST(PlanSearchPoolTest, GrowOnlyAndCapped) {
+  PlanSearchPool pool;
+  pool.EnsureWorkers(3);
+  pool.EnsureWorkers(1);  // never shrinks
+  EXPECT_EQ(pool.workers(), 3);
+  pool.EnsureWorkers(1 << 20);  // capped, not unbounded
+  EXPECT_LE(pool.workers(), 64);
+}
+
+// The shape the TSAN leg cares about: many threads fanning out over one
+// shared pool at once (NodeServer workers each running a negotiation).
+TEST(PlanSearchPoolTest, ConcurrentFanOutsShareOnePool) {
+  PlanSearchPool* pool = PlanSearchPool::Shared();
+  pool->EnsureWorkers(4);
+  constexpr int kThreads = 16;
+  constexpr int kRounds = 25;
+  constexpr int kTasks = 37;
+  std::vector<std::thread> threads;
+  std::vector<int64_t> sums(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([pool, t, &sums] {
+      std::vector<std::atomic<int64_t>> slots(kTasks);
+      for (int round = 0; round < kRounds; ++round) {
+        for (auto& s : slots) s.store(0);
+        pool->ParallelFor(kTasks, 4,
+                          [&](int i) { slots[i].store(i + 1); });
+        for (auto& s : slots) sums[t] += s.load();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const int64_t expected =
+      static_cast<int64_t>(kRounds) * kTasks * (kTasks + 1) / 2;
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(sums[t], expected);
+}
+
+// --- Seller DP byte-identity across thread counts.
+
+struct ChainWorld {
+  std::shared_ptr<FederationSchema> fed = std::make_shared<FederationSchema>();
+  CostModel cost;
+  PlanFactory factory{&cost};
+  std::optional<sql::BoundQuery> query;
+  std::vector<AliasInput> inputs;
+
+  explicit ChainWorld(int n) {
+    for (int i = 0; i < n; ++i) {
+      std::string name = "t" + std::to_string(i);
+      EXPECT_TRUE(fed->AddTable({name,
+                                 {{"k" + std::to_string(i), TypeKind::kInt64},
+                                  {"k" + std::to_string(i + 1),
+                                   TypeKind::kInt64}}})
+                      .ok());
+    }
+    std::string sql = "SELECT t0.k0 FROM ";
+    for (int i = 0; i < n; ++i) {
+      if (i > 0) sql += ", ";
+      sql += "t" + std::to_string(i);
+    }
+    sql += " WHERE ";
+    for (int i = 0; i + 1 < n; ++i) {
+      if (i > 0) sql += " AND ";
+      sql += "t" + std::to_string(i) + ".k" + std::to_string(i + 1) + " = t" +
+             std::to_string(i + 1) + ".k" + std::to_string(i + 1);
+    }
+    auto q = sql::AnalyzeSql(sql, *fed);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    query = *q;
+    for (int i = 0; i < n; ++i) {
+      std::string name = "t" + std::to_string(i);
+      AliasInput input;
+      input.alias = name;
+      input.table = name;
+      input.schema = QualifiedSchema(*fed->FindTable(name), name);
+      input.stats.row_count = 997 * (1 + (i * 7) % 5);
+      ColumnStats s;
+      s.ndv = 100 + 37 * i;
+      for (const auto& col : fed->FindTable(name)->columns) {
+        input.stats.columns[col.name] = s;
+      }
+      input.partitions = {name + "#0"};
+      inputs.push_back(std::move(input));
+    }
+  }
+
+  /// Canonical bytes of one enumeration outcome: every surviving mask
+  /// with its cost, rows and full plan tree.
+  std::string Fingerprint(IdpParams idp, int dp_threads) {
+    LocalOptimizer dp(&*query, inputs, &factory, idp);
+    DpSearchOptions search;
+    search.threads = dp_threads;
+    dp.set_search(search);
+    EXPECT_TRUE(dp.Run().ok());
+    std::string out;
+    char buf[64];
+    for (const auto& [mask, sub] : dp.subplans()) {
+      std::snprintf(buf, sizeof(buf), "%u:%.17g:%.17g\n", mask,
+                    sub.plan->cost, sub.rows);
+      out += buf;
+      out += Explain(sub.plan);
+    }
+    return out;
+  }
+};
+
+TEST(ParallelDpTest, SellerLatticeByteIdenticalAcrossThreadCounts) {
+  ChainWorld world(10);
+  const std::string serial = world.Fingerprint({}, 0);
+  EXPECT_NE(serial.find(":"), std::string::npos);
+  for (int threads : {1, 2, 8}) {
+    EXPECT_EQ(world.Fingerprint({}, threads), serial)
+        << "dp_threads=" << threads;
+  }
+}
+
+TEST(ParallelDpTest, SellerIdpPruningByteIdenticalAcrossThreadCounts) {
+  ChainWorld world(10);
+  const IdpParams idp{3, 6};
+  const std::string serial = world.Fingerprint(idp, 0);
+  for (int threads : {1, 2, 8}) {
+    EXPECT_EQ(world.Fingerprint(idp, threads), serial)
+        << "dp_threads=" << threads;
+  }
+}
+
+// --- End-to-end: winning plans and TradeMetrics across dp_threads.
+
+void ExpectMetricsEqual(const TradeMetrics& a, const TradeMetrics& b) {
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.rfbs_sent, b.rfbs_sent);
+  EXPECT_EQ(a.offers_received, b.offers_received);
+  EXPECT_EQ(a.awards_sent, b.awards_sent);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.bytes, b.bytes);
+  // sim_elapsed_ms and wall_opt_ms both fold in real seller compute
+  // wall time (transport arrival_ms is out_ms + measured compute), so
+  // they vary run to run even serially; every deterministic field must
+  // match exactly.
+  EXPECT_EQ(a.auction_rounds, b.auction_rounds);
+  EXPECT_EQ(a.bargain_rounds, b.bargain_rounds);
+  EXPECT_EQ(a.offers_dropped, b.offers_dropped);
+  EXPECT_EQ(a.offers_late, b.offers_late);
+  EXPECT_EQ(a.offers_duplicated, b.offers_duplicated);
+  EXPECT_EQ(a.rounds_timed_out, b.rounds_timed_out);
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+  EXPECT_EQ(a.cache_misses, b.cache_misses);
+  EXPECT_EQ(a.cache_evictions, b.cache_evictions);
+  EXPECT_EQ(a.cache_invalidations, b.cache_invalidations);
+  EXPECT_EQ(a.rfbs_deduped, b.rfbs_deduped);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.reawards, b.reawards);
+  EXPECT_EQ(a.reroutes, b.reroutes);
+}
+
+struct NegotiationOutcome {
+  bool ok = false;
+  double cost = 0;
+  std::string plan;
+  std::vector<std::string> winners;
+  TradeMetrics metrics;
+};
+
+NegotiationOutcome RunNegotiation(const WorkloadParams& params,
+                                  const std::string& sql, int dp_threads) {
+  auto world = BuildFederation(params);
+  EXPECT_TRUE(world.ok()) << world.status().ToString();
+  QtOptions options;
+  options.run_label = "parallel-dp-test";
+  options.offer_cache_capacity = 0;  // every round runs the full DP
+  options.dp_threads = dp_threads;
+  QueryTradingOptimizer qt(world->federation.get(), world->node_names[0],
+                           options);
+  auto result = qt.Optimize(sql);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  NegotiationOutcome out;
+  out.ok = result->ok();
+  if (!out.ok) return out;
+  out.cost = result->cost;
+  out.plan = Explain(result->plan);
+  for (const Offer& offer : result->winning_offers) {
+    out.winners.push_back(offer.seller + "/" + offer.offer_id + "/" +
+                          offer.CoverageSignature());
+  }
+  out.metrics = result->metrics;
+  return out;
+}
+
+TEST(ParallelDpTest, RandomizedWorkloadsByteIdenticalAcrossThreadCounts) {
+  for (uint64_t seed : {7u, 21u, 42u}) {
+    WorkloadParams params;
+    params.num_nodes = 4;
+    params.num_tables = 6;
+    params.partitions_per_table = 2;
+    params.replication = 2;
+    params.with_data = false;
+    params.seed = seed;
+    for (const std::string& sql :
+         {ChainQuerySql(0, 4, false, true), StarQuerySql(1, 3, false)}) {
+      const NegotiationOutcome serial = RunNegotiation(params, sql, 0);
+      ASSERT_TRUE(serial.ok) << "seed=" << seed << " sql=" << sql;
+      for (int threads : {1, 2, 8}) {
+        const NegotiationOutcome parallel =
+            RunNegotiation(params, sql, threads);
+        ASSERT_TRUE(parallel.ok)
+            << "seed=" << seed << " dp_threads=" << threads;
+        EXPECT_EQ(parallel.cost, serial.cost)
+            << "seed=" << seed << " dp_threads=" << threads;
+        EXPECT_EQ(parallel.plan, serial.plan)
+            << "seed=" << seed << " dp_threads=" << threads;
+        EXPECT_EQ(parallel.winners, serial.winners)
+            << "seed=" << seed << " dp_threads=" << threads;
+        ExpectMetricsEqual(parallel.metrics, serial.metrics);
+      }
+    }
+  }
+}
+
+// 16 negotiations hammering the one shared pool at once (the TSAN leg's
+// main course): every concurrent outcome must equal the serial
+// reference, and nothing may race inside the pool or the DP lattices.
+TEST(ParallelDpTest, SixteenConcurrentNegotiationsShareOnePool) {
+  WorkloadParams params;
+  params.num_nodes = 3;
+  params.num_tables = 5;
+  params.partitions_per_table = 2;
+  params.replication = 2;
+  params.with_data = false;
+  params.seed = 11;
+  const std::string sql = ChainQuerySql(0, 3, false, false);
+  const NegotiationOutcome serial = RunNegotiation(params, sql, 0);
+  ASSERT_TRUE(serial.ok);
+
+  constexpr int kNegotiations = 16;
+  std::vector<NegotiationOutcome> outcomes(kNegotiations);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kNegotiations; ++t) {
+    threads.emplace_back([&, t] {
+      outcomes[t] = RunNegotiation(params, sql, 1 + t % 8);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 0; t < kNegotiations; ++t) {
+    ASSERT_TRUE(outcomes[t].ok) << "negotiation " << t;
+    EXPECT_EQ(outcomes[t].cost, serial.cost) << "negotiation " << t;
+    EXPECT_EQ(outcomes[t].plan, serial.plan) << "negotiation " << t;
+    EXPECT_EQ(outcomes[t].winners, serial.winners) << "negotiation " << t;
+  }
+}
+
+}  // namespace
+}  // namespace qtrade
