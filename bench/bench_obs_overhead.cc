@@ -17,12 +17,27 @@
 // threshold. The threshold is deliberately generous (CI machines are
 // noisy); the real overhead is a few relaxed loads per site.
 //
+// A second section covers the federation observability plane over real
+// loopback sockets: v3 trace-context propagation (every frame stamped
+// and clock-sampled) plus live kStatsRequest polling during the
+// negotiations. Both together must stay under the same ceiling against
+// an untraced socket run — the wire trace is fixed-width header bytes
+// and the stats endpoint rides its own channel, so neither may slow the
+// negotiations measurably.
+//
 // Flags: --smoke (small sizes, used by ci/check.sh), --json.
 #include "bench/bench_util.h"
 
+#include <atomic>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include "net/tcp_transport.h"
+#include "server/node_server.h"
+#include "trading/seller_engine.h"
 
 using namespace qtrade;
 using namespace qtrade::bench;
@@ -33,6 +48,7 @@ struct ModeResult {
   double median_ms = 0;
   double min_ms = 0;
   int64_t spans = 0;
+  int64_t stats_polls = 0;
 };
 
 ModeResult RunMode(const WorkloadParams& params,
@@ -74,6 +90,125 @@ ModeResult RunMode(const WorkloadParams& params,
   out.median_ms = Median(times);
   out.min_ms = *std::min_element(times.begin(), times.end());
   out.spans = static_cast<int64_t>(tracer.span_count());
+  return out;
+}
+
+enum class SocketMode { kOff, kTraced, kStats };
+
+/// The same workload as RunMode, but negotiated over loopback sockets:
+/// buyer in-process, every other node behind a NodeServer. kTraced
+/// attaches a per-daemon tracer to each server+seller and the facade's
+/// tracer to the buyer, so every frame carries (and every reply
+/// clock-samples) the v3 trace context. kStats additionally polls the
+/// kStatsRequest endpoint from a second thread for the whole timed
+/// window.
+ModeResult RunSocketMode(const WorkloadParams& params,
+                         const std::vector<std::string>& workload, int reps,
+                         SocketMode mode) {
+  ModeResult out;
+  auto built = BuildFederation(params);
+  if (!built.ok()) {
+    std::fprintf(stderr, "federation build failed: %s\n",
+                 built.status().ToString().c_str());
+    std::exit(1);
+  }
+  Federation* fed = built->federation.get();
+  const std::string buyer = built->node_names[0];
+
+  QtOptions options;
+  options.run_label = "exp16";
+  options.protocol = NegotiationProtocol::kAuction;
+  options.offer_cache_capacity = 0;  // every pass pays full offer gen
+
+  std::vector<std::unique_ptr<NodeServer>> servers;
+  std::vector<std::unique_ptr<obs::Tracer>> daemon_tracers;
+  std::vector<std::unique_ptr<obs::MetricsRegistry>> daemon_metrics;
+  for (size_t i = 1; i < built->node_names.size(); ++i) {
+    const std::string& name = built->node_names[i];
+    SellerEngine* seller = fed->node(name)->seller.get();
+    auto server = std::make_unique<NodeServer>(seller);
+    if (mode != SocketMode::kOff) {
+      auto tracer = std::make_unique<obs::Tracer>();
+      tracer->SetIdentity(name);
+      auto metrics = std::make_unique<obs::MetricsRegistry>();
+      seller->SetObservability(tracer.get(), metrics.get());
+      server->SetObservability(tracer.get(), metrics.get());
+      daemon_tracers.push_back(std::move(tracer));
+      daemon_metrics.push_back(std::move(metrics));
+    }
+    Status started = server->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "listen failed: %s\n",
+                   started.ToString().c_str());
+      std::exit(1);
+    }
+    options.remote_peers.push_back({name, "127.0.0.1", server->port()});
+    servers.push_back(std::move(server));
+  }
+
+  obs::Tracer tracer;
+  tracer.SetIdentity(buyer);
+  obs::MetricsRegistry metrics;
+  QueryTradingOptimizer qt(fed, buyer, options);
+  if (mode != SocketMode::kOff) qt.AttachObservability(&tracer, &metrics);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> polls{0};
+  std::atomic<int64_t> poll_failures{0};
+  std::thread poller;
+  if (mode == SocketMode::kStats) {
+    poller = std::thread([&] {
+      // A monitoring client like tools/qtrade_stat: its OWN connection
+      // to every daemon (monitoring never rides the buyer's pooled
+      // negotiation link), round-robin polling at a cadence far above
+      // any real --watch interval. The daemons' reactors serve stats
+      // and negotiation frames concurrently; the gate is that this must
+      // not slow the negotiations.
+      TcpTransport monitor(fed->network());
+      for (const RemotePeer& peer : options.remote_peers) {
+        monitor.AddPeer(peer.name, peer.host, peer.port);
+      }
+      size_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::string& name =
+            options.remote_peers[i++ % options.remote_peers.size()].name;
+        auto snap = monitor.StatsPeer(name);
+        if (!snap.ok() || snap->entries.empty()) {
+          poll_failures.fetch_add(1);
+        }
+        polls.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    });
+  }
+
+  for (const std::string& sql : workload) (void)qt.Optimize(sql);  // warm-up
+  std::vector<double> times;
+  times.reserve(reps);
+  for (int rep = 0; rep < reps; ++rep) {
+    auto start = std::chrono::steady_clock::now();
+    for (const std::string& sql : workload) (void)qt.Optimize(sql);
+    times.push_back(WallMs(start));
+  }
+
+  if (poller.joinable()) {
+    stop.store(true);
+    poller.join();
+  }
+  for (auto& server : servers) server->Stop();
+
+  out.median_ms = Median(times);
+  out.min_ms = *std::min_element(times.begin(), times.end());
+  out.spans = static_cast<int64_t>(tracer.span_count());
+  for (const auto& t : daemon_tracers) {
+    out.spans += static_cast<int64_t>(t->span_count());
+  }
+  out.stats_polls = polls.load();
+  if (poll_failures.load() > 0) {
+    std::fprintf(stderr, "%lld stats polls failed under load\n",
+                 static_cast<long long>(poll_failures.load()));
+    std::exit(1);
+  }
   return out;
 }
 
@@ -155,6 +290,74 @@ int main(int argc, char** argv) {
                  "disabled-tracer overhead %.2f%% above the %.0f%% "
                  "ceiling\n",
                  overhead_pct, ceiling_pct);
+    return 1;
+  }
+
+  // ---- Federation plane: propagation + live stats over sockets ----
+  Banner("EXP-16b", "wire propagation + stats polling over loopback");
+  // Same workload as above (passes long enough that per-frame costs
+  // amortize against real plan-search work), now over loopback sockets.
+  const int kSocketReps = smoke ? 9 : 13;
+  const ModeResult sock_off =
+      RunSocketMode(params, workload, kSocketReps, SocketMode::kOff);
+  const ModeResult sock_traced =
+      RunSocketMode(params, workload, kSocketReps, SocketMode::kTraced);
+  const ModeResult sock_stats =
+      RunSocketMode(params, workload, kSocketReps, SocketMode::kStats);
+
+  const double traced_sock_pct =
+      sock_off.median_ms > 0
+          ? 100.0 * (sock_traced.median_ms - sock_off.median_ms) /
+                sock_off.median_ms
+          : 0;
+  const double stats_sock_pct =
+      sock_off.median_ms > 0
+          ? 100.0 * (sock_stats.median_ms - sock_off.median_ms) /
+                sock_off.median_ms
+          : 0;
+
+  std::printf("%9s | %10s %10s %8s %8s\n", "mode", "median_ms", "min_ms",
+              "spans", "polls");
+  std::printf("%9s | %10.3f %10.3f %8lld %8s\n", "off", sock_off.median_ms,
+              sock_off.min_ms, static_cast<long long>(sock_off.spans), "-");
+  std::printf("%9s | %10.3f %10.3f %8lld %8s\n", "traced",
+              sock_traced.median_ms, sock_traced.min_ms,
+              static_cast<long long>(sock_traced.spans), "-");
+  std::printf("%9s | %10.3f %10.3f %8lld %8lld\n", "stats",
+              sock_stats.median_ms, sock_stats.min_ms,
+              static_cast<long long>(sock_stats.spans),
+              static_cast<long long>(sock_stats.stats_polls));
+  std::printf("\nwire propagation overhead: %+.2f%% "
+              "(+ stats polling: %+.2f%%)\n",
+              traced_sock_pct, stats_sock_pct);
+  if (json) {
+    JsonRow("EXP-16b")
+        .Num("socket_off_ms", sock_off.median_ms)
+        .Num("socket_traced_ms", sock_traced.median_ms)
+        .Num("socket_stats_ms", sock_stats.median_ms)
+        .Num("traced_overhead_pct", traced_sock_pct)
+        .Num("stats_overhead_pct", stats_sock_pct)
+        .Int("traced_spans", sock_traced.spans)
+        .Int("stats_polls", sock_stats.stats_polls)
+        .Emit();
+  }
+
+  if (sock_traced.spans == 0) {
+    std::fprintf(stderr, "traced socket mode recorded no spans\n");
+    return 1;
+  }
+  if (sock_stats.stats_polls == 0) {
+    std::fprintf(stderr, "stats mode completed no polls\n");
+    return 1;
+  }
+  // The federation observability plane rides fixed-width header bytes
+  // and its own channel; fully-on propagation plus concurrent stats
+  // polling must stay under the same generous ceiling.
+  if (stats_sock_pct > ceiling_pct || traced_sock_pct > ceiling_pct) {
+    std::fprintf(stderr,
+                 "federation observability overhead above the %.0f%% "
+                 "ceiling (propagation %+.2f%%, + stats %+.2f%%)\n",
+                 ceiling_pct, traced_sock_pct, stats_sock_pct);
     return 1;
   }
   return 0;

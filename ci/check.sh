@@ -86,9 +86,59 @@ wait "${CORFU_PID}" "${MYCONOS_PID}"
 CORFU_PID=""
 MYCONOS_PID=""
 diff "${SMOKE_DIR}/peers.out" "${SMOKE_DIR}/inproc.out"
+echo "loopback TCP smoke: RESULT blocks identical"
+
+# Traced federation smoke: the same 3-process run with --trace on every
+# process; each writes its own per-node trace (own clock, own id space)
+# and tools/trace_merge.py must stitch them into ONE federation-wide
+# trace where every seller-side span's parent chain resolves to the
+# buyer's negotiation root (--check exits non-zero on disconnected
+# forests, id collisions, cycles or dangling parents). Also proves the
+# introspection plane: qtrade_stat must pull a well-formed snapshot from
+# a live daemon mid-run.
+echo "== traced federation + stitching smoke"
+TRACE_DIR="${SMOKE_DIR}/traces"
+mkdir -p "${TRACE_DIR}"
+./build/examples/qtrade_node --node office_Corfu --listen 0 \
+  --trace "${TRACE_DIR}" >"${SMOKE_DIR}/corfu.out" &
+CORFU_PID=$!
+./build/examples/qtrade_node --node office_Myconos --listen 0 \
+  --trace "${TRACE_DIR}" >"${SMOKE_DIR}/myconos.out" &
+MYCONOS_PID=$!
+for daemon in corfu myconos; do
+  for _ in $(seq 1 100); do
+    grep -q LISTENING "${SMOKE_DIR}/${daemon}.out" 2>/dev/null && break
+    sleep 0.1
+  done
+  grep -q LISTENING "${SMOKE_DIR}/${daemon}.out"
+done
+CORFU_PORT="$(awk '/LISTENING/{print $2}' "${SMOKE_DIR}/corfu.out")"
+MYCONOS_PORT="$(awk '/LISTENING/{print $2}' "${SMOKE_DIR}/myconos.out")"
+./build/tools/qtrade_stat --connect "127.0.0.1:${CORFU_PORT}" \
+  >"${SMOKE_DIR}/stat.out"
+grep -q "^STATS node=office_Corfu" "${SMOKE_DIR}/stat.out"
+grep -q "^server.requests_served=" "${SMOKE_DIR}/stat.out"
+grep -q "^dp_pool.workers=" "${SMOKE_DIR}/stat.out"
+./build/examples/qtrade_node --optimize motivating --shutdown-peers \
+  --trace "${TRACE_DIR}" \
+  --peers "office_Corfu=127.0.0.1:${CORFU_PORT},office_Myconos=127.0.0.1:${MYCONOS_PORT}" \
+  >"${SMOKE_DIR}/traced.out"
+wait "${CORFU_PID}" "${MYCONOS_PID}"
+CORFU_PID=""
+MYCONOS_PID=""
+# Tracing must not change the negotiation outcome: minus its TRACE
+# line, the traced run's output is byte-identical to the untraced
+# in-process reference from the previous leg.
+grep -v "^TRACE " "${SMOKE_DIR}/traced.out" >"${SMOKE_DIR}/traced.result"
+diff "${SMOKE_DIR}/traced.result" "${SMOKE_DIR}/inproc.out"
+if command -v python3 >/dev/null 2>&1; then
+  python3 tools/trace_merge.py --check \
+    -o "${SMOKE_DIR}/merged.trace.json" "${TRACE_DIR}"/*.trace.json
+  python3 tools/trace_summary.py "${SMOKE_DIR}/merged.trace.json" >/dev/null
+fi
 trap - EXIT
 rm -rf "${SMOKE_DIR}"
-echo "loopback TCP smoke: RESULT blocks identical"
+echo "traced federation smoke: stitched trace checked"
 
 # Fault-tolerance smoke: bounded prefix of the systematic fault-schedule
 # space, recovery on vs off (the bench exits non-zero unless recovery-on
@@ -127,11 +177,12 @@ if [[ "${TSAN:-0}" == "1" ]]; then
     trading_test subcontract_test transport_fault_test offer_cache_test \
     obs_test codec_test codec_fuzz_test transport_conformance_test \
     fault_schedule_test node_server_test concurrent_state_test \
-    parallel_dp_test
+    parallel_dp_test trace_stitch_test
   for t in trading_test subcontract_test transport_fault_test \
            offer_cache_test obs_test codec_test codec_fuzz_test \
            transport_conformance_test fault_schedule_test \
-           node_server_test concurrent_state_test parallel_dp_test; do
+           node_server_test concurrent_state_test parallel_dp_test \
+           trace_stitch_test; do
     echo "== tsan: ${t}"
     ./build-tsan/tests/"${t}"
   done

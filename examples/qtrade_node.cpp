@@ -50,16 +50,22 @@ struct Args {
   // Both modes: plan-search threads per negotiation (QtOptions::
   // dp_threads). 0 = serial; plans are byte-identical either way.
   int dp_threads = 0;
+  // Both modes: write this process's trace (Chrome + JSONL) and metrics
+  // under DIR as <node>.trace.json / .trace.jsonl / .metrics.json.
+  // Per-node files from one federation run stitch into a single
+  // federation-wide trace with tools/trace_merge.py.
+  std::string trace_dir;
 };
 
 void Usage() {
   std::cout <<
       "qtrade_node --node NAME --listen PORT [--workers N]\n"
-      "            [--dp-threads N] [world flags]\n"
+      "            [--dp-threads N] [--trace DIR] [world flags]\n"
       "qtrade_node --optimize SQL|motivating|revenue\n"
       "            (--peers n=h:p,n=h:p | --inproc)\n"
       "            [--buyer NAME] [--protocol bidding|auction|bargaining]\n"
-      "            [--shutdown-peers] [--dp-threads N] [world flags]\n"
+      "            [--shutdown-peers] [--dp-threads N] [--trace DIR]\n"
+      "            [world flags]\n"
       "world flags: --offices N --customers N --lines N\n";
 }
 
@@ -87,6 +93,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->workers = std::atoi(argv[++i]);
     } else if (flag == "--dp-threads" && need(i)) {
       args->dp_threads = std::atoi(argv[++i]);
+    } else if (flag == "--trace" && need(i)) {
+      args->trace_dir = argv[++i];
     } else if (flag == "--offices" && need(i)) {
       args->params.num_offices = std::atoi(argv[++i]);
     } else if (flag == "--customers" && need(i)) {
@@ -142,6 +150,16 @@ int RunDaemon(const Args& args) {
   options.workers = args.workers;
   options.dp_threads = args.dp_threads;
   NodeServer server(node->seller.get(), options);
+  // One tracer/registry shared by the engine (offer_gen spans, cache
+  // metrics) and the server (serve spans, reply clock stamps): identity
+  // first, so every span id carries this node's hash for merging.
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  if (!args.trace_dir.empty()) {
+    tracer.SetIdentity(args.node);
+    node->seller->SetObservability(&tracer, &metrics);
+    server.SetObservability(&tracer, &metrics);
+  }
   Status started = server.Start();
   if (!started.ok()) {
     std::cerr << "listen failed: " << started.ToString() << "\n";
@@ -151,6 +169,13 @@ int RunDaemon(const Args& args) {
   std::cout << "LISTENING " << server.port() << "\n" << std::flush;
   server.Wait();  // until a peer sends kShutdown (or the process is killed)
   server.Stop();
+  if (!args.trace_dir.empty()) {
+    const std::string base = args.trace_dir + "/" + args.node;
+    (void)obs::WriteChromeTrace(tracer, base + ".trace.json");
+    (void)obs::WriteJsonl(tracer, base + ".trace.jsonl");
+    (void)metrics.WriteJson(base + ".metrics.json");
+    std::cout << "TRACE " << base << ".trace.json\n";
+  }
   std::cout << "SERVED " << server.requests_served() << "\n";
   return 0;
 }
@@ -181,6 +206,15 @@ int RunBuyer(const Args& args) {
   if (!args.inproc && !ParsePeers(args.peers, &options.remote_peers)) {
     Usage();
     return 1;
+  }
+  if (!args.trace_dir.empty()) {
+    // Per-process trace files named like the daemons' so one --trace DIR
+    // across the federation yields a mergeable set. Tracing adds files
+    // only: the RESULT block below stays byte-identical.
+    const std::string base = args.trace_dir + "/" + args.buyer;
+    options.obs.trace_path = base + ".trace.json";
+    options.obs.trace_jsonl_path = base + ".trace.jsonl";
+    options.obs.metrics_json_path = base + ".metrics.json";
   }
 
   QueryTradingOptimizer qt(world->federation.get(), args.buyer, options);

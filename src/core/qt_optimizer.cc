@@ -135,6 +135,14 @@ QueryTradingOptimizer::QueryTradingOptimizer(Federation* federation,
     owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
     tracer_ = owned_tracer_.get();
     metrics_ = owned_metrics_.get();
+    if (!options_.remote_peers.empty()) {
+      // Multi-process run: give the trace a federation identity (node
+      // name in the export metadata, node-hashed span ids) so
+      // tools/trace_merge.py can stitch this file with the daemons'
+      // traces without id collisions. Single-process traces stay
+      // identity-free: ids keep their historical small values.
+      owned_tracer_->SetIdentity(buyer_node_);
+    }
     WireObservability();
   }
 }

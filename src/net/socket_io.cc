@@ -190,14 +190,17 @@ Result<std::string> ReadFrame(int fd, double read_timeout_ms) {
   std::string frame;
   // The v1-sized prefix is enough to learn the frame's version (offset
   // 4) and thus how much header remains; v2 headers carry 4 more bytes
-  // of channel before the payload.
+  // of channel, v3 another 32 of trace context, before the payload.
+  // Unknown versions read no further: ParseFrameHeader rejects them
+  // from the prefix alone.
   QTRADE_RETURN_IF_ERROR(ReadExact(fd, serde::kFrameHeaderBytesV1,
                                    read_timeout_ms, &frame,
                                    /*eof_ok_at_start=*/true));
-  if (static_cast<uint8_t>(frame[4]) >= 2) {
-    QTRADE_RETURN_IF_ERROR(
-        ReadExact(fd, serde::kFrameHeaderBytes - serde::kFrameHeaderBytesV1,
-                  read_timeout_ms, &frame, /*eof_ok_at_start=*/false));
+  const uint8_t version = static_cast<uint8_t>(frame[4]);
+  if (version == 2 || version == 3) {
+    QTRADE_RETURN_IF_ERROR(ReadExact(
+        fd, serde::FrameHeaderSize(version) - serde::kFrameHeaderBytesV1,
+        read_timeout_ms, &frame, /*eof_ok_at_start=*/false));
   }
   // Header validation before trusting the length field: a garbage peer
   // cannot make us allocate or wait for gigabytes.

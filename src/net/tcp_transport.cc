@@ -98,6 +98,34 @@ void TcpTransport::SetObservability(obs::Tracer* tracer,
   obs_.Set(tracer, metrics);
 }
 
+WireTrace TcpTransport::StampedTrace(WireTrace trace) const {
+  if (obs::Tracer* tracer = obs_.tracer()) {
+    trace.sent_at_us = tracer->now_us();
+  }
+  return trace;
+}
+
+void TcpTransport::RecordClockSample(const std::string& peer_name,
+                                     const std::string& reply_frame) {
+  obs::Tracer* tracer = obs_.tracer();
+  if (!obs::Tracer::Active(tracer)) return;
+  auto header = serde::ParseFrameHeader(reply_frame);
+  if (!header.ok() || header->version < 3) return;
+  const WireTrace& t = header->trace;
+  // Both stamps must be present: ours echoed back (t0) and the peer's
+  // seal-time clock (t1). Untraced requests or v2 daemons give neither.
+  if (t.sent_at_us == 0 || t.echo_us == 0) return;
+  const int64_t t3 = tracer->now_us();
+  // NTP-style: assuming the two wire legs are symmetric, the peer's
+  // clock read t1 when ours read (t0+t3)/2, so it runs `offset` ahead.
+  const int64_t offset = t.sent_at_us - (t.echo_us + t3) / 2;
+  const int64_t rtt = t3 - t.echo_us;
+  obs::Span sample = tracer->StartInstant("clock_sample");
+  sample.Attr("peer", peer_name);
+  sample.Attr("offset_us", offset);
+  sample.Attr("rtt_us", rtt);
+}
+
 void TcpTransport::TearDownLocked(PeerState* peer, Status why) {
   if (peer->fd >= 0) {
     if (peer->reader_active) {
@@ -269,9 +297,16 @@ std::vector<OfferReply> TcpTransport::BroadcastRfb(
   // frame size IS rfb.WireBytes(), so simulated accounting (done here,
   // on the dispatching thread, identically to InProcessTransport) is
   // fed by the real encoded byte count.
-  const std::string frame = serde::EncodeRfb(rfb);
+  Rfb stamped;  // traced path only: stamp t0 into the v3 trace header
+  const Rfb* wire_rfb = &rfb;
+  if (obs_.tracer() != nullptr) {
+    stamped = rfb;
+    stamped.trace = StampedTrace(rfb.trace);
+    wire_rfb = &stamped;
+  }
+  const std::string frame = serde::EncodeRfb(*wire_rfb);
   const obs::SpanRef rfb_span{rfb.trace_parent, rfb.trace_round,
-                              rfb.negotiation_id};
+                              rfb.negotiation_id, rfb.trace.trace_id};
   for (size_t i = 0; i < n; ++i) {
     tasks[i].ep = endpoint(to[i]);
     if (tasks[i].ep == nullptr) tasks[i].peer = peer(to[i]);
@@ -308,6 +343,7 @@ std::vector<OfferReply> TcpTransport::BroadcastRfb(
       task.transport_lost = true;  // degradation path, not an error
       return;
     }
+    RecordClockSample(to[i], *reply);
     task.reply_bytes = static_cast<int64_t>(reply->size());
     auto batch = serde::DecodeOfferBatch(*reply);
     if (!batch.ok()) {
@@ -398,6 +434,7 @@ TickReply TcpTransport::TickRpc(const std::string& from,
                          << " lost: " << raw.status().ToString();
     return {std::nullopt, out_ms + compute_ms, true};
   }
+  RecordClockSample(to, *raw);
   auto updated = serde::DecodeTickReply(*raw);
   if (!updated.ok()) {
     QTRADE_LOG(kWarning) << "tick reply from " << to << " malformed: "
@@ -441,8 +478,10 @@ TickReply TcpTransport::SendAuctionTick(const std::string& from,
     reply.elapsed_ms = out_ms + compute_ms + back_ms;
     return reply;
   }
-  return TickRpc(from, to, serde::EncodeAuctionTick(tick), tick.WireBytes(),
-                 tick.negotiation_id, "auction");
+  AuctionTick wire_tick = tick;
+  wire_tick.trace = StampedTrace(tick.trace);
+  return TickRpc(from, to, serde::EncodeAuctionTick(wire_tick),
+                 tick.WireBytes(), tick.negotiation_id, "auction");
 }
 
 TickReply TcpTransport::SendCounterOffer(const std::string& from,
@@ -463,7 +502,9 @@ TickReply TcpTransport::SendCounterOffer(const std::string& from,
     reply.elapsed_ms = out_ms + compute_ms + back_ms;
     return reply;
   }
-  return TickRpc(from, to, serde::EncodeCounterOffer(counter),
+  CounterOffer wire_counter = counter;
+  wire_counter.trace = StampedTrace(counter.trace);
+  return TickRpc(from, to, serde::EncodeCounterOffer(wire_counter),
                  counter.WireBytes(), counter.negotiation_id, "bargain");
 }
 
@@ -479,13 +520,17 @@ double TcpTransport::SendAwards(const std::string& from, const std::string& to,
   if (p == nullptr) return 0;
   double out_ms = network_->Send(from, to, batch.WireBytes(), "award");
   obs_.ObserveSend(from, to, batch.WireBytes(), "award", {});
-  auto raw = RoundTrip(p, serde::EncodeAwardBatch(batch),
+  AwardBatch wire_batch = batch;
+  wire_batch.trace = StampedTrace(batch.trace);
+  auto raw = RoundTrip(p, serde::EncodeAwardBatch(wire_batch),
                        batch.negotiation_id);
   if (!raw.ok()) {
     // Award feedback is best-effort (the seller just learns less);
     // the kAck reply is protocol overhead, never accounted.
     QTRADE_LOG(kWarning) << "award to " << to
                          << " lost: " << raw.status().ToString();
+  } else {
+    RecordClockSample(to, *raw);
   }
   return out_ms;
 }
@@ -500,13 +545,36 @@ Status TcpTransport::PingPeer(const std::string& name) {
   const uint32_t channel = AllocateNegotiationId();
   QTRADE_ASSIGN_OR_RETURN(
       std::string raw,
-      RoundTrip(p, serde::SealFrame(serde::MsgType::kPing, "", channel),
+      RoundTrip(p,
+                serde::SealFrame(serde::MsgType::kPing, "", channel,
+                                 StampedTrace({})),
                 channel));
+  RecordClockSample(name, raw);
   QTRADE_ASSIGN_OR_RETURN(serde::FrameView frame, serde::ParseFrame(raw));
   if (frame.type != serde::MsgType::kAck) {
     return Status::Internal("unexpected ping reply frame");
   }
   return Status::OK();
+}
+
+Result<StatsSnapshot> TcpTransport::StatsPeer(const std::string& name) {
+  if (NodeEndpoint* ep = endpoint(name)) {
+    // Loopback: a local endpoint has no server counters, but its own
+    // stats are still reachable.
+    StatsSnapshot snap;
+    snap.node = name;
+    ep->CollectStats(&snap.entries);
+    return snap;
+  }
+  PeerState* p = peer(name);
+  if (p == nullptr) return Status::NotFound("no such peer: " + name);
+  const uint32_t channel = AllocateNegotiationId();
+  QTRADE_ASSIGN_OR_RETURN(
+      std::string raw,
+      RoundTrip(p, serde::EncodeStatsRequest(channel, StampedTrace({})),
+                channel));
+  RecordClockSample(name, raw);
+  return serde::DecodeStatsSnapshot(raw);
 }
 
 Status TcpTransport::ShutdownPeer(const std::string& name) {

@@ -90,6 +90,13 @@ class TcpTransport : public Transport {
   /// Liveness probe: ping/ack round-trip to a named peer.
   Status PingPeer(const std::string& name);
 
+  /// Live introspection: asks the peer daemon for its kStatsRequest
+  /// snapshot (server counters, in-flight negotiations, offer-cache and
+  /// dp-pool state, flattened metrics). Safe to call while negotiations
+  /// are in flight on the same pooled connection — the request rides its
+  /// own channel like any other interleaved RPC.
+  Result<StatsSnapshot> StatsPeer(const std::string& name);
+
   /// Asks a peer daemon to stop serving (kShutdown frame). Best-effort.
   Status ShutdownPeer(const std::string& name);
 
@@ -171,6 +178,18 @@ class TcpTransport : public Transport {
   TickReply TickRpc(const std::string& from, const std::string& to,
                     const std::string& frame, int64_t wire_bytes,
                     uint32_t channel, const char* kind);
+
+  /// Stamps an outgoing envelope's trace context with the local tracer
+  /// clock (the t0 of the NTP-style offset exchange). Identity when no
+  /// tracer is attached, so untraced frames stay byte-stable.
+  WireTrace StampedTrace(WireTrace trace) const;
+
+  /// Turns a v3 reply header (peer clock stamp + our echoed send time)
+  /// into a clock_sample trace instant: offset_us ≈ how far the peer's
+  /// trace clock runs ahead of ours, rtt_us the raw round trip.
+  /// tools/trace_merge.py consumes these to align per-node timelines.
+  void RecordClockSample(const std::string& peer_name,
+                         const std::string& reply_frame);
 
   SimNetwork* network_;
   TcpTransportOptions options_;

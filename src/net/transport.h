@@ -70,6 +70,16 @@ class NodeEndpoint {
   /// the search itself draws threads from the process-shared
   /// PlanSearchPool, never per-endpoint ones.
   virtual void ConfigurePlanSearch(int dp_threads) { (void)dp_threads; }
+
+  /// Appends this endpoint's introspection state as flat key/value pairs
+  /// (offer-cache occupancy/hit counters, DP configuration, RFB totals)
+  /// to a StatsSnapshot under assembly — the NodeServer serves these via
+  /// the kStatsRequest admin envelope. Must be safe to call concurrently
+  /// with negotiation handlers; the default exposes nothing.
+  virtual void CollectStats(
+      std::vector<std::pair<std::string, std::string>>* out) const {
+    (void)out;
+  }
 };
 
 /// One seller's reply to an RFB fan-out.
@@ -163,6 +173,13 @@ class TransportObservability {
   /// tracing, emits a send[kind] instant carrying the message size.
   void ObserveSend(const std::string& from, const std::string& to,
                    int64_t bytes, const char* kind, obs::SpanRef parent);
+
+  /// The attached tracer (null when detached) — transports use it to
+  /// stamp outgoing frames with their clock and to record clock-offset
+  /// samples from reply headers.
+  obs::Tracer* tracer() const {
+    return tracer_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct NodeIo {

@@ -57,4 +57,8 @@ int64_t CounterOffer::WireBytes() const {
   return serde::kFrameHeaderBytes + serde::CounterOfferPayloadSize(*this);
 }
 
+int64_t StatsSnapshot::WireBytes() const {
+  return serde::kFrameHeaderBytes + serde::StatsSnapshotPayloadSize(*this);
+}
+
 }  // namespace qtrade

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "opt/offer.h"
@@ -30,6 +31,26 @@ namespace qtrade {
 /// then report the legacy constants again while RFBs and offers keep
 /// their codec sizes.
 inline constexpr bool kLegacyTickWireBytes = false;
+
+/// Trace context carried by every v3 frame header (the wire form of a
+/// W3C traceparent plus an NTP-style timestamp exchange). All fields are
+/// fixed-width header bytes, so frame sizes — and therefore every byte
+/// metric — are identical with tracing on or off.
+struct WireTrace {
+  /// Id of the negotiation root span this frame belongs to (the buyer's
+  /// `negotiation` span id). 0 = untraced.
+  uint64_t trace_id = 0;
+  /// Id of the span that caused this frame (e.g. the buyer's
+  /// rfb_broadcast span); receiver-side spans parent under it. 0 = none.
+  uint64_t parent_span = 0;
+  /// Sender's tracer clock (µs) when the frame was sealed. 0 = unstamped.
+  int64_t sent_at_us = 0;
+  /// Replies echo the request's sent_at_us here so the requester can
+  /// estimate the peer clock offset: with t0 = echo_us (its own send
+  /// time), t1 = the reply's sent_at_us (peer clock) and t3 = receive
+  /// time, offset ≈ t1 - (t0 + t3) / 2. 0 on requests.
+  int64_t echo_us = 0;
+};
 
 /// Request for bids (paper Fig. 2, step B2).
 struct Rfb {
@@ -52,6 +73,10 @@ struct Rfb {
   /// concurrent negotiations per connection and clients to demultiplex
   /// interleaved replies. 0 = outside any negotiation (v1 peers).
   uint32_t negotiation_id = 0;
+  /// Frame-header trace context (v3). trace_parent/trace_round above
+  /// predate it and stay in the payload (v1 schemas are frozen); the
+  /// header fields are the authoritative cross-process contract.
+  WireTrace trace;
 
   /// Exact sealed-frame size of this RFB under the serde/ codec.
   int64_t WireBytes() const;
@@ -90,6 +115,8 @@ struct AwardBatch {
   std::vector<std::string> lost_offer_ids;
   /// Frame-header channel (see Rfb::negotiation_id).
   uint32_t negotiation_id = 0;
+  /// Frame-header trace context (see Rfb::trace).
+  WireTrace trace;
 
   /// Exact codec frame size (or the legacy 64 + 48/award constant that
   /// ignored id lengths and the loser list, see kLegacyTickWireBytes).
@@ -105,6 +132,8 @@ struct AuctionTick {
   double best_score = 0;  // score of the currently winning offer
   /// Frame-header channel (see Rfb::negotiation_id).
   uint32_t negotiation_id = 0;
+  /// Frame-header trace context (see Rfb::trace).
+  WireTrace trace;
 
   /// Exact codec frame size (legacy: hard-coded 64).
   int64_t WireBytes() const;
@@ -118,8 +147,27 @@ struct CounterOffer {
   double target_value = 0;
   /// Frame-header channel (see Rfb::negotiation_id).
   uint32_t negotiation_id = 0;
+  /// Frame-header trace context (see Rfb::trace).
+  WireTrace trace;
 
   /// Exact codec frame size (legacy: hard-coded 96).
+  int64_t WireBytes() const;
+};
+
+/// Point-in-time introspection snapshot of a live node: the reply to a
+/// kStatsRequest admin frame (served directly by the NodeServer reactor,
+/// never touching the trading path). Entries are flat key/value pairs —
+/// server counters, in-flight channels, endpoint stats (offer cache,
+/// DP pool), flattened metrics registry — so pollers need no schema
+/// knowledge beyond "table of strings".
+struct StatsSnapshot {
+  std::string node;          // responding node's name
+  int64_t ts_us = 0;         // responder's tracer/steady clock at capture
+  std::vector<std::pair<std::string, std::string>> entries;
+  /// Frame-header channel (see Rfb::negotiation_id).
+  uint32_t negotiation_id = 0;
+
+  /// Exact codec frame size.
   int64_t WireBytes() const;
 };
 

@@ -5,6 +5,22 @@
 
 namespace qtrade::obs {
 
+namespace {
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  *out += buf;
+}
+
+std::string DoubleString(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
 void Histogram::Observe(int64_t value) {
   if (value < 0) value = 0;
   // Value v lands in the first bucket whose bound 2^i satisfies v <= 2^i:
@@ -17,6 +33,38 @@ void Histogram::Observe(int64_t value) {
   buckets_[idx].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+double Histogram::ApproxPercentile(double q) const {
+  // Snapshot the buckets once: writers are concurrent, and a rank
+  // computed from one total must be resolved against the same counts.
+  int64_t counts[kBuckets];
+  int64_t total = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total <= 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Same closest-ranks convention as bench_util.h Percentile: the target
+  // is rank q*(n-1) (0-based), interpolated linearly — here across the
+  // bucket's [lower, upper] value range rather than between samples.
+  const double rank = q * static_cast<double>(total - 1);
+  int64_t cum = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    const double first = static_cast<double>(cum);         // first rank here
+    cum += counts[i];
+    if (rank >= static_cast<double>(cum)) continue;
+    const double lo =
+        i == 0 ? 0.0 : static_cast<double>(BucketBound(i - 1));
+    if (i == kBuckets - 1) return lo;  // overflow bucket: unbounded above
+    const double hi = static_cast<double>(BucketBound(i));
+    const double frac = (rank - first) / static_cast<double>(counts[i]);
+    return lo + (hi - lo) * frac;
+  }
+  return 0;
 }
 
 Counter* MetricsRegistry::counter(const std::string& name) {
@@ -64,7 +112,14 @@ std::string MetricsRegistry::ToJson() const {
     if (!first) out += ",";
     first = false;
     out += "\"" + name + "\":{\"count\":" + std::to_string(h->count()) +
-           ",\"sum\":" + std::to_string(h->sum()) + ",\"buckets\":[";
+           ",\"sum\":" + std::to_string(h->sum());
+    out += ",\"p50\":";
+    AppendDouble(&out, h->ApproxPercentile(0.50));
+    out += ",\"p90\":";
+    AppendDouble(&out, h->ApproxPercentile(0.90));
+    out += ",\"p99\":";
+    AppendDouble(&out, h->ApproxPercentile(0.99));
+    out += ",\"buckets\":[";
     bool first_bucket = true;
     for (int i = 0; i < Histogram::kBuckets; ++i) {
       const int64_t n = h->bucket(i);
@@ -85,14 +140,44 @@ std::string MetricsRegistry::ToJson() const {
 }
 
 Status MetricsRegistry::WriteJson(const std::string& path) const {
-  std::FILE* f = std::fopen(path.c_str(), "w");
+  // Write-to-temp + rename: a reader polling `path` mid-run (qtrade_stat,
+  // dashboards tailing the metrics file) always sees a complete document.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
   if (f == nullptr) {
-    return Status::Internal("cannot open metrics file: " + path);
+    return Status::Internal("cannot open metrics file: " + tmp);
   }
-  std::fputs(ToJson().c_str(), f);
-  std::fputs("\n", f);
-  std::fclose(f);
+  const std::string json = ToJson();
+  const bool wrote = std::fputs(json.c_str(), f) >= 0 &&
+                     std::fputs("\n", f) >= 0;
+  if (std::fclose(f) != 0 || !wrote) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot write metrics file: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename metrics file into place: " + path);
+  }
   return Status::OK();
+}
+
+void MetricsRegistry::CollectEntries(
+    std::vector<std::pair<std::string, std::string>>* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) {
+    out->emplace_back("metric." + name, std::to_string(c->value()));
+  }
+  for (const auto& [name, g] : gauges_) {
+    out->emplace_back("metric." + name, DoubleString(g->value()));
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string base = "metric." + name;
+    out->emplace_back(base + ".count", std::to_string(h->count()));
+    out->emplace_back(base + ".sum", std::to_string(h->sum()));
+    out->emplace_back(base + ".p50", DoubleString(h->ApproxPercentile(0.50)));
+    out->emplace_back(base + ".p90", DoubleString(h->ApproxPercentile(0.90)));
+    out->emplace_back(base + ".p99", DoubleString(h->ApproxPercentile(0.99)));
+  }
 }
 
 }  // namespace qtrade::obs

@@ -17,6 +17,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/status.h"
@@ -74,6 +75,13 @@ class Histogram {
   /// Upper bound of finite bucket i (2^i); the last bucket has no bound.
   static int64_t BucketBound(int i) { return int64_t{1} << i; }
 
+  /// Bucket-interpolated percentile estimate, q in [0,1]: linear
+  /// interpolation of the target rank inside the bucket it falls in
+  /// (the log2 analogue of bench_util.h's Percentile). Resolution is
+  /// one bucket, i.e. a factor of two; the overflow bucket reports its
+  /// lower bound. Returns 0 for an empty histogram.
+  double ApproxPercentile(double q) const;
+
  private:
   std::atomic<int64_t> buckets_[kBuckets] = {};
   std::atomic<int64_t> count_{0};
@@ -91,11 +99,21 @@ class MetricsRegistry {
   /// Mid-run-safe JSON snapshot:
   ///   {"counters":{...},"gauges":{...},
   ///    "histograms":{name:{"count":..,"sum":..,
+  ///                        "p50":..,"p90":..,"p99":..,
   ///                        "buckets":[{"le":2,"count":..},...]}}}
+  /// Histogram percentiles are bucket-interpolated (ApproxPercentile).
   std::string ToJson() const;
 
-  /// Writes ToJson() to `path`.
+  /// Writes ToJson() to `path` atomically: the snapshot lands in
+  /// `path`.tmp first and is renamed into place, so a reader polling
+  /// the file mid-run never sees a torn document.
   Status WriteJson(const std::string& path) const;
+
+  /// Flattens every instrument into "metric.<name>" key/value pairs for
+  /// the kStatsRequest admin envelope: counters and gauges one entry
+  /// each, histograms as .count/.sum/.p50/.p90/.p99 sub-entries.
+  void CollectEntries(
+      std::vector<std::pair<std::string, std::string>>* out) const;
 
  private:
   mutable std::mutex mu_;

@@ -118,6 +118,20 @@ void Span::End() {
   tracer_ = nullptr;
 }
 
+void Tracer::SetIdentity(const std::string& node) {
+  node_ = node;
+  // FNV-1a over the node name, folded to 24 bits in the id's upper half:
+  // two processes seeded with different names can mint ~2^38 spans each
+  // before their id ranges could meet, so merged traces never alias.
+  uint64_t hash = 1469598103934665603ull;
+  for (char c : node) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 1099511628211ull;
+  }
+  next_id_.store(((hash & 0xffffffull) << 38) | 1,
+                 std::memory_order_relaxed);
+}
+
 Span Tracer::StartSpan(std::string name, SpanRef parent) {
   Span span;
   if (!enabled()) return span;
@@ -126,6 +140,11 @@ Span Tracer::StartSpan(std::string name, SpanRef parent) {
   span.rec_ = std::make_unique<SpanRecord>();
   span.rec_->id = next_id_.fetch_add(1, std::memory_order_relaxed);
   span.rec_->parent = parent.id;
+  // A root span is its own trace; children inherit the root's id as
+  // their trace id, across processes when the parent ref came off the
+  // wire.
+  span.rec_->trace_id = parent.trace_id != 0 ? parent.trace_id
+                                             : span.rec_->id;
   span.rec_->round = parent.round;
   span.rec_->negotiation = parent.negotiation;
   span.rec_->name = std::move(name);
@@ -206,6 +225,7 @@ Status WriteChromeTrace(const Tracer& tracer, const std::string& path) {
     std::string args = "{";
     args += "\"id\":\"" + std::to_string(rec.id) + "\"";
     args += ",\"parent\":\"" + std::to_string(rec.parent) + "\"";
+    args += ",\"trace_id\":\"" + std::to_string(rec.trace_id) + "\"";
     for (const auto& [key, value] : rec.attrs) {
       args += ",\"" + Escaped(key) + "\":\"" + Escaped(value) + "\"";
     }
@@ -222,7 +242,15 @@ Status WriteChromeTrace(const Tracer& tracer, const std::string& path) {
         pid, tid, args.c_str());
     first = false;
   }
-  std::fputs("\n]}\n", f);
+  // Node identity rides as a top-level metadata object (Chrome/Perfetto
+  // ignore unknown keys) so tools/trace_merge.py knows whose timeline
+  // this file is without guessing from span attribution.
+  if (tracer.node().empty()) {
+    std::fputs("\n]}\n", f);
+  } else {
+    std::fprintf(f, "\n],\"metadata\":{\"node\":\"%s\"}}\n",
+                 Escaped(tracer.node()).c_str());
+  }
   return Status::OK();
 }
 
@@ -233,18 +261,26 @@ Status WriteJsonl(const Tracer& tracer, const std::string& path) {
     return Status::Internal("cannot open trace file: " + path);
   }
   FileCloser closer(f);
+  if (!tracer.node().empty()) {
+    // Self-identifying first line for mergers/summarizers (they skip or
+    // consume it; it is not a span).
+    std::fprintf(f, "{\"trace_meta\":1,\"node\":\"%s\"}\n",
+                 Escaped(tracer.node()).c_str());
+  }
   for (const auto& rec : spans) {
     std::fprintf(f,
                  "{\"ts_us\":%lld,\"dur_us\":%lld,\"name\":\"%s\","
                  "\"node\":\"%s\",\"round\":%d,\"negotiation\":%u,"
                  "\"id\":%llu,"
-                 "\"parent\":%llu,\"instant\":%s,\"attrs\":%s}\n",
+                 "\"parent\":%llu,\"trace_id\":%llu,\"instant\":%s,"
+                 "\"attrs\":%s}\n",
                  static_cast<long long>(rec.start_us),
                  static_cast<long long>(rec.dur_us),
                  Escaped(rec.name).c_str(), Escaped(rec.node).c_str(),
                  rec.round, rec.negotiation,
                  static_cast<unsigned long long>(rec.id),
                  static_cast<unsigned long long>(rec.parent),
+                 static_cast<unsigned long long>(rec.trace_id),
                  rec.instant ? "true" : "false", AttrsJson(rec).c_str());
   }
   return Status::OK();

@@ -46,6 +46,11 @@ namespace qtrade::obs {
 struct SpanRecord {
   uint64_t id = 0;
   uint64_t parent = 0;  // 0 = root
+  /// Id of the trace this span belongs to — the id of its root span
+  /// (a root span is its own trace). Inherited from the parent ref at
+  /// StartSpan, so a whole negotiation shares one trace id across every
+  /// process it touches (the v3 frame header carries it).
+  uint64_t trace_id = 0;
   std::string name;
   std::string node;     // federation node (Chrome-trace pid dimension)
   int32_t round = -1;   // negotiation round
@@ -66,6 +71,10 @@ struct SpanRef {
   uint64_t id = 0;
   int32_t round = -1;
   uint32_t negotiation = 0;
+  /// Trace the referenced span belongs to (see SpanRecord::trace_id).
+  /// Appended last so positional initializers predating it still mean
+  /// what they meant (trace_id 0 = "start a fresh trace").
+  uint64_t trace_id = 0;
 };
 
 class Tracer;
@@ -85,7 +94,8 @@ class Span {
   bool active() const { return rec_ != nullptr; }
   uint64_t id() const { return rec_ ? rec_->id : 0; }
   SpanRef ref() const {
-    return rec_ ? SpanRef{rec_->id, rec_->round, rec_->negotiation}
+    return rec_ ? SpanRef{rec_->id, rec_->round, rec_->negotiation,
+                          rec_->trace_id}
                 : SpanRef{};
   }
 
@@ -110,6 +120,14 @@ class Span {
 class Tracer {
  public:
   Tracer() = default;
+
+  /// Gives this tracer a federation identity: `node` is stamped into the
+  /// exported trace files (so tools/trace_merge.py knows whose timeline
+  /// each file is), and span ids are re-seeded with a hash of the name
+  /// in their high bits so ids minted by different processes never
+  /// collide when traces are stitched. Call before any span starts.
+  void SetIdentity(const std::string& node);
+  const std::string& node() const { return node_; }
 
   /// Sampling switch: a disabled tracer hands out inert spans (used to
   /// trace every Nth negotiation; see QtOptions trace_sample_period).
@@ -144,6 +162,7 @@ class Tracer {
 
   std::atomic<bool> enabled_{true};
   std::atomic<uint64_t> next_id_{1};
+  std::string node_;
   const std::chrono::steady_clock::time_point epoch_ =
       std::chrono::steady_clock::now();
   mutable std::mutex mu_;

@@ -128,6 +128,8 @@ void OfferGenerator::set_cache_capacity(size_t capacity) {
 
 size_t OfferGenerator::cache_capacity() const { return cache_->capacity(); }
 
+size_t OfferGenerator::cache_size() const { return cache_->size(); }
+
 OfferCacheStats OfferGenerator::cache_stats() const { return cache_->stats(); }
 
 std::string OfferGenerator::OfferId(const std::string& rfb_id,

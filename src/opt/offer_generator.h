@@ -122,6 +122,8 @@ class OfferGenerator {
   /// Runtime resize of the memoization cache (0 = off).
   void set_cache_capacity(size_t capacity);
   size_t cache_capacity() const;
+  /// Live entry count (introspection: cache occupancy).
+  size_t cache_size() const;
   OfferCacheStats cache_stats() const;
 
   /// Runtime change of the DP search width (atomic: transport worker

@@ -35,6 +35,8 @@ const char* MsgTypeName(MsgType type) {
     case MsgType::kRowSet: return "row_set";
     case MsgType::kPing: return "ping";
     case MsgType::kShutdown: return "shutdown";
+    case MsgType::kStatsRequest: return "stats_request";
+    case MsgType::kStatsResponse: return "stats_response";
   }
   return "unknown";
 }
@@ -61,11 +63,17 @@ uint32_t Crc32Raw(uint32_t crc, const void* data, size_t n) {
   return crc;
 }
 
-/// Frame checksum. v2 frames fold the channel field in ahead of the
+/// Serializes a u64 into 8 little-endian bytes for checksumming.
+void PutLe64(uint8_t* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+/// Frame checksum. Every post-crc header field folds in ahead of the
 /// payload so a flipped header byte cannot silently retarget a
-/// negotiation; v1 frames predate the channel and checksum the payload
+/// negotiation or reparent a trace: v3 covers channel + trace context,
+/// v2 covers the channel, v1 predates both and checksums the payload
 /// alone.
-uint32_t FrameCrc(uint8_t version, uint32_t channel,
+uint32_t FrameCrc(uint8_t version, uint32_t channel, const WireTrace& trace,
                   std::string_view payload) {
   uint32_t crc = 0xffffffffu;
   if (version >= 2) {
@@ -74,6 +82,14 @@ uint32_t FrameCrc(uint8_t version, uint32_t channel,
         static_cast<uint8_t>(channel >> 16),
         static_cast<uint8_t>(channel >> 24)};
     crc = Crc32Raw(crc, ch, sizeof(ch));
+  }
+  if (version >= 3) {
+    uint8_t tr[32];
+    PutLe64(tr, trace.trace_id);
+    PutLe64(tr + 8, trace.parent_span);
+    PutLe64(tr + 16, static_cast<uint64_t>(trace.sent_at_us));
+    PutLe64(tr + 24, static_cast<uint64_t>(trace.echo_us));
+    crc = Crc32Raw(crc, tr, sizeof(tr));
   }
   crc = Crc32Raw(crc, payload.data(), payload.size());
   return crc ^ 0xffffffffu;
@@ -110,8 +126,9 @@ void Encoder::PutString(std::string_view s) {
   buf_.append(s.data(), s.size());
 }
 
-std::string Encoder::Seal(MsgType type, uint32_t channel) const {
-  return SealFrame(type, buf_, channel);
+std::string Encoder::Seal(MsgType type, uint32_t channel,
+                          const WireTrace& trace) const {
+  return SealFrame(type, buf_, channel, trace);
 }
 
 // ---- Decoder --------------------------------------------------------------
@@ -210,19 +227,26 @@ Status Decoder::ExpectEnd() const {
 // ---- Frames ---------------------------------------------------------------
 
 std::string SealFrame(MsgType type, std::string_view payload,
-                      uint32_t channel) {
-  return SealFrameForVersion(kCodecVersion, type, payload, channel);
+                      uint32_t channel, const WireTrace& trace) {
+  return SealFrameForVersion(kCodecVersion, type, payload, channel, trace);
 }
 
 std::string SealFrameForVersion(uint8_t version, MsgType type,
-                                std::string_view payload, uint32_t channel) {
+                                std::string_view payload, uint32_t channel,
+                                const WireTrace& trace) {
   Encoder h;
   h.PutU32(kFrameMagic);
   h.PutU8(version);
   h.PutU8(static_cast<uint8_t>(type));
   h.PutU32(static_cast<uint32_t>(payload.size()));
-  h.PutU32(FrameCrc(version, channel, payload));
+  h.PutU32(FrameCrc(version, channel, trace, payload));
   if (version >= 2) h.PutU32(channel);
+  if (version >= 3) {
+    h.PutU64(trace.trace_id);
+    h.PutU64(trace.parent_span);
+    h.PutI64(trace.sent_at_us);
+    h.PutI64(trace.echo_us);
+  }
   std::string frame = h.buffer();
   frame.append(payload.data(), payload.size());
   return frame;
@@ -245,13 +269,13 @@ Result<FrameHeader> ParseFrameHeader(std::string_view data) {
   if (magic != kFrameMagic) {
     return Status::ParseError("codec: bad frame magic");
   }
-  if (version != 1 && version != kCodecVersion) {
+  if (version != 1 && version != 2 && version != kCodecVersion) {
     return Status::Unsupported("codec: unknown frame version " +
                                std::to_string(version));
   }
   if (version >= 2) {
     // The channel field (v1 peers never send one: implicitly 0).
-    if (data.size() < static_cast<size_t>(kFrameHeaderBytes)) {
+    if (data.size() < static_cast<size_t>(FrameHeaderSize(version))) {
       return Status::ParseError("codec: short frame header (" +
                                 std::to_string(data.size()) + " bytes)");
     }
@@ -261,8 +285,15 @@ Result<FrameHeader> ParseFrameHeader(std::string_view data) {
                                 std::to_string(header.channel));
     }
   }
+  if (version >= 3) {
+    // Trace context (pre-v3 peers never send one: implicitly zero).
+    QTRADE_RETURN_IF_ERROR(d.ReadU64(&header.trace.trace_id));
+    QTRADE_RETURN_IF_ERROR(d.ReadU64(&header.trace.parent_span));
+    QTRADE_RETURN_IF_ERROR(d.ReadI64(&header.trace.sent_at_us));
+    QTRADE_RETURN_IF_ERROR(d.ReadI64(&header.trace.echo_us));
+  }
   if (type < static_cast<uint8_t>(MsgType::kRfb) ||
-      type > static_cast<uint8_t>(MsgType::kShutdown)) {
+      type > static_cast<uint8_t>(MsgType::kStatsResponse)) {
     return Status::ParseError("codec: unknown frame type " +
                               std::to_string(type));
   }
@@ -273,7 +304,7 @@ Result<FrameHeader> ParseFrameHeader(std::string_view data) {
   }
   header.version = version;
   header.type = static_cast<MsgType>(type);
-  header.header_bytes = version >= 2 ? kFrameHeaderBytes : kFrameHeaderBytesV1;
+  header.header_bytes = FrameHeaderSize(version);
   return header;
 }
 
@@ -281,7 +312,8 @@ Status VerifyFramePayload(const FrameHeader& header, std::string_view payload) {
   if (payload.size() != header.length) {
     return Status::ParseError("codec: payload size mismatch");
   }
-  if (FrameCrc(header.version, header.channel, payload) != header.crc32) {
+  if (FrameCrc(header.version, header.channel, header.trace, payload) !=
+      header.crc32) {
     return Status::ParseError("codec: payload checksum mismatch");
   }
   return Status::OK();
@@ -297,7 +329,7 @@ Result<FrameView> ParseFrame(std::string_view data) {
                               std::to_string(header.length));
   }
   QTRADE_RETURN_IF_ERROR(VerifyFramePayload(header, payload));
-  return FrameView{header.type, header.channel, payload};
+  return FrameView{header.type, header.channel, header.trace, payload};
 }
 
 namespace {
@@ -350,7 +382,7 @@ int64_t RfbPayloadSize(const Rfb& rfb) {
 std::string EncodeRfb(const Rfb& rfb) {
   Encoder e;
   AppendRfb(&e, rfb);
-  return e.Seal(MsgType::kRfb, rfb.negotiation_id);
+  return e.Seal(MsgType::kRfb, rfb.negotiation_id, rfb.trace);
 }
 
 Result<Rfb> DecodeRfb(std::string_view data) {
@@ -360,6 +392,7 @@ Result<Rfb> DecodeRfb(std::string_view data) {
   QTRADE_RETURN_IF_ERROR(ReadRfb(&d, &rfb));
   QTRADE_RETURN_IF_ERROR(d.ExpectEnd());
   rfb.negotiation_id = frame.channel;
+  rfb.trace = frame.trace;
   return rfb;
 }
 
@@ -385,7 +418,7 @@ int64_t AuctionTickPayloadSize(const AuctionTick& tick) {
 std::string EncodeAuctionTick(const AuctionTick& tick) {
   Encoder e;
   AppendAuctionTick(&e, tick);
-  return e.Seal(MsgType::kAuctionTick, tick.negotiation_id);
+  return e.Seal(MsgType::kAuctionTick, tick.negotiation_id, tick.trace);
 }
 
 Result<AuctionTick> DecodeAuctionTick(std::string_view data) {
@@ -396,6 +429,7 @@ Result<AuctionTick> DecodeAuctionTick(std::string_view data) {
   QTRADE_RETURN_IF_ERROR(ReadAuctionTick(&d, &tick));
   QTRADE_RETURN_IF_ERROR(d.ExpectEnd());
   tick.negotiation_id = frame.channel;
+  tick.trace = frame.trace;
   return tick;
 }
 
@@ -419,7 +453,7 @@ int64_t CounterOfferPayloadSize(const CounterOffer& counter) {
 std::string EncodeCounterOffer(const CounterOffer& counter) {
   Encoder e;
   AppendCounterOffer(&e, counter);
-  return e.Seal(MsgType::kCounterOffer, counter.negotiation_id);
+  return e.Seal(MsgType::kCounterOffer, counter.negotiation_id, counter.trace);
 }
 
 Result<CounterOffer> DecodeCounterOffer(std::string_view data) {
@@ -430,6 +464,7 @@ Result<CounterOffer> DecodeCounterOffer(std::string_view data) {
   QTRADE_RETURN_IF_ERROR(ReadCounterOffer(&d, &counter));
   QTRADE_RETURN_IF_ERROR(d.ExpectEnd());
   counter.negotiation_id = frame.channel;
+  counter.trace = frame.trace;
   return counter;
 }
 
@@ -478,7 +513,7 @@ int64_t AwardBatchPayloadSize(const AwardBatch& batch) {
 std::string EncodeAwardBatch(const AwardBatch& batch) {
   Encoder e;
   AppendAwardBatch(&e, batch);
-  return e.Seal(MsgType::kAwardBatch, batch.negotiation_id);
+  return e.Seal(MsgType::kAwardBatch, batch.negotiation_id, batch.trace);
 }
 
 Result<AwardBatch> DecodeAwardBatch(std::string_view data) {
@@ -489,6 +524,7 @@ Result<AwardBatch> DecodeAwardBatch(std::string_view data) {
   QTRADE_RETURN_IF_ERROR(ReadAwardBatch(&d, &batch));
   QTRADE_RETURN_IF_ERROR(d.ExpectEnd());
   batch.negotiation_id = frame.channel;
+  batch.trace = frame.trace;
   return batch;
 }
 
@@ -846,6 +882,62 @@ Status DecodeError(std::string_view data, Status* carried) {
     *carried = Status(static_cast<StatusCode>(code), std::move(message));
   }
   return Status::OK();
+}
+
+// ---- Stats ----------------------------------------------------------------
+
+std::string EncodeStatsRequest(uint32_t channel, const WireTrace& trace) {
+  return SealFrame(MsgType::kStatsRequest, "", channel, trace);
+}
+
+void AppendStatsSnapshot(Encoder* e, const StatsSnapshot& stats) {
+  e->PutString(stats.node);
+  e->PutI64(stats.ts_us);
+  e->PutU32(static_cast<uint32_t>(stats.entries.size()));
+  for (const auto& [key, value] : stats.entries) {
+    e->PutString(key);
+    e->PutString(value);
+  }
+}
+
+Status ReadStatsSnapshot(Decoder* d, StatsSnapshot* stats) {
+  QTRADE_RETURN_IF_ERROR(d->ReadString(&stats->node));
+  QTRADE_RETURN_IF_ERROR(d->ReadI64(&stats->ts_us));
+  uint32_t n = 0;
+  QTRADE_RETURN_IF_ERROR(d->ReadU32(&n));
+  stats->entries.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string key, value;
+    QTRADE_RETURN_IF_ERROR(d->ReadString(&key));
+    QTRADE_RETURN_IF_ERROR(d->ReadString(&value));
+    stats->entries.emplace_back(std::move(key), std::move(value));
+  }
+  return Status::OK();
+}
+
+int64_t StatsSnapshotPayloadSize(const StatsSnapshot& stats) {
+  int64_t bytes = StringSize(stats.node) + 8 /* ts_us */ + 4 /* count */;
+  for (const auto& [key, value] : stats.entries) {
+    bytes += StringSize(key) + StringSize(value);
+  }
+  return bytes;
+}
+
+std::string EncodeStatsSnapshot(const StatsSnapshot& stats) {
+  Encoder e;
+  AppendStatsSnapshot(&e, stats);
+  return e.Seal(MsgType::kStatsResponse, stats.negotiation_id);
+}
+
+Result<StatsSnapshot> DecodeStatsSnapshot(std::string_view data) {
+  QTRADE_ASSIGN_OR_RETURN(FrameView frame,
+                          ExpectFrame(data, MsgType::kStatsResponse));
+  Decoder d(frame.payload);
+  StatsSnapshot stats;
+  QTRADE_RETURN_IF_ERROR(ReadStatsSnapshot(&d, &stats));
+  QTRADE_RETURN_IF_ERROR(d.ExpectEnd());
+  stats.negotiation_id = frame.channel;
+  return stats;
 }
 
 }  // namespace qtrade::serde

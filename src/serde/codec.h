@@ -8,23 +8,34 @@
 // Frame layout (all integers little-endian):
 //
 //   offset  size  field
-//        0     4  magic   "QTRD" (0x44525451 LE)
-//        4     1  version (kCodecVersion)
-//        5     1  type    (MsgType tag)
-//        6     4  length  payload bytes that follow the header
-//       10     4  crc32   IEEE CRC-32 of channel bytes + payload (v2);
-//                         of the payload alone in v1 frames
-//       14     4  channel negotiation id (version >= 2 only)
-//       18     -  payload
+//        0     4  magic       "QTRD" (0x44525451 LE)
+//        4     1  version     (kCodecVersion)
+//        5     1  type        (MsgType tag)
+//        6     4  length      payload bytes that follow the header
+//       10     4  crc32       IEEE CRC-32 of the post-crc header fields
+//                             + payload (v3: channel + trace context;
+//                             v2: channel; v1: payload alone)
+//       14     4  channel     negotiation id (version >= 2 only)
+//       18     8  trace_id    negotiation root span id (version >= 3)
+//       26     8  parent_span causing span id (version >= 3)
+//       34     8  sent_at_us  sender tracer clock at seal (version >= 3)
+//       42     8  echo_us     request's sent_at_us echoed back on
+//                             replies (version >= 3)
+//       50     -  payload
 //
 // Versioning rules: the 14-byte v1 prefix is frozen; version 2 appended
 // the `channel` field (the negotiation id a frame belongs to, so servers
 // can multiplex hundreds of concurrent negotiations per connection and
-// clients can demultiplex interleaved replies). A v1 frame still decodes
-// — its channel is implicitly 0 — and servers answer a v1 request with a
-// v1 reply, so pre-channel peers keep working. Any *other* version is
-// rejected (no silent best-effort parsing), so mixed federations fail
-// loudly at the first message, not subtly mid-plan.
+// clients can demultiplex interleaved replies); version 3 appended the
+// trace context (net/wire.h WireTrace) — the originating negotiation's
+// trace id + parent span id so seller-side spans stitch under the
+// buyer's negotiation tree across processes, and a timestamp/echo pair
+// for NTP-style clock-offset estimation between peers. A v1 or v2 frame
+// still decodes — its missing fields are implicitly 0 — and servers
+// answer a request with a reply of the same version, so older peers keep
+// working. Any *other* version is rejected (no silent best-effort
+// parsing), so mixed federations fail loudly at the first message, not
+// subtly mid-plan.
 //
 // Robustness contract: Decode* never exhibits UB on malformed input —
 // truncated frames, corrupted checksums, wrong magic/version/type,
@@ -47,14 +58,26 @@
 namespace qtrade::serde {
 
 inline constexpr uint32_t kFrameMagic = 0x44525451;  // "QTRD" on the wire
-inline constexpr uint8_t kCodecVersion = 2;
-/// magic(4) + version(1) + type(1) + length(4) + crc32(4) + channel(4).
-inline constexpr int64_t kFrameHeaderBytes = 18;
-/// The frozen version-1 header: everything above minus the channel. The
-/// first kFrameHeaderBytesV1 bytes of a v2 frame are laid out exactly
-/// like a whole v1 header, so a reader can learn the version (offset 4)
-/// and the remaining header size from a 14-byte prefix of either.
+inline constexpr uint8_t kCodecVersion = 3;
+/// magic(4) + version(1) + type(1) + length(4) + crc32(4) + channel(4) +
+/// trace_id(8) + parent_span(8) + sent_at_us(8) + echo_us(8).
+inline constexpr int64_t kFrameHeaderBytes = 50;
+/// The version-2 header: everything above minus the trace context.
+inline constexpr int64_t kFrameHeaderBytesV2 = 18;
+/// The frozen version-1 header: v2 minus the channel. The first
+/// kFrameHeaderBytesV1 bytes of any frame are laid out exactly like a
+/// whole v1 header, so a reader can learn the version (offset 4) and the
+/// remaining header size from a 14-byte prefix.
 inline constexpr int64_t kFrameHeaderBytesV1 = 14;
+
+/// Header size of a given frame version (14 / 18 / 50 bytes). Callers
+/// must have validated the version; unknown versions map to the current
+/// size so downstream parsing still fails loudly on them.
+inline constexpr int64_t FrameHeaderSize(uint8_t version) {
+  if (version == 1) return kFrameHeaderBytesV1;
+  if (version == 2) return kFrameHeaderBytesV2;
+  return kFrameHeaderBytes;
+}
 /// Upper bound on a frame's channel (negotiation id). Negotiation ids
 /// are allocated from a counter, so the top bits stay clear for the
 /// lifetime of any real deployment; a header claiming more is hostile.
@@ -78,6 +101,8 @@ enum class MsgType : uint8_t {
   kRowSet = 10,       // seller -> buyer: the delivered rows
   kPing = 11,         // liveness probe (daemon readiness)
   kShutdown = 12,     // orderly daemon stop
+  kStatsRequest = 13,   // admin -> daemon: introspection snapshot request
+  kStatsResponse = 14,  // daemon -> admin: StatsSnapshot
 };
 
 const char* MsgTypeName(MsgType type);
@@ -104,8 +129,10 @@ class Encoder {
   size_t size() const { return buf_.size(); }
 
   /// Wraps the accumulated payload in a sealed frame (header + crc).
-  /// `channel` is the negotiation id the frame belongs to (0 = none).
-  std::string Seal(MsgType type, uint32_t channel = 0) const;
+  /// `channel` is the negotiation id the frame belongs to (0 = none);
+  /// `trace` is the trace context stamped into the v3 header.
+  std::string Seal(MsgType type, uint32_t channel = 0,
+                   const WireTrace& trace = {}) const;
 
  private:
   std::string buf_;
@@ -143,8 +170,8 @@ class Decoder {
 // ---- Frames ---------------------------------------------------------------
 
 /// Parsed header of a frame. `header_bytes` is the size of the header
-/// that was actually present (kFrameHeaderBytesV1 for v1 frames,
-/// kFrameHeaderBytes for v2), so readers know where the payload starts.
+/// that was actually present for its version (see FrameHeaderSize), so
+/// readers know where the payload starts.
 struct FrameHeader {
   uint8_t version = 0;
   MsgType type = MsgType::kAck;
@@ -153,25 +180,28 @@ struct FrameHeader {
   /// Negotiation id the frame belongs to (0 for v1 frames and for
   /// traffic outside any negotiation: pings, daemon shutdown).
   uint32_t channel = 0;
+  /// Trace context (all-zero for pre-v3 frames and untraced senders).
+  WireTrace trace;
   int64_t header_bytes = kFrameHeaderBytes;
 };
 
 /// Builds a sealed current-version frame around `payload`.
 std::string SealFrame(MsgType type, std::string_view payload,
-                      uint32_t channel = 0);
+                      uint32_t channel = 0, const WireTrace& trace = {});
 
 /// Builds a sealed frame speaking a specific header version — how a
-/// server answers a v1 request with a v1 reply. Only versions 1 and
-/// kCodecVersion are supported; v1 frames cannot carry a channel (it is
-/// ignored for them).
+/// server answers a v1 request with a v1 reply. Only versions 1, 2 and
+/// kCodecVersion are supported; fields a version predates (channel for
+/// v1, trace context for v1/v2) are ignored for it.
 std::string SealFrameForVersion(uint8_t version, MsgType type,
-                                std::string_view payload, uint32_t channel);
+                                std::string_view payload, uint32_t channel,
+                                const WireTrace& trace = {});
 
 /// Validates magic/version/length bounds of a header prefix. `data` must
 /// hold at least the full header for its version: kFrameHeaderBytesV1
-/// bytes always suffice to learn the version (offset 4); v2 headers need
-/// kFrameHeaderBytes. A v2 header whose channel exceeds kMaxNegotiationId
-/// is rejected as hostile.
+/// bytes always suffice to learn the version (offset 4); v2/v3 headers
+/// need FrameHeaderSize(version). A header whose channel exceeds
+/// kMaxNegotiationId is rejected as hostile.
 Result<FrameHeader> ParseFrameHeader(std::string_view data);
 
 /// Checks a payload against its header's declared length and crc.
@@ -182,6 +212,8 @@ struct FrameView {
   MsgType type = MsgType::kAck;
   /// Negotiation id from the header (0 for v1 frames).
   uint32_t channel = 0;
+  /// Trace context from the header (all-zero for pre-v3 frames).
+  WireTrace trace;
   std::string_view payload;
 };
 Result<FrameView> ParseFrame(std::string_view data);
@@ -267,6 +299,19 @@ std::string EncodeError(const Status& status, uint32_t channel = 0);
 /// error). The return value reports whether `frame` was a well-formed
 /// kError frame at all.
 Status DecodeError(std::string_view frame, Status* carried);
+
+/// kStatsRequest carries an empty payload (the channel + trace header
+/// fields are the whole request); this helper seals one.
+std::string EncodeStatsRequest(uint32_t channel = 0,
+                               const WireTrace& trace = {});
+
+/// kStatsResponse: a live node's introspection snapshot (flat key/value
+/// table plus node identity and capture timestamp).
+void AppendStatsSnapshot(Encoder* e, const StatsSnapshot& stats);
+Status ReadStatsSnapshot(Decoder* d, StatsSnapshot* stats);
+int64_t StatsSnapshotPayloadSize(const StatsSnapshot& stats);
+std::string EncodeStatsSnapshot(const StatsSnapshot& stats);
+Result<StatsSnapshot> DecodeStatsSnapshot(std::string_view frame);
 
 }  // namespace qtrade::serde
 

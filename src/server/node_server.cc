@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "net/socket_io.h"
+#include "opt/parallel/search_pool.h"
 #include "util/logging.h"
 
 namespace qtrade {
@@ -42,6 +43,63 @@ NodeServer::NodeServer(NodeEndpoint* endpoint, NodeServerOptions options)
 NodeServer::~NodeServer() { Stop(); }
 
 const std::string& NodeServer::node_name() const { return endpoint_->name(); }
+
+void NodeServer::SetObservability(obs::Tracer* tracer,
+                                  obs::MetricsRegistry* metrics) {
+  tracer_.store(tracer, std::memory_order_relaxed);
+  metrics_.store(metrics, std::memory_order_relaxed);
+}
+
+void NodeServer::AddStatsProvider(
+    std::function<void(std::vector<std::pair<std::string, std::string>>*)>
+        provider) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_providers_.push_back(std::move(provider));
+}
+
+StatsSnapshot NodeServer::BuildStatsSnapshot(uint32_t channel) {
+  StatsSnapshot snap;
+  snap.node = node_name();
+  snap.negotiation_id = channel;
+  obs::Tracer* tracer = tracer_.load(std::memory_order_relaxed);
+  snap.ts_us = tracer != nullptr
+                   ? tracer->now_us()
+                   : std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::steady_clock::now().time_since_epoch())
+                         .count();
+  auto put = [&snap](const char* key, int64_t value) {
+    snap.entries.emplace_back(key, std::to_string(value));
+  };
+  put("server.requests_served", requests_served());
+  put("server.connections_accepted", connections_accepted());
+  put("server.active_connections", active_connections());
+  put("server.workers", std::max(1, options_.workers));
+  put("server.in_flight", in_flight());
+  {
+    // Channels with a handler running right now: how many negotiations
+    // this node is serving concurrently, and which.
+    std::lock_guard<std::mutex> lock(in_flight_mu_);
+    put("server.in_flight_channels",
+        static_cast<int64_t>(in_flight_.size()));
+    for (const auto& [ch, n] : in_flight_) {
+      snap.entries.emplace_back("server.channel." + std::to_string(ch),
+                                std::to_string(n));
+    }
+  }
+  const PlanSearchPool::Stats pool = PlanSearchPool::Shared()->stats();
+  put("dp_pool.workers", pool.workers);
+  put("dp_pool.parallel_runs", pool.parallel_runs);
+  put("dp_pool.helper_tasks", pool.helper_tasks);
+  put("dp_pool.max_queue_depth", pool.max_queue_depth);
+  endpoint_->CollectStats(&snap.entries);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    for (const auto& provider : stats_providers_) provider(&snap.entries);
+  }
+  obs::MetricsRegistry* metrics = metrics_.load(std::memory_order_relaxed);
+  if (metrics != nullptr) metrics->CollectEntries(&snap.entries);
+  return snap;
+}
 
 Status NodeServer::Start() {
   if (started_.exchange(true)) {
@@ -233,9 +291,8 @@ bool NodeServer::ExtractFrames(const std::shared_ptr<Conn>& conn) {
     // else falls through to ParseFrameHeader, which rejects it on the
     // 14-byte prefix alone.
     const size_t header_bytes =
-        version >= 2 ? static_cast<size_t>(serde::kFrameHeaderBytes)
-                     : static_cast<size_t>(serde::kFrameHeaderBytesV1);
-    if ((version == 1 || version == serde::kCodecVersion) &&
+        static_cast<size_t>(serde::FrameHeaderSize(version));
+    if ((version == 1 || version == 2 || version == serde::kCodecVersion) &&
         inbuf.size() < header_bytes) {
       return true;
     }
@@ -299,8 +356,26 @@ void NodeServer::ProcessFrame(const Work& work) {
   // reply to the negotiation that asked.
   const uint8_t version = work.header.version;
   const uint32_t channel = work.header.channel;
+  obs::Tracer* const tracer = tracer_.load(std::memory_order_relaxed);
+  // v3 replies carry the trace context back, echo the request's send
+  // timestamp, and are stamped with this node's clock at seal time —
+  // the client turns (echo, our stamp, its receive time) into an
+  // NTP-style clock-offset sample for cross-node trace alignment.
+  WireTrace reply_trace;
+  reply_trace.trace_id = work.header.trace.trace_id;
+  reply_trace.parent_span = work.header.trace.parent_span;
+  reply_trace.echo_us = work.header.trace.sent_at_us;
   auto seal = [&](serde::MsgType type, const std::string& payload) {
-    return serde::SealFrameForVersion(version, type, payload, channel);
+    if (version >= 3) {
+      reply_trace.sent_at_us =
+          tracer != nullptr
+              ? tracer->now_us()
+              : std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now().time_since_epoch())
+                    .count();
+    }
+    return serde::SealFrameForVersion(version, type, payload, channel,
+                                      reply_trace);
   };
   auto seal_error = [&](const Status& status) {
     return seal(serde::MsgType::kError, ErrorPayload(status));
@@ -319,6 +394,43 @@ void NodeServer::ProcessFrame(const Work& work) {
   }
   requests_served_.fetch_add(1, std::memory_order_relaxed);
 
+  // In-flight accounting (introspection): which negotiations have a
+  // handler running on this node right now. RAII so every exit path —
+  // including the kShutdown early return — decrements.
+  in_flight_total_.fetch_add(1, std::memory_order_relaxed);
+  if (channel != 0) {
+    std::lock_guard<std::mutex> lock(in_flight_mu_);
+    ++in_flight_[channel];
+  }
+  struct InFlightGuard {
+    NodeServer* server;
+    uint32_t channel;
+    ~InFlightGuard() {
+      server->in_flight_total_.fetch_sub(1, std::memory_order_relaxed);
+      if (channel != 0) {
+        std::lock_guard<std::mutex> lock(server->in_flight_mu_);
+        auto it = server->in_flight_.find(channel);
+        if (it != server->in_flight_.end() && --it->second <= 0) {
+          server->in_flight_.erase(it);
+        }
+      }
+    }
+  } in_flight_guard{this, channel};
+
+  // Cross-process span parenting: a v3 request carrying a trace context
+  // gets a serve[type] span whose parent is the *buyer's* span (by id,
+  // from the frame header) in the buyer's trace. Seller-side handler
+  // spans then nest under it, so the merged federation trace shows one
+  // connected tree per negotiation.
+  obs::Span serve;
+  if (obs::Tracer::Active(tracer) && work.header.trace.trace_id != 0) {
+    serve = tracer->StartSpan(
+        std::string("serve[") + serde::MsgTypeName(parsed->type) + "]",
+        obs::SpanRef{work.header.trace.parent_span, -1, channel,
+                     work.header.trace.trace_id});
+    serve.Node(node_name());
+  }
+
   std::string reply;
   switch (parsed->type) {
     case serde::MsgType::kRfb: {
@@ -326,6 +438,12 @@ void NodeServer::ProcessFrame(const Work& work) {
       if (!rfb.ok()) {
         reply = seal_error(rfb.status());
         break;
+      }
+      if (serve.active()) {
+        // Nest the seller's offer_gen under this serve span instead of
+        // the buyer-side span id the payload carried.
+        rfb->trace_parent = serve.id();
+        rfb->trace.parent_span = serve.id();
       }
       serde::OfferBatch batch;
       auto offers = endpoint_->HandleRfb(*rfb);
@@ -394,6 +512,15 @@ void NodeServer::ProcessFrame(const Work& work) {
     case serde::MsgType::kPing:
       reply = seal(serde::MsgType::kAck, "");
       break;
+    case serde::MsgType::kStatsRequest: {
+      // Live introspection: answer from atomics and short-held locks
+      // only, so stats queries are safe (and cheap) while negotiations
+      // are in flight on the other workers.
+      serde::Encoder e;
+      serde::AppendStatsSnapshot(&e, BuildStatsSnapshot(channel));
+      reply = seal(serde::MsgType::kStatsResponse, e.buffer());
+      break;
+    }
     case serde::MsgType::kShutdown:
       WriteReply(work.conn, seal(serde::MsgType::kAck, ""));
       QTRADE_LOG(kInfo) << "node " << node_name() << " shutting down";

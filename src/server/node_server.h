@@ -13,6 +13,7 @@
 //   kAwardBatch   -> kAck
 //   kExecuteOffer -> kRowSet | kError
 //   kPing         -> kAck
+//   kStatsRequest -> kStatsResponse (live introspection snapshot)
 //   kShutdown     -> kAck, then the server stops accepting
 //   anything else -> kError (the connection stays usable)
 //
@@ -37,14 +38,18 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "net/transport.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serde/codec.h"
 #include "util/status.h"
 
@@ -105,6 +110,28 @@ class NodeServer {
     return active_connections_.load(std::memory_order_relaxed);
   }
 
+  /// Attaches tracing/metrics to the serve path (nulls detach). With a
+  /// tracer, every v3 request carrying a trace context gets a serve[type]
+  /// span parented under the *buyer's* span (cross-process: the frame
+  /// header's trace id + parent span), and v3 replies are stamped with
+  /// this node's clock plus the request timestamp echoed back, which is
+  /// what clients turn into NTP-style clock-offset samples.
+  void SetObservability(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
+
+  /// Extra key/value sources for the kStatsRequest snapshot beyond the
+  /// server's own counters and the endpoint (e.g. a host registering
+  /// breaker or pool state). Providers must be callable concurrently
+  /// with negotiation handlers. Not removable; register before Start()
+  /// or accept that in-flight stats requests may miss the newest one.
+  void AddStatsProvider(
+      std::function<void(std::vector<std::pair<std::string, std::string>>*)>
+          provider);
+
+  /// Frames currently inside endpoint handlers (introspection).
+  int64_t in_flight() const {
+    return in_flight_total_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// One live connection. Reactor-owned for reads; shared with queued
   /// work items so a reply can still be written (or skipped, once
@@ -143,6 +170,10 @@ class NodeServer {
   void RequestStop();
   /// Nudges the reactor out of poll() (stop requests, shutdown frames).
   void WakeReactor();
+  /// Assembles the kStatsRequest snapshot: server counters, per-channel
+  /// in-flight negotiations, endpoint stats, dp pool stats, registered
+  /// providers, and the flattened metrics registry.
+  StatsSnapshot BuildStatsSnapshot(uint32_t channel);
 
   NodeEndpoint* endpoint_;
   NodeServerOptions options_;
@@ -163,6 +194,20 @@ class NodeServer {
   std::map<int, std::shared_ptr<Conn>> conns_;  // reactor thread only
   std::mutex stop_mu_;
   std::condition_variable stop_cv_;
+  /// Observability attachments (atomics: workers read them per frame).
+  std::atomic<obs::Tracer*> tracer_{nullptr};
+  std::atomic<obs::MetricsRegistry*> metrics_{nullptr};
+  /// Frames inside handlers right now, total and per frame channel
+  /// (negotiation id) — the introspection plane's "what is this node
+  /// working on" view. Channel 0 (untagged/admin) is not tracked per
+  /// channel, only in the total.
+  std::atomic<int64_t> in_flight_total_{0};
+  std::mutex in_flight_mu_;
+  std::map<uint32_t, int64_t> in_flight_;
+  std::mutex stats_mu_;  // guards stats_providers_
+  std::vector<
+      std::function<void(std::vector<std::pair<std::string, std::string>>*)>>
+      stats_providers_;
 };
 
 }  // namespace qtrade

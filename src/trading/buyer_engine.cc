@@ -120,10 +120,13 @@ Status BuyerEngine::TradeQuery(const TradedQuery& traded, Rng* rng,
   rfb.reserve_value =
       strategy_->Reserve(traded.rfb_id, traded.estimated_value);
   // Trace context: sellers parent their offer_gen spans here even when
-  // the transport runs them on worker threads. Excluded from WireBytes.
+  // the transport runs them on worker threads — in-process via the
+  // legacy payload fields, across processes via the v3 header context.
   rfb.trace_parent = span.id();
   rfb.trace_round = span.ref().round;
   rfb.negotiation_id = negotiation_id_;
+  rfb.trace.trace_id = span.ref().trace_id;
+  rfb.trace.parent_span = span.id();
   ask_box_by_rfb_[traded.rfb_id] = traded.ask_box;
 
   std::vector<std::string> contacted = PickSellers(rng);
@@ -231,6 +234,8 @@ void BuyerEngine::RunNestedNegotiation(std::vector<Offer>* pool,
       for (const auto& group : groups) {
         AuctionTick tick{group.first, group.second, best_quote_for(group),
                          negotiation_id_};
+        tick.trace.trace_id = span.ref().trace_id;
+        tick.trace.parent_span = span.id();
         // Announce to every seller that bid in this group.
         std::set<std::string> bidders;
         for (const auto& offer : *pool) {
@@ -278,6 +283,8 @@ void BuyerEngine::RunNestedNegotiation(std::vector<Offer>* pool,
       double counter = strategy_->CounterOffer(quote, round);
       if (counter >= quote) continue;  // buyer accepts as-is
       CounterOffer msg{group.first, group.second, counter, negotiation_id_};
+      msg.trace.trace_id = span.ref().trace_id;
+      msg.trace.parent_span = span.id();
       TickReply reply =
           transport_->SendCounterOffer(buyer, best->seller, msg);
       if (reply.updated.has_value()) {
@@ -502,6 +509,8 @@ Result<QtResult> BuyerEngine::Optimize(const std::string& sql) {
       }
       AwardBatch batch;
       batch.negotiation_id = negotiation_id_;
+      batch.trace.trace_id = award_span.ref().trace_id;
+      batch.trace.parent_span = award_span.id();
       if (awards != awards_by_seller.end()) batch.awards = awards->second;
       if (lost != lost_by_seller.end()) batch.lost_offer_ids = lost->second;
       double t = transport_->SendAwards(catalog_->node_name(), seller, batch);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <set>
 #include <unordered_map>
 
@@ -149,7 +150,8 @@ Result<std::vector<Offer>> SellerEngine::OnRfb(const Rfb& rfb) {
       obs::Tracer::Active(tracer)
           ? tracer->StartSpan("offer_gen",
                               obs::SpanRef{rfb.trace_parent, rfb.trace_round,
-                                           rfb.negotiation_id})
+                                           rfb.negotiation_id,
+                                           rfb.trace.trace_id})
           : obs::Span();
   gen_span.Node(name());
   gen_span.Attr("rfb_id", rfb.rfb_id);
@@ -533,6 +535,32 @@ Result<double> SellerEngine::TrueCost(const std::string& offer_id) const {
     return Status::NotFound("unknown offer: " + offer_id);
   }
   return it->second.true_cost;
+}
+
+void SellerEngine::CollectStats(
+    std::vector<std::pair<std::string, std::string>>* out) const {
+  const OfferCacheStats cache = generator_.cache_stats();
+  const int64_t lookups = cache.hits + cache.misses;
+  char ratio[32];
+  std::snprintf(ratio, sizeof(ratio), "%.4f",
+                lookups > 0 ? static_cast<double>(cache.hits) /
+                                  static_cast<double>(lookups)
+                            : 0.0);
+  auto put = [out](const char* key, int64_t value) {
+    out->emplace_back(key, std::to_string(value));
+  };
+  put("seller.rfbs_seen", rfbs_seen());
+  put("seller.subcontracted_offers", subcontracted_offers());
+  put("seller.offer_generate_ns", offer_generate_ns());
+  put("seller.dp_threads", dp_threads());
+  put("cache.capacity", static_cast<int64_t>(offer_cache_capacity()));
+  put("cache.size", static_cast<int64_t>(generator_.cache_size()));
+  put("cache.hits", cache.hits);
+  put("cache.misses", cache.misses);
+  put("cache.evictions", cache.evictions);
+  put("cache.invalidations", cache.invalidations);
+  put("cache.lock_waits", cache.lock_waits);
+  out->emplace_back("cache.hit_ratio", ratio);
 }
 
 }  // namespace qtrade

@@ -139,6 +139,12 @@ class SellerEngine : public NodeEndpoint {
   Result<RowSet> HandleExecuteOffer(const std::string& offer_id) override {
     return ExecuteOffer(offer_id);
   }
+  /// Introspection for the NodeServer's kStatsRequest admin envelope:
+  /// offer-cache occupancy/hit counters, DP width, RFB/subcontract
+  /// totals. Reads only atomics and the cache's own stats lock, so it is
+  /// safe during concurrent negotiations.
+  void CollectStats(
+      std::vector<std::pair<std::string, std::string>>* out) const override;
 
  private:
   struct OfferRecord {

@@ -28,6 +28,7 @@ void DecodeEverything(const std::string& bytes) {
   (void)serde::DecodeOfferBatch(bytes);
   (void)serde::DecodeTickReply(bytes);
   (void)serde::DecodeRowSet(bytes);
+  (void)serde::DecodeStatsSnapshot(bytes);
   Status carried;
   (void)serde::DecodeError(bytes, &carried);
   if (bytes.size() >= static_cast<size_t>(serde::kFrameHeaderBytes)) {
@@ -42,6 +43,16 @@ std::string SampleRfbFrame() {
   rfb.sql = "SELECT c.custname FROM customer AS c WHERE c.custid < 100";
   rfb.reserve_value = 12.5;
   return serde::EncodeRfb(rfb);
+}
+
+std::string SampleStatsFrame() {
+  StatsSnapshot snap;
+  snap.node = "office_Corfu";
+  snap.ts_us = 1722501234567890;
+  snap.negotiation_id = 3;
+  snap.entries.push_back({"server.requests_served", "42"});
+  snap.entries.push_back({"seller.offer_cache.hit_ratio", "0.75"});
+  return serde::EncodeStatsSnapshot(snap);
 }
 
 std::string SampleOfferBatchFrame() {
@@ -61,7 +72,7 @@ std::string SampleOfferBatchFrame() {
 
 TEST(CodecFuzzTest, TruncationAtEveryLengthFailsCleanly) {
   for (const std::string& frame :
-       {SampleRfbFrame(), SampleOfferBatchFrame()}) {
+       {SampleRfbFrame(), SampleOfferBatchFrame(), SampleStatsFrame()}) {
     for (size_t len = 0; len < frame.size(); ++len) {
       const std::string prefix = frame.substr(0, len);
       auto parsed = serde::ParseFrame(prefix);
@@ -145,6 +156,54 @@ TEST(CodecFuzzTest, HostileInnerLengthsFailCleanly) {
   const std::string batch = lists.Seal(serde::MsgType::kOfferBatch);
   EXPECT_FALSE(serde::DecodeOfferBatch(batch).ok());
   DecodeEverything(batch);
+
+  serde::Encoder stats;
+  stats.PutString("node");
+  stats.PutI64(1);
+  stats.PutU32(0xfffffff0);  // entry count with no entry bytes following
+  const std::string snap = stats.Seal(serde::MsgType::kStatsResponse);
+  EXPECT_FALSE(serde::DecodeStatsSnapshot(snap).ok());
+  DecodeEverything(snap);
+}
+
+TEST(CodecFuzzTest, TraceHeaderBytesAreCrcProtected) {
+  // Every byte of the v3 trace block (offsets 18..49) is covered by the
+  // crc — a flip anywhere in it must fail framing.
+  WireTrace trace;
+  trace.trace_id = 0x1122334455667788ull;
+  trace.parent_span = 0x99aabbccddeeff00ull;
+  trace.sent_at_us = 1722501234567890;
+  trace.echo_us = 1722501230000000;
+  const std::string frame =
+      serde::SealFrame(serde::MsgType::kPing, "pp", 9, trace);
+  ASSERT_TRUE(serde::ParseFrame(frame).ok());
+  for (size_t pos = serde::kFrameHeaderBytesV2;
+       pos < static_cast<size_t>(serde::kFrameHeaderBytes); ++pos) {
+    std::string bad = frame;
+    bad[pos] = static_cast<char>(bad[pos] ^ 0x41);
+    EXPECT_FALSE(serde::ParseFrame(bad).ok())
+        << "trace byte " << pos << " not covered";
+  }
+}
+
+TEST(CodecFuzzTest, RandomlyCorruptedStatsFramesNeverCrashDecoders) {
+  Rng rng(8899);
+  const std::string stats = SampleStatsFrame();
+  const std::string request = serde::EncodeStatsRequest(5);
+  for (int round = 0; round < 1000; ++round) {
+    std::string bytes = rng.Chance(0.5) ? stats : request;
+    const int flips = static_cast<int>(rng.Uniform(1, 6));
+    for (int f = 0; f < flips; ++f) {
+      const size_t pos = static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(bytes.size()) - 1));
+      bytes[pos] = static_cast<char>(rng.Uniform(0, 255));
+    }
+    if (rng.Chance(0.3)) {
+      bytes.resize(static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(bytes.size()))));
+    }
+    DecodeEverything(bytes);
+  }
 }
 
 TEST(CodecFuzzTest, RandomBytesNeverCrashDecoders) {

@@ -438,14 +438,160 @@ TEST(CodecTest, HostileChannelIsRejected) {
 }
 
 TEST(CodecTest, UnknownVersionRejectedOnShortPrefix) {
-  // A v3 frame must be rejected from the 14-byte prefix alone — a
-  // server must never stall waiting for an 18-byte header that a
-  // version it doesn't speak might not even have.
+  // A v4 frame must be rejected from the 14-byte prefix alone — a
+  // server must never stall waiting for a longer header that a version
+  // it doesn't speak might not even have.
   std::string frame = serde::SealFrame(serde::MsgType::kPing, "", 1);
-  frame[4] = 3;
+  frame[4] = 4;
   EXPECT_FALSE(
       serde::ParseFrameHeader(frame.substr(0, serde::kFrameHeaderBytesV1))
           .ok());
+}
+
+TEST(CodecTest, TraceContextRoundTripsThroughV3Header) {
+  WireTrace trace;
+  trace.trace_id = 0x00c0ffee00000001ull;
+  trace.parent_span = 0x123456789abcdef0ull;
+  trace.sent_at_us = 1722501234567890;
+  trace.echo_us = 1722501234000000;
+  const std::string frame =
+      serde::SealFrame(serde::MsgType::kPing, "payload", 7, trace);
+  EXPECT_EQ(frame.size(),
+            static_cast<size_t>(serde::kFrameHeaderBytes) + 7);
+
+  auto header = serde::ParseFrameHeader(frame);
+  ASSERT_TRUE(header.ok()) << header.status().ToString();
+  EXPECT_EQ(header->version, serde::kCodecVersion);
+  EXPECT_EQ(header->channel, 7u);
+  EXPECT_EQ(header->trace.trace_id, trace.trace_id);
+  EXPECT_EQ(header->trace.parent_span, trace.parent_span);
+  EXPECT_EQ(header->trace.sent_at_us, trace.sent_at_us);
+  EXPECT_EQ(header->trace.echo_us, trace.echo_us);
+
+  auto view = serde::ParseFrame(frame);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_EQ(view->type, serde::MsgType::kPing);
+  EXPECT_EQ(view->channel, 7u);
+  EXPECT_EQ(view->trace.trace_id, trace.trace_id);
+  EXPECT_EQ(view->trace.parent_span, trace.parent_span);
+  EXPECT_EQ(view->payload, "payload");
+}
+
+TEST(CodecTest, CrcCoversTraceContext) {
+  // The v3 crc spans channel + trace bytes, not just the payload: a
+  // relay that tampers with the trace context breaks the frame.
+  WireTrace trace;
+  trace.trace_id = 42;
+  trace.parent_span = 7;
+  const std::string good =
+      serde::SealFrame(serde::MsgType::kPing, "x", 3, trace);
+  ASSERT_TRUE(serde::ParseFrame(good).ok());
+  // Corrupt one byte in each trace field's wire slot (trace_id at 18,
+  // parent_span at 26, sent_at at 34, echo at 42).
+  for (size_t pos : {18u, 26u, 34u, 42u}) {
+    std::string bad = good;
+    bad[pos] = static_cast<char>(bad[pos] ^ 0x5a);
+    EXPECT_FALSE(serde::ParseFrame(bad).ok())
+        << "trace corruption at byte " << pos << " undetected";
+  }
+}
+
+TEST(CodecTest, VersionTwoFrameDecodesWithZeroTrace) {
+  // Back-compat: an 18-byte v2 frame (channel, no trace context) still
+  // parses; its trace comes back all-zero so servers treat it untraced.
+  WireTrace ignored;
+  ignored.trace_id = 999;  // v2 has no wire slot for this; must vanish
+  const std::string v2 = serde::SealFrameForVersion(
+      2, serde::MsgType::kPing, "payload", 5, ignored);
+  EXPECT_EQ(v2.size(),
+            static_cast<size_t>(serde::kFrameHeaderBytesV2) + 7);
+  auto header = serde::ParseFrameHeader(v2);
+  ASSERT_TRUE(header.ok()) << header.status().ToString();
+  EXPECT_EQ(header->version, 2);
+  EXPECT_EQ(header->channel, 5u);
+  EXPECT_EQ(header->header_bytes, serde::kFrameHeaderBytesV2);
+  EXPECT_EQ(header->trace.trace_id, 0u);
+  EXPECT_EQ(header->trace.parent_span, 0u);
+  auto view = serde::ParseFrame(v2);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->channel, 5u);
+  EXPECT_EQ(view->trace.trace_id, 0u);
+  EXPECT_EQ(view->payload, "payload");
+}
+
+TEST(CodecTest, EnvelopeTraceContextRoundTrips) {
+  // The envelope carries its trace context in the frame header, and
+  // Decode* must surface it on the struct — that is how a seller learns
+  // the buyer's trace id without any payload change.
+  Rfb rfb;
+  rfb.rfb_id = "rfb-3/1";
+  rfb.buyer = "office_Athens";
+  rfb.sql = "SELECT custid FROM customer";
+  rfb.negotiation_id = 9;
+  rfb.trace.trace_id = 0xabcdef01ull;
+  rfb.trace.parent_span = 4242;
+  rfb.trace.sent_at_us = 1234567;
+  const std::string frame = serde::EncodeRfb(rfb);
+  EXPECT_EQ(static_cast<int64_t>(frame.size()), rfb.WireBytes());
+  auto decoded = serde::DecodeRfb(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->trace.trace_id, rfb.trace.trace_id);
+  EXPECT_EQ(decoded->trace.parent_span, rfb.trace.parent_span);
+  EXPECT_EQ(decoded->trace.sent_at_us, rfb.trace.sent_at_us);
+
+  // Fixed-width invariant: a traced envelope costs the same bytes as an
+  // untraced one (byte metrics must not move when tracing switches on).
+  Rfb untraced = rfb;
+  untraced.trace = WireTrace{};
+  EXPECT_EQ(untraced.WireBytes(), rfb.WireBytes());
+  EXPECT_EQ(serde::EncodeRfb(untraced).size(), frame.size());
+}
+
+TEST(CodecTest, StatsRequestFrameIsEmptyPayload) {
+  WireTrace trace;
+  trace.trace_id = 17;
+  const std::string frame = serde::EncodeStatsRequest(11, trace);
+  auto view = serde::ParseFrame(frame);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_EQ(view->type, serde::MsgType::kStatsRequest);
+  EXPECT_EQ(view->channel, 11u);
+  EXPECT_EQ(view->trace.trace_id, 17u);
+  EXPECT_TRUE(view->payload.empty());
+}
+
+TEST(CodecTest, StatsSnapshotRoundTripAndWireBytes) {
+  StatsSnapshot snap;
+  snap.node = "office_Corfu";
+  snap.ts_us = 1722501234567890;
+  snap.negotiation_id = 12;
+  snap.entries.push_back({"server.requests_served", "148"});
+  snap.entries.push_back({"seller.offer_cache.hit_ratio", "0.8125"});
+  snap.entries.push_back({"empty.value", ""});
+  const std::string frame = serde::EncodeStatsSnapshot(snap);
+  EXPECT_EQ(static_cast<int64_t>(frame.size()), snap.WireBytes());
+
+  auto decoded = serde::DecodeStatsSnapshot(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->node, snap.node);
+  EXPECT_EQ(decoded->ts_us, snap.ts_us);
+  EXPECT_EQ(decoded->negotiation_id, snap.negotiation_id);
+  ASSERT_EQ(decoded->entries.size(), snap.entries.size());
+  for (size_t i = 0; i < snap.entries.size(); ++i) {
+    EXPECT_EQ(decoded->entries[i].first, snap.entries[i].first);
+    EXPECT_EQ(decoded->entries[i].second, snap.entries[i].second);
+  }
+}
+
+TEST(CodecTest, StatsSnapshotHostileEntryCountRejected) {
+  // A snapshot payload declaring ~2G entries with no entry bytes must
+  // fail cleanly, bounded by the actual remaining payload.
+  serde::Encoder e;
+  e.PutString("office_Evil");
+  e.PutI64(0);
+  e.PutU32(0x7fffffff);  // entry count with zero entry bytes following
+  const std::string frame = e.Seal(serde::MsgType::kStatsResponse);
+  EXPECT_TRUE(serde::ParseFrame(frame).ok());
+  EXPECT_FALSE(serde::DecodeStatsSnapshot(frame).ok());
 }
 
 TEST(CodecTest, AllocateNegotiationIdStaysInChannelRange) {

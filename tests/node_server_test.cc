@@ -239,6 +239,89 @@ TEST(NodeServerTest, ConcurrentClientsMultiplexOnePooledConnection) {
             kThreads * kPingsPerThread + 1);
 }
 
+TEST(NodeServerTest, StatsQueriesInterleaveWithPipelinedNegotiations) {
+  ServerWorld world;
+  TcpTransport tcp(world.fed->network());
+  tcp.AddPeer("corfu", "127.0.0.1", world.server->port());
+  ASSERT_TRUE(tcp.PingPeer("corfu").ok());  // pool the connection
+
+  // Eight threads run real negotiations (RFB -> offers) on their own
+  // channels while the main thread polls the introspection endpoint
+  // through the same pooled connection. Stats must neither block nor be
+  // blocked by the in-flight traffic, and every snapshot must be
+  // well-formed.
+  constexpr int kThreads = 8;
+  constexpr int kRfbsPerThread = 5;
+  std::atomic<int> bad_replies{0};
+  std::atomic<int> done_threads{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kRfbsPerThread; ++i) {
+        Rfb rfb;
+        rfb.rfb_id =
+            "rfb-s" + std::to_string(t) + "/" + std::to_string(i + 1);
+        rfb.buyer = "athens";
+        rfb.sql = "SELECT custname FROM customer";
+        rfb.negotiation_id = AllocateNegotiationId();
+        auto replies = tcp.BroadcastRfb("athens", rfb, {"corfu"});
+        if (replies.size() != 1 || !replies[0].ok || replies[0].dropped ||
+            replies[0].offers.empty()) {
+          bad_replies.fetch_add(1);
+        }
+      }
+      done_threads.fetch_add(1);
+    });
+  }
+
+  auto has_key = [](const StatsSnapshot& snap, const std::string& key) {
+    for (const auto& [k, v] : snap.entries) {
+      if (k == key) return true;
+    }
+    return false;
+  };
+  int polls = 0;
+  while (done_threads.load() < kThreads || polls < 3) {
+    auto snap = tcp.StatsPeer("corfu");
+    ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+    EXPECT_EQ(snap->node, "corfu");
+    EXPECT_GT(snap->ts_us, 0);
+    // Every snapshot carries the server block, whatever the load.
+    EXPECT_TRUE(has_key(*snap, "server.requests_served"));
+    EXPECT_TRUE(has_key(*snap, "server.workers"));
+    EXPECT_TRUE(has_key(*snap, "server.in_flight"));
+    EXPECT_TRUE(has_key(*snap, "dp_pool.workers"));
+    ++polls;
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(bad_replies.load(), 0);
+  // Negotiations and stats polls shared one pooled connection.
+  EXPECT_EQ(world.server->connections_accepted(), 1);
+  EXPECT_GE(world.server->requests_served(),
+            kThreads * kRfbsPerThread + polls + 1);
+  // The final quiesced snapshot reports the seller's cumulative totals
+  // and no in-flight work.
+  for (int i = 0; i < 100 && world.server->in_flight() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  auto final_snap = tcp.StatsPeer("corfu");
+  ASSERT_TRUE(final_snap.ok());
+  bool saw_rfbs = false;
+  for (const auto& [key, value] : final_snap->entries) {
+    if (key == "server.in_flight") {
+      // Only the stats request itself may be in flight.
+      EXPECT_LE(std::atoi(value.c_str()), 1) << key << "=" << value;
+    }
+    if (key == "seller.rfbs_seen") {
+      saw_rfbs = true;
+      EXPECT_GE(std::atoi(value.c_str()), kThreads * kRfbsPerThread);
+    }
+  }
+  EXPECT_TRUE(saw_rfbs) << "snapshot misses seller.rfbs_seen";
+}
+
 TEST(NodeServerTest, StopWhileConnectionsOpenJoinsCleanly) {
   auto world = std::make_unique<ServerWorld>();
   // Open connections that never send a byte; Stop() must not hang on

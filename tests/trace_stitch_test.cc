@@ -1,0 +1,178 @@
+// Federation-wide trace stitching: a buyer process negotiates with two
+// seller daemons over real loopback sockets, every process records into
+// its own Tracer (its own clock, its own id space), and the union of
+// the three span sets must form ONE connected tree — every seller-side
+// span's parent chain resolves across process boundaries to the buyer's
+// negotiation root, carried there by the v3 frame headers. This is the
+// in-memory contract behind tools/trace_merge.py; the CI federation leg
+// exercises the same property through the exported files.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/federation.h"
+#include "core/qt_optimizer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "server/node_server.h"
+#include "tests/test_fixtures.h"
+#include "trading/seller_engine.h"
+
+namespace qtrade {
+namespace {
+
+using testing::PaperData;
+using testing::PaperFederation;
+
+/// One seller daemon as examples/qtrade_node.cpp builds it: its own
+/// federation (separate catalog — a real process would share nothing),
+/// its own tracer with its own identity, a NodeServer on loopback.
+struct Daemon {
+  std::unique_ptr<Federation> fed;
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  std::unique_ptr<NodeServer> server;
+
+  Daemon(const std::string& name, int part, const PaperData& data) {
+    fed = std::make_unique<Federation>(PaperFederation());
+    fed->AddNode(name);
+    EXPECT_TRUE(fed->LoadPartition(name,
+                                   "customer#" + std::to_string(part),
+                                   data.customer_parts[part])
+                    .ok());
+    EXPECT_TRUE(fed->LoadPartition(name,
+                                   "invoiceline#" + std::to_string(part),
+                                   data.invoiceline_parts[part])
+                    .ok());
+    tracer.SetIdentity(name);
+    SellerEngine* seller = fed->node(name)->seller.get();
+    seller->SetObservability(&tracer, &metrics);
+    server = std::make_unique<NodeServer>(seller);
+    server->SetObservability(&tracer, &metrics);
+    EXPECT_TRUE(server->Start().ok());
+  }
+
+  ~Daemon() { server->Stop(); }
+};
+
+TEST(TraceStitchTest, ThreeNodeLoopbackRunFormsOneConnectedSpanTree) {
+  PaperData data(30);
+  Daemon corfu("corfu", 1, data);
+  Daemon myconos("myconos", 2, data);
+
+  // Buyer process: athens hosts its own partitions, dials the daemons.
+  Federation fed(PaperFederation());
+  fed.AddNode("athens");
+  ASSERT_TRUE(
+      fed.LoadPartition("athens", "customer#0", data.customer_parts[0]).ok());
+  ASSERT_TRUE(
+      fed.LoadPartition("athens", "invoiceline#0", data.invoiceline_parts[0])
+          .ok());
+
+  QtOptions options;
+  options.protocol = NegotiationProtocol::kAuction;
+  options.remote_peers = {{"corfu", "127.0.0.1", corfu.server->port()},
+                          {"myconos", "127.0.0.1", myconos.server->port()}};
+  // Any obs path switches the facade's tracer on; the file itself is a
+  // byproduct here — assertions read the tracers directly.
+  const std::string trace_path =
+      ::testing::TempDir() + "qtrade_stitch_test.trace.json";
+  options.obs.trace_path = trace_path;
+
+  uint64_t root_id = 0;
+  uint64_t trace_id = 0;
+  std::vector<obs::SpanRecord> all;
+  {
+    QueryTradingOptimizer qt(&fed, "athens", options);
+    auto result = qt.Optimize(
+        "SELECT SUM(charge) FROM customer c, invoiceline i "
+        "WHERE c.custid = i.custid AND "
+        "(c.office = 'Corfu' OR c.office = 'Myconos')");
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_TRUE(result->ok());
+
+    ASSERT_NE(qt.tracer(), nullptr);
+    for (const obs::SpanRecord& s : qt.tracer()->Snapshot()) {
+      if (s.name == "negotiation" && s.parent == 0) {
+        root_id = s.id;
+        trace_id = s.trace_id;
+      }
+      all.push_back(s);
+    }
+  }
+  std::remove(trace_path.c_str());
+  ASSERT_NE(root_id, 0u) << "buyer recorded no negotiation root";
+  EXPECT_EQ(trace_id, root_id);  // a root span is its own trace
+
+  const size_t buyer_spans = all.size();
+  for (const obs::SpanRecord& s : corfu.tracer.Snapshot()) all.push_back(s);
+  for (const obs::SpanRecord& s : myconos.tracer.Snapshot()) all.push_back(s);
+  ASSERT_GT(all.size(), buyer_spans) << "daemons recorded nothing";
+
+  // Identity-seeded id spaces must not collide across the processes.
+  std::map<uint64_t, const obs::SpanRecord*> by_id;
+  for (const obs::SpanRecord& s : all) {
+    EXPECT_TRUE(by_id.emplace(s.id, &s).second)
+        << "span id " << s.id << " minted twice (" << s.name << ")";
+  }
+
+  // Both daemons served traced work under the buyer's trace: serve[rfb]
+  // envelopes and the offer_gen spans nested inside them.
+  std::set<std::string> corfu_names, myconos_names;
+  for (const obs::SpanRecord& s : corfu.tracer.Snapshot()) {
+    if (s.trace_id == trace_id) corfu_names.insert(s.name);
+  }
+  for (const obs::SpanRecord& s : myconos.tracer.Snapshot()) {
+    if (s.trace_id == trace_id) myconos_names.insert(s.name);
+  }
+  for (const char* name : {"serve[rfb]", "offer_gen"}) {
+    EXPECT_TRUE(corfu_names.count(name)) << "corfu misses " << name;
+    EXPECT_TRUE(myconos_names.count(name)) << "myconos misses " << name;
+  }
+
+  // The stitching contract: every span claiming membership in the
+  // buyer's trace — wherever it was recorded — walks its parent chain
+  // (across process boundaries) to the buyer's negotiation root.
+  int stitched = 0, seller_side = 0;
+  for (size_t i = 0; i < all.size(); ++i) {
+    const obs::SpanRecord& s = all[i];
+    if (s.trace_id != trace_id) continue;
+    const obs::SpanRecord* cur = &s;
+    std::set<uint64_t> seen;
+    while (cur->parent != 0) {
+      ASSERT_TRUE(seen.insert(cur->id).second)
+          << "parent cycle at span " << cur->id;
+      auto it = by_id.find(cur->parent);
+      ASSERT_NE(it, by_id.end())
+          << s.name << " (id " << s.id << ") dangles: parent "
+          << cur->parent << " recorded nowhere";
+      cur = it->second;
+    }
+    EXPECT_EQ(cur->id, root_id)
+        << s.name << " roots at " << cur->id << ", not the negotiation";
+    ++stitched;
+    if (i >= buyer_spans) ++seller_side;  // recorded by a daemon tracer
+  }
+  EXPECT_GT(stitched, 0);
+  EXPECT_GT(seller_side, 0);
+
+  // Clock alignment raw material: the buyer's transport sampled both
+  // peers' clocks (trace_merge.py's offset estimation inputs).
+  std::set<std::string> sampled;
+  for (const obs::SpanRecord& s : all) {
+    if (s.name != "clock_sample") continue;
+    for (const auto& [key, value] : s.attrs) {
+      if (key == "peer") sampled.insert(value);
+    }
+  }
+  EXPECT_TRUE(sampled.count("corfu")) << "no clock samples for corfu";
+  EXPECT_TRUE(sampled.count("myconos")) << "no clock samples for myconos";
+}
+
+}  // namespace
+}  // namespace qtrade

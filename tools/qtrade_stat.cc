@@ -1,0 +1,101 @@
+// Live node introspection CLI: ask a running qtrade_node daemon for its
+// kStatsRequest snapshot and print it as flat key=value lines.
+//
+//   qtrade_stat --connect 127.0.0.1:7101
+//   qtrade_stat --connect 127.0.0.1:7101 --watch 2   # re-poll every 2s
+//
+// The snapshot covers the server (requests served, connections,
+// in-flight negotiations per channel), the hosted SellerEngine (offer
+// cache occupancy/hit ratio, DP width, RFB totals), the process-shared
+// plan-search pool, and — when the daemon runs with --trace — the
+// flattened metrics registry. Safe against a busy daemon: the request
+// rides the same multiplexed frame protocol as negotiations, so polling
+// never blocks (or is blocked by) in-flight traffic.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "net/socket_io.h"
+#include "net/wire.h"
+#include "serde/codec.h"
+
+using namespace qtrade;
+
+namespace {
+
+void Usage() {
+  std::cout << "qtrade_stat --connect HOST:PORT [--watch SECONDS]\n"
+               "            [--timeout MS]\n";
+}
+
+int QueryOnce(const std::string& host, uint16_t port, double timeout_ms) {
+  auto fd = net::ConnectTcp(host, port, timeout_ms);
+  if (!fd.ok()) {
+    std::cerr << "connect failed: " << fd.status().ToString() << "\n";
+    return 1;
+  }
+  // A fresh channel per poll, like any other admin RPC, so a stats
+  // query can never be confused with a negotiation's reply.
+  const uint32_t channel = AllocateNegotiationId();
+  Status sent = net::WriteAll(*fd, serde::EncodeStatsRequest(channel));
+  auto raw = sent.ok() ? net::ReadFrame(*fd, timeout_ms)
+                       : Result<std::string>(sent);
+  net::CloseFd(*fd);
+  if (!raw.ok()) {
+    std::cerr << "stats rpc failed: " << raw.status().ToString() << "\n";
+    return 1;
+  }
+  auto snap = serde::DecodeStatsSnapshot(*raw);
+  if (!snap.ok()) {
+    std::cerr << "stats reply malformed: " << snap.status().ToString()
+              << "\n";
+    return 1;
+  }
+  std::printf("STATS node=%s ts_us=%lld entries=%zu\n", snap->node.c_str(),
+              static_cast<long long>(snap->ts_us), snap->entries.size());
+  for (const auto& [key, value] : snap->entries) {
+    std::printf("%s=%s\n", key.c_str(), value.c_str());
+  }
+  std::fflush(stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string connect;
+  double watch_s = 0;
+  double timeout_ms = 5000;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (flag == "--connect" && has_value) {
+      connect = argv[++i];
+    } else if (flag == "--watch" && has_value) {
+      watch_s = std::atof(argv[++i]);
+    } else if (flag == "--timeout" && has_value) {
+      timeout_ms = std::atof(argv[++i]);
+    } else {
+      Usage();
+      return 1;
+    }
+  }
+  const size_t colon = connect.rfind(':');
+  if (connect.empty() || colon == std::string::npos) {
+    Usage();
+    return 1;
+  }
+  const std::string host = connect.substr(0, colon);
+  const uint16_t port =
+      static_cast<uint16_t>(std::atoi(connect.c_str() + colon + 1));
+  while (true) {
+    const int rc = QueryOnce(host, port, timeout_ms);
+    if (watch_s <= 0) return rc;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(static_cast<int64_t>(watch_s * 1000)));
+  }
+}

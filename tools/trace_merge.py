@@ -1,0 +1,287 @@
+#!/usr/bin/env python3
+"""Stitch per-node qtrade traces into one federation-wide trace.
+
+Each process of a multi-process federation run (`qtrade_node --trace DIR`)
+writes its own trace file on its own clock. This tool merges N of them
+into a single Chrome trace-event file on one timeline:
+
+  1. Node identity comes from each file itself (Chrome: top-level
+     metadata.node; JSONL: the {"trace_meta":1,"node":...} first line).
+  2. Clock alignment: the buyer's transport records a `clock_sample`
+     instant per v3 reply (attrs: peer, offset_us, rtt_us), where
+     offset_us estimates how far the peer's trace clock runs ahead of
+     the buyer's (NTP-style, from the echoed request timestamp and the
+     peer's reply stamp). The median offset per peer maps every peer
+     span onto the buyer's timeline.
+  3. Spans keep their ids, parents and trace_id, so the cross-process
+     parent links carried by the v3 frame headers connect: a seller's
+     serve[rfb]/offer_gen spans hang under the buyer's rfb_broadcast.
+
+Usage:
+  python3 tools/trace_merge.py -o merged.trace.json traces/*.trace.json
+  python3 tools/trace_merge.py --check traces/*.trace.json
+
+--check validates the stitched span forest instead of (or in addition
+to) writing it: span ids must be unique across nodes, every span's
+parent chain must resolve to the root of its own trace (parent cycles
+or dangling parents fail), and — when more than one node contributed —
+at least one trace must actually span multiple nodes. Exit 0 on pass.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+from collections import defaultdict
+
+
+def _chrome_spans(doc):
+    """(node, spans) from a parsed Chrome trace-event document."""
+    events = doc.get("traceEvents", [])
+    node = doc.get("metadata", {}).get("node", "")
+    pid_names = {
+        ev["pid"]: ev.get("args", {}).get("name", "")
+        for ev in events
+        if ev.get("ph") == "M" and ev.get("name") == "process_name"
+    }
+    # Spans the process recorded without explicit node attribution belong
+    # to the file's own node (filled in during merge).
+    pid_names = {pid: "" if name == "(unattributed)" else name
+                 for pid, name in pid_names.items()}
+    spans = []
+    for ev in events:
+        if ev.get("ph") not in ("X", "i"):
+            continue
+        args = dict(ev.get("args", {}))
+        spans.append({
+            "id": int(args.pop("id", 0)),
+            "parent": int(args.pop("parent", 0)),
+            "trace_id": int(args.pop("trace_id", 0)),
+            "name": ev.get("name", "?"),
+            "span_node": pid_names.get(ev.get("pid"), ""),
+            "tid": ev.get("tid", 0),
+            "ts": ev.get("ts", 0),
+            "dur": ev.get("dur", 0),
+            "instant": ev.get("ph") == "i",
+            "attrs": args,
+        })
+    return node, spans
+
+
+def _jsonl_spans(lines):
+    node = ""
+    spans = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        rec = json.loads(line)
+        if rec.get("trace_meta"):
+            node = rec.get("node", "")
+            continue
+        spans.append({
+            "id": rec.get("id", 0),
+            "parent": rec.get("parent", 0),
+            "trace_id": rec.get("trace_id", 0),
+            "name": rec.get("name", "?"),
+            "span_node": rec.get("node", ""),
+            "tid": rec.get("negotiation", 0) or max(rec.get("round", 0), 0),
+            "ts": rec.get("ts_us", 0),
+            "dur": rec.get("dur_us", 0),
+            "instant": rec.get("instant", False),
+            "attrs": rec.get("attrs", {}),
+        })
+    return node, spans
+
+
+def load_trace(path):
+    """Returns (node_name, spans). Node may be "" for identity-free
+    (single-process) traces."""
+    with open(path, "r", encoding="utf-8") as f:
+        head = f.readline()
+        f.seek(0)
+        if '"traceEvents"' in head:
+            return _chrome_spans(json.load(f))
+        return _jsonl_spans(f)
+
+
+def clock_offsets(files):
+    """Per-node clock offset (us, relative to the reference node's
+    timeline) from the clock_sample instants recorded by whichever node
+    dialed the others — the buyer. Returns (reference, {node: offset})."""
+    samples = defaultdict(list)  # (sampler, peer) -> [(rtt, offset)]
+    samplers = defaultdict(int)
+    for node, spans in files:
+        for s in spans:
+            if s["name"] != "clock_sample":
+                continue
+            attrs = s["attrs"]
+            peer = attrs.get("peer", "")
+            try:
+                offset = int(attrs.get("offset_us", "0"))
+                rtt = int(attrs.get("rtt_us", "0"))
+            except ValueError:
+                continue
+            samples[(node, peer)].append((rtt, offset))
+            samplers[node] += 1
+    # Reference = the node that sampled the most peers (the buyer); with
+    # no samples at all, the first file is the timeline and nothing
+    # shifts.
+    reference = max(samplers, key=samplers.get) if samplers else files[0][0]
+    offsets = {reference: 0}
+    for (sampler, peer), obs in samples.items():
+        if sampler != reference or peer in offsets:
+            continue
+        offsets[peer] = int(statistics.median(off for _, off in obs))
+    return reference, offsets
+
+
+def merge(files, reference, offsets):
+    """One span list on the reference timeline; span_node filled from
+    the file's node where spans left it blank."""
+    merged = []
+    for node, spans in files:
+        shift = offsets.get(node)
+        if shift is None:
+            print(f"warning: no clock samples for node '{node}'; "
+                  "merging unshifted", file=sys.stderr)
+            shift = 0
+        for s in spans:
+            out = dict(s)
+            out["ts"] = s["ts"] - shift
+            if not out["span_node"]:
+                out["span_node"] = node or "(unattributed)"
+            merged.append(out)
+    merged.sort(key=lambda s: s["ts"])
+    return merged
+
+
+def check(merged, node_count):
+    """Validates the stitched forest; returns a list of error strings."""
+    errors = []
+    by_id = {}
+    for s in merged:
+        if s["id"] in by_id:
+            errors.append(f"duplicate span id {s['id']} "
+                          f"({by_id[s['id']]['name']} vs {s['name']})")
+        by_id[s["id"]] = s
+
+    cross_node_traces = set()
+    trace_nodes = defaultdict(set)
+    for s in merged:
+        if s["trace_id"]:
+            trace_nodes[s["trace_id"]].add(s["span_node"])
+    for trace_id, nodes in trace_nodes.items():
+        if len(nodes) > 1:
+            cross_node_traces.add(trace_id)
+
+    for s in merged:
+        if not s["trace_id"]:
+            continue
+        seen = set()
+        cur = s
+        while cur["parent"] and cur["parent"] in by_id:
+            if cur["id"] in seen:
+                errors.append(f"parent cycle at span {cur['id']}")
+                break
+            seen.add(cur["id"])
+            cur = by_id[cur["parent"]]
+        else:
+            # Chain ended: at the trace root (parent 0 or a parent the
+            # trace never recorded — the latter is an error for spans
+            # that claim membership in a recorded trace).
+            if cur["parent"] and s["trace_id"] in by_id:
+                errors.append(
+                    f"span {s['id']} ({s['name']} on {s['span_node']}) "
+                    f"dangles: parent {cur['parent']} not in merged trace")
+            elif s["trace_id"] in by_id and cur["id"] != s["trace_id"]:
+                errors.append(
+                    f"span {s['id']} ({s['name']} on {s['span_node']}) "
+                    f"roots at {cur['id']}, not its trace {s['trace_id']}")
+
+    if node_count > 1 and not cross_node_traces:
+        errors.append("no trace spans more than one node: "
+                      "stitching produced disconnected per-node forests")
+    print(f"check: {len(merged)} spans, {len(trace_nodes)} traces, "
+          f"{len(cross_node_traces)} spanning multiple nodes")
+    return errors
+
+
+def write_chrome(merged, reference, offsets, path):
+    pids = {}
+    for s in merged:
+        pids.setdefault(s["span_node"], len(pids))
+    out = sys.stdout if path == "-" else open(path, "w", encoding="utf-8")
+    try:
+        out.write('{"traceEvents":[\n')
+        rows = []
+        for node, pid in pids.items():
+            rows.append(json.dumps({
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": node},
+            }))
+        for s in merged:
+            ev = {
+                "name": s["name"], "cat": "qtrade",
+                "ph": "i" if s["instant"] else "X",
+                "ts": s["ts"], "pid": pids[s["span_node"]], "tid": s["tid"],
+                "args": {"id": str(s["id"]), "parent": str(s["parent"]),
+                         "trace_id": str(s["trace_id"]), **s["attrs"]},
+            }
+            if s["instant"]:
+                ev["s"] = "t"
+            else:
+                ev["dur"] = s["dur"]
+            rows.append(json.dumps(ev))
+        out.write(",\n".join(rows))
+        meta = {"reference": reference,
+                "clock_offsets_us": {n: o for n, o in offsets.items()}}
+        out.write('\n],"metadata":' + json.dumps(meta) + '}\n')
+    finally:
+        if out is not sys.stdout:
+            out.close()
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("traces", nargs="+",
+                        help="per-node *.trace.json / *.trace.jsonl files")
+    parser.add_argument("-o", "--output",
+                        help="merged Chrome trace path ('-' = stdout)")
+    parser.add_argument("--check", action="store_true",
+                        help="validate the stitched span forest")
+    args = parser.parse_args()
+
+    files = []
+    for path in args.traces:
+        node, spans = load_trace(path)
+        files.append((node, spans))
+    reference, offsets = clock_offsets(files)
+    merged = merge(files, reference, offsets)
+    nodes = {s["span_node"] for s in merged}
+    print(f"merged {len(merged)} spans from {len(files)} files "
+          f"({len(nodes)} nodes), reference={reference or '(first file)'}",
+          file=sys.stderr)
+    for node, off in sorted(offsets.items()):
+        if node != reference:
+            print(f"  clock offset {node}: {off:+d}us", file=sys.stderr)
+
+    rc = 0
+    if args.check:
+        errors = check(merged, len(nodes))
+        for err in errors:
+            print(f"CHECK FAIL: {err}", file=sys.stderr)
+        rc = 1 if errors else 0
+        if not errors:
+            print("check: OK")
+    if args.output:
+        write_chrome(merged, reference, offsets, args.output)
+    elif not args.check:
+        parser.error("nothing to do: pass -o and/or --check")
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())

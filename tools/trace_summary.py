@@ -10,9 +10,15 @@ Reads either export format produced by the observability layer
 and prints (1) a per-span-name aggregate table and (2) an indented
 parent->child tree of the slowest negotiation — a textual flamegraph.
 
+Merged multi-node traces (tools/trace_merge.py output) and raw per-node
+files work alike; several files can be summarized as one federation
+(spans pool together, the tree follows cross-process parent links):
+
 Usage:
   python3 tools/trace_summary.py qt_negotiation.trace.json
   python3 tools/trace_summary.py --top 30 qt_negotiation.trace.jsonl
+  python3 tools/trace_summary.py merged.trace.json
+  python3 tools/trace_summary.py traces/office_*.trace.jsonl
 """
 
 import argparse
@@ -47,6 +53,7 @@ def load_spans(path):
                 spans.append({
                     "id": int(args.get("id", 0)),
                     "parent": int(args.get("parent", 0)),
+                    "trace_id": int(args.get("trace_id", 0)),
                     "name": ev.get("name", "?"),
                     "node": pid_names.get(pid, pid),
                     "round": ev.get("tid", -1),
@@ -55,17 +62,24 @@ def load_spans(path):
                     "instant": ev.get("ph") == "i",
                 })
             return spans
+        # Multi-node per-file node identity: the trace_meta first line
+        # names whose timeline this file is (spans may leave node "").
+        file_node = ""
         spans = []
         for line in f:
             line = line.strip()
             if not line:
                 continue
             rec = json.loads(line)
+            if rec.get("trace_meta"):
+                file_node = rec.get("node", "")
+                continue
             spans.append({
                 "id": rec.get("id", 0),
                 "parent": rec.get("parent", 0),
+                "trace_id": rec.get("trace_id", 0),
                 "name": rec.get("name", "?"),
-                "node": rec.get("node", "?"),
+                "node": rec.get("node") or file_node or "?",
                 "round": rec.get("round", -1),
                 "ts": rec.get("ts_us", 0),
                 "dur": rec.get("dur_us", 0),
@@ -134,18 +148,26 @@ def print_tree(spans, max_children):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("trace", help="*.trace.json or *.trace.jsonl file")
+    parser.add_argument("traces", nargs="+",
+                        help="*.trace.json / *.trace.jsonl files "
+                             "(several pool into one federation view)")
     parser.add_argument("--top", type=int, default=20,
                         help="rows in the aggregate table (default 20)")
     parser.add_argument("--children", type=int, default=12,
                         help="children shown per tree node (default 12)")
     args = parser.parse_args()
 
-    spans = load_spans(args.trace)
+    spans = []
+    for path in args.traces:
+        spans.extend(load_spans(path))
     if not spans:
         print("no spans in trace", file=sys.stderr)
         return 1
-    print(f"{len(spans)} spans from {args.trace}\n")
+    nodes = sorted({s["node"] for s in spans})
+    source = args.traces[0] if len(args.traces) == 1 else \
+        f"{len(args.traces)} files"
+    print(f"{len(spans)} spans from {source} "
+          f"({len(nodes)} nodes: {', '.join(nodes)})\n")
     aggregate_table(spans, args.top)
     print_tree(spans, args.children)
     return 0
