@@ -1,0 +1,272 @@
+// EXP-21 — Columnar data plane: streamed delivery vs whole-RowSet
+// delivery of a sold answer.
+//
+// One seller hosts a >=100k-row customer partition (stored columnar, in
+// 1024-row chunks). The same awarded offer is shipped three ways:
+//
+//   whole    - ExecuteOffer: materialize everything, hand over one RowSet
+//   streamed - HandleExecuteOfferChunked: the vectorized scan emits
+//              chunks as partitions are processed (real first-row time)
+//   socket   - the seller behind a NodeServer with chunk_rows set,
+//              fetched through TcpTransport::FetchOffer over loopback
+//              (kRowChunk frames, reassembled client-side)
+//
+// The run is a guardrail, not just a table: it exits 1 unless (a) every
+// path delivers the identical rows in the identical order and (b) the
+// streamed path's time-to-first-row is strictly below the whole-RowSet
+// delivery's completion time — the property the paper's §3.1 first-row
+// cost vector entry is about.
+//
+// Flags: --smoke (100k rows, used by ci/check.sh), --json, --rows N,
+// --chunk-rows N. Writes BENCH_dataplane.json (stable keys, overwritten
+// per run) to the working directory.
+#include "bench/bench_util.h"
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/federation.h"
+#include "net/tcp_transport.h"
+#include "sql/parser.h"
+#include "server/node_server.h"
+#include "trading/seller_engine.h"
+#include "workload/telecom.h"
+
+using namespace qtrade;
+using namespace qtrade::bench;
+
+namespace {
+
+std::shared_ptr<FederationSchema> CustomerSchema() {
+  auto parse = [](const char* text) {
+    auto e = sql::ParseExpression(text);
+    if (!e.ok()) std::exit(1);
+    return *e;
+  };
+  auto fed = std::make_shared<FederationSchema>();
+  TableDef customer{"customer",
+                    {{"custid", TypeKind::kInt64},
+                     {"custname", TypeKind::kString},
+                     {"office", TypeKind::kString}}};
+  (void)fed->AddTable(customer, {parse("office = 'Athens'"),
+                                 parse("office = 'Corfu'"),
+                                 parse("office = 'Myconos'")});
+  return fed;
+}
+
+std::vector<Row> MakeRows(int n) {
+  std::vector<Row> rows;
+  rows.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    rows.push_back({Value::Int64(i),
+                    Value::String("cust" + std::to_string(i)),
+                    Value::String("Corfu")});
+  }
+  return rows;
+}
+
+bool SameRows(const RowSet& a, const RowSet& b) {
+  if (a.rows.size() != b.rows.size()) return false;
+  for (size_t i = 0; i < a.rows.size(); ++i) {
+    if (a.rows[i] != b.rows[i]) return false;
+  }
+  return true;
+}
+
+struct DeliveryTiming {
+  double first_row_ms = 0;
+  double total_ms = 0;
+  int chunks = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  int rows_n = 200000;
+  int chunk_rows = 4096;
+  int reps = 5;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      rows_n = 100000;
+      reps = 3;
+    } else if (std::strcmp(argv[i], "--rows") == 0 && i + 1 < argc) {
+      rows_n = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--chunk-rows") == 0 && i + 1 < argc) {
+      chunk_rows = std::atoi(argv[++i]);
+    }
+  }
+  const bool json = JsonMode(argc, argv);
+
+  Federation fed(CustomerSchema());
+  fed.AddNode("corfu");
+  Status loaded = fed.LoadPartition("corfu", "customer#1", MakeRows(rows_n),
+                                    /*validate=*/false);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "load: %s\n", loaded.ToString().c_str());
+    return 1;
+  }
+  SellerEngine* seller = fed.node("corfu")->seller.get();
+
+  Rfb rfb;
+  rfb.rfb_id = "exp21-rfb/1";
+  rfb.buyer = "buyer";
+  rfb.sql = "SELECT custname FROM customer WHERE office = 'Corfu'";
+  auto offers = seller->OnRfb(rfb);
+  if (!offers.ok() || offers->empty()) {
+    std::fprintf(stderr, "no offers for the EXP-21 rfb\n");
+    return 1;
+  }
+  const std::string offer_id = (*offers)[0].offer_id;
+
+  // Whole-RowSet delivery: warm-up supplies the reference answer.
+  auto reference = seller->ExecuteOffer(offer_id);
+  if (!reference.ok() ||
+      reference->rows.size() != static_cast<size_t>(rows_n)) {
+    std::fprintf(stderr, "whole delivery failed or short\n");
+    return 1;
+  }
+  std::vector<double> whole_ms;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    auto got = seller->ExecuteOffer(offer_id);
+    whole_ms.push_back(WallMs(start));
+    if (!got.ok() || !SameRows(*got, *reference)) {
+      std::fprintf(stderr, "whole delivery diverged on rep %d\n", r);
+      return 1;
+    }
+  }
+
+  // Streamed delivery (in-process): first chunk leaves while later
+  // chunks of the partition are still unscanned.
+  auto stream_once = [&](RowSet* collect) -> DeliveryTiming {
+    DeliveryTiming t;
+    const auto start = std::chrono::steady_clock::now();
+    Status st = seller->HandleExecuteOfferChunked(
+        offer_id, static_cast<size_t>(chunk_rows),
+        [&](const RowSet& chunk) -> Status {
+          if (t.chunks == 0) {
+            t.first_row_ms = WallMs(start);
+            if (collect != nullptr) collect->schema = chunk.schema;
+          }
+          ++t.chunks;
+          if (collect != nullptr) {
+            collect->rows.insert(collect->rows.end(), chunk.rows.begin(),
+                                 chunk.rows.end());
+          }
+          return Status::OK();
+        });
+    t.total_ms = WallMs(start);
+    if (!st.ok()) {
+      std::fprintf(stderr, "stream: %s\n", st.ToString().c_str());
+      std::exit(1);
+    }
+    return t;
+  };
+  RowSet streamed_rows;
+  DeliveryTiming warm = stream_once(&streamed_rows);
+  if (!SameRows(streamed_rows, *reference)) {
+    std::fprintf(stderr, "streamed delivery diverged from whole RowSet\n");
+    return 1;
+  }
+  std::vector<double> stream_first_ms, stream_total_ms;
+  for (int r = 0; r < reps; ++r) {
+    DeliveryTiming t = stream_once(nullptr);
+    stream_first_ms.push_back(t.first_row_ms);
+    stream_total_ms.push_back(t.total_ms);
+  }
+
+  // Socket leg: the same offer over loopback kRowChunk frames.
+  NodeServerOptions server_options;
+  server_options.chunk_rows = chunk_rows;
+  NodeServer server(seller, server_options);
+  if (!server.Start().ok()) {
+    std::fprintf(stderr, "server start failed\n");
+    return 1;
+  }
+  TcpTransport tcp(fed.network());
+  tcp.AddPeer("corfu", "127.0.0.1", server.port());
+  DeliveryStats socket_stats;
+  auto fetched = tcp.FetchOffer("corfu", offer_id, &socket_stats);
+  server.Stop();
+  if (!fetched.ok() || !SameRows(*fetched, *reference) ||
+      !socket_stats.streamed) {
+    std::fprintf(stderr, "socket streamed delivery diverged\n");
+    return 1;
+  }
+
+  const double whole_min = *std::min_element(whole_ms.begin(), whole_ms.end());
+  const double first_min =
+      *std::min_element(stream_first_ms.begin(), stream_first_ms.end());
+  const double stream_min =
+      *std::min_element(stream_total_ms.begin(), stream_total_ms.end());
+  const double rows_per_sec =
+      stream_min > 0 ? rows_n / (stream_min / 1000.0) : 0;
+
+  Banner("EXP-21", "columnar data plane: streamed vs whole delivery");
+  std::printf("%-26s %10d\n", "rows", rows_n);
+  std::printf("%-26s %10d\n", "chunk_rows", chunk_rows);
+  std::printf("%-26s %10d\n", "chunks (in-process)", warm.chunks);
+  std::printf("%-26s %9.2fms  (median %.2fms)\n", "whole delivery",
+              whole_min, Median(whole_ms));
+  std::printf("%-26s %9.2fms  (median %.2fms)\n", "streamed total",
+              stream_min, Median(stream_total_ms));
+  std::printf("%-26s %9.3fms  (median %.3fms)\n", "streamed first row",
+              first_min, Median(stream_first_ms));
+  std::printf("%-26s %10.0f\n", "streamed rows/sec", rows_per_sec);
+  std::printf("%-26s %9lld chunks, %lld bytes, first row %.3fms\n",
+              "socket stream",
+              static_cast<long long>(socket_stats.chunks),
+              static_cast<long long>(socket_stats.bytes),
+              socket_stats.first_row_us / 1000.0);
+
+  // The acceptance gate: streaming must put the first rows in the
+  // buyer's hands before a whole-RowSet delivery would even finish.
+  if (first_min >= whole_min) {
+    std::fprintf(stderr,
+                 "FAIL: first streamed chunk (%.3fms) not below whole "
+                 "delivery (%.3fms)\n",
+                 first_min, whole_min);
+    return 1;
+  }
+  std::printf("first-row speedup over whole delivery: %.1fx\n",
+              whole_min / std::max(first_min, 1e-6));
+
+  if (json) {
+    JsonRow("EXP-21")
+        .Int("rows", rows_n)
+        .Int("chunk_rows", chunk_rows)
+        .Int("chunks", warm.chunks)
+        .Num("whole_ms", whole_min)
+        .Num("stream_total_ms", stream_min)
+        .Num("stream_first_row_ms", first_min)
+        .Num("rows_per_sec", rows_per_sec)
+        .Int("socket_chunks", socket_stats.chunks)
+        .Int("socket_bytes", socket_stats.bytes)
+        .Num("socket_first_row_ms", socket_stats.first_row_us / 1000.0)
+        .Emit();
+  }
+
+  if (FILE* f = std::fopen("BENCH_dataplane.json", "w")) {
+    std::fprintf(
+        f,
+        "{\"bench\":\"dataplane\",\"rows\":%d,\"chunk_rows\":%d,"
+        "\"chunks\":%d,\"whole_ms\":%.3f,\"stream_total_ms\":%.3f,"
+        "\"stream_first_row_ms\":%.3f,\"rows_per_sec\":%.0f,"
+        "\"socket_chunks\":%lld,\"socket_bytes\":%lld,"
+        "\"socket_first_row_ms\":%.3f,\"smoke\":%s}\n",
+        rows_n, chunk_rows, warm.chunks, whole_min, stream_min, first_min,
+        rows_per_sec, static_cast<long long>(socket_stats.chunks),
+        static_cast<long long>(socket_stats.bytes),
+        socket_stats.first_row_us / 1000.0, smoke ? "true" : "false");
+    std::fclose(f);
+    std::printf("\nwrote BENCH_dataplane.json\n");
+  } else {
+    std::fprintf(stderr, "could not write BENCH_dataplane.json\n");
+    return 1;
+  }
+  return 0;
+}

@@ -140,6 +140,51 @@ trap - EXIT
 rm -rf "${SMOKE_DIR}"
 echo "traced federation smoke: stitched trace checked"
 
+# Streaming delivery smoke: the same 3-process federation, but the
+# winning plan is also EXECUTED and the sold answers are streamed back
+# as kRowChunk frames (daemons and buyer run with --chunk-rows). At
+# every chunk size the ROWS/ROW block must be byte-identical to the
+# in-process whole-RowSet run — chunking may only change timing, never
+# the answer. The DELIVERY line (timing) is excluded from the diff but
+# must report streamed deliveries > 0.
+echo "== streaming delivery federation smoke"
+SMOKE_DIR="$(mktemp -d)"
+trap cleanup_smoke EXIT
+./build/examples/qtrade_node --optimize motivating --inproc --execute \
+  >"${SMOKE_DIR}/exec_inproc.raw"
+grep -v '^DELIVERY ' "${SMOKE_DIR}/exec_inproc.raw" \
+  >"${SMOKE_DIR}/exec_inproc.out"
+for CHUNK in 1 64 4096; do
+  ./build/examples/qtrade_node --node office_Corfu --listen 0 \
+    --chunk-rows "${CHUNK}" >"${SMOKE_DIR}/corfu.out" &
+  CORFU_PID=$!
+  ./build/examples/qtrade_node --node office_Myconos --listen 0 \
+    --chunk-rows "${CHUNK}" >"${SMOKE_DIR}/myconos.out" &
+  MYCONOS_PID=$!
+  for daemon in corfu myconos; do
+    for _ in $(seq 1 100); do
+      grep -q LISTENING "${SMOKE_DIR}/${daemon}.out" 2>/dev/null && break
+      sleep 0.1
+    done
+    grep -q LISTENING "${SMOKE_DIR}/${daemon}.out"
+  done
+  CORFU_PORT="$(awk '/LISTENING/{print $2}' "${SMOKE_DIR}/corfu.out")"
+  MYCONOS_PORT="$(awk '/LISTENING/{print $2}' "${SMOKE_DIR}/myconos.out")"
+  ./build/examples/qtrade_node --optimize motivating --shutdown-peers \
+    --execute --chunk-rows "${CHUNK}" \
+    --peers "office_Corfu=127.0.0.1:${CORFU_PORT},office_Myconos=127.0.0.1:${MYCONOS_PORT}" \
+    >"${SMOKE_DIR}/stream.raw"
+  wait "${CORFU_PID}" "${MYCONOS_PID}"
+  CORFU_PID=""
+  MYCONOS_PID=""
+  grep -q '^DELIVERY .*streamed=[1-9]' "${SMOKE_DIR}/stream.raw"
+  grep -v '^DELIVERY ' "${SMOKE_DIR}/stream.raw" >"${SMOKE_DIR}/stream.out"
+  diff "${SMOKE_DIR}/stream.out" "${SMOKE_DIR}/exec_inproc.out"
+done
+trap - EXIT
+rm -rf "${SMOKE_DIR}"
+echo "streaming smoke: answers identical at chunk_rows 1, 64 and 4096"
+
 # Fault-tolerance smoke: bounded prefix of the systematic fault-schedule
 # space, recovery on vs off (the bench exits non-zero unless recovery-on
 # completes every schedule and recovery-off fails somewhere).
@@ -163,6 +208,16 @@ echo "== parallel plan search smoke"
 ./build/bench/bench_parallel_dp --smoke
 test -s BENCH_parallel_dp.json
 
+# Columnar data plane smoke: streamed delivery of a 100k-row sold
+# answer must be byte-identical to the whole-RowSet delivery on every
+# path (in-process chunked + loopback kRowChunk frames) AND put the
+# first row in the buyer's hands strictly before the whole delivery
+# completes (the bench exits non-zero otherwise). The
+# BENCH_dataplane.json trajectory file must appear.
+echo "== columnar data plane smoke"
+./build/bench/bench_dataplane --smoke
+test -s BENCH_dataplane.json
+
 # Acceptance gate: the transport-conformance and fault-schedule suites
 # must pass UNCHANGED with parallel plan search on. QTRADE_DP_THREADS
 # makes the facade default dp_threads=8 without touching the suites;
@@ -177,12 +232,12 @@ if [[ "${TSAN:-0}" == "1" ]]; then
     trading_test subcontract_test transport_fault_test offer_cache_test \
     obs_test codec_test codec_fuzz_test transport_conformance_test \
     fault_schedule_test node_server_test concurrent_state_test \
-    parallel_dp_test trace_stitch_test
+    parallel_dp_test trace_stitch_test streaming_test
   for t in trading_test subcontract_test transport_fault_test \
            offer_cache_test obs_test codec_test codec_fuzz_test \
            transport_conformance_test fault_schedule_test \
            node_server_test concurrent_state_test parallel_dp_test \
-           trace_stitch_test; do
+           trace_stitch_test streaming_test; do
     echo "== tsan: ${t}"
     ./build-tsan/tests/"${t}"
   done

@@ -44,6 +44,12 @@ struct Args {
   bool inproc = false;
   std::string protocol = "bidding";
   bool shutdown_peers = false;
+  // Buyer mode: execute the winning plan and print the answer rows.
+  bool execute = false;
+  // Daemon: stream sold answers as kRowChunk frames of at most this many
+  // rows (0 = classic whole-RowSet replies). Buyer: fetch deliveries
+  // chunk-by-chunk. Answers are byte-identical at every setting.
+  int chunk_rows = 0;
 
   // Daemon mode: engine worker threads behind the reactor.
   int workers = 4;
@@ -60,10 +66,12 @@ struct Args {
 void Usage() {
   std::cout <<
       "qtrade_node --node NAME --listen PORT [--workers N]\n"
-      "            [--dp-threads N] [--trace DIR] [world flags]\n"
+      "            [--chunk-rows N] [--dp-threads N] [--trace DIR]\n"
+      "            [world flags]\n"
       "qtrade_node --optimize SQL|motivating|revenue\n"
       "            (--peers n=h:p,n=h:p | --inproc)\n"
       "            [--buyer NAME] [--protocol bidding|auction|bargaining]\n"
+      "            [--execute] [--chunk-rows N]\n"
       "            [--shutdown-peers] [--dp-threads N] [--trace DIR]\n"
       "            [world flags]\n"
       "world flags: --offices N --customers N --lines N\n";
@@ -89,6 +97,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->protocol = argv[++i];
     } else if (flag == "--shutdown-peers") {
       args->shutdown_peers = true;
+    } else if (flag == "--execute") {
+      args->execute = true;
+    } else if (flag == "--chunk-rows" && need(i)) {
+      args->chunk_rows = std::atoi(argv[++i]);
     } else if (flag == "--workers" && need(i)) {
       args->workers = std::atoi(argv[++i]);
     } else if (flag == "--dp-threads" && need(i)) {
@@ -149,6 +161,7 @@ int RunDaemon(const Args& args) {
   options.port = static_cast<uint16_t>(args.listen_port);
   options.workers = args.workers;
   options.dp_threads = args.dp_threads;
+  options.chunk_rows = args.chunk_rows;
   NodeServer server(node->seller.get(), options);
   // One tracer/registry shared by the engine (offer_gen spans, cache
   // metrics) and the server (serve spans, reply clock stamps): identity
@@ -195,6 +208,7 @@ int RunBuyer(const Args& args) {
   // byte-identical message ids, so plans are comparable across runs.
   options.run_label = "qtrade-node";
   options.dp_threads = args.dp_threads;
+  options.chunk_rows = args.chunk_rows;
   if (args.protocol == "auction") {
     options.protocol = NegotiationProtocol::kAuction;
   } else if (args.protocol == "bargaining") {
@@ -241,6 +255,38 @@ int RunBuyer(const Args& args) {
               << " signature=" << offer.CoverageSignature() << "\n";
   }
   std::cout << "PLAN\n" << Explain(result->plan);
+
+  if (args.execute) {
+    // Ship the winning plan. The ROWS block is deterministic (same
+    // plan -> same rows in the same order), so ci/check.sh diffs it
+    // across --inproc / --peers and across --chunk-rows settings; the
+    // DELIVERY line carries wall-clock measurements and is excluded
+    // from those diffs.
+    QtResult scratch = *result;
+    auto rows = qt.Execute(scratch);
+    if (!rows.ok()) {
+      std::cerr << "execute failed: " << rows.status().ToString() << "\n";
+      return 1;
+    }
+    std::cout << "ROWS n=" << rows->rows.size() << "\n";
+    for (const Row& row : rows->rows) {
+      std::cout << "ROW";
+      for (size_t c = 0; c < row.size(); ++c) {
+        std::cout << (c == 0 ? " " : "|") << row[c].ToString();
+      }
+      std::cout << "\n";
+    }
+    const TradeMetrics& m = scratch.metrics;
+    std::printf("DELIVERY deliveries=%lld streamed=%lld chunks=%lld "
+                "rows=%lld bytes=%lld first_row_us=%lld last_row_us=%lld\n",
+                static_cast<long long>(m.deliveries),
+                static_cast<long long>(m.deliveries_streamed),
+                static_cast<long long>(m.delivery_chunks),
+                static_cast<long long>(m.delivery_rows),
+                static_cast<long long>(m.delivery_bytes),
+                static_cast<long long>(m.delivery_first_row_us),
+                static_cast<long long>(m.delivery_last_row_us));
+  }
 
   if (args.shutdown_peers && qt.tcp_transport() != nullptr) {
     for (const RemotePeer& peer : options.remote_peers) {

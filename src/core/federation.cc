@@ -1,5 +1,8 @@
 #include "core/federation.h"
 
+#include <algorithm>
+#include <chrono>
+
 #include "exec/expr_eval.h"
 
 namespace qtrade {
@@ -191,6 +194,13 @@ Result<RowSet> Federation::ExecuteDistributed(const std::string& buyer_node,
 Result<RowSet> Federation::ExecuteDistributed(const std::string& buyer_node,
                                               const PlanPtr& plan,
                                               DeliveryFailure* failure) {
+  return ExecuteDistributed(buyer_node, plan, failure, DeliveryConfig{});
+}
+
+Result<RowSet> Federation::ExecuteDistributed(const std::string& buyer_node,
+                                              const PlanPtr& plan,
+                                              DeliveryFailure* failure,
+                                              const DeliveryConfig& delivery) {
   FederationNode* buyer = node(buyer_node);
   if (buyer == nullptr) {
     return Status::NotFound("unknown node: " + buyer_node);
@@ -208,22 +218,88 @@ Result<RowSet> Federation::ExecuteDistributed(const std::string& buyer_node,
     return status;
   };
   ctx.remote_resolver = [&](const PlanNode& remote) -> Result<RowSet> {
-    FederationNode* seller_node = node(remote.remote_node);
-    if (seller_node == nullptr) {
-      return fail(remote, Status::NotFound("seller node vanished: " +
-                                           remote.remote_node));
-    }
     if (delivery_interceptor_) {
       Status verdict =
           delivery_interceptor_(remote.remote_node, remote.offer_id);
       if (!verdict.ok()) return fail(remote, std::move(verdict));
     }
-    auto rows = seller_node->seller->ExecuteOffer(remote.offer_id);
-    if (!rows.ok()) return fail(remote, rows.status());
-    int64_t payload = static_cast<int64_t>(
-        rows->rows.size() * std::max(16.0, remote.row_bytes));
-    double t = network_.Send(remote.remote_node, buyer_node, payload, "data");
-    network_.AdvanceClock(t);
+    obs::Span deliver_span =
+        obs::Tracer::Active(delivery.tracer)
+            ? delivery.tracer->StartSpan("deliver", delivery.trace_parent)
+            : obs::Span();
+    deliver_span.Node(buyer_node);
+    deliver_span.Attr("seller", remote.remote_node);
+    DeliveryStats stats;
+    Result<RowSet> rows = Status::Internal("delivery: unreachable");
+    if (delivery.is_remote && delivery.fetch_remote &&
+        delivery.is_remote(remote.remote_node)) {
+      // A daemon peer: the awarded offer lives only in that process, so
+      // the answer must come over the wire. The fetcher does its own
+      // byte accounting from actual frame sizes.
+      rows = delivery.fetch_remote(remote.remote_node, remote.offer_id,
+                                   &stats);
+      if (!rows.ok()) return fail(remote, rows.status());
+    } else {
+      FederationNode* seller_node = node(remote.remote_node);
+      if (seller_node == nullptr) {
+        return fail(remote, Status::NotFound("seller node vanished: " +
+                                             remote.remote_node));
+      }
+      if (delivery.chunk_rows > 0) {
+        // Chunked in-process delivery: the seller's streaming execution
+        // path hands chunks to a collecting sink, which is what gives
+        // the stats a real time-to-first-row even without sockets.
+        const auto t0 = std::chrono::steady_clock::now();
+        auto us_since_t0 = [&t0] {
+          return std::chrono::duration_cast<std::chrono::microseconds>(
+                     std::chrono::steady_clock::now() - t0)
+              .count();
+        };
+        RowSet collected;
+        bool first = true;
+        Status streamed = seller_node->seller->HandleExecuteOfferChunked(
+            remote.offer_id, static_cast<size_t>(delivery.chunk_rows),
+            [&](const RowSet& chunk) -> Status {
+              if (first) {
+                collected.schema = chunk.schema;
+                stats.first_row_us = us_since_t0();
+                first = false;
+              }
+              collected.rows.insert(collected.rows.end(),
+                                    chunk.rows.begin(), chunk.rows.end());
+              ++stats.chunks;
+              if (obs::Tracer::Active(delivery.tracer)) {
+                obs::Span instant = delivery.tracer->StartInstant(
+                    "deliver[chunk]", deliver_span.ref());
+                instant.Attr("seq", stats.chunks - 1);
+                instant.Attr("rows",
+                             static_cast<int64_t>(chunk.rows.size()));
+              }
+              return Status::OK();
+            });
+        if (!streamed.ok()) return fail(remote, streamed);
+        stats.last_row_us = us_since_t0();
+        stats.streamed = true;
+        stats.rows = static_cast<int64_t>(collected.rows.size());
+        rows = std::move(collected);
+      } else {
+        rows = seller_node->seller->ExecuteOffer(remote.offer_id);
+        if (!rows.ok()) return fail(remote, rows.status());
+        stats.chunks = 1;
+        stats.rows = static_cast<int64_t>(rows->rows.size());
+      }
+      int64_t payload = static_cast<int64_t>(
+          rows->rows.size() * std::max(16.0, remote.row_bytes));
+      double t =
+          network_.Send(remote.remote_node, buyer_node, payload, "data");
+      network_.AdvanceClock(t);
+    }
+    deliver_span.Attr("rows", stats.rows);
+    deliver_span.Attr("chunks", stats.chunks);
+    deliver_span.Attr("first_row_us", stats.first_row_us);
+    if (delivery.stats != nullptr) {
+      delivery.stats->emplace_back(remote.remote_node, stats);
+    }
     return rows;
   };
   return ExecutePlan(plan, ctx);

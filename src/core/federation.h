@@ -48,6 +48,34 @@ using DeliveryInterceptor =
     std::function<Status(const std::string& seller,
                          const std::string& offer_id)>;
 
+/// How ExecuteDistributed ships the sold answers of a plan's kRemote
+/// leaves. The default-constructed config reproduces the classic
+/// behavior byte for byte: whole-RowSet deliveries from the
+/// federation's own seller engines.
+struct DeliveryConfig {
+  /// > 0: deliveries run through the sellers' chunked execution path
+  /// (HandleExecuteOfferChunked) in chunks of at most this many rows,
+  /// which measures a real time-to-first-row; the reassembled answer is
+  /// identical for every value. 0 = whole-RowSet ExecuteOffer.
+  int chunk_rows = 0;
+  /// When set, sellers for which `is_remote` returns true are fetched
+  /// through `fetch_remote` (e.g. TcpTransport::FetchOffer dialing a
+  /// daemon) instead of the federation's local engines. Both must be
+  /// set together.
+  std::function<bool(const std::string& seller)> is_remote;
+  std::function<Result<RowSet>(const std::string& seller,
+                               const std::string& offer_id,
+                               DeliveryStats* stats)>
+      fetch_remote;
+  /// When non-null, one measured (seller, stats) entry is appended per
+  /// successful delivery.
+  std::vector<std::pair<std::string, DeliveryStats>>* stats = nullptr;
+  /// When active, each delivery gets a deliver[seller] span with
+  /// per-chunk instants under `parent`.
+  obs::Tracer* tracer = nullptr;
+  obs::SpanRef trace_parent;
+};
+
 class Federation {
  public:
   Federation(std::shared_ptr<const FederationSchema> schema,
@@ -124,6 +152,15 @@ class Federation {
   Result<RowSet> ExecuteDistributed(const std::string& buyer_node,
                                     const PlanPtr& plan,
                                     DeliveryFailure* failure);
+
+  /// Like above with a delivery configuration: chunked/streamed
+  /// deliveries, daemon-peer fetchers, and per-delivery measurements
+  /// (see DeliveryConfig). ExecuteDistributed(buyer, plan, failure) is
+  /// exactly this call with a default-constructed config.
+  Result<RowSet> ExecuteDistributed(const std::string& buyer_node,
+                                    const PlanPtr& plan,
+                                    DeliveryFailure* failure,
+                                    const DeliveryConfig& delivery);
 
   /// Installs (or clears, with nullptr) the fault-injection hook for
   /// remote answer deliveries. Used by sim/ to model sellers that die

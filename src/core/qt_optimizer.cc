@@ -91,13 +91,12 @@ QueryTradingOptimizer::QueryTradingOptimizer(Federation* federation,
     // same-named local seller: a process that models the whole
     // federation locally (for schema + statistics) but delegates some
     // nodes to daemons must not shadow them with loopback endpoints.
-    std::set<std::string> remote_names;
     for (const RemotePeer& peer : options_.remote_peers) {
-      remote_names.insert(peer.name);
+      remote_names_.insert(peer.name);
       tcp_transport_->AddPeer(peer);
     }
     for (SellerEngine* seller : federation_->Sellers()) {
-      if (remote_names.count(seller->name()) == 0) {
+      if (remote_names_.count(seller->name()) == 0) {
         tcp_transport_->Register(seller);
       }
     }
@@ -129,6 +128,7 @@ QueryTradingOptimizer::QueryTradingOptimizer(Federation* federation,
   for (SellerEngine* seller : federation_->Sellers()) {
     seller->set_offer_cache_capacity(options_.offer_cache_capacity);
     seller->set_dp_threads(options_.dp_threads);
+    seller->set_cost_feedback(options_.cost_feedback);
   }
   if (options_.obs.any()) {
     owned_tracer_ = std::make_unique<obs::Tracer>();
@@ -350,11 +350,41 @@ Result<RowSet> QueryTradingOptimizer::Execute(QtResult& result) {
   std::set<std::string> failed_offers;
   std::set<std::string> failed_sellers;
   int replans_used = 0;
+  // Data plane: when streaming or daemon peers are configured, Execute
+  // goes through the delivery-config overload — chunked fetches with
+  // measured first-row/last-row times, folded into TradeMetrics.
+  DeliveryConfig delivery;
+  delivery.chunk_rows = options_.chunk_rows;
+  delivery.tracer = tracer_;
+  if (tcp_transport_ != nullptr && !remote_names_.empty()) {
+    delivery.is_remote = [this](const std::string& seller) {
+      return remote_names_.count(seller) > 0;
+    };
+    delivery.fetch_remote = [this](const std::string& seller,
+                                   const std::string& offer_id,
+                                   DeliveryStats* stats) {
+      return tcp_transport_->FetchOffer(seller, offer_id, stats);
+    };
+  }
   while (true) {
     DeliveryFailure failure;
-    auto rows =
-        federation_->ExecuteDistributed(buyer_node_, result.plan, &failure);
-    if (rows.ok()) return rows;
+    std::vector<std::pair<std::string, DeliveryStats>> delivered;
+    delivery.stats = &delivered;
+    auto rows = federation_->ExecuteDistributed(buyer_node_, result.plan,
+                                                &failure, delivery);
+    if (rows.ok()) {
+      for (const auto& [seller, stats] : delivered) {
+        (void)seller;
+        ++result.metrics.deliveries;
+        if (stats.streamed) ++result.metrics.deliveries_streamed;
+        result.metrics.delivery_chunks += stats.chunks;
+        result.metrics.delivery_rows += stats.rows;
+        result.metrics.delivery_bytes += stats.bytes;
+        result.metrics.delivery_first_row_us += stats.first_row_us;
+        result.metrics.delivery_last_row_us += stats.last_row_us;
+      }
+      return rows;
+    }
     if (!failure.failed()) return rows;  // not a delivery fault: surface it
     ++result.metrics.deliveries_failed;
     if (metrics_ != nullptr) {

@@ -114,6 +114,10 @@ class QueryTradingOptimizer {
   /// The buyer's trader directory (recovery shrinks a copy of it when
   /// sellers fail at delivery time).
   std::vector<std::string> sellers_;
+  /// Names declared in QtOptions::remote_peers: awarded offers on these
+  /// nodes live only in their daemon process, so Execute must fetch
+  /// their answers over the TcpTransport, never from a loopback engine.
+  std::set<std::string> remote_names_;
   std::unique_ptr<BuyerEngine> engine_;
   /// Facade-owned instances when QtOptions::obs asks for output files.
   std::unique_ptr<obs::Tracer> owned_tracer_;

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "exec/expr_eval.h"
+#include "exec/vec/vectorized.h"
 
 namespace qtrade {
 
@@ -294,34 +295,9 @@ Result<RowSet> HashJoin(
   RowSet out;
   out.schema = TupleSchema::Concat(left.schema, right.schema);
 
-  std::map<Row, std::vector<const Row*>, RowLess> table;
-  for (const auto& row : right.rows) {
-    Row key;
-    for (size_t idx : right_keys) key.push_back(row[idx]);
-    bool has_null = std::any_of(key.begin(), key.end(),
-                                [](const Value& v) { return v.is_null(); });
-    if (has_null) continue;  // NULL never joins
-    table[std::move(key)].push_back(&row);
-  }
-  for (const auto& lrow : left.rows) {
-    Row key;
-    for (size_t idx : left_keys) key.push_back(lrow[idx]);
-    bool has_null = std::any_of(key.begin(), key.end(),
-                                [](const Value& v) { return v.is_null(); });
-    if (has_null) continue;
-    auto it = table.find(key);
-    if (it == table.end()) continue;
-    for (const Row* rrow : it->second) {
-      Row joined = lrow;
-      joined.insert(joined.end(), rrow->begin(), rrow->end());
-      if (residual) {
-        QTRADE_ASSIGN_OR_RETURN(bool keep,
-                                EvalPredicate(residual, out.schema, joined));
-        if (!keep) continue;
-      }
-      out.rows.push_back(std::move(joined));
-    }
-  }
+  vec::JoinTable table = vec::BuildJoinTable(right, right_keys);
+  QTRADE_RETURN_IF_ERROR(vec::ProbeJoinTable(left, left_keys, table,
+                                             out.schema, residual, &out));
   return out;
 }
 
@@ -420,16 +396,39 @@ Result<RowSet> ExecutePlan(const PlanPtr& plan, const ExecutionContext& ctx) {
       if (ctx.store == nullptr) {
         return Status::InvalidArgument("scan without local storage");
       }
-      QTRADE_ASSIGN_OR_RETURN(
-          RowSet rows,
-          ctx.store->ScanPartitions(node.partition_ids, node.alias));
-      if (!node.filter) return rows;
+      if (!node.filter) {
+        return ctx.store->ScanPartitions(node.partition_ids, node.alias);
+      }
+      // Vectorized filtering scan: evaluate the predicate chunk by chunk
+      // against the columnar partitions, skipping chunks whose zone maps
+      // rule every row out (only when the compiled predicate is provably
+      // error-free), and materialize only the passing rows.
+      std::vector<const store::ChunkedTable*> parts;
+      parts.reserve(node.partition_ids.size());
+      for (const auto& pid : node.partition_ids) {
+        const store::ChunkedTable* part = ctx.store->Chunked(pid);
+        if (part == nullptr) {
+          return Status::NotFound("partition not hosted: " + pid);
+        }
+        parts.push_back(part);
+      }
+      if (parts.empty()) {
+        return Status::InvalidArgument("no partitions to scan");
+      }
       RowSet out;
-      out.schema = rows.schema;
-      for (auto& row : rows.rows) {
-        QTRADE_ASSIGN_OR_RETURN(bool keep,
-                                EvalPredicate(node.filter, rows.schema, row));
-        if (keep) out.rows.push_back(std::move(row));
+      for (const auto& col : parts.front()->schema().columns()) {
+        out.schema.AddColumn({node.alias, col.name, col.type});
+      }
+      vec::CompiledPredicate pred =
+          vec::CompiledPredicate::Compile(node.filter, out.schema);
+      vec::SelectionVector sel;
+      for (const store::ChunkedTable* part : parts) {
+        for (size_t c = 0; c < part->num_chunks(); ++c) {
+          if (pred.CanSkipChunk(*part, c)) continue;
+          sel.clear();
+          QTRADE_RETURN_IF_ERROR(pred.FilterChunk(*part, c, &sel));
+          if (!sel.empty()) part->MaterializeChunk(c, &sel, &out.rows);
+        }
       }
       return out;
     }

@@ -62,11 +62,12 @@ Status TableStore::CreatePartition(const std::string& partition_id,
     return Status::InvalidArgument("partition already exists: " +
                                    partition_id);
   }
-  RowSet rows;
+  TupleSchema schema;
   for (const auto& col : table.columns) {
-    rows.schema.AddColumn({"", col.name, col.type});
+    schema.AddColumn({"", col.name, col.type});
   }
-  partitions_.emplace(partition_id, std::move(rows));
+  partitions_.emplace(partition_id,
+                      store::ChunkedTable(std::move(schema), chunk_rows_));
   return Status::OK();
 }
 
@@ -75,10 +76,12 @@ Status TableStore::Insert(const std::string& partition_id, Row row) {
   if (it == partitions_.end()) {
     return Status::NotFound("no such partition: " + partition_id);
   }
-  if (row.size() != it->second.schema.size()) {
+  if (row.size() != it->second.schema().size()) {
     return Status::InvalidArgument("row arity mismatch for " + partition_id);
   }
-  it->second.rows.push_back(std::move(row));
+  QTRADE_RETURN_IF_ERROR(it->second.Append(row));
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  row_cache_.erase(partition_id);
   return Status::OK();
 }
 
@@ -88,29 +91,49 @@ bool TableStore::HasPartition(const std::string& partition_id) const {
 
 const RowSet* TableStore::Partition(const std::string& partition_id) const {
   auto it = partitions_.find(partition_id);
+  if (it == partitions_.end()) return nullptr;
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto cached = row_cache_.find(partition_id);
+  if (cached == row_cache_.end()) {
+    cached = row_cache_.emplace(partition_id, it->second.Materialize()).first;
+  }
+  return &cached->second;  // map nodes are stable across later inserts
+}
+
+const store::ChunkedTable* TableStore::Chunked(
+    const std::string& partition_id) const {
+  auto it = partitions_.find(partition_id);
   return it == partitions_.end() ? nullptr : &it->second;
 }
 
 Result<RowSet> TableStore::ScanPartitions(
     const std::vector<std::string>& partition_ids,
     const std::string& alias) const {
-  RowSet out;
-  bool first = true;
+  // Resolve every partition (and the total row count) before touching
+  // any data: one reserve(), one qualification pass, no re-allocation.
+  std::vector<const store::ChunkedTable*> parts;
+  parts.reserve(partition_ids.size());
+  size_t total_rows = 0;
   for (const auto& pid : partition_ids) {
-    const RowSet* part = Partition(pid);
+    const store::ChunkedTable* part = Chunked(pid);
     if (part == nullptr) {
       return Status::NotFound("partition not hosted: " + pid);
     }
-    if (first) {
-      for (const auto& col : part->schema.columns()) {
-        out.schema.AddColumn({alias, col.name, col.type});
-      }
-      first = false;
-    }
-    out.rows.insert(out.rows.end(), part->rows.begin(), part->rows.end());
+    parts.push_back(part);
+    total_rows += part->rows();
   }
-  if (first) {
+  if (parts.empty()) {
     return Status::InvalidArgument("no partitions to scan");
+  }
+  RowSet out;
+  for (const auto& col : parts.front()->schema().columns()) {
+    out.schema.AddColumn({alias, col.name, col.type});
+  }
+  out.rows.reserve(total_rows);
+  for (const store::ChunkedTable* part : parts) {
+    for (size_t c = 0; c < part->num_chunks(); ++c) {
+      part->MaterializeChunk(c, nullptr, &out.rows);
+    }
   }
   return out;
 }
@@ -126,8 +149,8 @@ const RowSet* TableStore::View(const std::string& name) const {
 
 int64_t TableStore::TotalRows() const {
   int64_t total = 0;
-  for (const auto& [id, rows] : partitions_) {
-    total += static_cast<int64_t>(rows.rows.size());
+  for (const auto& [id, table] : partitions_) {
+    total += static_cast<int64_t>(table.rows());
   }
   return total;
 }

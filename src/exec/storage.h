@@ -1,14 +1,24 @@
-// In-memory row storage of one node: hosted partition replicas and
-// materialized view extents. Also derives accurate fragment statistics
-// from the stored data — the paper's premise that sellers price offers
-// with precise local knowledge.
+// Storage of one node: hosted partition replicas and materialized view
+// extents. Also derives accurate fragment statistics from the stored
+// data — the paper's premise that sellers price offers with precise
+// local knowledge.
+//
+// Since the columnar data plane landed, partitions live as chunked
+// column batches (store/column_store.h) rather than row vectors. The
+// row-oriented API is preserved exactly: Partition() serves a lazily
+// materialized row view (cached until the next Insert), ScanPartitions
+// still returns a qualified RowSet, and ComputeStats/views are
+// untouched. The chunked form is additionally exposed via Chunked() for
+// the vectorized scan (exec/vec/) and streaming delivery.
 #ifndef QTRADE_EXEC_STORAGE_H_
 #define QTRADE_EXEC_STORAGE_H_
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "store/column_store.h"
 #include "types/row.h"
 #include "types/schema.h"
 #include "stats/column_stats.h"
@@ -24,6 +34,9 @@ TableStats ComputeStats(const RowSet& rows, int histogram_buckets = 16,
 
 class TableStore {
  public:
+  explicit TableStore(size_t chunk_rows = store::kDefaultChunkRows)
+      : chunk_rows_(chunk_rows == 0 ? store::kDefaultChunkRows : chunk_rows) {}
+
   /// Registers an (empty) partition replica with the base table layout.
   Status CreatePartition(const std::string& partition_id,
                          const TableDef& table);
@@ -31,7 +44,14 @@ class TableStore {
   Status Insert(const std::string& partition_id, Row row);
 
   bool HasPartition(const std::string& partition_id) const;
+
+  /// Row view of a hosted partition (nullptr when not hosted).
+  /// Materialized lazily from the chunked form and cached until the next
+  /// Insert into the partition; safe to call from concurrent readers.
   const RowSet* Partition(const std::string& partition_id) const;
+
+  /// Columnar form of a hosted partition (nullptr when not hosted).
+  const store::ChunkedTable* Chunked(const std::string& partition_id) const;
 
   /// Concatenates the given partitions, with columns qualified by `alias`.
   Result<RowSet> ScanPartitions(const std::vector<std::string>& partition_ids,
@@ -44,9 +64,16 @@ class TableStore {
   /// Total rows across hosted partitions (for reporting).
   int64_t TotalRows() const;
 
+  /// Rows per column chunk in newly created partitions.
+  size_t chunk_rows() const { return chunk_rows_; }
+
  private:
-  std::map<std::string, RowSet> partitions_;
+  size_t chunk_rows_;
+  std::map<std::string, store::ChunkedTable> partitions_;
   std::map<std::string, RowSet> views_;
+  /// Lazily materialized row views served by Partition().
+  mutable std::mutex cache_mu_;
+  mutable std::map<std::string, RowSet> row_cache_;
 };
 
 }  // namespace qtrade

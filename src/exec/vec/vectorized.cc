@@ -1,0 +1,481 @@
+#include "exec/vec/vectorized.h"
+
+#include <algorithm>
+
+#include "exec/expr_eval.h"
+
+namespace qtrade::vec {
+
+namespace {
+
+using sql::BinaryOp;
+using sql::Expr;
+using sql::ExprKind;
+
+bool Truthy(const Value& v) { return v.is_bool() && v.boolean(); }
+
+// Mirror of expr_eval's comparison semantics: `x = NULL` means IS NULL
+// (two NULLs equal under kEq); any other comparison touching NULL is
+// unknown, i.e. false.
+Value Comparison(BinaryOp op, const Value& l, const Value& r) {
+  if (r.is_null() || l.is_null()) {
+    if (op == BinaryOp::kEq) {
+      return Value::Bool(l.is_null() && r.is_null());
+    }
+    return Value::Bool(false);
+  }
+  int cmp = l.Compare(r);
+  switch (op) {
+    case BinaryOp::kEq: return Value::Bool(cmp == 0);
+    case BinaryOp::kNe: return Value::Bool(cmp != 0);
+    case BinaryOp::kLt: return Value::Bool(cmp < 0);
+    case BinaryOp::kLe: return Value::Bool(cmp <= 0);
+    case BinaryOp::kGt: return Value::Bool(cmp > 0);
+    case BinaryOp::kGe: return Value::Bool(cmp >= 0);
+    default: return Value::Bool(false);
+  }
+}
+
+template <typename T>
+bool CmpOrdered(const T& a, BinaryOp op, const T& b) {
+  switch (op) {
+    case BinaryOp::kEq: return a == b;
+    case BinaryOp::kNe: return a != b;
+    case BinaryOp::kLt: return a < b;
+    case BinaryOp::kLe: return a <= b;
+    case BinaryOp::kGt: return a > b;
+    case BinaryOp::kGe: return a >= b;
+    default: return false;
+  }
+}
+
+}  // namespace
+
+/// Compiled expression node: column refs carry their resolved position,
+/// so per-row evaluation never re-runs schema lookup. Only the
+/// provably error-free expression forms compile (see header).
+struct CompiledPredicate::Node {
+  ExprKind kind = ExprKind::kLiteral;
+  BinaryOp bop = BinaryOp::kEq;
+  size_t col = 0;  // kColumnRef: resolved schema position
+  Value literal;
+  std::vector<Value> in_values;
+  bool negated = false;
+  std::shared_ptr<const Node> left, right;
+};
+
+namespace {
+
+using Node = CompiledPredicate::Node;
+
+/// Compiles the error-free subset; nullptr when `expr` steps outside it.
+std::shared_ptr<const Node> CompileNode(const sql::ExprPtr& expr,
+                                        const TupleSchema& schema) {
+  if (!expr) return nullptr;
+  auto node = std::make_shared<Node>();
+  node->kind = expr->kind;
+  switch (expr->kind) {
+    case ExprKind::kLiteral:
+      node->literal = expr->literal;
+      return node;
+    case ExprKind::kColumnRef: {
+      auto idx = schema.FindColumn(expr->qualifier, expr->column);
+      if (!idx.ok()) return nullptr;
+      node->col = *idx;
+      return node;
+    }
+    case ExprKind::kBinary: {
+      if (!sql::IsComparison(expr->bop) && expr->bop != BinaryOp::kAnd &&
+          expr->bop != BinaryOp::kOr) {
+        return nullptr;  // arithmetic can raise evaluation errors
+      }
+      node->bop = expr->bop;
+      node->left = CompileNode(expr->left, schema);
+      node->right = CompileNode(expr->right, schema);
+      if (!node->left || !node->right) return nullptr;
+      return node;
+    }
+    case ExprKind::kUnary: {
+      if (expr->uop != sql::UnaryOp::kNot) return nullptr;  // kNeg can error
+      node->left = CompileNode(expr->left, schema);
+      if (!node->left) return nullptr;
+      return node;
+    }
+    case ExprKind::kInList: {
+      node->in_values = expr->in_values;
+      node->negated = expr->negated;
+      node->left = CompileNode(expr->left, schema);
+      if (!node->left) return nullptr;
+      return node;
+    }
+    default:
+      return nullptr;  // aggregates / star never appear in a predicate
+  }
+}
+
+/// Does this compiled root always yield a boolean? (The predicate
+/// wrapper errors on non-boolean results, so simple() requires it.)
+bool YieldsBool(const Node& n) {
+  switch (n.kind) {
+    case ExprKind::kBinary:
+      return true;  // only comparisons / AND / OR compile
+    case ExprKind::kUnary:
+    case ExprKind::kInList:
+      return true;
+    default:
+      return false;
+  }
+}
+
+template <typename GetFn>
+Value EvalNode(const Node& n, const GetFn& get) {
+  switch (n.kind) {
+    case ExprKind::kLiteral:
+      return n.literal;
+    case ExprKind::kColumnRef:
+      return get(n.col);
+    case ExprKind::kBinary: {
+      if (n.bop == BinaryOp::kAnd) {
+        if (!Truthy(EvalNode(*n.left, get))) return Value::Bool(false);
+        return Value::Bool(Truthy(EvalNode(*n.right, get)));
+      }
+      if (n.bop == BinaryOp::kOr) {
+        if (Truthy(EvalNode(*n.left, get))) return Value::Bool(true);
+        return Value::Bool(Truthy(EvalNode(*n.right, get)));
+      }
+      return Comparison(n.bop, EvalNode(*n.left, get),
+                        EvalNode(*n.right, get));
+    }
+    case ExprKind::kUnary: {
+      Value v = EvalNode(*n.left, get);
+      if (v.is_null()) return Value::Bool(false);
+      return Value::Bool(!Truthy(v));
+    }
+    case ExprKind::kInList: {
+      Value v = EvalNode(*n.left, get);
+      if (v.is_null()) return Value::Bool(false);
+      bool found = false;
+      for (const auto& candidate : n.in_values) {
+        if (!candidate.is_null() && v.Compare(candidate) == 0) {
+          found = true;
+          break;
+        }
+      }
+      return Value::Bool(n.negated ? !found : found);
+    }
+    default:
+      return Value::Null();
+  }
+}
+
+}  // namespace
+
+CompiledPredicate CompiledPredicate::Compile(const sql::ExprPtr& expr,
+                                             const TupleSchema& schema) {
+  CompiledPredicate p;
+  p.expr_ = expr;
+  p.schema_ = schema;
+  if (!expr) return p;
+  p.root_ = CompileNode(expr, schema);
+  p.simple_ = p.root_ != nullptr && YieldsBool(*p.root_);
+  if (!p.simple_) {
+    p.root_.reset();
+    return p;
+  }
+  // Harvest `col CMP literal` conjuncts off the top-level AND chain for
+  // zone-map pruning; remember whether they ARE the whole predicate.
+  bool pure = true;
+  std::vector<const Expr*> stack = {expr.get()};
+  while (!stack.empty()) {
+    const Expr* e = stack.back();
+    stack.pop_back();
+    if (e->kind == ExprKind::kBinary && e->bop == BinaryOp::kAnd) {
+      stack.push_back(e->left.get());
+      stack.push_back(e->right.get());
+      continue;
+    }
+    if (e->kind == ExprKind::kBinary && sql::IsComparison(e->bop)) {
+      const Expr* cref = nullptr;
+      const Expr* lit = nullptr;
+      BinaryOp op = e->bop;
+      if (e->left->kind == ExprKind::kColumnRef &&
+          e->right->kind == ExprKind::kLiteral) {
+        cref = e->left.get();
+        lit = e->right.get();
+      } else if (e->right->kind == ExprKind::kColumnRef &&
+                 e->left->kind == ExprKind::kLiteral) {
+        cref = e->right.get();
+        lit = e->left.get();
+        op = sql::FlipComparison(e->bop);
+      }
+      if (cref != nullptr) {
+        auto idx = schema.FindColumn(cref->qualifier, cref->column);
+        if (idx.ok()) {
+          p.zone_.push_back(ZonePred{*idx, op, lit->literal});
+          continue;
+        }
+      }
+    }
+    pure = false;  // some conjunct is not a zone-testable comparison
+  }
+  p.pure_zone_ = pure && !p.zone_.empty();
+  return p;
+}
+
+bool CompiledPredicate::CanSkipChunk(const store::ChunkedTable& table,
+                                     size_t c) const {
+  if (!simple_) return false;
+  for (const auto& zp : zone_) {
+    const store::ColumnChunk& ch = table.chunk(zp.col, c);
+    const size_t non_null = ch.rows() - ch.null_count();
+    if (zp.lit.is_null()) {
+      // `x CMP NULL` is false for every op except kEq, which passes
+      // exactly the NULL rows (IS NULL).
+      if (zp.op != BinaryOp::kEq) return true;
+      if (ch.null_count() == 0) return true;
+      continue;
+    }
+    if (non_null == 0) return true;  // NULL rows fail non-null comparisons
+    const Value& lo = ch.min();
+    const Value& hi = ch.max();
+    switch (zp.op) {
+      case BinaryOp::kEq:
+        if (zp.lit.Compare(lo) < 0 || zp.lit.Compare(hi) > 0) return true;
+        break;
+      case BinaryOp::kNe:
+        if (lo.Compare(zp.lit) == 0 && hi.Compare(zp.lit) == 0) return true;
+        break;
+      case BinaryOp::kLt:
+        if (lo.Compare(zp.lit) >= 0) return true;
+        break;
+      case BinaryOp::kLe:
+        if (lo.Compare(zp.lit) > 0) return true;
+        break;
+      case BinaryOp::kGt:
+        if (hi.Compare(zp.lit) <= 0) return true;
+        break;
+      case BinaryOp::kGe:
+        if (hi.Compare(zp.lit) < 0) return true;
+        break;
+      default:
+        break;
+    }
+  }
+  return false;
+}
+
+Status CompiledPredicate::FilterChunk(const store::ChunkedTable& table,
+                                      size_t c, SelectionVector* sel) const {
+  const size_t n = table.ChunkSize(c);
+  if (always_true()) {
+    sel->reserve(sel->size() + n);
+    for (size_t r = 0; r < n; ++r) sel->push_back(static_cast<uint32_t>(r));
+    return Status::OK();
+  }
+  if (!simple_) {
+    // Reference path: materialize each row in order and delegate to
+    // EvalPredicate so errors surface exactly like the row executor.
+    const size_t base = c * table.chunk_rows();
+    for (size_t r = 0; r < n; ++r) {
+      Row row = table.GetRow(base + r);
+      QTRADE_ASSIGN_OR_RETURN(bool keep,
+                              EvalPredicate(expr_, schema_, row));
+      if (keep) sel->push_back(static_cast<uint32_t>(r));
+    }
+    return Status::OK();
+  }
+  if (pure_zone_) {
+    // Packed kernel: refine a selection vector conjunct by conjunct,
+    // reading typed buffers directly where the chunk allows it.
+    SelectionVector live;
+    live.reserve(n);
+    for (size_t r = 0; r < n; ++r) live.push_back(static_cast<uint32_t>(r));
+    SelectionVector next;
+    for (const auto& zp : zone_) {
+      const store::ColumnChunk& ch = table.chunk(zp.col, c);
+      next.clear();
+      next.reserve(live.size());
+      if (ch.packed_i64() && zp.lit.is_int64()) {
+        const std::vector<int64_t>& v = ch.i64();
+        const int64_t lit = zp.lit.int64();
+        for (uint32_t r : live) {
+          if (CmpOrdered(v[r], zp.op, lit)) next.push_back(r);
+        }
+      } else if (ch.packed_f64() && zp.lit.is_double()) {
+        const std::vector<double>& v = ch.f64();
+        const double lit = zp.lit.dbl();
+        for (uint32_t r : live) {
+          if (CmpOrdered(v[r], zp.op, lit)) next.push_back(r);
+        }
+      } else {
+        for (uint32_t r : live) {
+          if (Truthy(Comparison(zp.op, ch.Get(r), zp.lit))) {
+            next.push_back(r);
+          }
+        }
+      }
+      live.swap(next);
+      if (live.empty()) break;
+    }
+    sel->insert(sel->end(), live.begin(), live.end());
+    return Status::OK();
+  }
+  // General simple predicate: compiled tree, per-row, no lookups.
+  for (size_t r = 0; r < n; ++r) {
+    Value v = EvalNode(
+        *root_, [&](size_t col) { return table.chunk(col, c).Get(r); });
+    if (Truthy(v)) sel->push_back(static_cast<uint32_t>(r));
+  }
+  return Status::OK();
+}
+
+Status CompiledPredicate::FilterRows(const RowSet& rows,
+                                     SelectionVector* sel) const {
+  const size_t n = rows.rows.size();
+  if (always_true()) {
+    sel->reserve(sel->size() + n);
+    for (size_t r = 0; r < n; ++r) sel->push_back(static_cast<uint32_t>(r));
+    return Status::OK();
+  }
+  if (!simple_) {
+    for (size_t r = 0; r < n; ++r) {
+      QTRADE_ASSIGN_OR_RETURN(
+          bool keep, EvalPredicate(expr_, schema_, rows.rows[r]));
+      if (keep) sel->push_back(static_cast<uint32_t>(r));
+    }
+    return Status::OK();
+  }
+  for (size_t r = 0; r < n; ++r) {
+    const Row& row = rows.rows[r];
+    Value v = EvalNode(*root_,
+                       [&](size_t col) -> const Value& { return row[col]; });
+    if (Truthy(v)) sel->push_back(static_cast<uint32_t>(r));
+  }
+  return Status::OK();
+}
+
+TupleSchema ProjectionSchema(const std::vector<sql::BoundOutput>& outputs) {
+  TupleSchema schema;
+  for (const auto& o : outputs) {
+    TupleColumn col;
+    col.name = o.name;
+    col.type = o.type;
+    if (o.expr->kind == ExprKind::kColumnRef) {
+      col.qualifier = o.expr->qualifier;
+    }
+    schema.AddColumn(col);
+  }
+  return schema;
+}
+
+Status ProjectChunk(const store::ChunkedTable& table, size_t c,
+                    const SelectionVector& sel,
+                    const TupleSchema& in_schema,
+                    const std::vector<sql::BoundOutput>& outputs,
+                    RowSet* out) {
+  // Resolve pure column-ref outputs once; -1 marks computed outputs.
+  std::vector<int> cols(outputs.size(), -1);
+  bool all_refs = true;
+  for (size_t i = 0; i < outputs.size(); ++i) {
+    const auto& o = outputs[i];
+    if (o.expr->kind == ExprKind::kColumnRef) {
+      auto idx = in_schema.FindColumn(o.expr->qualifier, o.expr->column);
+      if (idx.ok()) {
+        cols[i] = static_cast<int>(*idx);
+        continue;
+      }
+    }
+    all_refs = false;
+  }
+  out->rows.reserve(out->rows.size() + sel.size());
+  if (all_refs) {
+    for (uint32_t r : sel) {
+      Row projected;
+      projected.reserve(outputs.size());
+      for (int col : cols) {
+        projected.push_back(table.chunk(static_cast<size_t>(col), c).Get(r));
+      }
+      out->rows.push_back(std::move(projected));
+    }
+    return Status::OK();
+  }
+  const size_t base = c * table.chunk_rows();
+  for (uint32_t r : sel) {
+    Row row = table.GetRow(base + r);
+    Row projected;
+    projected.reserve(outputs.size());
+    for (size_t i = 0; i < outputs.size(); ++i) {
+      if (cols[i] >= 0) {
+        projected.push_back(row[cols[i]]);
+        continue;
+      }
+      QTRADE_ASSIGN_OR_RETURN(
+          Value v, EvalExpr(outputs[i].expr, in_schema, row));
+      projected.push_back(std::move(v));
+    }
+    out->rows.push_back(std::move(projected));
+  }
+  return Status::OK();
+}
+
+JoinTable BuildJoinTable(const RowSet& rows,
+                         const std::vector<size_t>& key_cols) {
+  JoinTable table;
+  for (const auto& row : rows.rows) {
+    Row key;
+    key.reserve(key_cols.size());
+    for (size_t idx : key_cols) key.push_back(row[idx]);
+    bool has_null = std::any_of(key.begin(), key.end(),
+                                [](const Value& v) { return v.is_null(); });
+    if (has_null) continue;  // NULL never joins
+    table[std::move(key)].push_back(&row);
+  }
+  return table;
+}
+
+Status ProbeJoinTable(const RowSet& left,
+                      const std::vector<size_t>& key_cols,
+                      const JoinTable& table, const TupleSchema& out_schema,
+                      const sql::ExprPtr& residual, RowSet* out) {
+  constexpr size_t kProbeBlock = 1024;
+  const size_t n = left.rows.size();
+  std::vector<Row> keys;
+  std::vector<uint8_t> valid;
+  for (size_t block = 0; block < n; block += kProbeBlock) {
+    const size_t end = std::min(n, block + kProbeBlock);
+    // Gather this block's keys in one pass before any probing.
+    keys.clear();
+    valid.clear();
+    for (size_t r = block; r < end; ++r) {
+      const Row& lrow = left.rows[r];
+      Row key;
+      key.reserve(key_cols.size());
+      bool has_null = false;
+      for (size_t idx : key_cols) {
+        has_null = has_null || lrow[idx].is_null();
+        key.push_back(lrow[idx]);
+      }
+      keys.push_back(std::move(key));
+      valid.push_back(has_null ? 0 : 1);
+    }
+    for (size_t r = block; r < end; ++r) {
+      if (!valid[r - block]) continue;
+      auto it = table.find(keys[r - block]);
+      if (it == table.end()) continue;
+      const Row& lrow = left.rows[r];
+      for (const Row* rrow : it->second) {
+        Row joined = lrow;
+        joined.insert(joined.end(), rrow->begin(), rrow->end());
+        if (residual) {
+          QTRADE_ASSIGN_OR_RETURN(
+              bool keep, EvalPredicate(residual, out_schema, joined));
+          if (!keep) continue;
+        }
+        out->rows.push_back(std::move(joined));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace qtrade::vec

@@ -1,0 +1,128 @@
+// Vectorized operator set over the columnar store (exec/vec/): chunk
+// scan with zone-map skipping, predicate filtering compiled to per-chunk
+// selection vectors, projection, and a batched hash-join probe.
+//
+// Correctness contract: every operator here agrees *exactly* — rows,
+// order, and error statuses — with the row-at-a-time reference path in
+// exec/expr_eval.h / exec/executor.cc. A predicate only qualifies for
+// the vectorized fast path (and zone-map chunk skipping) when its
+// compiled form provably cannot produce an evaluation error:
+// comparisons, AND/OR/NOT and IN-lists over resolvable columns and
+// literals. Anything else (arithmetic, unresolved refs, aggregates)
+// falls back to per-row EvalPredicate in scan order, so error behavior
+// is byte-identical to the reference.
+#ifndef QTRADE_EXEC_VEC_VECTORIZED_H_
+#define QTRADE_EXEC_VEC_VECTORIZED_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "sql/analyzer.h"
+#include "sql/ast.h"
+#include "store/column_store.h"
+#include "types/row.h"
+#include "util/status.h"
+
+namespace qtrade::vec {
+
+/// In-chunk row indices that passed a filter, in ascending order.
+using SelectionVector = std::vector<uint32_t>;
+
+/// Lexicographic row order (the executor's hash/aggregation key order).
+struct RowOrder {
+  bool operator()(const Row& a, const Row& b) const {
+    for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+      int cmp = a[i].Compare(b[i]);
+      if (cmp != 0) return cmp < 0;
+    }
+    return a.size() < b.size();
+  }
+};
+
+/// A predicate compiled once against a schema: column refs resolved to
+/// positions, zone-map conjuncts extracted, fast-path eligibility
+/// decided. Cheap to move; evaluate against chunks or whole rows.
+class CompiledPredicate {
+ public:
+  CompiledPredicate() = default;
+
+  /// Compiles `expr` (nullptr = always true) against `schema`.
+  static CompiledPredicate Compile(const sql::ExprPtr& expr,
+                                   const TupleSchema& schema);
+
+  bool always_true() const { return expr_ == nullptr; }
+
+  /// True when the compiled form is provably error-free (see header
+  /// comment) — the precondition for zone-map skipping.
+  bool simple() const { return simple_; }
+
+  /// Zone-map pruning: true when no row of chunk `c` can satisfy the
+  /// predicate. Only ever true for simple() predicates.
+  bool CanSkipChunk(const store::ChunkedTable& table, size_t c) const;
+
+  /// Appends the passing in-chunk row indices of chunk `c` to `sel`.
+  /// Mirrors per-row EvalPredicate exactly, including error statuses.
+  Status FilterChunk(const store::ChunkedTable& table, size_t c,
+                     SelectionVector* sel) const;
+
+  /// Row-set fallback of FilterChunk (same compiled tree, same result).
+  Status FilterRows(const RowSet& rows, SelectionVector* sel) const;
+
+  /// Compiled expression tree (defined in the .cc; public so the
+  /// compile helpers there can build it).
+  struct Node;
+
+ private:
+  /// One `col CMP literal` conjunct of the top-level AND chain, usable
+  /// against chunk zone maps.
+  struct ZonePred {
+    size_t col = 0;
+    sql::BinaryOp op = sql::BinaryOp::kEq;
+    Value lit;
+  };
+
+  sql::ExprPtr expr_;
+  TupleSchema schema_;
+  std::shared_ptr<const Node> root_;
+  bool simple_ = false;
+  /// True when the whole predicate is exactly the AND chain of `zone_`
+  /// (enables the packed-buffer kernel).
+  bool pure_zone_ = false;
+  std::vector<ZonePred> zone_;
+};
+
+/// Output schema of a projection (matches the executor's Project).
+TupleSchema ProjectionSchema(const std::vector<sql::BoundOutput>& outputs);
+
+/// Projects the selected rows of chunk `c` through `outputs`, appending
+/// to `out->rows` (the caller owns out->schema). `in_schema` is the
+/// scan-output schema the chunk's rows are positioned against (e.g. the
+/// alias-qualified partition schema). Pure column refs copy values
+/// positionally; computed outputs evaluate per row — identical results
+/// and errors to the executor's Project.
+Status ProjectChunk(const store::ChunkedTable& table, size_t c,
+                    const SelectionVector& sel,
+                    const TupleSchema& in_schema,
+                    const std::vector<sql::BoundOutput>& outputs,
+                    RowSet* out);
+
+/// Hash-join build/probe split out of the executor so the probe side can
+/// run batched. Build keys rows of `rows` by `key_cols`; rows with a
+/// NULL key never join.
+using JoinTable = std::map<Row, std::vector<const Row*>, RowOrder>;
+JoinTable BuildJoinTable(const RowSet& rows,
+                         const std::vector<size_t>& key_cols);
+
+/// Probes `table` with the rows of `left` in blocks (keys gathered per
+/// block, then looked up), emitting matches in probe order. `residual`
+/// (may be null) is evaluated against the joined row under `out_schema`.
+Status ProbeJoinTable(const RowSet& left,
+                      const std::vector<size_t>& key_cols,
+                      const JoinTable& table, const TupleSchema& out_schema,
+                      const sql::ExprPtr& residual, RowSet* out);
+
+}  // namespace qtrade::vec
+
+#endif  // QTRADE_EXEC_VEC_VECTORIZED_H_

@@ -171,8 +171,9 @@ Result<std::string> TcpTransport::AwaitReply(
     if (peer->generation != gen) return done(stranded());
     auto in = peer->inbox.find(channel);
     if (in != peer->inbox.end()) {
-      std::string frame = std::move(in->second);
-      peer->inbox.erase(in);
+      std::string frame = std::move(in->second.front());
+      in->second.pop_front();
+      if (in->second.empty()) peer->inbox.erase(in);
       return done(std::move(frame));
     }
     if (bounded && std::chrono::steady_clock::now() >= deadline) {
@@ -220,7 +221,7 @@ Result<std::string> TcpTransport::AwaitReply(
       }
       if (header->channel == channel) return done(std::move(*frame));
       if (peer->waiting.count(header->channel) > 0) {
-        peer->inbox[header->channel] = std::move(*frame);
+        peer->inbox[header->channel].push_back(std::move(*frame));
         peer->cv.notify_all();
       }
       // else: orphaned reply (its waiter already gave up) — dropped.
@@ -594,9 +595,23 @@ Status TcpTransport::ShutdownPeer(const std::string& name) {
 }
 
 Result<RowSet> TcpTransport::FetchOffer(const std::string& peer_name,
-                                        const std::string& offer_id) {
+                                        const std::string& offer_id,
+                                        DeliveryStats* stats) {
+  if (stats != nullptr) *stats = DeliveryStats{};
+  const auto t0 = std::chrono::steady_clock::now();
+  auto us_since_t0 = [&t0] {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
   if (NodeEndpoint* ep = endpoint(peer_name)) {
-    return ep->HandleExecuteOffer(offer_id);
+    auto rows = ep->HandleExecuteOffer(offer_id);
+    if (rows.ok() && stats != nullptr) {
+      stats->chunks = 1;
+      stats->rows = static_cast<int64_t>(rows->rows.size());
+      stats->first_row_us = stats->last_row_us = us_since_t0();
+    }
+    return rows;
   }
   PeerState* p = peer(peer_name);
   if (p == nullptr) return Status::NotFound("no such peer: " + peer_name);
@@ -606,18 +621,148 @@ Result<RowSet> TcpTransport::FetchOffer(const std::string& peer_name,
   const std::string frame = e.Seal(serde::MsgType::kExecuteOffer, channel);
   network_->Send("buyer", peer_name, static_cast<int64_t>(frame.size()),
                  "data");
-  QTRADE_ASSIGN_OR_RETURN(std::string raw, RoundTrip(p, frame, channel));
-  auto rows = serde::DecodeRowSet(raw);
-  if (!rows.ok()) {
-    Status declined;
-    if (serde::DecodeError(raw, &declined).ok() && !declined.ok()) {
-      return declined;
+
+  // The reply may be a single kRowSet or a kRowChunk... kRowStreamEnd
+  // stream, so this exchange cannot go through RoundTrip: the channel
+  // must stay registered in `waiting` across *every* frame of the
+  // stream, or a leader serving another channel would drop our
+  // mid-stream chunks as orphans the moment our one-frame wait ended.
+  std::unique_lock<std::mutex> lock(p->mu);
+  p->waiting[channel]++;
+  auto unregister = [&] {
+    auto it = p->waiting.find(channel);
+    if (it != p->waiting.end() && --it->second <= 0) p->waiting.erase(it);
+  };
+
+  // First frame, with RoundTrip's stale-connection retry semantics.
+  Result<std::string> first = Status::Internal("tcp fetch: unreachable");
+  uint64_t gen = 0;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const bool reused = p->fd >= 0;
+    if (!reused) {
+      auto fd = net::ConnectTcp(p->host, p->port,
+                                options_.connect_timeout_ms);
+      if (!fd.ok()) {
+        unregister();
+        return fd.status();
+      }
+      p->fd = *fd;
     }
-    return rows.status();
+    gen = p->generation;
+    Status sent = net::WriteAll(p->fd, frame);
+    if (!sent.ok()) {
+      TearDownLocked(p, sent);
+      if (reused && attempt == 0) continue;
+      unregister();
+      return sent;
+    }
+    first = AwaitReply(p, lock, channel, gen);
+    if (!first.ok() && reused && attempt == 0 &&
+        first.status().code() != StatusCode::kTimeout) {
+      continue;
+    }
+    break;
   }
-  network_->Send(peer_name, "buyer", static_cast<int64_t>(raw.size()),
-                 "data");
-  return rows;
+  if (!first.ok()) {
+    unregister();
+    return first.status();
+  }
+
+  Result<RowSet> result = Status::Internal("tcp fetch: unreachable");
+  std::string raw = std::move(*first);
+  RowSet out;
+  uint32_t chunks = 0;
+  while (true) {
+    network_->Send(peer_name, "buyer", static_cast<int64_t>(raw.size()),
+                   "data");
+    if (stats != nullptr) stats->bytes += static_cast<int64_t>(raw.size());
+    auto parsed = serde::ParseFrame(raw);
+    if (!parsed.ok()) {
+      result = parsed.status();
+      break;
+    }
+    if (parsed->type == serde::MsgType::kError) {
+      Status declined;
+      if (serde::DecodeError(raw, &declined).ok() && !declined.ok()) {
+        result = declined;
+      } else {
+        result = Status::Internal("tcp fetch: malformed error frame");
+      }
+      break;
+    }
+    if (parsed->type == serde::MsgType::kRowSet) {
+      // Classic whole-answer delivery (daemon without chunk_rows).
+      if (chunks > 0) {
+        result = Status::Internal("tcp fetch: kRowSet inside a chunk stream");
+        break;
+      }
+      auto rows = serde::DecodeRowSet(raw);
+      if (rows.ok() && stats != nullptr) {
+        stats->chunks = 1;
+        stats->rows = static_cast<int64_t>(rows->rows.size());
+        stats->first_row_us = stats->last_row_us = us_since_t0();
+      }
+      result = std::move(rows);
+      break;
+    }
+    if (parsed->type == serde::MsgType::kRowChunk) {
+      auto chunk = serde::DecodeRowChunk(raw);
+      if (!chunk.ok()) {
+        result = chunk.status();
+        break;
+      }
+      if (chunk->seq != chunks) {
+        result = Status::Internal("tcp fetch: stream desync (chunk " +
+                                  std::to_string(chunk->seq) + ", expected " +
+                                  std::to_string(chunks) + ")");
+        break;
+      }
+      if (chunks == 0) {
+        out.schema = chunk->rows.schema;
+        if (stats != nullptr) stats->first_row_us = us_since_t0();
+      }
+      out.rows.reserve(out.rows.size() + chunk->rows.rows.size());
+      for (auto& row : chunk->rows.rows) out.rows.push_back(std::move(row));
+      ++chunks;
+      auto next = AwaitReply(p, lock, channel, gen);
+      if (!next.ok()) {
+        result = next.status();
+        break;
+      }
+      raw = std::move(*next);
+      continue;
+    }
+    if (parsed->type == serde::MsgType::kRowStreamEnd) {
+      // Even an empty answer streams as one zero-row chunk, so a stream
+      // ending before any chunk means frames were lost or reordered.
+      if (chunks == 0) {
+        result = Status::Internal("tcp fetch: stream end before any chunk");
+        break;
+      }
+      auto end = serde::DecodeRowStreamEnd(raw);
+      if (!end.ok()) {
+        result = end.status();
+        break;
+      }
+      if (end->chunks != chunks || end->rows != out.rows.size()) {
+        result = Status::Internal("tcp fetch: stream totals mismatch");
+        break;
+      }
+      if (stats != nullptr) {
+        stats->streamed = true;
+        stats->chunks = chunks;
+        stats->rows = static_cast<int64_t>(out.rows.size());
+        stats->last_row_us = us_since_t0();
+      }
+      result = std::move(out);
+      break;
+    }
+    result = Status::Internal(std::string("tcp fetch: unexpected frame: ") +
+                              serde::MsgTypeName(parsed->type));
+    break;
+  }
+  unregister();
+  return result;
 }
 
 }  // namespace qtrade

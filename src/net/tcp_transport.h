@@ -36,6 +36,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -101,9 +102,16 @@ class TcpTransport : public Transport {
   Status ShutdownPeer(const std::string& name);
 
   /// Ships a previously sold answer from a remote seller (the kRfb
-  /// negotiation's delivery leg); accounted as "data" traffic.
+  /// negotiation's delivery leg); accounted as "data" traffic. Accepts
+  /// both reply shapes: a classic single kRowSet, or a kRowChunk stream
+  /// closed by kRowStreamEnd (a daemon started with chunk_rows > 0) —
+  /// chunks are reassembled in sequence order and verified against the
+  /// stream-end totals, so the returned RowSet is byte-identical either
+  /// way. `stats`, when non-null, receives the measured delivery
+  /// (time-to-first-row, chunk/row/byte totals).
   Result<RowSet> FetchOffer(const std::string& peer,
-                            const std::string& offer_id);
+                            const std::string& offer_id,
+                            DeliveryStats* stats = nullptr);
 
   // Transport:
   void Register(NodeEndpoint* endpoint) override;
@@ -144,8 +152,11 @@ class TcpTransport : public Transport {
     /// arriving for channels nobody waits on (a waiter timed out and
     /// the connection survived a race) are dropped, not stashed.
     std::map<uint32_t, int> waiting;
-    /// Replies the leader read that belong to other channels.
-    std::map<uint32_t, std::string> inbox;
+    /// Replies the leader read that belong to other channels, in
+    /// arrival order per channel. A streamed delivery (kRowChunk...
+    /// kRowStreamEnd) can queue several frames for one channel while
+    /// its waiter is off the lock decoding the previous chunk.
+    std::map<uint32_t, std::deque<std::string>> inbox;
     /// Why the last teardown happened (surfaced to stranded waiters).
     Status fail_status = Status::OK();
   };

@@ -21,7 +21,9 @@
 #ifndef QTRADE_NET_TRANSPORT_H_
 #define QTRADE_NET_TRANSPORT_H_
 
+#include <algorithm>
 #include <atomic>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -64,6 +66,36 @@ class NodeEndpoint {
   /// Delivery of a previously sold answer (subcontract re-shipping).
   virtual Result<RowSet> HandleExecuteOffer(const std::string& offer_id) = 0;
 
+  /// Receives one chunk of a streamed delivery, in stream order. A
+  /// non-OK return aborts the stream (e.g. the connection died).
+  using RowSink = std::function<Status(const RowSet& chunk)>;
+
+  /// Streaming delivery of a sold answer: hands the result to `sink` in
+  /// chunks of at most `chunk_rows` rows, each carrying the full output
+  /// schema. An empty result still emits exactly one (zero-row) chunk so
+  /// the schema always travels. Chunk boundaries are the ONLY degree of
+  /// freedom: concatenating the chunks must equal HandleExecuteOffer's
+  /// RowSet for every chunk_rows value. The default implementation
+  /// materializes the whole answer and slices it; engines with a
+  /// columnar execution path override this to emit chunks as they are
+  /// produced (real first-row latency).
+  virtual Status HandleExecuteOfferChunked(const std::string& offer_id,
+                                           size_t chunk_rows,
+                                           const RowSink& sink) {
+    if (chunk_rows == 0) chunk_rows = 1;
+    auto rows = HandleExecuteOffer(offer_id);
+    if (!rows.ok()) return rows.status();
+    RowSet chunk;
+    chunk.schema = rows->schema;
+    if (rows->rows.empty()) return sink(chunk);
+    for (size_t start = 0; start < rows->rows.size(); start += chunk_rows) {
+      const size_t end = std::min(rows->rows.size(), start + chunk_rows);
+      chunk.rows.assign(rows->rows.begin() + start, rows->rows.begin() + end);
+      QTRADE_RETURN_IF_ERROR(sink(chunk));
+    }
+    return Status::OK();
+  }
+
   /// Parallel plan-search width hint (QtOptions::dp_threads) applied by
   /// whoever hosts this endpoint — the NodeServer daemon or the
   /// QueryTradingOptimizer facade. Endpoints that run no DP ignore it;
@@ -80,6 +112,19 @@ class NodeEndpoint {
       std::vector<std::pair<std::string, std::string>>* out) const {
     (void)out;
   }
+};
+
+/// Measured delivery of one sold answer (the execute-offer leg).
+/// Timestamps are microseconds since the fetch was issued, so
+/// first_row_us is the time-to-first-row the QT paper's property vector
+/// talks about; for a whole-RowSet delivery first == last.
+struct DeliveryStats {
+  bool streamed = false;     // arrived as a kRowChunk stream, not one kRowSet
+  int64_t chunks = 0;
+  int64_t rows = 0;
+  int64_t bytes = 0;         // wire bytes received (0 for in-process)
+  int64_t first_row_us = 0;  // request start -> first chunk landed
+  int64_t last_row_us = 0;   // request start -> delivery complete
 };
 
 /// One seller's reply to an RFB fan-out.

@@ -217,6 +217,19 @@ struct TradeMetrics {
   int64_t deliveries_failed = 0;
   int64_t reawards = 0;
   int64_t reroutes = 0;
+  /// Data plane (facade Execute): sold answers shipped to the buyer,
+  /// how many arrived as kRowChunk streams, their chunk/row/byte
+  /// totals, and the measured first-row/last-row latency summed over
+  /// deliveries (µs; divide by `deliveries` for the mean). first_row ==
+  /// last_row for whole-RowSet deliveries; bytes counts wire frames for
+  /// remote fetches and 0 for in-process ones.
+  int64_t deliveries = 0;
+  int64_t deliveries_streamed = 0;
+  int64_t delivery_chunks = 0;
+  int64_t delivery_rows = 0;
+  int64_t delivery_bytes = 0;
+  int64_t delivery_first_row_us = 0;
+  int64_t delivery_last_row_us = 0;
 };
 
 }  // namespace qtrade

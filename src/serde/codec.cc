@@ -37,6 +37,8 @@ const char* MsgTypeName(MsgType type) {
     case MsgType::kShutdown: return "shutdown";
     case MsgType::kStatsRequest: return "stats_request";
     case MsgType::kStatsResponse: return "stats_response";
+    case MsgType::kRowChunk: return "row_chunk";
+    case MsgType::kRowStreamEnd: return "row_stream_end";
   }
   return "unknown";
 }
@@ -293,7 +295,7 @@ Result<FrameHeader> ParseFrameHeader(std::string_view data) {
     QTRADE_RETURN_IF_ERROR(d.ReadI64(&header.trace.echo_us));
   }
   if (type < static_cast<uint8_t>(MsgType::kRfb) ||
-      type > static_cast<uint8_t>(MsgType::kStatsResponse)) {
+      type > static_cast<uint8_t>(MsgType::kRowStreamEnd)) {
     return Status::ParseError("codec: unknown frame type " +
                               std::to_string(type));
   }
@@ -857,6 +859,61 @@ Result<RowSet> DecodeRowSet(std::string_view data) {
   QTRADE_RETURN_IF_ERROR(ReadRowSet(&d, &rows));
   QTRADE_RETURN_IF_ERROR(d.ExpectEnd());
   return rows;
+}
+
+// ---- Row streaming --------------------------------------------------------
+
+void AppendRowChunk(Encoder* e, uint32_t seq, const RowSet& rows) {
+  e->PutU32(seq);
+  AppendRowSet(e, rows);
+}
+
+Status ReadRowChunk(Decoder* d, RowChunk* chunk) {
+  QTRADE_RETURN_IF_ERROR(d->ReadU32(&chunk->seq));
+  return ReadRowSet(d, &chunk->rows);
+}
+
+std::string EncodeRowChunk(const RowSet& rows, uint32_t seq,
+                           uint32_t channel) {
+  Encoder e;
+  AppendRowChunk(&e, seq, rows);
+  return e.Seal(MsgType::kRowChunk, channel);
+}
+
+Result<RowChunk> DecodeRowChunk(std::string_view data) {
+  QTRADE_ASSIGN_OR_RETURN(FrameView frame,
+                          ExpectFrame(data, MsgType::kRowChunk));
+  Decoder d(frame.payload);
+  RowChunk chunk;
+  QTRADE_RETURN_IF_ERROR(ReadRowChunk(&d, &chunk));
+  QTRADE_RETURN_IF_ERROR(d.ExpectEnd());
+  return chunk;
+}
+
+void AppendRowStreamEnd(Encoder* e, const RowStreamEnd& end) {
+  e->PutU32(end.chunks);
+  e->PutU64(end.rows);
+}
+
+Status ReadRowStreamEnd(Decoder* d, RowStreamEnd* end) {
+  QTRADE_RETURN_IF_ERROR(d->ReadU32(&end->chunks));
+  return d->ReadU64(&end->rows);
+}
+
+std::string EncodeRowStreamEnd(const RowStreamEnd& end, uint32_t channel) {
+  Encoder e;
+  AppendRowStreamEnd(&e, end);
+  return e.Seal(MsgType::kRowStreamEnd, channel);
+}
+
+Result<RowStreamEnd> DecodeRowStreamEnd(std::string_view data) {
+  QTRADE_ASSIGN_OR_RETURN(FrameView frame,
+                          ExpectFrame(data, MsgType::kRowStreamEnd));
+  Decoder d(frame.payload);
+  RowStreamEnd end;
+  QTRADE_RETURN_IF_ERROR(ReadRowStreamEnd(&d, &end));
+  QTRADE_RETURN_IF_ERROR(d.ExpectEnd());
+  return end;
 }
 
 // ---- Error ----------------------------------------------------------------

@@ -103,6 +103,8 @@ enum class MsgType : uint8_t {
   kShutdown = 12,     // orderly daemon stop
   kStatsRequest = 13,   // admin -> daemon: introspection snapshot request
   kStatsResponse = 14,  // daemon -> admin: StatsSnapshot
+  kRowChunk = 15,       // seller -> buyer: one chunk of a streamed answer
+  kRowStreamEnd = 16,   // seller -> buyer: end of stream + totals
 };
 
 const char* MsgTypeName(MsgType type);
@@ -291,6 +293,34 @@ void AppendRowSet(Encoder* e, const RowSet& rows);
 Status ReadRowSet(Decoder* d, RowSet* rows);
 std::string EncodeRowSet(const RowSet& rows, uint32_t channel = 0);
 Result<RowSet> DecodeRowSet(std::string_view frame);
+
+/// One chunk of a streamed sold answer (kRowChunk): a chunk sequence
+/// number followed by a regular RowSet payload. Every chunk repeats the
+/// schema, so each frame is self-contained (a truncated or reordered
+/// stream can never make a chunk unparseable) and a one-chunk stream
+/// carries exactly a kRowSet payload behind a different type tag —
+/// today's whole-RowSet semantics degrade cleanly.
+struct RowChunk {
+  uint32_t seq = 0;  // 0-based position in the stream
+  RowSet rows;
+};
+void AppendRowChunk(Encoder* e, uint32_t seq, const RowSet& rows);
+Status ReadRowChunk(Decoder* d, RowChunk* chunk);
+std::string EncodeRowChunk(const RowSet& rows, uint32_t seq,
+                           uint32_t channel = 0);
+Result<RowChunk> DecodeRowChunk(std::string_view frame);
+
+/// End-of-stream marker (kRowStreamEnd): how many chunks and rows the
+/// server sent, so the client can verify it reassembled the whole
+/// answer.
+struct RowStreamEnd {
+  uint32_t chunks = 0;
+  uint64_t rows = 0;
+};
+void AppendRowStreamEnd(Encoder* e, const RowStreamEnd& end);
+Status ReadRowStreamEnd(Decoder* d, RowStreamEnd* end);
+std::string EncodeRowStreamEnd(const RowStreamEnd& end, uint32_t channel = 0);
+Result<RowStreamEnd> DecodeRowStreamEnd(std::string_view frame);
 
 /// kError payload: the failing handler's StatusCode + message.
 std::string EncodeError(const Status& status, uint32_t channel = 0);

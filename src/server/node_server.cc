@@ -75,6 +75,13 @@ StatsSnapshot NodeServer::BuildStatsSnapshot(uint32_t channel) {
   put("server.active_connections", active_connections());
   put("server.workers", std::max(1, options_.workers));
   put("server.in_flight", in_flight());
+  // Streamed-delivery plane (kExecuteOffer with chunk_rows > 0): how
+  // many sold answers went out chunk-by-chunk, and how big the flow is.
+  put("delivery.chunk_rows", options_.chunk_rows);
+  put("delivery.streams_total", delivery_streams_total());
+  put("delivery.streams_active", delivery_streams_active());
+  put("delivery.chunks_sent", delivery_chunks_sent());
+  put("delivery.bytes_streamed", delivery_bytes_streamed());
   {
     // Channels with a handler running right now: how many negotiations
     // this node is serving concurrently, and which.
@@ -497,6 +504,52 @@ void NodeServer::ProcessFrame(const Work& work) {
       if (read.ok()) read = d.ExpectEnd();
       if (!read.ok()) {
         reply = seal_error(read);
+        break;
+      }
+      if (version >= 3 && options_.chunk_rows > 0) {
+        // Streamed delivery: each chunk goes out as its own kRowChunk
+        // frame the moment the endpoint produces it (WriteReply holds
+        // the connection's write mutex per whole frame, so chunks from
+        // concurrent streams interleave only at frame boundaries and
+        // stay in order per channel). The closing kRowStreamEnd carries
+        // the chunk/row totals so the client can verify reassembly; any
+        // handler error becomes a kError frame, even mid-stream —
+        // clients treat it as the whole delivery failing, exactly like
+        // a classic whole-request error.
+        delivery_streams_total_.fetch_add(1, std::memory_order_relaxed);
+        delivery_streams_active_.fetch_add(1, std::memory_order_relaxed);
+        uint32_t seq = 0;
+        uint64_t total_rows = 0;
+        Status streamed = endpoint_->HandleExecuteOfferChunked(
+            offer_id, static_cast<size_t>(options_.chunk_rows),
+            [&](const RowSet& chunk) -> Status {
+              serde::Encoder e;
+              serde::AppendRowChunk(&e, seq, chunk);
+              const std::string frame_out =
+                  seal(serde::MsgType::kRowChunk, e.buffer());
+              if (work.conn->dead.load(std::memory_order_relaxed)) {
+                return Status::Internal("stream connection closed");
+              }
+              WriteReply(work.conn, frame_out);
+              ++seq;
+              total_rows += chunk.rows.size();
+              delivery_chunks_sent_.fetch_add(1, std::memory_order_relaxed);
+              delivery_bytes_streamed_.fetch_add(
+                  static_cast<int64_t>(frame_out.size()),
+                  std::memory_order_relaxed);
+              return Status::OK();
+            });
+        delivery_streams_active_.fetch_sub(1, std::memory_order_relaxed);
+        if (streamed.ok()) {
+          serde::Encoder e;
+          serde::RowStreamEnd end;
+          end.chunks = seq;
+          end.rows = total_rows;
+          serde::AppendRowStreamEnd(&e, end);
+          reply = seal(serde::MsgType::kRowStreamEnd, e.buffer());
+        } else {
+          reply = seal_error(streamed);
+        }
         break;
       }
       auto rows = endpoint_->HandleExecuteOffer(offer_id);

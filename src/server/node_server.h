@@ -72,6 +72,14 @@ struct NodeServerOptions {
   /// never multiply into workers*dp_threads OS threads. -1 = leave the
   /// endpoint's own configuration untouched.
   int dp_threads = -1;
+  /// Streamed delivery: answer v3 kExecuteOffer requests with a sequence
+  /// of kRowChunk frames of at most this many rows followed by one
+  /// kRowStreamEnd, instead of a single kRowSet. 0 (the default) keeps
+  /// the classic whole-RowSet reply; v1/v2 requests always get the
+  /// classic reply regardless. Chunk boundaries never change row
+  /// content or order — a stream concatenates to exactly the kRowSet
+  /// the classic path would have sent.
+  int chunk_rows = 0;
 };
 
 class NodeServer {
@@ -108,6 +116,20 @@ class NodeServer {
   /// leave immediately — nothing accumulates per past connection).
   int64_t active_connections() const {
     return active_connections_.load(std::memory_order_relaxed);
+  }
+  /// Streamed-delivery counters (kRowChunk frames written, their wire
+  /// bytes, streams completed, streams currently emitting).
+  int64_t delivery_chunks_sent() const {
+    return delivery_chunks_sent_.load(std::memory_order_relaxed);
+  }
+  int64_t delivery_bytes_streamed() const {
+    return delivery_bytes_streamed_.load(std::memory_order_relaxed);
+  }
+  int64_t delivery_streams_total() const {
+    return delivery_streams_total_.load(std::memory_order_relaxed);
+  }
+  int64_t delivery_streams_active() const {
+    return delivery_streams_active_.load(std::memory_order_relaxed);
   }
 
   /// Attaches tracing/metrics to the serve path (nulls detach). With a
@@ -185,6 +207,11 @@ class NodeServer {
   std::atomic<int64_t> requests_served_{0};
   std::atomic<int64_t> connections_accepted_{0};
   std::atomic<int64_t> active_connections_{0};
+  /// Streamed-delivery accounting (kExecuteOffer with chunk_rows > 0).
+  std::atomic<int64_t> delivery_chunks_sent_{0};
+  std::atomic<int64_t> delivery_bytes_streamed_{0};
+  std::atomic<int64_t> delivery_streams_total_{0};
+  std::atomic<int64_t> delivery_streams_active_{0};
   std::thread reactor_thread_;
   std::vector<std::thread> workers_;
   std::mutex queue_mu_;

@@ -1,0 +1,136 @@
+#include "store/column_store.h"
+
+namespace qtrade::store {
+
+void ColumnChunk::Append(const Value& v) {
+  const size_t row = tags_.size();
+  if ((row & 7) == 0) null_bits_.push_back(0);
+  if (v.is_null()) {
+    tags_.push_back(kNull);
+    slots_.push_back(0);
+    null_bits_[row >> 3] |= static_cast<uint8_t>(1u << (row & 7));
+    ++null_count_;
+    return;
+  }
+  if (v.is_int64()) {
+    tags_.push_back(kI64);
+    slots_.push_back(static_cast<uint32_t>(i64_.size()));
+    i64_.push_back(v.int64());
+  } else if (v.is_double()) {
+    tags_.push_back(kF64);
+    slots_.push_back(static_cast<uint32_t>(f64_.size()));
+    f64_.push_back(v.dbl());
+  } else if (v.is_string()) {
+    tags_.push_back(kStr);
+    slots_.push_back(static_cast<uint32_t>(str_.size()));
+    str_.push_back(v.str());
+  } else {
+    tags_.push_back(kBool);
+    slots_.push_back(static_cast<uint32_t>(bools_.size()));
+    bools_.push_back(v.boolean() ? 1 : 0);
+  }
+  if (min_.is_null() || v.Compare(min_) < 0) min_ = v;
+  if (max_.is_null() || v.Compare(max_) > 0) max_ = v;
+}
+
+Value ColumnChunk::Get(size_t row) const {
+  switch (tags_[row]) {
+    case kNull:
+      return Value::Null();
+    case kI64:
+      return Value::Int64(i64_[slots_[row]]);
+    case kF64:
+      return Value::Double(f64_[slots_[row]]);
+    case kStr:
+      return Value::String(str_[slots_[row]]);
+    default:
+      return Value::Bool(bools_[slots_[row]] != 0);
+  }
+}
+
+size_t ColumnChunk::ByteSize() const {
+  size_t bytes = tags_.size() + slots_.size() * sizeof(uint32_t) +
+                 null_bits_.size() + i64_.size() * sizeof(int64_t) +
+                 f64_.size() * sizeof(double) + bools_.size();
+  for (const auto& s : str_) bytes += s.size();
+  return bytes;
+}
+
+ChunkedTable::ChunkedTable(TupleSchema schema, size_t chunk_rows)
+    : schema_(std::move(schema)),
+      chunk_rows_(chunk_rows == 0 ? kDefaultChunkRows : chunk_rows) {
+  columns_.reserve(schema_.size());
+  for (const auto& col : schema_.columns()) {
+    ChunkedColumn c;
+    c.declared = col.type;
+    columns_.push_back(std::move(c));
+  }
+}
+
+size_t ChunkedTable::num_chunks() const {
+  return (rows_ + chunk_rows_ - 1) / chunk_rows_;
+}
+
+size_t ChunkedTable::ChunkSize(size_t c) const {
+  const size_t start = c * chunk_rows_;
+  const size_t end = start + chunk_rows_;
+  return (end <= rows_ ? chunk_rows_ : rows_ - start);
+}
+
+Status ChunkedTable::Append(const Row& row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument("row arity mismatch");
+  }
+  const bool new_chunk = (rows_ % chunk_rows_) == 0;
+  for (size_t col = 0; col < columns_.size(); ++col) {
+    if (new_chunk) {
+      columns_[col].chunks.emplace_back(columns_[col].declared);
+    }
+    columns_[col].chunks.back().Append(row[col]);
+  }
+  ++rows_;
+  return Status::OK();
+}
+
+Row ChunkedTable::GetRow(size_t global_row) const {
+  const size_t c = global_row / chunk_rows_;
+  const size_t r = global_row % chunk_rows_;
+  Row row;
+  row.reserve(columns_.size());
+  for (const auto& col : columns_) row.push_back(col.chunks[c].Get(r));
+  return row;
+}
+
+void ChunkedTable::MaterializeChunk(size_t c,
+                                    const std::vector<uint32_t>* sel,
+                                    std::vector<Row>* out) const {
+  const size_t n = sel != nullptr ? sel->size() : ChunkSize(c);
+  out->reserve(out->size() + n);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t r = sel != nullptr ? (*sel)[i] : i;
+    Row row;
+    row.reserve(columns_.size());
+    for (const auto& col : columns_) row.push_back(col.chunks[c].Get(r));
+    out->push_back(std::move(row));
+  }
+}
+
+RowSet ChunkedTable::Materialize() const {
+  RowSet out;
+  out.schema = schema_;
+  out.rows.reserve(rows_);
+  for (size_t c = 0; c < num_chunks(); ++c) {
+    MaterializeChunk(c, nullptr, &out.rows);
+  }
+  return out;
+}
+
+size_t ChunkedTable::ByteSize() const {
+  size_t bytes = 0;
+  for (const auto& col : columns_) {
+    for (const auto& chunk : col.chunks) bytes += chunk.ByteSize();
+  }
+  return bytes;
+}
+
+}  // namespace qtrade::store

@@ -1,0 +1,141 @@
+// Columnar partition storage: the data plane under awarded plans.
+//
+// A ChunkedTable holds one partition replica as fixed-size horizontal
+// chunks of typed column buffers. Each ColumnChunk packs the non-null
+// values of one column slice into type-homogeneous vectors (int64,
+// double, string, bool), keeps a bit-packed null bitmap, and maintains a
+// min/max zone map over its non-null values — enough for the vectorized
+// scan (exec/vec/) to skip whole chunks that cannot satisfy a
+// predicate. Layout follows the chunked column-batch direction of
+// Hieroglyph's parquet writer (see ROADMAP item 5); values round-trip
+// exactly, including rows whose value types disagree with the declared
+// column type (TableStore::Insert never type-checked, and the columnar
+// store must not change observable behavior).
+#ifndef QTRADE_STORE_COLUMN_STORE_H_
+#define QTRADE_STORE_COLUMN_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "types/row.h"
+#include "types/value.h"
+#include "util/status.h"
+
+namespace qtrade::store {
+
+/// Rows per chunk unless the table says otherwise. Small enough that a
+/// first chunk streams quickly, large enough that per-chunk overhead
+/// (zone maps, frame headers) stays negligible.
+inline constexpr size_t kDefaultChunkRows = 1024;
+
+/// One horizontal slice of one column: packed typed buffers + null
+/// bitmap + zone map. Values are positional; row `i` of the chunk is
+/// described by `tag(i)` (which buffer, or null) and an index into that
+/// buffer.
+class ColumnChunk {
+ public:
+  explicit ColumnChunk(TypeKind declared) : declared_(declared) {}
+
+  void Append(const Value& v);
+
+  size_t rows() const { return tags_.size(); }
+  TypeKind declared_type() const { return declared_; }
+
+  bool IsNull(size_t row) const {
+    return (null_bits_[row >> 3] >> (row & 7)) & 1;
+  }
+  size_t null_count() const { return null_count_; }
+
+  /// Reconstructs the value at `row` (NULL slots come back as NULL).
+  Value Get(size_t row) const;
+
+  /// Zone map over the chunk's non-null values (Value total order).
+  /// Both are NULL when the chunk holds no non-null value.
+  const Value& min() const { return min_; }
+  const Value& max() const { return max_; }
+
+  /// Packed fast path: every row is a non-null int64 (resp. double), so
+  /// the corresponding buffer is positionally aligned with the chunk and
+  /// a vectorized kernel may read it directly.
+  bool packed_i64() const {
+    return null_count_ == 0 && i64_.size() == tags_.size();
+  }
+  bool packed_f64() const {
+    return null_count_ == 0 && f64_.size() == tags_.size();
+  }
+  const std::vector<int64_t>& i64() const { return i64_; }
+  const std::vector<double>& f64() const { return f64_; }
+
+  /// Approximate heap bytes of the packed buffers (reporting only).
+  size_t ByteSize() const;
+
+ private:
+  // Per-row dispatch tag. Values match Value's variant alternatives.
+  enum Tag : uint8_t { kNull = 0, kI64 = 1, kF64 = 2, kStr = 3, kBool = 4 };
+
+  TypeKind declared_;
+  std::vector<uint8_t> tags_;
+  std::vector<uint32_t> slots_;     // index into the tag's typed buffer
+  std::vector<uint8_t> null_bits_;  // bit-packed, bit set = NULL
+  std::vector<int64_t> i64_;
+  std::vector<double> f64_;
+  std::vector<std::string> str_;
+  std::vector<uint8_t> bools_;
+  size_t null_count_ = 0;
+  Value min_, max_;
+};
+
+/// All chunks of one column, boundary-aligned with the owning table.
+struct ChunkedColumn {
+  TypeKind declared = TypeKind::kInt64;
+  std::vector<ColumnChunk> chunks;
+};
+
+/// One partition replica in columnar form. Append-only (matching
+/// TableStore::Insert); rows are addressable by global index and
+/// chunk-aligned across every column.
+class ChunkedTable {
+ public:
+  explicit ChunkedTable(TupleSchema schema,
+                        size_t chunk_rows = kDefaultChunkRows);
+
+  const TupleSchema& schema() const { return schema_; }
+  size_t chunk_rows() const { return chunk_rows_; }
+  size_t rows() const { return rows_; }
+  size_t num_chunks() const;
+  /// Rows in chunk `c` (only the last chunk may be short).
+  size_t ChunkSize(size_t c) const;
+
+  Status Append(const Row& row);
+
+  const ColumnChunk& chunk(size_t col, size_t c) const {
+    return columns_[col].chunks[c];
+  }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Reconstructs row `global_row` (0-based over the whole table).
+  Row GetRow(size_t global_row) const;
+
+  /// Appends chunk `c` (or a selection of it) to `out->rows`; the
+  /// caller owns `out->schema`. `sel` is a list of in-chunk row indices;
+  /// nullptr selects the whole chunk.
+  void MaterializeChunk(size_t c, const std::vector<uint32_t>* sel,
+                        std::vector<Row>* out) const;
+
+  /// Whole table as a RowSet in insertion order (schema = own schema).
+  RowSet Materialize() const;
+
+  /// Approximate packed-buffer bytes across all chunks (reporting only).
+  size_t ByteSize() const;
+
+ private:
+  TupleSchema schema_;
+  size_t chunk_rows_;
+  size_t rows_ = 0;
+  std::vector<ChunkedColumn> columns_;
+};
+
+}  // namespace qtrade::store
+
+#endif  // QTRADE_STORE_COLUMN_STORE_H_

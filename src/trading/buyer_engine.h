@@ -132,6 +132,20 @@ struct QtOptions {
   ResilienceOptions resilience;
   /// Buyer-side award recovery at execution time (facade Execute).
   RecoveryOptions recovery;
+  /// Data plane (facade Execute): > 0 ships sold answers chunk-by-chunk
+  /// — in-process sellers run their columnar streaming path, daemon
+  /// peers stream kRowChunk frames — in chunks of at most this many
+  /// rows, and TradeMetrics gains measured first-row/last-row delivery
+  /// times. 0 (default) keeps whole-RowSet deliveries, byte-identical
+  /// to the pre-streaming facade. The reassembled answer is identical
+  /// at every setting.
+  int chunk_rows = 0;
+  /// Seller-side delivery-cost feedback (§3.1): when true the facade
+  /// enables each federation seller's measured-delivery EWMA, which is
+  /// blended into the cost basis quoted on later RFBs for the same
+  /// coverage signature. Default off: quotes are byte-identical to a
+  /// build without the feature.
+  bool cost_feedback = false;
   /// Simulation/testing hook, consulted only by the facade: negotiate
   /// over this transport instead of the federation default (the fault
   /// -schedule explorer injects its scripted transport here). The

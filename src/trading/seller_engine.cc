@@ -1,10 +1,13 @@
 #include "trading/seller_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <set>
 #include <unordered_map>
+
+#include "exec/vec/vectorized.h"
 
 #include "rewrite/partition_rewriter.h"
 #include "rewrite/view_matcher.h"
@@ -176,7 +179,18 @@ Result<std::vector<Offer>> SellerEngine::OnRfb(const Rfb& rfb) {
     }
     {
       std::lock_guard<std::mutex> lock(mu_);
-      double quote = strategy_->Quote(g.true_cost);
+      double cost_basis = g.true_cost;
+      if (cost_feedback_.load(std::memory_order_relaxed)) {
+        // §3.1 feedback: blend the measured delivery cost of previously
+        // sold answers with this signature into the basis the strategy
+        // quotes from. The honest model estimate still anchors half the
+        // basis so one outlier delivery cannot swing quotes wildly.
+        auto it = observed_cost_ms_.find(g.offer.CoverageSignature());
+        if (it != observed_cost_ms_.end()) {
+          cost_basis = 0.5 * cost_basis + 0.5 * it->second;
+        }
+      }
+      double quote = strategy_->Quote(cost_basis);
       // The buyer never pays below the honest reserve when a reserve
       // value was announced and undercuts it: sellers keep their quote.
       g.offer.props.total_time_ms = quote;
@@ -457,6 +471,144 @@ void SellerEngine::OnAwards(const std::vector<Award>& awards,
 }
 
 Result<RowSet> SellerEngine::ExecuteOffer(const std::string& offer_id) {
+  if (!cost_feedback_.load(std::memory_order_relaxed)) {
+    // Feedback off: no clock reads, no observation state — the call is
+    // bit-for-bit the pre-feedback engine.
+    return ExecuteOfferImpl(offer_id);
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  auto rows = ExecuteOfferImpl(offer_id);
+  if (rows.ok()) {
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    ObserveDeliveryCost(offer_id, elapsed_ms);
+  }
+  return rows;
+}
+
+void SellerEngine::ObserveDeliveryCost(const std::string& offer_id,
+                                       double elapsed_ms) {
+  if (!cost_feedback_.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = records_.find(offer_id);
+  if (it == records_.end()) return;
+  const std::string signature = it->second.offer.CoverageSignature();
+  auto [obs, inserted] = observed_cost_ms_.try_emplace(signature, elapsed_ms);
+  if (!inserted) obs->second = 0.5 * obs->second + 0.5 * elapsed_ms;
+}
+
+Status SellerEngine::HandleExecuteOfferChunked(const std::string& offer_id,
+                                               size_t chunk_rows,
+                                               const RowSink& sink) {
+  if (chunk_rows == 0) chunk_rows = 1;
+  const bool feedback = cost_feedback_.load(std::memory_order_relaxed);
+  const auto t0 = std::chrono::steady_clock::now();
+  const OfferRecord* record = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = records_.find(offer_id);
+    if (it != records_.end()) record = &it->second;
+  }
+  // Anything the columnar pipeline cannot run incrementally — view
+  // extents, subcontract unions, joins, aggregation/DISTINCT/ORDER
+  // BY/LIMIT, or a predicate the vectorized filter cannot prove
+  // error-free — goes through the base-class materialize-and-slice
+  // path, so the concatenated stream equals ExecuteOffer's answer
+  // (errors included) for every offer shape.
+  auto fallback = [&]() -> Status {
+    return NodeEndpoint::HandleExecuteOfferChunked(offer_id, chunk_rows,
+                                                   sink);
+  };
+  if (record == nullptr || store_ == nullptr || !record->view_name.empty() ||
+      !record->subcontracts.empty()) {
+    return fallback();
+  }
+  const sql::BoundQuery& q = record->exec_query;
+  if (q.tables.size() != 1 || q.has_aggregates || !q.group_by.empty() ||
+      q.distinct || !q.order_by.empty() || q.limit.has_value()) {
+    return fallback();
+  }
+  const sql::TableRef& tref = q.tables[0];
+  auto pit = record->scan_partitions.find(tref.alias);
+  if (pit == record->scan_partitions.end() || pit->second.empty()) {
+    return fallback();
+  }
+  std::vector<const store::ChunkedTable*> parts;
+  parts.reserve(pit->second.size());
+  for (const auto& pid : pit->second) {
+    const store::ChunkedTable* part = store_->Chunked(pid);
+    if (part == nullptr) return fallback();  // same missing-partition error
+    parts.push_back(part);
+  }
+  // The scan output schema ExecuteBoundQuery's resolver produces:
+  // partition columns qualified by the FROM alias.
+  TupleSchema scan_schema;
+  for (const auto& col : parts[0]->schema().columns()) {
+    scan_schema.AddColumn({tref.alias, col.name, col.type});
+  }
+  // All WHERE conjuncts in one filter. ExecuteBoundQuery applies the
+  // local conjuncts and then re-applies every conjunct; for a
+  // deterministic error-free predicate the two passes keep exactly the
+  // rows where all conjuncts are true, which is what one combined pass
+  // computes. Predicates that could error are sent to the fallback so
+  // the error (and its order) matches the reference path.
+  std::vector<sql::ExprPtr> all;
+  all.reserve(q.conjuncts.size());
+  for (const auto& conj : q.conjuncts) all.push_back(conj.expr);
+  sql::ExprPtr pred_expr = sql::AndAll(all);
+  vec::CompiledPredicate pred =
+      vec::CompiledPredicate::Compile(pred_expr, scan_schema);
+  if (!pred.always_true() && !pred.simple()) return fallback();
+
+  RowSet chunk;
+  chunk.schema = vec::ProjectionSchema(q.outputs);
+  bool emitted = false;
+  vec::SelectionVector sel;
+  for (const store::ChunkedTable* part : parts) {
+    for (size_t c = 0; c < part->num_chunks(); ++c) {
+      if (pred.CanSkipChunk(*part, c)) continue;
+      sel.clear();
+      QTRADE_RETURN_IF_ERROR(pred.FilterChunk(*part, c, &sel));
+      if (sel.empty()) continue;
+      QTRADE_RETURN_IF_ERROR(
+          vec::ProjectChunk(*part, c, sel, scan_schema, q.outputs, &chunk));
+      // Emit every full chunk_rows slice; the remainder rides along to
+      // pick up rows from the next chunk (or flushes at the end), so
+      // chunk boundaries never depend on zone-map skips.
+      size_t start = 0;
+      while (chunk.rows.size() - start >= chunk_rows) {
+        RowSet out;
+        out.schema = chunk.schema;
+        out.rows.assign(
+            std::make_move_iterator(chunk.rows.begin() + start),
+            std::make_move_iterator(chunk.rows.begin() + start + chunk_rows));
+        QTRADE_RETURN_IF_ERROR(sink(out));
+        emitted = true;
+        start += chunk_rows;
+      }
+      if (start > 0) {
+        chunk.rows.erase(chunk.rows.begin(),
+                         chunk.rows.begin() + static_cast<ptrdiff_t>(start));
+      }
+    }
+  }
+  if (!chunk.rows.empty() || !emitted) {
+    QTRADE_RETURN_IF_ERROR(sink(chunk));
+  }
+  streamed_deliveries_.fetch_add(1, std::memory_order_relaxed);
+  if (feedback) {
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    ObserveDeliveryCost(offer_id, elapsed_ms);
+  }
+  return Status::OK();
+}
+
+Result<RowSet> SellerEngine::ExecuteOfferImpl(const std::string& offer_id) {
   const OfferRecord* record = nullptr;
   {
     // std::map nodes are stable and records are never erased, so the
@@ -551,6 +703,13 @@ void SellerEngine::CollectStats(
   };
   put("seller.rfbs_seen", rfbs_seen());
   put("seller.subcontracted_offers", subcontracted_offers());
+  put("seller.streamed_deliveries", streamed_deliveries());
+  put("seller.cost_feedback", cost_feedback() ? 1 : 0);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    put("seller.cost_observations",
+        static_cast<int64_t>(observed_cost_ms_.size()));
+  }
   put("seller.offer_generate_ns", offer_generate_ns());
   put("seller.dp_threads", dp_threads());
   put("cache.capacity", static_cast<int64_t>(offer_cache_capacity()));

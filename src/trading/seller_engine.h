@@ -114,6 +114,25 @@ class SellerEngine : public NodeEndpoint {
   /// Executes a previously offered answer against local data.
   Result<RowSet> ExecuteOffer(const std::string& offer_id);
 
+  /// Delivery-cost feedback (§3.1 property-vector calibration): when on,
+  /// measured delivery wall time per coverage signature is blended into
+  /// the cost basis the strategy quotes from on the *next* RFB for the
+  /// same signature. Off (the default) the engine neither reads the
+  /// clock nor consults observations, so quotes are byte-identical to a
+  /// build without the feature.
+  void set_cost_feedback(bool on) {
+    cost_feedback_.store(on, std::memory_order_relaxed);
+  }
+  bool cost_feedback() const {
+    return cost_feedback_.load(std::memory_order_relaxed);
+  }
+
+  /// Streamed deliveries served through the columnar fast path (vs the
+  /// materialize-and-slice fallback).
+  int64_t streamed_deliveries() const {
+    return streamed_deliveries_.load(std::memory_order_relaxed);
+  }
+
   /// Honest cost of an offer (testing/experiments: social cost).
   Result<double> TrueCost(const std::string& offer_id) const;
 
@@ -139,6 +158,16 @@ class SellerEngine : public NodeEndpoint {
   Result<RowSet> HandleExecuteOffer(const std::string& offer_id) override {
     return ExecuteOffer(offer_id);
   }
+  /// Streaming delivery. Offers whose recipe is a single-table
+  /// scan-filter-project (no view, no subcontract union, no
+  /// aggregation/DISTINCT/ORDER BY/LIMIT) with a provably error-free
+  /// predicate run incrementally over the partition chunks — the first
+  /// chunk leaves before the last partition is even touched. Everything
+  /// else falls back to the base-class materialize-and-slice, so the
+  /// concatenated stream always equals ExecuteOffer's answer.
+  Status HandleExecuteOfferChunked(const std::string& offer_id,
+                                   size_t chunk_rows,
+                                   const RowSink& sink) override;
   /// Introspection for the NodeServer's kStatsRequest admin envelope:
   /// offer-cache occupancy/hit counters, DP width, RFB/subcontract
   /// totals. Reads only atomics and the cache's own stats lock, so it is
@@ -171,6 +200,14 @@ class SellerEngine : public NodeEndpoint {
   /// Stores a record and indexes its offer under its rfb (mu_ held).
   void RecordOfferLocked(const std::string& rfb_id, OfferRecord record);
 
+  /// Cost feedback: folds one measured delivery (wall ms) into the EWMA
+  /// for the offer's coverage signature. No-op when feedback is off.
+  void ObserveDeliveryCost(const std::string& offer_id, double elapsed_ms);
+
+  /// ExecuteOffer's body; the public wrapper adds the (feedback-gated)
+  /// delivery-cost measurement around it.
+  Result<RowSet> ExecuteOfferImpl(const std::string& offer_id);
+
   NodeCatalog* catalog_;
   TableStore* store_;
   const PlanFactory* factory_;
@@ -187,6 +224,11 @@ class SellerEngine : public NodeEndpoint {
   Transport* transport_ = nullptr;
   std::atomic<int64_t> subcontracted_offers_{0};
   std::atomic<obs::Tracer*> tracer_{nullptr};
+  /// Delivery-cost feedback state: observed wall ms per coverage
+  /// signature (mu_), consulted at quote time only when the knob is on.
+  std::atomic<bool> cost_feedback_{false};
+  std::map<std::string, double> observed_cost_ms_;  // mu_
+  std::atomic<int64_t> streamed_deliveries_{0};
 };
 
 }  // namespace qtrade

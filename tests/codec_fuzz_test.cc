@@ -28,6 +28,8 @@ void DecodeEverything(const std::string& bytes) {
   (void)serde::DecodeOfferBatch(bytes);
   (void)serde::DecodeTickReply(bytes);
   (void)serde::DecodeRowSet(bytes);
+  (void)serde::DecodeRowChunk(bytes);
+  (void)serde::DecodeRowStreamEnd(bytes);
   (void)serde::DecodeStatsSnapshot(bytes);
   Status carried;
   (void)serde::DecodeError(bytes, &carried);
@@ -254,6 +256,87 @@ TEST(CodecFuzzTest, TrailingGarbageAfterPayloadIsRejected) {
       serde::SealFrame(serde::MsgType::kRfb, padded_payload);
   EXPECT_TRUE(serde::ParseFrame(padded).ok());  // framing is fine
   EXPECT_FALSE(serde::DecodeRfb(padded).ok());  // envelope is not
+}
+
+std::string SampleRowChunkFrame() {
+  RowSet rows;
+  rows.schema.AddColumn({"c", "custid", TypeKind::kInt64});
+  rows.schema.AddColumn({"c", "custname", TypeKind::kString});
+  for (int64_t i = 0; i < 6; ++i) {
+    rows.rows.push_back(
+        {Value::Int64(i), Value::String("cust" + std::to_string(i))});
+  }
+  return serde::EncodeRowChunk(rows, /*seq=*/2, /*channel=*/5);
+}
+
+TEST(CodecFuzzTest, TruncatedRowChunkFramesFailCleanly) {
+  // The streaming frames must uphold the same robustness promise as the
+  // negotiation envelopes: every prefix is rejected with a Status.
+  serde::RowStreamEnd end;
+  end.chunks = 3;
+  end.rows = 18;
+  for (const std::string& frame :
+       {SampleRowChunkFrame(), serde::EncodeRowStreamEnd(end, 5)}) {
+    for (size_t len = 0; len < frame.size(); ++len) {
+      const std::string prefix = frame.substr(0, len);
+      EXPECT_FALSE(serde::ParseFrame(prefix).ok()) << "len " << len;
+      (void)serde::DecodeRowChunk(prefix);
+      (void)serde::DecodeRowStreamEnd(prefix);
+      DecodeEverything(prefix);
+    }
+    EXPECT_TRUE(serde::ParseFrame(frame).ok());
+  }
+}
+
+TEST(CodecFuzzTest, HostileRowChunkLengthsFailCleanly) {
+  // A chunk whose payload declares an absurd row count (or a stream end
+  // with missing totals) passes framing — the crc is ours — but the
+  // decoders must stay bounded by the actual remaining bytes.
+  serde::Encoder e;
+  e.PutU32(0);           // seq
+  e.PutU32(2);           // schema column count...
+  const std::string few = e.Seal(serde::MsgType::kRowChunk);
+  EXPECT_TRUE(serde::ParseFrame(few).ok());
+  EXPECT_FALSE(serde::DecodeRowChunk(few).ok());
+
+  serde::Encoder huge;
+  huge.PutU32(1);           // seq
+  huge.PutU32(0);           // zero schema columns
+  huge.PutU32(0xfffffff0);  // "~4G rows" with no row bytes following
+  const std::string rows = huge.Seal(serde::MsgType::kRowChunk);
+  EXPECT_FALSE(serde::DecodeRowChunk(rows).ok());
+  DecodeEverything(rows);
+
+  serde::Encoder end;
+  end.PutU32(7);  // chunks, but no row total behind it
+  const std::string short_end = end.Seal(serde::MsgType::kRowStreamEnd);
+  EXPECT_FALSE(serde::DecodeRowStreamEnd(short_end).ok());
+  DecodeEverything(short_end);
+}
+
+TEST(CodecFuzzTest, RandomlyCorruptedRowChunkFramesNeverCrashDecoders) {
+  Rng rng(777123);
+  serde::RowStreamEnd end;
+  end.chunks = 8;
+  end.rows = 4096;
+  const std::string chunk = SampleRowChunkFrame();
+  const std::string stream_end = serde::EncodeRowStreamEnd(end, 5);
+  for (int round = 0; round < 2000; ++round) {
+    std::string bytes = rng.Chance(0.5) ? chunk : stream_end;
+    const int flips = static_cast<int>(rng.Uniform(1, 8));
+    for (int f = 0; f < flips; ++f) {
+      const size_t pos = static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(bytes.size()) - 1));
+      bytes[pos] = static_cast<char>(rng.Uniform(0, 255));
+    }
+    if (rng.Chance(0.3)) {
+      bytes.resize(static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(bytes.size()))));
+    }
+    (void)serde::DecodeRowChunk(bytes);
+    (void)serde::DecodeRowStreamEnd(bytes);
+    DecodeEverything(bytes);
+  }
 }
 
 }  // namespace

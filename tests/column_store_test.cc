@@ -1,0 +1,170 @@
+// Columnar partition store (src/store/): typed packed buffers, null
+// bitmaps and zone maps must reconstruct every inserted row exactly —
+// including NULLs and rows whose value types disagree with the declared
+// column type, which TableStore::Insert always accepted — and chunk
+// boundaries must be invisible to whole-table materialization.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "store/column_store.h"
+#include "types/row.h"
+#include "types/value.h"
+
+namespace qtrade {
+namespace {
+
+using store::ChunkedTable;
+using store::ColumnChunk;
+
+TEST(ColumnChunkTest, Int64RoundTripAndZoneMap) {
+  ColumnChunk chunk(TypeKind::kInt64);
+  for (int64_t v : {7, -3, 42, 0}) chunk.Append(Value::Int64(v));
+  ASSERT_EQ(chunk.rows(), 4u);
+  EXPECT_EQ(chunk.null_count(), 0u);
+  EXPECT_TRUE(chunk.packed_i64());
+  EXPECT_FALSE(chunk.packed_f64());
+  EXPECT_EQ(chunk.Get(0), Value::Int64(7));
+  EXPECT_EQ(chunk.Get(1), Value::Int64(-3));
+  EXPECT_EQ(chunk.Get(3), Value::Int64(0));
+  EXPECT_EQ(chunk.min(), Value::Int64(-3));
+  EXPECT_EQ(chunk.max(), Value::Int64(42));
+  EXPECT_GT(chunk.ByteSize(), 0u);
+}
+
+TEST(ColumnChunkTest, NullsTrackedInBitmapAndExcludedFromZoneMap) {
+  ColumnChunk chunk(TypeKind::kDouble);
+  chunk.Append(Value::Double(1.5));
+  chunk.Append(Value::Null());
+  chunk.Append(Value::Double(-2.5));
+  chunk.Append(Value::Null());
+  ASSERT_EQ(chunk.rows(), 4u);
+  EXPECT_EQ(chunk.null_count(), 2u);
+  EXPECT_FALSE(chunk.IsNull(0));
+  EXPECT_TRUE(chunk.IsNull(1));
+  EXPECT_FALSE(chunk.IsNull(2));
+  EXPECT_TRUE(chunk.IsNull(3));
+  EXPECT_FALSE(chunk.packed_f64());  // nulls break positional alignment
+  EXPECT_TRUE(chunk.Get(1).is_null());
+  EXPECT_TRUE(chunk.Get(3).is_null());
+  // Zone map covers only the non-null values.
+  EXPECT_EQ(chunk.min(), Value::Double(-2.5));
+  EXPECT_EQ(chunk.max(), Value::Double(1.5));
+}
+
+TEST(ColumnChunkTest, AllNullChunkHasNullZoneMap) {
+  ColumnChunk chunk(TypeKind::kString);
+  chunk.Append(Value::Null());
+  chunk.Append(Value::Null());
+  EXPECT_EQ(chunk.null_count(), 2u);
+  EXPECT_TRUE(chunk.min().is_null());
+  EXPECT_TRUE(chunk.max().is_null());
+}
+
+TEST(ColumnChunkTest, MixedTypesRoundTripDespiteDeclaredType) {
+  // TableStore::Insert never type-checked; the columnar layout must
+  // keep heterogeneous values intact rather than coerce them.
+  ColumnChunk chunk(TypeKind::kInt64);
+  chunk.Append(Value::Int64(1));
+  chunk.Append(Value::String("stray"));
+  chunk.Append(Value::Double(2.5));
+  chunk.Append(Value::Bool(true));
+  EXPECT_FALSE(chunk.packed_i64());
+  EXPECT_EQ(chunk.Get(0), Value::Int64(1));
+  EXPECT_EQ(chunk.Get(1), Value::String("stray"));
+  EXPECT_EQ(chunk.Get(2), Value::Double(2.5));
+  EXPECT_EQ(chunk.Get(3), Value::Bool(true));
+}
+
+TupleSchema TwoColSchema() {
+  TupleSchema schema;
+  schema.AddColumn({"", "id", TypeKind::kInt64});
+  schema.AddColumn({"", "name", TypeKind::kString});
+  return schema;
+}
+
+TEST(ChunkedTableTest, ChunkBoundariesAndGetRow) {
+  ChunkedTable table(TwoColSchema(), /*chunk_rows=*/4);
+  for (int64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        table
+            .Append({Value::Int64(i), Value::String("r" + std::to_string(i))})
+            .ok());
+  }
+  EXPECT_EQ(table.rows(), 10u);
+  EXPECT_EQ(table.num_chunks(), 3u);  // 4 + 4 + 2
+  EXPECT_EQ(table.ChunkSize(0), 4u);
+  EXPECT_EQ(table.ChunkSize(1), 4u);
+  EXPECT_EQ(table.ChunkSize(2), 2u);  // only the last chunk is short
+  EXPECT_EQ(table.num_columns(), 2u);
+  for (size_t i = 0; i < 10; ++i) {
+    Row row = table.GetRow(i);
+    ASSERT_EQ(row.size(), 2u);
+    EXPECT_EQ(row[0], Value::Int64(static_cast<int64_t>(i)));
+    EXPECT_EQ(row[1], Value::String("r" + std::to_string(i)));
+  }
+  // Columns stay boundary-aligned: per-chunk zone maps reflect the slice.
+  EXPECT_EQ(table.chunk(0, 1).min(), Value::Int64(4));
+  EXPECT_EQ(table.chunk(0, 1).max(), Value::Int64(7));
+}
+
+TEST(ChunkedTableTest, AppendRejectsArityMismatch) {
+  ChunkedTable table(TwoColSchema(), 4);
+  EXPECT_FALSE(table.Append({Value::Int64(1)}).ok());
+  EXPECT_FALSE(table
+                   .Append({Value::Int64(1), Value::String("x"),
+                            Value::Int64(2)})
+                   .ok());
+  EXPECT_EQ(table.rows(), 0u);
+}
+
+TEST(ChunkedTableTest, MaterializePreservesInsertionOrder) {
+  ChunkedTable table(TwoColSchema(), 3);
+  std::vector<Row> inserted;
+  for (int64_t i = 0; i < 8; ++i) {
+    Row row{Value::Int64(7 - i), Value::String("n" + std::to_string(i))};
+    inserted.push_back(row);
+    ASSERT_TRUE(table.Append(row).ok());
+  }
+  RowSet out = table.Materialize();
+  ASSERT_EQ(out.rows.size(), inserted.size());
+  EXPECT_EQ(out.schema.size(), 2u);
+  for (size_t i = 0; i < inserted.size(); ++i) {
+    EXPECT_EQ(out.rows[i], inserted[i]) << "row " << i;
+  }
+}
+
+TEST(ChunkedTableTest, MaterializeChunkHonorsSelectionVector) {
+  ChunkedTable table(TwoColSchema(), 4);
+  for (int64_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(
+        table
+            .Append({Value::Int64(i), Value::String("r" + std::to_string(i))})
+            .ok());
+  }
+  // Whole chunk (sel = nullptr).
+  std::vector<Row> whole;
+  table.MaterializeChunk(1, nullptr, &whole);
+  ASSERT_EQ(whole.size(), 4u);
+  EXPECT_EQ(whole[0][0], Value::Int64(4));
+  // Selected rows only, in selection order.
+  std::vector<uint32_t> sel{1, 3};
+  std::vector<Row> picked;
+  table.MaterializeChunk(1, &sel, &picked);
+  ASSERT_EQ(picked.size(), 2u);
+  EXPECT_EQ(picked[0][0], Value::Int64(5));
+  EXPECT_EQ(picked[1][0], Value::Int64(7));
+}
+
+TEST(ChunkedTableTest, EmptyTable) {
+  ChunkedTable table(TwoColSchema());
+  EXPECT_EQ(table.rows(), 0u);
+  EXPECT_EQ(table.num_chunks(), 0u);
+  RowSet out = table.Materialize();
+  EXPECT_TRUE(out.rows.empty());
+  EXPECT_EQ(out.schema.size(), 2u);
+}
+
+}  // namespace
+}  // namespace qtrade

@@ -1,0 +1,363 @@
+// Vectorized operators (exec/vec/) against the row-at-a-time reference
+// path (exec/expr_eval.h): FilterChunk/FilterRows must agree with
+// per-row EvalPredicate on rows, order and error statuses — across the
+// expression edge cases the streaming seller feeds them (NULL
+// comparisons, IS [NOT] NULL, mixed numeric widths, strings, empty
+// inputs) — and zone-map skipping must never skip a chunk a reference
+// scan would keep.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "exec/expr_eval.h"
+#include "exec/vec/vectorized.h"
+#include "sql/parser.h"
+#include "store/column_store.h"
+#include "types/row.h"
+
+namespace qtrade {
+namespace {
+
+sql::ExprPtr P(const std::string& text) {
+  auto e = sql::ParseExpression(text);
+  EXPECT_TRUE(e.ok()) << text << ": " << e.status().ToString();
+  return *e;
+}
+
+TupleSchema Schema() {
+  TupleSchema schema;
+  schema.AddColumn({"t", "id", TypeKind::kInt64});
+  schema.AddColumn({"t", "charge", TypeKind::kDouble});
+  schema.AddColumn({"t", "office", TypeKind::kString});
+  return schema;
+}
+
+/// Mixed fixture: NULLs in every column, negative and zero numerics,
+/// duplicate strings. Two short chunks when chunk_rows = 4.
+std::vector<Row> SampleRows() {
+  return {
+      {Value::Int64(0), Value::Double(10.5), Value::String("Athens")},
+      {Value::Int64(1), Value::Null(), Value::String("Corfu")},
+      {Value::Int64(2), Value::Double(-3.25), Value::Null()},
+      {Value::Null(), Value::Double(0.0), Value::String("Athens")},
+      {Value::Int64(4), Value::Double(99.9), Value::String("Myconos")},
+      {Value::Int64(5), Value::Null(), Value::Null()},
+      {Value::Int64(-6), Value::Double(7.0), Value::String("Corfu")},
+  };
+}
+
+store::ChunkedTable BuildTable(const std::vector<Row>& rows,
+                               size_t chunk_rows = 4) {
+  store::ChunkedTable table(Schema(), chunk_rows);
+  for (const Row& row : rows) EXPECT_TRUE(table.Append(row).ok());
+  return table;
+}
+
+/// Reference: per-row EvalPredicate in scan order. Returns the global
+/// row indices that pass, or the first evaluation error.
+Result<std::vector<size_t>> ReferenceFilter(const sql::ExprPtr& expr,
+                                            const std::vector<Row>& rows) {
+  std::vector<size_t> passing;
+  const TupleSchema schema = Schema();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    QTRADE_ASSIGN_OR_RETURN(bool pass, EvalPredicate(expr, schema, rows[i]));
+    if (pass) passing.push_back(i);
+  }
+  return passing;
+}
+
+/// Vectorized: FilterChunk over every chunk (with zone-map skipping),
+/// selections mapped back to global row indices.
+Result<std::vector<size_t>> ChunkedFilter(const vec::CompiledPredicate& pred,
+                                          const store::ChunkedTable& table) {
+  std::vector<size_t> passing;
+  for (size_t c = 0; c < table.num_chunks(); ++c) {
+    if (pred.CanSkipChunk(table, c)) continue;
+    vec::SelectionVector sel;
+    QTRADE_RETURN_IF_ERROR(pred.FilterChunk(table, c, &sel));
+    for (uint32_t r : sel) passing.push_back(c * table.chunk_rows() + r);
+  }
+  return passing;
+}
+
+/// Both paths (and the FilterRows fallback) agree — rows, order, and
+/// error statuses.
+void ExpectAgreement(const std::string& text) {
+  const sql::ExprPtr expr = P(text);
+  const std::vector<Row> rows = SampleRows();
+  const store::ChunkedTable table = BuildTable(rows);
+  const vec::CompiledPredicate pred =
+      vec::CompiledPredicate::Compile(expr, Schema());
+
+  auto reference = ReferenceFilter(expr, rows);
+  auto chunked = ChunkedFilter(pred, table);
+  ASSERT_EQ(reference.ok(), chunked.ok())
+      << text << ": reference " << reference.status().ToString()
+      << " vs chunked " << chunked.status().ToString();
+  if (reference.ok()) {
+    EXPECT_EQ(*reference, *chunked) << text;
+  }
+
+  RowSet set;
+  set.schema = Schema();
+  set.rows = rows;
+  vec::SelectionVector sel;
+  Status by_rows = pred.FilterRows(set, &sel);
+  ASSERT_EQ(reference.ok(), by_rows.ok()) << text;
+  if (reference.ok()) {
+    std::vector<size_t> global(sel.begin(), sel.end());
+    EXPECT_EQ(*reference, global) << text;
+  }
+}
+
+TEST(CompiledPredicateTest, NullExprIsAlwaysTrue) {
+  vec::CompiledPredicate pred =
+      vec::CompiledPredicate::Compile(nullptr, Schema());
+  EXPECT_TRUE(pred.always_true());
+  store::ChunkedTable table = BuildTable(SampleRows());
+  EXPECT_FALSE(pred.CanSkipChunk(table, 0));
+  vec::SelectionVector sel;
+  ASSERT_TRUE(pred.FilterChunk(table, 0, &sel).ok());
+  EXPECT_EQ(sel.size(), table.ChunkSize(0));
+}
+
+TEST(CompiledPredicateTest, ComparisonsAgreeWithReference) {
+  ExpectAgreement("t.id < 4");
+  ExpectAgreement("t.id >= 2");
+  ExpectAgreement("t.id <> 1");
+  ExpectAgreement("t.charge > 0.0");
+  ExpectAgreement("t.office = 'Athens'");
+  ExpectAgreement("t.office < 'Corfu'");
+}
+
+TEST(CompiledPredicateTest, NullComparisonsAgreeWithReference) {
+  // Comparisons with a NULL operand are false in the reference
+  // evaluator; NULL-charge rows must vanish identically on both paths.
+  ExpectAgreement("t.charge < 1000.0");
+  ExpectAgreement("t.charge = 10.5");
+  ExpectAgreement("t.id > -100");
+  // IS [NOT] NULL desugars to (NOT) = NULL; the evaluator special-cases
+  // the literal-NULL equality as a null test.
+  ExpectAgreement("t.charge IS NULL");
+  ExpectAgreement("t.charge IS NOT NULL");
+  ExpectAgreement("t.office IS NULL");
+}
+
+TEST(CompiledPredicateTest, MixedNumericWidthsAgree) {
+  // Int column against double literal and vice versa: Value's numeric
+  // comparison is cross-width, so both paths must agree everywhere.
+  ExpectAgreement("t.id < 2.5");
+  ExpectAgreement("t.id = 4.0");
+  ExpectAgreement("t.charge >= 7");
+  ExpectAgreement("t.charge = 0");
+}
+
+TEST(CompiledPredicateTest, BooleanCombinationsAgree) {
+  ExpectAgreement("t.id >= 0 AND t.charge > 0.0");
+  ExpectAgreement("t.office = 'Corfu' OR t.charge IS NULL");
+  ExpectAgreement("NOT t.office = 'Athens'");
+  ExpectAgreement("t.id IN (0, 4, -6)");
+  ExpectAgreement("t.office IN ('Athens', 'Myconos')");
+  ExpectAgreement("t.id BETWEEN 1 AND 4");
+}
+
+TEST(CompiledPredicateTest, NonSimplePredicatesFallBackAndAgree) {
+  // Arithmetic disqualifies the fast path (simple() false) but the
+  // per-row fallback inside FilterChunk must still match the reference.
+  vec::CompiledPredicate pred =
+      vec::CompiledPredicate::Compile(P("t.id + 1 > 2"), Schema());
+  EXPECT_FALSE(pred.simple());
+  ExpectAgreement("t.id + 1 > 2");
+  ExpectAgreement("t.charge * 2.0 < 20.0");
+}
+
+TEST(CompiledPredicateTest, ErrorStatusesAgreeWithReference) {
+  // A predicate that errors at evaluation time (string arithmetic) must
+  // surface the same failure from the chunked path, not a wrong answer.
+  ExpectAgreement("t.office + 1 > 0");
+}
+
+TEST(CompiledPredicateTest, EmptyInputs) {
+  const vec::CompiledPredicate pred =
+      vec::CompiledPredicate::Compile(P("t.id < 4"), Schema());
+  RowSet empty;
+  empty.schema = Schema();
+  vec::SelectionVector sel;
+  ASSERT_TRUE(pred.FilterRows(empty, &sel).ok());
+  EXPECT_TRUE(sel.empty());
+  store::ChunkedTable table(Schema(), 4);  // zero chunks
+  EXPECT_EQ(table.num_chunks(), 0u);
+}
+
+TEST(CompiledPredicateTest, ZoneMapSkipsOnlyImpossibleChunks) {
+  // id = 0..15 over 4-row chunks: zone maps are [0,3] [4,7] [8,11]
+  // [12,15].
+  store::ChunkedTable table(Schema(), 4);
+  for (int64_t i = 0; i < 16; ++i) {
+    ASSERT_TRUE(table
+                    .Append({Value::Int64(i), Value::Double(1.0),
+                             Value::String("x")})
+                    .ok());
+  }
+  vec::CompiledPredicate hi =
+      vec::CompiledPredicate::Compile(P("t.id >= 12"), Schema());
+  ASSERT_TRUE(hi.simple());
+  EXPECT_TRUE(hi.CanSkipChunk(table, 0));
+  EXPECT_TRUE(hi.CanSkipChunk(table, 1));
+  EXPECT_TRUE(hi.CanSkipChunk(table, 2));
+  EXPECT_FALSE(hi.CanSkipChunk(table, 3));
+
+  vec::CompiledPredicate none =
+      vec::CompiledPredicate::Compile(P("t.id > 100"), Schema());
+  for (size_t c = 0; c < table.num_chunks(); ++c) {
+    EXPECT_TRUE(none.CanSkipChunk(table, c)) << "chunk " << c;
+  }
+
+  vec::CompiledPredicate eq =
+      vec::CompiledPredicate::Compile(P("t.id = 6"), Schema());
+  EXPECT_TRUE(eq.CanSkipChunk(table, 0));
+  EXPECT_FALSE(eq.CanSkipChunk(table, 1));
+
+  // Skipping is sound: chunked scan == reference scan for the same
+  // predicates even with whole chunks pruned.
+  for (const char* text : {"t.id >= 12", "t.id > 100", "t.id = 6"}) {
+    auto chunked = ChunkedFilter(
+        vec::CompiledPredicate::Compile(P(text), Schema()), table);
+    ASSERT_TRUE(chunked.ok());
+    std::vector<size_t> expect;
+    for (int64_t i = 0; i < 16; ++i) {
+      if ((std::string(text) == "t.id >= 12" && i >= 12) ||
+          (std::string(text) == "t.id = 6" && i == 6)) {
+        expect.push_back(static_cast<size_t>(i));
+      }
+    }
+    EXPECT_EQ(*chunked, expect) << text;
+  }
+}
+
+TEST(CompiledPredicateTest, NonSimplePredicateNeverSkips) {
+  store::ChunkedTable table = BuildTable(SampleRows());
+  vec::CompiledPredicate pred =
+      vec::CompiledPredicate::Compile(P("t.id + 1 > 1000"), Schema());
+  EXPECT_FALSE(pred.simple());
+  for (size_t c = 0; c < table.num_chunks(); ++c) {
+    EXPECT_FALSE(pred.CanSkipChunk(table, c));
+  }
+}
+
+TEST(ProjectChunkTest, ColumnRefsAndComputedOutputsMatchReference) {
+  const std::vector<Row> rows = SampleRows();
+  const store::ChunkedTable table = BuildTable(rows);
+  std::vector<sql::BoundOutput> outputs;
+  outputs.push_back({P("t.office"), "office", TypeKind::kString, false});
+  outputs.push_back({P("t.id * 2"), "double_id", TypeKind::kInt64, false});
+
+  const TupleSchema out_schema = vec::ProjectionSchema(outputs);
+  ASSERT_EQ(out_schema.size(), 2u);
+  EXPECT_EQ(out_schema.column(0).name, "office");
+  EXPECT_EQ(out_schema.column(1).name, "double_id");
+
+  RowSet out;
+  out.schema = out_schema;
+  for (size_t c = 0; c < table.num_chunks(); ++c) {
+    vec::SelectionVector all;
+    for (uint32_t r = 0; r < table.ChunkSize(c); ++r) all.push_back(r);
+    ASSERT_TRUE(
+        vec::ProjectChunk(table, c, all, Schema(), outputs, &out).ok());
+  }
+  ASSERT_EQ(out.rows.size(), rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    auto office = EvalExpr(outputs[0].expr, Schema(), rows[i]);
+    auto doubled = EvalExpr(outputs[1].expr, Schema(), rows[i]);
+    ASSERT_TRUE(office.ok() && doubled.ok());
+    EXPECT_EQ(out.rows[i][0], *office) << "row " << i;
+    EXPECT_EQ(out.rows[i][1], *doubled) << "row " << i;
+  }
+}
+
+TEST(ProjectChunkTest, SelectionSubsetAndErrorPropagation) {
+  const store::ChunkedTable table = BuildTable(SampleRows());
+  std::vector<sql::BoundOutput> id_only;
+  id_only.push_back({P("t.id"), "id", TypeKind::kInt64, false});
+  RowSet out;
+  out.schema = vec::ProjectionSchema(id_only);
+  vec::SelectionVector sel{0, 2};
+  ASSERT_TRUE(
+      vec::ProjectChunk(table, 0, sel, Schema(), id_only, &out).ok());
+  ASSERT_EQ(out.rows.size(), 2u);
+  EXPECT_EQ(out.rows[0][0], Value::Int64(0));
+  EXPECT_EQ(out.rows[1][0], Value::Int64(2));
+
+  // A computed output that errors per-row (string arithmetic) must fail
+  // with a status, same as the reference evaluator.
+  std::vector<sql::BoundOutput> bad;
+  bad.push_back({P("t.office + 1"), "bad", TypeKind::kInt64, false});
+  RowSet sink;
+  sink.schema = vec::ProjectionSchema(bad);
+  vec::SelectionVector first{0};
+  EXPECT_FALSE(
+      vec::ProjectChunk(table, 0, first, Schema(), bad, &sink).ok());
+}
+
+TEST(JoinTableTest, BuildAndProbeWithNullKeys) {
+  RowSet right;
+  right.schema.AddColumn({"r", "custid", TypeKind::kInt64});
+  right.schema.AddColumn({"r", "office", TypeKind::kString});
+  right.rows = {
+      {Value::Int64(1), Value::String("Athens")},
+      {Value::Int64(2), Value::String("Corfu")},
+      {Value::Int64(2), Value::String("Corfu2")},  // duplicate key
+      {Value::Null(), Value::String("ghost")},     // NULL key: never joins
+  };
+  vec::JoinTable built = vec::BuildJoinTable(right, {0});
+
+  RowSet left;
+  left.schema.AddColumn({"l", "custid", TypeKind::kInt64});
+  left.schema.AddColumn({"l", "charge", TypeKind::kDouble});
+  left.rows = {
+      {Value::Int64(2), Value::Double(5.0)},
+      {Value::Int64(1), Value::Double(1.0)},
+      {Value::Null(), Value::Double(9.0)},  // NULL probe key: no match
+      {Value::Int64(3), Value::Double(2.0)},  // unmatched
+  };
+
+  const TupleSchema out_schema =
+      TupleSchema::Concat(left.schema, right.schema);
+  RowSet joined;
+  joined.schema = out_schema;
+  ASSERT_TRUE(vec::ProbeJoinTable(left, {0}, built, out_schema, nullptr,
+                                  &joined)
+                  .ok());
+  // Probe order: left row 0 matches both custid=2 build rows, left row 1
+  // matches custid=1; NULLs and unmatched keys emit nothing.
+  ASSERT_EQ(joined.rows.size(), 3u);
+  EXPECT_EQ(joined.rows[0][3], Value::String("Corfu"));
+  EXPECT_EQ(joined.rows[1][3], Value::String("Corfu2"));
+  EXPECT_EQ(joined.rows[2][3], Value::String("Athens"));
+
+  // Residual predicate filters joined rows under the concat schema.
+  RowSet residual_out;
+  residual_out.schema = out_schema;
+  ASSERT_TRUE(vec::ProbeJoinTable(left, {0}, built, out_schema,
+                                  P("r.office = 'Corfu2'"), &residual_out)
+                  .ok());
+  ASSERT_EQ(residual_out.rows.size(), 1u);
+  EXPECT_EQ(residual_out.rows[0][3], Value::String("Corfu2"));
+}
+
+TEST(JoinTableTest, EmptyInputs) {
+  RowSet empty;
+  empty.schema.AddColumn({"r", "k", TypeKind::kInt64});
+  vec::JoinTable built = vec::BuildJoinTable(empty, {0});
+  EXPECT_TRUE(built.empty());
+  RowSet joined;
+  joined.schema = empty.schema;
+  ASSERT_TRUE(vec::ProbeJoinTable(empty, {0}, built, empty.schema, nullptr,
+                                  &joined)
+                  .ok());
+  EXPECT_TRUE(joined.rows.empty());
+}
+
+}  // namespace
+}  // namespace qtrade
