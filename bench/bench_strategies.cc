@@ -1,12 +1,27 @@
 // EXP-8 — Cooperative vs competitive seller strategies.
+// EXP-22 — Strategy-matrix tournament (adversarial markets).
 //
-// Table: what the buyer pays and what the answers honestly cost (social
-// cost) over a query stream, for truthful sellers and adaptive-markup
-// sellers with different initial margins. Expected shape: cooperative
-// trading is efficient (paid == honest); competition inflates paid cost
-// by roughly the sustained margin, and adaptive margins drift down under
-// losses.
+// EXP-8 table: what the buyer pays and what the answers honestly cost
+// (social cost) over a query stream, for truthful sellers and
+// adaptive-markup sellers with different initial margins. Expected
+// shape: cooperative trading is efficient (paid == honest); competition
+// inflates paid cost by roughly the sustained margin, and adaptive
+// margins drift down under losses.
+//
+// EXP-22 tournament: the full StrategyMatrixExplorer sweep — every
+// seller-strategy x buyer-strategy pairing on a repeated workload, with
+// the economic invariants (no arbitrage over the containment lattice,
+// bounded buyer cost vs the truthful baseline, quote convergence,
+// byte-identical replay) enforced per cell. Writes the
+// BENCH_strategies.json trajectory (revenue, buyer utility,
+// rounds-to-converge per pairing) and exits non-zero on any violation,
+// which is what ci/check.sh gates.
+//
+// Flags: --smoke (CI leg; same sweep, marks the JSON), --json.
+#include <cstring>
+
 #include "bench/bench_util.h"
+#include "sim/strategy_matrix.h"
 
 using namespace qtrade;
 using namespace qtrade::bench;
@@ -40,9 +55,92 @@ StreamResult RunStream(Federation* federation, const std::string& buyer) {
   return out;
 }
 
+/// EXP-22: the 16-cell tournament. Returns 0 when every cell holds its
+/// invariants and writes the BENCH_strategies.json trajectory.
+int RunTournament(bool smoke, bool json) {
+  Banner("EXP-22", "strategy-matrix tournament: adversarial pricing");
+  StrategyMatrixExplorer explorer;
+  MatrixReport report = explorer.Explore();
+
+  std::printf("%-14s %-9s %5s %10s %10s %10s %9s %6s %7s\n", "seller",
+              "buyer", "negs", "paid(ms)", "revenue", "utility", "converge",
+              "pairs", "status");
+  std::string cells_json;
+  for (const CellOutcome& cell : report.cells) {
+    // Buyer utility: how much cheaper (positive) or dearer (negative)
+    // this market was than the same buyer's all-truthful baseline.
+    const double utility =
+        cell.baseline_cost > 0 ? cell.baseline_cost - cell.total_cost : 0;
+    std::printf("%-14s %-9s %5d %10.1f %10.1f %10.1f %9d %6d %7s\n",
+                cell.seller_kind.c_str(), cell.buyer_kind.c_str(),
+                cell.negotiations, cell.paid, cell.revenue, utility,
+                cell.rounds_to_converge, cell.containment_pairs,
+                cell.ok() ? "ok" : "FAIL");
+    for (const std::string& violation : cell.violations) {
+      std::printf("    %s\n", violation.c_str());
+    }
+    if (json) {
+      JsonRow("EXP-22")
+          .Str("seller", cell.seller_kind)
+          .Str("buyer", cell.buyer_kind)
+          .Int("negotiations", cell.negotiations)
+          .Num("paid_ms", cell.paid)
+          .Num("revenue_ms", cell.revenue)
+          .Num("buyer_utility_ms", utility)
+          .Int("rounds_to_converge", cell.rounds_to_converge)
+          .Int("containment_pairs", cell.containment_pairs)
+          .Bool("replay_identical", cell.replay_identical)
+          .Bool("ok", cell.ok())
+          .Emit();
+    }
+    char row[512];
+    std::snprintf(row, sizeof(row),
+                  "%s{\"seller\":\"%s\",\"buyer\":\"%s\","
+                  "\"negotiations\":%d,\"paid_ms\":%.3f,\"revenue_ms\":%.3f,"
+                  "\"buyer_utility_ms\":%.3f,\"rounds_to_converge\":%d,"
+                  "\"containment_pairs\":%d,\"ok\":%s}",
+                  cells_json.empty() ? "" : ",", cell.seller_kind.c_str(),
+                  cell.buyer_kind.c_str(), cell.negotiations, cell.paid,
+                  cell.revenue, utility, cell.rounds_to_converge,
+                  cell.containment_pairs, cell.ok() ? "true" : "false");
+    cells_json += row;
+  }
+  std::printf("\ncells: %d, violating: %d\n", report.cells_run,
+              report.cells_violating);
+
+  if (FILE* f = std::fopen("BENCH_strategies.json", "w")) {
+    std::fprintf(f,
+                 "{\"bench\":\"strategies\",\"cells\":%d,\"violating\":%d,"
+                 "\"pairings\":[%s],\"smoke\":%s}\n",
+                 report.cells_run, report.cells_violating, cells_json.c_str(),
+                 smoke ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote BENCH_strategies.json\n");
+  } else {
+    std::fprintf(stderr, "could not write BENCH_strategies.json\n");
+    return 1;
+  }
+  if (report.cells_run < 16) {
+    std::fprintf(stderr, "FAIL: expected >= 16 cells, ran %d\n",
+                 report.cells_run);
+    return 1;
+  }
+  if (!report.ok()) {
+    std::fprintf(stderr, "FAIL: %d cell(s) violated market invariants\n",
+                 report.cells_violating);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool json = JsonMode(argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
   Banner("EXP-8", "cooperative vs competitive seller pricing");
   std::printf("%-22s %8s %12s %12s %9s\n", "strategy", "queries",
               "paid(ms)", "honest(ms)", "margin");
@@ -86,6 +184,6 @@ int main() {
                 result.answered, result.paid, result.honest, margin);
   }
   std::printf("\nShape check: truthful margin == 0; competitive margins "
-              "positive but eroded by lost bids over the stream.\n");
-  return 0;
+              "positive but eroded by lost bids over the stream.\n\n");
+  return RunTournament(smoke, json);
 }

@@ -218,6 +218,17 @@ echo "== columnar data plane smoke"
 ./build/bench/bench_dataplane --smoke
 test -s BENCH_dataplane.json
 
+# Strategy-matrix tournament smoke (EXP-22): every seller x buyer
+# strategy pairing swept on the repeated workload with the economic
+# invariants enforced per cell — no arbitrage over the containment
+# lattice, bounded buyer cost vs the truthful baseline, quote
+# convergence inside the round budget, byte-identical replay (the bench
+# exits non-zero on any violated cell). The BENCH_strategies.json
+# trajectory file must appear.
+echo "== strategy tournament smoke"
+./build/bench/bench_strategies --smoke
+test -s BENCH_strategies.json
+
 # Acceptance gate: the transport-conformance and fault-schedule suites
 # must pass UNCHANGED with parallel plan search on. QTRADE_DP_THREADS
 # makes the facade default dp_threads=8 without touching the suites;
@@ -232,12 +243,14 @@ if [[ "${TSAN:-0}" == "1" ]]; then
     trading_test subcontract_test transport_fault_test offer_cache_test \
     obs_test codec_test codec_fuzz_test transport_conformance_test \
     fault_schedule_test node_server_test concurrent_state_test \
-    parallel_dp_test trace_stitch_test streaming_test
+    parallel_dp_test trace_stitch_test streaming_test strategy_test \
+    strategy_matrix_test
   for t in trading_test subcontract_test transport_fault_test \
            offer_cache_test obs_test codec_test codec_fuzz_test \
            transport_conformance_test fault_schedule_test \
            node_server_test concurrent_state_test parallel_dp_test \
-           trace_stitch_test streaming_test; do
+           trace_stitch_test streaming_test strategy_test \
+           strategy_matrix_test; do
     echo "== tsan: ${t}"
     ./build-tsan/tests/"${t}"
   done

@@ -24,6 +24,15 @@ OfferCacheStats SumCacheStats(const std::vector<SellerEngine*>& sellers) {
   return sum;
 }
 
+/// Summed pricing-strategy counters over every federation seller.
+StrategyStats SumStrategyStats(const std::vector<SellerEngine*>& sellers) {
+  StrategyStats sum;
+  for (const SellerEngine* seller : sellers) {
+    sum += seller->strategy_stats();
+  }
+  return sum;
+}
+
 /// Copy-on-path rebuild of the immutable plan tree: the one kRemote leaf
 /// buying `failed_offer_id` is replaced by a leaf buying `substitute`;
 /// untouched subtrees are shared with the original plan.
@@ -121,7 +130,8 @@ QueryTradingOptimizer::QueryTradingOptimizer(Federation* federation,
   sellers_ = sellers;
   engine_ = std::make_unique<BuyerEngine>(
       buyer != nullptr ? buyer->catalog.get() : nullptr,
-      &federation_->factory(), transport_, sellers, options_);
+      &federation_->factory(), transport_, sellers, options_,
+      options_.buyer_strategy ? options_.buyer_strategy() : nullptr);
   // Cache and plan-search knobs are federation-wide properties of the
   // run, so the facade pushes them to every seller; direct-constructed
   // SellerEngines keep their OfferGeneratorOptions defaults (off/serial).
@@ -207,6 +217,7 @@ Result<QtResult> QueryTradingOptimizer::Optimize(const std::string& sql) {
   // Seller caches persist across runs (that is the point); report this
   // run's activity as a before/after delta. Resilience stats likewise.
   const OfferCacheStats before = SumCacheStats(federation_->Sellers());
+  const StrategyStats strat_before = SumStrategyStats(federation_->Sellers());
   const ResilienceStats res_before =
       resilient_ != nullptr ? resilient_->stats() : ResilienceStats{};
   QTRADE_ASSIGN_OR_RETURN(QtResult result, engine_->Optimize(sql));
@@ -216,6 +227,12 @@ Result<QtResult> QueryTradingOptimizer::Optimize(const std::string& sql) {
   result.metrics.cache_evictions = after.evictions - before.evictions;
   result.metrics.cache_invalidations =
       after.invalidations - before.invalidations;
+  const StrategyStats strat_after = SumStrategyStats(federation_->Sellers());
+  result.metrics.strategy_quotes = strat_after.quotes - strat_before.quotes;
+  result.metrics.strategy_clamped = strat_after.clamped - strat_before.clamped;
+  result.metrics.strategy_pinned = strat_after.pinned - strat_before.pinned;
+  result.metrics.strategy_wins = strat_after.wins - strat_before.wins;
+  result.metrics.strategy_losses = strat_after.losses - strat_before.losses;
   if (resilient_ != nullptr) {
     const ResilienceStats res = resilient_->stats();
     result.metrics.retries = (res.rfb_retries + res.tick_retries) -
@@ -310,7 +327,8 @@ Status QueryTradingOptimizer::Replan(
     scoped.run_label += "+reroute" + std::to_string(replan_ordinal);
   }
   BuyerEngine engine(buyer != nullptr ? buyer->catalog.get() : nullptr,
-                     &federation_->factory(), transport_, directory, scoped);
+                     &federation_->factory(), transport_, directory, scoped,
+                     scoped.buyer_strategy ? scoped.buyer_strategy() : nullptr);
   engine.SetObservability(tracer_, metrics_);
   QTRADE_ASSIGN_OR_RETURN(QtResult replanned, engine.Optimize(result.sql));
   if (!replanned.ok()) {

@@ -230,6 +230,16 @@ struct TradeMetrics {
   int64_t delivery_bytes = 0;
   int64_t delivery_first_row_us = 0;
   int64_t delivery_last_row_us = 0;
+  /// Seller pricing strategies (trading/strategy.h), summed over all
+  /// federation sellers for this run: pricing decisions made, quotes
+  /// moved by the arbitrage-free containment clamp, quotes answered
+  /// from a sticky price book, and negotiation outcomes the strategies
+  /// observed.
+  int64_t strategy_quotes = 0;
+  int64_t strategy_clamped = 0;
+  int64_t strategy_pinned = 0;
+  int64_t strategy_wins = 0;
+  int64_t strategy_losses = 0;
 };
 
 }  // namespace qtrade

@@ -131,8 +131,20 @@ class Canonicalizer {
 
 }  // namespace
 
-QuerySignature CanonicalSignature(const sql::BoundQuery& query) {
-  QuerySignature sig;
+namespace {
+/// Shared by CanonicalSignature and CanonicalShape: the canonical
+/// serialization split at the W[] section, so the conjunct set can be
+/// inspected (containment) or inlined (cache keys) without the two
+/// call sites drifting apart.
+struct SplitSignature {
+  std::string prefix;                  // "T[...]W["
+  std::vector<std::string> conjuncts;  // sorted canonical conjuncts
+  std::string suffix;                  // "]S[...]G[...]H[...]O[...]..."
+  std::vector<std::string> aliases;
+};
+
+SplitSignature BuildSplitSignature(const sql::BoundQuery& query) {
+  SplitSignature sig;
 
   // Canonical alias order: by (table, alias). Positional ids then make
   // the serialization independent of the original alias spellings.
@@ -156,15 +168,14 @@ QuerySignature CanonicalSignature(const sql::BoundQuery& query) {
 
   Canonicalizer canon(&ids);
 
-  std::vector<std::string> conjuncts;
-  conjuncts.reserve(query.conjuncts.size());
-  for (const auto& c : query.conjuncts) conjuncts.push_back(canon.Sig(c.expr));
-  std::sort(conjuncts.begin(), conjuncts.end());
-  text += "W[";
-  for (size_t i = 0; i < conjuncts.size(); ++i) {
-    if (i > 0) text += "&";
-    text += conjuncts[i];
+  sig.conjuncts.reserve(query.conjuncts.size());
+  for (const auto& c : query.conjuncts) {
+    sig.conjuncts.push_back(canon.Sig(c.expr));
   }
+  std::sort(sig.conjuncts.begin(), sig.conjuncts.end());
+  text += "W[";
+  sig.prefix = std::move(text);
+  text.clear();
   text += "]";
 
   // Output order is part of the delivered schema: keep it.
@@ -202,8 +213,44 @@ QuerySignature CanonicalSignature(const sql::BoundQuery& query) {
   if (query.distinct) text += "D";
   if (query.limit.has_value()) text += "L" + std::to_string(*query.limit);
 
-  sig.text = std::move(text);
+  sig.suffix = std::move(text);
   return sig;
+}
+
+std::string JoinConjuncts(const std::vector<std::string>& conjuncts) {
+  std::string out;
+  for (size_t i = 0; i < conjuncts.size(); ++i) {
+    if (i > 0) out += "&";
+    out += conjuncts[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+QuerySignature CanonicalSignature(const sql::BoundQuery& query) {
+  SplitSignature split = BuildSplitSignature(query);
+  QuerySignature sig;
+  sig.text = split.prefix + JoinConjuncts(split.conjuncts) + split.suffix;
+  sig.aliases = std::move(split.aliases);
+  return sig;
+}
+
+QueryShape CanonicalShape(const sql::BoundQuery& query) {
+  SplitSignature split = BuildSplitSignature(query);
+  QueryShape shape;
+  shape.skeleton = split.prefix + split.suffix;
+  shape.conjuncts = std::move(split.conjuncts);
+  shape.aliases = std::move(split.aliases);
+  return shape;
+}
+
+bool ShapeContains(const QueryShape& super, const QueryShape& sub) {
+  if (super.skeleton != sub.skeleton) return false;
+  // More conjuncts = more restrictive: sub must carry every conjunct
+  // super has (and may add its own).
+  return std::includes(sub.conjuncts.begin(), sub.conjuncts.end(),
+                       super.conjuncts.begin(), super.conjuncts.end());
 }
 
 std::map<std::string, std::string> AliasRenameMap(const QuerySignature& from,

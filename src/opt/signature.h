@@ -47,6 +47,39 @@ struct QuerySignature {
 /// Computes the canonical signature of a bound query.
 QuerySignature CanonicalSignature(const sql::BoundQuery& query);
 
+/// A query's canonical serialization with the WHERE conjuncts factored
+/// out: `skeleton` is the signature text with an empty W[] section and
+/// `conjuncts` holds the individually canonicalized conjunct strings,
+/// sorted. Two queries with equal skeletons differ only in their
+/// conjunct sets, which makes conjunctive-query containment decidable
+/// by set inclusion (see ShapeContains) — the lattice the arbitrage-free
+/// pricing strategies walk (trading/strategy.h).
+struct QueryShape {
+  std::string skeleton;
+  std::vector<std::string> conjuncts;  // sorted
+  /// Positional alias order, as in QuerySignature: aliases[i] is what
+  /// "t<i>" stands for inside skeleton/conjuncts.
+  std::vector<std::string> aliases;
+
+  bool operator==(const QueryShape& o) const {
+    return skeleton == o.skeleton && conjuncts == o.conjuncts;
+  }
+};
+
+/// Decomposes a bound query for containment checks. Concatenating the
+/// skeleton's W[] section with the sorted conjuncts reproduces
+/// CanonicalSignature(query).text exactly.
+QueryShape CanonicalShape(const sql::BoundQuery& query);
+
+/// Conservative conjunctive-query containment on canonical shapes:
+/// true only when every answer row of `sub` is guaranteed to be an
+/// answer row of `super` — equal skeletons (same tables, outputs,
+/// grouping, ordering, limit) and sub's conjunct set a superset of
+/// super's (more predicates = more restrictive). False negatives are
+/// possible (semantic containment the syntax hides); false positives
+/// are not.
+bool ShapeContains(const QueryShape& super, const QueryShape& sub);
+
 /// Positional alias rename between two queries with equal signature
 /// text: from.aliases[i] -> to.aliases[i]. Identical entries are
 /// omitted, so an empty map means "no renaming needed".

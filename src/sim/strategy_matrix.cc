@@ -1,0 +1,490 @@
+#include "sim/strategy_matrix.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "core/federation.h"
+#include "core/qt_optimizer.h"
+#include "plan/plan.h"
+#include "sql/parser.h"
+
+namespace qtrade {
+namespace {
+
+sql::ExprPtr Pred(const std::string& text) {
+  auto e = sql::ParseExpression(text);
+  if (!e.ok()) return nullptr;
+  return *e;
+}
+
+/// Same telecom micro-schema as the fault-schedule explorer: customer
+/// partitioned by office, invoiceline by custid range.
+std::shared_ptr<FederationSchema> WorldSchema() {
+  auto schema = std::make_shared<FederationSchema>();
+  TableDef customer{"customer",
+                    {{"custid", TypeKind::kInt64},
+                     {"custname", TypeKind::kString},
+                     {"office", TypeKind::kString}}};
+  TableDef invoiceline{"invoiceline",
+                       {{"invid", TypeKind::kInt64},
+                        {"linenum", TypeKind::kInt64},
+                        {"custid", TypeKind::kInt64},
+                        {"charge", TypeKind::kDouble}}};
+  (void)schema->AddTable(customer, {Pred("office = 'Athens'"),
+                                    Pred("office = 'Corfu'"),
+                                    Pred("office = 'Myconos'")});
+  (void)schema->AddTable(invoiceline,
+                         {Pred("custid < 1000"),
+                          Pred("custid >= 1000 AND custid < 2000"),
+                          Pred("custid >= 2000")});
+  return schema;
+}
+
+struct WorldData {
+  std::vector<std::vector<Row>> customer_parts;     // [3]
+  std::vector<std::vector<Row>> invoiceline_parts;  // [3]
+
+  explicit WorldData(int num_customers = 12, int lines_per_customer = 2) {
+    customer_parts.resize(3);
+    invoiceline_parts.resize(3);
+    const char* offices[] = {"Athens", "Corfu", "Myconos"};
+    int64_t invid = 0;
+    for (int64_t id = 0; id < num_customers; ++id) {
+      int region = static_cast<int>(id % 3);
+      int64_t custid = region * 1000 + id;
+      customer_parts[region].push_back(
+          {Value::Int64(custid),
+           Value::String("cust" + std::to_string(custid)),
+           Value::String(offices[region])});
+      for (int line = 0; line < lines_per_customer; ++line) {
+        invoiceline_parts[region].push_back(
+            {Value::Int64(invid++), Value::Int64(line), Value::Int64(custid),
+             Value::Double(static_cast<double>(custid % 100) * 10 + line)});
+      }
+    }
+  }
+};
+
+/// Shared per-run quote log. Sellers append concurrently (the transport
+/// may dispatch RFB handlers on worker threads), so the log carries its
+/// own mutex; per-seller sequence numbers restore a deterministic total
+/// order afterwards.
+class QuoteLog {
+ public:
+  void StartNegotiation(int ordinal) {
+    negotiation_.store(ordinal, std::memory_order_relaxed);
+  }
+
+  void Record(const std::string& seller, int epoch, const QuoteContext& ctx,
+              bool has_context, double quote) {
+    std::lock_guard<std::mutex> lock(mu_);
+    QuoteEvent event;
+    event.seller = seller;
+    event.seq = seq_[seller]++;
+    event.negotiation = negotiation_.load(std::memory_order_relaxed);
+    event.epoch = epoch;
+    if (has_context) {
+      event.signature = ctx.signature;
+      event.shape = ctx.shape;
+      event.coverage = ctx.coverage;
+    }
+    event.true_cost = ctx.true_cost_ms;
+    event.quote = quote;
+    events_.push_back(std::move(event));
+  }
+
+  std::vector<QuoteEvent> Sorted() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<QuoteEvent> out = events_;
+    std::sort(out.begin(), out.end(),
+              [](const QuoteEvent& a, const QuoteEvent& b) {
+                if (a.seller != b.seller) return a.seller < b.seller;
+                return a.seq < b.seq;
+              });
+    return out;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<QuoteEvent> events_;
+  std::map<std::string, int> seq_;
+  std::atomic<int> negotiation_{0};
+};
+
+/// Decorator that records every pricing decision of the wrapped
+/// strategy into the run's QuoteLog. Always context-hungry, so the
+/// engine assembles signatures/coverage for plain strategies too.
+class RecordingStrategy : public SellerStrategy {
+ public:
+  RecordingStrategy(std::unique_ptr<SellerStrategy> inner, QuoteLog* log,
+                    std::string seller)
+      : inner_(std::move(inner)), log_(log), seller_(std::move(seller)) {}
+
+  bool wants_context() const override { return true; }
+
+  double Quote(double true_cost_ms) override {
+    // Context assembly failed (e.g. a view offer that would not bind):
+    // record the decision without lattice coordinates.
+    QuoteContext ctx;
+    ctx.true_cost_ms = true_cost_ms;
+    double quote = inner_->Quote(true_cost_ms);
+    log_->Record(seller_, epoch_, ctx, /*has_context=*/false, quote);
+    return quote;
+  }
+
+  double QuoteWithContext(const QuoteContext& ctx) override {
+    double quote = inner_->wants_context() ? inner_->QuoteWithContext(ctx)
+                                           : inner_->Quote(ctx.true_cost_ms);
+    log_->Record(seller_, epoch_, ctx, /*has_context=*/true, quote);
+    return quote;
+  }
+
+  void OnTradeOutcome(const TradeOutcome& outcome) override {
+    inner_->OnTradeOutcome(outcome);
+    ++epoch_;
+  }
+
+  double ReservationValue(double true_cost_ms) override {
+    return inner_->ReservationValue(true_cost_ms);
+  }
+
+  StrategyStats Stats() const override { return inner_->Stats(); }
+  std::string name() const override { return inner_->name(); }
+
+ private:
+  std::unique_ptr<SellerStrategy> inner_;
+  QuoteLog* log_;
+  std::string seller_;
+  int epoch_ = 0;
+};
+
+/// The market world: same placement ring as the fault explorer (athens
+/// buys, corfu holds everything, three overlapping 2-partition
+/// sellers), every seller running a fresh instance of the cell's
+/// strategy behind a recording decorator.
+std::unique_ptr<Federation> BuildMarketWorld(
+    const std::function<std::unique_ptr<SellerStrategy>()>& make,
+    QuoteLog* log) {
+  auto fed = std::make_unique<Federation>(WorldSchema());
+  fed->AddNode("athens");
+  for (const char* node : {"corfu", "myconos", "naxos", "paros"}) {
+    fed->AddNode(node, std::make_unique<RecordingStrategy>(make(), log, node));
+  }
+  WorldData data;
+  struct Placement {
+    const char* node;
+    std::vector<int> parts;
+  };
+  const Placement placements[] = {
+      {"corfu", {0, 1, 2}},
+      {"myconos", {0, 1}},
+      {"naxos", {1, 2}},
+      {"paros", {2, 0}},
+  };
+  for (const Placement& p : placements) {
+    for (int part : p.parts) {
+      (void)fed->LoadPartition(p.node, "customer#" + std::to_string(part),
+                               data.customer_parts[part]);
+      (void)fed->LoadPartition(p.node, "invoiceline#" + std::to_string(part),
+                               data.invoiceline_parts[part]);
+    }
+  }
+  return fed;
+}
+
+std::string Fmt(double v) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  return buffer;
+}
+
+std::string CommodityKey(const QuoteEvent& e) {
+  std::string key = e.seller;
+  key += '|';
+  key += e.signature;
+  key += '|';
+  for (const auto& c : e.coverage) {
+    key += c;
+    key += ',';
+  }
+  return key;
+}
+
+}  // namespace
+
+StrategyMatrixExplorer::StrategyMatrixExplorer(StrategyMatrixOptions options)
+    : options_(options) {}
+
+std::vector<SellerKind> StrategyMatrixExplorer::SellerKinds() {
+  std::vector<SellerKind> kinds;
+  kinds.push_back({"truthful", false,
+                   [] { return std::make_unique<TruthfulStrategy>(); }});
+  kinds.push_back({"markup", false,
+                   [] { return std::make_unique<AdaptiveMarkupStrategy>(); }});
+  kinds.push_back({"containment", true, [] {
+                     return std::make_unique<ContainmentAwareStrategy>();
+                   }});
+  kinds.push_back({"history", false, [] {
+                     return std::make_unique<HistoryAdaptiveStrategy>();
+                   }});
+  return kinds;
+}
+
+std::vector<BuyerKind> StrategyMatrixExplorer::BuyerKinds() {
+  return {
+      {"default", 1.25, 0.85},
+      {"eager", 1.5, 0.95},
+      {"hard", 1.1, 0.7},
+      {"patient", 1.25, 0.75},
+  };
+}
+
+std::vector<std::string> StrategyMatrixExplorer::WorkloadSql() {
+  return {
+      "SELECT custname, office FROM customer",
+      "SELECT custname, office FROM customer WHERE office = 'Corfu'",
+      "SELECT c.custname, SUM(l.charge) FROM customer AS c, invoiceline AS l "
+      "WHERE c.custid = l.custid GROUP BY c.custname",
+      "SELECT custname, office FROM customer "
+      "WHERE office = 'Corfu' AND custid < 1400",
+  };
+}
+
+bool StrategyMatrixExplorer::Covers(const QuoteEvent& super,
+                                    const QuoteEvent& sub) {
+  if (super.signature.empty() || sub.signature.empty()) return false;
+  return ShapeContains(super.shape, sub.shape) &&
+         std::includes(super.coverage.begin(), super.coverage.end(),
+                       sub.coverage.begin(), sub.coverage.end());
+}
+
+std::vector<std::string> StrategyMatrixExplorer::CheckArbitrage(
+    const std::vector<QuoteEvent>& events, bool whole_history, double rel_eps,
+    double abs_eps, int* pairs) {
+  std::vector<std::string> violations;
+  int compared = 0;
+  for (size_t i = 0; i < events.size(); ++i) {
+    for (size_t j = 0; j < events.size(); ++j) {
+      if (i == j) continue;
+      const QuoteEvent& super = events[i];
+      const QuoteEvent& sub = events[j];
+      if (super.seller != sub.seller) continue;
+      if (!whole_history && super.epoch != sub.epoch) continue;
+      if (CommodityKey(super) == CommodityKey(sub)) continue;
+      if (!Covers(super, sub)) continue;
+      ++compared;
+      const double bound =
+          super.quote + rel_eps * std::fabs(super.quote) + abs_eps;
+      if (sub.quote > bound) {
+        violations.push_back(
+            "arbitrage: " + sub.seller + " quoted contained commodity " +
+            Fmt(sub.quote) + " above containing commodity " +
+            Fmt(super.quote) + " (negotiations " +
+            std::to_string(super.negotiation) + " vs " +
+            std::to_string(sub.negotiation) + ", sub sig " + sub.signature +
+            ")");
+        if (violations.size() >= 8) {
+          if (pairs != nullptr) *pairs = compared;
+          return violations;
+        }
+      }
+    }
+  }
+  if (pairs != nullptr) *pairs = compared;
+  return violations;
+}
+
+bool StrategyMatrixExplorer::CheckConvergence(
+    const std::vector<QuoteEvent>& events, double tol, int live_after,
+    int* rounds_to_converge) {
+  std::map<std::string, std::vector<const QuoteEvent*>> by_key;
+  for (const QuoteEvent& e : events) by_key[CommodityKey(e)].push_back(&e);
+  // Events arrive sorted by (seller, seq); per key that is quote order.
+  bool converged = true;
+  int settle = 0;
+  for (auto& [key, quotes] : by_key) {
+    if (quotes.size() < 2) continue;
+    // A commodity the market stopped requesting before `live_after` has
+    // no further quotes to converge with; only still-traded prices are
+    // held to the settled test.
+    if (quotes.back()->negotiation < live_after) continue;
+    const double final_quote = quotes.back()->quote;
+    const double scale = std::max(std::fabs(final_quote), 1e-12);
+    auto settled = [&](const QuoteEvent* e) {
+      return std::fabs(e->quote - final_quote) <= tol * scale;
+    };
+    // A commodity converged when its last two quotes agree: the price
+    // stopped moving before the budget ran out.
+    if (!settled(quotes[quotes.size() - 2])) {
+      converged = false;
+    }
+    // First index from which everything stays within tolerance.
+    size_t first = quotes.size() - 1;
+    while (first > 0 && settled(quotes[first - 1])) --first;
+    settle = std::max(settle, quotes[first]->negotiation);
+  }
+  if (rounds_to_converge != nullptr) *rounds_to_converge = settle;
+  return converged;
+}
+
+StrategyMatrixExplorer::CellRun StrategyMatrixExplorer::RunOnce(
+    const SellerKind& seller, const BuyerKind& buyer) const {
+  CellRun run;
+  QuoteLog log;
+  std::unique_ptr<Federation> fed = BuildMarketWorld(seller.make, &log);
+  const std::vector<std::string> workload = WorkloadSql();
+  const int total =
+      options_.rounds * static_cast<int>(workload.size());
+  for (int i = 0; i < total; ++i) {
+    log.StartNegotiation(i);
+    QtOptions opt;
+    // Auction and bargaining alternate so both nested-protocol paths
+    // (undercut ticks, counter-offers) see every strategy.
+    opt.protocol = i % 2 == 0 ? NegotiationProtocol::kAuction
+                              : NegotiationProtocol::kBargaining;
+    opt.seed = options_.seed;
+    // Distinct, stable RFB ids per negotiation: sellers mint fresh
+    // offer records each time, and a replay reproduces every id.
+    opt.run_label = "mx" + std::to_string(i);
+    opt.offer_timeout_ms = 5000;
+    opt.buyer_strategy = [&buyer] {
+      return std::make_unique<DefaultBuyerStrategy>(buyer.slack,
+                                                    buyer.bargain_discount);
+    };
+    QueryTradingOptimizer qt(fed.get(), "athens", opt);
+    auto result = qt.Optimize(workload[i % workload.size()]);
+    if (!result.ok()) {
+      run.error = "negotiation " + std::to_string(i) +
+                  " optimize: " + result.status().ToString();
+      return run;
+    }
+    if (!result->ok()) {
+      run.error =
+          "negotiation " + std::to_string(i) + ": no plan found";
+      return run;
+    }
+    run.costs.push_back(result->cost);
+    run.paid += TotalRemoteCost(result->plan);
+    for (const Offer& offer : result->winning_offers) {
+      FederationNode* node = fed->node(offer.seller);
+      if (node == nullptr) continue;
+      auto true_cost = node->seller->TrueCost(offer.offer_id);
+      if (true_cost.ok()) run.honest += *true_cost;
+    }
+  }
+  run.events = log.Sorted();
+  // Digest: every pricing decision plus every negotiation outcome, in a
+  // deterministic order. Two runs of the same cell must match byte for
+  // byte.
+  for (const QuoteEvent& e : run.events) {
+    run.digest += e.seller + "#" + std::to_string(e.seq) + " n" +
+                  std::to_string(e.negotiation) + " e" +
+                  std::to_string(e.epoch) + " " + e.signature + " [";
+    for (const auto& c : e.coverage) {
+      run.digest += c;
+      run.digest += ",";
+    }
+    run.digest += "] " + Fmt(e.true_cost) + " -> " + Fmt(e.quote) + "\n";
+  }
+  for (size_t i = 0; i < run.costs.size(); ++i) {
+    run.digest += "neg" + std::to_string(i) + " cost " + Fmt(run.costs[i]) +
+                  "\n";
+  }
+  run.digest += "paid " + Fmt(run.paid) + " honest " + Fmt(run.honest) + "\n";
+  return run;
+}
+
+CellOutcome StrategyMatrixExplorer::RunCell(const SellerKind& seller,
+                                            const BuyerKind& buyer,
+                                            double baseline_cost) const {
+  CellOutcome out;
+  out.seller_kind = seller.name;
+  out.buyer_kind = buyer.name;
+  out.baseline_cost = baseline_cost;
+  CellRun run = RunOnce(seller, buyer);
+  if (!run.error.empty()) {
+    out.violations.push_back(run.error);
+    return out;
+  }
+  out.negotiations = static_cast<int>(run.costs.size());
+  for (double cost : run.costs) out.total_cost += cost;
+  out.paid = run.paid;
+  out.honest = run.honest;
+  out.revenue = run.paid - run.honest;
+  out.digest = run.digest;
+
+  if (options_.check_replay) {
+    CellRun replay = RunOnce(seller, buyer);
+    out.replay_identical =
+        replay.error.empty() && replay.digest == run.digest;
+    if (!out.replay_identical) {
+      out.violations.push_back(
+          "replay: second run diverged (" +
+          (replay.error.empty() ? "digest mismatch" : replay.error) + ")");
+    }
+  }
+
+  // Arbitrage. Price-book strategies are exactly ordered by
+  // construction; plain per-epoch checks get an absolute epsilon
+  // covering the cost model's per-predicate CPU term (a contained
+  // query carries more predicates, which can legitimately raise its
+  // honest cost by rows * cpu_predicate_ms — and markup strategies
+  // scale that honest gap by up to 1 + max_margin).
+  const double rel_eps = seller.whole_history_arbitrage ? 1e-9 : 1e-6;
+  const double abs_eps = seller.whole_history_arbitrage ? 1e-9 : 0.05;
+  std::vector<std::string> arb =
+      CheckArbitrage(run.events, seller.whole_history_arbitrage, rel_eps,
+                     abs_eps, &out.containment_pairs);
+  out.violations.insert(out.violations.end(), arb.begin(), arb.end());
+
+  // Live = quoted in the final workload round.
+  const int live_after =
+      (options_.rounds - 1) * static_cast<int>(WorkloadSql().size());
+  if (!CheckConvergence(run.events, options_.convergence_tol, live_after,
+                        &out.rounds_to_converge)) {
+    out.violations.push_back(
+        "convergence: quotes still moving more than " +
+        Fmt(options_.convergence_tol) + " (relative) at the round budget");
+  }
+
+  if (baseline_cost > 0 &&
+      out.total_cost > options_.cost_bound_factor * baseline_cost) {
+    out.violations.push_back(
+        "cost bound: buyer paid " + Fmt(out.total_cost) + " > " +
+        Fmt(options_.cost_bound_factor) + " x truthful baseline " +
+        Fmt(baseline_cost));
+  }
+  return out;
+}
+
+MatrixReport StrategyMatrixExplorer::Explore() const {
+  MatrixReport report;
+  const std::vector<SellerKind> sellers = SellerKinds();
+  const std::vector<BuyerKind> buyers = BuyerKinds();
+  // Truthful baselines first: every other cell in a buyer's row is
+  // bounded against that buyer's all-truthful market.
+  std::map<std::string, double> baseline;
+  for (const BuyerKind& buyer : buyers) {
+    CellOutcome cell = RunCell(sellers[0], buyer, /*baseline_cost=*/-1);
+    baseline[buyer.name] = cell.total_cost;
+    ++report.cells_run;
+    if (!cell.ok()) ++report.cells_violating;
+    report.cells.push_back(std::move(cell));
+  }
+  for (size_t si = 1; si < sellers.size(); ++si) {
+    for (const BuyerKind& buyer : buyers) {
+      CellOutcome cell = RunCell(sellers[si], buyer, baseline[buyer.name]);
+      ++report.cells_run;
+      if (!cell.ok()) ++report.cells_violating;
+      report.cells.push_back(std::move(cell));
+    }
+  }
+  return report;
+}
+
+}  // namespace qtrade

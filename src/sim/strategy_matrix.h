@@ -1,0 +1,196 @@
+// Deterministic strategy-matrix explorer: sweeps every (seller
+// strategy, buyer strategy) pairing over a multi-round negotiation
+// workload on a fixed micro-federation and asserts the economic
+// invariants of the pricing layer (ROADMAP item 4, backed by "Pricing
+// Queries (Approximately) Optimally" / "Revenue Maximization for Query
+// Pricing", PAPERS.md):
+//
+//   - no arbitrage: whenever one quoted commodity subsumes another
+//     (canonical-shape containment + coverage inclusion, see
+//     opt/signature.h), the contained one is never priced higher. For
+//     plain strategies this holds within each outcome epoch (the margin
+//     only moves on award feedback); ContainmentAwareStrategy must hold
+//     it across the whole history (its price book pins quotes).
+//   - bounded exploitation: the buyer's total plan cost in any cell
+//     stays within a factor of the same buyer's all-truthful baseline.
+//   - convergence: per-commodity quotes stop moving (within tolerance)
+//     inside the round budget — this is the invariant that catches
+//     non-converging AdaptiveMarkupStrategy parameterizations (steps so
+//     large the margin ping-pongs between the clamp rails).
+//   - replay: re-running a cell from the same seed is byte-identical
+//     (every quote, cost, and winner).
+//
+// Template: the fault-schedule explorer (sim/explorer.h) — same world,
+// same determinism discipline, invariants instead of fault recovery.
+#ifndef QTRADE_SIM_STRATEGY_MATRIX_H_
+#define QTRADE_SIM_STRATEGY_MATRIX_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "opt/signature.h"
+#include "trading/strategy.h"
+
+namespace qtrade {
+
+struct StrategyMatrixOptions {
+  /// Workload repetitions per cell; each round runs every workload
+  /// query once, so a cell sees rounds * 4 negotiations. The default
+  /// gives sanely parameterized adaptive strategies enough feedback to
+  /// settle at their clamp rails (AdaptiveMarkupStrategy's -2 * step
+  /// loss rule drifts mixed win/loss sellers down by ~step/2 per
+  /// negotiation, so from the default 0.3 margin the rail is ~12
+  /// negotiations away) while still failing parameterizations that
+  /// ping-pong forever.
+  int rounds = 6;
+  uint64_t seed = 42;
+  /// Buyer total plan cost in a cell must be <= factor * the same
+  /// buyer's all-truthful baseline cost.
+  double cost_bound_factor = 2.2;
+  /// Convergence tolerance: a commodity's final two quotes must agree
+  /// within this relative spread.
+  double convergence_tol = 0.15;
+  /// Run every cell twice and require byte-identical digests.
+  bool check_replay = true;
+};
+
+/// One pricing decision as the recording decorator saw it.
+struct QuoteEvent {
+  std::string seller;
+  /// Per-seller ordinal. Strategy calls are serialized under the seller
+  /// engine's mutex and ordered deterministically, so (seller, seq) is
+  /// a stable total order however the transport interleaves sellers.
+  int seq = 0;
+  int negotiation = 0;  ///< workload ordinal the quote belongs to
+  /// Outcomes this seller had observed before quoting: within one epoch
+  /// a plain strategy's margin is frozen.
+  int epoch = 0;
+  std::string signature;  ///< canonical signature ("" if unavailable)
+  QueryShape shape;
+  std::vector<std::string> coverage;  ///< sorted "t<i>:<partition>"
+  double true_cost = 0;
+  double quote = 0;
+};
+
+/// A seller strategy population member.
+struct SellerKind {
+  std::string name;
+  /// Arbitrage must hold across the whole history (price-book
+  /// strategies), not just within one outcome epoch.
+  bool whole_history_arbitrage = false;
+  std::function<std::unique_ptr<SellerStrategy>()> make;
+};
+
+/// A buyer population member (DefaultBuyerStrategy parameterization).
+struct BuyerKind {
+  std::string name;
+  double slack = 1.25;
+  double bargain_discount = 0.85;
+};
+
+struct CellOutcome {
+  std::string seller_kind;
+  std::string buyer_kind;
+  int negotiations = 0;
+  /// Subsumption-comparable quote pairs the arbitrage check covered
+  /// (0 would mean the invariant was vacuous for this cell).
+  int containment_pairs = 0;
+  double total_cost = 0;  ///< sum of winning plan costs
+  double paid = 0;        ///< sum of remote-leaf quotes (buyer spend)
+  double honest = 0;      ///< sum of winners' true costs
+  double revenue = 0;     ///< paid - honest (seller surplus)
+  /// Same-buyer all-truthful total_cost (< 0: no baseline supplied).
+  double baseline_cost = -1;
+  /// First workload ordinal after which every commodity's quotes stay
+  /// within tolerance of their final value.
+  int rounds_to_converge = 0;
+  bool replay_identical = true;
+  std::string digest;
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+};
+
+struct MatrixReport {
+  std::vector<CellOutcome> cells;
+  int cells_run = 0;
+  int cells_violating = 0;
+
+  bool ok() const { return cells_run > 0 && cells_violating == 0; }
+};
+
+class StrategyMatrixExplorer {
+ public:
+  explicit StrategyMatrixExplorer(StrategyMatrixOptions options = {});
+
+  const StrategyMatrixOptions& options() const { return options_; }
+
+  /// The two populations: truthful, adaptive-markup, containment-aware,
+  /// history-adaptive sellers x four DefaultBuyerStrategy
+  /// parameterizations (16 cells).
+  static std::vector<SellerKind> SellerKinds();
+  static std::vector<BuyerKind> BuyerKinds();
+
+  /// The per-round workload: a scan, a slice contained in it, a
+  /// join-aggregate, and a deeper slice contained in both scans — so
+  /// the containment lattice always has comparable pairs. Negotiation
+  /// protocols alternate auction / bargaining across the workload.
+  static std::vector<std::string> WorkloadSql();
+
+  /// True when `super` subsumes `sub` (shape containment + coverage
+  /// inclusion) — the pricing-lattice order the invariants use.
+  static bool Covers(const QuoteEvent& super, const QuoteEvent& sub);
+
+  /// Arbitrage check over a cell's quote log. With `whole_history` the
+  /// ordering must hold across epochs (price-book strategies);
+  /// otherwise only same-epoch, same-seller pairs are compared. `pairs`
+  /// (optional) reports how many comparable pairs were checked.
+  static std::vector<std::string> CheckArbitrage(
+      const std::vector<QuoteEvent>& events, bool whole_history,
+      double rel_eps, double abs_eps, int* pairs = nullptr);
+
+  /// Convergence check: for every live commodity quoted at least
+  /// twice, the final two quotes agree within `tol` (relative). A
+  /// commodity is live when its final quote falls at negotiation >=
+  /// `live_after`; commodities the market stopped requesting earlier
+  /// (derived subqueries shift while margins move) can never quote
+  /// again, so they are exempt — only still-traded prices must have
+  /// stopped moving. Returns false on any still-moving live commodity;
+  /// `rounds_to_converge` (optional) gets the first workload ordinal
+  /// after which every live commodity's quotes stay within tolerance
+  /// of their final values.
+  static bool CheckConvergence(const std::vector<QuoteEvent>& events,
+                               double tol, int live_after = 0,
+                               int* rounds_to_converge = nullptr);
+
+  /// Runs one cell: a fresh world per run, rounds * 4 negotiations on
+  /// one persistent federation (strategies learn across them), all
+  /// invariants checked. `baseline_cost` < 0 skips the cost-bound
+  /// check (used for the truthful baselines themselves).
+  CellOutcome RunCell(const SellerKind& seller, const BuyerKind& buyer,
+                      double baseline_cost = -1) const;
+
+  /// The full 16-cell sweep: truthful baselines per buyer kind first,
+  /// then every pairing against its baseline.
+  MatrixReport Explore() const;
+
+ private:
+  struct CellRun {
+    std::vector<QuoteEvent> events;
+    std::vector<double> costs;    // winning plan cost per negotiation
+    double paid = 0;
+    double honest = 0;
+    std::string digest;
+    std::string error;  // first failure, empty when clean
+  };
+
+  CellRun RunOnce(const SellerKind& seller, const BuyerKind& buyer) const;
+
+  StrategyMatrixOptions options_;
+};
+
+}  // namespace qtrade
+
+#endif  // QTRADE_SIM_STRATEGY_MATRIX_H_

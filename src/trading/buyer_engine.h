@@ -16,6 +16,7 @@
 #ifndef QTRADE_TRADING_BUYER_ENGINE_H_
 #define QTRADE_TRADING_BUYER_ENGINE_H_
 
+#include <functional>
 #include <limits>
 #include <map>
 #include <memory>
@@ -152,6 +153,12 @@ struct QtOptions {
   /// override must already have the federation's sellers reachable;
   /// resilience wrapping still applies on top.
   Transport* transport_override = nullptr;
+  /// Buyer-side negotiation strategy factory, consulted by the facade
+  /// for every BuyerEngine it constructs (the main negotiation and each
+  /// recovery replan get a fresh instance). Null keeps the
+  /// DefaultBuyerStrategy. A directly constructed BuyerEngine takes its
+  /// strategy as a constructor argument instead.
+  std::function<std::unique_ptr<BuyerStrategy>()> buyer_strategy;
 };
 
 struct QtResult {

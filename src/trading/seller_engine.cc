@@ -26,6 +26,9 @@ SellerEngine::SellerEngine(NodeCatalog* catalog, TableStore* store,
       strategy_(std::move(strategy)),
       generator_(catalog, factory, generator_options) {
   if (!strategy_) strategy_ = std::make_unique<TruthfulStrategy>();
+  // Cached so quote paths can decide whether to assemble a QuoteContext
+  // without a virtual call on the shared strategy outside the lock.
+  wants_context_ = strategy_->wants_context();
 }
 
 namespace {
@@ -120,6 +123,32 @@ std::set<std::string> MaskToIds(const PartitionMask& mask,
   }
   return out;
 }
+
+// Assembles the pricing context for a context-aware strategy: canonical
+// signature + shape of the offered statement, and the offer's partition
+// coverage rendered with the shape's positional alias ids so coverage
+// containment composes with ShapeContains. Pure — safe to build outside
+// the engine mutex.
+QuoteContext BuildQuoteContext(const sql::BoundQuery& bound,
+                               const std::vector<OfferCoverage>& coverage) {
+  QuoteContext ctx;
+  ctx.shape = CanonicalShape(bound);
+  ctx.signature = CanonicalSignature(bound).text;
+  for (const auto& cov : coverage) {
+    std::string id = cov.alias;
+    for (size_t i = 0; i < ctx.shape.aliases.size(); ++i) {
+      if (ctx.shape.aliases[i] == cov.alias) {
+        id = "t" + std::to_string(i);
+        break;
+      }
+    }
+    for (const auto& pid : cov.partitions) {
+      ctx.coverage.push_back(id + ":" + pid);
+    }
+  }
+  std::sort(ctx.coverage.begin(), ctx.coverage.end());
+  return ctx;
+}
 }  // namespace
 
 void SellerEngine::EnableSubcontracting(std::vector<std::string> peers,
@@ -177,6 +206,23 @@ Result<std::vector<Offer>> SellerEngine::OnRfb(const Rfb& rfb) {
                               sql::AnalyzeSql(sql::ToSql(g.offer.query),
                                               *catalog_));
     }
+    // Context assembly (signatures, shapes) happens before the lock;
+    // only the cost basis is filled in under it.
+    QuoteContext ctx;
+    bool has_ctx = false;
+    if (wants_context_) {
+      if (record.view_name.empty()) {
+        ctx = BuildQuoteContext(record.exec_query, g.offer.coverage);
+        has_ctx = true;
+      } else {
+        auto view_bound =
+            sql::AnalyzeSql(sql::ToSql(g.offer.query), *catalog_);
+        if (view_bound.ok()) {
+          ctx = BuildQuoteContext(*view_bound, g.offer.coverage);
+          has_ctx = true;
+        }
+      }
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       double cost_basis = g.true_cost;
@@ -190,7 +236,13 @@ Result<std::vector<Offer>> SellerEngine::OnRfb(const Rfb& rfb) {
           cost_basis = 0.5 * cost_basis + 0.5 * it->second;
         }
       }
-      double quote = strategy_->Quote(cost_basis);
+      double quote;
+      if (has_ctx) {
+        ctx.true_cost_ms = cost_basis;
+        quote = strategy_->QuoteWithContext(ctx);
+      } else {
+        quote = strategy_->Quote(cost_basis);
+      }
       // The buyer never pays below the honest reserve when a reserve
       // value was announced and undercuts it: sellers keep their quote.
       g.offer.props.total_time_ms = quote;
@@ -383,9 +435,24 @@ void SellerEngine::TrySubcontract(const Rfb& rfb,
     for (const auto& [peer, chosen] : bought) {
       record.subcontracts.emplace_back(peer, chosen->offer_id);
     }
+    QuoteContext ctx;
+    bool has_ctx = false;
+    if (wants_context_) {
+      auto combined_bound =
+          sql::AnalyzeSql(sql::ToSql(combined.query), *catalog_);
+      if (combined_bound.ok()) {
+        ctx = BuildQuoteContext(*combined_bound, combined.coverage);
+        has_ctx = true;
+      }
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
-      combined.props.total_time_ms = strategy_->Quote(true_cost);
+      if (has_ctx) {
+        ctx.true_cost_ms = true_cost;
+        combined.props.total_time_ms = strategy_->QuoteWithContext(ctx);
+      } else {
+        combined.props.total_time_ms = strategy_->Quote(true_cost);
+      }
       combined.props.price = combined.props.total_time_ms - true_cost;
       record.offer = combined;
       RecordOfferLocked(rfb.rfb_id, std::move(record));
@@ -454,18 +521,30 @@ std::optional<Offer> SellerEngine::OnCounterOffer(const std::string& rfb_id,
 void SellerEngine::OnAwards(const std::vector<Award>& awards,
                             const std::vector<std::string>& lost_offer_ids) {
   std::lock_guard<std::mutex> lock(mu_);
-  bool won_any = false;
+  // Realized margin of the decisive offer — what the strategy actually
+  // priced above (or at) its honest estimate.
+  auto margin_of = [this](const std::string& offer_id) {
+    auto it = records_.find(offer_id);
+    if (it == records_.end() || it->second.true_cost <= 0) return 0.0;
+    return (it->second.offer.props.total_time_ms - it->second.true_cost) /
+           it->second.true_cost;
+  };
   for (const auto& award : awards) {
-    if (records_.count(award.offer_id) > 0) won_any = true;
+    if (records_.count(award.offer_id) > 0) {
+      TradeOutcome outcome;
+      outcome.won = true;
+      outcome.realized_margin = margin_of(award.offer_id);
+      strategy_->OnTradeOutcome(outcome);
+      return;
+    }
   }
-  if (won_any) {
-    strategy_->OnOutcome(true);
-  } else if (!lost_offer_ids.empty()) {
-    for (const auto& id : lost_offer_ids) {
-      if (records_.count(id) > 0) {
-        strategy_->OnOutcome(false);
-        break;
-      }
+  for (const auto& id : lost_offer_ids) {
+    if (records_.count(id) > 0) {
+      TradeOutcome outcome;
+      outcome.won = false;
+      outcome.realized_margin = margin_of(id);
+      strategy_->OnTradeOutcome(outcome);
+      return;
     }
   }
 }
@@ -709,6 +788,16 @@ void SellerEngine::CollectStats(
     std::lock_guard<std::mutex> lock(mu_);
     put("seller.cost_observations",
         static_cast<int64_t>(observed_cost_ms_.size()));
+    const StrategyStats strat = strategy_->Stats();
+    out->emplace_back("strategy.name", strategy_->name());
+    put("strategy.quotes", strat.quotes);
+    put("strategy.clamped", strat.clamped);
+    put("strategy.pinned", strat.pinned);
+    put("strategy.wins", strat.wins);
+    put("strategy.losses", strat.losses);
+    char margin[32];
+    std::snprintf(margin, sizeof(margin), "%.4f", strat.margin);
+    out->emplace_back("strategy.margin", margin);
   }
   put("seller.offer_generate_ns", offer_generate_ns());
   put("seller.dp_threads", dp_threads());

@@ -59,6 +59,14 @@ class SellerEngine : public NodeEndpoint {
   TableStore* store() { return store_; }
   SellerStrategy* strategy() { return strategy_.get(); }
 
+  /// Snapshot of the strategy's pricing counters, taken under the
+  /// engine mutex (the strategy is mutated under it). Safe during
+  /// concurrent negotiations.
+  StrategyStats strategy_stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return strategy_->Stats();
+  }
+
   /// Offer memoization (opt/offer_cache.h): capacity 0 disables. Cached
   /// prices are epoch-invalidated on catalog stats changes, and offer
   /// ids are minted fresh per RFB either way, so negotiation outcomes
@@ -212,6 +220,10 @@ class SellerEngine : public NodeEndpoint {
   TableStore* store_;
   const PlanFactory* factory_;
   std::unique_ptr<SellerStrategy> strategy_;
+  /// strategy_->wants_context(), cached at construction so the quote
+  /// paths can skip context assembly without touching the strategy
+  /// outside mu_.
+  bool wants_context_ = false;
   OfferGenerator generator_;
   /// Guards records_, offers_by_rfb_ and strategy_ against concurrent
   /// transport deliveries. Never held across a Transport call (nested

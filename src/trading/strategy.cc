@@ -1,0 +1,168 @@
+#include "trading/strategy.h"
+
+#include <algorithm>
+
+namespace qtrade {
+
+namespace {
+
+std::string BookKey(const std::string& signature,
+                    const std::vector<std::string>& coverage) {
+  std::string key = signature;
+  key += "|";
+  for (size_t i = 0; i < coverage.size(); ++i) {
+    if (i > 0) key += ",";
+    key += coverage[i];
+  }
+  return key;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ContainmentAwareStrategy
+
+ContainmentAwareStrategy::ContainmentAwareStrategy(double initial_margin,
+                                                   double step,
+                                                   double max_margin,
+                                                   size_t capacity)
+    : margin_(initial_margin),
+      step_(step),
+      max_margin_(max_margin),
+      capacity_(capacity == 0 ? 1 : capacity) {}
+
+bool ContainmentAwareStrategy::Subsumes(
+    const QueryShape& outer_shape, const std::vector<std::string>& outer_cov,
+    const QueryShape& inner_shape, const std::vector<std::string>& inner_cov) {
+  // inner's answer must be derivable from outer's: inner at least as
+  // restrictive (ShapeContains) over no more data (coverage inclusion).
+  return ShapeContains(outer_shape, inner_shape) &&
+         std::includes(outer_cov.begin(), outer_cov.end(), inner_cov.begin(),
+                       inner_cov.end());
+}
+
+double ContainmentAwareStrategy::Quote(double true_cost_ms) {
+  // No context (e.g. a caller outside the engine): plain markup. The
+  // price is not entered into the book, so it cannot pin later quotes.
+  ++stats_.quotes;
+  return true_cost_ms * (1.0 + margin_);
+}
+
+double ContainmentAwareStrategy::QuoteWithContext(const QuoteContext& ctx) {
+  ++stats_.quotes;
+  const std::string key = BookKey(ctx.signature, ctx.coverage);
+  auto pin = pinned_.find(key);
+  if (pin != pinned_.end()) {
+    ++stats_.pinned;
+    return pin->second;
+  }
+
+  double quote = ctx.true_cost_ms * (1.0 + margin_);
+  // Clamp into the interval the book implies. Lower bound first: a
+  // commodity must not be cheaper than anything derivable from it.
+  double lower = 0.0;
+  double upper = -1.0;  // <0 = unbounded
+  for (const Entry& e : book_) {
+    if (Subsumes(ctx.shape, ctx.coverage, e.shape, e.coverage)) {
+      lower = std::max(lower, e.quote);
+    }
+    if (Subsumes(e.shape, e.coverage, ctx.shape, ctx.coverage)) {
+      upper = upper < 0 ? e.quote : std::min(upper, e.quote);
+    }
+  }
+  const double desired = quote;
+  if (quote < lower) quote = lower;
+  if (upper >= 0 && quote > upper) quote = upper;
+  if (quote != desired) ++stats_.clamped;
+
+  if (book_.size() >= capacity_) {
+    pinned_.erase(book_.front().key);
+    book_.pop_front();
+  }
+  Entry e;
+  e.key = key;
+  e.shape = ctx.shape;
+  e.coverage = ctx.coverage;
+  e.quote = quote;
+  book_.push_back(std::move(e));
+  pinned_[key] = quote;
+  return quote;
+}
+
+void ContainmentAwareStrategy::OnTradeOutcome(const TradeOutcome& outcome) {
+  ++(outcome.won ? stats_.wins : stats_.losses);
+  margin_ += outcome.won ? step_ : -step_;
+  if (margin_ < 0) margin_ = 0;
+  if (margin_ > max_margin_) margin_ = max_margin_;
+}
+
+StrategyStats ContainmentAwareStrategy::Stats() const {
+  StrategyStats s = stats_;
+  s.margin = margin_;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// HistoryAdaptiveStrategy
+
+HistoryAdaptiveStrategy::HistoryAdaptiveStrategy(uint64_t seed,
+                                                 double initial_margin,
+                                                 double base_step,
+                                                 double base_jitter,
+                                                 double max_margin,
+                                                 size_t window)
+    : rng_(seed),
+      margin_(initial_margin),
+      base_step_(base_step),
+      base_jitter_(base_jitter),
+      max_margin_(max_margin),
+      window_(window == 0 ? 1 : window),
+      jitter_(rng_.UniformReal(0.0, base_jitter)) {}
+
+double HistoryAdaptiveStrategy::Decay() const {
+  return 1.0 / (1.0 + static_cast<double>(outcomes_seen_) / 4.0);
+}
+
+double HistoryAdaptiveStrategy::WindowWinRate() const {
+  if (recent_.empty()) return 0.5;
+  int64_t wins = 0;
+  for (bool won : recent_) wins += won ? 1 : 0;
+  return static_cast<double>(wins) / static_cast<double>(recent_.size());
+}
+
+double HistoryAdaptiveStrategy::Quote(double true_cost_ms) {
+  ++stats_.quotes;
+  // Exploration jitter: non-negative (the quote stays rational),
+  // decaying (prices converge), and fixed between outcomes — every
+  // quote inside one outcome epoch uses the same multiplier, so the
+  // relative order of quotes matches the relative order of true costs
+  // and a contained query is never priced above its container just
+  // because the jitter draw landed higher.
+  double m = margin_ + jitter_ * Decay();
+  if (m > max_margin_) m = max_margin_;
+  return true_cost_ms * (1.0 + m);
+}
+
+void HistoryAdaptiveStrategy::OnTradeOutcome(const TradeOutcome& outcome) {
+  ++(outcome.won ? stats_.wins : stats_.losses);
+  recent_.push_back(outcome.won);
+  while (recent_.size() > window_) recent_.pop_front();
+  ++outcomes_seen_;
+  // Follow the windowed win rate: winning a lot means the market bears
+  // more, losing means we are overpriced. The step decays with every
+  // outcome, so the margin settles no matter the outcome sequence.
+  const double drift = (WindowWinRate() - 0.5) * 2.0;  // [-1, 1]
+  margin_ += drift * base_step_ * Decay();
+  if (margin_ < 0) margin_ = 0;
+  if (margin_ > max_margin_) margin_ = max_margin_;
+  // Re-draw the exploration jitter only on outcome boundaries.
+  jitter_ = rng_.UniformReal(0.0, base_jitter_);
+}
+
+StrategyStats HistoryAdaptiveStrategy::Stats() const {
+  StrategyStats s = stats_;
+  s.margin = margin_;
+  return s;
+}
+
+}  // namespace qtrade

@@ -5,14 +5,81 @@
 // maximisation, the intra-enterprise case). Competitive sellers quote
 // cost * (1 + margin) and adapt the margin from win/loss feedback — a
 // simple reinforcement pricing rule from the e-commerce literature.
+//
+// Beyond the paper's two textbook policies this module carries the
+// adversarial-market strategies exercised by the strategy-matrix
+// explorer (sim/strategy_matrix.h):
+//
+//  * ContainmentAwareStrategy — an arbitrage-free price book over the
+//    query containment lattice ("Pricing Queries (Approximately)
+//    Optimally", PAPERS.md): a subquery is never priced above a
+//    previously quoted superquery, and repeat queries get the pinned
+//    historical price, so the emitted price function is arbitrage-free
+//    over the whole negotiation history by construction.
+//  * HistoryAdaptiveStrategy — windowed win/loss-rate pricing with a
+//    decaying step and seeded exploration jitter, so repeated
+//    negotiations converge deterministically.
+//
+// Strategies are mutated under the owning SellerEngine's mutex; they
+// need no internal locking, but must not block or call back into the
+// engine.
 #ifndef QTRADE_TRADING_STRATEGY_H_
 #define QTRADE_TRADING_STRATEGY_H_
 
+#include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
+
+#include "opt/signature.h"
+#include "util/random.h"
 
 namespace qtrade {
+
+/// Counters a strategy exposes for TradeMetrics / node introspection.
+/// All counts are cumulative since construction.
+struct StrategyStats {
+  int64_t quotes = 0;   ///< pricing decisions made
+  int64_t clamped = 0;  ///< quotes moved by the arbitrage-free clamp
+  int64_t pinned = 0;   ///< quotes answered from the sticky price book
+  int64_t wins = 0;     ///< awarded negotiations observed
+  int64_t losses = 0;   ///< lost negotiations observed
+  double margin = 0.0;  ///< current markup margin (0 = truthful)
+
+  StrategyStats& operator+=(const StrategyStats& o) {
+    quotes += o.quotes;
+    clamped += o.clamped;
+    pinned += o.pinned;
+    wins += o.wins;
+    losses += o.losses;
+    margin += o.margin;
+    return *this;
+  }
+};
+
+/// Everything a context-aware strategy may condition a price on. Built
+/// by the seller engine once per priced offer; plain strategies ignore
+/// it (the engine only assembles it when wants_context() is true).
+struct QuoteContext {
+  double true_cost_ms = 0.0;      ///< honest local estimate
+  std::string signature;          ///< CanonicalSignature(query).text
+  QueryShape shape;               ///< CanonicalShape(query)
+  /// Partition coverage of the offer, as sorted "t<i>:<partition_id>"
+  /// items (positional alias ids, matching shape.aliases). Containment
+  /// of coverage sets composes with ShapeContains to decide whether one
+  /// priced commodity subsumes another.
+  std::vector<std::string> coverage;
+};
+
+/// Result of one finished negotiation, from this seller's side.
+struct TradeOutcome {
+  bool won = false;
+  /// Realized margin of the decisive offer: (quote - true) / true.
+  /// 0 when the true cost was unknown or zero.
+  double realized_margin = 0.0;
+};
 
 /// Seller-side pricing policy.
 class SellerStrategy {
@@ -23,8 +90,24 @@ class SellerStrategy {
   /// is `true_cost_ms`. Must be >= true cost for rational sellers.
   virtual double Quote(double true_cost_ms) = 0;
 
+  /// True when the strategy wants QuoteWithContext instead of Quote.
+  /// The engine caches this at construction: it must be constant.
+  virtual bool wants_context() const { return false; }
+
+  /// Context-aware pricing; default delegates to Quote. Only called
+  /// when wants_context() is true (the context is not free to build).
+  virtual double QuoteWithContext(const QuoteContext& ctx) {
+    return Quote(ctx.true_cost_ms);
+  }
+
   /// Feedback after a negotiation: did our offer win?
   virtual void OnOutcome(bool /*won*/) {}
+
+  /// Rich feedback after a negotiation; default forwards to OnOutcome
+  /// so legacy strategies keep working unchanged.
+  virtual void OnTradeOutcome(const TradeOutcome& outcome) {
+    OnOutcome(outcome.won);
+  }
 
   /// Lowest quote the seller would still accept for this answer (used by
   /// auction/bargaining rounds to decide whether to undercut).
@@ -32,18 +115,54 @@ class SellerStrategy {
     return true_cost_ms;
   }
 
+  /// Cumulative pricing statistics; default is all-zero for strategies
+  /// that do not track any.
+  virtual StrategyStats Stats() const { return {}; }
+
   virtual std::string name() const = 0;
 };
 
 /// Cooperative: quote == true cost.
 class TruthfulStrategy : public SellerStrategy {
  public:
-  double Quote(double true_cost_ms) override { return true_cost_ms; }
+  double Quote(double true_cost_ms) override {
+    ++quotes_;
+    return true_cost_ms;
+  }
+
+  void OnOutcome(bool won) override { ++(won ? wins_ : losses_); }
+
+  StrategyStats Stats() const override {
+    StrategyStats s;
+    s.quotes = quotes_;
+    s.wins = wins_;
+    s.losses = losses_;
+    return s;
+  }
+
   std::string name() const override { return "truthful"; }
+
+ private:
+  int64_t quotes_ = 0;
+  int64_t wins_ = 0;
+  int64_t losses_ = 0;
 };
 
 /// Competitive: quote = true * (1 + margin); margin creeps up after wins
 /// and shrinks after losses, within [0, max_margin].
+///
+/// Update rule (asymmetric on purpose): a win raises the margin by
+/// `step`, a loss cuts it by `2 * step` — losing means the market price
+/// is below ours, and correcting a losing price war should be faster
+/// than probing upward. The margin is clamped to [0, max_margin] after
+/// every update. The steps themselves are NOT damped, so the rule only
+/// settles when wins and losses balance at 2:1; choose
+/// `step <= max_margin / 3` or the margin ping-pongs between the clamp
+/// rails forever under alternating outcomes. Non-converging
+/// parameterizations are caught by the strategy-matrix explorer's
+/// convergence invariant (sim/strategy_matrix.h), not silently
+/// tolerated here — keeping the arithmetic exact preserves the
+/// documented 0.3 -> 0.35 -> 0.25 trajectories tests pin.
 class AdaptiveMarkupStrategy : public SellerStrategy {
  public:
   explicit AdaptiveMarkupStrategy(double initial_margin = 0.3,
@@ -52,13 +171,24 @@ class AdaptiveMarkupStrategy : public SellerStrategy {
       : margin_(initial_margin), step_(step), max_margin_(max_margin) {}
 
   double Quote(double true_cost_ms) override {
+    ++quotes_;
     return true_cost_ms * (1.0 + margin_);
   }
 
   void OnOutcome(bool won) override {
+    ++(won ? wins_ : losses_);
     margin_ += won ? step_ : -2 * step_;
     if (margin_ < 0) margin_ = 0;
     if (margin_ > max_margin_) margin_ = max_margin_;
+  }
+
+  StrategyStats Stats() const override {
+    StrategyStats s;
+    s.quotes = quotes_;
+    s.wins = wins_;
+    s.losses = losses_;
+    s.margin = margin_;
+    return s;
   }
 
   double margin() const { return margin_; }
@@ -68,6 +198,123 @@ class AdaptiveMarkupStrategy : public SellerStrategy {
   double margin_;
   double step_;
   double max_margin_;
+  int64_t quotes_ = 0;
+  int64_t wins_ = 0;
+  int64_t losses_ = 0;
+};
+
+/// Arbitrage-free markup pricing over the query containment lattice.
+///
+/// The strategy keeps a bounded price book keyed by (canonical shape,
+/// partition coverage). Each new commodity is priced at
+/// true * (1 + margin) and then clamped into the interval the book
+/// already implies:
+///
+///   max quote of book entries this commodity CONTAINS   (lower bound)
+///     <= quote <=
+///   min quote of book entries that CONTAIN this commodity (upper bound)
+///
+/// where "A contains B" means ShapeContains(A.shape, B.shape) and A's
+/// coverage includes B's. The interval is never empty: every earlier
+/// pair of book entries already satisfies the same ordering, so bounds
+/// inherit consistency by induction. Once priced, a commodity's quote
+/// is pinned — repeat requests return the recorded price even after the
+/// margin has moved — which makes the emitted price function
+/// arbitrage-free over the entire history, not just within one
+/// negotiation: a buyer can never assemble a contained query more
+/// cheaply than the price we ever asked for it.
+///
+/// The margin adapts symmetrically (+step on win, -step on loss,
+/// clamped to [0, max_margin]) and only influences commodities not yet
+/// in the book. The book holds at most `capacity` entries; the oldest
+/// entry is evicted first, which bounds memory but also bounds how far
+/// back the arbitrage-freeness guarantee reaches (evicted prices can no
+/// longer pin new ones). Stats() reports quotes/clamped/pinned.
+class ContainmentAwareStrategy : public SellerStrategy {
+ public:
+  explicit ContainmentAwareStrategy(double initial_margin = 0.3,
+                                    double step = 0.05,
+                                    double max_margin = 1.0,
+                                    size_t capacity = 1024);
+
+  bool wants_context() const override { return true; }
+  double Quote(double true_cost_ms) override;
+  double QuoteWithContext(const QuoteContext& ctx) override;
+  void OnTradeOutcome(const TradeOutcome& outcome) override;
+  StrategyStats Stats() const override;
+  std::string name() const override { return "containment-aware"; }
+
+  double margin() const { return margin_; }
+  size_t book_size() const { return book_.size(); }
+
+ private:
+  struct Entry {
+    std::string key;  // signature + coverage, the exact-match pin key
+    QueryShape shape;
+    std::vector<std::string> coverage;  // sorted
+    double quote = 0.0;
+  };
+
+  /// True when `outer` subsumes `inner`: every answer of `inner` is
+  /// derivable from `outer`'s answer over the same (or wider) coverage.
+  static bool Subsumes(const QueryShape& outer_shape,
+                       const std::vector<std::string>& outer_cov,
+                       const QueryShape& inner_shape,
+                       const std::vector<std::string>& inner_cov);
+
+  double margin_;
+  double step_;
+  double max_margin_;
+  size_t capacity_;
+  std::deque<Entry> book_;                 // oldest first
+  std::map<std::string, double> pinned_;   // key -> quote, mirrors book_
+  StrategyStats stats_;
+};
+
+/// History-based adaptive pricing for repeated negotiations: the margin
+/// follows the win rate over a sliding window of recent outcomes, moved
+/// by a step that decays with every observed outcome, plus a seeded
+/// exploration jitter that decays the same way. The jitter is re-drawn
+/// only when an outcome is observed, so between outcomes every quote is
+/// the same fixed multiple of true cost — prices inside one outcome
+/// epoch inherit the cost model's containment ordering instead of being
+/// scrambled by independent per-quote draws. Both decays guarantee the
+/// quoted prices converge (the strategy-matrix explorer asserts the
+/// convergence window); the seed makes the whole trajectory replayable
+/// byte for byte.
+class HistoryAdaptiveStrategy : public SellerStrategy {
+ public:
+  explicit HistoryAdaptiveStrategy(uint64_t seed = 42,
+                                   double initial_margin = 0.4,
+                                   double base_step = 0.08,
+                                   double base_jitter = 0.04,
+                                   double max_margin = 1.0,
+                                   size_t window = 8);
+
+  double Quote(double true_cost_ms) override;
+  void OnTradeOutcome(const TradeOutcome& outcome) override;
+  StrategyStats Stats() const override;
+  std::string name() const override { return "history-adaptive"; }
+
+  double margin() const { return margin_; }
+  /// Win rate over the current window; 0.5 before any outcome.
+  double WindowWinRate() const;
+
+ private:
+  /// Per-outcome decay factor: 1 / (1 + outcomes_seen / 4).
+  double Decay() const;
+
+  Rng rng_;
+  double margin_;
+  double base_step_;
+  double base_jitter_;
+  double max_margin_;
+  size_t window_;
+  std::deque<bool> recent_;  // newest at back
+  int64_t outcomes_seen_ = 0;
+  /// Current exploration jitter draw; constant until the next outcome.
+  double jitter_ = 0.0;
+  StrategyStats stats_;
 };
 
 /// Buyer-side value estimation (paper Fig. 2, step B1): what is a query
@@ -92,6 +339,9 @@ class BuyerStrategy {
 
 /// Default buyer: accepts anything when no estimate exists; in
 /// bargaining, pushes quotes down by a shrinking discount per round.
+/// CounterOffer is monotone non-decreasing in `round` and accepts
+/// (returns best_quote) once discount + 0.05 * round reaches 1.0 — for
+/// the default 0.85 discount that is round 3.
 class DefaultBuyerStrategy : public BuyerStrategy {
  public:
   explicit DefaultBuyerStrategy(double slack = 1.25,

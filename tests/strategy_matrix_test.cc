@@ -1,0 +1,205 @@
+// Unit and sweep tests for the strategy-matrix explorer
+// (sim/strategy_matrix.h): the invariant checkers on hand-built quote
+// logs, and the full 16-cell tournament holding every economic
+// invariant with byte-identical replay.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/strategy_matrix.h"
+
+namespace qtrade {
+namespace {
+
+QuoteEvent Event(const std::string& seller, int seq, int negotiation,
+                 int epoch, std::vector<std::string> conjuncts,
+                 std::vector<std::string> coverage, double true_cost,
+                 double quote) {
+  QuoteEvent e;
+  e.seller = seller;
+  e.seq = seq;
+  e.negotiation = negotiation;
+  e.epoch = epoch;
+  e.shape.skeleton = "T[customer]";
+  std::sort(conjuncts.begin(), conjuncts.end());
+  e.shape.conjuncts = conjuncts;
+  e.signature = "T[customer]|";
+  for (const auto& c : e.shape.conjuncts) e.signature += c + ";";
+  std::sort(coverage.begin(), coverage.end());
+  e.coverage = std::move(coverage);
+  e.true_cost = true_cost;
+  e.quote = quote;
+  return e;
+}
+
+TEST(StrategyMatrixCheckTest, CoversRequiresShapeAndCoverage) {
+  auto super = Event("s", 0, 0, 0, {"a"}, {"t0:0", "t0:1"}, 10, 10);
+  auto sub = Event("s", 1, 0, 0, {"a", "b"}, {"t0:0"}, 10, 10);
+  EXPECT_TRUE(StrategyMatrixExplorer::Covers(super, sub));
+  EXPECT_FALSE(StrategyMatrixExplorer::Covers(sub, super));
+  // Wider coverage on the more restrictive query: incomparable.
+  auto wide_sub = Event("s", 2, 0, 0, {"a", "b"}, {"t0:0", "t0:2"}, 10, 10);
+  EXPECT_FALSE(StrategyMatrixExplorer::Covers(super, wide_sub));
+  // Events without lattice coordinates never participate.
+  QuoteEvent blank;
+  blank.seller = "s";
+  EXPECT_FALSE(StrategyMatrixExplorer::Covers(super, blank));
+}
+
+TEST(StrategyMatrixCheckTest, ArbitrageFlagsOverpricedSubquery) {
+  std::vector<QuoteEvent> events = {
+      Event("s", 0, 0, 0, {"a"}, {"t0:0", "t0:1"}, 100, 100),
+      Event("s", 1, 0, 0, {"a", "b"}, {"t0:0"}, 90, 130),  // overpriced
+  };
+  int pairs = 0;
+  auto violations = StrategyMatrixExplorer::CheckArbitrage(
+      events, /*whole_history=*/false, 1e-6, 0.05, &pairs);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("arbitrage"), std::string::npos);
+  EXPECT_EQ(pairs, 1);
+}
+
+TEST(StrategyMatrixCheckTest, ArbitrageHonorsEpochBoundary) {
+  // The inverted pair sits in different epochs: a plain strategy's
+  // margin legitimately moved between them, so the per-epoch check
+  // must not compare them — but the whole-history check must.
+  std::vector<QuoteEvent> events = {
+      Event("s", 0, 0, 0, {"a"}, {"t0:0", "t0:1"}, 100, 100),
+      Event("s", 1, 1, 1, {"a", "b"}, {"t0:0"}, 90, 130),
+  };
+  EXPECT_TRUE(StrategyMatrixExplorer::CheckArbitrage(events, false, 1e-6,
+                                                     0.05)
+                  .empty());
+  EXPECT_EQ(StrategyMatrixExplorer::CheckArbitrage(events, true, 1e-6, 0.05)
+                .size(),
+            1u);
+}
+
+TEST(StrategyMatrixCheckTest, ArbitrageToleratesEpsilon) {
+  // 0.03 above the containing quote: inside the absolute epsilon that
+  // covers the cost model's per-predicate CPU term.
+  std::vector<QuoteEvent> events = {
+      Event("s", 0, 0, 0, {"a"}, {"t0:0", "t0:1"}, 100, 100),
+      Event("s", 1, 0, 0, {"a", "b"}, {"t0:0"}, 100.03, 100.03),
+  };
+  EXPECT_TRUE(StrategyMatrixExplorer::CheckArbitrage(events, false, 1e-6,
+                                                     0.05)
+                  .empty());
+  EXPECT_FALSE(StrategyMatrixExplorer::CheckArbitrage(events, false, 1e-9,
+                                                      1e-9)
+                   .empty());
+}
+
+TEST(StrategyMatrixCheckTest, ArbitrageIgnoresOtherSellers) {
+  std::vector<QuoteEvent> events = {
+      Event("s1", 0, 0, 0, {"a"}, {"t0:0", "t0:1"}, 100, 100),
+      Event("s2", 0, 0, 0, {"a", "b"}, {"t0:0"}, 90, 130),
+  };
+  int pairs = 0;
+  EXPECT_TRUE(StrategyMatrixExplorer::CheckArbitrage(events, false, 1e-6,
+                                                     0.05, &pairs)
+                  .empty());
+  EXPECT_EQ(pairs, 0);
+}
+
+TEST(StrategyMatrixCheckTest, ConvergenceCatchesRailPingPong) {
+  // The quote sequence of an AdaptiveMarkupStrategy whose step breaks
+  // the documented `step <= max_margin / 3` rule (e.g. step 0.6, max
+  // 1.0): the margin slams between the clamp rails every outcome and
+  // the commodity's price never settles.
+  std::vector<QuoteEvent> events;
+  for (int i = 0; i < 8; ++i) {
+    events.push_back(Event("s", i, i, i, {"a"}, {"t0:0"}, 100,
+                           i % 2 == 0 ? 100 : 200));
+  }
+  int settle = -1;
+  EXPECT_FALSE(StrategyMatrixExplorer::CheckConvergence(events, 0.15,
+                                                        /*live_after=*/0,
+                                                        &settle));
+}
+
+TEST(StrategyMatrixCheckTest, ConvergenceAcceptsSettledQuotes) {
+  std::vector<QuoteEvent> events;
+  double quotes[] = {150, 130, 112, 110, 109.5, 109.5};
+  for (int i = 0; i < 6; ++i) {
+    events.push_back(Event("s", i, i, i, {"a"}, {"t0:0"}, 100, quotes[i]));
+  }
+  int settle = -1;
+  EXPECT_TRUE(StrategyMatrixExplorer::CheckConvergence(events, 0.15,
+                                                       /*live_after=*/0,
+                                                       &settle));
+  // 130 -> 112 is the last move above 15% of the 109.5 final value.
+  EXPECT_EQ(settle, 2);
+}
+
+TEST(StrategyMatrixCheckTest, ConvergenceExemptsDeadCommodities) {
+  // A commodity last quoted at negotiation 3, mid-descent: once the
+  // market stops requesting it, it cannot converge — only still-traded
+  // commodities are held to the settled test.
+  std::vector<QuoteEvent> events = {
+      Event("s", 0, 1, 1, {"a"}, {"t0:0"}, 100, 150),
+      Event("s", 1, 3, 3, {"a"}, {"t0:0"}, 100, 110),
+  };
+  EXPECT_FALSE(StrategyMatrixExplorer::CheckConvergence(events, 0.15,
+                                                        /*live_after=*/0));
+  EXPECT_TRUE(StrategyMatrixExplorer::CheckConvergence(events, 0.15,
+                                                       /*live_after=*/8));
+}
+
+TEST(StrategyMatrixExplorerTest, PopulationsSpanSixteenCells) {
+  EXPECT_EQ(StrategyMatrixExplorer::SellerKinds().size(), 4u);
+  EXPECT_EQ(StrategyMatrixExplorer::BuyerKinds().size(), 4u);
+  EXPECT_EQ(StrategyMatrixExplorer::WorkloadSql().size(), 4u);
+}
+
+TEST(StrategyMatrixExplorerTest, SingleCellHoldsInvariants) {
+  // One adversarial cell at a reduced budget: fast enough for the TSAN
+  // leg while still exercising concurrent quoting end to end.
+  StrategyMatrixOptions options;
+  options.rounds = 2;
+  StrategyMatrixExplorer explorer(options);
+  auto sellers = StrategyMatrixExplorer::SellerKinds();
+  auto buyers = StrategyMatrixExplorer::BuyerKinds();
+  // sellers[2] is the containment-aware (whole-history) strategy.
+  ASSERT_TRUE(sellers[2].whole_history_arbitrage);
+  CellOutcome cell = explorer.RunCell(sellers[2], buyers[0]);
+  EXPECT_TRUE(cell.ok()) << (cell.violations.empty()
+                                 ? ""
+                                 : cell.violations[0]);
+  EXPECT_EQ(cell.negotiations, 8);
+  EXPECT_GT(cell.containment_pairs, 0);
+  EXPECT_TRUE(cell.replay_identical);
+  EXPECT_GT(cell.paid, 0);
+  EXPECT_GE(cell.revenue, 0);
+}
+
+TEST(StrategyMatrixExplorerTest, FullSweepHasNoViolations) {
+  StrategyMatrixExplorer explorer;
+  MatrixReport report = explorer.Explore();
+  EXPECT_GE(report.cells_run, 16);
+  EXPECT_EQ(report.cells_violating, 0);
+  EXPECT_TRUE(report.ok());
+  ASSERT_EQ(report.cells.size(), 16u);
+  for (const CellOutcome& cell : report.cells) {
+    EXPECT_TRUE(cell.ok()) << cell.seller_kind << "/" << cell.buyer_kind
+                           << ": "
+                           << (cell.violations.empty()
+                                   ? ""
+                                   : cell.violations[0]);
+    EXPECT_GT(cell.containment_pairs, 0)
+        << cell.seller_kind << "/" << cell.buyer_kind
+        << ": arbitrage check was vacuous";
+    EXPECT_TRUE(cell.replay_identical);
+  }
+  // The non-truthful cells carry their buyer's truthful baseline and
+  // stay within the documented exploitation bound.
+  for (size_t i = 4; i < report.cells.size(); ++i) {
+    const CellOutcome& cell = report.cells[i];
+    EXPECT_GT(cell.baseline_cost, 0);
+    EXPECT_LE(cell.total_cost,
+              explorer.options().cost_bound_factor * cell.baseline_cost);
+  }
+}
+
+}  // namespace
+}  // namespace qtrade

@@ -1,0 +1,299 @@
+// Property tests for the pricing strategies (trading/strategy.h): every
+// rational seller quotes at or above true cost, adaptive margins stay
+// clamped under arbitrary outcome sequences, the containment-aware
+// price book is arbitrage-free over its whole history, and the
+// history-adaptive trajectory is deterministic per seed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "trading/strategy.h"
+
+namespace qtrade {
+namespace {
+
+// Deterministic outcome sequences without depending on Rng internals.
+std::vector<bool> OutcomeSequence(uint64_t seed, int n) {
+  std::vector<bool> out;
+  uint64_t x = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+  for (int i = 0; i < n; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    out.push_back((x >> 33) & 1);
+  }
+  return out;
+}
+
+QuoteContext Ctx(double true_cost, const std::string& skeleton,
+                 std::vector<std::string> conjuncts,
+                 std::vector<std::string> coverage) {
+  QuoteContext ctx;
+  ctx.true_cost_ms = true_cost;
+  ctx.shape.skeleton = skeleton;
+  std::sort(conjuncts.begin(), conjuncts.end());
+  ctx.shape.conjuncts = std::move(conjuncts);
+  std::sort(coverage.begin(), coverage.end());
+  ctx.coverage = std::move(coverage);
+  // Signature only needs to be unique per (shape, coverage) for the
+  // pin key; mirror how the real signature embeds the conjuncts.
+  ctx.signature = skeleton + "|";
+  for (const auto& c : ctx.shape.conjuncts) ctx.signature += c + ";";
+  return ctx;
+}
+
+// ---------------------------------------------------------------------------
+// Rationality: every seller strategy quotes >= true cost, whatever
+// outcomes it has seen.
+
+TEST(StrategyPropertyTest, AllSellersQuoteAtOrAboveTrueCost) {
+  std::vector<std::unique_ptr<SellerStrategy>> sellers;
+  sellers.push_back(std::make_unique<TruthfulStrategy>());
+  sellers.push_back(std::make_unique<AdaptiveMarkupStrategy>());
+  sellers.push_back(std::make_unique<ContainmentAwareStrategy>());
+  sellers.push_back(std::make_unique<HistoryAdaptiveStrategy>(/*seed=*/7));
+  for (auto& seller : sellers) {
+    for (bool won : OutcomeSequence(11, 40)) {
+      for (double cost : {0.5, 10.0, 250.0}) {
+        EXPECT_GE(seller->Quote(cost), cost) << seller->name();
+      }
+      seller->OnTradeOutcome({won, 0.2});
+    }
+  }
+}
+
+TEST(StrategyPropertyTest, ContextQuotesStayRational) {
+  ContainmentAwareStrategy strategy;
+  for (bool won : OutcomeSequence(13, 20)) {
+    // Fresh commodities each epoch: nothing in the book caps them below
+    // cost (upper bounds come from *containing* commodities, which must
+    // themselves have been rational over more data).
+    auto ctx = Ctx(40.0, "T[a]", {"c" + std::to_string(strategy.Stats().quotes)},
+                   {"t0:0"});
+    EXPECT_GE(strategy.QuoteWithContext(ctx), ctx.true_cost_ms);
+    strategy.OnTradeOutcome({won, 0.1});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AdaptiveMarkupStrategy: clamped margin under arbitrary sequences,
+// exact documented trajectory preserved.
+
+TEST(StrategyPropertyTest, MarkupMarginClampedUnderArbitrarySequences) {
+  for (uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL}) {
+    AdaptiveMarkupStrategy strategy(0.3, 0.07, 0.8);
+    for (bool won : OutcomeSequence(seed, 200)) {
+      strategy.OnOutcome(won);
+      EXPECT_GE(strategy.margin(), 0.0);
+      EXPECT_LE(strategy.margin(), 0.8);
+    }
+  }
+}
+
+TEST(StrategyPropertyTest, MarkupAsymmetricStepTrajectory) {
+  // The documented rule: +step on win, -2 * step on loss, exact.
+  AdaptiveMarkupStrategy strategy(0.3, 0.05, 1.0);
+  strategy.OnOutcome(true);
+  EXPECT_DOUBLE_EQ(strategy.margin(), 0.35);
+  strategy.OnOutcome(false);
+  EXPECT_DOUBLE_EQ(strategy.margin(), 0.25);
+  strategy.OnOutcome(false);
+  EXPECT_DOUBLE_EQ(strategy.margin(), 0.15);
+}
+
+// ---------------------------------------------------------------------------
+// DefaultBuyerStrategy: counter-offers monotone in round, accepting by
+// the documented round.
+
+TEST(StrategyPropertyTest, BuyerCounterOfferMonotoneInRound) {
+  for (double discount : {0.7, 0.75, 0.85, 0.95}) {
+    DefaultBuyerStrategy buyer(1.25, discount);
+    double prev = 0;
+    for (int round = 0; round < 12; ++round) {
+      double counter = buyer.CounterOffer(100.0, round);
+      EXPECT_GE(counter, prev) << "discount " << discount;
+      EXPECT_LE(counter, 100.0);
+      prev = counter;
+    }
+  }
+}
+
+TEST(StrategyPropertyTest, BuyerAcceptsByDocumentedRound) {
+  // factor = discount + 0.05 * round reaches 1.0 at round
+  // ceil((1 - discount) / 0.05); for the default 0.85 that is round 3.
+  DefaultBuyerStrategy buyer;
+  EXPECT_LT(buyer.CounterOffer(100.0, 2), 100.0);
+  EXPECT_DOUBLE_EQ(buyer.CounterOffer(100.0, 3), 100.0);
+}
+
+// ---------------------------------------------------------------------------
+// ContainmentAwareStrategy: pinning, clamping, eviction, and the
+// whole-history no-arbitrage property.
+
+TEST(ContainmentAwareTest, RepeatCommodityIsPinned) {
+  ContainmentAwareStrategy strategy(0.3, 0.05, 1.0);
+  auto ctx = Ctx(100.0, "T[c]", {"p"}, {"t0:0"});
+  double first = strategy.QuoteWithContext(ctx);
+  // Margin moves, but the book pins the recorded price.
+  strategy.OnTradeOutcome({true, 0.3});
+  strategy.OnTradeOutcome({true, 0.3});
+  EXPECT_DOUBLE_EQ(strategy.QuoteWithContext(ctx), first);
+  EXPECT_EQ(strategy.Stats().pinned, 1);
+}
+
+TEST(ContainmentAwareTest, SubqueryClampedBelowSuperquery) {
+  ContainmentAwareStrategy strategy(0.0, 0.05, 1.0);
+  // Superquery (fewer conjuncts, wider coverage) quoted first at 100.
+  auto super = Ctx(100.0, "T[c]", {"a"}, {"t0:0", "t0:1"});
+  double super_quote = strategy.QuoteWithContext(super);
+  EXPECT_DOUBLE_EQ(super_quote, 100.0);
+  // Contained subquery whose honest cost is HIGHER (extra predicate
+  // CPU): the desired price 120 must be clamped to the superquery's.
+  auto sub = Ctx(120.0, "T[c]", {"a", "b"}, {"t0:0"});
+  double sub_quote = strategy.QuoteWithContext(sub);
+  EXPECT_LE(sub_quote, super_quote);
+  EXPECT_GE(strategy.Stats().clamped, 1);
+}
+
+TEST(ContainmentAwareTest, SuperqueryLiftedAboveSubquery) {
+  ContainmentAwareStrategy strategy(0.0, 0.05, 1.0);
+  auto sub = Ctx(80.0, "T[c]", {"a", "b"}, {"t0:0"});
+  double sub_quote = strategy.QuoteWithContext(sub);
+  // The containing query may not be priced below what we already asked
+  // for a piece derivable from it.
+  auto super = Ctx(50.0, "T[c]", {"a"}, {"t0:0", "t0:1"});
+  EXPECT_GE(strategy.QuoteWithContext(super), sub_quote);
+}
+
+TEST(ContainmentAwareTest, WholeHistoryArbitrageFree) {
+  ContainmentAwareStrategy strategy(0.4, 0.1, 1.0);
+  // A conjunct chain c0 ⊂ {c0,c1} ⊂ {c0,c1,c2}... quoted in scrambled
+  // order with margin-moving outcomes interleaved: afterwards every
+  // contained commodity must be priced <= every containing one.
+  struct Quoted {
+    QuoteContext ctx;
+    double quote;
+  };
+  std::vector<Quoted> quoted;
+  const int order[] = {2, 0, 4, 1, 3};
+  auto outcomes = OutcomeSequence(5, 5);
+  for (int i = 0; i < 5; ++i) {
+    std::vector<std::string> conjuncts;
+    for (int c = 0; c <= order[i]; ++c) {
+      conjuncts.push_back("c" + std::to_string(c));
+    }
+    // Honest costs deliberately NOT monotone in containment.
+    double cost = 100.0 + (order[i] % 2 == 0 ? 5.0 * order[i] : -3.0);
+    auto ctx = Ctx(cost, "T[c]", conjuncts, {"t0:0"});
+    quoted.push_back({ctx, strategy.QuoteWithContext(ctx)});
+    strategy.OnTradeOutcome({outcomes[i], 0.2});
+  }
+  for (const Quoted& a : quoted) {
+    for (const Quoted& b : quoted) {
+      // a contains b when a's conjuncts are a subset of b's.
+      if (!ShapeContains(a.ctx.shape, b.ctx.shape)) continue;
+      EXPECT_LE(b.quote, a.quote)
+          << b.ctx.signature << " vs " << a.ctx.signature;
+    }
+  }
+}
+
+TEST(ContainmentAwareTest, BookEvictsOldestAtCapacity) {
+  ContainmentAwareStrategy strategy(0.0, 0.05, 1.0, /*capacity=*/2);
+  auto first = Ctx(10.0, "T[c]", {"a"}, {"t0:0"});
+  (void)strategy.QuoteWithContext(first);
+  (void)strategy.QuoteWithContext(Ctx(20.0, "T[c]", {"b"}, {"t0:0"}));
+  EXPECT_EQ(strategy.book_size(), 2u);
+  (void)strategy.QuoteWithContext(Ctx(30.0, "T[c]", {"c"}, {"t0:0"}));
+  EXPECT_EQ(strategy.book_size(), 2u);
+  // The evicted commodity re-prices fresh instead of returning a pin.
+  int64_t pinned_before = strategy.Stats().pinned;
+  (void)strategy.QuoteWithContext(first);
+  EXPECT_EQ(strategy.Stats().pinned, pinned_before);
+}
+
+// ---------------------------------------------------------------------------
+// HistoryAdaptiveStrategy: seeded determinism, epoch-constant jitter,
+// clamped margin, convergence under decay.
+
+TEST(HistoryAdaptiveTest, SameSeedSameTrajectory) {
+  HistoryAdaptiveStrategy a(/*seed=*/99);
+  HistoryAdaptiveStrategy b(/*seed=*/99);
+  auto outcomes = OutcomeSequence(3, 30);
+  for (bool won : outcomes) {
+    EXPECT_DOUBLE_EQ(a.Quote(120.0), b.Quote(120.0));
+    a.OnTradeOutcome({won, 0.1});
+    b.OnTradeOutcome({won, 0.1});
+  }
+  EXPECT_DOUBLE_EQ(a.margin(), b.margin());
+}
+
+TEST(HistoryAdaptiveTest, JitterConstantWithinEpoch) {
+  // Between outcomes the quote is a fixed multiple of true cost, so
+  // quote ordering matches cost ordering (the per-epoch no-arbitrage
+  // argument for this strategy).
+  HistoryAdaptiveStrategy strategy(/*seed=*/5);
+  double ratio = strategy.Quote(100.0) / 100.0;
+  for (double cost : {1.0, 50.0, 200.0, 1e4}) {
+    EXPECT_NEAR(strategy.Quote(cost) / cost, ratio, 1e-12);
+  }
+  strategy.OnTradeOutcome({true, 0.2});
+  double next_ratio = strategy.Quote(100.0) / 100.0;
+  for (double cost : {1.0, 50.0, 200.0}) {
+    EXPECT_NEAR(strategy.Quote(cost) / cost, next_ratio, 1e-12);
+  }
+}
+
+TEST(HistoryAdaptiveTest, MarginClampedAndConverging) {
+  HistoryAdaptiveStrategy strategy(/*seed=*/17, 0.4, 0.08, 0.04, 0.6, 8);
+  auto outcomes = OutcomeSequence(21, 300);
+  for (bool won : outcomes) {
+    strategy.OnTradeOutcome({won, 0.1});
+    EXPECT_GE(strategy.margin(), 0.0);
+    EXPECT_LE(strategy.margin(), 0.6);
+  }
+  // Decay has shrunk both step and jitter: successive quotes for the
+  // same cost are now nearly identical even across outcomes.
+  double q1 = strategy.Quote(100.0);
+  strategy.OnTradeOutcome({true, 0.1});
+  double q2 = strategy.Quote(100.0);
+  EXPECT_NEAR(q1, q2, 100.0 * 0.01);
+}
+
+TEST(HistoryAdaptiveTest, WindowWinRateTracksRecentOutcomes) {
+  HistoryAdaptiveStrategy strategy(/*seed=*/1, 0.4, 0.08, 0.04, 1.0,
+                                   /*window=*/4);
+  EXPECT_DOUBLE_EQ(strategy.WindowWinRate(), 0.5);  // no history yet
+  for (int i = 0; i < 4; ++i) strategy.OnTradeOutcome({true, 0.1});
+  EXPECT_DOUBLE_EQ(strategy.WindowWinRate(), 1.0);
+  // Window slides: four losses fully displace the wins.
+  for (int i = 0; i < 4; ++i) strategy.OnTradeOutcome({false, 0.1});
+  EXPECT_DOUBLE_EQ(strategy.WindowWinRate(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// StrategyStats plumbing.
+
+TEST(StrategyStatsTest, CountersAccumulateAndAggregate) {
+  AdaptiveMarkupStrategy markup;
+  (void)markup.Quote(10.0);
+  (void)markup.Quote(10.0);
+  markup.OnTradeOutcome({true, 0.3});
+  markup.OnTradeOutcome({false, 0.0});
+  StrategyStats s = markup.Stats();
+  EXPECT_EQ(s.quotes, 2);
+  EXPECT_EQ(s.wins, 1);
+  EXPECT_EQ(s.losses, 1);
+
+  TruthfulStrategy truthful;
+  (void)truthful.Quote(5.0);
+  truthful.OnOutcome(true);
+  StrategyStats total = s;
+  total += truthful.Stats();
+  EXPECT_EQ(total.quotes, 3);
+  EXPECT_EQ(total.wins, 2);
+  EXPECT_EQ(total.losses, 1);
+}
+
+}  // namespace
+}  // namespace qtrade

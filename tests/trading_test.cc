@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include "core/federation.h"
+#include "core/qt_optimizer.h"
+#include "plan/plan.h"
 #include "trading/buyer_analyser.h"
 #include "trading/seller_engine.h"
 #include "trading/strategy.h"
@@ -138,6 +140,50 @@ TEST(SellerEngineTest, AuctionTickUndercutsWhenLosing) {
                    .has_value());
 }
 
+TEST(SellerEngineTest, AuctionUndercutLandsAtReservation) {
+  SellerFixture f;
+  SellerEngine seller(&f.catalog, &f.store, &f.factory,
+                      std::make_unique<AdaptiveMarkupStrategy>(0.5));
+  Rfb rfb{"r1", "buyer", "SELECT custname FROM customer", -1};
+  auto offers = seller.OnRfb(rfb);
+  ASSERT_TRUE(offers.ok());
+  const Offer& offer = (*offers)[0];
+  double honest = *seller.TrueCost(offer.offer_id);
+
+  // Rival just above our reservation (== true cost for markup sellers):
+  // 0.98 * rival falls below it, so the undercut clamps to exactly the
+  // reservation value instead of dipping under cost.
+  AuctionTick tight{"r1", offer.CoverageSignature(), honest * 1.01};
+  auto improved = seller.OnAuctionTick(tight);
+  ASSERT_TRUE(improved.has_value());
+  EXPECT_NEAR(improved->props.total_time_ms, honest, honest * 1e-12);
+  // A rival exactly at the reservation cannot be beaten: hold.
+  AuctionTick at_reservation{"r1", offer.CoverageSignature(), honest};
+  EXPECT_FALSE(seller.OnAuctionTick(at_reservation).has_value());
+}
+
+TEST(SellerEngineTest, CounterOfferAtReservationBoundary) {
+  SellerFixture f;
+  SellerEngine seller(&f.catalog, &f.store, &f.factory,
+                      std::make_unique<AdaptiveMarkupStrategy>(0.4));
+  Rfb rfb{"r1", "buyer", "SELECT custname FROM customer", -1};
+  auto offers = seller.OnRfb(rfb);
+  ASSERT_TRUE(offers.ok());
+  const Offer& offer = (*offers)[0];
+  double honest = *seller.TrueCost(offer.offer_id);
+
+  // A counter exactly at the reservation is still acceptable: the
+  // seller re-quotes at the target, surrendering the whole margin.
+  auto updated =
+      seller.OnCounterOffer("r1", offer.CoverageSignature(), honest);
+  ASSERT_TRUE(updated.has_value());
+  EXPECT_NEAR(updated->props.total_time_ms, honest, honest * 1e-12);
+  // A hair below the reservation: hold firm.
+  EXPECT_FALSE(seller.OnCounterOffer("r1", offer.CoverageSignature(),
+                                     honest * (1.0 - 1e-6))
+                   .has_value());
+}
+
 TEST(SellerEngineTest, CounterOfferRespectsReservation) {
   SellerFixture f;
   SellerEngine seller(&f.catalog, &f.store, &f.factory,
@@ -175,6 +221,56 @@ TEST(SellerEngineTest, AwardsFeedStrategy) {
   margin = strategy->margin();
   seller.OnAwards({}, {(*offers)[0].offer_id});
   EXPECT_LT(strategy->margin(), margin);  // loss: cut margin
+}
+
+// margin < 0 builds a truthful market, otherwise adaptive-markup.
+std::unique_ptr<Federation> MarketWorld(double margin) {
+  auto fed = std::make_unique<Federation>(PaperFederation());
+  PaperData data(30);
+  const char* names[] = {"athens", "corfu", "myconos"};
+  for (const char* name : names) {
+    std::unique_ptr<SellerStrategy> strategy;
+    if (margin >= 0) {
+      strategy = std::make_unique<AdaptiveMarkupStrategy>(margin);
+    }
+    fed->AddNode(name, std::move(strategy));
+  }
+  for (int i = 0; i < 3; ++i) {
+    (void)fed->LoadPartition(names[i], "customer#" + std::to_string(i),
+                             data.customer_parts[i]);
+    (void)fed->LoadPartition(names[i], "invoiceline#" + std::to_string(i),
+                             data.invoiceline_parts[i]);
+  }
+  return fed;
+}
+
+TEST(QtProtocolEconomicsTest, BargainingExtractsMarkupButNotTruth) {
+  const std::string sql =
+      "SELECT custname FROM customer WHERE office <> 'Athens'";
+  auto paid = [&](double margin, NegotiationProtocol protocol) {
+    auto fed = MarketWorld(margin);
+    QtOptions options;
+    options.protocol = protocol;
+    QueryTradingOptimizer qt(fed.get(), "athens", options);
+    auto result = qt.Optimize(sql);
+    EXPECT_TRUE(result.ok() && result->ok());
+    return result.ok() && result->ok() ? TotalRemoteCost(result->plan) : 0.0;
+  };
+  // Truthful sellers already quote at their reservation: every
+  // bargaining counter falls below it, the sellers hold firm, and the
+  // bargained price equals the plain bidding price.
+  double truthful_bidding = paid(-1, NegotiationProtocol::kBidding);
+  double truthful_bargained = paid(-1, NegotiationProtocol::kBargaining);
+  ASSERT_GT(truthful_bidding, 0);
+  EXPECT_NEAR(truthful_bargained, truthful_bidding,
+              truthful_bidding * 1e-9);
+  // Markup sellers carry surplus above the reservation: the buyer's
+  // counters are acceptable and the bargained price is strictly lower.
+  double markup_bidding = paid(0.4, NegotiationProtocol::kBidding);
+  double markup_bargained = paid(0.4, NegotiationProtocol::kBargaining);
+  EXPECT_LT(markup_bargained, markup_bidding);
+  // Bargaining never pushes below truthful cost.
+  EXPECT_GE(markup_bargained, truthful_bidding * (1.0 - 1e-9));
 }
 
 TEST(BuyerAnalyserTest, OverlapProducesDisjointSliceQuery) {
